@@ -1,0 +1,34 @@
+//! # accel-ref
+//!
+//! A stand-in for Apple's vendor-optimized Accelerate BLAS, the baseline the
+//! paper compares against in Figs. 8 and 9.
+//!
+//! Accelerate is closed source and only runs on Apple platforms, so — per
+//! the reproduction's substitution rules — this crate models a plausible
+//! vendor SGEMM instead of linking the real library:
+//!
+//! * the **compute core** is a real generated kernel (via `sme-gemm`) that
+//!   uses a *fixed, homogeneous 32×32 blocking* with direct ZA transfers and
+//!   operates on matrices padded up to multiples of the tile size — the
+//!   strategy a general-purpose library tuned for large GEMMs would use for
+//!   small ones; its time comes from the same simulator as the LIBXSMM-style
+//!   kernels;
+//! * on top of that, the model charges the **framework costs** a library
+//!   call cannot avoid and a JIT-specialised kernel does not pay: dispatch
+//!   overhead per call, packing of A and B into internal buffers, and an
+//!   additional logical-transposition pass when the caller hands over a
+//!   row-major B (`CblasTrans`).
+//!
+//! The constants are calibrated so the baseline saturates around
+//! 1.5 FP32 TFLOPS for large, well-shaped inputs — the level the paper's
+//! Accelerate curves approach — while small and awkwardly-shaped inputs pay
+//! disproportionate overheads, which is exactly the regime where the paper's
+//! generated kernels win.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod sgemm;
+
+pub use model::VendorModel;
+pub use sgemm::{reference_sgemm, AccelerateSgemm};

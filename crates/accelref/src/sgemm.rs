@@ -1,0 +1,141 @@
+//! The vendor-BLAS SGEMM baseline.
+
+use crate::model::VendorModel;
+use sme_gemm::{generate_with_plan, plan_homogeneous, BLayout, GemmConfig, GemmError, RegisterBlocking, ZaTransferStrategy};
+use sme_gemm::reference::gemm_reference;
+
+/// Pad a dimension up to the next multiple of the 16-element tile size, the
+/// granularity a fixed-strategy library works at internally.
+fn pad16(x: usize) -> usize {
+    x.div_ceil(16) * 16
+}
+
+/// An Accelerate-like SGEMM call for one problem shape.
+#[derive(Debug, Clone)]
+pub struct AccelerateSgemm {
+    cfg: GemmConfig,
+    model: VendorModel,
+}
+
+impl AccelerateSgemm {
+    /// Create the baseline for a problem configuration.
+    pub fn new(cfg: GemmConfig) -> Self {
+        AccelerateSgemm { cfg, model: VendorModel::default() }
+    }
+
+    /// Create the baseline with explicit model constants.
+    pub fn with_model(cfg: GemmConfig, model: VendorModel) -> Self {
+        AccelerateSgemm { cfg, model }
+    }
+
+    /// The problem configuration.
+    pub fn config(&self) -> &GemmConfig {
+        &self.cfg
+    }
+
+    /// The model constants.
+    pub fn model(&self) -> &VendorModel {
+        &self.model
+    }
+
+    /// Bytes of operand data the library packs before computing.
+    pub fn packed_bytes(&self) -> u64 {
+        ((self.cfg.m * self.cfg.k + self.cfg.k * self.cfg.n) * 4) as u64
+    }
+
+    /// Modelled wall-clock seconds for one call.
+    ///
+    /// The compute phase is a real simulated kernel over the padded problem
+    /// (fixed homogeneous 32×32 blocking, direct ZA transfers), scaled by
+    /// the library-efficiency factor; dispatch, packing and (for row-major
+    /// B) transposition are added on top.
+    pub fn model_seconds(&self) -> Result<f64, GemmError> {
+        let m_pad = pad16(self.cfg.m);
+        let n_pad = pad16(self.cfg.n);
+        // The library packs operands, so its compute kernel always sees
+        // contiguous, padded, row-major-B operands regardless of the
+        // caller's layout.
+        let padded = GemmConfig::abt(m_pad, n_pad, self.cfg.k)
+            .with_c_transfer(ZaTransferStrategy::Direct);
+        let plan = plan_homogeneous(m_pad, n_pad, RegisterBlocking::B32x32);
+        let kernel = generate_with_plan(&padded, Some(plan))?;
+        let compute = kernel.model_stats().seconds() / self.model.compute_efficiency;
+
+        let mut total = self.model.dispatch_seconds() + compute;
+        total += self.model.packing_seconds(self.packed_bytes());
+        if self.cfg.b_layout == BLayout::RowMajor {
+            total += self
+                .model
+                .transpose_seconds((self.cfg.k * self.cfg.n * 4) as u64);
+        }
+        Ok(total)
+    }
+
+    /// Modelled throughput in GFLOPS, using the caller's (unpadded)
+    /// operation count — exactly how the paper's figures report it.
+    pub fn model_gflops(&self) -> Result<f64, GemmError> {
+        let seconds = self.model_seconds()?;
+        Ok(self.cfg.flops() as f64 / seconds / 1e9)
+    }
+}
+
+/// Functionally compute what the vendor SGEMM would return (it is a correct
+/// BLAS, so this is simply the reference GEMM); used by integration tests
+/// that check the baseline and the generated kernels agree numerically.
+pub fn reference_sgemm(cfg: &GemmConfig, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_reference(cfg, a, b, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_well_shaped_calls_approach_the_asymptote() {
+        let g = AccelerateSgemm::new(GemmConfig::abt(512, 512, 512)).model_gflops().unwrap();
+        assert!(g > 1200.0 && g < 1700.0, "Accelerate asymptote {g}");
+    }
+
+    #[test]
+    fn small_calls_are_overhead_dominated() {
+        let small = AccelerateSgemm::new(GemmConfig::abt(16, 16, 512)).model_gflops().unwrap();
+        let large = AccelerateSgemm::new(GemmConfig::abt(256, 256, 512)).model_gflops().unwrap();
+        assert!(small < 0.35 * large, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn padding_penalises_awkward_sizes() {
+        let aligned = AccelerateSgemm::new(GemmConfig::abt(256, 256, 512)).model_gflops().unwrap();
+        let awkward = AccelerateSgemm::new(GemmConfig::abt(241, 241, 512)).model_gflops().unwrap();
+        assert!(awkward < aligned, "awkward {awkward} vs aligned {aligned}");
+    }
+
+    #[test]
+    fn column_major_b_is_the_native_layout() {
+        // For the same shape, the row-major-B call (Fig. 8) pays an extra
+        // transposition pass compared to the column-major-B call (Fig. 9).
+        let abt = AccelerateSgemm::new(GemmConfig::abt(192, 192, 512)).model_seconds().unwrap();
+        let ab = AccelerateSgemm::new(GemmConfig::ab(192, 192, 512)).model_seconds().unwrap();
+        assert!(abt > ab, "row-major B ({abt}) must cost more than column-major B ({ab})");
+    }
+
+    #[test]
+    fn never_exceeds_the_machine_peak() {
+        for mn in [64, 128, 320, 512] {
+            let g = AccelerateSgemm::new(GemmConfig::abt(mn, mn, 512)).model_gflops().unwrap();
+            assert!(g < VendorModel::default().peak_gflops, "{mn}: {g}");
+        }
+    }
+
+    #[test]
+    fn reference_sgemm_matches_the_reference() {
+        let cfg = GemmConfig::abt(8, 8, 8);
+        let a = vec![1.0f32; cfg.a_len()];
+        let b = vec![2.0f32; cfg.b_len()];
+        let mut c1 = vec![0.0f32; cfg.c_len()];
+        let mut c2 = c1.clone();
+        reference_sgemm(&cfg, &a, &b, &mut c1);
+        gemm_reference(&cfg, &a, &b, &mut c2);
+        assert_eq!(c1, c2);
+    }
+}

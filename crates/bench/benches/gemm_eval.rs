@@ -1,0 +1,38 @@
+//! Host-side cost of evaluating one Fig. 8 / Fig. 9 sweep point
+//! (generation + timing-only simulation + vendor baseline), which bounds the
+//! wall-clock cost of the full figure sweeps.
+
+use accel_ref::AccelerateSgemm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sme_gemm::{generate, GemmConfig};
+use std::hint::black_box;
+
+fn bench_sweep_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_sweep_point");
+    group.sample_size(10);
+    for &mn in &[32usize, 96, 160] {
+        group.bench_with_input(BenchmarkId::new("libxsmm_model", mn), &mn, |b, &mn| {
+            b.iter(|| {
+                let cfg = GemmConfig::abt(mn, mn, 512);
+                black_box(generate(&cfg).unwrap().model_gflops())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("accelerate_model", mn), &mn, |b, &mn| {
+            b.iter(|| {
+                let cfg = GemmConfig::abt(mn, mn, 512);
+                black_box(AccelerateSgemm::new(cfg).model_gflops().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let kernel = generate(&GemmConfig::abt(48, 48, 32)).unwrap();
+    c.bench_function("functional_validation_48x48x32", |b| {
+        b.iter(|| black_box(kernel.validate(11)))
+    });
+}
+
+criterion_group!(benches, bench_sweep_point, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Host-side cost of just-in-time kernel generation.
+//!
+//! LIBXSMM-style libraries generate kernels at runtime, so generation
+//! latency matters: it must be amortisable over a handful of kernel calls.
+//! These benches measure the full path (planning, emission, branch
+//! resolution) and the machine-code lowering for representative shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sme_gemm::{generate, GemmConfig};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_generation");
+    for &mn in &[16usize, 64, 128, 256] {
+        let cfg = GemmConfig::abt(mn, mn, 512);
+        group.bench_with_input(BenchmarkId::new("abt", mn), &cfg, |b, cfg| {
+            b.iter(|| generate(black_box(cfg)).unwrap())
+        });
+        let cfg_ab = GemmConfig::ab(mn, mn, 512);
+        group.bench_with_input(BenchmarkId::new("ab", mn), &cfg_ab, |b, cfg| {
+            b.iter(|| generate(black_box(cfg)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let kernel = generate(&GemmConfig::abt(128, 128, 512)).unwrap();
+    c.bench_function("machine_code_lowering_128x128x512", |b| {
+        b.iter(|| black_box(kernel.machine_code()))
+    });
+}
+
+fn bench_planning(c: &mut Criterion) {
+    c.bench_function("heterogeneous_plan_512x512", |b| {
+        b.iter(|| sme_gemm::plan_heterogeneous(black_box(512), black_box(512)))
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_encoding, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Host-side cost of regenerating the paper's microbenchmark tables and
+//! figures (Table I, Fig. 1, one bandwidth curve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sme_machine::MachineConfig;
+use sme_microbench::bandwidth::figure_2_or_3;
+use sme_microbench::scaling::figure1;
+use sme_microbench::throughput::table_one;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let config = MachineConfig::apple_m4();
+    let mut group = c.benchmark_group("microbench_regeneration");
+    group.sample_size(10);
+    group.bench_function("table1", |b| b.iter(|| black_box(table_one(&config))));
+    group.bench_function("fig1", |b| b.iter(|| black_box(figure1(&config, 10))));
+    let sizes = vec![1 << 12, 1 << 16, 1 << 20, 1 << 24, 1 << 28];
+    group.bench_function("fig2_coarse", |b| {
+        b.iter(|| black_box(figure_2_or_3(&config, false, &sizes)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 1: multi-core scaling of the FP32 Neon FMLA and SME
+//! FMOPA microbenchmarks over 1–10 user-interactive threads.
+
+use sme_bench::{maybe_write_json, SweepOptions};
+use sme_machine::MachineConfig;
+use sme_microbench::report::render_scaling;
+use sme_microbench::scaling::{figure1, mixed_thread_experiment};
+
+fn main() {
+    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let config = MachineConfig::apple_m4();
+    let fig = figure1(&config, 10);
+    println!("Fig. 1 — FP32 multi-core scaling, user-interactive threads (GFLOPS)\n");
+    println!("{}", render_scaling(&fig.neon, &fig.fmopa));
+    println!(
+        "single-thread SME vs 10-thread Neon : {:.1}x (paper: up to 3.1x)",
+        fig.single_thread_sme_speedup()
+    );
+    println!(
+        "both SME units vs 10-thread Neon    : {:.1}x (paper: up to 3.6x)",
+        fig.dual_unit_sme_speedup()
+    );
+    println!(
+        "1 user-interactive + 1 utility thread: {:.0} GFLOPS (paper: 2371 measured, 2366 expected)",
+        mixed_thread_experiment(&config)
+    );
+    maybe_write_json(&opts.json, &fig);
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 2: bandwidth of the four strategies for loading data
+//! from memory into the ZA array (128-byte aligned data, 2 KiB – 2 GiB).
+
+use sme_bench::{maybe_write_json, SweepOptions};
+use sme_machine::MachineConfig;
+use sme_microbench::bandwidth::{default_sizes, figure_2_or_3};
+use sme_microbench::report::{bandwidth_csv, render_bandwidth};
+
+fn main() {
+    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let config = MachineConfig::apple_m4();
+    let curves = figure_2_or_3(&config, false, &default_sizes());
+    println!("Fig. 2 — ZA load bandwidth by strategy, 128-byte aligned (GiB/s)\n");
+    println!("{}", render_bandwidth(&curves));
+    println!("CSV:\n{}", bandwidth_csv(&curves));
+    maybe_write_json(&opts.json, &curves);
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 4: ZA load bandwidth per strategy for 16/32/64/128-byte
+//! aligned data.
+
+use sme_bench::{maybe_write_json, SweepOptions};
+use sme_machine::MachineConfig;
+use sme_microbench::bandwidth::{default_sizes, figure_4_or_5};
+use sme_microbench::report::render_bandwidth;
+use sme_microbench::TransferStrategy;
+
+fn main() {
+    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let config = MachineConfig::apple_m4();
+    let curves = figure_4_or_5(&config, false, &default_sizes());
+    println!("Fig. 4 — ZA load bandwidth by alignment (GiB/s)\n");
+    for strategy in TransferStrategy::all() {
+        let label = strategy.label(false);
+        let subset: Vec<_> = curves.iter().filter(|c| c.strategy == label).cloned().collect();
+        println!("({label})");
+        println!("{}", render_bandwidth(&subset));
+    }
+    maybe_write_json(&opts.json, &curves);
+}

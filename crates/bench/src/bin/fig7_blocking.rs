@@ -1,0 +1,49 @@
+//! Regenerates Fig. 7: homogeneous versus heterogeneous register blocking
+//! for an 80×80 output matrix, plus the impact on modelled performance.
+
+use sme_bench::SweepOptions;
+use sme_gemm::{
+    generate, generate_with_plan, plan_heterogeneous, plan_homogeneous, GemmConfig,
+    RegisterBlocking,
+};
+
+fn describe(plan: &sme_gemm::BlockPlan) -> String {
+    let hist = plan.strategy_histogram();
+    format!(
+        "{:2} microkernel executions ({}x 32x32, {}x 16x64, {}x 64x16), {:4} A/B loads per k step",
+        plan.num_microkernels(),
+        hist[0].1,
+        hist[1].1,
+        hist[2].1,
+        plan.loads_per_k_step()
+    )
+}
+
+fn main() {
+    let _ = SweepOptions::parse(std::env::args().skip(1));
+    println!("Fig. 7 — register blocking of an 80x80 output matrix\n");
+    let hom = plan_homogeneous(80, 80, RegisterBlocking::B32x32);
+    let het = plan_heterogeneous(80, 80);
+    println!("homogeneous 32x32 : {}", describe(&hom));
+    println!("heterogeneous     : {}", describe(&het));
+    println!("(paper: ten homogeneous vs seven heterogeneous microkernel executions)\n");
+
+    // Modelled performance impact for the paper's K = 512.
+    let cfg = GemmConfig::abt(80, 80, 512);
+    let het_gflops = generate(&cfg).map(|k| k.model_gflops()).unwrap_or(0.0);
+    let hom_gflops = generate_with_plan(&cfg, Some(plan_homogeneous(80, 80, RegisterBlocking::B32x32)))
+        .map(|k| k.model_gflops())
+        .unwrap_or(0.0);
+    println!("modelled throughput, C += A*B^T with M=N=80, K=512:");
+    println!("  heterogeneous blocking : {het_gflops:7.0} GFLOPS");
+    println!("  homogeneous 32x32      : {hom_gflops:7.0} GFLOPS");
+
+    // Microkernel counts across a range of sizes.
+    println!("\nmicrokernel executions per output size (homogeneous vs heterogeneous):");
+    println!("{:>8} {:>14} {:>16}", "M=N", "homogeneous", "heterogeneous");
+    for mn in [48usize, 80, 112, 144, 176, 208, 240] {
+        let hom = plan_homogeneous(mn, mn, RegisterBlocking::B32x32).num_microkernels();
+        let het = plan_heterogeneous(mn, mn).num_microkernels();
+        println!("{mn:>8} {hom:>14} {het:>16}");
+    }
+}

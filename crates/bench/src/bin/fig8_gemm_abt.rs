@@ -1,0 +1,19 @@
+//! Regenerates Fig. 8: FP32 performance of the generated kernels versus the
+//! vendor-BLAS baseline for `C += A·Bᵀ` (column-major A and C, row-major
+//! B), M = N ∈ [1 … 512], K = 512.
+//!
+//! The default sweep uses a step of 16 to stay fast; pass `--step 1` for the
+//! paper's full per-size sweep.
+
+use sme_bench::{gemm_sweep, maybe_write_json, render_gemm_sweep, SweepOptions};
+
+fn main() {
+    let opts = SweepOptions::parse(std::env::args().skip(1));
+    println!(
+        "Fig. 8 — C += A*B^T, K = {}, M = N swept to {} in steps of {} (FP32 GFLOPS)\n",
+        opts.k, opts.max, opts.step
+    );
+    let sweep = gemm_sweep(true, &opts);
+    println!("{}", render_gemm_sweep(&sweep));
+    maybe_write_json(&opts.json, &sweep);
+}

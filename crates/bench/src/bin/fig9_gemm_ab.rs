@@ -1,0 +1,16 @@
+//! Regenerates Fig. 9: FP32 performance of the generated kernels versus the
+//! vendor-BLAS baseline for `C += A·B` with a column-major B (the kernel
+//! transposes B panels through the ZA array), M = N ∈ [1 … 512], K = 512.
+
+use sme_bench::{gemm_sweep, maybe_write_json, render_gemm_sweep, SweepOptions};
+
+fn main() {
+    let opts = SweepOptions::parse(std::env::args().skip(1));
+    println!(
+        "Fig. 9 — C += A*B (column-major B), K = {}, M = N swept to {} in steps of {} (FP32 GFLOPS)\n",
+        opts.k, opts.max, opts.step
+    );
+    let sweep = gemm_sweep(false, &opts);
+    println!("{}", render_gemm_sweep(&sweep));
+    maybe_write_json(&opts.json, &sweep);
+}

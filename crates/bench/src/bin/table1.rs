@@ -1,0 +1,21 @@
+//! Regenerates Table I: per-instruction throughput (GOPS) on one
+//! performance core and one efficiency core, next to the paper's published
+//! numbers.
+
+use sme_bench::{maybe_write_json, SweepOptions};
+use sme_machine::MachineConfig;
+use sme_microbench::report::render_table_one;
+use sme_microbench::throughput::{fmopa_single_tile_gops, table_one, table_one_reference};
+
+fn main() {
+    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let config = MachineConfig::apple_m4();
+    let rows = table_one(&config);
+    println!("Table I — Apple M4 per-instruction throughput (modelled vs. paper)\n");
+    println!("{}", render_table_one(&rows, Some(&table_one_reference())));
+    println!(
+        "FP32 FMOPA restricted to a single ZA tile: {:.0} GOPS (paper: 502, §III-C)",
+        fmopa_single_tile_gops(&config)
+    );
+    maybe_write_json(&opts.json, &rows);
+}

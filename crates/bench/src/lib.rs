@@ -1,0 +1,245 @@
+//! # sme-bench
+//!
+//! The benchmark harness of the reproduction: one binary per table / figure
+//! of the paper's evaluation (run them with
+//! `cargo run --release -p sme-bench --bin <name>`), plus criterion benches
+//! that measure the host-side costs of the library itself (kernel
+//! generation latency, simulator throughput).
+//!
+//! This library crate contains the shared pieces: command-line options for
+//! the sweep binaries, the GEMM sweep driver used by the Fig. 8 / Fig. 9
+//! binaries and JSON export of results.
+
+#![warn(missing_docs)]
+
+use accel_ref::AccelerateSgemm;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use sme_gemm::{generate, GemmConfig};
+
+/// Options shared by the sweep binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// Step between consecutive M = N values (the paper sweeps every size;
+    /// the default step of 16 keeps the run short while preserving the
+    /// curve shape — pass `--step 1` for the full sweep).
+    pub step: usize,
+    /// Largest M = N value (512 in the paper).
+    pub max: usize,
+    /// Contraction dimension (512 in the paper).
+    pub k: usize,
+    /// Optional path to also write the results as JSON.
+    pub json: Option<String>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { step: 16, max: 512, k: 512, json: None }
+    }
+}
+
+impl SweepOptions {
+    /// Parse options from `std::env::args`-style strings. Recognised flags:
+    /// `--step N`, `--max N`, `--k N`, `--json PATH`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = SweepOptions::default();
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
+            match args[i].as_str() {
+                "--step" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        opts.step = v;
+                    }
+                    i += 1;
+                }
+                "--max" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        opts.max = v;
+                    }
+                    i += 1;
+                }
+                "--k" => {
+                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
+                        opts.k = v;
+                    }
+                    i += 1;
+                }
+                "--json" => {
+                    opts.json = value(i);
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if opts.step == 0 {
+            opts.step = 1;
+        }
+        opts
+    }
+
+    /// The M = N values of the sweep.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = (self.step..=self.max).step_by(self.step).collect();
+        if sizes.last() != Some(&self.max) {
+            sizes.push(self.max);
+        }
+        sizes
+    }
+}
+
+/// One point of a Fig. 8 / Fig. 9 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GemmSweepPoint {
+    /// M = N of the output matrix.
+    pub mn: usize,
+    /// Modelled throughput of the generated (LIBXSMM-style) kernel.
+    pub libxsmm_gflops: f64,
+    /// Modelled throughput of the vendor-BLAS baseline.
+    pub accelerate_gflops: f64,
+}
+
+/// A complete Fig. 8 / Fig. 9 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GemmSweep {
+    /// `"abt"` (Fig. 8) or `"ab"` (Fig. 9).
+    pub variant: String,
+    /// Contraction dimension.
+    pub k: usize,
+    /// Sweep points in ascending M = N order.
+    pub points: Vec<GemmSweepPoint>,
+}
+
+impl GemmSweep {
+    /// Fraction of sweep points where the generated kernel beats the vendor
+    /// baseline (the paper: "almost all" for Fig. 8 and "all" for Fig. 9).
+    pub fn win_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let wins = self
+            .points
+            .iter()
+            .filter(|p| p.libxsmm_gflops > p.accelerate_gflops)
+            .count();
+        wins as f64 / self.points.len() as f64
+    }
+
+    /// Geometric-mean speed-up of the generated kernels over the baseline.
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .points
+            .iter()
+            .map(|p| (p.libxsmm_gflops / p.accelerate_gflops).ln())
+            .sum();
+        (log_sum / self.points.len() as f64).exp()
+    }
+}
+
+/// Run the Fig. 8 (`abt = true`) or Fig. 9 (`abt = false`) sweep.
+///
+/// Sweep points are independent and are evaluated in parallel on the host;
+/// the simulated machine model inside each point is unaffected.
+pub fn gemm_sweep(abt: bool, opts: &SweepOptions) -> GemmSweep {
+    let points: Vec<GemmSweepPoint> = opts
+        .sizes()
+        .par_iter()
+        .map(|&mn| {
+            let cfg = if abt {
+                GemmConfig::abt(mn, mn, opts.k)
+            } else {
+                GemmConfig::ab(mn, mn, opts.k)
+            };
+            let libxsmm = generate(&cfg).map(|k| k.model_gflops()).unwrap_or(0.0);
+            let accelerate = AccelerateSgemm::new(cfg).model_gflops().unwrap_or(0.0);
+            GemmSweepPoint { mn, libxsmm_gflops: libxsmm, accelerate_gflops: accelerate }
+        })
+        .collect();
+    GemmSweep {
+        variant: if abt { "abt".into() } else { "ab".into() },
+        k: opts.k,
+        points,
+    }
+}
+
+/// Render a sweep in the paper's series form and print the summary lines.
+pub fn render_gemm_sweep(sweep: &GemmSweep) -> String {
+    let libxsmm: Vec<(usize, f64)> =
+        sweep.points.iter().map(|p| (p.mn, p.libxsmm_gflops)).collect();
+    let accel: Vec<(usize, f64)> =
+        sweep.points.iter().map(|p| (p.mn, p.accelerate_gflops)).collect();
+    let mut out = sme_microbench::report::render_series(
+        "M=N",
+        &[("LIBXSMM", &libxsmm), ("Accelerate", &accel)],
+    );
+    out.push_str(&format!(
+        "\ngenerated kernels faster in {:.0}% of the tested configurations \
+         (geometric-mean speed-up {:.2}x)\n",
+        100.0 * sweep.win_fraction(),
+        sweep.geomean_speedup()
+    ));
+    out
+}
+
+/// Write any serialisable result to a JSON file if a path was requested.
+pub fn maybe_write_json<T: Serialize>(path: &Option<String>, value: &T) {
+    if let Some(path) = path {
+        match serde_json::to_string_pretty(value) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialise results: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_parsing() {
+        let opts = SweepOptions::parse(
+            ["--step", "8", "--max", "64", "--k", "128", "--json", "/tmp/out.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.step, 8);
+        assert_eq!(opts.max, 64);
+        assert_eq!(opts.k, 128);
+        assert_eq!(opts.json.as_deref(), Some("/tmp/out.json"));
+        assert_eq!(opts.sizes().last(), Some(&64));
+        let default = SweepOptions::parse(std::iter::empty());
+        assert_eq!(default.step, 16);
+        assert_eq!(default.max, 512);
+    }
+
+    #[test]
+    fn sizes_always_include_the_maximum() {
+        let opts = SweepOptions { step: 48, max: 100, k: 32, json: None };
+        let sizes = opts.sizes();
+        assert_eq!(sizes, vec![48, 96, 100]);
+    }
+
+    #[test]
+    fn small_sweep_reproduces_the_headline_result() {
+        // A coarse, fast sweep: the generated kernels must beat the vendor
+        // baseline at every tested size for both layouts.
+        let opts = SweepOptions { step: 96, max: 288, k: 128, json: None };
+        let fig8 = gemm_sweep(true, &opts);
+        let fig9 = gemm_sweep(false, &opts);
+        assert!(fig8.win_fraction() > 0.9, "Fig. 8 win fraction {}", fig8.win_fraction());
+        assert!((fig9.win_fraction() - 1.0).abs() < 1e-9, "Fig. 9 win fraction {}", fig9.win_fraction());
+        assert!(fig8.geomean_speedup() > 1.0);
+        let text = render_gemm_sweep(&fig8);
+        assert!(text.contains("LIBXSMM"));
+        assert!(text.contains("Accelerate"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Batched execution of generated small-GEMM kernels.
+//!
+//! LIBXSMM's small GEMMs are typically executed many times per time step —
+//! for example once per element in a high-order finite-element code. This
+//! module provides a thin batched driver over a single [`CompiledKernel`]:
+//! one kernel, many operand triples, aggregated statistics.
+
+use crate::config::GemmConfig;
+use crate::generator::generate;
+use crate::kernel::{CompiledKernel, GemmBuffers};
+use crate::config::GemmError;
+use crate::reference::fill_matrix;
+use sme_machine::exec::{RunOptions, Simulator};
+use sme_machine::ExecStats;
+
+/// A batch of identical small GEMMs sharing one generated kernel.
+#[derive(Debug, Clone)]
+pub struct BatchedGemm {
+    kernel: CompiledKernel,
+}
+
+impl BatchedGemm {
+    /// Generate the kernel for `cfg`.
+    pub fn new(cfg: &GemmConfig) -> Result<Self, GemmError> {
+        Ok(BatchedGemm { kernel: generate(cfg)? })
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &CompiledKernel {
+        &self.kernel
+    }
+
+    /// Allocate `count` operand triples in the simulator's memory, filled
+    /// with deterministic pseudo-random data derived from `seed`.
+    pub fn allocate_batch(&self, sim: &mut Simulator, count: usize, seed: u64) -> Vec<GemmBuffers> {
+        let cfg = self.kernel.config();
+        (0..count)
+            .map(|i| {
+                let mut a = vec![0.0f32; cfg.a_len()];
+                let mut b = vec![0.0f32; cfg.b_len()];
+                let mut c = vec![0.0f32; cfg.c_len()];
+                let s = seed.wrapping_add(i as u64 * 3);
+                fill_matrix(s, &mut a);
+                fill_matrix(s + 1, &mut b);
+                fill_matrix(s + 2, &mut c);
+                GemmBuffers {
+                    a: sim.mem.alloc_f32(&a, 128),
+                    b: sim.mem.alloc_f32(&b, 128),
+                    c: sim.mem.alloc_f32(&c, 128),
+                }
+            })
+            .collect()
+    }
+
+    /// Execute the kernel once per triple and return the aggregated
+    /// statistics.
+    pub fn execute(&self, sim: &mut Simulator, batch: &[GemmBuffers], opts: &RunOptions) -> ExecStats {
+        let mut total = ExecStats::default();
+        for bufs in batch {
+            let result = self.kernel.run(sim, *bufs, opts);
+            total.merge(&result.stats);
+        }
+        total
+    }
+
+    /// Total floating-point operations for a batch of the given size.
+    pub fn batch_flops(&self, count: usize) -> u64 {
+        self.kernel.flops() * count as u64
+    }
+
+    /// Modelled throughput (GFLOPS) of a batch executed back to back on a
+    /// single performance core.
+    pub fn model_batch_gflops(&self, count: usize) -> f64 {
+        let mut sim = Simulator::m4_performance();
+        let batch = self.allocate_batch(&mut sim, count, 99);
+        let stats = self.execute(&mut sim, &batch, &RunOptions::timing_only());
+        let seconds = stats.seconds();
+        if seconds == 0.0 {
+            0.0
+        } else {
+            self.batch_flops(count) as f64 / seconds / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{gemm_reference, max_abs_diff};
+
+    #[test]
+    fn batch_executes_every_problem_functionally() {
+        let cfg = GemmConfig::abt(20, 12, 6);
+        let batch = BatchedGemm::new(&cfg).unwrap();
+        let mut sim = Simulator::m4_performance();
+        let triples = batch.allocate_batch(&mut sim, 4, 7);
+        // Snapshot the inputs before execution.
+        let inputs: Vec<_> = triples
+            .iter()
+            .map(|t| {
+                (
+                    sim.mem.read_f32_slice(t.a, cfg.a_len()),
+                    sim.mem.read_f32_slice(t.b, cfg.b_len()),
+                    sim.mem.read_f32_slice(t.c, cfg.c_len()),
+                )
+            })
+            .collect();
+        let stats = batch.execute(&mut sim, &triples, &RunOptions::functional_only());
+        assert!(stats.instructions > 0);
+        for (t, (a, b, c0)) in triples.iter().zip(inputs) {
+            let mut c_ref = c0;
+            gemm_reference(&cfg, &a, &b, &mut c_ref);
+            let c_out = sim.mem.read_f32_slice(t.c, cfg.c_len());
+            assert!(max_abs_diff(&c_out, &c_ref) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batch_throughput_is_comparable_to_single_kernel_throughput() {
+        let cfg = GemmConfig::abt(64, 64, 64);
+        let batch = BatchedGemm::new(&cfg).unwrap();
+        let single = batch.kernel().model_gflops();
+        let batched = batch.model_batch_gflops(3);
+        assert!(batched > 0.5 * single);
+        assert_eq!(batch.batch_flops(3), 3 * 2 * 64 * 64 * 64);
+    }
+}

@@ -1,0 +1,459 @@
+//! Register-blocking strategies and block plans.
+//!
+//! The ZA array holds four 16×16 FP32 tiles, which the generator can arrange
+//! as a 32×32, 16×64 or 64×16 accumulator block (§IV-B). A [`BlockPlan`]
+//! covers the M×N iteration space of one GEMM with a set of
+//! [`BlockInstance`]s, mixing strategies so that fewer microkernel
+//! executions (and fewer A/B loads) are needed than with a single
+//! homogeneous blocking — the Fig. 7 example needs seven heterogeneous
+//! executions instead of nine to ten homogeneous ones.
+
+use crate::config::{BLayout, GemmConfig};
+use serde::{Deserialize, Serialize};
+
+/// Width/height of one ZA tile in FP32 elements on an SVL-512 machine.
+pub const TILE: usize = 16;
+
+/// One of the three register-blocking strategies of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegisterBlocking {
+    /// 32×32 accumulator: 2×2 tiles, 64 A/B values loaded per update.
+    B32x32,
+    /// 16×64 accumulator: 1×4 tiles, 80 A/B values loaded per update.
+    B16x64,
+    /// 64×16 accumulator: 4×1 tiles, 80 A/B values loaded per update.
+    B64x16,
+}
+
+impl RegisterBlocking {
+    /// Accumulator rows (the M extent of the block).
+    pub const fn rows(self) -> usize {
+        match self {
+            RegisterBlocking::B32x32 => 32,
+            RegisterBlocking::B16x64 => 16,
+            RegisterBlocking::B64x16 => 64,
+        }
+    }
+
+    /// Accumulator columns (the N extent of the block).
+    pub const fn cols(self) -> usize {
+        match self {
+            RegisterBlocking::B32x32 => 32,
+            RegisterBlocking::B16x64 => 64,
+            RegisterBlocking::B64x16 => 16,
+        }
+    }
+
+    /// Number of 16-row groups (vectors of A loaded per k step).
+    pub const fn row_groups(self) -> usize {
+        self.rows() / TILE
+    }
+
+    /// Number of 16-column groups (vectors of B loaded per k step).
+    pub const fn col_groups(self) -> usize {
+        self.cols() / TILE
+    }
+
+    /// A and B elements loaded per accumulator update (the paper quotes 64
+    /// for the 32×32 blocking and 80 for the other two).
+    pub const fn loads_per_update(self) -> usize {
+        self.rows() + self.cols()
+    }
+
+    /// ZA tile index used for row group `rg` and column group `cg`.
+    ///
+    /// The mapping follows Lst. 4: tiles are numbered down the rows first,
+    /// then across the column groups, so that the tiles of one column group
+    /// are consecutive (which lets the direct `ldr za`/`str za` transfer use
+    /// its paired vector-index/address offset).
+    pub fn tile_index(self, rg: usize, cg: usize) -> u8 {
+        assert!(rg < self.row_groups(), "row group {rg} out of range for {self:?}");
+        assert!(cg < self.col_groups(), "column group {cg} out of range for {self:?}");
+        (cg * self.row_groups() + rg) as u8
+    }
+
+    /// All three strategies.
+    pub const fn all() -> [RegisterBlocking; 3] {
+        [RegisterBlocking::B32x32, RegisterBlocking::B16x64, RegisterBlocking::B64x16]
+    }
+}
+
+/// One microkernel execution: a rectangle of C computed with one register
+/// blocking (possibly masked when `rows`/`cols` are smaller than the
+/// blocking's extent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockInstance {
+    /// First row of C covered.
+    pub row0: usize,
+    /// First column of C covered.
+    pub col0: usize,
+    /// Rows actually computed (≤ `blocking.rows()`).
+    pub rows: usize,
+    /// Columns actually computed (≤ `blocking.cols()`).
+    pub cols: usize,
+    /// Register blocking used.
+    pub blocking: RegisterBlocking,
+}
+
+impl BlockInstance {
+    /// `true` if the block uses the blocking's full extent (no masking).
+    pub fn is_full(&self) -> bool {
+        self.rows == self.blocking.rows() && self.cols == self.blocking.cols()
+    }
+
+    /// Row groups actually touched (masked blocks may use fewer).
+    pub fn active_row_groups(&self) -> usize {
+        self.rows.div_ceil(TILE)
+    }
+
+    /// Column groups actually touched.
+    pub fn active_col_groups(&self) -> usize {
+        self.cols.div_ceil(TILE)
+    }
+
+    /// A and B elements loaded per k step for this block.
+    pub fn loads_per_update(&self) -> usize {
+        self.active_row_groups() * TILE + self.active_col_groups() * TILE
+    }
+}
+
+/// A complete tiling of the M×N iteration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockPlan {
+    /// Problem rows.
+    pub m: usize,
+    /// Problem columns.
+    pub n: usize,
+    /// Microkernel executions in generation order.
+    pub blocks: Vec<BlockInstance>,
+}
+
+impl BlockPlan {
+    /// Number of microkernel executions.
+    pub fn num_microkernels(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total A/B elements loaded per contraction step, summed over blocks —
+    /// the quantity the heterogeneous blocking minimises.
+    pub fn loads_per_k_step(&self) -> usize {
+        self.blocks.iter().map(|b| b.loads_per_update()).sum()
+    }
+
+    /// Verify that the plan covers every element of C exactly once.
+    pub fn covers_exactly_once(&self) -> bool {
+        let mut hit = vec![0u8; self.m * self.n];
+        for b in &self.blocks {
+            for c in b.col0..b.col0 + b.cols {
+                for r in b.row0..b.row0 + b.rows {
+                    if r >= self.m || c >= self.n {
+                        return false;
+                    }
+                    hit[c * self.m + r] += 1;
+                }
+            }
+        }
+        hit.iter().all(|&h| h == 1)
+    }
+
+    /// Breakdown of block counts per strategy.
+    pub fn strategy_histogram(&self) -> [(RegisterBlocking, usize); 3] {
+        let mut out = [
+            (RegisterBlocking::B32x32, 0),
+            (RegisterBlocking::B16x64, 0),
+            (RegisterBlocking::B64x16, 0),
+        ];
+        for b in &self.blocks {
+            for entry in out.iter_mut() {
+                if entry.0 == b.blocking {
+                    entry.1 += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Build the heterogeneous plan of §IV-B for an `m × n` output.
+///
+/// The bulk of the matrix is covered with 32×32 blocks; a bottom strip of at
+/// most 16 rows uses 16×64 blocks, a right strip of at most 16 columns uses
+/// 64×16 blocks, and the corner uses a single masked block. Remainders
+/// larger than 16 fall back to masked 32×32 blocks.
+pub fn plan_heterogeneous(m: usize, n: usize) -> BlockPlan {
+    let mut blocks = Vec::new();
+
+    // Split each dimension into a "main" part covered by 32-wide blocks and
+    // a remainder handled by the thin strategies (only when ≤ 16).
+    let (m_main, m_rem) = split_main(m);
+    let (n_main, n_rem) = split_main(n);
+
+    // Main region: 32×32 blocks (masked at the main-region edge when the
+    // remainder was folded into a 17–31 wide last block).
+    for col0 in (0..n_main).step_by(32) {
+        let cols = 32.min(n_main - col0);
+        for row0 in (0..m_main).step_by(32) {
+            let rows = 32.min(m_main - row0);
+            blocks.push(BlockInstance {
+                row0,
+                col0,
+                rows,
+                cols,
+                blocking: RegisterBlocking::B32x32,
+            });
+        }
+    }
+
+    // Bottom strip (≤ 16 rows): 16×64 blocks across the main columns.
+    if m_rem > 0 {
+        for col0 in (0..n_main).step_by(64) {
+            let cols = 64.min(n_main - col0);
+            blocks.push(BlockInstance {
+                row0: m_main,
+                col0,
+                rows: m_rem,
+                cols,
+                blocking: RegisterBlocking::B16x64,
+            });
+        }
+    }
+
+    // Right strip (≤ 16 columns): 64×16 blocks down the main rows.
+    if n_rem > 0 {
+        for row0 in (0..m_main).step_by(64) {
+            let rows = 64.min(m_main - row0);
+            blocks.push(BlockInstance {
+                row0,
+                col0: n_main,
+                rows,
+                cols: n_rem,
+                blocking: RegisterBlocking::B64x16,
+            });
+        }
+    }
+
+    // Corner (≤ 16 × ≤ 16): one heavily masked 64×16 block, as in Fig. 7.
+    if m_rem > 0 && n_rem > 0 {
+        blocks.push(BlockInstance {
+            row0: m_main,
+            col0: n_main,
+            rows: m_rem,
+            cols: n_rem,
+            blocking: RegisterBlocking::B64x16,
+        });
+    }
+
+    BlockPlan { m, n, blocks }
+}
+
+/// Split a dimension into a part covered by 32-wide blocks and a thin
+/// remainder (≤ 16) handled by the 16-wide strategies. Remainders of 17–31
+/// are folded into the last (masked) 32-wide block.
+fn split_main(extent: usize) -> (usize, usize) {
+    let rem = extent % 32;
+    if rem == 0 || extent < 32 {
+        if extent < 32 && extent > 16 {
+            // A single masked 32-wide block covers 17..31.
+            (extent, 0)
+        } else if extent <= 16 && extent > 0 {
+            (0, extent)
+        } else {
+            (extent, 0)
+        }
+    } else if rem <= 16 {
+        (extent - rem, rem)
+    } else {
+        // 17..=31: cover with a masked 32×32 block instead of two thin ones.
+        (extent, 0)
+    }
+}
+
+/// Build a homogeneous plan that uses a single strategy everywhere (masked
+/// at the edges) — the left-hand side of Fig. 7, used as the ablation
+/// baseline.
+pub fn plan_homogeneous(m: usize, n: usize, blocking: RegisterBlocking) -> BlockPlan {
+    let mut blocks = Vec::new();
+    for col0 in (0..n).step_by(blocking.cols()) {
+        let cols = blocking.cols().min(n - col0);
+        for row0 in (0..m).step_by(blocking.rows()) {
+            let rows = blocking.rows().min(m - row0);
+            blocks.push(BlockInstance { row0, col0, rows, cols, blocking });
+        }
+    }
+    BlockPlan { m, n, blocks }
+}
+
+/// Plan used when B is column-major and must be transposed panel by panel:
+/// the N dimension is processed in panels of at most 32 columns (the width
+/// of one transposed scratch panel, §IV-C), and within each panel the rows
+/// are covered by (possibly masked) 32×32 blocks.
+pub fn plan_column_panels(m: usize, n: usize) -> Vec<(usize, usize, BlockPlan)> {
+    let mut panels = Vec::new();
+    for col0 in (0..n).step_by(32) {
+        let cols = 32.min(n - col0);
+        let mut plan = plan_heterogeneous(m, cols);
+        // Shift the panel-local plan to the panel's absolute columns.
+        for b in &mut plan.blocks {
+            b.col0 += col0;
+        }
+        plan.n = n;
+        panels.push((col0, cols, plan));
+    }
+    panels
+}
+
+/// Pick the plan the generator uses for a configuration.
+pub fn plan_for_config(cfg: &GemmConfig) -> BlockPlan {
+    match cfg.b_layout {
+        BLayout::RowMajor => plan_heterogeneous(cfg.m, cfg.n),
+        BLayout::ColMajor => {
+            let mut blocks = Vec::new();
+            for (_, _, panel_plan) in plan_column_panels(cfg.m, cfg.n) {
+                blocks.extend(panel_plan.blocks);
+            }
+            BlockPlan { m: cfg.m, n: cfg.n, blocks }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_geometry_matches_the_paper() {
+        assert_eq!(RegisterBlocking::B32x32.loads_per_update(), 64);
+        assert_eq!(RegisterBlocking::B16x64.loads_per_update(), 80);
+        assert_eq!(RegisterBlocking::B64x16.loads_per_update(), 80);
+        assert_eq!(RegisterBlocking::B32x32.row_groups(), 2);
+        assert_eq!(RegisterBlocking::B32x32.col_groups(), 2);
+        assert_eq!(RegisterBlocking::B16x64.col_groups(), 4);
+        assert_eq!(RegisterBlocking::B64x16.row_groups(), 4);
+    }
+
+    #[test]
+    fn tile_indices_are_consecutive_within_a_column_group() {
+        let b = RegisterBlocking::B32x32;
+        assert_eq!(b.tile_index(0, 0), 0);
+        assert_eq!(b.tile_index(1, 0), 1);
+        assert_eq!(b.tile_index(0, 1), 2);
+        assert_eq!(b.tile_index(1, 1), 3);
+        let b = RegisterBlocking::B64x16;
+        assert_eq!(b.tile_index(3, 0), 3);
+        let b = RegisterBlocking::B16x64;
+        assert_eq!(b.tile_index(0, 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tile_index_bounds() {
+        let _ = RegisterBlocking::B16x64.tile_index(1, 0);
+    }
+
+    #[test]
+    fn figure_seven_example() {
+        // M = N = 80: seven heterogeneous microkernel executions…
+        let plan = plan_heterogeneous(80, 80);
+        assert_eq!(plan.num_microkernels(), 7, "{:#?}", plan.blocks);
+        assert!(plan.covers_exactly_once());
+        let hist = plan.strategy_histogram();
+        assert_eq!(hist[0], (RegisterBlocking::B32x32, 4));
+        assert_eq!(hist[1], (RegisterBlocking::B16x64, 1));
+        assert_eq!(hist[2], (RegisterBlocking::B64x16, 2));
+        // …versus nine to ten with the homogeneous 32×32 blocking.
+        let homogeneous = plan_homogeneous(80, 80, RegisterBlocking::B32x32);
+        assert!(homogeneous.num_microkernels() >= 9);
+        assert!(homogeneous.covers_exactly_once());
+        assert!(plan.num_microkernels() < homogeneous.num_microkernels());
+    }
+
+    #[test]
+    fn heterogeneous_plans_cover_every_size_exactly_once() {
+        for m in [1, 5, 16, 17, 31, 32, 33, 48, 64, 80, 96, 100, 128, 130] {
+            for n in [1, 7, 16, 20, 32, 40, 64, 80, 81, 96, 127, 128] {
+                let plan = plan_heterogeneous(m, n);
+                assert!(plan.covers_exactly_once(), "m={m} n={n}: {:?}", plan.blocks);
+                // No block may be empty.
+                assert!(plan.blocks.iter().all(|b| b.rows > 0 && b.cols > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_plans_cover_exactly_once() {
+        for blocking in RegisterBlocking::all() {
+            for (m, n) in [(80, 80), (33, 65), (16, 16), (130, 70)] {
+                let plan = plan_homogeneous(m, n, blocking);
+                assert!(plan.covers_exactly_once(), "{blocking:?} m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_never_needs_more_loads_than_homogeneous() {
+        for (m, n) in [(80, 80), (96, 48), (64, 80), (112, 112), (48, 48)] {
+            let het = plan_heterogeneous(m, n);
+            let hom = plan_homogeneous(m, n, RegisterBlocking::B32x32);
+            assert!(
+                het.loads_per_k_step() <= hom.loads_per_k_step(),
+                "m={m} n={n}: het {} hom {}",
+                het.loads_per_k_step(),
+                hom.loads_per_k_step()
+            );
+        }
+    }
+
+    #[test]
+    fn column_panel_plans_are_32_wide_and_cover_everything() {
+        let panels = plan_column_panels(100, 130);
+        assert_eq!(panels.len(), 5);
+        assert!(panels.iter().all(|(_, cols, _)| *cols <= 32));
+        let mut blocks = Vec::new();
+        for (_, _, p) in &panels {
+            blocks.extend(p.blocks.clone());
+        }
+        let combined = BlockPlan { m: 100, n: 130, blocks };
+        assert!(combined.covers_exactly_once());
+        // Every block stays within its panel.
+        for (col0, cols, p) in &panels {
+            for b in &p.blocks {
+                assert!(b.col0 >= *col0 && b.col0 + b.cols <= col0 + cols);
+            }
+        }
+    }
+
+    #[test]
+    fn config_plan_dispatches_on_layout() {
+        let abt = plan_for_config(&GemmConfig::abt(80, 80, 8));
+        assert_eq!(abt.num_microkernels(), 7);
+        let ab = plan_for_config(&GemmConfig::ab(80, 80, 8));
+        assert!(ab.covers_exactly_once());
+        // Column panels: every block at most 32 columns wide.
+        assert!(ab.blocks.iter().all(|b| b.cols <= 32));
+    }
+
+    #[test]
+    fn masked_blocks_report_active_groups() {
+        let b = BlockInstance {
+            row0: 64,
+            col0: 64,
+            rows: 9,
+            cols: 16,
+            blocking: RegisterBlocking::B64x16,
+        };
+        assert!(!b.is_full());
+        assert_eq!(b.active_row_groups(), 1);
+        assert_eq!(b.active_col_groups(), 1);
+        assert_eq!(b.loads_per_update(), 32);
+    }
+
+    #[test]
+    fn small_sizes_use_single_masked_blocks() {
+        let plan = plan_heterogeneous(10, 10);
+        assert_eq!(plan.num_microkernels(), 1);
+        assert!(plan.covers_exactly_once());
+        let plan = plan_heterogeneous(20, 20);
+        assert_eq!(plan.num_microkernels(), 1, "17..31 folds into one masked 32x32 block");
+        assert!(plan.covers_exactly_once());
+    }
+}

@@ -1,0 +1,237 @@
+//! Top-level just-in-time kernel generation.
+
+use crate::blocking::{plan_column_panels, plan_for_config, BlockPlan};
+use crate::config::{BLayout, GemmConfig, GemmError};
+use crate::kernel::CompiledKernel;
+use crate::microkernel::{emit_block, xr, BSource, BK_STRIDE, LDA_B, LDB_B, LDC_B, SCRATCH};
+use crate::transpose::{emit_panel_transpose, scratch_bytes};
+use sme_isa::asm::Assembler;
+use sme_isa::inst::{ScalarInst, SmeInst};
+use sme_isa::regs::XReg;
+
+/// Upper bound on the transpose scratch buffer carved out of the simulated
+/// stack (the paper's kernels use K = 512 ⇒ 64 KiB).
+const MAX_SCRATCH_BYTES: usize = 512 * 1024;
+
+/// Generate an SME small-GEMM kernel for `cfg`.
+///
+/// The returned [`CompiledKernel`] owns the finished instruction stream (and
+/// can lower it to AArch64 machine code bytes); it is executed on the
+/// `sme-machine` simulator.
+pub fn generate(cfg: &GemmConfig) -> Result<CompiledKernel, GemmError> {
+    generate_with_plan(cfg, None)
+}
+
+/// Generate a kernel with an explicit block plan instead of the default
+/// heterogeneous plan.
+///
+/// This is the hook used by the ablation benchmarks (homogeneous blocking
+/// only) and by the vendor-baseline model in `accel-ref`. The plan override
+/// is only honoured for row-major B; the column-major path always uses the
+/// panel-wise plan required by the in-kernel transposition.
+///
+/// # Errors
+/// Returns an error if the configuration is invalid or if the supplied plan
+/// does not cover the `m × n` iteration space exactly once.
+pub fn generate_with_plan(
+    cfg: &GemmConfig,
+    plan_override: Option<BlockPlan>,
+) -> Result<CompiledKernel, GemmError> {
+    cfg.validate()?;
+    if cfg.b_layout == BLayout::ColMajor && scratch_bytes(cfg.k) > MAX_SCRATCH_BYTES {
+        return Err(GemmError::Unsupported(format!(
+            "k = {} needs {} bytes of transpose scratch (limit {})",
+            cfg.k,
+            scratch_bytes(cfg.k),
+            MAX_SCRATCH_BYTES
+        )));
+    }
+
+    let plan = match plan_override {
+        Some(p) if cfg.b_layout == BLayout::RowMajor => {
+            if p.m != cfg.m || p.n != cfg.n || !p.covers_exactly_once() {
+                return Err(GemmError::Unsupported(
+                    "the supplied block plan does not tile the output exactly once".into(),
+                ));
+            }
+            p
+        }
+        _ => plan_for_config(cfg),
+    };
+    let mut asm = Assembler::new(format!(
+        "sme_gemm_{}_{}x{}x{}",
+        match cfg.b_layout {
+            BLayout::RowMajor => "abt",
+            BLayout::ColMajor => "ab",
+        },
+        cfg.m,
+        cfg.n,
+        cfg.k
+    ));
+
+    // Prologue: enable streaming mode + ZA, materialise the strides.
+    asm.push(SmeInst::Smstart { za_only: false });
+    asm.mov_imm64(xr(LDA_B), (cfg.lda * 4) as u64);
+    asm.mov_imm64(xr(LDC_B), (cfg.ldc * 4) as u64);
+
+    match cfg.b_layout {
+        BLayout::RowMajor => {
+            asm.mov_imm64(xr(BK_STRIDE), (cfg.ldb * 4) as u64);
+            for block in &plan.blocks {
+                emit_block(&mut asm, cfg, block, BSource::RowMajor);
+            }
+        }
+        BLayout::ColMajor => {
+            // The contraction loop walks the transposed scratch panel with a
+            // fixed 32-element (128-byte) row stride; the transposer needs
+            // the original column stride of B.
+            asm.mov_imm64(xr(BK_STRIDE), (crate::transpose::SCRATCH_LD * 4) as u64);
+            asm.mov_imm64(xr(LDB_B), (cfg.ldb * 4) as u64);
+            let scratch = scratch_bytes(cfg.k) as u64;
+            asm.sub_imm(XReg::SP, XReg::SP, scratch);
+            asm.push(ScalarInst::AddImm {
+                rd: xr(SCRATCH),
+                rn: XReg::SP,
+                imm12: 0,
+                shift12: false,
+            });
+            for (panel_col0, panel_cols, panel_plan) in plan_column_panels(cfg.m, cfg.n) {
+                emit_panel_transpose(&mut asm, cfg, panel_col0, panel_cols);
+                for block in &panel_plan.blocks {
+                    emit_block(&mut asm, cfg, block, BSource::Scratch { panel_col0 });
+                }
+            }
+            asm.add_imm(XReg::SP, XReg::SP, scratch);
+        }
+    }
+
+    // Epilogue.
+    asm.push(SmeInst::Smstop { za_only: false });
+    asm.ret();
+
+    Ok(CompiledKernel::new(*cfg, plan, asm.finish()))
+}
+
+/// Generate a kernel and immediately validate it against the reference GEMM
+/// on pseudo-random data, returning the kernel and the maximum absolute
+/// error (convenience for tests and examples).
+pub fn generate_validated(cfg: &GemmConfig) -> Result<(CompiledKernel, f32), GemmError> {
+    let kernel = generate(cfg)?;
+    let err = kernel.validate(0x5EED);
+    Ok((kernel, err))
+}
+
+/// Statistics describing a generated kernel (used by reports and the Fig. 6
+/// comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Static instruction count.
+    pub instructions: usize,
+    /// Static FMOPA count.
+    pub fmopa_count: usize,
+    /// Number of microkernel executions in the block plan.
+    pub microkernels: usize,
+    /// Code size in bytes.
+    pub code_bytes: usize,
+}
+
+/// Collect static statistics for a compiled kernel.
+pub fn kernel_stats(kernel: &CompiledKernel) -> KernelStats {
+    use sme_isa::inst::Inst;
+    let program = kernel.program();
+    KernelStats {
+        instructions: program.len(),
+        fmopa_count: program
+            .count_matching(|i| matches!(i, Inst::Sme(SmeInst::Fmopa { .. }))),
+        microkernels: kernel.plan().num_microkernels(),
+        code_bytes: program.code_bytes(),
+    }
+}
+
+/// Re-export used by documentation examples.
+pub use crate::blocking::plan_heterogeneous;
+
+#[allow(unused_imports)]
+use BlockPlan as _BlockPlanDocOnly;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Beta, ZaTransferStrategy};
+
+    #[test]
+    fn generates_and_validates_small_full_blocks() {
+        for (m, n, k) in [(32, 32, 8), (16, 64, 4), (64, 16, 4), (32, 32, 1)] {
+            let cfg = GemmConfig::abt(m, n, k);
+            let (kernel, err) = generate_validated(&cfg).expect("generation must succeed");
+            assert!(err < 1e-4, "({m},{n},{k}): max abs error {err}");
+            assert!(kernel.program().len() > 10);
+        }
+    }
+
+    #[test]
+    fn generates_and_validates_masked_blocks() {
+        for (m, n, k) in [(7, 5, 3), (17, 23, 9), (33, 31, 5), (80, 80, 4), (50, 70, 6)] {
+            let cfg = GemmConfig::abt(m, n, k);
+            let (_, err) = generate_validated(&cfg).expect("generation must succeed");
+            assert!(err < 1e-4, "({m},{n},{k}): max abs error {err}");
+        }
+    }
+
+    #[test]
+    fn generates_and_validates_column_major_b() {
+        for (m, n, k) in [(32, 32, 8), (16, 20, 9), (48, 33, 17), (80, 80, 5)] {
+            let cfg = GemmConfig::ab(m, n, k);
+            let (_, err) = generate_validated(&cfg).expect("generation must succeed");
+            assert!(err < 1e-4, "AB ({m},{n},{k}): max abs error {err}");
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_c() {
+        let cfg = GemmConfig::abt(20, 20, 4).with_beta(Beta::Zero);
+        let (_, err) = generate_validated(&cfg).expect("generation must succeed");
+        assert!(err < 1e-4, "beta=0: max abs error {err}");
+    }
+
+    #[test]
+    fn direct_transfer_strategy_validates() {
+        let cfg = GemmConfig::abt(32, 32, 8).with_c_transfer(ZaTransferStrategy::Direct);
+        let (_, err) = generate_validated(&cfg).expect("generation must succeed");
+        assert!(err < 1e-4, "direct ZA transfers: max abs error {err}");
+    }
+
+    #[test]
+    fn unrolled_kernels_validate() {
+        let cfg = GemmConfig::abt(32, 32, 16).with_k_unroll(4);
+        let (_, err) = generate_validated(&cfg).expect("generation must succeed");
+        assert!(err < 1e-4);
+    }
+
+    #[test]
+    fn padded_leading_dimensions_validate() {
+        let cfg = GemmConfig::abt(30, 20, 7).with_leading_dims(37, 25, 41);
+        let (_, err) = generate_validated(&cfg).expect("generation must succeed");
+        assert!(err < 1e-4);
+        let cfg = GemmConfig::ab(30, 20, 7).with_leading_dims(37, 11, 41);
+        let (_, err) = generate_validated(&cfg).expect("generation must succeed");
+        assert!(err < 1e-4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(generate(&GemmConfig::abt(0, 4, 4)).is_err());
+        let huge_k = GemmConfig::ab(16, 16, 8192);
+        assert!(matches!(generate(&huge_k), Err(GemmError::Unsupported(_))));
+    }
+
+    #[test]
+    fn stats_reflect_the_plan() {
+        let cfg = GemmConfig::abt(80, 80, 8);
+        let kernel = generate(&cfg).unwrap();
+        let stats = kernel_stats(&kernel);
+        assert_eq!(stats.microkernels, 7);
+        assert!(stats.fmopa_count > 0);
+        assert_eq!(stats.code_bytes, stats.instructions * 4);
+    }
+}

@@ -1,0 +1,251 @@
+//! Accumulator (C block) transfers between memory and the ZA array.
+//!
+//! §III-G of the paper shows that ZA transfers can either go directly
+//! through `ldr za` / `str za` array-vector instructions or in two steps
+//! through the Z registers. Both strategies are implemented here; the
+//! two-step path additionally supports predication, which the direct path
+//! cannot, so masked blocks always use it.
+
+use crate::blocking::{BlockInstance, TILE};
+use crate::config::{GemmConfig, ZaTransferStrategy};
+use crate::microkernel::{
+    a_counter, col_pred, load_vectors, row_pred, xr, zr, C_PTR, COL_PTR, LDC_B, W12, ZC_STAGE,
+};
+use sme_isa::asm::Assembler;
+use sme_isa::inst::{ScalarInst, SmeInst, SveInst};
+use sme_isa::regs::{TileSliceDir, ZaTile};
+
+/// Direction of an accumulator transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Memory → ZA (before the contraction loop, `beta = 1`).
+    Load,
+    /// ZA → memory (after the contraction loop).
+    Store,
+}
+
+/// Emit `zero { … }` for every tile used by the block (the `beta = 0` path).
+pub fn emit_zero_tiles(asm: &mut Assembler, block: &BlockInstance) {
+    let mut tiles = Vec::new();
+    for cg in 0..block.active_col_groups() {
+        for rg in 0..block.active_row_groups() {
+            tiles.push(block.blocking.tile_index(rg, cg));
+        }
+    }
+    let mask = SmeInst::zero_mask_for_s_tiles(&tiles);
+    asm.push(SmeInst::ZeroZa { mask });
+}
+
+/// Whether the direct array-vector path may be used for this block: the
+/// direct instructions cannot be masked, so every touched row group must be
+/// complete.
+fn direct_allowed(cfg: &GemmConfig, block: &BlockInstance) -> bool {
+    cfg.c_transfer == ZaTransferStrategy::Direct && block.rows % TILE == 0
+}
+
+/// Emit the transfer of the block's C columns between memory and the ZA
+/// tiles.
+///
+/// Column `j` of the block lives at `C_PTR + j * ldc * 4` and maps to
+/// horizontal slice `j mod 16` of tile `tile_index(rg, j / 16)` for each
+/// 16-row group `rg` — a direct consequence of the operand order in Lst. 4
+/// (the tile holds the block transposed, so C columns are tile rows and can
+/// be moved with contiguous transfers).
+pub fn emit_c_transfer(asm: &mut Assembler, cfg: &GemmConfig, block: &BlockInstance, dir: TransferDir) {
+    let rg_count = block.active_row_groups();
+    let direct = direct_allowed(cfg, block);
+
+    // Column cursor.
+    asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(C_PTR) });
+    if !direct {
+        // The two-step path addresses slices as W12 + immediate.
+        asm.push(ScalarInst::mov_imm16(xr(W12), 0));
+    }
+
+    for j in 0..block.cols {
+        let cg = j / TILE;
+        let slice = j % TILE;
+        if direct {
+            // The vector index of tile(rg, cg) slice `slice` is
+            // slice * 4 + tile_index(0, cg) + rg, and consecutive row groups
+            // are consecutive array vectors, so one base W12 value plus the
+            // paired offset of `ldr/str za` walks both the tiles and the
+            // 64-byte chunks of the column.
+            let base = slice * 4 + block.blocking.tile_index(0, cg) as usize;
+            asm.push(ScalarInst::mov_imm16(xr(W12), base as u16));
+            for rg in 0..rg_count {
+                match dir {
+                    TransferDir::Load => asm.push(SmeInst::LdrZa {
+                        rs: xr(W12),
+                        offset: rg as u8,
+                        rn: xr(COL_PTR),
+                    }),
+                    TransferDir::Store => asm.push(SmeInst::StrZa {
+                        rs: xr(W12),
+                        offset: rg as u8,
+                        rn: xr(COL_PTR),
+                    }),
+                }
+            }
+        } else {
+            let vecs = load_vectors(rg_count);
+            match dir {
+                TransferDir::Load => {
+                    if vecs == 1 {
+                        asm.push(SveInst::ld1w(zr(ZC_STAGE), row_pred(0), xr(COL_PTR), 0));
+                    } else {
+                        asm.push(SveInst::ld1w_multi(
+                            zr(ZC_STAGE),
+                            vecs as u8,
+                            a_counter(),
+                            xr(COL_PTR),
+                            0,
+                        ));
+                    }
+                    for rg in 0..rg_count {
+                        let tile = ZaTile::s(block.blocking.tile_index(rg, cg));
+                        asm.push(SmeInst::MovaToTile {
+                            tile,
+                            dir: TileSliceDir::Horizontal,
+                            rs: xr(W12),
+                            offset: slice as u8,
+                            zt: zr(ZC_STAGE + rg as u8),
+                            count: 1,
+                        });
+                    }
+                }
+                TransferDir::Store => {
+                    for rg in 0..rg_count {
+                        let tile = ZaTile::s(block.blocking.tile_index(rg, cg));
+                        asm.push(SmeInst::MovaFromTile {
+                            tile,
+                            dir: TileSliceDir::Horizontal,
+                            rs: xr(W12),
+                            offset: slice as u8,
+                            zt: zr(ZC_STAGE + rg as u8),
+                            count: 1,
+                        });
+                    }
+                    if vecs == 1 {
+                        asm.push(SveInst::st1w(zr(ZC_STAGE), row_pred(0), xr(COL_PTR), 0));
+                    } else {
+                        asm.push(SveInst::st1w_multi(
+                            zr(ZC_STAGE),
+                            vecs as u8,
+                            a_counter(),
+                            xr(COL_PTR),
+                            0,
+                        ));
+                    }
+                }
+            }
+        }
+        // Advance to the next column unless this was the last one.
+        if j + 1 < block.cols {
+            asm.push(ScalarInst::AddReg {
+                rd: xr(COL_PTR),
+                rn: xr(COL_PTR),
+                rm: xr(LDC_B),
+                shift: None,
+            });
+        }
+    }
+
+    // The remaining FMOPA columns (cols..blocking.cols()) keep whatever the
+    // tiles contained, but are never written back and their predicates mask
+    // the outer products, so no extra work is needed.
+    let _ = col_pred(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::RegisterBlocking;
+    use sme_isa::inst::Inst;
+
+    fn block(rows: usize, cols: usize, blocking: RegisterBlocking) -> BlockInstance {
+        BlockInstance { row0: 0, col0: 0, rows, cols, blocking }
+    }
+
+    fn count<F: FnMut(&Inst) -> bool>(p: &sme_isa::Program, f: F) -> usize {
+        p.count_matching(f)
+    }
+
+    #[test]
+    fn zero_path_covers_all_used_tiles() {
+        let mut asm = Assembler::new("zero");
+        emit_zero_tiles(&mut asm, &block(32, 32, RegisterBlocking::B32x32));
+        let p = asm.finish();
+        match p.insts()[0] {
+            Inst::Sme(SmeInst::ZeroZa { mask }) => assert_eq!(mask, 0xff),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        let mut asm = Assembler::new("zero16");
+        emit_zero_tiles(&mut asm, &block(16, 16, RegisterBlocking::B32x32));
+        let p = asm.finish();
+        match p.insts()[0] {
+            Inst::Sme(SmeInst::ZeroZa { mask }) => {
+                assert_eq!(mask, SmeInst::zero_mask_for_s_tiles(&[0]))
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn direct_transfer_uses_paired_array_vector_stores() {
+        let cfg = GemmConfig::abt(32, 32, 8).with_c_transfer(ZaTransferStrategy::Direct);
+        let b = block(32, 32, RegisterBlocking::B32x32);
+        let mut asm = Assembler::new("direct_store");
+        emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Store);
+        let p = asm.finish();
+        // 32 columns × 2 row groups = 64 STR ZA instructions, no MOVA.
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::StrZa { .. }))), 64);
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaFromTile { .. }))), 0);
+    }
+
+    #[test]
+    fn two_step_transfer_moves_through_z_registers() {
+        let cfg = GemmConfig::abt(32, 32, 8); // TwoStep is the default
+        let b = block(32, 32, RegisterBlocking::B32x32);
+        let mut asm = Assembler::new("twostep_load");
+        emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Load);
+        let p = asm.finish();
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sve(SveInst::Ld1Multi { .. }))), 32);
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaToTile { .. }))), 64);
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::LdrZa { .. }))), 0);
+    }
+
+    #[test]
+    fn masked_blocks_force_the_predicated_path() {
+        let cfg = GemmConfig::abt(100, 100, 8).with_c_transfer(ZaTransferStrategy::Direct);
+        let b = block(20, 32, RegisterBlocking::B32x32);
+        let mut asm = Assembler::new("masked_store");
+        emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Store);
+        let p = asm.finish();
+        // Rows = 20 is not a multiple of 16, so the direct path is illegal.
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::StrZa { .. }))), 0);
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sve(SveInst::St1Multi { .. }))), 32);
+    }
+
+    #[test]
+    fn single_group_blocks_use_single_vector_transfers() {
+        let cfg = GemmConfig::abt(16, 64, 8);
+        let b = block(16, 64, RegisterBlocking::B16x64);
+        let mut asm = Assembler::new("b16x64_store");
+        emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Store);
+        let p = asm.finish();
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sve(SveInst::St1 { .. }))), 64);
+        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaFromTile { .. }))), 64);
+    }
+
+    #[test]
+    fn column_cursor_advances_between_columns() {
+        let cfg = GemmConfig::abt(32, 8, 8);
+        let b = block(32, 8, RegisterBlocking::B32x32);
+        let mut asm = Assembler::new("cursor");
+        emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Load);
+        let p = asm.finish();
+        let bumps = count(&p, |i| matches!(i, Inst::Scalar(ScalarInst::AddReg { .. })));
+        assert_eq!(bumps, 7, "one bump between each pair of consecutive columns");
+    }
+}

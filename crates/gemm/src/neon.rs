@@ -1,0 +1,278 @@
+//! Traditional Neon (ASIMD) small-GEMM generation.
+//!
+//! The paper's Fig. 6 contrasts a classic LIBXSMM Neon microkernel — a 16×6
+//! block of C held in 24 128-bit registers, updated with FMLA-by-element —
+//! with the SME 32×32 microkernel. This module provides
+//!
+//! * [`emit_neon_16x6_k_step`], the exact Fig. 6 microkernel body, used for
+//!   the instruction-mix comparison, and
+//! * [`generate_neon`], a complete Neon GEMM kernel (16×4 blocking, which
+//!   avoids over-reading B rows) used as the non-SME baseline in ablation
+//!   benchmarks.
+
+use crate::config::{BLayout, Beta, GemmConfig, GemmError};
+use crate::microkernel::{xr, A_PTR, ARG_A, ARG_B, ARG_C, B_PTR, C_PTR, COL_PTR, K_CNT, LDA_B, LDC_B};
+use sme_isa::asm::Assembler;
+use sme_isa::inst::{NeonInst, ScalarInst};
+use sme_isa::regs::VReg;
+use sme_isa::types::NeonArrangement;
+use sme_isa::Program;
+
+fn vr(n: u8) -> VReg {
+    VReg::new(n)
+}
+
+/// Emit one contraction step of the Fig. 6 Neon microkernel: a 16×6 block of
+/// C in `v4`–`v27`, one column of A in `v0`–`v3`, six broadcast values of B
+/// read into `v28`–`v29`, updated with 24 FMLA-by-element instructions.
+pub fn emit_neon_16x6_k_step(asm: &mut Assembler) {
+    // Load the 16-element A column (64 bytes).
+    asm.push(NeonInst::LdpQ { vt1: vr(0), vt2: vr(1), rn: xr(A_PTR), imm: 0 });
+    asm.push(NeonInst::LdpQ { vt1: vr(2), vt2: vr(3), rn: xr(A_PTR), imm: 32 });
+    // Load six B values (two quads; the second overlaps the first by two
+    // lanes so only six distinct values are consumed).
+    asm.push(NeonInst::LdrQ { vt: vr(28), rn: xr(B_PTR), imm: 0 });
+    asm.push(NeonInst::LdrQ { vt: vr(29), rn: xr(B_PTR), imm: 16 });
+    // 6 columns × 4 register quads of C.
+    for col in 0..6u8 {
+        let (src, lane) = if col < 4 { (28, col) } else { (29, col - 4) };
+        for quad in 0..4u8 {
+            asm.push(NeonInst::fmla_elem(
+                vr(4 + col * 4 + quad),
+                vr(quad),
+                vr(src),
+                lane,
+                NeonArrangement::S4,
+            ));
+        }
+    }
+}
+
+/// Static description of the Fig. 6 microkernel comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrokernelComparison {
+    /// Accumulator elements held by the Neon microkernel (16 × 6).
+    pub neon_accumulator: usize,
+    /// Accumulator registers used by the Neon microkernel.
+    pub neon_accum_registers: usize,
+    /// FMLA instructions per contraction step.
+    pub neon_fmla_per_step: usize,
+    /// Multiply-accumulate lanes per Neon FMLA.
+    pub neon_macs_per_inst: usize,
+    /// Accumulator elements held by the SME microkernel (32 × 32).
+    pub sme_accumulator: usize,
+    /// FMOPA instructions per contraction step.
+    pub sme_fmopa_per_step: usize,
+    /// Multiply-accumulate lanes per FMOPA.
+    pub sme_macs_per_inst: usize,
+}
+
+impl MicrokernelComparison {
+    /// The Fig. 6 figures for SVL = 512.
+    pub fn figure6() -> Self {
+        MicrokernelComparison {
+            neon_accumulator: 16 * 6,
+            neon_accum_registers: 24,
+            neon_fmla_per_step: 24,
+            neon_macs_per_inst: 4,
+            sme_accumulator: 32 * 32,
+            sme_fmopa_per_step: 4,
+            sme_macs_per_inst: 256,
+        }
+    }
+
+    /// Average number of Neon FMLA instructions needed to match the work of
+    /// one FMOPA (the paper states 64).
+    pub fn fmla_per_fmopa(&self) -> usize {
+        self.sme_macs_per_inst / self.neon_macs_per_inst
+    }
+}
+
+/// Generate a complete Neon GEMM kernel for `C += A·Bᵀ`.
+///
+/// Restrictions (documented baseline, not the paper's contribution): A and C
+/// column-major, B row-major, `m % 16 == 0`, `n % 4 == 0`, and `beta = 1`.
+pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
+    cfg.validate()?;
+    if cfg.b_layout != BLayout::RowMajor {
+        return Err(GemmError::Unsupported(
+            "the Neon baseline generator only supports row-major B".into(),
+        ));
+    }
+    if cfg.beta != Beta::One {
+        return Err(GemmError::Unsupported("the Neon baseline generator requires beta = 1".into()));
+    }
+    if cfg.m % 16 != 0 || cfg.n % 4 != 0 {
+        return Err(GemmError::Unsupported(format!(
+            "the Neon baseline generator requires m % 16 == 0 and n % 4 == 0 (got {}x{})",
+            cfg.m, cfg.n
+        )));
+    }
+
+    let mut asm = Assembler::new(format!("neon_gemm_abt_{}x{}x{}", cfg.m, cfg.n, cfg.k));
+    asm.mov_imm64(xr(LDA_B), (cfg.lda * 4) as u64);
+    asm.mov_imm64(xr(LDC_B), (cfg.ldc * 4) as u64);
+
+    for col0 in (0..cfg.n).step_by(4) {
+        for row0 in (0..cfg.m).step_by(16) {
+            emit_neon_16x4_block(&mut asm, cfg, row0, col0);
+        }
+    }
+    asm.ret();
+    Ok(asm.finish())
+}
+
+/// One 16×4 block: load C, run the contraction loop, store C.
+fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0: usize) {
+    // Pointers.
+    asm.push(ScalarInst::MovReg { rd: xr(A_PTR), rn: xr(ARG_A) });
+    if row0 > 0 {
+        asm.add_imm(xr(A_PTR), xr(A_PTR), (row0 * 4) as u64);
+    }
+    asm.push(ScalarInst::MovReg { rd: xr(B_PTR), rn: xr(ARG_B) });
+    if col0 > 0 {
+        asm.add_imm(xr(B_PTR), xr(B_PTR), (col0 * 4) as u64);
+    }
+    asm.push(ScalarInst::MovReg { rd: xr(C_PTR), rn: xr(ARG_C) });
+    let c_off = cfg.c_offset(row0, col0) as u64;
+    if c_off > 0 {
+        asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
+    }
+
+    // Load the 16×4 C block into v4..v19 (one column = four quads).
+    asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(C_PTR) });
+    for col in 0..4u8 {
+        asm.push(NeonInst::LdpQ { vt1: vr(4 + col * 4), vt2: vr(5 + col * 4), rn: xr(COL_PTR), imm: 0 });
+        asm.push(NeonInst::LdpQ { vt1: vr(6 + col * 4), vt2: vr(7 + col * 4), rn: xr(COL_PTR), imm: 32 });
+        if col < 3 {
+            asm.push(ScalarInst::AddReg { rd: xr(COL_PTR), rn: xr(COL_PTR), rm: xr(LDC_B), shift: None });
+        }
+    }
+
+    // Contraction loop.
+    asm.mov_imm64(xr(K_CNT), cfg.k as u64);
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.push(ScalarInst::SubImm { rd: xr(K_CNT), rn: xr(K_CNT), imm12: 1, shift12: false });
+    // A column (16 values).
+    asm.push(NeonInst::LdpQ { vt1: vr(0), vt2: vr(1), rn: xr(A_PTR), imm: 0 });
+    asm.push(NeonInst::LdpQ { vt1: vr(2), vt2: vr(3), rn: xr(A_PTR), imm: 32 });
+    // B row segment (4 values).
+    asm.push(NeonInst::LdrQ { vt: vr(28), rn: xr(B_PTR), imm: 0 });
+    asm.push(ScalarInst::AddReg { rd: xr(A_PTR), rn: xr(A_PTR), rm: xr(LDA_B), shift: None });
+    // B advances by one row: ldb * 4 bytes. Reuse TMP via an immediate add.
+    asm.add_imm(xr(B_PTR), xr(B_PTR), (cfg.ldb * 4) as u64);
+    for col in 0..4u8 {
+        for quad in 0..4u8 {
+            asm.push(NeonInst::fmla_elem(
+                vr(4 + col * 4 + quad),
+                vr(quad),
+                vr(28),
+                col,
+                NeonArrangement::S4,
+            ));
+        }
+    }
+    asm.cbnz(xr(K_CNT), top);
+
+    // Store the C block back.
+    asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(C_PTR) });
+    for col in 0..4u8 {
+        asm.push(NeonInst::StpQ { vt1: vr(4 + col * 4), vt2: vr(5 + col * 4), rn: xr(COL_PTR), imm: 0 });
+        asm.push(NeonInst::StpQ { vt1: vr(6 + col * 4), vt2: vr(7 + col * 4), rn: xr(COL_PTR), imm: 32 });
+        if col < 3 {
+            asm.push(ScalarInst::AddReg { rd: xr(COL_PTR), rn: xr(COL_PTR), rm: xr(LDC_B), shift: None });
+        }
+    }
+}
+
+/// Validate a Neon-generated kernel against the reference GEMM and return
+/// the maximum absolute error.
+pub fn validate_neon(cfg: &GemmConfig, seed: u64) -> Result<f32, GemmError> {
+    use crate::reference::{fill_matrix, gemm_reference, max_abs_diff};
+    use sme_machine::exec::{RunOptions, Simulator};
+
+    let program = generate_neon(cfg)?;
+    let mut sim = Simulator::m4_performance();
+    let mut a = vec![0.0f32; cfg.a_len()];
+    let mut b = vec![0.0f32; cfg.b_len()];
+    let mut c = vec![0.0f32; cfg.c_len()];
+    fill_matrix(seed, &mut a);
+    fill_matrix(seed + 1, &mut b);
+    fill_matrix(seed + 2, &mut c);
+    let a_addr = sim.mem.alloc_f32(&a, 128);
+    let b_addr = sim.mem.alloc_f32(&b, 128);
+    let c_addr = sim.mem.alloc_f32(&c, 128);
+    sim.run(&program, &[a_addr, b_addr, c_addr], &RunOptions::functional_only());
+    let c_out = sim.mem.read_f32_slice(c_addr, cfg.c_len());
+    let mut c_ref = c;
+    gemm_reference(cfg, &a, &b, &mut c_ref);
+    Ok(max_abs_diff(&c_out, &c_ref))
+}
+
+/// Modelled single-performance-core throughput of the Neon baseline kernel.
+pub fn model_neon_gflops(cfg: &GemmConfig) -> Result<f64, GemmError> {
+    use sme_machine::exec::{RunOptions, Simulator};
+    let program = generate_neon(cfg)?;
+    let mut sim = Simulator::m4_performance();
+    let a = sim.mem.alloc_f32_zeroed(cfg.a_len(), 128);
+    let b = sim.mem.alloc_f32_zeroed(cfg.b_len(), 128);
+    let c = sim.mem.alloc_f32_zeroed(cfg.c_len(), 128);
+    let result = sim.run(&program, &[a, b, c], &RunOptions::timing_only());
+    let seconds = result.stats.seconds();
+    Ok(cfg.flops() as f64 / seconds / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_isa::inst::Inst;
+
+    #[test]
+    fn figure6_comparison_numbers() {
+        let cmp = MicrokernelComparison::figure6();
+        assert_eq!(cmp.neon_accum_registers, 24);
+        assert_eq!(cmp.fmla_per_fmopa(), 64, "the paper quotes 64 FMLA per FMOPA");
+        assert_eq!(cmp.sme_accumulator, 1024);
+        assert_eq!(cmp.neon_accumulator, 96);
+    }
+
+    #[test]
+    fn microkernel_step_instruction_mix() {
+        let mut asm = Assembler::new("fig6_neon");
+        emit_neon_16x6_k_step(&mut asm);
+        let p = asm.finish();
+        let fmla = p.count_matching(|i| matches!(i, Inst::Neon(NeonInst::FmlaElem { .. })));
+        let loads = p.count_matching(|i| {
+            matches!(i, Inst::Neon(NeonInst::LdpQ { .. }) | Inst::Neon(NeonInst::LdrQ { .. }))
+        });
+        assert_eq!(fmla, 24, "24 FMLA (by element) per step");
+        assert_eq!(loads, 4);
+    }
+
+    #[test]
+    fn neon_kernel_validates() {
+        for (m, n, k) in [(16, 4, 8), (32, 8, 16), (48, 12, 7)] {
+            let cfg = GemmConfig::abt(m, n, k);
+            let err = validate_neon(&cfg, 3).expect("generation must succeed");
+            assert!(err < 1e-4, "({m},{n},{k}): {err}");
+        }
+    }
+
+    #[test]
+    fn neon_restrictions_are_reported() {
+        assert!(generate_neon(&GemmConfig::abt(17, 4, 8)).is_err());
+        assert!(generate_neon(&GemmConfig::abt(16, 5, 8)).is_err());
+        assert!(generate_neon(&GemmConfig::ab(16, 4, 8)).is_err());
+        assert!(generate_neon(&GemmConfig::abt(16, 4, 8).with_beta(Beta::Zero)).is_err());
+    }
+
+    #[test]
+    fn neon_is_far_slower_than_sme_for_the_same_problem() {
+        let cfg = GemmConfig::abt(64, 64, 64);
+        let neon = model_neon_gflops(&cfg).unwrap();
+        let sme = crate::generate(&cfg).unwrap().model_gflops();
+        assert!(neon < 120.0, "Neon baseline {neon} must stay near the 113 GFLOPS peak");
+        assert!(sme > 4.0 * neon, "SME ({sme}) must be several times faster than Neon ({neon})");
+    }
+}

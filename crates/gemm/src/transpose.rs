@@ -1,0 +1,209 @@
+//! In-kernel transposition of column-major B panels (§IV-C, Lst. 5).
+//!
+//! For the `C += A·B` case the contraction loop needs rows of B, but a
+//! column-major B stores consecutive row elements `ldb` apart. Following the
+//! paper (and the SME Programmer's Guide), the generator transposes one
+//! `K × 32` panel of B at a time into a scratch buffer on the stack, 16×16
+//! block by 16×16 block, by writing each block into a ZA tile through the
+//! horizontal view and reading it back through the vertical view.
+
+use crate::blocking::TILE;
+use crate::config::GemmConfig;
+use crate::microkernel::{xr, zr, ARG_B, BK_STRIDE, COL_PTR, LDB_B, SCRATCH, TMP0, TMP1, W12};
+use sme_isa::asm::Assembler;
+use sme_isa::inst::{ScalarInst, SmeInst, SveInst};
+use sme_isa::regs::{PReg, TileSliceDir, XReg, ZaTile};
+use sme_isa::types::ElementType;
+
+/// Leading dimension (in elements) of the transposed scratch panel. Fixed at
+/// 32 so the microkernel's B stride is a compile-time constant and every row
+/// starts 128-byte aligned, the alignment §III-G identifies as ideal.
+pub const SCRATCH_LD: usize = 32;
+
+/// Bytes of stack scratch needed to transpose panels of a `k`-deep B.
+pub fn scratch_bytes(k: usize) -> usize {
+    // One K × 32 panel of f32 values, padded to a 64-byte multiple.
+    (k * SCRATCH_LD * 4 + 63) & !63
+}
+
+/// Predicate used for the partial K extent of a 16×16 transpose block.
+fn k_pred() -> PReg {
+    PReg::new(6)
+}
+
+/// Predicate used for the partial column extent of a 16×16 transpose block.
+fn col_pred_t() -> PReg {
+    PReg::new(7)
+}
+
+fn emit_lane_predicate(asm: &mut Assembler, pred: PReg, lanes: usize) {
+    asm.push(ScalarInst::mov_imm16(xr(TMP1), lanes as u16));
+    asm.push(SveInst::Whilelt { pd: pred, elem: ElementType::F32, rn: XReg::XZR, rm: xr(TMP1) });
+}
+
+/// Emit code that transposes the B panel covering columns
+/// `panel_col0 .. panel_col0 + panel_cols` (at most 32) into the scratch
+/// buffer pointed to by the `SCRATCH` register.
+///
+/// After this code runs, scratch element `(kk, j)` (row-major with leading
+/// dimension [`SCRATCH_LD`]) holds `B[kk, panel_col0 + j]`.
+pub fn emit_panel_transpose(
+    asm: &mut Assembler,
+    cfg: &GemmConfig,
+    panel_col0: usize,
+    panel_cols: usize,
+) {
+    assert!(panel_cols <= SCRATCH_LD, "panels are at most {SCRATCH_LD} columns wide");
+    let k = cfg.k;
+
+    asm.push(ScalarInst::mov_imm16(xr(W12), 0));
+
+    for j0 in (0..panel_cols).step_by(TILE) {
+        let jw = TILE.min(panel_cols - j0);
+        for k0 in (0..k).step_by(TILE) {
+            let kw = TILE.min(k - k0);
+
+            emit_lane_predicate(asm, k_pred(), kw);
+            emit_lane_predicate(asm, col_pred_t(), jw);
+
+            // Load the 16 (or fewer) columns of this block into z0..z15.
+            // Column c lives at B + ((panel_col0 + j0 + c) * ldb + k0) * 4.
+            let first_off = (cfg.b_offset(k0, panel_col0 + j0)) as u64;
+            asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(ARG_B) });
+            if first_off > 0 {
+                if first_off < (1 << 24) {
+                    asm.add_imm(xr(COL_PTR), xr(COL_PTR), first_off);
+                } else {
+                    asm.mov_imm64(xr(TMP0), first_off);
+                    asm.push(ScalarInst::AddReg {
+                        rd: xr(COL_PTR),
+                        rn: xr(COL_PTR),
+                        rm: xr(TMP0),
+                        shift: None,
+                    });
+                }
+            }
+            for c in 0..jw {
+                asm.push(SveInst::ld1w(zr(c as u8), k_pred(), xr(COL_PTR), 0));
+                if c + 1 < jw {
+                    asm.push(ScalarInst::AddReg {
+                        rd: xr(COL_PTR),
+                        rn: xr(COL_PTR),
+                        rm: xr(LDB_B),
+                        shift: None,
+                    });
+                }
+            }
+
+            // Lst. 5: copy z0..z15 into za0 through the horizontal view …
+            for g in 0..4u8 {
+                asm.push(SmeInst::MovaToTile {
+                    tile: ZaTile::s(0),
+                    dir: TileSliceDir::Horizontal,
+                    rs: xr(W12),
+                    offset: g * 4,
+                    zt: zr(g * 4),
+                    count: 4,
+                });
+            }
+            // … and copy it back through the vertical view into z16..z31.
+            for g in 0..4u8 {
+                asm.push(SmeInst::MovaFromTile {
+                    tile: ZaTile::s(0),
+                    dir: TileSliceDir::Vertical,
+                    rs: xr(W12),
+                    offset: g * 4,
+                    zt: zr(16 + g * 4),
+                    count: 4,
+                });
+            }
+
+            // Store the transposed rows into the scratch panel: row (k0 + r)
+            // starts at scratch + (k0 + r) * SCRATCH_LD * 4 + j0 * 4.
+            let scratch_off = (k0 * SCRATCH_LD + j0) * 4;
+            asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(SCRATCH) });
+            if scratch_off > 0 {
+                asm.add_imm(xr(COL_PTR), xr(COL_PTR), scratch_off as u64);
+            }
+            for r in 0..kw {
+                asm.push(SveInst::st1w(zr(16 + r as u8), col_pred_t(), xr(COL_PTR), 0));
+                if r + 1 < kw {
+                    asm.push(ScalarInst::AddReg {
+                        rd: xr(COL_PTR),
+                        rn: xr(COL_PTR),
+                        rm: xr(BK_STRIDE),
+                        shift: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_isa::inst::Inst;
+
+    #[test]
+    fn scratch_size_is_padded() {
+        assert_eq!(scratch_bytes(512), 512 * 32 * 4);
+        assert_eq!(scratch_bytes(1) % 64, 0);
+        assert!(scratch_bytes(3) >= 3 * 32 * 4);
+    }
+
+    #[test]
+    fn full_panel_uses_the_listing_five_idiom() {
+        let cfg = GemmConfig::ab(64, 64, 32);
+        let mut asm = Assembler::new("transpose");
+        emit_panel_transpose(&mut asm, &cfg, 0, 32);
+        let p = asm.finish();
+        // 2 column blocks × 2 k blocks = 4 tile transposes, each with four
+        // horizontal MOVA-in and four vertical MOVA-out group moves.
+        let mova_in = p.count_matching(|i| {
+            matches!(
+                i,
+                Inst::Sme(SmeInst::MovaToTile { dir: TileSliceDir::Horizontal, count: 4, .. })
+            )
+        });
+        let mova_out = p.count_matching(|i| {
+            matches!(
+                i,
+                Inst::Sme(SmeInst::MovaFromTile { dir: TileSliceDir::Vertical, count: 4, .. })
+            )
+        });
+        assert_eq!(mova_in, 16);
+        assert_eq!(mova_out, 16);
+        // 16 loads and 16 stores per 16x16 block.
+        assert_eq!(p.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ld1 { .. }))), 64);
+        assert_eq!(p.count_matching(|i| matches!(i, Inst::Sve(SveInst::St1 { .. }))), 64);
+    }
+
+    #[test]
+    fn partial_panels_emit_partial_predicates() {
+        let cfg = GemmConfig::ab(16, 20, 9);
+        let mut asm = Assembler::new("partial");
+        emit_panel_transpose(&mut asm, &cfg, 0, 20);
+        let p = asm.finish();
+        let movs: Vec<u16> = p
+            .insts()
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Scalar(ScalarInst::MovZ { imm16, .. }) => Some(*imm16),
+                _ => None,
+            })
+            .collect();
+        // K remainder 9 and column remainder 4 both appear as predicate
+        // limits.
+        assert!(movs.contains(&9));
+        assert!(movs.contains(&4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn panels_wider_than_scratch_are_rejected() {
+        let cfg = GemmConfig::ab(16, 64, 16);
+        let mut asm = Assembler::new("too_wide");
+        emit_panel_transpose(&mut asm, &cfg, 0, 48);
+    }
+}

@@ -1,0 +1,368 @@
+//! Reduced-precision (BF16 → FP32) GEMM kernels — the paper's §V outlook.
+//!
+//! The paper notes that higher reduced-precision throughput "could further
+//! accelerate CPU-native machine learning inference"; on M4 the widening
+//! BFMOPA has the *same* FLOP rate as the FP32 FMOPA (Table I), so a BF16
+//! kernel mainly halves operand memory traffic. This module implements that
+//! kernel generation path as an extension of the FP32 generator:
+//!
+//! * operands are **pre-packed** into the 2-way interleaved layout the
+//!   widening outer product consumes (`pack_a_bf16` / `pack_b_bf16`), the
+//!   same approach production libraries use for VNNI/BF16 kernels;
+//! * the generated kernel accumulates 32×32 FP32 blocks in the four ZA
+//!   tiles, consuming **two contraction steps per BFMOPA**;
+//! * the fast path below requires `m` and `n` to be multiples of 32 and `k`
+//!   to be even; remainder handling would follow the FP32 generator's
+//!   predication scheme and is intentionally left to future work, mirroring
+//!   the paper's own scoping.
+
+use crate::config::GemmError;
+use crate::loads::{emit_c_transfer, TransferDir};
+use crate::blocking::{BlockInstance, RegisterBlocking};
+use crate::config::GemmConfig;
+use crate::microkernel::{
+    a_counter, b_counter, xr, zr, ARG_A, ARG_B, ARG_C, A_PTR, BK_STRIDE, B_PTR, C_PTR, K_CNT,
+    LDA_B, LDC_B, W12, ZA_A, ZB_B,
+};
+use crate::reference::max_abs_diff;
+use serde::{Deserialize, Serialize};
+use sme_isa::asm::Assembler;
+use sme_isa::inst::{ScalarInst, SmeInst, SveInst};
+use sme_isa::regs::short::p;
+use sme_isa::types::ElementType;
+use sme_isa::Program;
+use sme_machine::exec::{RunOptions, Simulator};
+
+/// Configuration of a BF16 → FP32 small GEMM (`C += A · Bᵀ` semantics with
+/// pre-packed BF16 operands and an FP32, column-major C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WideningGemmConfig {
+    /// Rows of C (multiple of 32 in the fast path).
+    pub m: usize,
+    /// Columns of C (multiple of 32 in the fast path).
+    pub n: usize,
+    /// Contraction dimension (even).
+    pub k: usize,
+}
+
+impl WideningGemmConfig {
+    /// Construct and validate a configuration.
+    pub fn new(m: usize, n: usize, k: usize) -> Result<Self, GemmError> {
+        if m == 0 || n == 0 || k == 0 {
+            return Err(GemmError::InvalidDimension("dimensions must be non-zero".into()));
+        }
+        if m % 32 != 0 || n % 32 != 0 {
+            return Err(GemmError::Unsupported(
+                "the BF16 fast path requires m and n to be multiples of 32".into(),
+            ));
+        }
+        if k % 2 != 0 {
+            return Err(GemmError::Unsupported("the BF16 fast path requires an even k".into()));
+        }
+        Ok(WideningGemmConfig { m, n, k })
+    }
+
+    /// Floating-point operations per kernel execution.
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Packed-A buffer length in BF16 elements.
+    pub fn packed_a_len(&self) -> usize {
+        self.m * self.k
+    }
+
+    /// Packed-B buffer length in BF16 elements.
+    pub fn packed_b_len(&self) -> usize {
+        self.n * self.k
+    }
+}
+
+/// Round an `f32` slice to BF16 precision (returns the raw BF16 bits).
+fn to_bf16_bits(values: &[f32]) -> Vec<u16> {
+    values.iter().map(|v| sme_machine::exec::fp::f32_to_bf16(*v)).collect()
+}
+
+/// Pack a column-major `m × k` FP32 A into the 2-way interleaved BF16
+/// layout consumed by the widening kernel: element `(r, kk)` lands at
+/// `packed[(kk / 2) * 2 * m + r * 2 + (kk % 2)]`.
+pub fn pack_a_bf16(a: &[f32], m: usize, lda: usize, k: usize) -> Vec<u16> {
+    let mut packed = vec![0u16; m * k];
+    for kk in 0..k {
+        for r in 0..m {
+            let v = sme_machine::exec::fp::f32_to_bf16(a[kk * lda + r]);
+            packed[(kk / 2) * 2 * m + r * 2 + (kk % 2)] = v;
+        }
+    }
+    packed
+}
+
+/// Pack a row-major `k × n` FP32 B (the `Bᵀ` operand) into the 2-way
+/// interleaved BF16 layout: element `(kk, c)` lands at
+/// `packed[(kk / 2) * 2 * n + c * 2 + (kk % 2)]`.
+pub fn pack_b_bf16(b: &[f32], k: usize, ldb: usize, n: usize) -> Vec<u16> {
+    let mut packed = vec![0u16; n * k];
+    for kk in 0..k {
+        for c in 0..n {
+            let v = sme_machine::exec::fp::f32_to_bf16(b[kk * ldb + c]);
+            packed[(kk / 2) * 2 * n + c * 2 + (kk % 2)] = v;
+        }
+    }
+    packed
+}
+
+/// A generated BF16 → FP32 kernel.
+#[derive(Debug, Clone)]
+pub struct WideningKernel {
+    cfg: WideningGemmConfig,
+    program: Program,
+}
+
+impl WideningKernel {
+    /// The configuration.
+    pub fn config(&self) -> &WideningGemmConfig {
+        &self.cfg
+    }
+
+    /// The generated instruction stream.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Assembly listing.
+    pub fn disassembly(&self) -> String {
+        sme_isa::disasm::disassemble_program(&self.program)
+    }
+
+    /// Execute functionally on pre-packed operands already placed in the
+    /// simulator's memory.
+    pub fn run(&self, sim: &mut Simulator, a: u64, b: u64, c: u64, opts: &RunOptions) {
+        sim.run(&self.program, &[a, b, c], opts);
+    }
+
+    /// Validate against an FP32 reference computed on BF16-rounded inputs;
+    /// returns the maximum absolute error.
+    pub fn validate(&self, seed: u64) -> f32 {
+        let cfg = self.cfg;
+        let mut a = vec![0.0f32; cfg.m * cfg.k];
+        let mut b = vec![0.0f32; cfg.k * cfg.n];
+        let mut c = vec![0.0f32; cfg.m * cfg.n];
+        crate::reference::fill_matrix(seed, &mut a);
+        crate::reference::fill_matrix(seed + 1, &mut b);
+        crate::reference::fill_matrix(seed + 2, &mut c);
+
+        let packed_a = pack_a_bf16(&a, cfg.m, cfg.m, cfg.k);
+        let packed_b = pack_b_bf16(&b, cfg.k, cfg.n, cfg.n);
+
+        let mut sim = Simulator::m4_performance();
+        let a_addr = sim.mem.alloc(packed_a.len() as u64 * 2, 128);
+        let b_addr = sim.mem.alloc(packed_b.len() as u64 * 2, 128);
+        write_u16_slice(&mut sim, a_addr, &packed_a);
+        write_u16_slice(&mut sim, b_addr, &packed_b);
+        let c_addr = sim.mem.alloc_f32(&c, 128);
+
+        self.run(&mut sim, a_addr, b_addr, c_addr, &RunOptions::functional_only());
+        let c_out = sim.mem.read_f32_slice(c_addr, cfg.m * cfg.n);
+
+        // Reference on BF16-rounded inputs.
+        let a_r: Vec<f32> = to_bf16_bits(&a).iter().map(|&x| sme_machine::exec::fp::bf16_to_f32(x)).collect();
+        let b_r: Vec<f32> = to_bf16_bits(&b).iter().map(|&x| sme_machine::exec::fp::bf16_to_f32(x)).collect();
+        let mut c_ref = c;
+        for col in 0..cfg.n {
+            for row in 0..cfg.m {
+                let mut acc = c_ref[col * cfg.m + row];
+                for kk in 0..cfg.k {
+                    acc += a_r[kk * cfg.m + row] * b_r[kk * cfg.n + col];
+                }
+                c_ref[col * cfg.m + row] = acc;
+            }
+        }
+        max_abs_diff(&c_out, &c_ref)
+    }
+
+    /// Modelled throughput (GFLOPS) on one performance core.
+    pub fn model_gflops(&self) -> f64 {
+        let cfg = self.cfg;
+        let mut sim = Simulator::m4_performance();
+        let a = sim.mem.alloc(cfg.packed_a_len() as u64 * 2, 128);
+        let b = sim.mem.alloc(cfg.packed_b_len() as u64 * 2, 128);
+        let c = sim.mem.alloc_f32_zeroed(cfg.m * cfg.n, 128);
+        let result = sim.run(&self.program, &[a, b, c], &RunOptions::timing_only());
+        cfg.flops() as f64 / result.stats.seconds() / 1e9
+    }
+}
+
+fn write_u16_slice(sim: &mut Simulator, addr: u64, data: &[u16]) {
+    let mut bytes = Vec::with_capacity(data.len() * 2);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    sim.mem.write_bytes(addr, &bytes);
+}
+
+/// Generate a BF16 → FP32 kernel.
+pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, GemmError> {
+    // Re-validate (the constructor validates too, but the config is `Copy`).
+    let cfg = WideningGemmConfig::new(cfg.m, cfg.n, cfg.k)?;
+    let mut asm = Assembler::new(format!("sme_gemm_bf16_{}x{}x{}", cfg.m, cfg.n, cfg.k));
+
+    // Prologue: streaming mode, all-true predicates, strides.
+    asm.push(SmeInst::Smstart { za_only: false });
+    asm.push(SveInst::ptrue(p(0), ElementType::I8));
+    asm.push(SveInst::ptrue(p(1), ElementType::I8));
+    asm.push(SveInst::ptrue(p(4), ElementType::I8));
+    asm.push(SveInst::ptrue_cnt(a_counter(), ElementType::F32));
+    asm.push(SveInst::ptrue_cnt(b_counter(), ElementType::F32));
+    // Per contraction *pair*, A advances by 2*m BF16 elements and B by 2*n.
+    asm.mov_imm64(xr(LDA_B), (2 * cfg.m * 2) as u64);
+    asm.mov_imm64(xr(BK_STRIDE), (2 * cfg.n * 2) as u64);
+    asm.mov_imm64(xr(LDC_B), (cfg.m * 4) as u64);
+
+    // The C handling reuses the FP32 machinery (C is FP32 either way).
+    let c_cfg = GemmConfig::abt(cfg.m, cfg.n, cfg.k);
+
+    for col0 in (0..cfg.n).step_by(32) {
+        for row0 in (0..cfg.m).step_by(32) {
+            let block = BlockInstance {
+                row0,
+                col0,
+                rows: 32,
+                cols: 32,
+                blocking: RegisterBlocking::B32x32,
+            };
+            // Pointers into the packed operands and C.
+            asm.push(ScalarInst::MovReg { rd: xr(A_PTR), rn: xr(ARG_A) });
+            if row0 > 0 {
+                asm.add_imm(xr(A_PTR), xr(A_PTR), (row0 * 2 * 2) as u64);
+            }
+            asm.push(ScalarInst::MovReg { rd: xr(B_PTR), rn: xr(ARG_B) });
+            if col0 > 0 {
+                asm.add_imm(xr(B_PTR), xr(B_PTR), (col0 * 2 * 2) as u64);
+            }
+            asm.push(ScalarInst::MovReg { rd: xr(C_PTR), rn: xr(ARG_C) });
+            let c_off = c_cfg.c_offset(row0, col0) as u64;
+            if c_off > 0 {
+                asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
+            }
+
+            // Load the FP32 accumulator block.
+            asm.push(ScalarInst::mov_imm16(xr(W12), 0));
+            emit_c_transfer(&mut asm, &c_cfg, &block, TransferDir::Load);
+
+            // Contraction loop over k *pairs*.
+            asm.mov_imm64(xr(K_CNT), (cfg.k / 2) as u64);
+            let top = asm.new_label();
+            asm.bind(top);
+            asm.push(ScalarInst::SubImm { rd: xr(K_CNT), rn: xr(K_CNT), imm12: 1, shift12: false });
+            // 64 packed BF16 values of A (32 rows × 2 k-steps) and of B.
+            asm.push(SveInst::Ld1Multi {
+                zt: zr(ZA_A),
+                count: 2,
+                elem: ElementType::F16,
+                pn: a_counter(),
+                rn: xr(A_PTR),
+                imm_vl: 0,
+            });
+            asm.push(SveInst::Ld1Multi {
+                zt: zr(ZB_B),
+                count: 2,
+                elem: ElementType::F16,
+                pn: b_counter(),
+                rn: xr(B_PTR),
+                imm_vl: 0,
+            });
+            asm.push(ScalarInst::AddReg { rd: xr(A_PTR), rn: xr(A_PTR), rm: xr(LDA_B), shift: None });
+            asm.push(ScalarInst::AddReg { rd: xr(B_PTR), rn: xr(B_PTR), rm: xr(BK_STRIDE), shift: None });
+            for cg in 0..2u8 {
+                for rg in 0..2u8 {
+                    asm.push(SmeInst::FmopaWide {
+                        tile: cg * 2 + rg,
+                        from: ElementType::BF16,
+                        pn: p(1),
+                        pm: p(0),
+                        zn: zr(ZB_B + cg),
+                        zm: zr(ZA_A + rg),
+                    });
+                }
+            }
+            asm.cbnz(xr(K_CNT), top);
+
+            // Store the FP32 accumulator block.
+            emit_c_transfer(&mut asm, &c_cfg, &block, TransferDir::Store);
+        }
+    }
+
+    asm.push(SmeInst::Smstop { za_only: false });
+    asm.ret();
+    Ok(WideningKernel { cfg, program: asm.finish() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(WideningGemmConfig::new(32, 32, 2).is_ok());
+        assert!(WideningGemmConfig::new(31, 32, 2).is_err());
+        assert!(WideningGemmConfig::new(32, 48, 2).is_err());
+        assert!(WideningGemmConfig::new(32, 32, 3).is_err());
+        assert!(WideningGemmConfig::new(0, 32, 2).is_err());
+        let c = WideningGemmConfig::new(64, 32, 10).unwrap();
+        assert_eq!(c.flops(), 2 * 64 * 32 * 10);
+        assert_eq!(c.packed_a_len(), 640);
+        assert_eq!(c.packed_b_len(), 320);
+    }
+
+    #[test]
+    fn packing_layout() {
+        // A = 2x2 column-major: [[1,3],[2,4]] (a[0]=1, a[1]=2 first column).
+        let a = vec![1.0f32, 2.0, 3.0, 4.0];
+        let packed = pack_a_bf16(&a, 2, 2, 2);
+        // packed[(kk/2)*2m + r*2 + kk%2]: (r=0,k=0)->0, (r=0,k=1)->1,
+        // (r=1,k=0)->2, (r=1,k=1)->3.
+        let vals: Vec<f32> = packed.iter().map(|&x| sme_machine::exec::fp::bf16_to_f32(x)).collect();
+        assert_eq!(vals, vec![1.0, 3.0, 2.0, 4.0]);
+        // B = 2x2 row-major identity.
+        let b = vec![1.0f32, 0.0, 0.0, 1.0];
+        let packed = pack_b_bf16(&b, 2, 2, 2);
+        let vals: Vec<f32> = packed.iter().map(|&x| sme_machine::exec::fp::bf16_to_f32(x)).collect();
+        assert_eq!(vals, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn widening_kernels_validate() {
+        for (m, n, k) in [(32, 32, 2), (32, 32, 16), (64, 32, 8), (64, 64, 24)] {
+            let cfg = WideningGemmConfig::new(m, n, k).unwrap();
+            let kernel = generate_widening(&cfg).expect("generation");
+            let err = kernel.validate(5);
+            assert!(err < 1e-2, "({m},{n},{k}): {err}");
+        }
+    }
+
+    #[test]
+    fn widening_kernel_contains_bfmopa() {
+        use sme_isa::inst::Inst;
+        let cfg = WideningGemmConfig::new(32, 32, 8).unwrap();
+        let kernel = generate_widening(&cfg).unwrap();
+        let bfmopas = kernel
+            .program()
+            .count_matching(|i| matches!(i, Inst::Sme(SmeInst::FmopaWide { .. })));
+        assert_eq!(bfmopas, 4);
+        assert!(kernel.disassembly().contains("bfmopa"));
+    }
+
+    #[test]
+    fn widening_throughput_matches_the_fp32_centric_conclusion() {
+        // On M4, BFMOPA has the same FLOP rate as the FP32 FMOPA, so the
+        // BF16 kernel should land in the same throughput region as the FP32
+        // kernel (no 2x gain — the paper's "FP32-centric" conclusion), while
+        // halving the streamed operand bytes.
+        let cfg = WideningGemmConfig::new(128, 128, 256).unwrap();
+        let kernel = generate_widening(&cfg).unwrap();
+        let bf16 = kernel.model_gflops();
+        let fp32 = crate::generate(&GemmConfig::abt(128, 128, 256)).unwrap().model_gflops();
+        assert!(bf16 > 0.85 * fp32, "bf16 {bf16} vs fp32 {fp32}");
+        assert!(bf16 < 1.3 * fp32, "bf16 {bf16} vs fp32 {fp32}");
+    }
+}

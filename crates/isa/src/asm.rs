@@ -1,0 +1,376 @@
+//! Assembler: builds instruction streams with symbolic labels and resolves
+//! them into finished [`Program`]s.
+//!
+//! The just-in-time GEMM generator and the microbenchmark kernels both build
+//! code through this interface, exactly as the LIBXSMM backend described in
+//! the paper builds AArch64 machine code buffers.
+
+use crate::encode;
+use crate::inst::scalar::BranchTarget;
+use crate::inst::{Inst, ScalarInst};
+use crate::regs::XReg;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic branch target created by [`Assembler::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(pub(crate) u32);
+
+/// A finished, branch-resolved instruction stream.
+///
+/// Programs are position-independent: branches are stored as instruction
+/// offsets relative to the branch itself. A program can be executed directly
+/// by the `sme-machine` simulator or lowered to AArch64 machine code bytes
+/// via [`Program::encode`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// The program's instructions in order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The program's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Code size in bytes (four bytes per instruction, as in the real ISA).
+    pub fn code_bytes(&self) -> usize {
+        self.insts.len() * 4
+    }
+
+    /// Lower the program to AArch64 machine-code words.
+    pub fn encode(&self) -> Vec<u32> {
+        self.insts.iter().map(encode::encode).collect()
+    }
+
+    /// Lower the program to little-endian machine-code bytes, as a JIT would
+    /// write them into an executable buffer.
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.insts.len() * 4);
+        for word in self.encode() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Count instructions matching a predicate (used by tests and the
+    /// Fig. 6 instruction-mix comparison).
+    pub fn count_matching(&self, mut pred: impl FnMut(&Inst) -> bool) -> usize {
+        self.insts.iter().filter(|i| pred(i)).count()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// {} ({} instructions)", self.name, self.insts.len())?;
+        for (idx, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{idx:5}:  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Program`]s.
+///
+/// ```
+/// use sme_isa::asm::Assembler;
+/// use sme_isa::inst::{ScalarInst, SmeInst};
+/// use sme_isa::regs::short::*;
+///
+/// let mut a = Assembler::new("repeat_loop");
+/// let top = a.new_label();
+/// a.bind(top);
+/// a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+/// a.push(SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)));
+/// a.cbnz(x(0), top);
+/// a.ret();
+/// let program = a.finish();
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Assembler {
+    name: String,
+    insts: Vec<Inst>,
+    next_label: u32,
+    bound: HashMap<u32, usize>,
+}
+
+impl Assembler {
+    /// Create an empty assembler for a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembler {
+            name: name.into(),
+            insts: Vec::new(),
+            next_label: 0,
+            bound: HashMap::new(),
+        }
+    }
+
+    /// Allocate a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Bind `label` to the current position (the next emitted instruction).
+    ///
+    /// # Panics
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.bound.insert(label.0, self.insts.len());
+        assert!(prev.is_none(), "label {:?} bound twice", label);
+    }
+
+    /// Append any instruction.
+    pub fn push(&mut self, inst: impl Into<Inst>) {
+        self.insts.push(inst.into());
+    }
+
+    /// Append several instructions.
+    pub fn extend(&mut self, insts: impl IntoIterator<Item = Inst>) {
+        self.insts.extend(insts);
+    }
+
+    /// Current instruction count (useful for emitting position annotations).
+    pub fn position(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `cbnz xn, label`.
+    pub fn cbnz(&mut self, rn: XReg, label: Label) {
+        self.push(ScalarInst::Cbnz { rn, target: BranchTarget::Label(label.0) });
+    }
+
+    /// `cbz xn, label`.
+    pub fn cbz(&mut self, rn: XReg, label: Label) {
+        self.push(ScalarInst::Cbz { rn, target: BranchTarget::Label(label.0) });
+    }
+
+    /// `b label`.
+    pub fn b(&mut self, label: Label) {
+        self.push(ScalarInst::B { target: BranchTarget::Label(label.0) });
+    }
+
+    /// `b.cond label`.
+    pub fn b_cond(&mut self, cond: crate::types::Cond, label: Label) {
+        self.push(ScalarInst::BCond { cond, target: BranchTarget::Label(label.0) });
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.push(ScalarInst::Ret);
+    }
+
+    /// Load an arbitrary 64-bit immediate into `rd` using the minimal
+    /// `movz`/`movk` sequence (1–4 instructions).
+    pub fn mov_imm64(&mut self, rd: XReg, value: u64) {
+        let chunks: [u16; 4] = [
+            (value & 0xffff) as u16,
+            ((value >> 16) & 0xffff) as u16,
+            ((value >> 32) & 0xffff) as u16,
+            ((value >> 48) & 0xffff) as u16,
+        ];
+        // Always emit the movz for the lowest chunk so that the register is
+        // fully defined, then movk the non-zero higher chunks.
+        self.push(ScalarInst::MovZ { rd, imm16: chunks[0], hw: 0 });
+        for (hw, &chunk) in chunks.iter().enumerate().skip(1) {
+            if chunk != 0 {
+                self.push(ScalarInst::MovK { rd, imm16: chunk, hw: hw as u8 });
+            }
+        }
+    }
+
+    /// Add a (possibly large) unsigned immediate to a register using one or
+    /// two `add` instructions (low 12 bits, then the next 12 shifted).
+    ///
+    /// # Panics
+    /// Panics if the immediate does not fit in 24 bits.
+    pub fn add_imm(&mut self, rd: XReg, rn: XReg, imm: u64) {
+        assert!(imm < (1 << 24), "add_imm immediate too large: {imm}");
+        let low = (imm & 0xfff) as u16;
+        let high = ((imm >> 12) & 0xfff) as u16;
+        if high != 0 {
+            self.push(ScalarInst::AddImm { rd, rn, imm12: high, shift12: true });
+            if low != 0 {
+                self.push(ScalarInst::AddImm { rd, rn: rd, imm12: low, shift12: false });
+            }
+        } else {
+            self.push(ScalarInst::AddImm { rd, rn, imm12: low, shift12: false });
+        }
+    }
+
+    /// Subtract a (possibly large) unsigned immediate from a register.
+    ///
+    /// # Panics
+    /// Panics if the immediate does not fit in 24 bits.
+    pub fn sub_imm(&mut self, rd: XReg, rn: XReg, imm: u64) {
+        assert!(imm < (1 << 24), "sub_imm immediate too large: {imm}");
+        let low = (imm & 0xfff) as u16;
+        let high = ((imm >> 12) & 0xfff) as u16;
+        if high != 0 {
+            self.push(ScalarInst::SubImm { rd, rn, imm12: high, shift12: true });
+            if low != 0 {
+                self.push(ScalarInst::SubImm { rd, rn: rd, imm12: low, shift12: false });
+            }
+        } else {
+            self.push(ScalarInst::SubImm { rd, rn, imm12: low, shift12: false });
+        }
+    }
+
+    /// Resolve all labels and produce the finished [`Program`].
+    ///
+    /// # Panics
+    /// Panics if a branch references a label that was never bound.
+    pub fn finish(self) -> Program {
+        let Assembler { name, mut insts, bound, .. } = self;
+        for idx in 0..insts.len() {
+            if let Inst::Scalar(ref mut s) = insts[idx] {
+                if let Some(BranchTarget::Label(l)) = s.branch_target() {
+                    let target_idx = *bound
+                        .get(&l)
+                        .unwrap_or_else(|| panic!("branch references unbound label L{l}"));
+                    let offset = target_idx as i64 - idx as i64;
+                    s.set_branch_target(BranchTarget::Offset(
+                        i32::try_from(offset).expect("branch offset out of range"),
+                    ));
+                }
+            }
+        }
+        Program { name, insts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{NeonInst, SmeInst};
+    use crate::regs::short::*;
+    use crate::types::NeonArrangement;
+
+    #[test]
+    fn backward_branch_resolution() {
+        let mut a = Assembler::new("loop");
+        let top = a.new_label();
+        a.bind(top);
+        a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        a.push(NeonInst::fmla_vec(v(0), v(30), v(31), NeonArrangement::S4));
+        a.cbnz(x(0), top);
+        a.ret();
+        let p = a.finish();
+        assert_eq!(p.len(), 4);
+        match p.insts()[2] {
+            Inst::Scalar(ScalarInst::Cbnz { target, .. }) => assert_eq!(target.offset(), -2),
+            ref other => panic!("unexpected instruction {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_branch_resolution() {
+        let mut a = Assembler::new("skip");
+        let done = a.new_label();
+        a.cbz(x(1), done);
+        a.push(SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)));
+        a.bind(done);
+        a.ret();
+        let prog = a.finish();
+        match prog.insts()[0] {
+            Inst::Scalar(ScalarInst::Cbz { target, .. }) => assert_eq!(target.offset(), 2),
+            ref other => panic!("unexpected instruction {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Assembler::new("bad");
+        let l = a.new_label();
+        a.b(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Assembler::new("bad");
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn mov_imm64_sequences() {
+        let mut a = Assembler::new("imm");
+        a.mov_imm64(x(0), 30 * 8);
+        let small = a.position();
+        assert_eq!(small, 1, "small immediates need a single movz");
+        a.mov_imm64(x(1), 0x0001_0000);
+        assert_eq!(a.position() - small, 2, "17-bit immediate needs movz + movk");
+        a.mov_imm64(x(2), 0xdead_beef_cafe_f00d);
+        let p = a.finish();
+        // 1 + 2 + 4 instructions in total.
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn add_sub_imm_split() {
+        let mut a = Assembler::new("addr");
+        a.add_imm(x(0), x(0), 64); // single add
+        assert_eq!(a.position(), 1);
+        a.add_imm(x(0), x(0), 4096); // single shifted add
+        assert_eq!(a.position(), 2);
+        a.add_imm(x(0), x(0), 4096 + 12); // shifted + low
+        assert_eq!(a.position(), 4);
+        a.sub_imm(x(1), x(1), 8192 + 5);
+        let p = a.finish();
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn program_metadata_and_encode() {
+        let mut a = Assembler::new("meta");
+        a.push(ScalarInst::Nop);
+        a.ret();
+        let p = a.finish();
+        assert_eq!(p.name(), "meta");
+        assert_eq!(p.code_bytes(), 8);
+        assert!(!p.is_empty());
+        let words = p.encode();
+        assert_eq!(words.len(), 2);
+        let bytes = p.encode_bytes();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(&bytes[0..4], &words[0].to_le_bytes());
+        let text = p.to_string();
+        assert!(text.contains("nop"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn count_matching_instructions() {
+        let mut a = Assembler::new("count");
+        for _ in 0..5 {
+            a.push(SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)));
+        }
+        a.ret();
+        let prog = a.finish();
+        let fmopas = prog.count_matching(|i| matches!(i, Inst::Sme(SmeInst::Fmopa { .. })));
+        assert_eq!(fmopas, 5);
+    }
+}

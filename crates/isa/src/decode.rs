@@ -1,0 +1,99 @@
+//! Decoding of 32-bit machine words back into the typed instruction
+//! representation.
+//!
+//! Decoding inverts [`crate::encode::encode`] for every instruction in the
+//! modelled subset; words outside the subset return `None`. The round-trip
+//! property `decode(encode(i)) == Some(i)` is checked exhaustively by the
+//! crate's property-based tests and is the definition of encoding
+//! correctness for the reproduction (see the [`crate::encode`] module
+//! documentation).
+
+use crate::encode::{neon, scalar, sme, sve};
+use crate::inst::Inst;
+
+/// Decode one machine word.
+///
+/// Returns `None` for words outside the modelled instruction subset.
+pub fn decode(word: u32) -> Option<Inst> {
+    if let Some(i) = scalar::decode(word) {
+        return Some(Inst::Scalar(i));
+    }
+    if let Some(i) = sme::decode(word) {
+        return Some(Inst::Sme(i));
+    }
+    if let Some(i) = sve::decode(word) {
+        return Some(Inst::Sve(i));
+    }
+    if let Some(i) = neon::decode(word) {
+        return Some(Inst::Neon(i));
+    }
+    None
+}
+
+/// Decode a buffer of little-endian machine-code bytes.
+///
+/// Returns `None` if the length is not a multiple of four or any word fails
+/// to decode.
+pub fn decode_bytes(bytes: &[u8]) -> Option<Vec<Inst>> {
+    if bytes.len() % 4 != 0 {
+        return None;
+    }
+    bytes
+        .chunks_exact(4)
+        .map(|c| decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::inst::{NeonInst, ScalarInst, SmeInst, SveInst};
+    use crate::regs::short::*;
+    use crate::types::{ElementType, NeonArrangement};
+
+    #[test]
+    fn cross_class_dispatch() {
+        let insts: Vec<Inst> = vec![
+            ScalarInst::Ret.into(),
+            ScalarInst::mov_imm16(x(0), 512).into(),
+            NeonInst::fmla_vec(v(1), v(30), v(31), NeonArrangement::S4).into(),
+            SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).into(),
+            SveInst::ptrue(p(0), ElementType::I8).into(),
+            SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).into(),
+            SmeInst::LdrZa { rs: x(12), offset: 1, rn: x(0) }.into(),
+        ];
+        for inst in insts {
+            let word = crate::encode::encode(&inst);
+            assert_eq!(decode(word), Some(inst), "word 0x{word:08x}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip_through_bytes() {
+        let mut a = Assembler::new("roundtrip");
+        let top = a.new_label();
+        a.push(SveInst::ptrue(p(0), ElementType::I8));
+        a.push(SveInst::ptrue(p(1), ElementType::I8));
+        a.bind(top);
+        a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        for t in 0..4u8 {
+            a.push(SmeInst::fmopa_f32(t, p(0), p(1), z(2 * t), z(2 * t + 1)));
+        }
+        a.cbnz(x(0), top);
+        a.push(ScalarInst::mov_imm16(x(0), 32 * 512 / 16));
+        a.ret();
+        let program = a.finish();
+        let bytes = program.encode_bytes();
+        let decoded = decode_bytes(&bytes).expect("every emitted word must decode");
+        assert_eq!(decoded, program.insts());
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert_eq!(decode(0x0000_0000), None);
+        assert_eq!(decode_bytes(&[1, 2, 3]), None, "length not a multiple of 4");
+        assert_eq!(decode_bytes(&[0, 0, 0, 0]), None, "undecodable word");
+        assert_eq!(decode_bytes(&[]), Some(vec![]));
+    }
+}

@@ -1,0 +1,142 @@
+//! Lowering of the typed instruction representation to 32-bit AArch64
+//! machine words.
+//!
+//! The generated GEMM kernels are genuine machine-code buffers: every
+//! instruction the generator emits has a 32-bit encoding produced here and
+//! can be decoded back by [`crate::decode`]. For the long-established parts
+//! of the ISA (A64 base, ASIMD, classic SVE loads/stores) the encodings
+//! follow the Arm Architecture Reference Manual field layouts. For the very
+//! recent SME2 / SVE2.1 instructions (multi-vector loads, MOVA vector
+//! groups, predicate-as-counter forms) the field *placement* is this
+//! crate's own, documented in each function; no AArch64 assembler is
+//! available in the reproduction environment to cross-check the exact
+//! opcode constants, so correctness is defined by the encode/decode
+//! round-trip property that the test-suite verifies exhaustively.
+//!
+//! Panics: encoding an operand combination that the generator never emits
+//! (for example a Neon by-element FMLA with a byte arrangement) panics with
+//! an `unsupported encoding` message rather than silently producing a wrong
+//! word.
+
+pub mod neon;
+pub mod scalar;
+pub mod sme;
+pub mod sve;
+
+use crate::inst::Inst;
+
+/// Encode one instruction to its 32-bit machine word.
+pub fn encode(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Scalar(i) => scalar::encode(i),
+        Inst::Neon(i) => neon::encode(i),
+        Inst::Sve(i) => sve::encode(i),
+        Inst::Sme(i) => sme::encode(i),
+    }
+}
+
+/// Helpers shared by the per-class encoders.
+pub(crate) mod fields {
+    use crate::types::ElementType;
+
+    /// Extract a bit-field `[lo, lo+len)` from a word.
+    pub fn get(word: u32, lo: u32, len: u32) -> u32 {
+        (word >> lo) & ((1 << len) - 1)
+    }
+
+    /// Place `value` into bit-field `[lo, lo+len)`, asserting it fits.
+    pub fn put(value: u32, lo: u32, len: u32) -> u32 {
+        assert!(value < (1 << len), "field value {value} does not fit in {len} bits");
+        value << lo
+    }
+
+    /// SVE size field (bits 22–23 in most SVE encodings): 0=b, 1=h, 2=s, 3=d.
+    pub fn size_of(elem: ElementType) -> u32 {
+        match elem.bits() {
+            8 => 0,
+            16 => 1,
+            32 => 2,
+            _ => 3,
+        }
+    }
+
+    /// Inverse of [`size_of`], canonicalised to the floating-point type for
+    /// 16/32/64-bit sizes and `I8` for bytes.
+    pub fn elem_of(size: u32) -> ElementType {
+        match size & 3 {
+            0 => ElementType::I8,
+            1 => ElementType::F16,
+            2 => ElementType::F32,
+            _ => ElementType::F64,
+        }
+    }
+
+    /// Two's-complement encode a signed value into `len` bits.
+    pub fn signed(value: i64, len: u32) -> u32 {
+        let min = -(1i64 << (len - 1));
+        let max = (1i64 << (len - 1)) - 1;
+        assert!(
+            (min..=max).contains(&value),
+            "signed value {value} does not fit in {len} bits"
+        );
+        (value as u32) & ((1u32 << len) - 1)
+    }
+
+    /// Two's-complement decode a `len`-bit field.
+    pub fn unsigned_to_signed(value: u32, len: u32) -> i64 {
+        let sign_bit = 1u32 << (len - 1);
+        if value & sign_bit != 0 {
+            value as i64 - (1i64 << len)
+        } else {
+            value as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fields::*;
+    use crate::types::ElementType;
+
+    #[test]
+    fn field_helpers_roundtrip() {
+        let w = put(0b1011, 5, 4) | put(3, 0, 2);
+        assert_eq!(get(w, 5, 4), 0b1011);
+        assert_eq!(get(w, 0, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn field_overflow_panics() {
+        let _ = put(16, 0, 4);
+    }
+
+    #[test]
+    fn size_mapping() {
+        assert_eq!(size_of(ElementType::I8), 0);
+        assert_eq!(size_of(ElementType::F16), 1);
+        assert_eq!(size_of(ElementType::BF16), 1);
+        assert_eq!(size_of(ElementType::F32), 2);
+        assert_eq!(size_of(ElementType::I32), 2);
+        assert_eq!(size_of(ElementType::F64), 3);
+        assert_eq!(elem_of(2), ElementType::F32);
+        assert_eq!(elem_of(3), ElementType::F64);
+        assert_eq!(elem_of(0), ElementType::I8);
+    }
+
+    #[test]
+    fn signed_fields() {
+        assert_eq!(signed(-1, 4), 0xf);
+        assert_eq!(signed(-8, 4), 0x8);
+        assert_eq!(signed(7, 4), 0x7);
+        assert_eq!(unsigned_to_signed(0xf, 4), -1);
+        assert_eq!(unsigned_to_signed(0x8, 4), -8);
+        assert_eq!(unsigned_to_signed(0x7, 4), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn signed_overflow_panics() {
+        let _ = signed(8, 4);
+    }
+}

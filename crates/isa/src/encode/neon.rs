@@ -1,0 +1,275 @@
+//! Encoding and decoding of ASIMD (Neon) instructions.
+
+use super::fields::{get, put, signed, unsigned_to_signed};
+use crate::inst::neon::NeonInst;
+use crate::regs::{VReg, XReg};
+use crate::types::NeonArrangement;
+
+fn xreg(enc: u32) -> XReg {
+    if enc == 31 {
+        XReg::SP
+    } else {
+        XReg::new(enc as u8)
+    }
+}
+
+fn vreg(enc: u32) -> VReg {
+    VReg::new(enc as u8)
+}
+
+/// Encode a Neon instruction.
+///
+/// # Panics
+/// Panics on operand combinations the generator never emits (e.g. byte
+/// arrangements of the by-element FMLA) or on out-of-range offsets.
+pub fn encode(inst: &NeonInst) -> u32 {
+    match *inst {
+        NeonInst::FmlaVec { vd, vn, vm, arrangement } => {
+            let base = match arrangement {
+                NeonArrangement::S4 => 0x4E20_CC00,
+                NeonArrangement::D2 => 0x4E60_CC00,
+                NeonArrangement::H8 => 0x4E40_0C00,
+                NeonArrangement::B16 => panic!("unsupported encoding: fmla vector with byte lanes"),
+            };
+            base | put(vm.enc(), 16, 5) | put(vn.enc(), 5, 5) | vd.enc()
+        }
+        NeonInst::FmlaElem { vd, vn, vm, index, arrangement } => match arrangement {
+            NeonArrangement::S4 => {
+                assert!(index < 4, "fmla by element: S lane index out of range");
+                0x4F80_1000
+                    | put((index & 1) as u32, 21, 1)
+                    | put(((index >> 1) & 1) as u32, 11, 1)
+                    | put(vm.enc(), 16, 5)
+                    | put(vn.enc(), 5, 5)
+                    | vd.enc()
+            }
+            NeonArrangement::D2 => {
+                assert!(index < 2, "fmla by element: D lane index out of range");
+                0x4FC0_1000
+                    | put(index as u32, 11, 1)
+                    | put(vm.enc(), 16, 5)
+                    | put(vn.enc(), 5, 5)
+                    | vd.enc()
+            }
+            _ => panic!("unsupported encoding: fmla by element with {arrangement} arrangement"),
+        },
+        NeonInst::Bfmmla { vd, vn, vm } => {
+            0x6E40_EC00 | put(vm.enc(), 16, 5) | put(vn.enc(), 5, 5) | vd.enc()
+        }
+        NeonInst::LdrQ { vt, rn, imm } => {
+            assert!(imm % 16 == 0 && imm / 16 < 4096, "ldr q offset out of range: {imm}");
+            0x3DC0_0000 | put(imm / 16, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
+        }
+        NeonInst::StrQ { vt, rn, imm } => {
+            assert!(imm % 16 == 0 && imm / 16 < 4096, "str q offset out of range: {imm}");
+            0x3D80_0000 | put(imm / 16, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
+        }
+        NeonInst::LdpQ { vt1, vt2, rn, imm } => {
+            assert!(imm % 16 == 0, "ldp q offset must be 16-byte aligned");
+            0xAD40_0000
+                | put(signed((imm / 16) as i64, 7), 15, 7)
+                | put(vt2.enc(), 10, 5)
+                | put(rn.enc(), 5, 5)
+                | vt1.enc()
+        }
+        NeonInst::StpQ { vt1, vt2, rn, imm } => {
+            assert!(imm % 16 == 0, "stp q offset must be 16-byte aligned");
+            0xAD00_0000
+                | put(signed((imm / 16) as i64, 7), 15, 7)
+                | put(vt2.enc(), 10, 5)
+                | put(rn.enc(), 5, 5)
+                | vt1.enc()
+        }
+        NeonInst::DupElem { vd, vn, index, arrangement } => {
+            let imm5 = match arrangement {
+                NeonArrangement::S4 => {
+                    assert!(index < 4, "dup: S lane index out of range");
+                    ((index as u32) << 3) | 0b100
+                }
+                NeonArrangement::D2 => {
+                    assert!(index < 2, "dup: D lane index out of range");
+                    ((index as u32) << 4) | 0b1000
+                }
+                _ => panic!("unsupported encoding: dup with {arrangement} arrangement"),
+            };
+            0x4E00_0400 | put(imm5, 16, 5) | put(vn.enc(), 5, 5) | vd.enc()
+        }
+        NeonInst::MoviZero { vd, arrangement } => {
+            let base = match arrangement {
+                NeonArrangement::S4 => 0x4F00_0400,
+                NeonArrangement::D2 => 0x6F00_E400,
+                _ => panic!("unsupported encoding: movi #0 with {arrangement} arrangement"),
+            };
+            base | vd.enc()
+        }
+    }
+}
+
+/// Decode a Neon instruction, returning `None` if the word is not in the
+/// modelled Neon subset.
+pub fn decode(word: u32) -> Option<NeonInst> {
+    let rd = || vreg(get(word, 0, 5));
+    let rn5 = || get(word, 5, 5);
+    let rm = || vreg(get(word, 16, 5));
+
+    if word & 0xFFE0_FC00 == 0x4E20_CC00 {
+        return Some(NeonInst::FmlaVec {
+            vd: rd(),
+            vn: vreg(rn5()),
+            vm: rm(),
+            arrangement: NeonArrangement::S4,
+        });
+    }
+    if word & 0xFFE0_FC00 == 0x4E60_CC00 {
+        return Some(NeonInst::FmlaVec {
+            vd: rd(),
+            vn: vreg(rn5()),
+            vm: rm(),
+            arrangement: NeonArrangement::D2,
+        });
+    }
+    if word & 0xFFE0_FC00 == 0x4E40_0C00 {
+        return Some(NeonInst::FmlaVec {
+            vd: rd(),
+            vn: vreg(rn5()),
+            vm: rm(),
+            arrangement: NeonArrangement::H8,
+        });
+    }
+    if word & 0xFFC0_F400 == 0x4F80_1000 {
+        let index = (get(word, 11, 1) << 1 | get(word, 21, 1)) as u8;
+        return Some(NeonInst::FmlaElem {
+            vd: rd(),
+            vn: vreg(rn5()),
+            vm: rm(),
+            index,
+            arrangement: NeonArrangement::S4,
+        });
+    }
+    if word & 0xFFE0_F400 == 0x4FC0_1000 {
+        return Some(NeonInst::FmlaElem {
+            vd: rd(),
+            vn: vreg(rn5()),
+            vm: rm(),
+            index: get(word, 11, 1) as u8,
+            arrangement: NeonArrangement::D2,
+        });
+    }
+    if word & 0xFFE0_FC00 == 0x6E40_EC00 {
+        return Some(NeonInst::Bfmmla { vd: rd(), vn: vreg(rn5()), vm: rm() });
+    }
+    if word & 0xFFC0_0000 == 0x3DC0_0000 {
+        return Some(NeonInst::LdrQ {
+            vt: rd(),
+            rn: xreg(rn5()),
+            imm: get(word, 10, 12) * 16,
+        });
+    }
+    if word & 0xFFC0_0000 == 0x3D80_0000 {
+        return Some(NeonInst::StrQ {
+            vt: rd(),
+            rn: xreg(rn5()),
+            imm: get(word, 10, 12) * 16,
+        });
+    }
+    if word & 0xFFC0_0000 == 0xAD40_0000 {
+        return Some(NeonInst::LdpQ {
+            vt1: rd(),
+            vt2: vreg(get(word, 10, 5)),
+            rn: xreg(rn5()),
+            imm: (unsigned_to_signed(get(word, 15, 7), 7) * 16) as i32,
+        });
+    }
+    if word & 0xFFC0_0000 == 0xAD00_0000 {
+        return Some(NeonInst::StpQ {
+            vt1: rd(),
+            vt2: vreg(get(word, 10, 5)),
+            rn: xreg(rn5()),
+            imm: (unsigned_to_signed(get(word, 15, 7), 7) * 16) as i32,
+        });
+    }
+    if word & 0xFFE0_FC00 == 0x4E00_0400 {
+        let imm5 = get(word, 16, 5);
+        if imm5 & 0b100 == 0b100 && imm5 & 0b11 == 0 {
+            return Some(NeonInst::DupElem {
+                vd: rd(),
+                vn: vreg(rn5()),
+                index: (imm5 >> 3) as u8,
+                arrangement: NeonArrangement::S4,
+            });
+        }
+        if imm5 & 0b1000 == 0b1000 && imm5 & 0b111 == 0 {
+            return Some(NeonInst::DupElem {
+                vd: rd(),
+                vn: vreg(rn5()),
+                index: (imm5 >> 4) as u8,
+                arrangement: NeonArrangement::D2,
+            });
+        }
+        return None;
+    }
+    if word & 0xFFFF_FFE0 == 0x4F00_0400 {
+        return Some(NeonInst::MoviZero { vd: rd(), arrangement: NeonArrangement::S4 });
+    }
+    if word & 0xFFFF_FFE0 == 0x6F00_E400 {
+        return Some(NeonInst::MoviZero { vd: rd(), arrangement: NeonArrangement::D2 });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+
+    fn roundtrip(inst: NeonInst) {
+        let word = encode(&inst);
+        let back = decode(word).unwrap_or_else(|| panic!("failed to decode {inst} (0x{word:08x})"));
+        assert_eq!(back, inst, "round-trip mismatch for {inst} (0x{word:08x})");
+    }
+
+    #[test]
+    fn fmla_vec_known_word() {
+        // fmla v1.4s, v30.4s, v31.4s (Lst. 1 line 5).
+        let inst = NeonInst::fmla_vec(v(1), v(30), v(31), NeonArrangement::S4);
+        assert_eq!(encode(&inst), 0x4E3FCFC1);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for arr in [NeonArrangement::S4, NeonArrangement::D2, NeonArrangement::H8] {
+            roundtrip(NeonInst::fmla_vec(v(0), v(30), v(31), arr));
+        }
+        for idx in 0..4 {
+            roundtrip(NeonInst::fmla_elem(v(4), v(28), v(29), idx, NeonArrangement::S4));
+        }
+        roundtrip(NeonInst::fmla_elem(v(4), v(28), v(29), 1, NeonArrangement::D2));
+        roundtrip(NeonInst::Bfmmla { vd: v(0), vn: v(1), vm: v(2) });
+        roundtrip(NeonInst::LdrQ { vt: v(7), rn: x(3), imm: 256 });
+        roundtrip(NeonInst::StrQ { vt: v(7), rn: x(3), imm: 65520 });
+        roundtrip(NeonInst::LdpQ { vt1: v(0), vt2: v(1), rn: x(0), imm: -32 });
+        roundtrip(NeonInst::StpQ { vt1: v(2), vt2: v(3), rn: XReg::SP, imm: 1008 });
+        roundtrip(NeonInst::DupElem { vd: v(5), vn: v(6), index: 3, arrangement: NeonArrangement::S4 });
+        roundtrip(NeonInst::DupElem { vd: v(5), vn: v(6), index: 1, arrangement: NeonArrangement::D2 });
+        roundtrip(NeonInst::MoviZero { vd: v(9), arrangement: NeonArrangement::S4 });
+        roundtrip(NeonInst::MoviZero { vd: v(9), arrangement: NeonArrangement::D2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported encoding")]
+    fn unsupported_arrangement_panics() {
+        let _ = encode(&NeonInst::fmla_elem(v(0), v(1), v(2), 0, NeonArrangement::B16));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ldr_q_offset_checked() {
+        let _ = encode(&NeonInst::LdrQ { vt: v(0), rn: x(0), imm: 17 });
+    }
+
+    #[test]
+    fn foreign_words_rejected() {
+        assert_eq!(decode(0xD65F03C0), None, "ret is not a Neon instruction");
+        assert_eq!(decode(0x00000000), None);
+    }
+}

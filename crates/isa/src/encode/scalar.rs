@@ -1,0 +1,273 @@
+//! Encoding and decoding of A64 base instructions.
+
+use super::fields::{get, put, signed, unsigned_to_signed};
+use crate::inst::scalar::{BranchTarget, ScalarInst, ShiftOp};
+use crate::regs::XReg;
+use crate::types::Cond;
+
+const NOP: u32 = 0xD503_201F;
+const RET: u32 = 0xD65F_03C0;
+
+fn xreg(enc: u32, allow_sp: bool) -> XReg {
+    match enc {
+        31 if allow_sp => XReg::SP,
+        31 => XReg::XZR,
+        n => XReg::new(n as u8),
+    }
+}
+
+/// Encode a scalar instruction.
+///
+/// # Panics
+/// Panics if an operand is out of the encodable range (e.g. a branch offset
+/// that does not fit in the immediate field).
+pub fn encode(inst: &ScalarInst) -> u32 {
+    match *inst {
+        ScalarInst::MovZ { rd, imm16, hw } => {
+            0xD280_0000 | put(hw as u32, 21, 2) | put(imm16 as u32, 5, 16) | rd.enc()
+        }
+        ScalarInst::MovK { rd, imm16, hw } => {
+            0xF280_0000 | put(hw as u32, 21, 2) | put(imm16 as u32, 5, 16) | rd.enc()
+        }
+        ScalarInst::MovReg { rd, rn } => 0xAA00_03E0 | put(rn.enc(), 16, 5) | rd.enc(),
+        ScalarInst::AddImm { rd, rn, imm12, shift12 } => {
+            0x9100_0000
+                | put(shift12 as u32, 22, 1)
+                | put(imm12 as u32, 10, 12)
+                | put(rn.enc(), 5, 5)
+                | rd.enc()
+        }
+        ScalarInst::SubImm { rd, rn, imm12, shift12 } => {
+            0xD100_0000
+                | put(shift12 as u32, 22, 1)
+                | put(imm12 as u32, 10, 12)
+                | put(rn.enc(), 5, 5)
+                | rd.enc()
+        }
+        ScalarInst::SubsImm { rd, rn, imm12 } => {
+            0xF100_0000 | put(imm12 as u32, 10, 12) | put(rn.enc(), 5, 5) | rd.enc()
+        }
+        ScalarInst::AddReg { rd, rn, rm, shift } => {
+            let amount = shift.map(|s| s.amount() as u32).unwrap_or(0);
+            0x8B00_0000
+                | put(rm.enc(), 16, 5)
+                | put(amount, 10, 6)
+                | put(rn.enc(), 5, 5)
+                | rd.enc()
+        }
+        ScalarInst::SubReg { rd, rn, rm, shift } => {
+            let amount = shift.map(|s| s.amount() as u32).unwrap_or(0);
+            0xCB00_0000
+                | put(rm.enc(), 16, 5)
+                | put(amount, 10, 6)
+                | put(rn.enc(), 5, 5)
+                | rd.enc()
+        }
+        ScalarInst::Madd { rd, rn, rm, ra } => {
+            0x9B00_0000
+                | put(rm.enc(), 16, 5)
+                | put(ra.enc(), 10, 5)
+                | put(rn.enc(), 5, 5)
+                | rd.enc()
+        }
+        ScalarInst::LslImm { rd, rn, shift } => {
+            assert!(shift < 64, "lsl shift out of range: {shift}");
+            let immr = (64 - shift as u32) % 64;
+            let imms = 63 - shift as u32;
+            0xD340_0000 | put(immr, 16, 6) | put(imms, 10, 6) | put(rn.enc(), 5, 5) | rd.enc()
+        }
+        ScalarInst::CmpReg { rn, rm } => 0xEB00_001F | put(rm.enc(), 16, 5) | put(rn.enc(), 5, 5),
+        ScalarInst::CmpImm { rn, imm12 } => {
+            0xF100_001F | put(imm12 as u32, 10, 12) | put(rn.enc(), 5, 5)
+        }
+        ScalarInst::Cbnz { rn, target } => {
+            0xB500_0000 | put(signed(target.offset() as i64, 19), 5, 19) | rn.enc()
+        }
+        ScalarInst::Cbz { rn, target } => {
+            0xB400_0000 | put(signed(target.offset() as i64, 19), 5, 19) | rn.enc()
+        }
+        ScalarInst::B { target } => 0x1400_0000 | signed(target.offset() as i64, 26),
+        ScalarInst::BCond { cond, target } => {
+            0x5400_0000 | put(signed(target.offset() as i64, 19), 5, 19) | cond.code()
+        }
+        ScalarInst::Nop => NOP,
+        ScalarInst::Ret => RET,
+    }
+}
+
+/// Decode a scalar instruction, returning `None` if the word is not in the
+/// modelled scalar subset.
+pub fn decode(word: u32) -> Option<ScalarInst> {
+    if word == NOP {
+        return Some(ScalarInst::Nop);
+    }
+    if word == RET {
+        return Some(ScalarInst::Ret);
+    }
+    let top8 = word >> 24;
+    let rd = || get(word, 0, 5);
+    let rn = || get(word, 5, 5);
+    let rm = || get(word, 16, 5);
+    match top8 {
+        0xD2 if get(word, 23, 1) == 1 => Some(ScalarInst::MovZ {
+            rd: xreg(rd(), false),
+            imm16: get(word, 5, 16) as u16,
+            hw: get(word, 21, 2) as u8,
+        }),
+        0xF2 if get(word, 23, 1) == 1 => Some(ScalarInst::MovK {
+            rd: xreg(rd(), false),
+            imm16: get(word, 5, 16) as u16,
+            hw: get(word, 21, 2) as u8,
+        }),
+        0xAA if word & 0x00E0_FFE0 == 0x0000_03E0 => Some(ScalarInst::MovReg {
+            rd: xreg(rd(), false),
+            rn: xreg(rm(), false),
+        }),
+        0x91 => Some(ScalarInst::AddImm {
+            rd: xreg(rd(), true),
+            rn: xreg(rn(), true),
+            imm12: get(word, 10, 12) as u16,
+            shift12: get(word, 22, 1) == 1,
+        }),
+        0xD1 => Some(ScalarInst::SubImm {
+            rd: xreg(rd(), true),
+            rn: xreg(rn(), true),
+            imm12: get(word, 10, 12) as u16,
+            shift12: get(word, 22, 1) == 1,
+        }),
+        0xF1 if get(word, 22, 1) == 0 => {
+            if rd() == 31 {
+                Some(ScalarInst::CmpImm {
+                    rn: xreg(rn(), true),
+                    imm12: get(word, 10, 12) as u16,
+                })
+            } else {
+                Some(ScalarInst::SubsImm {
+                    rd: xreg(rd(), false),
+                    rn: xreg(rn(), true),
+                    imm12: get(word, 10, 12) as u16,
+                })
+            }
+        }
+        0x8B if get(word, 21, 3) == 0 => Some(ScalarInst::AddReg {
+            rd: xreg(rd(), false),
+            rn: xreg(rn(), false),
+            rm: xreg(rm(), false),
+            shift: match get(word, 10, 6) {
+                0 => None,
+                n => Some(ShiftOp::Lsl(n as u8)),
+            },
+        }),
+        0xCB if get(word, 21, 3) == 0 => Some(ScalarInst::SubReg {
+            rd: xreg(rd(), false),
+            rn: xreg(rn(), false),
+            rm: xreg(rm(), false),
+            shift: match get(word, 10, 6) {
+                0 => None,
+                n => Some(ShiftOp::Lsl(n as u8)),
+            },
+        }),
+        0x9B if get(word, 15, 1) == 0 && get(word, 21, 3) == 0 => Some(ScalarInst::Madd {
+            rd: xreg(rd(), false),
+            rn: xreg(rn(), false),
+            rm: xreg(rm(), false),
+            ra: xreg(get(word, 10, 5), false),
+        }),
+        0xD3 if get(word, 22, 2) == 1 => {
+            let imms = get(word, 10, 6);
+            let shift = 63 - imms;
+            Some(ScalarInst::LslImm {
+                rd: xreg(rd(), false),
+                rn: xreg(rn(), false),
+                shift: shift as u8,
+            })
+        }
+        0xEB if rd() == 31 && get(word, 10, 6) == 0 && get(word, 21, 3) == 0 => {
+            Some(ScalarInst::CmpReg { rn: xreg(rn(), false), rm: xreg(rm(), false) })
+        }
+        0xB5 => Some(ScalarInst::Cbnz {
+            rn: xreg(rd(), false),
+            target: BranchTarget::Offset(unsigned_to_signed(get(word, 5, 19), 19) as i32),
+        }),
+        0xB4 => Some(ScalarInst::Cbz {
+            rn: xreg(rd(), false),
+            target: BranchTarget::Offset(unsigned_to_signed(get(word, 5, 19), 19) as i32),
+        }),
+        0x14..=0x17 => Some(ScalarInst::B {
+            target: BranchTarget::Offset(unsigned_to_signed(get(word, 0, 26), 26) as i32),
+        }),
+        0x54 if get(word, 4, 1) == 0 => Cond::from_code(get(word, 0, 4)).map(|cond| {
+            ScalarInst::BCond {
+                cond,
+                target: BranchTarget::Offset(unsigned_to_signed(get(word, 5, 19), 19) as i32),
+            }
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+
+    fn roundtrip(inst: ScalarInst) {
+        let word = encode(&inst);
+        let back = decode(word).unwrap_or_else(|| panic!("failed to decode {inst} (0x{word:08x})"));
+        assert_eq!(back, inst, "round-trip mismatch for {inst} (0x{word:08x})");
+    }
+
+    #[test]
+    fn known_encodings() {
+        // `ret` and `nop` have well-known fixed encodings.
+        assert_eq!(encode(&ScalarInst::Ret), 0xD65F03C0);
+        assert_eq!(encode(&ScalarInst::Nop), 0xD503201F);
+        // `mov x0, #240` == movz x0, #240.
+        assert_eq!(encode(&ScalarInst::mov_imm16(x(0), 240)), 0xD2801E00);
+        // `sub x0, x0, #1`.
+        assert_eq!(
+            encode(&ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false }),
+            0xD1000400
+        );
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(ScalarInst::MovZ { rd: x(3), imm16: 0xbeef, hw: 2 });
+        roundtrip(ScalarInst::MovK { rd: x(30), imm16: 1, hw: 3 });
+        roundtrip(ScalarInst::MovReg { rd: x(1), rn: x(2) });
+        roundtrip(ScalarInst::AddImm { rd: x(0), rn: x(1), imm12: 4095, shift12: true });
+        roundtrip(ScalarInst::AddImm { rd: XReg::SP, rn: XReg::SP, imm12: 64, shift12: false });
+        roundtrip(ScalarInst::SubImm { rd: XReg::SP, rn: XReg::SP, imm12: 128, shift12: false });
+        roundtrip(ScalarInst::SubsImm { rd: x(8), rn: x(8), imm12: 1 });
+        roundtrip(ScalarInst::AddReg { rd: x(0), rn: x(0), rm: x(9), shift: None });
+        roundtrip(ScalarInst::AddReg { rd: x(0), rn: x(0), rm: x(9), shift: Some(ShiftOp::Lsl(2)) });
+        roundtrip(ScalarInst::SubReg { rd: x(5), rn: x(6), rm: x(7), shift: None });
+        roundtrip(ScalarInst::Madd { rd: x(0), rn: x(1), rm: x(2), ra: x(3) });
+        roundtrip(ScalarInst::LslImm { rd: x(4), rn: x(5), shift: 2 });
+        roundtrip(ScalarInst::LslImm { rd: x(4), rn: x(5), shift: 63 });
+        roundtrip(ScalarInst::CmpReg { rn: x(1), rm: x(2) });
+        roundtrip(ScalarInst::CmpImm { rn: x(1), imm12: 100 });
+        roundtrip(ScalarInst::Cbnz { rn: x(0), target: BranchTarget::Offset(-33) });
+        roundtrip(ScalarInst::Cbz { rn: x(2), target: BranchTarget::Offset(12) });
+        roundtrip(ScalarInst::B { target: BranchTarget::Offset(-1000) });
+        roundtrip(ScalarInst::BCond { cond: Cond::Ne, target: BranchTarget::Offset(5) });
+        roundtrip(ScalarInst::Nop);
+        roundtrip(ScalarInst::Ret);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn branch_offset_range_checked() {
+        let _ = encode(&ScalarInst::Cbnz {
+            rn: x(0),
+            target: BranchTarget::Offset(1 << 20),
+        });
+    }
+
+    #[test]
+    fn unknown_word_decodes_to_none() {
+        assert_eq!(decode(0xFFFF_FFFF), None);
+        assert_eq!(decode(0x0000_0000), None);
+    }
+}

@@ -1,0 +1,456 @@
+//! Encoding and decoding of SME / SME2 instructions.
+//!
+//! The outer-product and ZA load/store instructions follow the Arm ARM
+//! field layout; the SME2 MOVA vector-group and multi-vector FMLA forms use
+//! this crate's own field placement (documented per function) validated by
+//! round-trip tests.
+
+use super::fields::{get, put, size_of};
+use crate::inst::sme::SmeInst;
+use crate::regs::{PReg, TileSliceDir, XReg, ZReg, ZaTile};
+use crate::types::ElementType;
+
+const SMSTART: u32 = 0xD503_477F;
+const SMSTART_ZA: u32 = 0xD503_457F;
+const SMSTOP: u32 = 0xD503_467F;
+const SMSTOP_ZA: u32 = 0xD503_447F;
+
+fn xreg(enc: u32) -> XReg {
+    if enc == 31 {
+        XReg::SP
+    } else {
+        XReg::new(enc as u8)
+    }
+}
+
+fn zreg(enc: u32) -> ZReg {
+    ZReg::new(enc as u8)
+}
+
+fn preg(enc: u32) -> PReg {
+    PReg::new(enc as u8)
+}
+
+fn check_mopa_operands(pn: PReg, pm: PReg) {
+    assert!(
+        pn.is_governing() && pm.is_governing(),
+        "outer-product predicates must be P0-P7 (got {pn}, {pm})"
+    );
+}
+
+/// Slice-index register field for MOVA / LDR ZA / STR ZA (W12–W15).
+fn rs_field(rs: XReg) -> u32 {
+    let idx = rs.index();
+    assert!(
+        (12..=15).contains(&idx),
+        "ZA slice-index register must be W12-W15, got {rs}"
+    );
+    (idx - 12) as u32
+}
+
+/// Vector-select register field for SME2 ZA-vector instructions (W8–W11).
+fn rv_field(rv: XReg) -> u32 {
+    let idx = rv.index();
+    assert!(
+        (8..=11).contains(&idx),
+        "ZA vector-select register must be W8-W11, got {rv}"
+    );
+    (idx - 8) as u32
+}
+
+fn count_log2(count: u8) -> u32 {
+    match count {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        _ => panic!("MOVA vector-group count must be 1, 2 or 4, got {count}"),
+    }
+}
+
+/// Encode an SME instruction.
+///
+/// # Panics
+/// Panics if an operand is out of the encodable range (tile index,
+/// predicate above P7, slice-index register outside W12–W15, …).
+pub fn encode(inst: &SmeInst) -> u32 {
+    match *inst {
+        SmeInst::Smstart { za_only } => {
+            if za_only {
+                SMSTART_ZA
+            } else {
+                SMSTART
+            }
+        }
+        SmeInst::Smstop { za_only } => {
+            if za_only {
+                SMSTOP_ZA
+            } else {
+                SMSTOP
+            }
+        }
+        SmeInst::Fmopa { tile, elem, pn, pm, zn, zm } => {
+            check_mopa_operands(pn, pm);
+            match elem {
+                ElementType::F32 => {
+                    assert!(tile < 4, "FP32 FMOPA tile must be 0..4");
+                    0x8080_0000
+                        | put(zm.enc(), 16, 5)
+                        | put(pm.enc(), 13, 3)
+                        | put(pn.enc(), 10, 3)
+                        | put(zn.enc(), 5, 5)
+                        | put(tile as u32, 0, 2)
+                }
+                ElementType::F64 => {
+                    assert!(tile < 8, "FP64 FMOPA tile must be 0..8");
+                    0x80C0_0000
+                        | put(zm.enc(), 16, 5)
+                        | put(pm.enc(), 13, 3)
+                        | put(pn.enc(), 10, 3)
+                        | put(zn.enc(), 5, 5)
+                        | put(tile as u32, 0, 3)
+                }
+                other => panic!("unsupported encoding: non-widening FMOPA with {other} elements"),
+            }
+        }
+        SmeInst::FmopaWide { tile, from, pn, pm, zn, zm } => {
+            check_mopa_operands(pn, pm);
+            assert!(tile < 4, "widening FMOPA tile must be 0..4");
+            let base = match from {
+                ElementType::BF16 => 0x8100_0000,
+                ElementType::F16 => 0x8180_0000,
+                other => panic!("unsupported encoding: widening FMOPA from {other}"),
+            };
+            base | put(zm.enc(), 16, 5)
+                | put(pm.enc(), 13, 3)
+                | put(pn.enc(), 10, 3)
+                | put(zn.enc(), 5, 5)
+                | put(tile as u32, 0, 2)
+        }
+        SmeInst::Smopa { tile, from, pn, pm, zn, zm } => {
+            check_mopa_operands(pn, pm);
+            assert!(tile < 4, "SMOPA tile must be 0..4");
+            let base = match from {
+                ElementType::I8 => 0xA080_0000,
+                ElementType::I16 => 0xA0C0_0000,
+                other => panic!("unsupported encoding: SMOPA from {other}"),
+            };
+            base | put(zm.enc(), 16, 5)
+                | put(pm.enc(), 13, 3)
+                | put(pn.enc(), 10, 3)
+                | put(zn.enc(), 5, 5)
+                | put(tile as u32, 0, 2)
+        }
+        SmeInst::MovaToTile { tile, dir, rs, offset, zt, count } => {
+            encode_mova(0xC080_0000, tile, dir, rs, offset, zt, count)
+        }
+        SmeInst::MovaFromTile { tile, dir, rs, offset, zt, count } => {
+            encode_mova(0xC0A0_0000, tile, dir, rs, offset, zt, count)
+        }
+        SmeInst::LdrZa { rs, offset, rn } => {
+            assert!(offset < 16, "LDR ZA offset must be 0..16");
+            0xE100_0000 | put(rs_field(rs), 13, 2) | put(rn.enc(), 5, 5) | put(offset as u32, 0, 4)
+        }
+        SmeInst::StrZa { rs, offset, rn } => {
+            assert!(offset < 16, "STR ZA offset must be 0..16");
+            0xE120_0000 | put(rs_field(rs), 13, 2) | put(rn.enc(), 5, 5) | put(offset as u32, 0, 4)
+        }
+        SmeInst::ZeroZa { mask } => 0xC008_0000 | mask as u32,
+        SmeInst::FmlaZaVectors { elem, vgx, rv, offset, zn, zm } => {
+            assert!(vgx == 2 || vgx == 4, "vector-group size must be 2 or 4");
+            assert!(offset < 8, "ZA vector offset must be 0..8");
+            // Reproduction-specific field placement:
+            // [16:20]=zm [11:12]=size [10]=vgx4 [8:9]=rv [5:7]=offset [0:4]=zn
+            0xC120_0000
+                | put(zm.enc(), 16, 5)
+                | put(size_of(elem), 11, 2)
+                | put((vgx == 4) as u32, 10, 1)
+                | put(rv_field(rv), 8, 2)
+                | put(offset as u32, 5, 3)
+                | zn.enc()
+        }
+    }
+}
+
+/// Shared MOVA (tile ↔ vector group) encoder.
+///
+/// Reproduction-specific field placement:
+/// `[23]=1 [21]=direction-of-copy [17:18]=size [15:16]=count [12:14]=tile
+/// [11]=h/v [9:10]=rs [5:8]=offset [0:4]=zt`.
+fn encode_mova(
+    base: u32,
+    tile: ZaTile,
+    dir: TileSliceDir,
+    rs: XReg,
+    offset: u8,
+    zt: ZReg,
+    count: u8,
+) -> u32 {
+    assert!(offset < 16, "MOVA slice offset must be 0..16");
+    base | put(size_of(tile.elem), 17, 2)
+        | put(count_log2(count), 15, 2)
+        | put(tile.index as u32, 12, 3)
+        | put((dir == TileSliceDir::Vertical) as u32, 11, 1)
+        | put(rs_field(rs), 9, 2)
+        | put(offset as u32, 5, 4)
+        | zt.enc()
+}
+
+fn decode_mova(word: u32) -> (ZaTile, TileSliceDir, XReg, u8, ZReg, u8) {
+    let elem = super::fields::elem_of(get(word, 17, 2));
+    let tile = ZaTile::new(get(word, 12, 3) as u8, canonical_tile_elem(elem));
+    let dir = if get(word, 11, 1) == 1 {
+        TileSliceDir::Vertical
+    } else {
+        TileSliceDir::Horizontal
+    };
+    let rs = XReg::new((get(word, 9, 2) + 12) as u8);
+    let offset = get(word, 5, 4) as u8;
+    let zt = zreg(get(word, 0, 5));
+    let count = 1u8 << get(word, 15, 2);
+    (tile, dir, rs, offset, zt, count)
+}
+
+/// Tiles are canonicalised to floating-point element types (F16/F32/F64) or
+/// I8 by the size-field decoder, matching [`super::fields::elem_of`].
+fn canonical_tile_elem(elem: ElementType) -> ElementType {
+    elem
+}
+
+/// Decode an SME instruction, returning `None` if the word is not in the
+/// modelled SME subset.
+pub fn decode(word: u32) -> Option<SmeInst> {
+    match word {
+        SMSTART => return Some(SmeInst::Smstart { za_only: false }),
+        SMSTART_ZA => return Some(SmeInst::Smstart { za_only: true }),
+        SMSTOP => return Some(SmeInst::Smstop { za_only: false }),
+        SMSTOP_ZA => return Some(SmeInst::Smstop { za_only: true }),
+        _ => {}
+    }
+    let zm = || zreg(get(word, 16, 5));
+    let pm = || preg(get(word, 13, 3));
+    let pn = || preg(get(word, 10, 3));
+    let zn = || zreg(get(word, 5, 5));
+
+    // FMOPA (non-widening), FP32.
+    if word & 0xFFE0_001C == 0x8080_0000 {
+        return Some(SmeInst::Fmopa {
+            tile: get(word, 0, 2) as u8,
+            elem: ElementType::F32,
+            pn: pn(),
+            pm: pm(),
+            zn: zn(),
+            zm: zm(),
+        });
+    }
+    // FMOPA (non-widening), FP64.
+    if word & 0xFFE0_0018 == 0x80C0_0000 {
+        return Some(SmeInst::Fmopa {
+            tile: get(word, 0, 3) as u8,
+            elem: ElementType::F64,
+            pn: pn(),
+            pm: pm(),
+            zn: zn(),
+            zm: zm(),
+        });
+    }
+    // BFMOPA / FMOPA (widening).
+    if word & 0xFF60_001C == 0x8100_0000 {
+        let from = if get(word, 23, 1) == 1 { ElementType::F16 } else { ElementType::BF16 };
+        return Some(SmeInst::FmopaWide {
+            tile: get(word, 0, 2) as u8,
+            from,
+            pn: pn(),
+            pm: pm(),
+            zn: zn(),
+            zm: zm(),
+        });
+    }
+    // SMOPA.
+    if word & 0xFF80_001C == 0xA080_0000 {
+        let from = if get(word, 22, 1) == 1 { ElementType::I16 } else { ElementType::I8 };
+        return Some(SmeInst::Smopa {
+            tile: get(word, 0, 2) as u8,
+            from,
+            pn: pn(),
+            pm: pm(),
+            zn: zn(),
+            zm: zm(),
+        });
+    }
+    // MOVA (vector group to tile / tile to vector group).
+    if word & 0xFFF8_0000 == 0xC080_0000 {
+        let (tile, dir, rs, offset, zt, count) = decode_mova(word);
+        return Some(SmeInst::MovaToTile { tile, dir, rs, offset, zt, count });
+    }
+    if word & 0xFFF8_0000 == 0xC0A0_0000 {
+        let (tile, dir, rs, offset, zt, count) = decode_mova(word);
+        return Some(SmeInst::MovaFromTile { tile, dir, rs, offset, zt, count });
+    }
+    // LDR / STR (ZA array vector).
+    if word & 0xFFE0_8010 == 0xE100_0000 {
+        return Some(SmeInst::LdrZa {
+            rs: XReg::new((get(word, 13, 2) + 12) as u8),
+            offset: get(word, 0, 4) as u8,
+            rn: xreg(get(word, 5, 5)),
+        });
+    }
+    if word & 0xFFE0_8010 == 0xE120_0000 {
+        return Some(SmeInst::StrZa {
+            rs: XReg::new((get(word, 13, 2) + 12) as u8),
+            offset: get(word, 0, 4) as u8,
+            rn: xreg(get(word, 5, 5)),
+        });
+    }
+    // ZERO { mask }.
+    if word & 0xFFFF_FF00 == 0xC008_0000 {
+        return Some(SmeInst::ZeroZa { mask: get(word, 0, 8) as u8 });
+    }
+    // FMLA (multiple vectors and single vector).
+    if word & 0xFFE0_0000 == 0xC120_0000 {
+        return Some(SmeInst::FmlaZaVectors {
+            elem: super::fields::elem_of(get(word, 11, 2)),
+            vgx: if get(word, 10, 1) == 1 { 4 } else { 2 },
+            rv: XReg::new((get(word, 8, 2) + 8) as u8),
+            offset: get(word, 5, 3) as u8,
+            zn: zreg(get(word, 0, 5)),
+            zm: zm(),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+
+    fn roundtrip(inst: SmeInst) {
+        let word = encode(&inst);
+        let back = decode(word).unwrap_or_else(|| panic!("failed to decode {inst} (0x{word:08x})"));
+        assert_eq!(back, inst, "round-trip mismatch for {inst} (0x{word:08x})");
+    }
+
+    #[test]
+    fn roundtrip_mode_control() {
+        roundtrip(SmeInst::Smstart { za_only: false });
+        roundtrip(SmeInst::Smstart { za_only: true });
+        roundtrip(SmeInst::Smstop { za_only: false });
+        roundtrip(SmeInst::Smstop { za_only: true });
+    }
+
+    #[test]
+    fn roundtrip_outer_products() {
+        for tile in 0..4 {
+            roundtrip(SmeInst::fmopa_f32(tile, p(0), p(1), z(tile * 2), z(tile * 2 + 1)));
+        }
+        for tile in 0..8 {
+            roundtrip(SmeInst::fmopa_f64(tile, p(2), p(3), z(30), z(31)));
+        }
+        roundtrip(SmeInst::bfmopa(2, p(0), p(1), z(4), z(5)));
+        roundtrip(SmeInst::FmopaWide {
+            tile: 1,
+            from: ElementType::F16,
+            pn: p(0),
+            pm: p(1),
+            zn: z(6),
+            zm: z(7),
+        });
+        roundtrip(SmeInst::smopa_i8(3, p(4), p(5), z(8), z(9)));
+        roundtrip(SmeInst::Smopa {
+            tile: 0,
+            from: ElementType::I16,
+            pn: p(6),
+            pm: p(7),
+            zn: z(10),
+            zm: z(11),
+        });
+    }
+
+    #[test]
+    fn roundtrip_moves_and_memory() {
+        for count in [1u8, 2, 4] {
+            for dir in [TileSliceDir::Horizontal, TileSliceDir::Vertical] {
+                roundtrip(SmeInst::MovaToTile {
+                    tile: ZaTile::s(0),
+                    dir,
+                    rs: x(12),
+                    offset: 4,
+                    zt: z(0),
+                    count,
+                });
+                roundtrip(SmeInst::MovaFromTile {
+                    tile: ZaTile::s(3),
+                    dir,
+                    rs: x(15),
+                    offset: 12,
+                    zt: z(28),
+                    count,
+                });
+            }
+        }
+        roundtrip(SmeInst::MovaToTile {
+            tile: ZaTile::d(7),
+            dir: TileSliceDir::Horizontal,
+            rs: x(13),
+            offset: 0,
+            zt: z(16),
+            count: 4,
+        });
+        for offset in 0..16 {
+            roundtrip(SmeInst::LdrZa { rs: x(12), offset, rn: x(0) });
+            roundtrip(SmeInst::StrZa { rs: x(14), offset, rn: XReg::SP });
+        }
+        roundtrip(SmeInst::ZeroZa { mask: 0xff });
+        roundtrip(SmeInst::ZeroZa { mask: 0x11 });
+    }
+
+    #[test]
+    fn roundtrip_multi_vector_fmla() {
+        for vgx in [2u8, 4] {
+            for offset in 0..8 {
+                roundtrip(SmeInst::FmlaZaVectors {
+                    elem: ElementType::F32,
+                    vgx,
+                    rv: x(8),
+                    offset,
+                    zn: z(0),
+                    zm: z(4),
+                });
+            }
+        }
+        roundtrip(SmeInst::FmlaZaVectors {
+            elem: ElementType::F64,
+            vgx: 4,
+            rv: x(11),
+            offset: 7,
+            zn: z(24),
+            zm: z(15),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "predicates must be P0-P7")]
+    fn predicate_range_checked() {
+        let _ = encode(&SmeInst::Fmopa {
+            tile: 0,
+            elem: ElementType::F32,
+            pn: p(9),
+            pm: p(1),
+            zn: z(0),
+            zm: z(1),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "slice-index register must be W12-W15")]
+    fn slice_register_checked() {
+        let _ = encode(&SmeInst::LdrZa { rs: x(3), offset: 0, rn: x(0) });
+    }
+
+    #[test]
+    fn foreign_words_rejected() {
+        assert_eq!(decode(0xD65F03C0), None);
+        assert_eq!(decode(0x4E3FCFC1), None);
+        assert_eq!(decode(0xA540A000), None, "SVE LD1W is not an SME instruction");
+    }
+}

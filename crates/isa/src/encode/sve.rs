@@ -1,0 +1,368 @@
+//! Encoding and decoding of SVE / Streaming SVE instructions.
+//!
+//! The classic SVE loads/stores and data-processing instructions follow the
+//! Arm ARM field layouts. The SVE2.1 / SME2 predicate-as-counter and
+//! multi-vector forms use this crate's own field placement (documented per
+//! function) validated by round-trip tests.
+
+use super::fields::{get, put, signed, size_of, unsigned_to_signed};
+use crate::inst::sve::SveInst;
+use crate::regs::{PReg, PnReg, XReg, ZReg};
+use crate::types::ElementType;
+
+fn xreg(enc: u32) -> XReg {
+    if enc == 31 {
+        XReg::SP
+    } else {
+        XReg::new(enc as u8)
+    }
+}
+
+fn xreg_nosp(enc: u32) -> XReg {
+    if enc == 31 {
+        XReg::XZR
+    } else {
+        XReg::new(enc as u8)
+    }
+}
+
+fn zreg(enc: u32) -> ZReg {
+    ZReg::new(enc as u8)
+}
+
+fn preg(enc: u32) -> PReg {
+    PReg::new(enc as u8)
+}
+
+fn pnreg(enc: u32) -> PnReg {
+    PnReg::new((enc + 8) as u8)
+}
+
+/// Canonical element type used when sizes are re-materialised by the
+/// decoder: floating-point for 16/32/64-bit, `I8` for bytes.
+fn canonical(elem: ElementType) -> ElementType {
+    super::fields::elem_of(size_of(elem))
+}
+
+/// Size bits used by the contiguous load/store encodings (`ld1b/h/w/d`).
+fn ls_elem_bits(elem: ElementType) -> u32 {
+    size_of(elem)
+}
+
+/// Encode an SVE instruction.
+///
+/// # Panics
+/// Panics if an operand is outside the encodable range (e.g. a governing
+/// predicate above P7 or a `mul vl` offset outside −8..=7).
+pub fn encode(inst: &SveInst) -> u32 {
+    match *inst {
+        SveInst::Ptrue { pd, elem } => 0x2518_E3E0 | put(size_of(elem), 22, 2) | pd.enc(),
+        SveInst::PtrueCnt { pn, elem } => 0x2520_7810 | put(size_of(elem), 22, 2) | pn.enc(),
+        SveInst::Whilelt { pd, elem, rn, rm } => {
+            0x2520_0400
+                | put(size_of(elem), 22, 2)
+                | put(rm.enc(), 16, 5)
+                | put(rn.enc(), 5, 5)
+                | pd.enc()
+        }
+        SveInst::WhileltCnt { pn, elem, rn, rm, vl } => {
+            assert!(vl == 2 || vl == 4, "whilelt (counter) vl must be 2 or 4");
+            0x2520_4000
+                | put(size_of(elem), 22, 2)
+                | put(rm.enc(), 16, 5)
+                | put(rn.enc(), 5, 5)
+                | put((vl == 4) as u32, 4, 1)
+                | put(pn.enc(), 1, 3)
+        }
+        SveInst::Ld1 { zt, elem, pg, rn, imm_vl } => {
+            assert!(pg.is_governing(), "ld1 governing predicate must be P0-P7");
+            let base = match ls_elem_bits(elem) {
+                0 => 0xA400_A000,
+                1 => 0xA4A0_A000,
+                2 => 0xA540_A000,
+                _ => 0xA5E0_A000,
+            };
+            base | put(signed(imm_vl as i64, 4), 16, 4)
+                | put(pg.enc(), 10, 3)
+                | put(rn.enc(), 5, 5)
+                | zt.enc()
+        }
+        SveInst::St1 { zt, elem, pg, rn, imm_vl } => {
+            assert!(pg.is_governing(), "st1 governing predicate must be P0-P7");
+            let base = match ls_elem_bits(elem) {
+                0 => 0xE400_E000,
+                1 => 0xE4A0_E000,
+                2 => 0xE540_E000,
+                _ => 0xE5E0_E000,
+            };
+            base | put(signed(imm_vl as i64, 4), 16, 4)
+                | put(pg.enc(), 10, 3)
+                | put(rn.enc(), 5, 5)
+                | zt.enc()
+        }
+        SveInst::Ld1Multi { zt, count, elem, pn, rn, imm_vl } => {
+            assert!(count == 2 || count == 4, "multi-vector count must be 2 or 4");
+            // Reproduction-specific field placement (SME2 region):
+            // [23]=0 [21:22]=size [16:19]=imm4 [15]=count4 [10:12]=pn
+            // [5:9]=rn [0:4]=zt, opcode base 0xA000_4000.
+            0xA000_4000
+                | put(size_of(elem), 21, 2)
+                | put(signed(imm_vl as i64, 4), 16, 4)
+                | put((count == 4) as u32, 15, 1)
+                | put(pn.enc(), 10, 3)
+                | put(rn.enc(), 5, 5)
+                | zt.enc()
+        }
+        SveInst::St1Multi { zt, count, elem, pn, rn, imm_vl } => {
+            assert!(count == 2 || count == 4, "multi-vector count must be 2 or 4");
+            // Same field placement as Ld1Multi, opcode base 0xE000_4000.
+            0xE000_4000
+                | put(size_of(elem), 21, 2)
+                | put(signed(imm_vl as i64, 4), 16, 4)
+                | put((count == 4) as u32, 15, 1)
+                | put(pn.enc(), 10, 3)
+                | put(rn.enc(), 5, 5)
+                | zt.enc()
+        }
+        SveInst::LdrZ { zt, rn, imm_vl } => {
+            let imm9 = signed(imm_vl as i64, 9);
+            0x8580_4000
+                | put(imm9 >> 3, 16, 6)
+                | put(imm9 & 0x7, 10, 3)
+                | put(rn.enc(), 5, 5)
+                | zt.enc()
+        }
+        SveInst::StrZ { zt, rn, imm_vl } => {
+            let imm9 = signed(imm_vl as i64, 9);
+            0xE580_4000
+                | put(imm9 >> 3, 16, 6)
+                | put(imm9 & 0x7, 10, 3)
+                | put(rn.enc(), 5, 5)
+                | zt.enc()
+        }
+        SveInst::FmlaSve { zd, pg, zn, zm, elem } => {
+            assert!(pg.is_governing(), "fmla governing predicate must be P0-P7");
+            0x6520_0000
+                | put(size_of(elem), 22, 2)
+                | put(zm.enc(), 16, 5)
+                | put(pg.enc(), 10, 3)
+                | put(zn.enc(), 5, 5)
+                | zd.enc()
+        }
+        SveInst::DupImm { zd, elem, imm } => {
+            0x2538_C000 | put(size_of(elem), 22, 2) | put((imm as u8) as u32, 5, 8) | zd.enc()
+        }
+        SveInst::AddVl { rd, rn, imm } => {
+            0x0420_5000 | put(rn.enc(), 16, 5) | put(signed(imm as i64, 6), 5, 6) | rd.enc()
+        }
+    }
+}
+
+/// Decode an SVE instruction, returning `None` if the word is not in the
+/// modelled SVE subset.
+pub fn decode(word: u32) -> Option<SveInst> {
+    // PTRUE (pattern ALL only).
+    if word & 0xFF3F_FFE0 == 0x2518_E3E0 {
+        return Some(SveInst::Ptrue {
+            pd: preg(get(word, 0, 4)),
+            elem: super::fields::elem_of(get(word, 22, 2)),
+        });
+    }
+    // PTRUE (predicate as counter).
+    if word & 0xFF3F_FFF8 == 0x2520_7810 {
+        return Some(SveInst::PtrueCnt {
+            pn: pnreg(get(word, 0, 3)),
+            elem: super::fields::elem_of(get(word, 22, 2)),
+        });
+    }
+    // WHILELT (predicate).
+    if word & 0xFF20_FC10 == 0x2520_0400 {
+        return Some(SveInst::Whilelt {
+            pd: preg(get(word, 0, 4)),
+            elem: super::fields::elem_of(get(word, 22, 2)),
+            rn: xreg_nosp(get(word, 5, 5)),
+            rm: xreg_nosp(get(word, 16, 5)),
+        });
+    }
+    // WHILELT (predicate as counter).
+    if word & 0xFF20_FC01 == 0x2520_4000 {
+        return Some(SveInst::WhileltCnt {
+            pn: pnreg(get(word, 1, 3)),
+            elem: super::fields::elem_of(get(word, 22, 2)),
+            rn: xreg_nosp(get(word, 5, 5)),
+            rm: xreg_nosp(get(word, 16, 5)),
+            vl: if get(word, 4, 1) == 1 { 4 } else { 2 },
+        });
+    }
+    // LD1B/H/W/D (scalar plus immediate).
+    for (bits, base) in [(0u32, 0xA400_A000u32), (1, 0xA4A0_A000), (2, 0xA540_A000), (3, 0xA5E0_A000)] {
+        if word & 0xFFF0_E000 == base {
+            return Some(SveInst::Ld1 {
+                zt: zreg(get(word, 0, 5)),
+                elem: canonical(super::fields::elem_of(bits)),
+                pg: preg(get(word, 10, 3)),
+                rn: xreg(get(word, 5, 5)),
+                imm_vl: unsigned_to_signed(get(word, 16, 4), 4) as i8,
+            });
+        }
+    }
+    // ST1B/H/W/D (scalar plus immediate).
+    for (bits, base) in [(0u32, 0xE400_E000u32), (1, 0xE4A0_E000), (2, 0xE540_E000), (3, 0xE5E0_E000)] {
+        if word & 0xFFF0_E000 == base {
+            return Some(SveInst::St1 {
+                zt: zreg(get(word, 0, 5)),
+                elem: canonical(super::fields::elem_of(bits)),
+                pg: preg(get(word, 10, 3)),
+                rn: xreg(get(word, 5, 5)),
+                imm_vl: unsigned_to_signed(get(word, 16, 4), 4) as i8,
+            });
+        }
+    }
+    // LD1 (multi-vector, predicate-as-counter), reproduction layout.
+    if word & 0xFF90_6000 == 0xA000_4000 {
+        return Some(SveInst::Ld1Multi {
+            zt: zreg(get(word, 0, 5)),
+            count: if get(word, 15, 1) == 1 { 4 } else { 2 },
+            elem: canonical(super::fields::elem_of(get(word, 21, 2))),
+            pn: pnreg(get(word, 10, 3)),
+            rn: xreg(get(word, 5, 5)),
+            imm_vl: unsigned_to_signed(get(word, 16, 4), 4) as i8,
+        });
+    }
+    // ST1 (multi-vector, predicate-as-counter), reproduction layout.
+    if word & 0xFF90_6000 == 0xE000_4000 {
+        return Some(SveInst::St1Multi {
+            zt: zreg(get(word, 0, 5)),
+            count: if get(word, 15, 1) == 1 { 4 } else { 2 },
+            elem: canonical(super::fields::elem_of(get(word, 21, 2))),
+            pn: pnreg(get(word, 10, 3)),
+            rn: xreg(get(word, 5, 5)),
+            imm_vl: unsigned_to_signed(get(word, 16, 4), 4) as i8,
+        });
+    }
+    // LDR (vector).
+    if word & 0xFFC0_E000 == 0x8580_4000 {
+        let imm9 = (get(word, 16, 6) << 3) | get(word, 10, 3);
+        return Some(SveInst::LdrZ {
+            zt: zreg(get(word, 0, 5)),
+            rn: xreg(get(word, 5, 5)),
+            imm_vl: unsigned_to_signed(imm9, 9) as i16,
+        });
+    }
+    // STR (vector).
+    if word & 0xFFC0_E000 == 0xE580_4000 {
+        let imm9 = (get(word, 16, 6) << 3) | get(word, 10, 3);
+        return Some(SveInst::StrZ {
+            zt: zreg(get(word, 0, 5)),
+            rn: xreg(get(word, 5, 5)),
+            imm_vl: unsigned_to_signed(imm9, 9) as i16,
+        });
+    }
+    // FMLA (predicated, vectors).
+    if word & 0xFF20_E000 == 0x6520_0000 {
+        return Some(SveInst::FmlaSve {
+            zd: zreg(get(word, 0, 5)),
+            pg: preg(get(word, 10, 3)),
+            zn: zreg(get(word, 5, 5)),
+            zm: zreg(get(word, 16, 5)),
+            elem: canonical(super::fields::elem_of(get(word, 22, 2))),
+        });
+    }
+    // DUP (immediate).
+    if word & 0xFF3F_E000 == 0x2538_C000 {
+        return Some(SveInst::DupImm {
+            zd: zreg(get(word, 0, 5)),
+            elem: super::fields::elem_of(get(word, 22, 2)),
+            imm: get(word, 5, 8) as u8 as i8,
+        });
+    }
+    // ADDVL.
+    if word & 0xFFE0_F800 == 0x0420_5000 {
+        return Some(SveInst::AddVl {
+            rd: xreg(get(word, 0, 5)),
+            rn: xreg(get(word, 16, 5)),
+            imm: unsigned_to_signed(get(word, 5, 6), 6) as i8,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+
+    fn roundtrip(inst: SveInst) {
+        let word = encode(&inst);
+        let back = decode(word).unwrap_or_else(|| panic!("failed to decode {inst} (0x{word:08x})"));
+        assert_eq!(back, inst, "round-trip mismatch for {inst} (0x{word:08x})");
+    }
+
+    #[test]
+    fn roundtrip_predicates() {
+        for elem in [ElementType::I8, ElementType::F16, ElementType::F32, ElementType::F64] {
+            roundtrip(SveInst::Ptrue { pd: p(0), elem });
+            roundtrip(SveInst::Ptrue { pd: p(15), elem });
+            roundtrip(SveInst::PtrueCnt { pn: pn(8), elem });
+            roundtrip(SveInst::PtrueCnt { pn: pn(15), elem });
+            roundtrip(SveInst::Whilelt { pd: p(3), elem, rn: x(4), rm: x(5) });
+            roundtrip(SveInst::WhileltCnt { pn: pn(9), elem, rn: x(1), rm: x(2), vl: 2 });
+            roundtrip(SveInst::WhileltCnt { pn: pn(10), elem, rn: x(1), rm: x(2), vl: 4 });
+        }
+    }
+
+    #[test]
+    fn roundtrip_memory() {
+        for elem in [ElementType::I8, ElementType::F16, ElementType::F32, ElementType::F64] {
+            roundtrip(SveInst::Ld1 { zt: z(0), elem, pg: p(1), rn: x(0), imm_vl: 0 });
+            roundtrip(SveInst::Ld1 { zt: z(31), elem, pg: p(7), rn: XReg::SP, imm_vl: -8 });
+            roundtrip(SveInst::St1 { zt: z(5), elem, pg: p(3), rn: x(2), imm_vl: 7 });
+        }
+        roundtrip(SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0));
+        roundtrip(SveInst::ld1w_multi(z(4), 2, pn(9), x(1), -3));
+        roundtrip(SveInst::st1w_multi(z(0), 4, pn(10), x(3), 2));
+        roundtrip(SveInst::st1w_multi(z(28), 2, pn(15), XReg::SP, 0));
+        roundtrip(SveInst::LdrZ { zt: z(17), rn: x(9), imm_vl: -100 });
+        roundtrip(SveInst::StrZ { zt: z(17), rn: XReg::SP, imm_vl: 255 });
+    }
+
+    #[test]
+    fn roundtrip_dataproc() {
+        roundtrip(SveInst::FmlaSve {
+            zd: z(0),
+            pg: p(0),
+            zn: z(30),
+            zm: z(31),
+            elem: ElementType::F32,
+        });
+        roundtrip(SveInst::FmlaSve {
+            zd: z(9),
+            pg: p(7),
+            zn: z(1),
+            zm: z(2),
+            elem: ElementType::F64,
+        });
+        roundtrip(SveInst::DupImm { zd: z(3), elem: ElementType::F32, imm: 0 });
+        roundtrip(SveInst::DupImm { zd: z(3), elem: ElementType::I8, imm: -1 });
+        roundtrip(SveInst::AddVl { rd: x(0), rn: x(0), imm: 4 });
+        roundtrip(SveInst::AddVl { rd: XReg::SP, rn: XReg::SP, imm: -2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "governing predicate must be P0-P7")]
+    fn governing_predicate_range_checked() {
+        let _ = encode(&SveInst::ld1w(z(0), p(9), x(0), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn imm_vl_range_checked() {
+        let _ = encode(&SveInst::ld1w(z(0), p(0), x(0), 9));
+    }
+
+    #[test]
+    fn foreign_words_rejected() {
+        assert_eq!(decode(0xD65F03C0), None);
+        assert_eq!(decode(0x4E3FCFC1), None, "Neon FMLA is not an SVE instruction");
+    }
+}

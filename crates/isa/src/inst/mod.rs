@@ -1,0 +1,209 @@
+//! Typed instruction representation.
+//!
+//! Every instruction that the microbenchmarks and the GEMM generator emit is
+//! a variant of [`Inst`], grouped into four classes mirroring the ISA
+//! extensions involved:
+//!
+//! * [`ScalarInst`] — A64 base instructions (control flow, address
+//!   arithmetic, immediate moves);
+//! * [`NeonInst`] — ASIMD instructions used by the traditional vector
+//!   microkernels (Lst. 1 and the Fig. 6 Neon microkernel);
+//! * [`SveInst`] — SVE / Streaming SVE instructions (predicate setup,
+//!   contiguous and multi-vector loads and stores, streaming FMLA);
+//! * [`SmeInst`] — SME / SME2 instructions (outer products, ZA moves, ZA
+//!   array loads/stores, multi-vector FMLA, mode control).
+
+pub mod neon;
+pub mod scalar;
+pub mod sme;
+pub mod sve;
+
+pub use neon::NeonInst;
+pub use scalar::ScalarInst;
+pub use sme::SmeInst;
+pub use sve::SveInst;
+
+use crate::types::StreamingVectorLength;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single AArch64 instruction in the modelled subset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// A64 base instruction.
+    Scalar(ScalarInst),
+    /// ASIMD (Neon) instruction.
+    Neon(NeonInst),
+    /// SVE / Streaming SVE instruction.
+    Sve(SveInst),
+    /// SME / SME2 instruction.
+    Sme(SmeInst),
+}
+
+/// Broad execution class of an instruction, used by the timing model to map
+/// instructions onto execution resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstClass {
+    /// Branches and compare-and-branch.
+    Branch,
+    /// Integer ALU work (address arithmetic, immediate moves, compares).
+    IntAlu,
+    /// Neon floating-point/integer data processing.
+    NeonFp,
+    /// Neon loads and stores.
+    NeonMem,
+    /// SVE / SSVE data processing on Z registers.
+    SveFp,
+    /// SVE predicate manipulation.
+    SvePred,
+    /// SVE loads and stores (Z registers).
+    SveMem,
+    /// SME outer-product and ZA data processing (executes on the SME unit).
+    SmeCompute,
+    /// Moves between Z registers and ZA tiles / array vectors.
+    SmeMove,
+    /// Loads and stores that target the ZA array directly.
+    SmeMem,
+    /// SMSTART/SMSTOP and other mode control.
+    SmeControl,
+}
+
+impl Inst {
+    /// The execution class of this instruction.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Scalar(i) => i.class(),
+            Inst::Neon(i) => i.class(),
+            Inst::Sve(i) => i.class(),
+            Inst::Sme(i) => i.class(),
+        }
+    }
+
+    /// Number of arithmetic operations (FLOPs for floating-point types,
+    /// integer multiply-adds counted as two ops) performed by one execution
+    /// of this instruction at streaming vector length `svl`.
+    ///
+    /// These are the per-instruction work figures the paper quotes, e.g. 512
+    /// FP32 operations for one FMOPA on M4 and 8 for a 128-bit Neon FMLA.
+    pub fn arith_ops(&self, svl: StreamingVectorLength) -> u64 {
+        match self {
+            Inst::Scalar(_) => 0,
+            Inst::Neon(i) => i.arith_ops(),
+            Inst::Sve(i) => i.arith_ops(svl),
+            Inst::Sme(i) => i.arith_ops(svl),
+        }
+    }
+
+    /// Number of bytes moved to or from memory by one execution of this
+    /// instruction (zero for non-memory instructions).
+    pub fn mem_bytes(&self, svl: StreamingVectorLength) -> u64 {
+        match self {
+            Inst::Scalar(i) => i.mem_bytes(),
+            Inst::Neon(i) => i.mem_bytes(),
+            Inst::Sve(i) => i.mem_bytes(svl),
+            Inst::Sme(i) => i.mem_bytes(svl),
+        }
+    }
+
+    /// `true` if the instruction may redirect control flow.
+    pub fn is_branch(&self) -> bool {
+        matches!(self.class(), InstClass::Branch)
+    }
+
+    /// `true` if the instruction reads from or writes to memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self.class(),
+            InstClass::NeonMem | InstClass::SveMem | InstClass::SmeMem
+        )
+    }
+
+    /// `true` if the instruction executes on the shared SME unit.
+    pub fn uses_sme_unit(&self) -> bool {
+        matches!(
+            self.class(),
+            InstClass::SmeCompute | InstClass::SmeMove | InstClass::SmeMem
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Scalar(i) => i.fmt(f),
+            Inst::Neon(i) => i.fmt(f),
+            Inst::Sve(i) => i.fmt(f),
+            Inst::Sme(i) => i.fmt(f),
+        }
+    }
+}
+
+impl From<ScalarInst> for Inst {
+    fn from(i: ScalarInst) -> Self {
+        Inst::Scalar(i)
+    }
+}
+
+impl From<NeonInst> for Inst {
+    fn from(i: NeonInst) -> Self {
+        Inst::Neon(i)
+    }
+}
+
+impl From<SveInst> for Inst {
+    fn from(i: SveInst) -> Self {
+        Inst::Sve(i)
+    }
+}
+
+impl From<SmeInst> for Inst {
+    fn from(i: SmeInst) -> Self {
+        Inst::Sme(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+    use crate::types::{ElementType, NeonArrangement};
+
+    #[test]
+    fn class_dispatch() {
+        let svl = StreamingVectorLength::M4;
+        let fmla: Inst = NeonInst::fmla_vec(v(0), v(30), v(31), NeonArrangement::S4).into();
+        assert_eq!(fmla.class(), InstClass::NeonFp);
+        assert_eq!(fmla.arith_ops(svl), 8);
+        assert!(!fmla.is_branch());
+        assert!(!fmla.uses_sme_unit());
+
+        let fmopa: Inst = SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).into();
+        assert_eq!(fmopa.class(), InstClass::SmeCompute);
+        assert_eq!(fmopa.arith_ops(svl), 512);
+        assert!(fmopa.uses_sme_unit());
+
+        let ret: Inst = ScalarInst::Ret.into();
+        assert_eq!(ret.class(), InstClass::Branch);
+        assert!(ret.is_branch());
+        assert_eq!(ret.arith_ops(svl), 0);
+    }
+
+    #[test]
+    fn memory_classification() {
+        let svl = StreamingVectorLength::M4;
+        let ld: Inst = SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).into();
+        assert!(ld.is_memory());
+        assert_eq!(ld.mem_bytes(svl), 256);
+        let fmopa: Inst = SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).into();
+        assert!(!fmopa.is_memory());
+        assert_eq!(fmopa.mem_bytes(svl), 0);
+    }
+
+    #[test]
+    fn conversions_from_each_class() {
+        let _: Inst = ScalarInst::Ret.into();
+        let _: Inst = NeonInst::fmla_vec(v(1), v(2), v(3), NeonArrangement::D2).into();
+        let _: Inst = SveInst::ptrue(p(0), ElementType::I8).into();
+        let _: Inst = SmeInst::Smstart { za_only: false }.into();
+    }
+}

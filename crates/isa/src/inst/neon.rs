@@ -1,0 +1,261 @@
+//! ASIMD (Neon) instructions used by the traditional vector microkernels.
+
+use super::InstClass;
+use crate::regs::{VReg, XReg};
+use crate::types::NeonArrangement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ASIMD instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NeonInst {
+    /// `fmla vd.<T>, vn.<T>, vm.<T>` — vector fused multiply-add.
+    ///
+    /// The paper's Lst. 1 peak-throughput kernel consists of 30 independent
+    /// instances of this instruction.
+    FmlaVec {
+        /// Accumulator / destination register.
+        vd: VReg,
+        /// First source register.
+        vn: VReg,
+        /// Second source register.
+        vm: VReg,
+        /// Lane arrangement (`4s`, `2d`, `8h`).
+        arrangement: NeonArrangement,
+    },
+    /// `fmla vd.<T>, vn.<T>, vm.<Ts>[index]` — fused multiply-add by element.
+    ///
+    /// The Fig. 6 Neon microkernel broadcasts one element of B per
+    /// instruction through this form.
+    FmlaElem {
+        /// Accumulator / destination register.
+        vd: VReg,
+        /// Vector source register.
+        vn: VReg,
+        /// Element source register.
+        vm: VReg,
+        /// Lane index within `vm`.
+        index: u8,
+        /// Lane arrangement of the destination.
+        arrangement: NeonArrangement,
+    },
+    /// `bfmmla vd.4s, vn.8h, vm.8h` — BF16 matrix multiply-accumulate
+    /// (2×4 by 4×2 into 2×2 FP32), the Table I Neon matrix instruction.
+    Bfmmla {
+        /// Accumulator / destination register (FP32 2×2).
+        vd: VReg,
+        /// First source register (BF16 2×4).
+        vn: VReg,
+        /// Second source register (BF16 4×2).
+        vm: VReg,
+    },
+    /// `ldr q<t>, [xn, #imm]` — 128-bit load with unsigned scaled offset.
+    LdrQ {
+        /// Destination register.
+        vt: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Byte offset (must be a multiple of 16, 0–65520).
+        imm: u32,
+    },
+    /// `str q<t>, [xn, #imm]` — 128-bit store with unsigned scaled offset.
+    StrQ {
+        /// Source register.
+        vt: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Byte offset (must be a multiple of 16, 0–65520).
+        imm: u32,
+    },
+    /// `ldp q<t1>, q<t2>, [xn, #imm]` — load pair of 128-bit registers.
+    LdpQ {
+        /// First destination register.
+        vt1: VReg,
+        /// Second destination register.
+        vt2: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Signed byte offset (multiple of 16, −1024..=1008).
+        imm: i32,
+    },
+    /// `stp q<t1>, q<t2>, [xn, #imm]` — store pair of 128-bit registers.
+    StpQ {
+        /// First source register.
+        vt1: VReg,
+        /// Second source register.
+        vt2: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Signed byte offset (multiple of 16, −1024..=1008).
+        imm: i32,
+    },
+    /// `dup vd.<T>, vn.<Ts>[index]` — broadcast one lane to all lanes.
+    DupElem {
+        /// Destination register.
+        vd: VReg,
+        /// Source register.
+        vn: VReg,
+        /// Lane index.
+        index: u8,
+        /// Destination arrangement.
+        arrangement: NeonArrangement,
+    },
+    /// `movi vd.<T>, #0` — zero a vector register (modelled immediate-zero
+    /// form only, used to clear Neon accumulators).
+    MoviZero {
+        /// Destination register.
+        vd: VReg,
+        /// Destination arrangement.
+        arrangement: NeonArrangement,
+    },
+}
+
+impl NeonInst {
+    /// Convenience constructor for `fmla` (vector).
+    pub fn fmla_vec(vd: VReg, vn: VReg, vm: VReg, arrangement: NeonArrangement) -> Self {
+        NeonInst::FmlaVec { vd, vn, vm, arrangement }
+    }
+
+    /// Convenience constructor for `fmla` (by element).
+    pub fn fmla_elem(vd: VReg, vn: VReg, vm: VReg, index: u8, arrangement: NeonArrangement) -> Self {
+        NeonInst::FmlaElem { vd, vn, vm, index, arrangement }
+    }
+
+    /// Execution class for the timing model.
+    pub fn class(&self) -> InstClass {
+        match self {
+            NeonInst::LdrQ { .. }
+            | NeonInst::StrQ { .. }
+            | NeonInst::LdpQ { .. }
+            | NeonInst::StpQ { .. } => InstClass::NeonMem,
+            _ => InstClass::NeonFp,
+        }
+    }
+
+    /// Arithmetic operations performed by one execution.
+    ///
+    /// A 128-bit FMLA performs one multiply and one add per lane; BFMMLA
+    /// performs a 2×4×2 matrix multiply-accumulate = 32 operations.
+    pub fn arith_ops(&self) -> u64 {
+        match self {
+            NeonInst::FmlaVec { arrangement, .. } | NeonInst::FmlaElem { arrangement, .. } => {
+                2 * arrangement.lanes() as u64
+            }
+            NeonInst::Bfmmla { .. } => 32,
+            _ => 0,
+        }
+    }
+
+    /// Bytes moved to or from memory by one execution.
+    pub fn mem_bytes(&self) -> u64 {
+        match self {
+            NeonInst::LdrQ { .. } | NeonInst::StrQ { .. } => 16,
+            NeonInst::LdpQ { .. } | NeonInst::StpQ { .. } => 32,
+            _ => 0,
+        }
+    }
+
+    /// `true` if this instruction writes to memory (rather than reading).
+    pub fn is_store(&self) -> bool {
+        matches!(self, NeonInst::StrQ { .. } | NeonInst::StpQ { .. })
+    }
+}
+
+impl fmt::Display for NeonInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeonInst::FmlaVec { vd, vn, vm, arrangement } => {
+                write!(f, "fmla {vd}.{arrangement}, {vn}.{arrangement}, {vm}.{arrangement}")
+            }
+            NeonInst::FmlaElem { vd, vn, vm, index, arrangement } => {
+                let lane = match arrangement {
+                    NeonArrangement::D2 => "d",
+                    NeonArrangement::S4 => "s",
+                    NeonArrangement::H8 => "h",
+                    NeonArrangement::B16 => "b",
+                };
+                write!(
+                    f,
+                    "fmla {vd}.{arrangement}, {vn}.{arrangement}, {vm}.{lane}[{index}]"
+                )
+            }
+            NeonInst::Bfmmla { vd, vn, vm } => write!(f, "bfmmla {vd}.4s, {vn}.8h, {vm}.8h"),
+            NeonInst::LdrQ { vt, rn, imm } => write!(f, "ldr q{}, [{rn}, #{imm}]", vt.index()),
+            NeonInst::StrQ { vt, rn, imm } => write!(f, "str q{}, [{rn}, #{imm}]", vt.index()),
+            NeonInst::LdpQ { vt1, vt2, rn, imm } => {
+                write!(f, "ldp q{}, q{}, [{rn}, #{imm}]", vt1.index(), vt2.index())
+            }
+            NeonInst::StpQ { vt1, vt2, rn, imm } => {
+                write!(f, "stp q{}, q{}, [{rn}, #{imm}]", vt1.index(), vt2.index())
+            }
+            NeonInst::DupElem { vd, vn, index, arrangement } => {
+                let lane = match arrangement {
+                    NeonArrangement::D2 => "d",
+                    NeonArrangement::S4 => "s",
+                    NeonArrangement::H8 => "h",
+                    NeonArrangement::B16 => "b",
+                };
+                write!(f, "dup {vd}.{arrangement}, {vn}.{lane}[{index}]")
+            }
+            NeonInst::MoviZero { vd, arrangement } => write!(f, "movi {vd}.{arrangement}, #0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+
+    #[test]
+    fn fmla_ops_per_arrangement() {
+        // Table I context: FP32 FMLA = 8 ops, FP64 = 4, FP16 = 16.
+        assert_eq!(NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::S4).arith_ops(), 8);
+        assert_eq!(NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::D2).arith_ops(), 4);
+        assert_eq!(NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::H8).arith_ops(), 16);
+        assert_eq!(NeonInst::Bfmmla { vd: v(0), vn: v(1), vm: v(2) }.arith_ops(), 32);
+    }
+
+    #[test]
+    fn memory_bytes() {
+        assert_eq!(NeonInst::LdrQ { vt: v(0), rn: x(0), imm: 0 }.mem_bytes(), 16);
+        assert_eq!(
+            NeonInst::LdpQ { vt1: v(0), vt2: v(1), rn: x(0), imm: 32 }.mem_bytes(),
+            32
+        );
+        assert!(NeonInst::StpQ { vt1: v(0), vt2: v(1), rn: x(0), imm: 0 }.is_store());
+        assert!(!NeonInst::LdrQ { vt: v(0), rn: x(0), imm: 0 }.is_store());
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(
+            NeonInst::fmla_vec(v(1), v(30), v(31), NeonArrangement::S4).class(),
+            InstClass::NeonFp
+        );
+        assert_eq!(
+            NeonInst::LdrQ { vt: v(0), rn: x(1), imm: 16 }.class(),
+            InstClass::NeonMem
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            NeonInst::fmla_vec(v(1), v(30), v(31), NeonArrangement::S4).to_string(),
+            "fmla v1.4s, v30.4s, v31.4s"
+        );
+        assert_eq!(
+            NeonInst::fmla_elem(v(4), v(28), v(29), 1, NeonArrangement::S4).to_string(),
+            "fmla v4.4s, v28.4s, v29.s[1]"
+        );
+        assert_eq!(
+            NeonInst::LdpQ { vt1: v(0), vt2: v(1), rn: x(0), imm: 32 }.to_string(),
+            "ldp q0, q1, [x0, #32]"
+        );
+        assert_eq!(
+            NeonInst::MoviZero { vd: v(9), arrangement: NeonArrangement::S4 }.to_string(),
+            "movi v9.4s, #0"
+        );
+    }
+}

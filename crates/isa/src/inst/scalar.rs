@@ -1,0 +1,374 @@
+//! A64 base (scalar) instructions: control flow, address arithmetic and
+//! immediate moves.
+
+use super::InstClass;
+use crate::regs::XReg;
+use crate::types::Cond;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Target of a PC-relative branch.
+///
+/// While a kernel is being built the target is a symbolic [`crate::asm::Label`]
+/// identifier; [`crate::asm::Assembler::finish`] rewrites every target into a
+/// resolved instruction-count offset relative to the branch itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchTarget {
+    /// Unresolved label (assembler-internal identifier).
+    Label(u32),
+    /// Resolved offset in *instructions* relative to the branch instruction.
+    /// Multiply by four for the byte offset used in the machine encoding.
+    Offset(i32),
+}
+
+impl BranchTarget {
+    /// The resolved offset, panicking if the target is still symbolic.
+    pub fn offset(self) -> i32 {
+        match self {
+            BranchTarget::Offset(o) => o,
+            BranchTarget::Label(l) => panic!("branch target label {l} has not been resolved"),
+        }
+    }
+
+    /// `true` once the target has been resolved to an offset.
+    pub fn is_resolved(self) -> bool {
+        matches!(self, BranchTarget::Offset(_))
+    }
+}
+
+/// Shift applied to the second operand of a register-register ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShiftOp {
+    /// Logical shift left by the given amount.
+    Lsl(u8),
+}
+
+impl ShiftOp {
+    /// Shift amount in bits.
+    pub fn amount(self) -> u8 {
+        match self {
+            ShiftOp::Lsl(n) => n,
+        }
+    }
+}
+
+/// An A64 base instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalarInst {
+    /// `movz xd, #imm16, lsl #(hw*16)` — move wide with zero.
+    MovZ {
+        /// Destination register.
+        rd: XReg,
+        /// 16-bit immediate.
+        imm16: u16,
+        /// Half-word shift selector (0–3).
+        hw: u8,
+    },
+    /// `movk xd, #imm16, lsl #(hw*16)` — move wide with keep.
+    MovK {
+        /// Destination register.
+        rd: XReg,
+        /// 16-bit immediate.
+        imm16: u16,
+        /// Half-word shift selector (0–3).
+        hw: u8,
+    },
+    /// `mov xd, xn` (alias of `orr xd, xzr, xn`).
+    MovReg {
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rn: XReg,
+    },
+    /// `add xd, xn, #imm12 {, lsl #12}`.
+    AddImm {
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rn: XReg,
+        /// Unsigned 12-bit immediate.
+        imm12: u16,
+        /// If `true` the immediate is shifted left by 12 bits.
+        shift12: bool,
+    },
+    /// `sub xd, xn, #imm12 {, lsl #12}`.
+    SubImm {
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rn: XReg,
+        /// Unsigned 12-bit immediate.
+        imm12: u16,
+        /// If `true` the immediate is shifted left by 12 bits.
+        shift12: bool,
+    },
+    /// `subs xd, xn, #imm12` — subtract and set flags (used for loop counters
+    /// driven by `b.cond`).
+    SubsImm {
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rn: XReg,
+        /// Unsigned 12-bit immediate.
+        imm12: u16,
+    },
+    /// `add xd, xn, xm {, lsl #amount}`.
+    AddReg {
+        /// Destination register.
+        rd: XReg,
+        /// First source register.
+        rn: XReg,
+        /// Second source register.
+        rm: XReg,
+        /// Optional shift of the second source.
+        shift: Option<ShiftOp>,
+    },
+    /// `sub xd, xn, xm {, lsl #amount}`.
+    SubReg {
+        /// Destination register.
+        rd: XReg,
+        /// First source register.
+        rn: XReg,
+        /// Second source register.
+        rm: XReg,
+        /// Optional shift of the second source.
+        shift: Option<ShiftOp>,
+    },
+    /// `madd xd, xn, xm, xa` — multiply-add (`xd = xa + xn * xm`).
+    Madd {
+        /// Destination register.
+        rd: XReg,
+        /// Multiplicand.
+        rn: XReg,
+        /// Multiplier.
+        rm: XReg,
+        /// Addend.
+        ra: XReg,
+    },
+    /// `lsl xd, xn, #shift` (alias of UBFM).
+    LslImm {
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rn: XReg,
+        /// Shift amount (0–63).
+        shift: u8,
+    },
+    /// `cmp xn, xm` (alias of `subs xzr, xn, xm`).
+    CmpReg {
+        /// First operand.
+        rn: XReg,
+        /// Second operand.
+        rm: XReg,
+    },
+    /// `cmp xn, #imm12`.
+    CmpImm {
+        /// First operand.
+        rn: XReg,
+        /// Unsigned 12-bit immediate.
+        imm12: u16,
+    },
+    /// `cbnz xn, label` — compare and branch if non-zero.
+    Cbnz {
+        /// Register compared against zero.
+        rn: XReg,
+        /// Branch target.
+        target: BranchTarget,
+    },
+    /// `cbz xn, label` — compare and branch if zero.
+    Cbz {
+        /// Register compared against zero.
+        rn: XReg,
+        /// Branch target.
+        target: BranchTarget,
+    },
+    /// `b label` — unconditional branch.
+    B {
+        /// Branch target.
+        target: BranchTarget,
+    },
+    /// `b.cond label` — conditional branch on the flags.
+    BCond {
+        /// Branch condition.
+        cond: Cond,
+        /// Branch target.
+        target: BranchTarget,
+    },
+    /// `nop`.
+    Nop,
+    /// `ret` — return from the kernel.
+    Ret,
+}
+
+impl ScalarInst {
+    /// Execution class for the timing model.
+    pub fn class(&self) -> InstClass {
+        match self {
+            ScalarInst::Cbnz { .. }
+            | ScalarInst::Cbz { .. }
+            | ScalarInst::B { .. }
+            | ScalarInst::BCond { .. }
+            | ScalarInst::Ret => InstClass::Branch,
+            _ => InstClass::IntAlu,
+        }
+    }
+
+    /// Scalar instructions in the modelled subset never access memory.
+    pub fn mem_bytes(&self) -> u64 {
+        0
+    }
+
+    /// The branch target carried by this instruction, if any.
+    pub fn branch_target(&self) -> Option<BranchTarget> {
+        match self {
+            ScalarInst::Cbnz { target, .. }
+            | ScalarInst::Cbz { target, .. }
+            | ScalarInst::B { target }
+            | ScalarInst::BCond { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Replace the branch target (used by the assembler during fix-up).
+    pub fn set_branch_target(&mut self, new: BranchTarget) {
+        match self {
+            ScalarInst::Cbnz { target, .. }
+            | ScalarInst::Cbz { target, .. }
+            | ScalarInst::B { target }
+            | ScalarInst::BCond { target, .. } => *target = new,
+            _ => panic!("set_branch_target called on a non-branch instruction"),
+        }
+    }
+
+    /// Convenience constructor: `mov xd, #imm` for a 16-bit immediate.
+    pub fn mov_imm16(rd: XReg, imm: u16) -> Self {
+        ScalarInst::MovZ { rd, imm16: imm, hw: 0 }
+    }
+}
+
+impl fmt::Display for ScalarInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn tgt(t: &BranchTarget) -> String {
+            match t {
+                BranchTarget::Label(l) => format!("@L{l}"),
+                BranchTarget::Offset(o) => format!("#{o}"),
+            }
+        }
+        match self {
+            ScalarInst::MovZ { rd, imm16, hw } => {
+                if *hw == 0 {
+                    write!(f, "movz {rd}, #{imm16}")
+                } else {
+                    write!(f, "movz {rd}, #{imm16}, lsl #{}", hw * 16)
+                }
+            }
+            ScalarInst::MovK { rd, imm16, hw } => {
+                write!(f, "movk {rd}, #{imm16}, lsl #{}", hw * 16)
+            }
+            ScalarInst::MovReg { rd, rn } => write!(f, "mov {rd}, {rn}"),
+            ScalarInst::AddImm { rd, rn, imm12, shift12 } => {
+                if *shift12 {
+                    write!(f, "add {rd}, {rn}, #{imm12}, lsl #12")
+                } else {
+                    write!(f, "add {rd}, {rn}, #{imm12}")
+                }
+            }
+            ScalarInst::SubImm { rd, rn, imm12, shift12 } => {
+                if *shift12 {
+                    write!(f, "sub {rd}, {rn}, #{imm12}, lsl #12")
+                } else {
+                    write!(f, "sub {rd}, {rn}, #{imm12}")
+                }
+            }
+            ScalarInst::SubsImm { rd, rn, imm12 } => write!(f, "subs {rd}, {rn}, #{imm12}"),
+            ScalarInst::AddReg { rd, rn, rm, shift } => match shift {
+                Some(s) => write!(f, "add {rd}, {rn}, {rm}, lsl #{}", s.amount()),
+                None => write!(f, "add {rd}, {rn}, {rm}"),
+            },
+            ScalarInst::SubReg { rd, rn, rm, shift } => match shift {
+                Some(s) => write!(f, "sub {rd}, {rn}, {rm}, lsl #{}", s.amount()),
+                None => write!(f, "sub {rd}, {rn}, {rm}"),
+            },
+            ScalarInst::Madd { rd, rn, rm, ra } => write!(f, "madd {rd}, {rn}, {rm}, {ra}"),
+            ScalarInst::LslImm { rd, rn, shift } => write!(f, "lsl {rd}, {rn}, #{shift}"),
+            ScalarInst::CmpReg { rn, rm } => write!(f, "cmp {rn}, {rm}"),
+            ScalarInst::CmpImm { rn, imm12 } => write!(f, "cmp {rn}, #{imm12}"),
+            ScalarInst::Cbnz { rn, target } => write!(f, "cbnz {rn}, {}", tgt(target)),
+            ScalarInst::Cbz { rn, target } => write!(f, "cbz {rn}, {}", tgt(target)),
+            ScalarInst::B { target } => write!(f, "b {}", tgt(target)),
+            ScalarInst::BCond { cond, target } => write!(f, "b.{cond} {}", tgt(target)),
+            ScalarInst::Nop => f.write_str("nop"),
+            ScalarInst::Ret => f.write_str("ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(ScalarInst::Ret.class(), InstClass::Branch);
+        assert_eq!(
+            ScalarInst::Cbnz { rn: x(0), target: BranchTarget::Offset(-5) }.class(),
+            InstClass::Branch
+        );
+        assert_eq!(ScalarInst::mov_imm16(x(0), 42).class(), InstClass::IntAlu);
+        assert_eq!(
+            ScalarInst::AddReg { rd: x(0), rn: x(1), rm: x(2), shift: None }.class(),
+            InstClass::IntAlu
+        );
+    }
+
+    #[test]
+    fn branch_target_accessors() {
+        let mut i = ScalarInst::B { target: BranchTarget::Label(3) };
+        assert_eq!(i.branch_target(), Some(BranchTarget::Label(3)));
+        assert!(!i.branch_target().unwrap().is_resolved());
+        i.set_branch_target(BranchTarget::Offset(-7));
+        assert_eq!(i.branch_target().unwrap().offset(), -7);
+        assert_eq!(ScalarInst::Nop.branch_target(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "has not been resolved")]
+    fn unresolved_offset_panics() {
+        let _ = BranchTarget::Label(0).offset();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ScalarInst::mov_imm16(x(0), 30).to_string(), "movz x0, #30");
+        assert_eq!(
+            ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false }.to_string(),
+            "sub x0, x0, #1"
+        );
+        assert_eq!(
+            ScalarInst::Cbnz { rn: x(8), target: BranchTarget::Offset(-9) }.to_string(),
+            "cbnz x8, #-9"
+        );
+        assert_eq!(
+            ScalarInst::AddReg { rd: x(0), rn: x(0), rm: x(9), shift: None }.to_string(),
+            "add x0, x0, x9"
+        );
+        assert_eq!(
+            ScalarInst::AddReg {
+                rd: x(0),
+                rn: x(0),
+                rm: x(9),
+                shift: Some(ShiftOp::Lsl(2))
+            }
+            .to_string(),
+            "add x0, x0, x9, lsl #2"
+        );
+        assert_eq!(ScalarInst::Ret.to_string(), "ret");
+    }
+
+    #[test]
+    fn no_memory_traffic() {
+        assert_eq!(ScalarInst::Ret.mem_bytes(), 0);
+        assert_eq!(ScalarInst::mov_imm16(x(3), 9).mem_bytes(), 0);
+    }
+}

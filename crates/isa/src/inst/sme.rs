@@ -1,0 +1,483 @@
+//! SME / SME2 instructions: outer products, ZA moves, ZA array loads and
+//! stores, multi-vector FMLA and streaming-mode control.
+
+use super::InstClass;
+use crate::regs::{PReg, TileSliceDir, XReg, ZReg, ZaTile};
+use crate::types::{ElementType, StreamingVectorLength};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An SME / SME2 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SmeInst {
+    /// `smstart` / `smstart za` — enable streaming mode and/or the ZA array.
+    Smstart {
+        /// If `true`, only the ZA storage is enabled (`smstart za`).
+        za_only: bool,
+    },
+    /// `smstop` / `smstop za` — disable streaming mode and/or the ZA array.
+    Smstop {
+        /// If `true`, only the ZA storage is disabled (`smstop za`).
+        za_only: bool,
+    },
+    /// `fmopa za<t>.<T>, pn/m, pm/m, zn.<T>, zm.<T>` — floating-point outer
+    /// product and accumulate (non-widening), the paper's core instruction.
+    Fmopa {
+        /// Destination tile index.
+        tile: u8,
+        /// Element type (F32 or F64).
+        elem: ElementType,
+        /// Row predicate (masks elements of `zn`).
+        pn: PReg,
+        /// Column predicate (masks elements of `zm`).
+        pm: PReg,
+        /// Column vector operand (contributes tile rows).
+        zn: ZReg,
+        /// Row vector operand (contributes tile columns).
+        zm: ZReg,
+    },
+    /// `fmopa za<t>.s, pn/m, pm/m, zn.h, zm.h` (FP16) or
+    /// `bfmopa za<t>.s, ...` (BF16) — widening sum-of-two outer products
+    /// accumulating into an FP32 tile.
+    FmopaWide {
+        /// Destination tile index (FP32 tile).
+        tile: u8,
+        /// Input element type (F16 or BF16).
+        from: ElementType,
+        /// Row predicate.
+        pn: PReg,
+        /// Column predicate.
+        pm: PReg,
+        /// First source vector.
+        zn: ZReg,
+        /// Second source vector.
+        zm: ZReg,
+    },
+    /// `smopa za<t>.s, pn/m, pm/m, zn.b, zm.b` (I8, 4-way) or `.h` (I16,
+    /// 2-way) — widening signed integer sum-of-outer-products accumulating
+    /// into an I32 tile.
+    Smopa {
+        /// Destination tile index (I32 tile).
+        tile: u8,
+        /// Input element type (I8 or I16).
+        from: ElementType,
+        /// Row predicate.
+        pn: PReg,
+        /// Column predicate.
+        pm: PReg,
+        /// First source vector.
+        zn: ZReg,
+        /// Second source vector.
+        zm: ZReg,
+    },
+    /// `mov za<t><h|v>.<T>[w<s>, o:o+N-1], { zt..zt+N-1 }` — copy a group of
+    /// 1, 2 or 4 vector registers into consecutive tile slices
+    /// (MOVA, vector-to-tile).
+    MovaToTile {
+        /// Destination tile.
+        tile: ZaTile,
+        /// Horizontal or vertical slice view.
+        dir: TileSliceDir,
+        /// Slice-index register (W12–W15).
+        rs: XReg,
+        /// Constant slice offset added to the register.
+        offset: u8,
+        /// First source vector register.
+        zt: ZReg,
+        /// Number of registers in the group (1, 2 or 4).
+        count: u8,
+    },
+    /// `mov { zt..zt+N-1 }, za<t><h|v>.<T>[w<s>, o:o+N-1]` — copy consecutive
+    /// tile slices into a group of vector registers (MOVA, tile-to-vector).
+    MovaFromTile {
+        /// Source tile.
+        tile: ZaTile,
+        /// Horizontal or vertical slice view.
+        dir: TileSliceDir,
+        /// Slice-index register (W12–W15).
+        rs: XReg,
+        /// Constant slice offset added to the register.
+        offset: u8,
+        /// First destination vector register.
+        zt: ZReg,
+        /// Number of registers in the group (1, 2 or 4).
+        count: u8,
+    },
+    /// `ldr za[w<s>, #off], [xn, #off, mul vl]` — load one ZA array vector
+    /// (SVL bits) directly from memory.
+    LdrZa {
+        /// Slice-index register (W12–W15).
+        rs: XReg,
+        /// Offset added to both the slice index and the address (0–15).
+        offset: u8,
+        /// Base address register.
+        rn: XReg,
+    },
+    /// `str za[w<s>, #off], [xn, #off, mul vl]` — store one ZA array vector
+    /// directly to memory.
+    StrZa {
+        /// Slice-index register (W12–W15).
+        rs: XReg,
+        /// Offset added to both the slice index and the address (0–15).
+        offset: u8,
+        /// Base address register.
+        rn: XReg,
+    },
+    /// `zero { mask }` — zero the 64-bit tiles selected by an 8-bit mask.
+    ZeroZa {
+        /// Bit `i` zeroes tile `za<i>.d`.
+        mask: u8,
+    },
+    /// `fmla za.<T>[w<v>, off, vgx<N>], { zn..zn+N-1 }, zm` — SME2
+    /// multi-vector FMLA (multiple vectors and single vector).
+    FmlaZaVectors {
+        /// Element type (F32 or F64).
+        elem: ElementType,
+        /// Vector-group size (2 or 4).
+        vgx: u8,
+        /// Vector-select register (W8–W11).
+        rv: XReg,
+        /// Constant offset added to the vector-select register.
+        offset: u8,
+        /// First multi-vector source register.
+        zn: ZReg,
+        /// Single-vector source register.
+        zm: ZReg,
+    },
+}
+
+impl SmeInst {
+    /// Convenience constructor for the FP32 non-widening outer product used
+    /// throughout the paper (Lst. 2, Lst. 4).
+    pub fn fmopa_f32(tile: u8, pn: PReg, pm: PReg, zn: ZReg, zm: ZReg) -> Self {
+        assert!(tile < 4, "FP32 tile index must be 0..4, got {tile}");
+        SmeInst::Fmopa { tile, elem: ElementType::F32, pn, pm, zn, zm }
+    }
+
+    /// Convenience constructor for the FP64 non-widening outer product.
+    pub fn fmopa_f64(tile: u8, pn: PReg, pm: PReg, zn: ZReg, zm: ZReg) -> Self {
+        assert!(tile < 8, "FP64 tile index must be 0..8, got {tile}");
+        SmeInst::Fmopa { tile, elem: ElementType::F64, pn, pm, zn, zm }
+    }
+
+    /// Convenience constructor for the BF16 widening outer product.
+    pub fn bfmopa(tile: u8, pn: PReg, pm: PReg, zn: ZReg, zm: ZReg) -> Self {
+        assert!(tile < 4, "widening outer products target FP32 tiles 0..4");
+        SmeInst::FmopaWide { tile, from: ElementType::BF16, pn, pm, zn, zm }
+    }
+
+    /// Convenience constructor for the signed 8-bit integer outer product.
+    pub fn smopa_i8(tile: u8, pn: PReg, pm: PReg, zn: ZReg, zm: ZReg) -> Self {
+        assert!(tile < 4, "integer outer products target I32 tiles 0..4");
+        SmeInst::Smopa { tile, from: ElementType::I8, pn, pm, zn, zm }
+    }
+
+    /// Build a `zero {..}` mask that clears the given FP32 (`.s`) tiles.
+    ///
+    /// Architecturally, `za<n>.s` occupies the two 64-bit tiles `za<n>.d`
+    /// and `za<n+4>.d`, so each selected `.s` tile sets two mask bits.
+    pub fn zero_mask_for_s_tiles(tiles: &[u8]) -> u8 {
+        let mut mask = 0u8;
+        for &t in tiles {
+            assert!(t < 4, "FP32 tile index must be 0..4, got {t}");
+            mask |= 1 << t;
+            mask |= 1 << (t + 4);
+        }
+        mask
+    }
+
+    /// Execution class for the timing model.
+    pub fn class(&self) -> InstClass {
+        match self {
+            SmeInst::Smstart { .. } | SmeInst::Smstop { .. } => InstClass::SmeControl,
+            SmeInst::Fmopa { .. }
+            | SmeInst::FmopaWide { .. }
+            | SmeInst::Smopa { .. }
+            | SmeInst::FmlaZaVectors { .. }
+            | SmeInst::ZeroZa { .. } => InstClass::SmeCompute,
+            SmeInst::MovaToTile { .. } | SmeInst::MovaFromTile { .. } => InstClass::SmeMove,
+            SmeInst::LdrZa { .. } | SmeInst::StrZa { .. } => InstClass::SmeMem,
+        }
+    }
+
+    /// Arithmetic operations performed at streaming vector length `svl`.
+    ///
+    /// Matches the per-instruction figures quoted in the paper: 512 for FP32
+    /// FMOPA, 128 for FP64 FMOPA, 1024 for the BF16/FP16 widening MOPA, 2048
+    /// for the I8 SMOPA and 128 for the FP32 SME2 multi-vector FMLA (all at
+    /// SVL = 512).
+    pub fn arith_ops(&self, svl: StreamingVectorLength) -> u64 {
+        match self {
+            SmeInst::Fmopa { elem, .. } => {
+                let d = elem.tile_dim(svl) as u64;
+                d * d * 2
+            }
+            SmeInst::FmopaWide { .. } => {
+                // 2-way dot product into an FP32 tile: dim^2 * 2 ops * 2 way.
+                let d = ElementType::F32.tile_dim(svl) as u64;
+                d * d * 4
+            }
+            SmeInst::Smopa { from, .. } => {
+                let d = ElementType::I32.tile_dim(svl) as u64;
+                let way = match from {
+                    ElementType::I8 => 4,
+                    _ => 2,
+                };
+                d * d * 2 * way
+            }
+            SmeInst::FmlaZaVectors { elem, vgx, .. } => {
+                2 * (*vgx as u64) * elem.elems_per_vector(svl) as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// Bytes moved to or from memory at streaming vector length `svl`.
+    pub fn mem_bytes(&self, svl: StreamingVectorLength) -> u64 {
+        match self {
+            SmeInst::LdrZa { .. } | SmeInst::StrZa { .. } => svl.bytes() as u64,
+            _ => 0,
+        }
+    }
+
+    /// `true` if this instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, SmeInst::StrZa { .. })
+    }
+
+    /// `true` if this instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        matches!(self, SmeInst::LdrZa { .. })
+    }
+}
+
+fn wreg(r: &XReg) -> String {
+    format!("w{}", r.index())
+}
+
+impl fmt::Display for SmeInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmeInst::Smstart { za_only } => {
+                if *za_only {
+                    f.write_str("smstart za")
+                } else {
+                    f.write_str("smstart")
+                }
+            }
+            SmeInst::Smstop { za_only } => {
+                if *za_only {
+                    f.write_str("smstop za")
+                } else {
+                    f.write_str("smstop")
+                }
+            }
+            SmeInst::Fmopa { tile, elem, pn, pm, zn, zm } => {
+                let s = elem.sve_suffix();
+                write!(f, "fmopa za{tile}.{s}, {pn}/m, {pm}/m, {zn}.{s}, {zm}.{s}")
+            }
+            SmeInst::FmopaWide { tile, from, pn, pm, zn, zm } => {
+                let mnemonic = if *from == ElementType::BF16 { "bfmopa" } else { "fmopa" };
+                write!(f, "{mnemonic} za{tile}.s, {pn}/m, {pm}/m, {zn}.h, {zm}.h")
+            }
+            SmeInst::Smopa { tile, from, pn, pm, zn, zm } => {
+                let s = from.sve_suffix();
+                write!(f, "smopa za{tile}.s, {pn}/m, {pm}/m, {zn}.{s}, {zm}.{s}")
+            }
+            SmeInst::MovaToTile { tile, dir, rs, offset, zt, count } => {
+                let s = tile.elem.sve_suffix();
+                let last = zt.offset(count - 1);
+                let range = if *count == 1 {
+                    format!("{offset}")
+                } else {
+                    format!("{}:{}", offset, offset + count - 1)
+                };
+                if *count == 1 {
+                    write!(
+                        f,
+                        "mov za{}{dir}.{s}[{}, {range}], {zt}.{s}",
+                        tile.index,
+                        wreg(rs)
+                    )
+                } else {
+                    write!(
+                        f,
+                        "mov za{}{dir}.{s}[{}, {range}], {{ {zt}.{s} - {last}.{s} }}",
+                        tile.index,
+                        wreg(rs)
+                    )
+                }
+            }
+            SmeInst::MovaFromTile { tile, dir, rs, offset, zt, count } => {
+                let s = tile.elem.sve_suffix();
+                let last = zt.offset(count - 1);
+                let range = if *count == 1 {
+                    format!("{offset}")
+                } else {
+                    format!("{}:{}", offset, offset + count - 1)
+                };
+                if *count == 1 {
+                    write!(
+                        f,
+                        "mov {zt}.{s}, za{}{dir}.{s}[{}, {range}]",
+                        tile.index,
+                        wreg(rs)
+                    )
+                } else {
+                    write!(
+                        f,
+                        "mov {{ {zt}.{s} - {last}.{s} }}, za{}{dir}.{s}[{}, {range}]",
+                        tile.index,
+                        wreg(rs)
+                    )
+                }
+            }
+            SmeInst::LdrZa { rs, offset, rn } => {
+                if *offset == 0 {
+                    write!(f, "ldr za[{}, 0], [{rn}]", wreg(rs))
+                } else {
+                    write!(f, "ldr za[{}, {offset}], [{rn}, #{offset}, mul vl]", wreg(rs))
+                }
+            }
+            SmeInst::StrZa { rs, offset, rn } => {
+                if *offset == 0 {
+                    write!(f, "str za[{}, 0], [{rn}]", wreg(rs))
+                } else {
+                    write!(f, "str za[{}, {offset}], [{rn}, #{offset}, mul vl]", wreg(rs))
+                }
+            }
+            SmeInst::ZeroZa { mask } => write!(f, "zero {{ za, mask #0x{mask:02x} }}"),
+            SmeInst::FmlaZaVectors { elem, vgx, rv, offset, zn, zm } => {
+                let s = elem.sve_suffix();
+                let last = zn.offset(vgx - 1);
+                write!(
+                    f,
+                    "fmla za.{s}[{}, {offset}, vgx{vgx}], {{ {zn}.{s} - {last}.{s} }}, {zm}.{s}",
+                    wreg(rv)
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+
+    const SVL: StreamingVectorLength = StreamingVectorLength::M4;
+
+    #[test]
+    fn ops_per_instruction_match_the_paper() {
+        // FP32 FMOPA: 16*16*2 = 512 operations on M4.
+        assert_eq!(SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).arith_ops(SVL), 512);
+        // FP64 FMOPA: 8*8*2 = 128.
+        assert_eq!(SmeInst::fmopa_f64(0, p(0), p(1), z(0), z(1)).arith_ops(SVL), 128);
+        // BF16 widening MOPA: 1024.
+        assert_eq!(SmeInst::bfmopa(0, p(0), p(1), z(0), z(1)).arith_ops(SVL), 1024);
+        // I8 SMOPA (4-way): 2048.
+        assert_eq!(SmeInst::smopa_i8(0, p(0), p(1), z(0), z(1)).arith_ops(SVL), 2048);
+        // SME2 FP32 multi-vector FMLA, vgx4: 4 * 16 * 2 = 128.
+        let fmla = SmeInst::FmlaZaVectors {
+            elem: ElementType::F32,
+            vgx: 4,
+            rv: x(8),
+            offset: 0,
+            zn: z(0),
+            zm: z(4),
+        };
+        assert_eq!(fmla.arith_ops(SVL), 128);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(SmeInst::Smstart { za_only: false }.class(), InstClass::SmeControl);
+        assert_eq!(SmeInst::fmopa_f32(1, p(0), p(1), z(2), z(3)).class(), InstClass::SmeCompute);
+        assert_eq!(
+            SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.class(),
+            InstClass::SmeMem
+        );
+        assert_eq!(
+            SmeInst::MovaToTile {
+                tile: ZaTile::s(0),
+                dir: TileSliceDir::Horizontal,
+                rs: x(12),
+                offset: 0,
+                zt: z(0),
+                count: 4
+            }
+            .class(),
+            InstClass::SmeMove
+        );
+    }
+
+    #[test]
+    fn za_transfer_sizes() {
+        assert_eq!(SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.mem_bytes(SVL), 64);
+        assert_eq!(SmeInst::StrZa { rs: x(12), offset: 3, rn: x(0) }.mem_bytes(SVL), 64);
+        assert!(SmeInst::StrZa { rs: x(12), offset: 0, rn: x(0) }.is_store());
+        assert!(SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.is_load());
+        assert_eq!(SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).mem_bytes(SVL), 0);
+    }
+
+    #[test]
+    fn zero_mask_mapping() {
+        assert_eq!(SmeInst::zero_mask_for_s_tiles(&[0]), 0b0001_0001);
+        assert_eq!(SmeInst::zero_mask_for_s_tiles(&[0, 1, 2, 3]), 0xff);
+        assert_eq!(SmeInst::zero_mask_for_s_tiles(&[3]), 0b1000_1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile index must be 0..4")]
+    fn fp32_tile_bounds() {
+        let _ = SmeInst::fmopa_f32(4, p(0), p(1), z(0), z(1));
+    }
+
+    #[test]
+    fn display_matches_paper_listings() {
+        // Lst. 2 line 6.
+        assert_eq!(
+            SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).to_string(),
+            "fmopa za0.s, p0/m, p1/m, z0.s, z1.s"
+        );
+        // Lst. 4 line 9 (operand order: B column vector, A row vector).
+        assert_eq!(
+            SmeInst::fmopa_f32(1, p(1), p(2), z(2), z(1)).to_string(),
+            "fmopa za1.s, p1/m, p2/m, z2.s, z1.s"
+        );
+        // Lst. 3 line 2 / Lst. 5 line 2.
+        let mova = SmeInst::MovaToTile {
+            tile: ZaTile::s(0),
+            dir: TileSliceDir::Horizontal,
+            rs: x(12),
+            offset: 0,
+            zt: z(0),
+            count: 4,
+        };
+        assert_eq!(mova.to_string(), "mov za0h.s[w12, 0:3], { z0.s - z3.s }");
+        // Lst. 5 line 10.
+        let mova_back = SmeInst::MovaFromTile {
+            tile: ZaTile::s(0),
+            dir: TileSliceDir::Vertical,
+            rs: x(12),
+            offset: 0,
+            zt: z(0),
+            count: 4,
+        };
+        assert_eq!(mova_back.to_string(), "mov { z0.s - z3.s }, za0v.s[w12, 0:3]");
+        assert_eq!(
+            SmeInst::LdrZa { rs: x(12), offset: 2, rn: x(0) }.to_string(),
+            "ldr za[w12, 2], [x0, #2, mul vl]"
+        );
+        assert_eq!(SmeInst::Smstart { za_only: false }.to_string(), "smstart");
+        let fmla = SmeInst::FmlaZaVectors {
+            elem: ElementType::F32,
+            vgx: 4,
+            rv: x(8),
+            offset: 0,
+            zn: z(0),
+            zm: z(4),
+        };
+        assert_eq!(fmla.to_string(), "fmla za.s[w8, 0, vgx4], { z0.s - z3.s }, z4.s");
+    }
+}

@@ -1,0 +1,438 @@
+//! SVE / Streaming SVE instructions: predicate setup, contiguous and
+//! multi-vector loads and stores, and streaming-mode data processing.
+
+use super::InstClass;
+use crate::regs::{PReg, PnReg, XReg, ZReg};
+use crate::types::{ElementType, StreamingVectorLength};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An SVE / Streaming SVE instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SveInst {
+    /// `ptrue pd.<T>` — set all predicate elements to true (pattern ALL).
+    Ptrue {
+        /// Destination predicate.
+        pd: PReg,
+        /// Element size governing the predicate layout.
+        elem: ElementType,
+    },
+    /// `ptrue pn<d>.<T>` — predicate-as-counter form used to govern
+    /// multi-vector loads/stores (SME2).
+    PtrueCnt {
+        /// Destination predicate-as-counter register.
+        pn: PnReg,
+        /// Element size.
+        elem: ElementType,
+    },
+    /// `whilelt pd.<T>, xn, xm` — construct a partial predicate covering
+    /// `max(0, xm - xn)` elements; used to mask remainder columns/rows.
+    Whilelt {
+        /// Destination predicate.
+        pd: PReg,
+        /// Element size.
+        elem: ElementType,
+        /// Start index register.
+        rn: XReg,
+        /// Limit register.
+        rm: XReg,
+    },
+    /// `whilelt pn<d>.<T>, xn, xm, vlx<N>` — predicate-as-counter form
+    /// covering a group of 2 or 4 vectors.
+    WhileltCnt {
+        /// Destination predicate-as-counter register.
+        pn: PnReg,
+        /// Element size.
+        elem: ElementType,
+        /// Start index register.
+        rn: XReg,
+        /// Limit register.
+        rm: XReg,
+        /// Vector-group width (2 or 4).
+        vl: u8,
+    },
+    /// `ld1<T> { zt.<T> }, pg/z, [xn, #imm, mul vl]` — predicated contiguous
+    /// load of one scalable vector.
+    Ld1 {
+        /// Destination vector register.
+        zt: ZReg,
+        /// Element size.
+        elem: ElementType,
+        /// Governing predicate (zeroing).
+        pg: PReg,
+        /// Base address register.
+        rn: XReg,
+        /// Signed offset in multiples of the vector length (−8..=7).
+        imm_vl: i8,
+    },
+    /// `st1<T> { zt.<T> }, pg, [xn, #imm, mul vl]` — predicated contiguous
+    /// store of one scalable vector.
+    St1 {
+        /// Source vector register.
+        zt: ZReg,
+        /// Element size.
+        elem: ElementType,
+        /// Governing predicate.
+        pg: PReg,
+        /// Base address register.
+        rn: XReg,
+        /// Signed offset in multiples of the vector length (−8..=7).
+        imm_vl: i8,
+    },
+    /// `ld1<T> { zt.<T>-zt+N-1.<T> }, png/z, [xn, #imm, mul vl]` —
+    /// multi-vector contiguous load governed by a predicate-as-counter
+    /// (the two-step ZA load strategy's first step, Lst. 3 line 1).
+    Ld1Multi {
+        /// First destination register of the consecutive list.
+        zt: ZReg,
+        /// Number of registers (2 or 4).
+        count: u8,
+        /// Element size.
+        elem: ElementType,
+        /// Governing predicate-as-counter.
+        pn: PnReg,
+        /// Base address register.
+        rn: XReg,
+        /// Signed offset in multiples of `count * VL`.
+        imm_vl: i8,
+    },
+    /// `st1<T> { zt..zt+N-1 }, png, [xn, #imm, mul vl]` — multi-vector
+    /// contiguous store.
+    St1Multi {
+        /// First source register of the consecutive list.
+        zt: ZReg,
+        /// Number of registers (2 or 4).
+        count: u8,
+        /// Element size.
+        elem: ElementType,
+        /// Governing predicate-as-counter.
+        pn: PnReg,
+        /// Base address register.
+        rn: XReg,
+        /// Signed offset in multiples of `count * VL`.
+        imm_vl: i8,
+    },
+    /// `ldr zt, [xn, #imm, mul vl]` — unpredicated full-vector load.
+    LdrZ {
+        /// Destination vector register.
+        zt: ZReg,
+        /// Base address register.
+        rn: XReg,
+        /// Signed offset in multiples of the vector length.
+        imm_vl: i16,
+    },
+    /// `str zt, [xn, #imm, mul vl]` — unpredicated full-vector store.
+    StrZ {
+        /// Source vector register.
+        zt: ZReg,
+        /// Base address register.
+        rn: XReg,
+        /// Signed offset in multiples of the vector length.
+        imm_vl: i16,
+    },
+    /// `fmla zd.<T>, pg/m, zn.<T>, zm.<T>` — predicated streaming-SVE fused
+    /// multiply-add (the slow single-vector baseline in Table I).
+    FmlaSve {
+        /// Accumulator / destination register.
+        zd: ZReg,
+        /// Governing predicate (merging).
+        pg: PReg,
+        /// First source.
+        zn: ZReg,
+        /// Second source.
+        zm: ZReg,
+        /// Element type (F32 or F64 in the paper's benchmarks).
+        elem: ElementType,
+    },
+    /// `dup zd.<T>, #imm` — broadcast a signed immediate to all elements
+    /// (used with `#0` to clear vector registers).
+    DupImm {
+        /// Destination register.
+        zd: ZReg,
+        /// Element size.
+        elem: ElementType,
+        /// Signed 8-bit immediate.
+        imm: i8,
+    },
+    /// `addvl xd, xn, #imm` — add a multiple of the vector length in bytes
+    /// to a general-purpose register.
+    AddVl {
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rn: XReg,
+        /// Multiplier (−32..=31).
+        imm: i8,
+    },
+}
+
+impl SveInst {
+    /// Convenience constructor: `ptrue pd.<T>`.
+    pub fn ptrue(pd: PReg, elem: ElementType) -> Self {
+        SveInst::Ptrue { pd, elem }
+    }
+
+    /// Convenience constructor: `ptrue pn<d>.<T>`.
+    pub fn ptrue_cnt(pn: PnReg, elem: ElementType) -> Self {
+        SveInst::PtrueCnt { pn, elem }
+    }
+
+    /// Convenience constructor: 32-bit single-vector load.
+    pub fn ld1w(zt: ZReg, pg: PReg, rn: XReg, imm_vl: i8) -> Self {
+        SveInst::Ld1 { zt, elem: ElementType::F32, pg, rn, imm_vl }
+    }
+
+    /// Convenience constructor: 32-bit single-vector store.
+    pub fn st1w(zt: ZReg, pg: PReg, rn: XReg, imm_vl: i8) -> Self {
+        SveInst::St1 { zt, elem: ElementType::F32, pg, rn, imm_vl }
+    }
+
+    /// Convenience constructor: 32-bit multi-vector load (`count` ∈ {2, 4}).
+    pub fn ld1w_multi(zt: ZReg, count: u8, pn: PnReg, rn: XReg, imm_vl: i8) -> Self {
+        assert!(count == 2 || count == 4, "multi-vector count must be 2 or 4");
+        SveInst::Ld1Multi { zt, count, elem: ElementType::F32, pn, rn, imm_vl }
+    }
+
+    /// Convenience constructor: 32-bit multi-vector store (`count` ∈ {2, 4}).
+    pub fn st1w_multi(zt: ZReg, count: u8, pn: PnReg, rn: XReg, imm_vl: i8) -> Self {
+        assert!(count == 2 || count == 4, "multi-vector count must be 2 or 4");
+        SveInst::St1Multi { zt, count, elem: ElementType::F32, pn, rn, imm_vl }
+    }
+
+    /// Execution class for the timing model.
+    pub fn class(&self) -> InstClass {
+        match self {
+            SveInst::Ptrue { .. }
+            | SveInst::PtrueCnt { .. }
+            | SveInst::Whilelt { .. }
+            | SveInst::WhileltCnt { .. } => InstClass::SvePred,
+            SveInst::Ld1 { .. }
+            | SveInst::St1 { .. }
+            | SveInst::Ld1Multi { .. }
+            | SveInst::St1Multi { .. }
+            | SveInst::LdrZ { .. }
+            | SveInst::StrZ { .. } => InstClass::SveMem,
+            SveInst::AddVl { .. } => InstClass::IntAlu,
+            SveInst::FmlaSve { .. } | SveInst::DupImm { .. } => InstClass::SveFp,
+        }
+    }
+
+    /// Arithmetic operations performed at streaming vector length `svl`.
+    pub fn arith_ops(&self, svl: StreamingVectorLength) -> u64 {
+        match self {
+            SveInst::FmlaSve { elem, .. } => 2 * elem.elems_per_vector(svl) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Bytes moved to or from memory at streaming vector length `svl`.
+    pub fn mem_bytes(&self, svl: StreamingVectorLength) -> u64 {
+        let vl = svl.bytes() as u64;
+        match self {
+            SveInst::Ld1 { .. } | SveInst::St1 { .. } | SveInst::LdrZ { .. } | SveInst::StrZ { .. } => vl,
+            SveInst::Ld1Multi { count, .. } | SveInst::St1Multi { count, .. } => vl * *count as u64,
+            _ => 0,
+        }
+    }
+
+    /// `true` if this instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            SveInst::St1 { .. } | SveInst::St1Multi { .. } | SveInst::StrZ { .. }
+        )
+    }
+
+    /// `true` if this instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            SveInst::Ld1 { .. } | SveInst::Ld1Multi { .. } | SveInst::LdrZ { .. }
+        )
+    }
+}
+
+fn mem_mnemonic(prefix: &str, elem: ElementType) -> String {
+    // Memory mnemonics use b/h/w/d (word, not "s" as in the register suffix).
+    let size = match elem.bits() {
+        8 => "b",
+        16 => "h",
+        32 => "w",
+        _ => "d",
+    };
+    format!("{prefix}1{size}")
+}
+
+impl fmt::Display for SveInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SveInst::Ptrue { pd, elem } => write!(f, "ptrue {pd}.{}", elem.sve_suffix()),
+            SveInst::PtrueCnt { pn, elem } => write!(f, "ptrue {pn}.{}", elem.sve_suffix()),
+            SveInst::Whilelt { pd, elem, rn, rm } => {
+                write!(f, "whilelt {pd}.{}, {rn}, {rm}", elem.sve_suffix())
+            }
+            SveInst::WhileltCnt { pn, elem, rn, rm, vl } => {
+                write!(f, "whilelt {pn}.{}, {rn}, {rm}, vlx{vl}", elem.sve_suffix())
+            }
+            SveInst::Ld1 { zt, elem, pg, rn, imm_vl } => {
+                let s = elem.sve_suffix();
+                if *imm_vl == 0 {
+                    write!(f, "{} {{ {zt}.{s} }}, {pg}/z, [{rn}]", mem_mnemonic("ld", *elem))
+                } else {
+                    write!(
+                        f,
+                        "{} {{ {zt}.{s} }}, {pg}/z, [{rn}, #{imm_vl}, mul vl]",
+                        mem_mnemonic("ld", *elem)
+                    )
+                }
+            }
+            SveInst::St1 { zt, elem, pg, rn, imm_vl } => {
+                let s = elem.sve_suffix();
+                if *imm_vl == 0 {
+                    write!(f, "{} {{ {zt}.{s} }}, {pg}, [{rn}]", mem_mnemonic("st", *elem))
+                } else {
+                    write!(
+                        f,
+                        "{} {{ {zt}.{s} }}, {pg}, [{rn}, #{imm_vl}, mul vl]",
+                        mem_mnemonic("st", *elem)
+                    )
+                }
+            }
+            SveInst::Ld1Multi { zt, count, elem, pn, rn, imm_vl } => {
+                let s = elem.sve_suffix();
+                let last = zt.offset(count - 1);
+                if *imm_vl == 0 {
+                    write!(
+                        f,
+                        "{} {{ {zt}.{s} - {last}.{s} }}, {pn}/z, [{rn}]",
+                        mem_mnemonic("ld", *elem)
+                    )
+                } else {
+                    write!(
+                        f,
+                        "{} {{ {zt}.{s} - {last}.{s} }}, {pn}/z, [{rn}, #{imm_vl}, mul vl]",
+                        mem_mnemonic("ld", *elem)
+                    )
+                }
+            }
+            SveInst::St1Multi { zt, count, elem, pn, rn, imm_vl } => {
+                let s = elem.sve_suffix();
+                let last = zt.offset(count - 1);
+                if *imm_vl == 0 {
+                    write!(
+                        f,
+                        "{} {{ {zt}.{s} - {last}.{s} }}, {pn}, [{rn}]",
+                        mem_mnemonic("st", *elem)
+                    )
+                } else {
+                    write!(
+                        f,
+                        "{} {{ {zt}.{s} - {last}.{s} }}, {pn}, [{rn}, #{imm_vl}, mul vl]",
+                        mem_mnemonic("st", *elem)
+                    )
+                }
+            }
+            SveInst::LdrZ { zt, rn, imm_vl } => {
+                if *imm_vl == 0 {
+                    write!(f, "ldr {zt}, [{rn}]")
+                } else {
+                    write!(f, "ldr {zt}, [{rn}, #{imm_vl}, mul vl]")
+                }
+            }
+            SveInst::StrZ { zt, rn, imm_vl } => {
+                if *imm_vl == 0 {
+                    write!(f, "str {zt}, [{rn}]")
+                } else {
+                    write!(f, "str {zt}, [{rn}, #{imm_vl}, mul vl]")
+                }
+            }
+            SveInst::FmlaSve { zd, pg, zn, zm, elem } => {
+                let s = elem.sve_suffix();
+                write!(f, "fmla {zd}.{s}, {pg}/m, {zn}.{s}, {zm}.{s}")
+            }
+            SveInst::DupImm { zd, elem, imm } => {
+                write!(f, "dup {zd}.{}, #{imm}", elem.sve_suffix())
+            }
+            SveInst::AddVl { rd, rn, imm } => write!(f, "addvl {rd}, {rn}, #{imm}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::short::*;
+
+    const SVL: StreamingVectorLength = StreamingVectorLength::M4;
+
+    #[test]
+    fn classes() {
+        assert_eq!(SveInst::ptrue(p(0), ElementType::I8).class(), InstClass::SvePred);
+        assert_eq!(SveInst::ld1w(z(0), p(0), x(0), 0).class(), InstClass::SveMem);
+        assert_eq!(
+            SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(1), zm: z(2), elem: ElementType::F32 }
+                .class(),
+            InstClass::SveFp
+        );
+        assert_eq!(SveInst::AddVl { rd: x(0), rn: x(0), imm: 2 }.class(), InstClass::IntAlu);
+    }
+
+    #[test]
+    fn ssve_fmla_ops() {
+        // SSVE FP32 FMLA on a 512-bit vector: 16 lanes * 2 ops = 32.
+        let i = SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(1), zm: z(2), elem: ElementType::F32 };
+        assert_eq!(i.arith_ops(SVL), 32);
+        let d = SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(1), zm: z(2), elem: ElementType::F64 };
+        assert_eq!(d.arith_ops(SVL), 16);
+    }
+
+    #[test]
+    fn memory_sizes() {
+        assert_eq!(SveInst::ld1w(z(0), p(0), x(0), 0).mem_bytes(SVL), 64);
+        assert_eq!(SveInst::ld1w_multi(z(0), 2, pn(8), x(0), 0).mem_bytes(SVL), 128);
+        assert_eq!(SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).mem_bytes(SVL), 256);
+        assert_eq!(SveInst::LdrZ { zt: z(0), rn: x(0), imm_vl: 0 }.mem_bytes(SVL), 64);
+        assert!(SveInst::st1w(z(0), p(0), x(0), 0).is_store());
+        assert!(SveInst::ld1w(z(0), p(0), x(0), 0).is_load());
+        assert!(!SveInst::ld1w(z(0), p(0), x(0), 0).is_store());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2 or 4")]
+    fn multi_count_validated() {
+        let _ = SveInst::ld1w_multi(z(0), 3, pn(8), x(0), 0);
+    }
+
+    #[test]
+    fn display_matches_paper_listings() {
+        // Lst. 3 line 1 / Lst. 4 line 5 style.
+        assert_eq!(
+            SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).to_string(),
+            "ld1w { z0.s - z3.s }, pn8/z, [x0]"
+        );
+        assert_eq!(
+            SveInst::ld1w_multi(z(2), 2, pn(9), x(1), 0).to_string(),
+            "ld1w { z2.s - z3.s }, pn9/z, [x1]"
+        );
+        assert_eq!(SveInst::ptrue(p(0), ElementType::I8).to_string(), "ptrue p0.b");
+        assert_eq!(
+            SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(30), zm: z(31), elem: ElementType::F32 }
+                .to_string(),
+            "fmla z0.s, p0/m, z30.s, z31.s"
+        );
+        assert_eq!(
+            SveInst::ld1w(z(5), p(1), x(2), 3).to_string(),
+            "ld1w { z5.s }, p1/z, [x2, #3, mul vl]"
+        );
+        assert_eq!(
+            SveInst::Whilelt { pd: p(2), elem: ElementType::F32, rn: x(3), rm: x(4) }.to_string(),
+            "whilelt p2.s, x3, x4"
+        );
+    }
+
+    #[test]
+    fn register_list_wraps() {
+        let i = SveInst::ld1w_multi(z(30), 4, pn(8), x(0), 0);
+        assert_eq!(i.to_string(), "ld1w { z30.s - z1.s }, pn8/z, [x0]");
+    }
+}

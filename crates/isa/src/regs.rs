@@ -1,0 +1,405 @@
+//! Architectural register model: general-purpose, Neon, scalable vector,
+//! predicate registers and the SME ZA array tiles.
+
+use crate::types::ElementType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 64-bit general-purpose register `X0`–`X30`, or `XZR`.
+///
+/// Register 31 is modelled as the zero register; the stack pointer is
+/// represented separately by [`XReg::SP`] since the generated kernels use it
+/// only for scratch-memory addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct XReg(u8);
+
+impl XReg {
+    /// The zero register (reads as zero, writes are discarded).
+    pub const XZR: XReg = XReg(31);
+    /// The stack pointer, used for scratch allocations (transpose buffers).
+    pub const SP: XReg = XReg(32);
+
+    /// Construct `Xn` for `n` in `0..=30`, or `XZR`/`SP` via the constants.
+    ///
+    /// # Panics
+    /// Panics if `n > 30`.
+    pub fn new(n: u8) -> Self {
+        assert!(n <= 30, "general purpose register index out of range: {n}");
+        XReg(n)
+    }
+
+    /// Raw register index (31 = XZR, 32 = SP).
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// `true` if this is the zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+
+    /// `true` if this is the stack pointer.
+    pub const fn is_sp(self) -> bool {
+        self.0 == 32
+    }
+
+    /// The 5-bit field used when encoding this register in an instruction.
+    ///
+    /// The stack pointer shares encoding 31 with XZR; the instruction class
+    /// determines which is meant, exactly as in the real ISA.
+    pub const fn enc(self) -> u32 {
+        if self.0 == 32 {
+            31
+        } else {
+            self.0 as u32
+        }
+    }
+}
+
+impl fmt::Display for XReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            31 => f.write_str("xzr"),
+            32 => f.write_str("sp"),
+            n => write!(f, "x{n}"),
+        }
+    }
+}
+
+/// A 128-bit Neon (ASIMD) vector register `V0`–`V31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VReg(u8);
+
+impl VReg {
+    /// Construct `Vn` for `n` in `0..=31`.
+    ///
+    /// # Panics
+    /// Panics if `n > 31`.
+    pub fn new(n: u8) -> Self {
+        assert!(n <= 31, "Neon register index out of range: {n}");
+        VReg(n)
+    }
+
+    /// Raw register index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Encoding field value.
+    pub const fn enc(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A scalable vector register `Z0`–`Z31` (SVL bits wide in streaming mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ZReg(u8);
+
+impl ZReg {
+    /// Construct `Zn` for `n` in `0..=31`.
+    ///
+    /// # Panics
+    /// Panics if `n > 31`.
+    pub fn new(n: u8) -> Self {
+        assert!(n <= 31, "scalable vector register index out of range: {n}");
+        ZReg(n)
+    }
+
+    /// Raw register index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Encoding field value.
+    pub const fn enc(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The register `n` positions after this one, wrapping at 32.
+    ///
+    /// Multi-vector loads and MOVA group operations address consecutive
+    /// registers; wrapping matches the architectural behaviour of register
+    /// lists.
+    pub const fn offset(self, n: u8) -> ZReg {
+        ZReg((self.0 + n) % 32)
+    }
+}
+
+impl fmt::Display for ZReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+/// An SVE predicate register `P0`–`P15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PReg(u8);
+
+impl PReg {
+    /// Construct `Pn` for `n` in `0..=15`.
+    ///
+    /// # Panics
+    /// Panics if `n > 15`.
+    pub fn new(n: u8) -> Self {
+        assert!(n <= 15, "predicate register index out of range: {n}");
+        PReg(n)
+    }
+
+    /// Raw register index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Encoding field value.
+    pub const fn enc(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// `true` if the register can be used as a governing predicate in the
+    /// 3-bit `Pg` field of predicated SVE instructions (P0–P7).
+    pub const fn is_governing(self) -> bool {
+        self.0 <= 7
+    }
+}
+
+impl fmt::Display for PReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An SVE2.1/SME2 predicate-as-counter register `PN8`–`PN15`.
+///
+/// Predicate-as-counter registers govern the multi-vector (strided and
+/// contiguous) loads and stores used by the two-step ZA transfer strategy
+/// the paper identifies as fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PnReg(u8);
+
+impl PnReg {
+    /// Construct `PNn` for `n` in `8..=15`.
+    ///
+    /// # Panics
+    /// Panics if `n` is outside `8..=15`.
+    pub fn new(n: u8) -> Self {
+        assert!(
+            (8..=15).contains(&n),
+            "predicate-as-counter register index out of range: {n}"
+        );
+        PnReg(n)
+    }
+
+    /// Raw register index (8–15).
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The 3-bit encoding field (index minus 8).
+    pub const fn enc(self) -> u32 {
+        (self.0 - 8) as u32
+    }
+
+    /// View this counter register as the underlying predicate register.
+    pub const fn as_preg(self) -> PReg {
+        PReg(self.0)
+    }
+}
+
+impl fmt::Display for PnReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pn{}", self.0)
+    }
+}
+
+/// A ZA tile selector: element type plus tile index.
+///
+/// For a given element width the ZA array is divided into `bytes(element)`
+/// square tiles: `za0.s`–`za3.s` for 32-bit elements, `za0.d`–`za7.d` for
+/// 64-bit elements, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ZaTile {
+    /// Tile index within the tiles available for `elem`.
+    pub index: u8,
+    /// Element type of the tile view.
+    pub elem: ElementType,
+}
+
+impl ZaTile {
+    /// Construct a tile selector, validating the index against the number of
+    /// tiles available for the element type.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range for `elem`.
+    pub fn new(index: u8, elem: ElementType) -> Self {
+        assert!(
+            (index as usize) < elem.num_tiles(),
+            "tile index {index} out of range for {elem} (max {})",
+            elem.num_tiles() - 1
+        );
+        ZaTile { index, elem }
+    }
+
+    /// Convenience constructor for a 32-bit (`.s`) tile, the workhorse of
+    /// the paper's FP32 kernels.
+    pub fn s(index: u8) -> Self {
+        ZaTile::new(index, ElementType::F32)
+    }
+
+    /// Convenience constructor for a 64-bit (`.d`) tile.
+    pub fn d(index: u8) -> Self {
+        ZaTile::new(index, ElementType::F64)
+    }
+}
+
+impl fmt::Display for ZaTile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "za{}.{}", self.index, self.elem.sve_suffix())
+    }
+}
+
+/// Orientation of a ZA tile slice access (`zaNh` horizontal or `zaNv`
+/// vertical).
+///
+/// The paper's in-register transposition (Lst. 5) writes a block through the
+/// horizontal view and reads it back through the vertical view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TileSliceDir {
+    /// Horizontal slices: rows of the tile.
+    Horizontal,
+    /// Vertical slices: columns of the tile.
+    Vertical,
+}
+
+impl TileSliceDir {
+    /// Assembly suffix (`h` or `v`).
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            TileSliceDir::Horizontal => "h",
+            TileSliceDir::Vertical => "v",
+        }
+    }
+}
+
+impl fmt::Display for TileSliceDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Shorthand constructors (`x(0)`, `z(31)`, …) used pervasively by the
+/// generator and tests.
+pub mod short {
+    use super::*;
+
+    /// `Xn` general-purpose register.
+    pub fn x(n: u8) -> XReg {
+        XReg::new(n)
+    }
+
+    /// `Vn` Neon register.
+    pub fn v(n: u8) -> VReg {
+        VReg::new(n)
+    }
+
+    /// `Zn` scalable vector register.
+    pub fn z(n: u8) -> ZReg {
+        ZReg::new(n)
+    }
+
+    /// `Pn` predicate register.
+    pub fn p(n: u8) -> PReg {
+        PReg::new(n)
+    }
+
+    /// `PNn` predicate-as-counter register.
+    pub fn pn(n: u8) -> PnReg {
+        PnReg::new(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::short::*;
+    use super::*;
+
+    #[test]
+    fn xreg_construction_and_display() {
+        assert_eq!(x(0).to_string(), "x0");
+        assert_eq!(x(30).to_string(), "x30");
+        assert_eq!(XReg::XZR.to_string(), "xzr");
+        assert_eq!(XReg::SP.to_string(), "sp");
+        assert!(XReg::XZR.is_zero());
+        assert!(XReg::SP.is_sp());
+        assert_eq!(XReg::SP.enc(), 31);
+        assert_eq!(x(7).enc(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xreg_rejects_31() {
+        let _ = XReg::new(31);
+    }
+
+    #[test]
+    fn vreg_and_zreg() {
+        assert_eq!(v(31).to_string(), "v31");
+        assert_eq!(z(0).to_string(), "z0");
+        assert_eq!(z(30).offset(3).index(), 1, "register list wraps at 32");
+        assert_eq!(z(4).offset(2).index(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zreg_rejects_32() {
+        let _ = ZReg::new(32);
+    }
+
+    #[test]
+    fn preg_governing() {
+        assert!(p(0).is_governing());
+        assert!(p(7).is_governing());
+        assert!(!p(8).is_governing());
+        assert_eq!(p(15).to_string(), "p15");
+    }
+
+    #[test]
+    fn pnreg_range_and_encoding() {
+        assert_eq!(pn(8).enc(), 0);
+        assert_eq!(pn(15).enc(), 7);
+        assert_eq!(pn(9).as_preg().index(), 9);
+        assert_eq!(pn(8).to_string(), "pn8");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pnreg_rejects_low_indices() {
+        let _ = PnReg::new(3);
+    }
+
+    #[test]
+    fn za_tiles() {
+        assert_eq!(ZaTile::s(3).to_string(), "za3.s");
+        assert_eq!(ZaTile::d(7).to_string(), "za7.d");
+        let byte_tile = ZaTile::new(0, ElementType::I8);
+        assert_eq!(byte_tile.to_string(), "za0.b");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn za_tile_index_validated() {
+        // Only four .s tiles exist.
+        let _ = ZaTile::s(4);
+    }
+
+    #[test]
+    fn slice_direction_suffix() {
+        assert_eq!(TileSliceDir::Horizontal.suffix(), "h");
+        assert_eq!(TileSliceDir::Vertical.suffix(), "v");
+    }
+}

@@ -1,0 +1,388 @@
+//! Element types, vector arrangements and the streaming vector length.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scalar element type of a vector lane, a ZA tile element or a matrix
+/// operand.
+///
+/// The set matches the data types exercised by the paper's Table I plus the
+/// 32-bit integer accumulator type used by the widening integer outer
+/// products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementType {
+    /// IEEE-754 double precision.
+    F64,
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 half precision.
+    F16,
+    /// bfloat16 (8-bit exponent, 7-bit mantissa).
+    BF16,
+    /// Signed 8-bit integer.
+    I8,
+    /// Signed 16-bit integer.
+    I16,
+    /// Signed 32-bit integer.
+    I32,
+    /// Signed 64-bit integer.
+    I64,
+}
+
+impl ElementType {
+    /// Width of one element in bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            ElementType::F64 | ElementType::I64 => 64,
+            ElementType::F32 | ElementType::I32 => 32,
+            ElementType::F16 | ElementType::BF16 | ElementType::I16 => 16,
+            ElementType::I8 => 8,
+        }
+    }
+
+    /// Width of one element in bytes.
+    pub const fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+
+    /// `true` for the floating-point types (including bfloat16).
+    pub const fn is_float(self) -> bool {
+        matches!(
+            self,
+            ElementType::F64 | ElementType::F32 | ElementType::F16 | ElementType::BF16
+        )
+    }
+
+    /// `true` for the integer types.
+    pub const fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// The SVE size suffix used in assembly syntax (`.b`, `.h`, `.s`, `.d`).
+    pub const fn sve_suffix(self) -> &'static str {
+        match self.bits() {
+            8 => "b",
+            16 => "h",
+            32 => "s",
+            _ => "d",
+        }
+    }
+
+    /// Number of elements held by one scalable vector register of the given
+    /// streaming vector length.
+    pub const fn elems_per_vector(self, svl: StreamingVectorLength) -> usize {
+        (svl.bits() / self.bits()) as usize
+    }
+
+    /// Dimension (rows = columns) of a square ZA tile holding this element
+    /// type at the given streaming vector length.
+    ///
+    /// For FP32 on an SVL-512 machine this is 16, matching the 16×16 tiles
+    /// described in the paper.
+    pub const fn tile_dim(self, svl: StreamingVectorLength) -> usize {
+        (svl.bits() / self.bits()) as usize
+    }
+
+    /// Number of ZA tiles available for this element type.
+    ///
+    /// The ZA array is divided into `bits / 8` tiles of element width
+    /// `bits`: 1 tile of bytes, 2 of halfwords, 4 of words, 8 of
+    /// doublewords.
+    pub const fn num_tiles(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+}
+
+impl fmt::Display for ElementType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ElementType::F64 => "fp64",
+            ElementType::F32 => "fp32",
+            ElementType::F16 => "fp16",
+            ElementType::BF16 => "bf16",
+            ElementType::I8 => "i8",
+            ElementType::I16 => "i16",
+            ElementType::I32 => "i32",
+            ElementType::I64 => "i64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Streaming Vector Length (SVL) of the machine.
+///
+/// SME defines the SVL as an implementation choice between 128 and 2048
+/// bits in powers of two. Apple's M4 implements 512 bits; the simulator is
+/// parameterised so that hypothetical wider or narrower implementations can
+/// be explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamingVectorLength(u32);
+
+impl StreamingVectorLength {
+    /// The SVL of Apple's M4 (512 bits), the testbed used by the paper.
+    pub const M4: StreamingVectorLength = StreamingVectorLength(512);
+
+    /// Construct a streaming vector length from a bit count.
+    ///
+    /// # Panics
+    /// Panics if `bits` is not a power of two in `[128, 2048]`.
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (128..=2048).contains(&bits) && bits.is_power_of_two(),
+            "SVL must be a power of two between 128 and 2048 bits, got {bits}"
+        );
+        StreamingVectorLength(bits)
+    }
+
+    /// Vector length in bits.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Vector length in bytes (the `VL` unit used by `mul vl` addressing).
+    pub const fn bytes(self) -> u32 {
+        self.0 / 8
+    }
+
+    /// Total size of the ZA array in bytes: `(SVL/8) * (SVL/8)`.
+    ///
+    /// 4096 bytes on M4.
+    pub const fn za_bytes(self) -> usize {
+        (self.bytes() as usize) * (self.bytes() as usize)
+    }
+
+    /// Number of ZA array vectors (horizontal slices of the full array),
+    /// each SVL bits wide.
+    pub const fn za_vectors(self) -> usize {
+        self.bytes() as usize
+    }
+}
+
+impl Default for StreamingVectorLength {
+    fn default() -> Self {
+        StreamingVectorLength::M4
+    }
+}
+
+impl fmt::Display for StreamingVectorLength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SVL{}", self.0)
+    }
+}
+
+/// Arrangement specifier of a Neon (ASIMD) register operand, e.g. `v0.4s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeonArrangement {
+    /// Sixteen byte lanes.
+    B16,
+    /// Eight halfword lanes.
+    H8,
+    /// Four single-precision lanes.
+    S4,
+    /// Two double-precision lanes.
+    D2,
+}
+
+impl NeonArrangement {
+    /// Number of lanes in the 128-bit register.
+    pub const fn lanes(self) -> usize {
+        match self {
+            NeonArrangement::B16 => 16,
+            NeonArrangement::H8 => 8,
+            NeonArrangement::S4 => 4,
+            NeonArrangement::D2 => 2,
+        }
+    }
+
+    /// Width of one lane in bits.
+    pub const fn lane_bits(self) -> u32 {
+        128 / self.lanes() as u32
+    }
+
+    /// The element type naturally associated with a floating-point
+    /// arrangement.
+    pub const fn float_type(self) -> ElementType {
+        match self {
+            NeonArrangement::B16 => ElementType::I8,
+            NeonArrangement::H8 => ElementType::F16,
+            NeonArrangement::S4 => ElementType::F32,
+            NeonArrangement::D2 => ElementType::F64,
+        }
+    }
+
+    /// Assembly suffix, e.g. `4s`.
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            NeonArrangement::B16 => "16b",
+            NeonArrangement::H8 => "8h",
+            NeonArrangement::S4 => "4s",
+            NeonArrangement::D2 => "2d",
+        }
+    }
+}
+
+impl fmt::Display for NeonArrangement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Condition codes for conditional branches (subset used by generated code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq,
+    /// Not equal (Z clear).
+    Ne,
+    /// Unsigned lower (C clear).
+    Lo,
+    /// Unsigned higher or same (C set).
+    Hs,
+    /// Signed less than.
+    Lt,
+    /// Signed greater than or equal.
+    Ge,
+    /// Signed greater than.
+    Gt,
+    /// Signed less than or equal.
+    Le,
+}
+
+impl Cond {
+    /// The 4-bit AArch64 condition field encoding.
+    pub const fn code(self) -> u32 {
+        match self {
+            Cond::Eq => 0b0000,
+            Cond::Ne => 0b0001,
+            Cond::Hs => 0b0010,
+            Cond::Lo => 0b0011,
+            Cond::Ge => 0b1010,
+            Cond::Lt => 0b1011,
+            Cond::Gt => 0b1100,
+            Cond::Le => 0b1101,
+        }
+    }
+
+    /// Decode a 4-bit condition field into the supported subset.
+    pub const fn from_code(code: u32) -> Option<Cond> {
+        match code & 0xf {
+            0b0000 => Some(Cond::Eq),
+            0b0001 => Some(Cond::Ne),
+            0b0010 => Some(Cond::Hs),
+            0b0011 => Some(Cond::Lo),
+            0b1010 => Some(Cond::Ge),
+            0b1011 => Some(Cond::Lt),
+            0b1100 => Some(Cond::Gt),
+            0b1101 => Some(Cond::Le),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lo => "lo",
+            Cond::Hs => "hs",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(ElementType::F64.bits(), 64);
+        assert_eq!(ElementType::F32.bits(), 32);
+        assert_eq!(ElementType::F16.bits(), 16);
+        assert_eq!(ElementType::BF16.bits(), 16);
+        assert_eq!(ElementType::I8.bits(), 8);
+        assert_eq!(ElementType::I8.bytes(), 1);
+        assert_eq!(ElementType::F32.bytes(), 4);
+    }
+
+    #[test]
+    fn float_int_classification() {
+        assert!(ElementType::F32.is_float());
+        assert!(ElementType::BF16.is_float());
+        assert!(ElementType::I8.is_int());
+        assert!(!ElementType::I32.is_float());
+    }
+
+    #[test]
+    fn m4_svl_geometry() {
+        let svl = StreamingVectorLength::M4;
+        assert_eq!(svl.bits(), 512);
+        assert_eq!(svl.bytes(), 64);
+        assert_eq!(svl.za_bytes(), 4096);
+        assert_eq!(svl.za_vectors(), 64);
+        // The paper: FP32 tiles are 16x16 and there are four of them.
+        assert_eq!(ElementType::F32.tile_dim(svl), 16);
+        assert_eq!(ElementType::F32.num_tiles(), 4);
+        // FP64: 8x8 tiles, eight of them.
+        assert_eq!(ElementType::F64.tile_dim(svl), 8);
+        assert_eq!(ElementType::F64.num_tiles(), 8);
+        // FP32 vectors hold 16 elements on M4.
+        assert_eq!(ElementType::F32.elems_per_vector(svl), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "SVL must be a power of two")]
+    fn invalid_svl_rejected() {
+        let _ = StreamingVectorLength::new(384);
+    }
+
+    #[test]
+    fn svl_constructor_accepts_all_architectural_lengths() {
+        for bits in [128u32, 256, 512, 1024, 2048] {
+            let svl = StreamingVectorLength::new(bits);
+            assert_eq!(svl.bits(), bits);
+            assert_eq!(svl.za_bytes(), ((bits / 8) * (bits / 8)) as usize);
+        }
+    }
+
+    #[test]
+    fn neon_arrangements() {
+        assert_eq!(NeonArrangement::S4.lanes(), 4);
+        assert_eq!(NeonArrangement::S4.lane_bits(), 32);
+        assert_eq!(NeonArrangement::D2.lanes(), 2);
+        assert_eq!(NeonArrangement::H8.lanes(), 8);
+        assert_eq!(NeonArrangement::B16.lanes(), 16);
+        assert_eq!(NeonArrangement::S4.suffix(), "4s");
+    }
+
+    #[test]
+    fn cond_roundtrip() {
+        for cond in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lo,
+            Cond::Hs,
+            Cond::Lt,
+            Cond::Ge,
+            Cond::Gt,
+            Cond::Le,
+        ] {
+            assert_eq!(Cond::from_code(cond.code()), Some(cond));
+        }
+        assert_eq!(Cond::from_code(0b0110), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ElementType::F32.to_string(), "fp32");
+        assert_eq!(ElementType::BF16.to_string(), "bf16");
+        assert_eq!(StreamingVectorLength::M4.to_string(), "SVL512");
+        assert_eq!(NeonArrangement::D2.to_string(), "2d");
+        assert_eq!(Cond::Ne.to_string(), "ne");
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based encode/decode round-trip tests.
+//!
+//! Correctness of the machine-code layer is defined by the property that
+//! decoding inverts encoding for every operand combination the generator can
+//! emit. These strategies generate instructions across the full operand
+//! space of the modelled subset.
+
+use proptest::prelude::*;
+use sme_isa::decode::decode;
+use sme_isa::encode::encode;
+use sme_isa::inst::scalar::{BranchTarget, ScalarInst, ShiftOp};
+use sme_isa::inst::{Inst, NeonInst, SmeInst, SveInst};
+use sme_isa::regs::{PReg, PnReg, TileSliceDir, VReg, XReg, ZReg, ZaTile};
+use sme_isa::types::{Cond, ElementType, NeonArrangement};
+
+fn xreg() -> impl Strategy<Value = XReg> {
+    (0u8..=30).prop_map(XReg::new)
+}
+
+fn vreg() -> impl Strategy<Value = VReg> {
+    (0u8..=31).prop_map(VReg::new)
+}
+
+fn zreg() -> impl Strategy<Value = ZReg> {
+    (0u8..=31).prop_map(ZReg::new)
+}
+
+fn preg() -> impl Strategy<Value = PReg> {
+    (0u8..=15).prop_map(PReg::new)
+}
+
+fn gov_preg() -> impl Strategy<Value = PReg> {
+    (0u8..=7).prop_map(PReg::new)
+}
+
+fn pnreg() -> impl Strategy<Value = PnReg> {
+    (8u8..=15).prop_map(PnReg::new)
+}
+
+fn slice_reg() -> impl Strategy<Value = XReg> {
+    (12u8..=15).prop_map(XReg::new)
+}
+
+fn vsel_reg() -> impl Strategy<Value = XReg> {
+    (8u8..=11).prop_map(XReg::new)
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lo),
+        Just(Cond::Hs),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::Gt),
+        Just(Cond::Le),
+    ]
+}
+
+fn mem_elem() -> impl Strategy<Value = ElementType> {
+    prop_oneof![
+        Just(ElementType::I8),
+        Just(ElementType::F16),
+        Just(ElementType::F32),
+        Just(ElementType::F64),
+    ]
+}
+
+fn scalar_inst() -> impl Strategy<Value = ScalarInst> {
+    prop_oneof![
+        (xreg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| ScalarInst::MovZ { rd, imm16, hw }),
+        (xreg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| ScalarInst::MovK { rd, imm16, hw }),
+        (xreg(), xreg()).prop_map(|(rd, rn)| ScalarInst::MovReg { rd, rn }),
+        (xreg(), xreg(), 0u16..4096, any::<bool>())
+            .prop_map(|(rd, rn, imm12, shift12)| ScalarInst::AddImm { rd, rn, imm12, shift12 }),
+        (xreg(), xreg(), 0u16..4096, any::<bool>())
+            .prop_map(|(rd, rn, imm12, shift12)| ScalarInst::SubImm { rd, rn, imm12, shift12 }),
+        (xreg(), xreg(), 0u16..4096)
+            .prop_map(|(rd, rn, imm12)| ScalarInst::SubsImm { rd, rn, imm12 }),
+        (xreg(), xreg(), xreg(), prop_oneof![Just(None), (1u8..64).prop_map(|n| Some(ShiftOp::Lsl(n)))])
+            .prop_map(|(rd, rn, rm, shift)| ScalarInst::AddReg { rd, rn, rm, shift }),
+        (xreg(), xreg(), xreg(), prop_oneof![Just(None), (1u8..64).prop_map(|n| Some(ShiftOp::Lsl(n)))])
+            .prop_map(|(rd, rn, rm, shift)| ScalarInst::SubReg { rd, rn, rm, shift }),
+        (xreg(), xreg(), xreg(), xreg())
+            .prop_map(|(rd, rn, rm, ra)| ScalarInst::Madd { rd, rn, rm, ra }),
+        (xreg(), xreg(), 0u8..64).prop_map(|(rd, rn, shift)| ScalarInst::LslImm { rd, rn, shift }),
+        (xreg(), xreg()).prop_map(|(rn, rm)| ScalarInst::CmpReg { rn, rm }),
+        (xreg(), 0u16..4096).prop_map(|(rn, imm12)| ScalarInst::CmpImm { rn, imm12 }),
+        (xreg(), -1000i32..1000)
+            .prop_map(|(rn, o)| ScalarInst::Cbnz { rn, target: BranchTarget::Offset(o) }),
+        (xreg(), -1000i32..1000)
+            .prop_map(|(rn, o)| ScalarInst::Cbz { rn, target: BranchTarget::Offset(o) }),
+        (-100000i32..100000).prop_map(|o| ScalarInst::B { target: BranchTarget::Offset(o) }),
+        (cond(), -1000i32..1000)
+            .prop_map(|(c, o)| ScalarInst::BCond { cond: c, target: BranchTarget::Offset(o) }),
+        Just(ScalarInst::Nop),
+        Just(ScalarInst::Ret),
+    ]
+}
+
+fn neon_inst() -> impl Strategy<Value = NeonInst> {
+    let arr3 = prop_oneof![
+        Just(NeonArrangement::S4),
+        Just(NeonArrangement::D2),
+        Just(NeonArrangement::H8)
+    ];
+    prop_oneof![
+        (vreg(), vreg(), vreg(), arr3)
+            .prop_map(|(vd, vn, vm, a)| NeonInst::fmla_vec(vd, vn, vm, a)),
+        (vreg(), vreg(), vreg(), 0u8..4)
+            .prop_map(|(vd, vn, vm, i)| NeonInst::fmla_elem(vd, vn, vm, i, NeonArrangement::S4)),
+        (vreg(), vreg(), vreg(), 0u8..2)
+            .prop_map(|(vd, vn, vm, i)| NeonInst::fmla_elem(vd, vn, vm, i, NeonArrangement::D2)),
+        (vreg(), vreg(), vreg()).prop_map(|(vd, vn, vm)| NeonInst::Bfmmla { vd, vn, vm }),
+        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::LdrQ { vt, rn, imm: i * 16 }),
+        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::StrQ { vt, rn, imm: i * 16 }),
+        (vreg(), vreg(), xreg(), -64i32..64)
+            .prop_map(|(vt1, vt2, rn, i)| NeonInst::LdpQ { vt1, vt2, rn, imm: i * 16 }),
+        (vreg(), vreg(), xreg(), -64i32..64)
+            .prop_map(|(vt1, vt2, rn, i)| NeonInst::StpQ { vt1, vt2, rn, imm: i * 16 }),
+        (vreg(), vreg(), 0u8..4)
+            .prop_map(|(vd, vn, i)| NeonInst::DupElem { vd, vn, index: i, arrangement: NeonArrangement::S4 }),
+        (vreg(), vreg(), 0u8..2)
+            .prop_map(|(vd, vn, i)| NeonInst::DupElem { vd, vn, index: i, arrangement: NeonArrangement::D2 }),
+        vreg().prop_map(|vd| NeonInst::MoviZero { vd, arrangement: NeonArrangement::S4 }),
+        vreg().prop_map(|vd| NeonInst::MoviZero { vd, arrangement: NeonArrangement::D2 }),
+    ]
+}
+
+fn sve_inst() -> impl Strategy<Value = SveInst> {
+    prop_oneof![
+        (preg(), mem_elem()).prop_map(|(pd, elem)| SveInst::Ptrue { pd, elem }),
+        (pnreg(), mem_elem()).prop_map(|(pn, elem)| SveInst::PtrueCnt { pn, elem }),
+        (preg(), mem_elem(), xreg(), xreg())
+            .prop_map(|(pd, elem, rn, rm)| SveInst::Whilelt { pd, elem, rn, rm }),
+        (pnreg(), mem_elem(), xreg(), xreg(), prop_oneof![Just(2u8), Just(4u8)])
+            .prop_map(|(pn, elem, rn, rm, vl)| SveInst::WhileltCnt { pn, elem, rn, rm, vl }),
+        (zreg(), mem_elem(), gov_preg(), xreg(), -8i8..8)
+            .prop_map(|(zt, elem, pg, rn, imm_vl)| SveInst::Ld1 { zt, elem, pg, rn, imm_vl }),
+        (zreg(), mem_elem(), gov_preg(), xreg(), -8i8..8)
+            .prop_map(|(zt, elem, pg, rn, imm_vl)| SveInst::St1 { zt, elem, pg, rn, imm_vl }),
+        (zreg(), prop_oneof![Just(2u8), Just(4u8)], mem_elem(), pnreg(), xreg(), -8i8..8)
+            .prop_map(|(zt, count, elem, pn, rn, imm_vl)| SveInst::Ld1Multi {
+                zt, count, elem, pn, rn, imm_vl
+            }),
+        (zreg(), prop_oneof![Just(2u8), Just(4u8)], mem_elem(), pnreg(), xreg(), -8i8..8)
+            .prop_map(|(zt, count, elem, pn, rn, imm_vl)| SveInst::St1Multi {
+                zt, count, elem, pn, rn, imm_vl
+            }),
+        (zreg(), xreg(), -256i16..256).prop_map(|(zt, rn, imm_vl)| SveInst::LdrZ { zt, rn, imm_vl }),
+        (zreg(), xreg(), -256i16..256).prop_map(|(zt, rn, imm_vl)| SveInst::StrZ { zt, rn, imm_vl }),
+        (zreg(), gov_preg(), zreg(), zreg(), prop_oneof![Just(ElementType::F32), Just(ElementType::F64)])
+            .prop_map(|(zd, pg, zn, zm, elem)| SveInst::FmlaSve { zd, pg, zn, zm, elem }),
+        (zreg(), mem_elem(), any::<i8>()).prop_map(|(zd, elem, imm)| SveInst::DupImm { zd, elem, imm }),
+        (xreg(), xreg(), -32i8..32).prop_map(|(rd, rn, imm)| SveInst::AddVl { rd, rn, imm }),
+    ]
+}
+
+fn sme_inst() -> impl Strategy<Value = SmeInst> {
+    prop_oneof![
+        any::<bool>().prop_map(|za_only| SmeInst::Smstart { za_only }),
+        any::<bool>().prop_map(|za_only| SmeInst::Smstop { za_only }),
+        (0u8..4, gov_preg(), gov_preg(), zreg(), zreg())
+            .prop_map(|(tile, pn, pm, zn, zm)| SmeInst::fmopa_f32(tile, pn, pm, zn, zm)),
+        (0u8..8, gov_preg(), gov_preg(), zreg(), zreg())
+            .prop_map(|(tile, pn, pm, zn, zm)| SmeInst::fmopa_f64(tile, pn, pm, zn, zm)),
+        (0u8..4, gov_preg(), gov_preg(), zreg(), zreg(), prop_oneof![Just(ElementType::BF16), Just(ElementType::F16)])
+            .prop_map(|(tile, pn, pm, zn, zm, from)| SmeInst::FmopaWide { tile, from, pn, pm, zn, zm }),
+        (0u8..4, gov_preg(), gov_preg(), zreg(), zreg(), prop_oneof![Just(ElementType::I8), Just(ElementType::I16)])
+            .prop_map(|(tile, pn, pm, zn, zm, from)| SmeInst::Smopa { tile, from, pn, pm, zn, zm }),
+        (0u8..4, prop_oneof![Just(TileSliceDir::Horizontal), Just(TileSliceDir::Vertical)], slice_reg(), 0u8..16, zreg(), prop_oneof![Just(1u8), Just(2u8), Just(4u8)])
+            .prop_map(|(t, dir, rs, offset, zt, count)| SmeInst::MovaToTile {
+                tile: ZaTile::s(t), dir, rs, offset, zt, count
+            }),
+        (0u8..4, prop_oneof![Just(TileSliceDir::Horizontal), Just(TileSliceDir::Vertical)], slice_reg(), 0u8..16, zreg(), prop_oneof![Just(1u8), Just(2u8), Just(4u8)])
+            .prop_map(|(t, dir, rs, offset, zt, count)| SmeInst::MovaFromTile {
+                tile: ZaTile::s(t), dir, rs, offset, zt, count
+            }),
+        (slice_reg(), 0u8..16, xreg()).prop_map(|(rs, offset, rn)| SmeInst::LdrZa { rs, offset, rn }),
+        (slice_reg(), 0u8..16, xreg()).prop_map(|(rs, offset, rn)| SmeInst::StrZa { rs, offset, rn }),
+        any::<u8>().prop_map(|mask| SmeInst::ZeroZa { mask }),
+        (prop_oneof![Just(ElementType::F32), Just(ElementType::F64)], prop_oneof![Just(2u8), Just(4u8)], vsel_reg(), 0u8..8, zreg(), zreg())
+            .prop_map(|(elem, vgx, rv, offset, zn, zm)| SmeInst::FmlaZaVectors {
+                elem, vgx, rv, offset, zn, zm
+            }),
+    ]
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        scalar_inst().prop_map(Inst::Scalar),
+        neon_inst().prop_map(Inst::Neon),
+        sve_inst().prop_map(Inst::Sve),
+        sme_inst().prop_map(Inst::Sme),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// decode(encode(i)) == i for every instruction the generator can emit.
+    #[test]
+    fn encode_decode_roundtrip(inst in any_inst()) {
+        let word = encode(&inst);
+        prop_assert_eq!(decode(word), Some(inst));
+    }
+
+    /// Two different instructions never share an encoding.
+    #[test]
+    fn encodings_are_injective(a in any_inst(), b in any_inst()) {
+        if a != b {
+            prop_assert_ne!(encode(&a), encode(&b), "collision between {} and {}", a, b);
+        }
+    }
+
+    /// Display formatting never panics and is non-empty.
+    #[test]
+    fn display_total(inst in any_inst()) {
+        prop_assert!(!inst.to_string().is_empty());
+    }
+}

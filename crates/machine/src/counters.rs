@@ -1,0 +1,161 @@
+//! Execution statistics: retired instructions, arithmetic work, memory
+//! traffic, modelled cycles and derived throughput figures.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Statistics collected while running a program on the simulator.
+///
+/// The arithmetic counters follow the paper's accounting: a fused
+/// multiply-add counts as two operations, and widening instructions count
+/// the operations of their input precision (e.g. one BF16 widening outer
+/// product on M4 counts 1024 BF16 operations).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Retired instructions per execution class (keyed by class name).
+    pub instructions_by_class: BTreeMap<String, u64>,
+    /// Arithmetic operations performed (FLOPs for floating-point kernels).
+    pub arith_ops: u64,
+    /// Bytes loaded from memory.
+    pub bytes_loaded: u64,
+    /// Bytes stored to memory.
+    pub bytes_stored: u64,
+    /// Modelled core cycles (0 if the run was functional-only).
+    pub cycles: f64,
+    /// Core clock in GHz used to convert cycles to time.
+    pub clock_ghz: f64,
+}
+
+impl ExecStats {
+    /// Modelled wall-clock seconds (0 if no timing was requested).
+    pub fn seconds(&self) -> f64 {
+        if self.clock_ghz == 0.0 {
+            0.0
+        } else {
+            self.cycles / (self.clock_ghz * 1e9)
+        }
+    }
+
+    /// Modelled arithmetic throughput in GFLOPS / GOPS.
+    pub fn gflops(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.arith_ops as f64 / s / 1e9
+        }
+    }
+
+    /// Modelled read bandwidth in GiB/s.
+    pub fn load_gibs(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.bytes_loaded as f64 / s / (1u64 << 30) as f64
+        }
+    }
+
+    /// Modelled write bandwidth in GiB/s.
+    pub fn store_gibs(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.bytes_stored as f64 / s / (1u64 << 30) as f64
+        }
+    }
+
+    /// Total memory traffic in bytes.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+
+    /// Merge another run's counters into this one (used by batched runs).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.instructions += other.instructions;
+        for (k, v) in &other.instructions_by_class {
+            *self.instructions_by_class.entry(k.clone()).or_insert(0) += v;
+        }
+        self.arith_ops += other.arith_ops;
+        self.bytes_loaded += other.bytes_loaded;
+        self.bytes_stored += other.bytes_stored;
+        self.cycles += other.cycles;
+        if self.clock_ghz == 0.0 {
+            self.clock_ghz = other.clock_ghz;
+        }
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions : {}", self.instructions)?;
+        writeln!(f, "arith ops    : {}", self.arith_ops)?;
+        writeln!(f, "bytes loaded : {}", self.bytes_loaded)?;
+        writeln!(f, "bytes stored : {}", self.bytes_stored)?;
+        writeln!(f, "cycles       : {:.0}", self.cycles)?;
+        if self.cycles > 0.0 {
+            writeln!(f, "GFLOPS       : {:.1}", self.gflops())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecStats {
+        ExecStats {
+            instructions: 1000,
+            instructions_by_class: BTreeMap::new(),
+            arith_ops: 512_000,
+            bytes_loaded: 1 << 20,
+            bytes_stored: 1 << 19,
+            cycles: 1_000.0,
+            clock_ghz: 4.4,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = sample();
+        let seconds = 1_000.0 / 4.4e9;
+        assert!((s.seconds() - seconds).abs() < 1e-15);
+        let gflops = 512_000.0 / seconds / 1e9;
+        assert!((s.gflops() - gflops).abs() / gflops < 1e-12);
+        assert!(s.load_gibs() > 0.0);
+        assert!(s.store_gibs() > 0.0);
+        assert_eq!(s.bytes_total(), (1 << 20) + (1 << 19));
+    }
+
+    #[test]
+    fn zero_timing_is_safe() {
+        let s = ExecStats::default();
+        assert_eq!(s.seconds(), 0.0);
+        assert_eq!(s.gflops(), 0.0);
+        assert_eq!(s.load_gibs(), 0.0);
+        assert_eq!(s.store_gibs(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.instructions, 2000);
+        assert_eq!(a.arith_ops, 1_024_000);
+        assert_eq!(a.cycles, 2_000.0);
+        assert_eq!(a.clock_ghz, 4.4);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let text = sample().to_string();
+        assert!(text.contains("instructions"));
+        assert!(text.contains("GFLOPS"));
+    }
+}

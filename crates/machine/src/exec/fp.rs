@@ -1,0 +1,133 @@
+//! Half-precision (IEEE 754 binary16) and bfloat16 conversion helpers used
+//! by the functional executor for widening instructions.
+
+/// Convert an IEEE 754 binary16 value to `f32`.
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = ((bits >> 15) & 1) as u32;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let frac = (bits & 0x3ff) as u32;
+    let out = if exp == 0 {
+        if frac == 0 {
+            sign << 31
+        } else {
+            // Subnormal: normalise.
+            let mut e = 127 - 15 + 1;
+            let mut f = frac;
+            while f & 0x400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            (sign << 31) | ((e as u32) << 23) | ((f & 0x3ff) << 13)
+        }
+    } else if exp == 0x1f {
+        (sign << 31) | (0xff << 23) | (frac << 13)
+    } else {
+        (sign << 31) | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Convert an `f32` to IEEE 754 binary16 (round to nearest even, clamping
+/// overflow to infinity).
+pub fn f32_to_f16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 31) & 1) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+    if exp == 0xff {
+        // Inf / NaN.
+        let f = if frac != 0 { 0x200 } else { 0 };
+        return (sign << 15) | 0x7c00 | f;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return (sign << 15) | 0x7c00; // overflow -> inf
+    }
+    if unbiased < -24 {
+        return sign << 15; // underflow -> zero
+    }
+    if unbiased < -14 {
+        // Subnormal result.
+        let shift = (-14 - unbiased) as u32;
+        let mant = (frac | 0x80_0000) >> (13 + shift);
+        return (sign << 15) | mant as u16;
+    }
+    let half_exp = (unbiased + 15) as u32;
+    let mant = frac >> 13;
+    // Round to nearest even.
+    let round_bit = (frac >> 12) & 1;
+    let sticky = frac & 0xfff;
+    let mut out = (sign as u32) << 15 | half_exp << 10 | mant;
+    if round_bit == 1 && (sticky != 0 || mant & 1 == 1) {
+        out += 1;
+    }
+    out as u16
+}
+
+/// Convert a bfloat16 value to `f32`.
+pub fn bf16_to_f32(bits: u16) -> f32 {
+    f32::from_bits((bits as u32) << 16)
+}
+
+/// Convert an `f32` to bfloat16 (round to nearest even).
+pub fn f32_to_bf16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    if value.is_nan() {
+        return ((bits >> 16) as u16) | 0x40;
+    }
+    let round_bit = (bits >> 15) & 1;
+    let sticky = bits & 0x7fff;
+    let mut out = (bits >> 16) as u16;
+    if round_bit == 1 && (sticky != 0 || out & 1 == 1) {
+        out = out.wrapping_add(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.375, 65504.0] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_known_encodings() {
+        assert_eq!(f32_to_f16(1.0), 0x3c00);
+        assert_eq!(f32_to_f16(-2.0), 0xc000);
+        assert_eq!(f16_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_to_f32(0x7c00), f32::INFINITY);
+        assert_eq!(f16_to_f32(0xfc00), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn f16_overflow_and_underflow() {
+        assert_eq!(f16_to_f32(f32_to_f16(1.0e6)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(1.0e-10)), 0.0);
+        // Subnormal range survives approximately.
+        let tiny = 3.0e-7f32;
+        let rt = f16_to_f32(f32_to_f16(tiny));
+        assert!((rt - tiny).abs() / tiny < 0.1);
+    }
+
+    #[test]
+    fn f16_nan_propagates() {
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn bf16_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 3.140625, -100.0] {
+            assert_eq!(bf16_to_f32(f32_to_bf16(v)), v, "value {v}");
+        }
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        // bf16 rounding: 1 + 2^-9 rounds to nearest even.
+        let v = 1.0 + 2f32.powi(-9);
+        let rt = bf16_to_f32(f32_to_bf16(v));
+        assert!((rt - v).abs() <= 2f32.powi(-8));
+    }
+}

@@ -1,0 +1,248 @@
+//! Functional semantics of the A64 base instructions.
+
+use crate::state::CoreState;
+use sme_isa::inst::scalar::{ScalarInst, ShiftOp};
+use sme_isa::types::Cond;
+
+/// Control-flow outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Fall through to the next instruction.
+    Next,
+    /// Branch by the given instruction offset (relative to the branch).
+    Branch(i32),
+    /// Return from the kernel.
+    Return,
+}
+
+fn shifted(value: u64, shift: &Option<ShiftOp>) -> u64 {
+    match shift {
+        None => value,
+        Some(s) => value << s.amount(),
+    }
+}
+
+fn set_sub_flags(state: &mut CoreState, a: u64, b: u64) {
+    let result = a.wrapping_sub(b);
+    state.flags.n = (result as i64) < 0;
+    state.flags.z = result == 0;
+    state.flags.c = a >= b;
+    state.flags.v = ((a ^ b) & (a ^ result)) >> 63 == 1;
+}
+
+fn cond_holds(state: &CoreState, cond: Cond) -> bool {
+    let f = state.flags;
+    match cond {
+        Cond::Eq => f.z,
+        Cond::Ne => !f.z,
+        Cond::Hs => f.c,
+        Cond::Lo => !f.c,
+        Cond::Ge => f.n == f.v,
+        Cond::Lt => f.n != f.v,
+        Cond::Gt => !f.z && f.n == f.v,
+        Cond::Le => f.z || f.n != f.v,
+    }
+}
+
+/// Execute one scalar instruction.
+pub fn exec(state: &mut CoreState, inst: &ScalarInst) -> Outcome {
+    match *inst {
+        ScalarInst::MovZ { rd, imm16, hw } => {
+            state.set_x(rd, (imm16 as u64) << (16 * hw as u64));
+            Outcome::Next
+        }
+        ScalarInst::MovK { rd, imm16, hw } => {
+            let shift = 16 * hw as u64;
+            let mask = !(0xffffu64 << shift);
+            let value = (state.x(rd) & mask) | ((imm16 as u64) << shift);
+            state.set_x(rd, value);
+            Outcome::Next
+        }
+        ScalarInst::MovReg { rd, rn } => {
+            let v = state.x(rn);
+            state.set_x(rd, v);
+            Outcome::Next
+        }
+        ScalarInst::AddImm { rd, rn, imm12, shift12 } => {
+            let imm = (imm12 as u64) << if shift12 { 12 } else { 0 };
+            let v = state.x(rn).wrapping_add(imm);
+            state.set_x(rd, v);
+            Outcome::Next
+        }
+        ScalarInst::SubImm { rd, rn, imm12, shift12 } => {
+            let imm = (imm12 as u64) << if shift12 { 12 } else { 0 };
+            let v = state.x(rn).wrapping_sub(imm);
+            state.set_x(rd, v);
+            Outcome::Next
+        }
+        ScalarInst::SubsImm { rd, rn, imm12 } => {
+            let a = state.x(rn);
+            let b = imm12 as u64;
+            set_sub_flags(state, a, b);
+            state.set_x(rd, a.wrapping_sub(b));
+            Outcome::Next
+        }
+        ScalarInst::AddReg { rd, rn, rm, ref shift } => {
+            let v = state.x(rn).wrapping_add(shifted(state.x(rm), shift));
+            state.set_x(rd, v);
+            Outcome::Next
+        }
+        ScalarInst::SubReg { rd, rn, rm, ref shift } => {
+            let v = state.x(rn).wrapping_sub(shifted(state.x(rm), shift));
+            state.set_x(rd, v);
+            Outcome::Next
+        }
+        ScalarInst::Madd { rd, rn, rm, ra } => {
+            let v = state.x(ra).wrapping_add(state.x(rn).wrapping_mul(state.x(rm)));
+            state.set_x(rd, v);
+            Outcome::Next
+        }
+        ScalarInst::LslImm { rd, rn, shift } => {
+            let v = state.x(rn) << shift;
+            state.set_x(rd, v);
+            Outcome::Next
+        }
+        ScalarInst::CmpReg { rn, rm } => {
+            set_sub_flags(state, state.x(rn), state.x(rm));
+            Outcome::Next
+        }
+        ScalarInst::CmpImm { rn, imm12 } => {
+            set_sub_flags(state, state.x(rn), imm12 as u64);
+            Outcome::Next
+        }
+        ScalarInst::Cbnz { rn, target } => {
+            if state.x(rn) != 0 {
+                Outcome::Branch(target.offset())
+            } else {
+                Outcome::Next
+            }
+        }
+        ScalarInst::Cbz { rn, target } => {
+            if state.x(rn) == 0 {
+                Outcome::Branch(target.offset())
+            } else {
+                Outcome::Next
+            }
+        }
+        ScalarInst::B { target } => Outcome::Branch(target.offset()),
+        ScalarInst::BCond { cond, target } => {
+            if cond_holds(state, cond) {
+                Outcome::Branch(target.offset())
+            } else {
+                Outcome::Next
+            }
+        }
+        ScalarInst::Nop => Outcome::Next,
+        ScalarInst::Ret => Outcome::Return,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_isa::inst::scalar::BranchTarget;
+    use sme_isa::regs::short::*;
+    use sme_isa::types::StreamingVectorLength;
+
+    fn state() -> CoreState {
+        CoreState::new(StreamingVectorLength::M4)
+    }
+
+    #[test]
+    fn mov_sequences_build_64_bit_values() {
+        let mut s = state();
+        exec(&mut s, &ScalarInst::MovZ { rd: x(0), imm16: 0xbeef, hw: 0 });
+        exec(&mut s, &ScalarInst::MovK { rd: x(0), imm16: 0xdead, hw: 1 });
+        exec(&mut s, &ScalarInst::MovK { rd: x(0), imm16: 0x1234, hw: 3 });
+        assert_eq!(s.x(x(0)), 0x1234_0000_dead_beef);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut s = state();
+        s.set_x(x(1), 100);
+        s.set_x(x(2), 7);
+        exec(&mut s, &ScalarInst::AddReg { rd: x(0), rn: x(1), rm: x(2), shift: None });
+        assert_eq!(s.x(x(0)), 107);
+        exec(
+            &mut s,
+            &ScalarInst::AddReg { rd: x(0), rn: x(1), rm: x(2), shift: Some(ShiftOp::Lsl(2)) },
+        );
+        assert_eq!(s.x(x(0)), 128);
+        exec(&mut s, &ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        assert_eq!(s.x(x(0)), 127);
+        exec(&mut s, &ScalarInst::AddImm { rd: x(0), rn: x(0), imm12: 2, shift12: true });
+        assert_eq!(s.x(x(0)), 127 + (2 << 12));
+        exec(&mut s, &ScalarInst::Madd { rd: x(3), rn: x(1), rm: x(2), ra: x(0) });
+        assert_eq!(s.x(x(3)), s.x(x(0)) + 700);
+        exec(&mut s, &ScalarInst::LslImm { rd: x(4), rn: x(2), shift: 4 });
+        assert_eq!(s.x(x(4)), 112);
+    }
+
+    #[test]
+    fn loop_branching_with_cbnz() {
+        let mut s = state();
+        s.set_x(x(0), 3);
+        let dec = ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false };
+        let branch = ScalarInst::Cbnz { rn: x(0), target: BranchTarget::Offset(-1) };
+        let mut taken = 0;
+        loop {
+            exec(&mut s, &dec);
+            match exec(&mut s, &branch) {
+                Outcome::Branch(_) => taken += 1,
+                Outcome::Next => break,
+                Outcome::Return => unreachable!(),
+            }
+        }
+        assert_eq!(taken, 2);
+        assert_eq!(s.x(x(0)), 0);
+    }
+
+    #[test]
+    fn conditional_branches_follow_flags() {
+        let mut s = state();
+        s.set_x(x(1), 5);
+        exec(&mut s, &ScalarInst::CmpImm { rn: x(1), imm12: 5 });
+        assert!(s.flags.z);
+        assert_eq!(
+            exec(&mut s, &ScalarInst::BCond { cond: Cond::Eq, target: BranchTarget::Offset(10) }),
+            Outcome::Branch(10)
+        );
+        assert_eq!(
+            exec(&mut s, &ScalarInst::BCond { cond: Cond::Ne, target: BranchTarget::Offset(10) }),
+            Outcome::Next
+        );
+        exec(&mut s, &ScalarInst::CmpImm { rn: x(1), imm12: 9 });
+        assert_eq!(
+            exec(&mut s, &ScalarInst::BCond { cond: Cond::Lt, target: BranchTarget::Offset(3) }),
+            Outcome::Branch(3)
+        );
+        s.set_x(x(2), 10);
+        exec(&mut s, &ScalarInst::CmpReg { rn: x(2), rm: x(1) });
+        assert_eq!(
+            exec(&mut s, &ScalarInst::BCond { cond: Cond::Gt, target: BranchTarget::Offset(3) }),
+            Outcome::Branch(3)
+        );
+    }
+
+    #[test]
+    fn subs_sets_flags_and_result() {
+        let mut s = state();
+        s.set_x(x(8), 1);
+        exec(&mut s, &ScalarInst::SubsImm { rd: x(8), rn: x(8), imm12: 1 });
+        assert_eq!(s.x(x(8)), 0);
+        assert!(s.flags.z);
+        assert!(s.flags.c);
+    }
+
+    #[test]
+    fn ret_and_b() {
+        let mut s = state();
+        assert_eq!(exec(&mut s, &ScalarInst::Ret), Outcome::Return);
+        assert_eq!(
+            exec(&mut s, &ScalarInst::B { target: BranchTarget::Offset(-4) }),
+            Outcome::Branch(-4)
+        );
+        assert_eq!(exec(&mut s, &ScalarInst::Nop), Outcome::Next);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sme-machine
+//!
+//! A functional **and** timing simulator of an Apple-M4-like CPU core with
+//! SME matrix acceleration. This crate is the hardware substitute for the
+//! paper's testbed (a 2024 iPad Pro with an M4 SoC): the reproduction
+//! environment has no SME silicon, so kernels produced by `sme-gemm` and the
+//! microbenchmarks in `sme-microbench` execute here instead.
+//!
+//! The simulator has two halves:
+//!
+//! * **Functional execution** ([`exec`]): architectural state ([`state`]), a
+//!   byte-addressable memory ([`mem`]) and an interpreter for the
+//!   instruction subset defined by `sme-isa`. This half answers *"does the
+//!   generated kernel compute the right numbers?"*.
+//! * **Timing model** ([`timing`]): an in-order issue scoreboard with
+//!   per-operation throughput and latency, a shared-SME-unit port model and
+//!   a cache-hierarchy bandwidth model, calibrated against the paper's own
+//!   measurements (Table I, Figs. 1–5). This half answers *"how fast would
+//!   this kernel run on M4?"* — in relative terms: the calibration targets
+//!   are the published plateaus and knees, and the quantity of interest is
+//!   which kernel wins and by roughly what factor, not absolute nanoseconds.
+//!
+//! [`multicore`] combines per-thread timing results with an explicit model
+//! of M4's four performance cores, six efficiency cores and two shared SME
+//! units to reproduce the scaling behaviour of Fig. 1.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod exec;
+pub mod mem;
+pub mod multicore;
+pub mod state;
+pub mod timing;
+
+pub use config::{CoreKind, MachineConfig};
+pub use counters::ExecStats;
+pub use exec::{ExecMode, RunOptions, Simulator};
+pub use mem::Memory;
+pub use state::CoreState;
+pub use timing::OpKind;

@@ -1,0 +1,212 @@
+//! Multi-core and shared-SME-unit model.
+//!
+//! The paper's Fig. 1 experiment runs the Neon FMLA and SME FMOPA
+//! microbenchmarks on 1–10 "user-interactive" threads and observes:
+//!
+//! * Neon scales almost linearly over the four performance cores
+//!   (395 GFLOPS at four threads) and each further thread adds roughly one
+//!   efficiency core's worth (≈ 44 GFLOPS), reaching 656 GFLOPS at ten.
+//! * SME throughput stays flat at one performance core's rate for 1–4
+//!   threads (with a small arbitration loss, 2009 → 1983 GFLOPS), jumps by
+//!   roughly one efficiency-core SME rate when a fifth thread lands on the
+//!   efficiency cluster (→ 2338 GFLOPS), and does not improve further —
+//!   the signature of **two shared SME units**, one per cluster.
+//!
+//! This module reproduces that behaviour analytically from per-thread
+//! single-core results: thread placement follows the iOS Dispatch behaviour
+//! described in §III-A (user-interactive threads fill the performance cores
+//! first, then spill to efficiency cores), core-private work adds up per
+//! core, and SME work saturates at one unit per cluster.
+
+use crate::config::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate throughput prediction for one thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of user-interactive threads.
+    pub threads: usize,
+    /// Threads placed on performance cores.
+    pub p_threads: usize,
+    /// Threads placed on efficiency cores.
+    pub e_threads: usize,
+    /// Predicted aggregate throughput in GFLOPS.
+    pub gflops: f64,
+}
+
+/// Analytic multi-core model.
+#[derive(Debug, Clone)]
+pub struct MulticoreModel {
+    config: MachineConfig,
+}
+
+impl MulticoreModel {
+    /// Create a model for the given machine.
+    pub fn new(config: MachineConfig) -> Self {
+        MulticoreModel { config }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Place `n` user-interactive threads onto cores: performance cores
+    /// first, spilling to efficiency cores, saturating at the total core
+    /// count.
+    pub fn place_user_interactive(&self, n: usize) -> (usize, usize) {
+        let mc = &self.config.multicore;
+        let p = n.min(mc.p_cores);
+        let e = (n - p).min(mc.e_cores);
+        (p, e)
+    }
+
+    /// Aggregate throughput of core-private work (e.g. Neon FMLA), given the
+    /// standalone single-core throughput on each core kind.
+    pub fn aggregate_private(&self, p_threads: usize, e_threads: usize, p_gflops: f64, e_gflops: f64) -> f64 {
+        let mc = &self.config.multicore;
+        let p_scale = if p_threads > 1 {
+            1.0 - mc.p_cluster_scaling_overhead * (p_threads as f64 - 1.0)
+        } else {
+            1.0
+        };
+        let p_total = p_gflops * p_threads as f64 * p_scale.max(0.0);
+        let e_total = e_gflops * e_threads as f64 * self.config.multicore.ui_spill_efficiency;
+        p_total + e_total
+    }
+
+    /// Aggregate throughput of SME work, which saturates at one unit per
+    /// cluster: additional threads on a cluster only add arbitration
+    /// overhead.
+    pub fn aggregate_sme(&self, p_threads: usize, e_threads: usize, p_gflops: f64, e_gflops: f64) -> f64 {
+        let mc = &self.config.multicore;
+        let share = |threads: usize, unit_rate: f64| -> f64 {
+            if threads == 0 {
+                0.0
+            } else {
+                unit_rate * (1.0 - mc.sme_share_overhead * (threads as f64 - 1.0)).max(0.0)
+            }
+        };
+        let mut total = share(p_threads, p_gflops);
+        if mc.sme_units > 1 {
+            total += share(e_threads, e_gflops);
+        }
+        total
+    }
+
+    /// Predicted scaling curve for 1..=`max_threads` user-interactive
+    /// threads, given the standalone single-core throughputs.
+    ///
+    /// `uses_sme` selects between the shared-unit model (FMOPA benchmarks)
+    /// and the core-private model (Neon benchmarks).
+    pub fn scaling_curve(
+        &self,
+        max_threads: usize,
+        p_gflops: f64,
+        e_gflops: f64,
+        uses_sme: bool,
+    ) -> Vec<ScalingPoint> {
+        (1..=max_threads)
+            .map(|n| {
+                let (p, e) = self.place_user_interactive(n);
+                let gflops = if uses_sme {
+                    self.aggregate_sme(p, e, p_gflops, e_gflops)
+                } else {
+                    self.aggregate_private(p, e, p_gflops, e_gflops)
+                };
+                ScalingPoint { threads: n, p_threads: p, e_threads: e, gflops }
+            })
+            .collect()
+    }
+
+    /// The paper's §III-F cross-check: one user-interactive thread plus one
+    /// utility (efficiency-class) thread running SME concurrently.
+    pub fn mixed_ui_utility_sme(&self, p_gflops: f64, e_gflops: f64) -> f64 {
+        self.aggregate_sme(1, 1, p_gflops, e_gflops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Standalone single-core rates from Table I.
+    const NEON_P: f64 = 113.0;
+    const NEON_E: f64 = 46.0;
+    const SME_P: f64 = 2009.0;
+    const SME_E: f64 = 357.0;
+
+    fn model() -> MulticoreModel {
+        MulticoreModel::new(MachineConfig::apple_m4())
+    }
+
+    #[test]
+    fn placement_fills_p_cores_first() {
+        let m = model();
+        assert_eq!(m.place_user_interactive(1), (1, 0));
+        assert_eq!(m.place_user_interactive(4), (4, 0));
+        assert_eq!(m.place_user_interactive(5), (4, 1));
+        assert_eq!(m.place_user_interactive(10), (4, 6));
+        assert_eq!(m.place_user_interactive(20), (4, 6), "saturates at the core count");
+    }
+
+    #[test]
+    fn neon_scaling_matches_figure_one() {
+        let m = model();
+        let curve = m.scaling_curve(10, NEON_P, NEON_E, false);
+        assert!((curve[0].gflops - 113.0).abs() < 1.0);
+        // Four threads: ≈ 395 GFLOPS.
+        assert!((curve[3].gflops - 395.0).abs() < 12.0, "4 threads: {}", curve[3].gflops);
+        // Each additional thread adds roughly an efficiency core.
+        let delta = curve[5].gflops - curve[4].gflops;
+        assert!((delta - 46.0).abs() < 4.0, "per-thread increment {delta}");
+        // Ten threads: ≈ 656 GFLOPS.
+        assert!((curve[9].gflops - 656.0).abs() < 25.0, "10 threads: {}", curve[9].gflops);
+    }
+
+    #[test]
+    fn sme_scaling_matches_figure_one() {
+        let m = model();
+        let curve = m.scaling_curve(10, SME_P, SME_E, true);
+        // Flat (slightly declining) over the performance cluster.
+        assert!((curve[0].gflops - 2009.0).abs() < 1.0);
+        assert!((curve[3].gflops - 1983.0).abs() < 5.0, "4 threads: {}", curve[3].gflops);
+        // Fifth thread engages the second SME unit.
+        assert!((curve[4].gflops - 2338.0).abs() < 15.0, "5 threads: {}", curve[4].gflops);
+        // No further improvement beyond five threads.
+        assert!(curve[9].gflops <= curve[4].gflops + 1.0);
+        assert!(curve[9].gflops > curve[4].gflops - 20.0);
+    }
+
+    #[test]
+    fn mixed_thread_experiment_matches_paper() {
+        // §III-F: UI + utility threads together reach ≈ 2371 GFLOPS
+        // (2009 + 357 = 2366 from Table I).
+        let m = model();
+        let total = m.mixed_ui_utility_sme(SME_P, SME_E);
+        assert!((total - 2366.0).abs() < 10.0, "{total}");
+    }
+
+    #[test]
+    fn speedup_summary_matches_discussion_section() {
+        // §V: single-thread SME beats 10-thread Neon by up to 3.1x; with
+        // both SME units the improvement reaches 3.6x.
+        let m = model();
+        let neon10 = m.scaling_curve(10, NEON_P, NEON_E, false)[9].gflops;
+        let sme1 = SME_P;
+        let sme_both = m.mixed_ui_utility_sme(SME_P, SME_E);
+        let single_speedup = sme1 / neon10;
+        let dual_speedup = sme_both / neon10;
+        assert!((single_speedup - 3.1).abs() < 0.25, "single-unit speedup {single_speedup}");
+        assert!((dual_speedup - 3.6).abs() < 0.3, "dual-unit speedup {dual_speedup}");
+    }
+
+    #[test]
+    fn single_unit_machine_does_not_benefit_from_spill() {
+        let mut cfg = MachineConfig::apple_m4();
+        cfg.multicore.sme_units = 1;
+        let m = MulticoreModel::new(cfg);
+        let curve = m.scaling_curve(10, SME_P, SME_E, true);
+        assert!(curve[9].gflops <= curve[0].gflops);
+    }
+}

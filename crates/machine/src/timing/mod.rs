@@ -1,0 +1,16 @@
+//! Timing model: operation classification, the dataflow scoreboard and the
+//! cache-hierarchy bandwidth model.
+//!
+//! See the crate-level documentation for the calibration philosophy: the
+//! model's constants are fitted to the paper's own measurements and the
+//! simulator then *derives* kernel performance from instruction mix,
+//! dependency structure and access patterns — the properties the paper's
+//! code generator optimises.
+
+pub mod memory;
+pub mod op;
+pub mod scoreboard;
+
+pub use memory::{MemCost, MemModel};
+pub use op::{OpKind, Unit};
+pub use scoreboard::{deps, Resource, Scoreboard};

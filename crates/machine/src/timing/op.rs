@@ -1,0 +1,316 @@
+//! Classification of instructions into timing-relevant operation kinds and
+//! execution units.
+
+use serde::{Deserialize, Serialize};
+use sme_isa::inst::{Inst, NeonInst, ScalarInst, SmeInst, SveInst};
+use sme_isa::types::ElementType;
+
+/// Operation kind used to look up throughput/latency in the machine
+/// configuration.
+///
+/// The granularity mirrors the rows of the paper's Table I plus the memory
+/// strategies of Figs. 2–5: two instructions with the same kind are modelled
+/// as having identical cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Integer ALU (address arithmetic, immediate moves, compares).
+    IntAlu,
+    /// Branches.
+    Branch,
+    /// Neon fused multiply-add (vector or by-element).
+    NeonFmla,
+    /// Neon BF16 matrix multiply-accumulate.
+    NeonBfmmla,
+    /// Other Neon data processing (dup, movi).
+    NeonOther,
+    /// Neon loads (LDR Q / LDP Q).
+    NeonLoad,
+    /// Neon stores (STR Q / STP Q).
+    NeonStore,
+    /// Streaming-SVE predicated FMLA on single vectors.
+    SsveFmla,
+    /// SVE predicate manipulation (ptrue, whilelt).
+    SvePred,
+    /// Other SVE data processing (dup immediate, addvl).
+    SveOther,
+    /// FP32 non-widening outer product (FMOPA).
+    SmeFmopaF32,
+    /// FP64 non-widening outer product (FMOPA).
+    SmeFmopaF64,
+    /// FP16/BF16 widening outer product (FMOPA/BFMOPA).
+    SmeFmopaWide,
+    /// I8 widening sum of outer products (SMOPA, 4-way).
+    SmeSmopaI8,
+    /// I16 widening sum of outer products (SMOPA, 2-way).
+    SmeSmopaI16,
+    /// SME2 multi-vector FMLA on ZA array vectors.
+    SmeFmlaVec,
+    /// MOVA of a single vector between a Z register and a tile slice.
+    SmeMova1,
+    /// MOVA of a two-vector group.
+    SmeMova2,
+    /// MOVA of a four-vector group.
+    SmeMova4,
+    /// `zero {za…}`.
+    SmeZero,
+    /// SMSTART / SMSTOP.
+    SmeControl,
+    /// Direct ZA array-vector load (`ldr za[...]`).
+    LoadLdrZa,
+    /// Direct ZA array-vector store (`str za[...]`).
+    StoreStrZa,
+    /// Single-vector contiguous SVE load (`ld1w { z }, …`).
+    LoadLd1Single,
+    /// Two-vector contiguous load (`ld1w { z, z }, png/z, …`).
+    LoadLd1Multi2,
+    /// Four-vector contiguous load (`ld1w { z..z }, png/z, …`).
+    LoadLd1Multi4,
+    /// Single-vector contiguous SVE store.
+    StoreSt1Single,
+    /// Two-vector contiguous store.
+    StoreSt1Multi2,
+    /// Four-vector contiguous store.
+    StoreSt1Multi4,
+    /// Unpredicated SVE vector load (`ldr z, …`).
+    LoadLdrZ,
+    /// Unpredicated SVE vector store (`str z, …`).
+    StoreStrZ,
+}
+
+/// Execution resource an operation occupies for throughput accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Scalar integer ALUs.
+    ScalarAlu,
+    /// Branch unit.
+    Branch,
+    /// Neon floating-point/SIMD pipes.
+    NeonFp,
+    /// Load/store unit (core-side).
+    LoadStore,
+    /// The shared SME unit (outer products, ZA moves, ZA loads/stores,
+    /// streaming-mode vector FP).
+    Sme,
+}
+
+impl OpKind {
+    /// Classify an instruction.
+    pub fn of(inst: &Inst) -> OpKind {
+        match inst {
+            Inst::Scalar(s) => match s {
+                ScalarInst::Cbnz { .. }
+                | ScalarInst::Cbz { .. }
+                | ScalarInst::B { .. }
+                | ScalarInst::BCond { .. }
+                | ScalarInst::Ret => OpKind::Branch,
+                _ => OpKind::IntAlu,
+            },
+            Inst::Neon(n) => match n {
+                NeonInst::FmlaVec { .. } | NeonInst::FmlaElem { .. } => OpKind::NeonFmla,
+                NeonInst::Bfmmla { .. } => OpKind::NeonBfmmla,
+                NeonInst::LdrQ { .. } | NeonInst::LdpQ { .. } => OpKind::NeonLoad,
+                NeonInst::StrQ { .. } | NeonInst::StpQ { .. } => OpKind::NeonStore,
+                NeonInst::DupElem { .. } | NeonInst::MoviZero { .. } => OpKind::NeonOther,
+            },
+            Inst::Sve(v) => match v {
+                SveInst::Ptrue { .. }
+                | SveInst::PtrueCnt { .. }
+                | SveInst::Whilelt { .. }
+                | SveInst::WhileltCnt { .. } => OpKind::SvePred,
+                SveInst::FmlaSve { .. } => OpKind::SsveFmla,
+                SveInst::DupImm { .. } | SveInst::AddVl { .. } => OpKind::SveOther,
+                SveInst::Ld1 { .. } => OpKind::LoadLd1Single,
+                SveInst::St1 { .. } => OpKind::StoreSt1Single,
+                SveInst::Ld1Multi { count, .. } => {
+                    if *count == 4 {
+                        OpKind::LoadLd1Multi4
+                    } else {
+                        OpKind::LoadLd1Multi2
+                    }
+                }
+                SveInst::St1Multi { count, .. } => {
+                    if *count == 4 {
+                        OpKind::StoreSt1Multi4
+                    } else {
+                        OpKind::StoreSt1Multi2
+                    }
+                }
+                SveInst::LdrZ { .. } => OpKind::LoadLdrZ,
+                SveInst::StrZ { .. } => OpKind::StoreStrZ,
+            },
+            Inst::Sme(m) => match m {
+                SmeInst::Smstart { .. } | SmeInst::Smstop { .. } => OpKind::SmeControl,
+                SmeInst::Fmopa { elem, .. } => {
+                    if *elem == ElementType::F64 {
+                        OpKind::SmeFmopaF64
+                    } else {
+                        OpKind::SmeFmopaF32
+                    }
+                }
+                SmeInst::FmopaWide { .. } => OpKind::SmeFmopaWide,
+                SmeInst::Smopa { from, .. } => {
+                    if *from == ElementType::I8 {
+                        OpKind::SmeSmopaI8
+                    } else {
+                        OpKind::SmeSmopaI16
+                    }
+                }
+                SmeInst::FmlaZaVectors { .. } => OpKind::SmeFmlaVec,
+                SmeInst::MovaToTile { count, .. } | SmeInst::MovaFromTile { count, .. } => {
+                    match count {
+                        1 => OpKind::SmeMova1,
+                        2 => OpKind::SmeMova2,
+                        _ => OpKind::SmeMova4,
+                    }
+                }
+                SmeInst::ZeroZa { .. } => OpKind::SmeZero,
+                SmeInst::LdrZa { .. } => OpKind::LoadLdrZa,
+                SmeInst::StrZa { .. } => OpKind::StoreStrZa,
+            },
+        }
+    }
+
+    /// The execution unit this operation occupies.
+    pub fn unit(self) -> Unit {
+        match self {
+            OpKind::IntAlu | OpKind::SvePred | OpKind::SveOther => Unit::ScalarAlu,
+            OpKind::Branch => Unit::Branch,
+            OpKind::NeonFmla | OpKind::NeonBfmmla | OpKind::NeonOther => Unit::NeonFp,
+            OpKind::NeonLoad
+            | OpKind::NeonStore
+            | OpKind::LoadLd1Single
+            | OpKind::LoadLd1Multi2
+            | OpKind::LoadLd1Multi4
+            | OpKind::StoreSt1Single
+            | OpKind::StoreSt1Multi2
+            | OpKind::StoreSt1Multi4
+            | OpKind::LoadLdrZ
+            | OpKind::StoreStrZ
+            | OpKind::LoadLdrZa
+            | OpKind::StoreStrZa => Unit::LoadStore,
+            OpKind::SsveFmla
+            | OpKind::SmeFmopaF32
+            | OpKind::SmeFmopaF64
+            | OpKind::SmeFmopaWide
+            | OpKind::SmeSmopaI8
+            | OpKind::SmeSmopaI16
+            | OpKind::SmeFmlaVec
+            | OpKind::SmeMova1
+            | OpKind::SmeMova2
+            | OpKind::SmeMova4
+            | OpKind::SmeZero
+            | OpKind::SmeControl => Unit::Sme,
+        }
+    }
+
+    /// `true` if the kind is a memory access timed by the bandwidth model.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            OpKind::NeonLoad
+                | OpKind::NeonStore
+                | OpKind::LoadLd1Single
+                | OpKind::LoadLd1Multi2
+                | OpKind::LoadLd1Multi4
+                | OpKind::StoreSt1Single
+                | OpKind::StoreSt1Multi2
+                | OpKind::StoreSt1Multi4
+                | OpKind::LoadLdrZ
+                | OpKind::StoreStrZ
+                | OpKind::LoadLdrZa
+                | OpKind::StoreStrZa
+        )
+    }
+
+    /// `true` if the kind is a memory write.
+    pub fn is_store(self) -> bool {
+        matches!(
+            self,
+            OpKind::NeonStore
+                | OpKind::StoreSt1Single
+                | OpKind::StoreSt1Multi2
+                | OpKind::StoreSt1Multi4
+                | OpKind::StoreStrZ
+                | OpKind::StoreStrZa
+        )
+    }
+
+    /// All operation kinds (useful for building complete configuration
+    /// tables and for exhaustive tests).
+    pub fn all() -> &'static [OpKind] {
+        use OpKind::*;
+        &[
+            IntAlu, Branch, NeonFmla, NeonBfmmla, NeonOther, NeonLoad, NeonStore, SsveFmla,
+            SvePred, SveOther, SmeFmopaF32, SmeFmopaF64, SmeFmopaWide, SmeSmopaI8, SmeSmopaI16,
+            SmeFmlaVec, SmeMova1, SmeMova2, SmeMova4, SmeZero, SmeControl, LoadLdrZa, StoreStrZa,
+            LoadLd1Single, LoadLd1Multi2, LoadLd1Multi4, StoreSt1Single, StoreSt1Multi2,
+            StoreSt1Multi4, LoadLdrZ, StoreStrZ,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_isa::regs::short::*;
+    use sme_isa::types::NeonArrangement;
+
+    #[test]
+    fn classification_matches_table_one_rows() {
+        let fmla: Inst = NeonInst::fmla_vec(v(0), v(30), v(31), NeonArrangement::S4).into();
+        assert_eq!(OpKind::of(&fmla), OpKind::NeonFmla);
+        let fmopa: Inst = SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).into();
+        assert_eq!(OpKind::of(&fmopa), OpKind::SmeFmopaF32);
+        let fmopa64: Inst = SmeInst::fmopa_f64(0, p(0), p(1), z(0), z(1)).into();
+        assert_eq!(OpKind::of(&fmopa64), OpKind::SmeFmopaF64);
+        let bfmopa: Inst = SmeInst::bfmopa(0, p(0), p(1), z(0), z(1)).into();
+        assert_eq!(OpKind::of(&bfmopa), OpKind::SmeFmopaWide);
+        let smopa: Inst = SmeInst::smopa_i8(0, p(0), p(1), z(0), z(1)).into();
+        assert_eq!(OpKind::of(&smopa), OpKind::SmeSmopaI8);
+        let ssve: Inst = SveInst::FmlaSve {
+            zd: z(0),
+            pg: p(0),
+            zn: z(1),
+            zm: z(2),
+            elem: ElementType::F32,
+        }
+        .into();
+        assert_eq!(OpKind::of(&ssve), OpKind::SsveFmla);
+    }
+
+    #[test]
+    fn memory_strategies_distinguished() {
+        let ldr_za: Inst = SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.into();
+        assert_eq!(OpKind::of(&ldr_za), OpKind::LoadLdrZa);
+        let ld4: Inst = SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).into();
+        assert_eq!(OpKind::of(&ld4), OpKind::LoadLd1Multi4);
+        let ld2: Inst = SveInst::ld1w_multi(z(0), 2, pn(8), x(0), 0).into();
+        assert_eq!(OpKind::of(&ld2), OpKind::LoadLd1Multi2);
+        let ld1: Inst = SveInst::ld1w(z(0), p(0), x(0), 0).into();
+        assert_eq!(OpKind::of(&ld1), OpKind::LoadLd1Single);
+        assert!(OpKind::of(&ld1).is_memory());
+        assert!(!OpKind::of(&ld1).is_store());
+        let st: Inst = SveInst::st1w_multi(z(0), 4, pn(8), x(0), 0).into();
+        assert_eq!(OpKind::of(&st), OpKind::StoreSt1Multi4);
+        assert!(OpKind::of(&st).is_store());
+    }
+
+    #[test]
+    fn units() {
+        assert_eq!(OpKind::SmeFmopaF32.unit(), Unit::Sme);
+        assert_eq!(OpKind::NeonFmla.unit(), Unit::NeonFp);
+        assert_eq!(OpKind::LoadLdrZa.unit(), Unit::LoadStore);
+        assert_eq!(OpKind::IntAlu.unit(), Unit::ScalarAlu);
+        assert_eq!(OpKind::Branch.unit(), Unit::Branch);
+    }
+
+    #[test]
+    fn all_is_exhaustive_for_classification() {
+        // Every kind returned by `of` must be present in `all`.
+        assert_eq!(OpKind::all().len(), 31);
+        for k in OpKind::all() {
+            // unit() must be total.
+            let _ = k.unit();
+        }
+    }
+}

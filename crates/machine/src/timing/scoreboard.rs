@@ -1,0 +1,455 @@
+//! Dataflow scoreboard: per-unit issue throughput plus read-after-write
+//! dependency tracking.
+//!
+//! The model is an idealised out-of-order core: an instruction starts as
+//! soon as (a) its execution unit has a free issue slot and (b) all of its
+//! source operands are ready. Write-after-write and write-after-read hazards
+//! are ignored (register renaming). This is the right level of detail for
+//! the paper's kernels: peak-throughput loops are limited by issue
+//! bandwidth, the single-ZA-tile FMOPA experiment is limited by the
+//! read-after-write chain through the tile, and memory-bound loops are
+//! limited by the load/store occupancy charged by the bandwidth model.
+
+use crate::config::CoreTimings;
+use crate::timing::memory::MemCost;
+use crate::timing::op::{OpKind, Unit};
+use sme_isa::inst::{Inst, NeonInst, ScalarInst, SmeInst, SveInst};
+use sme_isa::regs::XReg;
+use sme_isa::types::ElementType;
+use std::collections::HashMap;
+
+/// A dependency-tracked architectural resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// General-purpose register.
+    X(u8),
+    /// Neon register.
+    V(u8),
+    /// Scalable vector register.
+    Z(u8),
+    /// Predicate register (including predicate-as-counter aliases).
+    P(u8),
+    /// One 64-bit-granule ZA tile (`za0.d` … `za7.d`); wider tiles map onto
+    /// several granules.
+    ZaD(u8),
+    /// The NZCV flags.
+    Flags,
+}
+
+/// The timing scoreboard for one kernel execution on one core.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    timings: CoreTimings,
+    unit_free: HashMap<Unit, f64>,
+    ready: HashMap<Resource, f64>,
+    end: f64,
+    issued: u64,
+}
+
+impl Scoreboard {
+    /// Create a scoreboard using the given core's timing table.
+    pub fn new(timings: CoreTimings) -> Self {
+        Scoreboard {
+            timings,
+            unit_free: HashMap::new(),
+            ready: HashMap::new(),
+            end: 0.0,
+            issued: 0,
+        }
+    }
+
+    /// Total modelled cycles so far.
+    pub fn cycles(&self) -> f64 {
+        self.end
+    }
+
+    /// Number of instructions issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Clock frequency of the modelled core in GHz.
+    pub fn clock_ghz(&self) -> f64 {
+        self.timings.clock_ghz
+    }
+
+    /// Account for one executed instruction. `mem` carries the bandwidth
+    /// model's cost for memory operations.
+    pub fn issue(&mut self, inst: &Inst, mem: Option<MemCost>) {
+        let kind = OpKind::of(inst);
+        let timing = self.timings.op(kind);
+        let (interval, latency) = match mem {
+            Some(c) => (c.interval, c.latency),
+            None => (timing.interval(), timing.latency),
+        };
+        let unit = kind.unit();
+        let unit_free = self.unit_free.get(&unit).copied().unwrap_or(0.0);
+
+        let (reads, writes) = deps(inst);
+        let operands_ready = reads
+            .iter()
+            .map(|r| self.ready.get(r).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+
+        let start = unit_free.max(operands_ready);
+        self.unit_free.insert(unit, start + interval);
+        let done = start + interval.max(latency);
+        for w in writes {
+            self.ready.insert(w, start + latency.max(interval));
+        }
+        self.end = self.end.max(done);
+        self.issued += 1;
+    }
+}
+
+/// ZA 64-bit granules covered by tile `index` of element type `elem`.
+fn za_granules(index: u8, elem: ElementType) -> Vec<Resource> {
+    let esz = elem.bytes() as u8;
+    // Tile `t` for element size `esz` consists of ZA array vectors with
+    // index ≡ t (mod esz); granule `d` covers vectors ≡ d (mod 8).
+    (0..8u8)
+        .filter(|d| d % esz == index % esz && *d >= index && (d - index) % esz == 0)
+        .map(Resource::ZaD)
+        .collect()
+}
+
+/// All eight ZA granules (conservative aliasing for array-vector accesses).
+fn za_all() -> Vec<Resource> {
+    (0..8u8).map(Resource::ZaD).collect()
+}
+
+fn x_res(r: XReg) -> Option<Resource> {
+    if r.is_zero() {
+        None
+    } else {
+        Some(Resource::X(r.index()))
+    }
+}
+
+/// Source and destination resources of an instruction.
+pub fn deps(inst: &Inst) -> (Vec<Resource>, Vec<Resource>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    match inst {
+        Inst::Scalar(s) => match *s {
+            ScalarInst::MovZ { rd, .. } => writes.extend(x_res(rd)),
+            ScalarInst::MovK { rd, .. } => {
+                reads.extend(x_res(rd));
+                writes.extend(x_res(rd));
+            }
+            ScalarInst::MovReg { rd, rn } => {
+                reads.extend(x_res(rn));
+                writes.extend(x_res(rd));
+            }
+            ScalarInst::AddImm { rd, rn, .. }
+            | ScalarInst::SubImm { rd, rn, .. }
+            | ScalarInst::LslImm { rd, rn, .. } => {
+                reads.extend(x_res(rn));
+                writes.extend(x_res(rd));
+            }
+            ScalarInst::SubsImm { rd, rn, .. } => {
+                reads.extend(x_res(rn));
+                writes.extend(x_res(rd));
+                writes.push(Resource::Flags);
+            }
+            ScalarInst::AddReg { rd, rn, rm, .. } | ScalarInst::SubReg { rd, rn, rm, .. } => {
+                reads.extend(x_res(rn));
+                reads.extend(x_res(rm));
+                writes.extend(x_res(rd));
+            }
+            ScalarInst::Madd { rd, rn, rm, ra } => {
+                reads.extend(x_res(rn));
+                reads.extend(x_res(rm));
+                reads.extend(x_res(ra));
+                writes.extend(x_res(rd));
+            }
+            ScalarInst::CmpReg { rn, rm } => {
+                reads.extend(x_res(rn));
+                reads.extend(x_res(rm));
+                writes.push(Resource::Flags);
+            }
+            ScalarInst::CmpImm { rn, .. } => {
+                reads.extend(x_res(rn));
+                writes.push(Resource::Flags);
+            }
+            ScalarInst::Cbnz { rn, .. } | ScalarInst::Cbz { rn, .. } => reads.extend(x_res(rn)),
+            ScalarInst::BCond { .. } => reads.push(Resource::Flags),
+            ScalarInst::B { .. } | ScalarInst::Nop | ScalarInst::Ret => {}
+        },
+        Inst::Neon(n) => match *n {
+            NeonInst::FmlaVec { vd, vn, vm, .. } | NeonInst::FmlaElem { vd, vn, vm, .. } => {
+                reads.push(Resource::V(vd.index()));
+                reads.push(Resource::V(vn.index()));
+                reads.push(Resource::V(vm.index()));
+                writes.push(Resource::V(vd.index()));
+            }
+            NeonInst::Bfmmla { vd, vn, vm } => {
+                reads.push(Resource::V(vd.index()));
+                reads.push(Resource::V(vn.index()));
+                reads.push(Resource::V(vm.index()));
+                writes.push(Resource::V(vd.index()));
+            }
+            NeonInst::LdrQ { vt, rn, .. } => {
+                reads.extend(x_res(rn));
+                writes.push(Resource::V(vt.index()));
+            }
+            NeonInst::StrQ { vt, rn, .. } => {
+                reads.push(Resource::V(vt.index()));
+                reads.extend(x_res(rn));
+            }
+            NeonInst::LdpQ { vt1, vt2, rn, .. } => {
+                reads.extend(x_res(rn));
+                writes.push(Resource::V(vt1.index()));
+                writes.push(Resource::V(vt2.index()));
+            }
+            NeonInst::StpQ { vt1, vt2, rn, .. } => {
+                reads.push(Resource::V(vt1.index()));
+                reads.push(Resource::V(vt2.index()));
+                reads.extend(x_res(rn));
+            }
+            NeonInst::DupElem { vd, vn, .. } => {
+                reads.push(Resource::V(vn.index()));
+                writes.push(Resource::V(vd.index()));
+            }
+            NeonInst::MoviZero { vd, .. } => writes.push(Resource::V(vd.index())),
+        },
+        Inst::Sve(v) => match *v {
+            SveInst::Ptrue { pd, .. } => writes.push(Resource::P(pd.index())),
+            SveInst::PtrueCnt { pn, .. } => writes.push(Resource::P(pn.index())),
+            SveInst::Whilelt { pd, rn, rm, .. } => {
+                reads.extend(x_res(rn));
+                reads.extend(x_res(rm));
+                writes.push(Resource::P(pd.index()));
+            }
+            SveInst::WhileltCnt { pn, rn, rm, .. } => {
+                reads.extend(x_res(rn));
+                reads.extend(x_res(rm));
+                writes.push(Resource::P(pn.index()));
+            }
+            SveInst::Ld1 { zt, pg, rn, .. } => {
+                reads.push(Resource::P(pg.index()));
+                reads.extend(x_res(rn));
+                writes.push(Resource::Z(zt.index()));
+            }
+            SveInst::St1 { zt, pg, rn, .. } => {
+                reads.push(Resource::Z(zt.index()));
+                reads.push(Resource::P(pg.index()));
+                reads.extend(x_res(rn));
+            }
+            SveInst::Ld1Multi { zt, count, pn, rn, .. } => {
+                reads.push(Resource::P(pn.index()));
+                reads.extend(x_res(rn));
+                for k in 0..count {
+                    writes.push(Resource::Z(zt.offset(k).index()));
+                }
+            }
+            SveInst::St1Multi { zt, count, pn, rn, .. } => {
+                reads.push(Resource::P(pn.index()));
+                reads.extend(x_res(rn));
+                for k in 0..count {
+                    reads.push(Resource::Z(zt.offset(k).index()));
+                }
+            }
+            SveInst::LdrZ { zt, rn, .. } => {
+                reads.extend(x_res(rn));
+                writes.push(Resource::Z(zt.index()));
+            }
+            SveInst::StrZ { zt, rn, .. } => {
+                reads.push(Resource::Z(zt.index()));
+                reads.extend(x_res(rn));
+            }
+            SveInst::FmlaSve { zd, pg, zn, zm, .. } => {
+                reads.push(Resource::Z(zd.index()));
+                reads.push(Resource::Z(zn.index()));
+                reads.push(Resource::Z(zm.index()));
+                reads.push(Resource::P(pg.index()));
+                writes.push(Resource::Z(zd.index()));
+            }
+            SveInst::DupImm { zd, .. } => writes.push(Resource::Z(zd.index())),
+            SveInst::AddVl { rd, rn, .. } => {
+                reads.extend(x_res(rn));
+                writes.extend(x_res(rd));
+            }
+        },
+        Inst::Sme(m) => match *m {
+            SmeInst::Smstart { .. } | SmeInst::Smstop { .. } => {}
+            SmeInst::Fmopa { tile, elem, pn, pm, zn, zm } => {
+                reads.push(Resource::Z(zn.index()));
+                reads.push(Resource::Z(zm.index()));
+                reads.push(Resource::P(pn.index()));
+                reads.push(Resource::P(pm.index()));
+                let gran = za_granules(tile, elem);
+                reads.extend(gran.iter().copied());
+                writes.extend(gran);
+            }
+            SmeInst::FmopaWide { tile, pn, pm, zn, zm, .. }
+            | SmeInst::Smopa { tile, pn, pm, zn, zm, .. } => {
+                reads.push(Resource::Z(zn.index()));
+                reads.push(Resource::Z(zm.index()));
+                reads.push(Resource::P(pn.index()));
+                reads.push(Resource::P(pm.index()));
+                let gran = za_granules(tile, ElementType::F32);
+                reads.extend(gran.iter().copied());
+                writes.extend(gran);
+            }
+            SmeInst::MovaToTile { tile, rs, zt, count, .. } => {
+                reads.extend(x_res(rs));
+                for k in 0..count {
+                    reads.push(Resource::Z(zt.offset(k).index()));
+                }
+                writes.extend(za_granules(tile.index, tile.elem));
+            }
+            SmeInst::MovaFromTile { tile, rs, zt, count, .. } => {
+                reads.extend(x_res(rs));
+                reads.extend(za_granules(tile.index, tile.elem));
+                for k in 0..count {
+                    writes.push(Resource::Z(zt.offset(k).index()));
+                }
+            }
+            SmeInst::LdrZa { rs, rn, .. } => {
+                reads.extend(x_res(rs));
+                reads.extend(x_res(rn));
+                writes.extend(za_all());
+            }
+            SmeInst::StrZa { rs, rn, .. } => {
+                reads.extend(x_res(rs));
+                reads.extend(x_res(rn));
+                reads.extend(za_all());
+            }
+            SmeInst::ZeroZa { mask } => {
+                for d in 0..8u8 {
+                    if mask & (1 << d) != 0 {
+                        writes.push(Resource::ZaD(d));
+                    }
+                }
+            }
+            SmeInst::FmlaZaVectors { rv, zn, zm, vgx, offset, .. } => {
+                reads.extend(x_res(rv));
+                for k in 0..vgx {
+                    reads.push(Resource::Z(zn.offset(k).index()));
+                }
+                reads.push(Resource::Z(zm.index()));
+                // The accessed ZA array vectors are (rv + offset) within
+                // each vector-group partition; their 64-bit granule rotates
+                // with the offset, so instructions using different offsets
+                // are independent (exactly how the Table I microbenchmark
+                // avoids back-to-back accumulation into the same vectors).
+                let granule = Resource::ZaD(offset % 8);
+                reads.push(granule);
+                writes.push(granule);
+            }
+        },
+    }
+    (reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use sme_isa::regs::short::*;
+    use sme_isa::types::NeonArrangement;
+
+    fn p_scoreboard() -> Scoreboard {
+        Scoreboard::new(MachineConfig::apple_m4().p_core.clone())
+    }
+
+    #[test]
+    fn za_granule_mapping() {
+        // za0.s covers granules 0 and 4 (matching the ZERO mask mapping).
+        assert_eq!(za_granules(0, ElementType::F32), vec![Resource::ZaD(0), Resource::ZaD(4)]);
+        assert_eq!(za_granules(3, ElementType::F32), vec![Resource::ZaD(3), Resource::ZaD(7)]);
+        // za5.d is exactly granule 5.
+        assert_eq!(za_granules(5, ElementType::F64), vec![Resource::ZaD(5)]);
+    }
+
+    #[test]
+    fn independent_fmopas_reach_issue_throughput() {
+        // The Lst. 2 microbenchmark: 32 FMOPAs rotating over four tiles.
+        let mut sb = p_scoreboard();
+        let cfg = MachineConfig::apple_m4();
+        let iters = 1000;
+        for _ in 0..iters {
+            for i in 0..32u8 {
+                let tile = i % 4;
+                let inst: Inst = SmeInst::fmopa_f32(tile, p(0), p(1), z(i % 30), z((i + 1) % 30)).into();
+                sb.issue(&inst, None);
+            }
+        }
+        let cycles = sb.cycles();
+        let flops = (iters * 32 * 512) as f64;
+        let gflops = flops / (cycles / (cfg.p_core.clock_ghz * 1e9)) / 1e9;
+        assert!((gflops - 2009.0).abs() < 30.0, "four-tile FMOPA loop: {gflops} GFLOPS");
+    }
+
+    #[test]
+    fn single_tile_fmopa_is_latency_bound() {
+        let mut sb = p_scoreboard();
+        let cfg = MachineConfig::apple_m4();
+        let iters = 32_000;
+        for i in 0..iters {
+            let inst: Inst =
+                SmeInst::fmopa_f32(0, p(0), p(1), z((i % 15) as u8 * 2), z((i % 15) as u8 * 2 + 1))
+                    .into();
+            sb.issue(&inst, None);
+        }
+        let gflops =
+            (iters * 512) as f64 / (sb.cycles() / (cfg.p_core.clock_ghz * 1e9)) / 1e9;
+        assert!(
+            (gflops - 502.0).abs() < 15.0,
+            "single-tile FMOPA loop must drop to ≈502 GFLOPS, got {gflops}"
+        );
+    }
+
+    #[test]
+    fn neon_fmla_peak_matches_table_one() {
+        let mut sb = p_scoreboard();
+        let cfg = MachineConfig::apple_m4();
+        let iters = 10_000;
+        for i in 0..iters {
+            let dst = (i % 30) as u8;
+            let inst: Inst = NeonInst::fmla_vec(v(dst), v(30), v(31), NeonArrangement::S4).into();
+            sb.issue(&inst, None);
+        }
+        let gflops = (iters * 8) as f64 / (sb.cycles() / (cfg.p_core.clock_ghz * 1e9)) / 1e9;
+        assert!((gflops - 113.0).abs() < 3.0, "Neon FMLA peak {gflops}");
+    }
+
+    #[test]
+    fn dependent_chain_is_latency_limited() {
+        // All FMLAs accumulate into the same register: latency-bound.
+        let mut sb = p_scoreboard();
+        for _ in 0..1000 {
+            let inst: Inst = NeonInst::fmla_vec(v(0), v(30), v(31), NeonArrangement::S4).into();
+            sb.issue(&inst, None);
+        }
+        let per_inst = sb.cycles() / 1000.0;
+        assert!(per_inst > 2.5, "chained FMLA must pay the 3-cycle latency, got {per_inst}");
+    }
+
+    #[test]
+    fn memory_cost_overrides_compute_interval() {
+        let mut sb = p_scoreboard();
+        let inst: Inst = SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.into();
+        sb.issue(&inst, Some(MemCost { interval: 10.0, latency: 30.0 }));
+        assert!(sb.cycles() >= 30.0);
+        assert_eq!(sb.issued(), 1);
+    }
+
+    #[test]
+    fn units_do_not_contend_with_each_other() {
+        let mut sb = p_scoreboard();
+        // Interleave scalar and SME work: the scalar loop overhead must hide
+        // behind the FMOPA issue stream, as it does on real hardware.
+        for i in 0..1000u32 {
+            let sub: Inst = ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false }.into();
+            sb.issue(&sub, None);
+            for t in 0..4u8 {
+                let f: Inst = SmeInst::fmopa_f32(t, p(0), p(1), z((i % 14) as u8 * 2), z(1)).into();
+                sb.issue(&f, None);
+            }
+        }
+        // 4000 FMOPAs at 0.892/cycle ≈ 4484 cycles; the 1000 subs must not add to that.
+        assert!(sb.cycles() < 4600.0, "scalar work must overlap SME work: {}", sb.cycles());
+    }
+}

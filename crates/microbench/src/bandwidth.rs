@@ -1,0 +1,230 @@
+//! Figs. 2–5: ZA-array load/store bandwidth for the different transfer
+//! strategies, buffer sizes and alignments.
+
+use crate::kernels::{za_load_kernel, za_store_kernel, TransferStrategy, TRANSFER_BYTES_PER_ITERATION};
+use serde::{Deserialize, Serialize};
+use sme_machine::exec::{RunOptions, Simulator};
+use sme_machine::{CoreKind, MachineConfig};
+
+/// One bandwidth measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthPoint {
+    /// Total working-set size in bytes (the x-axis of Figs. 2–5).
+    pub bytes: u64,
+    /// Achieved bandwidth in GiB/s.
+    pub gibs: f64,
+}
+
+/// One curve: a strategy (and alignment) swept over working-set sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthCurve {
+    /// Strategy label (e.g. "LD1W 4VR").
+    pub strategy: String,
+    /// Data alignment in bytes.
+    pub alignment: u64,
+    /// Direction: `true` for stores.
+    pub store: bool,
+    /// Measured points.
+    pub points: Vec<BandwidthPoint>,
+}
+
+/// The default sweep of working-set sizes: powers of two from 2 KiB to
+/// 2 GiB, matching the x-axis of Figs. 2–5.
+pub fn default_sizes() -> Vec<u64> {
+    (11..=31).map(|p| 1u64 << p).collect()
+}
+
+/// Alignments studied in Figs. 4–5.
+pub const ALIGNMENTS: [u64; 4] = [16, 32, 64, 128];
+
+/// Number of loop iterations per measurement.
+const ITERATIONS: u64 = 500;
+
+/// Measure one strategy at one working-set size and alignment.
+///
+/// The kernel streams [`TRANSFER_BYTES_PER_ITERATION`] bytes per iteration
+/// from a buffer whose base address has exactly the requested alignment;
+/// the working-set size is passed to the memory model as a hint so that the
+/// sweep covers sizes far larger than it would be practical to touch
+/// functionally (the paper sweeps up to 2 GiB).
+pub fn measure(
+    config: &MachineConfig,
+    strategy: TransferStrategy,
+    store: bool,
+    working_set: u64,
+    alignment: u64,
+) -> f64 {
+    let kernel = if store { za_store_kernel(strategy) } else { za_load_kernel(strategy) };
+    let mut sim = Simulator::new(config.clone(), CoreKind::Performance);
+    // Allocate with generous alignment, then offset the base so that it has
+    // exactly the requested alignment (and no more).
+    let base = sim.mem.alloc_f32_zeroed(2048, 256);
+    let addr = if alignment >= 256 { base } else { base + alignment };
+    let opts = RunOptions {
+        working_set_hint: Some(working_set),
+        ..RunOptions::timing_only()
+    };
+    let result = sim.run(&kernel.program, &[ITERATIONS, addr], &opts);
+    let bytes = (ITERATIONS * TRANSFER_BYTES_PER_ITERATION) as f64;
+    bytes / result.stats.seconds() / (1u64 << 30) as f64
+}
+
+/// Reproduce Fig. 2 (loads, 128-byte aligned) or Fig. 3 (stores, 128-byte
+/// aligned): one curve per strategy.
+pub fn figure_2_or_3(config: &MachineConfig, store: bool, sizes: &[u64]) -> Vec<BandwidthCurve> {
+    TransferStrategy::all()
+        .into_iter()
+        .map(|strategy| BandwidthCurve {
+            strategy: strategy.label(store).to_string(),
+            alignment: 128,
+            store,
+            points: sizes
+                .iter()
+                .map(|&bytes| BandwidthPoint {
+                    bytes,
+                    gibs: measure(config, strategy, store, bytes, 128),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Reproduce Fig. 4 (loads) or Fig. 5 (stores): for every strategy, one
+/// curve per alignment.
+pub fn figure_4_or_5(config: &MachineConfig, store: bool, sizes: &[u64]) -> Vec<BandwidthCurve> {
+    let mut curves = Vec::new();
+    for strategy in TransferStrategy::all() {
+        for &alignment in &ALIGNMENTS {
+            curves.push(BandwidthCurve {
+                strategy: strategy.label(store).to_string(),
+                alignment,
+                store,
+                points: sizes
+                    .iter()
+                    .map(|&bytes| BandwidthPoint {
+                        bytes,
+                        gibs: measure(config, strategy, store, bytes, alignment),
+                    })
+                    .collect(),
+            });
+        }
+    }
+    curves
+}
+
+/// Plateau bandwidth of a curve: its maximum over the cache-resident sizes,
+/// excluding the sub-8-KiB region where the small-store alignment effect of
+/// Fig. 5 inflates store bandwidth.
+pub fn plateau(curve: &BandwidthCurve) -> f64 {
+    curve
+        .points
+        .iter()
+        .filter(|p| p.bytes > 8 * 1024 && p.bytes <= 8 << 20)
+        .map(|p| p.gibs)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::apple_m4()
+    }
+
+    fn small_sizes() -> Vec<u64> {
+        vec![1 << 12, 1 << 16, 1 << 20, 1 << 23, 1 << 26, 1 << 30]
+    }
+
+    #[test]
+    fn figure2_plateaus_match_the_paper() {
+        let curves = figure_2_or_3(&cfg(), false, &small_sizes());
+        let by_name = |name: &str| curves.iter().find(|c| c.strategy == name).unwrap();
+        let ldr = plateau(by_name("LDR"));
+        let ld4 = plateau(by_name("LD1W 4VR"));
+        let ld2 = plateau(by_name("LD1W 2VR"));
+        let ld1 = plateau(by_name("LD1W 1VR"));
+        assert!((ldr - 375.0).abs() < 25.0, "LDR plateau {ldr}");
+        assert!((ld4 - 925.0).abs() < 60.0, "LD1W 4VR plateau {ld4}");
+        assert!(ld2 > ldr && ld2 < ld4, "2VR ({ld2}) sits between LDR and 4VR");
+        assert!((ld1 - ldr).abs() < 60.0, "1VR ({ld1}) is comparable to LDR ({ldr})");
+        // The paper: two-step loads give a ~2.6x improvement over direct
+        // loads from L2.
+        assert!((ld4 / ldr - 2.6).abs() < 0.4, "two-step speedup {}", ld4 / ldr);
+    }
+
+    #[test]
+    fn figure3_stores_show_no_two_step_benefit() {
+        let curves = figure_2_or_3(&cfg(), true, &small_sizes());
+        let by_name = |name: &str| curves.iter().find(|c| c.strategy == name).unwrap();
+        let direct = plateau(by_name("STR"));
+        let st4 = plateau(by_name("ST1W 4VR"));
+        assert!((direct - 233.0).abs() < 20.0, "STR plateau {direct}");
+        assert!(
+            st4 < direct * 1.25,
+            "two-step stores must not significantly beat direct stores ({st4} vs {direct})"
+        );
+    }
+
+    #[test]
+    fn bandwidth_falls_off_beyond_the_caches() {
+        let sizes = vec![1 << 20, 1 << 31];
+        let curves = figure_2_or_3(&cfg(), false, &sizes);
+        for c in &curves {
+            assert!(
+                c.points[1].gibs < c.points[0].gibs * 0.5,
+                "{}: DRAM point {} must be far below the cache point {}",
+                c.strategy,
+                c.points[1].gibs,
+                c.points[0].gibs
+            );
+        }
+    }
+
+    #[test]
+    fn figure4_alignment_sensitivity() {
+        let sizes = vec![1 << 20];
+        let curves = figure_4_or_5(&cfg(), false, &sizes);
+        let get = |name: &str, align: u64| {
+            curves
+                .iter()
+                .find(|c| c.strategy == name && c.alignment == align)
+                .unwrap()
+                .points[0]
+                .gibs
+        };
+        // LDR requires at least 64-byte alignment for full bandwidth.
+        assert!(get("LDR", 16) < get("LDR", 64) * 0.85);
+        assert!((get("LDR", 64) - get("LDR", 128)).abs() < 1.0);
+        // LD1W 4VR needs 128-byte alignment for its full rate.
+        assert!(get("LD1W 4VR", 64) < get("LD1W 4VR", 128) * 0.9);
+        // One- and two-register variants are insensitive.
+        assert!((get("LD1W 1VR", 16) - get("LD1W 1VR", 128)).abs() < 1.0);
+        assert!((get("LD1W 2VR", 16) - get("LD1W 2VR", 128)).abs() < 1.0);
+    }
+
+    #[test]
+    fn figure5_small_aligned_stores_are_faster() {
+        let curves = figure_4_or_5(&cfg(), true, &[4 * 1024, 1 << 20]);
+        let get = |name: &str, align: u64, idx: usize| {
+            curves
+                .iter()
+                .find(|c| c.strategy == name && c.alignment == align)
+                .unwrap()
+                .points[idx]
+                .gibs
+        };
+        // Below 8 KiB, 64/128-byte-aligned stores are faster than unaligned
+        // ones; beyond the threshold the effect disappears.
+        assert!(get("STR", 128, 0) > get("STR", 16, 0) * 1.05);
+        assert!((get("STR", 128, 1) - get("STR", 16, 1)).abs() < 5.0);
+    }
+
+    #[test]
+    fn default_sizes_span_2kib_to_2gib() {
+        let sizes = default_sizes();
+        assert_eq!(sizes.first(), Some(&2048));
+        assert_eq!(sizes.last(), Some(&(2 * 1024 * 1024 * 1024)));
+        assert_eq!(sizes.len(), 21);
+    }
+}

@@ -1,0 +1,526 @@
+//! Microbenchmark kernels.
+//!
+//! Every kernel follows the structure of the paper's Lst. 1 / Lst. 2: a
+//! repeat loop whose body is a burst of independent data-processing
+//! instructions, taking the repetition count in `X0` and returning the
+//! number of arithmetic operations per iteration in `X0`.
+
+use sme_isa::asm::Assembler;
+use sme_isa::inst::{NeonInst, ScalarInst, SmeInst, SveInst};
+use sme_isa::regs::short::*;
+use sme_isa::regs::XReg;
+use sme_isa::types::{ElementType, NeonArrangement, StreamingVectorLength};
+use sme_isa::Program;
+
+/// A microbenchmark kernel plus its per-iteration operation count.
+#[derive(Debug, Clone)]
+pub struct BenchKernel {
+    /// The kernel program (argument: repetition count in X0).
+    pub program: Program,
+    /// Arithmetic operations performed per loop iteration.
+    pub ops_per_iteration: u64,
+    /// Human-readable instruction name (Table I column 1).
+    pub instruction: &'static str,
+    /// Input data type (Table I column 2).
+    pub dtype_in: &'static str,
+    /// Output data type (Table I column 3).
+    pub dtype_out: &'static str,
+}
+
+const SVL: StreamingVectorLength = StreamingVectorLength::M4;
+
+fn loop_kernel(
+    name: &str,
+    body: impl FnOnce(&mut Assembler),
+    ops_per_iteration: u64,
+) -> Program {
+    let mut a = Assembler::new(name);
+    // Prologue shared by all kernels: predicates + streaming mode.
+    a.push(SmeInst::Smstart { za_only: false });
+    a.push(SveInst::ptrue(p(0), ElementType::I8));
+    a.push(SveInst::ptrue(p(1), ElementType::I8));
+    let top = a.new_label();
+    a.bind(top);
+    a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+    body(&mut a);
+    a.cbnz(x(0), top);
+    a.push(SmeInst::Smstop { za_only: false });
+    a.mov_imm64(x(0), ops_per_iteration);
+    a.ret();
+    a.finish()
+}
+
+/// Lst. 1: 30 independent Neon FMLA (vector) instructions per iteration.
+pub fn neon_fmla(arrangement: NeonArrangement) -> BenchKernel {
+    let ops = 30 * 2 * arrangement.lanes() as u64;
+    let (dtype, name) = match arrangement {
+        NeonArrangement::D2 => ("FP64", "neon_fmla_fp64"),
+        NeonArrangement::S4 => ("FP32", "neon_fmla_fp32"),
+        _ => ("FP16", "neon_fmla_fp16"),
+    };
+    let program = loop_kernel(
+        name,
+        |a| {
+            for d in 0..30u8 {
+                a.push(NeonInst::fmla_vec(v(d), v(30), v(31), arrangement));
+            }
+        },
+        ops,
+    );
+    BenchKernel {
+        program,
+        ops_per_iteration: ops,
+        instruction: "FMLA (Neon)",
+        dtype_in: dtype,
+        dtype_out: dtype,
+    }
+}
+
+/// BFMMLA (Neon): 30 independent BF16 matrix multiply-accumulates.
+pub fn neon_bfmmla() -> BenchKernel {
+    let ops = 30 * 32;
+    let program = loop_kernel(
+        "neon_bfmmla",
+        |a| {
+            for d in 0..30u8 {
+                a.push(NeonInst::Bfmmla { vd: v(d), vn: v(30), vm: v(31) });
+            }
+        },
+        ops,
+    );
+    BenchKernel {
+        program,
+        ops_per_iteration: ops,
+        instruction: "BFMMLA (Neon)",
+        dtype_in: "BF16",
+        dtype_out: "FP32",
+    }
+}
+
+/// Lst. 2: 32 FMOPA (non-widening) instructions per iteration, rotating over
+/// `tiles` ZA tiles.
+pub fn sme_fmopa(elem: ElementType, tiles: u8) -> BenchKernel {
+    assert!(elem == ElementType::F32 || elem == ElementType::F64);
+    let max_tiles = elem.num_tiles() as u8;
+    assert!(tiles >= 1 && tiles <= max_tiles, "tile count out of range");
+    let per_inst = {
+        let d = elem.tile_dim(SVL) as u64;
+        d * d * 2
+    };
+    let ops = 32 * per_inst;
+    let name = if elem == ElementType::F32 { "sme_fmopa_fp32" } else { "sme_fmopa_fp64" };
+    let program = loop_kernel(
+        name,
+        |a| {
+            for i in 0..32u8 {
+                let zn = z((i * 2) % 30);
+                let zm = z((i * 2 + 1) % 30);
+                let inst = if elem == ElementType::F32 {
+                    SmeInst::fmopa_f32(i % tiles, p(0), p(1), zn, zm)
+                } else {
+                    SmeInst::fmopa_f64(i % tiles, p(0), p(1), zn, zm)
+                };
+                a.push(inst);
+            }
+        },
+        ops,
+    );
+    BenchKernel {
+        program,
+        ops_per_iteration: ops,
+        instruction: "FMOPA (SME)",
+        dtype_in: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+        dtype_out: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+    }
+}
+
+/// Widening outer products (BFMOPA / FMOPA FP16→FP32).
+pub fn sme_fmopa_widening(from: ElementType) -> BenchKernel {
+    assert!(from == ElementType::BF16 || from == ElementType::F16);
+    let ops = 32 * 1024;
+    let name = if from == ElementType::BF16 { "sme_bfmopa" } else { "sme_fmopa_fp16" };
+    let program = loop_kernel(
+        name,
+        |a| {
+            for i in 0..32u8 {
+                a.push(SmeInst::FmopaWide {
+                    tile: i % 4,
+                    from,
+                    pn: p(0),
+                    pm: p(1),
+                    zn: z((i * 2) % 30),
+                    zm: z((i * 2 + 1) % 30),
+                });
+            }
+        },
+        ops,
+    );
+    BenchKernel {
+        program,
+        ops_per_iteration: ops,
+        instruction: if from == ElementType::BF16 { "BFMOPA (SME)" } else { "FMOPA (SME)" },
+        dtype_in: if from == ElementType::BF16 { "BF16" } else { "FP16" },
+        dtype_out: "FP32",
+    }
+}
+
+/// Widening integer sums of outer products (SMOPA, I8 4-way or I16 2-way).
+pub fn sme_smopa(from: ElementType) -> BenchKernel {
+    assert!(from == ElementType::I8 || from == ElementType::I16);
+    let per_inst = if from == ElementType::I8 { 2048 } else { 1024 };
+    let ops = 32 * per_inst;
+    let name = if from == ElementType::I8 { "sme_smopa_i8" } else { "sme_smopa_i16" };
+    let program = loop_kernel(
+        name,
+        |a| {
+            for i in 0..32u8 {
+                a.push(SmeInst::Smopa {
+                    tile: i % 4,
+                    from,
+                    pn: p(0),
+                    pm: p(1),
+                    zn: z((i * 2) % 30),
+                    zm: z((i * 2 + 1) % 30),
+                });
+            }
+        },
+        ops,
+    );
+    BenchKernel {
+        program,
+        ops_per_iteration: ops,
+        instruction: "SMOPA (SME)",
+        dtype_in: if from == ElementType::I8 { "I8" } else { "I16" },
+        dtype_out: "I32",
+    }
+}
+
+/// SME2 FMLA (multiple and single vector) on ZA vector groups.
+pub fn sme2_fmla_vec(elem: ElementType) -> BenchKernel {
+    assert!(elem == ElementType::F32 || elem == ElementType::F64);
+    let per_inst = 2 * 4 * elem.elems_per_vector(SVL) as u64;
+    let ops = 16 * per_inst;
+    let name = if elem == ElementType::F32 { "sme2_fmla_fp32" } else { "sme2_fmla_fp64" };
+    let program = loop_kernel(
+        name,
+        |a| {
+            // Rotate the ZA vector-group selector to avoid accumulating into
+            // the same vectors back to back.
+            for i in 0..16u8 {
+                a.push(SmeInst::FmlaZaVectors {
+                    elem,
+                    vgx: 4,
+                    rv: x(8),
+                    offset: i % 8,
+                    zn: z((i * 4) % 24),
+                    zm: z(28),
+                });
+            }
+        },
+        ops,
+    );
+    BenchKernel {
+        program,
+        ops_per_iteration: ops,
+        instruction: "FMLA (SME2)",
+        dtype_in: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+        dtype_out: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+    }
+}
+
+/// Streaming-SVE single-vector FMLA.
+pub fn ssve_fmla(elem: ElementType) -> BenchKernel {
+    assert!(elem == ElementType::F32 || elem == ElementType::F64);
+    let per_inst = 2 * elem.elems_per_vector(SVL) as u64;
+    let ops = 30 * per_inst;
+    let name = if elem == ElementType::F32 { "ssve_fmla_fp32" } else { "ssve_fmla_fp64" };
+    let program = loop_kernel(
+        name,
+        |a| {
+            for d in 0..30u8 {
+                a.push(SveInst::FmlaSve { zd: z(d), pg: p(0), zn: z(30), zm: z(31), elem });
+            }
+        },
+        ops,
+    );
+    BenchKernel {
+        program,
+        ops_per_iteration: ops,
+        instruction: "FMLA (SSVE)",
+        dtype_in: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+        dtype_out: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+    }
+}
+
+/// ZA-array load/store strategies studied in §III-G (Figs. 2–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferStrategy {
+    /// `ldr za` / `str za` — direct array-vector transfers.
+    Direct,
+    /// One-vector two-step transfers (`ld1w`/`st1w` { z } + single MOVA).
+    OneVector,
+    /// Two-vector two-step transfers.
+    TwoVectors,
+    /// Four-vector two-step transfers (the fastest load path).
+    FourVectors,
+}
+
+impl TransferStrategy {
+    /// Label used in the figures.
+    pub fn label(self, store: bool) -> &'static str {
+        match (self, store) {
+            (TransferStrategy::Direct, false) => "LDR",
+            (TransferStrategy::Direct, true) => "STR",
+            (TransferStrategy::OneVector, false) => "LD1W 1VR",
+            (TransferStrategy::OneVector, true) => "ST1W 1VR",
+            (TransferStrategy::TwoVectors, false) => "LD1W 2VR",
+            (TransferStrategy::TwoVectors, true) => "ST1W 2VR",
+            (TransferStrategy::FourVectors, false) => "LD1W 4VR",
+            (TransferStrategy::FourVectors, true) => "ST1W 4VR",
+        }
+    }
+
+    /// All strategies in figure order.
+    pub fn all() -> [TransferStrategy; 4] {
+        [
+            TransferStrategy::Direct,
+            TransferStrategy::OneVector,
+            TransferStrategy::TwoVectors,
+            TransferStrategy::FourVectors,
+        ]
+    }
+}
+
+/// Bytes moved per loop iteration by the transfer kernels.
+pub const TRANSFER_BYTES_PER_ITERATION: u64 = 1024;
+
+/// Build a ZA load kernel: each iteration transfers
+/// [`TRANSFER_BYTES_PER_ITERATION`] bytes from the buffer in `X1` into the
+/// ZA array using the given strategy (Lst. 3 structure for the two-step
+/// variants).
+pub fn za_load_kernel(strategy: TransferStrategy) -> BenchKernel {
+    za_transfer_kernel(strategy, false)
+}
+
+/// Build a ZA store kernel (ZA array → memory at `X1`).
+pub fn za_store_kernel(strategy: TransferStrategy) -> BenchKernel {
+    za_transfer_kernel(strategy, true)
+}
+
+fn za_transfer_kernel(strategy: TransferStrategy, store: bool) -> BenchKernel {
+    let name = format!("za_{}_{}", if store { "store" } else { "load" }, strategy.label(store));
+    let mut a = Assembler::new(name);
+    a.push(SmeInst::Smstart { za_only: false });
+    a.push(SveInst::ptrue(p(0), ElementType::F32));
+    a.push(SveInst::ptrue_cnt(pn(8), ElementType::F32));
+    a.push(ScalarInst::mov_imm16(x(12), 0));
+    let top = a.new_label();
+    a.bind(top);
+    a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+    emit_transfer_iteration(&mut a, strategy, store);
+    a.cbnz(x(0), top);
+    a.push(SmeInst::Smstop { za_only: false });
+    a.mov_imm64(x(0), TRANSFER_BYTES_PER_ITERATION);
+    a.ret();
+    BenchKernel {
+        program: a.finish(),
+        ops_per_iteration: 0,
+        instruction: strategy.label(store),
+        dtype_in: "FP32",
+        dtype_out: "FP32",
+        }
+}
+
+fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store: bool) {
+    let vectors = (TRANSFER_BYTES_PER_ITERATION / 64) as u8; // 16 array vectors
+    match strategy {
+        TransferStrategy::Direct => {
+            for i in 0..vectors {
+                if store {
+                    a.push(SmeInst::StrZa { rs: x(12), offset: i, rn: x(1) });
+                } else {
+                    a.push(SmeInst::LdrZa { rs: x(12), offset: i, rn: x(1) });
+                }
+            }
+        }
+        TransferStrategy::OneVector => {
+            for i in 0..vectors {
+                let zt = z(i % 8);
+                if store {
+                    a.push(SmeInst::MovaFromTile {
+                        tile: sme_isa::regs::ZaTile::s((i % 4) as u8),
+                        dir: sme_isa::regs::TileSliceDir::Horizontal,
+                        rs: x(12),
+                        offset: i % 16,
+                        zt,
+                        count: 1,
+                    });
+                    a.push(SveInst::st1w(zt, p(0), x(1), (i % 8) as i8));
+                } else {
+                    a.push(SveInst::ld1w(zt, p(0), x(1), (i % 8) as i8));
+                    a.push(SmeInst::MovaToTile {
+                        tile: sme_isa::regs::ZaTile::s((i % 4) as u8),
+                        dir: sme_isa::regs::TileSliceDir::Horizontal,
+                        rs: x(12),
+                        offset: i % 16,
+                        zt,
+                        count: 1,
+                    });
+                }
+            }
+        }
+        TransferStrategy::TwoVectors => {
+            for i in 0..vectors / 2 {
+                let zt = z((i % 4) * 2);
+                if store {
+                    a.push(SmeInst::MovaFromTile {
+                        tile: sme_isa::regs::ZaTile::s((i % 4) as u8),
+                        dir: sme_isa::regs::TileSliceDir::Horizontal,
+                        rs: x(12),
+                        offset: (i * 2) % 16,
+                        zt,
+                        count: 2,
+                    });
+                    a.push(SveInst::st1w_multi(zt, 2, pn(8), x(1), (i % 8) as i8));
+                } else {
+                    a.push(SveInst::ld1w_multi(zt, 2, pn(8), x(1), (i % 8) as i8));
+                    a.push(SmeInst::MovaToTile {
+                        tile: sme_isa::regs::ZaTile::s((i % 4) as u8),
+                        dir: sme_isa::regs::TileSliceDir::Horizontal,
+                        rs: x(12),
+                        offset: (i * 2) % 16,
+                        zt,
+                        count: 2,
+                    });
+                }
+            }
+        }
+        TransferStrategy::FourVectors => {
+            for i in 0..vectors / 4 {
+                let zt = z((i % 2) * 4);
+                if store {
+                    a.push(SmeInst::MovaFromTile {
+                        tile: sme_isa::regs::ZaTile::s(i as u8),
+                        dir: sme_isa::regs::TileSliceDir::Horizontal,
+                        rs: x(12),
+                        offset: (i * 4) % 16,
+                        zt,
+                        count: 4,
+                    });
+                    a.push(SveInst::st1w_multi(zt, 4, pn(8), x(1), (i % 4) as i8));
+                } else {
+                    // Lst. 3: load four vectors, then move them into the ZA
+                    // array as a group.
+                    a.push(SveInst::ld1w_multi(zt, 4, pn(8), x(1), (i % 4) as i8));
+                    a.push(SmeInst::MovaToTile {
+                        tile: sme_isa::regs::ZaTile::s(i as u8),
+                        dir: sme_isa::regs::TileSliceDir::Horizontal,
+                        rs: x(12),
+                        offset: (i * 4) % 16,
+                        zt,
+                        count: 4,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Every Table I kernel, in the paper's row order.
+pub fn table_one_kernels() -> Vec<BenchKernel> {
+    vec![
+        neon_fmla(NeonArrangement::D2),
+        neon_fmla(NeonArrangement::S4),
+        neon_fmla(NeonArrangement::H8),
+        neon_bfmmla(),
+        sme_fmopa(ElementType::F64, 4),
+        sme_fmopa(ElementType::F32, 4),
+        sme_fmopa_widening(ElementType::BF16),
+        sme_fmopa_widening(ElementType::F16),
+        sme_smopa(ElementType::I16),
+        sme_smopa(ElementType::I8),
+        sme2_fmla_vec(ElementType::F64),
+        ssve_fmla(ElementType::F64),
+        sme2_fmla_vec(ElementType::F32),
+        ssve_fmla(ElementType::F32),
+    ]
+}
+
+/// The argument register holding the transfer buffer for the bandwidth
+/// kernels.
+pub const TRANSFER_BUFFER_ARG: XReg = XReg::XZR; // documented: buffer is X1, reps X0
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_isa::inst::Inst;
+
+    #[test]
+    fn table_one_has_every_row() {
+        let kernels = table_one_kernels();
+        assert_eq!(kernels.len(), 14, "Table I has 14 rows");
+        // Per-instruction operation counts from §II-B / §III.
+        let fmopa32 = sme_fmopa(ElementType::F32, 4);
+        assert_eq!(fmopa32.ops_per_iteration, 32 * 512);
+        let fmopa64 = sme_fmopa(ElementType::F64, 4);
+        assert_eq!(fmopa64.ops_per_iteration, 32 * 128);
+        let smopa8 = sme_smopa(ElementType::I8);
+        assert_eq!(smopa8.ops_per_iteration, 32 * 2048);
+        let neon = neon_fmla(NeonArrangement::S4);
+        assert_eq!(neon.ops_per_iteration, 30 * 8);
+    }
+
+    #[test]
+    fn kernels_return_their_ops_per_iteration() {
+        use sme_machine::exec::{RunOptions, Simulator};
+        let k = neon_fmla(NeonArrangement::S4);
+        let mut sim = Simulator::m4_performance();
+        let r = sim.run(&k.program, &[5], &RunOptions::functional_only());
+        assert_eq!(r.return_value, k.ops_per_iteration);
+    }
+
+    #[test]
+    fn listing_two_structure() {
+        let k = sme_fmopa(ElementType::F32, 4);
+        let fmopas = k
+            .program
+            .count_matching(|i| matches!(i, Inst::Sme(SmeInst::Fmopa { .. })));
+        assert_eq!(fmopas, 32, "Lst. 2 has 32 FMOPA instructions in the loop body");
+        let ptrues = k.program.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ptrue { .. })));
+        assert_eq!(ptrues, 2, "Lst. 2 sets two predicate registers");
+    }
+
+    #[test]
+    fn transfer_kernels_move_the_advertised_bytes() {
+        use sme_machine::exec::{RunOptions, Simulator};
+        for strategy in TransferStrategy::all() {
+            let k = za_load_kernel(strategy);
+            let mut sim = Simulator::m4_performance();
+            let buf = sim.mem.alloc_f32_zeroed(1024, 128);
+            let reps = 10u64;
+            let r = sim.run(&k.program, &[reps, buf], &RunOptions::functional_only());
+            assert_eq!(
+                r.stats.bytes_loaded,
+                reps * TRANSFER_BYTES_PER_ITERATION,
+                "{strategy:?}"
+            );
+            let ks = za_store_kernel(strategy);
+            let mut sim = Simulator::m4_performance();
+            let buf = sim.mem.alloc_f32_zeroed(1024, 128);
+            let r = sim.run(&ks.program, &[reps, buf], &RunOptions::functional_only());
+            assert_eq!(
+                r.stats.bytes_stored,
+                reps * TRANSFER_BYTES_PER_ITERATION,
+                "{strategy:?} store"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_labels_match_the_figures() {
+        assert_eq!(TransferStrategy::Direct.label(false), "LDR");
+        assert_eq!(TransferStrategy::Direct.label(true), "STR");
+        assert_eq!(TransferStrategy::FourVectors.label(false), "LD1W 4VR");
+        assert_eq!(TransferStrategy::TwoVectors.label(true), "ST1W 2VR");
+    }
+}

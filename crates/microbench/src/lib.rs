@@ -1,0 +1,27 @@
+//! # sme-microbench
+//!
+//! The paper's microbenchmarks (Section III), expressed as instruction-level
+//! kernels and executed on the `sme-machine` simulator:
+//!
+//! * [`kernels`] — the Lst. 1 / Lst. 2-style peak-throughput kernels for
+//!   every Table I row plus the ZA-array transfer loops of §III-G;
+//! * [`throughput`] — Table I (per-instruction GOPS on performance and
+//!   efficiency cores);
+//! * [`scaling`] — Fig. 1 (multi-core scaling of Neon FMLA vs SME FMOPA and
+//!   the mixed user-interactive/utility experiment);
+//! * [`bandwidth`] — Figs. 2–5 (load/store strategy bandwidth over working
+//!   set sizes and alignments);
+//! * [`report`] — text/CSV rendering used by the `sme-bench` binaries.
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod kernels;
+pub mod report;
+pub mod scaling;
+pub mod throughput;
+
+pub use bandwidth::{figure_2_or_3, figure_4_or_5, BandwidthCurve, BandwidthPoint};
+pub use kernels::{table_one_kernels, BenchKernel, TransferStrategy};
+pub use scaling::{figure1, mixed_thread_experiment, Figure1};
+pub use throughput::{table_one, table_one_reference, TableOneRow};

@@ -1,0 +1,183 @@
+//! Plain-text and CSV rendering of microbenchmark results, used by the
+//! `sme-bench` binaries to print the same rows and series the paper reports.
+
+use crate::bandwidth::BandwidthCurve;
+use crate::throughput::TableOneRow;
+use sme_machine::multicore::ScalingPoint;
+use std::fmt::Write as _;
+
+/// Render Table I as a fixed-width text table, optionally with the paper's
+/// published values alongside.
+pub fn render_table_one(rows: &[TableOneRow], reference: Option<&[(&str, &str, f64, f64)]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>6} {:>10} {:>10}{}",
+        "Instruction",
+        "In",
+        "Out",
+        "P-core",
+        "E-core",
+        if reference.is_some() { "   (paper P / E)" } else { "" }
+    );
+    let _ = writeln!(out, "{}", "-".repeat(if reference.is_some() { 70 } else { 52 }));
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{:<16} {:>6} {:>6} {:>10.0} {:>10.0}",
+            row.instruction, row.dtype_in, row.dtype_out, row.p_core_gops, row.e_core_gops
+        );
+        if let Some(reference) = reference {
+            if let Some((_, _, p, e)) = reference.get(i) {
+                let _ = write!(out, "   ({p:>6.0} / {e:>5.0})");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render a scaling curve (Fig. 1) as a text table with one row per thread
+/// count.
+pub fn render_scaling(neon: &[ScalingPoint], fmopa: &[ScalingPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8} {:>16} {:>16}", "threads", "FMLA (Neon)", "FMOPA (SME)");
+    let _ = writeln!(out, "{}", "-".repeat(44));
+    for (n, s) in neon.iter().zip(fmopa) {
+        let _ = writeln!(out, "{:>8} {:>16.0} {:>16.0}", n.threads, n.gflops, s.gflops);
+    }
+    out
+}
+
+/// Render bandwidth curves as a text table: one row per size, one column per
+/// curve.
+pub fn render_bandwidth(curves: &[BandwidthCurve]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>14}", "bytes");
+    for c in curves {
+        let label = if curves.iter().filter(|o| o.strategy == c.strategy).count() > 1 {
+            format!("{} @{}B", c.strategy, c.alignment)
+        } else {
+            c.strategy.clone()
+        };
+        let _ = write!(out, " {label:>14}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(14 + 15 * curves.len()));
+    if let Some(first) = curves.first() {
+        for (i, p) in first.points.iter().enumerate() {
+            let _ = write!(out, "{:>14}", p.bytes);
+            for c in curves {
+                let _ = write!(out, " {:>14.1}", c.points[i].gibs);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Render bandwidth curves as CSV (size in bytes, then one column per
+/// curve), convenient for regenerating the figures with external tooling.
+pub fn bandwidth_csv(curves: &[BandwidthCurve]) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = std::iter::once("bytes".to_string())
+        .chain(curves.iter().map(|c| format!("{} @{}B", c.strategy, c.alignment)))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    if let Some(first) = curves.first() {
+        for (i, p) in first.points.iter().enumerate() {
+            let mut row = vec![p.bytes.to_string()];
+            row.extend(curves.iter().map(|c| format!("{:.2}", c.points[i].gibs)));
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+    }
+    out
+}
+
+/// Render an (x, series...) table for GEMM performance sweeps (Figs. 8–9).
+pub fn render_series(x_label: &str, series: &[(&str, &[(usize, f64)])]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{x_label:>8}");
+    for (name, _) in series {
+        let _ = write!(out, " {name:>14}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(8 + 15 * series.len()));
+    if let Some((_, first)) = series.first() {
+        for (i, (x, _)) in first.iter().enumerate() {
+            let _ = write!(out, "{x:>8}");
+            for (_, points) in series {
+                let _ = write!(out, " {:>14.1}", points[i].1);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::BandwidthPoint;
+
+    #[test]
+    fn table_one_rendering() {
+        let rows = vec![TableOneRow {
+            instruction: "FMOPA (SME)".into(),
+            dtype_in: "FP32".into(),
+            dtype_out: "FP32".into(),
+            p_core_gops: 2009.3,
+            e_core_gops: 357.1,
+        }];
+        let text = render_table_one(&rows, Some(&[("FMOPA (SME)", "FP32", 2009.0, 357.0)]));
+        assert!(text.contains("FMOPA (SME)"));
+        assert!(text.contains("2009"));
+        assert!(text.contains("357"));
+        assert!(text.contains("paper"));
+        let plain = render_table_one(&rows, None);
+        assert!(!plain.contains("paper"));
+    }
+
+    #[test]
+    fn scaling_rendering() {
+        let neon = vec![ScalingPoint { threads: 1, p_threads: 1, e_threads: 0, gflops: 113.0 }];
+        let sme = vec![ScalingPoint { threads: 1, p_threads: 1, e_threads: 0, gflops: 2009.0 }];
+        let text = render_scaling(&neon, &sme);
+        assert!(text.contains("113"));
+        assert!(text.contains("2009"));
+    }
+
+    #[test]
+    fn bandwidth_rendering_and_csv() {
+        let curves = vec![
+            BandwidthCurve {
+                strategy: "LDR".into(),
+                alignment: 128,
+                store: false,
+                points: vec![BandwidthPoint { bytes: 2048, gibs: 375.0 }],
+            },
+            BandwidthCurve {
+                strategy: "LD1W 4VR".into(),
+                alignment: 128,
+                store: false,
+                points: vec![BandwidthPoint { bytes: 2048, gibs: 925.0 }],
+            },
+        ];
+        let text = render_bandwidth(&curves);
+        assert!(text.contains("LDR"));
+        assert!(text.contains("925.0"));
+        let csv = bandwidth_csv(&curves);
+        assert!(csv.starts_with("bytes,"));
+        assert!(csv.contains("375.00"));
+    }
+
+    #[test]
+    fn series_rendering() {
+        let libxsmm: Vec<(usize, f64)> = vec![(64, 1800.0), (128, 1900.0)];
+        let accel: Vec<(usize, f64)> = vec![(64, 700.0), (128, 1100.0)];
+        let text = render_series("M=N", &[("LIBXSMM", &libxsmm), ("Accelerate", &accel)]);
+        assert!(text.contains("LIBXSMM"));
+        assert!(text.contains("1800.0"));
+        assert!(text.contains("1100.0"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Fig. 1: multi-core scaling of the Neon FMLA and SME FMOPA benchmarks.
+
+use crate::kernels::{neon_fmla, sme_fmopa};
+use crate::throughput::measure_gops;
+use serde::{Deserialize, Serialize};
+use sme_isa::types::{ElementType, NeonArrangement};
+use sme_machine::multicore::{MulticoreModel, ScalingPoint};
+use sme_machine::{CoreKind, MachineConfig};
+
+/// The two curves of Fig. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure1 {
+    /// FP32 Neon FMLA (vector) aggregate throughput per thread count.
+    pub neon: Vec<ScalingPoint>,
+    /// FP32 SME FMOPA (non-widening) aggregate throughput per thread count.
+    pub fmopa: Vec<ScalingPoint>,
+}
+
+impl Figure1 {
+    /// Peak Neon throughput across the curve (the 10-thread value in the
+    /// paper, 656 GFLOPS).
+    pub fn neon_peak(&self) -> f64 {
+        self.neon.iter().map(|p| p.gflops).fold(0.0, f64::max)
+    }
+
+    /// Peak SME throughput across the curve (≈ 2338 GFLOPS with both SME
+    /// units engaged).
+    pub fn fmopa_peak(&self) -> f64 {
+        self.fmopa.iter().map(|p| p.gflops).fold(0.0, f64::max)
+    }
+
+    /// Single-thread SME speed-up over the best multi-threaded Neon result
+    /// (§V quotes up to 3.1×).
+    pub fn single_thread_sme_speedup(&self) -> f64 {
+        self.fmopa[0].gflops / self.neon_peak()
+    }
+
+    /// Dual-unit SME speed-up over the best multi-threaded Neon result
+    /// (§V quotes up to 3.6×).
+    pub fn dual_unit_sme_speedup(&self) -> f64 {
+        self.fmopa_peak() / self.neon_peak()
+    }
+}
+
+/// Reproduce Fig. 1 for thread counts `1..=max_threads`.
+///
+/// The per-thread standalone throughputs are measured by running the Lst. 1
+/// and Lst. 2 kernels on the single-core simulator for each core kind; the
+/// multicore model of `sme-machine` then aggregates them with the shared
+/// SME-unit topology.
+pub fn figure1(config: &MachineConfig, max_threads: usize) -> Figure1 {
+    let neon_kernel = neon_fmla(NeonArrangement::S4);
+    let fmopa_kernel = sme_fmopa(ElementType::F32, 4);
+
+    let neon_p = measure_gops(config, CoreKind::Performance, &neon_kernel);
+    let neon_e = measure_gops(config, CoreKind::Efficiency, &neon_kernel);
+    let sme_p = measure_gops(config, CoreKind::Performance, &fmopa_kernel);
+    let sme_e = measure_gops(config, CoreKind::Efficiency, &fmopa_kernel);
+
+    let model = MulticoreModel::new(config.clone());
+    Figure1 {
+        neon: model.scaling_curve(max_threads, neon_p, neon_e, false),
+        fmopa: model.scaling_curve(max_threads, sme_p, sme_e, true),
+    }
+}
+
+/// The §III-F mixed-thread experiment: one user-interactive plus one utility
+/// thread running the FMOPA benchmark (paper: 2371 GFLOPS measured,
+/// 2009 + 357 = 2366 expected).
+pub fn mixed_thread_experiment(config: &MachineConfig) -> f64 {
+    let fmopa_kernel = sme_fmopa(ElementType::F32, 4);
+    let sme_p = measure_gops(config, CoreKind::Performance, &fmopa_kernel);
+    let sme_e = measure_gops(config, CoreKind::Efficiency, &fmopa_kernel);
+    MulticoreModel::new(config.clone()).mixed_ui_utility_sme(sme_p, sme_e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_the_paper() {
+        let config = MachineConfig::apple_m4();
+        let fig = figure1(&config, 10);
+        assert_eq!(fig.neon.len(), 10);
+        assert_eq!(fig.fmopa.len(), 10);
+        // Neon: ~113, ~395 at 4 threads, ~656 at 10 threads.
+        assert!((fig.neon[0].gflops - 113.0).abs() < 4.0);
+        assert!((fig.neon[3].gflops - 395.0).abs() < 15.0);
+        assert!((fig.neon[9].gflops - 656.0).abs() < 30.0);
+        // FMOPA: ~2009 flat, then ~2338 from five threads on.
+        assert!((fig.fmopa[0].gflops - 2009.0).abs() < 25.0);
+        assert!((fig.fmopa[3].gflops - 1983.0).abs() < 25.0);
+        assert!((fig.fmopa[4].gflops - 2338.0).abs() < 40.0);
+        assert!(fig.fmopa[9].gflops <= fig.fmopa[4].gflops + 1.0);
+    }
+
+    #[test]
+    fn speedups_match_the_discussion() {
+        let config = MachineConfig::apple_m4();
+        let fig = figure1(&config, 10);
+        assert!((fig.single_thread_sme_speedup() - 3.1).abs() < 0.3);
+        assert!((fig.dual_unit_sme_speedup() - 3.6).abs() < 0.35);
+    }
+
+    #[test]
+    fn mixed_thread_total_matches() {
+        let config = MachineConfig::apple_m4();
+        let total = mixed_thread_experiment(&config);
+        assert!((total - 2366.0).abs() < 40.0, "{total}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Table I: per-instruction throughput on performance and efficiency cores.
+
+use crate::kernels::{table_one_kernels, BenchKernel};
+use serde::{Deserialize, Serialize};
+use sme_machine::exec::{RunOptions, Simulator};
+use sme_machine::{CoreKind, MachineConfig};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOneRow {
+    /// Instruction mnemonic and extension, e.g. "FMOPA (SME)".
+    pub instruction: String,
+    /// Input data type.
+    pub dtype_in: String,
+    /// Output data type.
+    pub dtype_out: String,
+    /// Measured GOPS on one performance core.
+    pub p_core_gops: f64,
+    /// Measured GOPS on one efficiency core.
+    pub e_core_gops: f64,
+}
+
+/// Number of loop iterations used when measuring a kernel. The modelled
+/// result is iteration-count independent once the loop dominates; a few
+/// thousand iterations keep the simulation fast while washing out the
+/// prologue.
+pub const MEASURE_ITERATIONS: u64 = 2_000;
+
+/// Measure one kernel's throughput (GOPS) on the given core kind.
+pub fn measure_gops(config: &MachineConfig, core: CoreKind, kernel: &BenchKernel) -> f64 {
+    let mut sim = Simulator::new(config.clone(), core);
+    let result = sim.run(&kernel.program, &[MEASURE_ITERATIONS], &RunOptions::timing_only());
+    let ops = (MEASURE_ITERATIONS * kernel.ops_per_iteration) as f64;
+    ops / result.stats.seconds() / 1e9
+}
+
+/// Reproduce Table I on the given machine.
+pub fn table_one(config: &MachineConfig) -> Vec<TableOneRow> {
+    table_one_kernels()
+        .into_iter()
+        .map(|kernel| {
+            let p = measure_gops(config, CoreKind::Performance, &kernel);
+            let e = measure_gops(config, CoreKind::Efficiency, &kernel);
+            TableOneRow {
+                instruction: kernel.instruction.to_string(),
+                dtype_in: kernel.dtype_in.to_string(),
+                dtype_out: kernel.dtype_out.to_string(),
+                p_core_gops: p,
+                e_core_gops: e,
+            }
+        })
+        .collect()
+}
+
+/// The paper's published Table I values, in the same row order as
+/// [`table_one`] (used by tests and the experiment report to quantify the
+/// reproduction error).
+pub fn table_one_reference() -> Vec<(&'static str, &'static str, f64, f64)> {
+    vec![
+        ("FMLA (Neon)", "FP64", 56.0, 23.0),
+        ("FMLA (Neon)", "FP32", 113.0, 46.0),
+        ("FMLA (Neon)", "FP16", 220.0, 91.0),
+        ("BFMMLA (Neon)", "BF16", 67.0, 31.0),
+        ("FMOPA (SME)", "FP64", 503.0, 89.0),
+        ("FMOPA (SME)", "FP32", 2009.0, 357.0),
+        ("BFMOPA (SME)", "BF16", 2010.0, 357.0),
+        ("FMOPA (SME)", "FP16", 2010.0, 357.0),
+        ("SMOPA (SME)", "I16", 2010.0, 357.0),
+        ("SMOPA (SME)", "I8", 4017.0, 715.0),
+        ("FMLA (SME2)", "FP64", 251.0, 89.0),
+        ("FMLA (SSVE)", "FP64", 16.0, 11.0),
+        ("FMLA (SME2)", "FP32", 501.0, 179.0),
+        ("FMLA (SSVE)", "FP32", 31.0, 22.0),
+    ]
+}
+
+/// Single-tile FP32 FMOPA throughput (the §III-C latency experiment).
+pub fn fmopa_single_tile_gops(config: &MachineConfig) -> f64 {
+    let kernel = crate::kernels::sme_fmopa(sme_isa::types::ElementType::F32, 1);
+    measure_gops(config, CoreKind::Performance, &kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_matches_the_paper_within_tolerance() {
+        let config = MachineConfig::apple_m4();
+        let rows = table_one(&config);
+        let reference = table_one_reference();
+        assert_eq!(rows.len(), reference.len());
+        for (row, (instr, dtype, p_ref, e_ref)) in rows.iter().zip(reference) {
+            assert_eq!(row.instruction, instr, "row order");
+            assert_eq!(row.dtype_in, dtype, "row order");
+            let p_err = (row.p_core_gops - p_ref).abs() / p_ref;
+            let e_err = (row.e_core_gops - e_ref).abs() / e_ref;
+            assert!(
+                p_err < 0.06,
+                "{instr} {dtype}: P-core {} vs paper {p_ref}",
+                row.p_core_gops
+            );
+            assert!(
+                e_err < 0.08,
+                "{instr} {dtype}: E-core {} vs paper {e_ref}",
+                row.e_core_gops
+            );
+        }
+    }
+
+    #[test]
+    fn single_tile_fmopa_drops_to_a_quarter() {
+        let config = MachineConfig::apple_m4();
+        let single = fmopa_single_tile_gops(&config);
+        assert!((single - 502.0).abs() < 25.0, "single-tile FMOPA {single}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Run the paper's Table I microbenchmarks on the simulated M4 and print
+//! the modelled throughput next to the published measurements, plus the
+//! Fig. 1 scaling summary.
+//!
+//! Run with: `cargo run --release --example microbenchmark`
+
+use sme_machine::MachineConfig;
+use sme_microbench::report::{render_scaling, render_table_one};
+use sme_microbench::scaling::figure1;
+use sme_microbench::throughput::{table_one, table_one_reference};
+
+fn main() {
+    let config = MachineConfig::apple_m4();
+
+    println!("Table I (modelled vs paper):\n");
+    let rows = table_one(&config);
+    println!("{}", render_table_one(&rows, Some(&table_one_reference())));
+
+    // Largest relative deviation from the paper across all rows.
+    let mut worst = 0.0f64;
+    for (row, (_, _, p_ref, e_ref)) in rows.iter().zip(table_one_reference()) {
+        worst = worst
+            .max((row.p_core_gops - p_ref).abs() / p_ref)
+            .max((row.e_core_gops - e_ref).abs() / e_ref);
+    }
+    println!("largest deviation from the paper across Table I: {:.1}%\n", worst * 100.0);
+
+    println!("Fig. 1 (multi-core scaling, GFLOPS):\n");
+    let fig = figure1(&config, 10);
+    println!("{}", render_scaling(&fig.neon, &fig.fmopa));
+    println!(
+        "SME speed-ups over 10-thread Neon: {:.1}x (one unit), {:.1}x (both units)",
+        fig.single_thread_sme_speedup(),
+        fig.dual_unit_sme_speedup()
+    );
+}

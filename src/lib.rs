@@ -1,0 +1,17 @@
+//! Umbrella crate for the *Hello SME!* reproduction.
+//!
+//! This crate re-exports the workspace members so that the examples and
+//! integration tests under the repository root can use a single dependency.
+//! Library users should normally depend on the individual crates:
+//!
+//! * [`sme_isa`] — AArch64 SME/SVE/Neon instruction model, encoder and assembler.
+//! * [`sme_machine`] — functional + timing simulator of an Apple-M4-like core.
+//! * [`sme_gemm`] — the paper's contribution: a JIT generator for small GEMM kernels.
+//! * [`sme_microbench`] — the paper's microbenchmarks (Table I, Figs. 1–5).
+//! * [`accel_ref`] — an Accelerate-BLAS stand-in used as the evaluation baseline.
+
+pub use accel_ref;
+pub use sme_gemm;
+pub use sme_isa;
+pub use sme_machine;
+pub use sme_microbench;

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: generated SME kernels must compute the
+//! same results as the scalar reference for arbitrary shapes, layouts and
+//! kernel options.
+
+use proptest::prelude::*;
+use sme_gemm::{generate, generate_with_plan, plan_homogeneous, Beta, GemmConfig, RegisterBlocking, ZaTransferStrategy};
+
+/// Shapes used by the deterministic spot checks (kept small so the
+/// functional simulation stays fast in debug builds).
+const SPOT_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (16, 16, 16),
+    (32, 32, 32),
+    (33, 31, 7),
+    (47, 21, 13),
+    (64, 16, 24),
+    (16, 64, 24),
+    (80, 80, 8),
+    (100, 36, 5),
+];
+
+#[test]
+fn abt_kernels_match_the_reference() {
+    for &(m, n, k) in SPOT_SHAPES {
+        let cfg = GemmConfig::abt(m, n, k);
+        let kernel = generate(&cfg).expect("generation");
+        let err = kernel.validate(0xC0FFEE);
+        assert!(err < 1e-4, "({m},{n},{k}): {err}");
+    }
+}
+
+#[test]
+fn ab_kernels_match_the_reference() {
+    for &(m, n, k) in SPOT_SHAPES {
+        let cfg = GemmConfig::ab(m, n, k);
+        let kernel = generate(&cfg).expect("generation");
+        let err = kernel.validate(0xBEEF);
+        assert!(err < 1e-4, "AB ({m},{n},{k}): {err}");
+    }
+}
+
+#[test]
+fn all_register_blockings_produce_the_same_numbers() {
+    let cfg = GemmConfig::abt(64, 64, 16);
+    for blocking in [RegisterBlocking::B32x32, RegisterBlocking::B16x64, RegisterBlocking::B64x16] {
+        let plan = plan_homogeneous(64, 64, blocking);
+        let kernel = generate_with_plan(&cfg, Some(plan)).expect("generation");
+        let err = kernel.validate(99);
+        assert!(err < 1e-4, "{blocking:?}: {err}");
+    }
+}
+
+#[test]
+fn transfer_strategies_and_beta_modes_agree() {
+    for strategy in [ZaTransferStrategy::TwoStep, ZaTransferStrategy::Direct] {
+        for beta in [Beta::One, Beta::Zero] {
+            let cfg = GemmConfig::abt(48, 48, 12).with_c_transfer(strategy).with_beta(beta);
+            let kernel = generate(&cfg).expect("generation");
+            let err = kernel.validate(7);
+            assert!(err < 1e-4, "{strategy:?} {beta:?}: {err}");
+        }
+    }
+}
+
+#[test]
+fn padded_leading_dimensions_do_not_corrupt_neighbours() {
+    // Leading dimensions larger than the extents leave padding rows that the
+    // kernel must not touch; validate() reads the whole padded buffer, so a
+    // stray write would show up as an error.
+    let cfg = GemmConfig::abt(30, 18, 9).with_leading_dims(40, 32, 37);
+    let kernel = generate(&cfg).expect("generation");
+    assert!(kernel.validate(3) < 1e-4);
+    let cfg = GemmConfig::ab(30, 18, 9).with_leading_dims(40, 16, 37);
+    let kernel = generate(&cfg).expect("generation");
+    assert!(kernel.validate(3) < 1e-4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random shapes, both B layouts: the generated kernel agrees with the
+    /// reference GEMM.
+    #[test]
+    fn random_shapes_validate(
+        m in 1usize..=80,
+        n in 1usize..=80,
+        k in 1usize..=40,
+        col_major_b in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = if col_major_b {
+            GemmConfig::ab(m, n, k)
+        } else {
+            GemmConfig::abt(m, n, k)
+        };
+        let kernel = generate(&cfg).expect("generation must succeed for valid shapes");
+        let err = kernel.validate(seed);
+        prop_assert!(err < 1e-3, "({m},{n},{k},col_major_b={col_major_b}): {err}");
+    }
+
+    /// Random padded leading dimensions validate as well.
+    #[test]
+    fn random_leading_dimensions_validate(
+        m in 1usize..=48,
+        n in 1usize..=48,
+        k in 1usize..=24,
+        pad_a in 0usize..8,
+        pad_b in 0usize..8,
+        pad_c in 0usize..8,
+    ) {
+        let cfg = GemmConfig::abt(m, n, k).with_leading_dims(m + pad_a, n + pad_b, m + pad_c);
+        let kernel = generate(&cfg).expect("generation must succeed");
+        prop_assert!(kernel.validate(11) < 1e-3);
+    }
+}

@@ -71,6 +71,9 @@ mod tests {
         // Packing 1 MiB takes a few microseconds.
         let t = m.packing_seconds(1 << 20);
         assert!(t > 1e-6 && t < 1e-4);
-        assert!(m.transpose_seconds(1 << 20) > t, "transposition is slower than packing");
+        assert!(
+            m.transpose_seconds(1 << 20) > t,
+            "transposition is slower than packing"
+        );
     }
 }

@@ -1,8 +1,11 @@
 //! The vendor-BLAS SGEMM baseline.
 
 use crate::model::VendorModel;
-use sme_gemm::{generate_with_plan, plan_homogeneous, BLayout, GemmConfig, GemmError, RegisterBlocking, ZaTransferStrategy};
 use sme_gemm::reference::gemm_reference;
+use sme_gemm::{
+    generate_with_plan, plan_homogeneous, BLayout, GemmConfig, GemmError, RegisterBlocking,
+    ZaTransferStrategy,
+};
 
 /// Pad a dimension up to the next multiple of the 16-element tile size, the
 /// granularity a fixed-strategy library works at internally.
@@ -20,7 +23,10 @@ pub struct AccelerateSgemm {
 impl AccelerateSgemm {
     /// Create the baseline for a problem configuration.
     pub fn new(cfg: GemmConfig) -> Self {
-        AccelerateSgemm { cfg, model: VendorModel::default() }
+        AccelerateSgemm {
+            cfg,
+            model: VendorModel::default(),
+        }
     }
 
     /// Create the baseline with explicit model constants.
@@ -55,8 +61,8 @@ impl AccelerateSgemm {
         // The library packs operands, so its compute kernel always sees
         // contiguous, padded, row-major-B operands regardless of the
         // caller's layout.
-        let padded = GemmConfig::abt(m_pad, n_pad, self.cfg.k)
-            .with_c_transfer(ZaTransferStrategy::Direct);
+        let padded =
+            GemmConfig::abt(m_pad, n_pad, self.cfg.k).with_c_transfer(ZaTransferStrategy::Direct);
         let plan = plan_homogeneous(m_pad, n_pad, RegisterBlocking::B32x32);
         let kernel = generate_with_plan(&padded, Some(plan))?;
         let compute = kernel.model_stats().seconds() / self.model.compute_efficiency;
@@ -92,21 +98,31 @@ mod tests {
 
     #[test]
     fn large_well_shaped_calls_approach_the_asymptote() {
-        let g = AccelerateSgemm::new(GemmConfig::abt(512, 512, 512)).model_gflops().unwrap();
+        let g = AccelerateSgemm::new(GemmConfig::abt(512, 512, 512))
+            .model_gflops()
+            .unwrap();
         assert!(g > 1200.0 && g < 1700.0, "Accelerate asymptote {g}");
     }
 
     #[test]
     fn small_calls_are_overhead_dominated() {
-        let small = AccelerateSgemm::new(GemmConfig::abt(16, 16, 512)).model_gflops().unwrap();
-        let large = AccelerateSgemm::new(GemmConfig::abt(256, 256, 512)).model_gflops().unwrap();
+        let small = AccelerateSgemm::new(GemmConfig::abt(16, 16, 512))
+            .model_gflops()
+            .unwrap();
+        let large = AccelerateSgemm::new(GemmConfig::abt(256, 256, 512))
+            .model_gflops()
+            .unwrap();
         assert!(small < 0.35 * large, "small {small} vs large {large}");
     }
 
     #[test]
     fn padding_penalises_awkward_sizes() {
-        let aligned = AccelerateSgemm::new(GemmConfig::abt(256, 256, 512)).model_gflops().unwrap();
-        let awkward = AccelerateSgemm::new(GemmConfig::abt(241, 241, 512)).model_gflops().unwrap();
+        let aligned = AccelerateSgemm::new(GemmConfig::abt(256, 256, 512))
+            .model_gflops()
+            .unwrap();
+        let awkward = AccelerateSgemm::new(GemmConfig::abt(241, 241, 512))
+            .model_gflops()
+            .unwrap();
         assert!(awkward < aligned, "awkward {awkward} vs aligned {aligned}");
     }
 
@@ -114,15 +130,24 @@ mod tests {
     fn column_major_b_is_the_native_layout() {
         // For the same shape, the row-major-B call (Fig. 8) pays an extra
         // transposition pass compared to the column-major-B call (Fig. 9).
-        let abt = AccelerateSgemm::new(GemmConfig::abt(192, 192, 512)).model_seconds().unwrap();
-        let ab = AccelerateSgemm::new(GemmConfig::ab(192, 192, 512)).model_seconds().unwrap();
-        assert!(abt > ab, "row-major B ({abt}) must cost more than column-major B ({ab})");
+        let abt = AccelerateSgemm::new(GemmConfig::abt(192, 192, 512))
+            .model_seconds()
+            .unwrap();
+        let ab = AccelerateSgemm::new(GemmConfig::ab(192, 192, 512))
+            .model_seconds()
+            .unwrap();
+        assert!(
+            abt > ab,
+            "row-major B ({abt}) must cost more than column-major B ({ab})"
+        );
     }
 
     #[test]
     fn never_exceeds_the_machine_peak() {
         for mn in [64, 128, 320, 512] {
-            let g = AccelerateSgemm::new(GemmConfig::abt(mn, mn, 512)).model_gflops().unwrap();
+            let g = AccelerateSgemm::new(GemmConfig::abt(mn, mn, 512))
+                .model_gflops()
+                .unwrap();
             assert!(g < VendorModel::default().peak_gflops, "{mn}: {g}");
         }
     }

@@ -13,7 +13,10 @@ fn bench_simulator(c: &mut Criterion) {
     let bufs = kernel.allocate_buffers(&mut sim, Some(1));
     let insts = {
         let mut probe = sim.clone();
-        kernel.run(&mut probe, bufs, &RunOptions::functional_only()).stats.instructions
+        kernel
+            .run(&mut probe, bufs, &RunOptions::functional_only())
+            .stats
+            .instructions
     };
 
     let mut group = c.benchmark_group("simulator");

@@ -20,9 +20,15 @@ fn main() {
     println!("-- register blocking (C += A*B^T, M = N = 80) --");
     let cfg = GemmConfig::abt(80, 80, k);
     println!("  heterogeneous (default)      : {:7.0}", gflops(&cfg));
-    for blocking in [RegisterBlocking::B32x32, RegisterBlocking::B16x64, RegisterBlocking::B64x16] {
+    for blocking in [
+        RegisterBlocking::B32x32,
+        RegisterBlocking::B16x64,
+        RegisterBlocking::B64x16,
+    ] {
         let plan = plan_homogeneous(80, 80, blocking);
-        let g = generate_with_plan(&cfg, Some(plan)).map(|k| k.model_gflops()).unwrap_or(0.0);
+        let g = generate_with_plan(&cfg, Some(plan))
+            .map(|k| k.model_gflops())
+            .unwrap_or(0.0);
         println!("  homogeneous {blocking:?}       : {g:7.0}");
     }
 
@@ -40,7 +46,10 @@ fn main() {
     println!("\n-- contraction-loop unrolling (M = N = 64) --");
     for unroll in [1usize, 2, 4] {
         let cfg = GemmConfig::abt(64, 64, k).with_k_unroll(unroll);
-        println!("  k_unroll = {unroll}                 : {:7.0}", gflops(&cfg));
+        println!(
+            "  k_unroll = {unroll}                 : {:7.0}",
+            gflops(&cfg)
+        );
     }
 
     println!("\n-- B layout: direct outer products vs in-kernel transposition --");

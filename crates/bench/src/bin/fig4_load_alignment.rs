@@ -14,7 +14,11 @@ fn main() {
     println!("Fig. 4 — ZA load bandwidth by alignment (GiB/s)\n");
     for strategy in TransferStrategy::all() {
         let label = strategy.label(false);
-        let subset: Vec<_> = curves.iter().filter(|c| c.strategy == label).cloned().collect();
+        let subset: Vec<_> = curves
+            .iter()
+            .filter(|c| c.strategy == label)
+            .cloned()
+            .collect();
         println!("({label})");
         println!("{}", render_bandwidth(&subset));
     }

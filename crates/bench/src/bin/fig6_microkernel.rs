@@ -42,7 +42,11 @@ fn main() {
     emit_neon_16x6_k_step(&mut asm);
     let neon_step = asm.finish();
     let fmla = neon_step.count_matching(|i| matches!(i, Inst::Neon(_)));
-    println!("emitted Neon microkernel step: {} instructions ({} Neon)", neon_step.len(), fmla);
+    println!(
+        "emitted Neon microkernel step: {} instructions ({} Neon)",
+        neon_step.len(),
+        fmla
+    );
 
     // Modelled end-to-end comparison on one representative small GEMM.
     let cfg = GemmConfig::abt(64, 64, 256);

@@ -31,9 +31,12 @@ fn main() {
     // Modelled performance impact for the paper's K = 512.
     let cfg = GemmConfig::abt(80, 80, 512);
     let het_gflops = generate(&cfg).map(|k| k.model_gflops()).unwrap_or(0.0);
-    let hom_gflops = generate_with_plan(&cfg, Some(plan_homogeneous(80, 80, RegisterBlocking::B32x32)))
-        .map(|k| k.model_gflops())
-        .unwrap_or(0.0);
+    let hom_gflops = generate_with_plan(
+        &cfg,
+        Some(plan_homogeneous(80, 80, RegisterBlocking::B32x32)),
+    )
+    .map(|k| k.model_gflops())
+    .unwrap_or(0.0);
     println!("modelled throughput, C += A*B^T with M=N=80, K=512:");
     println!("  heterogeneous blocking : {het_gflops:7.0} GFLOPS");
     println!("  homogeneous 32x32      : {hom_gflops:7.0} GFLOPS");

@@ -34,7 +34,12 @@ pub struct SweepOptions {
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { step: 16, max: 512, k: 512, json: None }
+        SweepOptions {
+            step: 16,
+            max: 512,
+            k: 512,
+            json: None,
+        }
     }
 }
 
@@ -157,7 +162,11 @@ pub fn gemm_sweep(abt: bool, opts: &SweepOptions) -> GemmSweep {
             };
             let libxsmm = generate(&cfg).map(|k| k.model_gflops()).unwrap_or(0.0);
             let accelerate = AccelerateSgemm::new(cfg).model_gflops().unwrap_or(0.0);
-            GemmSweepPoint { mn, libxsmm_gflops: libxsmm, accelerate_gflops: accelerate }
+            GemmSweepPoint {
+                mn,
+                libxsmm_gflops: libxsmm,
+                accelerate_gflops: accelerate,
+            }
         })
         .collect();
     GemmSweep {
@@ -169,10 +178,16 @@ pub fn gemm_sweep(abt: bool, opts: &SweepOptions) -> GemmSweep {
 
 /// Render a sweep in the paper's series form and print the summary lines.
 pub fn render_gemm_sweep(sweep: &GemmSweep) -> String {
-    let libxsmm: Vec<(usize, f64)> =
-        sweep.points.iter().map(|p| (p.mn, p.libxsmm_gflops)).collect();
-    let accel: Vec<(usize, f64)> =
-        sweep.points.iter().map(|p| (p.mn, p.accelerate_gflops)).collect();
+    let libxsmm: Vec<(usize, f64)> = sweep
+        .points
+        .iter()
+        .map(|p| (p.mn, p.libxsmm_gflops))
+        .collect();
+    let accel: Vec<(usize, f64)> = sweep
+        .points
+        .iter()
+        .map(|p| (p.mn, p.accelerate_gflops))
+        .collect();
     let mut out = sme_microbench::report::render_series(
         "M=N",
         &[("LIBXSMM", &libxsmm), ("Accelerate", &accel)],
@@ -207,9 +222,18 @@ mod tests {
     #[test]
     fn option_parsing() {
         let opts = SweepOptions::parse(
-            ["--step", "8", "--max", "64", "--k", "128", "--json", "/tmp/out.json"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--step",
+                "8",
+                "--max",
+                "64",
+                "--k",
+                "128",
+                "--json",
+                "/tmp/out.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(opts.step, 8);
         assert_eq!(opts.max, 64);
@@ -223,7 +247,12 @@ mod tests {
 
     #[test]
     fn sizes_always_include_the_maximum() {
-        let opts = SweepOptions { step: 48, max: 100, k: 32, json: None };
+        let opts = SweepOptions {
+            step: 48,
+            max: 100,
+            k: 32,
+            json: None,
+        };
         let sizes = opts.sizes();
         assert_eq!(sizes, vec![48, 96, 100]);
     }
@@ -232,11 +261,24 @@ mod tests {
     fn small_sweep_reproduces_the_headline_result() {
         // A coarse, fast sweep: the generated kernels must beat the vendor
         // baseline at every tested size for both layouts.
-        let opts = SweepOptions { step: 96, max: 288, k: 128, json: None };
+        let opts = SweepOptions {
+            step: 96,
+            max: 288,
+            k: 128,
+            json: None,
+        };
         let fig8 = gemm_sweep(true, &opts);
         let fig9 = gemm_sweep(false, &opts);
-        assert!(fig8.win_fraction() > 0.9, "Fig. 8 win fraction {}", fig8.win_fraction());
-        assert!((fig9.win_fraction() - 1.0).abs() < 1e-9, "Fig. 9 win fraction {}", fig9.win_fraction());
+        assert!(
+            fig8.win_fraction() > 0.9,
+            "Fig. 8 win fraction {}",
+            fig8.win_fraction()
+        );
+        assert!(
+            (fig9.win_fraction() - 1.0).abs() < 1e-9,
+            "Fig. 9 win fraction {}",
+            fig9.win_fraction()
+        );
         assert!(fig8.geomean_speedup() > 1.0);
         let text = render_gemm_sweep(&fig8);
         assert!(text.contains("LIBXSMM"));

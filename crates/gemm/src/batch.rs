@@ -6,9 +6,9 @@
 //! one kernel, many operand triples, aggregated statistics.
 
 use crate::config::GemmConfig;
+use crate::config::GemmError;
 use crate::generator::generate;
 use crate::kernel::{CompiledKernel, GemmBuffers};
-use crate::config::GemmError;
 use crate::reference::fill_matrix;
 use sme_machine::exec::{RunOptions, Simulator};
 use sme_machine::ExecStats;
@@ -22,7 +22,9 @@ pub struct BatchedGemm {
 impl BatchedGemm {
     /// Generate the kernel for `cfg`.
     pub fn new(cfg: &GemmConfig) -> Result<Self, GemmError> {
-        Ok(BatchedGemm { kernel: generate(cfg)? })
+        Ok(BatchedGemm {
+            kernel: generate(cfg)?,
+        })
     }
 
     /// The underlying kernel.
@@ -54,7 +56,12 @@ impl BatchedGemm {
 
     /// Execute the kernel once per triple and return the aggregated
     /// statistics.
-    pub fn execute(&self, sim: &mut Simulator, batch: &[GemmBuffers], opts: &RunOptions) -> ExecStats {
+    pub fn execute(
+        &self,
+        sim: &mut Simulator,
+        batch: &[GemmBuffers],
+        opts: &RunOptions,
+    ) -> ExecStats {
         let mut total = ExecStats::default();
         for bufs in batch {
             let result = self.kernel.run(sim, *bufs, opts);

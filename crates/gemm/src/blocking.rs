@@ -67,14 +67,24 @@ impl RegisterBlocking {
     /// are consecutive (which lets the direct `ldr za`/`str za` transfer use
     /// its paired vector-index/address offset).
     pub fn tile_index(self, rg: usize, cg: usize) -> u8 {
-        assert!(rg < self.row_groups(), "row group {rg} out of range for {self:?}");
-        assert!(cg < self.col_groups(), "column group {cg} out of range for {self:?}");
+        assert!(
+            rg < self.row_groups(),
+            "row group {rg} out of range for {self:?}"
+        );
+        assert!(
+            cg < self.col_groups(),
+            "column group {cg} out of range for {self:?}"
+        );
         (cg * self.row_groups() + rg) as u8
     }
 
     /// All three strategies.
     pub const fn all() -> [RegisterBlocking; 3] {
-        [RegisterBlocking::B32x32, RegisterBlocking::B16x64, RegisterBlocking::B64x16]
+        [
+            RegisterBlocking::B32x32,
+            RegisterBlocking::B16x64,
+            RegisterBlocking::B64x16,
+        ]
     }
 }
 
@@ -277,7 +287,13 @@ pub fn plan_homogeneous(m: usize, n: usize, blocking: RegisterBlocking) -> Block
         let cols = blocking.cols().min(n - col0);
         for row0 in (0..m).step_by(blocking.rows()) {
             let rows = blocking.rows().min(m - row0);
-            blocks.push(BlockInstance { row0, col0, rows, cols, blocking });
+            blocks.push(BlockInstance {
+                row0,
+                col0,
+                rows,
+                cols,
+                blocking,
+            });
         }
     }
     BlockPlan { m, n, blocks }
@@ -311,7 +327,11 @@ pub fn plan_for_config(cfg: &GemmConfig) -> BlockPlan {
             for (_, _, panel_plan) in plan_column_panels(cfg.m, cfg.n) {
                 blocks.extend(panel_plan.blocks);
             }
-            BlockPlan { m: cfg.m, n: cfg.n, blocks }
+            BlockPlan {
+                m: cfg.m,
+                n: cfg.n,
+                blocks,
+            }
         }
     }
 }
@@ -412,7 +432,11 @@ mod tests {
         for (_, _, p) in &panels {
             blocks.extend(p.blocks.clone());
         }
-        let combined = BlockPlan { m: 100, n: 130, blocks };
+        let combined = BlockPlan {
+            m: 100,
+            n: 130,
+            blocks,
+        };
         assert!(combined.covers_exactly_once());
         // Every block stays within its panel.
         for (col0, cols, p) in &panels {
@@ -453,7 +477,11 @@ mod tests {
         assert_eq!(plan.num_microkernels(), 1);
         assert!(plan.covers_exactly_once());
         let plan = plan_heterogeneous(20, 20);
-        assert_eq!(plan.num_microkernels(), 1, "17..31 folds into one masked 32x32 block");
+        assert_eq!(
+            plan.num_microkernels(),
+            1,
+            "17..31 folds into one masked 32x32 block"
+        );
         assert!(plan.covers_exactly_once());
     }
 }

@@ -117,7 +117,11 @@ impl GemmConfig {
     /// A `C += A·B` configuration (column-major B) with tight leading
     /// dimensions — the Fig. 9 setting.
     pub fn ab(m: usize, n: usize, k: usize) -> Self {
-        GemmConfig { ldb: k, b_layout: BLayout::ColMajor, ..Self::abt(m, n, k) }
+        GemmConfig {
+            ldb: k,
+            b_layout: BLayout::ColMajor,
+            ..Self::abt(m, n, k)
+        }
     }
 
     /// Builder: set explicit leading dimensions.
@@ -270,11 +274,20 @@ mod tests {
     #[test]
     fn leading_dimension_checks() {
         let c = GemmConfig::abt(32, 32, 64).with_leading_dims(16, 32, 32);
-        assert!(matches!(c.validate(), Err(GemmError::InvalidLeadingDimension(_))));
+        assert!(matches!(
+            c.validate(),
+            Err(GemmError::InvalidLeadingDimension(_))
+        ));
         let c = GemmConfig::abt(32, 32, 64).with_leading_dims(32, 16, 32);
-        assert!(matches!(c.validate(), Err(GemmError::InvalidLeadingDimension(_))));
+        assert!(matches!(
+            c.validate(),
+            Err(GemmError::InvalidLeadingDimension(_))
+        ));
         let c = GemmConfig::ab(32, 32, 64).with_leading_dims(32, 32, 32);
-        assert!(matches!(c.validate(), Err(GemmError::InvalidLeadingDimension(_))));
+        assert!(matches!(
+            c.validate(),
+            Err(GemmError::InvalidLeadingDimension(_))
+        ));
         let c = GemmConfig::abt(32, 32, 64).with_leading_dims(40, 40, 48);
         assert!(c.validate().is_ok());
     }
@@ -287,8 +300,14 @@ mod tests {
 
     #[test]
     fn unroll_validation() {
-        assert!(GemmConfig::abt(32, 32, 64).with_k_unroll(3).validate().is_err());
-        assert!(GemmConfig::abt(32, 32, 64).with_k_unroll(4).validate().is_ok());
+        assert!(GemmConfig::abt(32, 32, 64)
+            .with_k_unroll(3)
+            .validate()
+            .is_err());
+        assert!(GemmConfig::abt(32, 32, 64)
+            .with_k_unroll(4)
+            .validate()
+            .is_ok());
     }
 
     #[test]

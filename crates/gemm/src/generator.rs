@@ -141,8 +141,7 @@ pub fn kernel_stats(kernel: &CompiledKernel) -> KernelStats {
     let program = kernel.program();
     KernelStats {
         instructions: program.len(),
-        fmopa_count: program
-            .count_matching(|i| matches!(i, Inst::Sme(SmeInst::Fmopa { .. }))),
+        fmopa_count: program.count_matching(|i| matches!(i, Inst::Sme(SmeInst::Fmopa { .. }))),
         microkernels: kernel.plan().num_microkernels(),
         code_bytes: program.code_bytes(),
     }
@@ -171,7 +170,13 @@ mod tests {
 
     #[test]
     fn generates_and_validates_masked_blocks() {
-        for (m, n, k) in [(7, 5, 3), (17, 23, 9), (33, 31, 5), (80, 80, 4), (50, 70, 6)] {
+        for (m, n, k) in [
+            (7, 5, 3),
+            (17, 23, 9),
+            (33, 31, 5),
+            (80, 80, 4),
+            (50, 70, 6),
+        ] {
             let cfg = GemmConfig::abt(m, n, k);
             let (_, err) = generate_validated(&cfg).expect("generation must succeed");
             assert!(err < 1e-4, "({m},{n},{k}): max abs error {err}");

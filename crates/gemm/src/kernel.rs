@@ -4,9 +4,9 @@
 use crate::blocking::BlockPlan;
 use crate::config::{Beta, GemmConfig};
 use crate::reference::{fill_matrix, gemm_reference, max_abs_diff};
+use sme_isa::Program;
 use sme_machine::exec::{RunOptions, RunResult, Simulator};
 use sme_machine::ExecStats;
-use sme_isa::Program;
 
 /// Simulated addresses of one (A, B, C) operand triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,8 +161,12 @@ mod tests {
 
     #[test]
     fn larger_k_amortises_the_accumulator_traffic() {
-        let short = generate(&GemmConfig::abt(64, 64, 16)).unwrap().model_gflops();
-        let long = generate(&GemmConfig::abt(64, 64, 256)).unwrap().model_gflops();
+        let short = generate(&GemmConfig::abt(64, 64, 16))
+            .unwrap()
+            .model_gflops();
+        let long = generate(&GemmConfig::abt(64, 64, 256))
+            .unwrap()
+            .model_gflops();
         assert!(long > short, "K=256 ({long}) must beat K=16 ({short})");
     }
 

@@ -9,7 +9,7 @@
 use crate::blocking::{BlockInstance, TILE};
 use crate::config::{GemmConfig, ZaTransferStrategy};
 use crate::microkernel::{
-    a_counter, col_pred, load_vectors, row_pred, xr, zr, C_PTR, COL_PTR, LDC_B, W12, ZC_STAGE,
+    a_counter, col_pred, load_vectors, row_pred, xr, zr, COL_PTR, C_PTR, LDC_B, W12, ZC_STAGE,
 };
 use sme_isa::asm::Assembler;
 use sme_isa::inst::{ScalarInst, SmeInst, SveInst};
@@ -40,7 +40,7 @@ pub fn emit_zero_tiles(asm: &mut Assembler, block: &BlockInstance) {
 /// direct instructions cannot be masked, so every touched row group must be
 /// complete.
 fn direct_allowed(cfg: &GemmConfig, block: &BlockInstance) -> bool {
-    cfg.c_transfer == ZaTransferStrategy::Direct && block.rows % TILE == 0
+    cfg.c_transfer == ZaTransferStrategy::Direct && block.rows.is_multiple_of(TILE)
 }
 
 /// Emit the transfer of the block's C columns between memory and the ZA
@@ -51,12 +51,20 @@ fn direct_allowed(cfg: &GemmConfig, block: &BlockInstance) -> bool {
 /// 16-row group `rg` — a direct consequence of the operand order in Lst. 4
 /// (the tile holds the block transposed, so C columns are tile rows and can
 /// be moved with contiguous transfers).
-pub fn emit_c_transfer(asm: &mut Assembler, cfg: &GemmConfig, block: &BlockInstance, dir: TransferDir) {
+pub fn emit_c_transfer(
+    asm: &mut Assembler,
+    cfg: &GemmConfig,
+    block: &BlockInstance,
+    dir: TransferDir,
+) {
     let rg_count = block.active_row_groups();
     let direct = direct_allowed(cfg, block);
 
     // Column cursor.
-    asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(C_PTR) });
+    asm.push(ScalarInst::MovReg {
+        rd: xr(COL_PTR),
+        rn: xr(C_PTR),
+    });
     if !direct {
         // The two-step path addresses slices as W12 + immediate.
         asm.push(ScalarInst::mov_imm16(xr(W12), 0));
@@ -164,7 +172,13 @@ mod tests {
     use sme_isa::inst::Inst;
 
     fn block(rows: usize, cols: usize, blocking: RegisterBlocking) -> BlockInstance {
-        BlockInstance { row0: 0, col0: 0, rows, cols, blocking }
+        BlockInstance {
+            row0: 0,
+            col0: 0,
+            rows,
+            cols,
+            blocking,
+        }
     }
 
     fn count<F: FnMut(&Inst) -> bool>(p: &sme_isa::Program, f: F) -> usize {
@@ -199,8 +213,14 @@ mod tests {
         emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Store);
         let p = asm.finish();
         // 32 columns × 2 row groups = 64 STR ZA instructions, no MOVA.
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::StrZa { .. }))), 64);
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaFromTile { .. }))), 0);
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sme(SmeInst::StrZa { .. }))),
+            64
+        );
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaFromTile { .. }))),
+            0
+        );
     }
 
     #[test]
@@ -210,9 +230,18 @@ mod tests {
         let mut asm = Assembler::new("twostep_load");
         emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Load);
         let p = asm.finish();
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sve(SveInst::Ld1Multi { .. }))), 32);
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaToTile { .. }))), 64);
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::LdrZa { .. }))), 0);
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sve(SveInst::Ld1Multi { .. }))),
+            32
+        );
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaToTile { .. }))),
+            64
+        );
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sme(SmeInst::LdrZa { .. }))),
+            0
+        );
     }
 
     #[test]
@@ -223,8 +252,14 @@ mod tests {
         emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Store);
         let p = asm.finish();
         // Rows = 20 is not a multiple of 16, so the direct path is illegal.
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::StrZa { .. }))), 0);
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sve(SveInst::St1Multi { .. }))), 32);
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sme(SmeInst::StrZa { .. }))),
+            0
+        );
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sve(SveInst::St1Multi { .. }))),
+            32
+        );
     }
 
     #[test]
@@ -234,8 +269,14 @@ mod tests {
         let mut asm = Assembler::new("b16x64_store");
         emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Store);
         let p = asm.finish();
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sve(SveInst::St1 { .. }))), 64);
-        assert_eq!(count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaFromTile { .. }))), 64);
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sve(SveInst::St1 { .. }))),
+            64
+        );
+        assert_eq!(
+            count(&p, |i| matches!(i, Inst::Sme(SmeInst::MovaFromTile { .. }))),
+            64
+        );
     }
 
     #[test]
@@ -246,6 +287,9 @@ mod tests {
         emit_c_transfer(&mut asm, &cfg, &b, TransferDir::Load);
         let p = asm.finish();
         let bumps = count(&p, |i| matches!(i, Inst::Scalar(ScalarInst::AddReg { .. })));
-        assert_eq!(bumps, 7, "one bump between each pair of consecutive columns");
+        assert_eq!(
+            bumps, 7,
+            "one bump between each pair of consecutive columns"
+        );
     }
 }

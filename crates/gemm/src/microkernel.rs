@@ -102,7 +102,12 @@ pub enum BSource {
 /// covering the first `value` 32-bit lanes.
 fn emit_lane_predicate(asm: &mut Assembler, pred: PReg, lanes: usize) {
     asm.push(ScalarInst::mov_imm16(xr(TMP1), lanes as u16));
-    asm.push(SveInst::Whilelt { pd: pred, elem: ElementType::F32, rn: XReg::XZR, rm: xr(TMP1) });
+    asm.push(SveInst::Whilelt {
+        pd: pred,
+        elem: ElementType::F32,
+        rn: XReg::XZR,
+        rm: xr(TMP1),
+    });
 }
 
 /// Emit a predicate-as-counter covering the first `count` 32-bit lanes of a
@@ -143,10 +148,20 @@ pub(crate) fn emit_block_predicates(asm: &mut Assembler, block: &BlockInstance) 
         emit_lane_predicate(asm, col_pred(cg), lanes);
     }
     if load_vectors(block.active_row_groups()) > 1 {
-        emit_counter_predicate(asm, a_counter(), rows, load_vectors(block.active_row_groups()));
+        emit_counter_predicate(
+            asm,
+            a_counter(),
+            rows,
+            load_vectors(block.active_row_groups()),
+        );
     }
     if load_vectors(block.active_col_groups()) > 1 {
-        emit_counter_predicate(asm, b_counter(), cols, load_vectors(block.active_col_groups()));
+        emit_counter_predicate(
+            asm,
+            b_counter(),
+            cols,
+            load_vectors(block.active_col_groups()),
+        );
     }
 }
 
@@ -164,7 +179,13 @@ pub(crate) fn emit_operand_load(
     if vecs == 1 {
         asm.push(SveInst::ld1w(zr(z_first), single_pred, xr(ptr), 0));
     } else {
-        asm.push(SveInst::ld1w_multi(zr(z_first), vecs as u8, counter, xr(ptr), 0));
+        asm.push(SveInst::ld1w_multi(
+            zr(z_first),
+            vecs as u8,
+            counter,
+            xr(ptr),
+            0,
+        ));
     }
 }
 
@@ -176,20 +197,29 @@ pub(crate) fn emit_block_pointers(
     b_source: BSource,
 ) {
     // A cursor: column 0 of the block's rows.
-    asm.push(ScalarInst::MovReg { rd: xr(A_PTR), rn: xr(ARG_A) });
+    asm.push(ScalarInst::MovReg {
+        rd: xr(A_PTR),
+        rn: xr(ARG_A),
+    });
     if block.row0 > 0 {
         asm.add_imm(xr(A_PTR), xr(A_PTR), (block.row0 * 4) as u64);
     }
     // B cursor.
     match b_source {
         BSource::RowMajor => {
-            asm.push(ScalarInst::MovReg { rd: xr(B_PTR), rn: xr(ARG_B) });
+            asm.push(ScalarInst::MovReg {
+                rd: xr(B_PTR),
+                rn: xr(ARG_B),
+            });
             if block.col0 > 0 {
                 asm.add_imm(xr(B_PTR), xr(B_PTR), (block.col0 * 4) as u64);
             }
         }
         BSource::Scratch { panel_col0 } => {
-            asm.push(ScalarInst::MovReg { rd: xr(B_PTR), rn: xr(SCRATCH) });
+            asm.push(ScalarInst::MovReg {
+                rd: xr(B_PTR),
+                rn: xr(SCRATCH),
+            });
             let off = (block.col0 - panel_col0) * 4;
             if off > 0 {
                 asm.add_imm(xr(B_PTR), xr(B_PTR), off as u64);
@@ -198,7 +228,10 @@ pub(crate) fn emit_block_pointers(
     }
     // C base pointer.
     let c_off = cfg.c_offset(block.row0, block.col0) as u64;
-    asm.push(ScalarInst::MovReg { rd: xr(C_PTR), rn: xr(ARG_C) });
+    asm.push(ScalarInst::MovReg {
+        rd: xr(C_PTR),
+        rn: xr(ARG_C),
+    });
     if c_off > 0 {
         if c_off < (1 << 24) {
             asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
@@ -218,13 +251,22 @@ pub(crate) fn emit_block_pointers(
 /// one row of B, bump the cursors and issue one FMOPA per active tile.
 pub(crate) fn emit_k_loop(asm: &mut Assembler, cfg: &GemmConfig, block: &BlockInstance) {
     let k = cfg.k;
-    let unroll = if cfg.k_unroll > 1 && k % cfg.k_unroll == 0 { cfg.k_unroll } else { 1 };
+    let unroll = if cfg.k_unroll > 1 && k.is_multiple_of(cfg.k_unroll) {
+        cfg.k_unroll
+    } else {
+        1
+    };
     let trips = k / unroll;
 
     asm.mov_imm64(xr(K_CNT), trips as u64);
     let top = asm.new_label();
     asm.bind(top);
-    asm.push(ScalarInst::SubImm { rd: xr(K_CNT), rn: xr(K_CNT), imm12: 1, shift12: false });
+    asm.push(ScalarInst::SubImm {
+        rd: xr(K_CNT),
+        rn: xr(K_CNT),
+        imm12: 1,
+        shift12: false,
+    });
     for _ in 0..unroll {
         emit_k_step(asm, block);
     }
@@ -238,8 +280,18 @@ fn emit_k_step(asm: &mut Assembler, block: &BlockInstance) {
 
     emit_operand_load(asm, ZA_A, rg_count, row_pred(0), a_counter(), A_PTR);
     emit_operand_load(asm, ZB_B, cg_count, col_pred(0), b_counter(), B_PTR);
-    asm.push(ScalarInst::AddReg { rd: xr(A_PTR), rn: xr(A_PTR), rm: xr(LDA_B), shift: None });
-    asm.push(ScalarInst::AddReg { rd: xr(B_PTR), rn: xr(B_PTR), rm: xr(BK_STRIDE), shift: None });
+    asm.push(ScalarInst::AddReg {
+        rd: xr(A_PTR),
+        rn: xr(A_PTR),
+        rm: xr(LDA_B),
+        shift: None,
+    });
+    asm.push(ScalarInst::AddReg {
+        rd: xr(B_PTR),
+        rn: xr(B_PTR),
+        rm: xr(BK_STRIDE),
+        shift: None,
+    });
 
     for cg in 0..cg_count {
         for rg in 0..rg_count {
@@ -257,12 +309,7 @@ fn emit_k_step(asm: &mut Assembler, block: &BlockInstance) {
 
 /// Emit the complete code for one block instance: predicates, pointers,
 /// accumulator initialisation, contraction loop and write-back.
-pub fn emit_block(
-    asm: &mut Assembler,
-    cfg: &GemmConfig,
-    block: &BlockInstance,
-    b_source: BSource,
-) {
+pub fn emit_block(asm: &mut Assembler, cfg: &GemmConfig, block: &BlockInstance, b_source: BSource) {
     emit_block_predicates(asm, block);
     emit_block_pointers(asm, cfg, block, b_source);
     match cfg.beta {
@@ -280,7 +327,13 @@ mod tests {
     use sme_isa::inst::Inst;
 
     fn full_block(blocking: RegisterBlocking) -> BlockInstance {
-        BlockInstance { row0: 0, col0: 0, rows: blocking.rows(), cols: blocking.cols(), blocking }
+        BlockInstance {
+            row0: 0,
+            col0: 0,
+            rows: blocking.rows(),
+            cols: blocking.cols(),
+            blocking,
+        }
     }
 
     #[test]
@@ -320,7 +373,9 @@ mod tests {
             .insts()
             .iter()
             .filter_map(|i| match i {
-                Inst::Sme(SmeInst::Fmopa { tile, zn, zm, .. }) => Some((*tile, zn.index(), zm.index())),
+                Inst::Sme(SmeInst::Fmopa { tile, zn, zm, .. }) => {
+                    Some((*tile, zn.index(), zm.index()))
+                }
                 _ => None,
             })
             .collect();
@@ -343,9 +398,8 @@ mod tests {
         emit_k_step(&mut asm, &full_block(RegisterBlocking::B16x64));
         let program = asm.finish();
         let single = program.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ld1 { .. })));
-        let multi4 = program.count_matching(
-            |i| matches!(i, Inst::Sve(SveInst::Ld1Multi { count: 4, .. })),
-        );
+        let multi4 =
+            program.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ld1Multi { count: 4, .. })));
         let fmopas = program.count_matching(|i| matches!(i, Inst::Sme(SmeInst::Fmopa { .. })));
         assert_eq!(single, 1, "A is one 16-element vector");
         assert_eq!(multi4, 1, "B is a four-vector group");
@@ -355,9 +409,8 @@ mod tests {
         emit_k_step(&mut asm, &full_block(RegisterBlocking::B64x16));
         let program = asm.finish();
         let single = program.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ld1 { .. })));
-        let multi4 = program.count_matching(
-            |i| matches!(i, Inst::Sve(SveInst::Ld1Multi { count: 4, .. })),
-        );
+        let multi4 =
+            program.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ld1Multi { count: 4, .. })));
         assert_eq!(single, 1, "B is one 16-element vector");
         assert_eq!(multi4, 1, "A is a four-vector group");
     }

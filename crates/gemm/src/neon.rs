@@ -11,7 +11,9 @@
 //!   benchmarks.
 
 use crate::config::{BLayout, Beta, GemmConfig, GemmError};
-use crate::microkernel::{xr, A_PTR, ARG_A, ARG_B, ARG_C, B_PTR, C_PTR, COL_PTR, K_CNT, LDA_B, LDC_B};
+use crate::microkernel::{
+    xr, ARG_A, ARG_B, ARG_C, A_PTR, B_PTR, COL_PTR, C_PTR, K_CNT, LDA_B, LDC_B,
+};
 use sme_isa::asm::Assembler;
 use sme_isa::inst::{NeonInst, ScalarInst};
 use sme_isa::regs::VReg;
@@ -27,12 +29,30 @@ fn vr(n: u8) -> VReg {
 /// read into `v28`–`v29`, updated with 24 FMLA-by-element instructions.
 pub fn emit_neon_16x6_k_step(asm: &mut Assembler) {
     // Load the 16-element A column (64 bytes).
-    asm.push(NeonInst::LdpQ { vt1: vr(0), vt2: vr(1), rn: xr(A_PTR), imm: 0 });
-    asm.push(NeonInst::LdpQ { vt1: vr(2), vt2: vr(3), rn: xr(A_PTR), imm: 32 });
+    asm.push(NeonInst::LdpQ {
+        vt1: vr(0),
+        vt2: vr(1),
+        rn: xr(A_PTR),
+        imm: 0,
+    });
+    asm.push(NeonInst::LdpQ {
+        vt1: vr(2),
+        vt2: vr(3),
+        rn: xr(A_PTR),
+        imm: 32,
+    });
     // Load six B values (two quads; the second overlaps the first by two
     // lanes so only six distinct values are consumed).
-    asm.push(NeonInst::LdrQ { vt: vr(28), rn: xr(B_PTR), imm: 0 });
-    asm.push(NeonInst::LdrQ { vt: vr(29), rn: xr(B_PTR), imm: 16 });
+    asm.push(NeonInst::LdrQ {
+        vt: vr(28),
+        rn: xr(B_PTR),
+        imm: 0,
+    });
+    asm.push(NeonInst::LdrQ {
+        vt: vr(29),
+        rn: xr(B_PTR),
+        imm: 16,
+    });
     // 6 columns × 4 register quads of C.
     for col in 0..6u8 {
         let (src, lane) = if col < 4 { (28, col) } else { (29, col - 4) };
@@ -100,9 +120,11 @@ pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
         ));
     }
     if cfg.beta != Beta::One {
-        return Err(GemmError::Unsupported("the Neon baseline generator requires beta = 1".into()));
+        return Err(GemmError::Unsupported(
+            "the Neon baseline generator requires beta = 1".into(),
+        ));
     }
-    if cfg.m % 16 != 0 || cfg.n % 4 != 0 {
+    if !cfg.m.is_multiple_of(16) || !cfg.n.is_multiple_of(4) {
         return Err(GemmError::Unsupported(format!(
             "the Neon baseline generator requires m % 16 == 0 and n % 4 == 0 (got {}x{})",
             cfg.m, cfg.n
@@ -125,27 +147,54 @@ pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
 /// One 16×4 block: load C, run the contraction loop, store C.
 fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0: usize) {
     // Pointers.
-    asm.push(ScalarInst::MovReg { rd: xr(A_PTR), rn: xr(ARG_A) });
+    asm.push(ScalarInst::MovReg {
+        rd: xr(A_PTR),
+        rn: xr(ARG_A),
+    });
     if row0 > 0 {
         asm.add_imm(xr(A_PTR), xr(A_PTR), (row0 * 4) as u64);
     }
-    asm.push(ScalarInst::MovReg { rd: xr(B_PTR), rn: xr(ARG_B) });
+    asm.push(ScalarInst::MovReg {
+        rd: xr(B_PTR),
+        rn: xr(ARG_B),
+    });
     if col0 > 0 {
         asm.add_imm(xr(B_PTR), xr(B_PTR), (col0 * 4) as u64);
     }
-    asm.push(ScalarInst::MovReg { rd: xr(C_PTR), rn: xr(ARG_C) });
+    asm.push(ScalarInst::MovReg {
+        rd: xr(C_PTR),
+        rn: xr(ARG_C),
+    });
     let c_off = cfg.c_offset(row0, col0) as u64;
     if c_off > 0 {
         asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
     }
 
     // Load the 16×4 C block into v4..v19 (one column = four quads).
-    asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(C_PTR) });
+    asm.push(ScalarInst::MovReg {
+        rd: xr(COL_PTR),
+        rn: xr(C_PTR),
+    });
     for col in 0..4u8 {
-        asm.push(NeonInst::LdpQ { vt1: vr(4 + col * 4), vt2: vr(5 + col * 4), rn: xr(COL_PTR), imm: 0 });
-        asm.push(NeonInst::LdpQ { vt1: vr(6 + col * 4), vt2: vr(7 + col * 4), rn: xr(COL_PTR), imm: 32 });
+        asm.push(NeonInst::LdpQ {
+            vt1: vr(4 + col * 4),
+            vt2: vr(5 + col * 4),
+            rn: xr(COL_PTR),
+            imm: 0,
+        });
+        asm.push(NeonInst::LdpQ {
+            vt1: vr(6 + col * 4),
+            vt2: vr(7 + col * 4),
+            rn: xr(COL_PTR),
+            imm: 32,
+        });
         if col < 3 {
-            asm.push(ScalarInst::AddReg { rd: xr(COL_PTR), rn: xr(COL_PTR), rm: xr(LDC_B), shift: None });
+            asm.push(ScalarInst::AddReg {
+                rd: xr(COL_PTR),
+                rn: xr(COL_PTR),
+                rm: xr(LDC_B),
+                shift: None,
+            });
         }
     }
 
@@ -153,13 +202,37 @@ fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0
     asm.mov_imm64(xr(K_CNT), cfg.k as u64);
     let top = asm.new_label();
     asm.bind(top);
-    asm.push(ScalarInst::SubImm { rd: xr(K_CNT), rn: xr(K_CNT), imm12: 1, shift12: false });
+    asm.push(ScalarInst::SubImm {
+        rd: xr(K_CNT),
+        rn: xr(K_CNT),
+        imm12: 1,
+        shift12: false,
+    });
     // A column (16 values).
-    asm.push(NeonInst::LdpQ { vt1: vr(0), vt2: vr(1), rn: xr(A_PTR), imm: 0 });
-    asm.push(NeonInst::LdpQ { vt1: vr(2), vt2: vr(3), rn: xr(A_PTR), imm: 32 });
+    asm.push(NeonInst::LdpQ {
+        vt1: vr(0),
+        vt2: vr(1),
+        rn: xr(A_PTR),
+        imm: 0,
+    });
+    asm.push(NeonInst::LdpQ {
+        vt1: vr(2),
+        vt2: vr(3),
+        rn: xr(A_PTR),
+        imm: 32,
+    });
     // B row segment (4 values).
-    asm.push(NeonInst::LdrQ { vt: vr(28), rn: xr(B_PTR), imm: 0 });
-    asm.push(ScalarInst::AddReg { rd: xr(A_PTR), rn: xr(A_PTR), rm: xr(LDA_B), shift: None });
+    asm.push(NeonInst::LdrQ {
+        vt: vr(28),
+        rn: xr(B_PTR),
+        imm: 0,
+    });
+    asm.push(ScalarInst::AddReg {
+        rd: xr(A_PTR),
+        rn: xr(A_PTR),
+        rm: xr(LDA_B),
+        shift: None,
+    });
     // B advances by one row: ldb * 4 bytes. Reuse TMP via an immediate add.
     asm.add_imm(xr(B_PTR), xr(B_PTR), (cfg.ldb * 4) as u64);
     for col in 0..4u8 {
@@ -176,12 +249,30 @@ fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0
     asm.cbnz(xr(K_CNT), top);
 
     // Store the C block back.
-    asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(C_PTR) });
+    asm.push(ScalarInst::MovReg {
+        rd: xr(COL_PTR),
+        rn: xr(C_PTR),
+    });
     for col in 0..4u8 {
-        asm.push(NeonInst::StpQ { vt1: vr(4 + col * 4), vt2: vr(5 + col * 4), rn: xr(COL_PTR), imm: 0 });
-        asm.push(NeonInst::StpQ { vt1: vr(6 + col * 4), vt2: vr(7 + col * 4), rn: xr(COL_PTR), imm: 32 });
+        asm.push(NeonInst::StpQ {
+            vt1: vr(4 + col * 4),
+            vt2: vr(5 + col * 4),
+            rn: xr(COL_PTR),
+            imm: 0,
+        });
+        asm.push(NeonInst::StpQ {
+            vt1: vr(6 + col * 4),
+            vt2: vr(7 + col * 4),
+            rn: xr(COL_PTR),
+            imm: 32,
+        });
         if col < 3 {
-            asm.push(ScalarInst::AddReg { rd: xr(COL_PTR), rn: xr(COL_PTR), rm: xr(LDC_B), shift: None });
+            asm.push(ScalarInst::AddReg {
+                rd: xr(COL_PTR),
+                rn: xr(COL_PTR),
+                rm: xr(LDC_B),
+                shift: None,
+            });
         }
     }
 }
@@ -203,7 +294,11 @@ pub fn validate_neon(cfg: &GemmConfig, seed: u64) -> Result<f32, GemmError> {
     let a_addr = sim.mem.alloc_f32(&a, 128);
     let b_addr = sim.mem.alloc_f32(&b, 128);
     let c_addr = sim.mem.alloc_f32(&c, 128);
-    sim.run(&program, &[a_addr, b_addr, c_addr], &RunOptions::functional_only());
+    sim.run(
+        &program,
+        &[a_addr, b_addr, c_addr],
+        &RunOptions::functional_only(),
+    );
     let c_out = sim.mem.read_f32_slice(c_addr, cfg.c_len());
     let mut c_ref = c;
     gemm_reference(cfg, &a, &b, &mut c_ref);
@@ -232,7 +327,11 @@ mod tests {
     fn figure6_comparison_numbers() {
         let cmp = MicrokernelComparison::figure6();
         assert_eq!(cmp.neon_accum_registers, 24);
-        assert_eq!(cmp.fmla_per_fmopa(), 64, "the paper quotes 64 FMLA per FMOPA");
+        assert_eq!(
+            cmp.fmla_per_fmopa(),
+            64,
+            "the paper quotes 64 FMLA per FMOPA"
+        );
         assert_eq!(cmp.sme_accumulator, 1024);
         assert_eq!(cmp.neon_accumulator, 96);
     }
@@ -244,7 +343,10 @@ mod tests {
         let p = asm.finish();
         let fmla = p.count_matching(|i| matches!(i, Inst::Neon(NeonInst::FmlaElem { .. })));
         let loads = p.count_matching(|i| {
-            matches!(i, Inst::Neon(NeonInst::LdpQ { .. }) | Inst::Neon(NeonInst::LdrQ { .. }))
+            matches!(
+                i,
+                Inst::Neon(NeonInst::LdpQ { .. }) | Inst::Neon(NeonInst::LdrQ { .. })
+            )
         });
         assert_eq!(fmla, 24, "24 FMLA (by element) per step");
         assert_eq!(loads, 4);
@@ -272,7 +374,13 @@ mod tests {
         let cfg = GemmConfig::abt(64, 64, 64);
         let neon = model_neon_gflops(&cfg).unwrap();
         let sme = crate::generate(&cfg).unwrap().model_gflops();
-        assert!(neon < 120.0, "Neon baseline {neon} must stay near the 113 GFLOPS peak");
-        assert!(sme > 4.0 * neon, "SME ({sme}) must be several times faster than Neon ({neon})");
+        assert!(
+            neon < 120.0,
+            "Neon baseline {neon} must stay near the 113 GFLOPS peak"
+        );
+        assert!(
+            sme > 4.0 * neon,
+            "SME ({sme}) must be several times faster than Neon ({neon})"
+        );
     }
 }

@@ -73,7 +73,10 @@ pub fn gemm_blocked_reference(cfg: &GemmConfig, a: &[f32], b: &[f32], c: &mut [f
 
 /// Maximum absolute difference between two buffers (used by validation).
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 /// Maximum relative difference between two buffers with an absolute floor
@@ -178,7 +181,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive() {
-        for (m, n, k) in [(1, 1, 1), (5, 7, 9), (32, 32, 32), (33, 47, 21), (64, 16, 80)] {
+        for (m, n, k) in [
+            (1, 1, 1),
+            (5, 7, 9),
+            (32, 32, 32),
+            (33, 47, 21),
+            (64, 16, 80),
+        ] {
             for layout in [BLayout::RowMajor, BLayout::ColMajor] {
                 let mut cfg = GemmConfig::abt(m, n, k).with_beta(Beta::One);
                 if layout == BLayout::ColMajor {

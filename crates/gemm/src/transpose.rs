@@ -38,7 +38,12 @@ fn col_pred_t() -> PReg {
 
 fn emit_lane_predicate(asm: &mut Assembler, pred: PReg, lanes: usize) {
     asm.push(ScalarInst::mov_imm16(xr(TMP1), lanes as u16));
-    asm.push(SveInst::Whilelt { pd: pred, elem: ElementType::F32, rn: XReg::XZR, rm: xr(TMP1) });
+    asm.push(SveInst::Whilelt {
+        pd: pred,
+        elem: ElementType::F32,
+        rn: XReg::XZR,
+        rm: xr(TMP1),
+    });
 }
 
 /// Emit code that transposes the B panel covering columns
@@ -53,7 +58,10 @@ pub fn emit_panel_transpose(
     panel_col0: usize,
     panel_cols: usize,
 ) {
-    assert!(panel_cols <= SCRATCH_LD, "panels are at most {SCRATCH_LD} columns wide");
+    assert!(
+        panel_cols <= SCRATCH_LD,
+        "panels are at most {SCRATCH_LD} columns wide"
+    );
     let k = cfg.k;
 
     asm.push(ScalarInst::mov_imm16(xr(W12), 0));
@@ -69,7 +77,10 @@ pub fn emit_panel_transpose(
             // Load the 16 (or fewer) columns of this block into z0..z15.
             // Column c lives at B + ((panel_col0 + j0 + c) * ldb + k0) * 4.
             let first_off = (cfg.b_offset(k0, panel_col0 + j0)) as u64;
-            asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(ARG_B) });
+            asm.push(ScalarInst::MovReg {
+                rd: xr(COL_PTR),
+                rn: xr(ARG_B),
+            });
             if first_off > 0 {
                 if first_off < (1 << 24) {
                     asm.add_imm(xr(COL_PTR), xr(COL_PTR), first_off);
@@ -121,12 +132,20 @@ pub fn emit_panel_transpose(
             // Store the transposed rows into the scratch panel: row (k0 + r)
             // starts at scratch + (k0 + r) * SCRATCH_LD * 4 + j0 * 4.
             let scratch_off = (k0 * SCRATCH_LD + j0) * 4;
-            asm.push(ScalarInst::MovReg { rd: xr(COL_PTR), rn: xr(SCRATCH) });
+            asm.push(ScalarInst::MovReg {
+                rd: xr(COL_PTR),
+                rn: xr(SCRATCH),
+            });
             if scratch_off > 0 {
                 asm.add_imm(xr(COL_PTR), xr(COL_PTR), scratch_off as u64);
             }
             for r in 0..kw {
-                asm.push(SveInst::st1w(zr(16 + r as u8), col_pred_t(), xr(COL_PTR), 0));
+                asm.push(SveInst::st1w(
+                    zr(16 + r as u8),
+                    col_pred_t(),
+                    xr(COL_PTR),
+                    0,
+                ));
                 if r + 1 < kw {
                     asm.push(ScalarInst::AddReg {
                         rd: xr(COL_PTR),
@@ -163,20 +182,34 @@ mod tests {
         let mova_in = p.count_matching(|i| {
             matches!(
                 i,
-                Inst::Sme(SmeInst::MovaToTile { dir: TileSliceDir::Horizontal, count: 4, .. })
+                Inst::Sme(SmeInst::MovaToTile {
+                    dir: TileSliceDir::Horizontal,
+                    count: 4,
+                    ..
+                })
             )
         });
         let mova_out = p.count_matching(|i| {
             matches!(
                 i,
-                Inst::Sme(SmeInst::MovaFromTile { dir: TileSliceDir::Vertical, count: 4, .. })
+                Inst::Sme(SmeInst::MovaFromTile {
+                    dir: TileSliceDir::Vertical,
+                    count: 4,
+                    ..
+                })
             )
         });
         assert_eq!(mova_in, 16);
         assert_eq!(mova_out, 16);
         // 16 loads and 16 stores per 16x16 block.
-        assert_eq!(p.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ld1 { .. }))), 64);
-        assert_eq!(p.count_matching(|i| matches!(i, Inst::Sve(SveInst::St1 { .. }))), 64);
+        assert_eq!(
+            p.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ld1 { .. }))),
+            64
+        );
+        assert_eq!(
+            p.count_matching(|i| matches!(i, Inst::Sve(SveInst::St1 { .. }))),
+            64
+        );
     }
 
     #[test]

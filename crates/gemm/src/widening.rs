@@ -16,10 +16,10 @@
 //!   predication scheme and is intentionally left to future work, mirroring
 //!   the paper's own scoping.
 
-use crate::config::GemmError;
-use crate::loads::{emit_c_transfer, TransferDir};
 use crate::blocking::{BlockInstance, RegisterBlocking};
 use crate::config::GemmConfig;
+use crate::config::GemmError;
+use crate::loads::{emit_c_transfer, TransferDir};
 use crate::microkernel::{
     a_counter, b_counter, xr, zr, ARG_A, ARG_B, ARG_C, A_PTR, BK_STRIDE, B_PTR, C_PTR, K_CNT,
     LDA_B, LDC_B, W12, ZA_A, ZB_B,
@@ -49,15 +49,19 @@ impl WideningGemmConfig {
     /// Construct and validate a configuration.
     pub fn new(m: usize, n: usize, k: usize) -> Result<Self, GemmError> {
         if m == 0 || n == 0 || k == 0 {
-            return Err(GemmError::InvalidDimension("dimensions must be non-zero".into()));
+            return Err(GemmError::InvalidDimension(
+                "dimensions must be non-zero".into(),
+            ));
         }
-        if m % 32 != 0 || n % 32 != 0 {
+        if !m.is_multiple_of(32) || !n.is_multiple_of(32) {
             return Err(GemmError::Unsupported(
                 "the BF16 fast path requires m and n to be multiples of 32".into(),
             ));
         }
-        if k % 2 != 0 {
-            return Err(GemmError::Unsupported("the BF16 fast path requires an even k".into()));
+        if !k.is_multiple_of(2) {
+            return Err(GemmError::Unsupported(
+                "the BF16 fast path requires an even k".into(),
+            ));
         }
         Ok(WideningGemmConfig { m, n, k })
     }
@@ -80,7 +84,10 @@ impl WideningGemmConfig {
 
 /// Round an `f32` slice to BF16 precision (returns the raw BF16 bits).
 fn to_bf16_bits(values: &[f32]) -> Vec<u16> {
-    values.iter().map(|v| sme_machine::exec::fp::f32_to_bf16(*v)).collect()
+    values
+        .iter()
+        .map(|v| sme_machine::exec::fp::f32_to_bf16(*v))
+        .collect()
 }
 
 /// Pack a column-major `m × k` FP32 A into the 2-way interleaved BF16
@@ -161,12 +168,24 @@ impl WideningKernel {
         write_u16_slice(&mut sim, b_addr, &packed_b);
         let c_addr = sim.mem.alloc_f32(&c, 128);
 
-        self.run(&mut sim, a_addr, b_addr, c_addr, &RunOptions::functional_only());
+        self.run(
+            &mut sim,
+            a_addr,
+            b_addr,
+            c_addr,
+            &RunOptions::functional_only(),
+        );
         let c_out = sim.mem.read_f32_slice(c_addr, cfg.m * cfg.n);
 
         // Reference on BF16-rounded inputs.
-        let a_r: Vec<f32> = to_bf16_bits(&a).iter().map(|&x| sme_machine::exec::fp::bf16_to_f32(x)).collect();
-        let b_r: Vec<f32> = to_bf16_bits(&b).iter().map(|&x| sme_machine::exec::fp::bf16_to_f32(x)).collect();
+        let a_r: Vec<f32> = to_bf16_bits(&a)
+            .iter()
+            .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
+            .collect();
+        let b_r: Vec<f32> = to_bf16_bits(&b)
+            .iter()
+            .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
+            .collect();
         let mut c_ref = c;
         for col in 0..cfg.n {
             for row in 0..cfg.m {
@@ -231,15 +250,24 @@ pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, Gem
                 blocking: RegisterBlocking::B32x32,
             };
             // Pointers into the packed operands and C.
-            asm.push(ScalarInst::MovReg { rd: xr(A_PTR), rn: xr(ARG_A) });
+            asm.push(ScalarInst::MovReg {
+                rd: xr(A_PTR),
+                rn: xr(ARG_A),
+            });
             if row0 > 0 {
                 asm.add_imm(xr(A_PTR), xr(A_PTR), (row0 * 2 * 2) as u64);
             }
-            asm.push(ScalarInst::MovReg { rd: xr(B_PTR), rn: xr(ARG_B) });
+            asm.push(ScalarInst::MovReg {
+                rd: xr(B_PTR),
+                rn: xr(ARG_B),
+            });
             if col0 > 0 {
                 asm.add_imm(xr(B_PTR), xr(B_PTR), (col0 * 2 * 2) as u64);
             }
-            asm.push(ScalarInst::MovReg { rd: xr(C_PTR), rn: xr(ARG_C) });
+            asm.push(ScalarInst::MovReg {
+                rd: xr(C_PTR),
+                rn: xr(ARG_C),
+            });
             let c_off = c_cfg.c_offset(row0, col0) as u64;
             if c_off > 0 {
                 asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
@@ -253,7 +281,12 @@ pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, Gem
             asm.mov_imm64(xr(K_CNT), (cfg.k / 2) as u64);
             let top = asm.new_label();
             asm.bind(top);
-            asm.push(ScalarInst::SubImm { rd: xr(K_CNT), rn: xr(K_CNT), imm12: 1, shift12: false });
+            asm.push(ScalarInst::SubImm {
+                rd: xr(K_CNT),
+                rn: xr(K_CNT),
+                imm12: 1,
+                shift12: false,
+            });
             // 64 packed BF16 values of A (32 rows × 2 k-steps) and of B.
             asm.push(SveInst::Ld1Multi {
                 zt: zr(ZA_A),
@@ -271,8 +304,18 @@ pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, Gem
                 rn: xr(B_PTR),
                 imm_vl: 0,
             });
-            asm.push(ScalarInst::AddReg { rd: xr(A_PTR), rn: xr(A_PTR), rm: xr(LDA_B), shift: None });
-            asm.push(ScalarInst::AddReg { rd: xr(B_PTR), rn: xr(B_PTR), rm: xr(BK_STRIDE), shift: None });
+            asm.push(ScalarInst::AddReg {
+                rd: xr(A_PTR),
+                rn: xr(A_PTR),
+                rm: xr(LDA_B),
+                shift: None,
+            });
+            asm.push(ScalarInst::AddReg {
+                rd: xr(B_PTR),
+                rn: xr(B_PTR),
+                rm: xr(BK_STRIDE),
+                shift: None,
+            });
             for cg in 0..2u8 {
                 for rg in 0..2u8 {
                     asm.push(SmeInst::FmopaWide {
@@ -294,7 +337,10 @@ pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, Gem
 
     asm.push(SmeInst::Smstop { za_only: false });
     asm.ret();
-    Ok(WideningKernel { cfg, program: asm.finish() })
+    Ok(WideningKernel {
+        cfg,
+        program: asm.finish(),
+    })
 }
 
 #[cfg(test)]
@@ -321,12 +367,18 @@ mod tests {
         let packed = pack_a_bf16(&a, 2, 2, 2);
         // packed[(kk/2)*2m + r*2 + kk%2]: (r=0,k=0)->0, (r=0,k=1)->1,
         // (r=1,k=0)->2, (r=1,k=1)->3.
-        let vals: Vec<f32> = packed.iter().map(|&x| sme_machine::exec::fp::bf16_to_f32(x)).collect();
+        let vals: Vec<f32> = packed
+            .iter()
+            .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
+            .collect();
         assert_eq!(vals, vec![1.0, 3.0, 2.0, 4.0]);
         // B = 2x2 row-major identity.
         let b = vec![1.0f32, 0.0, 0.0, 1.0];
         let packed = pack_b_bf16(&b, 2, 2, 2);
-        let vals: Vec<f32> = packed.iter().map(|&x| sme_machine::exec::fp::bf16_to_f32(x)).collect();
+        let vals: Vec<f32> = packed
+            .iter()
+            .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
+            .collect();
         assert_eq!(vals, vec![1.0, 0.0, 0.0, 1.0]);
     }
 
@@ -361,7 +413,9 @@ mod tests {
         let cfg = WideningGemmConfig::new(128, 128, 256).unwrap();
         let kernel = generate_widening(&cfg).unwrap();
         let bf16 = kernel.model_gflops();
-        let fp32 = crate::generate(&GemmConfig::abt(128, 128, 256)).unwrap().model_gflops();
+        let fp32 = crate::generate(&GemmConfig::abt(128, 128, 256))
+            .unwrap()
+            .model_gflops();
         assert!(bf16 > 0.85 * fp32, "bf16 {bf16} vs fp32 {fp32}");
         assert!(bf16 < 1.3 * fp32, "bf16 {bf16} vs fp32 {fp32}");
     }

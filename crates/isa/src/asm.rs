@@ -156,22 +156,33 @@ impl Assembler {
 
     /// `cbnz xn, label`.
     pub fn cbnz(&mut self, rn: XReg, label: Label) {
-        self.push(ScalarInst::Cbnz { rn, target: BranchTarget::Label(label.0) });
+        self.push(ScalarInst::Cbnz {
+            rn,
+            target: BranchTarget::Label(label.0),
+        });
     }
 
     /// `cbz xn, label`.
     pub fn cbz(&mut self, rn: XReg, label: Label) {
-        self.push(ScalarInst::Cbz { rn, target: BranchTarget::Label(label.0) });
+        self.push(ScalarInst::Cbz {
+            rn,
+            target: BranchTarget::Label(label.0),
+        });
     }
 
     /// `b label`.
     pub fn b(&mut self, label: Label) {
-        self.push(ScalarInst::B { target: BranchTarget::Label(label.0) });
+        self.push(ScalarInst::B {
+            target: BranchTarget::Label(label.0),
+        });
     }
 
     /// `b.cond label`.
     pub fn b_cond(&mut self, cond: crate::types::Cond, label: Label) {
-        self.push(ScalarInst::BCond { cond, target: BranchTarget::Label(label.0) });
+        self.push(ScalarInst::BCond {
+            cond,
+            target: BranchTarget::Label(label.0),
+        });
     }
 
     /// `ret`.
@@ -190,10 +201,18 @@ impl Assembler {
         ];
         // Always emit the movz for the lowest chunk so that the register is
         // fully defined, then movk the non-zero higher chunks.
-        self.push(ScalarInst::MovZ { rd, imm16: chunks[0], hw: 0 });
+        self.push(ScalarInst::MovZ {
+            rd,
+            imm16: chunks[0],
+            hw: 0,
+        });
         for (hw, &chunk) in chunks.iter().enumerate().skip(1) {
             if chunk != 0 {
-                self.push(ScalarInst::MovK { rd, imm16: chunk, hw: hw as u8 });
+                self.push(ScalarInst::MovK {
+                    rd,
+                    imm16: chunk,
+                    hw: hw as u8,
+                });
             }
         }
     }
@@ -208,12 +227,27 @@ impl Assembler {
         let low = (imm & 0xfff) as u16;
         let high = ((imm >> 12) & 0xfff) as u16;
         if high != 0 {
-            self.push(ScalarInst::AddImm { rd, rn, imm12: high, shift12: true });
+            self.push(ScalarInst::AddImm {
+                rd,
+                rn,
+                imm12: high,
+                shift12: true,
+            });
             if low != 0 {
-                self.push(ScalarInst::AddImm { rd, rn: rd, imm12: low, shift12: false });
+                self.push(ScalarInst::AddImm {
+                    rd,
+                    rn: rd,
+                    imm12: low,
+                    shift12: false,
+                });
             }
         } else {
-            self.push(ScalarInst::AddImm { rd, rn, imm12: low, shift12: false });
+            self.push(ScalarInst::AddImm {
+                rd,
+                rn,
+                imm12: low,
+                shift12: false,
+            });
         }
     }
 
@@ -226,12 +260,27 @@ impl Assembler {
         let low = (imm & 0xfff) as u16;
         let high = ((imm >> 12) & 0xfff) as u16;
         if high != 0 {
-            self.push(ScalarInst::SubImm { rd, rn, imm12: high, shift12: true });
+            self.push(ScalarInst::SubImm {
+                rd,
+                rn,
+                imm12: high,
+                shift12: true,
+            });
             if low != 0 {
-                self.push(ScalarInst::SubImm { rd, rn: rd, imm12: low, shift12: false });
+                self.push(ScalarInst::SubImm {
+                    rd,
+                    rn: rd,
+                    imm12: low,
+                    shift12: false,
+                });
             }
         } else {
-            self.push(ScalarInst::SubImm { rd, rn, imm12: low, shift12: false });
+            self.push(ScalarInst::SubImm {
+                rd,
+                rn,
+                imm12: low,
+                shift12: false,
+            });
         }
     }
 
@@ -240,9 +289,14 @@ impl Assembler {
     /// # Panics
     /// Panics if a branch references a label that was never bound.
     pub fn finish(self) -> Program {
-        let Assembler { name, mut insts, bound, .. } = self;
-        for idx in 0..insts.len() {
-            if let Inst::Scalar(ref mut s) = insts[idx] {
+        let Assembler {
+            name,
+            mut insts,
+            bound,
+            ..
+        } = self;
+        for (idx, inst) in insts.iter_mut().enumerate() {
+            if let Inst::Scalar(ref mut s) = inst {
                 if let Some(BranchTarget::Label(l)) = s.branch_target() {
                     let target_idx = *bound
                         .get(&l)
@@ -270,7 +324,12 @@ mod tests {
         let mut a = Assembler::new("loop");
         let top = a.new_label();
         a.bind(top);
-        a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        a.push(ScalarInst::SubImm {
+            rd: x(0),
+            rn: x(0),
+            imm12: 1,
+            shift12: false,
+        });
         a.push(NeonInst::fmla_vec(v(0), v(30), v(31), NeonArrangement::S4));
         a.cbnz(x(0), top);
         a.ret();
@@ -322,7 +381,11 @@ mod tests {
         let small = a.position();
         assert_eq!(small, 1, "small immediates need a single movz");
         a.mov_imm64(x(1), 0x0001_0000);
-        assert_eq!(a.position() - small, 2, "17-bit immediate needs movz + movk");
+        assert_eq!(
+            a.position() - small,
+            2,
+            "17-bit immediate needs movz + movk"
+        );
         a.mov_imm64(x(2), 0xdead_beef_cafe_f00d);
         let p = a.finish();
         // 1 + 2 + 4 instructions in total.

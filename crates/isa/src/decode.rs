@@ -35,7 +35,7 @@ pub fn decode(word: u32) -> Option<Inst> {
 /// Returns `None` if the length is not a multiple of four or any word fails
 /// to decode.
 pub fn decode_bytes(bytes: &[u8]) -> Option<Vec<Inst>> {
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return None;
     }
     bytes
@@ -61,7 +61,12 @@ mod tests {
             SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).into(),
             SveInst::ptrue(p(0), ElementType::I8).into(),
             SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).into(),
-            SmeInst::LdrZa { rs: x(12), offset: 1, rn: x(0) }.into(),
+            SmeInst::LdrZa {
+                rs: x(12),
+                offset: 1,
+                rn: x(0),
+            }
+            .into(),
         ];
         for inst in insts {
             let word = crate::encode::encode(&inst);
@@ -76,7 +81,12 @@ mod tests {
         a.push(SveInst::ptrue(p(0), ElementType::I8));
         a.push(SveInst::ptrue(p(1), ElementType::I8));
         a.bind(top);
-        a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        a.push(ScalarInst::SubImm {
+            rd: x(0),
+            rn: x(0),
+            imm12: 1,
+            shift12: false,
+        });
         for t in 0..4u8 {
             a.push(SmeInst::fmopa_f32(t, p(0), p(1), z(2 * t), z(2 * t + 1)));
         }

@@ -60,7 +60,12 @@ mod tests {
         let mut a = Assembler::new("sample");
         let top = a.new_label();
         a.bind(top);
-        a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        a.push(ScalarInst::SubImm {
+            rd: x(0),
+            rn: x(0),
+            imm12: 1,
+            shift12: false,
+        });
         a.push(SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)));
         a.cbnz(x(0), top);
         a.ret();
@@ -81,7 +86,10 @@ mod tests {
         let program = sample_program();
         let text = disassemble_bytes(&program.encode_bytes());
         assert!(text.contains("fmopa"));
-        assert!(!text.contains(".word"), "all emitted words must decode: {text}");
+        assert!(
+            !text.contains(".word"),
+            "all emitted words must decode: {text}"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub(crate) mod fields {
 
     /// Place `value` into bit-field `[lo, lo+len)`, asserting it fits.
     pub fn put(value: u32, lo: u32, len: u32) -> u32 {
-        assert!(value < (1 << len), "field value {value} does not fit in {len} bits");
+        assert!(
+            value < (1 << len),
+            "field value {value} does not fit in {len} bits"
+        );
         value << lo
     }
 

@@ -24,7 +24,12 @@ fn vreg(enc: u32) -> VReg {
 /// arrangements of the by-element FMLA) or on out-of-range offsets.
 pub fn encode(inst: &NeonInst) -> u32 {
     match *inst {
-        NeonInst::FmlaVec { vd, vn, vm, arrangement } => {
+        NeonInst::FmlaVec {
+            vd,
+            vn,
+            vm,
+            arrangement,
+        } => {
             let base = match arrangement {
                 NeonArrangement::S4 => 0x4E20_CC00,
                 NeonArrangement::D2 => 0x4E60_CC00,
@@ -33,7 +38,13 @@ pub fn encode(inst: &NeonInst) -> u32 {
             };
             base | put(vm.enc(), 16, 5) | put(vn.enc(), 5, 5) | vd.enc()
         }
-        NeonInst::FmlaElem { vd, vn, vm, index, arrangement } => match arrangement {
+        NeonInst::FmlaElem {
+            vd,
+            vn,
+            vm,
+            index,
+            arrangement,
+        } => match arrangement {
             NeonArrangement::S4 => {
                 assert!(index < 4, "fmla by element: S lane index out of range");
                 0x4F80_1000
@@ -57,11 +68,17 @@ pub fn encode(inst: &NeonInst) -> u32 {
             0x6E40_EC00 | put(vm.enc(), 16, 5) | put(vn.enc(), 5, 5) | vd.enc()
         }
         NeonInst::LdrQ { vt, rn, imm } => {
-            assert!(imm % 16 == 0 && imm / 16 < 4096, "ldr q offset out of range: {imm}");
+            assert!(
+                imm % 16 == 0 && imm / 16 < 4096,
+                "ldr q offset out of range: {imm}"
+            );
             0x3DC0_0000 | put(imm / 16, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
         }
         NeonInst::StrQ { vt, rn, imm } => {
-            assert!(imm % 16 == 0 && imm / 16 < 4096, "str q offset out of range: {imm}");
+            assert!(
+                imm % 16 == 0 && imm / 16 < 4096,
+                "str q offset out of range: {imm}"
+            );
             0x3D80_0000 | put(imm / 16, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
         }
         NeonInst::LdpQ { vt1, vt2, rn, imm } => {
@@ -80,7 +97,12 @@ pub fn encode(inst: &NeonInst) -> u32 {
                 | put(rn.enc(), 5, 5)
                 | vt1.enc()
         }
-        NeonInst::DupElem { vd, vn, index, arrangement } => {
+        NeonInst::DupElem {
+            vd,
+            vn,
+            index,
+            arrangement,
+        } => {
             let imm5 = match arrangement {
                 NeonArrangement::S4 => {
                     assert!(index < 4, "dup: S lane index out of range");
@@ -156,7 +178,11 @@ pub fn decode(word: u32) -> Option<NeonInst> {
         });
     }
     if word & 0xFFE0_FC00 == 0x6E40_EC00 {
-        return Some(NeonInst::Bfmmla { vd: rd(), vn: vreg(rn5()), vm: rm() });
+        return Some(NeonInst::Bfmmla {
+            vd: rd(),
+            vn: vreg(rn5()),
+            vm: rm(),
+        });
     }
     if word & 0xFFC0_0000 == 0x3DC0_0000 {
         return Some(NeonInst::LdrQ {
@@ -209,10 +235,16 @@ pub fn decode(word: u32) -> Option<NeonInst> {
         return None;
     }
     if word & 0xFFFF_FFE0 == 0x4F00_0400 {
-        return Some(NeonInst::MoviZero { vd: rd(), arrangement: NeonArrangement::S4 });
+        return Some(NeonInst::MoviZero {
+            vd: rd(),
+            arrangement: NeonArrangement::S4,
+        });
     }
     if word & 0xFFFF_FFE0 == 0x6F00_E400 {
-        return Some(NeonInst::MoviZero { vd: rd(), arrangement: NeonArrangement::D2 });
+        return Some(NeonInst::MoviZero {
+            vd: rd(),
+            arrangement: NeonArrangement::D2,
+        });
     }
     None
 }
@@ -237,34 +269,98 @@ mod tests {
 
     #[test]
     fn roundtrip_all_variants() {
-        for arr in [NeonArrangement::S4, NeonArrangement::D2, NeonArrangement::H8] {
+        for arr in [
+            NeonArrangement::S4,
+            NeonArrangement::D2,
+            NeonArrangement::H8,
+        ] {
             roundtrip(NeonInst::fmla_vec(v(0), v(30), v(31), arr));
         }
         for idx in 0..4 {
-            roundtrip(NeonInst::fmla_elem(v(4), v(28), v(29), idx, NeonArrangement::S4));
+            roundtrip(NeonInst::fmla_elem(
+                v(4),
+                v(28),
+                v(29),
+                idx,
+                NeonArrangement::S4,
+            ));
         }
-        roundtrip(NeonInst::fmla_elem(v(4), v(28), v(29), 1, NeonArrangement::D2));
-        roundtrip(NeonInst::Bfmmla { vd: v(0), vn: v(1), vm: v(2) });
-        roundtrip(NeonInst::LdrQ { vt: v(7), rn: x(3), imm: 256 });
-        roundtrip(NeonInst::StrQ { vt: v(7), rn: x(3), imm: 65520 });
-        roundtrip(NeonInst::LdpQ { vt1: v(0), vt2: v(1), rn: x(0), imm: -32 });
-        roundtrip(NeonInst::StpQ { vt1: v(2), vt2: v(3), rn: XReg::SP, imm: 1008 });
-        roundtrip(NeonInst::DupElem { vd: v(5), vn: v(6), index: 3, arrangement: NeonArrangement::S4 });
-        roundtrip(NeonInst::DupElem { vd: v(5), vn: v(6), index: 1, arrangement: NeonArrangement::D2 });
-        roundtrip(NeonInst::MoviZero { vd: v(9), arrangement: NeonArrangement::S4 });
-        roundtrip(NeonInst::MoviZero { vd: v(9), arrangement: NeonArrangement::D2 });
+        roundtrip(NeonInst::fmla_elem(
+            v(4),
+            v(28),
+            v(29),
+            1,
+            NeonArrangement::D2,
+        ));
+        roundtrip(NeonInst::Bfmmla {
+            vd: v(0),
+            vn: v(1),
+            vm: v(2),
+        });
+        roundtrip(NeonInst::LdrQ {
+            vt: v(7),
+            rn: x(3),
+            imm: 256,
+        });
+        roundtrip(NeonInst::StrQ {
+            vt: v(7),
+            rn: x(3),
+            imm: 65520,
+        });
+        roundtrip(NeonInst::LdpQ {
+            vt1: v(0),
+            vt2: v(1),
+            rn: x(0),
+            imm: -32,
+        });
+        roundtrip(NeonInst::StpQ {
+            vt1: v(2),
+            vt2: v(3),
+            rn: XReg::SP,
+            imm: 1008,
+        });
+        roundtrip(NeonInst::DupElem {
+            vd: v(5),
+            vn: v(6),
+            index: 3,
+            arrangement: NeonArrangement::S4,
+        });
+        roundtrip(NeonInst::DupElem {
+            vd: v(5),
+            vn: v(6),
+            index: 1,
+            arrangement: NeonArrangement::D2,
+        });
+        roundtrip(NeonInst::MoviZero {
+            vd: v(9),
+            arrangement: NeonArrangement::S4,
+        });
+        roundtrip(NeonInst::MoviZero {
+            vd: v(9),
+            arrangement: NeonArrangement::D2,
+        });
     }
 
     #[test]
     #[should_panic(expected = "unsupported encoding")]
     fn unsupported_arrangement_panics() {
-        let _ = encode(&NeonInst::fmla_elem(v(0), v(1), v(2), 0, NeonArrangement::B16));
+        let _ = encode(&NeonInst::fmla_elem(
+            v(0),
+            v(1),
+            v(2),
+            0,
+            NeonArrangement::B16,
+        ));
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn ldr_q_offset_checked() {
-        let _ = encode(&NeonInst::LdrQ { vt: v(0), rn: x(0), imm: 17 });
+        let _ = encode(&NeonInst::LdrQ {
+            vt: v(0),
+            rn: x(0),
+            imm: 17,
+        });
     }
 
     #[test]

@@ -30,14 +30,24 @@ pub fn encode(inst: &ScalarInst) -> u32 {
             0xF280_0000 | put(hw as u32, 21, 2) | put(imm16 as u32, 5, 16) | rd.enc()
         }
         ScalarInst::MovReg { rd, rn } => 0xAA00_03E0 | put(rn.enc(), 16, 5) | rd.enc(),
-        ScalarInst::AddImm { rd, rn, imm12, shift12 } => {
+        ScalarInst::AddImm {
+            rd,
+            rn,
+            imm12,
+            shift12,
+        } => {
             0x9100_0000
                 | put(shift12 as u32, 22, 1)
                 | put(imm12 as u32, 10, 12)
                 | put(rn.enc(), 5, 5)
                 | rd.enc()
         }
-        ScalarInst::SubImm { rd, rn, imm12, shift12 } => {
+        ScalarInst::SubImm {
+            rd,
+            rn,
+            imm12,
+            shift12,
+        } => {
             0xD100_0000
                 | put(shift12 as u32, 22, 1)
                 | put(imm12 as u32, 10, 12)
@@ -49,19 +59,11 @@ pub fn encode(inst: &ScalarInst) -> u32 {
         }
         ScalarInst::AddReg { rd, rn, rm, shift } => {
             let amount = shift.map(|s| s.amount() as u32).unwrap_or(0);
-            0x8B00_0000
-                | put(rm.enc(), 16, 5)
-                | put(amount, 10, 6)
-                | put(rn.enc(), 5, 5)
-                | rd.enc()
+            0x8B00_0000 | put(rm.enc(), 16, 5) | put(amount, 10, 6) | put(rn.enc(), 5, 5) | rd.enc()
         }
         ScalarInst::SubReg { rd, rn, rm, shift } => {
             let amount = shift.map(|s| s.amount() as u32).unwrap_or(0);
-            0xCB00_0000
-                | put(rm.enc(), 16, 5)
-                | put(amount, 10, 6)
-                | put(rn.enc(), 5, 5)
-                | rd.enc()
+            0xCB00_0000 | put(rm.enc(), 16, 5) | put(amount, 10, 6) | put(rn.enc(), 5, 5) | rd.enc()
         }
         ScalarInst::Madd { rd, rn, rm, ra } => {
             0x9B00_0000
@@ -183,7 +185,10 @@ pub fn decode(word: u32) -> Option<ScalarInst> {
             })
         }
         0xEB if rd() == 31 && get(word, 10, 6) == 0 && get(word, 21, 3) == 0 => {
-            Some(ScalarInst::CmpReg { rn: xreg(rn(), false), rm: xreg(rm(), false) })
+            Some(ScalarInst::CmpReg {
+                rn: xreg(rn(), false),
+                rm: xreg(rm(), false),
+            })
         }
         0xB5 => Some(ScalarInst::Cbnz {
             rn: xreg(rd(), false),
@@ -196,12 +201,12 @@ pub fn decode(word: u32) -> Option<ScalarInst> {
         0x14..=0x17 => Some(ScalarInst::B {
             target: BranchTarget::Offset(unsigned_to_signed(get(word, 0, 26), 26) as i32),
         }),
-        0x54 if get(word, 4, 1) == 0 => Cond::from_code(get(word, 0, 4)).map(|cond| {
-            ScalarInst::BCond {
+        0x54 if get(word, 4, 1) == 0 => {
+            Cond::from_code(get(word, 0, 4)).map(|cond| ScalarInst::BCond {
                 cond,
                 target: BranchTarget::Offset(unsigned_to_signed(get(word, 5, 19), 19) as i32),
-            }
-        }),
+            })
+        }
         _ => None,
     }
 }
@@ -226,32 +231,106 @@ mod tests {
         assert_eq!(encode(&ScalarInst::mov_imm16(x(0), 240)), 0xD2801E00);
         // `sub x0, x0, #1`.
         assert_eq!(
-            encode(&ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false }),
+            encode(&ScalarInst::SubImm {
+                rd: x(0),
+                rn: x(0),
+                imm12: 1,
+                shift12: false
+            }),
             0xD1000400
         );
     }
 
     #[test]
     fn roundtrip_all_variants() {
-        roundtrip(ScalarInst::MovZ { rd: x(3), imm16: 0xbeef, hw: 2 });
-        roundtrip(ScalarInst::MovK { rd: x(30), imm16: 1, hw: 3 });
+        roundtrip(ScalarInst::MovZ {
+            rd: x(3),
+            imm16: 0xbeef,
+            hw: 2,
+        });
+        roundtrip(ScalarInst::MovK {
+            rd: x(30),
+            imm16: 1,
+            hw: 3,
+        });
         roundtrip(ScalarInst::MovReg { rd: x(1), rn: x(2) });
-        roundtrip(ScalarInst::AddImm { rd: x(0), rn: x(1), imm12: 4095, shift12: true });
-        roundtrip(ScalarInst::AddImm { rd: XReg::SP, rn: XReg::SP, imm12: 64, shift12: false });
-        roundtrip(ScalarInst::SubImm { rd: XReg::SP, rn: XReg::SP, imm12: 128, shift12: false });
-        roundtrip(ScalarInst::SubsImm { rd: x(8), rn: x(8), imm12: 1 });
-        roundtrip(ScalarInst::AddReg { rd: x(0), rn: x(0), rm: x(9), shift: None });
-        roundtrip(ScalarInst::AddReg { rd: x(0), rn: x(0), rm: x(9), shift: Some(ShiftOp::Lsl(2)) });
-        roundtrip(ScalarInst::SubReg { rd: x(5), rn: x(6), rm: x(7), shift: None });
-        roundtrip(ScalarInst::Madd { rd: x(0), rn: x(1), rm: x(2), ra: x(3) });
-        roundtrip(ScalarInst::LslImm { rd: x(4), rn: x(5), shift: 2 });
-        roundtrip(ScalarInst::LslImm { rd: x(4), rn: x(5), shift: 63 });
+        roundtrip(ScalarInst::AddImm {
+            rd: x(0),
+            rn: x(1),
+            imm12: 4095,
+            shift12: true,
+        });
+        roundtrip(ScalarInst::AddImm {
+            rd: XReg::SP,
+            rn: XReg::SP,
+            imm12: 64,
+            shift12: false,
+        });
+        roundtrip(ScalarInst::SubImm {
+            rd: XReg::SP,
+            rn: XReg::SP,
+            imm12: 128,
+            shift12: false,
+        });
+        roundtrip(ScalarInst::SubsImm {
+            rd: x(8),
+            rn: x(8),
+            imm12: 1,
+        });
+        roundtrip(ScalarInst::AddReg {
+            rd: x(0),
+            rn: x(0),
+            rm: x(9),
+            shift: None,
+        });
+        roundtrip(ScalarInst::AddReg {
+            rd: x(0),
+            rn: x(0),
+            rm: x(9),
+            shift: Some(ShiftOp::Lsl(2)),
+        });
+        roundtrip(ScalarInst::SubReg {
+            rd: x(5),
+            rn: x(6),
+            rm: x(7),
+            shift: None,
+        });
+        roundtrip(ScalarInst::Madd {
+            rd: x(0),
+            rn: x(1),
+            rm: x(2),
+            ra: x(3),
+        });
+        roundtrip(ScalarInst::LslImm {
+            rd: x(4),
+            rn: x(5),
+            shift: 2,
+        });
+        roundtrip(ScalarInst::LslImm {
+            rd: x(4),
+            rn: x(5),
+            shift: 63,
+        });
         roundtrip(ScalarInst::CmpReg { rn: x(1), rm: x(2) });
-        roundtrip(ScalarInst::CmpImm { rn: x(1), imm12: 100 });
-        roundtrip(ScalarInst::Cbnz { rn: x(0), target: BranchTarget::Offset(-33) });
-        roundtrip(ScalarInst::Cbz { rn: x(2), target: BranchTarget::Offset(12) });
-        roundtrip(ScalarInst::B { target: BranchTarget::Offset(-1000) });
-        roundtrip(ScalarInst::BCond { cond: Cond::Ne, target: BranchTarget::Offset(5) });
+        roundtrip(ScalarInst::CmpImm {
+            rn: x(1),
+            imm12: 100,
+        });
+        roundtrip(ScalarInst::Cbnz {
+            rn: x(0),
+            target: BranchTarget::Offset(-33),
+        });
+        roundtrip(ScalarInst::Cbz {
+            rn: x(2),
+            target: BranchTarget::Offset(12),
+        });
+        roundtrip(ScalarInst::B {
+            target: BranchTarget::Offset(-1000),
+        });
+        roundtrip(ScalarInst::BCond {
+            cond: Cond::Ne,
+            target: BranchTarget::Offset(5),
+        });
         roundtrip(ScalarInst::Nop);
         roundtrip(ScalarInst::Ret);
     }

@@ -88,7 +88,14 @@ pub fn encode(inst: &SmeInst) -> u32 {
                 SMSTOP
             }
         }
-        SmeInst::Fmopa { tile, elem, pn, pm, zn, zm } => {
+        SmeInst::Fmopa {
+            tile,
+            elem,
+            pn,
+            pm,
+            zn,
+            zm,
+        } => {
             check_mopa_operands(pn, pm);
             match elem {
                 ElementType::F32 => {
@@ -112,7 +119,14 @@ pub fn encode(inst: &SmeInst) -> u32 {
                 other => panic!("unsupported encoding: non-widening FMOPA with {other} elements"),
             }
         }
-        SmeInst::FmopaWide { tile, from, pn, pm, zn, zm } => {
+        SmeInst::FmopaWide {
+            tile,
+            from,
+            pn,
+            pm,
+            zn,
+            zm,
+        } => {
             check_mopa_operands(pn, pm);
             assert!(tile < 4, "widening FMOPA tile must be 0..4");
             let base = match from {
@@ -126,7 +140,14 @@ pub fn encode(inst: &SmeInst) -> u32 {
                 | put(zn.enc(), 5, 5)
                 | put(tile as u32, 0, 2)
         }
-        SmeInst::Smopa { tile, from, pn, pm, zn, zm } => {
+        SmeInst::Smopa {
+            tile,
+            from,
+            pn,
+            pm,
+            zn,
+            zm,
+        } => {
             check_mopa_operands(pn, pm);
             assert!(tile < 4, "SMOPA tile must be 0..4");
             let base = match from {
@@ -140,12 +161,22 @@ pub fn encode(inst: &SmeInst) -> u32 {
                 | put(zn.enc(), 5, 5)
                 | put(tile as u32, 0, 2)
         }
-        SmeInst::MovaToTile { tile, dir, rs, offset, zt, count } => {
-            encode_mova(0xC080_0000, tile, dir, rs, offset, zt, count)
-        }
-        SmeInst::MovaFromTile { tile, dir, rs, offset, zt, count } => {
-            encode_mova(0xC0A0_0000, tile, dir, rs, offset, zt, count)
-        }
+        SmeInst::MovaToTile {
+            tile,
+            dir,
+            rs,
+            offset,
+            zt,
+            count,
+        } => encode_mova(0xC080_0000, tile, dir, rs, offset, zt, count),
+        SmeInst::MovaFromTile {
+            tile,
+            dir,
+            rs,
+            offset,
+            zt,
+            count,
+        } => encode_mova(0xC0A0_0000, tile, dir, rs, offset, zt, count),
         SmeInst::LdrZa { rs, offset, rn } => {
             assert!(offset < 16, "LDR ZA offset must be 0..16");
             0xE100_0000 | put(rs_field(rs), 13, 2) | put(rn.enc(), 5, 5) | put(offset as u32, 0, 4)
@@ -155,7 +186,14 @@ pub fn encode(inst: &SmeInst) -> u32 {
             0xE120_0000 | put(rs_field(rs), 13, 2) | put(rn.enc(), 5, 5) | put(offset as u32, 0, 4)
         }
         SmeInst::ZeroZa { mask } => 0xC008_0000 | mask as u32,
-        SmeInst::FmlaZaVectors { elem, vgx, rv, offset, zn, zm } => {
+        SmeInst::FmlaZaVectors {
+            elem,
+            vgx,
+            rv,
+            offset,
+            zn,
+            zm,
+        } => {
             assert!(vgx == 2 || vgx == 4, "vector-group size must be 2 or 4");
             assert!(offset < 8, "ZA vector offset must be 0..8");
             // Reproduction-specific field placement:
@@ -195,9 +233,16 @@ fn encode_mova(
         | zt.enc()
 }
 
-fn decode_mova(word: u32) -> (ZaTile, TileSliceDir, XReg, u8, ZReg, u8) {
+fn decode_mova(word: u32) -> Option<(ZaTile, TileSliceDir, XReg, u8, ZReg, u8)> {
     let elem = super::fields::elem_of(get(word, 17, 2));
-    let tile = ZaTile::new(get(word, 12, 3) as u8, canonical_tile_elem(elem));
+    // Out-of-range tile indices (the 3-bit field can name tiles the element
+    // type does not have) and the count encoding the encoder never emits
+    // (`log2 = 3`, i.e. eight vectors) are unknown words, not panics.
+    let tile = ZaTile::try_new(get(word, 12, 3) as u8, canonical_tile_elem(elem))?;
+    let count_log2 = get(word, 15, 2);
+    if count_log2 == 3 {
+        return None;
+    }
     let dir = if get(word, 11, 1) == 1 {
         TileSliceDir::Vertical
     } else {
@@ -206,8 +251,8 @@ fn decode_mova(word: u32) -> (ZaTile, TileSliceDir, XReg, u8, ZReg, u8) {
     let rs = XReg::new((get(word, 9, 2) + 12) as u8);
     let offset = get(word, 5, 4) as u8;
     let zt = zreg(get(word, 0, 5));
-    let count = 1u8 << get(word, 15, 2);
-    (tile, dir, rs, offset, zt, count)
+    let count = 1u8 << count_log2;
+    Some((tile, dir, rs, offset, zt, count))
 }
 
 /// Tiles are canonicalised to floating-point element types (F16/F32/F64) or
@@ -255,7 +300,11 @@ pub fn decode(word: u32) -> Option<SmeInst> {
     }
     // BFMOPA / FMOPA (widening).
     if word & 0xFF60_001C == 0x8100_0000 {
-        let from = if get(word, 23, 1) == 1 { ElementType::F16 } else { ElementType::BF16 };
+        let from = if get(word, 23, 1) == 1 {
+            ElementType::F16
+        } else {
+            ElementType::BF16
+        };
         return Some(SmeInst::FmopaWide {
             tile: get(word, 0, 2) as u8,
             from,
@@ -267,7 +316,11 @@ pub fn decode(word: u32) -> Option<SmeInst> {
     }
     // SMOPA.
     if word & 0xFF80_001C == 0xA080_0000 {
-        let from = if get(word, 22, 1) == 1 { ElementType::I16 } else { ElementType::I8 };
+        let from = if get(word, 22, 1) == 1 {
+            ElementType::I16
+        } else {
+            ElementType::I8
+        };
         return Some(SmeInst::Smopa {
             tile: get(word, 0, 2) as u8,
             from,
@@ -279,12 +332,26 @@ pub fn decode(word: u32) -> Option<SmeInst> {
     }
     // MOVA (vector group to tile / tile to vector group).
     if word & 0xFFF8_0000 == 0xC080_0000 {
-        let (tile, dir, rs, offset, zt, count) = decode_mova(word);
-        return Some(SmeInst::MovaToTile { tile, dir, rs, offset, zt, count });
+        let (tile, dir, rs, offset, zt, count) = decode_mova(word)?;
+        return Some(SmeInst::MovaToTile {
+            tile,
+            dir,
+            rs,
+            offset,
+            zt,
+            count,
+        });
     }
     if word & 0xFFF8_0000 == 0xC0A0_0000 {
-        let (tile, dir, rs, offset, zt, count) = decode_mova(word);
-        return Some(SmeInst::MovaFromTile { tile, dir, rs, offset, zt, count });
+        let (tile, dir, rs, offset, zt, count) = decode_mova(word)?;
+        return Some(SmeInst::MovaFromTile {
+            tile,
+            dir,
+            rs,
+            offset,
+            zt,
+            count,
+        });
     }
     // LDR / STR (ZA array vector).
     if word & 0xFFE0_8010 == 0xE100_0000 {
@@ -303,7 +370,9 @@ pub fn decode(word: u32) -> Option<SmeInst> {
     }
     // ZERO { mask }.
     if word & 0xFFFF_FF00 == 0xC008_0000 {
-        return Some(SmeInst::ZeroZa { mask: get(word, 0, 8) as u8 });
+        return Some(SmeInst::ZeroZa {
+            mask: get(word, 0, 8) as u8,
+        });
     }
     // FMLA (multiple vectors and single vector).
     if word & 0xFFE0_0000 == 0xC120_0000 {
@@ -341,7 +410,13 @@ mod tests {
     #[test]
     fn roundtrip_outer_products() {
         for tile in 0..4 {
-            roundtrip(SmeInst::fmopa_f32(tile, p(0), p(1), z(tile * 2), z(tile * 2 + 1)));
+            roundtrip(SmeInst::fmopa_f32(
+                tile,
+                p(0),
+                p(1),
+                z(tile * 2),
+                z(tile * 2 + 1),
+            ));
         }
         for tile in 0..8 {
             roundtrip(SmeInst::fmopa_f64(tile, p(2), p(3), z(30), z(31)));
@@ -397,8 +472,16 @@ mod tests {
             count: 4,
         });
         for offset in 0..16 {
-            roundtrip(SmeInst::LdrZa { rs: x(12), offset, rn: x(0) });
-            roundtrip(SmeInst::StrZa { rs: x(14), offset, rn: XReg::SP });
+            roundtrip(SmeInst::LdrZa {
+                rs: x(12),
+                offset,
+                rn: x(0),
+            });
+            roundtrip(SmeInst::StrZa {
+                rs: x(14),
+                offset,
+                rn: XReg::SP,
+            });
         }
         roundtrip(SmeInst::ZeroZa { mask: 0xff });
         roundtrip(SmeInst::ZeroZa { mask: 0x11 });
@@ -444,13 +527,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "slice-index register must be W12-W15")]
     fn slice_register_checked() {
-        let _ = encode(&SmeInst::LdrZa { rs: x(3), offset: 0, rn: x(0) });
+        let _ = encode(&SmeInst::LdrZa {
+            rs: x(3),
+            offset: 0,
+            rn: x(0),
+        });
     }
 
     #[test]
     fn foreign_words_rejected() {
         assert_eq!(decode(0xD65F03C0), None);
         assert_eq!(decode(0x4E3FCFC1), None);
-        assert_eq!(decode(0xA540A000), None, "SVE LD1W is not an SME instruction");
+        assert_eq!(
+            decode(0xA540A000),
+            None,
+            "SVE LD1W is not an SME instruction"
+        );
     }
 }

@@ -65,7 +65,13 @@ pub fn encode(inst: &SveInst) -> u32 {
                 | put(rn.enc(), 5, 5)
                 | pd.enc()
         }
-        SveInst::WhileltCnt { pn, elem, rn, rm, vl } => {
+        SveInst::WhileltCnt {
+            pn,
+            elem,
+            rn,
+            rm,
+            vl,
+        } => {
             assert!(vl == 2 || vl == 4, "whilelt (counter) vl must be 2 or 4");
             0x2520_4000
                 | put(size_of(elem), 22, 2)
@@ -74,7 +80,13 @@ pub fn encode(inst: &SveInst) -> u32 {
                 | put((vl == 4) as u32, 4, 1)
                 | put(pn.enc(), 1, 3)
         }
-        SveInst::Ld1 { zt, elem, pg, rn, imm_vl } => {
+        SveInst::Ld1 {
+            zt,
+            elem,
+            pg,
+            rn,
+            imm_vl,
+        } => {
             assert!(pg.is_governing(), "ld1 governing predicate must be P0-P7");
             let base = match ls_elem_bits(elem) {
                 0 => 0xA400_A000,
@@ -87,7 +99,13 @@ pub fn encode(inst: &SveInst) -> u32 {
                 | put(rn.enc(), 5, 5)
                 | zt.enc()
         }
-        SveInst::St1 { zt, elem, pg, rn, imm_vl } => {
+        SveInst::St1 {
+            zt,
+            elem,
+            pg,
+            rn,
+            imm_vl,
+        } => {
             assert!(pg.is_governing(), "st1 governing predicate must be P0-P7");
             let base = match ls_elem_bits(elem) {
                 0 => 0xE400_E000,
@@ -100,8 +118,18 @@ pub fn encode(inst: &SveInst) -> u32 {
                 | put(rn.enc(), 5, 5)
                 | zt.enc()
         }
-        SveInst::Ld1Multi { zt, count, elem, pn, rn, imm_vl } => {
-            assert!(count == 2 || count == 4, "multi-vector count must be 2 or 4");
+        SveInst::Ld1Multi {
+            zt,
+            count,
+            elem,
+            pn,
+            rn,
+            imm_vl,
+        } => {
+            assert!(
+                count == 2 || count == 4,
+                "multi-vector count must be 2 or 4"
+            );
             // Reproduction-specific field placement (SME2 region):
             // [23]=0 [21:22]=size [16:19]=imm4 [15]=count4 [10:12]=pn
             // [5:9]=rn [0:4]=zt, opcode base 0xA000_4000.
@@ -113,8 +141,18 @@ pub fn encode(inst: &SveInst) -> u32 {
                 | put(rn.enc(), 5, 5)
                 | zt.enc()
         }
-        SveInst::St1Multi { zt, count, elem, pn, rn, imm_vl } => {
-            assert!(count == 2 || count == 4, "multi-vector count must be 2 or 4");
+        SveInst::St1Multi {
+            zt,
+            count,
+            elem,
+            pn,
+            rn,
+            imm_vl,
+        } => {
+            assert!(
+                count == 2 || count == 4,
+                "multi-vector count must be 2 or 4"
+            );
             // Same field placement as Ld1Multi, opcode base 0xE000_4000.
             0xE000_4000
                 | put(size_of(elem), 21, 2)
@@ -140,7 +178,13 @@ pub fn encode(inst: &SveInst) -> u32 {
                 | put(rn.enc(), 5, 5)
                 | zt.enc()
         }
-        SveInst::FmlaSve { zd, pg, zn, zm, elem } => {
+        SveInst::FmlaSve {
+            zd,
+            pg,
+            zn,
+            zm,
+            elem,
+        } => {
             assert!(pg.is_governing(), "fmla governing predicate must be P0-P7");
             0x6520_0000
                 | put(size_of(elem), 22, 2)
@@ -195,7 +239,12 @@ pub fn decode(word: u32) -> Option<SveInst> {
         });
     }
     // LD1B/H/W/D (scalar plus immediate).
-    for (bits, base) in [(0u32, 0xA400_A000u32), (1, 0xA4A0_A000), (2, 0xA540_A000), (3, 0xA5E0_A000)] {
+    for (bits, base) in [
+        (0u32, 0xA400_A000u32),
+        (1, 0xA4A0_A000),
+        (2, 0xA540_A000),
+        (3, 0xA5E0_A000),
+    ] {
         if word & 0xFFF0_E000 == base {
             return Some(SveInst::Ld1 {
                 zt: zreg(get(word, 0, 5)),
@@ -207,7 +256,12 @@ pub fn decode(word: u32) -> Option<SveInst> {
         }
     }
     // ST1B/H/W/D (scalar plus immediate).
-    for (bits, base) in [(0u32, 0xE400_E000u32), (1, 0xE4A0_E000), (2, 0xE540_E000), (3, 0xE5E0_E000)] {
+    for (bits, base) in [
+        (0u32, 0xE400_E000u32),
+        (1, 0xE4A0_E000),
+        (2, 0xE540_E000),
+        (3, 0xE5E0_E000),
+    ] {
         if word & 0xFFF0_E000 == base {
             return Some(SveInst::St1 {
                 zt: zreg(get(word, 0, 5)),
@@ -300,30 +354,83 @@ mod tests {
 
     #[test]
     fn roundtrip_predicates() {
-        for elem in [ElementType::I8, ElementType::F16, ElementType::F32, ElementType::F64] {
+        for elem in [
+            ElementType::I8,
+            ElementType::F16,
+            ElementType::F32,
+            ElementType::F64,
+        ] {
             roundtrip(SveInst::Ptrue { pd: p(0), elem });
             roundtrip(SveInst::Ptrue { pd: p(15), elem });
             roundtrip(SveInst::PtrueCnt { pn: pn(8), elem });
             roundtrip(SveInst::PtrueCnt { pn: pn(15), elem });
-            roundtrip(SveInst::Whilelt { pd: p(3), elem, rn: x(4), rm: x(5) });
-            roundtrip(SveInst::WhileltCnt { pn: pn(9), elem, rn: x(1), rm: x(2), vl: 2 });
-            roundtrip(SveInst::WhileltCnt { pn: pn(10), elem, rn: x(1), rm: x(2), vl: 4 });
+            roundtrip(SveInst::Whilelt {
+                pd: p(3),
+                elem,
+                rn: x(4),
+                rm: x(5),
+            });
+            roundtrip(SveInst::WhileltCnt {
+                pn: pn(9),
+                elem,
+                rn: x(1),
+                rm: x(2),
+                vl: 2,
+            });
+            roundtrip(SveInst::WhileltCnt {
+                pn: pn(10),
+                elem,
+                rn: x(1),
+                rm: x(2),
+                vl: 4,
+            });
         }
     }
 
     #[test]
     fn roundtrip_memory() {
-        for elem in [ElementType::I8, ElementType::F16, ElementType::F32, ElementType::F64] {
-            roundtrip(SveInst::Ld1 { zt: z(0), elem, pg: p(1), rn: x(0), imm_vl: 0 });
-            roundtrip(SveInst::Ld1 { zt: z(31), elem, pg: p(7), rn: XReg::SP, imm_vl: -8 });
-            roundtrip(SveInst::St1 { zt: z(5), elem, pg: p(3), rn: x(2), imm_vl: 7 });
+        for elem in [
+            ElementType::I8,
+            ElementType::F16,
+            ElementType::F32,
+            ElementType::F64,
+        ] {
+            roundtrip(SveInst::Ld1 {
+                zt: z(0),
+                elem,
+                pg: p(1),
+                rn: x(0),
+                imm_vl: 0,
+            });
+            roundtrip(SveInst::Ld1 {
+                zt: z(31),
+                elem,
+                pg: p(7),
+                rn: XReg::SP,
+                imm_vl: -8,
+            });
+            roundtrip(SveInst::St1 {
+                zt: z(5),
+                elem,
+                pg: p(3),
+                rn: x(2),
+                imm_vl: 7,
+            });
         }
         roundtrip(SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0));
         roundtrip(SveInst::ld1w_multi(z(4), 2, pn(9), x(1), -3));
         roundtrip(SveInst::st1w_multi(z(0), 4, pn(10), x(3), 2));
         roundtrip(SveInst::st1w_multi(z(28), 2, pn(15), XReg::SP, 0));
-        roundtrip(SveInst::LdrZ { zt: z(17), rn: x(9), imm_vl: -100 });
-        roundtrip(SveInst::StrZ { zt: z(17), rn: XReg::SP, imm_vl: 255 });
+        roundtrip(SveInst::LdrZ {
+            zt: z(17),
+            rn: x(9),
+            imm_vl: -100,
+        });
+        roundtrip(SveInst::StrZ {
+            zt: z(17),
+            rn: XReg::SP,
+            imm_vl: 255,
+        });
     }
 
     #[test]
@@ -342,10 +449,26 @@ mod tests {
             zm: z(2),
             elem: ElementType::F64,
         });
-        roundtrip(SveInst::DupImm { zd: z(3), elem: ElementType::F32, imm: 0 });
-        roundtrip(SveInst::DupImm { zd: z(3), elem: ElementType::I8, imm: -1 });
-        roundtrip(SveInst::AddVl { rd: x(0), rn: x(0), imm: 4 });
-        roundtrip(SveInst::AddVl { rd: XReg::SP, rn: XReg::SP, imm: -2 });
+        roundtrip(SveInst::DupImm {
+            zd: z(3),
+            elem: ElementType::F32,
+            imm: 0,
+        });
+        roundtrip(SveInst::DupImm {
+            zd: z(3),
+            elem: ElementType::I8,
+            imm: -1,
+        });
+        roundtrip(SveInst::AddVl {
+            rd: x(0),
+            rn: x(0),
+            imm: 4,
+        });
+        roundtrip(SveInst::AddVl {
+            rd: XReg::SP,
+            rn: XReg::SP,
+            imm: -2,
+        });
     }
 
     #[test]
@@ -363,6 +486,10 @@ mod tests {
     #[test]
     fn foreign_words_rejected() {
         assert_eq!(decode(0xD65F03C0), None);
-        assert_eq!(decode(0x4E3FCFC1), None, "Neon FMLA is not an SVE instruction");
+        assert_eq!(
+            decode(0x4E3FCFC1),
+            None,
+            "Neon FMLA is not an SVE instruction"
+        );
     }
 }

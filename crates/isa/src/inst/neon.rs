@@ -113,12 +113,29 @@ pub enum NeonInst {
 impl NeonInst {
     /// Convenience constructor for `fmla` (vector).
     pub fn fmla_vec(vd: VReg, vn: VReg, vm: VReg, arrangement: NeonArrangement) -> Self {
-        NeonInst::FmlaVec { vd, vn, vm, arrangement }
+        NeonInst::FmlaVec {
+            vd,
+            vn,
+            vm,
+            arrangement,
+        }
     }
 
     /// Convenience constructor for `fmla` (by element).
-    pub fn fmla_elem(vd: VReg, vn: VReg, vm: VReg, index: u8, arrangement: NeonArrangement) -> Self {
-        NeonInst::FmlaElem { vd, vn, vm, index, arrangement }
+    pub fn fmla_elem(
+        vd: VReg,
+        vn: VReg,
+        vm: VReg,
+        index: u8,
+        arrangement: NeonArrangement,
+    ) -> Self {
+        NeonInst::FmlaElem {
+            vd,
+            vn,
+            vm,
+            index,
+            arrangement,
+        }
     }
 
     /// Execution class for the timing model.
@@ -164,10 +181,24 @@ impl NeonInst {
 impl fmt::Display for NeonInst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NeonInst::FmlaVec { vd, vn, vm, arrangement } => {
-                write!(f, "fmla {vd}.{arrangement}, {vn}.{arrangement}, {vm}.{arrangement}")
+            NeonInst::FmlaVec {
+                vd,
+                vn,
+                vm,
+                arrangement,
+            } => {
+                write!(
+                    f,
+                    "fmla {vd}.{arrangement}, {vn}.{arrangement}, {vm}.{arrangement}"
+                )
             }
-            NeonInst::FmlaElem { vd, vn, vm, index, arrangement } => {
+            NeonInst::FmlaElem {
+                vd,
+                vn,
+                vm,
+                index,
+                arrangement,
+            } => {
                 let lane = match arrangement {
                     NeonArrangement::D2 => "d",
                     NeonArrangement::S4 => "s",
@@ -188,7 +219,12 @@ impl fmt::Display for NeonInst {
             NeonInst::StpQ { vt1, vt2, rn, imm } => {
                 write!(f, "stp q{}, q{}, [{rn}, #{imm}]", vt1.index(), vt2.index())
             }
-            NeonInst::DupElem { vd, vn, index, arrangement } => {
+            NeonInst::DupElem {
+                vd,
+                vn,
+                index,
+                arrangement,
+            } => {
                 let lane = match arrangement {
                     NeonArrangement::D2 => "d",
                     NeonArrangement::S4 => "s",
@@ -210,21 +246,63 @@ mod tests {
     #[test]
     fn fmla_ops_per_arrangement() {
         // Table I context: FP32 FMLA = 8 ops, FP64 = 4, FP16 = 16.
-        assert_eq!(NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::S4).arith_ops(), 8);
-        assert_eq!(NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::D2).arith_ops(), 4);
-        assert_eq!(NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::H8).arith_ops(), 16);
-        assert_eq!(NeonInst::Bfmmla { vd: v(0), vn: v(1), vm: v(2) }.arith_ops(), 32);
+        assert_eq!(
+            NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::S4).arith_ops(),
+            8
+        );
+        assert_eq!(
+            NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::D2).arith_ops(),
+            4
+        );
+        assert_eq!(
+            NeonInst::fmla_vec(v(0), v(1), v(2), NeonArrangement::H8).arith_ops(),
+            16
+        );
+        assert_eq!(
+            NeonInst::Bfmmla {
+                vd: v(0),
+                vn: v(1),
+                vm: v(2)
+            }
+            .arith_ops(),
+            32
+        );
     }
 
     #[test]
     fn memory_bytes() {
-        assert_eq!(NeonInst::LdrQ { vt: v(0), rn: x(0), imm: 0 }.mem_bytes(), 16);
         assert_eq!(
-            NeonInst::LdpQ { vt1: v(0), vt2: v(1), rn: x(0), imm: 32 }.mem_bytes(),
+            NeonInst::LdrQ {
+                vt: v(0),
+                rn: x(0),
+                imm: 0
+            }
+            .mem_bytes(),
+            16
+        );
+        assert_eq!(
+            NeonInst::LdpQ {
+                vt1: v(0),
+                vt2: v(1),
+                rn: x(0),
+                imm: 32
+            }
+            .mem_bytes(),
             32
         );
-        assert!(NeonInst::StpQ { vt1: v(0), vt2: v(1), rn: x(0), imm: 0 }.is_store());
-        assert!(!NeonInst::LdrQ { vt: v(0), rn: x(0), imm: 0 }.is_store());
+        assert!(NeonInst::StpQ {
+            vt1: v(0),
+            vt2: v(1),
+            rn: x(0),
+            imm: 0
+        }
+        .is_store());
+        assert!(!NeonInst::LdrQ {
+            vt: v(0),
+            rn: x(0),
+            imm: 0
+        }
+        .is_store());
     }
 
     #[test]
@@ -234,7 +312,12 @@ mod tests {
             InstClass::NeonFp
         );
         assert_eq!(
-            NeonInst::LdrQ { vt: v(0), rn: x(1), imm: 16 }.class(),
+            NeonInst::LdrQ {
+                vt: v(0),
+                rn: x(1),
+                imm: 16
+            }
+            .class(),
             InstClass::NeonMem
         );
     }
@@ -250,11 +333,21 @@ mod tests {
             "fmla v4.4s, v28.4s, v29.s[1]"
         );
         assert_eq!(
-            NeonInst::LdpQ { vt1: v(0), vt2: v(1), rn: x(0), imm: 32 }.to_string(),
+            NeonInst::LdpQ {
+                vt1: v(0),
+                vt2: v(1),
+                rn: x(0),
+                imm: 32
+            }
+            .to_string(),
             "ldp q0, q1, [x0, #32]"
         );
         assert_eq!(
-            NeonInst::MoviZero { vd: v(9), arrangement: NeonArrangement::S4 }.to_string(),
+            NeonInst::MoviZero {
+                vd: v(9),
+                arrangement: NeonArrangement::S4
+            }
+            .to_string(),
             "movi v9.4s, #0"
         );
     }

@@ -242,7 +242,11 @@ impl ScalarInst {
 
     /// Convenience constructor: `mov xd, #imm` for a 16-bit immediate.
     pub fn mov_imm16(rd: XReg, imm: u16) -> Self {
-        ScalarInst::MovZ { rd, imm16: imm, hw: 0 }
+        ScalarInst::MovZ {
+            rd,
+            imm16: imm,
+            hw: 0,
+        }
     }
 }
 
@@ -266,14 +270,24 @@ impl fmt::Display for ScalarInst {
                 write!(f, "movk {rd}, #{imm16}, lsl #{}", hw * 16)
             }
             ScalarInst::MovReg { rd, rn } => write!(f, "mov {rd}, {rn}"),
-            ScalarInst::AddImm { rd, rn, imm12, shift12 } => {
+            ScalarInst::AddImm {
+                rd,
+                rn,
+                imm12,
+                shift12,
+            } => {
                 if *shift12 {
                     write!(f, "add {rd}, {rn}, #{imm12}, lsl #12")
                 } else {
                     write!(f, "add {rd}, {rn}, #{imm12}")
                 }
             }
-            ScalarInst::SubImm { rd, rn, imm12, shift12 } => {
+            ScalarInst::SubImm {
+                rd,
+                rn,
+                imm12,
+                shift12,
+            } => {
                 if *shift12 {
                     write!(f, "sub {rd}, {rn}, #{imm12}, lsl #12")
                 } else {
@@ -312,19 +326,31 @@ mod tests {
     fn classes() {
         assert_eq!(ScalarInst::Ret.class(), InstClass::Branch);
         assert_eq!(
-            ScalarInst::Cbnz { rn: x(0), target: BranchTarget::Offset(-5) }.class(),
+            ScalarInst::Cbnz {
+                rn: x(0),
+                target: BranchTarget::Offset(-5)
+            }
+            .class(),
             InstClass::Branch
         );
         assert_eq!(ScalarInst::mov_imm16(x(0), 42).class(), InstClass::IntAlu);
         assert_eq!(
-            ScalarInst::AddReg { rd: x(0), rn: x(1), rm: x(2), shift: None }.class(),
+            ScalarInst::AddReg {
+                rd: x(0),
+                rn: x(1),
+                rm: x(2),
+                shift: None
+            }
+            .class(),
             InstClass::IntAlu
         );
     }
 
     #[test]
     fn branch_target_accessors() {
-        let mut i = ScalarInst::B { target: BranchTarget::Label(3) };
+        let mut i = ScalarInst::B {
+            target: BranchTarget::Label(3),
+        };
         assert_eq!(i.branch_target(), Some(BranchTarget::Label(3)));
         assert!(!i.branch_target().unwrap().is_resolved());
         i.set_branch_target(BranchTarget::Offset(-7));
@@ -342,15 +368,31 @@ mod tests {
     fn display() {
         assert_eq!(ScalarInst::mov_imm16(x(0), 30).to_string(), "movz x0, #30");
         assert_eq!(
-            ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false }.to_string(),
+            ScalarInst::SubImm {
+                rd: x(0),
+                rn: x(0),
+                imm12: 1,
+                shift12: false
+            }
+            .to_string(),
             "sub x0, x0, #1"
         );
         assert_eq!(
-            ScalarInst::Cbnz { rn: x(8), target: BranchTarget::Offset(-9) }.to_string(),
+            ScalarInst::Cbnz {
+                rn: x(8),
+                target: BranchTarget::Offset(-9)
+            }
+            .to_string(),
             "cbnz x8, #-9"
         );
         assert_eq!(
-            ScalarInst::AddReg { rd: x(0), rn: x(0), rm: x(9), shift: None }.to_string(),
+            ScalarInst::AddReg {
+                rd: x(0),
+                rn: x(0),
+                rm: x(9),
+                shift: None
+            }
+            .to_string(),
             "add x0, x0, x9"
         );
         assert_eq!(

@@ -151,25 +151,53 @@ impl SmeInst {
     /// throughout the paper (Lst. 2, Lst. 4).
     pub fn fmopa_f32(tile: u8, pn: PReg, pm: PReg, zn: ZReg, zm: ZReg) -> Self {
         assert!(tile < 4, "FP32 tile index must be 0..4, got {tile}");
-        SmeInst::Fmopa { tile, elem: ElementType::F32, pn, pm, zn, zm }
+        SmeInst::Fmopa {
+            tile,
+            elem: ElementType::F32,
+            pn,
+            pm,
+            zn,
+            zm,
+        }
     }
 
     /// Convenience constructor for the FP64 non-widening outer product.
     pub fn fmopa_f64(tile: u8, pn: PReg, pm: PReg, zn: ZReg, zm: ZReg) -> Self {
         assert!(tile < 8, "FP64 tile index must be 0..8, got {tile}");
-        SmeInst::Fmopa { tile, elem: ElementType::F64, pn, pm, zn, zm }
+        SmeInst::Fmopa {
+            tile,
+            elem: ElementType::F64,
+            pn,
+            pm,
+            zn,
+            zm,
+        }
     }
 
     /// Convenience constructor for the BF16 widening outer product.
     pub fn bfmopa(tile: u8, pn: PReg, pm: PReg, zn: ZReg, zm: ZReg) -> Self {
         assert!(tile < 4, "widening outer products target FP32 tiles 0..4");
-        SmeInst::FmopaWide { tile, from: ElementType::BF16, pn, pm, zn, zm }
+        SmeInst::FmopaWide {
+            tile,
+            from: ElementType::BF16,
+            pn,
+            pm,
+            zn,
+            zm,
+        }
     }
 
     /// Convenience constructor for the signed 8-bit integer outer product.
     pub fn smopa_i8(tile: u8, pn: PReg, pm: PReg, zn: ZReg, zm: ZReg) -> Self {
         assert!(tile < 4, "integer outer products target I32 tiles 0..4");
-        SmeInst::Smopa { tile, from: ElementType::I8, pn, pm, zn, zm }
+        SmeInst::Smopa {
+            tile,
+            from: ElementType::I8,
+            pn,
+            pm,
+            zn,
+            zm,
+        }
     }
 
     /// Build a `zero {..}` mask that clears the given FP32 (`.s`) tiles.
@@ -272,19 +300,51 @@ impl fmt::Display for SmeInst {
                     f.write_str("smstop")
                 }
             }
-            SmeInst::Fmopa { tile, elem, pn, pm, zn, zm } => {
+            SmeInst::Fmopa {
+                tile,
+                elem,
+                pn,
+                pm,
+                zn,
+                zm,
+            } => {
                 let s = elem.sve_suffix();
                 write!(f, "fmopa za{tile}.{s}, {pn}/m, {pm}/m, {zn}.{s}, {zm}.{s}")
             }
-            SmeInst::FmopaWide { tile, from, pn, pm, zn, zm } => {
-                let mnemonic = if *from == ElementType::BF16 { "bfmopa" } else { "fmopa" };
+            SmeInst::FmopaWide {
+                tile,
+                from,
+                pn,
+                pm,
+                zn,
+                zm,
+            } => {
+                let mnemonic = if *from == ElementType::BF16 {
+                    "bfmopa"
+                } else {
+                    "fmopa"
+                };
                 write!(f, "{mnemonic} za{tile}.s, {pn}/m, {pm}/m, {zn}.h, {zm}.h")
             }
-            SmeInst::Smopa { tile, from, pn, pm, zn, zm } => {
+            SmeInst::Smopa {
+                tile,
+                from,
+                pn,
+                pm,
+                zn,
+                zm,
+            } => {
                 let s = from.sve_suffix();
                 write!(f, "smopa za{tile}.s, {pn}/m, {pm}/m, {zn}.{s}, {zm}.{s}")
             }
-            SmeInst::MovaToTile { tile, dir, rs, offset, zt, count } => {
+            SmeInst::MovaToTile {
+                tile,
+                dir,
+                rs,
+                offset,
+                zt,
+                count,
+            } => {
                 let s = tile.elem.sve_suffix();
                 let last = zt.offset(count - 1);
                 let range = if *count == 1 {
@@ -308,7 +368,14 @@ impl fmt::Display for SmeInst {
                     )
                 }
             }
-            SmeInst::MovaFromTile { tile, dir, rs, offset, zt, count } => {
+            SmeInst::MovaFromTile {
+                tile,
+                dir,
+                rs,
+                offset,
+                zt,
+                count,
+            } => {
                 let s = tile.elem.sve_suffix();
                 let last = zt.offset(count - 1);
                 let range = if *count == 1 {
@@ -336,18 +403,33 @@ impl fmt::Display for SmeInst {
                 if *offset == 0 {
                     write!(f, "ldr za[{}, 0], [{rn}]", wreg(rs))
                 } else {
-                    write!(f, "ldr za[{}, {offset}], [{rn}, #{offset}, mul vl]", wreg(rs))
+                    write!(
+                        f,
+                        "ldr za[{}, {offset}], [{rn}, #{offset}, mul vl]",
+                        wreg(rs)
+                    )
                 }
             }
             SmeInst::StrZa { rs, offset, rn } => {
                 if *offset == 0 {
                     write!(f, "str za[{}, 0], [{rn}]", wreg(rs))
                 } else {
-                    write!(f, "str za[{}, {offset}], [{rn}, #{offset}, mul vl]", wreg(rs))
+                    write!(
+                        f,
+                        "str za[{}, {offset}], [{rn}, #{offset}, mul vl]",
+                        wreg(rs)
+                    )
                 }
             }
             SmeInst::ZeroZa { mask } => write!(f, "zero {{ za, mask #0x{mask:02x} }}"),
-            SmeInst::FmlaZaVectors { elem, vgx, rv, offset, zn, zm } => {
+            SmeInst::FmlaZaVectors {
+                elem,
+                vgx,
+                rv,
+                offset,
+                zn,
+                zm,
+            } => {
                 let s = elem.sve_suffix();
                 let last = zn.offset(vgx - 1);
                 write!(
@@ -370,13 +452,25 @@ mod tests {
     #[test]
     fn ops_per_instruction_match_the_paper() {
         // FP32 FMOPA: 16*16*2 = 512 operations on M4.
-        assert_eq!(SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).arith_ops(SVL), 512);
+        assert_eq!(
+            SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).arith_ops(SVL),
+            512
+        );
         // FP64 FMOPA: 8*8*2 = 128.
-        assert_eq!(SmeInst::fmopa_f64(0, p(0), p(1), z(0), z(1)).arith_ops(SVL), 128);
+        assert_eq!(
+            SmeInst::fmopa_f64(0, p(0), p(1), z(0), z(1)).arith_ops(SVL),
+            128
+        );
         // BF16 widening MOPA: 1024.
-        assert_eq!(SmeInst::bfmopa(0, p(0), p(1), z(0), z(1)).arith_ops(SVL), 1024);
+        assert_eq!(
+            SmeInst::bfmopa(0, p(0), p(1), z(0), z(1)).arith_ops(SVL),
+            1024
+        );
         // I8 SMOPA (4-way): 2048.
-        assert_eq!(SmeInst::smopa_i8(0, p(0), p(1), z(0), z(1)).arith_ops(SVL), 2048);
+        assert_eq!(
+            SmeInst::smopa_i8(0, p(0), p(1), z(0), z(1)).arith_ops(SVL),
+            2048
+        );
         // SME2 FP32 multi-vector FMLA, vgx4: 4 * 16 * 2 = 128.
         let fmla = SmeInst::FmlaZaVectors {
             elem: ElementType::F32,
@@ -391,10 +485,21 @@ mod tests {
 
     #[test]
     fn classes() {
-        assert_eq!(SmeInst::Smstart { za_only: false }.class(), InstClass::SmeControl);
-        assert_eq!(SmeInst::fmopa_f32(1, p(0), p(1), z(2), z(3)).class(), InstClass::SmeCompute);
         assert_eq!(
-            SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.class(),
+            SmeInst::Smstart { za_only: false }.class(),
+            InstClass::SmeControl
+        );
+        assert_eq!(
+            SmeInst::fmopa_f32(1, p(0), p(1), z(2), z(3)).class(),
+            InstClass::SmeCompute
+        );
+        assert_eq!(
+            SmeInst::LdrZa {
+                rs: x(12),
+                offset: 0,
+                rn: x(0)
+            }
+            .class(),
             InstClass::SmeMem
         );
         assert_eq!(
@@ -413,11 +518,40 @@ mod tests {
 
     #[test]
     fn za_transfer_sizes() {
-        assert_eq!(SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.mem_bytes(SVL), 64);
-        assert_eq!(SmeInst::StrZa { rs: x(12), offset: 3, rn: x(0) }.mem_bytes(SVL), 64);
-        assert!(SmeInst::StrZa { rs: x(12), offset: 0, rn: x(0) }.is_store());
-        assert!(SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.is_load());
-        assert_eq!(SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).mem_bytes(SVL), 0);
+        assert_eq!(
+            SmeInst::LdrZa {
+                rs: x(12),
+                offset: 0,
+                rn: x(0)
+            }
+            .mem_bytes(SVL),
+            64
+        );
+        assert_eq!(
+            SmeInst::StrZa {
+                rs: x(12),
+                offset: 3,
+                rn: x(0)
+            }
+            .mem_bytes(SVL),
+            64
+        );
+        assert!(SmeInst::StrZa {
+            rs: x(12),
+            offset: 0,
+            rn: x(0)
+        }
+        .is_store());
+        assert!(SmeInst::LdrZa {
+            rs: x(12),
+            offset: 0,
+            rn: x(0)
+        }
+        .is_load());
+        assert_eq!(
+            SmeInst::fmopa_f32(0, p(0), p(1), z(0), z(1)).mem_bytes(SVL),
+            0
+        );
     }
 
     #[test]
@@ -464,9 +598,17 @@ mod tests {
             zt: z(0),
             count: 4,
         };
-        assert_eq!(mova_back.to_string(), "mov { z0.s - z3.s }, za0v.s[w12, 0:3]");
         assert_eq!(
-            SmeInst::LdrZa { rs: x(12), offset: 2, rn: x(0) }.to_string(),
+            mova_back.to_string(),
+            "mov { z0.s - z3.s }, za0v.s[w12, 0:3]"
+        );
+        assert_eq!(
+            SmeInst::LdrZa {
+                rs: x(12),
+                offset: 2,
+                rn: x(0)
+            }
+            .to_string(),
             "ldr za[w12, 2], [x0, #2, mul vl]"
         );
         assert_eq!(SmeInst::Smstart { za_only: false }.to_string(), "smstart");
@@ -478,6 +620,9 @@ mod tests {
             zn: z(0),
             zm: z(4),
         };
-        assert_eq!(fmla.to_string(), "fmla za.s[w8, 0, vgx4], { z0.s - z3.s }, z4.s");
+        assert_eq!(
+            fmla.to_string(),
+            "fmla za.s[w8, 0, vgx4], { z0.s - z3.s }, z4.s"
+        );
     }
 }

@@ -179,24 +179,56 @@ impl SveInst {
 
     /// Convenience constructor: 32-bit single-vector load.
     pub fn ld1w(zt: ZReg, pg: PReg, rn: XReg, imm_vl: i8) -> Self {
-        SveInst::Ld1 { zt, elem: ElementType::F32, pg, rn, imm_vl }
+        SveInst::Ld1 {
+            zt,
+            elem: ElementType::F32,
+            pg,
+            rn,
+            imm_vl,
+        }
     }
 
     /// Convenience constructor: 32-bit single-vector store.
     pub fn st1w(zt: ZReg, pg: PReg, rn: XReg, imm_vl: i8) -> Self {
-        SveInst::St1 { zt, elem: ElementType::F32, pg, rn, imm_vl }
+        SveInst::St1 {
+            zt,
+            elem: ElementType::F32,
+            pg,
+            rn,
+            imm_vl,
+        }
     }
 
     /// Convenience constructor: 32-bit multi-vector load (`count` ∈ {2, 4}).
     pub fn ld1w_multi(zt: ZReg, count: u8, pn: PnReg, rn: XReg, imm_vl: i8) -> Self {
-        assert!(count == 2 || count == 4, "multi-vector count must be 2 or 4");
-        SveInst::Ld1Multi { zt, count, elem: ElementType::F32, pn, rn, imm_vl }
+        assert!(
+            count == 2 || count == 4,
+            "multi-vector count must be 2 or 4"
+        );
+        SveInst::Ld1Multi {
+            zt,
+            count,
+            elem: ElementType::F32,
+            pn,
+            rn,
+            imm_vl,
+        }
     }
 
     /// Convenience constructor: 32-bit multi-vector store (`count` ∈ {2, 4}).
     pub fn st1w_multi(zt: ZReg, count: u8, pn: PnReg, rn: XReg, imm_vl: i8) -> Self {
-        assert!(count == 2 || count == 4, "multi-vector count must be 2 or 4");
-        SveInst::St1Multi { zt, count, elem: ElementType::F32, pn, rn, imm_vl }
+        assert!(
+            count == 2 || count == 4,
+            "multi-vector count must be 2 or 4"
+        );
+        SveInst::St1Multi {
+            zt,
+            count,
+            elem: ElementType::F32,
+            pn,
+            rn,
+            imm_vl,
+        }
     }
 
     /// Execution class for the timing model.
@@ -229,7 +261,10 @@ impl SveInst {
     pub fn mem_bytes(&self, svl: StreamingVectorLength) -> u64 {
         let vl = svl.bytes() as u64;
         match self {
-            SveInst::Ld1 { .. } | SveInst::St1 { .. } | SveInst::LdrZ { .. } | SveInst::StrZ { .. } => vl,
+            SveInst::Ld1 { .. }
+            | SveInst::St1 { .. }
+            | SveInst::LdrZ { .. }
+            | SveInst::StrZ { .. } => vl,
             SveInst::Ld1Multi { count, .. } | SveInst::St1Multi { count, .. } => vl * *count as u64,
             _ => 0,
         }
@@ -271,13 +306,29 @@ impl fmt::Display for SveInst {
             SveInst::Whilelt { pd, elem, rn, rm } => {
                 write!(f, "whilelt {pd}.{}, {rn}, {rm}", elem.sve_suffix())
             }
-            SveInst::WhileltCnt { pn, elem, rn, rm, vl } => {
+            SveInst::WhileltCnt {
+                pn,
+                elem,
+                rn,
+                rm,
+                vl,
+            } => {
                 write!(f, "whilelt {pn}.{}, {rn}, {rm}, vlx{vl}", elem.sve_suffix())
             }
-            SveInst::Ld1 { zt, elem, pg, rn, imm_vl } => {
+            SveInst::Ld1 {
+                zt,
+                elem,
+                pg,
+                rn,
+                imm_vl,
+            } => {
                 let s = elem.sve_suffix();
                 if *imm_vl == 0 {
-                    write!(f, "{} {{ {zt}.{s} }}, {pg}/z, [{rn}]", mem_mnemonic("ld", *elem))
+                    write!(
+                        f,
+                        "{} {{ {zt}.{s} }}, {pg}/z, [{rn}]",
+                        mem_mnemonic("ld", *elem)
+                    )
                 } else {
                     write!(
                         f,
@@ -286,10 +337,20 @@ impl fmt::Display for SveInst {
                     )
                 }
             }
-            SveInst::St1 { zt, elem, pg, rn, imm_vl } => {
+            SveInst::St1 {
+                zt,
+                elem,
+                pg,
+                rn,
+                imm_vl,
+            } => {
                 let s = elem.sve_suffix();
                 if *imm_vl == 0 {
-                    write!(f, "{} {{ {zt}.{s} }}, {pg}, [{rn}]", mem_mnemonic("st", *elem))
+                    write!(
+                        f,
+                        "{} {{ {zt}.{s} }}, {pg}, [{rn}]",
+                        mem_mnemonic("st", *elem)
+                    )
                 } else {
                     write!(
                         f,
@@ -298,7 +359,14 @@ impl fmt::Display for SveInst {
                     )
                 }
             }
-            SveInst::Ld1Multi { zt, count, elem, pn, rn, imm_vl } => {
+            SveInst::Ld1Multi {
+                zt,
+                count,
+                elem,
+                pn,
+                rn,
+                imm_vl,
+            } => {
                 let s = elem.sve_suffix();
                 let last = zt.offset(count - 1);
                 if *imm_vl == 0 {
@@ -315,7 +383,14 @@ impl fmt::Display for SveInst {
                     )
                 }
             }
-            SveInst::St1Multi { zt, count, elem, pn, rn, imm_vl } => {
+            SveInst::St1Multi {
+                zt,
+                count,
+                elem,
+                pn,
+                rn,
+                imm_vl,
+            } => {
                 let s = elem.sve_suffix();
                 let last = zt.offset(count - 1);
                 if *imm_vl == 0 {
@@ -346,7 +421,13 @@ impl fmt::Display for SveInst {
                     write!(f, "str {zt}, [{rn}, #{imm_vl}, mul vl]")
                 }
             }
-            SveInst::FmlaSve { zd, pg, zn, zm, elem } => {
+            SveInst::FmlaSve {
+                zd,
+                pg,
+                zn,
+                zm,
+                elem,
+            } => {
                 let s = elem.sve_suffix();
                 write!(f, "fmla {zd}.{s}, {pg}/m, {zn}.{s}, {zm}.{s}")
             }
@@ -367,31 +448,77 @@ mod tests {
 
     #[test]
     fn classes() {
-        assert_eq!(SveInst::ptrue(p(0), ElementType::I8).class(), InstClass::SvePred);
-        assert_eq!(SveInst::ld1w(z(0), p(0), x(0), 0).class(), InstClass::SveMem);
         assert_eq!(
-            SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(1), zm: z(2), elem: ElementType::F32 }
-                .class(),
+            SveInst::ptrue(p(0), ElementType::I8).class(),
+            InstClass::SvePred
+        );
+        assert_eq!(
+            SveInst::ld1w(z(0), p(0), x(0), 0).class(),
+            InstClass::SveMem
+        );
+        assert_eq!(
+            SveInst::FmlaSve {
+                zd: z(0),
+                pg: p(0),
+                zn: z(1),
+                zm: z(2),
+                elem: ElementType::F32
+            }
+            .class(),
             InstClass::SveFp
         );
-        assert_eq!(SveInst::AddVl { rd: x(0), rn: x(0), imm: 2 }.class(), InstClass::IntAlu);
+        assert_eq!(
+            SveInst::AddVl {
+                rd: x(0),
+                rn: x(0),
+                imm: 2
+            }
+            .class(),
+            InstClass::IntAlu
+        );
     }
 
     #[test]
     fn ssve_fmla_ops() {
         // SSVE FP32 FMLA on a 512-bit vector: 16 lanes * 2 ops = 32.
-        let i = SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(1), zm: z(2), elem: ElementType::F32 };
+        let i = SveInst::FmlaSve {
+            zd: z(0),
+            pg: p(0),
+            zn: z(1),
+            zm: z(2),
+            elem: ElementType::F32,
+        };
         assert_eq!(i.arith_ops(SVL), 32);
-        let d = SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(1), zm: z(2), elem: ElementType::F64 };
+        let d = SveInst::FmlaSve {
+            zd: z(0),
+            pg: p(0),
+            zn: z(1),
+            zm: z(2),
+            elem: ElementType::F64,
+        };
         assert_eq!(d.arith_ops(SVL), 16);
     }
 
     #[test]
     fn memory_sizes() {
         assert_eq!(SveInst::ld1w(z(0), p(0), x(0), 0).mem_bytes(SVL), 64);
-        assert_eq!(SveInst::ld1w_multi(z(0), 2, pn(8), x(0), 0).mem_bytes(SVL), 128);
-        assert_eq!(SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).mem_bytes(SVL), 256);
-        assert_eq!(SveInst::LdrZ { zt: z(0), rn: x(0), imm_vl: 0 }.mem_bytes(SVL), 64);
+        assert_eq!(
+            SveInst::ld1w_multi(z(0), 2, pn(8), x(0), 0).mem_bytes(SVL),
+            128
+        );
+        assert_eq!(
+            SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).mem_bytes(SVL),
+            256
+        );
+        assert_eq!(
+            SveInst::LdrZ {
+                zt: z(0),
+                rn: x(0),
+                imm_vl: 0
+            }
+            .mem_bytes(SVL),
+            64
+        );
         assert!(SveInst::st1w(z(0), p(0), x(0), 0).is_store());
         assert!(SveInst::ld1w(z(0), p(0), x(0), 0).is_load());
         assert!(!SveInst::ld1w(z(0), p(0), x(0), 0).is_store());
@@ -414,10 +541,19 @@ mod tests {
             SveInst::ld1w_multi(z(2), 2, pn(9), x(1), 0).to_string(),
             "ld1w { z2.s - z3.s }, pn9/z, [x1]"
         );
-        assert_eq!(SveInst::ptrue(p(0), ElementType::I8).to_string(), "ptrue p0.b");
         assert_eq!(
-            SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(30), zm: z(31), elem: ElementType::F32 }
-                .to_string(),
+            SveInst::ptrue(p(0), ElementType::I8).to_string(),
+            "ptrue p0.b"
+        );
+        assert_eq!(
+            SveInst::FmlaSve {
+                zd: z(0),
+                pg: p(0),
+                zn: z(30),
+                zm: z(31),
+                elem: ElementType::F32
+            }
+            .to_string(),
             "fmla z0.s, p0/m, z30.s, z31.s"
         );
         assert_eq!(
@@ -425,7 +561,13 @@ mod tests {
             "ld1w { z5.s }, p1/z, [x2, #3, mul vl]"
         );
         assert_eq!(
-            SveInst::Whilelt { pd: p(2), elem: ElementType::F32, rn: x(3), rm: x(4) }.to_string(),
+            SveInst::Whilelt {
+                pd: p(2),
+                elem: ElementType::F32,
+                rn: x(3),
+                rm: x(4)
+            }
+            .to_string(),
             "whilelt p2.s, x3, x4"
         );
     }

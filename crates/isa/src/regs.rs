@@ -237,12 +237,24 @@ impl ZaTile {
     /// # Panics
     /// Panics if `index` is out of range for `elem`.
     pub fn new(index: u8, elem: ElementType) -> Self {
-        assert!(
-            (index as usize) < elem.num_tiles(),
-            "tile index {index} out of range for {elem} (max {})",
-            elem.num_tiles() - 1
-        );
-        ZaTile { index, elem }
+        Self::try_new(index, elem).unwrap_or_else(|| {
+            panic!(
+                "tile index {index} out of range for {elem} (max {})",
+                elem.num_tiles() - 1
+            )
+        })
+    }
+
+    /// Construct a tile selector, returning `None` when `index` is out of
+    /// range for `elem` — the non-panicking form used by the decoder, where
+    /// arbitrary input words must map to a structured "unknown" instead of
+    /// an abort.
+    pub fn try_new(index: u8, elem: ElementType) -> Option<Self> {
+        if (index as usize) < elem.num_tiles() {
+            Some(ZaTile { index, elem })
+        } else {
+            None
+        }
     }
 
     /// Convenience constructor for a 32-bit (`.s`) tile, the workhorse of

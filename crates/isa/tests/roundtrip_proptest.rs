@@ -69,31 +69,76 @@ fn mem_elem() -> impl Strategy<Value = ElementType> {
 
 fn scalar_inst() -> impl Strategy<Value = ScalarInst> {
     prop_oneof![
-        (xreg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| ScalarInst::MovZ { rd, imm16, hw }),
-        (xreg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| ScalarInst::MovK { rd, imm16, hw }),
+        (xreg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| ScalarInst::MovZ {
+            rd,
+            imm16,
+            hw
+        }),
+        (xreg(), any::<u16>(), 0u8..4).prop_map(|(rd, imm16, hw)| ScalarInst::MovK {
+            rd,
+            imm16,
+            hw
+        }),
         (xreg(), xreg()).prop_map(|(rd, rn)| ScalarInst::MovReg { rd, rn }),
-        (xreg(), xreg(), 0u16..4096, any::<bool>())
-            .prop_map(|(rd, rn, imm12, shift12)| ScalarInst::AddImm { rd, rn, imm12, shift12 }),
-        (xreg(), xreg(), 0u16..4096, any::<bool>())
-            .prop_map(|(rd, rn, imm12, shift12)| ScalarInst::SubImm { rd, rn, imm12, shift12 }),
-        (xreg(), xreg(), 0u16..4096)
-            .prop_map(|(rd, rn, imm12)| ScalarInst::SubsImm { rd, rn, imm12 }),
-        (xreg(), xreg(), xreg(), prop_oneof![Just(None), (1u8..64).prop_map(|n| Some(ShiftOp::Lsl(n)))])
+        (xreg(), xreg(), 0u16..4096, any::<bool>()).prop_map(|(rd, rn, imm12, shift12)| {
+            ScalarInst::AddImm {
+                rd,
+                rn,
+                imm12,
+                shift12,
+            }
+        }),
+        (xreg(), xreg(), 0u16..4096, any::<bool>()).prop_map(|(rd, rn, imm12, shift12)| {
+            ScalarInst::SubImm {
+                rd,
+                rn,
+                imm12,
+                shift12,
+            }
+        }),
+        (xreg(), xreg(), 0u16..4096).prop_map(|(rd, rn, imm12)| ScalarInst::SubsImm {
+            rd,
+            rn,
+            imm12
+        }),
+        (
+            xreg(),
+            xreg(),
+            xreg(),
+            prop_oneof![Just(None), (1u8..64).prop_map(|n| Some(ShiftOp::Lsl(n)))]
+        )
             .prop_map(|(rd, rn, rm, shift)| ScalarInst::AddReg { rd, rn, rm, shift }),
-        (xreg(), xreg(), xreg(), prop_oneof![Just(None), (1u8..64).prop_map(|n| Some(ShiftOp::Lsl(n)))])
+        (
+            xreg(),
+            xreg(),
+            xreg(),
+            prop_oneof![Just(None), (1u8..64).prop_map(|n| Some(ShiftOp::Lsl(n)))]
+        )
             .prop_map(|(rd, rn, rm, shift)| ScalarInst::SubReg { rd, rn, rm, shift }),
-        (xreg(), xreg(), xreg(), xreg())
-            .prop_map(|(rd, rn, rm, ra)| ScalarInst::Madd { rd, rn, rm, ra }),
+        (xreg(), xreg(), xreg(), xreg()).prop_map(|(rd, rn, rm, ra)| ScalarInst::Madd {
+            rd,
+            rn,
+            rm,
+            ra
+        }),
         (xreg(), xreg(), 0u8..64).prop_map(|(rd, rn, shift)| ScalarInst::LslImm { rd, rn, shift }),
         (xreg(), xreg()).prop_map(|(rn, rm)| ScalarInst::CmpReg { rn, rm }),
         (xreg(), 0u16..4096).prop_map(|(rn, imm12)| ScalarInst::CmpImm { rn, imm12 }),
-        (xreg(), -1000i32..1000)
-            .prop_map(|(rn, o)| ScalarInst::Cbnz { rn, target: BranchTarget::Offset(o) }),
-        (xreg(), -1000i32..1000)
-            .prop_map(|(rn, o)| ScalarInst::Cbz { rn, target: BranchTarget::Offset(o) }),
-        (-100000i32..100000).prop_map(|o| ScalarInst::B { target: BranchTarget::Offset(o) }),
-        (cond(), -1000i32..1000)
-            .prop_map(|(c, o)| ScalarInst::BCond { cond: c, target: BranchTarget::Offset(o) }),
+        (xreg(), -1000i32..1000).prop_map(|(rn, o)| ScalarInst::Cbnz {
+            rn,
+            target: BranchTarget::Offset(o)
+        }),
+        (xreg(), -1000i32..1000).prop_map(|(rn, o)| ScalarInst::Cbz {
+            rn,
+            target: BranchTarget::Offset(o)
+        }),
+        (-100000i32..100000).prop_map(|o| ScalarInst::B {
+            target: BranchTarget::Offset(o)
+        }),
+        (cond(), -1000i32..1000).prop_map(|(c, o)| ScalarInst::BCond {
+            cond: c,
+            target: BranchTarget::Offset(o)
+        }),
         Just(ScalarInst::Nop),
         Just(ScalarInst::Ret),
     ]
@@ -108,23 +153,63 @@ fn neon_inst() -> impl Strategy<Value = NeonInst> {
     prop_oneof![
         (vreg(), vreg(), vreg(), arr3)
             .prop_map(|(vd, vn, vm, a)| NeonInst::fmla_vec(vd, vn, vm, a)),
-        (vreg(), vreg(), vreg(), 0u8..4)
-            .prop_map(|(vd, vn, vm, i)| NeonInst::fmla_elem(vd, vn, vm, i, NeonArrangement::S4)),
-        (vreg(), vreg(), vreg(), 0u8..2)
-            .prop_map(|(vd, vn, vm, i)| NeonInst::fmla_elem(vd, vn, vm, i, NeonArrangement::D2)),
+        (vreg(), vreg(), vreg(), 0u8..4).prop_map(|(vd, vn, vm, i)| NeonInst::fmla_elem(
+            vd,
+            vn,
+            vm,
+            i,
+            NeonArrangement::S4
+        )),
+        (vreg(), vreg(), vreg(), 0u8..2).prop_map(|(vd, vn, vm, i)| NeonInst::fmla_elem(
+            vd,
+            vn,
+            vm,
+            i,
+            NeonArrangement::D2
+        )),
         (vreg(), vreg(), vreg()).prop_map(|(vd, vn, vm)| NeonInst::Bfmmla { vd, vn, vm }),
-        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::LdrQ { vt, rn, imm: i * 16 }),
-        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::StrQ { vt, rn, imm: i * 16 }),
-        (vreg(), vreg(), xreg(), -64i32..64)
-            .prop_map(|(vt1, vt2, rn, i)| NeonInst::LdpQ { vt1, vt2, rn, imm: i * 16 }),
-        (vreg(), vreg(), xreg(), -64i32..64)
-            .prop_map(|(vt1, vt2, rn, i)| NeonInst::StpQ { vt1, vt2, rn, imm: i * 16 }),
-        (vreg(), vreg(), 0u8..4)
-            .prop_map(|(vd, vn, i)| NeonInst::DupElem { vd, vn, index: i, arrangement: NeonArrangement::S4 }),
-        (vreg(), vreg(), 0u8..2)
-            .prop_map(|(vd, vn, i)| NeonInst::DupElem { vd, vn, index: i, arrangement: NeonArrangement::D2 }),
-        vreg().prop_map(|vd| NeonInst::MoviZero { vd, arrangement: NeonArrangement::S4 }),
-        vreg().prop_map(|vd| NeonInst::MoviZero { vd, arrangement: NeonArrangement::D2 }),
+        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::LdrQ {
+            vt,
+            rn,
+            imm: i * 16
+        }),
+        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::StrQ {
+            vt,
+            rn,
+            imm: i * 16
+        }),
+        (vreg(), vreg(), xreg(), -64i32..64).prop_map(|(vt1, vt2, rn, i)| NeonInst::LdpQ {
+            vt1,
+            vt2,
+            rn,
+            imm: i * 16
+        }),
+        (vreg(), vreg(), xreg(), -64i32..64).prop_map(|(vt1, vt2, rn, i)| NeonInst::StpQ {
+            vt1,
+            vt2,
+            rn,
+            imm: i * 16
+        }),
+        (vreg(), vreg(), 0u8..4).prop_map(|(vd, vn, i)| NeonInst::DupElem {
+            vd,
+            vn,
+            index: i,
+            arrangement: NeonArrangement::S4
+        }),
+        (vreg(), vreg(), 0u8..2).prop_map(|(vd, vn, i)| NeonInst::DupElem {
+            vd,
+            vn,
+            index: i,
+            arrangement: NeonArrangement::D2
+        }),
+        vreg().prop_map(|vd| NeonInst::MoviZero {
+            vd,
+            arrangement: NeonArrangement::S4
+        }),
+        vreg().prop_map(|vd| NeonInst::MoviZero {
+            vd,
+            arrangement: NeonArrangement::D2
+        }),
     ]
 }
 
@@ -132,27 +217,105 @@ fn sve_inst() -> impl Strategy<Value = SveInst> {
     prop_oneof![
         (preg(), mem_elem()).prop_map(|(pd, elem)| SveInst::Ptrue { pd, elem }),
         (pnreg(), mem_elem()).prop_map(|(pn, elem)| SveInst::PtrueCnt { pn, elem }),
-        (preg(), mem_elem(), xreg(), xreg())
-            .prop_map(|(pd, elem, rn, rm)| SveInst::Whilelt { pd, elem, rn, rm }),
-        (pnreg(), mem_elem(), xreg(), xreg(), prop_oneof![Just(2u8), Just(4u8)])
-            .prop_map(|(pn, elem, rn, rm, vl)| SveInst::WhileltCnt { pn, elem, rn, rm, vl }),
-        (zreg(), mem_elem(), gov_preg(), xreg(), -8i8..8)
-            .prop_map(|(zt, elem, pg, rn, imm_vl)| SveInst::Ld1 { zt, elem, pg, rn, imm_vl }),
-        (zreg(), mem_elem(), gov_preg(), xreg(), -8i8..8)
-            .prop_map(|(zt, elem, pg, rn, imm_vl)| SveInst::St1 { zt, elem, pg, rn, imm_vl }),
-        (zreg(), prop_oneof![Just(2u8), Just(4u8)], mem_elem(), pnreg(), xreg(), -8i8..8)
+        (preg(), mem_elem(), xreg(), xreg()).prop_map(|(pd, elem, rn, rm)| SveInst::Whilelt {
+            pd,
+            elem,
+            rn,
+            rm
+        }),
+        (
+            pnreg(),
+            mem_elem(),
+            xreg(),
+            xreg(),
+            prop_oneof![Just(2u8), Just(4u8)]
+        )
+            .prop_map(|(pn, elem, rn, rm, vl)| SveInst::WhileltCnt {
+                pn,
+                elem,
+                rn,
+                rm,
+                vl
+            }),
+        (zreg(), mem_elem(), gov_preg(), xreg(), -8i8..8).prop_map(|(zt, elem, pg, rn, imm_vl)| {
+            SveInst::Ld1 {
+                zt,
+                elem,
+                pg,
+                rn,
+                imm_vl,
+            }
+        }),
+        (zreg(), mem_elem(), gov_preg(), xreg(), -8i8..8).prop_map(|(zt, elem, pg, rn, imm_vl)| {
+            SveInst::St1 {
+                zt,
+                elem,
+                pg,
+                rn,
+                imm_vl,
+            }
+        }),
+        (
+            zreg(),
+            prop_oneof![Just(2u8), Just(4u8)],
+            mem_elem(),
+            pnreg(),
+            xreg(),
+            -8i8..8
+        )
             .prop_map(|(zt, count, elem, pn, rn, imm_vl)| SveInst::Ld1Multi {
-                zt, count, elem, pn, rn, imm_vl
+                zt,
+                count,
+                elem,
+                pn,
+                rn,
+                imm_vl
             }),
-        (zreg(), prop_oneof![Just(2u8), Just(4u8)], mem_elem(), pnreg(), xreg(), -8i8..8)
+        (
+            zreg(),
+            prop_oneof![Just(2u8), Just(4u8)],
+            mem_elem(),
+            pnreg(),
+            xreg(),
+            -8i8..8
+        )
             .prop_map(|(zt, count, elem, pn, rn, imm_vl)| SveInst::St1Multi {
-                zt, count, elem, pn, rn, imm_vl
+                zt,
+                count,
+                elem,
+                pn,
+                rn,
+                imm_vl
             }),
-        (zreg(), xreg(), -256i16..256).prop_map(|(zt, rn, imm_vl)| SveInst::LdrZ { zt, rn, imm_vl }),
-        (zreg(), xreg(), -256i16..256).prop_map(|(zt, rn, imm_vl)| SveInst::StrZ { zt, rn, imm_vl }),
-        (zreg(), gov_preg(), zreg(), zreg(), prop_oneof![Just(ElementType::F32), Just(ElementType::F64)])
-            .prop_map(|(zd, pg, zn, zm, elem)| SveInst::FmlaSve { zd, pg, zn, zm, elem }),
-        (zreg(), mem_elem(), any::<i8>()).prop_map(|(zd, elem, imm)| SveInst::DupImm { zd, elem, imm }),
+        (zreg(), xreg(), -256i16..256).prop_map(|(zt, rn, imm_vl)| SveInst::LdrZ {
+            zt,
+            rn,
+            imm_vl
+        }),
+        (zreg(), xreg(), -256i16..256).prop_map(|(zt, rn, imm_vl)| SveInst::StrZ {
+            zt,
+            rn,
+            imm_vl
+        }),
+        (
+            zreg(),
+            gov_preg(),
+            zreg(),
+            zreg(),
+            prop_oneof![Just(ElementType::F32), Just(ElementType::F64)]
+        )
+            .prop_map(|(zd, pg, zn, zm, elem)| SveInst::FmlaSve {
+                zd,
+                pg,
+                zn,
+                zm,
+                elem
+            }),
+        (zreg(), mem_elem(), any::<i8>()).prop_map(|(zd, elem, imm)| SveInst::DupImm {
+            zd,
+            elem,
+            imm
+        }),
         (xreg(), xreg(), -32i8..32).prop_map(|(rd, rn, imm)| SveInst::AddVl { rd, rn, imm }),
     ]
 }
@@ -165,24 +328,96 @@ fn sme_inst() -> impl Strategy<Value = SmeInst> {
             .prop_map(|(tile, pn, pm, zn, zm)| SmeInst::fmopa_f32(tile, pn, pm, zn, zm)),
         (0u8..8, gov_preg(), gov_preg(), zreg(), zreg())
             .prop_map(|(tile, pn, pm, zn, zm)| SmeInst::fmopa_f64(tile, pn, pm, zn, zm)),
-        (0u8..4, gov_preg(), gov_preg(), zreg(), zreg(), prop_oneof![Just(ElementType::BF16), Just(ElementType::F16)])
-            .prop_map(|(tile, pn, pm, zn, zm, from)| SmeInst::FmopaWide { tile, from, pn, pm, zn, zm }),
-        (0u8..4, gov_preg(), gov_preg(), zreg(), zreg(), prop_oneof![Just(ElementType::I8), Just(ElementType::I16)])
-            .prop_map(|(tile, pn, pm, zn, zm, from)| SmeInst::Smopa { tile, from, pn, pm, zn, zm }),
-        (0u8..4, prop_oneof![Just(TileSliceDir::Horizontal), Just(TileSliceDir::Vertical)], slice_reg(), 0u8..16, zreg(), prop_oneof![Just(1u8), Just(2u8), Just(4u8)])
+        (
+            0u8..4,
+            gov_preg(),
+            gov_preg(),
+            zreg(),
+            zreg(),
+            prop_oneof![Just(ElementType::BF16), Just(ElementType::F16)]
+        )
+            .prop_map(|(tile, pn, pm, zn, zm, from)| SmeInst::FmopaWide {
+                tile,
+                from,
+                pn,
+                pm,
+                zn,
+                zm
+            }),
+        (
+            0u8..4,
+            gov_preg(),
+            gov_preg(),
+            zreg(),
+            zreg(),
+            prop_oneof![Just(ElementType::I8), Just(ElementType::I16)]
+        )
+            .prop_map(|(tile, pn, pm, zn, zm, from)| SmeInst::Smopa {
+                tile,
+                from,
+                pn,
+                pm,
+                zn,
+                zm
+            }),
+        (
+            0u8..4,
+            prop_oneof![Just(TileSliceDir::Horizontal), Just(TileSliceDir::Vertical)],
+            slice_reg(),
+            0u8..16,
+            zreg(),
+            prop_oneof![Just(1u8), Just(2u8), Just(4u8)]
+        )
             .prop_map(|(t, dir, rs, offset, zt, count)| SmeInst::MovaToTile {
-                tile: ZaTile::s(t), dir, rs, offset, zt, count
+                tile: ZaTile::s(t),
+                dir,
+                rs,
+                offset,
+                zt,
+                count
             }),
-        (0u8..4, prop_oneof![Just(TileSliceDir::Horizontal), Just(TileSliceDir::Vertical)], slice_reg(), 0u8..16, zreg(), prop_oneof![Just(1u8), Just(2u8), Just(4u8)])
+        (
+            0u8..4,
+            prop_oneof![Just(TileSliceDir::Horizontal), Just(TileSliceDir::Vertical)],
+            slice_reg(),
+            0u8..16,
+            zreg(),
+            prop_oneof![Just(1u8), Just(2u8), Just(4u8)]
+        )
             .prop_map(|(t, dir, rs, offset, zt, count)| SmeInst::MovaFromTile {
-                tile: ZaTile::s(t), dir, rs, offset, zt, count
+                tile: ZaTile::s(t),
+                dir,
+                rs,
+                offset,
+                zt,
+                count
             }),
-        (slice_reg(), 0u8..16, xreg()).prop_map(|(rs, offset, rn)| SmeInst::LdrZa { rs, offset, rn }),
-        (slice_reg(), 0u8..16, xreg()).prop_map(|(rs, offset, rn)| SmeInst::StrZa { rs, offset, rn }),
+        (slice_reg(), 0u8..16, xreg()).prop_map(|(rs, offset, rn)| SmeInst::LdrZa {
+            rs,
+            offset,
+            rn
+        }),
+        (slice_reg(), 0u8..16, xreg()).prop_map(|(rs, offset, rn)| SmeInst::StrZa {
+            rs,
+            offset,
+            rn
+        }),
         any::<u8>().prop_map(|mask| SmeInst::ZeroZa { mask }),
-        (prop_oneof![Just(ElementType::F32), Just(ElementType::F64)], prop_oneof![Just(2u8), Just(4u8)], vsel_reg(), 0u8..8, zreg(), zreg())
+        (
+            prop_oneof![Just(ElementType::F32), Just(ElementType::F64)],
+            prop_oneof![Just(2u8), Just(4u8)],
+            vsel_reg(),
+            0u8..8,
+            zreg(),
+            zreg()
+        )
             .prop_map(|(elem, vgx, rv, offset, zn, zm)| SmeInst::FmlaZaVectors {
-                elem, vgx, rv, offset, zn, zm
+                elem,
+                vgx,
+                rv,
+                offset,
+                zn,
+                zm
             }),
     ]
 }
@@ -194,6 +429,65 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         sve_inst().prop_map(Inst::Sve),
         sme_inst().prop_map(Inst::Sme),
     ]
+}
+
+/// High-volume deterministic complement to the proptest fuzz case below:
+/// two million xorshift words plus every single-bit mutation of valid
+/// encodings (the mutations concentrate on the decoder's accepting
+/// neighbourhoods, where operand validation bugs live).
+#[test]
+fn decode_scan_is_total() {
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    for _ in 0..2_000_000 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let _ = decode(state as u32);
+    }
+
+    let samples: Vec<Inst> = vec![
+        Inst::Sme(SmeInst::fmopa_f32(
+            3,
+            PReg::new(1),
+            PReg::new(2),
+            ZReg::new(4),
+            ZReg::new(8),
+        )),
+        Inst::Sme(SmeInst::MovaToTile {
+            tile: ZaTile::s(2),
+            dir: TileSliceDir::Vertical,
+            rs: XReg::new(13),
+            offset: 9,
+            zt: ZReg::new(16),
+            count: 4,
+        }),
+        Inst::Sme(SmeInst::ZeroZa { mask: 0xA5 }),
+        Inst::Sve(SveInst::Ld1 {
+            zt: ZReg::new(3),
+            elem: ElementType::F32,
+            pg: PReg::new(5),
+            rn: XReg::new(7),
+            imm_vl: -3,
+        }),
+        Inst::Neon(NeonInst::fmla_vec(
+            sme_isa::regs::VReg::new(1),
+            sme_isa::regs::VReg::new(2),
+            sme_isa::regs::VReg::new(3),
+            NeonArrangement::S4,
+        )),
+        Inst::Scalar(ScalarInst::MovZ {
+            rd: XReg::new(0),
+            imm16: 0xBEEF,
+            hw: 2,
+        }),
+    ];
+    for inst in &samples {
+        let word = encode(inst);
+        assert_eq!(decode(word), Some(*inst), "sample must round-trip: {inst}");
+        for bit in 0..32 {
+            let _ = decode(word ^ (1 << bit));
+        }
+    }
 }
 
 proptest! {
@@ -218,5 +512,30 @@ proptest! {
     #[test]
     fn display_total(inst in any_inst()) {
         prop_assert!(!inst.to_string().is_empty());
+    }
+
+    /// Decoding is total over the full 32-bit word space: arbitrary words
+    /// (almost all of which are not valid encodings of the modelled subset)
+    /// must decode to a structured `None`, never panic. When a word does
+    /// decode, decoding is deterministic and the result prints.
+    #[test]
+    fn decode_never_panics_on_arbitrary_words(word in any::<u32>()) {
+        let first = decode(word);
+        prop_assert_eq!(&decode(word), &first, "decode must be deterministic for {:#010x}", word);
+        if let Some(inst) = first {
+            prop_assert!(!inst.to_string().is_empty());
+        }
+    }
+
+    /// `decode_bytes` is equally total: byte buffers assembled from
+    /// arbitrary words either decode every word or return `None` (for
+    /// unknown words mid-stream), without panicking. Truncated buffers
+    /// (length not a multiple of four) must also be rejected gracefully.
+    #[test]
+    fn decode_bytes_never_panics(words in proptest::collection::vec(any::<u32>(), 0..16), cut in 0usize..4) {
+        let mut bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let _ = sme_isa::decode::decode_bytes(&bytes);
+        bytes.truncate(bytes.len().saturating_sub(cut));
+        let _ = sme_isa::decode::decode_bytes(&bytes);
     }
 }

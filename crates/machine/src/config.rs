@@ -327,7 +327,13 @@ impl MachineConfig {
             p_cluster_scaling_overhead: 0.042,
         };
 
-        MachineConfig { svl, p_core, e_core, mem, multicore }
+        MachineConfig {
+            svl,
+            p_core,
+            e_core,
+            mem,
+            multicore,
+        }
     }
 
     /// A hypothetical machine with a different streaming vector length but

@@ -58,12 +58,18 @@ impl Default for RunOptions {
 impl RunOptions {
     /// Functional execution without timing (fast correctness checks).
     pub fn functional_only() -> Self {
-        RunOptions { timing: false, ..Default::default() }
+        RunOptions {
+            timing: false,
+            ..Default::default()
+        }
     }
 
     /// Timing-only execution (fast performance sweeps).
     pub fn timing_only() -> Self {
-        RunOptions { mode: ExecMode::TimingOnly, ..Default::default() }
+        RunOptions {
+            mode: ExecMode::TimingOnly,
+            ..Default::default()
+        }
     }
 }
 
@@ -93,7 +99,12 @@ impl Simulator {
     /// Create a simulator for the given machine and core kind.
     pub fn new(config: MachineConfig, core_kind: CoreKind) -> Self {
         let state = CoreState::new(config.svl);
-        Simulator { config, core_kind, state, mem: Memory::new() }
+        Simulator {
+            config,
+            core_kind,
+            state,
+            mem: Memory::new(),
+        }
     }
 
     /// Create an M4 performance-core simulator (the common case).
@@ -141,10 +152,12 @@ impl Simulator {
                 SveInst::Ld1 { rn, imm_vl, .. } | SveInst::St1 { rn, imm_vl, .. } => {
                     (self.state.x(rn) as i64 + imm_vl as i64 * vl as i64) as u64
                 }
-                SveInst::Ld1Multi { rn, imm_vl, count, .. }
-                | SveInst::St1Multi { rn, imm_vl, count, .. } => {
-                    (self.state.x(rn) as i64 + imm_vl as i64 * vl as i64 * count as i64) as u64
+                SveInst::Ld1Multi {
+                    rn, imm_vl, count, ..
                 }
+                | SveInst::St1Multi {
+                    rn, imm_vl, count, ..
+                } => (self.state.x(rn) as i64 + imm_vl as i64 * vl as i64 * count as i64) as u64,
                 SveInst::LdrZ { rn, imm_vl, .. } | SveInst::StrZ { rn, imm_vl, .. } => {
                     (self.state.x(rn) as i64 + imm_vl as i64 * vl as i64) as u64
                 }
@@ -168,7 +181,10 @@ impl Simulator {
     /// Panics if the program exceeds `opts.max_instructions` (runaway loop)
     /// or branches outside the program.
     pub fn run(&mut self, program: &Program, args: &[u64], opts: &RunOptions) -> RunResult {
-        assert!(args.len() <= 8, "at most eight register arguments are supported");
+        assert!(
+            args.len() <= 8,
+            "at most eight register arguments are supported"
+        );
         for (i, arg) in args.iter().enumerate() {
             self.state.set_x(XReg::new(i as u8), *arg);
         }
@@ -185,7 +201,10 @@ impl Simulator {
             m
         });
 
-        let mut stats = ExecStats { clock_ghz: timings.clock_ghz, ..Default::default() };
+        let mut stats = ExecStats {
+            clock_ghz: timings.clock_ghz,
+            ..Default::default()
+        };
         let svl = self.config.svl;
         let insts = program.insts();
         let mut pc: i64 = 0;
@@ -265,7 +284,10 @@ impl Simulator {
         if let Some(sb) = scoreboard {
             stats.cycles = sb.cycles();
         }
-        RunResult { stats, return_value: self.state.x(XReg::new(0)) }
+        RunResult {
+            stats,
+            return_value: self.state.x(XReg::new(0)),
+        }
     }
 }
 
@@ -282,7 +304,12 @@ mod tests {
         let mut a = Assembler::new("neon_fmla");
         let top = a.new_label();
         a.bind(top);
-        a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        a.push(ScalarInst::SubImm {
+            rd: x(0),
+            rn: x(0),
+            imm12: 1,
+            shift12: false,
+        });
         for d in 0..unroll {
             a.push(NeonInst::fmla_vec(v(d), v(30), v(31), NeonArrangement::S4));
         }
@@ -299,9 +326,20 @@ mod tests {
         a.push(SveInst::ptrue(p(1), ElementType::I8));
         let top = a.new_label();
         a.bind(top);
-        a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        a.push(ScalarInst::SubImm {
+            rd: x(0),
+            rn: x(0),
+            imm12: 1,
+            shift12: false,
+        });
         for i in 0..32u8 {
-            a.push(SmeInst::fmopa_f32(i % tiles, p(0), p(1), z((i * 2) % 30), z((i * 2 + 1) % 30)));
+            a.push(SmeInst::fmopa_f32(
+                i % tiles,
+                p(0),
+                p(1),
+                z((i * 2) % 30),
+                z((i * 2 + 1) % 30),
+            ));
         }
         a.cbnz(x(0), top);
         a.push(ScalarInst::mov_imm16(x(0), 32 * 512 / 16));
@@ -318,7 +356,10 @@ mod tests {
         // 100 iterations * 32 instructions + 2 tail instructions.
         assert_eq!(result.stats.instructions, 100 * 32 + 2);
         assert_eq!(result.stats.arith_ops, 100 * 30 * 8);
-        assert_eq!(result.stats.cycles, 0.0, "functional-only runs carry no timing");
+        assert_eq!(
+            result.stats.cycles, 0.0,
+            "functional-only runs carry no timing"
+        );
     }
 
     #[test]
@@ -327,18 +368,33 @@ mod tests {
         let program = neon_fmla_kernel(30);
         let result = sim.run(&program, &[2_000], &RunOptions::default());
         let gflops = result.stats.gflops();
-        assert!((gflops - 113.0).abs() < 4.0, "Neon FP32 peak: {gflops} GFLOPS");
+        assert!(
+            (gflops - 113.0).abs() < 4.0,
+            "Neon FP32 peak: {gflops} GFLOPS"
+        );
     }
 
     #[test]
     fn fmopa_peak_and_single_tile_drop() {
         let mut sim = Simulator::m4_performance();
-        let peak = sim.run(&fmopa_kernel(4), &[500], &RunOptions::default()).stats.gflops();
-        assert!((peak - 2009.0).abs() < 40.0, "four-tile FMOPA peak: {peak} GFLOPS");
+        let peak = sim
+            .run(&fmopa_kernel(4), &[500], &RunOptions::default())
+            .stats
+            .gflops();
+        assert!(
+            (peak - 2009.0).abs() < 40.0,
+            "four-tile FMOPA peak: {peak} GFLOPS"
+        );
 
         let mut sim = Simulator::m4_performance();
-        let single = sim.run(&fmopa_kernel(1), &[500], &RunOptions::default()).stats.gflops();
-        assert!((single - 502.0).abs() < 20.0, "single-tile FMOPA: {single} GFLOPS");
+        let single = sim
+            .run(&fmopa_kernel(1), &[500], &RunOptions::default())
+            .stats
+            .gflops();
+        assert!(
+            (single - 502.0).abs() < 20.0,
+            "single-tile FMOPA: {single} GFLOPS"
+        );
     }
 
     #[test]
@@ -346,10 +402,19 @@ mod tests {
         let program = fmopa_kernel(4);
         let mut p_sim = Simulator::m4_performance();
         let mut e_sim = Simulator::m4_efficiency();
-        let p = p_sim.run(&program, &[200], &RunOptions::default()).stats.gflops();
-        let e = e_sim.run(&program, &[200], &RunOptions::default()).stats.gflops();
+        let p = p_sim
+            .run(&program, &[200], &RunOptions::default())
+            .stats
+            .gflops();
+        let e = e_sim
+            .run(&program, &[200], &RunOptions::default())
+            .stats
+            .gflops();
         assert!((e - 357.0).abs() < 10.0, "E-core FMOPA: {e}");
-        assert!(p > 5.0 * e, "P-core must be >5x the E-core for SME ({p} vs {e})");
+        assert!(
+            p > 5.0 * e,
+            "P-core must be >5x the E-core for SME ({p} vs {e})"
+        );
     }
 
     #[test]
@@ -373,14 +438,22 @@ mod tests {
         a.b(top);
         let program = a.finish();
         let mut sim = Simulator::m4_performance();
-        let opts = RunOptions { max_instructions: 10_000, ..RunOptions::functional_only() };
+        let opts = RunOptions {
+            max_instructions: 10_000,
+            ..RunOptions::functional_only()
+        };
         let _ = sim.run(&program, &[], &opts);
     }
 
     #[test]
     fn arguments_land_in_registers() {
         let mut a = Assembler::new("args");
-        a.push(ScalarInst::AddReg { rd: x(0), rn: x(0), rm: x(1), shift: None });
+        a.push(ScalarInst::AddReg {
+            rd: x(0),
+            rn: x(0),
+            rm: x(1),
+            shift: None,
+        });
         a.ret();
         let program = a.finish();
         let mut sim = Simulator::m4_performance();

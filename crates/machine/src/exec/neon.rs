@@ -52,7 +52,13 @@ fn read_bf16x8(state: &CoreState, r: VReg) -> [f32; 8] {
     out
 }
 
-fn fmla_lanes(state: &mut CoreState, vd: VReg, vn: VReg, vm_lane: &dyn Fn(usize) -> f64, arr: NeonArrangement) {
+fn fmla_lanes(
+    state: &mut CoreState,
+    vd: VReg,
+    vn: VReg,
+    vm_lane: &dyn Fn(usize) -> f64,
+    arr: NeonArrangement,
+) {
     match arr {
         NeonArrangement::S4 => {
             let mut d = read_f32x4(state, vd);
@@ -85,7 +91,12 @@ fn fmla_lanes(state: &mut CoreState, vd: VReg, vn: VReg, vm_lane: &dyn Fn(usize)
 /// Execute one Neon instruction.
 pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &NeonInst) {
     match *inst {
-        NeonInst::FmlaVec { vd, vn, vm, arrangement } => {
+        NeonInst::FmlaVec {
+            vd,
+            vn,
+            vm,
+            arrangement,
+        } => {
             let m32 = read_f32x4(state, vm);
             let m64 = read_f64x2(state, vm);
             let m16 = read_f16x8(state, vm);
@@ -99,7 +110,13 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &NeonInst) {
             };
             fmla_lanes(state, vd, vn, &lane, arrangement);
         }
-        NeonInst::FmlaElem { vd, vn, vm, index, arrangement } => {
+        NeonInst::FmlaElem {
+            vd,
+            vn,
+            vm,
+            index,
+            arrangement,
+        } => {
             let m32 = read_f32x4(state, vm);
             let m64 = read_f64x2(state, vm);
             let m16 = read_f16x8(state, vm);
@@ -158,7 +175,12 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &NeonInst) {
             mem.write_bytes(addr, &b1);
             mem.write_bytes(addr + 16, &b2);
         }
-        NeonInst::DupElem { vd, vn, index, arrangement } => match arrangement {
+        NeonInst::DupElem {
+            vd,
+            vn,
+            index,
+            arrangement,
+        } => match arrangement {
             NeonArrangement::S4 => {
                 let n = read_f32x4(state, vn);
                 state.set_v_f32(vd, [n[index as usize]; 4]);
@@ -194,7 +216,11 @@ mod tests {
         s.set_v_f32(v(0), [1.0, 2.0, 3.0, 4.0]);
         s.set_v_f32(v(30), [2.0, 2.0, 2.0, 2.0]);
         s.set_v_f32(v(31), [10.0, 20.0, 30.0, 40.0]);
-        exec(&mut s, &mut m, &NeonInst::fmla_vec(v(0), v(30), v(31), NeonArrangement::S4));
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::fmla_vec(v(0), v(30), v(31), NeonArrangement::S4),
+        );
         assert_eq!(s.v_f32(v(0)), [21.0, 42.0, 63.0, 84.0]);
     }
 
@@ -204,13 +230,21 @@ mod tests {
         write_f64x2(&mut s, v(1), [1.0, -1.0]);
         write_f64x2(&mut s, v(2), [3.0, 4.0]);
         write_f64x2(&mut s, v(3), [10.0, 100.0]);
-        exec(&mut s, &mut m, &NeonInst::fmla_vec(v(1), v(2), v(3), NeonArrangement::D2));
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::fmla_vec(v(1), v(2), v(3), NeonArrangement::D2),
+        );
         assert_eq!(read_f64x2(&s, v(1)), [31.0, 399.0]);
 
         write_f16x8(&mut s, v(4), [1.0; 8]);
         write_f16x8(&mut s, v(5), [2.0; 8]);
         write_f16x8(&mut s, v(6), [0.5; 8]);
-        exec(&mut s, &mut m, &NeonInst::fmla_vec(v(4), v(5), v(6), NeonArrangement::H8));
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::fmla_vec(v(4), v(5), v(6), NeonArrangement::H8),
+        );
         assert_eq!(read_f16x8(&s, v(4)), [2.0; 8]);
     }
 
@@ -220,7 +254,11 @@ mod tests {
         s.set_v_f32(v(4), [0.0; 4]);
         s.set_v_f32(v(28), [1.0, 2.0, 3.0, 4.0]);
         s.set_v_f32(v(29), [5.0, 7.0, 9.0, 11.0]);
-        exec(&mut s, &mut m, &NeonInst::fmla_elem(v(4), v(28), v(29), 1, NeonArrangement::S4));
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::fmla_elem(v(4), v(28), v(29), 1, NeonArrangement::S4),
+        );
         assert_eq!(s.v_f32(v(4)), [7.0, 14.0, 21.0, 28.0]);
     }
 
@@ -236,7 +274,15 @@ mod tests {
         }
         s.set_v(v(1), bytes);
         s.set_v(v(2), bytes);
-        exec(&mut s, &mut m, &NeonInst::Bfmmla { vd: v(0), vn: v(1), vm: v(2) });
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::Bfmmla {
+                vd: v(0),
+                vn: v(1),
+                vm: v(2),
+            },
+        );
         let c = s.v_f32(v(0));
         assert_eq!(c, [30.0, 70.0, 70.0, 174.0]);
     }
@@ -247,15 +293,49 @@ mod tests {
         let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
         let addr = m.alloc_f32(&data, 64);
         s.set_x(x(0), addr);
-        exec(&mut s, &mut m, &NeonInst::LdrQ { vt: v(0), rn: x(0), imm: 0 });
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::LdrQ {
+                vt: v(0),
+                rn: x(0),
+                imm: 0,
+            },
+        );
         assert_eq!(s.v_f32(v(0)), [0.0, 1.0, 2.0, 3.0]);
-        exec(&mut s, &mut m, &NeonInst::LdpQ { vt1: v(1), vt2: v(2), rn: x(0), imm: 0 });
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::LdpQ {
+                vt1: v(1),
+                vt2: v(2),
+                rn: x(0),
+                imm: 0,
+            },
+        );
         assert_eq!(s.v_f32(v(2)), [4.0, 5.0, 6.0, 7.0]);
         // Store back shifted by 16 bytes.
         let dst = m.alloc_f32_zeroed(12, 64);
         s.set_x(x(1), dst);
-        exec(&mut s, &mut m, &NeonInst::StrQ { vt: v(2), rn: x(1), imm: 0 });
-        exec(&mut s, &mut m, &NeonInst::StpQ { vt1: v(0), vt2: v(2), rn: x(1), imm: 16 });
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::StrQ {
+                vt: v(2),
+                rn: x(1),
+                imm: 0,
+            },
+        );
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::StpQ {
+                vt1: v(0),
+                vt2: v(2),
+                rn: x(1),
+                imm: 16,
+            },
+        );
         assert_eq!(m.read_f32_slice(dst, 4), vec![4.0, 5.0, 6.0, 7.0]);
         assert_eq!(m.read_f32_slice(dst + 16, 4), vec![0.0, 1.0, 2.0, 3.0]);
         assert_eq!(m.read_f32_slice(dst + 32, 4), vec![4.0, 5.0, 6.0, 7.0]);
@@ -265,9 +345,25 @@ mod tests {
     fn dup_and_movi() {
         let (mut s, mut m) = setup();
         s.set_v_f32(v(9), [1.5, 2.5, 3.5, 4.5]);
-        exec(&mut s, &mut m, &NeonInst::DupElem { vd: v(10), vn: v(9), index: 2, arrangement: NeonArrangement::S4 });
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::DupElem {
+                vd: v(10),
+                vn: v(9),
+                index: 2,
+                arrangement: NeonArrangement::S4,
+            },
+        );
         assert_eq!(s.v_f32(v(10)), [3.5; 4]);
-        exec(&mut s, &mut m, &NeonInst::MoviZero { vd: v(10), arrangement: NeonArrangement::S4 });
+        exec(
+            &mut s,
+            &mut m,
+            &NeonInst::MoviZero {
+                vd: v(10),
+                arrangement: NeonArrangement::S4,
+            },
+        );
         assert_eq!(s.v_f32(v(10)), [0.0; 4]);
     }
 }

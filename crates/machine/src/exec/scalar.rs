@@ -63,13 +63,23 @@ pub fn exec(state: &mut CoreState, inst: &ScalarInst) -> Outcome {
             state.set_x(rd, v);
             Outcome::Next
         }
-        ScalarInst::AddImm { rd, rn, imm12, shift12 } => {
+        ScalarInst::AddImm {
+            rd,
+            rn,
+            imm12,
+            shift12,
+        } => {
             let imm = (imm12 as u64) << if shift12 { 12 } else { 0 };
             let v = state.x(rn).wrapping_add(imm);
             state.set_x(rd, v);
             Outcome::Next
         }
-        ScalarInst::SubImm { rd, rn, imm12, shift12 } => {
+        ScalarInst::SubImm {
+            rd,
+            rn,
+            imm12,
+            shift12,
+        } => {
             let imm = (imm12 as u64) << if shift12 { 12 } else { 0 };
             let v = state.x(rn).wrapping_sub(imm);
             state.set_x(rd, v);
@@ -82,18 +92,30 @@ pub fn exec(state: &mut CoreState, inst: &ScalarInst) -> Outcome {
             state.set_x(rd, a.wrapping_sub(b));
             Outcome::Next
         }
-        ScalarInst::AddReg { rd, rn, rm, ref shift } => {
+        ScalarInst::AddReg {
+            rd,
+            rn,
+            rm,
+            ref shift,
+        } => {
             let v = state.x(rn).wrapping_add(shifted(state.x(rm), shift));
             state.set_x(rd, v);
             Outcome::Next
         }
-        ScalarInst::SubReg { rd, rn, rm, ref shift } => {
+        ScalarInst::SubReg {
+            rd,
+            rn,
+            rm,
+            ref shift,
+        } => {
             let v = state.x(rn).wrapping_sub(shifted(state.x(rm), shift));
             state.set_x(rd, v);
             Outcome::Next
         }
         ScalarInst::Madd { rd, rn, rm, ra } => {
-            let v = state.x(ra).wrapping_add(state.x(rn).wrapping_mul(state.x(rm)));
+            let v = state
+                .x(ra)
+                .wrapping_add(state.x(rn).wrapping_mul(state.x(rm)));
             state.set_x(rd, v);
             Outcome::Next
         }
@@ -151,9 +173,30 @@ mod tests {
     #[test]
     fn mov_sequences_build_64_bit_values() {
         let mut s = state();
-        exec(&mut s, &ScalarInst::MovZ { rd: x(0), imm16: 0xbeef, hw: 0 });
-        exec(&mut s, &ScalarInst::MovK { rd: x(0), imm16: 0xdead, hw: 1 });
-        exec(&mut s, &ScalarInst::MovK { rd: x(0), imm16: 0x1234, hw: 3 });
+        exec(
+            &mut s,
+            &ScalarInst::MovZ {
+                rd: x(0),
+                imm16: 0xbeef,
+                hw: 0,
+            },
+        );
+        exec(
+            &mut s,
+            &ScalarInst::MovK {
+                rd: x(0),
+                imm16: 0xdead,
+                hw: 1,
+            },
+        );
+        exec(
+            &mut s,
+            &ScalarInst::MovK {
+                rd: x(0),
+                imm16: 0x1234,
+                hw: 3,
+            },
+        );
         assert_eq!(s.x(x(0)), 0x1234_0000_dead_beef);
     }
 
@@ -162,20 +205,64 @@ mod tests {
         let mut s = state();
         s.set_x(x(1), 100);
         s.set_x(x(2), 7);
-        exec(&mut s, &ScalarInst::AddReg { rd: x(0), rn: x(1), rm: x(2), shift: None });
+        exec(
+            &mut s,
+            &ScalarInst::AddReg {
+                rd: x(0),
+                rn: x(1),
+                rm: x(2),
+                shift: None,
+            },
+        );
         assert_eq!(s.x(x(0)), 107);
         exec(
             &mut s,
-            &ScalarInst::AddReg { rd: x(0), rn: x(1), rm: x(2), shift: Some(ShiftOp::Lsl(2)) },
+            &ScalarInst::AddReg {
+                rd: x(0),
+                rn: x(1),
+                rm: x(2),
+                shift: Some(ShiftOp::Lsl(2)),
+            },
         );
         assert_eq!(s.x(x(0)), 128);
-        exec(&mut s, &ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        exec(
+            &mut s,
+            &ScalarInst::SubImm {
+                rd: x(0),
+                rn: x(0),
+                imm12: 1,
+                shift12: false,
+            },
+        );
         assert_eq!(s.x(x(0)), 127);
-        exec(&mut s, &ScalarInst::AddImm { rd: x(0), rn: x(0), imm12: 2, shift12: true });
+        exec(
+            &mut s,
+            &ScalarInst::AddImm {
+                rd: x(0),
+                rn: x(0),
+                imm12: 2,
+                shift12: true,
+            },
+        );
         assert_eq!(s.x(x(0)), 127 + (2 << 12));
-        exec(&mut s, &ScalarInst::Madd { rd: x(3), rn: x(1), rm: x(2), ra: x(0) });
+        exec(
+            &mut s,
+            &ScalarInst::Madd {
+                rd: x(3),
+                rn: x(1),
+                rm: x(2),
+                ra: x(0),
+            },
+        );
         assert_eq!(s.x(x(3)), s.x(x(0)) + 700);
-        exec(&mut s, &ScalarInst::LslImm { rd: x(4), rn: x(2), shift: 4 });
+        exec(
+            &mut s,
+            &ScalarInst::LslImm {
+                rd: x(4),
+                rn: x(2),
+                shift: 4,
+            },
+        );
         assert_eq!(s.x(x(4)), 112);
     }
 
@@ -183,8 +270,16 @@ mod tests {
     fn loop_branching_with_cbnz() {
         let mut s = state();
         s.set_x(x(0), 3);
-        let dec = ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false };
-        let branch = ScalarInst::Cbnz { rn: x(0), target: BranchTarget::Offset(-1) };
+        let dec = ScalarInst::SubImm {
+            rd: x(0),
+            rn: x(0),
+            imm12: 1,
+            shift12: false,
+        };
+        let branch = ScalarInst::Cbnz {
+            rn: x(0),
+            target: BranchTarget::Offset(-1),
+        };
         let mut taken = 0;
         loop {
             exec(&mut s, &dec);
@@ -205,22 +300,46 @@ mod tests {
         exec(&mut s, &ScalarInst::CmpImm { rn: x(1), imm12: 5 });
         assert!(s.flags.z);
         assert_eq!(
-            exec(&mut s, &ScalarInst::BCond { cond: Cond::Eq, target: BranchTarget::Offset(10) }),
+            exec(
+                &mut s,
+                &ScalarInst::BCond {
+                    cond: Cond::Eq,
+                    target: BranchTarget::Offset(10)
+                }
+            ),
             Outcome::Branch(10)
         );
         assert_eq!(
-            exec(&mut s, &ScalarInst::BCond { cond: Cond::Ne, target: BranchTarget::Offset(10) }),
+            exec(
+                &mut s,
+                &ScalarInst::BCond {
+                    cond: Cond::Ne,
+                    target: BranchTarget::Offset(10)
+                }
+            ),
             Outcome::Next
         );
         exec(&mut s, &ScalarInst::CmpImm { rn: x(1), imm12: 9 });
         assert_eq!(
-            exec(&mut s, &ScalarInst::BCond { cond: Cond::Lt, target: BranchTarget::Offset(3) }),
+            exec(
+                &mut s,
+                &ScalarInst::BCond {
+                    cond: Cond::Lt,
+                    target: BranchTarget::Offset(3)
+                }
+            ),
             Outcome::Branch(3)
         );
         s.set_x(x(2), 10);
         exec(&mut s, &ScalarInst::CmpReg { rn: x(2), rm: x(1) });
         assert_eq!(
-            exec(&mut s, &ScalarInst::BCond { cond: Cond::Gt, target: BranchTarget::Offset(3) }),
+            exec(
+                &mut s,
+                &ScalarInst::BCond {
+                    cond: Cond::Gt,
+                    target: BranchTarget::Offset(3)
+                }
+            ),
             Outcome::Branch(3)
         );
     }
@@ -229,7 +348,14 @@ mod tests {
     fn subs_sets_flags_and_result() {
         let mut s = state();
         s.set_x(x(8), 1);
-        exec(&mut s, &ScalarInst::SubsImm { rd: x(8), rn: x(8), imm12: 1 });
+        exec(
+            &mut s,
+            &ScalarInst::SubsImm {
+                rd: x(8),
+                rn: x(8),
+                imm12: 1,
+            },
+        );
         assert_eq!(s.x(x(8)), 0);
         assert!(s.flags.z);
         assert!(s.flags.c);
@@ -240,7 +366,12 @@ mod tests {
         let mut s = state();
         assert_eq!(exec(&mut s, &ScalarInst::Ret), Outcome::Return);
         assert_eq!(
-            exec(&mut s, &ScalarInst::B { target: BranchTarget::Offset(-4) }),
+            exec(
+                &mut s,
+                &ScalarInst::B {
+                    target: BranchTarget::Offset(-4)
+                }
+            ),
             Outcome::Branch(-4)
         );
         assert_eq!(exec(&mut s, &ScalarInst::Nop), Outcome::Next);

@@ -58,7 +58,14 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
             }
             state.za_enabled = false;
         }
-        SmeInst::Fmopa { tile, elem, pn, pm, zn, zm } => match elem {
+        SmeInst::Fmopa {
+            tile,
+            elem,
+            pn,
+            pm,
+            zn,
+            zm,
+        } => match elem {
             ElementType::F64 => {
                 let dim = tile_dim(state, ElementType::F64);
                 for r in 0..dim {
@@ -94,7 +101,14 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
                 }
             }
         },
-        SmeInst::FmopaWide { tile, from, pn, pm, zn, zm } => {
+        SmeInst::FmopaWide {
+            tile,
+            from,
+            pn,
+            pm,
+            zn,
+            zm,
+        } => {
             // Widening 2-way sum of outer products into an FP32 tile:
             // ZA[r][c] += sum_i a[2r+i] * b[2c+i].
             let dim = tile_dim(state, ElementType::F32);
@@ -123,7 +137,14 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
                 }
             }
         }
-        SmeInst::Smopa { tile, from, pn, pm, zn, zm } => {
+        SmeInst::Smopa {
+            tile,
+            from,
+            pn,
+            pm,
+            zn,
+            zm,
+        } => {
             let dim = tile_dim(state, ElementType::I32);
             let way = if from == ElementType::I8 { 4 } else { 2 };
             for r in 0..dim {
@@ -153,7 +174,14 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
                 }
             }
         }
-        SmeInst::MovaToTile { tile, dir, rs, offset, zt, count } => {
+        SmeInst::MovaToTile {
+            tile,
+            dir,
+            rs,
+            offset,
+            zt,
+            count,
+        } => {
             let esz = tile.elem.bytes() as usize;
             let dim = tile_dim(state, tile.elem);
             let base_slice = (state.x(rs) as usize + offset as usize) % dim;
@@ -177,7 +205,14 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
                 }
             }
         }
-        SmeInst::MovaFromTile { tile, dir, rs, offset, zt, count } => {
+        SmeInst::MovaFromTile {
+            tile,
+            dir,
+            rs,
+            offset,
+            zt,
+            count,
+        } => {
             let esz = tile.elem.bytes() as usize;
             let dim = tile_dim(state, tile.elem);
             let base_slice = (state.x(rs) as usize + offset as usize) % dim;
@@ -192,7 +227,8 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
                     TileSliceDir::Vertical => {
                         for r in 0..dim {
                             let off = state.za_elem_offset(tile.index, tile.elem, r, slice);
-                            data[r * esz..r * esz + esz].copy_from_slice(&state.za()[off..off + esz]);
+                            data[r * esz..r * esz + esz]
+                                .copy_from_slice(&state.za()[off..off + esz]);
                         }
                     }
                 }
@@ -218,7 +254,14 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
                 }
             }
         }
-        SmeInst::FmlaZaVectors { elem, vgx, rv, offset, zn, zm } => {
+        SmeInst::FmlaZaVectors {
+            elem,
+            vgx,
+            rv,
+            offset,
+            zn,
+            zm,
+        } => {
             // The ZA array is divided into `vgx` equal parts; member k of the
             // group is the vector at (w + offset) mod (dim/vgx) within part k.
             let dim = state.vl_bytes();
@@ -233,8 +276,10 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
                         for lane in 0..lanes {
                             let a = z_f64_lane(state, zn.offset(k as u8), lane);
                             let b = z_f64_lane(state, zm, lane);
-                            let cur = f64::from_le_bytes(vec[lane * 8..lane * 8 + 8].try_into().unwrap());
-                            vec[lane * 8..lane * 8 + 8].copy_from_slice(&(cur + a * b).to_le_bytes());
+                            let cur =
+                                f64::from_le_bytes(vec[lane * 8..lane * 8 + 8].try_into().unwrap());
+                            vec[lane * 8..lane * 8 + 8]
+                                .copy_from_slice(&(cur + a * b).to_le_bytes());
                         }
                     }
                     _ => {
@@ -242,8 +287,10 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SmeInst) {
                         for lane in 0..lanes {
                             let a = z_f32_lane(state, zn.offset(k as u8), lane);
                             let b = z_f32_lane(state, zm, lane);
-                            let cur = f32::from_le_bytes(vec[lane * 4..lane * 4 + 4].try_into().unwrap());
-                            vec[lane * 4..lane * 4 + 4].copy_from_slice(&(cur + a * b).to_le_bytes());
+                            let cur =
+                                f32::from_le_bytes(vec[lane * 4..lane * 4 + 4].try_into().unwrap());
+                            vec[lane * 4..lane * 4 + 4]
+                                .copy_from_slice(&(cur + a * b).to_le_bytes());
                         }
                     }
                 }
@@ -292,14 +339,22 @@ mod tests {
         let b: Vec<f32> = (0..16).map(|i| (i as f32) * 0.5).collect();
         s.set_z_f32(z(0), &a);
         s.set_z_f32(z(1), &b);
-        exec(&mut s, &mut m, &SmeInst::fmopa_f32(2, p(0), p(1), z(0), z(1)));
-        for r in 0..16 {
-            for c in 0..16 {
-                assert_eq!(s.za_f32(2, r, c), a[r] * b[c], "({r},{c})");
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::fmopa_f32(2, p(0), p(1), z(0), z(1)),
+        );
+        for (r, &av) in a.iter().enumerate() {
+            for (c, &bv) in b.iter().enumerate() {
+                assert_eq!(s.za_f32(2, r, c), av * bv, "({r},{c})");
             }
         }
         // Accumulation: running it again doubles every element.
-        exec(&mut s, &mut m, &SmeInst::fmopa_f32(2, p(0), p(1), z(0), z(1)));
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::fmopa_f32(2, p(0), p(1), z(0), z(1)),
+        );
         assert_eq!(s.za_f32(2, 3, 5), 2.0 * a[3] * b[5]);
     }
 
@@ -310,7 +365,11 @@ mod tests {
         s.set_z_f32(z(1), &[1.0; 16]);
         s.set_p_first(p(2), ElementType::F32, 3); // rows
         s.set_p_first(p(3), ElementType::F32, 2); // columns
-        exec(&mut s, &mut m, &SmeInst::fmopa_f32(0, p(2), p(3), z(0), z(1)));
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::fmopa_f32(0, p(2), p(3), z(0), z(1)),
+        );
         assert_eq!(s.za_f32(0, 2, 1), 1.0);
         assert_eq!(s.za_f32(0, 3, 1), 0.0, "masked row");
         assert_eq!(s.za_f32(0, 2, 2), 0.0, "masked column");
@@ -323,7 +382,11 @@ mod tests {
         let b: Vec<f64> = (0..8).map(|i| 2.0 * i as f64).collect();
         s.set_z_f64(z(4), &a);
         s.set_z_f64(z(5), &b);
-        exec(&mut s, &mut m, &SmeInst::fmopa_f64(7, p(0), p(1), z(4), z(5)));
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::fmopa_f64(7, p(0), p(1), z(4), z(5)),
+        );
         assert_eq!(s.za_f64(7, 2, 3), 3.0 * 6.0);
     }
 
@@ -353,7 +416,11 @@ mod tests {
         let zm_bytes: Vec<u8> = (0..64u32).map(|_| 2u8).collect();
         s.set_z(z(0), &zn_bytes);
         s.set_z(z(1), &zm_bytes);
-        exec(&mut s, &mut m, &SmeInst::smopa_i8(0, p(0), p(1), z(0), z(1)));
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::smopa_i8(0, p(0), p(1), z(0), z(1)),
+        );
         // Row r uses a[4r..4r+4]; column c uses b[4c..4c+4] = all 2.
         let r = 3usize;
         let expected: i32 = (0..4).map(|i| ((4 * r + i) % 5) as i32 * 2).sum();
@@ -403,8 +470,8 @@ mod tests {
         // transposed row.
         for c in 0..16u8 {
             let col = s.z_f32(z(16 + c));
-            for r in 0..16 {
-                assert_eq!(col[r], (r as f32) * 100.0 + c as f32, "({r},{c})");
+            for (r, &v) in col.iter().enumerate().take(16) {
+                assert_eq!(v, (r as f32) * 100.0 + c as f32, "({r},{c})");
             }
         }
     }
@@ -418,12 +485,44 @@ mod tests {
         s.set_x(x(12), 5);
         s.set_x(x(0), src);
         s.set_x(x(1), dst);
-        exec(&mut s, &mut m, &SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) });
-        exec(&mut s, &mut m, &SmeInst::LdrZa { rs: x(12), offset: 1, rn: x(0) });
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::LdrZa {
+                rs: x(12),
+                offset: 0,
+                rn: x(0),
+            },
+        );
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::LdrZa {
+                rs: x(12),
+                offset: 1,
+                rn: x(0),
+            },
+        );
         let first = f32::from_le_bytes(s.za_vector(5)[0..4].try_into().unwrap());
         assert_eq!(first, 0.0);
-        exec(&mut s, &mut m, &SmeInst::StrZa { rs: x(12), offset: 0, rn: x(1) });
-        exec(&mut s, &mut m, &SmeInst::StrZa { rs: x(12), offset: 1, rn: x(1) });
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::StrZa {
+                rs: x(12),
+                offset: 0,
+                rn: x(1),
+            },
+        );
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::StrZa {
+                rs: x(12),
+                offset: 1,
+                rn: x(1),
+            },
+        );
         assert_eq!(m.read_f32_slice(dst, 32), data);
     }
 
@@ -433,7 +532,13 @@ mod tests {
         s.set_za_f32(0, 3, 3, 7.0);
         s.set_za_f32(1, 3, 3, 8.0);
         // Zero only za0.s (granules 0 and 4).
-        exec(&mut s, &mut m, &SmeInst::ZeroZa { mask: SmeInst::zero_mask_for_s_tiles(&[0]) });
+        exec(
+            &mut s,
+            &mut m,
+            &SmeInst::ZeroZa {
+                mask: SmeInst::zero_mask_for_s_tiles(&[0]),
+            },
+        );
         assert_eq!(s.za_f32(0, 3, 3), 0.0);
         assert_eq!(s.za_f32(1, 3, 3), 8.0);
     }
@@ -443,9 +548,9 @@ mod tests {
         let (mut s, mut m) = setup();
         s.set_x(x(8), 0);
         for k in 0..4u8 {
-            s.set_z_f32(z(k), &vec![k as f32 + 1.0; 16]);
+            s.set_z_f32(z(k), &[k as f32 + 1.0; 16]);
         }
-        s.set_z_f32(z(4), &vec![2.0; 16]);
+        s.set_z_f32(z(4), &[2.0; 16]);
         exec(
             &mut s,
             &mut m,

@@ -15,12 +15,19 @@ fn vl_offset_addr(state: &CoreState, rn: XReg, imm_vl: i64, unit_bytes: i64) -> 
     (state.x(rn) as i64 + imm_vl * unit_bytes) as u64
 }
 
-fn load_vector(state: &mut CoreState, mem: &Memory, zt: ZReg, pg: Option<PReg>, elem: ElementType, addr: u64) {
+fn load_vector(
+    state: &mut CoreState,
+    mem: &Memory,
+    zt: ZReg,
+    pg: Option<PReg>,
+    elem: ElementType,
+    addr: u64,
+) {
     let eb = elem.bytes() as usize;
     let lanes = effective_lanes(state, elem);
     let mut bytes = vec![0u8; state.vl_bytes()];
     for lane in 0..lanes {
-        let active = pg.map_or(true, |p| state.p_lane(p, elem, lane));
+        let active = pg.is_none_or(|p| state.p_lane(p, elem, lane));
         if active {
             let src = mem.read_bytes(addr + (lane * eb) as u64, eb);
             bytes[lane * eb..lane * eb + eb].copy_from_slice(src);
@@ -29,12 +36,19 @@ fn load_vector(state: &mut CoreState, mem: &Memory, zt: ZReg, pg: Option<PReg>, 
     state.set_z(zt, &bytes);
 }
 
-fn store_vector(state: &CoreState, mem: &mut Memory, zt: ZReg, pg: Option<PReg>, elem: ElementType, addr: u64) {
+fn store_vector(
+    state: &CoreState,
+    mem: &mut Memory,
+    zt: ZReg,
+    pg: Option<PReg>,
+    elem: ElementType,
+    addr: u64,
+) {
     let eb = elem.bytes() as usize;
     let lanes = effective_lanes(state, elem);
     let data = state.z(zt).to_vec();
     for lane in 0..lanes {
-        let active = pg.map_or(true, |p| state.p_lane(p, elem, lane));
+        let active = pg.is_none_or(|p| state.p_lane(p, elem, lane));
         if active {
             mem.write_bytes(addr + (lane * eb) as u64, &data[lane * eb..lane * eb + eb]);
         }
@@ -60,15 +74,34 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SveInst) {
             let count = (state.x(rm) as i64 - state.x(rn) as i64).max(0) as u64;
             state.set_pn_count(pn, count);
         }
-        SveInst::Ld1 { zt, elem, pg, rn, imm_vl } => {
+        SveInst::Ld1 {
+            zt,
+            elem,
+            pg,
+            rn,
+            imm_vl,
+        } => {
             let addr = vl_offset_addr(state, rn, imm_vl as i64, vl);
             load_vector(state, mem, zt, Some(pg), elem, addr);
         }
-        SveInst::St1 { zt, elem, pg, rn, imm_vl } => {
+        SveInst::St1 {
+            zt,
+            elem,
+            pg,
+            rn,
+            imm_vl,
+        } => {
             let addr = vl_offset_addr(state, rn, imm_vl as i64, vl);
             store_vector(state, mem, zt, Some(pg), elem, addr);
         }
-        SveInst::Ld1Multi { zt, count, elem, pn, rn, imm_vl } => {
+        SveInst::Ld1Multi {
+            zt,
+            count,
+            elem,
+            pn,
+            rn,
+            imm_vl,
+        } => {
             let eb = elem.bytes() as usize;
             let lanes = effective_lanes(state, elem);
             let active = state.pn_count(pn).min((count as u64) * lanes as u64) as usize;
@@ -86,7 +119,14 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SveInst) {
                 state.set_z(reg, &bytes);
             }
         }
-        SveInst::St1Multi { zt, count, elem, pn, rn, imm_vl } => {
+        SveInst::St1Multi {
+            zt,
+            count,
+            elem,
+            pn,
+            rn,
+            imm_vl,
+        } => {
             let eb = elem.bytes() as usize;
             let lanes = effective_lanes(state, elem);
             let active = state.pn_count(pn).min((count as u64) * lanes as u64) as usize;
@@ -96,7 +136,10 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SveInst) {
                 for lane in 0..lanes {
                     let global = k as usize * lanes + lane;
                     if global < active {
-                        mem.write_bytes(base + (global * eb) as u64, &data[lane * eb..lane * eb + eb]);
+                        mem.write_bytes(
+                            base + (global * eb) as u64,
+                            &data[lane * eb..lane * eb + eb],
+                        );
                     }
                 }
             }
@@ -109,7 +152,13 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &SveInst) {
             let addr = vl_offset_addr(state, rn, imm_vl as i64, vl);
             store_vector(state, mem, zt, None, ElementType::I8, addr);
         }
-        SveInst::FmlaSve { zd, pg, zn, zm, elem } => match elem {
+        SveInst::FmlaSve {
+            zd,
+            pg,
+            zn,
+            zm,
+            elem,
+        } => match elem {
             ElementType::F64 => {
                 let mut d = state.z_f64(zd);
                 let n = state.z_f64(zn);
@@ -167,12 +216,30 @@ mod tests {
         assert_eq!(s.p_active_lanes(p(0), ElementType::F32), 16);
         s.set_x(x(2), 3);
         s.set_x(x(3), 10);
-        exec(&mut s, &mut m, &SveInst::Whilelt { pd: p(1), elem: ElementType::F32, rn: x(2), rm: x(3) });
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::Whilelt {
+                pd: p(1),
+                elem: ElementType::F32,
+                rn: x(2),
+                rm: x(3),
+            },
+        );
         assert_eq!(s.p_active_lanes(p(1), ElementType::F32), 7);
         // Exhausted iteration space -> empty predicate.
         s.set_x(x(2), 12);
         s.set_x(x(3), 10);
-        exec(&mut s, &mut m, &SveInst::Whilelt { pd: p(1), elem: ElementType::F32, rn: x(2), rm: x(3) });
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::Whilelt {
+                pd: p(1),
+                elem: ElementType::F32,
+                rn: x(2),
+                rm: x(3),
+            },
+        );
         assert_eq!(s.p_active_lanes(p(1), ElementType::F32), 0);
     }
 
@@ -183,7 +250,17 @@ mod tests {
         assert_eq!(s.pn_count(pn(8)), u64::MAX);
         s.set_x(x(0), 10);
         s.set_x(x(1), 42);
-        exec(&mut s, &mut m, &SveInst::WhileltCnt { pn: pn(9), elem: ElementType::F32, rn: x(0), rm: x(1), vl: 4 });
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::WhileltCnt {
+                pn: pn(9),
+                elem: ElementType::F32,
+                rn: x(0),
+                rm: x(1),
+                vl: 4,
+            },
+        );
         assert_eq!(s.pn_count(pn(9)), 32);
     }
 
@@ -199,7 +276,10 @@ mod tests {
         exec(&mut s, &mut m, &SveInst::ld1w(z(0), p(0), x(0), 0));
         let loaded = s.z_f32(z(0));
         assert_eq!(&loaded[..5], &[0.0, 1.0, 2.0, 3.0, 4.0]);
-        assert!(loaded[5..].iter().all(|&v| v == 0.0), "inactive lanes read as zero");
+        assert!(
+            loaded[5..].iter().all(|&v| v == 0.0),
+            "inactive lanes read as zero"
+        );
         s.set_p_first(p(1), ElementType::F32, 16);
         exec(&mut s, &mut m, &SveInst::st1w(z(0), p(1), x(1), 0));
         let out = m.read_f32_slice(dst, 16);
@@ -228,12 +308,20 @@ mod tests {
         s.set_x(x(0), src);
         s.set_x(x(1), dst);
         exec(&mut s, &mut m, &SveInst::ptrue_cnt(pn(8), ElementType::F32));
-        exec(&mut s, &mut m, &SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0));
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0),
+        );
         assert_eq!(s.z_f32(z(0))[0], 0.0);
         assert_eq!(s.z_f32(z(1))[0], 16.0);
         assert_eq!(s.z_f32(z(2))[0], 32.0);
         assert_eq!(s.z_f32(z(3))[15], 63.0);
-        exec(&mut s, &mut m, &SveInst::st1w_multi(z(0), 4, pn(8), x(1), 0));
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::st1w_multi(z(0), 4, pn(8), x(1), 0),
+        );
         assert_eq!(m.read_f32_slice(dst, 64), data);
     }
 
@@ -245,8 +333,22 @@ mod tests {
         s.set_x(x(0), src);
         s.set_x(x(5), 0);
         s.set_x(x(6), 20);
-        exec(&mut s, &mut m, &SveInst::WhileltCnt { pn: pn(8), elem: ElementType::F32, rn: x(5), rm: x(6), vl: 2 });
-        exec(&mut s, &mut m, &SveInst::ld1w_multi(z(0), 2, pn(8), x(0), 0));
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::WhileltCnt {
+                pn: pn(8),
+                elem: ElementType::F32,
+                rn: x(5),
+                rm: x(6),
+                vl: 2,
+            },
+        );
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::ld1w_multi(z(0), 2, pn(8), x(0), 0),
+        );
         assert_eq!(s.z_f32(z(0))[15], 16.0);
         let z1 = s.z_f32(z(1));
         assert_eq!(z1[3], 20.0, "elements below the counter are loaded");
@@ -261,9 +363,25 @@ mod tests {
         let dst = m.alloc_f32_zeroed(32, 64);
         s.set_x(x(0), src);
         s.set_x(x(1), dst);
-        exec(&mut s, &mut m, &SveInst::LdrZ { zt: z(5), rn: x(0), imm_vl: 1 });
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::LdrZ {
+                zt: z(5),
+                rn: x(0),
+                imm_vl: 1,
+            },
+        );
         assert_eq!(s.z_f32(z(5))[0], 256.0);
-        exec(&mut s, &mut m, &SveInst::StrZ { zt: z(5), rn: x(1), imm_vl: 0 });
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::StrZ {
+                zt: z(5),
+                rn: x(1),
+                imm_vl: 0,
+            },
+        );
         assert_eq!(m.read_f32_slice(dst, 16), data[16..32].to_vec());
     }
 
@@ -275,8 +393,18 @@ mod tests {
         let b = vec![2.0f32; 16];
         s.set_z_f32(z(1), &a);
         s.set_z_f32(z(2), &b);
-        s.set_z_f32(z(0), &vec![1.0; 16]);
-        exec(&mut s, &mut m, &SveInst::FmlaSve { zd: z(0), pg: p(0), zn: z(1), zm: z(2), elem: ElementType::F32 });
+        s.set_z_f32(z(0), &[1.0; 16]);
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::FmlaSve {
+                zd: z(0),
+                pg: p(0),
+                zn: z(1),
+                zm: z(2),
+                elem: ElementType::F32,
+            },
+        );
         let d = s.z_f32(z(0));
         for (i, v) in d.iter().enumerate() {
             assert_eq!(*v, 1.0 + 2.0 * i as f32);
@@ -286,12 +414,36 @@ mod tests {
     #[test]
     fn dup_imm_and_addvl() {
         let (mut s, mut m) = setup();
-        exec(&mut s, &mut m, &SveInst::DupImm { zd: z(3), elem: ElementType::F32, imm: 0 });
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::DupImm {
+                zd: z(3),
+                elem: ElementType::F32,
+                imm: 0,
+            },
+        );
         assert!(s.z_f32(z(3)).iter().all(|&v| v == 0.0));
         s.set_x(x(0), 1000);
-        exec(&mut s, &mut m, &SveInst::AddVl { rd: x(1), rn: x(0), imm: 2 });
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::AddVl {
+                rd: x(1),
+                rn: x(0),
+                imm: 2,
+            },
+        );
         assert_eq!(s.x(x(1)), 1000 + 128);
-        exec(&mut s, &mut m, &SveInst::AddVl { rd: x(1), rn: x(0), imm: -1 });
+        exec(
+            &mut s,
+            &mut m,
+            &SveInst::AddVl {
+                rd: x(1),
+                rn: x(0),
+                imm: -1,
+            },
+        );
         assert_eq!(s.x(x(1)), 1000 - 64);
     }
 }

@@ -25,7 +25,11 @@ impl Memory {
 
     /// Create an empty memory with a stack but no heap allocations.
     pub fn new() -> Self {
-        Memory { data: Vec::new(), next_alloc: Self::BASE, stack_top: 0 }
+        Memory {
+            data: Vec::new(),
+            next_alloc: Self::BASE,
+            stack_top: 0,
+        }
     }
 
     /// Total bytes currently backed.
@@ -39,7 +43,10 @@ impl Memory {
     /// # Panics
     /// Panics if `align` is not a power of two.
     pub fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
-        assert!(align.is_power_of_two(), "alignment must be a power of two, got {align}");
+        assert!(
+            align.is_power_of_two(),
+            "alignment must be a power of two, got {align}"
+        );
         let addr = (self.next_alloc + align - 1) & !(align - 1);
         self.next_alloc = addr + bytes;
         self.ensure(self.next_alloc);

@@ -63,7 +63,13 @@ impl MulticoreModel {
 
     /// Aggregate throughput of core-private work (e.g. Neon FMLA), given the
     /// standalone single-core throughput on each core kind.
-    pub fn aggregate_private(&self, p_threads: usize, e_threads: usize, p_gflops: f64, e_gflops: f64) -> f64 {
+    pub fn aggregate_private(
+        &self,
+        p_threads: usize,
+        e_threads: usize,
+        p_gflops: f64,
+        e_gflops: f64,
+    ) -> f64 {
         let mc = &self.config.multicore;
         let p_scale = if p_threads > 1 {
             1.0 - mc.p_cluster_scaling_overhead * (p_threads as f64 - 1.0)
@@ -78,7 +84,13 @@ impl MulticoreModel {
     /// Aggregate throughput of SME work, which saturates at one unit per
     /// cluster: additional threads on a cluster only add arbitration
     /// overhead.
-    pub fn aggregate_sme(&self, p_threads: usize, e_threads: usize, p_gflops: f64, e_gflops: f64) -> f64 {
+    pub fn aggregate_sme(
+        &self,
+        p_threads: usize,
+        e_threads: usize,
+        p_gflops: f64,
+        e_gflops: f64,
+    ) -> f64 {
         let mc = &self.config.multicore;
         let share = |threads: usize, unit_rate: f64| -> f64 {
             if threads == 0 {
@@ -114,7 +126,12 @@ impl MulticoreModel {
                 } else {
                     self.aggregate_private(p, e, p_gflops, e_gflops)
                 };
-                ScalingPoint { threads: n, p_threads: p, e_threads: e, gflops }
+                ScalingPoint {
+                    threads: n,
+                    p_threads: p,
+                    e_threads: e,
+                    gflops,
+                }
             })
             .collect()
     }
@@ -147,7 +164,11 @@ mod tests {
         assert_eq!(m.place_user_interactive(4), (4, 0));
         assert_eq!(m.place_user_interactive(5), (4, 1));
         assert_eq!(m.place_user_interactive(10), (4, 6));
-        assert_eq!(m.place_user_interactive(20), (4, 6), "saturates at the core count");
+        assert_eq!(
+            m.place_user_interactive(20),
+            (4, 6),
+            "saturates at the core count"
+        );
     }
 
     #[test]
@@ -156,12 +177,20 @@ mod tests {
         let curve = m.scaling_curve(10, NEON_P, NEON_E, false);
         assert!((curve[0].gflops - 113.0).abs() < 1.0);
         // Four threads: ≈ 395 GFLOPS.
-        assert!((curve[3].gflops - 395.0).abs() < 12.0, "4 threads: {}", curve[3].gflops);
+        assert!(
+            (curve[3].gflops - 395.0).abs() < 12.0,
+            "4 threads: {}",
+            curve[3].gflops
+        );
         // Each additional thread adds roughly an efficiency core.
         let delta = curve[5].gflops - curve[4].gflops;
         assert!((delta - 46.0).abs() < 4.0, "per-thread increment {delta}");
         // Ten threads: ≈ 656 GFLOPS.
-        assert!((curve[9].gflops - 656.0).abs() < 25.0, "10 threads: {}", curve[9].gflops);
+        assert!(
+            (curve[9].gflops - 656.0).abs() < 25.0,
+            "10 threads: {}",
+            curve[9].gflops
+        );
     }
 
     #[test]
@@ -170,9 +199,17 @@ mod tests {
         let curve = m.scaling_curve(10, SME_P, SME_E, true);
         // Flat (slightly declining) over the performance cluster.
         assert!((curve[0].gflops - 2009.0).abs() < 1.0);
-        assert!((curve[3].gflops - 1983.0).abs() < 5.0, "4 threads: {}", curve[3].gflops);
+        assert!(
+            (curve[3].gflops - 1983.0).abs() < 5.0,
+            "4 threads: {}",
+            curve[3].gflops
+        );
         // Fifth thread engages the second SME unit.
-        assert!((curve[4].gflops - 2338.0).abs() < 15.0, "5 threads: {}", curve[4].gflops);
+        assert!(
+            (curve[4].gflops - 2338.0).abs() < 15.0,
+            "5 threads: {}",
+            curve[4].gflops
+        );
         // No further improvement beyond five threads.
         assert!(curve[9].gflops <= curve[4].gflops + 1.0);
         assert!(curve[9].gflops > curve[4].gflops - 20.0);
@@ -197,8 +234,14 @@ mod tests {
         let sme_both = m.mixed_ui_utility_sme(SME_P, SME_E);
         let single_speedup = sme1 / neon10;
         let dual_speedup = sme_both / neon10;
-        assert!((single_speedup - 3.1).abs() < 0.25, "single-unit speedup {single_speedup}");
-        assert!((dual_speedup - 3.6).abs() < 0.3, "dual-unit speedup {dual_speedup}");
+        assert!(
+            (single_speedup - 3.1).abs() < 0.25,
+            "single-unit speedup {single_speedup}"
+        );
+        assert!(
+            (dual_speedup - 3.6).abs() < 0.3,
+            "dual-unit speedup {dual_speedup}"
+        );
     }
 
     #[test]

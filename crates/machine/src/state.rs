@@ -131,7 +131,11 @@ impl CoreState {
     /// Write a scalable vector register from raw bytes (must be `svl/8`
     /// bytes long).
     pub fn set_z(&mut self, r: ZReg, bytes: &[u8]) {
-        assert_eq!(bytes.len(), self.vl_bytes(), "Z register write length mismatch");
+        assert_eq!(
+            bytes.len(),
+            self.vl_bytes(),
+            "Z register write length mismatch"
+        );
         self.z[r.index() as usize].copy_from_slice(bytes);
     }
 
@@ -145,7 +149,11 @@ impl CoreState {
 
     /// Write a scalable vector register from `f32` lanes.
     pub fn set_z_f32(&mut self, r: ZReg, lanes: &[f32]) {
-        assert_eq!(lanes.len() * 4, self.vl_bytes(), "Z register f32 write length mismatch");
+        assert_eq!(
+            lanes.len() * 4,
+            self.vl_bytes(),
+            "Z register f32 write length mismatch"
+        );
         let mut bytes = Vec::with_capacity(self.vl_bytes());
         for v in lanes {
             bytes.extend_from_slice(&v.to_le_bytes());
@@ -163,7 +171,11 @@ impl CoreState {
 
     /// Write a scalable vector register from `f64` lanes.
     pub fn set_z_f64(&mut self, r: ZReg, lanes: &[f64]) {
-        assert_eq!(lanes.len() * 8, self.vl_bytes(), "Z register f64 write length mismatch");
+        assert_eq!(
+            lanes.len() * 8,
+            self.vl_bytes(),
+            "Z register f64 write length mismatch"
+        );
         let mut bytes = Vec::with_capacity(self.vl_bytes());
         for v in lanes {
             bytes.extend_from_slice(&v.to_le_bytes());
@@ -209,7 +221,9 @@ impl CoreState {
     pub fn p_active_lanes(&self, r: PReg, elem: ElementType) -> usize {
         let eb = elem.bytes() as usize;
         let lanes = self.vl_bytes() / eb;
-        (0..lanes).filter(|&l| self.p[r.index() as usize][l * eb]).count()
+        (0..lanes)
+            .filter(|&l| self.p[r.index() as usize][l * eb])
+            .count()
     }
 
     // ---- predicate-as-counter registers -----------------------------------
@@ -280,7 +294,10 @@ impl CoreState {
         let esz = elem.bytes() as usize;
         let dim = self.vl_bytes() / esz;
         assert!(row < dim, "tile row {row} out of range for {elem}");
-        assert!((tile as usize) < esz, "tile index {tile} out of range for {elem}");
+        assert!(
+            (tile as usize) < esz,
+            "tile index {tile} out of range for {elem}"
+        );
         row * esz + tile as usize
     }
 
@@ -297,7 +314,12 @@ impl CoreState {
     /// Read an `f32` tile element.
     pub fn za_f32(&self, tile: u8, row: usize, col: usize) -> f32 {
         let off = self.za_elem_offset(tile, ElementType::F32, row, col);
-        f32::from_le_bytes([self.za[off], self.za[off + 1], self.za[off + 2], self.za[off + 3]])
+        f32::from_le_bytes([
+            self.za[off],
+            self.za[off + 1],
+            self.za[off + 2],
+            self.za[off + 3],
+        ])
     }
 
     /// Write an `f32` tile element.
@@ -323,7 +345,12 @@ impl CoreState {
     /// Read an `i32` tile element (integer outer products).
     pub fn za_i32(&self, tile: u8, row: usize, col: usize) -> i32 {
         let off = self.za_elem_offset(tile, ElementType::I32, row, col);
-        i32::from_le_bytes([self.za[off], self.za[off + 1], self.za[off + 2], self.za[off + 3]])
+        i32::from_le_bytes([
+            self.za[off],
+            self.za[off + 1],
+            self.za[off + 2],
+            self.za[off + 3],
+        ])
     }
 
     /// Write an `i32` tile element.
@@ -391,7 +418,11 @@ mod tests {
         assert!(s.p_lane(p(1), ElementType::F32, 4));
         assert!(!s.p_lane(p(1), ElementType::F32, 5));
         s.set_p_first(p(2), ElementType::F32, 99);
-        assert_eq!(s.p_active_lanes(p(2), ElementType::F32), 16, "clamped to lane count");
+        assert_eq!(
+            s.p_active_lanes(p(2), ElementType::F32),
+            16,
+            "clamped to lane count"
+        );
         s.set_p_first(p(3), ElementType::F64, 3);
         assert_eq!(s.p_active_lanes(p(3), ElementType::F64), 3);
     }

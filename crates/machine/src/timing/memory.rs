@@ -115,23 +115,35 @@ impl MemModel {
 
     /// Charge one access and return its cost.
     pub fn access(&mut self, kind: OpKind, addr: u64, bytes: u64) -> MemCost {
-        debug_assert!(kind.is_memory(), "non-memory op {kind:?} charged to the memory model");
+        debug_assert!(
+            kind.is_memory(),
+            "non-memory op {kind:?} charged to the memory model"
+        );
         self.touch(addr, bytes);
         let level = &self.cfg.levels[self.level_index()];
 
-        let mut rate = *self.cfg.strategy_rate.get(&kind).unwrap_or(&self.cfg.default_rate);
+        let mut rate = *self
+            .cfg
+            .strategy_rate
+            .get(&kind)
+            .unwrap_or(&self.cfg.default_rate);
 
         // Alignment sensitivity (Figs. 4–5).
         if let Some(&req) = self.cfg.full_rate_alignment.get(&kind) {
-            if addr % req != 0 {
-                rate *= self.cfg.misaligned_factor.get(&kind).copied().unwrap_or(1.0);
+            if !addr.is_multiple_of(req) {
+                rate *= self
+                    .cfg
+                    .misaligned_factor
+                    .get(&kind)
+                    .copied()
+                    .unwrap_or(1.0);
             }
         }
 
         // Small, aligned store boost (Fig. 5, < 8 KiB working sets).
         if kind.is_store()
             && self.working_set() <= self.cfg.small_store_threshold
-            && addr % 64 == 0
+            && addr.is_multiple_of(64)
         {
             rate *= self.cfg.small_store_aligned_boost;
         }
@@ -142,8 +154,15 @@ impl MemModel {
             self.cap_to_bytes_per_cycle(level.load_cap_gibs)
         };
         let effective = rate.min(cap);
-        let latency = if kind.is_store() { 1.0 } else { level.load_latency };
-        MemCost { interval: bytes as f64 / effective, latency }
+        let latency = if kind.is_store() {
+            1.0
+        } else {
+            level.load_latency
+        };
+        MemCost {
+            interval: bytes as f64 / effective,
+            latency,
+        }
     }
 
     /// Achievable steady-state bandwidth in GiB/s for a strategy at a given
@@ -153,7 +172,11 @@ impl MemModel {
         let saved = self.working_set_override;
         self.set_working_set(Some(working_set));
         // Use an address with exactly the requested alignment.
-        let addr = if alignment >= 128 { 0 } else { alignment.max(1) };
+        let addr = if alignment >= 128 {
+            0
+        } else {
+            alignment.max(1)
+        };
         let bytes = 64u64;
         let cost = self.access(kind, addr, bytes);
         self.working_set_override = saved;
@@ -190,7 +213,10 @@ mod tests {
         let mut m = model();
         let l2 = m.steady_state_gibs(OpKind::LoadLdrZa, 4 << 20, 128);
         let dram = m.steady_state_gibs(OpKind::LoadLdrZa, 1 << 31, 128);
-        assert!(dram < l2 / 2.0, "DRAM ({dram}) must be far below the cache plateau ({l2})");
+        assert!(
+            dram < l2 / 2.0,
+            "DRAM ({dram}) must be far below the cache plateau ({l2})"
+        );
         assert!((dram - 120.0).abs() < 10.0, "DRAM load cap {dram}");
     }
 

@@ -240,11 +240,37 @@ impl OpKind {
     pub fn all() -> &'static [OpKind] {
         use OpKind::*;
         &[
-            IntAlu, Branch, NeonFmla, NeonBfmmla, NeonOther, NeonLoad, NeonStore, SsveFmla,
-            SvePred, SveOther, SmeFmopaF32, SmeFmopaF64, SmeFmopaWide, SmeSmopaI8, SmeSmopaI16,
-            SmeFmlaVec, SmeMova1, SmeMova2, SmeMova4, SmeZero, SmeControl, LoadLdrZa, StoreStrZa,
-            LoadLd1Single, LoadLd1Multi2, LoadLd1Multi4, StoreSt1Single, StoreSt1Multi2,
-            StoreSt1Multi4, LoadLdrZ, StoreStrZ,
+            IntAlu,
+            Branch,
+            NeonFmla,
+            NeonBfmmla,
+            NeonOther,
+            NeonLoad,
+            NeonStore,
+            SsveFmla,
+            SvePred,
+            SveOther,
+            SmeFmopaF32,
+            SmeFmopaF64,
+            SmeFmopaWide,
+            SmeSmopaI8,
+            SmeSmopaI16,
+            SmeFmlaVec,
+            SmeMova1,
+            SmeMova2,
+            SmeMova4,
+            SmeZero,
+            SmeControl,
+            LoadLdrZa,
+            StoreStrZa,
+            LoadLd1Single,
+            LoadLd1Multi2,
+            LoadLd1Multi4,
+            StoreSt1Single,
+            StoreSt1Multi2,
+            StoreSt1Multi4,
+            LoadLdrZ,
+            StoreStrZ,
         ]
     }
 }
@@ -280,7 +306,12 @@ mod tests {
 
     #[test]
     fn memory_strategies_distinguished() {
-        let ldr_za: Inst = SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.into();
+        let ldr_za: Inst = SmeInst::LdrZa {
+            rs: x(12),
+            offset: 0,
+            rn: x(0),
+        }
+        .into();
         assert_eq!(OpKind::of(&ldr_za), OpKind::LoadLdrZa);
         let ld4: Inst = SveInst::ld1w_multi(z(0), 4, pn(8), x(0), 0).into();
         assert_eq!(OpKind::of(&ld4), OpKind::LoadLd1Multi4);

@@ -108,7 +108,7 @@ fn za_granules(index: u8, elem: ElementType) -> Vec<Resource> {
     // Tile `t` for element size `esz` consists of ZA array vectors with
     // index ≡ t (mod esz); granule `d` covers vectors ≡ d (mod 8).
     (0..8u8)
-        .filter(|d| d % esz == index % esz && *d >= index && (d - index) % esz == 0)
+        .filter(|d| d % esz == index % esz && *d >= index && (d - index).is_multiple_of(esz))
         .map(Resource::ZaD)
         .collect()
 }
@@ -236,14 +236,18 @@ pub fn deps(inst: &Inst) -> (Vec<Resource>, Vec<Resource>) {
                 reads.push(Resource::P(pg.index()));
                 reads.extend(x_res(rn));
             }
-            SveInst::Ld1Multi { zt, count, pn, rn, .. } => {
+            SveInst::Ld1Multi {
+                zt, count, pn, rn, ..
+            } => {
                 reads.push(Resource::P(pn.index()));
                 reads.extend(x_res(rn));
                 for k in 0..count {
                     writes.push(Resource::Z(zt.offset(k).index()));
                 }
             }
-            SveInst::St1Multi { zt, count, pn, rn, .. } => {
+            SveInst::St1Multi {
+                zt, count, pn, rn, ..
+            } => {
                 reads.push(Resource::P(pn.index()));
                 reads.extend(x_res(rn));
                 for k in 0..count {
@@ -273,7 +277,14 @@ pub fn deps(inst: &Inst) -> (Vec<Resource>, Vec<Resource>) {
         },
         Inst::Sme(m) => match *m {
             SmeInst::Smstart { .. } | SmeInst::Smstop { .. } => {}
-            SmeInst::Fmopa { tile, elem, pn, pm, zn, zm } => {
+            SmeInst::Fmopa {
+                tile,
+                elem,
+                pn,
+                pm,
+                zn,
+                zm,
+            } => {
                 reads.push(Resource::Z(zn.index()));
                 reads.push(Resource::Z(zm.index()));
                 reads.push(Resource::P(pn.index()));
@@ -282,8 +293,22 @@ pub fn deps(inst: &Inst) -> (Vec<Resource>, Vec<Resource>) {
                 reads.extend(gran.iter().copied());
                 writes.extend(gran);
             }
-            SmeInst::FmopaWide { tile, pn, pm, zn, zm, .. }
-            | SmeInst::Smopa { tile, pn, pm, zn, zm, .. } => {
+            SmeInst::FmopaWide {
+                tile,
+                pn,
+                pm,
+                zn,
+                zm,
+                ..
+            }
+            | SmeInst::Smopa {
+                tile,
+                pn,
+                pm,
+                zn,
+                zm,
+                ..
+            } => {
                 reads.push(Resource::Z(zn.index()));
                 reads.push(Resource::Z(zm.index()));
                 reads.push(Resource::P(pn.index()));
@@ -292,14 +317,26 @@ pub fn deps(inst: &Inst) -> (Vec<Resource>, Vec<Resource>) {
                 reads.extend(gran.iter().copied());
                 writes.extend(gran);
             }
-            SmeInst::MovaToTile { tile, rs, zt, count, .. } => {
+            SmeInst::MovaToTile {
+                tile,
+                rs,
+                zt,
+                count,
+                ..
+            } => {
                 reads.extend(x_res(rs));
                 for k in 0..count {
                     reads.push(Resource::Z(zt.offset(k).index()));
                 }
                 writes.extend(za_granules(tile.index, tile.elem));
             }
-            SmeInst::MovaFromTile { tile, rs, zt, count, .. } => {
+            SmeInst::MovaFromTile {
+                tile,
+                rs,
+                zt,
+                count,
+                ..
+            } => {
                 reads.extend(x_res(rs));
                 reads.extend(za_granules(tile.index, tile.elem));
                 for k in 0..count {
@@ -323,7 +360,14 @@ pub fn deps(inst: &Inst) -> (Vec<Resource>, Vec<Resource>) {
                     }
                 }
             }
-            SmeInst::FmlaZaVectors { rv, zn, zm, vgx, offset, .. } => {
+            SmeInst::FmlaZaVectors {
+                rv,
+                zn,
+                zm,
+                vgx,
+                offset,
+                ..
+            } => {
                 reads.extend(x_res(rv));
                 for k in 0..vgx {
                     reads.push(Resource::Z(zn.offset(k).index()));
@@ -357,8 +401,14 @@ mod tests {
     #[test]
     fn za_granule_mapping() {
         // za0.s covers granules 0 and 4 (matching the ZERO mask mapping).
-        assert_eq!(za_granules(0, ElementType::F32), vec![Resource::ZaD(0), Resource::ZaD(4)]);
-        assert_eq!(za_granules(3, ElementType::F32), vec![Resource::ZaD(3), Resource::ZaD(7)]);
+        assert_eq!(
+            za_granules(0, ElementType::F32),
+            vec![Resource::ZaD(0), Resource::ZaD(4)]
+        );
+        assert_eq!(
+            za_granules(3, ElementType::F32),
+            vec![Resource::ZaD(3), Resource::ZaD(7)]
+        );
         // za5.d is exactly granule 5.
         assert_eq!(za_granules(5, ElementType::F64), vec![Resource::ZaD(5)]);
     }
@@ -372,14 +422,18 @@ mod tests {
         for _ in 0..iters {
             for i in 0..32u8 {
                 let tile = i % 4;
-                let inst: Inst = SmeInst::fmopa_f32(tile, p(0), p(1), z(i % 30), z((i + 1) % 30)).into();
+                let inst: Inst =
+                    SmeInst::fmopa_f32(tile, p(0), p(1), z(i % 30), z((i + 1) % 30)).into();
                 sb.issue(&inst, None);
             }
         }
         let cycles = sb.cycles();
         let flops = (iters * 32 * 512) as f64;
         let gflops = flops / (cycles / (cfg.p_core.clock_ghz * 1e9)) / 1e9;
-        assert!((gflops - 2009.0).abs() < 30.0, "four-tile FMOPA loop: {gflops} GFLOPS");
+        assert!(
+            (gflops - 2009.0).abs() < 30.0,
+            "four-tile FMOPA loop: {gflops} GFLOPS"
+        );
     }
 
     #[test]
@@ -388,13 +442,17 @@ mod tests {
         let cfg = MachineConfig::apple_m4();
         let iters = 32_000;
         for i in 0..iters {
-            let inst: Inst =
-                SmeInst::fmopa_f32(0, p(0), p(1), z((i % 15) as u8 * 2), z((i % 15) as u8 * 2 + 1))
-                    .into();
+            let inst: Inst = SmeInst::fmopa_f32(
+                0,
+                p(0),
+                p(1),
+                z((i % 15) as u8 * 2),
+                z((i % 15) as u8 * 2 + 1),
+            )
+            .into();
             sb.issue(&inst, None);
         }
-        let gflops =
-            (iters * 512) as f64 / (sb.cycles() / (cfg.p_core.clock_ghz * 1e9)) / 1e9;
+        let gflops = (iters * 512) as f64 / (sb.cycles() / (cfg.p_core.clock_ghz * 1e9)) / 1e9;
         assert!(
             (gflops - 502.0).abs() < 15.0,
             "single-tile FMOPA loop must drop to ≈502 GFLOPS, got {gflops}"
@@ -424,14 +482,28 @@ mod tests {
             sb.issue(&inst, None);
         }
         let per_inst = sb.cycles() / 1000.0;
-        assert!(per_inst > 2.5, "chained FMLA must pay the 3-cycle latency, got {per_inst}");
+        assert!(
+            per_inst > 2.5,
+            "chained FMLA must pay the 3-cycle latency, got {per_inst}"
+        );
     }
 
     #[test]
     fn memory_cost_overrides_compute_interval() {
         let mut sb = p_scoreboard();
-        let inst: Inst = SmeInst::LdrZa { rs: x(12), offset: 0, rn: x(0) }.into();
-        sb.issue(&inst, Some(MemCost { interval: 10.0, latency: 30.0 }));
+        let inst: Inst = SmeInst::LdrZa {
+            rs: x(12),
+            offset: 0,
+            rn: x(0),
+        }
+        .into();
+        sb.issue(
+            &inst,
+            Some(MemCost {
+                interval: 10.0,
+                latency: 30.0,
+            }),
+        );
         assert!(sb.cycles() >= 30.0);
         assert_eq!(sb.issued(), 1);
     }
@@ -442,7 +514,13 @@ mod tests {
         // Interleave scalar and SME work: the scalar loop overhead must hide
         // behind the FMOPA issue stream, as it does on real hardware.
         for i in 0..1000u32 {
-            let sub: Inst = ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false }.into();
+            let sub: Inst = ScalarInst::SubImm {
+                rd: x(0),
+                rn: x(0),
+                imm12: 1,
+                shift12: false,
+            }
+            .into();
             sb.issue(&sub, None);
             for t in 0..4u8 {
                 let f: Inst = SmeInst::fmopa_f32(t, p(0), p(1), z((i % 14) as u8 * 2), z(1)).into();
@@ -450,6 +528,10 @@ mod tests {
             }
         }
         // 4000 FMOPAs at 0.892/cycle ≈ 4484 cycles; the 1000 subs must not add to that.
-        assert!(sb.cycles() < 4600.0, "scalar work must overlap SME work: {}", sb.cycles());
+        assert!(
+            sb.cycles() < 4600.0,
+            "scalar work must overlap SME work: {}",
+            sb.cycles()
+        );
     }
 }

@@ -16,7 +16,12 @@ fn listing_one_neon_loop() {
     let mut a = Assembler::new("listing1");
     let top = a.new_label();
     a.bind(top);
-    a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+    a.push(ScalarInst::SubImm {
+        rd: x(0),
+        rn: x(0),
+        imm12: 1,
+        shift12: false,
+    });
     for d in 0..30u8 {
         a.push(NeonInst::fmla_vec(v(d), v(30), v(31), NeonArrangement::S4));
     }
@@ -44,7 +49,12 @@ fn listing_two_fmopa_loop() {
     a.push(SveInst::ptrue(p(1), ElementType::I8));
     let top = a.new_label();
     a.bind(top);
-    a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+    a.push(ScalarInst::SubImm {
+        rd: x(0),
+        rn: x(0),
+        imm12: 1,
+        shift12: false,
+    });
     for i in 0..32u8 {
         a.push(SmeInst::fmopa_f32(i % 4, p(0), p(1), z(0), z(1)));
     }
@@ -54,8 +64,8 @@ fn listing_two_fmopa_loop() {
     let program = a.finish();
 
     let mut sim = Simulator::m4_performance();
-    sim.state.set_z_f32(z(0), &vec![1.0; 16]);
-    sim.state.set_z_f32(z(1), &vec![0.5; 16]);
+    sim.state.set_z_f32(z(0), &[1.0; 16]);
+    sim.state.set_z_f32(z(1), &[0.5; 16]);
     let reps = 4u64;
     let result = sim.run(&program, &[reps], &RunOptions::functional_only());
     assert_eq!(result.return_value, 32 * 512);
@@ -135,7 +145,13 @@ fn listing_five_transposes_a_block() {
     }
     // Store the transposed block to the destination buffer.
     for g in 0..4i8 {
-        a.push(SveInst::st1w_multi(z(16 + (g as u8) * 4), 4, pn(8), x(1), g));
+        a.push(SveInst::st1w_multi(
+            z(16 + (g as u8) * 4),
+            4,
+            pn(8),
+            x(1),
+            g,
+        ));
     }
     a.ret();
     let program = a.finish();
@@ -167,7 +183,12 @@ fn single_tile_loop_is_four_times_slower() {
         a.push(SveInst::ptrue(p(1), ElementType::I8));
         let top = a.new_label();
         a.bind(top);
-        a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+        a.push(ScalarInst::SubImm {
+            rd: x(0),
+            rn: x(0),
+            imm12: 1,
+            shift12: false,
+        });
         for i in 0..32u8 {
             a.push(SmeInst::fmopa_f32(i % tiles, p(0), p(1), z(0), z(1)));
         }
@@ -176,9 +197,15 @@ fn single_tile_loop_is_four_times_slower() {
         a.finish()
     };
     let mut sim = Simulator::m4_performance();
-    let four = sim.run(&build(4), &[200], &RunOptions::timing_only()).stats.cycles;
+    let four = sim
+        .run(&build(4), &[200], &RunOptions::timing_only())
+        .stats
+        .cycles;
     let mut sim = Simulator::m4_performance();
-    let one = sim.run(&build(1), &[200], &RunOptions::timing_only()).stats.cycles;
+    let one = sim
+        .run(&build(1), &[200], &RunOptions::timing_only())
+        .stats
+        .cycles;
     let ratio = one / four;
     assert!((ratio - 4.0).abs() < 0.3, "single-tile slowdown {ratio}");
 }

@@ -1,7 +1,9 @@
 //! Figs. 2–5: ZA-array load/store bandwidth for the different transfer
 //! strategies, buffer sizes and alignments.
 
-use crate::kernels::{za_load_kernel, za_store_kernel, TransferStrategy, TRANSFER_BYTES_PER_ITERATION};
+use crate::kernels::{
+    za_load_kernel, za_store_kernel, TransferStrategy, TRANSFER_BYTES_PER_ITERATION,
+};
 use serde::{Deserialize, Serialize};
 use sme_machine::exec::{RunOptions, Simulator};
 use sme_machine::{CoreKind, MachineConfig};
@@ -54,12 +56,20 @@ pub fn measure(
     working_set: u64,
     alignment: u64,
 ) -> f64 {
-    let kernel = if store { za_store_kernel(strategy) } else { za_load_kernel(strategy) };
+    let kernel = if store {
+        za_store_kernel(strategy)
+    } else {
+        za_load_kernel(strategy)
+    };
     let mut sim = Simulator::new(config.clone(), CoreKind::Performance);
     // Allocate with generous alignment, then offset the base so that it has
     // exactly the requested alignment (and no more).
     let base = sim.mem.alloc_f32_zeroed(2048, 256);
-    let addr = if alignment >= 256 { base } else { base + alignment };
+    let addr = if alignment >= 256 {
+        base
+    } else {
+        base + alignment
+    };
     let opts = RunOptions {
         working_set_hint: Some(working_set),
         ..RunOptions::timing_only()
@@ -146,11 +156,21 @@ mod tests {
         let ld1 = plateau(by_name("LD1W 1VR"));
         assert!((ldr - 375.0).abs() < 25.0, "LDR plateau {ldr}");
         assert!((ld4 - 925.0).abs() < 60.0, "LD1W 4VR plateau {ld4}");
-        assert!(ld2 > ldr && ld2 < ld4, "2VR ({ld2}) sits between LDR and 4VR");
-        assert!((ld1 - ldr).abs() < 60.0, "1VR ({ld1}) is comparable to LDR ({ldr})");
+        assert!(
+            ld2 > ldr && ld2 < ld4,
+            "2VR ({ld2}) sits between LDR and 4VR"
+        );
+        assert!(
+            (ld1 - ldr).abs() < 60.0,
+            "1VR ({ld1}) is comparable to LDR ({ldr})"
+        );
         // The paper: two-step loads give a ~2.6x improvement over direct
         // loads from L2.
-        assert!((ld4 / ldr - 2.6).abs() < 0.4, "two-step speedup {}", ld4 / ldr);
+        assert!(
+            (ld4 / ldr - 2.6).abs() < 0.4,
+            "two-step speedup {}",
+            ld4 / ldr
+        );
     }
 
     #[test]

@@ -29,11 +29,7 @@ pub struct BenchKernel {
 
 const SVL: StreamingVectorLength = StreamingVectorLength::M4;
 
-fn loop_kernel(
-    name: &str,
-    body: impl FnOnce(&mut Assembler),
-    ops_per_iteration: u64,
-) -> Program {
+fn loop_kernel(name: &str, body: impl FnOnce(&mut Assembler), ops_per_iteration: u64) -> Program {
     let mut a = Assembler::new(name);
     // Prologue shared by all kernels: predicates + streaming mode.
     a.push(SmeInst::Smstart { za_only: false });
@@ -41,7 +37,12 @@ fn loop_kernel(
     a.push(SveInst::ptrue(p(1), ElementType::I8));
     let top = a.new_label();
     a.bind(top);
-    a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+    a.push(ScalarInst::SubImm {
+        rd: x(0),
+        rn: x(0),
+        imm12: 1,
+        shift12: false,
+    });
     body(&mut a);
     a.cbnz(x(0), top);
     a.push(SmeInst::Smstop { za_only: false });
@@ -83,7 +84,11 @@ pub fn neon_bfmmla() -> BenchKernel {
         "neon_bfmmla",
         |a| {
             for d in 0..30u8 {
-                a.push(NeonInst::Bfmmla { vd: v(d), vn: v(30), vm: v(31) });
+                a.push(NeonInst::Bfmmla {
+                    vd: v(d),
+                    vn: v(30),
+                    vm: v(31),
+                });
             }
         },
         ops,
@@ -108,7 +113,11 @@ pub fn sme_fmopa(elem: ElementType, tiles: u8) -> BenchKernel {
         d * d * 2
     };
     let ops = 32 * per_inst;
-    let name = if elem == ElementType::F32 { "sme_fmopa_fp32" } else { "sme_fmopa_fp64" };
+    let name = if elem == ElementType::F32 {
+        "sme_fmopa_fp32"
+    } else {
+        "sme_fmopa_fp64"
+    };
     let program = loop_kernel(
         name,
         |a| {
@@ -129,8 +138,16 @@ pub fn sme_fmopa(elem: ElementType, tiles: u8) -> BenchKernel {
         program,
         ops_per_iteration: ops,
         instruction: "FMOPA (SME)",
-        dtype_in: if elem == ElementType::F32 { "FP32" } else { "FP64" },
-        dtype_out: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+        dtype_in: if elem == ElementType::F32 {
+            "FP32"
+        } else {
+            "FP64"
+        },
+        dtype_out: if elem == ElementType::F32 {
+            "FP32"
+        } else {
+            "FP64"
+        },
     }
 }
 
@@ -138,7 +155,11 @@ pub fn sme_fmopa(elem: ElementType, tiles: u8) -> BenchKernel {
 pub fn sme_fmopa_widening(from: ElementType) -> BenchKernel {
     assert!(from == ElementType::BF16 || from == ElementType::F16);
     let ops = 32 * 1024;
-    let name = if from == ElementType::BF16 { "sme_bfmopa" } else { "sme_fmopa_fp16" };
+    let name = if from == ElementType::BF16 {
+        "sme_bfmopa"
+    } else {
+        "sme_fmopa_fp16"
+    };
     let program = loop_kernel(
         name,
         |a| {
@@ -158,8 +179,16 @@ pub fn sme_fmopa_widening(from: ElementType) -> BenchKernel {
     BenchKernel {
         program,
         ops_per_iteration: ops,
-        instruction: if from == ElementType::BF16 { "BFMOPA (SME)" } else { "FMOPA (SME)" },
-        dtype_in: if from == ElementType::BF16 { "BF16" } else { "FP16" },
+        instruction: if from == ElementType::BF16 {
+            "BFMOPA (SME)"
+        } else {
+            "FMOPA (SME)"
+        },
+        dtype_in: if from == ElementType::BF16 {
+            "BF16"
+        } else {
+            "FP16"
+        },
         dtype_out: "FP32",
     }
 }
@@ -169,7 +198,11 @@ pub fn sme_smopa(from: ElementType) -> BenchKernel {
     assert!(from == ElementType::I8 || from == ElementType::I16);
     let per_inst = if from == ElementType::I8 { 2048 } else { 1024 };
     let ops = 32 * per_inst;
-    let name = if from == ElementType::I8 { "sme_smopa_i8" } else { "sme_smopa_i16" };
+    let name = if from == ElementType::I8 {
+        "sme_smopa_i8"
+    } else {
+        "sme_smopa_i16"
+    };
     let program = loop_kernel(
         name,
         |a| {
@@ -200,7 +233,11 @@ pub fn sme2_fmla_vec(elem: ElementType) -> BenchKernel {
     assert!(elem == ElementType::F32 || elem == ElementType::F64);
     let per_inst = 2 * 4 * elem.elems_per_vector(SVL) as u64;
     let ops = 16 * per_inst;
-    let name = if elem == ElementType::F32 { "sme2_fmla_fp32" } else { "sme2_fmla_fp64" };
+    let name = if elem == ElementType::F32 {
+        "sme2_fmla_fp32"
+    } else {
+        "sme2_fmla_fp64"
+    };
     let program = loop_kernel(
         name,
         |a| {
@@ -223,8 +260,16 @@ pub fn sme2_fmla_vec(elem: ElementType) -> BenchKernel {
         program,
         ops_per_iteration: ops,
         instruction: "FMLA (SME2)",
-        dtype_in: if elem == ElementType::F32 { "FP32" } else { "FP64" },
-        dtype_out: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+        dtype_in: if elem == ElementType::F32 {
+            "FP32"
+        } else {
+            "FP64"
+        },
+        dtype_out: if elem == ElementType::F32 {
+            "FP32"
+        } else {
+            "FP64"
+        },
     }
 }
 
@@ -233,12 +278,22 @@ pub fn ssve_fmla(elem: ElementType) -> BenchKernel {
     assert!(elem == ElementType::F32 || elem == ElementType::F64);
     let per_inst = 2 * elem.elems_per_vector(SVL) as u64;
     let ops = 30 * per_inst;
-    let name = if elem == ElementType::F32 { "ssve_fmla_fp32" } else { "ssve_fmla_fp64" };
+    let name = if elem == ElementType::F32 {
+        "ssve_fmla_fp32"
+    } else {
+        "ssve_fmla_fp64"
+    };
     let program = loop_kernel(
         name,
         |a| {
             for d in 0..30u8 {
-                a.push(SveInst::FmlaSve { zd: z(d), pg: p(0), zn: z(30), zm: z(31), elem });
+                a.push(SveInst::FmlaSve {
+                    zd: z(d),
+                    pg: p(0),
+                    zn: z(30),
+                    zm: z(31),
+                    elem,
+                });
             }
         },
         ops,
@@ -247,8 +302,16 @@ pub fn ssve_fmla(elem: ElementType) -> BenchKernel {
         program,
         ops_per_iteration: ops,
         instruction: "FMLA (SSVE)",
-        dtype_in: if elem == ElementType::F32 { "FP32" } else { "FP64" },
-        dtype_out: if elem == ElementType::F32 { "FP32" } else { "FP64" },
+        dtype_in: if elem == ElementType::F32 {
+            "FP32"
+        } else {
+            "FP64"
+        },
+        dtype_out: if elem == ElementType::F32 {
+            "FP32"
+        } else {
+            "FP64"
+        },
     }
 }
 
@@ -308,7 +371,11 @@ pub fn za_store_kernel(strategy: TransferStrategy) -> BenchKernel {
 }
 
 fn za_transfer_kernel(strategy: TransferStrategy, store: bool) -> BenchKernel {
-    let name = format!("za_{}_{}", if store { "store" } else { "load" }, strategy.label(store));
+    let name = format!(
+        "za_{}_{}",
+        if store { "store" } else { "load" },
+        strategy.label(store)
+    );
     let mut a = Assembler::new(name);
     a.push(SmeInst::Smstart { za_only: false });
     a.push(SveInst::ptrue(p(0), ElementType::F32));
@@ -316,7 +383,12 @@ fn za_transfer_kernel(strategy: TransferStrategy, store: bool) -> BenchKernel {
     a.push(ScalarInst::mov_imm16(x(12), 0));
     let top = a.new_label();
     a.bind(top);
-    a.push(ScalarInst::SubImm { rd: x(0), rn: x(0), imm12: 1, shift12: false });
+    a.push(ScalarInst::SubImm {
+        rd: x(0),
+        rn: x(0),
+        imm12: 1,
+        shift12: false,
+    });
     emit_transfer_iteration(&mut a, strategy, store);
     a.cbnz(x(0), top);
     a.push(SmeInst::Smstop { za_only: false });
@@ -328,7 +400,7 @@ fn za_transfer_kernel(strategy: TransferStrategy, store: bool) -> BenchKernel {
         instruction: strategy.label(store),
         dtype_in: "FP32",
         dtype_out: "FP32",
-        }
+    }
 }
 
 fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store: bool) {
@@ -337,9 +409,17 @@ fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store:
         TransferStrategy::Direct => {
             for i in 0..vectors {
                 if store {
-                    a.push(SmeInst::StrZa { rs: x(12), offset: i, rn: x(1) });
+                    a.push(SmeInst::StrZa {
+                        rs: x(12),
+                        offset: i,
+                        rn: x(1),
+                    });
                 } else {
-                    a.push(SmeInst::LdrZa { rs: x(12), offset: i, rn: x(1) });
+                    a.push(SmeInst::LdrZa {
+                        rs: x(12),
+                        offset: i,
+                        rn: x(1),
+                    });
                 }
             }
         }
@@ -348,7 +428,7 @@ fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store:
                 let zt = z(i % 8);
                 if store {
                     a.push(SmeInst::MovaFromTile {
-                        tile: sme_isa::regs::ZaTile::s((i % 4) as u8),
+                        tile: sme_isa::regs::ZaTile::s(i % 4),
                         dir: sme_isa::regs::TileSliceDir::Horizontal,
                         rs: x(12),
                         offset: i % 16,
@@ -359,7 +439,7 @@ fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store:
                 } else {
                     a.push(SveInst::ld1w(zt, p(0), x(1), (i % 8) as i8));
                     a.push(SmeInst::MovaToTile {
-                        tile: sme_isa::regs::ZaTile::s((i % 4) as u8),
+                        tile: sme_isa::regs::ZaTile::s(i % 4),
                         dir: sme_isa::regs::TileSliceDir::Horizontal,
                         rs: x(12),
                         offset: i % 16,
@@ -374,7 +454,7 @@ fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store:
                 let zt = z((i % 4) * 2);
                 if store {
                     a.push(SmeInst::MovaFromTile {
-                        tile: sme_isa::regs::ZaTile::s((i % 4) as u8),
+                        tile: sme_isa::regs::ZaTile::s(i % 4),
                         dir: sme_isa::regs::TileSliceDir::Horizontal,
                         rs: x(12),
                         offset: (i * 2) % 16,
@@ -385,7 +465,7 @@ fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store:
                 } else {
                     a.push(SveInst::ld1w_multi(zt, 2, pn(8), x(1), (i % 8) as i8));
                     a.push(SmeInst::MovaToTile {
-                        tile: sme_isa::regs::ZaTile::s((i % 4) as u8),
+                        tile: sme_isa::regs::ZaTile::s(i % 4),
                         dir: sme_isa::regs::TileSliceDir::Horizontal,
                         rs: x(12),
                         offset: (i * 2) % 16,
@@ -400,7 +480,7 @@ fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store:
                 let zt = z((i % 2) * 4);
                 if store {
                     a.push(SmeInst::MovaFromTile {
-                        tile: sme_isa::regs::ZaTile::s(i as u8),
+                        tile: sme_isa::regs::ZaTile::s(i),
                         dir: sme_isa::regs::TileSliceDir::Horizontal,
                         rs: x(12),
                         offset: (i * 4) % 16,
@@ -413,7 +493,7 @@ fn emit_transfer_iteration(a: &mut Assembler, strategy: TransferStrategy, store:
                     // array as a group.
                     a.push(SveInst::ld1w_multi(zt, 4, pn(8), x(1), (i % 4) as i8));
                     a.push(SmeInst::MovaToTile {
-                        tile: sme_isa::regs::ZaTile::s(i as u8),
+                        tile: sme_isa::regs::ZaTile::s(i),
                         dir: sme_isa::regs::TileSliceDir::Horizontal,
                         rs: x(12),
                         offset: (i * 4) % 16,
@@ -485,8 +565,13 @@ mod tests {
         let fmopas = k
             .program
             .count_matching(|i| matches!(i, Inst::Sme(SmeInst::Fmopa { .. })));
-        assert_eq!(fmopas, 32, "Lst. 2 has 32 FMOPA instructions in the loop body");
-        let ptrues = k.program.count_matching(|i| matches!(i, Inst::Sve(SveInst::Ptrue { .. })));
+        assert_eq!(
+            fmopas, 32,
+            "Lst. 2 has 32 FMOPA instructions in the loop body"
+        );
+        let ptrues = k
+            .program
+            .count_matching(|i| matches!(i, Inst::Sve(SveInst::Ptrue { .. })));
         assert_eq!(ptrues, 2, "Lst. 2 sets two predicate registers");
     }
 

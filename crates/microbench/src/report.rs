@@ -8,7 +8,10 @@ use std::fmt::Write as _;
 
 /// Render Table I as a fixed-width text table, optionally with the paper's
 /// published values alongside.
-pub fn render_table_one(rows: &[TableOneRow], reference: Option<&[(&str, &str, f64, f64)]>) -> String {
+pub fn render_table_one(
+    rows: &[TableOneRow],
+    reference: Option<&[(&str, &str, f64, f64)]>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -18,9 +21,17 @@ pub fn render_table_one(rows: &[TableOneRow], reference: Option<&[(&str, &str, f
         "Out",
         "P-core",
         "E-core",
-        if reference.is_some() { "   (paper P / E)" } else { "" }
+        if reference.is_some() {
+            "   (paper P / E)"
+        } else {
+            ""
+        }
     );
-    let _ = writeln!(out, "{}", "-".repeat(if reference.is_some() { 70 } else { 52 }));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(if reference.is_some() { 70 } else { 52 })
+    );
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             out,
@@ -41,10 +52,18 @@ pub fn render_table_one(rows: &[TableOneRow], reference: Option<&[(&str, &str, f
 /// count.
 pub fn render_scaling(neon: &[ScalingPoint], fmopa: &[ScalingPoint]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:>8} {:>16} {:>16}", "threads", "FMLA (Neon)", "FMOPA (SME)");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>16} {:>16}",
+        "threads", "FMLA (Neon)", "FMOPA (SME)"
+    );
     let _ = writeln!(out, "{}", "-".repeat(44));
     for (n, s) in neon.iter().zip(fmopa) {
-        let _ = writeln!(out, "{:>8} {:>16.0} {:>16.0}", n.threads, n.gflops, s.gflops);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>16.0} {:>16.0}",
+            n.threads, n.gflops, s.gflops
+        );
     }
     out
 }
@@ -81,7 +100,11 @@ pub fn render_bandwidth(curves: &[BandwidthCurve]) -> String {
 pub fn bandwidth_csv(curves: &[BandwidthCurve]) -> String {
     let mut out = String::new();
     let header: Vec<String> = std::iter::once("bytes".to_string())
-        .chain(curves.iter().map(|c| format!("{} @{}B", c.strategy, c.alignment)))
+        .chain(
+            curves
+                .iter()
+                .map(|c| format!("{} @{}B", c.strategy, c.alignment)),
+        )
         .collect();
     let _ = writeln!(out, "{}", header.join(","));
     if let Some(first) = curves.first() {
@@ -140,8 +163,18 @@ mod tests {
 
     #[test]
     fn scaling_rendering() {
-        let neon = vec![ScalingPoint { threads: 1, p_threads: 1, e_threads: 0, gflops: 113.0 }];
-        let sme = vec![ScalingPoint { threads: 1, p_threads: 1, e_threads: 0, gflops: 2009.0 }];
+        let neon = vec![ScalingPoint {
+            threads: 1,
+            p_threads: 1,
+            e_threads: 0,
+            gflops: 113.0,
+        }];
+        let sme = vec![ScalingPoint {
+            threads: 1,
+            p_threads: 1,
+            e_threads: 0,
+            gflops: 2009.0,
+        }];
         let text = render_scaling(&neon, &sme);
         assert!(text.contains("113"));
         assert!(text.contains("2009"));
@@ -154,13 +187,19 @@ mod tests {
                 strategy: "LDR".into(),
                 alignment: 128,
                 store: false,
-                points: vec![BandwidthPoint { bytes: 2048, gibs: 375.0 }],
+                points: vec![BandwidthPoint {
+                    bytes: 2048,
+                    gibs: 375.0,
+                }],
             },
             BandwidthCurve {
                 strategy: "LD1W 4VR".into(),
                 alignment: 128,
                 store: false,
-                points: vec![BandwidthPoint { bytes: 2048, gibs: 925.0 }],
+                points: vec![BandwidthPoint {
+                    bytes: 2048,
+                    gibs: 925.0,
+                }],
             },
         ];
         let text = render_bandwidth(&curves);

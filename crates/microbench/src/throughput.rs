@@ -29,7 +29,11 @@ pub const MEASURE_ITERATIONS: u64 = 2_000;
 /// Measure one kernel's throughput (GOPS) on the given core kind.
 pub fn measure_gops(config: &MachineConfig, core: CoreKind, kernel: &BenchKernel) -> f64 {
     let mut sim = Simulator::new(config.clone(), core);
-    let result = sim.run(&kernel.program, &[MEASURE_ITERATIONS], &RunOptions::timing_only());
+    let result = sim.run(
+        &kernel.program,
+        &[MEASURE_ITERATIONS],
+        &RunOptions::timing_only(),
+    );
     let ops = (MEASURE_ITERATIONS * kernel.ops_per_iteration) as f64;
     ops / result.stats.seconds() / 1e9
 }

@@ -11,13 +11,21 @@ use sme_microbench::TransferStrategy;
 
 fn main() {
     let config = MachineConfig::apple_m4();
-    let sizes: [(u64, &str); 4] =
-        [(64 << 10, "64 KiB"), (4 << 20, "4 MiB"), (16 << 20, "16 MiB"), (1 << 30, "1 GiB")];
+    let sizes: [(u64, &str); 4] = [
+        (64 << 10, "64 KiB"),
+        (4 << 20, "4 MiB"),
+        (16 << 20, "16 MiB"),
+        (1 << 30, "1 GiB"),
+    ];
 
     for store in [false, true] {
         println!(
             "\n=== {} bandwidth (GiB/s), 128-byte aligned ===",
-            if store { "ZA -> memory store" } else { "memory -> ZA load" }
+            if store {
+                "ZA -> memory store"
+            } else {
+                "memory -> ZA load"
+            }
         );
         print!("{:>22}", "strategy \\ size");
         for (_, label) in &sizes {
@@ -52,7 +60,13 @@ fn main() {
     // Alignment sensitivity of the fastest load path.
     println!("\nLD1W 4VR load bandwidth by alignment (4 MiB working set):");
     for align in [16u64, 32, 64, 128] {
-        let bw = measure(&config, TransferStrategy::FourVectors, false, 4 << 20, align);
+        let bw = measure(
+            &config,
+            TransferStrategy::FourVectors,
+            false,
+            4 << 20,
+            align,
+        );
         println!("  {align:>3}-byte aligned: {bw:6.0} GiB/s");
     }
 }

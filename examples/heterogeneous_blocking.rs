@@ -10,7 +10,8 @@ use sme_gemm::{
 };
 
 fn print_plan(name: &str, plan: &sme_gemm::BlockPlan) {
-    println!("{name}: {} microkernel executions, {} A/B elements loaded per k step",
+    println!(
+        "{name}: {} microkernel executions, {} A/B elements loaded per k step",
         plan.num_microkernels(),
         plan.loads_per_k_step()
     );
@@ -46,12 +47,13 @@ fn main() {
     // and their numerical results.
     let cfg = GemmConfig::abt(m, n, k);
     let het_kernel = generate(&cfg).expect("heterogeneous kernel");
-    let hom_kernel =
-        generate_with_plan(&cfg, Some(hom)).expect("homogeneous kernel");
+    let hom_kernel = generate_with_plan(&cfg, Some(hom)).expect("homogeneous kernel");
 
     let het_err = het_kernel.validate(1);
     let hom_err = hom_kernel.validate(1);
-    println!("\nnumerical error vs reference: heterogeneous {het_err:.2e}, homogeneous {hom_err:.2e}");
+    println!(
+        "\nnumerical error vs reference: heterogeneous {het_err:.2e}, homogeneous {hom_err:.2e}"
+    );
     assert!(het_err < 1e-4 && hom_err < 1e-4);
 
     println!(

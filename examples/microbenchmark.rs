@@ -23,7 +23,10 @@ fn main() {
             .max((row.p_core_gops - p_ref).abs() / p_ref)
             .max((row.e_core_gops - e_ref).abs() / e_ref);
     }
-    println!("largest deviation from the paper across Table I: {:.1}%\n", worst * 100.0);
+    println!(
+        "largest deviation from the paper across Table I: {:.1}%\n",
+        worst * 100.0
+    );
 
     println!("Fig. 1 (multi-core scaling, GFLOPS):\n");
     let fig = figure1(&config, 10);

@@ -39,5 +39,8 @@ fn main() {
     assert!(max_err < 1e-4);
 
     // Modelled performance on one M4 performance core.
-    println!("modelled throughput: {:.0} FP32 GFLOPS", kernel.model_gflops());
+    println!(
+        "modelled throughput: {:.0} FP32 GFLOPS",
+        kernel.model_gflops()
+    );
 }

@@ -18,8 +18,8 @@ fn generated_kernels_roundtrip_through_machine_code() {
     ] {
         let kernel = generate(&cfg).unwrap();
         let bytes = kernel.machine_code();
-        let decoded = decode_bytes(&bytes)
-            .unwrap_or_else(|| panic!("{cfg}: every emitted word must decode"));
+        let decoded =
+            decode_bytes(&bytes).unwrap_or_else(|| panic!("{cfg}: every emitted word must decode"));
         assert_eq!(decoded, kernel.program().insts(), "{cfg}");
     }
 }
@@ -96,7 +96,7 @@ proptest! {
         let fmopas = program.count_matching(|i| matches!(i, Inst::Sme(SmeInst::Fmopa { .. })));
         prop_assert!(fmopas > 0);
         // Predicate setup exists whenever masking is needed.
-        if m % 32 != 0 || n % 32 != 0 {
+        if !m.is_multiple_of(32) || !n.is_multiple_of(32) {
             let whilelts = program.count_matching(|i| matches!(i, Inst::Sve(SveInst::Whilelt { .. })));
             prop_assert!(whilelts > 0, "masked kernels must set up partial predicates");
         }

@@ -3,7 +3,10 @@
 //! kernel options.
 
 use proptest::prelude::*;
-use sme_gemm::{generate, generate_with_plan, plan_homogeneous, Beta, GemmConfig, RegisterBlocking, ZaTransferStrategy};
+use sme_gemm::{
+    generate, generate_with_plan, plan_homogeneous, Beta, GemmConfig, RegisterBlocking,
+    ZaTransferStrategy,
+};
 
 /// Shapes used by the deterministic spot checks (kept small so the
 /// functional simulation stays fast in debug builds).
@@ -42,7 +45,11 @@ fn ab_kernels_match_the_reference() {
 #[test]
 fn all_register_blockings_produce_the_same_numbers() {
     let cfg = GemmConfig::abt(64, 64, 16);
-    for blocking in [RegisterBlocking::B32x32, RegisterBlocking::B16x64, RegisterBlocking::B64x16] {
+    for blocking in [
+        RegisterBlocking::B32x32,
+        RegisterBlocking::B16x64,
+        RegisterBlocking::B64x16,
+    ] {
         let plan = plan_homogeneous(64, 64, blocking);
         let kernel = generate_with_plan(&cfg, Some(plan)).expect("generation");
         let err = kernel.validate(99);
@@ -54,7 +61,9 @@ fn all_register_blockings_produce_the_same_numbers() {
 fn transfer_strategies_and_beta_modes_agree() {
     for strategy in [ZaTransferStrategy::TwoStep, ZaTransferStrategy::Direct] {
         for beta in [Beta::One, Beta::Zero] {
-            let cfg = GemmConfig::abt(48, 48, 12).with_c_transfer(strategy).with_beta(beta);
+            let cfg = GemmConfig::abt(48, 48, 12)
+                .with_c_transfer(strategy)
+                .with_beta(beta);
             let kernel = generate(&cfg).expect("generation");
             let err = kernel.validate(7);
             assert!(err < 1e-4, "{strategy:?} {beta:?}: {err}");

@@ -21,8 +21,16 @@ fn table_one_reproduces_within_eight_percent() {
     for (row, (instr, dtype, p_ref, e_ref)) in rows.iter().zip(reference) {
         let p_err = (row.p_core_gops - p_ref).abs() / p_ref;
         let e_err = (row.e_core_gops - e_ref).abs() / e_ref;
-        assert!(p_err < 0.08, "{instr} {dtype} P-core: {} vs {p_ref}", row.p_core_gops);
-        assert!(e_err < 0.08, "{instr} {dtype} E-core: {} vs {e_ref}", row.e_core_gops);
+        assert!(
+            p_err < 0.08,
+            "{instr} {dtype} P-core: {} vs {p_ref}",
+            row.p_core_gops
+        );
+        assert!(
+            e_err < 0.08,
+            "{instr} {dtype} E-core: {} vs {e_ref}",
+            row.e_core_gops
+        );
     }
 }
 
@@ -66,7 +74,10 @@ fn bandwidth_conclusions_hold() {
     let store_plateau = |name: &str| plateau(stores.iter().find(|c| c.strategy == name).unwrap());
     // §V: two-step loads improve read bandwidth by ~2.6x over direct loads.
     let speedup = load_plateau("LD1W 4VR") / load_plateau("LDR");
-    assert!((speedup - 2.6).abs() < 0.4, "two-step load speedup {speedup}");
+    assert!(
+        (speedup - 2.6).abs() < 0.4,
+        "two-step load speedup {speedup}"
+    );
     // Stores see no such improvement.
     assert!(store_plateau("ST1W 4VR") < store_plateau("STR") * 1.25);
 }
@@ -98,8 +109,15 @@ fn generated_kernels_beat_the_vendor_baseline() {
 fn in_kernel_transposition_costs_but_does_not_break_the_win() {
     // Fig. 8 vs Fig. 9: the column-major-B kernels are somewhat slower than
     // the row-major-B kernels (they do extra work), but remain competitive.
-    let abt = generate(&GemmConfig::abt(128, 128, 256)).unwrap().model_gflops();
-    let ab = generate(&GemmConfig::ab(128, 128, 256)).unwrap().model_gflops();
+    let abt = generate(&GemmConfig::abt(128, 128, 256))
+        .unwrap()
+        .model_gflops();
+    let ab = generate(&GemmConfig::ab(128, 128, 256))
+        .unwrap()
+        .model_gflops();
     assert!(ab < abt);
-    assert!(ab > 0.6 * abt, "transposition overhead too large: {ab} vs {abt}");
+    assert!(
+        ab > 0.6 * abt,
+        "transposition overhead too large: {ab} vs {abt}"
+    );
 }

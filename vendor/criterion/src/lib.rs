@@ -1,0 +1,225 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Provides the measurement API surface the `sme-bench` benches use and a
+//! plain wall-clock harness behind it: per benchmark it warms up once, picks
+//! an iteration count targeting a fixed measurement window, and prints the
+//! mean time per iteration (plus throughput when configured). No statistics,
+//! no HTML reports, no baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(300);
+
+/// Measures closures and prints results; the hub type of the API.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Nominal sample count (kept for API parity; the shim only uses it to
+    /// scale the measurement window down for expensive benches).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, like criterion renders it.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function_name, self.parameter)
+    }
+}
+
+/// Passed to the bench closure; runs the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_hint: u64,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // One untimed call to warm caches and find the rough cost.
+        let probe_start = Instant::now();
+        std::hint::black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let iters = (MEASUREMENT_WINDOW.as_nanos() / probe.as_nanos())
+            .clamp(1, self.iters_hint as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn render_duration(d: Duration) -> String {
+    let nanos = d.as_nanos() as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        iters_hint: sample_size.max(1) as u64 * 100,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total / iters as u32;
+            let mut line = format!(
+                "{label:<50} {:>12}/iter ({iters} iters)",
+                render_duration(per_iter)
+            );
+            if let Some(tp) = throughput {
+                let per_sec = |count: u64| count as f64 / per_iter.as_secs_f64().max(1e-12);
+                match tp {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  {:.2e} elem/s", per_sec(n)))
+                    }
+                    Throughput::Bytes(n) => line.push_str(&format!("  {:.2e} B/s", per_sec(n))),
+                }
+            }
+            println!("{line}");
+        }
+        _ => println!("{label:<50} (no measurement: bencher.iter was not called)"),
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Measure one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Measure a benchmark in this group.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{name}", self.name);
+        run_one(&label, self.effective_sample_size(), self.throughput, f);
+        self
+    }
+
+    /// Measure a parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.effective_sample_size(), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (printing is incremental; nothing left to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;

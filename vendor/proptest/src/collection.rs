@@ -1,0 +1,95 @@
+//! Strategies for collections (`proptest::collection`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::{Range, RangeInclusive};
+
+/// Length bounds accepted by [`vec`], mirroring proptest's `SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            min: len,
+            max_inclusive: len,
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_inclusive - self.size.min + 1) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn lengths_stay_in_bounds() {
+        let strat = vec(any::<u8>(), 0..16);
+        let mut rng = TestRng::from_seed(5);
+        let mut saw_empty = false;
+        let mut saw_long = false;
+        for _ in 0..300 {
+            let v = strat.new_value(&mut rng);
+            assert!(v.len() < 16);
+            saw_empty |= v.is_empty();
+            saw_long |= v.len() >= 12;
+        }
+        assert!(saw_empty && saw_long);
+    }
+
+    #[test]
+    fn fixed_length_form() {
+        let strat = vec(0u8..10, 4usize);
+        let mut rng = TestRng::from_seed(6);
+        assert_eq!(strat.new_value(&mut rng).len(), 4);
+    }
+}

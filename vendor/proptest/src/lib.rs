@@ -1,0 +1,254 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`, implemented for integer
+//!   ranges, tuples of strategies (arity ≤ 8), [`Just`] and boxed strategies;
+//! * [`arbitrary::any`] for the primitive types;
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`), and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!` macros.
+//!
+//! Differences from the real crate: value generation is driven by a
+//! deterministic xorshift RNG seeded per test function, and failing cases
+//! are **not shrunk** — the failure message prints the generated values
+//! via `Debug` instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+
+/// The aggregate prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Test-runner types referenced by the macros.
+pub mod test_runner {
+    /// Why a single generated case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assert*` failed with this message.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// Construct a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "inputs rejected: {m}"),
+            }
+        }
+    }
+
+    /// Placeholder for API parity; the `proptest!` macro drives everything.
+    #[derive(Debug, Default)]
+    pub struct TestRunner {}
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Upper bound on consecutive `prop_assume!` rejections before the
+    /// property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases, otherwise default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Select one of several strategies with equal probability.
+///
+/// Weighted arms (`weight => strategy`) are accepted and the weights
+/// respected.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` in `prop_assert!` form.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` in `prop_assert!` form.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skip the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property test functions.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, flag in any::<bool>()) { .. }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (@fns ($config:expr)) => {};
+    (@fns ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::rng::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            // Bind each strategy expression once (under its argument's
+            // name), so per-case generation below only draws values instead
+            // of rebuilding strategy trees; the inner `let` shadows the
+            // strategy with the drawn value for the body's scope.
+            $(let $arg = $strat;)+
+            while case < config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&$arg, &mut rng);)+
+                // Capture Debug renderings before the body may move values.
+                let rendered_inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str("\n    ");
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&format!("{:?}", &$arg));
+                    )+
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > config.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections in {}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err(e) => panic!(
+                        "proptest case {case} of {} failed: {e}\n  inputs:{rendered_inputs}",
+                        stringify!($name)
+                    ),
+                }
+            }
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! Implements the one pattern the workspace uses —
+//! `slice.par_iter().map(f).collect()` — with real parallelism from
+//! `std::thread::scope`: worker threads pull item indices from a shared
+//! atomic counter and write results back into their slots, so `collect`
+//! preserves input order exactly like rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The traits to import, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types whose contents can be iterated in parallel by reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type, `&'a T`.
+    type Item: 'a;
+    /// Begin a parallel pipeline over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// A parallel iterator over borrowed items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I> ParIter<I> {
+    /// Map each item through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped pipeline; terminated by [`ParMap::collect`].
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Run the pipeline and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(n.max(1));
+        let f = &self.f;
+        // Move items into per-slot cells so workers can take them by index.
+        let items: Vec<Mutex<Option<I>>> = self
+            .items
+            .into_iter()
+            .map(|i| Mutex::new(Some(i)))
+            .collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = items[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("each slot taken once");
+                    let r = f(item);
+                    *results[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|cell| cell.into_inner().unwrap().expect("each slot filled once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_empty_input() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

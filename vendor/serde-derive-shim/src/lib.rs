@@ -1,0 +1,325 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` parses the item with `syn` and emits impls of
+//! serde's generic `Serialize`/`Deserialize` traits. Neither `syn` nor a
+//! registry to fetch it from is available here, so this crate parses the
+//! derive input directly from the `proc_macro` token stream and emits an
+//! impl of the shim trait `serde::Serialize` (`fn to_json_value`), which is
+//! all `serde_json::to_string_pretty` needs.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! non-generic structs (named, tuple, unit) and non-generic enums with
+//! unit, tuple and struct variants. Generic items produce a compile error
+//! naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the shim trait) for a non-generic item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Accept `#[derive(Deserialize)]` and emit the marker impl. Nothing in the
+/// workspace deserializes, so no code is generated beyond the marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(tokens: &mut Tokens) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        // The bracketed attribute body (and `!` for inner attributes, which
+        // cannot occur in derive input anyway).
+        if let Some(TokenTree::Group(_)) = tokens.peek() {
+            tokens.next();
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consume tokens of a type (or discriminant expression) up to a top-level
+/// comma, tracking angle-bracket depth so commas inside `Vec<(A, B)>` or
+/// `Option<Foo<T>>` do not end the field early. Parenthesised and bracketed
+/// subtrees arrive as single groups, so only `<`/`>` need explicit depth.
+fn skip_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' && !prev_dash && angle_depth > 0 {
+                    angle_depth -= 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens: Tokens = group.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => return Ok(names),
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        skip_type(&mut tokens);
+        // The separating comma (absent after the last field).
+        tokens.next();
+    }
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut tokens: Tokens = group.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+        tokens.next();
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens: Tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(variants),
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                tokens.next();
+                skip_type(&mut tokens);
+            }
+        }
+        // The separating comma.
+        tokens.next();
+        variants.push(Variant { name, fields });
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind_word = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde-derive-shim: generic item `{name}` is not supported; \
+                 extend vendor/serde-derive-shim if one is ever needed"
+            ));
+        }
+    }
+    let kind = match kind_word.as_str() {
+        "struct" => match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => ItemKind::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!(
+            "serde-derive-shim: cannot derive for `{other}` items"
+        ))?,
+    };
+    Ok(Item { name, kind })
+}
+
+const VALUE: &str = "::serde::json::Value";
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from({k:?}), {v})"))
+        .collect();
+    format!("{VALUE}::Object(::std::vec![{}])", entries.join(", "))
+}
+
+/// JSON for a set of fields, given an expression prefix producing each field
+/// (`&self.` for structs, `` for bound match-arm identifiers).
+fn named_fields_value(names: &[String], access: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<(String, String)> = names
+        .iter()
+        .map(|n| {
+            (
+                n.clone(),
+                format!("::serde::Serialize::to_json_value({})", access(n)),
+            )
+        })
+        .collect();
+    object_literal(&pairs)
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("{VALUE}::Null"),
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_json_value(&self.0)".to_string()
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("{VALUE}::Array(::std::vec![{}])", elems.join(", "))
+        }
+        ItemKind::Struct(Fields::Named(names)) => {
+            named_fields_value(names, |n| format!("&self.{n}"))
+        }
+        ItemKind::Enum(variants) if variants.is_empty() => "match *self {}".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => {VALUE}::String(\
+                             ::std::string::String::from({vname:?}))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_json_value(f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                    .collect();
+                                format!("{VALUE}::Array(::std::vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => {}",
+                                binds.join(", "),
+                                object_literal(&[(vname.clone(), inner)])
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inner = named_fields_value(fields, |n| n.to_string());
+                            format!(
+                                "{name}::{vname} {{ {} }} => {}",
+                                fields.join(", "),
+                                object_literal(&[(vname.clone(), inner)])
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> {VALUE} {{ {body} }}\n\
+         }}"
+    )
+}

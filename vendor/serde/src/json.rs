@@ -1,0 +1,121 @@
+//! The JSON value tree produced by [`crate::Serialize`] and its renderer.
+//!
+//! Lives in the `serde` shim (rather than `serde_json`) so the derive can
+//! reference one canonical path; `serde_json` re-exports it.
+
+/// A JSON value.
+///
+/// Object members are an ordered `Vec` so that serialized output preserves
+/// declaration order, like serde_json does for derived structs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number. All workspace numerics fit f64 exactly except huge
+    /// u64 counters, which round — acceptable for result export.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with ordered members.
+    Object(Vec<(String, Value)>),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if n.is_finite() {
+        if n == n.trunc() && n.abs() < 9.0e15 {
+            format!("{}", n as i64)
+        } else {
+            format!("{n}")
+        }
+    } else {
+        // JSON has no Inf/NaN; serde_json errors here, the shim writes null.
+        "null".to_string()
+    }
+}
+
+impl Value {
+    /// Render compactly (no whitespace).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation, like `serde_json::to_string_pretty`.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some("  "), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<&str>, level: usize) {
+        let (nl, pad, pad_close, colon) = match indent {
+            Some(unit) => ("\n", unit.repeat(level + 1), unit.repeat(level), ": "),
+            None => ("", String::new(), String::new(), ":"),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&number_to_string(*n)),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    item.write(out, indent, level + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push(']');
+            }
+            Value::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad);
+                    escape_into(out, key);
+                    out.push_str(colon);
+                    value.write(out, indent, level + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad_close);
+                out.push('}');
+            }
+        }
+    }
+}

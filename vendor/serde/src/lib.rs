@@ -1,0 +1,150 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde separates data structures from data formats through the
+//! `Serializer`/`Deserializer` visitor machinery. This workspace only ever
+//! serializes to JSON (the `--json` flag of the `sme-bench` binaries), so
+//! the shim collapses the design: [`Serialize`] produces a [`json::Value`]
+//! tree directly and `serde_json` renders it. The public *names* match the
+//! real crate (`serde::Serialize`, `serde::Deserialize`, `#[derive(..)]`)
+//! so sources keep compiling unchanged if the real crates ever replace the
+//! shims (see `vendor/README.md`).
+
+pub use serde_derive_shim::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A type that can render itself as a [`json::Value`] tree.
+///
+/// Implemented by `#[derive(Serialize)]` (via `serde-derive-shim`) and
+/// provided here for the primitive, string and container types the
+/// workspace serializes.
+pub trait Serialize {
+    /// Convert `self` into a JSON value tree.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Marker accepted by `#[derive(Deserialize)]`.
+///
+/// Nothing in this workspace deserializes; the trait exists so that
+/// `use serde::{Deserialize, Serialize}` resolves both names.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T, const N: usize> Deserialize for [T; N] {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_json_value() {
+                        // JSON object keys must be strings; unit-enum and
+                        // string keys map directly, anything else renders
+                        // compactly (like serde_json's map keys do not, but
+                        // nothing here relies on round-tripping them).
+                        json::Value::String(s) => s,
+                        other => other.render_compact(),
+                    };
+                    (key, v.to_json_value())
+                })
+                .collect(),
+        )
+    }
+}
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+impl<T> Deserialize for Box<T> {}
+
+macro_rules! impl_serialize_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name),+> Deserialize for ($($name,)+) {}
+    };
+}
+
+impl_serialize_tuple!(A: 0);
+impl_serialize_tuple!(A: 0, B: 1);
+impl_serialize_tuple!(A: 0, B: 1, C: 2);
+impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3);

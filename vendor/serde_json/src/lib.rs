@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Provides the serialization entry points the workspace calls; the value
+//! tree itself lives in the `serde` shim.
+
+pub use serde::json::Value;
+
+/// The error type of serialization.
+///
+/// The shim's renderer is total (non-finite numbers become `null`), so this
+/// is never actually constructed; it exists to keep the `Result` signatures
+/// of the real crate.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render_compact())
+}
+
+/// Serialize `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("fig8".into())),
+            ("k".into(), Value::Number(512.0)),
+            (
+                "points".into(),
+                Value::Array(vec![Value::Number(1.5), Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(
+            v.render_compact(),
+            r#"{"name":"fig8","k":512,"points":[1.5,true,null]}"#
+        );
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"points\": [\n    1.5,\n    true,\n    null\n  ]\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(v.render_compact(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Value::Number(42.0).render_compact(), "42");
+        assert_eq!(Value::Number(-0.25).render_compact(), "-0.25");
+        assert_eq!(Value::Number(f64::NAN).render_compact(), "null");
+    }
+}

@@ -13,7 +13,7 @@ fn gflops(cfg: &GemmConfig) -> f64 {
 }
 
 fn main() {
-    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let opts = SweepOptions::parse_or_exit(std::env::args().skip(1));
     let k = opts.k;
     println!("Ablations (modelled FP32 GFLOPS on one M4 performance core, K = {k})\n");
 

@@ -7,7 +7,7 @@ use sme_microbench::report::render_scaling;
 use sme_microbench::scaling::{figure1, mixed_thread_experiment};
 
 fn main() {
-    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let opts = SweepOptions::parse_or_exit(std::env::args().skip(1));
     let config = MachineConfig::apple_m4();
     let fig = figure1(&config, 10);
     println!("Fig. 1 — FP32 multi-core scaling, user-interactive threads (GFLOPS)\n");

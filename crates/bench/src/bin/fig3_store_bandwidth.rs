@@ -7,7 +7,7 @@ use sme_microbench::bandwidth::{default_sizes, figure_2_or_3};
 use sme_microbench::report::{bandwidth_csv, render_bandwidth};
 
 fn main() {
-    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let opts = SweepOptions::parse_or_exit(std::env::args().skip(1));
     let config = MachineConfig::apple_m4();
     let curves = figure_2_or_3(&config, true, &default_sizes());
     println!("Fig. 3 — ZA store bandwidth by strategy, 128-byte aligned (GiB/s)\n");

@@ -8,7 +8,7 @@ use sme_microbench::report::render_bandwidth;
 use sme_microbench::TransferStrategy;
 
 fn main() {
-    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let opts = SweepOptions::parse_or_exit(std::env::args().skip(1));
     let config = MachineConfig::apple_m4();
     let curves = figure_4_or_5(&config, false, &default_sizes());
     println!("Fig. 4 — ZA load bandwidth by alignment (GiB/s)\n");

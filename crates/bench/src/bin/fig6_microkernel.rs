@@ -10,7 +10,7 @@ use sme_isa::asm::Assembler;
 use sme_isa::inst::Inst;
 
 fn main() {
-    let _ = SweepOptions::parse(std::env::args().skip(1));
+    let _ = SweepOptions::parse_or_exit(std::env::args().skip(1));
     let cmp = MicrokernelComparison::figure6();
 
     println!("Fig. 6 — Neon vs SME FP32 microkernel\n");

@@ -20,7 +20,7 @@ fn describe(plan: &sme_gemm::BlockPlan) -> String {
 }
 
 fn main() {
-    let _ = SweepOptions::parse(std::env::args().skip(1));
+    let _ = SweepOptions::parse_or_exit(std::env::args().skip(1));
     println!("Fig. 7 — register blocking of an 80x80 output matrix\n");
     let hom = plan_homogeneous(80, 80, RegisterBlocking::B32x32);
     let het = plan_heterogeneous(80, 80);

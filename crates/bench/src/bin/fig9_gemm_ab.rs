@@ -5,7 +5,7 @@
 use sme_bench::{gemm_sweep, maybe_write_json, render_gemm_sweep, SweepOptions};
 
 fn main() {
-    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let opts = SweepOptions::parse_or_exit(std::env::args().skip(1));
     println!(
         "Fig. 9 — C += A*B (column-major B), K = {}, M = N swept to {} in steps of {} (FP32 GFLOPS)\n",
         opts.k, opts.max, opts.step

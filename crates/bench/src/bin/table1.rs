@@ -8,7 +8,7 @@ use sme_microbench::report::render_table_one;
 use sme_microbench::throughput::{fmopa_single_tile_gops, table_one, table_one_reference};
 
 fn main() {
-    let opts = SweepOptions::parse(std::env::args().skip(1));
+    let opts = SweepOptions::parse_or_exit(std::env::args().skip(1));
     let config = MachineConfig::apple_m4();
     let rows = table_one(&config);
     println!("Table I — Apple M4 per-instruction throughput (modelled vs. paper)\n");

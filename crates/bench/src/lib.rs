@@ -43,46 +43,74 @@ impl Default for SweepOptions {
     }
 }
 
+/// Pull the value of flag `name` from `args[i + 1]` and parse it as a
+/// positive integer, with errors naming the flag.
+fn positive_value(args: &[String], i: usize, name: &str) -> Result<usize, String> {
+    let raw = args
+        .get(i + 1)
+        .ok_or_else(|| format!("{name} requires a value"))?;
+    let v: usize = raw
+        .parse()
+        .map_err(|_| format!("{name} expects a positive integer, got `{raw}`"))?;
+    if v == 0 {
+        return Err(format!("{name} must be at least 1"));
+    }
+    Ok(v)
+}
+
+/// Pull the path value of flag `name` from `args[i + 1]`.
+fn path_value(args: &[String], i: usize, name: &str) -> Result<String, String> {
+    args.get(i + 1)
+        .cloned()
+        .ok_or_else(|| format!("{name} requires a path"))
+}
+
 impl SweepOptions {
+    /// Usage string shared by the sweep binaries' error messages.
+    pub const USAGE: &'static str = "[--step N] [--max N] [--k N] [--json PATH]";
+
     /// Parse options from `std::env::args`-style strings. Recognised flags:
     /// `--step N`, `--max N`, `--k N`, `--json PATH`.
-    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+    ///
+    /// Unknown flags, missing values and malformed numbers are errors
+    /// (they used to be silently ignored, which made typos like
+    /// `--setp 1` run the default sweep without complaint).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut opts = SweepOptions::default();
         let args: Vec<String> = args.collect();
         let mut i = 0;
         while i < args.len() {
-            let value = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
             match args[i].as_str() {
                 "--step" => {
-                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
-                        opts.step = v;
-                    }
+                    opts.step = positive_value(&args, i, "--step")?;
                     i += 1;
                 }
                 "--max" => {
-                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
-                        opts.max = v;
-                    }
+                    opts.max = positive_value(&args, i, "--max")?;
                     i += 1;
                 }
                 "--k" => {
-                    if let Some(v) = value(i).and_then(|v| v.parse().ok()) {
-                        opts.k = v;
-                    }
+                    opts.k = positive_value(&args, i, "--k")?;
                     i += 1;
                 }
                 "--json" => {
-                    opts.json = value(i);
+                    opts.json = Some(path_value(&args, i, "--json")?);
                     i += 1;
                 }
-                _ => {}
+                other => return Err(format!("unknown flag `{other}`")),
             }
             i += 1;
         }
-        if opts.step == 0 {
-            opts.step = 1;
-        }
-        opts
+        Ok(opts)
+    }
+
+    /// Parse, printing the error and usage to stderr and exiting with
+    /// status 2 on failure — the entry point used by the sweep binaries.
+    pub fn parse_or_exit(args: impl Iterator<Item = String>) -> Self {
+        SweepOptions::parse(args).unwrap_or_else(|e| {
+            eprintln!("error: {e}\nusage: {}", SweepOptions::USAGE);
+            std::process::exit(2);
+        })
     }
 
     /// The M = N values of the sweep.
@@ -201,6 +229,187 @@ pub fn render_gemm_sweep(sweep: &GemmSweep) -> String {
     out
 }
 
+/// Options of the `tuner` binary: the shared sweep flags plus tuner
+/// controls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerSweepOptions {
+    /// Shared sweep geometry (`--step`, `--max`, `--k`, `--json`).
+    pub sweep: SweepOptions,
+    /// Restrict the tuner to plan kinds only (`--quick`).
+    pub quick: bool,
+    /// Optional path to persist the winning plans as JSON (`--store`).
+    pub store: Option<String>,
+}
+
+impl TunerSweepOptions {
+    /// Usage string for the `tuner` binary.
+    pub const USAGE: &'static str =
+        "[--step N] [--max N] [--k N] [--json PATH] [--store PATH] [--quick] [--smoke]";
+
+    /// Parse the `tuner` binary's flags. `--smoke` is a preset for CI: a
+    /// tiny, fast sweep (M = N ∈ {32, 64}, K = 32, plan kinds only) that
+    /// still exercises the whole autotuning path.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut quick = false;
+        let mut smoke = false;
+        let mut store = None;
+        let mut sweep_args: Vec<String> = Vec::new();
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => quick = true,
+                "--smoke" => smoke = true,
+                "--store" => {
+                    store = Some(path_value(&args, i, "--store")?);
+                    i += 1;
+                }
+                other => sweep_args.push(other.to_string()),
+            }
+            i += 1;
+        }
+        let mut sweep = SweepOptions::parse(sweep_args.into_iter())?;
+        if smoke {
+            sweep.step = 32;
+            sweep.max = 64;
+            sweep.k = 32;
+            quick = true;
+        }
+        Ok(TunerSweepOptions {
+            sweep,
+            quick,
+            store,
+        })
+    }
+
+    /// Parse, printing the error and usage to stderr and exiting with
+    /// status 2 on failure.
+    pub fn parse_or_exit(args: impl Iterator<Item = String>) -> Self {
+        TunerSweepOptions::parse(args).unwrap_or_else(|e| {
+            eprintln!("error: {e}\nusage: {}", TunerSweepOptions::USAGE);
+            std::process::exit(2);
+        })
+    }
+
+    /// The tuner options implied by the flags.
+    pub fn tuner_options(&self) -> sme_runtime::TunerOptions {
+        if self.quick {
+            sme_runtime::TunerOptions::quick()
+        } else {
+            sme_runtime::TunerOptions::default()
+        }
+    }
+}
+
+/// One tuned shape of a tuner sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunerSweepPoint {
+    /// M = N of the output matrix.
+    pub mn: usize,
+    /// Simulated cycles of the default heterogeneous kernel.
+    pub default_cycles: f64,
+    /// Simulated cycles of the autotuned winner.
+    pub tuned_cycles: f64,
+    /// Stable name of the winning plan kind.
+    pub winner: String,
+    /// Winning ZA transfer strategy.
+    pub c_transfer: sme_gemm::ZaTransferStrategy,
+    /// Winning unroll factor.
+    pub k_unroll: usize,
+    /// Candidates generated and simulated for this shape.
+    pub candidates: usize,
+}
+
+/// A complete tuner sweep (the `tuner` binary's JSON output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunerSweep {
+    /// Contraction dimension.
+    pub k: usize,
+    /// Sweep points in ascending M = N order.
+    pub points: Vec<TunerSweepPoint>,
+}
+
+impl TunerSweep {
+    /// `true` if no tuned shape is slower than its default in the model —
+    /// the tuner's core guarantee, asserted by the binary and by CI.
+    pub fn never_slower(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.tuned_cycles <= p.default_cycles)
+    }
+
+    /// Geometric-mean modelled speed-up of tuned over default kernels.
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .points
+            .iter()
+            .map(|p| (p.default_cycles / p.tuned_cycles).ln())
+            .sum();
+        (log_sum / self.points.len() as f64).exp()
+    }
+}
+
+/// Run an autotuning sweep over `C += A·Bᵀ` shapes and fill `store` with
+/// the winners.
+///
+/// Shapes are tuned in parallel on the host; each shape's candidates are
+/// themselves scored in parallel by the tuner.
+pub fn tuner_sweep(opts: &TunerSweepOptions, store: &mut sme_runtime::PlanStore) -> TunerSweep {
+    let tuner_opts = opts.tuner_options();
+    let k = opts.sweep.k;
+    let outcomes: Vec<(usize, sme_runtime::TuneOutcome)> = opts
+        .sweep
+        .sizes()
+        .par_iter()
+        .map(|&mn| {
+            let cfg = GemmConfig::abt(mn, mn, k);
+            let outcome = sme_runtime::tune(&cfg, &tuner_opts)
+                .expect("sweep configurations are valid by construction");
+            (mn, outcome)
+        })
+        .collect();
+    let mut points = Vec::with_capacity(outcomes.len());
+    for (mn, outcome) in outcomes {
+        store.insert(&GemmConfig::abt(mn, mn, k), outcome.record());
+        points.push(TunerSweepPoint {
+            mn,
+            default_cycles: outcome.default_cycles,
+            tuned_cycles: outcome.tuned_cycles,
+            winner: outcome.winner.kind.name().to_string(),
+            c_transfer: outcome.winner.c_transfer,
+            k_unroll: outcome.winner.k_unroll,
+            candidates: outcome.candidates_tried,
+        });
+    }
+    TunerSweep { k, points }
+}
+
+/// Render a tuner sweep as a table plus summary lines.
+pub fn render_tuner_sweep(sweep: &TunerSweep) -> String {
+    let mut out = String::from(
+        "  M=N | default cyc |   tuned cyc | speedup | winner\n\
+         ------+-------------+-------------+---------+-------------------------------\n",
+    );
+    for p in &sweep.points {
+        let speedup = p.default_cycles / p.tuned_cycles.max(f64::MIN_POSITIVE);
+        out.push_str(&format!(
+            "{:5} | {:11.0} | {:11.0} | {:6.3}x | {} ({:?}, unroll {})\n",
+            p.mn, p.default_cycles, p.tuned_cycles, speedup, p.winner, p.c_transfer, p.k_unroll
+        ));
+    }
+    out.push_str(&format!(
+        "\ntuned kernels never slower than the default plan: {}\n\
+         geometric-mean modelled speed-up {:.3}x over {} shapes\n",
+        if sweep.never_slower() { "yes" } else { "NO" },
+        sweep.geomean_speedup(),
+        sweep.points.len()
+    ));
+    out
+}
+
 /// Write any serialisable result to a JSON file if a path was requested.
 pub fn maybe_write_json<T: Serialize>(path: &Option<String>, value: &T) {
     if let Some(path) = path {
@@ -219,30 +428,58 @@ pub fn maybe_write_json<T: Serialize>(path: &Option<String>, value: &T) {
 mod tests {
     use super::*;
 
+    fn parse_strs(args: &[&str]) -> Result<SweepOptions, String> {
+        SweepOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn option_parsing() {
-        let opts = SweepOptions::parse(
-            [
-                "--step",
-                "8",
-                "--max",
-                "64",
-                "--k",
-                "128",
-                "--json",
-                "/tmp/out.json",
-            ]
-            .iter()
-            .map(|s| s.to_string()),
-        );
+        let opts = parse_strs(&[
+            "--step",
+            "8",
+            "--max",
+            "64",
+            "--k",
+            "128",
+            "--json",
+            "/tmp/out.json",
+        ])
+        .unwrap();
         assert_eq!(opts.step, 8);
         assert_eq!(opts.max, 64);
         assert_eq!(opts.k, 128);
         assert_eq!(opts.json.as_deref(), Some("/tmp/out.json"));
         assert_eq!(opts.sizes().last(), Some(&64));
-        let default = SweepOptions::parse(std::iter::empty());
+        let default = SweepOptions::parse(std::iter::empty()).unwrap();
         assert_eq!(default.step, 16);
         assert_eq!(default.max, 512);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        // Typos used to silently run the default sweep.
+        let err = parse_strs(&["--setp", "1"]).unwrap_err();
+        assert!(err.contains("--setp"), "{err}");
+        let err = parse_strs(&["extra"]).unwrap_err();
+        assert!(err.contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        let err = parse_strs(&["--step"]).unwrap_err();
+        assert!(err.contains("--step") && err.contains("value"), "{err}");
+        let err = parse_strs(&["--max", "many"]).unwrap_err();
+        assert!(err.contains("many"), "{err}");
+        let err = parse_strs(&["--k", "-4"]).unwrap_err();
+        assert!(err.contains("-4"), "{err}");
+        let err = parse_strs(&["--step", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_strs(&["--json"]).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+        // A flag name in value position is consumed as the value, and the
+        // dangling flag is then reported.
+        let err = parse_strs(&["--step", "--max", "64"]).unwrap_err();
+        assert!(err.contains("--step"), "{err}");
     }
 
     #[test]
@@ -255,6 +492,63 @@ mod tests {
         };
         let sizes = opts.sizes();
         assert_eq!(sizes, vec![48, 96, 100]);
+    }
+
+    #[test]
+    fn tuner_option_parsing() {
+        let opts = TunerSweepOptions::parse(
+            [
+                "--step",
+                "32",
+                "--max",
+                "64",
+                "--k",
+                "16",
+                "--store",
+                "/tmp/plans.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.sweep.step, 32);
+        assert_eq!(opts.sweep.k, 16);
+        assert_eq!(opts.store.as_deref(), Some("/tmp/plans.json"));
+        assert!(!opts.quick);
+
+        // --smoke is a fast-preset that wins over the geometry flags.
+        let smoke =
+            TunerSweepOptions::parse(["--smoke", "--max", "512"].iter().map(|s| s.to_string()))
+                .unwrap();
+        assert_eq!(
+            (smoke.sweep.step, smoke.sweep.max, smoke.sweep.k),
+            (32, 64, 32)
+        );
+        assert!(smoke.quick);
+        assert_eq!(smoke.sweep.sizes(), vec![32, 64]);
+
+        // Shared-flag errors propagate.
+        assert!(TunerSweepOptions::parse(["--setp", "1"].iter().map(|s| s.to_string())).is_err());
+        assert!(TunerSweepOptions::parse(["--store"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn smoke_tuner_sweep_fills_the_store_and_never_loses() {
+        let opts = TunerSweepOptions::parse(["--smoke"].iter().map(|s| s.to_string())).unwrap();
+        let mut store = sme_runtime::PlanStore::new();
+        let sweep = tuner_sweep(&opts, &mut store);
+        assert_eq!(sweep.points.len(), 2);
+        assert!(sweep.never_slower());
+        assert!(sweep.geomean_speedup() >= 1.0);
+        assert_eq!(store.len(), 2);
+        // The persisted store round-trips and serves the swept shapes.
+        let reloaded = sme_runtime::PlanStore::from_json(&store.to_json()).unwrap();
+        assert!(reloaded
+            .lookup(&GemmConfig::abt(32, 32, opts.sweep.k))
+            .is_some());
+        let text = render_tuner_sweep(&sweep);
+        assert!(text.contains("never slower"));
+        assert!(text.contains("yes"));
     }
 
     #[test]

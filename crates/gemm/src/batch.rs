@@ -123,6 +123,73 @@ mod tests {
     }
 
     #[test]
+    fn batch_stats_aggregate_across_the_whole_batch() {
+        let cfg = GemmConfig::abt(24, 16, 8);
+        let batch = BatchedGemm::new(&cfg).unwrap();
+
+        // One kernel execution's counters…
+        let mut sim = Simulator::m4_performance();
+        let single_triple = batch.allocate_batch(&mut sim, 1, 5);
+        let single = batch.execute(&mut sim, &single_triple, &RunOptions::timing_only());
+
+        // …must scale exactly by the batch size: the kernel is
+        // branch-resolved, so every execution retires the same instruction
+        // stream and touches the same number of bytes.
+        let mut sim = Simulator::m4_performance();
+        let triples = batch.allocate_batch(&mut sim, 5, 5);
+        let total = batch.execute(&mut sim, &triples, &RunOptions::timing_only());
+        assert_eq!(total.instructions, 5 * single.instructions);
+        assert_eq!(total.arith_ops, 5 * single.arith_ops);
+        assert_eq!(total.bytes_loaded, 5 * single.bytes_loaded);
+        assert_eq!(total.bytes_stored, 5 * single.bytes_stored);
+        assert!((total.cycles - 5.0 * single.cycles).abs() < 1e-6 * total.cycles.max(1.0));
+        assert_eq!(total.clock_ghz, single.clock_ghz);
+        for (class, count) in &total.instructions_by_class {
+            assert_eq!(
+                *count,
+                5 * single.instructions_by_class[class],
+                "class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_stats() {
+        let cfg = GemmConfig::abt(16, 16, 4);
+        let batch = BatchedGemm::new(&cfg).unwrap();
+        let mut sim = Simulator::m4_performance();
+        let stats = batch.execute(&mut sim, &[], &RunOptions::timing_only());
+        assert_eq!(stats, ExecStats::default());
+        assert_eq!(batch.batch_flops(0), 0);
+    }
+
+    #[test]
+    fn batch_triples_are_distinct_and_deterministic() {
+        let cfg = GemmConfig::abt(8, 8, 4);
+        let batch = BatchedGemm::new(&cfg).unwrap();
+        let mut sim = Simulator::m4_performance();
+        let triples = batch.allocate_batch(&mut sim, 3, 42);
+        // Distinct, non-overlapping allocations per problem.
+        let mut addrs: Vec<u64> = triples.iter().flat_map(|t| [t.a, t.b, t.c]).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 9);
+        // Same seed ⇒ same data in a fresh simulator.
+        let mut sim2 = Simulator::m4_performance();
+        let triples2 = batch.allocate_batch(&mut sim2, 3, 42);
+        for (t1, t2) in triples.iter().zip(&triples2) {
+            assert_eq!(
+                sim.mem.read_f32_slice(t1.a, cfg.a_len()),
+                sim2.mem.read_f32_slice(t2.a, cfg.a_len())
+            );
+        }
+        // Different problems get different data.
+        let a0 = sim.mem.read_f32_slice(triples[0].a, cfg.a_len());
+        let a1 = sim.mem.read_f32_slice(triples[1].a, cfg.a_len());
+        assert_ne!(a0, a1);
+    }
+
+    #[test]
     fn batch_throughput_is_comparable_to_single_kernel_throughput() {
         let cfg = GemmConfig::abt(64, 64, 64);
         let batch = BatchedGemm::new(&cfg).unwrap();

@@ -8,7 +8,7 @@
 //! homogeneous blocking — the Fig. 7 example needs seven heterogeneous
 //! executions instead of nine to ten homogeneous ones.
 
-use crate::config::{BLayout, GemmConfig};
+use crate::config::{BLayout, GemmConfig, ZaTransferStrategy};
 use serde::{Deserialize, Serialize};
 
 /// Width/height of one ZA tile in FP32 elements on an SVL-512 machine.
@@ -318,6 +318,153 @@ pub fn plan_column_panels(m: usize, n: usize) -> Vec<(usize, usize, BlockPlan)> 
     panels
 }
 
+/// Identifier of one block-plan shape — the part of a tuning candidate that
+/// selects how the M×N iteration space is tiled.
+///
+/// Unlike a concrete [`BlockPlan`], a `PlanKind` is a small copyable token
+/// that can be persisted (the autotuner's plan store records kinds, not
+/// block lists) and re-expanded deterministically with [`PlanKind::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanKind {
+    /// The default heterogeneous plan of §IV-B (Fig. 7).
+    Heterogeneous,
+    /// A homogeneous plan using a single register blocking everywhere.
+    Homogeneous(RegisterBlocking),
+    /// The panel-wise plan used for column-major B (§IV-C): 32-column
+    /// panels, each tiled heterogeneously.
+    ColumnPanels,
+}
+
+impl PlanKind {
+    /// Expand the kind into a concrete plan for an `m × n` output.
+    pub fn build(self, m: usize, n: usize) -> BlockPlan {
+        match self {
+            PlanKind::Heterogeneous => plan_heterogeneous(m, n),
+            PlanKind::Homogeneous(blocking) => plan_homogeneous(m, n, blocking),
+            PlanKind::ColumnPanels => {
+                let mut blocks = Vec::new();
+                for (_, _, panel_plan) in plan_column_panels(m, n) {
+                    blocks.extend(panel_plan.blocks);
+                }
+                BlockPlan { m, n, blocks }
+            }
+        }
+    }
+
+    /// Stable textual name (used by the plan store's JSON format).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::Heterogeneous => "Heterogeneous",
+            PlanKind::Homogeneous(RegisterBlocking::B32x32) => "Homogeneous32x32",
+            PlanKind::Homogeneous(RegisterBlocking::B16x64) => "Homogeneous16x64",
+            PlanKind::Homogeneous(RegisterBlocking::B64x16) => "Homogeneous64x16",
+            PlanKind::ColumnPanels => "ColumnPanels",
+        }
+    }
+
+    /// Inverse of [`PlanKind::name`].
+    pub fn from_name(name: &str) -> Option<PlanKind> {
+        match name {
+            "Heterogeneous" => Some(PlanKind::Heterogeneous),
+            "Homogeneous32x32" => Some(PlanKind::Homogeneous(RegisterBlocking::B32x32)),
+            "Homogeneous16x64" => Some(PlanKind::Homogeneous(RegisterBlocking::B16x64)),
+            "Homogeneous64x16" => Some(PlanKind::Homogeneous(RegisterBlocking::B64x16)),
+            "ColumnPanels" => Some(PlanKind::ColumnPanels),
+            _ => None,
+        }
+    }
+
+    /// The kind the generator picks by default for a configuration.
+    pub fn default_for(cfg: &GemmConfig) -> PlanKind {
+        match cfg.b_layout {
+            BLayout::RowMajor => PlanKind::Heterogeneous,
+            BLayout::ColMajor => PlanKind::ColumnPanels,
+        }
+    }
+}
+
+/// One autotuning candidate: a block-plan shape plus the code-generation
+/// knobs the tuner may vary ([`ZaTransferStrategy`] and the contraction-loop
+/// unroll factor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlanCandidate {
+    /// How the M×N iteration space is tiled.
+    pub kind: PlanKind,
+    /// How C blocks move between memory and the ZA array.
+    pub c_transfer: ZaTransferStrategy,
+    /// Contraction-loop unroll factor (1, 2 or 4).
+    pub k_unroll: usize,
+}
+
+impl PlanCandidate {
+    /// The candidate the generator would use for `cfg` with no tuning: the
+    /// layout's default plan kind and the configuration's own knobs.
+    pub fn default_for(cfg: &GemmConfig) -> PlanCandidate {
+        PlanCandidate {
+            kind: PlanKind::default_for(cfg),
+            c_transfer: cfg.c_transfer,
+            k_unroll: cfg.k_unroll,
+        }
+    }
+
+    /// Rewrite `cfg` with this candidate's code-generation knobs (the plan
+    /// kind is applied separately, through the generator's plan override).
+    pub fn apply(&self, cfg: &GemmConfig) -> GemmConfig {
+        cfg.with_c_transfer(self.c_transfer)
+            .with_k_unroll(self.k_unroll)
+    }
+}
+
+/// Enumerate the tuning candidates for a configuration.
+///
+/// The cross product of plan kinds, ZA transfer strategies and unroll
+/// factors valid for `cfg`:
+///
+/// * row-major B: the heterogeneous plan and all three homogeneous plans;
+/// * column-major B: only [`PlanKind::ColumnPanels`] — the in-kernel
+///   transposition requires the panel-wise plan, and
+///   [`crate::generate_with_plan`] rejects overrides for this layout;
+/// * both [`ZaTransferStrategy`] variants;
+/// * unroll factors from {1, 2, 4} that divide `k` (the generator falls
+///   back to unroll 1 for non-dividing factors, so enumerating them would
+///   only duplicate the unroll-1 candidate).
+///
+/// The list always contains [`PlanCandidate::default_for`]`(cfg)`, so an
+/// argmin over the candidates' scores can never be worse than the default.
+pub fn enumerate_candidates(cfg: &GemmConfig) -> Vec<PlanCandidate> {
+    let kinds: Vec<PlanKind> = match cfg.b_layout {
+        BLayout::RowMajor => vec![
+            PlanKind::Heterogeneous,
+            PlanKind::Homogeneous(RegisterBlocking::B32x32),
+            PlanKind::Homogeneous(RegisterBlocking::B16x64),
+            PlanKind::Homogeneous(RegisterBlocking::B64x16),
+        ],
+        BLayout::ColMajor => vec![PlanKind::ColumnPanels],
+    };
+    let transfers = [ZaTransferStrategy::TwoStep, ZaTransferStrategy::Direct];
+    let mut candidates = Vec::new();
+    for &kind in &kinds {
+        for &c_transfer in &transfers {
+            for k_unroll in [1usize, 2, 4] {
+                // Skip unrolls that do not divide k — the generator falls
+                // back to unroll 1 for those, so they would duplicate the
+                // unroll-1 candidate — but never drop the configuration's
+                // own setting (so the default candidate is always present).
+                if !cfg.k.is_multiple_of(k_unroll) && k_unroll != cfg.k_unroll {
+                    continue;
+                }
+                candidates.push(PlanCandidate {
+                    kind,
+                    c_transfer,
+                    k_unroll,
+                });
+            }
+        }
+    }
+    debug_assert!(candidates.contains(&PlanCandidate::default_for(cfg)));
+    candidates
+}
+
 /// Pick the plan the generator uses for a configuration.
 pub fn plan_for_config(cfg: &GemmConfig) -> BlockPlan {
     match cfg.b_layout {
@@ -469,6 +616,74 @@ mod tests {
         assert_eq!(b.active_row_groups(), 1);
         assert_eq!(b.active_col_groups(), 1);
         assert_eq!(b.loads_per_update(), 32);
+    }
+
+    #[test]
+    fn plan_kinds_round_trip_names_and_build_valid_plans() {
+        let kinds = [
+            PlanKind::Heterogeneous,
+            PlanKind::Homogeneous(RegisterBlocking::B32x32),
+            PlanKind::Homogeneous(RegisterBlocking::B16x64),
+            PlanKind::Homogeneous(RegisterBlocking::B64x16),
+            PlanKind::ColumnPanels,
+        ];
+        for kind in kinds {
+            assert_eq!(PlanKind::from_name(kind.name()), Some(kind));
+            let plan = kind.build(80, 80);
+            assert!(plan.covers_exactly_once(), "{kind:?}");
+        }
+        assert_eq!(PlanKind::from_name("NoSuchPlan"), None);
+        assert_eq!(
+            PlanKind::Heterogeneous.build(80, 80),
+            plan_heterogeneous(80, 80)
+        );
+    }
+
+    #[test]
+    fn candidate_enumeration_covers_the_knob_space() {
+        let abt = GemmConfig::abt(64, 64, 64);
+        let candidates = enumerate_candidates(&abt);
+        // 4 kinds × 2 transfers × 3 unrolls.
+        assert_eq!(candidates.len(), 24);
+        assert!(candidates.contains(&PlanCandidate::default_for(&abt)));
+        // All distinct.
+        for (i, a) in candidates.iter().enumerate() {
+            assert!(!candidates[i + 1..].contains(a));
+        }
+
+        // Column-major B: only the panel plan may be used.
+        let ab = GemmConfig::ab(64, 64, 64);
+        let candidates = enumerate_candidates(&ab);
+        assert_eq!(candidates.len(), 6);
+        assert!(candidates.iter().all(|c| c.kind == PlanKind::ColumnPanels));
+        assert!(candidates.contains(&PlanCandidate::default_for(&ab)));
+
+        // Non-dividing unrolls are dropped (they alias the unroll-1
+        // kernel): k = 2 keeps {1, 2}, an odd k keeps only 1…
+        let shallow = GemmConfig::abt(32, 32, 2);
+        assert!(enumerate_candidates(&shallow)
+            .iter()
+            .all(|c| c.k_unroll <= 2));
+        let odd = GemmConfig::abt(32, 32, 5);
+        assert!(enumerate_candidates(&odd).iter().all(|c| c.k_unroll == 1));
+        // …but never the configuration's own setting.
+        let forced = GemmConfig::abt(32, 32, 2).with_k_unroll(4);
+        assert!(enumerate_candidates(&forced).contains(&PlanCandidate::default_for(&forced)));
+    }
+
+    #[test]
+    fn candidate_apply_rewrites_only_the_codegen_knobs() {
+        let cfg = GemmConfig::abt(48, 48, 32);
+        let candidate = PlanCandidate {
+            kind: PlanKind::Homogeneous(RegisterBlocking::B16x64),
+            c_transfer: ZaTransferStrategy::Direct,
+            k_unroll: 4,
+        };
+        let rewritten = candidate.apply(&cfg);
+        assert_eq!(rewritten.c_transfer, ZaTransferStrategy::Direct);
+        assert_eq!(rewritten.k_unroll, 4);
+        assert_eq!((rewritten.m, rewritten.n, rewritten.k), (48, 48, 32));
+        assert_eq!(rewritten.b_layout, cfg.b_layout);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Top-level just-in-time kernel generation.
 
-use crate::blocking::{plan_column_panels, plan_for_config, BlockPlan};
+use crate::blocking::{plan_column_panels, plan_for_config, BlockPlan, PlanCandidate, PlanKind};
 use crate::config::{BLayout, GemmConfig, GemmError};
 use crate::kernel::CompiledKernel;
 use crate::microkernel::{emit_block, xr, BSource, BK_STRIDE, LDA_B, LDB_B, LDC_B, SCRATCH};
@@ -26,18 +26,32 @@ pub fn generate(cfg: &GemmConfig) -> Result<CompiledKernel, GemmError> {
 /// heterogeneous plan.
 ///
 /// This is the hook used by the ablation benchmarks (homogeneous blocking
-/// only) and by the vendor-baseline model in `accel-ref`. The plan override
-/// is only honoured for row-major B; the column-major path always uses the
-/// panel-wise plan required by the in-kernel transposition.
+/// only), by the vendor-baseline model in `accel-ref` and by the
+/// `sme-runtime` autotuner. A plan override is only meaningful for
+/// row-major B: the column-major path transposes B panel by panel through
+/// the ZA array, and the contraction loop's scratch addressing is welded to
+/// the 32-column panel tiling, so an arbitrary plan cannot be honoured
+/// there. Passing `Some(plan)` with a column-major configuration is
+/// therefore an error (it used to be silently ignored); pass `None` — or
+/// tune the remaining knobs via [`generate_tuned`] with
+/// [`PlanKind::ColumnPanels`] — instead.
 ///
 /// # Errors
-/// Returns an error if the configuration is invalid or if the supplied plan
-/// does not cover the `m × n` iteration space exactly once.
+/// Returns an error if the configuration is invalid, if the supplied plan
+/// does not cover the `m × n` iteration space exactly once, or if a plan
+/// override is supplied for column-major B.
 pub fn generate_with_plan(
     cfg: &GemmConfig,
     plan_override: Option<BlockPlan>,
 ) -> Result<CompiledKernel, GemmError> {
     cfg.validate()?;
+    if cfg.b_layout == BLayout::ColMajor && plan_override.is_some() {
+        return Err(GemmError::Unsupported(
+            "block-plan overrides are not supported for column-major B: the in-kernel \
+             transposition requires the 32-column panel plan"
+                .into(),
+        ));
+    }
     if cfg.b_layout == BLayout::ColMajor && scratch_bytes(cfg.k) > MAX_SCRATCH_BYTES {
         return Err(GemmError::Unsupported(format!(
             "k = {} needs {} bytes of transpose scratch (limit {})",
@@ -48,7 +62,7 @@ pub fn generate_with_plan(
     }
 
     let plan = match plan_override {
-        Some(p) if cfg.b_layout == BLayout::RowMajor => {
+        Some(p) => {
             if p.m != cfg.m || p.n != cfg.n || !p.covers_exactly_once() {
                 return Err(GemmError::Unsupported(
                     "the supplied block plan does not tile the output exactly once".into(),
@@ -56,7 +70,7 @@ pub fn generate_with_plan(
             }
             p
         }
-        _ => plan_for_config(cfg),
+        None => plan_for_config(cfg),
     };
     let mut asm = Assembler::new(format!(
         "sme_gemm_{}_{}x{}x{}",
@@ -110,6 +124,33 @@ pub fn generate_with_plan(
     asm.ret();
 
     Ok(CompiledKernel::new(*cfg, plan, asm.finish()))
+}
+
+/// Generate a kernel for `cfg` rewritten with a tuning candidate — the
+/// dispatch path used by the `sme-runtime` autotuner and kernel cache.
+///
+/// The candidate's ZA transfer strategy and unroll factor replace the
+/// configuration's own, and its [`PlanKind`] selects the block plan. Kinds
+/// other than the layout default are routed through the plan override of
+/// [`generate_with_plan`]; the layout-default kind passes `None` so this
+/// function is exactly `generate` when given
+/// [`PlanCandidate::default_for`]`(cfg)`.
+///
+/// # Errors
+/// Returns an error if the rewritten configuration is invalid or if the
+/// candidate's plan kind is incompatible with the layout (anything other
+/// than [`PlanKind::ColumnPanels`] for column-major B).
+pub fn generate_tuned(
+    cfg: &GemmConfig,
+    candidate: &PlanCandidate,
+) -> Result<CompiledKernel, GemmError> {
+    let tuned_cfg = candidate.apply(cfg);
+    let plan_override = if candidate.kind == PlanKind::default_for(&tuned_cfg) {
+        None
+    } else {
+        Some(candidate.kind.build(tuned_cfg.m, tuned_cfg.n))
+    };
+    generate_with_plan(&tuned_cfg, plan_override)
 }
 
 /// Generate a kernel and immediately validate it against the reference GEMM
@@ -228,6 +269,55 @@ mod tests {
         assert!(generate(&GemmConfig::abt(0, 4, 4)).is_err());
         let huge_k = GemmConfig::ab(16, 16, 8192);
         assert!(matches!(generate(&huge_k), Err(GemmError::Unsupported(_))));
+    }
+
+    #[test]
+    fn column_major_plan_override_is_rejected() {
+        let cfg = GemmConfig::ab(32, 32, 8);
+        let plan = crate::blocking::plan_heterogeneous(32, 32);
+        match generate_with_plan(&cfg, Some(plan)) {
+            Err(GemmError::Unsupported(msg)) => {
+                assert!(msg.contains("column-major"), "{msg}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // `None` still works and uses the panel plan.
+        assert!(generate_with_plan(&cfg, None).is_ok());
+    }
+
+    #[test]
+    fn tuned_generation_matches_the_candidate_and_validates() {
+        use crate::blocking::{enumerate_candidates, PlanCandidate};
+        let cfg = GemmConfig::abt(48, 48, 16);
+        for candidate in enumerate_candidates(&cfg) {
+            let kernel = generate_tuned(&cfg, &candidate).expect("tuned generation");
+            assert_eq!(kernel.config().c_transfer, candidate.c_transfer);
+            assert_eq!(kernel.config().k_unroll, candidate.k_unroll);
+            let err = kernel.validate(0xACE);
+            assert!(err < 1e-4, "{candidate:?}: max abs error {err}");
+        }
+        // The default candidate reproduces `generate` exactly.
+        let default = generate_tuned(&cfg, &PlanCandidate::default_for(&cfg)).unwrap();
+        let plain = generate(&cfg).unwrap();
+        assert_eq!(default.program().len(), plain.program().len());
+        assert_eq!(default.plan(), plain.plan());
+    }
+
+    #[test]
+    fn tuned_generation_rejects_mismatched_column_major_kinds() {
+        use crate::blocking::PlanCandidate;
+        let cfg = GemmConfig::ab(32, 32, 8);
+        let bad = PlanCandidate {
+            kind: PlanKind::Heterogeneous,
+            c_transfer: cfg.c_transfer,
+            k_unroll: 1,
+        };
+        assert!(matches!(
+            generate_tuned(&cfg, &bad),
+            Err(GemmError::Unsupported(_))
+        ));
+        let good = PlanCandidate::default_for(&cfg);
+        assert!(generate_tuned(&cfg, &good).is_ok());
     }
 
     #[test]

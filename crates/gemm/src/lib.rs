@@ -46,7 +46,7 @@
 //!   are used by tensor-processing frameworks;
 //! * [`widening`] — BF16 → FP32 kernels built on the widening BFMOPA (the
 //!   paper's §V outlook on reduced-precision inference);
-//! * [`reference`] — scalar reference implementations used for validation.
+//! * [`mod@reference`] — scalar reference implementations used for validation.
 
 #![warn(missing_docs)]
 
@@ -62,8 +62,13 @@ pub mod reference;
 pub mod transpose;
 pub mod widening;
 
-pub use blocking::{plan_heterogeneous, plan_homogeneous, BlockPlan, RegisterBlocking};
+pub use blocking::{
+    enumerate_candidates, plan_heterogeneous, plan_homogeneous, BlockPlan, PlanCandidate, PlanKind,
+    RegisterBlocking,
+};
 pub use config::{BLayout, Beta, GemmConfig, GemmError, ZaTransferStrategy};
-pub use generator::{generate, generate_validated, generate_with_plan, kernel_stats, KernelStats};
+pub use generator::{
+    generate, generate_tuned, generate_validated, generate_with_plan, kernel_stats, KernelStats,
+};
 pub use kernel::{CompiledKernel, GemmBuffers};
 pub use widening::{generate_widening, WideningGemmConfig, WideningKernel};

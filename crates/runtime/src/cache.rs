@@ -1,0 +1,451 @@
+//! Thread-safe, sharded kernel cache with a bounded LRU policy.
+//!
+//! The paper's kernels are generated once and executed many times per time
+//! step; the reproduction previously regenerated on every call. The
+//! [`KernelCache`] closes that gap: it hands out `Arc<CompiledKernel>`
+//! clones on hit and compiles on miss, consulting the [`PlanStore`] first so
+//! that autotuned winners — not the default heterogeneous plan — become the
+//! dispatched kernels ([`sme_gemm::generate_tuned`] is the tuned path,
+//! [`sme_gemm::generate`] the fallback).
+//!
+//! Entries are spread over a fixed number of shards by the configuration's
+//! hash, so concurrent requests for different kernels rarely contend on the
+//! same lock. Each shard applies its own LRU bound; compilation happens
+//! under the shard lock, which serialises misses *per shard* but guarantees
+//! a kernel is compiled at most once and keeps the hit/miss counters exact
+//! (the property the cache's tests and the runtime integration test rely
+//! on).
+
+use crate::store::{tune_key, PlanStore, TunedRecord};
+use sme_gemm::{generate, generate_tuned, CompiledKernel, GemmConfig, GemmError};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Number of independently locked shards.
+const SHARDS: usize = 8;
+
+/// Monotonic counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to compile a kernel.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
+    /// Misses that were compiled from a tuned plan-store record (the
+    /// remainder used the default plan).
+    pub tuned_compiles: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One shard: a small LRU list with the most recently used entry last.
+///
+/// Shard capacities are single digits to low tens, so a vector scan beats a
+/// linked-list LRU both in code and in cache behaviour.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: Vec<(GemmConfig, Arc<CompiledKernel>)>,
+}
+
+impl Shard {
+    fn get(&mut self, cfg: &GemmConfig) -> Option<Arc<CompiledKernel>> {
+        let pos = self.entries.iter().position(|(c, _)| c == cfg)?;
+        // Refresh recency: move to the back.
+        let entry = self.entries.remove(pos);
+        let kernel = entry.1.clone();
+        self.entries.push(entry);
+        Some(kernel)
+    }
+
+    /// Insert a fresh entry, evicting the least recently used if the shard
+    /// is full. Returns the number of evicted entries (0 or 1).
+    fn insert(&mut self, cfg: GemmConfig, kernel: Arc<CompiledKernel>, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() >= capacity && !self.entries.is_empty() {
+            self.entries.remove(0);
+            evicted += 1;
+        }
+        self.entries.push((cfg, kernel));
+        evicted
+    }
+}
+
+/// A sharded, thread-safe cache of compiled GEMM kernels keyed by
+/// [`GemmConfig`].
+#[derive(Debug)]
+pub struct KernelCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    store: RwLock<PlanStore>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    tuned_compiles: AtomicU64,
+}
+
+impl KernelCache {
+    /// Create a cache bounded to roughly `capacity` kernels with an empty
+    /// plan store.
+    ///
+    /// The bound is applied per shard (`capacity` is divided over the
+    /// shards, rounded up), so the true ceiling is at most
+    /// `capacity + SHARDS - 1` kernels.
+    pub fn new(capacity: usize) -> Self {
+        KernelCache::with_store(capacity, PlanStore::new())
+    }
+
+    /// Create a cache that consults `store` for tuned plans before falling
+    /// back to the default plan.
+    pub fn with_store(capacity: usize, store: PlanStore) -> Self {
+        let shard_capacity = capacity.div_ceil(SHARDS).max(1);
+        KernelCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            store: RwLock::new(store),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tuned_compiles: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, cfg: &GemmConfig) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        cfg.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Fetch the kernel for `cfg`, compiling it on miss.
+    ///
+    /// On miss the plan store is consulted with the normalized tuning key;
+    /// a stored winner is compiled through the tuned dispatch path
+    /// ([`sme_gemm::generate_tuned`]), anything else through
+    /// [`sme_gemm::generate`]. A tuned record that fails to compile falls
+    /// back to the default plan (visible as a miss without a matching
+    /// `tuned_compiles` increment) — only the configuration's own
+    /// invalidity is an error.
+    pub fn get_or_compile(&self, cfg: &GemmConfig) -> Result<Arc<CompiledKernel>, GemmError> {
+        let mut shard = self.shard_for(cfg).lock().expect("cache shard poisoned");
+        if let Some(kernel) = shard.get(cfg) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(kernel);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tuned = self
+            .store
+            .read()
+            .expect("plan store poisoned")
+            .lookup(cfg)
+            .copied();
+        let kernel = match tuned {
+            // A bad record (e.g. hand-edited into a store built in memory,
+            // where no load-time validation runs) must not make a valid
+            // configuration undispatchable: fall back to the default plan
+            // and leave `tuned_compiles` untouched so the degradation is
+            // visible in the counters.
+            Some(record) => match generate_tuned(cfg, &record.candidate) {
+                Ok(kernel) => {
+                    self.tuned_compiles.fetch_add(1, Ordering::Relaxed);
+                    kernel
+                }
+                Err(_) => generate(cfg)?,
+            },
+            None => generate(cfg)?,
+        };
+        let kernel = Arc::new(kernel);
+        let evicted = shard.insert(*cfg, kernel.clone(), self.shard_capacity);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Ok(kernel)
+    }
+
+    /// Look up `cfg` without compiling or touching the counters (recency is
+    /// still refreshed on hit).
+    pub fn peek(&self, cfg: &GemmConfig) -> Option<Arc<CompiledKernel>> {
+        self.shard_for(cfg)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(cfg)
+    }
+
+    /// Drop the cached kernel for `cfg`, if present.
+    pub fn invalidate(&self, cfg: &GemmConfig) -> bool {
+        let mut shard = self.shard_for(cfg).lock().expect("cache shard poisoned");
+        let before = shard.entries.len();
+        shard.entries.retain(|(c, _)| c != cfg);
+        shard.entries.len() != before
+    }
+
+    /// Install a tuned winner for `cfg` and invalidate every cached kernel
+    /// that shares its tuning key, so the next request compiles the tuned
+    /// variant.
+    pub fn install_tuned(&self, cfg: &GemmConfig, record: TunedRecord) {
+        let key = tune_key(cfg);
+        self.store
+            .write()
+            .expect("plan store poisoned")
+            .insert(cfg, record);
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("cache shard poisoned")
+                .entries
+                .retain(|(c, _)| tune_key(c) != key);
+        }
+    }
+
+    /// The tuned record that would be used for `cfg`, if one is stored.
+    pub fn lookup_tuned(&self, cfg: &GemmConfig) -> Option<TunedRecord> {
+        self.store
+            .read()
+            .expect("plan store poisoned")
+            .lookup(cfg)
+            .copied()
+    }
+
+    /// Replace the whole plan store (e.g. after [`PlanStore::load`]) and
+    /// drop every cached kernel, since any of them may now be stale.
+    pub fn replace_store(&self, store: PlanStore) {
+        *self.store.write().expect("plan store poisoned") = store;
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").entries.clear();
+        }
+    }
+
+    /// Snapshot of the plan store (for persistence).
+    pub fn export_store(&self) -> PlanStore {
+        self.store.read().expect("plan store poisoned").clone()
+    }
+
+    /// Number of cached kernels.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// `true` if no kernels are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the monotonic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            tuned_compiles: self.tuned_compiles.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tune_key;
+    use sme_gemm::{PlanCandidate, PlanKind, ZaTransferStrategy};
+
+    #[test]
+    fn second_request_hits_without_compiling() {
+        let cache = KernelCache::new(16);
+        let cfg = GemmConfig::abt(32, 32, 8);
+        let first = cache.get_or_compile(&cfg).unwrap();
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                ..Default::default()
+            }
+        );
+        let second = cache.get_or_compile(&cfg).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same compiled kernel object");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_least_recently_used() {
+        // Capacity 8 over 8 shards = 1 kernel per shard: two configurations
+        // that land in the same shard must displace each other.
+        let cache = KernelCache::new(8);
+        let shard_of = |cfg: &GemmConfig| {
+            let mut hasher = DefaultHasher::new();
+            cfg.hash(&mut hasher);
+            (hasher.finish() as usize) % SHARDS
+        };
+        // Find two configs sharing a shard.
+        let mut cfgs = vec![GemmConfig::abt(16, 16, 4)];
+        let mut k = 4;
+        while cfgs.len() < 2 {
+            k += 4;
+            let candidate = GemmConfig::abt(16, 16, k);
+            if shard_of(&candidate) == shard_of(&cfgs[0]) {
+                cfgs.push(candidate);
+            }
+        }
+        cache.get_or_compile(&cfgs[0]).unwrap();
+        cache.get_or_compile(&cfgs[1]).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.peek(&cfgs[0]).is_none(), "LRU entry evicted");
+        assert!(cache.peek(&cfgs[1]).is_some());
+        // Re-requesting the evicted config is a miss again.
+        cache.get_or_compile(&cfgs[0]).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn recency_is_refreshed_on_hit() {
+        // One shard of capacity 2 (capacity 16 / 8 shards): fill it with two
+        // same-shard configs, touch the older one, insert a third — the
+        // middle one must be the victim.
+        let cache = KernelCache::new(16);
+        let shard_of = |cfg: &GemmConfig| {
+            let mut hasher = DefaultHasher::new();
+            cfg.hash(&mut hasher);
+            (hasher.finish() as usize) % SHARDS
+        };
+        let mut same_shard = Vec::new();
+        let mut k = 0;
+        while same_shard.len() < 3 {
+            k += 4;
+            let cfg = GemmConfig::abt(16, 16, k);
+            if same_shard.is_empty() || shard_of(&cfg) == shard_of(&same_shard[0]) {
+                same_shard.push(cfg);
+            }
+        }
+        cache.get_or_compile(&same_shard[0]).unwrap();
+        cache.get_or_compile(&same_shard[1]).unwrap();
+        cache.get_or_compile(&same_shard[0]).unwrap(); // refresh [0]
+        cache.get_or_compile(&same_shard[2]).unwrap(); // evicts [1]
+        assert!(cache.peek(&same_shard[0]).is_some());
+        assert!(cache.peek(&same_shard[1]).is_none());
+        assert!(cache.peek(&same_shard[2]).is_some());
+    }
+
+    #[test]
+    fn tuned_records_drive_compilation() {
+        let cache = KernelCache::new(16);
+        let cfg = GemmConfig::abt(40, 40, 16);
+        // Without a record: default compile.
+        let plain = cache.get_or_compile(&cfg).unwrap();
+        assert_eq!(plain.config().c_transfer, cfg.c_transfer);
+        assert_eq!(cache.stats().tuned_compiles, 0);
+
+        // Installing a winner invalidates and redirects the next compile.
+        let record = TunedRecord {
+            candidate: PlanCandidate {
+                kind: PlanKind::Heterogeneous,
+                c_transfer: ZaTransferStrategy::Direct,
+                k_unroll: 4,
+            },
+            tuned_cycles: 10.0,
+            default_cycles: 20.0,
+        };
+        cache.install_tuned(&cfg, record);
+        assert!(cache.peek(&cfg).is_none(), "stale kernel invalidated");
+        let tuned = cache.get_or_compile(&cfg).unwrap();
+        assert_eq!(tuned.config().c_transfer, ZaTransferStrategy::Direct);
+        assert_eq!(tuned.config().k_unroll, 4);
+        assert_eq!(cache.stats().tuned_compiles, 1);
+        assert_eq!(cache.lookup_tuned(&cfg).unwrap(), record);
+
+        // A knob-variant of the same shape shares the tuned record…
+        let variant = cfg.with_k_unroll(2);
+        assert_eq!(tune_key(&variant), tune_key(&cfg));
+        let tuned2 = cache.get_or_compile(&variant).unwrap();
+        assert_eq!(tuned2.config().k_unroll, 4, "tuned knobs win");
+        // …and replace_store drops everything.
+        cache.replace_store(PlanStore::new());
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup_tuned(&cfg), None);
+    }
+
+    #[test]
+    fn uncompilable_tuned_records_fall_back_to_the_default_plan() {
+        // A store built in memory can carry records load-time validation
+        // never saw; the cache must degrade to the default plan rather
+        // than hard-fail a valid configuration.
+        let cfg = GemmConfig::ab(32, 32, 8);
+        let mut store = PlanStore::new();
+        store.insert(
+            &cfg,
+            TunedRecord {
+                // Heterogeneous is incompatible with column-major B.
+                candidate: PlanCandidate {
+                    kind: PlanKind::Heterogeneous,
+                    c_transfer: ZaTransferStrategy::TwoStep,
+                    k_unroll: 1,
+                },
+                tuned_cycles: 1.0,
+                default_cycles: 1.0,
+            },
+        );
+        let cache = KernelCache::with_store(16, store);
+        let kernel = cache.get_or_compile(&cfg).expect("falls back to default");
+        assert!(kernel.validate(5) < 1e-4);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.tuned_compiles, 0, "fallback is counter-visible");
+    }
+
+    #[test]
+    fn invalidate_and_len_track_entries() {
+        let cache = KernelCache::new(16);
+        let a = GemmConfig::abt(16, 16, 4);
+        let b = GemmConfig::abt(16, 16, 8);
+        cache.get_or_compile(&a).unwrap();
+        cache.get_or_compile(&b).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.invalidate(&a));
+        assert!(!cache.invalidate(&a), "already gone");
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn invalid_configurations_propagate_errors_and_are_not_cached() {
+        let cache = KernelCache::new(16);
+        let bad = GemmConfig::abt(0, 16, 4);
+        assert!(cache.get_or_compile(&bad).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_requests_compile_each_kernel_once() {
+        let cache = Arc::new(KernelCache::new(64));
+        let cfgs: Vec<GemmConfig> = (1..=4).map(|i| GemmConfig::abt(16 * i, 16, 8)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = cache.clone();
+                let cfgs = cfgs.clone();
+                scope.spawn(move || {
+                    for cfg in &cfgs {
+                        cache.get_or_compile(cfg).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4, "each kernel compiled exactly once");
+        assert_eq!(stats.hits, 8 * 4 - 4);
+        assert_eq!(cache.len(), 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! # sme-runtime
+//!
+//! The serving layer of the reproduction: **tune once, cache, dispatch**.
+//!
+//! The paper's generator (like LIBXSMM) produces kernels that are executed
+//! many times per time step, so the host-side cost that matters in
+//! production is not one generation but the steady state: repeated mixed
+//! traffic that should hit pre-compiled, pre-tuned kernels. This crate adds
+//! the three pieces the bare generator lacks:
+//!
+//! * [`KernelCache`] — a sharded, thread-safe, bounded-LRU cache keyed by
+//!   [`GemmConfig`], handing out `Arc<CompiledKernel>` on hit and compiling
+//!   on miss, with exact hit/miss/eviction counters;
+//! * [`tuner`] — an autotuner that enumerates the candidate block plans,
+//!   ZA-transfer strategies and unroll factors
+//!   ([`sme_gemm::enumerate_candidates`]), scores each by simulated cycles
+//!   on the `sme-machine` timing model, and persists winners in a
+//!   versioned serde-JSON [`PlanStore`] the cache consults before falling
+//!   back to the default heterogeneous plan;
+//! * [`GemmService`] — a batched front end that accepts mixed-configuration
+//!   request batches, groups them by kernel, fans the groups out across
+//!   host threads via `rayon`, and aggregates [`sme_machine::ExecStats`]
+//!   per configuration.
+//!
+//! ## Cache → tune → dispatch
+//!
+//! ```
+//! use sme_gemm::GemmConfig;
+//! use sme_runtime::{GemmRequest, GemmService, PlanStore, TunerOptions};
+//!
+//! let service = GemmService::new(32);
+//! let cfg = GemmConfig::abt(48, 48, 16);
+//!
+//! // Dispatch compiles on first sight, then serves every repeat from the
+//! // cache — counter-verified.
+//! let batch: Vec<GemmRequest> = (0..4)
+//!     .map(|seed| GemmRequest { config: cfg, seed })
+//!     .collect();
+//! service.dispatch(&batch).expect("valid batch");
+//! service.dispatch(&batch).expect("valid batch");
+//! let stats = service.cache().stats();
+//! assert_eq!(stats.misses, 1);
+//! assert!(stats.hits >= 1);
+//!
+//! // Autotuning can only improve the modelled cycle count, and the winner
+//! // is installed so later dispatches use it.
+//! let outcome = service.tune(&cfg, &TunerOptions::quick()).expect("tunable");
+//! assert!(outcome.tuned_cycles <= outcome.default_cycles);
+//!
+//! // Winners persist as a small JSON document…
+//! let json = service.cache().export_store().to_json();
+//! // …that a later process can load back.
+//! let store = PlanStore::from_json(&json).expect("well-formed store");
+//! assert!(store.lookup(&cfg).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod service;
+pub mod store;
+pub mod tuner;
+
+pub use cache::{CacheStats, KernelCache};
+pub use service::{BatchReport, ConfigReport, GemmRequest, GemmService};
+pub use store::{tune_key, PlanStore, PlanStoreError, TunedRecord, PLAN_STORE_VERSION};
+pub use tuner::{tune, tune_into_store, TuneOutcome, TunerOptions};
+
+// Re-exported so doc examples and downstream callers can name the config
+// type without adding a direct `sme-gemm` dependency.
+pub use sme_gemm::GemmConfig;

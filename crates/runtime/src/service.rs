@@ -1,0 +1,360 @@
+//! The batched dispatch service: mixed-configuration GEMM traffic in, one
+//! kernel fetch per distinct configuration, parallel execution out.
+//!
+//! A [`GemmService`] front-ends the [`KernelCache`]: callers submit a batch
+//! of [`GemmRequest`]s with arbitrary (mixed) configurations, the service
+//! groups them by configuration, fetches each group's kernel from the cache
+//! exactly once, and fans the groups out across host threads via `rayon` —
+//! each group executing its requests back to back on a private single-core
+//! simulator, the way one core of the machine would serve them.
+//! [`ExecStats`] are aggregated per configuration and for the whole batch,
+//! and [`BatchReport::makespan_cycles`] projects the per-core totals onto a
+//! multi-core machine with an LPT schedule.
+
+use crate::cache::KernelCache;
+use crate::tuner::{self, TuneOutcome, TunerOptions};
+use rayon::prelude::*;
+use sme_gemm::{GemmConfig, GemmError};
+use sme_machine::exec::{RunOptions, Simulator};
+use sme_machine::ExecStats;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One GEMM execution request: a configuration plus the seed from which the
+/// operands are derived deterministically (the service owns the simulated
+/// memory, so operands are generated, not passed by pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmRequest {
+    /// The kernel configuration.
+    pub config: GemmConfig,
+    /// Seed for the pseudo-random A, B and initial C operands.
+    pub seed: u64,
+}
+
+/// Aggregated statistics for all requests sharing one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigReport {
+    /// The configuration.
+    pub config: GemmConfig,
+    /// Number of requests in the batch with this configuration.
+    pub requests: usize,
+    /// Execution statistics summed over those requests.
+    pub stats: ExecStats,
+}
+
+/// The result of dispatching one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Resulting C buffers, indexed like the submitted request slice.
+    pub outputs: Vec<Vec<f32>>,
+    /// Per-configuration aggregates, in first-appearance order.
+    pub per_config: Vec<ConfigReport>,
+    /// Statistics summed over the whole batch.
+    pub total: ExecStats,
+}
+
+impl BatchReport {
+    /// Nominal floating-point operations of the whole batch.
+    pub fn total_flops(&self) -> u64 {
+        self.per_config
+            .iter()
+            .map(|c| c.config.flops() * c.requests as u64)
+            .sum()
+    }
+
+    /// Modelled makespan (cycles) of the batch on `cores` identical cores,
+    /// using a longest-processing-time greedy schedule of the
+    /// per-configuration cycle totals (a group never splits across cores —
+    /// it shares one kernel and one working set).
+    pub fn makespan_cycles(&self, cores: usize) -> f64 {
+        let cores = cores.max(1);
+        let mut loads = vec![0.0f64; cores];
+        let mut groups: Vec<f64> = self.per_config.iter().map(|c| c.stats.cycles).collect();
+        groups.sort_by(|a, b| b.partial_cmp(a).expect("cycles are finite"));
+        for cycles in groups {
+            let min = loads
+                .iter_mut()
+                .min_by(|a, b| a.partial_cmp(b).expect("loads are finite"))
+                .expect("at least one core");
+            *min += cycles;
+        }
+        loads.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Modelled throughput (GFLOPS) of the batch on `cores` identical
+    /// cores: total nominal operations over the makespan.
+    pub fn aggregate_gflops(&self, cores: usize) -> f64 {
+        if self.total.clock_ghz == 0.0 {
+            return 0.0;
+        }
+        let seconds = self.makespan_cycles(cores) / (self.total.clock_ghz * 1e9);
+        if seconds == 0.0 {
+            0.0
+        } else {
+            self.total_flops() as f64 / seconds / 1e9
+        }
+    }
+}
+
+/// The batched GEMM dispatch service.
+#[derive(Debug, Clone)]
+pub struct GemmService {
+    cache: Arc<KernelCache>,
+}
+
+impl GemmService {
+    /// Create a service with a fresh cache bounded to `cache_capacity`
+    /// kernels and an empty plan store.
+    pub fn new(cache_capacity: usize) -> Self {
+        GemmService {
+            cache: Arc::new(KernelCache::new(cache_capacity)),
+        }
+    }
+
+    /// Create a service around an existing (possibly shared) cache.
+    pub fn with_cache(cache: Arc<KernelCache>) -> Self {
+        GemmService { cache }
+    }
+
+    /// The underlying kernel cache (counters, plan-store access).
+    pub fn cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// Autotune `cfg` and install the winner, so subsequent dispatches of
+    /// this shape (whatever their knob settings) use the tuned kernel.
+    pub fn tune(&self, cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
+        let outcome = tuner::tune(cfg, opts)?;
+        self.cache.install_tuned(cfg, outcome.record());
+        Ok(outcome)
+    }
+
+    /// Dispatch a batch of requests.
+    ///
+    /// Requests are grouped by configuration; each distinct configuration
+    /// costs at most one cache miss, and the groups execute concurrently on
+    /// private simulator instances. Results come back in request order.
+    ///
+    /// # Errors
+    /// Fails on the first invalid configuration; no partial report is
+    /// returned (kernels compiled before the failure stay cached).
+    pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<BatchReport, GemmError> {
+        // Group request indices by configuration, first-appearance order.
+        let mut group_of: HashMap<GemmConfig, usize> = HashMap::new();
+        let mut groups: Vec<(GemmConfig, Vec<usize>)> = Vec::new();
+        for (index, request) in requests.iter().enumerate() {
+            match group_of.get(&request.config) {
+                Some(&g) => groups[g].1.push(index),
+                None => {
+                    group_of.insert(request.config, groups.len());
+                    groups.push((request.config, vec![index]));
+                }
+            }
+        }
+
+        // Fan the groups out across host threads. The cache is shared and
+        // thread-safe, so the kernel fetch happens inside the worker: one
+        // miss per distinct configuration, hits for repeats across batches.
+        type GroupOutput = (Vec<(usize, Vec<f32>)>, ExecStats);
+        let executed: Vec<Result<GroupOutput, GemmError>> = groups
+            .par_iter()
+            .map(|(config, indices)| {
+                let kernel = self.cache.get_or_compile(config)?;
+                let mut sim = Simulator::m4_performance();
+                let mut stats = ExecStats::default();
+                let mut outputs = Vec::with_capacity(indices.len());
+                for &index in indices {
+                    let bufs = kernel.allocate_buffers(&mut sim, Some(requests[index].seed));
+                    let result = kernel.run(&mut sim, bufs, &RunOptions::default());
+                    stats.merge(&result.stats);
+                    outputs.push((index, sim.mem.read_f32_slice(bufs.c, config.c_len())));
+                }
+                Ok((outputs, stats))
+            })
+            .collect();
+
+        let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); requests.len()];
+        let mut per_config = Vec::with_capacity(groups.len());
+        let mut total = ExecStats::default();
+        for ((config, indices), result) in groups.iter().zip(executed) {
+            let (group_outputs, stats) = result?;
+            for (index, c) in group_outputs {
+                outputs[index] = c;
+            }
+            total.merge(&stats);
+            per_config.push(ConfigReport {
+                config: *config,
+                requests: indices.len(),
+                stats,
+            });
+        }
+        Ok(BatchReport {
+            outputs,
+            per_config,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_gemm::reference::{fill_matrix, gemm_reference};
+
+    /// The C buffer the scalar reference produces for one request.
+    fn reference_output(request: &GemmRequest) -> Vec<f32> {
+        let cfg = &request.config;
+        let mut a = vec![0.0f32; cfg.a_len()];
+        let mut b = vec![0.0f32; cfg.b_len()];
+        let mut c = vec![0.0f32; cfg.c_len()];
+        // Mirror CompiledKernel::allocate_buffers' seeding scheme.
+        fill_matrix(request.seed, &mut a);
+        fill_matrix(request.seed ^ 0x1111_1111, &mut b);
+        fill_matrix(request.seed ^ 0x2222_2222, &mut c);
+        gemm_reference(cfg, &a, &b, &mut c);
+        c
+    }
+
+    #[test]
+    fn mixed_batch_groups_by_config_and_orders_outputs() {
+        let service = GemmService::new(16);
+        let abt = GemmConfig::abt(20, 12, 6);
+        let ab = GemmConfig::ab(16, 16, 8);
+        let requests = [
+            GemmRequest {
+                config: abt,
+                seed: 1,
+            },
+            GemmRequest {
+                config: ab,
+                seed: 2,
+            },
+            GemmRequest {
+                config: abt,
+                seed: 3,
+            },
+            GemmRequest {
+                config: ab,
+                seed: 4,
+            },
+            GemmRequest {
+                config: abt,
+                seed: 5,
+            },
+        ];
+        let report = service.dispatch(&requests).unwrap();
+        assert_eq!(report.outputs.len(), 5);
+        assert_eq!(report.per_config.len(), 2, "two distinct configurations");
+        assert_eq!(report.per_config[0].config, abt, "first-appearance order");
+        assert_eq!(report.per_config[0].requests, 3);
+        assert_eq!(report.per_config[1].requests, 2);
+        // One compile per distinct configuration.
+        let stats = service.cache().stats();
+        assert_eq!(stats.misses, 2);
+        // Each output matches its own request's reference, so grouping did
+        // not permute results.
+        for (request, output) in requests.iter().zip(&report.outputs) {
+            let reference = reference_output(request);
+            let err = output
+                .iter()
+                .zip(&reference)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(err < 1e-4, "{}: max abs error {err}", request.config);
+        }
+        // Totals aggregate the per-config stats.
+        let summed: u64 = report.per_config.iter().map(|c| c.stats.instructions).sum();
+        assert_eq!(report.total.instructions, summed);
+        assert_eq!(report.total_flops(), 3 * abt.flops() + 2 * ab.flops());
+    }
+
+    #[test]
+    fn repeat_batches_are_served_from_the_cache() {
+        let service = GemmService::new(16);
+        let requests = [GemmRequest {
+            config: GemmConfig::abt(16, 16, 4),
+            seed: 9,
+        }];
+        let first = service.dispatch(&requests).unwrap();
+        let second = service.dispatch(&requests).unwrap();
+        assert_eq!(first.outputs, second.outputs, "deterministic results");
+        let stats = service.cache().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let service = GemmService::new(4);
+        let report = service.dispatch(&[]).unwrap();
+        assert!(report.outputs.is_empty());
+        assert!(report.per_config.is_empty());
+        assert_eq!(report.total, ExecStats::default());
+        assert_eq!(report.total_flops(), 0);
+        assert_eq!(report.makespan_cycles(4), 0.0);
+        assert_eq!(report.aggregate_gflops(4), 0.0);
+    }
+
+    #[test]
+    fn invalid_requests_fail_the_whole_batch() {
+        let service = GemmService::new(4);
+        let requests = [
+            GemmRequest {
+                config: GemmConfig::abt(16, 16, 4),
+                seed: 0,
+            },
+            GemmRequest {
+                config: GemmConfig::abt(0, 16, 4),
+                seed: 0,
+            },
+        ];
+        assert!(service.dispatch(&requests).is_err());
+    }
+
+    #[test]
+    fn makespan_shrinks_with_more_cores_and_bounds_hold() {
+        let service = GemmService::new(16);
+        let mut requests = Vec::new();
+        for (i, mn) in [16usize, 24, 32, 40].into_iter().enumerate() {
+            for r in 0..3 {
+                requests.push(GemmRequest {
+                    config: GemmConfig::abt(mn, mn, 8),
+                    seed: (i * 10 + r) as u64,
+                });
+            }
+        }
+        let report = service.dispatch(&requests).unwrap();
+        let serial = report.makespan_cycles(1);
+        let quad = report.makespan_cycles(4);
+        assert!((serial - report.total.cycles).abs() < 1e-6 * serial);
+        assert!(quad <= serial);
+        // The makespan can never beat a perfect split or the largest group.
+        let largest = report
+            .per_config
+            .iter()
+            .map(|c| c.stats.cycles)
+            .fold(0.0f64, f64::max);
+        assert!(quad >= serial / 4.0 - 1e-9);
+        assert!(quad >= largest - 1e-9);
+        assert!(report.aggregate_gflops(4) >= report.aggregate_gflops(1));
+    }
+
+    #[test]
+    fn tuning_through_the_service_redirects_dispatch() {
+        let service = GemmService::new(16);
+        let cfg = GemmConfig::abt(64, 16, 32);
+        let requests = [GemmRequest {
+            config: cfg,
+            seed: 3,
+        }];
+        let untuned = service.dispatch(&requests).unwrap();
+        let outcome = service.tune(&cfg, &TunerOptions::default()).unwrap();
+        assert!(outcome.tuned_cycles <= outcome.default_cycles);
+        let tuned = service.dispatch(&requests).unwrap();
+        // Results are unchanged…
+        assert_eq!(untuned.outputs, tuned.outputs);
+        // …and the tuned dispatch is no slower in the model.
+        assert!(tuned.total.cycles <= untuned.total.cycles + 1e-9);
+        assert_eq!(service.cache().stats().tuned_compiles, 1);
+    }
+}

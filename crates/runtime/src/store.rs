@@ -1,0 +1,441 @@
+//! Persistent store of autotuned plan winners.
+//!
+//! The tuner is expensive (it generates and timing-simulates every
+//! candidate), so winners are worth keeping across runs. A [`PlanStore`]
+//! maps a *normalized* [`GemmConfig`] — the shape, leading dimensions,
+//! layout and accumulation mode, with the tunable code-generation knobs
+//! reset — to the winning [`PlanCandidate`] and its scores, and round-trips
+//! through a small versioned JSON document (see [`PlanStore::to_json`]).
+//!
+//! A record never stores the expanded block list: a [`PlanKind`] is enough
+//! to re-derive the plan deterministically, which keeps the document tiny
+//! and immune to staleness in the block geometry itself.
+
+use serde::Serialize;
+use sme_gemm::{BLayout, Beta, GemmConfig, PlanCandidate, PlanKind, ZaTransferStrategy};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// Version stamp written into (and required from) the JSON document.
+pub const PLAN_STORE_VERSION: u64 = 1;
+
+/// The tuning result stored for one normalized configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunedRecord {
+    /// The winning candidate.
+    pub candidate: PlanCandidate,
+    /// Simulated cycles of the winner.
+    pub tuned_cycles: f64,
+    /// Simulated cycles of the default (untuned) candidate, kept so that
+    /// reports can show the achieved improvement without re-simulating.
+    pub default_cycles: f64,
+}
+
+impl TunedRecord {
+    /// Speed-up of the winner over the default plan (≥ 1 by construction:
+    /// the tuner's candidate set always contains the default).
+    pub fn speedup(&self) -> f64 {
+        if self.tuned_cycles == 0.0 {
+            1.0
+        } else {
+            self.default_cycles / self.tuned_cycles
+        }
+    }
+}
+
+/// Errors reported while loading or parsing a persisted plan store.
+#[derive(Debug)]
+pub enum PlanStoreError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The document is not valid JSON or not a valid plan store.
+    Format(String),
+}
+
+impl fmt::Display for PlanStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanStoreError::Io(e) => write!(f, "plan store I/O error: {e}"),
+            PlanStoreError::Format(msg) => write!(f, "plan store format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanStoreError {}
+
+impl From<std::io::Error> for PlanStoreError {
+    fn from(e: std::io::Error) -> Self {
+        PlanStoreError::Io(e)
+    }
+}
+
+/// In-memory map of tuned winners, keyed by normalized configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanStore {
+    entries: HashMap<GemmConfig, TunedRecord>,
+}
+
+/// Normalize a configuration to its tuning key: the tunable knobs
+/// (`c_transfer`, `k_unroll`) are reset to fixed values so that requests
+/// differing only in those knobs share one tuned winner.
+pub fn tune_key(cfg: &GemmConfig) -> GemmConfig {
+    cfg.with_c_transfer(ZaTransferStrategy::TwoStep)
+        .with_k_unroll(1)
+}
+
+impl PlanStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        PlanStore::default()
+    }
+
+    /// Number of tuned winners.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no winners are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record the winner for `cfg` (normalized internally). Returns the
+    /// previous record, if any.
+    pub fn insert(&mut self, cfg: &GemmConfig, record: TunedRecord) -> Option<TunedRecord> {
+        self.entries.insert(tune_key(cfg), record)
+    }
+
+    /// Look up the winner for `cfg` (normalized internally).
+    pub fn lookup(&self, cfg: &GemmConfig) -> Option<&TunedRecord> {
+        self.entries.get(&tune_key(cfg))
+    }
+
+    /// Iterate over `(normalized config, record)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&GemmConfig, &TunedRecord)> {
+        self.entries.iter()
+    }
+
+    /// Serialize to the versioned JSON document, with entries sorted by
+    /// shape so the output is deterministic.
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Entry {
+            m: usize,
+            n: usize,
+            k: usize,
+            lda: usize,
+            ldb: usize,
+            ldc: usize,
+            b_layout: BLayout,
+            beta: Beta,
+            plan: String,
+            c_transfer: ZaTransferStrategy,
+            k_unroll: usize,
+            tuned_cycles: f64,
+            default_cycles: f64,
+        }
+        #[derive(Serialize)]
+        struct Doc {
+            version: u64,
+            entries: Vec<Entry>,
+        }
+        let mut pairs: Vec<(&GemmConfig, &TunedRecord)> = self.entries.iter().collect();
+        pairs.sort_by_key(|(c, _)| {
+            (
+                c.m,
+                c.n,
+                c.k,
+                c.lda,
+                c.ldb,
+                c.ldc,
+                c.b_layout == BLayout::ColMajor,
+                c.beta == Beta::One,
+            )
+        });
+        let doc = Doc {
+            version: PLAN_STORE_VERSION,
+            entries: pairs
+                .into_iter()
+                .map(|(c, r)| Entry {
+                    m: c.m,
+                    n: c.n,
+                    k: c.k,
+                    lda: c.lda,
+                    ldb: c.ldb,
+                    ldc: c.ldc,
+                    b_layout: c.b_layout,
+                    beta: c.beta,
+                    plan: r.candidate.kind.name().to_string(),
+                    c_transfer: r.candidate.c_transfer,
+                    k_unroll: r.candidate.k_unroll,
+                    tuned_cycles: r.tuned_cycles,
+                    default_cycles: r.default_cycles,
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&doc).expect("shim serialization is total")
+    }
+
+    /// Parse a document produced by [`PlanStore::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, PlanStoreError> {
+        let fail = |msg: &str| PlanStoreError::Format(msg.to_string());
+        let doc = serde_json::from_str(text)
+            .map_err(|e| PlanStoreError::Format(format!("invalid JSON: {e}")))?;
+        match doc.get("version").and_then(|v| v.as_u64()) {
+            Some(PLAN_STORE_VERSION) => {}
+            Some(other) => {
+                return Err(PlanStoreError::Format(format!(
+                    "unsupported plan store version {other} (expected {PLAN_STORE_VERSION})"
+                )))
+            }
+            None => return Err(fail("missing `version` field")),
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| fail("missing `entries` array"))?;
+        let mut store = PlanStore::new();
+        for entry in entries {
+            let dim = |name: &str| -> Result<usize, PlanStoreError> {
+                entry
+                    .get(name)
+                    .and_then(|v| v.as_u64())
+                    .map(|v| v as usize)
+                    .ok_or_else(|| fail(&format!("entry missing integer field `{name}`")))
+            };
+            let text_field = |name: &str| -> Result<&str, PlanStoreError> {
+                entry
+                    .get(name)
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| fail(&format!("entry missing string field `{name}`")))
+            };
+            let cycles = |name: &str| -> Result<f64, PlanStoreError> {
+                entry
+                    .get(name)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| fail(&format!("entry missing number field `{name}`")))
+            };
+            let b_layout = match text_field("b_layout")? {
+                "RowMajor" => BLayout::RowMajor,
+                "ColMajor" => BLayout::ColMajor,
+                other => return Err(fail(&format!("unknown b_layout `{other}`"))),
+            };
+            let beta = match text_field("beta")? {
+                "Zero" => Beta::Zero,
+                "One" => Beta::One,
+                other => return Err(fail(&format!("unknown beta `{other}`"))),
+            };
+            let c_transfer = match text_field("c_transfer")? {
+                "Direct" => ZaTransferStrategy::Direct,
+                "TwoStep" => ZaTransferStrategy::TwoStep,
+                other => return Err(fail(&format!("unknown c_transfer `{other}`"))),
+            };
+            let plan_name = text_field("plan")?;
+            let kind = PlanKind::from_name(plan_name)
+                .ok_or_else(|| fail(&format!("unknown plan kind `{plan_name}`")))?;
+            let key = GemmConfig {
+                m: dim("m")?,
+                n: dim("n")?,
+                k: dim("k")?,
+                lda: dim("lda")?,
+                ldb: dim("ldb")?,
+                ldc: dim("ldc")?,
+                b_layout,
+                beta,
+                c_transfer: ZaTransferStrategy::TwoStep,
+                k_unroll: 1,
+            };
+            key.validate()
+                .map_err(|e| fail(&format!("invalid stored configuration: {e}")))?;
+            // Validate the candidate too: a malformed record would otherwise
+            // surface much later, as a compile error on every request for
+            // this shape.
+            let k_unroll = dim("k_unroll")?;
+            if !matches!(k_unroll, 1 | 2 | 4) {
+                return Err(fail(&format!(
+                    "invalid stored k_unroll {k_unroll} (supported: 1, 2, 4)"
+                )));
+            }
+            if b_layout == BLayout::ColMajor && kind != PlanKind::ColumnPanels {
+                return Err(fail(&format!(
+                    "plan kind `{plan_name}` is incompatible with column-major B \
+                     (only ColumnPanels is)"
+                )));
+            }
+            let record = TunedRecord {
+                candidate: PlanCandidate {
+                    kind,
+                    c_transfer,
+                    k_unroll,
+                },
+                tuned_cycles: cycles("tuned_cycles")?,
+                default_cycles: cycles("default_cycles")?,
+            };
+            store.entries.insert(key, record);
+        }
+        Ok(store)
+    }
+
+    /// Write the JSON document to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PlanStoreError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Load a store previously written with [`PlanStore::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PlanStoreError> {
+        let text = std::fs::read_to_string(path)?;
+        PlanStore::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_gemm::RegisterBlocking;
+
+    fn sample_record(kind: PlanKind) -> TunedRecord {
+        TunedRecord {
+            candidate: PlanCandidate {
+                kind,
+                c_transfer: ZaTransferStrategy::Direct,
+                k_unroll: 2,
+            },
+            tuned_cycles: 1200.5,
+            default_cycles: 1500.25,
+        }
+    }
+
+    #[test]
+    fn lookup_is_knob_insensitive() {
+        let mut store = PlanStore::new();
+        let cfg = GemmConfig::abt(64, 48, 32);
+        store.insert(&cfg, sample_record(PlanKind::Heterogeneous));
+        // A request differing only in the tunable knobs hits the same record.
+        let variant = cfg
+            .with_c_transfer(ZaTransferStrategy::Direct)
+            .with_k_unroll(4);
+        assert!(store.lookup(&variant).is_some());
+        // A different shape does not.
+        assert!(store.lookup(&GemmConfig::abt(64, 48, 33)).is_none());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut store = PlanStore::new();
+        store.insert(
+            &GemmConfig::abt(80, 80, 512),
+            sample_record(PlanKind::Homogeneous(RegisterBlocking::B16x64)),
+        );
+        store.insert(
+            &GemmConfig::ab(33, 47, 64).with_leading_dims(40, 64, 40),
+            sample_record(PlanKind::ColumnPanels),
+        );
+        let json = store.to_json();
+        let parsed = PlanStore::from_json(&json).unwrap();
+        assert_eq!(parsed, store);
+        assert_eq!(parsed.len(), 2);
+        let rec = parsed.lookup(&GemmConfig::abt(80, 80, 512)).unwrap();
+        assert_eq!(
+            rec.candidate.kind,
+            PlanKind::Homogeneous(RegisterBlocking::B16x64)
+        );
+        assert_eq!(rec.candidate.k_unroll, 2);
+        assert_eq!(rec.tuned_cycles, 1200.5);
+        assert!((rec.speedup() - 1500.25 / 1200.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialized_output_is_deterministic_and_versioned() {
+        let mut store = PlanStore::new();
+        for mn in [96, 32, 64] {
+            store.insert(
+                &GemmConfig::abt(mn, mn, 16),
+                sample_record(PlanKind::Heterogeneous),
+            );
+        }
+        let a = store.to_json();
+        let b = store.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"version\": 1"));
+        // Sorted by shape: 32 before 64 before 96.
+        let p32 = a.find("\"m\": 32").unwrap();
+        let p64 = a.find("\"m\": 64").unwrap();
+        let p96 = a.find("\"m\": 96").unwrap();
+        assert!(p32 < p64 && p64 < p96);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_context() {
+        let cases = [
+            ("not json", "invalid JSON"),
+            ("{}", "version"),
+            (r#"{"version": 2, "entries": []}"#, "version 2"),
+            (r#"{"version": 1}"#, "entries"),
+            (r#"{"version": 1, "entries": [{}]}"#, "missing"),
+            (
+                r#"{"version": 1, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "Diagonal", "beta": "One", "plan": "Heterogeneous",
+                   "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "b_layout",
+            ),
+            (
+                r#"{"version": 1, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "RowMajor", "beta": "One", "plan": "NoSuchPlan",
+                   "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "plan kind",
+            ),
+            (
+                r#"{"version": 1, "entries": [{"m": 0, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "RowMajor", "beta": "One", "plan": "Heterogeneous",
+                   "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "invalid stored configuration",
+            ),
+            (
+                r#"{"version": 1, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "RowMajor", "beta": "One", "plan": "Heterogeneous",
+                   "c_transfer": "TwoStep", "k_unroll": 3,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "k_unroll 3",
+            ),
+            (
+                r#"{"version": 1, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "ColMajor", "beta": "One", "plan": "Heterogeneous",
+                   "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "incompatible with column-major",
+            ),
+        ];
+        for (text, needle) in cases {
+            match PlanStore::from_json(text) {
+                Err(PlanStoreError::Format(msg)) => {
+                    assert!(msg.contains(needle), "{needle:?} not in {msg:?}")
+                }
+                other => panic!("expected Format error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let mut store = PlanStore::new();
+        store.insert(
+            &GemmConfig::abt(48, 48, 48),
+            sample_record(PlanKind::Heterogeneous),
+        );
+        let path = std::env::temp_dir().join("sme_runtime_plan_store_test.json");
+        store.save(&path).unwrap();
+        let loaded = PlanStore::load(&path).unwrap();
+        assert_eq!(loaded, store);
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            PlanStore::load("/nonexistent/plan/store.json"),
+            Err(PlanStoreError::Io(_))
+        ));
+    }
+}

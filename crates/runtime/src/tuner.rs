@@ -1,0 +1,223 @@
+//! The autotuner: score every candidate kernel on the timing model, keep
+//! the winner.
+//!
+//! "Demystifying ARM SME" (see PAPERS.md) observes that the best blocking
+//! and transfer strategy varies with the problem shape, so a single default
+//! plan leaves performance behind. The tuner enumerates the candidates
+//! exposed by [`sme_gemm::enumerate_candidates`] — block-plan kinds ×
+//! ZA-transfer strategies × unroll factors — generates each kernel, and
+//! scores it by **simulated cycles** on the `sme-machine` timing model (one
+//! M4 performance core). Because the candidate set always contains the
+//! default, the winner can never be slower than the untuned kernel in the
+//! model.
+
+use crate::store::{tune_key, PlanStore, TunedRecord};
+use rayon::prelude::*;
+use sme_gemm::{enumerate_candidates, generate_tuned, GemmConfig, GemmError, PlanCandidate};
+
+/// Knobs controlling how much of the candidate space the tuner explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunerOptions {
+    /// Also try the non-default ZA transfer strategy.
+    pub sweep_transfer: bool,
+    /// Also try the non-default contraction-loop unroll factors.
+    pub sweep_k_unroll: bool,
+}
+
+impl Default for TunerOptions {
+    /// Explore the full candidate space.
+    fn default() -> Self {
+        TunerOptions {
+            sweep_transfer: true,
+            sweep_k_unroll: true,
+        }
+    }
+}
+
+impl TunerOptions {
+    /// Plan kinds only — the cheapest useful sweep (4 candidates for
+    /// row-major B), used by doc examples and smoke tests.
+    pub fn quick() -> Self {
+        TunerOptions {
+            sweep_transfer: false,
+            sweep_k_unroll: false,
+        }
+    }
+}
+
+/// The result of tuning one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneOutcome {
+    /// The normalized configuration the outcome is stored under.
+    pub key: GemmConfig,
+    /// The winning candidate.
+    pub winner: PlanCandidate,
+    /// Simulated cycles of the winner.
+    pub tuned_cycles: f64,
+    /// Simulated cycles of the default candidate.
+    pub default_cycles: f64,
+    /// Number of candidates generated and simulated.
+    pub candidates_tried: usize,
+}
+
+impl TuneOutcome {
+    /// Modelled speed-up over the default plan (≥ 1).
+    pub fn speedup(&self) -> f64 {
+        if self.tuned_cycles == 0.0 {
+            1.0
+        } else {
+            self.default_cycles / self.tuned_cycles
+        }
+    }
+
+    /// The record to persist in a [`PlanStore`].
+    pub fn record(&self) -> TunedRecord {
+        TunedRecord {
+            candidate: self.winner,
+            tuned_cycles: self.tuned_cycles,
+            default_cycles: self.default_cycles,
+        }
+    }
+}
+
+/// Tune one configuration: generate and timing-simulate every candidate,
+/// return the cycle-count winner.
+///
+/// Candidates are simulated in parallel on the host (each on its own
+/// single-core simulator instance); the winner is deterministic — ties are
+/// broken towards the default candidate first and then towards the earlier
+/// candidate in enumeration order.
+pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
+    cfg.validate()?;
+    let default = PlanCandidate::default_for(cfg);
+    let candidates: Vec<PlanCandidate> = enumerate_candidates(cfg)
+        .into_iter()
+        .filter(|c| {
+            (opts.sweep_transfer || c.c_transfer == default.c_transfer)
+                && (opts.sweep_k_unroll || c.k_unroll == default.k_unroll)
+        })
+        .collect();
+    debug_assert!(candidates.contains(&default));
+
+    let scored: Vec<Result<(PlanCandidate, f64), GemmError>> = candidates
+        .par_iter()
+        .map(|candidate| {
+            let kernel = generate_tuned(cfg, candidate)?;
+            Ok((*candidate, kernel.model_stats().cycles))
+        })
+        .collect();
+
+    let mut default_cycles = None;
+    let mut best: Option<(PlanCandidate, f64)> = None;
+    for result in scored {
+        let (candidate, cycles) = result?;
+        if candidate == default {
+            default_cycles = Some(cycles);
+        }
+        let better = match &best {
+            None => true,
+            Some((best_candidate, best_cycles)) => {
+                cycles < *best_cycles
+                    || (cycles == *best_cycles
+                        && candidate == default
+                        && *best_candidate != default)
+            }
+        };
+        if better {
+            best = Some((candidate, cycles));
+        }
+    }
+    let (winner, tuned_cycles) = best.expect("candidate set is never empty");
+    let default_cycles = default_cycles.expect("default candidate is always enumerated");
+    Ok(TuneOutcome {
+        key: tune_key(cfg),
+        winner,
+        tuned_cycles,
+        default_cycles,
+        candidates_tried: candidates.len(),
+    })
+}
+
+/// Tune `cfg` and persist the winner into `store`. Returns the outcome.
+pub fn tune_into_store(
+    cfg: &GemmConfig,
+    opts: &TunerOptions,
+    store: &mut PlanStore,
+) -> Result<TuneOutcome, GemmError> {
+    let outcome = tune(cfg, opts)?;
+    store.insert(cfg, outcome.record());
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_gemm::{BLayout, PlanKind};
+
+    #[test]
+    fn tuning_never_loses_to_the_default() {
+        for cfg in [
+            GemmConfig::abt(32, 32, 16),
+            GemmConfig::abt(80, 16, 16),
+            GemmConfig::ab(32, 32, 16),
+        ] {
+            let outcome = tune(&cfg, &TunerOptions::default()).unwrap();
+            assert!(
+                outcome.tuned_cycles <= outcome.default_cycles,
+                "{cfg}: tuned {} > default {}",
+                outcome.tuned_cycles,
+                outcome.default_cycles
+            );
+            assert!(outcome.speedup() >= 1.0);
+            assert!(outcome.candidates_tried >= 2);
+        }
+    }
+
+    #[test]
+    fn quick_options_restrict_the_sweep() {
+        let cfg = GemmConfig::abt(32, 32, 16);
+        let quick = tune(&cfg, &TunerOptions::quick()).unwrap();
+        // Plan kinds only: 4 candidates for row-major B.
+        assert_eq!(quick.candidates_tried, 4);
+        assert_eq!(quick.winner.c_transfer, cfg.c_transfer);
+        assert_eq!(quick.winner.k_unroll, cfg.k_unroll);
+        let full = tune(&cfg, &TunerOptions::default()).unwrap();
+        assert!(full.candidates_tried > quick.candidates_tried);
+        assert!(full.tuned_cycles <= quick.tuned_cycles);
+    }
+
+    #[test]
+    fn tall_thin_shapes_prefer_matching_blockings() {
+        // A 64×16 output fits one B64x16 accumulator exactly; the
+        // heterogeneous default covers it the same way, so the winner must
+        // be at least as good and use a plan with a single microkernel.
+        let cfg = GemmConfig::abt(64, 16, 32);
+        let outcome = tune(&cfg, &TunerOptions::quick()).unwrap();
+        let kernel = generate_tuned(&cfg, &outcome.winner).unwrap();
+        assert_eq!(kernel.plan().num_microkernels(), 1);
+    }
+
+    #[test]
+    fn column_major_tuning_stays_on_the_panel_plan() {
+        let cfg = GemmConfig::ab(48, 48, 16);
+        let outcome = tune(&cfg, &TunerOptions::default()).unwrap();
+        assert_eq!(outcome.winner.kind, PlanKind::ColumnPanels);
+        assert_eq!(cfg.b_layout, BLayout::ColMajor);
+    }
+
+    #[test]
+    fn outcome_round_trips_through_the_store() {
+        let cfg = GemmConfig::abt(48, 48, 16);
+        let mut store = PlanStore::new();
+        let outcome = tune_into_store(&cfg, &TunerOptions::quick(), &mut store).unwrap();
+        let record = store.lookup(&cfg).copied().unwrap();
+        assert_eq!(record, outcome.record());
+        let reloaded = PlanStore::from_json(&store.to_json()).unwrap();
+        assert_eq!(reloaded.lookup(&cfg).copied().unwrap(), record);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(tune(&GemmConfig::abt(0, 8, 8), &TunerOptions::quick()).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end test of the `sme-runtime` subsystem, covering the three
+//! acceptance properties of the runtime PR:
+//!
+//! (a) a second request for the same `GemmConfig` is served from the cache
+//!     without invoking the generator (counter-verified);
+//! (b) the autotuned plan's simulated cycle count is never above the
+//!     default heterogeneous plan's across a representative shape sweep;
+//! (c) batched mixed-configuration dispatch results bit-match the
+//!     per-config reference executions.
+
+use hello_sme::sme_gemm::reference::{fill_matrix, gemm_reference, max_abs_diff};
+use hello_sme::sme_gemm::{generate, GemmConfig};
+use hello_sme::sme_machine::exec::{RunOptions, Simulator};
+use hello_sme::sme_runtime::{GemmRequest, GemmService, KernelCache, PlanStore, TunerOptions};
+
+#[test]
+fn cache_serves_repeats_without_regenerating() {
+    let cache = KernelCache::new(32);
+    let cfg = GemmConfig::abt(48, 48, 32);
+
+    let first = cache.get_or_compile(&cfg).expect("valid configuration");
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (0, 1), "first request compiles");
+
+    // The second request must be a pure cache hit: the miss counter (which
+    // counts exactly the generator invocations) stays put, and the very
+    // same Arc'd kernel object comes back.
+    let second = cache.get_or_compile(&cfg).expect("valid configuration");
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (1, 1),
+        "second request is a hit"
+    );
+    assert!(std::sync::Arc::ptr_eq(&first, &second));
+
+    // A different configuration is an independent miss.
+    cache
+        .get_or_compile(&GemmConfig::abt(48, 48, 33))
+        .expect("valid configuration");
+    assert_eq!(cache.stats().misses, 2);
+}
+
+#[test]
+fn autotuned_plans_never_model_slower_than_the_default() {
+    // A representative sweep: square, wide, tall, thin-strip and
+    // non-multiple-of-16 shapes, plus a column-major case.
+    let shapes: Vec<GemmConfig> = vec![
+        GemmConfig::abt(16, 16, 64),
+        GemmConfig::abt(32, 32, 64),
+        GemmConfig::abt(48, 48, 64),
+        GemmConfig::abt(64, 64, 64),
+        GemmConfig::abt(80, 80, 64),
+        GemmConfig::abt(33, 47, 64),
+        GemmConfig::abt(64, 16, 64),
+        GemmConfig::abt(16, 64, 64),
+        GemmConfig::abt(96, 32, 64),
+        GemmConfig::ab(48, 48, 64),
+    ];
+    let mut store = PlanStore::new();
+    for cfg in &shapes {
+        let outcome =
+            hello_sme::sme_runtime::tune_into_store(cfg, &TunerOptions::default(), &mut store)
+                .expect("tunable configuration");
+        assert!(
+            outcome.tuned_cycles <= outcome.default_cycles,
+            "{cfg}: tuned {} cycles > default {} cycles",
+            outcome.tuned_cycles,
+            outcome.default_cycles
+        );
+        // The reported default really is the default kernel's cycle count.
+        let default_cycles = generate(cfg).expect("valid").model_stats().cycles;
+        assert!(
+            (outcome.default_cycles - default_cycles).abs() < 1e-9 * default_cycles.max(1.0),
+            "{cfg}: tuner's default score drifted"
+        );
+    }
+    // Winners survive a JSON round trip and drive a cache.
+    let reloaded = PlanStore::from_json(&store.to_json()).expect("well-formed document");
+    assert_eq!(reloaded.len(), shapes.len());
+    let cache = KernelCache::with_store(64, reloaded);
+    for cfg in &shapes {
+        cache.get_or_compile(cfg).expect("valid configuration");
+    }
+    assert_eq!(cache.stats().tuned_compiles, shapes.len() as u64);
+}
+
+#[test]
+fn batched_mixed_dispatch_bit_matches_per_config_execution() {
+    let service = GemmService::new(32);
+    // Mixed traffic: three distinct configurations, interleaved, with
+    // repeats, covering both B layouts.
+    let configs = [
+        GemmConfig::abt(20, 12, 6),
+        GemmConfig::ab(16, 16, 8),
+        GemmConfig::abt(33, 17, 5),
+    ];
+    let requests: Vec<GemmRequest> = (0..9)
+        .map(|i| GemmRequest {
+            config: configs[i % 3],
+            seed: 1000 + i as u64,
+        })
+        .collect();
+    let report = service.dispatch(&requests).expect("valid batch");
+    assert_eq!(report.outputs.len(), requests.len());
+    assert_eq!(report.per_config.len(), 3);
+
+    for (request, output) in requests.iter().zip(&report.outputs) {
+        let cfg = &request.config;
+        // Reference 1 (bit-match): the same kernel executed standalone on a
+        // fresh simulator must produce the identical bits — grouping,
+        // caching and host-thread fan-out may not perturb results.
+        let kernel = generate(cfg).expect("valid configuration");
+        let mut sim = Simulator::m4_performance();
+        let bufs = kernel.allocate_buffers(&mut sim, Some(request.seed));
+        kernel.run(&mut sim, bufs, &RunOptions::functional_only());
+        let standalone = sim.mem.read_f32_slice(bufs.c, cfg.c_len());
+        assert_eq!(
+            output, &standalone,
+            "{cfg}: dispatch output diverged from standalone execution"
+        );
+
+        // Reference 2 (numerical): the scalar reference GEMM agrees within
+        // the usual FP32 reassociation tolerance.
+        let mut a = vec![0.0f32; cfg.a_len()];
+        let mut b = vec![0.0f32; cfg.b_len()];
+        let mut c = vec![0.0f32; cfg.c_len()];
+        fill_matrix(request.seed, &mut a);
+        fill_matrix(request.seed ^ 0x1111_1111, &mut b);
+        fill_matrix(request.seed ^ 0x2222_2222, &mut c);
+        gemm_reference(cfg, &a, &b, &mut c);
+        let err = max_abs_diff(output, &c);
+        assert!(err < 1e-4, "{cfg}: max abs error vs reference {err}");
+    }
+
+    // Per-config aggregation covers the whole batch exactly once.
+    let total_requests: usize = report.per_config.iter().map(|c| c.requests).sum();
+    assert_eq!(total_requests, requests.len());
+    let summed_cycles: f64 = report.per_config.iter().map(|c| c.stats.cycles).sum();
+    assert!((report.total.cycles - summed_cycles).abs() < 1e-6 * summed_cycles.max(1.0));
+}
+
+#[test]
+fn tuned_dispatch_preserves_results_and_cycles() {
+    // The full loop: dispatch untuned, tune, dispatch again — same bits,
+    // no more simulated cycles, and the tuned compile is counter-visible.
+    let service = GemmService::new(32);
+    let cfg = GemmConfig::abt(64, 64, 32);
+    let requests: Vec<GemmRequest> = (0..3)
+        .map(|seed| GemmRequest { config: cfg, seed })
+        .collect();
+    let untuned = service.dispatch(&requests).expect("valid batch");
+    let outcome = service
+        .tune(&cfg, &TunerOptions::default())
+        .expect("tunable configuration");
+    assert!(outcome.tuned_cycles <= outcome.default_cycles);
+    let tuned = service.dispatch(&requests).expect("valid batch");
+    assert_eq!(
+        untuned.outputs, tuned.outputs,
+        "tuning must not change results"
+    );
+    assert!(tuned.total.cycles <= untuned.total.cycles * (1.0 + 1e-9));
+    assert_eq!(service.cache().stats().tuned_compiles, 1);
+}

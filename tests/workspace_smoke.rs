@@ -5,7 +5,7 @@
 //! the full property suites. Every workspace member is touched once through
 //! the `hello_sme::*` paths.
 
-use hello_sme::{accel_ref, sme_gemm, sme_isa, sme_machine, sme_microbench};
+use hello_sme::{accel_ref, sme_gemm, sme_isa, sme_machine, sme_microbench, sme_runtime};
 
 #[test]
 fn umbrella_reaches_every_crate() {
@@ -27,6 +27,13 @@ fn umbrella_reaches_every_crate() {
     let vendor = accel_ref::AccelerateSgemm::new(cfg);
     let gflops = vendor.model_gflops().expect("valid baseline config");
     assert!(gflops.is_finite() && gflops > 0.0);
+
+    // sme-runtime: a cache hit after one compile, counter-verified.
+    let cache = sme_runtime::KernelCache::new(4);
+    cache.get_or_compile(&cfg).expect("small config compiles");
+    cache.get_or_compile(&cfg).expect("small config compiles");
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
 
     // sme-microbench: one bandwidth measurement comes out positive.
     let bw = sme_microbench::bandwidth::measure(

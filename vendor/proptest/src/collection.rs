@@ -4,7 +4,7 @@ use crate::rng::TestRng;
 use crate::strategy::Strategy;
 use std::ops::{Range, RangeInclusive};
 
-/// Length bounds accepted by [`vec`], mirroring proptest's `SizeRange`.
+/// Length bounds accepted by [`vec()`], mirroring proptest's `SizeRange`.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
@@ -40,7 +40,7 @@ impl From<usize> for SizeRange {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

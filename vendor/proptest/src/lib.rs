@@ -2,8 +2,8 @@
 //!
 //! Implements the subset this workspace's property tests use:
 //!
-//! * [`Strategy`] with `prop_map` / `prop_flat_map`, implemented for integer
-//!   ranges, tuples of strategies (arity ≤ 8), [`Just`] and boxed strategies;
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented for integer
+//!   ranges, tuples of strategies (arity ≤ 8), [`strategy::Just`] and boxed strategies;
 //! * [`arbitrary::any`] for the primitive types;
 //! * the [`proptest!`] macro (with `#![proptest_config(..)]`), and the
 //!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /

@@ -31,6 +31,248 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     Ok(value.to_json_value().render_pretty())
 }
 
+/// Parse a JSON document into a [`Value`] tree.
+///
+/// The real `serde_json::from_str` deserializes into an arbitrary
+/// `Deserialize` type; the shim stops at the value tree and callers extract
+/// fields with the [`Value`] accessors (`get`, `as_f64`, `as_str`, …).
+/// The parser covers the RFC 8259 grammar (objects, arrays, strings with
+/// escapes including surrogate pairs, numbers, literals) with a slightly
+/// lenient number syntax (leading zeros are accepted).
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the top-level value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Combine a surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(ch) => out.push(ch),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                _ if c < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Copy the full UTF-8 sequence starting at `c`.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Length of the UTF-8 sequence whose first byte is `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +299,69 @@ mod tests {
     fn escapes_strings() {
         let v = Value::String("a\"b\\c\nd".into());
         assert_eq!(v.render_compact(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn parser_round_trips_rendered_documents() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("plan \"x\"\n".into())),
+            ("k".into(), Value::Number(512.0)),
+            ("frac".into(), Value::Number(-0.125)),
+            (
+                "points".into(),
+                Value::Array(vec![Value::Number(1.5e3), Value::Bool(false), Value::Null]),
+            ),
+            ("empty_obj".into(), Value::Object(vec![])),
+            ("empty_arr".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(from_str(&v.render_compact()).unwrap(), v);
+        assert_eq!(from_str(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = from_str(r#"{"s": "tab\t quote\" slash\/ \u00e9 \ud83d\ude00"}"#).unwrap();
+        assert_eq!(
+            v.get("s").unwrap().as_str(),
+            Some("tab\t quote\" slash/ é 😀")
+        );
+        let raw = from_str("\"héllo — ✓\"").unwrap();
+        assert_eq!(raw.as_str(), Some("héllo — ✓"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\": 1,}x",
+            "tru",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "1 2",
+            "nan",
+            "--5",
+            "{\"lone\": \"\\ud800\"}",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = from_str(r#"{"n": 3, "f": 2.5, "s": "x", "b": true, "a": [1], "o": {"k": 1}}"#)
+            .unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("f").unwrap().as_u64(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(v.get("o").unwrap().as_object().unwrap().len(), 1);
+        assert!(v.get("missing").is_none());
+        assert!(v.get("n").unwrap().get("nested").is_none());
     }
 
     #[test]

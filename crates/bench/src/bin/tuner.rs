@@ -3,12 +3,16 @@
 //! model, and report the winner against the default heterogeneous kernel.
 //!
 //! `--store PATH` persists the winners as a plan-store JSON document that
-//! `sme_runtime::PlanStore::load` (and thus a `KernelCache`) can consume;
-//! `--smoke` runs the tiny CI preset; `--quick` restricts the sweep to plan
-//! kinds. Exits non-zero if any tuned kernel models slower than its
-//! default — that would mean the tuner's argmin is broken.
+//! `sme_runtime::PlanStore::load_checked` (and thus a `KernelCache`) can
+//! consume — stamped with the machine model's timing fingerprint, so a
+//! later process re-tunes instead of dispatching winners from a stale
+//! calibration; `--smoke` runs the tiny CI preset; `--quick` restricts the
+//! sweep to plan kinds and backends. Exits non-zero if any tuned kernel
+//! models slower than its default — that would mean the tuner's argmin is
+//! broken.
 
 use sme_bench::{maybe_write_json, render_tuner_sweep, tuner_sweep, TunerSweepOptions};
+use sme_machine::MachineConfig;
 use sme_runtime::PlanStore;
 
 fn main() {
@@ -24,7 +28,7 @@ fn main() {
             " (plans x transfers x unrolls)"
         }
     );
-    let mut store = PlanStore::new();
+    let mut store = PlanStore::for_machine(&MachineConfig::apple_m4());
     let sweep = tuner_sweep(&opts, &mut store);
     println!("{}", render_tuner_sweep(&sweep));
     maybe_write_json(&opts.sweep.json, &sweep);

@@ -410,6 +410,182 @@ pub fn render_tuner_sweep(sweep: &TunerSweep) -> String {
     out
 }
 
+/// Options of the `router` binary: the shared sweep flags plus the smoke
+/// preset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterSweepOptions {
+    /// Shared sweep geometry (`--step`, `--max`, `--k`, `--json`).
+    pub sweep: SweepOptions,
+}
+
+impl RouterSweepOptions {
+    /// Usage string for the `router` binary.
+    pub const USAGE: &'static str = "[--step N] [--max N] [--k N] [--json PATH] [--smoke]";
+
+    /// Parse the `router` binary's flags. `--smoke` is the CI preset: a
+    /// tiny sweep (sizes {32, 64}, K = 32) that still straddles the
+    /// SME/Neon crossover on both sides.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut smoke = false;
+        let mut sweep_args: Vec<String> = Vec::new();
+        for arg in args {
+            if arg == "--smoke" {
+                smoke = true;
+            } else {
+                sweep_args.push(arg);
+            }
+        }
+        let mut sweep = SweepOptions::parse(sweep_args.into_iter())?;
+        if smoke {
+            sweep.step = 32;
+            sweep.max = 64;
+            sweep.k = 32;
+        }
+        Ok(RouterSweepOptions { sweep })
+    }
+
+    /// Parse, printing the error and usage to stderr and exiting with
+    /// status 2 on failure.
+    pub fn parse_or_exit(args: impl Iterator<Item = String>) -> Self {
+        RouterSweepOptions::parse(args).unwrap_or_else(|e| {
+            eprintln!("error: {e}\nusage: {}", RouterSweepOptions::USAGE);
+            std::process::exit(2);
+        })
+    }
+
+    /// The shapes the router sweep probes: for each swept size `s`, a thin
+    /// `16×4×s` shape (the Fig. 1 crossover's Neon side at small depth)
+    /// and a dense `s×s×k` shape (the SME side).
+    pub fn shapes(&self) -> Vec<GemmConfig> {
+        let mut shapes = Vec::new();
+        for s in self.sweep.sizes() {
+            shapes.push(GemmConfig::abt(16, 4, s));
+            shapes.push(GemmConfig::abt(s, s, self.sweep.k));
+        }
+        shapes
+    }
+}
+
+/// One routed shape of a router sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterSweepPoint {
+    /// Problem rows.
+    pub m: usize,
+    /// Problem columns.
+    pub n: usize,
+    /// Contraction depth.
+    pub k: usize,
+    /// Simulated single-core cycles of the SME kernel.
+    pub sme_cycles: f64,
+    /// Simulated single-core cycles of the Neon kernel (absent when the
+    /// Neon generator does not support the shape).
+    pub neon_cycles: Option<f64>,
+    /// Backend the router chose (stable name).
+    pub chosen: String,
+    /// `true` if the choice matches the lower simulated cycle count.
+    pub agrees_with_model: bool,
+}
+
+/// A complete router sweep (the `router` binary's JSON output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterSweep {
+    /// Sweep points, thin and dense shapes interleaved.
+    pub points: Vec<RouterSweepPoint>,
+}
+
+impl RouterSweep {
+    /// `true` if the router picked the lower-simulated-cycles backend on
+    /// every shape — the routing guarantee the binary and CI assert.
+    pub fn routing_matches_model(&self) -> bool {
+        self.points.iter().all(|p| p.agrees_with_model)
+    }
+
+    /// `true` if both backends were chosen somewhere in the sweep (the
+    /// crossover is actually visible).
+    pub fn crossover_present(&self) -> bool {
+        let neon = self.points.iter().any(|p| p.chosen == "Neon");
+        let sme = self.points.iter().any(|p| p.chosen == "Sme");
+        neon && sme
+    }
+}
+
+/// Probe every sweep shape through a [`sme_router::Router`] and compare
+/// its choice against direct single-core simulation of both backends.
+pub fn router_sweep(opts: &RouterSweepOptions, router: &sme_router::Router) -> RouterSweep {
+    use sme_gemm::{generate_backend, Backend};
+    let shapes = opts.shapes();
+    let measured: Vec<(GemmConfig, f64, Option<f64>)> = shapes
+        .par_iter()
+        .map(|cfg| {
+            let sme = generate_backend(cfg, Backend::Sme)
+                .expect("sweep shapes are SME-valid")
+                .model_stats()
+                .cycles;
+            let neon = generate_backend(cfg, Backend::Neon)
+                .ok()
+                .map(|k| k.model_stats().cycles);
+            (*cfg, sme, neon)
+        })
+        .collect();
+    let points = measured
+        .into_iter()
+        .map(|(cfg, sme_cycles, neon_cycles)| {
+            let chosen = router.route(&cfg);
+            let faster_is_neon = neon_cycles.is_some_and(|n| n < sme_cycles);
+            let agrees = (chosen == Backend::Neon) == faster_is_neon;
+            RouterSweepPoint {
+                m: cfg.m,
+                n: cfg.n,
+                k: cfg.k,
+                sme_cycles,
+                neon_cycles,
+                chosen: chosen.name().to_string(),
+                agrees_with_model: agrees,
+            }
+        })
+        .collect();
+    RouterSweep { points }
+}
+
+/// Render a router sweep as a table plus summary lines.
+pub fn render_router_sweep(sweep: &RouterSweep) -> String {
+    let mut out = String::from(
+        "    m    n    k |   sme cyc |  neon cyc | routed | agrees\n\
+         -----------------+-----------+-----------+--------+-------\n",
+    );
+    for p in &sweep.points {
+        let neon = match p.neon_cycles {
+            Some(c) => format!("{c:9.0}"),
+            None => format!("{:>9}", "-"),
+        };
+        out.push_str(&format!(
+            "{:5} {:4} {:4} | {:9.0} | {} | {:>6} | {}\n",
+            p.m,
+            p.n,
+            p.k,
+            p.sme_cycles,
+            neon,
+            p.chosen,
+            if p.agrees_with_model { "yes" } else { "NO" }
+        ));
+    }
+    out.push_str(&format!(
+        "\nrouter matches the per-shape simulated argmin: {}\n\
+         both engines exercised across the sweep: {}\n",
+        if sweep.routing_matches_model() {
+            "yes"
+        } else {
+            "NO"
+        },
+        if sweep.crossover_present() {
+            "yes"
+        } else {
+            "NO"
+        }
+    ));
+    out
+}
+
 /// Write any serialisable result to a JSON file if a path was requested.
 pub fn maybe_write_json<T: Serialize>(path: &Option<String>, value: &T) {
     if let Some(path) = path {
@@ -549,6 +725,45 @@ mod tests {
         let text = render_tuner_sweep(&sweep);
         assert!(text.contains("never slower"));
         assert!(text.contains("yes"));
+    }
+
+    #[test]
+    fn router_option_parsing_and_smoke_preset() {
+        let opts = RouterSweepOptions::parse(
+            ["--step", "16", "--max", "32", "--k", "8"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!((opts.sweep.step, opts.sweep.max, opts.sweep.k), (16, 32, 8));
+        // Two shapes per swept size: thin 16×4×s and dense s×s×k.
+        assert_eq!(opts.shapes().len(), 4);
+
+        let smoke = RouterSweepOptions::parse(["--smoke"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(
+            (smoke.sweep.step, smoke.sweep.max, smoke.sweep.k),
+            (32, 64, 32)
+        );
+        assert!(RouterSweepOptions::parse(["--setp", "1"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn smoke_router_sweep_crosses_the_backend_boundary() {
+        let opts = RouterSweepOptions::parse(["--smoke"].iter().map(|s| s.to_string())).unwrap();
+        let router = sme_router::Router::new(32);
+        let sweep = router_sweep(&opts, &router);
+        assert_eq!(sweep.points.len(), 4);
+        assert!(
+            sweep.routing_matches_model(),
+            "router must follow the simulated argmin: {sweep:?}"
+        );
+        assert!(
+            sweep.crossover_present(),
+            "smoke preset must exercise both engines: {sweep:?}"
+        );
+        let text = render_router_sweep(&sweep);
+        assert!(text.contains("matches the per-shape simulated argmin: yes"));
+        assert!(text.contains("both engines exercised across the sweep: yes"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! homogeneous blocking — the Fig. 7 example needs seven heterogeneous
 //! executions instead of nine to ten homogeneous ones.
 
-use crate::config::{BLayout, GemmConfig, ZaTransferStrategy};
+use crate::config::{BLayout, Backend, GemmConfig, ZaTransferStrategy};
 use serde::{Deserialize, Serialize};
 
 /// Width/height of one ZA tile in FP32 elements on an SVL-512 machine.
@@ -383,28 +383,47 @@ impl PlanKind {
     }
 }
 
-/// One autotuning candidate: a block-plan shape plus the code-generation
-/// knobs the tuner may vary ([`ZaTransferStrategy`] and the contraction-loop
-/// unroll factor).
+/// One autotuning candidate: the execution backend, a block-plan shape and
+/// the code-generation knobs the tuner may vary ([`ZaTransferStrategy`] and
+/// the contraction-loop unroll factor).
+///
+/// The plan kind and knobs only steer SME code generation; a
+/// [`Backend::Neon`] candidate carries the configuration's own knob values
+/// (the Neon generator's 16×4 blocking is fixed), so exactly one Neon
+/// candidate exists per configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PlanCandidate {
-    /// How the M×N iteration space is tiled.
+    /// Which engine executes the kernel.
+    pub backend: Backend,
+    /// How the M×N iteration space is tiled (SME only).
     pub kind: PlanKind,
-    /// How C blocks move between memory and the ZA array.
+    /// How C blocks move between memory and the ZA array (SME only).
     pub c_transfer: ZaTransferStrategy,
-    /// Contraction-loop unroll factor (1, 2 or 4).
+    /// Contraction-loop unroll factor (1, 2 or 4; SME only).
     pub k_unroll: usize,
 }
 
 impl PlanCandidate {
     /// The candidate the generator would use for `cfg` with no tuning: the
-    /// layout's default plan kind and the configuration's own knobs.
+    /// SME backend with the layout's default plan kind and the
+    /// configuration's own knobs.
     pub fn default_for(cfg: &GemmConfig) -> PlanCandidate {
         PlanCandidate {
+            backend: Backend::Sme,
             kind: PlanKind::default_for(cfg),
             c_transfer: cfg.c_transfer,
             k_unroll: cfg.k_unroll,
         }
+    }
+
+    /// The single Neon candidate for `cfg`, if the Neon generator supports
+    /// the configuration (see [`crate::neon::neon_supports`]).
+    pub fn neon_for(cfg: &GemmConfig) -> Option<PlanCandidate> {
+        crate::neon::neon_supports(cfg).ok()?;
+        Some(PlanCandidate {
+            backend: Backend::Neon,
+            ..PlanCandidate::default_for(cfg)
+        })
     }
 
     /// Rewrite `cfg` with this candidate's code-generation knobs (the plan
@@ -417,8 +436,8 @@ impl PlanCandidate {
 
 /// Enumerate the tuning candidates for a configuration.
 ///
-/// The cross product of plan kinds, ZA transfer strategies and unroll
-/// factors valid for `cfg`:
+/// The SME candidates are the cross product of plan kinds, ZA transfer
+/// strategies and unroll factors valid for `cfg`:
 ///
 /// * row-major B: the heterogeneous plan and all three homogeneous plans;
 /// * column-major B: only [`PlanKind::ColumnPanels`] — the in-kernel
@@ -428,6 +447,10 @@ impl PlanCandidate {
 /// * unroll factors from {1, 2, 4} that divide `k` (the generator falls
 ///   back to unroll 1 for non-dividing factors, so enumerating them would
 ///   only duplicate the unroll-1 candidate).
+///
+/// When the Neon generator supports `cfg`, the single [`Backend::Neon`]
+/// candidate is appended, so a tuner scoring this list compares across
+/// engines (the Fig. 1 crossover).
 ///
 /// The list always contains [`PlanCandidate::default_for`]`(cfg)`, so an
 /// argmin over the candidates' scores can never be worse than the default.
@@ -454,6 +477,7 @@ pub fn enumerate_candidates(cfg: &GemmConfig) -> Vec<PlanCandidate> {
                     continue;
                 }
                 candidates.push(PlanCandidate {
+                    backend: Backend::Sme,
                     kind,
                     c_transfer,
                     k_unroll,
@@ -461,8 +485,105 @@ pub fn enumerate_candidates(cfg: &GemmConfig) -> Vec<PlanCandidate> {
             }
         }
     }
+    candidates.extend(PlanCandidate::neon_for(cfg));
     debug_assert!(candidates.contains(&PlanCandidate::default_for(cfg)));
     candidates
+}
+
+/// Analytic contraction-step cost of a plan, in performance-core cycles.
+///
+/// Per k step, every block issues one (possibly multi-vector) A load, one B
+/// load and one FMOPA per active tile (Lst. 4). The load cost uses the
+/// machine's calibrated per-strategy transfer rates — this is what makes
+/// the pre-filter honest about the 4-register `ld1w` being ~1.8× faster
+/// per element than the 2-register form, so a 64×16 blocking can beat a
+/// 32×32 blocking despite loading more elements per step.
+pub fn analytic_k_step_cycles(plan: &BlockPlan, machine: &sme_machine::MachineConfig) -> f64 {
+    use sme_machine::OpKind;
+    // One load instruction covers 1, 2 or 4 sixteen-lane vectors (three
+    // groups round up to a four-register load, mirroring the microkernel).
+    let load_cost = |groups: usize| -> f64 {
+        match groups {
+            0 | 1 => 64.0 / machine.mem.rate(OpKind::LoadLd1Single),
+            2 => 128.0 / machine.mem.rate(OpKind::LoadLd1Multi2),
+            _ => 256.0 / machine.mem.rate(OpKind::LoadLd1Multi4),
+        }
+    };
+    let fmopa_interval = machine.p_core.op(OpKind::SmeFmopaF32).interval();
+    plan.blocks
+        .iter()
+        .map(|b| {
+            load_cost(b.active_row_groups())
+                + load_cost(b.active_col_groups())
+                + (b.active_row_groups() * b.active_col_groups()) as f64 * fmopa_interval
+        })
+        .sum()
+}
+
+/// Analytic pre-filter for tuning candidates: drop SME candidates whose
+/// block plan is **dominated** within their knob group.
+///
+/// Timing-simulating a candidate costs orders of magnitude more than
+/// expanding its plan, and for a fixed ZA-transfer strategy and unroll
+/// factor the simulated cycle count grows with two quantities the plan
+/// determines analytically: the per-contraction-step issue cost
+/// ([`analytic_k_step_cycles`], covering loads-per-k-step weighted by the
+/// load strategy's bandwidth plus the FMOPA issue slots) and the number of
+/// microkernel executions ([`BlockPlan::num_microkernels`], each paying the
+/// accumulator load/store and loop setup). A candidate that is no better
+/// than another same-knob candidate on *both* metrics and strictly worse on
+/// at least one therefore cannot win the argmin, and is pruned before
+/// simulation. Costs are evaluated on the calibrated M4 model — the same
+/// machine the tuner simulates on.
+///
+/// The default candidate and non-SME candidates are never pruned, so the
+/// tuner's "never worse than the default" and cross-backend guarantees are
+/// preserved.
+pub fn prune_dominated_candidates(
+    cfg: &GemmConfig,
+    candidates: Vec<PlanCandidate>,
+) -> Vec<PlanCandidate> {
+    let machine = sme_machine::MachineConfig::default();
+    let default = PlanCandidate::default_for(cfg);
+    let metrics: Vec<Option<(f64, usize)>> = candidates
+        .iter()
+        .map(|c| {
+            (c.backend == Backend::Sme).then(|| {
+                let plan = c.kind.build(cfg.m, cfg.n);
+                (
+                    analytic_k_step_cycles(&plan, &machine),
+                    plan.num_microkernels(),
+                )
+            })
+        })
+        .collect();
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| {
+            let Some((cost, microkernels)) = metrics[*i] else {
+                return true; // non-SME candidates have no plan to compare
+            };
+            if **c == default {
+                return true;
+            }
+            !candidates.iter().enumerate().any(|(j, other)| {
+                j != *i
+                    && other.backend == Backend::Sme
+                    && other.c_transfer == c.c_transfer
+                    && other.k_unroll == c.k_unroll
+                    && match metrics[j] {
+                        Some((other_cost, other_microkernels)) => {
+                            other_cost <= cost
+                                && other_microkernels <= microkernels
+                                && (other_cost < cost || other_microkernels < microkernels)
+                        }
+                        None => false,
+                    }
+            })
+        })
+        .map(|(_, c)| *c)
+        .collect()
 }
 
 /// Pick the plan the generator uses for a configuration.
@@ -643,20 +764,37 @@ mod tests {
     fn candidate_enumeration_covers_the_knob_space() {
         let abt = GemmConfig::abt(64, 64, 64);
         let candidates = enumerate_candidates(&abt);
-        // 4 kinds × 2 transfers × 3 unrolls.
-        assert_eq!(candidates.len(), 24);
+        // 4 kinds × 2 transfers × 3 unrolls, plus the single Neon candidate
+        // (64 % 16 == 0 and 64 % 4 == 0, so the Neon generator applies).
+        assert_eq!(candidates.len(), 25);
         assert!(candidates.contains(&PlanCandidate::default_for(&abt)));
+        assert_eq!(
+            candidates
+                .iter()
+                .filter(|c| c.backend == Backend::Neon)
+                .count(),
+            1
+        );
         // All distinct.
         for (i, a) in candidates.iter().enumerate() {
             assert!(!candidates[i + 1..].contains(a));
         }
 
-        // Column-major B: only the panel plan may be used.
+        // Column-major B: only the panel plan may be used, and the Neon
+        // generator (row-major B only) contributes no candidate.
         let ab = GemmConfig::ab(64, 64, 64);
         let candidates = enumerate_candidates(&ab);
         assert_eq!(candidates.len(), 6);
         assert!(candidates.iter().all(|c| c.kind == PlanKind::ColumnPanels));
+        assert!(candidates.iter().all(|c| c.backend == Backend::Sme));
         assert!(candidates.contains(&PlanCandidate::default_for(&ab)));
+
+        // Shapes off the 16×4 Neon grid stay SME-only.
+        let ragged = GemmConfig::abt(33, 47, 64);
+        assert!(enumerate_candidates(&ragged)
+            .iter()
+            .all(|c| c.backend == Backend::Sme));
+        assert_eq!(PlanCandidate::neon_for(&ragged), None);
 
         // Non-dividing unrolls are dropped (they alias the unroll-1
         // kernel): k = 2 keeps {1, 2}, an odd k keeps only 1…
@@ -675,6 +813,7 @@ mod tests {
     fn candidate_apply_rewrites_only_the_codegen_knobs() {
         let cfg = GemmConfig::abt(48, 48, 32);
         let candidate = PlanCandidate {
+            backend: Backend::Sme,
             kind: PlanKind::Homogeneous(RegisterBlocking::B16x64),
             c_transfer: ZaTransferStrategy::Direct,
             k_unroll: 4,
@@ -684,6 +823,56 @@ mod tests {
         assert_eq!(rewritten.k_unroll, 4);
         assert_eq!((rewritten.m, rewritten.n, rewritten.k), (48, 48, 32));
         assert_eq!(rewritten.b_layout, cfg.b_layout);
+    }
+
+    #[test]
+    fn dominated_candidates_are_pruned_but_default_and_neon_survive() {
+        // 64×16 output: the B64x16 homogeneous plan covers it with one
+        // unmasked block; B16x64 needs four heavily masked blocks and
+        // B32x32 two — both dominated on analytic cost *and* microkernel
+        // count, so they must be pruned.
+        let cfg = GemmConfig::abt(64, 16, 32);
+        let before = enumerate_candidates(&cfg);
+        let after = prune_dominated_candidates(&cfg, before.clone());
+        assert!(after.len() < before.len(), "something must be pruned");
+        assert!(after.contains(&PlanCandidate::default_for(&cfg)));
+        assert!(!after
+            .iter()
+            .any(|c| c.kind == PlanKind::Homogeneous(RegisterBlocking::B16x64)));
+        // The sole Neon candidate is exempt from plan-based pruning.
+        assert_eq!(
+            before.iter().filter(|c| c.backend == Backend::Neon).count(),
+            1
+        );
+        assert!(after.iter().any(|c| c.backend == Backend::Neon));
+        // Pruning is per knob group: no surviving SME candidate is
+        // dominated by another survivor with the same knobs.
+        let machine = sme_machine::MachineConfig::default();
+        for c in after.iter().filter(|c| c.backend == Backend::Sme) {
+            let plan = c.kind.build(cfg.m, cfg.n);
+            let (cost, mks) = (
+                analytic_k_step_cycles(&plan, &machine),
+                plan.num_microkernels(),
+            );
+            for other in after
+                .iter()
+                .filter(|o| *o != c && o.backend == Backend::Sme)
+                .filter(|o| o.c_transfer == c.c_transfer && o.k_unroll == c.k_unroll)
+            {
+                let other_plan = other.kind.build(cfg.m, cfg.n);
+                let (other_cost, other_mks) = (
+                    analytic_k_step_cycles(&other_plan, &machine),
+                    other_plan.num_microkernels(),
+                );
+                let dominated = other_cost <= cost
+                    && other_mks <= mks
+                    && (other_cost < cost || other_mks < mks);
+                assert!(
+                    !dominated || *c == PlanCandidate::default_for(&cfg),
+                    "{c:?} is dominated by {other:?} but survived"
+                );
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,53 @@ pub enum Beta {
     One,
 }
 
+/// The execution engine a kernel is generated for.
+///
+/// The paper's Fig. 1 shows the two engine classes of the M4: the **SME**
+/// outer-product units (two, shared per cluster) and the core-private
+/// **Neon** FMLA pipes. Small or awkwardly-shaped GEMMs amortise the SME
+/// kernels' fixed streaming-mode and ZA-transfer overheads poorly and run
+/// faster on Neon; large shapes saturate the SME units. The `sme-router`
+/// crate picks a backend per request; the autotuner scores candidates of
+/// both backends on the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// The SME outer-product generator ([`crate::generate`]).
+    Sme,
+    /// The Neon FMLA-by-element generator ([`crate::neon::generate_neon`]).
+    Neon,
+}
+
+impl Backend {
+    /// Both backends, SME first.
+    pub const fn all() -> [Backend; 2] {
+        [Backend::Sme, Backend::Neon]
+    }
+
+    /// Stable textual name (used by the plan store's JSON format).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sme => "Sme",
+            Backend::Neon => "Neon",
+        }
+    }
+
+    /// Inverse of [`Backend::name`].
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name {
+            "Sme" => Some(Backend::Sme),
+            "Neon" => Some(Backend::Neon),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Strategy for moving C blocks between memory and the ZA array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ZaTransferStrategy {

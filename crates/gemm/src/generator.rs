@@ -1,8 +1,8 @@
 //! Top-level just-in-time kernel generation.
 
 use crate::blocking::{plan_column_panels, plan_for_config, BlockPlan, PlanCandidate, PlanKind};
-use crate::config::{BLayout, GemmConfig, GemmError};
-use crate::kernel::CompiledKernel;
+use crate::config::{BLayout, Backend, GemmConfig, GemmError};
+use crate::kernel::{CompiledKernel, RoutedKernel};
 use crate::microkernel::{emit_block, xr, BSource, BK_STRIDE, LDA_B, LDB_B, LDC_B, SCRATCH};
 use crate::transpose::{emit_panel_transpose, scratch_bytes};
 use sme_isa::asm::Assembler;
@@ -137,13 +137,22 @@ pub fn generate_with_plan(
 /// [`PlanCandidate::default_for`]`(cfg)`.
 ///
 /// # Errors
-/// Returns an error if the rewritten configuration is invalid or if the
+/// Returns an error if the rewritten configuration is invalid, if the
 /// candidate's plan kind is incompatible with the layout (anything other
-/// than [`PlanKind::ColumnPanels`] for column-major B).
+/// than [`PlanKind::ColumnPanels`] for column-major B), or if the candidate
+/// targets the Neon backend (use [`generate_routed`] for backend-agnostic
+/// generation).
 pub fn generate_tuned(
     cfg: &GemmConfig,
     candidate: &PlanCandidate,
 ) -> Result<CompiledKernel, GemmError> {
+    if candidate.backend != Backend::Sme {
+        return Err(GemmError::Unsupported(format!(
+            "generate_tuned emits SME kernels only; a {} candidate must go \
+             through generate_routed",
+            candidate.backend
+        )));
+    }
     let tuned_cfg = candidate.apply(cfg);
     let plan_override = if candidate.kind == PlanKind::default_for(&tuned_cfg) {
         None
@@ -151,6 +160,35 @@ pub fn generate_tuned(
         Some(candidate.kind.build(tuned_cfg.m, tuned_cfg.n))
     };
     generate_with_plan(&tuned_cfg, plan_override)
+}
+
+/// Generate the default kernel for `cfg` on the given backend.
+///
+/// [`Backend::Sme`] is [`generate`]; [`Backend::Neon`] is
+/// [`crate::neon::generate_neon_kernel`] (which rejects configurations the
+/// Neon generator does not support — see [`crate::neon::neon_supports`]).
+pub fn generate_backend(cfg: &GemmConfig, backend: Backend) -> Result<RoutedKernel, GemmError> {
+    match backend {
+        Backend::Sme => generate(cfg).map(RoutedKernel::Sme),
+        Backend::Neon => crate::neon::generate_neon_kernel(cfg).map(RoutedKernel::Neon),
+    }
+}
+
+/// Generate a kernel for `cfg` from a (possibly cross-backend) tuning
+/// candidate — the dispatch path used by the backend-tagged kernel cache
+/// and the cross-backend autotuner.
+///
+/// SME candidates go through [`generate_tuned`]; the Neon candidate's plan
+/// kind and knobs are inert (the Neon generator's 16×4 blocking is fixed)
+/// and the configuration compiles as-is.
+pub fn generate_routed(
+    cfg: &GemmConfig,
+    candidate: &PlanCandidate,
+) -> Result<RoutedKernel, GemmError> {
+    match candidate.backend {
+        Backend::Sme => generate_tuned(cfg, candidate).map(RoutedKernel::Sme),
+        Backend::Neon => crate::neon::generate_neon_kernel(cfg).map(RoutedKernel::Neon),
+    }
 }
 
 /// Generate a kernel and immediately validate it against the reference GEMM
@@ -290,9 +328,12 @@ mod tests {
         use crate::blocking::{enumerate_candidates, PlanCandidate};
         let cfg = GemmConfig::abt(48, 48, 16);
         for candidate in enumerate_candidates(&cfg) {
-            let kernel = generate_tuned(&cfg, &candidate).expect("tuned generation");
-            assert_eq!(kernel.config().c_transfer, candidate.c_transfer);
-            assert_eq!(kernel.config().k_unroll, candidate.k_unroll);
+            let kernel = generate_routed(&cfg, &candidate).expect("routed generation");
+            assert_eq!(kernel.backend(), candidate.backend);
+            if candidate.backend == Backend::Sme {
+                assert_eq!(kernel.config().c_transfer, candidate.c_transfer);
+                assert_eq!(kernel.config().k_unroll, candidate.k_unroll);
+            }
             let err = kernel.validate(0xACE);
             assert!(err < 1e-4, "{candidate:?}: max abs error {err}");
         }
@@ -308,6 +349,7 @@ mod tests {
         use crate::blocking::PlanCandidate;
         let cfg = GemmConfig::ab(32, 32, 8);
         let bad = PlanCandidate {
+            backend: Backend::Sme,
             kind: PlanKind::Heterogeneous,
             c_transfer: cfg.c_transfer,
             k_unroll: 1,
@@ -318,6 +360,43 @@ mod tests {
         ));
         let good = PlanCandidate::default_for(&cfg);
         assert!(generate_tuned(&cfg, &good).is_ok());
+    }
+
+    #[test]
+    fn backend_generation_routes_to_the_matching_generator() {
+        // A shape both backends support.
+        let cfg = GemmConfig::abt(32, 16, 8);
+        let sme = generate_backend(&cfg, Backend::Sme).unwrap();
+        assert_eq!(sme.backend(), Backend::Sme);
+        assert!(sme.as_sme().is_some());
+        let neon = generate_backend(&cfg, Backend::Neon).unwrap();
+        assert_eq!(neon.backend(), Backend::Neon);
+        assert!(neon.as_sme().is_none());
+        assert!(sme.validate(11) < 1e-4);
+        assert!(neon.validate(11) < 1e-4);
+        assert_eq!(sme.flops(), neon.flops());
+
+        // A Neon candidate refused by generate_tuned is accepted by
+        // generate_routed.
+        let neon_candidate = PlanCandidate::neon_for(&cfg).expect("neon-supported shape");
+        assert!(matches!(
+            generate_tuned(&cfg, &neon_candidate),
+            Err(GemmError::Unsupported(_))
+        ));
+        assert_eq!(
+            generate_routed(&cfg, &neon_candidate)
+                .expect("routed generation")
+                .backend(),
+            Backend::Neon
+        );
+
+        // A shape off the Neon grid fails on the Neon backend only.
+        let ragged = GemmConfig::abt(33, 47, 8);
+        assert!(generate_backend(&ragged, Backend::Sme).is_ok());
+        assert!(matches!(
+            generate_backend(&ragged, Backend::Neon),
+            Err(GemmError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! modelling of a generated GEMM kernel.
 
 use crate::blocking::BlockPlan;
-use crate::config::{Beta, GemmConfig};
+use crate::config::{Backend, Beta, GemmConfig};
+use crate::neon::NeonKernel;
 use crate::reference::{fill_matrix, gemm_reference, max_abs_diff};
 use sme_isa::Program;
 use sme_machine::exec::{RunOptions, RunResult, Simulator};
@@ -17,6 +18,74 @@ pub struct GemmBuffers {
     pub b: u64,
     /// Address of C (column-major, `ldc × n` elements).
     pub c: u64,
+}
+
+/// Allocate operand buffers for `cfg` in the simulator's memory, 128-byte
+/// aligned, optionally filled with seeded pseudo-random values (shared by
+/// the SME and Neon kernel handles so both backends see bit-identical
+/// operands for the same seed).
+pub(crate) fn allocate_gemm_buffers(
+    cfg: &GemmConfig,
+    sim: &mut Simulator,
+    seed: Option<u64>,
+) -> GemmBuffers {
+    let align = 128;
+    let a_len = cfg.a_len();
+    let b_len = cfg.b_len();
+    let c_len = cfg.c_len();
+    match seed {
+        Some(s) => {
+            let mut a = vec![0.0f32; a_len];
+            let mut b = vec![0.0f32; b_len];
+            let mut c = vec![0.0f32; c_len];
+            fill_matrix(s, &mut a);
+            fill_matrix(s ^ 0x1111_1111, &mut b);
+            fill_matrix(s ^ 0x2222_2222, &mut c);
+            GemmBuffers {
+                a: sim.mem.alloc_f32(&a, align),
+                b: sim.mem.alloc_f32(&b, align),
+                c: sim.mem.alloc_f32(&c, align),
+            }
+        }
+        None => GemmBuffers {
+            a: sim.mem.alloc_f32_zeroed(a_len, align),
+            b: sim.mem.alloc_f32_zeroed(b_len, align),
+            c: sim.mem.alloc_f32_zeroed(c_len, align),
+        },
+    }
+}
+
+/// Execute `program` functionally on seeded operands and return the maximum
+/// absolute difference from the reference GEMM.
+pub(crate) fn validate_program(cfg: &GemmConfig, program: &Program, seed: u64) -> f32 {
+    let mut sim = Simulator::m4_performance();
+    let bufs = allocate_gemm_buffers(cfg, &mut sim, Some(seed));
+    let a = sim.mem.read_f32_slice(bufs.a, cfg.a_len());
+    let b = sim.mem.read_f32_slice(bufs.b, cfg.b_len());
+    let mut c_ref = sim.mem.read_f32_slice(bufs.c, cfg.c_len());
+
+    sim.run(
+        program,
+        &[bufs.a, bufs.b, bufs.c],
+        &RunOptions::functional_only(),
+    );
+    let c_out = sim.mem.read_f32_slice(bufs.c, cfg.c_len());
+
+    gemm_reference(cfg, &a, &b, &mut c_ref);
+    max_abs_diff(&c_out, &c_ref)
+}
+
+/// Timing-only run of `program` on untouched operands (single performance
+/// core).
+pub(crate) fn model_program_stats(cfg: &GemmConfig, program: &Program) -> ExecStats {
+    let mut sim = Simulator::m4_performance();
+    let bufs = allocate_gemm_buffers(cfg, &mut sim, None);
+    let result = sim.run(
+        program,
+        &[bufs.a, bufs.b, bufs.c],
+        &RunOptions::timing_only(),
+    );
+    result.stats
 }
 
 /// A generated, branch-resolved GEMM kernel.
@@ -67,30 +136,7 @@ impl CompiledKernel {
     /// If `seed` is given, A, B and C are filled with deterministic
     /// pseudo-random values; otherwise they are zero.
     pub fn allocate_buffers(&self, sim: &mut Simulator, seed: Option<u64>) -> GemmBuffers {
-        let align = 128;
-        let a_len = self.cfg.a_len();
-        let b_len = self.cfg.b_len();
-        let c_len = self.cfg.c_len();
-        match seed {
-            Some(s) => {
-                let mut a = vec![0.0f32; a_len];
-                let mut b = vec![0.0f32; b_len];
-                let mut c = vec![0.0f32; c_len];
-                fill_matrix(s, &mut a);
-                fill_matrix(s ^ 0x1111_1111, &mut b);
-                fill_matrix(s ^ 0x2222_2222, &mut c);
-                GemmBuffers {
-                    a: sim.mem.alloc_f32(&a, align),
-                    b: sim.mem.alloc_f32(&b, align),
-                    c: sim.mem.alloc_f32(&c, align),
-                }
-            }
-            None => GemmBuffers {
-                a: sim.mem.alloc_f32_zeroed(a_len, align),
-                b: sim.mem.alloc_f32_zeroed(b_len, align),
-                c: sim.mem.alloc_f32_zeroed(c_len, align),
-            },
-        }
+        allocate_gemm_buffers(&self.cfg, sim, seed)
     }
 
     /// Execute the kernel once on the given simulator and operand buffers.
@@ -101,28 +147,14 @@ impl CompiledKernel {
     /// Execute the kernel functionally on pseudo-random operands and return
     /// the maximum absolute difference from the reference GEMM.
     pub fn validate(&self, seed: u64) -> f32 {
-        let mut sim = Simulator::m4_performance();
-        let bufs = self.allocate_buffers(&mut sim, Some(seed));
-        // Capture the inputs for the reference computation.
-        let a = sim.mem.read_f32_slice(bufs.a, self.cfg.a_len());
-        let b = sim.mem.read_f32_slice(bufs.b, self.cfg.b_len());
-        let mut c_ref = sim.mem.read_f32_slice(bufs.c, self.cfg.c_len());
-
-        self.run(&mut sim, bufs, &RunOptions::functional_only());
-        let c_out = sim.mem.read_f32_slice(bufs.c, self.cfg.c_len());
-
-        gemm_reference(&self.cfg, &a, &b, &mut c_ref);
-        max_abs_diff(&c_out, &c_ref)
+        validate_program(&self.cfg, &self.program, seed)
     }
 
     /// Model the kernel's performance on a single performance core and
     /// return the execution statistics (timing-only run on untouched
     /// operands).
     pub fn model_stats(&self) -> ExecStats {
-        let mut sim = Simulator::m4_performance();
-        let bufs = self.allocate_buffers(&mut sim, None);
-        let result = self.run(&mut sim, bufs, &RunOptions::timing_only());
-        result.stats
+        model_program_stats(&self.cfg, &self.program)
     }
 
     /// Modelled FP32 throughput in GFLOPS on a single performance core.
@@ -143,6 +175,109 @@ impl CompiledKernel {
     /// Effective beta of the kernel (convenience accessor).
     pub fn beta(&self) -> Beta {
         self.cfg.beta
+    }
+}
+
+/// A kernel compiled for one of the two execution backends.
+///
+/// This is the unit the `sme-runtime` kernel cache stores and the
+/// `sme-router` dispatches: SME and Neon kernels share the execution,
+/// validation and modelling surface, so routing code never matches on the
+/// variant except to reach backend-specific detail (e.g. the SME block
+/// plan).
+#[derive(Debug, Clone)]
+pub enum RoutedKernel {
+    /// An SME outer-product kernel ([`crate::generate`] /
+    /// [`crate::generate_tuned`]).
+    Sme(CompiledKernel),
+    /// A Neon FMLA-by-element kernel
+    /// ([`crate::neon::generate_neon_kernel`]).
+    Neon(NeonKernel),
+}
+
+impl RoutedKernel {
+    /// Which backend the kernel targets.
+    pub fn backend(&self) -> Backend {
+        match self {
+            RoutedKernel::Sme(_) => Backend::Sme,
+            RoutedKernel::Neon(_) => Backend::Neon,
+        }
+    }
+
+    /// The configuration the kernel was generated for.
+    pub fn config(&self) -> &GemmConfig {
+        match self {
+            RoutedKernel::Sme(k) => k.config(),
+            RoutedKernel::Neon(k) => k.config(),
+        }
+    }
+
+    /// The generated instruction stream.
+    pub fn program(&self) -> &Program {
+        match self {
+            RoutedKernel::Sme(k) => k.program(),
+            RoutedKernel::Neon(k) => k.program(),
+        }
+    }
+
+    /// The SME kernel handle, when this is the SME backend (block-plan
+    /// introspection is SME-specific).
+    pub fn as_sme(&self) -> Option<&CompiledKernel> {
+        match self {
+            RoutedKernel::Sme(k) => Some(k),
+            RoutedKernel::Neon(_) => None,
+        }
+    }
+
+    /// Floating-point operations per kernel execution.
+    pub fn flops(&self) -> u64 {
+        self.config().flops()
+    }
+
+    /// Allocate operand buffers (see [`CompiledKernel::allocate_buffers`];
+    /// both backends use the same seeding scheme, so results are comparable
+    /// bit for bit).
+    pub fn allocate_buffers(&self, sim: &mut Simulator, seed: Option<u64>) -> GemmBuffers {
+        allocate_gemm_buffers(self.config(), sim, seed)
+    }
+
+    /// Execute the kernel once on the given simulator and operand buffers.
+    pub fn run(&self, sim: &mut Simulator, bufs: GemmBuffers, opts: &RunOptions) -> RunResult {
+        sim.run(self.program(), &[bufs.a, bufs.b, bufs.c], opts)
+    }
+
+    /// Execute the kernel functionally on pseudo-random operands and return
+    /// the maximum absolute difference from the reference GEMM.
+    pub fn validate(&self, seed: u64) -> f32 {
+        validate_program(self.config(), self.program(), seed)
+    }
+
+    /// Model the kernel's performance on a single performance core.
+    pub fn model_stats(&self) -> ExecStats {
+        model_program_stats(self.config(), self.program())
+    }
+
+    /// Modelled FP32 throughput in GFLOPS on a single performance core.
+    pub fn model_gflops(&self) -> f64 {
+        let stats = self.model_stats();
+        let seconds = stats.seconds();
+        if seconds == 0.0 {
+            0.0
+        } else {
+            self.flops() as f64 / seconds / 1e9
+        }
+    }
+}
+
+impl From<CompiledKernel> for RoutedKernel {
+    fn from(kernel: CompiledKernel) -> Self {
+        RoutedKernel::Sme(kernel)
+    }
+}
+
+impl From<NeonKernel> for RoutedKernel {
+    fn from(kernel: NeonKernel) -> Self {
+        RoutedKernel::Neon(kernel)
     }
 }
 

@@ -63,12 +63,14 @@ pub mod transpose;
 pub mod widening;
 
 pub use blocking::{
-    enumerate_candidates, plan_heterogeneous, plan_homogeneous, BlockPlan, PlanCandidate, PlanKind,
-    RegisterBlocking,
+    analytic_k_step_cycles, enumerate_candidates, plan_heterogeneous, plan_homogeneous,
+    prune_dominated_candidates, BlockPlan, PlanCandidate, PlanKind, RegisterBlocking,
 };
-pub use config::{BLayout, Beta, GemmConfig, GemmError, ZaTransferStrategy};
+pub use config::{BLayout, Backend, Beta, GemmConfig, GemmError, ZaTransferStrategy};
 pub use generator::{
-    generate, generate_tuned, generate_validated, generate_with_plan, kernel_stats, KernelStats,
+    generate, generate_backend, generate_routed, generate_tuned, generate_validated,
+    generate_with_plan, kernel_stats, KernelStats,
 };
-pub use kernel::{CompiledKernel, GemmBuffers};
+pub use kernel::{CompiledKernel, GemmBuffers, RoutedKernel};
+pub use neon::{generate_neon_kernel, neon_supports, NeonKernel};
 pub use widening::{generate_widening, WideningGemmConfig, WideningKernel};

@@ -108,11 +108,13 @@ impl MicrokernelComparison {
     }
 }
 
-/// Generate a complete Neon GEMM kernel for `C += A·Bᵀ`.
+/// Check whether the Neon generator supports `cfg`.
 ///
 /// Restrictions (documented baseline, not the paper's contribution): A and C
 /// column-major, B row-major, `m % 16 == 0`, `n % 4 == 0`, and `beta = 1`.
-pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
+/// The `sme-router` consults this before offering the Neon backend for a
+/// shape; anything the Neon generator cannot compile is routed to SME.
+pub fn neon_supports(cfg: &GemmConfig) -> Result<(), GemmError> {
     cfg.validate()?;
     if cfg.b_layout != BLayout::RowMajor {
         return Err(GemmError::Unsupported(
@@ -130,6 +132,14 @@ pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
             cfg.m, cfg.n
         )));
     }
+    Ok(())
+}
+
+/// Generate a complete Neon GEMM kernel for `C += A·Bᵀ`.
+///
+/// See [`neon_supports`] for the accepted configurations.
+pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
+    neon_supports(cfg)?;
 
     let mut asm = Assembler::new(format!("neon_gemm_abt_{}x{}x{}", cfg.m, cfg.n, cfg.k));
     asm.mov_imm64(xr(LDA_B), (cfg.lda * 4) as u64);
@@ -275,6 +285,56 @@ fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0
             });
         }
     }
+}
+
+/// A generated Neon GEMM kernel with the same execution surface as the SME
+/// [`crate::CompiledKernel`].
+///
+/// The Neon backend has no block plan or ZA-transfer knobs — the 16×4
+/// register blocking is fixed — so the handle carries only the
+/// configuration and the instruction stream. It is normally reached through
+/// [`crate::RoutedKernel`], the backend-agnostic kernel the runtime cache
+/// stores.
+#[derive(Debug, Clone)]
+pub struct NeonKernel {
+    cfg: GemmConfig,
+    program: Program,
+}
+
+impl NeonKernel {
+    /// The configuration the kernel was generated for.
+    pub fn config(&self) -> &GemmConfig {
+        &self.cfg
+    }
+
+    /// The generated instruction stream.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Floating-point operations per kernel execution.
+    pub fn flops(&self) -> u64 {
+        self.cfg.flops()
+    }
+
+    /// Execute the kernel functionally on pseudo-random operands (same
+    /// seeding scheme as [`crate::CompiledKernel::validate`]) and return
+    /// the maximum absolute difference from the reference GEMM.
+    pub fn validate(&self, seed: u64) -> f32 {
+        crate::kernel::validate_program(&self.cfg, &self.program, seed)
+    }
+
+    /// Model the kernel's performance on a single performance core.
+    pub fn model_stats(&self) -> sme_machine::ExecStats {
+        crate::kernel::model_program_stats(&self.cfg, &self.program)
+    }
+}
+
+/// Generate a Neon kernel behind the [`NeonKernel`] handle — the dispatch
+/// path used by the `sme-runtime` cache for Neon-routed configurations.
+pub fn generate_neon_kernel(cfg: &GemmConfig) -> Result<NeonKernel, GemmError> {
+    let program = generate_neon(cfg)?;
+    Ok(NeonKernel { cfg: *cfg, program })
 }
 
 /// Validate a Neon-generated kernel against the reference GEMM and return

@@ -89,6 +89,19 @@ pub struct CacheLevel {
     pub load_latency: f64,
 }
 
+impl MemTimings {
+    /// Peak transfer rate of a memory strategy in bytes per core cycle
+    /// (falling back to [`MemTimings::default_rate`] for kinds missing
+    /// from the table) — the single home of this lookup for the tuner
+    /// pre-filter and the routing heuristic.
+    pub fn rate(&self, op: OpKind) -> f64 {
+        self.strategy_rate
+            .get(&op)
+            .copied()
+            .unwrap_or(self.default_rate)
+    }
+}
+
 /// Memory-system timing parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemTimings {
@@ -343,6 +356,104 @@ impl MachineConfig {
         cfg.svl = StreamingVectorLength::new(svl_bits);
         cfg
     }
+
+    /// Peak throughput of issuing `op` back-to-back on one core of `kind`,
+    /// in GFLOPS/GOPS, given the operations each instruction performs (the
+    /// Table I microbenchmark quantity).
+    pub fn peak_gflops(&self, kind: CoreKind, op: OpKind, ops_per_inst: f64) -> f64 {
+        let core = self.core(kind);
+        core.op(op).per_cycle * core.clock_ghz * ops_per_inst
+    }
+
+    /// A stable 64-bit fingerprint of every timing parameter of the model.
+    ///
+    /// Persisted artifacts tuned against the timing model (the
+    /// `sme-runtime` plan store) stamp themselves with this value so a later
+    /// process can detect that the calibration changed and re-tune instead
+    /// of silently dispatching stale winners. The hash is FNV-1a over a
+    /// fixed-order serialization of the fields (`BTreeMap` iteration is
+    /// sorted, `f64`s hash by bit pattern), so it is reproducible across
+    /// runs, platforms and — unlike `DefaultHasher` — Rust releases.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.svl.bits() as u64);
+        for core in [&self.p_core, &self.e_core] {
+            h.write_f64(core.clock_ghz);
+            h.write_f64(core.default.per_cycle);
+            h.write_f64(core.default.latency);
+            for (kind, timing) in &core.ops {
+                h.write_str(&format!("{kind:?}"));
+                h.write_f64(timing.per_cycle);
+                h.write_f64(timing.latency);
+            }
+        }
+        for level in &self.mem.levels {
+            h.write_str(&level.name);
+            h.write_u64(level.capacity);
+            h.write_f64(level.load_cap_gibs);
+            h.write_f64(level.store_cap_gibs);
+            h.write_f64(level.load_latency);
+        }
+        for (kind, rate) in &self.mem.strategy_rate {
+            h.write_str(&format!("{kind:?}"));
+            h.write_f64(*rate);
+        }
+        for (kind, align) in &self.mem.full_rate_alignment {
+            h.write_str(&format!("{kind:?}"));
+            h.write_u64(*align);
+        }
+        for (kind, factor) in &self.mem.misaligned_factor {
+            h.write_str(&format!("{kind:?}"));
+            h.write_f64(*factor);
+        }
+        h.write_u64(self.mem.small_store_threshold);
+        h.write_f64(self.mem.small_store_aligned_boost);
+        h.write_f64(self.mem.default_rate);
+        let mc = &self.multicore;
+        h.write_u64(mc.p_cores as u64);
+        h.write_u64(mc.e_cores as u64);
+        h.write_u64(mc.sme_units as u64);
+        h.write_f64(mc.sme_share_overhead);
+        h.write_f64(mc.ui_spill_efficiency);
+        h.write_f64(mc.p_cluster_scaling_overhead);
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a hasher used by [`MachineConfig::fingerprint`] (the
+/// standard library's `DefaultHasher` is explicitly not stable across
+/// releases).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        // Length terminator so "ab"+"c" and "a"+"bc" hash differently.
+        self.write_u64(s.len() as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl Default for MachineConfig {
@@ -358,8 +469,34 @@ mod tests {
     /// GFLOPS produced by issuing `kind` back-to-back with operations that
     /// never stall (the Table I microbenchmark situation).
     fn peak_gflops(cfg: &MachineConfig, kind: CoreKind, op: OpKind, ops_per_inst: f64) -> f64 {
-        let core = cfg.core(kind);
-        core.op(op).per_cycle * core.clock_ghz * ops_per_inst
+        cfg.peak_gflops(kind, op, ops_per_inst)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_timing_sensitive() {
+        let base = MachineConfig::apple_m4();
+        assert_eq!(
+            base.fingerprint(),
+            MachineConfig::apple_m4().fingerprint(),
+            "identical configs must fingerprint identically"
+        );
+        // Every class of timing parameter moves the fingerprint.
+        let mut clock = base.clone();
+        clock.p_core.clock_ghz = 4.5;
+        assert_ne!(clock.fingerprint(), base.fingerprint());
+        let mut op = base.clone();
+        op.e_core
+            .ops
+            .insert(OpKind::NeonFmla, OpTiming::new(2.0, 3.0));
+        assert_ne!(op.fingerprint(), base.fingerprint());
+        let mut mem = base.clone();
+        mem.mem.default_rate += 1.0;
+        assert_ne!(mem.fingerprint(), base.fingerprint());
+        let mut topo = base.clone();
+        topo.multicore.sme_units = 1;
+        assert_ne!(topo.fingerprint(), base.fingerprint());
+        let svl = MachineConfig::with_svl(256);
+        assert_ne!(svl.fingerprint(), base.fingerprint());
     }
 
     #[test]

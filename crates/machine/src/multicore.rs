@@ -18,7 +18,8 @@
 //! first, then spill to efficiency cores), core-private work adds up per
 //! core, and SME work saturates at one unit per cluster.
 
-use crate::config::MachineConfig;
+use crate::config::{CoreKind, MachineConfig};
+use crate::timing::OpKind;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate throughput prediction for one thread count.
@@ -141,6 +142,79 @@ impl MulticoreModel {
     pub fn mixed_ui_utility_sme(&self, p_gflops: f64, e_gflops: f64) -> f64 {
         self.aggregate_sme(1, 1, p_gflops, e_gflops)
     }
+
+    /// Throughput of `op` on one efficiency core relative to one
+    /// performance core (instructions per second, so clocks are included).
+    pub fn relative_e_rate(&self, op: OpKind) -> f64 {
+        let p = self.config.p_core.op(op).per_cycle * self.config.p_core.clock_ghz;
+        let e = self.config.e_core.op(op).per_cycle * self.config.e_core.clock_ghz;
+        if p == 0.0 {
+            0.0
+        } else {
+            e / p
+        }
+    }
+
+    /// The machine's SME execution slots: one per shared SME unit, in
+    /// cluster order (performance cluster first).
+    ///
+    /// Fig. 1's analysis concludes the M4 has **two** SME units — one per
+    /// cluster — so SME work placed on the machine runs on at most two
+    /// engines regardless of thread count. `speed` is relative to the
+    /// performance-cluster unit for FP32 FMOPA work (≈ 357 / 2009 for the
+    /// efficiency cluster), letting a scheduler convert cycles simulated on
+    /// a performance core into engine-local time.
+    pub fn sme_engine_slots(&self) -> Vec<EngineSlot> {
+        // The M4 has one unit per cluster; a hypothetical machine with more
+        // units models the extras as efficiency-cluster units (there is
+        // only one performance cluster to attach a unit to).
+        let units = self.config.multicore.sme_units.max(1);
+        let mut slots = vec![EngineSlot {
+            kind: CoreKind::Performance,
+            speed: 1.0,
+        }];
+        let e_speed = self.relative_e_rate(OpKind::SmeFmopaF32);
+        slots.extend((1..units).map(|_| EngineSlot {
+            kind: CoreKind::Efficiency,
+            speed: e_speed,
+        }));
+        slots
+    }
+
+    /// The machine's core-private execution slots: one per core, performance
+    /// cores first, with `speed` relative to a performance core for Neon
+    /// FMLA work (≈ 46 / 113 for an efficiency core).
+    pub fn private_engine_slots(&self) -> Vec<EngineSlot> {
+        let mc = &self.config.multicore;
+        let e_speed = self.relative_e_rate(OpKind::NeonFmla);
+        let mut slots = Vec::with_capacity(mc.p_cores + mc.e_cores);
+        slots.extend((0..mc.p_cores).map(|_| EngineSlot {
+            kind: CoreKind::Performance,
+            speed: 1.0,
+        }));
+        slots.extend((0..mc.e_cores).map(|_| EngineSlot {
+            kind: CoreKind::Efficiency,
+            speed: e_speed,
+        }));
+        slots
+    }
+}
+
+/// One execution slot of the machine as seen by a batch scheduler: either a
+/// shared SME unit or a private core, with its throughput relative to the
+/// performance-class slot of the same engine type.
+///
+/// Produced by [`MulticoreModel::sme_engine_slots`] and
+/// [`MulticoreModel::private_engine_slots`]; consumed by the `sme-router`
+/// batch planner, which replaces the independent-identical-cores makespan
+/// of the runtime with a placement over these slots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineSlot {
+    /// Which cluster/core class the slot belongs to.
+    pub kind: CoreKind,
+    /// Throughput relative to the performance-class slot (1.0 for
+    /// performance slots; < 1 for efficiency slots).
+    pub speed: f64,
 }
 
 #[cfg(test)]
@@ -242,6 +316,44 @@ mod tests {
             (dual_speedup - 3.6).abs() < 0.3,
             "dual-unit speedup {dual_speedup}"
         );
+    }
+
+    #[test]
+    fn engine_slots_reflect_topology_and_table_one_ratios() {
+        let m = model();
+        let sme = m.sme_engine_slots();
+        assert_eq!(sme.len(), 2, "two shared SME units on M4");
+        assert_eq!(sme[0].kind, CoreKind::Performance);
+        assert_eq!(sme[0].speed, 1.0);
+        assert_eq!(sme[1].kind, CoreKind::Efficiency);
+        // Table I: 357 / 2009 ≈ 0.178 for FP32 FMOPA.
+        assert!(
+            (sme[1].speed - 357.0 / 2009.0).abs() < 0.01,
+            "{}",
+            sme[1].speed
+        );
+
+        let private = m.private_engine_slots();
+        assert_eq!(private.len(), 10, "4 P + 6 E cores");
+        assert_eq!(
+            private.iter().filter(|s| s.speed == 1.0).count(),
+            4,
+            "performance cores run at unit speed"
+        );
+        // Table I: 46 / 113 ≈ 0.407 for Neon FMLA.
+        let e_speed = private.last().unwrap().speed;
+        assert!((e_speed - 46.0 / 113.0).abs() < 0.01, "{e_speed}");
+
+        // A single-unit machine exposes only the performance-cluster slot…
+        let mut cfg = MachineConfig::apple_m4();
+        cfg.multicore.sme_units = 1;
+        assert_eq!(MulticoreModel::new(cfg).sme_engine_slots().len(), 1);
+        // …and a hypothetical three-unit machine exposes all three.
+        let mut cfg = MachineConfig::apple_m4();
+        cfg.multicore.sme_units = 3;
+        let slots = MulticoreModel::new(cfg).sme_engine_slots();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[2].kind, CoreKind::Efficiency);
     }
 
     #[test]

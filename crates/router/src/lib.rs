@@ -1,0 +1,77 @@
+//! # sme-router
+//!
+//! Traffic-aware multi-backend dispatch: the layer between the
+//! `sme-runtime` service and the kernel generators that decides, per
+//! request, **which engine executes** — the SME outer-product units or the
+//! core-private Neon FMLA pipes — and knows what the traffic looks like.
+//!
+//! The paper's Fig. 1 shows why one engine is not enough: SME throughput
+//! comes from **two shared units** (one per cluster) and towers over Neon
+//! for dense shapes, but an SME kernel pays a fixed streaming-mode
+//! entry/exit and ZA-transfer cost that tiny or thin GEMMs never amortise
+//! — those run faster on the Neon pipes every core owns privately. A
+//! serving system therefore needs three things this crate provides:
+//!
+//! * [`RoutingPolicy`] — the per-shape engine decision, from pinned
+//!   ([`RoutingPolicy::SmeOnly`]/[`RoutingPolicy::NeonOnly`]) through a
+//!   closed-form estimate ([`RoutingPolicy::Heuristic`]) to one-off model
+//!   probes ([`RoutingPolicy::Measured`], the default); installed tuned
+//!   winners always take precedence, so the cross-backend autotuner is the
+//!   final authority;
+//! * [`TelemetryRegistry`] — per-[`GemmConfig`] request counts, cumulative
+//!   cycles, serving backend and cache outcomes, with
+//!   [`Router::top_shapes`] answering *which shapes dominate traffic?* and
+//!   [`Router::pretune_hot`] autotuning exactly those;
+//! * [`plan_batch`] — a batch placement over the machine's real engine
+//!   classes (two shared SME units + ten private cores) that replaces the
+//!   runtime's identical-cores makespan, so mixed batches are projected to
+//!   overlap the engine classes instead of pretending SME scales per core.
+//!
+//! ## Route → dispatch → observe → pre-tune
+//!
+//! ```
+//! use sme_router::Router;
+//! use sme_runtime::{GemmRequest, TunerOptions};
+//! use sme_gemm::{Backend, GemmConfig};
+//!
+//! let router = Router::new(32);
+//! let tiny = GemmConfig::abt(16, 4, 4);    // streaming overhead dominates
+//! let dense = GemmConfig::abt(64, 64, 64); // SME's home turf
+//!
+//! let batch: Vec<GemmRequest> = (0..4)
+//!     .map(|seed| GemmRequest { config: if seed % 2 == 0 { tiny } else { dense }, seed })
+//!     .collect();
+//! let report = router.dispatch(&batch).expect("valid batch");
+//!
+//! // The router split the batch across engine classes…
+//! assert_eq!(router.route(&tiny), Backend::Neon);
+//! assert_eq!(router.route(&dense), Backend::Sme);
+//! let (sme_load, neon_load) = report.placement.class_load_cycles();
+//! assert!(sme_load > 0.0 && neon_load > 0.0);
+//!
+//! // …and the telemetry knows exactly who called.
+//! assert_eq!(router.telemetry().total_requests(), 4);
+//! let hot = router.top_shapes(1);
+//! assert_eq!(hot[0].requests, 2);
+//!
+//! // Pre-tune the hottest shapes: routing now follows the simulated
+//! // cross-backend argmin instead of the probe.
+//! router.pretune_hot(2, &TunerOptions::quick()).expect("tunable");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod planner;
+pub mod policy;
+pub mod router;
+pub mod telemetry;
+
+pub use planner::{plan_batch, GroupPlacement, PlacementPlan};
+pub use policy::{estimate_backend_cycles, heuristic_backend, RoutingPolicy};
+pub use router::{RoutedBatchReport, Router};
+pub use telemetry::{ShapeStats, TelemetryRegistry};
+
+// Re-exported so doc examples and downstream callers can name the core
+// types without extra direct dependencies.
+pub use sme_gemm::{Backend, GemmConfig};
+pub use sme_runtime::GemmRequest;

@@ -1,0 +1,258 @@
+//! Batch placement over the machine's real engine classes.
+//!
+//! The runtime's `BatchReport::makespan_cycles` models `n` *identical,
+//! independent* cores — an assumption Fig. 1 explicitly debunks for SME:
+//! the M4 has **two shared SME units** (one per cluster), so piling SME
+//! groups onto ten "cores" projects speed-ups the silicon cannot deliver.
+//! The planner replaces that projection with a placement over the engine
+//! slots the machine actually has ([`MulticoreModel::sme_engine_slots`] /
+//! [`MulticoreModel::private_engine_slots`]): SME-routed groups schedule
+//! onto the two shared units, Neon-routed groups onto the ten private
+//! cores, and the projected makespan is the slowest engine's finish time —
+//! so a mixed batch genuinely overlaps the engine classes, which is the
+//! whole point of routing part of the traffic to Neon.
+//!
+//! Placement uses a longest-processing-time greedy per engine class, with
+//! each group's simulated performance-core cycles scaled by the target
+//! slot's relative speed (an efficiency-cluster SME unit runs FP32 FMOPA
+//! at ≈ 357/2009 of the performance-cluster unit; an efficiency core runs
+//! Neon FMLA at ≈ 46/113 of a performance core).
+
+use sme_gemm::{Backend, GemmConfig};
+use sme_machine::multicore::{EngineSlot, MulticoreModel};
+use sme_runtime::BatchReport;
+
+/// Where one dispatch group was placed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupPlacement {
+    /// The group's configuration.
+    pub config: GemmConfig,
+    /// The backend the group executed on (decides the engine class).
+    pub backend: Backend,
+    /// The group's simulated cycles on one performance core.
+    pub cycles: f64,
+    /// Index of the chosen slot within its engine class
+    /// ([`PlacementPlan::sme_engines`] for SME groups,
+    /// [`PlacementPlan::neon_engines`] for Neon groups).
+    pub engine: usize,
+}
+
+/// The projected placement of one batch onto the machine's engine classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementPlan {
+    /// The shared SME unit slots (cluster order).
+    pub sme_engines: Vec<EngineSlot>,
+    /// The private core slots (performance cores first).
+    pub neon_engines: Vec<EngineSlot>,
+    /// Per-group placements, in the batch report's group order.
+    pub placements: Vec<GroupPlacement>,
+    /// Projected finish time of each SME slot, in performance-core
+    /// equivalent cycles.
+    pub sme_engine_cycles: Vec<f64>,
+    /// Projected finish time of each private core slot.
+    pub neon_engine_cycles: Vec<f64>,
+}
+
+impl PlacementPlan {
+    /// Projected finish time of the SME engine class (0 when no group is
+    /// SME-routed).
+    pub fn sme_makespan_cycles(&self) -> f64 {
+        self.sme_engine_cycles.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Projected finish time of the private-core engine class.
+    pub fn neon_makespan_cycles(&self) -> f64 {
+        self.neon_engine_cycles.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Projected makespan of the whole batch: the engine classes run
+    /// concurrently, so this is the slower class's finish time.
+    pub fn makespan_cycles(&self) -> f64 {
+        self.sme_makespan_cycles().max(self.neon_makespan_cycles())
+    }
+
+    /// Cycles of work placed on each engine class `(sme, neon)`.
+    pub fn class_load_cycles(&self) -> (f64, f64) {
+        let mut sme = 0.0;
+        let mut neon = 0.0;
+        for p in &self.placements {
+            match p.backend {
+                Backend::Sme => sme += p.cycles,
+                Backend::Neon => neon += p.cycles,
+            }
+        }
+        (sme, neon)
+    }
+}
+
+/// Place a dispatched batch's groups onto the machine's engine slots and
+/// project the makespan.
+///
+/// Groups never split across slots (each shares one kernel and working
+/// set, exactly like the runtime's per-core grouping); within each engine
+/// class the longest group is placed first onto the slot that finishes it
+/// earliest, accounting for slot speed.
+pub fn plan_batch(report: &BatchReport, model: &MulticoreModel) -> PlacementPlan {
+    let sme_engines = model.sme_engine_slots();
+    let neon_engines = model.private_engine_slots();
+    let mut sme_cycles = vec![0.0f64; sme_engines.len()];
+    let mut neon_cycles = vec![0.0f64; neon_engines.len()];
+
+    // LPT: sort group indices by descending cycles (stable on ties).
+    let mut order: Vec<usize> = (0..report.per_config.len()).collect();
+    order.sort_by(|&a, &b| {
+        report.per_config[b]
+            .stats
+            .cycles
+            .partial_cmp(&report.per_config[a].stats.cycles)
+            .expect("cycles are finite")
+    });
+
+    let mut placements = vec![None; report.per_config.len()];
+    for index in order {
+        let group = &report.per_config[index];
+        let (slots, loads) = match group.backend {
+            Backend::Sme => (&sme_engines, &mut sme_cycles),
+            Backend::Neon => (&neon_engines, &mut neon_cycles),
+        };
+        // Pick the slot with the earliest finish time after taking the
+        // group (slower slots stretch the group by 1/speed).
+        let best = (0..slots.len())
+            .min_by(|&a, &b| {
+                let fa = loads[a] + group.stats.cycles / slots[a].speed;
+                let fb = loads[b] + group.stats.cycles / slots[b].speed;
+                fa.partial_cmp(&fb).expect("finite finish times")
+            })
+            .expect("engine classes are never empty");
+        loads[best] += group.stats.cycles / slots[best].speed;
+        placements[index] = Some(GroupPlacement {
+            config: group.config,
+            backend: group.backend,
+            cycles: group.stats.cycles,
+            engine: best,
+        });
+    }
+
+    PlacementPlan {
+        sme_engines,
+        neon_engines,
+        placements: placements
+            .into_iter()
+            .map(|p| p.expect("every group is placed"))
+            .collect(),
+        sme_engine_cycles: sme_cycles,
+        neon_engine_cycles: neon_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_machine::MachineConfig;
+    use sme_runtime::{GemmRequest, GemmService};
+
+    fn model() -> MulticoreModel {
+        MulticoreModel::new(MachineConfig::apple_m4())
+    }
+
+    /// Dispatch a batch with a fixed routing function and plan it.
+    fn plan_mixed(
+        reqs: &[GemmRequest],
+        neon: &(dyn Fn(&GemmConfig) -> bool + Sync),
+    ) -> PlacementPlan {
+        let service = GemmService::new(32);
+        let report = service
+            .dispatch_routed(reqs, |cfg| {
+                if neon(cfg) {
+                    Backend::Neon
+                } else {
+                    Backend::Sme
+                }
+            })
+            .expect("valid batch");
+        plan_batch(&report, &model())
+    }
+
+    #[test]
+    fn sme_groups_spread_over_two_units_only() {
+        // Four equal SME groups on a machine with two SME units: the
+        // projected makespan cannot drop below half the serial time no
+        // matter how many cores exist.
+        let reqs: Vec<GemmRequest> = (0..4)
+            .map(|i| GemmRequest {
+                config: GemmConfig::abt(48, 48, 16 + 16 * i),
+                seed: i as u64,
+            })
+            .collect();
+        let plan = plan_mixed(&reqs, &|_| false);
+        assert_eq!(plan.sme_engines.len(), 2);
+        let (sme_load, neon_load) = plan.class_load_cycles();
+        assert_eq!(neon_load, 0.0);
+        assert!(plan.makespan_cycles() >= sme_load / 2.0);
+        // The efficiency-cluster unit is ~5.6× slower, so the LPT should
+        // keep most work on the performance-cluster unit.
+        assert!(plan.sme_engine_cycles[0] > 0.0);
+        assert!(plan.placements.iter().all(|p| p.engine < 2));
+    }
+
+    #[test]
+    fn mixed_batches_overlap_engine_classes() {
+        let sme_cfg = GemmConfig::abt(64, 64, 64);
+        let neon_cfg = GemmConfig::abt(16, 4, 16);
+        let reqs = [
+            GemmRequest {
+                config: sme_cfg,
+                seed: 1,
+            },
+            GemmRequest {
+                config: neon_cfg,
+                seed: 2,
+            },
+        ];
+        let plan = plan_mixed(&reqs, &|cfg| *cfg == neon_cfg);
+        let (sme_load, neon_load) = plan.class_load_cycles();
+        assert!(sme_load > 0.0 && neon_load > 0.0);
+        // Classes run concurrently: the makespan is the max, not the sum.
+        assert!(plan.makespan_cycles() < sme_load + neon_load);
+        assert_eq!(
+            plan.makespan_cycles(),
+            plan.sme_makespan_cycles().max(plan.neon_makespan_cycles())
+        );
+        // The Neon group landed on a private core, the SME group on a unit.
+        let neon_placement = plan
+            .placements
+            .iter()
+            .find(|p| p.backend == Backend::Neon)
+            .unwrap();
+        assert!(neon_placement.engine < plan.neon_engines.len());
+    }
+
+    #[test]
+    fn neon_groups_use_all_ten_cores() {
+        // Ten distinct Neon-routed groups: each gets its own core slot, so
+        // every per-core load stays below the serial total.
+        let reqs: Vec<GemmRequest> = (0..10)
+            .map(|i| GemmRequest {
+                config: GemmConfig::abt(16, 4, 4 + 4 * i),
+                seed: i as u64,
+            })
+            .collect();
+        let plan = plan_mixed(&reqs, &|_| true);
+        assert_eq!(plan.neon_engines.len(), 10);
+        let used: std::collections::HashSet<usize> =
+            plan.placements.iter().map(|p| p.engine).collect();
+        assert!(used.len() >= 4, "LPT must spread across the fast cores");
+        let (_, neon_load) = plan.class_load_cycles();
+        assert!(plan.makespan_cycles() < neon_load);
+    }
+
+    #[test]
+    fn empty_batches_plan_to_zero() {
+        let service = GemmService::new(4);
+        let report = service.dispatch(&[]).unwrap();
+        let plan = plan_batch(&report, &model());
+        assert!(plan.placements.is_empty());
+        assert_eq!(plan.makespan_cycles(), 0.0);
+        assert_eq!(plan.class_load_cycles(), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Routing policies: which engine should execute a shape?
+//!
+//! The paper's Fig. 1 establishes the two engine classes — the shared SME
+//! outer-product units and the core-private Neon FMLA pipes — and the
+//! modelled crossover between them: an SME kernel pays a fixed
+//! streaming-mode entry/exit cost (~100 cycles on the calibrated M4 model)
+//! plus ZA accumulator transfers, so tiny or thin shapes finish sooner on
+//! Neon, while anything with real arithmetic density saturates the SME
+//! units' ~18× per-instruction advantage.
+//!
+//! Policies answer the per-shape question with increasing fidelity:
+//!
+//! * [`RoutingPolicy::SmeOnly`] / [`RoutingPolicy::NeonOnly`] pin an
+//!   engine (the pre-router behaviour, and a debugging tool);
+//! * [`RoutingPolicy::Heuristic`] compares closed-form cycle estimates —
+//!   zero simulation, wrong only near the crossover;
+//! * [`RoutingPolicy::Measured`] (the default) timing-simulates both
+//!   backends' default kernels once per shape and memoizes the verdict —
+//!   exact in the model, at one-off probe cost.
+//!
+//! Every traffic-adaptive policy defers to an installed tuned winner
+//! first: `pretune_hot` turns telemetry into exact routing decisions.
+
+use sme_gemm::{analytic_k_step_cycles, neon_supports, plan_heterogeneous, Backend, GemmConfig};
+use sme_machine::{MachineConfig, OpKind};
+
+/// How the router picks a backend for a configuration (see the module
+/// docs for the trade-offs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Always dispatch the SME generator — the pre-router behaviour.
+    SmeOnly,
+    /// Dispatch the Neon generator wherever it supports the shape (SME
+    /// remains the fallback for shapes off Neon's 16×4 grid).
+    NeonOnly,
+    /// Compare the analytic cycle estimates of [`estimate_backend_cycles`];
+    /// no simulation, approximate near the crossover.
+    Heuristic,
+    /// Timing-simulate both backends' default kernels once per shape and
+    /// memoize the verdict (exact in the model).
+    #[default]
+    Measured,
+}
+
+/// Closed-form single-core cycle estimate for dispatching `cfg` on
+/// `backend`, or `None` if the backend cannot compile the shape.
+///
+/// This is a routing heuristic, not a simulator: it accounts for the terms
+/// that decide the SME/Neon crossover — SME's fixed `smstart`/`smstop`
+/// cost, per-k-step issue cost ([`sme_gemm::analytic_k_step_cycles`]) and
+/// accumulator traffic versus Neon's FMLA and load throughput — and is
+/// accurate to a few tens of percent, which is enough to rank the engines
+/// everywhere except within a narrow band around the crossover (where
+/// [`RoutingPolicy::Measured`] or pre-tuning decides exactly).
+pub fn estimate_backend_cycles(
+    cfg: &GemmConfig,
+    backend: Backend,
+    machine: &MachineConfig,
+) -> Option<f64> {
+    let p = &machine.p_core;
+    let rate = |op: OpKind| machine.mem.rate(op);
+    let c_bytes = (cfg.m * cfg.n * 4) as f64;
+    match backend {
+        Backend::Sme => {
+            cfg.validate().ok()?;
+            let plan = plan_heterogeneous(cfg.m, cfg.n);
+            // smstart + smstop dominate tiny shapes.
+            let streaming = 2.0 * p.op(OpKind::SmeControl).interval();
+            let contraction = cfg.k as f64 * analytic_k_step_cycles(&plan, machine);
+            // The C block crosses the ZA array twice (load + store).
+            let c_traffic =
+                c_bytes / rate(OpKind::LoadLd1Multi4) + c_bytes / rate(OpKind::StoreStrZa);
+            Some(streaming + contraction + c_traffic)
+        }
+        Backend::Neon => {
+            neon_supports(cfg).ok()?;
+            let blocks = ((cfg.m / 16) * (cfg.n / 4)) as f64;
+            let fmla = p.op(OpKind::NeonFmla);
+            // Per k step and 16×4 block: 16 FMLA, 80 bytes of A/B loads,
+            // two address bumps and the loop branch.
+            let per_step = 16.0 / fmla.per_cycle
+                + 80.0 / rate(OpKind::NeonLoad)
+                + 2.0 * p.op(OpKind::IntAlu).interval()
+                + p.op(OpKind::Branch).interval();
+            let contraction = blocks * cfg.k as f64 * per_step;
+            let c_traffic = c_bytes / rate(OpKind::NeonLoad) + c_bytes / rate(OpKind::NeonStore);
+            // Pointer setup per block.
+            let setup = blocks * 6.0 * p.op(OpKind::IntAlu).interval();
+            Some(contraction + c_traffic + setup)
+        }
+    }
+}
+
+/// The backend the analytic estimates favour for `cfg` (SME when Neon
+/// cannot compile the shape or the estimates tie).
+pub fn heuristic_backend(cfg: &GemmConfig, machine: &MachineConfig) -> Backend {
+    let Some(neon) = estimate_backend_cycles(cfg, Backend::Neon, machine) else {
+        return Backend::Sme;
+    };
+    let Some(sme) = estimate_backend_cycles(cfg, Backend::Sme, machine) else {
+        return Backend::Sme;
+    };
+    if neon < sme {
+        Backend::Neon
+    } else {
+        Backend::Sme
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_agrees_with_the_model_on_clear_cut_shapes() {
+        let machine = MachineConfig::apple_m4();
+        // Tiny: streaming-mode overhead dwarfs the work → Neon.
+        assert_eq!(
+            heuristic_backend(&GemmConfig::abt(16, 4, 4), &machine),
+            Backend::Neon
+        );
+        // Dense: SME's outer products win by an order of magnitude.
+        assert_eq!(
+            heuristic_backend(&GemmConfig::abt(64, 64, 64), &machine),
+            Backend::Sme
+        );
+        assert_eq!(
+            heuristic_backend(&GemmConfig::abt(128, 128, 128), &machine),
+            Backend::Sme
+        );
+        // Off the Neon grid → SME regardless of size.
+        assert_eq!(
+            heuristic_backend(&GemmConfig::abt(33, 47, 4), &machine),
+            Backend::Sme
+        );
+        assert_eq!(
+            heuristic_backend(&GemmConfig::ab(16, 4, 4), &machine),
+            Backend::Sme
+        );
+    }
+
+    #[test]
+    fn estimates_are_finite_and_grow_with_the_problem() {
+        let machine = MachineConfig::apple_m4();
+        let small = estimate_backend_cycles(&GemmConfig::abt(32, 32, 8), Backend::Sme, &machine)
+            .expect("SME estimates exist for every valid shape");
+        let large = estimate_backend_cycles(&GemmConfig::abt(96, 96, 64), Backend::Sme, &machine)
+            .expect("SME estimates exist for every valid shape");
+        assert!(small.is_finite() && large.is_finite());
+        assert!(large > small);
+        assert_eq!(
+            estimate_backend_cycles(&GemmConfig::abt(17, 4, 4), Backend::Neon, &machine),
+            None,
+            "Neon estimate must refuse unsupported shapes"
+        );
+        assert_eq!(
+            estimate_backend_cycles(&GemmConfig::abt(0, 4, 4), Backend::Sme, &machine),
+            None,
+            "invalid configurations have no estimate"
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! The router: policy + telemetry + placement wrapped around a
+//! [`GemmService`].
+
+use crate::planner::{plan_batch, PlacementPlan};
+use crate::policy::{heuristic_backend, RoutingPolicy};
+use crate::telemetry::{ShapeStats, TelemetryRegistry};
+use sme_gemm::{neon_supports, Backend, GemmConfig, GemmError};
+use sme_machine::multicore::MulticoreModel;
+use sme_machine::MachineConfig;
+use sme_runtime::{GemmRequest, GemmService, KernelCache, PlanStore, TuneOutcome, TunerOptions};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The result of dispatching one batch through the router: the runtime's
+/// execution report plus the projected placement on the machine's engine
+/// classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedBatchReport {
+    /// The runtime's batch report (outputs in request order, per-config
+    /// aggregates tagged with the serving backend).
+    pub batch: sme_runtime::BatchReport,
+    /// The batch projected onto the two shared SME units and the ten
+    /// private cores.
+    pub placement: PlacementPlan,
+}
+
+/// Traffic-aware multi-backend dispatch front end.
+///
+/// Sits between callers and the [`GemmService`]: every batch is routed
+/// per-configuration (see [`RoutingPolicy`]), executed through the
+/// backend-tagged kernel cache, folded into the per-shape
+/// [`TelemetryRegistry`], and projected onto the machine's engine classes
+/// by the batch planner. The telemetry closes the loop:
+/// [`Router::pretune_hot`] autotunes exactly the shapes that dominate
+/// traffic, after which routing follows the tuned cross-backend winners.
+#[derive(Debug)]
+pub struct Router {
+    service: GemmService,
+    policy: RoutingPolicy,
+    telemetry: TelemetryRegistry,
+    machine: MachineConfig,
+    model: MulticoreModel,
+    /// Memoized verdicts of the `Measured` policy's one-off probes.
+    probe_memo: Mutex<HashMap<GemmConfig, Backend>>,
+}
+
+impl Router {
+    /// A router over a fresh cache bounded to `cache_capacity` kernels,
+    /// with the default [`RoutingPolicy::Measured`] policy on the
+    /// calibrated M4 machine model.
+    pub fn new(cache_capacity: usize) -> Self {
+        Router::with_policy(cache_capacity, RoutingPolicy::default())
+    }
+
+    /// A router with an explicit policy.
+    pub fn with_policy(cache_capacity: usize, policy: RoutingPolicy) -> Self {
+        let machine = MachineConfig::apple_m4();
+        // Stamp the store so persisted winners carry the machine
+        // fingerprint from the start.
+        let cache = Arc::new(KernelCache::with_store(
+            cache_capacity,
+            PlanStore::for_machine(&machine),
+        ));
+        Router::with_service(GemmService::with_cache(cache), policy, machine)
+    }
+
+    /// A router around an existing service (sharing its cache and plan
+    /// store) and an explicit machine model.
+    pub fn with_service(
+        service: GemmService,
+        policy: RoutingPolicy,
+        machine: MachineConfig,
+    ) -> Self {
+        let model = MulticoreModel::new(machine.clone());
+        Router {
+            service,
+            policy,
+            telemetry: TelemetryRegistry::new(),
+            machine,
+            model,
+            probe_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &GemmService {
+        &self.service
+    }
+
+    /// The kernel cache (counters, plan-store access).
+    pub fn cache(&self) -> &KernelCache {
+        self.service.cache()
+    }
+
+    /// The per-shape traffic telemetry.
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.telemetry
+    }
+
+    /// The active routing policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// The machine model routing decisions and placements are made on.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Decide which backend serves `cfg` under the active policy.
+    ///
+    /// The traffic-adaptive policies ([`RoutingPolicy::Heuristic`] and
+    /// [`RoutingPolicy::Measured`]) defer to an installed tuned winner
+    /// first — pre-tuning a shape pins its route to the simulated argmin
+    /// across both engines.
+    pub fn route(&self, cfg: &GemmConfig) -> Backend {
+        match self.policy {
+            RoutingPolicy::SmeOnly => Backend::Sme,
+            RoutingPolicy::NeonOnly => {
+                if neon_supports(cfg).is_ok() {
+                    Backend::Neon
+                } else {
+                    Backend::Sme
+                }
+            }
+            RoutingPolicy::Heuristic => match self.cache().lookup_tuned(cfg) {
+                Some(record) => record.candidate.backend,
+                None => heuristic_backend(cfg, &self.machine),
+            },
+            RoutingPolicy::Measured => match self.cache().lookup_tuned(cfg) {
+                Some(record) => record.candidate.backend,
+                None => self.measure(cfg),
+            },
+        }
+    }
+
+    /// One-off model probe for the `Measured` policy: compile both
+    /// backends' default kernels **through the cache** (so the subsequent
+    /// dispatch fetch of the winner is a hit, not a recompile), simulate
+    /// each once, memoize and return the faster engine.
+    fn measure(&self, cfg: &GemmConfig) -> Backend {
+        if let Some(&backend) = self
+            .probe_memo
+            .lock()
+            .expect("probe memo poisoned")
+            .get(cfg)
+        {
+            return backend;
+        }
+        let backend = match (
+            self.cache().get_or_compile_backend(cfg, Backend::Sme),
+            self.cache().get_or_compile_backend(cfg, Backend::Neon),
+        ) {
+            (Ok(sme), Ok(neon)) => {
+                if neon.model_stats().cycles < sme.model_stats().cycles {
+                    Backend::Neon
+                } else {
+                    Backend::Sme
+                }
+            }
+            // Shapes only one engine can compile route there; invalid
+            // configurations fall through to SME, whose generator reports
+            // the error at dispatch time.
+            _ => Backend::Sme,
+        };
+        self.probe_memo
+            .lock()
+            .expect("probe memo poisoned")
+            .insert(*cfg, backend);
+        backend
+    }
+
+    /// Dispatch a batch: route each distinct configuration, execute through
+    /// the cached kernels, record telemetry, and project the batch onto the
+    /// machine's engine classes.
+    ///
+    /// # Errors
+    /// Propagates the service's errors (first invalid configuration fails
+    /// the batch); telemetry records only successfully dispatched batches.
+    pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<RoutedBatchReport, GemmError> {
+        let batch = self
+            .service
+            .dispatch_routed(requests, |cfg| self.route(cfg))?;
+        self.telemetry.record_batch(&batch);
+        let placement = plan_batch(&batch, &self.model);
+        Ok(RoutedBatchReport { batch, placement })
+    }
+
+    /// The `n` busiest shapes by recorded traffic (see
+    /// [`TelemetryRegistry::top_shapes`]).
+    pub fn top_shapes(&self, n: usize) -> Vec<ShapeStats> {
+        self.telemetry.top_shapes(n)
+    }
+
+    /// Autotune `cfg` across both backends and install the winner, so
+    /// subsequent routing and dispatch follow the simulated argmin.
+    pub fn tune(&self, cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
+        self.service.tune(cfg, opts)
+    }
+
+    /// Autotune the `n` busiest shapes — the ROADMAP's "which shapes
+    /// dominate traffic? pre-tune exactly those" loop. Returns one outcome
+    /// per tuned shape (busiest first).
+    pub fn pretune_hot(
+        &self,
+        n: usize,
+        opts: &TunerOptions,
+    ) -> Result<Vec<TuneOutcome>, GemmError> {
+        self.top_shapes(n)
+            .into_iter()
+            .map(|stats| self.tune(&stats.config, opts))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_route_as_documented() {
+        let tiny = GemmConfig::abt(16, 4, 4); // Neon territory
+        let large = GemmConfig::abt(64, 64, 64); // SME territory
+        let ragged = GemmConfig::abt(33, 47, 5); // Neon cannot compile
+
+        let sme_only = Router::with_policy(8, RoutingPolicy::SmeOnly);
+        assert_eq!(sme_only.route(&tiny), Backend::Sme);
+        assert_eq!(sme_only.route(&large), Backend::Sme);
+
+        let neon_only = Router::with_policy(8, RoutingPolicy::NeonOnly);
+        assert_eq!(neon_only.route(&tiny), Backend::Neon);
+        assert_eq!(neon_only.route(&large), Backend::Neon);
+        assert_eq!(neon_only.route(&ragged), Backend::Sme, "fallback");
+
+        for policy in [RoutingPolicy::Heuristic, RoutingPolicy::Measured] {
+            let router = Router::with_policy(8, policy);
+            assert_eq!(router.route(&tiny), Backend::Neon, "{policy:?}");
+            assert_eq!(router.route(&large), Backend::Sme, "{policy:?}");
+            assert_eq!(router.route(&ragged), Backend::Sme, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn measured_probe_is_memoized_and_tuning_overrides_it() {
+        let router = Router::new(8);
+        let cfg = GemmConfig::abt(16, 4, 4);
+        assert_eq!(router.route(&cfg), Backend::Neon);
+        assert_eq!(
+            router.probe_memo.lock().unwrap().get(&cfg).copied(),
+            Some(Backend::Neon),
+            "probe verdict memoized"
+        );
+        // Tuning installs a winner, which takes precedence over the memo.
+        let outcome = router.tune(&cfg, &TunerOptions::quick()).unwrap();
+        assert_eq!(outcome.winner.backend, Backend::Neon);
+        assert_eq!(router.route(&cfg), Backend::Neon);
+        assert_eq!(
+            router.cache().lookup_tuned(&cfg).unwrap().candidate.backend,
+            Backend::Neon
+        );
+    }
+
+    #[test]
+    fn dispatch_records_telemetry_and_places_the_batch() {
+        let router = Router::new(16);
+        let tiny = GemmConfig::abt(16, 4, 4);
+        let large = GemmConfig::abt(48, 48, 32);
+        let requests: Vec<GemmRequest> = (0..6)
+            .map(|i| GemmRequest {
+                config: if i % 3 == 0 { large } else { tiny },
+                seed: i as u64,
+            })
+            .collect();
+        let report = router.dispatch(&requests).unwrap();
+        assert_eq!(report.batch.outputs.len(), 6);
+
+        // Telemetry matches dispatched traffic exactly.
+        assert_eq!(router.telemetry().total_requests(), 6);
+        let top = router.top_shapes(2);
+        assert_eq!(top[0].config, tiny, "4 requests beat 2");
+        assert_eq!(top[0].requests, 4);
+        assert_eq!(top[0].dominant_backend(), Backend::Neon);
+        assert_eq!(top[1].requests, 2);
+        assert_eq!(top[1].dominant_backend(), Backend::Sme);
+
+        // The mixed batch lands on both engine classes and overlaps them.
+        let (sme_load, neon_load) = report.placement.class_load_cycles();
+        assert!(sme_load > 0.0 && neon_load > 0.0);
+        assert!(report.placement.makespan_cycles() < sme_load + neon_load);
+
+        // pretune_hot tunes the busiest shapes and installs their winners.
+        let outcomes = router.pretune_hot(2, &TunerOptions::quick()).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(router.cache().lookup_tuned(&tiny).is_some());
+        assert!(router.cache().lookup_tuned(&large).is_some());
+        // Routing now follows the tuned winners.
+        assert_eq!(router.route(&tiny), outcomes[0].winner.backend);
+    }
+
+    #[test]
+    fn dispatch_results_are_identical_across_policies() {
+        let requests: Vec<GemmRequest> = (0..4)
+            .map(|i| GemmRequest {
+                config: GemmConfig::abt(32, 16, 8),
+                seed: 40 + i,
+            })
+            .collect();
+        let measured = Router::new(8).dispatch(&requests).unwrap();
+        let sme = Router::with_policy(8, RoutingPolicy::SmeOnly)
+            .dispatch(&requests)
+            .unwrap();
+        let neon = Router::with_policy(8, RoutingPolicy::NeonOnly)
+            .dispatch(&requests)
+            .unwrap();
+        assert_eq!(measured.batch.outputs, sme.batch.outputs);
+        assert_eq!(measured.batch.outputs, neon.batch.outputs);
+    }
+}

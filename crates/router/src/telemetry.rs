@@ -1,0 +1,312 @@
+//! Per-shape traffic telemetry: who is actually calling, and with what?
+//!
+//! The runtime's `KernelCache` counts hits and misses globally, which
+//! answers "is caching working?" but not the serving question the ROADMAP
+//! poses: **which shapes dominate traffic**, so that exactly those can be
+//! pre-tuned. The [`TelemetryRegistry`] closes that gap: every dispatched
+//! batch is folded into a per-[`GemmConfig`] record of request counts,
+//! cumulative simulated cycles, the backend that served each group and the
+//! group's cache outcome. [`TelemetryRegistry::top_shapes`] ranks shapes by
+//! traffic; `Router::pretune_hot` feeds that ranking straight into the
+//! autotuner.
+
+use serde::Serialize;
+use sme_gemm::{BLayout, Backend, Beta, GemmConfig};
+use sme_runtime::BatchReport;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Accumulated traffic statistics for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeStats {
+    /// The configuration.
+    pub config: GemmConfig,
+    /// Requests dispatched for this shape.
+    pub requests: u64,
+    /// Simulated cycles spent executing this shape's kernels (summed over
+    /// all requests).
+    pub cycles: f64,
+    /// Requests served by the SME backend.
+    pub sme_requests: u64,
+    /// Requests served by the Neon backend.
+    pub neon_requests: u64,
+    /// Kernel fetches for this shape served from the cache.
+    pub cache_hits: u64,
+    /// Kernel fetches for this shape that compiled.
+    pub cache_misses: u64,
+}
+
+impl ShapeStats {
+    /// Fraction of this shape's kernel fetches served from the cache
+    /// (0 when the shape has never fetched).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The backend that served the majority of this shape's requests (ties
+    /// go to SME, the default engine).
+    pub fn dominant_backend(&self) -> Backend {
+        if self.neon_requests > self.sme_requests {
+            Backend::Neon
+        } else {
+            Backend::Sme
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ShapeEntry {
+    requests: u64,
+    cycles: f64,
+    sme_requests: u64,
+    neon_requests: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Thread-safe registry of per-shape traffic statistics.
+#[derive(Debug, Default)]
+pub struct TelemetryRegistry {
+    entries: Mutex<HashMap<GemmConfig, ShapeEntry>>,
+}
+
+impl TelemetryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TelemetryRegistry::default()
+    }
+
+    /// Record one dispatched group: `requests` executions of `config` on
+    /// `backend` costing `cycles` simulated cycles in total, whose single
+    /// kernel fetch hit (`cache_hit`) or compiled.
+    pub fn record_group(
+        &self,
+        config: &GemmConfig,
+        backend: Backend,
+        requests: u64,
+        cycles: f64,
+        cache_hit: bool,
+    ) {
+        let mut entries = self.entries.lock().expect("telemetry poisoned");
+        let entry = entries.entry(*config).or_default();
+        entry.requests += requests;
+        entry.cycles += cycles;
+        match backend {
+            Backend::Sme => entry.sme_requests += requests,
+            Backend::Neon => entry.neon_requests += requests,
+        }
+        if cache_hit {
+            entry.cache_hits += 1;
+        } else {
+            entry.cache_misses += 1;
+        }
+    }
+
+    /// Fold a whole dispatched batch into the registry (one
+    /// [`record_group`](TelemetryRegistry::record_group) per per-config
+    /// report).
+    pub fn record_batch(&self, report: &BatchReport) {
+        for group in &report.per_config {
+            self.record_group(
+                &group.config,
+                group.backend,
+                group.requests as u64,
+                group.stats.cycles,
+                group.cache_hit,
+            );
+        }
+    }
+
+    /// Number of distinct shapes seen.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("telemetry poisoned").len()
+    }
+
+    /// `true` if no traffic has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total requests recorded across all shapes.
+    pub fn total_requests(&self) -> u64 {
+        self.entries
+            .lock()
+            .expect("telemetry poisoned")
+            .values()
+            .map(|e| e.requests)
+            .sum()
+    }
+
+    /// Statistics for one shape, if it has been seen.
+    pub fn shape(&self, config: &GemmConfig) -> Option<ShapeStats> {
+        self.entries
+            .lock()
+            .expect("telemetry poisoned")
+            .get(config)
+            .map(|e| stats_for(config, e))
+    }
+
+    /// The `n` busiest shapes, ranked by request count (cumulative cycles,
+    /// then shape, break ties — the order is fully deterministic).
+    pub fn top_shapes(&self, n: usize) -> Vec<ShapeStats> {
+        let entries = self.entries.lock().expect("telemetry poisoned");
+        let mut all: Vec<ShapeStats> = entries.iter().map(|(c, e)| stats_for(c, e)).collect();
+        all.sort_by(|a, b| {
+            b.requests.cmp(&a.requests).then(
+                b.cycles
+                    .partial_cmp(&a.cycles)
+                    .expect("cycles are finite")
+                    .then(shape_key(&a.config).cmp(&shape_key(&b.config))),
+            )
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// Discard all recorded traffic.
+    pub fn clear(&self) {
+        self.entries.lock().expect("telemetry poisoned").clear();
+    }
+
+    /// Render the registry as a JSON document (shapes in
+    /// [`top_shapes`](TelemetryRegistry::top_shapes) order), the format the
+    /// README documents for operational dashboards.
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Shape {
+            m: usize,
+            n: usize,
+            k: usize,
+            lda: usize,
+            ldb: usize,
+            ldc: usize,
+            b_layout: BLayout,
+            beta: Beta,
+            requests: u64,
+            cycles: f64,
+            sme_requests: u64,
+            neon_requests: u64,
+            cache_hits: u64,
+            cache_misses: u64,
+            cache_hit_rate: f64,
+        }
+        #[derive(Serialize)]
+        struct Doc {
+            total_requests: u64,
+            shapes: Vec<Shape>,
+        }
+        let doc = Doc {
+            total_requests: self.total_requests(),
+            shapes: self
+                .top_shapes(usize::MAX)
+                .into_iter()
+                .map(|s| Shape {
+                    m: s.config.m,
+                    n: s.config.n,
+                    k: s.config.k,
+                    lda: s.config.lda,
+                    ldb: s.config.ldb,
+                    ldc: s.config.ldc,
+                    b_layout: s.config.b_layout,
+                    beta: s.config.beta,
+                    requests: s.requests,
+                    cycles: s.cycles,
+                    sme_requests: s.sme_requests,
+                    neon_requests: s.neon_requests,
+                    cache_hits: s.cache_hits,
+                    cache_misses: s.cache_misses,
+                    cache_hit_rate: s.cache_hit_rate(),
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&doc).expect("shim serialization is total")
+    }
+}
+
+fn stats_for(config: &GemmConfig, e: &ShapeEntry) -> ShapeStats {
+    ShapeStats {
+        config: *config,
+        requests: e.requests,
+        cycles: e.cycles,
+        sme_requests: e.sme_requests,
+        neon_requests: e.neon_requests,
+        cache_hits: e.cache_hits,
+        cache_misses: e.cache_misses,
+    }
+}
+
+/// Deterministic ordering key for a configuration.
+fn shape_key(c: &GemmConfig) -> (usize, usize, usize, usize, usize, usize, bool, bool) {
+    (
+        c.m,
+        c.n,
+        c.k,
+        c.lda,
+        c.ldb,
+        c.ldc,
+        c.b_layout == BLayout::ColMajor,
+        c.beta == Beta::One,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_accumulate_per_shape() {
+        let telemetry = TelemetryRegistry::new();
+        let hot = GemmConfig::abt(32, 32, 16);
+        let cold = GemmConfig::abt(64, 64, 16);
+        telemetry.record_group(&hot, Backend::Sme, 5, 100.0, false);
+        telemetry.record_group(&hot, Backend::Sme, 7, 140.0, true);
+        telemetry.record_group(&hot, Backend::Neon, 2, 40.0, true);
+        telemetry.record_group(&cold, Backend::Sme, 1, 900.0, false);
+
+        assert_eq!(telemetry.len(), 2);
+        assert_eq!(telemetry.total_requests(), 15);
+        let stats = telemetry.shape(&hot).unwrap();
+        assert_eq!(stats.requests, 14);
+        assert_eq!(stats.cycles, 280.0);
+        assert_eq!(stats.sme_requests, 12);
+        assert_eq!(stats.neon_requests, 2);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (2, 1));
+        assert!((stats.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.dominant_backend(), Backend::Sme);
+
+        // Ranking is by requests: the hot shape leads despite fewer cycles
+        // per request.
+        let top = telemetry.top_shapes(10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].config, hot);
+        assert_eq!(telemetry.top_shapes(1).len(), 1);
+
+        telemetry.clear();
+        assert!(telemetry.is_empty());
+        assert_eq!(telemetry.shape(&hot), None);
+    }
+
+    #[test]
+    fn json_snapshot_lists_shapes_with_hit_rates() {
+        let telemetry = TelemetryRegistry::new();
+        telemetry.record_group(&GemmConfig::abt(16, 4, 8), Backend::Neon, 3, 120.0, false);
+        let json = telemetry.to_json();
+        assert!(json.contains("\"total_requests\": 3"));
+        assert!(json.contains("\"neon_requests\": 3"));
+        assert!(json.contains("\"cache_hit_rate\": 0"));
+        // The document is machine-readable with the vendored parser.
+        let value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            value
+                .get("shapes")
+                .and_then(|s| s.as_array())
+                .map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

@@ -2,22 +2,27 @@
 //!
 //! The paper's kernels are generated once and executed many times per time
 //! step; the reproduction previously regenerated on every call. The
-//! [`KernelCache`] closes that gap: it hands out `Arc<CompiledKernel>`
+//! [`KernelCache`] closes that gap: it hands out `Arc<RoutedKernel>`
 //! clones on hit and compiles on miss, consulting the [`PlanStore`] first so
 //! that autotuned winners — not the default heterogeneous plan — become the
-//! dispatched kernels ([`sme_gemm::generate_tuned`] is the tuned path,
-//! [`sme_gemm::generate`] the fallback).
+//! dispatched kernels ([`sme_gemm::generate_routed`] is the tuned path,
+//! [`sme_gemm::generate_backend`] the fallback).
 //!
-//! Entries are spread over a fixed number of shards by the configuration's
-//! hash, so concurrent requests for different kernels rarely contend on the
-//! same lock. Each shard applies its own LRU bound; compilation happens
-//! under the shard lock, which serialises misses *per shard* but guarantees
-//! a kernel is compiled at most once and keeps the hit/miss counters exact
+//! Entries are keyed by **configuration plus backend**: the same
+//! [`GemmConfig`] can be cached once as an SME kernel and once as a Neon
+//! kernel, so a router flipping a shape between engines (or serving both
+//! engine classes of a mixed batch) never thrashes the cache.
+//!
+//! Entries are spread over a fixed number of shards by the key's hash, so
+//! concurrent requests for different kernels rarely contend on the same
+//! lock. Each shard applies its own LRU bound; compilation happens under
+//! the shard lock, which serialises misses *per shard* but guarantees a
+//! kernel is compiled at most once and keeps the hit/miss counters exact
 //! (the property the cache's tests and the runtime integration test rely
 //! on).
 
 use crate::store::{tune_key, PlanStore, TunedRecord};
-use sme_gemm::{generate, generate_tuned, CompiledKernel, GemmConfig, GemmError};
+use sme_gemm::{generate_backend, generate_routed, Backend, GemmConfig, GemmError, RoutedKernel};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,18 +57,21 @@ impl CacheStats {
     }
 }
 
+/// Cache key: one configuration compiled for one backend.
+type CacheKey = (GemmConfig, Backend);
+
 /// One shard: a small LRU list with the most recently used entry last.
 ///
 /// Shard capacities are single digits to low tens, so a vector scan beats a
 /// linked-list LRU both in code and in cache behaviour.
 #[derive(Debug, Default)]
 struct Shard {
-    entries: Vec<(GemmConfig, Arc<CompiledKernel>)>,
+    entries: Vec<(CacheKey, Arc<RoutedKernel>)>,
 }
 
 impl Shard {
-    fn get(&mut self, cfg: &GemmConfig) -> Option<Arc<CompiledKernel>> {
-        let pos = self.entries.iter().position(|(c, _)| c == cfg)?;
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<RoutedKernel>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
         // Refresh recency: move to the back.
         let entry = self.entries.remove(pos);
         let kernel = entry.1.clone();
@@ -73,13 +81,13 @@ impl Shard {
 
     /// Insert a fresh entry, evicting the least recently used if the shard
     /// is full. Returns the number of evicted entries (0 or 1).
-    fn insert(&mut self, cfg: GemmConfig, kernel: Arc<CompiledKernel>, capacity: usize) -> u64 {
+    fn insert(&mut self, key: CacheKey, kernel: Arc<RoutedKernel>, capacity: usize) -> u64 {
         let mut evicted = 0;
         while self.entries.len() >= capacity && !self.entries.is_empty() {
             self.entries.remove(0);
             evicted += 1;
         }
-        self.entries.push((cfg, kernel));
+        self.entries.push((key, kernel));
         evicted
     }
 }
@@ -123,26 +131,73 @@ impl KernelCache {
         }
     }
 
-    fn shard_for(&self, cfg: &GemmConfig) -> &Mutex<Shard> {
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
         let mut hasher = DefaultHasher::new();
-        cfg.hash(&mut hasher);
+        key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % SHARDS]
     }
 
-    /// Fetch the kernel for `cfg`, compiling it on miss.
+    /// The backend the cache would pick for `cfg` when the caller expresses
+    /// no preference: the stored tuned winner's backend, or SME (the
+    /// paper's engine) for untuned shapes.
+    ///
+    /// A record whose backend cannot actually compile the shape (possible
+    /// only for stores assembled in memory — load-time validation rejects
+    /// such documents) is ignored rather than followed, so a bad record
+    /// can degrade dispatch but never make a valid configuration
+    /// undispatchable.
+    pub fn preferred_backend(&self, cfg: &GemmConfig) -> Backend {
+        let backend = self
+            .store
+            .read()
+            .expect("plan store poisoned")
+            .lookup(cfg)
+            .map(|record| record.candidate.backend)
+            .unwrap_or(Backend::Sme);
+        match backend {
+            Backend::Neon if sme_gemm::neon_supports(cfg).is_err() => Backend::Sme,
+            other => other,
+        }
+    }
+
+    /// Fetch the kernel for `cfg` on the cache's preferred backend (see
+    /// [`KernelCache::preferred_backend`]), compiling it on miss.
+    pub fn get_or_compile(&self, cfg: &GemmConfig) -> Result<Arc<RoutedKernel>, GemmError> {
+        self.get_or_compile_backend(cfg, self.preferred_backend(cfg))
+    }
+
+    /// Fetch the kernel for `cfg` compiled for `backend`, compiling it on
+    /// miss (see [`KernelCache::fetch`]).
+    pub fn get_or_compile_backend(
+        &self,
+        cfg: &GemmConfig,
+        backend: Backend,
+    ) -> Result<Arc<RoutedKernel>, GemmError> {
+        self.fetch(cfg, backend).map(|(kernel, _)| kernel)
+    }
+
+    /// Fetch the kernel for `cfg` compiled for `backend` and report whether
+    /// the request hit the cache (the flag feeds the router's per-shape
+    /// telemetry).
     ///
     /// On miss the plan store is consulted with the normalized tuning key;
-    /// a stored winner is compiled through the tuned dispatch path
-    /// ([`sme_gemm::generate_tuned`]), anything else through
-    /// [`sme_gemm::generate`]. A tuned record that fails to compile falls
-    /// back to the default plan (visible as a miss without a matching
-    /// `tuned_compiles` increment) — only the configuration's own
-    /// invalidity is an error.
-    pub fn get_or_compile(&self, cfg: &GemmConfig) -> Result<Arc<CompiledKernel>, GemmError> {
-        let mut shard = self.shard_for(cfg).lock().expect("cache shard poisoned");
-        if let Some(kernel) = shard.get(cfg) {
+    /// a stored winner **for the requested backend** is compiled through
+    /// the tuned dispatch path ([`sme_gemm::generate_routed`]), anything
+    /// else through the backend's default generator
+    /// ([`sme_gemm::generate_backend`]). A tuned record that fails to
+    /// compile falls back to the backend default (visible as a miss without
+    /// a matching `tuned_compiles` increment) — only the configuration's
+    /// own invalidity is an error.
+    pub fn fetch(
+        &self,
+        cfg: &GemmConfig,
+        backend: Backend,
+    ) -> Result<(Arc<RoutedKernel>, bool), GemmError> {
+        let key = (*cfg, backend);
+        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        if let Some(kernel) = shard.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(kernel);
+            return Ok((kernel, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let tuned = self
@@ -150,48 +205,61 @@ impl KernelCache {
             .read()
             .expect("plan store poisoned")
             .lookup(cfg)
-            .copied();
+            .copied()
+            .filter(|record| record.candidate.backend == backend);
         let kernel = match tuned {
             // A bad record (e.g. hand-edited into a store built in memory,
             // where no load-time validation runs) must not make a valid
-            // configuration undispatchable: fall back to the default plan
-            // and leave `tuned_compiles` untouched so the degradation is
-            // visible in the counters.
-            Some(record) => match generate_tuned(cfg, &record.candidate) {
+            // configuration undispatchable: fall back to the default
+            // kernel of the requested backend and leave `tuned_compiles`
+            // untouched so the degradation is visible in the counters.
+            Some(record) => match generate_routed(cfg, &record.candidate) {
                 Ok(kernel) => {
                     self.tuned_compiles.fetch_add(1, Ordering::Relaxed);
                     kernel
                 }
-                Err(_) => generate(cfg)?,
+                Err(_) => generate_backend(cfg, backend)?,
             },
-            None => generate(cfg)?,
+            None => generate_backend(cfg, backend)?,
         };
         let kernel = Arc::new(kernel);
-        let evicted = shard.insert(*cfg, kernel.clone(), self.shard_capacity);
+        let evicted = shard.insert(key, kernel.clone(), self.shard_capacity);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        Ok(kernel)
+        Ok((kernel, false))
     }
 
-    /// Look up `cfg` without compiling or touching the counters (recency is
-    /// still refreshed on hit).
-    pub fn peek(&self, cfg: &GemmConfig) -> Option<Arc<CompiledKernel>> {
-        self.shard_for(cfg)
+    /// Look up `cfg` on its preferred backend without compiling or touching
+    /// the counters (recency is still refreshed on hit).
+    pub fn peek(&self, cfg: &GemmConfig) -> Option<Arc<RoutedKernel>> {
+        self.peek_backend(cfg, self.preferred_backend(cfg))
+    }
+
+    /// Look up `cfg` compiled for `backend` without compiling or touching
+    /// the counters.
+    pub fn peek_backend(&self, cfg: &GemmConfig, backend: Backend) -> Option<Arc<RoutedKernel>> {
+        let key = (*cfg, backend);
+        self.shard_for(&key)
             .lock()
             .expect("cache shard poisoned")
-            .get(cfg)
+            .get(&key)
     }
 
-    /// Drop the cached kernel for `cfg`, if present.
+    /// Drop every cached kernel for `cfg` (all backends).
     pub fn invalidate(&self, cfg: &GemmConfig) -> bool {
-        let mut shard = self.shard_for(cfg).lock().expect("cache shard poisoned");
-        let before = shard.entries.len();
-        shard.entries.retain(|(c, _)| c != cfg);
-        shard.entries.len() != before
+        let mut dropped = false;
+        for backend in Backend::all() {
+            let key = (*cfg, backend);
+            let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+            let before = shard.entries.len();
+            shard.entries.retain(|(k, _)| k != &key);
+            dropped |= shard.entries.len() != before;
+        }
+        dropped
     }
 
     /// Install a tuned winner for `cfg` and invalidate every cached kernel
-    /// that shares its tuning key, so the next request compiles the tuned
-    /// variant.
+    /// (on any backend) that shares its tuning key, so the next request
+    /// compiles the tuned variant.
     pub fn install_tuned(&self, cfg: &GemmConfig, record: TunedRecord) {
         let key = tune_key(cfg);
         self.store
@@ -203,7 +271,7 @@ impl KernelCache {
                 .lock()
                 .expect("cache shard poisoned")
                 .entries
-                .retain(|(c, _)| tune_key(c) != key);
+                .retain(|((c, _), _)| tune_key(c) != key);
         }
     }
 
@@ -287,7 +355,7 @@ mod tests {
         let cache = KernelCache::new(8);
         let shard_of = |cfg: &GemmConfig| {
             let mut hasher = DefaultHasher::new();
-            cfg.hash(&mut hasher);
+            (*cfg, Backend::Sme).hash(&mut hasher);
             (hasher.finish() as usize) % SHARDS
         };
         // Find two configs sharing a shard.
@@ -318,7 +386,7 @@ mod tests {
         let cache = KernelCache::new(16);
         let shard_of = |cfg: &GemmConfig| {
             let mut hasher = DefaultHasher::new();
-            cfg.hash(&mut hasher);
+            (*cfg, Backend::Sme).hash(&mut hasher);
             (hasher.finish() as usize) % SHARDS
         };
         let mut same_shard = Vec::new();
@@ -351,6 +419,7 @@ mod tests {
         // Installing a winner invalidates and redirects the next compile.
         let record = TunedRecord {
             candidate: PlanCandidate {
+                backend: Backend::Sme,
                 kind: PlanKind::Heterogeneous,
                 c_transfer: ZaTransferStrategy::Direct,
                 k_unroll: 4,
@@ -378,6 +447,82 @@ mod tests {
     }
 
     #[test]
+    fn backends_cache_independently_and_tuned_neon_winners_route() {
+        let cache = KernelCache::new(16);
+        let cfg = GemmConfig::abt(16, 4, 4);
+
+        // The same configuration compiles once per backend…
+        let (sme, hit) = cache.fetch(&cfg, Backend::Sme).unwrap();
+        assert!(!hit);
+        assert_eq!(sme.backend(), Backend::Sme);
+        let (neon, hit) = cache.fetch(&cfg, Backend::Neon).unwrap();
+        assert!(!hit);
+        assert_eq!(neon.backend(), Backend::Neon);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+        // …and each repeat hits its own entry.
+        let (again, hit) = cache.fetch(&cfg, Backend::Neon).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&neon, &again));
+
+        // Installing a Neon winner redirects the backend-agnostic path.
+        assert_eq!(cache.preferred_backend(&cfg), Backend::Sme);
+        cache.install_tuned(
+            &cfg,
+            TunedRecord {
+                candidate: PlanCandidate::neon_for(&cfg).expect("neon-supported shape"),
+                tuned_cycles: 10.0,
+                default_cycles: 20.0,
+            },
+        );
+        assert_eq!(cache.preferred_backend(&cfg), Backend::Neon);
+        assert!(cache.is_empty(), "both backends' kernels invalidated");
+        let routed = cache.get_or_compile(&cfg).unwrap();
+        assert_eq!(routed.backend(), Backend::Neon);
+        assert_eq!(cache.stats().tuned_compiles, 1);
+
+        // An explicit SME request still compiles the SME kernel (without
+        // counting as a tuned compile: the record is for the other engine).
+        let (sme2, _) = cache.fetch(&cfg, Backend::Sme).unwrap();
+        assert_eq!(sme2.backend(), Backend::Sme);
+        assert_eq!(cache.stats().tuned_compiles, 1);
+
+        // A backend that cannot compile the shape reports the error.
+        let ragged = GemmConfig::abt(33, 47, 8);
+        assert!(cache.fetch(&ragged, Backend::Neon).is_err());
+        assert!(cache.fetch(&ragged, Backend::Sme).is_ok());
+    }
+
+    #[test]
+    fn bad_backend_records_never_make_a_valid_config_undispatchable() {
+        // A store assembled in memory can carry a Neon record for a shape
+        // the Neon generator cannot compile (load-time validation never
+        // ran). The backend-agnostic path must ignore it and serve the SME
+        // default, not propagate the Neon generator's error.
+        let cache = KernelCache::new(16);
+        let cfg = GemmConfig::abt(33, 47, 8); // off the Neon 16×4 grid
+        cache.install_tuned(
+            &cfg,
+            TunedRecord {
+                candidate: PlanCandidate {
+                    backend: Backend::Neon,
+                    ..PlanCandidate::default_for(&cfg)
+                },
+                tuned_cycles: 1.0,
+                default_cycles: 1.0,
+            },
+        );
+        assert_eq!(cache.preferred_backend(&cfg), Backend::Sme);
+        let kernel = cache
+            .get_or_compile(&cfg)
+            .expect("valid configuration must stay dispatchable");
+        assert_eq!(kernel.backend(), Backend::Sme);
+        assert!(kernel.validate(5) < 1e-4);
+        // An explicit Neon request still reports the honest error.
+        assert!(cache.fetch(&cfg, Backend::Neon).is_err());
+    }
+
+    #[test]
     fn uncompilable_tuned_records_fall_back_to_the_default_plan() {
         // A store built in memory can carry records load-time validation
         // never saw; the cache must degrade to the default plan rather
@@ -389,6 +534,7 @@ mod tests {
             TunedRecord {
                 // Heterogeneous is incompatible with column-major B.
                 candidate: PlanCandidate {
+                    backend: Backend::Sme,
                     kind: PlanKind::Heterogeneous,
                     c_transfer: ZaTransferStrategy::TwoStep,
                     k_unroll: 1,

@@ -9,18 +9,24 @@
 //! the three pieces the bare generator lacks:
 //!
 //! * [`KernelCache`] — a sharded, thread-safe, bounded-LRU cache keyed by
-//!   [`GemmConfig`], handing out `Arc<CompiledKernel>` on hit and compiling
-//!   on miss, with exact hit/miss/eviction counters;
+//!   **[`GemmConfig`] plus [`Backend`]**, handing out
+//!   `Arc<sme_gemm::RoutedKernel>` on hit and compiling on miss, with
+//!   exact hit/miss/eviction counters;
 //! * [`tuner`] — an autotuner that enumerates the candidate block plans,
-//!   ZA-transfer strategies and unroll factors
-//!   ([`sme_gemm::enumerate_candidates`]), scores each by simulated cycles
-//!   on the `sme-machine` timing model, and persists winners in a
-//!   versioned serde-JSON [`PlanStore`] the cache consults before falling
-//!   back to the default heterogeneous plan;
+//!   ZA-transfer strategies and unroll factors **across both backends**
+//!   ([`sme_gemm::enumerate_candidates`]), prunes analytically dominated
+//!   plans ([`sme_gemm::prune_dominated_candidates`]), scores the rest by
+//!   simulated cycles on the `sme-machine` timing model, and persists
+//!   winners in a versioned, machine-fingerprinted serde-JSON
+//!   [`PlanStore`] the cache consults before falling back to the
+//!   requested backend's default kernel;
 //! * [`GemmService`] — a batched front end that accepts mixed-configuration
 //!   request batches, groups them by kernel, fans the groups out across
 //!   host threads via `rayon`, and aggregates [`sme_machine::ExecStats`]
-//!   per configuration.
+//!   per configuration. Routing — *which engine serves a group* — is
+//!   delegated: [`GemmService::dispatch`] follows each shape's tuned
+//!   winner, and [`GemmService::dispatch_routed`] takes an explicit
+//!   per-configuration decision (the `sme-router` crate's hook).
 //!
 //! ## Cache → tune → dispatch
 //!
@@ -63,9 +69,11 @@ pub mod tuner;
 
 pub use cache::{CacheStats, KernelCache};
 pub use service::{BatchReport, ConfigReport, GemmRequest, GemmService};
-pub use store::{tune_key, PlanStore, PlanStoreError, TunedRecord, PLAN_STORE_VERSION};
+pub use store::{
+    tune_key, FingerprintCheck, PlanStore, PlanStoreError, TunedRecord, PLAN_STORE_VERSION,
+};
 pub use tuner::{tune, tune_into_store, TuneOutcome, TunerOptions};
 
 // Re-exported so doc examples and downstream callers can name the config
-// type without adding a direct `sme-gemm` dependency.
-pub use sme_gemm::GemmConfig;
+// and backend types without adding a direct `sme-gemm` dependency.
+pub use sme_gemm::{Backend, GemmConfig};

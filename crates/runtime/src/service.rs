@@ -10,11 +10,19 @@
 //! [`ExecStats`] are aggregated per configuration and for the whole batch,
 //! and [`BatchReport::makespan_cycles`] projects the per-core totals onto a
 //! multi-core machine with an LPT schedule.
+//!
+//! The service does not decide *which engine* runs a group: it delegates
+//! routing. [`GemmService::dispatch`] follows each shape's tuned winner
+//! (falling back to SME), and [`GemmService::dispatch_routed`] accepts an
+//! explicit per-configuration backend decision — the hook the `sme-router`
+//! crate's policy plugs into. The `sme-router` batch planner also replaces
+//! the identical-cores makespan here with a placement over the machine's
+//! real engine classes (two shared SME units + private Neon cores).
 
 use crate::cache::KernelCache;
 use crate::tuner::{self, TuneOutcome, TunerOptions};
 use rayon::prelude::*;
-use sme_gemm::{GemmConfig, GemmError};
+use sme_gemm::{Backend, GemmConfig, GemmError};
 use sme_machine::exec::{RunOptions, Simulator};
 use sme_machine::ExecStats;
 use std::collections::HashMap;
@@ -36,6 +44,11 @@ pub struct GemmRequest {
 pub struct ConfigReport {
     /// The configuration.
     pub config: GemmConfig,
+    /// The backend the group's kernel executed on.
+    pub backend: Backend,
+    /// `true` if the group's single kernel fetch was served from the cache
+    /// (`false`: the fetch compiled).
+    pub cache_hit: bool,
     /// Number of requests in the batch with this configuration.
     pub requests: usize,
     /// Execution statistics summed over those requests.
@@ -129,16 +142,34 @@ impl GemmService {
         Ok(outcome)
     }
 
-    /// Dispatch a batch of requests.
+    /// Dispatch a batch of requests on each configuration's preferred
+    /// backend (the tuned winner's engine, or SME for untuned shapes — see
+    /// [`KernelCache::preferred_backend`]).
+    pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<BatchReport, GemmError> {
+        self.dispatch_routed(requests, |cfg| self.cache.preferred_backend(cfg))
+    }
+
+    /// Dispatch a batch with an explicit routing decision per configuration.
+    ///
+    /// This is the hook the `sme-router` crate plugs its policy into: the
+    /// service owns grouping, caching and fan-out, and delegates only the
+    /// *which engine* question to `route` (called once per distinct
+    /// configuration, not once per request).
     ///
     /// Requests are grouped by configuration; each distinct configuration
     /// costs at most one cache miss, and the groups execute concurrently on
     /// private simulator instances. Results come back in request order.
     ///
     /// # Errors
-    /// Fails on the first invalid configuration; no partial report is
-    /// returned (kernels compiled before the failure stay cached).
-    pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<BatchReport, GemmError> {
+    /// Fails on the first invalid configuration — including a routing
+    /// decision the backend's generator cannot honour (e.g. Neon for a
+    /// shape off its 16×4 grid); no partial report is returned (kernels
+    /// compiled before the failure stay cached).
+    pub fn dispatch_routed(
+        &self,
+        requests: &[GemmRequest],
+        route: impl Fn(&GemmConfig) -> Backend + Sync,
+    ) -> Result<BatchReport, GemmError> {
         // Group request indices by configuration, first-appearance order.
         let mut group_of: HashMap<GemmConfig, usize> = HashMap::new();
         let mut groups: Vec<(GemmConfig, Vec<usize>)> = Vec::new();
@@ -154,12 +185,14 @@ impl GemmService {
 
         // Fan the groups out across host threads. The cache is shared and
         // thread-safe, so the kernel fetch happens inside the worker: one
-        // miss per distinct configuration, hits for repeats across batches.
-        type GroupOutput = (Vec<(usize, Vec<f32>)>, ExecStats);
+        // miss per distinct (configuration, backend), hits for repeats
+        // across batches.
+        type GroupOutput = (Vec<(usize, Vec<f32>)>, ExecStats, Backend, bool);
         let executed: Vec<Result<GroupOutput, GemmError>> = groups
             .par_iter()
             .map(|(config, indices)| {
-                let kernel = self.cache.get_or_compile(config)?;
+                let backend = route(config);
+                let (kernel, cache_hit) = self.cache.fetch(config, backend)?;
                 let mut sim = Simulator::m4_performance();
                 let mut stats = ExecStats::default();
                 let mut outputs = Vec::with_capacity(indices.len());
@@ -169,7 +202,7 @@ impl GemmService {
                     stats.merge(&result.stats);
                     outputs.push((index, sim.mem.read_f32_slice(bufs.c, config.c_len())));
                 }
-                Ok((outputs, stats))
+                Ok((outputs, stats, backend, cache_hit))
             })
             .collect();
 
@@ -177,13 +210,15 @@ impl GemmService {
         let mut per_config = Vec::with_capacity(groups.len());
         let mut total = ExecStats::default();
         for ((config, indices), result) in groups.iter().zip(executed) {
-            let (group_outputs, stats) = result?;
+            let (group_outputs, stats, backend, cache_hit) = result?;
             for (index, c) in group_outputs {
                 outputs[index] = c;
             }
             total.merge(&stats);
             per_config.push(ConfigReport {
                 config: *config,
+                backend,
+                cache_hit,
                 requests: indices.len(),
                 stats,
             });
@@ -337,6 +372,65 @@ mod tests {
         assert!(quad >= serial / 4.0 - 1e-9);
         assert!(quad >= largest - 1e-9);
         assert!(report.aggregate_gflops(4) >= report.aggregate_gflops(1));
+    }
+
+    #[test]
+    fn routed_dispatch_controls_the_backend_per_config() {
+        let service = GemmService::new(16);
+        let neonable = GemmConfig::abt(16, 4, 4);
+        let sme_only = GemmConfig::abt(33, 17, 5); // off the Neon 16×4 grid
+        let requests = [
+            GemmRequest {
+                config: neonable,
+                seed: 1,
+            },
+            GemmRequest {
+                config: sme_only,
+                seed: 2,
+            },
+        ];
+        let report = service
+            .dispatch_routed(&requests, |cfg| {
+                if *cfg == neonable {
+                    Backend::Neon
+                } else {
+                    Backend::Sme
+                }
+            })
+            .unwrap();
+        assert_eq!(report.per_config[0].backend, Backend::Neon);
+        assert_eq!(report.per_config[1].backend, Backend::Sme);
+        assert!(!report.per_config[0].cache_hit, "first sight compiles");
+        // Results still match the per-request reference, whatever the engine.
+        for (request, output) in requests.iter().zip(&report.outputs) {
+            let reference = reference_output(request);
+            let err = output
+                .iter()
+                .zip(&reference)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(err < 1e-4, "{}: max abs error {err}", request.config);
+        }
+        // A repeat is served from the per-backend cache entry.
+        let again = service
+            .dispatch_routed(&requests, |cfg| {
+                if *cfg == neonable {
+                    Backend::Neon
+                } else {
+                    Backend::Sme
+                }
+            })
+            .unwrap();
+        assert!(again.per_config.iter().all(|c| c.cache_hit));
+        assert_eq!(report.outputs, again.outputs);
+
+        // Routing a shape the backend cannot compile fails the batch.
+        assert!(service
+            .dispatch_routed(&requests, |_| Backend::Neon)
+            .is_err());
+        // The default dispatch of an untuned shape stays on SME.
+        let default = service.dispatch(&requests[1..]).unwrap();
+        assert_eq!(default.per_config[0].backend, Backend::Sme);
     }
 
     #[test]

@@ -12,13 +12,17 @@
 //! and immune to staleness in the block geometry itself.
 
 use serde::Serialize;
-use sme_gemm::{BLayout, Beta, GemmConfig, PlanCandidate, PlanKind, ZaTransferStrategy};
+use sme_gemm::{BLayout, Backend, Beta, GemmConfig, PlanCandidate, PlanKind, ZaTransferStrategy};
+use sme_machine::MachineConfig;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
-/// Version stamp written into (and required from) the JSON document.
-pub const PLAN_STORE_VERSION: u64 = 1;
+/// Version stamp written into the JSON document. Version 2 added the
+/// per-entry `backend` tag and the optional `machine_fingerprint` stamp;
+/// version-1 documents still load (their entries are implicitly SME and
+/// unstamped).
+pub const PLAN_STORE_VERSION: u64 = 2;
 
 /// The tuning result stored for one normalized configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,10 +74,32 @@ impl From<std::io::Error> for PlanStoreError {
     }
 }
 
-/// In-memory map of tuned winners, keyed by normalized configuration.
+/// The result of comparing a store's machine fingerprint against the
+/// current timing model (see [`PlanStore::fingerprint_check`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintCheck {
+    /// The store was tuned on a machine model with identical timing
+    /// parameters — its winners are trustworthy.
+    Match,
+    /// The store carries no fingerprint (version-1 document or built in
+    /// memory without [`PlanStore::stamp`]).
+    Unstamped,
+    /// The store was tuned against different timing parameters; its winners
+    /// may be stale.
+    Mismatch {
+        /// Fingerprint recorded in the store.
+        stored: u64,
+        /// Fingerprint of the current machine model.
+        current: u64,
+    },
+}
+
+/// In-memory map of tuned winners, keyed by normalized configuration, plus
+/// the fingerprint of the machine model the winners were tuned on.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlanStore {
     entries: HashMap<GemmConfig, TunedRecord>,
+    machine_fingerprint: Option<u64>,
 }
 
 /// Normalize a configuration to its tuning key: the tunable knobs
@@ -85,9 +111,68 @@ pub fn tune_key(cfg: &GemmConfig) -> GemmConfig {
 }
 
 impl PlanStore {
-    /// An empty store.
+    /// An empty, unstamped store.
     pub fn new() -> Self {
         PlanStore::default()
+    }
+
+    /// An empty store stamped with `machine`'s timing fingerprint.
+    pub fn for_machine(machine: &MachineConfig) -> Self {
+        let mut store = PlanStore::new();
+        store.stamp(machine);
+        store
+    }
+
+    /// Stamp the store with `machine`'s timing fingerprint, declaring that
+    /// its winners were tuned against that model.
+    pub fn stamp(&mut self, machine: &MachineConfig) {
+        self.machine_fingerprint = Some(machine.fingerprint());
+    }
+
+    /// The recorded machine fingerprint, if the store is stamped.
+    pub fn machine_fingerprint(&self) -> Option<u64> {
+        self.machine_fingerprint
+    }
+
+    /// Compare the store's fingerprint against `machine`'s current timing
+    /// parameters.
+    pub fn fingerprint_check(&self, machine: &MachineConfig) -> FingerprintCheck {
+        let current = machine.fingerprint();
+        match self.machine_fingerprint {
+            None => FingerprintCheck::Unstamped,
+            Some(stored) if stored == current => FingerprintCheck::Match,
+            Some(stored) => FingerprintCheck::Mismatch { stored, current },
+        }
+    }
+
+    /// Load a persisted store and validate it against `machine`'s timing
+    /// fingerprint.
+    ///
+    /// On a fingerprint mismatch the stale winners are **discarded** — the
+    /// returned store is empty but stamped for `machine`, so callers
+    /// re-tune (and re-persist) instead of silently dispatching plans tuned
+    /// for a different calibration — and a warning naming both fingerprints
+    /// is printed to stderr. Unstamped (version-1) stores load as-is with
+    /// [`FingerprintCheck::Unstamped`]; the caller decides whether to trust
+    /// them.
+    pub fn load_checked(
+        path: impl AsRef<Path>,
+        machine: &MachineConfig,
+    ) -> Result<(Self, FingerprintCheck), PlanStoreError> {
+        let path = path.as_ref();
+        let store = PlanStore::load(path)?;
+        let check = store.fingerprint_check(machine);
+        if let FingerprintCheck::Mismatch { stored, current } = check {
+            eprintln!(
+                "warning: plan store {} was tuned for machine fingerprint \
+                 {stored:016x} but the current model is {current:016x}; \
+                 discarding its {} stale winner(s) — re-tune and re-save",
+                path.display(),
+                store.len()
+            );
+            return Ok((PlanStore::for_machine(machine), check));
+        }
+        Ok((store, check))
     }
 
     /// Number of tuned winners.
@@ -118,7 +203,9 @@ impl PlanStore {
     }
 
     /// Serialize to the versioned JSON document, with entries sorted by
-    /// shape so the output is deterministic.
+    /// shape so the output is deterministic. The machine fingerprint, when
+    /// stamped, is written as a 16-digit hex string (JSON numbers cannot
+    /// carry 64 bits losslessly).
     pub fn to_json(&self) -> String {
         #[derive(Serialize)]
         struct Entry {
@@ -130,6 +217,7 @@ impl PlanStore {
             ldc: usize,
             b_layout: BLayout,
             beta: Beta,
+            backend: String,
             plan: String,
             c_transfer: ZaTransferStrategy,
             k_unroll: usize,
@@ -139,6 +227,7 @@ impl PlanStore {
         #[derive(Serialize)]
         struct Doc {
             version: u64,
+            machine_fingerprint: Option<String>,
             entries: Vec<Entry>,
         }
         let mut pairs: Vec<(&GemmConfig, &TunedRecord)> = self.entries.iter().collect();
@@ -156,6 +245,7 @@ impl PlanStore {
         });
         let doc = Doc {
             version: PLAN_STORE_VERSION,
+            machine_fingerprint: self.machine_fingerprint.map(|fp| format!("{fp:016x}")),
             entries: pairs
                 .into_iter()
                 .map(|(c, r)| Entry {
@@ -167,6 +257,7 @@ impl PlanStore {
                     ldc: c.ldc,
                     b_layout: c.b_layout,
                     beta: c.beta,
+                    backend: r.candidate.backend.name().to_string(),
                     plan: r.candidate.kind.name().to_string(),
                     c_transfer: r.candidate.c_transfer,
                     k_unroll: r.candidate.k_unroll,
@@ -178,20 +269,33 @@ impl PlanStore {
         serde_json::to_string_pretty(&doc).expect("shim serialization is total")
     }
 
-    /// Parse a document produced by [`PlanStore::to_json`].
+    /// Parse a document produced by [`PlanStore::to_json`] (or by the
+    /// version-1 format, whose entries are implicitly SME and unstamped).
     pub fn from_json(text: &str) -> Result<Self, PlanStoreError> {
         let fail = |msg: &str| PlanStoreError::Format(msg.to_string());
         let doc = serde_json::from_str(text)
             .map_err(|e| PlanStoreError::Format(format!("invalid JSON: {e}")))?;
-        match doc.get("version").and_then(|v| v.as_u64()) {
-            Some(PLAN_STORE_VERSION) => {}
+        let version = match doc.get("version").and_then(|v| v.as_u64()) {
+            Some(v @ (1 | PLAN_STORE_VERSION)) => v,
             Some(other) => {
                 return Err(PlanStoreError::Format(format!(
                     "unsupported plan store version {other} (expected {PLAN_STORE_VERSION})"
                 )))
             }
             None => return Err(fail("missing `version` field")),
-        }
+        };
+        let machine_fingerprint = match doc.get("machine_fingerprint") {
+            None | Some(serde_json::Value::Null) => None,
+            Some(v) => {
+                let hex = v
+                    .as_str()
+                    .ok_or_else(|| fail("`machine_fingerprint` must be a hex string"))?;
+                Some(
+                    u64::from_str_radix(hex, 16)
+                        .map_err(|_| fail(&format!("invalid machine fingerprint `{hex}`")))?,
+                )
+            }
+        };
         let entries = doc
             .get("entries")
             .and_then(|v| v.as_array())
@@ -235,6 +339,15 @@ impl PlanStore {
             let plan_name = text_field("plan")?;
             let kind = PlanKind::from_name(plan_name)
                 .ok_or_else(|| fail(&format!("unknown plan kind `{plan_name}`")))?;
+            // Version-1 documents predate multi-backend dispatch: every
+            // entry is an SME winner.
+            let backend = if version == 1 {
+                Backend::Sme
+            } else {
+                let name = text_field("backend")?;
+                Backend::from_name(name)
+                    .ok_or_else(|| fail(&format!("unknown backend `{name}`")))?
+            };
             let key = GemmConfig {
                 m: dim("m")?,
                 n: dim("n")?,
@@ -264,8 +377,17 @@ impl PlanStore {
                      (only ColumnPanels is)"
                 )));
             }
+            // A Neon winner must describe a shape the Neon generator can
+            // actually compile, or every request for it would fall back at
+            // dispatch time.
+            if backend == Backend::Neon {
+                sme_gemm::neon_supports(&key).map_err(|e| {
+                    fail(&format!("stored Neon winner is not Neon-compilable: {e}"))
+                })?;
+            }
             let record = TunedRecord {
                 candidate: PlanCandidate {
+                    backend,
                     kind,
                     c_transfer,
                     k_unroll,
@@ -275,6 +397,7 @@ impl PlanStore {
             };
             store.entries.insert(key, record);
         }
+        store.machine_fingerprint = machine_fingerprint;
         Ok(store)
     }
 
@@ -299,6 +422,7 @@ mod tests {
     fn sample_record(kind: PlanKind) -> TunedRecord {
         TunedRecord {
             candidate: PlanCandidate {
+                backend: Backend::Sme,
                 kind,
                 c_transfer: ZaTransferStrategy::Direct,
                 k_unroll: 2,
@@ -359,7 +483,7 @@ mod tests {
         let a = store.to_json();
         let b = store.clone().to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"version\": 1"));
+        assert!(a.contains("\"version\": 2"));
         // Sorted by shape: 32 before 64 before 96.
         let p32 = a.find("\"m\": 32").unwrap();
         let p64 = a.find("\"m\": 64").unwrap();
@@ -372,9 +496,42 @@ mod tests {
         let cases = [
             ("not json", "invalid JSON"),
             ("{}", "version"),
-            (r#"{"version": 2, "entries": []}"#, "version 2"),
+            (r#"{"version": 3, "entries": []}"#, "version 3"),
             (r#"{"version": 1}"#, "entries"),
             (r#"{"version": 1, "entries": [{}]}"#, "missing"),
+            (
+                r#"{"version": 2, "machine_fingerprint": "xyz", "entries": []}"#,
+                "machine fingerprint",
+            ),
+            (
+                // A non-string, non-null fingerprint is corruption, not
+                // "unstamped" — treating it as absent would silently keep
+                // winners from an unknown calibration.
+                r#"{"version": 2, "machine_fingerprint": true, "entries": []}"#,
+                "hex string",
+            ),
+            (
+                r#"{"version": 2, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "RowMajor", "beta": "One", "plan": "Heterogeneous",
+                   "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "backend",
+            ),
+            (
+                r#"{"version": 2, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "RowMajor", "beta": "One", "backend": "Sve",
+                   "plan": "Heterogeneous", "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "unknown backend",
+            ),
+            (
+                // 8 % 16 != 0: the Neon generator cannot compile this shape.
+                r#"{"version": 2, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "RowMajor", "beta": "One", "backend": "Neon",
+                   "plan": "Heterogeneous", "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "Neon-compilable",
+            ),
             (
                 r#"{"version": 1, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
                    "ldc": 8, "b_layout": "Diagonal", "beta": "One", "plan": "Heterogeneous",
@@ -419,6 +576,86 @@ mod tests {
                 other => panic!("expected Format error for {text:?}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn version_one_documents_load_as_unstamped_sme() {
+        let v1 = r#"{"version": 1, "entries": [{"m": 48, "n": 48, "k": 16, "lda": 48,
+            "ldb": 48, "ldc": 48, "b_layout": "RowMajor", "beta": "One",
+            "plan": "Homogeneous16x64", "c_transfer": "Direct", "k_unroll": 2,
+            "tuned_cycles": 100, "default_cycles": 150}]}"#;
+        let store = PlanStore::from_json(v1).unwrap();
+        assert_eq!(store.machine_fingerprint(), None);
+        let rec = store.lookup(&GemmConfig::abt(48, 48, 16)).unwrap();
+        assert_eq!(rec.candidate.backend, Backend::Sme);
+        assert_eq!(
+            rec.candidate.kind,
+            PlanKind::Homogeneous(RegisterBlocking::B16x64)
+        );
+    }
+
+    #[test]
+    fn fingerprint_round_trips_and_detects_recalibration() {
+        use sme_machine::MachineConfig;
+        let machine = MachineConfig::apple_m4();
+        let mut store = PlanStore::for_machine(&machine);
+        store.insert(
+            &GemmConfig::abt(32, 32, 16),
+            sample_record(PlanKind::Heterogeneous),
+        );
+        assert_eq!(store.fingerprint_check(&machine), FingerprintCheck::Match);
+
+        let json = store.to_json();
+        assert!(json.contains("machine_fingerprint"));
+        let reloaded = PlanStore::from_json(&json).unwrap();
+        assert_eq!(reloaded, store);
+        assert_eq!(
+            reloaded.machine_fingerprint(),
+            Some(machine.fingerprint()),
+            "fingerprint survives the JSON round trip"
+        );
+
+        // A recalibrated machine model is detected as a mismatch.
+        let mut recalibrated = MachineConfig::apple_m4();
+        recalibrated.p_core.clock_ghz = 4.0;
+        assert!(matches!(
+            reloaded.fingerprint_check(&recalibrated),
+            FingerprintCheck::Mismatch { .. }
+        ));
+        // An unstamped store is reported as such, not as a mismatch.
+        assert_eq!(
+            PlanStore::new().fingerprint_check(&machine),
+            FingerprintCheck::Unstamped
+        );
+    }
+
+    #[test]
+    fn load_checked_discards_stale_winners() {
+        use sme_machine::MachineConfig;
+        let machine = MachineConfig::apple_m4();
+        let mut store = PlanStore::for_machine(&machine);
+        let cfg = GemmConfig::abt(64, 64, 32);
+        store.insert(&cfg, sample_record(PlanKind::Heterogeneous));
+        let path = std::env::temp_dir().join("sme_runtime_fingerprint_test.json");
+        store.save(&path).unwrap();
+
+        // Same machine: winners survive.
+        let (same, check) = PlanStore::load_checked(&path, &machine).unwrap();
+        assert_eq!(check, FingerprintCheck::Match);
+        assert!(same.lookup(&cfg).is_some());
+
+        // Different timing calibration: winners are dropped and the store
+        // comes back stamped for the *current* machine, ready to re-tune.
+        let mut recalibrated = MachineConfig::apple_m4();
+        recalibrated.multicore.sme_units = 1;
+        let (retune, check) = PlanStore::load_checked(&path, &recalibrated).unwrap();
+        assert!(matches!(check, FingerprintCheck::Mismatch { .. }));
+        assert!(retune.is_empty(), "stale winners must not be dispatched");
+        assert_eq!(
+            retune.machine_fingerprint(),
+            Some(recalibrated.fingerprint())
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -5,15 +5,25 @@
 //! and transfer strategy varies with the problem shape, so a single default
 //! plan leaves performance behind. The tuner enumerates the candidates
 //! exposed by [`sme_gemm::enumerate_candidates`] — block-plan kinds ×
-//! ZA-transfer strategies × unroll factors — generates each kernel, and
-//! scores it by **simulated cycles** on the `sme-machine` timing model (one
-//! M4 performance core). Because the candidate set always contains the
+//! ZA-transfer strategies × unroll factors, **plus the Neon backend** for
+//! shapes its generator supports — generates each kernel, and scores it by
+//! **simulated cycles** on the `sme-machine` timing model (one M4
+//! performance core). Because the candidate set always contains the
 //! default, the winner can never be slower than the untuned kernel in the
-//! model.
+//! model; because it contains both engines, the winner lands on whichever
+//! side of the Fig. 1 SME/Neon crossover the shape falls.
+//!
+//! Timing simulation dominates tuning cost, so an analytic pre-filter
+//! ([`sme_gemm::prune_dominated_candidates`]) drops block plans that are
+//! dominated on loads-per-k-step *and* microkernel count before anything
+//! is generated.
 
 use crate::store::{tune_key, PlanStore, TunedRecord};
 use rayon::prelude::*;
-use sme_gemm::{enumerate_candidates, generate_tuned, GemmConfig, GemmError, PlanCandidate};
+use sme_gemm::{
+    enumerate_candidates, generate_routed, prune_dominated_candidates, Backend, GemmConfig,
+    GemmError, PlanCandidate,
+};
 
 /// Knobs controlling how much of the candidate space the tuner explores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,25 +32,44 @@ pub struct TunerOptions {
     pub sweep_transfer: bool,
     /// Also try the non-default contraction-loop unroll factors.
     pub sweep_k_unroll: bool,
+    /// Also score the Neon backend candidate, so the winner picks the
+    /// faster engine for the shape (on by default).
+    pub sweep_backends: bool,
+    /// Prune analytically dominated SME candidates before simulating (on by
+    /// default; disable to force the exhaustive sweep, e.g. when validating
+    /// the pre-filter itself).
+    pub prefilter: bool,
 }
 
 impl Default for TunerOptions {
-    /// Explore the full candidate space.
+    /// Explore the full candidate space (with the analytic pre-filter).
     fn default() -> Self {
         TunerOptions {
             sweep_transfer: true,
             sweep_k_unroll: true,
+            sweep_backends: true,
+            prefilter: true,
         }
     }
 }
 
 impl TunerOptions {
-    /// Plan kinds only — the cheapest useful sweep (4 candidates for
-    /// row-major B), used by doc examples and smoke tests.
+    /// Plan kinds and backends only — the cheapest useful sweep, used by
+    /// doc examples and smoke tests.
     pub fn quick() -> Self {
         TunerOptions {
             sweep_transfer: false,
             sweep_k_unroll: false,
+            ..TunerOptions::default()
+        }
+    }
+
+    /// The full sweep without the analytic pre-filter (every candidate is
+    /// generated and simulated).
+    pub fn exhaustive() -> Self {
+        TunerOptions {
+            prefilter: false,
+            ..TunerOptions::default()
         }
     }
 }
@@ -58,6 +87,9 @@ pub struct TuneOutcome {
     pub default_cycles: f64,
     /// Number of candidates generated and simulated.
     pub candidates_tried: usize,
+    /// Number of candidates the analytic pre-filter discarded without
+    /// simulating.
+    pub candidates_pruned: usize,
 }
 
 impl TuneOutcome {
@@ -80,8 +112,8 @@ impl TuneOutcome {
     }
 }
 
-/// Tune one configuration: generate and timing-simulate every candidate,
-/// return the cycle-count winner.
+/// Tune one configuration: generate and timing-simulate every candidate
+/// (across both backends unless restricted), return the cycle-count winner.
 ///
 /// Candidates are simulated in parallel on the host (each on its own
 /// single-core simulator instance); the winner is deterministic — ties are
@@ -90,19 +122,27 @@ impl TuneOutcome {
 pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
     cfg.validate()?;
     let default = PlanCandidate::default_for(cfg);
-    let candidates: Vec<PlanCandidate> = enumerate_candidates(cfg)
+    let enumerated: Vec<PlanCandidate> = enumerate_candidates(cfg)
         .into_iter()
         .filter(|c| {
-            (opts.sweep_transfer || c.c_transfer == default.c_transfer)
-                && (opts.sweep_k_unroll || c.k_unroll == default.k_unroll)
+            c.backend != Backend::Sme
+                || ((opts.sweep_transfer || c.c_transfer == default.c_transfer)
+                    && (opts.sweep_k_unroll || c.k_unroll == default.k_unroll))
         })
+        .filter(|c| opts.sweep_backends || c.backend == default.backend)
         .collect();
+    let candidates = if opts.prefilter {
+        prune_dominated_candidates(cfg, enumerated.clone())
+    } else {
+        enumerated.clone()
+    };
+    let candidates_pruned = enumerated.len() - candidates.len();
     debug_assert!(candidates.contains(&default));
 
     let scored: Vec<Result<(PlanCandidate, f64), GemmError>> = candidates
         .par_iter()
         .map(|candidate| {
-            let kernel = generate_tuned(cfg, candidate)?;
+            let kernel = generate_routed(cfg, candidate)?;
             Ok((*candidate, kernel.model_stats().cycles))
         })
         .collect();
@@ -135,6 +175,7 @@ pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmEr
         tuned_cycles,
         default_cycles,
         candidates_tried: candidates.len(),
+        candidates_pruned,
     })
 }
 
@@ -177,13 +218,78 @@ mod tests {
     fn quick_options_restrict_the_sweep() {
         let cfg = GemmConfig::abt(32, 32, 16);
         let quick = tune(&cfg, &TunerOptions::quick()).unwrap();
-        // Plan kinds only: 4 candidates for row-major B.
-        assert_eq!(quick.candidates_tried, 4);
+        // Plan kinds and backends only: the winner keeps the config's knobs.
         assert_eq!(quick.winner.c_transfer, cfg.c_transfer);
         assert_eq!(quick.winner.k_unroll, cfg.k_unroll);
         let full = tune(&cfg, &TunerOptions::default()).unwrap();
         assert!(full.candidates_tried > quick.candidates_tried);
         assert!(full.tuned_cycles <= quick.tuned_cycles);
+        // The exhaustive sweep tries everything the pre-filter would prune.
+        let exhaustive = tune(&cfg, &TunerOptions::exhaustive()).unwrap();
+        assert_eq!(exhaustive.candidates_pruned, 0);
+        assert_eq!(
+            exhaustive.candidates_tried,
+            full.candidates_tried + full.candidates_pruned
+        );
+    }
+
+    #[test]
+    fn prefilter_prunes_without_changing_the_winner_across_a_shape_sweep() {
+        // The satellite guarantee: the analytic pre-filter only discards
+        // candidates that cannot win, so the pruned tuner and the
+        // exhaustive tuner agree on every swept shape.
+        let mut total_pruned = 0;
+        for cfg in [
+            GemmConfig::abt(16, 16, 16),
+            GemmConfig::abt(32, 32, 16),
+            GemmConfig::abt(48, 48, 32),
+            GemmConfig::abt(64, 16, 32),
+            GemmConfig::abt(16, 64, 32),
+            GemmConfig::abt(64, 64, 64),
+            GemmConfig::abt(80, 80, 16),
+            GemmConfig::abt(96, 32, 16),
+            GemmConfig::ab(48, 48, 16),
+        ] {
+            let pruned = tune(&cfg, &TunerOptions::default()).unwrap();
+            let exhaustive = tune(&cfg, &TunerOptions::exhaustive()).unwrap();
+            assert_eq!(
+                pruned.winner, exhaustive.winner,
+                "{cfg}: pre-filter changed the winner"
+            );
+            assert_eq!(
+                pruned.tuned_cycles, exhaustive.tuned_cycles,
+                "{cfg}: pre-filter changed the winning score"
+            );
+            assert!(pruned.candidates_tried <= exhaustive.candidates_tried);
+            total_pruned += pruned.candidates_pruned;
+        }
+        assert!(
+            total_pruned > 0,
+            "the sweep must exercise actual pruning, not just agreement"
+        );
+    }
+
+    #[test]
+    fn cross_backend_tuning_finds_the_neon_crossover() {
+        // Tiny shape: the ~110-cycle smstart/smstop + ZA-transfer overhead
+        // dwarfs the work, so the Neon backend wins the argmin.
+        let tiny = GemmConfig::abt(16, 4, 4);
+        let outcome = tune(&tiny, &TunerOptions::default()).unwrap();
+        assert_eq!(outcome.winner.backend, Backend::Neon);
+        assert!(outcome.tuned_cycles < outcome.default_cycles);
+
+        // Large shape: SME saturates its outer-product advantage.
+        let large = GemmConfig::abt(64, 64, 64);
+        let outcome = tune(&large, &TunerOptions::default()).unwrap();
+        assert_eq!(outcome.winner.backend, Backend::Sme);
+
+        // Disabling the backend sweep pins the tuner to SME.
+        let sme_only = TunerOptions {
+            sweep_backends: false,
+            ..TunerOptions::default()
+        };
+        let outcome = tune(&tiny, &sme_only).unwrap();
+        assert_eq!(outcome.winner.backend, Backend::Sme);
     }
 
     #[test]
@@ -193,7 +299,8 @@ mod tests {
         // be at least as good and use a plan with a single microkernel.
         let cfg = GemmConfig::abt(64, 16, 32);
         let outcome = tune(&cfg, &TunerOptions::quick()).unwrap();
-        let kernel = generate_tuned(&cfg, &outcome.winner).unwrap();
+        let kernel = generate_routed(&cfg, &outcome.winner).unwrap();
+        let kernel = kernel.as_sme().expect("SME wins this shape in the model");
         assert_eq!(kernel.plan().num_microkernels(), 1);
     }
 

@@ -8,6 +8,7 @@
 //! * [`sme_machine`] — functional + timing simulator of an Apple-M4-like core.
 //! * [`sme_gemm`] — the paper's contribution: a JIT generator for small GEMM kernels.
 //! * [`sme_runtime`] — the serving layer: autotuning kernel cache and batched dispatch.
+//! * [`sme_router`] — traffic-aware SME/Neon dispatch with per-shape telemetry.
 //! * [`sme_microbench`] — the paper's microbenchmarks (Table I, Figs. 1–5).
 //! * [`accel_ref`] — an Accelerate-BLAS stand-in used as the evaluation baseline.
 
@@ -16,4 +17,5 @@ pub use sme_gemm;
 pub use sme_isa;
 pub use sme_machine;
 pub use sme_microbench;
+pub use sme_router;
 pub use sme_runtime;

@@ -1,0 +1,207 @@
+//! End-to-end test of the `sme-router` subsystem, covering the acceptance
+//! properties of the router PR:
+//!
+//! (a) across a shape sweep straddling the SME/Neon crossover, the router
+//!     picks Neon for at least one shape and SME for at least one, and
+//!     every routed result is **bit-identical** to the scalar reference
+//!     oracle (both engines accumulate each C element in k-order with
+//!     unfused multiply-adds, exactly like the reference);
+//! (b) the cross-backend autotuner's winner lands on whichever backend
+//!     simulates fewer cycles, for every swept shape;
+//! (c) the per-shape telemetry counts match the dispatched traffic
+//!     exactly, and pre-tuning the hottest shapes installs winners that
+//!     subsequent routing follows.
+
+use hello_sme::sme_gemm::reference::{fill_matrix, gemm_reference};
+use hello_sme::sme_gemm::{generate_backend, Backend, GemmConfig};
+use hello_sme::sme_router::{Router, RoutingPolicy};
+use hello_sme::sme_runtime::{GemmRequest, TunerOptions};
+
+/// The C buffer the scalar reference produces for one request (mirrors the
+/// kernel handles' seeding scheme).
+fn reference_output(cfg: &GemmConfig, seed: u64) -> Vec<f32> {
+    let mut a = vec![0.0f32; cfg.a_len()];
+    let mut b = vec![0.0f32; cfg.b_len()];
+    let mut c = vec![0.0f32; cfg.c_len()];
+    fill_matrix(seed, &mut a);
+    fill_matrix(seed ^ 0x1111_1111, &mut b);
+    fill_matrix(seed ^ 0x2222_2222, &mut c);
+    gemm_reference(cfg, &a, &b, &mut c);
+    c
+}
+
+/// Shapes straddling the modelled crossover: thin/shallow shapes where the
+/// SME kernel's streaming-mode and ZA-transfer overhead dominates (Neon
+/// territory) through dense shapes where the outer-product units win by an
+/// order of magnitude.
+fn crossover_sweep() -> Vec<GemmConfig> {
+    vec![
+        GemmConfig::abt(16, 4, 4),
+        GemmConfig::abt(16, 4, 16),
+        GemmConfig::abt(16, 8, 8),
+        GemmConfig::abt(16, 16, 16),
+        GemmConfig::abt(32, 16, 16),
+        GemmConfig::abt(32, 32, 32),
+        GemmConfig::abt(64, 16, 16),
+        GemmConfig::abt(64, 64, 64),
+        GemmConfig::abt(96, 96, 32),
+    ]
+}
+
+#[test]
+fn routed_dispatch_straddles_the_crossover_bit_identically() {
+    let router = Router::with_policy(64, RoutingPolicy::Measured);
+    let requests: Vec<GemmRequest> = crossover_sweep()
+        .into_iter()
+        .enumerate()
+        .map(|(i, config)| GemmRequest {
+            config,
+            seed: 7000 + i as u64,
+        })
+        .collect();
+    let report = router.dispatch(&requests).expect("valid batch");
+
+    let mut neon_routed = 0;
+    let mut sme_routed = 0;
+    for group in &report.batch.per_config {
+        match group.backend {
+            Backend::Neon => neon_routed += 1,
+            Backend::Sme => sme_routed += 1,
+        }
+    }
+    assert!(
+        neon_routed > 0,
+        "the sweep must contain at least one Neon-routed shape"
+    );
+    assert!(
+        sme_routed > 0,
+        "the sweep must contain at least one SME-routed shape"
+    );
+
+    // Both engines accumulate per element in contraction order with
+    // unfused multiply-adds — exactly the reference's arithmetic — so the
+    // routed outputs must match the oracle bit for bit, whichever engine
+    // served them.
+    for (request, output) in requests.iter().zip(&report.batch.outputs) {
+        let oracle = reference_output(&request.config, request.seed);
+        assert_eq!(
+            output, &oracle,
+            "{}: routed output diverged from the reference oracle",
+            request.config
+        );
+    }
+}
+
+#[test]
+fn cross_backend_tuner_matches_the_simulated_argmin_on_every_shape() {
+    let router = Router::new(64);
+    for cfg in crossover_sweep() {
+        let sme_cycles = generate_backend(&cfg, Backend::Sme)
+            .expect("SME compiles every swept shape")
+            .model_stats()
+            .cycles;
+        let neon_cycles = generate_backend(&cfg, Backend::Neon)
+            .expect("swept shapes sit on the Neon 16x4 grid")
+            .model_stats()
+            .cycles;
+        let outcome = router
+            .tune(&cfg, &TunerOptions::default())
+            .expect("tunable configuration");
+        // The best the SME engine can do for this shape (tuned plans, no
+        // backend sweep): the cross-backend winner must sit on whichever
+        // engine's best score is lower (ties stay on SME, the default).
+        let sme_only = TunerOptions {
+            sweep_backends: false,
+            ..TunerOptions::default()
+        };
+        let best_sme_cycles = hello_sme::sme_runtime::tune(&cfg, &sme_only)
+            .expect("tunable configuration")
+            .tuned_cycles;
+        let expected = if neon_cycles < best_sme_cycles {
+            Backend::Neon
+        } else {
+            Backend::Sme
+        };
+        assert_eq!(
+            outcome.winner.backend, expected,
+            "{cfg}: winner backend ({}) does not match the simulated argmin \
+             (sme default {sme_cycles:.0}, best sme {best_sme_cycles:.0}, \
+             neon {neon_cycles:.0})",
+            outcome.winner.backend
+        );
+        let argmin = best_sme_cycles.min(neon_cycles);
+        assert!(
+            (outcome.tuned_cycles - argmin).abs() <= 1e-9 * argmin.max(1.0),
+            "{cfg}: tuned score {:.1} must equal the cheaper engine's best \
+             ({argmin:.1})",
+            outcome.tuned_cycles
+        );
+        assert!(
+            outcome.tuned_cycles <= sme_cycles.min(neon_cycles) + 1e-9,
+            "{cfg}: tuned score must not lose to either default engine"
+        );
+        // Routing now follows the installed winner.
+        assert_eq!(router.route(&cfg), outcome.winner.backend);
+    }
+}
+
+#[test]
+fn telemetry_counts_match_dispatched_traffic_exactly() {
+    let router = Router::new(64);
+    let hot = GemmConfig::abt(16, 4, 16);
+    let warm = GemmConfig::abt(32, 32, 32);
+    let cold = GemmConfig::abt(64, 64, 16);
+
+    // Traffic: 6× hot, 3× warm, 1× cold, over two batches.
+    let batch1: Vec<GemmRequest> = (0..5)
+        .map(|i| GemmRequest {
+            config: if i < 4 { hot } else { warm },
+            seed: i,
+        })
+        .collect();
+    let batch2: Vec<GemmRequest> = (0..5)
+        .map(|i| GemmRequest {
+            config: match i {
+                0 | 1 => hot,
+                2 | 3 => warm,
+                _ => cold,
+            },
+            seed: 100 + i,
+        })
+        .collect();
+    router.dispatch(&batch1).expect("valid batch");
+    router.dispatch(&batch2).expect("valid batch");
+
+    assert_eq!(router.telemetry().total_requests(), 10);
+    let top = router.top_shapes(3);
+    assert_eq!(top.len(), 3);
+    assert_eq!((top[0].config, top[0].requests), (hot, 6));
+    assert_eq!((top[1].config, top[1].requests), (warm, 3));
+    assert_eq!((top[2].config, top[2].requests), (cold, 1));
+    // Each shape fetches its kernel once per batch it appears in. Under
+    // the Measured policy the routing probe already compiled both
+    // backends through the cache, so every execute-time fetch is a hit.
+    assert_eq!((top[0].cache_hits, top[0].cache_misses), (2, 0));
+    assert_eq!((top[1].cache_hits, top[1].cache_misses), (2, 0));
+    assert_eq!((top[2].cache_hits, top[2].cache_misses), (1, 0));
+    // Cycles aggregate exactly what the reports said.
+    let recorded: f64 = top.iter().map(|s| s.cycles).sum();
+    assert!(recorded > 0.0);
+
+    // The telemetry JSON snapshot carries the same counts.
+    let json = router.telemetry().to_json();
+    assert!(json.contains("\"total_requests\": 10"));
+    assert!(json.contains("\"requests\": 6"));
+
+    // Pre-tune the two hottest shapes; their winners are installed and
+    // routing follows them.
+    let outcomes = router
+        .pretune_hot(2, &TunerOptions::quick())
+        .expect("hot shapes are tunable");
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(outcomes[0].key.m, hot.m);
+    assert!(router.cache().lookup_tuned(&hot).is_some());
+    assert!(router.cache().lookup_tuned(&warm).is_some());
+    assert!(router.cache().lookup_tuned(&cold).is_none());
+    assert_eq!(router.route(&hot), outcomes[0].winner.backend);
+}

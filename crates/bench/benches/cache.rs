@@ -29,10 +29,7 @@ fn bench_dispatch_grouping(c: &mut Criterion) {
     // execution does not drown out the grouping/fan-out being measured.
     let service = GemmService::new(16);
     let requests: Vec<GemmRequest> = (0..32)
-        .map(|i| GemmRequest {
-            config: GemmConfig::abt(16 + 16 * (i % 4), 16, 8),
-            seed: i as u64,
-        })
+        .map(|i| GemmRequest::fp32(GemmConfig::abt(16 + 16 * (i % 4), 16, 8), i as u64))
         .collect();
     service.dispatch(&requests).unwrap();
     c.bench_function("dispatch_32_requests_4_configs_warm", |b| {

@@ -64,11 +64,12 @@ fn main() {
             println!("hottest shapes by recorded traffic:");
             for stats in router.top_shapes(5) {
                 println!(
-                    "  {:>4}x{:<4} k={:<5} requests {:3}  cycles {:10.0}  backend {:>4}  \
-                     hit-rate {:.0}%",
-                    stats.config.m,
-                    stats.config.n,
-                    stats.config.k,
+                    "  {:>12} {:>4}x{:<4} k={:<5} requests {:3}  cycles {:10.0}  \
+                     backend {:>4}  hit-rate {:.0}%",
+                    stats.config.dtype(),
+                    stats.config.m(),
+                    stats.config.n(),
+                    stats.config.k(),
                     stats.requests,
                     stats.cycles,
                     stats.dominant_backend().name(),

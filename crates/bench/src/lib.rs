@@ -15,7 +15,7 @@
 use accel_ref::AccelerateSgemm;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use sme_gemm::{generate, GemmConfig};
+use sme_gemm::{generate, GemmConfig, WideningGemmConfig};
 
 /// Options shared by the sweep binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -411,26 +411,32 @@ pub fn render_tuner_sweep(sweep: &TunerSweep) -> String {
 }
 
 /// Options of the `router` binary: the shared sweep flags plus the smoke
-/// preset.
+/// and BF16 presets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouterSweepOptions {
     /// Shared sweep geometry (`--step`, `--max`, `--k`, `--json`).
     pub sweep: SweepOptions,
+    /// Probe BF16 widening shapes instead of FP32 (`--bf16`).
+    pub bf16: bool,
 }
 
 impl RouterSweepOptions {
     /// Usage string for the `router` binary.
-    pub const USAGE: &'static str = "[--step N] [--max N] [--k N] [--json PATH] [--smoke]";
+    pub const USAGE: &'static str = "[--step N] [--max N] [--k N] [--json PATH] [--smoke] [--bf16]";
 
     /// Parse the `router` binary's flags. `--smoke` is the CI preset: a
     /// tiny sweep (sizes {32, 64}, K = 32) that still straddles the
-    /// SME/Neon crossover on both sides.
+    /// SME/Neon crossover on both sides. `--bf16` probes the widening
+    /// datatype instead of FP32 (composable with `--smoke`).
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut smoke = false;
+        let mut bf16 = false;
         let mut sweep_args: Vec<String> = Vec::new();
         for arg in args {
             if arg == "--smoke" {
                 smoke = true;
+            } else if arg == "--bf16" {
+                bf16 = true;
             } else {
                 sweep_args.push(arg);
             }
@@ -441,7 +447,7 @@ impl RouterSweepOptions {
             sweep.max = 64;
             sweep.k = 32;
         }
-        Ok(RouterSweepOptions { sweep })
+        Ok(RouterSweepOptions { sweep, bf16 })
     }
 
     /// Parse, printing the error and usage to stderr and exiting with
@@ -456,11 +462,43 @@ impl RouterSweepOptions {
     /// The shapes the router sweep probes: for each swept size `s`, a thin
     /// `16×4×s` shape (the Fig. 1 crossover's Neon side at small depth)
     /// and a dense `s×s×k` shape (the SME side).
-    pub fn shapes(&self) -> Vec<GemmConfig> {
-        let mut shapes = Vec::new();
+    ///
+    /// With `--bf16` the same geometry is probed in the widening datatype:
+    /// the thin shape sits off the SME widening 32×32 grid (so it exercises
+    /// the Neon `BFMMLA` baseline), and the dense size is snapped up to a
+    /// multiple of 32 (and depths to even values) so the SME fast path
+    /// competes.
+    pub fn shapes(&self) -> Vec<sme_gemm::AnyGemmConfig> {
+        let mut shapes: Vec<sme_gemm::AnyGemmConfig> = Vec::new();
+        // Snapping --bf16 sizes onto the widening grids can make distinct
+        // swept sizes collide on one shape (non-adjacently, since thin and
+        // dense shapes interleave), so keep first occurrences only.
+        let push = |shapes: &mut Vec<sme_gemm::AnyGemmConfig>, shape| {
+            if !shapes.contains(&shape) {
+                shapes.push(shape);
+            }
+        };
         for s in self.sweep.sizes() {
-            shapes.push(GemmConfig::abt(16, 4, s));
-            shapes.push(GemmConfig::abt(s, s, self.sweep.k));
+            if self.bf16 {
+                let thin_k = s.next_multiple_of(2);
+                let dense = s.next_multiple_of(32);
+                let dense_k = self.sweep.k.next_multiple_of(2);
+                push(
+                    &mut shapes,
+                    WideningGemmConfig::new(16, 4, thin_k)
+                        .expect("thin widening shape is on the envelope grid")
+                        .into(),
+                );
+                push(
+                    &mut shapes,
+                    WideningGemmConfig::new(dense, dense, dense_k)
+                        .expect("dense widening shape is on the SME grid")
+                        .into(),
+                );
+            } else {
+                push(&mut shapes, GemmConfig::abt(16, 4, s).into());
+                push(&mut shapes, GemmConfig::abt(s, s, self.sweep.k).into());
+            }
         }
         shapes
     }
@@ -469,14 +507,18 @@ impl RouterSweepOptions {
 /// One routed shape of a router sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RouterSweepPoint {
+    /// Datatype family of the probed shape (stable name).
+    pub dtype: String,
     /// Problem rows.
     pub m: usize,
     /// Problem columns.
     pub n: usize,
     /// Contraction depth.
     pub k: usize,
-    /// Simulated single-core cycles of the SME kernel.
-    pub sme_cycles: f64,
+    /// Simulated single-core cycles of the SME kernel (absent when the SME
+    /// generator does not support the shape — possible for widening shapes
+    /// off the 32×32 grid).
+    pub sme_cycles: Option<f64>,
     /// Simulated single-core cycles of the Neon kernel (absent when the
     /// Neon generator does not support the shape).
     pub neon_cycles: Option<f64>,
@@ -512,16 +554,21 @@ impl RouterSweep {
 /// Probe every sweep shape through a [`sme_router::Router`] and compare
 /// its choice against direct single-core simulation of both backends.
 pub fn router_sweep(opts: &RouterSweepOptions, router: &sme_router::Router) -> RouterSweep {
-    use sme_gemm::{generate_backend, Backend};
+    use sme_gemm::{generate_any_backend, AnyGemmConfig, Backend};
     let shapes = opts.shapes();
-    let measured: Vec<(GemmConfig, f64, Option<f64>)> = shapes
+    let measured: Vec<(AnyGemmConfig, Option<f64>, Option<f64>)> = shapes
         .par_iter()
         .map(|cfg| {
-            let sme = generate_backend(cfg, Backend::Sme)
-                .expect("sweep shapes are SME-valid")
-                .model_stats()
-                .cycles;
-            let neon = generate_backend(cfg, Backend::Neon)
+            let sme = generate_any_backend(cfg, Backend::Sme)
+                .ok()
+                .map(|k| k.model_stats().cycles);
+            // SME is total over valid FP32 shapes — a failure there is a
+            // generator regression, not a routing datum.
+            assert!(
+                sme.is_some() || cfg.dtype() != sme_gemm::Dtype::Fp32,
+                "FP32 sweep shapes must be SME-compilable: {cfg}"
+            );
+            let neon = generate_any_backend(cfg, Backend::Neon)
                 .ok()
                 .map(|k| k.model_stats().cycles);
             (*cfg, sme, neon)
@@ -530,13 +577,21 @@ pub fn router_sweep(opts: &RouterSweepOptions, router: &sme_router::Router) -> R
     let points = measured
         .into_iter()
         .map(|(cfg, sme_cycles, neon_cycles)| {
-            let chosen = router.route(&cfg);
-            let faster_is_neon = neon_cycles.is_some_and(|n| n < sme_cycles);
+            let chosen = router.route_any(&cfg);
+            // The router's choice agrees with the model when it picks the
+            // lower simulated cycle count; an engine that cannot compile
+            // the shape never wins the comparison.
+            let faster_is_neon = match (sme_cycles, neon_cycles) {
+                (Some(s), Some(n)) => n < s,
+                (None, Some(_)) => true,
+                _ => false,
+            };
             let agrees = (chosen == Backend::Neon) == faster_is_neon;
             RouterSweepPoint {
-                m: cfg.m,
-                n: cfg.n,
-                k: cfg.k,
+                dtype: cfg.dtype().name().to_string(),
+                m: cfg.m(),
+                n: cfg.n(),
+                k: cfg.k(),
                 sme_cycles,
                 neon_cycles,
                 chosen: chosen.name().to_string(),
@@ -550,21 +605,22 @@ pub fn router_sweep(opts: &RouterSweepOptions, router: &sme_router::Router) -> R
 /// Render a router sweep as a table plus summary lines.
 pub fn render_router_sweep(sweep: &RouterSweep) -> String {
     let mut out = String::from(
-        "    m    n    k |   sme cyc |  neon cyc | routed | agrees\n\
-         -----------------+-----------+-----------+--------+-------\n",
+        "        dtype     m    n    k |   sme cyc |  neon cyc | routed | agrees\n\
+         ------------------------------+-----------+-----------+--------+-------\n",
     );
+    let fmt_cycles = |c: Option<f64>| match c {
+        Some(c) => format!("{c:9.0}"),
+        None => format!("{:>9}", "-"),
+    };
     for p in &sweep.points {
-        let neon = match p.neon_cycles {
-            Some(c) => format!("{c:9.0}"),
-            None => format!("{:>9}", "-"),
-        };
         out.push_str(&format!(
-            "{:5} {:4} {:4} | {:9.0} | {} | {:>6} | {}\n",
+            "{:>13} {:5} {:4} {:4} | {} | {} | {:>6} | {}\n",
+            p.dtype,
             p.m,
             p.n,
             p.k,
-            p.sme_cycles,
-            neon,
+            fmt_cycles(p.sme_cycles),
+            fmt_cycles(p.neon_cycles),
             p.chosen,
             if p.agrees_with_model { "yes" } else { "NO" }
         ));
@@ -764,6 +820,63 @@ mod tests {
         let text = render_router_sweep(&sweep);
         assert!(text.contains("matches the per-shape simulated argmin: yes"));
         assert!(text.contains("both engines exercised across the sweep: yes"));
+    }
+
+    #[test]
+    fn bf16_router_sweep_crosses_the_backend_boundary() {
+        // The --bf16 preset parses, snaps shapes onto the widening grids,
+        // and still exercises both engines: the thin 16x4 shapes are off
+        // the SME widening 32x32 grid (Neon BFMMLA territory) while the
+        // dense shapes sit on it.
+        let opts =
+            RouterSweepOptions::parse(["--smoke", "--bf16"].iter().map(|s| s.to_string())).unwrap();
+        assert!(opts.bf16);
+        let shapes = opts.shapes();
+        assert_eq!(shapes.len(), 4);
+        assert!(shapes
+            .iter()
+            .all(|s| s.dtype() == sme_gemm::Dtype::WideningBf16));
+        // Sizes that snap onto the same widening shape are probed once:
+        // sizes {16, 32} both produce the dense 32x32, and every thin shape
+        // ends up 16x4x32.
+        let collide = RouterSweepOptions::parse(
+            ["--bf16", "--step", "16", "--max", "32", "--k", "32"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let collide_shapes = collide.shapes();
+        for (i, a) in collide_shapes.iter().enumerate() {
+            assert!(
+                !collide_shapes[i + 1..].contains(a),
+                "duplicate swept shape {a}"
+            );
+        }
+        assert_eq!(collide_shapes.len(), 3, "thin 16/32 + one dense 32x32");
+        let router = sme_router::Router::new(32);
+        let sweep = router_sweep(&opts, &router);
+        assert!(
+            sweep.routing_matches_model(),
+            "router must follow the simulated argmin: {sweep:?}"
+        );
+        assert!(
+            sweep.crossover_present(),
+            "the BF16 preset must exercise both engines: {sweep:?}"
+        );
+        assert!(sweep.points.iter().all(|p| p.dtype == "WideningBf16"));
+        // Thin shapes have no SME cycle count (the fast path cannot
+        // compile them); dense shapes have both.
+        assert!(sweep
+            .points
+            .iter()
+            .any(|p| p.sme_cycles.is_none() && p.chosen == "Neon"));
+        assert!(sweep
+            .points
+            .iter()
+            .any(|p| p.sme_cycles.is_some() && p.neon_cycles.is_some() && p.chosen == "Sme"));
+        let text = render_router_sweep(&sweep);
+        assert!(text.contains("WideningBf16"));
+        assert!(text.contains("matches the per-shape simulated argmin: yes"));
     }
 
     #[test]

@@ -191,6 +191,49 @@ pub fn generate_routed(
     }
 }
 
+/// Generate the default kernel for a configuration of either datatype on
+/// the given backend — the dtype-generic twin of [`generate_backend`].
+///
+/// FP32 dispatches to [`generate`] / [`crate::neon::generate_neon_kernel`];
+/// widening BF16 to [`crate::widening::generate_widening`] /
+/// [`crate::neon::generate_neon_widening`]. Each inner generator rejects
+/// configurations off its grid (see [`crate::neon::neon_supports`] and
+/// [`crate::widening::sme_widening_supports`]).
+pub fn generate_any_backend(
+    cfg: &crate::AnyGemmConfig,
+    backend: Backend,
+) -> Result<RoutedKernel, GemmError> {
+    match cfg {
+        crate::AnyGemmConfig::Fp32(c) => generate_backend(c, backend),
+        crate::AnyGemmConfig::WideningBf16(c) => match backend {
+            Backend::Sme => crate::widening::generate_widening(c).map(RoutedKernel::WideningSme),
+            Backend::Neon => crate::neon::generate_neon_widening(c).map(RoutedKernel::WideningNeon),
+        },
+    }
+}
+
+/// Generate a kernel for a configuration of either datatype from a
+/// cross-backend tuning candidate — the dtype-generic twin of
+/// [`generate_routed`].
+///
+/// Widening SME candidates go through
+/// [`crate::widening::generate_widening_tuned`]; the widening Neon
+/// candidate's plan kind and knobs are inert (the `BFMMLA` generator's 8×2
+/// blocking is fixed), exactly like the FP32 Neon candidate.
+pub fn generate_any_routed(
+    cfg: &crate::AnyGemmConfig,
+    candidate: &PlanCandidate,
+) -> Result<RoutedKernel, GemmError> {
+    match cfg {
+        crate::AnyGemmConfig::Fp32(c) => generate_routed(c, candidate),
+        crate::AnyGemmConfig::WideningBf16(c) => match candidate.backend {
+            Backend::Sme => crate::widening::generate_widening_tuned(c, candidate)
+                .map(RoutedKernel::WideningSme),
+            Backend::Neon => crate::neon::generate_neon_widening(c).map(RoutedKernel::WideningNeon),
+        },
+    }
+}
+
 /// Generate a kernel and immediately validate it against the reference GEMM
 /// on pseudo-random data, returning the kernel and the maximum absolute
 /// error (convenience for tests and examples).
@@ -331,8 +374,9 @@ mod tests {
             let kernel = generate_routed(&cfg, &candidate).expect("routed generation");
             assert_eq!(kernel.backend(), candidate.backend);
             if candidate.backend == Backend::Sme {
-                assert_eq!(kernel.config().c_transfer, candidate.c_transfer);
-                assert_eq!(kernel.config().k_unroll, candidate.k_unroll);
+                let kernel_cfg = kernel.fp32_config().expect("FP32 kernel");
+                assert_eq!(kernel_cfg.c_transfer, candidate.c_transfer);
+                assert_eq!(kernel_cfg.k_unroll, candidate.k_unroll);
             }
             let err = kernel.validate(0xACE);
             assert!(err < 1e-4, "{candidate:?}: max abs error {err}");

@@ -3,8 +3,10 @@
 
 use crate::blocking::BlockPlan;
 use crate::config::{Backend, Beta, GemmConfig};
-use crate::neon::NeonKernel;
+use crate::dtype::{AnyGemmConfig, Dtype};
+use crate::neon::{NeonKernel, NeonWideningKernel};
 use crate::reference::{fill_matrix, gemm_reference, max_abs_diff};
+use crate::widening::{allocate_widening_buffers, WideningKernel, WideningPackLayout};
 use sme_isa::Program;
 use sme_machine::exec::{RunOptions, RunResult, Simulator};
 use sme_machine::ExecStats;
@@ -178,37 +180,75 @@ impl CompiledKernel {
     }
 }
 
-/// A kernel compiled for one of the two execution backends.
+/// A kernel compiled for one execution backend and one datatype family.
 ///
 /// This is the unit the `sme-runtime` kernel cache stores and the
-/// `sme-router` dispatches: SME and Neon kernels share the execution,
-/// validation and modelling surface, so routing code never matches on the
-/// variant except to reach backend-specific detail (e.g. the SME block
-/// plan).
+/// `sme-router` dispatches: all four (backend × dtype) kernels share the
+/// execution, validation and modelling surface, so routing code never
+/// matches on the variant except to reach variant-specific detail (e.g.
+/// the SME block plan).
+///
+/// Which packed operand layout a widening kernel consumes is a per-variant
+/// detail hidden behind [`RoutedKernel::allocate_buffers`]: a caller seeds
+/// the buffers, runs the kernel and reads C, whatever the engine.
 #[derive(Debug, Clone)]
 pub enum RoutedKernel {
-    /// An SME outer-product kernel ([`crate::generate`] /
+    /// An SME FP32 outer-product kernel ([`crate::generate`] /
     /// [`crate::generate_tuned`]).
     Sme(CompiledKernel),
-    /// A Neon FMLA-by-element kernel
+    /// A Neon FP32 FMLA-by-element kernel
     /// ([`crate::neon::generate_neon_kernel`]).
     Neon(NeonKernel),
+    /// An SME BF16 → FP32 widening (BFMOPA) kernel
+    /// ([`crate::widening::generate_widening`]).
+    WideningSme(WideningKernel),
+    /// A Neon BF16 → FP32 widening (`BFMMLA`) kernel
+    /// ([`crate::neon::generate_neon_widening`]).
+    WideningNeon(NeonWideningKernel),
 }
 
 impl RoutedKernel {
     /// Which backend the kernel targets.
     pub fn backend(&self) -> Backend {
         match self {
-            RoutedKernel::Sme(_) => Backend::Sme,
-            RoutedKernel::Neon(_) => Backend::Neon,
+            RoutedKernel::Sme(_) | RoutedKernel::WideningSme(_) => Backend::Sme,
+            RoutedKernel::Neon(_) | RoutedKernel::WideningNeon(_) => Backend::Neon,
         }
     }
 
-    /// The configuration the kernel was generated for.
-    pub fn config(&self) -> &GemmConfig {
+    /// Which datatype family the kernel computes.
+    pub fn dtype(&self) -> Dtype {
         match self {
-            RoutedKernel::Sme(k) => k.config(),
-            RoutedKernel::Neon(k) => k.config(),
+            RoutedKernel::Sme(_) | RoutedKernel::Neon(_) => Dtype::Fp32,
+            RoutedKernel::WideningSme(_) | RoutedKernel::WideningNeon(_) => Dtype::WideningBf16,
+        }
+    }
+
+    /// The unified configuration key the kernel was generated for.
+    pub fn any_config(&self) -> AnyGemmConfig {
+        match self {
+            RoutedKernel::Sme(k) => AnyGemmConfig::Fp32(*k.config()),
+            RoutedKernel::Neon(k) => AnyGemmConfig::Fp32(*k.config()),
+            RoutedKernel::WideningSme(k) => AnyGemmConfig::WideningBf16(*k.config()),
+            RoutedKernel::WideningNeon(k) => AnyGemmConfig::WideningBf16(*k.config()),
+        }
+    }
+
+    /// The FP32 configuration, when this is an FP32 kernel.
+    pub fn fp32_config(&self) -> Option<&GemmConfig> {
+        match self {
+            RoutedKernel::Sme(k) => Some(k.config()),
+            RoutedKernel::Neon(k) => Some(k.config()),
+            _ => None,
+        }
+    }
+
+    /// The widening configuration, when this is a BF16 kernel.
+    pub fn widening_config(&self) -> Option<&crate::widening::WideningGemmConfig> {
+        match self {
+            RoutedKernel::WideningSme(k) => Some(k.config()),
+            RoutedKernel::WideningNeon(k) => Some(k.config()),
+            _ => None,
         }
     }
 
@@ -217,28 +257,49 @@ impl RoutedKernel {
         match self {
             RoutedKernel::Sme(k) => k.program(),
             RoutedKernel::Neon(k) => k.program(),
+            RoutedKernel::WideningSme(k) => k.program(),
+            RoutedKernel::WideningNeon(k) => k.program(),
         }
     }
 
-    /// The SME kernel handle, when this is the SME backend (block-plan
+    /// The SME FP32 kernel handle, when this is that variant (block-plan
     /// introspection is SME-specific).
     pub fn as_sme(&self) -> Option<&CompiledKernel> {
         match self {
             RoutedKernel::Sme(k) => Some(k),
-            RoutedKernel::Neon(_) => None,
+            _ => None,
         }
     }
 
     /// Floating-point operations per kernel execution.
     pub fn flops(&self) -> u64 {
-        self.config().flops()
+        self.any_config().flops()
     }
 
-    /// Allocate operand buffers (see [`CompiledKernel::allocate_buffers`];
-    /// both backends use the same seeding scheme, so results are comparable
-    /// bit for bit).
+    /// Number of `f32` elements the C output buffer holds.
+    pub fn c_len(&self) -> usize {
+        self.any_config().c_len()
+    }
+
+    /// Allocate operand buffers in the simulator's memory for this kernel's
+    /// datatype and packing.
+    ///
+    /// Both FP32 backends use the same seeding scheme, so their results are
+    /// comparable bit for bit; the widening variants derive their packed
+    /// BF16 operands from FP32 matrices filled with the same scheme, so a
+    /// scalar oracle ([`crate::widening::widening_reference`]) can
+    /// reproduce them from the seed alone.
     pub fn allocate_buffers(&self, sim: &mut Simulator, seed: Option<u64>) -> GemmBuffers {
-        allocate_gemm_buffers(self.config(), sim, seed)
+        match self {
+            RoutedKernel::Sme(k) => allocate_gemm_buffers(k.config(), sim, seed),
+            RoutedKernel::Neon(k) => allocate_gemm_buffers(k.config(), sim, seed),
+            RoutedKernel::WideningSme(k) => {
+                allocate_widening_buffers(k.config(), sim, seed, WideningPackLayout::Interleaved)
+            }
+            RoutedKernel::WideningNeon(k) => {
+                allocate_widening_buffers(k.config(), sim, seed, WideningPackLayout::Mmla)
+            }
+        }
     }
 
     /// Execute the kernel once on the given simulator and operand buffers.
@@ -247,17 +308,30 @@ impl RoutedKernel {
     }
 
     /// Execute the kernel functionally on pseudo-random operands and return
-    /// the maximum absolute difference from the reference GEMM.
+    /// its validation error: the maximum **absolute** difference from the
+    /// reference GEMM for FP32 kernels, the maximum **relative** error
+    /// against the BF16-rounded oracle (bounded by
+    /// [`crate::widening::WIDENING_REL_TOL`]) for widening kernels.
     pub fn validate(&self, seed: u64) -> f32 {
-        validate_program(self.config(), self.program(), seed)
+        match self {
+            RoutedKernel::Sme(k) => k.validate(seed),
+            RoutedKernel::Neon(k) => k.validate(seed),
+            RoutedKernel::WideningSme(k) => k.validate(seed),
+            RoutedKernel::WideningNeon(k) => k.validate(seed),
+        }
     }
 
     /// Model the kernel's performance on a single performance core.
     pub fn model_stats(&self) -> ExecStats {
-        model_program_stats(self.config(), self.program())
+        match self {
+            RoutedKernel::Sme(k) => k.model_stats(),
+            RoutedKernel::Neon(k) => k.model_stats(),
+            RoutedKernel::WideningSme(k) => k.model_stats(),
+            RoutedKernel::WideningNeon(k) => k.model_stats(),
+        }
     }
 
-    /// Modelled FP32 throughput in GFLOPS on a single performance core.
+    /// Modelled throughput in GFLOPS on a single performance core.
     pub fn model_gflops(&self) -> f64 {
         let stats = self.model_stats();
         let seconds = stats.seconds();
@@ -278,6 +352,18 @@ impl From<CompiledKernel> for RoutedKernel {
 impl From<NeonKernel> for RoutedKernel {
     fn from(kernel: NeonKernel) -> Self {
         RoutedKernel::Neon(kernel)
+    }
+}
+
+impl From<WideningKernel> for RoutedKernel {
+    fn from(kernel: WideningKernel) -> Self {
+        RoutedKernel::WideningSme(kernel)
+    }
+}
+
+impl From<NeonWideningKernel> for RoutedKernel {
+    fn from(kernel: NeonWideningKernel) -> Self {
+        RoutedKernel::WideningNeon(kernel)
     }
 }
 

@@ -45,7 +45,11 @@
 //! * [`batch`] — a batched small-GEMM driver mirroring how LIBXSMM kernels
 //!   are used by tensor-processing frameworks;
 //! * [`widening`] — BF16 → FP32 kernels built on the widening BFMOPA (the
-//!   paper's §V outlook on reduced-precision inference);
+//!   paper's §V outlook on reduced-precision inference), with the same
+//!   candidate space and backend pair (a Neon `BFMMLA` baseline) as FP32;
+//! * [`dtype`] — the unified configuration key ([`AnyGemmConfig`]) the
+//!   serving stack is keyed on, making the datatype a first-class dimension
+//!   alongside the backend;
 //! * [`mod@reference`] — scalar reference implementations used for validation.
 
 #![warn(missing_docs)]
@@ -53,6 +57,7 @@
 pub mod batch;
 pub mod blocking;
 pub mod config;
+pub mod dtype;
 pub mod generator;
 pub mod kernel;
 pub mod loads;
@@ -67,10 +72,19 @@ pub use blocking::{
     prune_dominated_candidates, BlockPlan, PlanCandidate, PlanKind, RegisterBlocking,
 };
 pub use config::{BLayout, Backend, Beta, GemmConfig, GemmError, ZaTransferStrategy};
+pub use dtype::{default_any_candidate, enumerate_any_candidates, AnyGemmConfig, Dtype};
 pub use generator::{
-    generate, generate_backend, generate_routed, generate_tuned, generate_validated,
-    generate_with_plan, kernel_stats, KernelStats,
+    generate, generate_any_backend, generate_any_routed, generate_backend, generate_routed,
+    generate_tuned, generate_validated, generate_with_plan, kernel_stats, KernelStats,
 };
 pub use kernel::{CompiledKernel, GemmBuffers, RoutedKernel};
-pub use neon::{generate_neon_kernel, neon_supports, NeonKernel};
-pub use widening::{generate_widening, WideningGemmConfig, WideningKernel};
+pub use neon::{
+    generate_neon_kernel, generate_neon_widening, neon_supports, neon_widening_supports,
+    NeonKernel, NeonWideningKernel,
+};
+pub use widening::{
+    default_widening_candidate, enumerate_widening_candidates, generate_widening,
+    generate_widening_tuned, pack_a_bf16, pack_a_bf16_mmla, pack_b_bf16, pack_b_bf16_mmla,
+    sme_widening_supports, widening_reference, widening_rel_error, WideningGemmConfig,
+    WideningKernel, WIDENING_REL_TOL,
+};

@@ -12,8 +12,9 @@
 
 use crate::config::{BLayout, Beta, GemmConfig, GemmError};
 use crate::microkernel::{
-    xr, ARG_A, ARG_B, ARG_C, A_PTR, B_PTR, COL_PTR, C_PTR, K_CNT, LDA_B, LDC_B,
+    xr, ARG_A, ARG_B, ARG_C, A_PTR, BK_STRIDE, B_PTR, COL_PTR, C_PTR, K_CNT, LDA_B, LDC_B, TMP0,
 };
+use crate::widening::{WideningGemmConfig, WideningPackLayout};
 use sme_isa::asm::Assembler;
 use sme_isa::inst::{NeonInst, ScalarInst};
 use sme_isa::regs::VReg;
@@ -365,6 +366,270 @@ pub fn validate_neon(cfg: &GemmConfig, seed: u64) -> Result<f32, GemmError> {
     Ok(max_abs_diff(&c_out, &c_ref))
 }
 
+/// Check whether the Neon widening (`BFMMLA`) generator supports `cfg`.
+///
+/// The 8×2 register blocking covers exactly the envelope grid
+/// [`WideningGemmConfig::new`] enforces (`m % 8 == 0`, `n % 2 == 0`, even
+/// `k`), so every valid widening configuration is Neon-dispatchable — the
+/// mirror image of FP32, where SME is the total engine and Neon the
+/// restricted one.
+pub fn neon_widening_supports(cfg: &WideningGemmConfig) -> Result<(), GemmError> {
+    cfg.validate()
+}
+
+/// A generated Neon BF16 → FP32 widening kernel (`BFMMLA`), sharing the
+/// validation/modelling surface of [`crate::widening::WideningKernel`].
+///
+/// It consumes the `BFMMLA`-packed operands of
+/// [`crate::widening::pack_a_bf16_mmla`] /
+/// [`crate::widening::pack_b_bf16_mmla`]; which packing a buffer carries is
+/// a per-backend detail hidden behind [`crate::RoutedKernel`]'s buffer
+/// allocation, exactly like the FP32 backends' differing access patterns.
+#[derive(Debug, Clone)]
+pub struct NeonWideningKernel {
+    cfg: WideningGemmConfig,
+    program: Program,
+}
+
+impl NeonWideningKernel {
+    /// The configuration the kernel was generated for.
+    pub fn config(&self) -> &WideningGemmConfig {
+        &self.cfg
+    }
+
+    /// The generated instruction stream.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Assembly listing.
+    pub fn disassembly(&self) -> String {
+        sme_isa::disasm::disassemble_program(&self.program)
+    }
+
+    /// Floating-point operations per kernel execution.
+    pub fn flops(&self) -> u64 {
+        self.cfg.flops()
+    }
+
+    /// Validate against the scalar BF16-rounded oracle
+    /// ([`crate::widening::widening_reference`]); returns the maximum
+    /// **relative** error (assert it below
+    /// [`crate::widening::WIDENING_REL_TOL`]).
+    pub fn validate(&self, seed: u64) -> f32 {
+        crate::widening::validate_widening_program(
+            &self.cfg,
+            &self.program,
+            seed,
+            WideningPackLayout::Mmla,
+        )
+    }
+
+    /// Timing-only execution statistics on one performance core.
+    pub fn model_stats(&self) -> sme_machine::ExecStats {
+        crate::widening::model_widening_program_stats(
+            &self.cfg,
+            &self.program,
+            WideningPackLayout::Mmla,
+        )
+    }
+}
+
+/// Generate a Neon `BFMMLA` widening kernel for `C += A·Bᵀ` on BF16-packed
+/// operands.
+///
+/// Each `BFMMLA` multiplies a row pair of A by a column pair of B over one
+/// contraction quad into a 2×2 FP32 accumulator; the kernel blocks C as
+/// 8 rows × 2 columns (four accumulators), so one A fetch (two `ldp q`) and
+/// one B fetch (`ldr q`) feed four matrix instructions per quad. Operand
+/// order is chosen so each accumulator's 64-bit halves are contiguous
+/// column fragments of the column-major C, moved with `ldr d`/`str d` plus
+/// one `ins`/`dup` lane shuffle per row pair.
+pub fn generate_neon_widening(cfg: &WideningGemmConfig) -> Result<NeonWideningKernel, GemmError> {
+    neon_widening_supports(cfg)?;
+    let mut asm = Assembler::new(format!("neon_gemm_bf16_{}x{}x{}", cfg.m, cfg.n, cfg.k));
+    // Per contraction quad, packed A advances by (m/2) registers of 16
+    // bytes and packed B by (n/2).
+    asm.mov_imm64(xr(LDA_B), (cfg.m * 8) as u64);
+    asm.mov_imm64(xr(BK_STRIDE), (cfg.n * 8) as u64);
+    asm.mov_imm64(xr(LDC_B), (cfg.m * 4) as u64);
+    for col0 in (0..cfg.n).step_by(2) {
+        for row0 in (0..cfg.m).step_by(8) {
+            emit_neon_widening_8x2_block(&mut asm, cfg, row0, col0);
+        }
+    }
+    asm.ret();
+    Ok(NeonWideningKernel {
+        cfg: *cfg,
+        program: asm.finish(),
+    })
+}
+
+/// One 8×2 widening block: load C, run the contraction-quad loop, store C.
+///
+/// Accumulator `v4+p` (row pair `p`) holds
+/// `[C[r0+2p, j0], C[r0+2p+1, j0], C[r0+2p, j0+1], C[r0+2p+1, j0+1]]` —
+/// each half a contiguous 8-byte fragment of one C column.
+fn emit_neon_widening_8x2_block(
+    asm: &mut Assembler,
+    cfg: &WideningGemmConfig,
+    row0: usize,
+    col0: usize,
+) {
+    // Pointers into the packed operands: the block's first row pair /
+    // column pair of contraction quad 0.
+    asm.push(ScalarInst::MovReg {
+        rd: xr(A_PTR),
+        rn: xr(ARG_A),
+    });
+    if row0 > 0 {
+        asm.add_imm(xr(A_PTR), xr(A_PTR), (row0 / 2 * 16) as u64);
+    }
+    asm.push(ScalarInst::MovReg {
+        rd: xr(B_PTR),
+        rn: xr(ARG_B),
+    });
+    if col0 > 0 {
+        asm.add_imm(xr(B_PTR), xr(B_PTR), (col0 / 2 * 16) as u64);
+    }
+    asm.push(ScalarInst::MovReg {
+        rd: xr(C_PTR),
+        rn: xr(ARG_C),
+    });
+    let c_off = ((col0 * cfg.m + row0) * 4) as u64;
+    if c_off > 0 {
+        if c_off < (1 << 24) {
+            asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
+        } else {
+            asm.mov_imm64(xr(TMP0), c_off);
+            asm.push(ScalarInst::AddReg {
+                rd: xr(C_PTR),
+                rn: xr(C_PTR),
+                rm: xr(TMP0),
+                shift: None,
+            });
+        }
+    }
+
+    // Load the 8x2 C block into v4..v7: column j0 fragments into the low
+    // halves, column j0+1 fragments inserted into the high halves.
+    asm.push(ScalarInst::MovReg {
+        rd: xr(COL_PTR),
+        rn: xr(C_PTR),
+    });
+    for pair in 0..4u8 {
+        asm.push(NeonInst::LdrD {
+            vt: vr(4 + pair),
+            rn: xr(COL_PTR),
+            imm: pair as u32 * 8,
+        });
+    }
+    asm.push(ScalarInst::AddReg {
+        rd: xr(COL_PTR),
+        rn: xr(COL_PTR),
+        rm: xr(LDC_B),
+        shift: None,
+    });
+    for pair in 0..4u8 {
+        asm.push(NeonInst::LdrD {
+            vt: vr(8),
+            rn: xr(COL_PTR),
+            imm: pair as u32 * 8,
+        });
+        asm.push(NeonInst::InsElemD {
+            vd: vr(4 + pair),
+            vn: vr(8),
+            dst: 1,
+            src: 0,
+        });
+    }
+
+    // Contraction loop over k quads (the packing zero-pads a trailing
+    // half-quad).
+    asm.mov_imm64(xr(K_CNT), cfg.k.div_ceil(4) as u64);
+    let top = asm.new_label();
+    asm.bind(top);
+    asm.push(ScalarInst::SubImm {
+        rd: xr(K_CNT),
+        rn: xr(K_CNT),
+        imm12: 1,
+        shift12: false,
+    });
+    // Four A row pairs (64 bytes) and one B column pair (16 bytes).
+    asm.push(NeonInst::LdpQ {
+        vt1: vr(0),
+        vt2: vr(1),
+        rn: xr(A_PTR),
+        imm: 0,
+    });
+    asm.push(NeonInst::LdpQ {
+        vt1: vr(2),
+        vt2: vr(3),
+        rn: xr(A_PTR),
+        imm: 32,
+    });
+    asm.push(NeonInst::LdrQ {
+        vt: vr(28),
+        rn: xr(B_PTR),
+        imm: 0,
+    });
+    asm.push(ScalarInst::AddReg {
+        rd: xr(A_PTR),
+        rn: xr(A_PTR),
+        rm: xr(LDA_B),
+        shift: None,
+    });
+    asm.push(ScalarInst::AddReg {
+        rd: xr(B_PTR),
+        rn: xr(B_PTR),
+        rm: xr(BK_STRIDE),
+        shift: None,
+    });
+    // vn = B column pair, vm = A row pair: the result lanes land so that
+    // each 64-bit half of the accumulator is one column fragment.
+    for pair in 0..4u8 {
+        asm.push(NeonInst::Bfmmla {
+            vd: vr(4 + pair),
+            vn: vr(28),
+            vm: vr(pair),
+        });
+    }
+    asm.cbnz(xr(K_CNT), top);
+
+    // Store the block back: low halves to column j0, high halves (via a
+    // D-lane broadcast) to column j0+1.
+    asm.push(ScalarInst::MovReg {
+        rd: xr(COL_PTR),
+        rn: xr(C_PTR),
+    });
+    for pair in 0..4u8 {
+        asm.push(NeonInst::StrD {
+            vt: vr(4 + pair),
+            rn: xr(COL_PTR),
+            imm: pair as u32 * 8,
+        });
+    }
+    asm.push(ScalarInst::AddReg {
+        rd: xr(COL_PTR),
+        rn: xr(COL_PTR),
+        rm: xr(LDC_B),
+        shift: None,
+    });
+    for pair in 0..4u8 {
+        asm.push(NeonInst::DupElem {
+            vd: vr(8),
+            vn: vr(4 + pair),
+            index: 1,
+            arrangement: NeonArrangement::D2,
+        });
+        asm.push(NeonInst::StrD {
+            vt: vr(8),
+            rn: xr(COL_PTR),
+            imm: pair as u32 * 8,
+        });
+    }
+}
+
 /// Modelled single-performance-core throughput of the Neon baseline kernel.
 pub fn model_neon_gflops(cfg: &GemmConfig) -> Result<f64, GemmError> {
     use sme_machine::exec::{RunOptions, Simulator};
@@ -427,6 +692,43 @@ mod tests {
         assert!(generate_neon(&GemmConfig::abt(16, 5, 8)).is_err());
         assert!(generate_neon(&GemmConfig::ab(16, 4, 8)).is_err());
         assert!(generate_neon(&GemmConfig::abt(16, 4, 8).with_beta(Beta::Zero)).is_err());
+    }
+
+    #[test]
+    fn neon_widening_kernel_validates_across_the_envelope_grid() {
+        use crate::widening::WIDENING_REL_TOL;
+        for (m, n, k) in [
+            (8, 2, 2),
+            (16, 4, 8),
+            (16, 4, 10), // k % 4 == 2: exercises the zero-padded quad
+            (32, 32, 16),
+            (40, 6, 12),
+        ] {
+            let cfg = WideningGemmConfig::new(m, n, k).unwrap();
+            let kernel = generate_neon_widening(&cfg).expect("generation");
+            let err = kernel.validate(7);
+            assert!(err < WIDENING_REL_TOL, "({m},{n},{k}): {err}");
+        }
+    }
+
+    #[test]
+    fn neon_widening_kernel_uses_bfmmla() {
+        let cfg = WideningGemmConfig::new(16, 4, 8).unwrap();
+        let kernel = generate_neon_widening(&cfg).unwrap();
+        let bfmmlas = kernel
+            .program()
+            .count_matching(|i| matches!(i, Inst::Neon(NeonInst::Bfmmla { .. })));
+        // Static count: (16/8) * (4/2) blocks x 4 row pairs in the loop body.
+        assert_eq!(bfmmlas, 2 * 2 * 4);
+        assert!(kernel.disassembly().contains("bfmmla"));
+        assert!(kernel.disassembly().contains("ldr d"));
+    }
+
+    #[test]
+    fn neon_widening_rejects_off_grid_shapes() {
+        assert!(WideningGemmConfig::new(12, 4, 8).is_err(), "m % 8");
+        assert!(WideningGemmConfig::new(16, 3, 8).is_err(), "n % 2");
+        assert!(WideningGemmConfig::new(16, 4, 7).is_err(), "odd k");
     }
 
     #[test]

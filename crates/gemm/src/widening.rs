@@ -4,27 +4,31 @@
 //! accelerate CPU-native machine learning inference"; on M4 the widening
 //! BFMOPA has the *same* FLOP rate as the FP32 FMOPA (Table I), so a BF16
 //! kernel mainly halves operand memory traffic. This module implements that
-//! kernel generation path as an extension of the FP32 generator:
+//! kernel generation path as a first-class datatype of the stack:
 //!
 //! * operands are **pre-packed** into the 2-way interleaved layout the
 //!   widening outer product consumes (`pack_a_bf16` / `pack_b_bf16`), the
-//!   same approach production libraries use for VNNI/BF16 kernels;
-//! * the generated kernel accumulates 32×32 FP32 blocks in the four ZA
-//!   tiles, consuming **two contraction steps per BFMOPA**;
-//! * the fast path below requires `m` and `n` to be multiples of 32 and `k`
-//!   to be even; remainder handling would follow the FP32 generator's
-//!   predication scheme and is intentionally left to future work, mirroring
-//!   the paper's own scoping.
+//!   same approach production libraries use for VNNI/BF16 kernels (the Neon
+//!   `BFMMLA` baseline consumes its own 4-deep packing,
+//!   [`pack_a_bf16_mmla`] / [`pack_b_bf16_mmla`]);
+//! * the generated SME kernel accumulates FP32 blocks in the four ZA tiles,
+//!   consuming **two contraction steps per BFMOPA**, with the same
+//!   register-blocking, ZA-transfer and unroll candidate space as the FP32
+//!   generator ([`enumerate_widening_candidates`]);
+//! * the SME fast path requires `m` and `n` to be multiples of 32
+//!   ([`sme_widening_supports`]); shapes off that grid (down to the Neon
+//!   baseline's 8×2 grid, which [`WideningGemmConfig::new`] enforces) are
+//!   served by the `BFMMLA` kernel of [`crate::neon::generate_neon_widening`]
+//!   — the `sme-router` decides which, exactly as it does for FP32.
 
-use crate::blocking::{BlockInstance, RegisterBlocking};
-use crate::config::GemmConfig;
-use crate::config::GemmError;
+use crate::blocking::{BlockInstance, PlanCandidate, PlanKind, RegisterBlocking};
+use crate::config::{Backend, GemmConfig, GemmError, ZaTransferStrategy};
 use crate::loads::{emit_c_transfer, TransferDir};
 use crate::microkernel::{
     a_counter, b_counter, xr, zr, ARG_A, ARG_B, ARG_C, A_PTR, BK_STRIDE, B_PTR, C_PTR, K_CNT,
-    LDA_B, LDC_B, W12, ZA_A, ZB_B,
+    LDA_B, LDC_B, TMP0, ZA_A, ZB_B,
 };
-use crate::reference::max_abs_diff;
+use crate::reference::{fill_matrix, max_rel_diff};
 use serde::{Deserialize, Serialize};
 use sme_isa::asm::Assembler;
 use sme_isa::inst::{ScalarInst, SmeInst, SveInst};
@@ -32,38 +36,108 @@ use sme_isa::regs::short::p;
 use sme_isa::types::ElementType;
 use sme_isa::Program;
 use sme_machine::exec::{RunOptions, Simulator};
+use sme_machine::ExecStats;
+
+/// Relative-error bound the widening validation paths assert against.
+///
+/// The SME kernel accumulates each C element in contraction order with
+/// unfused FP32 multiply-adds — bit-identical to the scalar BF16-rounded
+/// oracle — but the Neon `BFMMLA` sums four products per instruction before
+/// folding them into the accumulator, so its rounding differs from the
+/// sequential oracle by at most a few ULP per contraction step. The bound
+/// leaves an order of magnitude of headroom over the worst reassociation
+/// error at the supported depths.
+pub const WIDENING_REL_TOL: f32 = 1e-2;
+
+/// Absolute floor below which differences are ignored by
+/// [`widening_rel_error`] (accumulated values are O(1) by construction of
+/// the test operands).
+const WIDENING_REL_FLOOR: f32 = 1e-5;
+
+/// The relative-error metric both widening backends validate with (see
+/// [`WIDENING_REL_TOL`]).
+pub fn widening_rel_error(out: &[f32], reference: &[f32]) -> f32 {
+    max_rel_diff(out, reference, WIDENING_REL_FLOOR)
+}
 
 /// Configuration of a BF16 → FP32 small GEMM (`C += A · Bᵀ` semantics with
 /// pre-packed BF16 operands and an FP32, column-major C).
+///
+/// The constructor enforces the **envelope** grid both widening generators
+/// share: `m % 8 == 0`, `n % 2 == 0` (the Neon `BFMMLA` baseline's blocking)
+/// and an even `k` (the 2-way interleaved packing). The SME fast path is
+/// narrower — multiples of 32 in both dimensions
+/// ([`sme_widening_supports`]) — mirroring how FP32 shapes off the Neon
+/// 16×4 grid are SME-only, just with the engines swapped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct WideningGemmConfig {
-    /// Rows of C (multiple of 32 in the fast path).
+    /// Rows of C (multiple of 8; multiple of 32 for the SME fast path).
     pub m: usize,
-    /// Columns of C (multiple of 32 in the fast path).
+    /// Columns of C (multiple of 2; multiple of 32 for the SME fast path).
     pub n: usize,
     /// Contraction dimension (even).
     pub k: usize,
+    /// How C blocks are moved in and out of the ZA array (SME only).
+    pub c_transfer: ZaTransferStrategy,
+    /// Unroll factor of the contraction-pair loop (1, 2 or 4; SME only).
+    pub k_unroll: usize,
 }
 
 impl WideningGemmConfig {
-    /// Construct and validate a configuration.
+    /// Construct and validate a configuration (default tuning knobs).
     pub fn new(m: usize, n: usize, k: usize) -> Result<Self, GemmError> {
-        if m == 0 || n == 0 || k == 0 {
-            return Err(GemmError::InvalidDimension(
-                "dimensions must be non-zero".into(),
-            ));
+        let cfg = WideningGemmConfig {
+            m,
+            n,
+            k,
+            c_transfer: ZaTransferStrategy::TwoStep,
+            k_unroll: 1,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validate the configuration (the type is `Copy`, so fields may have
+    /// been rewritten after construction).
+    pub fn validate(&self) -> Result<(), GemmError> {
+        const MAX_DIM: usize = 1 << 20;
+        for (name, v) in [("m", self.m), ("n", self.n), ("k", self.k)] {
+            if v == 0 || v > MAX_DIM {
+                return Err(GemmError::InvalidDimension(format!(
+                    "{name} = {v} must be in 1..={MAX_DIM}"
+                )));
+            }
         }
-        if !m.is_multiple_of(32) || !n.is_multiple_of(32) {
+        if !self.m.is_multiple_of(8) || !self.n.is_multiple_of(2) {
+            return Err(GemmError::Unsupported(format!(
+                "widening kernels require m % 8 == 0 and n % 2 == 0 (got {}x{})",
+                self.m, self.n
+            )));
+        }
+        if !self.k.is_multiple_of(2) {
             return Err(GemmError::Unsupported(
-                "the BF16 fast path requires m and n to be multiples of 32".into(),
+                "widening kernels require an even k (2-way interleaved packing)".into(),
             ));
         }
-        if !k.is_multiple_of(2) {
-            return Err(GemmError::Unsupported(
-                "the BF16 fast path requires an even k".into(),
-            ));
+        if !matches!(self.k_unroll, 1 | 2 | 4) {
+            return Err(GemmError::Unsupported(format!(
+                "k_unroll = {} (supported: 1, 2, 4)",
+                self.k_unroll
+            )));
         }
-        Ok(WideningGemmConfig { m, n, k })
+        Ok(())
+    }
+
+    /// Builder: set the ZA transfer strategy for C blocks (SME only).
+    pub fn with_c_transfer(mut self, strategy: ZaTransferStrategy) -> Self {
+        self.c_transfer = strategy;
+        self
+    }
+
+    /// Builder: set the contraction-pair unroll factor (SME only).
+    pub fn with_k_unroll(mut self, unroll: usize) -> Self {
+        self.k_unroll = unroll;
+        self
     }
 
     /// Floating-point operations per kernel execution.
@@ -71,15 +145,73 @@ impl WideningGemmConfig {
         2 * self.m as u64 * self.n as u64 * self.k as u64
     }
 
-    /// Packed-A buffer length in BF16 elements.
+    /// Packed-A buffer length in BF16 elements (2-way interleaved layout).
     pub fn packed_a_len(&self) -> usize {
-        self.m * self.k
+        packed_interleaved_len(self.m, self.k)
     }
 
-    /// Packed-B buffer length in BF16 elements.
+    /// Packed-B buffer length in BF16 elements (2-way interleaved layout).
     pub fn packed_b_len(&self) -> usize {
-        self.n * self.k
+        packed_interleaved_len(self.n, self.k)
     }
+
+    /// Packed-A buffer length in BF16 elements (`BFMMLA` layout).
+    pub fn packed_a_mmla_len(&self) -> usize {
+        packed_mmla_len(self.m, self.k)
+    }
+
+    /// Packed-B buffer length in BF16 elements (`BFMMLA` layout).
+    pub fn packed_b_mmla_len(&self) -> usize {
+        packed_mmla_len(self.n, self.k)
+    }
+
+    /// Number of `f32` elements the C buffer holds (tight, column-major).
+    pub fn c_len(&self) -> usize {
+        self.m * self.n
+    }
+}
+
+impl std::fmt::Display for WideningGemmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "C += A*B^T (BF16 widening) m={} n={} k={}",
+            self.m, self.n, self.k
+        )
+    }
+}
+
+/// Check whether the SME widening generator supports `cfg`: the 32×32 FP32
+/// accumulator blocks of the fast path require `m` and `n` to be multiples
+/// of 32 (remainder predication is future work, mirroring the paper's own
+/// scoping). The `sme-router` consults this before offering the SME backend
+/// for a widening shape.
+pub fn sme_widening_supports(cfg: &WideningGemmConfig) -> Result<(), GemmError> {
+    cfg.validate()?;
+    if !cfg.m.is_multiple_of(32) || !cfg.n.is_multiple_of(32) {
+        return Err(GemmError::Unsupported(format!(
+            "the SME widening fast path requires m and n to be multiples of 32 (got {}x{})",
+            cfg.m, cfg.n
+        )));
+    }
+    Ok(())
+}
+
+/// Length in BF16 elements of the 2-way interleaved packed layout for an
+/// `extent × k` operand (odd `k` is padded to the next contraction pair).
+pub fn packed_interleaved_len(extent: usize, k: usize) -> usize {
+    extent * k.next_multiple_of(2)
+}
+
+/// Length in BF16 elements of the `BFMMLA` packed layout for an
+/// `extent × k` operand (`extent` must be even; `k` is padded to the next
+/// multiple of 4).
+pub fn packed_mmla_len(extent: usize, k: usize) -> usize {
+    assert!(
+        extent.is_multiple_of(2),
+        "mmla packing requires even extent"
+    );
+    (extent / 2) * k.div_ceil(4) * 8
 }
 
 /// Round an `f32` slice to BF16 precision (returns the raw BF16 bits).
@@ -91,10 +223,11 @@ fn to_bf16_bits(values: &[f32]) -> Vec<u16> {
 }
 
 /// Pack a column-major `m × k` FP32 A into the 2-way interleaved BF16
-/// layout consumed by the widening kernel: element `(r, kk)` lands at
-/// `packed[(kk / 2) * 2 * m + r * 2 + (kk % 2)]`.
+/// layout consumed by the widening BFMOPA kernel: element `(r, kk)` lands
+/// at `packed[(kk / 2) * 2 * m + r * 2 + (kk % 2)]`. An odd `k` is padded
+/// with zeros to the next contraction pair.
 pub fn pack_a_bf16(a: &[f32], m: usize, lda: usize, k: usize) -> Vec<u16> {
-    let mut packed = vec![0u16; m * k];
+    let mut packed = vec![0u16; packed_interleaved_len(m, k)];
     for kk in 0..k {
         for r in 0..m {
             let v = sme_machine::exec::fp::f32_to_bf16(a[kk * lda + r]);
@@ -106,9 +239,10 @@ pub fn pack_a_bf16(a: &[f32], m: usize, lda: usize, k: usize) -> Vec<u16> {
 
 /// Pack a row-major `k × n` FP32 B (the `Bᵀ` operand) into the 2-way
 /// interleaved BF16 layout: element `(kk, c)` lands at
-/// `packed[(kk / 2) * 2 * n + c * 2 + (kk % 2)]`.
+/// `packed[(kk / 2) * 2 * n + c * 2 + (kk % 2)]`. An odd `k` is padded with
+/// zeros to the next contraction pair.
 pub fn pack_b_bf16(b: &[f32], k: usize, ldb: usize, n: usize) -> Vec<u16> {
-    let mut packed = vec![0u16; n * k];
+    let mut packed = vec![0u16; packed_interleaved_len(n, k)];
     for kk in 0..k {
         for c in 0..n {
             let v = sme_machine::exec::fp::f32_to_bf16(b[kk * ldb + c]);
@@ -118,17 +252,199 @@ pub fn pack_b_bf16(b: &[f32], k: usize, ldb: usize, n: usize) -> Vec<u16> {
     packed
 }
 
-/// A generated BF16 → FP32 kernel.
+/// Pack a column-major `m × k` FP32 A into the `BFMMLA` layout the Neon
+/// widening baseline consumes: element `(r, kk)` lands at
+/// `packed[((kk / 4) * (m / 2) + r / 2) * 8 + (r % 2) * 4 + (kk % 4)]`,
+/// i.e. one 128-bit register holds a row pair × one contraction quad. `k`
+/// is padded with zeros to the next multiple of 4 (zero products contribute
+/// nothing to the FP32 accumulation).
+pub fn pack_a_bf16_mmla(a: &[f32], m: usize, lda: usize, k: usize) -> Vec<u16> {
+    let mut packed = vec![0u16; packed_mmla_len(m, k)];
+    for kk in 0..k {
+        for r in 0..m {
+            let v = sme_machine::exec::fp::f32_to_bf16(a[kk * lda + r]);
+            packed[((kk / 4) * (m / 2) + r / 2) * 8 + (r % 2) * 4 + (kk % 4)] = v;
+        }
+    }
+    packed
+}
+
+/// Pack a row-major `k × n` FP32 B into the `BFMMLA` layout: element
+/// `(kk, c)` lands at
+/// `packed[((kk / 4) * (n / 2) + c / 2) * 8 + (c % 2) * 4 + (kk % 4)]` (one
+/// register holds a column pair × one contraction quad, zero-padded like A).
+pub fn pack_b_bf16_mmla(b: &[f32], k: usize, ldb: usize, n: usize) -> Vec<u16> {
+    let mut packed = vec![0u16; packed_mmla_len(n, k)];
+    for kk in 0..k {
+        for c in 0..n {
+            let v = sme_machine::exec::fp::f32_to_bf16(b[kk * ldb + c]);
+            packed[((kk / 4) * (n / 2) + c / 2) * 8 + (c % 2) * 4 + (kk % 4)] = v;
+        }
+    }
+    packed
+}
+
+/// The scalar oracle both widening backends are validated against: round A
+/// and B to BF16 (the precision the packed operands carry), then accumulate
+/// in FP32 **sequentially in contraction order** — `c` is updated in place.
+///
+/// `a` is column-major `m × k` (tight), `b` row-major `k × n` (tight), `c`
+/// column-major `m × n` (tight).
+pub fn widening_reference(cfg: &WideningGemmConfig, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= cfg.m * cfg.k, "A buffer too small");
+    assert!(b.len() >= cfg.k * cfg.n, "B buffer too small");
+    assert!(c.len() >= cfg.c_len(), "C buffer too small");
+    let a_r: Vec<f32> = to_bf16_bits(a)
+        .iter()
+        .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
+        .collect();
+    let b_r: Vec<f32> = to_bf16_bits(b)
+        .iter()
+        .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
+        .collect();
+    for col in 0..cfg.n {
+        for row in 0..cfg.m {
+            let mut acc = c[col * cfg.m + row];
+            for kk in 0..cfg.k {
+                acc += a_r[kk * cfg.m + row] * b_r[kk * cfg.n + col];
+            }
+            c[col * cfg.m + row] = acc;
+        }
+    }
+}
+
+/// Which packed operand layout a widening kernel consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WideningPackLayout {
+    /// The 2-way interleaved BFMOPA layout ([`pack_a_bf16`]).
+    Interleaved,
+    /// The 4-deep `BFMMLA` layout ([`pack_a_bf16_mmla`]).
+    Mmla,
+}
+
+/// Allocate (and optionally fill) one widening operand triple in the
+/// simulator's memory: packed BF16 A and B in `layout`, FP32 C.
+///
+/// With a seed, the underlying FP32 operands follow the same scheme as the
+/// FP32 kernels' [`crate::kernel::GemmBuffers`] seeding (`seed`,
+/// `seed ^ 0x1111_1111`, `seed ^ 0x2222_2222`), so a test oracle can
+/// reproduce them with [`crate::reference::fill_matrix`] and
+/// [`widening_reference`].
+pub(crate) fn allocate_widening_buffers(
+    cfg: &WideningGemmConfig,
+    sim: &mut Simulator,
+    seed: Option<u64>,
+    layout: WideningPackLayout,
+) -> crate::kernel::GemmBuffers {
+    let align = 128;
+    let (a_len, b_len) = match layout {
+        WideningPackLayout::Interleaved => (cfg.packed_a_len(), cfg.packed_b_len()),
+        WideningPackLayout::Mmla => (cfg.packed_a_mmla_len(), cfg.packed_b_mmla_len()),
+    };
+    match seed {
+        Some(s) => {
+            let mut a = vec![0.0f32; cfg.m * cfg.k];
+            let mut b = vec![0.0f32; cfg.k * cfg.n];
+            let mut c = vec![0.0f32; cfg.c_len()];
+            fill_matrix(s, &mut a);
+            fill_matrix(s ^ 0x1111_1111, &mut b);
+            fill_matrix(s ^ 0x2222_2222, &mut c);
+            let (packed_a, packed_b) = match layout {
+                WideningPackLayout::Interleaved => (
+                    pack_a_bf16(&a, cfg.m, cfg.m, cfg.k),
+                    pack_b_bf16(&b, cfg.k, cfg.n, cfg.n),
+                ),
+                WideningPackLayout::Mmla => (
+                    pack_a_bf16_mmla(&a, cfg.m, cfg.m, cfg.k),
+                    pack_b_bf16_mmla(&b, cfg.k, cfg.n, cfg.n),
+                ),
+            };
+            let a_addr = sim.mem.alloc(a_len as u64 * 2, align);
+            let b_addr = sim.mem.alloc(b_len as u64 * 2, align);
+            write_u16_slice(sim, a_addr, &packed_a);
+            write_u16_slice(sim, b_addr, &packed_b);
+            crate::kernel::GemmBuffers {
+                a: a_addr,
+                b: b_addr,
+                c: sim.mem.alloc_f32(&c, align),
+            }
+        }
+        None => crate::kernel::GemmBuffers {
+            a: sim.mem.alloc(a_len as u64 * 2, align),
+            b: sim.mem.alloc(b_len as u64 * 2, align),
+            c: sim.mem.alloc_f32_zeroed(cfg.c_len(), align),
+        },
+    }
+}
+
+/// Execute `program` functionally on seeded packed operands and return the
+/// maximum relative error against the scalar BF16-rounded oracle.
+pub(crate) fn validate_widening_program(
+    cfg: &WideningGemmConfig,
+    program: &Program,
+    seed: u64,
+    layout: WideningPackLayout,
+) -> f32 {
+    let mut sim = Simulator::m4_performance();
+    let bufs = allocate_widening_buffers(cfg, &mut sim, Some(seed), layout);
+    sim.run(
+        program,
+        &[bufs.a, bufs.b, bufs.c],
+        &RunOptions::functional_only(),
+    );
+    let c_out = sim.mem.read_f32_slice(bufs.c, cfg.c_len());
+
+    let mut a = vec![0.0f32; cfg.m * cfg.k];
+    let mut b = vec![0.0f32; cfg.k * cfg.n];
+    let mut c_ref = vec![0.0f32; cfg.c_len()];
+    fill_matrix(seed, &mut a);
+    fill_matrix(seed ^ 0x1111_1111, &mut b);
+    fill_matrix(seed ^ 0x2222_2222, &mut c_ref);
+    widening_reference(cfg, &a, &b, &mut c_ref);
+    widening_rel_error(&c_out, &c_ref)
+}
+
+/// Timing-only run of `program` on untouched packed operands.
+pub(crate) fn model_widening_program_stats(
+    cfg: &WideningGemmConfig,
+    program: &Program,
+    layout: WideningPackLayout,
+) -> ExecStats {
+    let mut sim = Simulator::m4_performance();
+    let bufs = allocate_widening_buffers(cfg, &mut sim, None, layout);
+    let result = sim.run(
+        program,
+        &[bufs.a, bufs.b, bufs.c],
+        &RunOptions::timing_only(),
+    );
+    result.stats
+}
+
+fn write_u16_slice(sim: &mut Simulator, addr: u64, data: &[u16]) {
+    let mut bytes = Vec::with_capacity(data.len() * 2);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    sim.mem.write_bytes(addr, &bytes);
+}
+
+/// A generated SME BF16 → FP32 kernel.
 #[derive(Debug, Clone)]
 pub struct WideningKernel {
     cfg: WideningGemmConfig,
+    candidate: PlanCandidate,
     program: Program,
 }
 
 impl WideningKernel {
-    /// The configuration.
+    /// The configuration (with the candidate's knobs applied).
     pub fn config(&self) -> &WideningGemmConfig {
         &self.cfg
+    }
+
+    /// The tuning candidate the kernel was generated from.
+    pub fn candidate(&self) -> &PlanCandidate {
+        &self.candidate
     }
 
     /// The generated instruction stream.
@@ -141,91 +457,181 @@ impl WideningKernel {
         sme_isa::disasm::disassemble_program(&self.program)
     }
 
+    /// Floating-point operations per kernel execution.
+    pub fn flops(&self) -> u64 {
+        self.cfg.flops()
+    }
+
     /// Execute functionally on pre-packed operands already placed in the
     /// simulator's memory.
     pub fn run(&self, sim: &mut Simulator, a: u64, b: u64, c: u64, opts: &RunOptions) {
         sim.run(&self.program, &[a, b, c], opts);
     }
 
-    /// Validate against an FP32 reference computed on BF16-rounded inputs;
-    /// returns the maximum absolute error.
+    /// Validate against the scalar BF16-rounded oracle
+    /// ([`widening_reference`]); returns the maximum **relative** error
+    /// (assert it below [`WIDENING_REL_TOL`]).
     pub fn validate(&self, seed: u64) -> f32 {
-        let cfg = self.cfg;
-        let mut a = vec![0.0f32; cfg.m * cfg.k];
-        let mut b = vec![0.0f32; cfg.k * cfg.n];
-        let mut c = vec![0.0f32; cfg.m * cfg.n];
-        crate::reference::fill_matrix(seed, &mut a);
-        crate::reference::fill_matrix(seed + 1, &mut b);
-        crate::reference::fill_matrix(seed + 2, &mut c);
+        validate_widening_program(
+            &self.cfg,
+            &self.program,
+            seed,
+            WideningPackLayout::Interleaved,
+        )
+    }
 
-        let packed_a = pack_a_bf16(&a, cfg.m, cfg.m, cfg.k);
-        let packed_b = pack_b_bf16(&b, cfg.k, cfg.n, cfg.n);
-
-        let mut sim = Simulator::m4_performance();
-        let a_addr = sim.mem.alloc(packed_a.len() as u64 * 2, 128);
-        let b_addr = sim.mem.alloc(packed_b.len() as u64 * 2, 128);
-        write_u16_slice(&mut sim, a_addr, &packed_a);
-        write_u16_slice(&mut sim, b_addr, &packed_b);
-        let c_addr = sim.mem.alloc_f32(&c, 128);
-
-        self.run(
-            &mut sim,
-            a_addr,
-            b_addr,
-            c_addr,
-            &RunOptions::functional_only(),
-        );
-        let c_out = sim.mem.read_f32_slice(c_addr, cfg.m * cfg.n);
-
-        // Reference on BF16-rounded inputs.
-        let a_r: Vec<f32> = to_bf16_bits(&a)
-            .iter()
-            .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
-            .collect();
-        let b_r: Vec<f32> = to_bf16_bits(&b)
-            .iter()
-            .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
-            .collect();
-        let mut c_ref = c;
-        for col in 0..cfg.n {
-            for row in 0..cfg.m {
-                let mut acc = c_ref[col * cfg.m + row];
-                for kk in 0..cfg.k {
-                    acc += a_r[kk * cfg.m + row] * b_r[kk * cfg.n + col];
-                }
-                c_ref[col * cfg.m + row] = acc;
-            }
-        }
-        max_abs_diff(&c_out, &c_ref)
+    /// Timing-only execution statistics on one performance core.
+    pub fn model_stats(&self) -> ExecStats {
+        model_widening_program_stats(&self.cfg, &self.program, WideningPackLayout::Interleaved)
     }
 
     /// Modelled throughput (GFLOPS) on one performance core.
     pub fn model_gflops(&self) -> f64 {
-        let cfg = self.cfg;
-        let mut sim = Simulator::m4_performance();
-        let a = sim.mem.alloc(cfg.packed_a_len() as u64 * 2, 128);
-        let b = sim.mem.alloc(cfg.packed_b_len() as u64 * 2, 128);
-        let c = sim.mem.alloc_f32_zeroed(cfg.m * cfg.n, 128);
-        let result = sim.run(&self.program, &[a, b, c], &RunOptions::timing_only());
-        cfg.flops() as f64 / result.stats.seconds() / 1e9
+        let seconds = self.model_stats().seconds();
+        if seconds == 0.0 {
+            0.0
+        } else {
+            self.cfg.flops() as f64 / seconds / 1e9
+        }
     }
 }
 
-fn write_u16_slice(sim: &mut Simulator, addr: u64, data: &[u16]) {
-    let mut bytes = Vec::with_capacity(data.len() * 2);
-    for v in data {
-        bytes.extend_from_slice(&v.to_le_bytes());
+/// The candidate the widening generators use with no tuning: the SME
+/// backend with the 32×32 homogeneous plan when the fast path supports the
+/// shape, else the sole Neon `BFMMLA` candidate.
+pub fn default_widening_candidate(cfg: &WideningGemmConfig) -> PlanCandidate {
+    let backend = if sme_widening_supports(cfg).is_ok() {
+        Backend::Sme
+    } else {
+        Backend::Neon
+    };
+    PlanCandidate {
+        backend,
+        kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
+        c_transfer: cfg.c_transfer,
+        k_unroll: cfg.k_unroll,
     }
-    sim.mem.write_bytes(addr, &bytes);
 }
 
-/// Generate a BF16 → FP32 kernel.
+/// Enumerate the tuning candidates for a widening configuration, mirroring
+/// the FP32 space ([`crate::enumerate_candidates`]):
+///
+/// * homogeneous register blockings whose full (unmasked) blocks tile the
+///   output — 32×32 always (on the SME grid), 16×64 when `n % 64 == 0`,
+///   64×16 when `m % 64 == 0`; the widening generator has no masked-edge
+///   path, so kinds that would need masking are not enumerated;
+/// * both [`ZaTransferStrategy`] variants;
+/// * contraction-**pair** unroll factors from {1, 2, 4} that divide `k / 2`
+///   (non-dividing factors fall back to unroll 1 in the generator and would
+///   only duplicate candidates), never dropping the configuration's own
+///   setting;
+/// * the single Neon `BFMMLA` candidate (always supported on the config
+///   grid), so the tuner compares across engines.
+///
+/// When the SME fast path does not support the shape, the list is just the
+/// Neon candidate. The list always contains
+/// [`default_widening_candidate`]`(cfg)`.
+pub fn enumerate_widening_candidates(cfg: &WideningGemmConfig) -> Vec<PlanCandidate> {
+    let mut candidates = Vec::new();
+    if sme_widening_supports(cfg).is_ok() {
+        let mut kinds = vec![PlanKind::Homogeneous(RegisterBlocking::B32x32)];
+        if cfg.n.is_multiple_of(64) {
+            kinds.push(PlanKind::Homogeneous(RegisterBlocking::B16x64));
+        }
+        if cfg.m.is_multiple_of(64) {
+            kinds.push(PlanKind::Homogeneous(RegisterBlocking::B64x16));
+        }
+        let pairs = cfg.k / 2;
+        for &kind in &kinds {
+            for c_transfer in [ZaTransferStrategy::TwoStep, ZaTransferStrategy::Direct] {
+                for k_unroll in [1usize, 2, 4] {
+                    if !pairs.is_multiple_of(k_unroll) && k_unroll != cfg.k_unroll {
+                        continue;
+                    }
+                    candidates.push(PlanCandidate {
+                        backend: Backend::Sme,
+                        kind,
+                        c_transfer,
+                        k_unroll,
+                    });
+                }
+            }
+        }
+    }
+    candidates.push(PlanCandidate {
+        backend: Backend::Neon,
+        kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
+        c_transfer: cfg.c_transfer,
+        k_unroll: cfg.k_unroll,
+    });
+    debug_assert!(candidates.contains(&default_widening_candidate(cfg)));
+    candidates
+}
+
+/// Generate the default SME BF16 → FP32 kernel for `cfg` (the 32×32
+/// homogeneous plan with the configuration's own knobs).
 pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, GemmError> {
-    // Re-validate (the constructor validates too, but the config is `Copy`).
-    let cfg = WideningGemmConfig::new(cfg.m, cfg.n, cfg.k)?;
+    generate_widening_tuned(
+        cfg,
+        &PlanCandidate {
+            backend: Backend::Sme,
+            kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
+            c_transfer: cfg.c_transfer,
+            k_unroll: cfg.k_unroll,
+        },
+    )
+}
+
+/// Generate an SME BF16 → FP32 kernel from a tuning candidate — the
+/// dispatch path used by the runtime's cache and cross-backend tuner.
+///
+/// # Errors
+/// Returns an error if the configuration is invalid or off the SME widening
+/// grid, if the candidate targets the Neon backend (use
+/// [`crate::generate_any_routed`]), or if the candidate's plan kind is not
+/// a homogeneous blocking that tiles the output with full blocks.
+pub fn generate_widening_tuned(
+    cfg: &WideningGemmConfig,
+    candidate: &PlanCandidate,
+) -> Result<WideningKernel, GemmError> {
+    if candidate.backend != Backend::Sme {
+        return Err(GemmError::Unsupported(format!(
+            "generate_widening_tuned emits SME kernels only; a {} candidate must go \
+             through generate_any_routed",
+            candidate.backend
+        )));
+    }
+    let cfg = WideningGemmConfig {
+        c_transfer: candidate.c_transfer,
+        k_unroll: candidate.k_unroll,
+        ..*cfg
+    };
+    sme_widening_supports(&cfg)?;
+    let blocking = match candidate.kind {
+        PlanKind::Homogeneous(blocking) => blocking,
+        other => {
+            return Err(GemmError::Unsupported(format!(
+                "plan kind `{}` is not supported by the widening generator \
+                 (only homogeneous blockings tile the packed operands)",
+                other.name()
+            )))
+        }
+    };
+    if !cfg.m.is_multiple_of(blocking.rows()) || !cfg.n.is_multiple_of(blocking.cols()) {
+        return Err(GemmError::Unsupported(format!(
+            "the {}x{} widening blocking needs m % {} == 0 and n % {} == 0 (got {}x{})",
+            blocking.rows(),
+            blocking.cols(),
+            blocking.rows(),
+            blocking.cols(),
+            cfg.m,
+            cfg.n
+        )));
+    }
+
     let mut asm = Assembler::new(format!("sme_gemm_bf16_{}x{}x{}", cfg.m, cfg.n, cfg.k));
 
-    // Prologue: streaming mode, all-true predicates, strides.
+    // Prologue: streaming mode, all-true predicates and counters, strides.
     asm.push(SmeInst::Smstart { za_only: false });
     asm.push(SveInst::ptrue(p(0), ElementType::I8));
     asm.push(SveInst::ptrue(p(1), ElementType::I8));
@@ -238,109 +644,147 @@ pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, Gem
     asm.mov_imm64(xr(LDC_B), (cfg.m * 4) as u64);
 
     // The C handling reuses the FP32 machinery (C is FP32 either way).
-    let c_cfg = GemmConfig::abt(cfg.m, cfg.n, cfg.k);
+    let c_cfg = GemmConfig::abt(cfg.m, cfg.n, cfg.k).with_c_transfer(cfg.c_transfer);
 
-    for col0 in (0..cfg.n).step_by(32) {
-        for row0 in (0..cfg.m).step_by(32) {
-            let block = BlockInstance {
-                row0,
-                col0,
-                rows: 32,
-                cols: 32,
-                blocking: RegisterBlocking::B32x32,
-            };
-            // Pointers into the packed operands and C.
-            asm.push(ScalarInst::MovReg {
-                rd: xr(A_PTR),
-                rn: xr(ARG_A),
-            });
-            if row0 > 0 {
-                asm.add_imm(xr(A_PTR), xr(A_PTR), (row0 * 2 * 2) as u64);
-            }
-            asm.push(ScalarInst::MovReg {
-                rd: xr(B_PTR),
-                rn: xr(ARG_B),
-            });
-            if col0 > 0 {
-                asm.add_imm(xr(B_PTR), xr(B_PTR), (col0 * 2 * 2) as u64);
-            }
-            asm.push(ScalarInst::MovReg {
-                rd: xr(C_PTR),
-                rn: xr(ARG_C),
-            });
-            let c_off = c_cfg.c_offset(row0, col0) as u64;
-            if c_off > 0 {
-                asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
-            }
-
-            // Load the FP32 accumulator block.
-            asm.push(ScalarInst::mov_imm16(xr(W12), 0));
-            emit_c_transfer(&mut asm, &c_cfg, &block, TransferDir::Load);
-
-            // Contraction loop over k *pairs*.
-            asm.mov_imm64(xr(K_CNT), (cfg.k / 2) as u64);
-            let top = asm.new_label();
-            asm.bind(top);
-            asm.push(ScalarInst::SubImm {
-                rd: xr(K_CNT),
-                rn: xr(K_CNT),
-                imm12: 1,
-                shift12: false,
-            });
-            // 64 packed BF16 values of A (32 rows × 2 k-steps) and of B.
-            asm.push(SveInst::Ld1Multi {
-                zt: zr(ZA_A),
-                count: 2,
-                elem: ElementType::F16,
-                pn: a_counter(),
-                rn: xr(A_PTR),
-                imm_vl: 0,
-            });
-            asm.push(SveInst::Ld1Multi {
-                zt: zr(ZB_B),
-                count: 2,
-                elem: ElementType::F16,
-                pn: b_counter(),
-                rn: xr(B_PTR),
-                imm_vl: 0,
-            });
-            asm.push(ScalarInst::AddReg {
-                rd: xr(A_PTR),
-                rn: xr(A_PTR),
-                rm: xr(LDA_B),
-                shift: None,
-            });
-            asm.push(ScalarInst::AddReg {
-                rd: xr(B_PTR),
-                rn: xr(B_PTR),
-                rm: xr(BK_STRIDE),
-                shift: None,
-            });
-            for cg in 0..2u8 {
-                for rg in 0..2u8 {
-                    asm.push(SmeInst::FmopaWide {
-                        tile: cg * 2 + rg,
-                        from: ElementType::BF16,
-                        pn: p(1),
-                        pm: p(0),
-                        zn: zr(ZB_B + cg),
-                        zm: zr(ZA_A + rg),
-                    });
-                }
-            }
-            asm.cbnz(xr(K_CNT), top);
-
-            // Store the FP32 accumulator block.
-            emit_c_transfer(&mut asm, &c_cfg, &block, TransferDir::Store);
+    let plan = candidate.kind.build(cfg.m, cfg.n);
+    debug_assert!(plan.blocks.iter().all(|b| b.is_full()));
+    let pairs = cfg.k / 2;
+    let unroll = if cfg.k_unroll > 1 && pairs.is_multiple_of(cfg.k_unroll) {
+        cfg.k_unroll
+    } else {
+        1
+    };
+    for block in &plan.blocks {
+        // Pointers into the packed operands and C.
+        asm.push(ScalarInst::MovReg {
+            rd: xr(A_PTR),
+            rn: xr(ARG_A),
+        });
+        if block.row0 > 0 {
+            asm.add_imm(xr(A_PTR), xr(A_PTR), (block.row0 * 2 * 2) as u64);
         }
+        asm.push(ScalarInst::MovReg {
+            rd: xr(B_PTR),
+            rn: xr(ARG_B),
+        });
+        if block.col0 > 0 {
+            asm.add_imm(xr(B_PTR), xr(B_PTR), (block.col0 * 2 * 2) as u64);
+        }
+        asm.push(ScalarInst::MovReg {
+            rd: xr(C_PTR),
+            rn: xr(ARG_C),
+        });
+        let c_off = c_cfg.c_offset(block.row0, block.col0) as u64;
+        if c_off > 0 {
+            if c_off < (1 << 24) {
+                asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
+            } else {
+                asm.mov_imm64(xr(TMP0), c_off);
+                asm.push(ScalarInst::AddReg {
+                    rd: xr(C_PTR),
+                    rn: xr(C_PTR),
+                    rm: xr(TMP0),
+                    shift: None,
+                });
+            }
+        }
+
+        // Load the FP32 accumulator block.
+        emit_c_transfer(&mut asm, &c_cfg, block, TransferDir::Load);
+
+        // Contraction loop over k *pairs*.
+        asm.mov_imm64(xr(K_CNT), (pairs / unroll) as u64);
+        let top = asm.new_label();
+        asm.bind(top);
+        asm.push(ScalarInst::SubImm {
+            rd: xr(K_CNT),
+            rn: xr(K_CNT),
+            imm12: 1,
+            shift12: false,
+        });
+        for _ in 0..unroll {
+            emit_widening_k_pair(&mut asm, block);
+        }
+        asm.cbnz(xr(K_CNT), top);
+
+        // Store the FP32 accumulator block.
+        emit_c_transfer(&mut asm, &c_cfg, block, TransferDir::Store);
     }
 
     asm.push(SmeInst::Smstop { za_only: false });
     asm.ret();
     Ok(WideningKernel {
         cfg,
+        candidate: *candidate,
         program: asm.finish(),
     })
+}
+
+/// One contraction pair: packed operand loads (one 32-BF16 vector per
+/// 16-row/-column group), cursor bumps, one widening BFMOPA per tile.
+fn emit_widening_k_pair(asm: &mut Assembler, block: &BlockInstance) {
+    let rg_count = block.active_row_groups();
+    let cg_count = block.active_col_groups();
+    if rg_count == 1 {
+        asm.push(SveInst::Ld1 {
+            zt: zr(ZA_A),
+            elem: ElementType::F16,
+            pg: p(0),
+            rn: xr(A_PTR),
+            imm_vl: 0,
+        });
+    } else {
+        asm.push(SveInst::Ld1Multi {
+            zt: zr(ZA_A),
+            count: rg_count as u8,
+            elem: ElementType::F16,
+            pn: a_counter(),
+            rn: xr(A_PTR),
+            imm_vl: 0,
+        });
+    }
+    if cg_count == 1 {
+        asm.push(SveInst::Ld1 {
+            zt: zr(ZB_B),
+            elem: ElementType::F16,
+            pg: p(0),
+            rn: xr(B_PTR),
+            imm_vl: 0,
+        });
+    } else {
+        asm.push(SveInst::Ld1Multi {
+            zt: zr(ZB_B),
+            count: cg_count as u8,
+            elem: ElementType::F16,
+            pn: b_counter(),
+            rn: xr(B_PTR),
+            imm_vl: 0,
+        });
+    }
+    asm.push(ScalarInst::AddReg {
+        rd: xr(A_PTR),
+        rn: xr(A_PTR),
+        rm: xr(LDA_B),
+        shift: None,
+    });
+    asm.push(ScalarInst::AddReg {
+        rd: xr(B_PTR),
+        rn: xr(B_PTR),
+        rm: xr(BK_STRIDE),
+        shift: None,
+    });
+    for cg in 0..cg_count {
+        for rg in 0..rg_count {
+            asm.push(SmeInst::FmopaWide {
+                tile: block.blocking.tile_index(rg, cg),
+                from: ElementType::BF16,
+                pn: p(1),
+                pm: p(0),
+                zn: zr(ZB_B + cg as u8),
+                zm: zr(ZA_A + rg as u8),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -350,14 +794,25 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(WideningGemmConfig::new(32, 32, 2).is_ok());
-        assert!(WideningGemmConfig::new(31, 32, 2).is_err());
-        assert!(WideningGemmConfig::new(32, 48, 2).is_err());
-        assert!(WideningGemmConfig::new(32, 32, 3).is_err());
+        assert!(WideningGemmConfig::new(16, 4, 8).is_ok(), "Neon 8x2 grid");
+        assert!(WideningGemmConfig::new(8, 2, 2).is_ok());
+        assert!(WideningGemmConfig::new(31, 32, 2).is_err(), "m % 8 != 0");
+        assert!(WideningGemmConfig::new(32, 3, 2).is_err(), "n % 2 != 0");
+        assert!(WideningGemmConfig::new(32, 32, 3).is_err(), "odd k");
         assert!(WideningGemmConfig::new(0, 32, 2).is_err());
         let c = WideningGemmConfig::new(64, 32, 10).unwrap();
         assert_eq!(c.flops(), 2 * 64 * 32 * 10);
         assert_eq!(c.packed_a_len(), 640);
         assert_eq!(c.packed_b_len(), 320);
+        assert_eq!(c.packed_a_mmla_len(), 64 / 2 * 3 * 8);
+        assert!(c.with_k_unroll(3).validate().is_err());
+    }
+
+    #[test]
+    fn sme_grid_is_narrower_than_the_config_grid() {
+        assert!(sme_widening_supports(&WideningGemmConfig::new(32, 32, 4).unwrap()).is_ok());
+        assert!(sme_widening_supports(&WideningGemmConfig::new(16, 4, 4).unwrap()).is_err());
+        assert!(sme_widening_supports(&WideningGemmConfig::new(40, 32, 4).unwrap()).is_err());
     }
 
     #[test]
@@ -383,13 +838,125 @@ mod tests {
     }
 
     #[test]
+    fn mmla_packing_layout_and_padding() {
+        // A = 2x2 column-major: one row pair, one (padded) quad.
+        let a = vec![1.0f32, 2.0, 3.0, 4.0];
+        let packed = pack_a_bf16_mmla(&a, 2, 2, 2);
+        assert_eq!(packed.len(), 8, "one register, k padded 2 -> 4");
+        let vals: Vec<f32> = packed
+            .iter()
+            .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
+            .collect();
+        // Row 0 of the register: A[0, 0..2] then zero padding; row 1: A[1, ..].
+        assert_eq!(vals, vec![1.0, 3.0, 0.0, 0.0, 2.0, 4.0, 0.0, 0.0]);
+        let b = vec![1.0f32, 0.0, 0.0, 1.0];
+        let packed = pack_b_bf16_mmla(&b, 2, 2, 2);
+        let vals: Vec<f32> = packed
+            .iter()
+            .map(|&x| sme_machine::exec::fp::bf16_to_f32(x))
+            .collect();
+        assert_eq!(vals, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
     fn widening_kernels_validate() {
         for (m, n, k) in [(32, 32, 2), (32, 32, 16), (64, 32, 8), (64, 64, 24)] {
             let cfg = WideningGemmConfig::new(m, n, k).unwrap();
             let kernel = generate_widening(&cfg).expect("generation");
             let err = kernel.validate(5);
-            assert!(err < 1e-2, "({m},{n},{k}): {err}");
+            assert!(err < WIDENING_REL_TOL, "({m},{n},{k}): {err}");
         }
+    }
+
+    #[test]
+    fn widening_candidates_mirror_the_fp32_space() {
+        // 64x64: all three blockings apply; 2 transfers x unrolls {1,2,4}
+        // (k=8 -> 4 pairs, all divide) + the Neon candidate.
+        let cfg = WideningGemmConfig::new(64, 64, 8).unwrap();
+        let candidates = enumerate_widening_candidates(&cfg);
+        assert_eq!(candidates.len(), 3 * 2 * 3 + 1);
+        assert!(candidates.contains(&default_widening_candidate(&cfg)));
+        assert_eq!(
+            candidates
+                .iter()
+                .filter(|c| c.backend == Backend::Neon)
+                .count(),
+            1
+        );
+        for (i, a) in candidates.iter().enumerate() {
+            assert!(!candidates[i + 1..].contains(a), "duplicate {a:?}");
+        }
+
+        // 32x32: only the 32x32 blocking tiles with full blocks.
+        let cfg = WideningGemmConfig::new(32, 32, 4).unwrap();
+        assert!(enumerate_widening_candidates(&cfg)
+            .iter()
+            .filter(|c| c.backend == Backend::Sme)
+            .all(|c| c.kind == PlanKind::Homogeneous(RegisterBlocking::B32x32)));
+
+        // Off the SME grid: the Neon candidate is the whole space, and it
+        // is the default.
+        let thin = WideningGemmConfig::new(16, 4, 4).unwrap();
+        let candidates = enumerate_widening_candidates(&thin);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].backend, Backend::Neon);
+        assert_eq!(default_widening_candidate(&thin).backend, Backend::Neon);
+
+        // k = 2 (one pair): only unroll 1 survives.
+        let shallow = WideningGemmConfig::new(32, 32, 2).unwrap();
+        assert!(enumerate_widening_candidates(&shallow)
+            .iter()
+            .all(|c| c.k_unroll == 1));
+    }
+
+    #[test]
+    fn tuned_widening_kernels_validate_across_the_candidate_space() {
+        let cfg = WideningGemmConfig::new(64, 64, 8).unwrap();
+        for candidate in enumerate_widening_candidates(&cfg) {
+            if candidate.backend != Backend::Sme {
+                continue;
+            }
+            let kernel = generate_widening_tuned(&cfg, &candidate).expect("tuned generation");
+            assert_eq!(kernel.config().c_transfer, candidate.c_transfer);
+            assert_eq!(kernel.config().k_unroll, candidate.k_unroll);
+            let err = kernel.validate(0xACE);
+            assert!(err < WIDENING_REL_TOL, "{candidate:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn sme_widening_output_is_bit_identical_to_the_sequential_oracle() {
+        // BFMOPA accumulates each element in contraction order with unfused
+        // FP32 multiply-adds — exactly the oracle's arithmetic.
+        let cfg = WideningGemmConfig::new(32, 64, 12).unwrap();
+        let kernel = generate_widening(&cfg).unwrap();
+        assert_eq!(kernel.validate(42), 0.0);
+    }
+
+    #[test]
+    fn widening_generator_rejects_bad_candidates() {
+        let cfg = WideningGemmConfig::new(32, 32, 4).unwrap();
+        // Neon candidates must go through the routed path.
+        let neon = PlanCandidate {
+            backend: Backend::Neon,
+            ..default_widening_candidate(&cfg)
+        };
+        assert!(generate_widening_tuned(&cfg, &neon).is_err());
+        // Non-homogeneous kinds are rejected.
+        let het = PlanCandidate {
+            kind: PlanKind::Heterogeneous,
+            ..default_widening_candidate(&cfg)
+        };
+        assert!(generate_widening_tuned(&cfg, &het).is_err());
+        // A blocking that would need masked blocks is rejected.
+        let wide = PlanCandidate {
+            kind: PlanKind::Homogeneous(RegisterBlocking::B16x64),
+            ..default_widening_candidate(&cfg)
+        };
+        assert!(generate_widening_tuned(&cfg, &wide).is_err(), "n % 64 != 0");
+        // Off the SME grid entirely.
+        let thin = WideningGemmConfig::new(16, 4, 4).unwrap();
+        assert!(generate_widening(&thin).is_err());
     }
 
     #[test]
@@ -402,6 +969,26 @@ mod tests {
             .count_matching(|i| matches!(i, Inst::Sme(SmeInst::FmopaWide { .. })));
         assert_eq!(bfmopas, 4);
         assert!(kernel.disassembly().contains("bfmopa"));
+    }
+
+    #[test]
+    fn unrolled_widening_kernels_replicate_the_pair_body() {
+        use sme_isa::inst::Inst;
+        let cfg = WideningGemmConfig::new(32, 32, 16).unwrap();
+        let candidate = PlanCandidate {
+            k_unroll: 4,
+            ..default_widening_candidate(&cfg)
+        };
+        let kernel = generate_widening_tuned(&cfg, &candidate).unwrap();
+        let branches = kernel
+            .program()
+            .count_matching(|i| matches!(i, Inst::Scalar(ScalarInst::Cbnz { .. })));
+        assert_eq!(branches, 1);
+        let bfmopas = kernel
+            .program()
+            .count_matching(|i| matches!(i, Inst::Sme(SmeInst::FmopaWide { .. })));
+        assert_eq!(bfmopas, 16, "4 tiles x unroll 4");
+        assert!(kernel.validate(9) < WIDENING_REL_TOL);
     }
 
     #[test]

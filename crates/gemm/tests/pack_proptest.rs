@@ -1,0 +1,190 @@
+//! Property-based tests of the BF16 packing layouts.
+//!
+//! The widening kernels never see the original FP32 matrices — only the
+//! packed BF16 operands — so the packing functions are the correctness
+//! boundary of the whole BF16 path. The properties pin down, over arbitrary
+//! `m`/`n`/`k`/`lda`/`ldb`:
+//!
+//! * **length invariants** — packed buffer lengths match the published
+//!   `packed_*_len` formulas (and the config accessors where the shape is a
+//!   valid [`WideningGemmConfig`]);
+//! * **round-trip** — every logical element `(r, kk)` of A (and `(kk, c)`
+//!   of B) lands at exactly the documented index, carrying the BF16
+//!   rounding of the source value, so unpacking recovers the BF16-rounded
+//!   matrix exactly;
+//! * **padding** — every packed position not covered by a logical element
+//!   (odd-`k` tails of the interleaved layout, `k % 4` tails of the
+//!   `BFMMLA` layout) is zero, so padded contraction steps contribute
+//!   nothing.
+
+use proptest::prelude::*;
+use sme_gemm::widening::{packed_interleaved_len, packed_mmla_len};
+use sme_gemm::{pack_a_bf16, pack_a_bf16_mmla, pack_b_bf16, pack_b_bf16_mmla, WideningGemmConfig};
+use sme_machine::exec::fp::f32_to_bf16;
+
+/// A deterministic, value-diverse fill (no NaNs; includes zeros and values
+/// that round under BF16).
+fn source(len: usize, seed: u64) -> Vec<f32> {
+    let mut data = vec![0.0f32; len];
+    sme_gemm::reference::fill_matrix(seed.max(1), &mut data);
+    data
+}
+
+/// Shape strategy for A-like operands: extent m (even, as the mmla layout
+/// requires), contraction k, leading dimension lda ≥ m.
+fn a_shape() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (1usize..=24, 1usize..=17, 0usize..=5, 0u64..1000)
+        .prop_map(|(half_m, k, pad, seed)| (2 * half_m, k, 2 * half_m + pad, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The interleaved A packing is a bijection from the logical elements
+    /// onto the non-padding positions, with zero tails for odd k.
+    #[test]
+    fn interleaved_a_round_trips_with_zero_tails(shape in a_shape()) {
+        let (m, k, lda, seed) = shape;
+        let a = source(lda * k, seed);
+        let packed = pack_a_bf16(&a, m, lda, k);
+        prop_assert_eq!(packed.len(), packed_interleaved_len(m, k));
+        prop_assert_eq!(packed.len(), m * k.next_multiple_of(2));
+        // Round trip: each element carries the BF16 rounding of its source.
+        let mut covered = vec![false; packed.len()];
+        for kk in 0..k {
+            for r in 0..m {
+                let index = (kk / 2) * 2 * m + r * 2 + (kk % 2);
+                prop_assert_eq!(packed[index], f32_to_bf16(a[kk * lda + r]),
+                    "A({}, {}) mispacked", r, kk);
+                prop_assert!(!covered[index], "index {} written twice", index);
+                covered[index] = true;
+            }
+        }
+        // Padding: every uncovered position is zero.
+        for (index, covered) in covered.iter().enumerate() {
+            if !covered {
+                prop_assert_eq!(packed[index], 0, "padding at {} not zero", index);
+            }
+        }
+        // Odd k pads exactly one trailing contraction step.
+        let expected_pad = if k % 2 == 1 { m } else { 0 };
+        prop_assert_eq!(covered.iter().filter(|c| !**c).count(), expected_pad);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The interleaved B packing mirrors A with rows and columns swapped.
+    #[test]
+    fn interleaved_b_round_trips_with_zero_tails(
+        shape in (1usize..=24, 1usize..=17, 0usize..=5, 0u64..1000),
+    ) {
+        let (n, k, ldb_pad, seed) = shape;
+        let n = 2 * n;
+        let ldb = n + ldb_pad;
+        let b = source(k * ldb, seed);
+        let packed = pack_b_bf16(&b, k, ldb, n);
+        prop_assert_eq!(packed.len(), packed_interleaved_len(n, k));
+        for kk in 0..k {
+            for c in 0..n {
+                let index = (kk / 2) * 2 * n + c * 2 + (kk % 2);
+                prop_assert_eq!(packed[index], f32_to_bf16(b[kk * ldb + c]),
+                    "B({}, {}) mispacked", kk, c);
+            }
+        }
+        if k % 2 == 1 {
+            // The padded half-pair of the last slab is zero.
+            let last_slab = (k / 2) * 2 * n;
+            for c in 0..n {
+                prop_assert_eq!(packed[last_slab + c * 2 + 1], 0);
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The BFMMLA A packing covers every logical element at its documented
+    /// register position and zero-pads the contraction tail to a quad.
+    #[test]
+    fn mmla_a_round_trips_with_zero_tails(shape in a_shape()) {
+        let (m, k, lda, seed) = shape;
+        let a = source(lda * k, seed);
+        let packed = pack_a_bf16_mmla(&a, m, lda, k);
+        prop_assert_eq!(packed.len(), packed_mmla_len(m, k));
+        prop_assert_eq!(packed.len(), (m / 2) * k.div_ceil(4) * 8);
+        let mut covered = vec![false; packed.len()];
+        for kk in 0..k {
+            for r in 0..m {
+                let index = ((kk / 4) * (m / 2) + r / 2) * 8 + (r % 2) * 4 + (kk % 4);
+                prop_assert_eq!(packed[index], f32_to_bf16(a[kk * lda + r]),
+                    "A({}, {}) mispacked", r, kk);
+                covered[index] = true;
+            }
+        }
+        for (index, covered) in covered.iter().enumerate() {
+            if !covered {
+                prop_assert_eq!(packed[index], 0, "padding at {} not zero", index);
+            }
+        }
+        // The tail pads (4 - k % 4) % 4 contraction steps across m rows.
+        let expected_pad = (k.next_multiple_of(4) - k) * m;
+        prop_assert_eq!(covered.iter().filter(|c| !**c).count(), expected_pad);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The BFMMLA B packing mirrors A with columns as the paired extent.
+    #[test]
+    fn mmla_b_round_trips_with_zero_tails(
+        shape in (1usize..=24, 1usize..=17, 0usize..=5, 0u64..1000),
+    ) {
+        let (n, k, ldb_pad, seed) = shape;
+        let n = 2 * n;
+        let ldb = n + ldb_pad;
+        let b = source(k * ldb, seed);
+        let packed = pack_b_bf16_mmla(&b, k, ldb, n);
+        prop_assert_eq!(packed.len(), packed_mmla_len(n, k));
+        for kk in 0..k {
+            for c in 0..n {
+                let index = ((kk / 4) * (n / 2) + c / 2) * 8 + (c % 2) * 4 + (kk % 4);
+                prop_assert_eq!(packed[index], f32_to_bf16(b[kk * ldb + c]),
+                    "B({}, {}) mispacked", kk, c);
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// On valid widening configurations the free length formulas agree with
+    /// the config accessors, for both layouts.
+    #[test]
+    fn packed_lengths_match_the_config_accessors(
+        shape in (1usize..=8, 1usize..=32, 1usize..=64),
+    ) {
+        let (m8, n2, k2) = shape;
+        let cfg = WideningGemmConfig::new(8 * m8, 2 * n2, 2 * k2).expect("on the envelope grid");
+        let a = source(cfg.m * cfg.k, 7);
+        let b = source(cfg.k * cfg.n, 8);
+        prop_assert_eq!(pack_a_bf16(&a, cfg.m, cfg.m, cfg.k).len(), cfg.packed_a_len());
+        prop_assert_eq!(pack_b_bf16(&b, cfg.k, cfg.n, cfg.n).len(), cfg.packed_b_len());
+        prop_assert_eq!(
+            pack_a_bf16_mmla(&a, cfg.m, cfg.m, cfg.k).len(),
+            cfg.packed_a_mmla_len()
+        );
+        prop_assert_eq!(
+            pack_b_bf16_mmla(&b, cfg.k, cfg.n, cfg.n).len(),
+            cfg.packed_b_mmla_len()
+        );
+    }
+}

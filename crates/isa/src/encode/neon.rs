@@ -81,6 +81,26 @@ pub fn encode(inst: &NeonInst) -> u32 {
             );
             0x3D80_0000 | put(imm / 16, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
         }
+        NeonInst::LdrD { vt, rn, imm } => {
+            assert!(
+                imm % 8 == 0 && imm / 8 < 4096,
+                "ldr d offset out of range: {imm}"
+            );
+            0xFD40_0000 | put(imm / 8, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
+        }
+        NeonInst::StrD { vt, rn, imm } => {
+            assert!(
+                imm % 8 == 0 && imm / 8 < 4096,
+                "str d offset out of range: {imm}"
+            );
+            0xFD00_0000 | put(imm / 8, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
+        }
+        NeonInst::InsElemD { vd, vn, dst, src } => {
+            assert!(dst < 2 && src < 2, "ins: D lane index out of range");
+            let imm5 = ((dst as u32) << 4) | 0b1000;
+            let imm4 = (src as u32) << 3;
+            0x6E00_0400 | put(imm5, 16, 5) | put(imm4, 11, 4) | put(vn.enc(), 5, 5) | vd.enc()
+        }
         NeonInst::LdpQ { vt1, vt2, rn, imm } => {
             assert!(imm % 16 == 0, "ldp q offset must be 16-byte aligned");
             0xAD40_0000
@@ -197,6 +217,33 @@ pub fn decode(word: u32) -> Option<NeonInst> {
             rn: xreg(rn5()),
             imm: get(word, 10, 12) * 16,
         });
+    }
+    if word & 0xFFC0_0000 == 0xFD40_0000 {
+        return Some(NeonInst::LdrD {
+            vt: rd(),
+            rn: xreg(rn5()),
+            imm: get(word, 10, 12) * 8,
+        });
+    }
+    if word & 0xFFC0_0000 == 0xFD00_0000 {
+        return Some(NeonInst::StrD {
+            vt: rd(),
+            rn: xreg(rn5()),
+            imm: get(word, 10, 12) * 8,
+        });
+    }
+    if word & 0xFFE0_8400 == 0x6E00_0400 {
+        let imm5 = get(word, 16, 5);
+        let imm4 = get(word, 11, 4);
+        if imm5 & 0b1111 == 0b1000 && imm4 & 0b0111 == 0 {
+            return Some(NeonInst::InsElemD {
+                vd: rd(),
+                vn: vreg(rn5()),
+                dst: (imm5 >> 4) as u8,
+                src: (imm4 >> 3) as u8,
+            });
+        }
+        return None;
     }
     if word & 0xFFC0_0000 == 0xAD40_0000 {
         return Some(NeonInst::LdpQ {

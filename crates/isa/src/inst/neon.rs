@@ -58,6 +58,39 @@ pub enum NeonInst {
         /// Byte offset (must be a multiple of 16, 0–65520).
         imm: u32,
     },
+    /// `ldr d<t>, [xn, #imm]` — 64-bit SIMD&FP load (zeroes the upper
+    /// half). Used by the BFMMLA widening kernel to move 2-element column
+    /// fragments of a column-major C.
+    LdrD {
+        /// Destination register (low 64 bits written, high 64 bits zeroed).
+        vt: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Byte offset (must be a multiple of 8, 0–32760).
+        imm: u32,
+    },
+    /// `str d<t>, [xn, #imm]` — 64-bit SIMD&FP store (low half).
+    StrD {
+        /// Source register (low 64 bits stored).
+        vt: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Byte offset (must be a multiple of 8, 0–32760).
+        imm: u32,
+    },
+    /// `ins vd.d[dst], vn.d[src]` — move one 64-bit element between vector
+    /// registers (the D-lane form only; pairs with [`NeonInst::LdrD`] /
+    /// [`NeonInst::StrD`] to assemble and split BFMMLA accumulators).
+    InsElemD {
+        /// Destination register.
+        vd: VReg,
+        /// Source register.
+        vn: VReg,
+        /// Destination D-lane index (0 or 1).
+        dst: u8,
+        /// Source D-lane index (0 or 1).
+        src: u8,
+    },
     /// `str q<t>, [xn, #imm]` — 128-bit store with unsigned scaled offset.
     StrQ {
         /// Source register.
@@ -144,7 +177,9 @@ impl NeonInst {
             NeonInst::LdrQ { .. }
             | NeonInst::StrQ { .. }
             | NeonInst::LdpQ { .. }
-            | NeonInst::StpQ { .. } => InstClass::NeonMem,
+            | NeonInst::StpQ { .. }
+            | NeonInst::LdrD { .. }
+            | NeonInst::StrD { .. } => InstClass::NeonMem,
             _ => InstClass::NeonFp,
         }
     }
@@ -168,13 +203,17 @@ impl NeonInst {
         match self {
             NeonInst::LdrQ { .. } | NeonInst::StrQ { .. } => 16,
             NeonInst::LdpQ { .. } | NeonInst::StpQ { .. } => 32,
+            NeonInst::LdrD { .. } | NeonInst::StrD { .. } => 8,
             _ => 0,
         }
     }
 
     /// `true` if this instruction writes to memory (rather than reading).
     pub fn is_store(&self) -> bool {
-        matches!(self, NeonInst::StrQ { .. } | NeonInst::StpQ { .. })
+        matches!(
+            self,
+            NeonInst::StrQ { .. } | NeonInst::StpQ { .. } | NeonInst::StrD { .. }
+        )
     }
 }
 
@@ -213,6 +252,11 @@ impl fmt::Display for NeonInst {
             NeonInst::Bfmmla { vd, vn, vm } => write!(f, "bfmmla {vd}.4s, {vn}.8h, {vm}.8h"),
             NeonInst::LdrQ { vt, rn, imm } => write!(f, "ldr q{}, [{rn}, #{imm}]", vt.index()),
             NeonInst::StrQ { vt, rn, imm } => write!(f, "str q{}, [{rn}, #{imm}]", vt.index()),
+            NeonInst::LdrD { vt, rn, imm } => write!(f, "ldr d{}, [{rn}, #{imm}]", vt.index()),
+            NeonInst::StrD { vt, rn, imm } => write!(f, "str d{}, [{rn}, #{imm}]", vt.index()),
+            NeonInst::InsElemD { vd, vn, dst, src } => {
+                write!(f, "ins {vd}.d[{dst}], {vn}.d[{src}]")
+            }
             NeonInst::LdpQ { vt1, vt2, rn, imm } => {
                 write!(f, "ldp q{}, q{}, [{rn}, #{imm}]", vt1.index(), vt2.index())
             }

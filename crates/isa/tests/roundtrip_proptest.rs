@@ -190,6 +190,14 @@ fn neon_inst() -> impl Strategy<Value = NeonInst> {
             rn,
             imm: i * 16
         }),
+        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::LdrD { vt, rn, imm: i * 8 }),
+        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::StrD { vt, rn, imm: i * 8 }),
+        (vreg(), vreg(), 0u8..2, 0u8..2).prop_map(|(vd, vn, dst, src)| NeonInst::InsElemD {
+            vd,
+            vn,
+            dst,
+            src
+        }),
         (vreg(), vreg(), 0u8..4).prop_map(|(vd, vn, i)| NeonInst::DupElem {
             vd,
             vn,

@@ -159,6 +159,25 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &NeonInst) {
             let b = state.v(vt);
             mem.write_bytes(addr, &b);
         }
+        NeonInst::LdrD { vt, rn, imm } => {
+            let addr = state.x(rn) + imm as u64;
+            let mut b = [0u8; 16];
+            b[..8].copy_from_slice(mem.read_bytes(addr, 8));
+            state.set_v(vt, b);
+        }
+        NeonInst::StrD { vt, rn, imm } => {
+            let addr = state.x(rn) + imm as u64;
+            let b = state.v(vt);
+            mem.write_bytes(addr, &b[..8]);
+        }
+        NeonInst::InsElemD { vd, vn, dst, src } => {
+            let n = state.v(vn);
+            let mut d = state.v(vd);
+            let (dst, src) = (dst as usize * 8, src as usize * 8);
+            let lane: [u8; 8] = n[src..src + 8].try_into().expect("eight bytes");
+            d[dst..dst + 8].copy_from_slice(&lane);
+            state.set_v(vd, d);
+        }
         NeonInst::LdpQ { vt1, vt2, rn, imm } => {
             let addr = (state.x(rn) as i64 + imm as i64) as u64;
             let mut b1 = [0u8; 16];

@@ -108,9 +108,15 @@ impl OpKind {
             Inst::Neon(n) => match n {
                 NeonInst::FmlaVec { .. } | NeonInst::FmlaElem { .. } => OpKind::NeonFmla,
                 NeonInst::Bfmmla { .. } => OpKind::NeonBfmmla,
-                NeonInst::LdrQ { .. } | NeonInst::LdpQ { .. } => OpKind::NeonLoad,
-                NeonInst::StrQ { .. } | NeonInst::StpQ { .. } => OpKind::NeonStore,
-                NeonInst::DupElem { .. } | NeonInst::MoviZero { .. } => OpKind::NeonOther,
+                NeonInst::LdrQ { .. } | NeonInst::LdpQ { .. } | NeonInst::LdrD { .. } => {
+                    OpKind::NeonLoad
+                }
+                NeonInst::StrQ { .. } | NeonInst::StpQ { .. } | NeonInst::StrD { .. } => {
+                    OpKind::NeonStore
+                }
+                NeonInst::DupElem { .. }
+                | NeonInst::MoviZero { .. }
+                | NeonInst::InsElemD { .. } => OpKind::NeonOther,
             },
             Inst::Sve(v) => match v {
                 SveInst::Ptrue { .. }

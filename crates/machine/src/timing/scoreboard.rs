@@ -189,13 +189,18 @@ pub fn deps(inst: &Inst) -> (Vec<Resource>, Vec<Resource>) {
                 reads.push(Resource::V(vm.index()));
                 writes.push(Resource::V(vd.index()));
             }
-            NeonInst::LdrQ { vt, rn, .. } => {
+            NeonInst::LdrQ { vt, rn, .. } | NeonInst::LdrD { vt, rn, .. } => {
                 reads.extend(x_res(rn));
                 writes.push(Resource::V(vt.index()));
             }
-            NeonInst::StrQ { vt, rn, .. } => {
+            NeonInst::StrQ { vt, rn, .. } | NeonInst::StrD { vt, rn, .. } => {
                 reads.push(Resource::V(vt.index()));
                 reads.extend(x_res(rn));
+            }
+            NeonInst::InsElemD { vd, vn, .. } => {
+                reads.push(Resource::V(vd.index()));
+                reads.push(Resource::V(vn.index()));
+                writes.push(Resource::V(vd.index()));
             }
             NeonInst::LdpQ { vt1, vt2, rn, .. } => {
                 reads.extend(x_res(rn));

@@ -27,30 +27,40 @@
 //!   runtime's identical-cores makespan, so mixed batches are projected to
 //!   overlap the engine classes instead of pretending SME scales per core.
 //!
+//! The same machinery serves **both datatype families**: batches may mix
+//! FP32 and BF16 widening requests, routing/telemetry/placement are keyed
+//! on the unified [`sme_gemm::AnyGemmConfig`], and the BF16 side has a real
+//! SME/Neon pair too — the widening BFMOPA fast path (32×32 grid) versus
+//! the Neon `BFMMLA` baseline (8×2 grid).
+//!
 //! ## Route → dispatch → observe → pre-tune
 //!
 //! ```
 //! use sme_router::Router;
 //! use sme_runtime::{GemmRequest, TunerOptions};
-//! use sme_gemm::{Backend, GemmConfig};
+//! use sme_gemm::{Backend, GemmConfig, WideningGemmConfig};
 //!
 //! let router = Router::new(32);
 //! let tiny = GemmConfig::abt(16, 4, 4);    // streaming overhead dominates
 //! let dense = GemmConfig::abt(64, 64, 64); // SME's home turf
 //!
-//! let batch: Vec<GemmRequest> = (0..4)
-//!     .map(|seed| GemmRequest { config: if seed % 2 == 0 { tiny } else { dense }, seed })
+//! let mut batch: Vec<GemmRequest> = (0..4)
+//!     .map(|seed| GemmRequest::fp32(if seed % 2 == 0 { tiny } else { dense }, seed))
 //!     .collect();
+//! // BF16 widening traffic rides through the same dispatch path.
+//! let bf16 = WideningGemmConfig::new(32, 32, 8).expect("valid widening shape");
+//! batch.push(GemmRequest::widening(bf16, 9));
 //! let report = router.dispatch(&batch).expect("valid batch");
 //!
 //! // The router split the batch across engine classes…
 //! assert_eq!(router.route(&tiny), Backend::Neon);
 //! assert_eq!(router.route(&dense), Backend::Sme);
+//! assert_eq!(router.route_any(&bf16.into()), Backend::Sme);
 //! let (sme_load, neon_load) = report.placement.class_load_cycles();
 //! assert!(sme_load > 0.0 && neon_load > 0.0);
 //!
 //! // …and the telemetry knows exactly who called.
-//! assert_eq!(router.telemetry().total_requests(), 4);
+//! assert_eq!(router.telemetry().total_requests(), 5);
 //! let hot = router.top_shapes(1);
 //! assert_eq!(hot[0].requests, 2);
 //!
@@ -67,11 +77,14 @@ pub mod router;
 pub mod telemetry;
 
 pub use planner::{plan_batch, GroupPlacement, PlacementPlan};
-pub use policy::{estimate_backend_cycles, heuristic_backend, RoutingPolicy};
+pub use policy::{
+    estimate_backend_cycles, estimate_widening_backend_cycles, heuristic_backend,
+    heuristic_backend_any, RoutingPolicy,
+};
 pub use router::{RoutedBatchReport, Router};
 pub use telemetry::{ShapeStats, TelemetryRegistry};
 
 // Re-exported so doc examples and downstream callers can name the core
 // types without extra direct dependencies.
-pub use sme_gemm::{Backend, GemmConfig};
+pub use sme_gemm::{AnyGemmConfig, Backend, Dtype, GemmConfig, WideningGemmConfig};
 pub use sme_runtime::GemmRequest;

@@ -18,7 +18,7 @@
 //! at ≈ 357/2009 of the performance-cluster unit; an efficiency core runs
 //! Neon FMLA at ≈ 46/113 of a performance core).
 
-use sme_gemm::{Backend, GemmConfig};
+use sme_gemm::{AnyGemmConfig, Backend};
 use sme_machine::multicore::{EngineSlot, MulticoreModel};
 use sme_runtime::BatchReport;
 
@@ -26,7 +26,7 @@ use sme_runtime::BatchReport;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupPlacement {
     /// The group's configuration.
-    pub config: GemmConfig,
+    pub config: AnyGemmConfig,
     /// The backend the group executed on (decides the engine class).
     pub backend: Backend,
     /// The group's simulated cycles on one performance core.
@@ -148,6 +148,7 @@ pub fn plan_batch(report: &BatchReport, model: &MulticoreModel) -> PlacementPlan
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sme_gemm::GemmConfig;
     use sme_machine::MachineConfig;
     use sme_runtime::{GemmRequest, GemmService};
 
@@ -158,7 +159,7 @@ mod tests {
     /// Dispatch a batch with a fixed routing function and plan it.
     fn plan_mixed(
         reqs: &[GemmRequest],
-        neon: &(dyn Fn(&GemmConfig) -> bool + Sync),
+        neon: &(dyn Fn(&AnyGemmConfig) -> bool + Sync),
     ) -> PlacementPlan {
         let service = GemmService::new(32);
         let report = service
@@ -179,10 +180,7 @@ mod tests {
         // projected makespan cannot drop below half the serial time no
         // matter how many cores exist.
         let reqs: Vec<GemmRequest> = (0..4)
-            .map(|i| GemmRequest {
-                config: GemmConfig::abt(48, 48, 16 + 16 * i),
-                seed: i as u64,
-            })
+            .map(|i| GemmRequest::fp32(GemmConfig::abt(48, 48, 16 + 16 * i), i as u64))
             .collect();
         let plan = plan_mixed(&reqs, &|_| false);
         assert_eq!(plan.sme_engines.len(), 2);
@@ -200,16 +198,10 @@ mod tests {
         let sme_cfg = GemmConfig::abt(64, 64, 64);
         let neon_cfg = GemmConfig::abt(16, 4, 16);
         let reqs = [
-            GemmRequest {
-                config: sme_cfg,
-                seed: 1,
-            },
-            GemmRequest {
-                config: neon_cfg,
-                seed: 2,
-            },
+            GemmRequest::fp32(sme_cfg, 1),
+            GemmRequest::fp32(neon_cfg, 2),
         ];
-        let plan = plan_mixed(&reqs, &|cfg| *cfg == neon_cfg);
+        let plan = plan_mixed(&reqs, &|cfg| *cfg == neon_cfg.into());
         let (sme_load, neon_load) = plan.class_load_cycles();
         assert!(sme_load > 0.0 && neon_load > 0.0);
         // Classes run concurrently: the makespan is the max, not the sum.
@@ -232,10 +224,7 @@ mod tests {
         // Ten distinct Neon-routed groups: each gets its own core slot, so
         // every per-core load stays below the serial total.
         let reqs: Vec<GemmRequest> = (0..10)
-            .map(|i| GemmRequest {
-                config: GemmConfig::abt(16, 4, 4 + 4 * i),
-                seed: i as u64,
-            })
+            .map(|i| GemmRequest::fp32(GemmConfig::abt(16, 4, 4 + 4 * i), i as u64))
             .collect();
         let plan = plan_mixed(&reqs, &|_| true);
         assert_eq!(plan.neon_engines.len(), 10);

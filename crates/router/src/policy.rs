@@ -21,7 +21,10 @@
 //! Every traffic-adaptive policy defers to an installed tuned winner
 //! first: `pretune_hot` turns telemetry into exact routing decisions.
 
-use sme_gemm::{analytic_k_step_cycles, neon_supports, plan_heterogeneous, Backend, GemmConfig};
+use sme_gemm::{
+    analytic_k_step_cycles, neon_supports, plan_heterogeneous, sme_widening_supports,
+    AnyGemmConfig, Backend, GemmConfig, WideningGemmConfig,
+};
 use sme_machine::{MachineConfig, OpKind};
 
 /// How the router picks a backend for a configuration (see the module
@@ -91,6 +94,59 @@ pub fn estimate_backend_cycles(
     }
 }
 
+/// Closed-form single-core cycle estimate for dispatching a BF16 widening
+/// `cfg` on `backend`, or `None` if the backend cannot compile the shape —
+/// the widening twin of [`estimate_backend_cycles`].
+///
+/// The SME side pays the same streaming-mode entry/exit and accumulator
+/// traffic as FP32, but halves the contraction-step operand bytes (two
+/// contraction steps per BFMOPA); the Neon side models the `BFMMLA` 8×2
+/// blocking's loads, matrix ops and the `ldr d`/`str d` + lane-shuffle C
+/// handling.
+pub fn estimate_widening_backend_cycles(
+    cfg: &WideningGemmConfig,
+    backend: Backend,
+    machine: &MachineConfig,
+) -> Option<f64> {
+    let p = &machine.p_core;
+    let rate = |op: OpKind| machine.mem.rate(op);
+    let c_bytes = (cfg.m * cfg.n * 4) as f64;
+    match backend {
+        Backend::Sme => {
+            sme_widening_supports(cfg).ok()?;
+            let streaming = 2.0 * p.op(OpKind::SmeControl).interval();
+            // Per contraction pair and 32x32 block: two 2-vector BF16 loads
+            // (128 bytes each) and four widening outer products.
+            let blocks = ((cfg.m / 32) * (cfg.n / 32)) as f64;
+            let per_pair = 2.0 * 128.0 / rate(OpKind::LoadLd1Multi2)
+                + 4.0 * p.op(OpKind::SmeFmopaWide).interval();
+            let contraction = (cfg.k / 2) as f64 * blocks * per_pair;
+            let c_traffic =
+                c_bytes / rate(OpKind::LoadLd1Multi4) + c_bytes / rate(OpKind::StoreStrZa);
+            Some(streaming + contraction + c_traffic)
+        }
+        Backend::Neon => {
+            cfg.validate().ok()?;
+            let blocks = ((cfg.m / 8) * (cfg.n / 2)) as f64;
+            let bfmmla = p.op(OpKind::NeonBfmmla);
+            // Per quad and 8x2 block: 4 BFMMLA, 80 bytes of A/B loads, two
+            // address bumps and the loop branch.
+            let per_quad = 4.0 / bfmmla.per_cycle
+                + 80.0 / rate(OpKind::NeonLoad)
+                + 2.0 * p.op(OpKind::IntAlu).interval()
+                + p.op(OpKind::Branch).interval();
+            let contraction = blocks * cfg.k.div_ceil(4) as f64 * per_quad;
+            // C moves through 8-byte ldr d / str d plus one ins / dup lane
+            // shuffle per row pair and column.
+            let c_traffic = c_bytes / rate(OpKind::NeonLoad)
+                + c_bytes / rate(OpKind::NeonStore)
+                + (cfg.m * cfg.n / 4) as f64 * 2.0 * p.op(OpKind::NeonOther).interval();
+            let setup = blocks * 8.0 * p.op(OpKind::IntAlu).interval();
+            Some(contraction + c_traffic + setup)
+        }
+    }
+}
+
 /// The backend the analytic estimates favour for `cfg` (SME when Neon
 /// cannot compile the shape or the estimates tie).
 pub fn heuristic_backend(cfg: &GemmConfig, machine: &MachineConfig) -> Backend {
@@ -104,6 +160,24 @@ pub fn heuristic_backend(cfg: &GemmConfig, machine: &MachineConfig) -> Backend {
         Backend::Neon
     } else {
         Backend::Sme
+    }
+}
+
+/// The backend the analytic estimates favour for a configuration of either
+/// datatype (the engine that cannot compile the shape never wins; ties go
+/// to SME).
+pub fn heuristic_backend_any(cfg: &AnyGemmConfig, machine: &MachineConfig) -> Backend {
+    match cfg {
+        AnyGemmConfig::Fp32(c) => heuristic_backend(c, machine),
+        AnyGemmConfig::WideningBf16(c) => {
+            let sme = estimate_widening_backend_cycles(c, Backend::Sme, machine);
+            let neon = estimate_widening_backend_cycles(c, Backend::Neon, machine);
+            match (sme, neon) {
+                (Some(s), Some(n)) if n < s => Backend::Neon,
+                (Some(_), _) => Backend::Sme,
+                (None, _) => Backend::Neon,
+            }
+        }
     }
 }
 
@@ -137,6 +211,62 @@ mod tests {
             heuristic_backend(&GemmConfig::ab(16, 4, 4), &machine),
             Backend::Sme
         );
+    }
+
+    #[test]
+    fn widening_heuristic_follows_the_grids() {
+        let machine = MachineConfig::apple_m4();
+        // On the SME grid, the outer-product units win by a wide margin.
+        let dense: AnyGemmConfig = WideningGemmConfig::new(64, 64, 64).unwrap().into();
+        assert_eq!(heuristic_backend_any(&dense, &machine), Backend::Sme);
+        // Off the SME grid, only the Neon BFMMLA baseline can compile.
+        let thin: AnyGemmConfig = WideningGemmConfig::new(16, 4, 4).unwrap().into();
+        assert_eq!(heuristic_backend_any(&thin, &machine), Backend::Neon);
+        let thin_cfg = WideningGemmConfig::new(16, 4, 4).unwrap();
+        assert_eq!(
+            estimate_widening_backend_cycles(&thin_cfg, Backend::Sme, &machine),
+            None
+        );
+        assert!(
+            estimate_widening_backend_cycles(&thin_cfg, Backend::Neon, &machine)
+                .expect("Neon estimates exist on the envelope grid")
+                .is_finite()
+        );
+        // FP32 dispatch through the dtype-generic entry point is unchanged.
+        let fp32: AnyGemmConfig = GemmConfig::abt(16, 4, 4).into();
+        assert_eq!(heuristic_backend_any(&fp32, &machine), Backend::Neon);
+    }
+
+    #[test]
+    fn widening_estimates_grow_with_the_problem() {
+        let machine = MachineConfig::apple_m4();
+        let small = estimate_widening_backend_cycles(
+            &WideningGemmConfig::new(32, 32, 8).unwrap(),
+            Backend::Sme,
+            &machine,
+        )
+        .unwrap();
+        let large = estimate_widening_backend_cycles(
+            &WideningGemmConfig::new(96, 96, 64).unwrap(),
+            Backend::Sme,
+            &machine,
+        )
+        .unwrap();
+        assert!(small.is_finite() && large.is_finite());
+        assert!(large > small);
+        let small_neon = estimate_widening_backend_cycles(
+            &WideningGemmConfig::new(16, 4, 8).unwrap(),
+            Backend::Neon,
+            &machine,
+        )
+        .unwrap();
+        let large_neon = estimate_widening_backend_cycles(
+            &WideningGemmConfig::new(64, 64, 64).unwrap(),
+            Backend::Neon,
+            &machine,
+        )
+        .unwrap();
+        assert!(large_neon > small_neon);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! [`GemmService`].
 
 use crate::planner::{plan_batch, PlacementPlan};
-use crate::policy::{heuristic_backend, RoutingPolicy};
+use crate::policy::{heuristic_backend_any, RoutingPolicy};
 use crate::telemetry::{ShapeStats, TelemetryRegistry};
-use sme_gemm::{neon_supports, Backend, GemmConfig, GemmError};
+use sme_gemm::{
+    default_any_candidate, neon_supports, sme_widening_supports, AnyGemmConfig, Backend,
+    GemmConfig, GemmError,
+};
 use sme_machine::multicore::MulticoreModel;
 use sme_machine::MachineConfig;
 use sme_runtime::{GemmRequest, GemmService, KernelCache, PlanStore, TuneOutcome, TunerOptions};
@@ -41,7 +44,7 @@ pub struct Router {
     machine: MachineConfig,
     model: MulticoreModel,
     /// Memoized verdicts of the `Measured` policy's one-off probes.
-    probe_memo: Mutex<HashMap<GemmConfig, Backend>>,
+    probe_memo: Mutex<HashMap<AnyGemmConfig, Backend>>,
 }
 
 impl Router {
@@ -107,27 +110,39 @@ impl Router {
         &self.machine
     }
 
-    /// Decide which backend serves `cfg` under the active policy.
+    /// Decide which backend serves an FP32 `cfg` under the active policy
+    /// (see [`Router::route_any`]).
+    pub fn route(&self, cfg: &GemmConfig) -> Backend {
+        self.route_any(&AnyGemmConfig::Fp32(*cfg))
+    }
+
+    /// Decide which backend serves a configuration of either datatype under
+    /// the active policy.
     ///
     /// The traffic-adaptive policies ([`RoutingPolicy::Heuristic`] and
     /// [`RoutingPolicy::Measured`]) defer to an installed tuned winner
     /// first — pre-tuning a shape pins its route to the simulated argmin
-    /// across both engines.
-    pub fn route(&self, cfg: &GemmConfig) -> Backend {
+    /// across both engines. The pinned policies fall back to the other
+    /// engine when their engine cannot compile the shape (Neon for FP32
+    /// shapes off the 16×4 grid, SME for widening shapes off the 32×32
+    /// grid), so pinning never makes a valid configuration undispatchable.
+    pub fn route_any(&self, cfg: &AnyGemmConfig) -> Backend {
         match self.policy {
-            RoutingPolicy::SmeOnly => Backend::Sme,
-            RoutingPolicy::NeonOnly => {
-                if neon_supports(cfg).is_ok() {
+            RoutingPolicy::SmeOnly => match cfg {
+                AnyGemmConfig::WideningBf16(w) if sme_widening_supports(w).is_err() => {
                     Backend::Neon
-                } else {
-                    Backend::Sme
                 }
-            }
-            RoutingPolicy::Heuristic => match self.cache().lookup_tuned(cfg) {
-                Some(record) => record.candidate.backend,
-                None => heuristic_backend(cfg, &self.machine),
+                _ => Backend::Sme,
             },
-            RoutingPolicy::Measured => match self.cache().lookup_tuned(cfg) {
+            RoutingPolicy::NeonOnly => match cfg {
+                AnyGemmConfig::Fp32(c) if neon_supports(c).is_err() => Backend::Sme,
+                _ => Backend::Neon,
+            },
+            RoutingPolicy::Heuristic => match self.cache().lookup_tuned_any(cfg) {
+                Some(record) => record.candidate.backend,
+                None => heuristic_backend_any(cfg, &self.machine),
+            },
+            RoutingPolicy::Measured => match self.cache().lookup_tuned_any(cfg) {
                 Some(record) => record.candidate.backend,
                 None => self.measure(cfg),
             },
@@ -138,7 +153,7 @@ impl Router {
     /// backends' default kernels **through the cache** (so the subsequent
     /// dispatch fetch of the winner is a hit, not a recompile), simulate
     /// each once, memoize and return the faster engine.
-    fn measure(&self, cfg: &GemmConfig) -> Backend {
+    fn measure(&self, cfg: &AnyGemmConfig) -> Backend {
         if let Some(&backend) = self
             .probe_memo
             .lock()
@@ -148,8 +163,8 @@ impl Router {
             return backend;
         }
         let backend = match (
-            self.cache().get_or_compile_backend(cfg, Backend::Sme),
-            self.cache().get_or_compile_backend(cfg, Backend::Neon),
+            self.cache().get_or_compile_backend_any(cfg, Backend::Sme),
+            self.cache().get_or_compile_backend_any(cfg, Backend::Neon),
         ) {
             (Ok(sme), Ok(neon)) => {
                 if neon.model_stats().cycles < sme.model_stats().cycles {
@@ -159,9 +174,11 @@ impl Router {
                 }
             }
             // Shapes only one engine can compile route there; invalid
-            // configurations fall through to SME, whose generator reports
-            // the error at dispatch time.
-            _ => Backend::Sme,
+            // configurations fall through to the datatype's default
+            // engine, whose generator reports the error at dispatch time.
+            (Ok(_), Err(_)) => Backend::Sme,
+            (Err(_), Ok(_)) => Backend::Neon,
+            (Err(_), Err(_)) => default_any_candidate(cfg).backend,
         };
         self.probe_memo
             .lock()
@@ -172,7 +189,8 @@ impl Router {
 
     /// Dispatch a batch: route each distinct configuration, execute through
     /// the cached kernels, record telemetry, and project the batch onto the
-    /// machine's engine classes.
+    /// machine's engine classes. Batches may mix FP32 and BF16 widening
+    /// requests freely.
     ///
     /// # Errors
     /// Propagates the service's errors (first invalid configuration fails
@@ -180,7 +198,7 @@ impl Router {
     pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<RoutedBatchReport, GemmError> {
         let batch = self
             .service
-            .dispatch_routed(requests, |cfg| self.route(cfg))?;
+            .dispatch_routed(requests, |cfg| self.route_any(cfg))?;
         self.telemetry.record_batch(&batch);
         let placement = plan_batch(&batch, &self.model);
         Ok(RoutedBatchReport { batch, placement })
@@ -192,10 +210,21 @@ impl Router {
         self.telemetry.top_shapes(n)
     }
 
-    /// Autotune `cfg` across both backends and install the winner, so
-    /// subsequent routing and dispatch follow the simulated argmin.
+    /// Autotune an FP32 `cfg` across both backends and install the winner
+    /// (see [`Router::tune_any`]).
     pub fn tune(&self, cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
         self.service.tune(cfg, opts)
+    }
+
+    /// Autotune a configuration of either datatype across both backends
+    /// and install the winner, so subsequent routing and dispatch follow
+    /// the simulated argmin.
+    pub fn tune_any(
+        &self,
+        cfg: &AnyGemmConfig,
+        opts: &TunerOptions,
+    ) -> Result<TuneOutcome, GemmError> {
+        self.service.tune_any(cfg, opts)
     }
 
     /// Autotune the `n` busiest shapes — the ROADMAP's "which shapes
@@ -208,7 +237,7 @@ impl Router {
     ) -> Result<Vec<TuneOutcome>, GemmError> {
         self.top_shapes(n)
             .into_iter()
-            .map(|stats| self.tune(&stats.config, opts))
+            .map(|stats| self.tune_any(&stats.config, opts))
             .collect()
     }
 }
@@ -246,7 +275,7 @@ mod tests {
         let cfg = GemmConfig::abt(16, 4, 4);
         assert_eq!(router.route(&cfg), Backend::Neon);
         assert_eq!(
-            router.probe_memo.lock().unwrap().get(&cfg).copied(),
+            router.probe_memo.lock().unwrap().get(&cfg.into()).copied(),
             Some(Backend::Neon),
             "probe verdict memoized"
         );
@@ -266,10 +295,7 @@ mod tests {
         let tiny = GemmConfig::abt(16, 4, 4);
         let large = GemmConfig::abt(48, 48, 32);
         let requests: Vec<GemmRequest> = (0..6)
-            .map(|i| GemmRequest {
-                config: if i % 3 == 0 { large } else { tiny },
-                seed: i as u64,
-            })
+            .map(|i| GemmRequest::fp32(if i % 3 == 0 { large } else { tiny }, i as u64))
             .collect();
         let report = router.dispatch(&requests).unwrap();
         assert_eq!(report.batch.outputs.len(), 6);
@@ -277,7 +303,7 @@ mod tests {
         // Telemetry matches dispatched traffic exactly.
         assert_eq!(router.telemetry().total_requests(), 6);
         let top = router.top_shapes(2);
-        assert_eq!(top[0].config, tiny, "4 requests beat 2");
+        assert_eq!(top[0].config, tiny.into(), "4 requests beat 2");
         assert_eq!(top[0].requests, 4);
         assert_eq!(top[0].dominant_backend(), Backend::Neon);
         assert_eq!(top[1].requests, 2);
@@ -298,12 +324,64 @@ mod tests {
     }
 
     #[test]
+    fn widening_shapes_route_across_both_engines() {
+        use sme_gemm::WideningGemmConfig;
+        let dense: AnyGemmConfig = WideningGemmConfig::new(32, 32, 16).unwrap().into();
+        let thin: AnyGemmConfig = WideningGemmConfig::new(16, 4, 8).unwrap().into();
+
+        // Pinned policies fall back when their engine cannot compile.
+        let sme_only = Router::with_policy(8, RoutingPolicy::SmeOnly);
+        assert_eq!(sme_only.route_any(&dense), Backend::Sme);
+        assert_eq!(sme_only.route_any(&thin), Backend::Neon, "fallback");
+        let neon_only = Router::with_policy(8, RoutingPolicy::NeonOnly);
+        assert_eq!(neon_only.route_any(&dense), Backend::Neon);
+        assert_eq!(neon_only.route_any(&thin), Backend::Neon);
+
+        // The adaptive policies land dense widening shapes on the SME
+        // units and off-grid shapes on the Neon BFMMLA baseline.
+        for policy in [RoutingPolicy::Heuristic, RoutingPolicy::Measured] {
+            let router = Router::with_policy(8, policy);
+            assert_eq!(router.route_any(&dense), Backend::Sme, "{policy:?}");
+            assert_eq!(router.route_any(&thin), Backend::Neon, "{policy:?}");
+        }
+
+        // Tuning a widening shape installs a winner that routing follows.
+        let router = Router::new(8);
+        let outcome = router.tune_any(&dense, &TunerOptions::quick()).unwrap();
+        assert_eq!(router.route_any(&dense), outcome.winner.backend);
+        assert!(router.cache().lookup_tuned_any(&dense).is_some());
+    }
+
+    #[test]
+    fn mixed_dtype_dispatch_records_telemetry_per_family() {
+        use sme_gemm::WideningGemmConfig;
+        let router = Router::new(16);
+        let fp32 = GemmConfig::abt(32, 32, 8);
+        let wide = WideningGemmConfig::new(32, 32, 8).unwrap();
+        let requests = vec![
+            GemmRequest::fp32(fp32, 1),
+            GemmRequest::widening(wide, 2),
+            GemmRequest::widening(wide, 3),
+        ];
+        let report = router.dispatch(&requests).unwrap();
+        assert_eq!(report.batch.per_config.len(), 2);
+        // Same shape, two telemetry entries — one per datatype.
+        assert_eq!(router.telemetry().len(), 2);
+        assert_eq!(router.telemetry().total_requests(), 3);
+        let top = router.top_shapes(2);
+        assert_eq!(top[0].config, wide.into());
+        assert_eq!(top[0].requests, 2);
+        assert_eq!(top[1].config, fp32.into());
+        // The JSON snapshot tags each shape with its dtype.
+        let json = router.telemetry().to_json();
+        assert!(json.contains("\"dtype\": \"WideningBf16\""));
+        assert!(json.contains("\"dtype\": \"Fp32\""));
+    }
+
+    #[test]
     fn dispatch_results_are_identical_across_policies() {
         let requests: Vec<GemmRequest> = (0..4)
-            .map(|i| GemmRequest {
-                config: GemmConfig::abt(32, 16, 8),
-                seed: 40 + i,
-            })
+            .map(|i| GemmRequest::fp32(GemmConfig::abt(32, 16, 8), 40 + i))
             .collect();
         let measured = Router::new(8).dispatch(&requests).unwrap();
         let sme = Router::with_policy(8, RoutingPolicy::SmeOnly)

@@ -4,14 +4,14 @@
 //! answers "is caching working?" but not the serving question the ROADMAP
 //! poses: **which shapes dominate traffic**, so that exactly those can be
 //! pre-tuned. The [`TelemetryRegistry`] closes that gap: every dispatched
-//! batch is folded into a per-[`GemmConfig`] record of request counts,
+//! batch is folded into a per-[`AnyGemmConfig`] record of request counts,
 //! cumulative simulated cycles, the backend that served each group and the
 //! group's cache outcome. [`TelemetryRegistry::top_shapes`] ranks shapes by
 //! traffic; `Router::pretune_hot` feeds that ranking straight into the
 //! autotuner.
 
 use serde::Serialize;
-use sme_gemm::{BLayout, Backend, Beta, GemmConfig};
+use sme_gemm::{AnyGemmConfig, BLayout, Backend, Beta, Dtype};
 use sme_runtime::BatchReport;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -20,7 +20,7 @@ use std::sync::Mutex;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShapeStats {
     /// The configuration.
-    pub config: GemmConfig,
+    pub config: AnyGemmConfig,
     /// Requests dispatched for this shape.
     pub requests: u64,
     /// Simulated cycles spent executing this shape's kernels (summed over
@@ -72,7 +72,7 @@ struct ShapeEntry {
 /// Thread-safe registry of per-shape traffic statistics.
 #[derive(Debug, Default)]
 pub struct TelemetryRegistry {
-    entries: Mutex<HashMap<GemmConfig, ShapeEntry>>,
+    entries: Mutex<HashMap<AnyGemmConfig, ShapeEntry>>,
 }
 
 impl TelemetryRegistry {
@@ -86,7 +86,7 @@ impl TelemetryRegistry {
     /// kernel fetch hit (`cache_hit`) or compiled.
     pub fn record_group(
         &self,
-        config: &GemmConfig,
+        config: &AnyGemmConfig,
         backend: Backend,
         requests: u64,
         cycles: f64,
@@ -143,7 +143,7 @@ impl TelemetryRegistry {
     }
 
     /// Statistics for one shape, if it has been seen.
-    pub fn shape(&self, config: &GemmConfig) -> Option<ShapeStats> {
+    pub fn shape(&self, config: &AnyGemmConfig) -> Option<ShapeStats> {
         self.entries
             .lock()
             .expect("telemetry poisoned")
@@ -161,7 +161,7 @@ impl TelemetryRegistry {
                 b.cycles
                     .partial_cmp(&a.cycles)
                     .expect("cycles are finite")
-                    .then(shape_key(&a.config).cmp(&shape_key(&b.config))),
+                    .then(a.config.ordering_key().cmp(&b.config.ordering_key())),
             )
         });
         all.truncate(n);
@@ -179,14 +179,15 @@ impl TelemetryRegistry {
     pub fn to_json(&self) -> String {
         #[derive(Serialize)]
         struct Shape {
+            dtype: Dtype,
             m: usize,
             n: usize,
             k: usize,
-            lda: usize,
-            ldb: usize,
-            ldc: usize,
-            b_layout: BLayout,
-            beta: Beta,
+            lda: Option<usize>,
+            ldb: Option<usize>,
+            ldc: Option<usize>,
+            b_layout: Option<BLayout>,
+            beta: Option<Beta>,
             requests: u64,
             cycles: f64,
             sme_requests: u64,
@@ -206,14 +207,15 @@ impl TelemetryRegistry {
                 .top_shapes(usize::MAX)
                 .into_iter()
                 .map(|s| Shape {
-                    m: s.config.m,
-                    n: s.config.n,
-                    k: s.config.k,
-                    lda: s.config.lda,
-                    ldb: s.config.ldb,
-                    ldc: s.config.ldc,
-                    b_layout: s.config.b_layout,
-                    beta: s.config.beta,
+                    dtype: s.config.dtype(),
+                    m: s.config.m(),
+                    n: s.config.n(),
+                    k: s.config.k(),
+                    lda: s.config.as_fp32().map(|c| c.lda),
+                    ldb: s.config.as_fp32().map(|c| c.ldb),
+                    ldc: s.config.as_fp32().map(|c| c.ldc),
+                    b_layout: s.config.as_fp32().map(|c| c.b_layout),
+                    beta: s.config.as_fp32().map(|c| c.beta),
                     requests: s.requests,
                     cycles: s.cycles,
                     sme_requests: s.sme_requests,
@@ -228,7 +230,7 @@ impl TelemetryRegistry {
     }
 }
 
-fn stats_for(config: &GemmConfig, e: &ShapeEntry) -> ShapeStats {
+fn stats_for(config: &AnyGemmConfig, e: &ShapeEntry) -> ShapeStats {
     ShapeStats {
         config: *config,
         requests: e.requests,
@@ -240,29 +242,16 @@ fn stats_for(config: &GemmConfig, e: &ShapeEntry) -> ShapeStats {
     }
 }
 
-/// Deterministic ordering key for a configuration.
-fn shape_key(c: &GemmConfig) -> (usize, usize, usize, usize, usize, usize, bool, bool) {
-    (
-        c.m,
-        c.n,
-        c.k,
-        c.lda,
-        c.ldb,
-        c.ldc,
-        c.b_layout == BLayout::ColMajor,
-        c.beta == Beta::One,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sme_gemm::GemmConfig;
 
     #[test]
     fn groups_accumulate_per_shape() {
         let telemetry = TelemetryRegistry::new();
-        let hot = GemmConfig::abt(32, 32, 16);
-        let cold = GemmConfig::abt(64, 64, 16);
+        let hot: AnyGemmConfig = GemmConfig::abt(32, 32, 16).into();
+        let cold: AnyGemmConfig = GemmConfig::abt(64, 64, 16).into();
         telemetry.record_group(&hot, Backend::Sme, 5, 100.0, false);
         telemetry.record_group(&hot, Backend::Sme, 7, 140.0, true);
         telemetry.record_group(&hot, Backend::Neon, 2, 40.0, true);
@@ -294,7 +283,13 @@ mod tests {
     #[test]
     fn json_snapshot_lists_shapes_with_hit_rates() {
         let telemetry = TelemetryRegistry::new();
-        telemetry.record_group(&GemmConfig::abt(16, 4, 8), Backend::Neon, 3, 120.0, false);
+        telemetry.record_group(
+            &GemmConfig::abt(16, 4, 8).into(),
+            Backend::Neon,
+            3,
+            120.0,
+            false,
+        );
         let json = telemetry.to_json();
         assert!(json.contains("\"total_requests\": 3"));
         assert!(json.contains("\"neon_requests\": 3"));

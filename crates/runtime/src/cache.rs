@@ -8,10 +8,12 @@
 //! dispatched kernels ([`sme_gemm::generate_routed`] is the tuned path,
 //! [`sme_gemm::generate_backend`] the fallback).
 //!
-//! Entries are keyed by **configuration plus backend**: the same
-//! [`GemmConfig`] can be cached once as an SME kernel and once as a Neon
-//! kernel, so a router flipping a shape between engines (or serving both
-//! engine classes of a mixed batch) never thrashes the cache.
+//! Entries are keyed by **configuration plus backend**, where the
+//! configuration is the unified [`AnyGemmConfig`] key — FP32 and BF16
+//! widening kernels of the same shape are distinct entries, and the same
+//! configuration can be cached once as an SME kernel and once as a Neon
+//! kernel, so a router flipping a shape between engines (or serving a
+//! mixed-datatype batch) never thrashes the cache.
 //!
 //! Entries are spread over a fixed number of shards by the key's hash, so
 //! concurrent requests for different kernels rarely contend on the same
@@ -21,8 +23,11 @@
 //! (the property the cache's tests and the runtime integration test rely
 //! on).
 
-use crate::store::{tune_key, PlanStore, TunedRecord};
-use sme_gemm::{generate_backend, generate_routed, Backend, GemmConfig, GemmError, RoutedKernel};
+use crate::store::{tune_key_any, PlanStore, TunedRecord};
+use sme_gemm::{
+    generate_any_backend, generate_any_routed, AnyGemmConfig, Backend, GemmConfig, GemmError,
+    RoutedKernel,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,8 +62,9 @@ impl CacheStats {
     }
 }
 
-/// Cache key: one configuration compiled for one backend.
-type CacheKey = (GemmConfig, Backend);
+/// Cache key: one configuration (of either datatype) compiled for one
+/// backend.
+type CacheKey = (AnyGemmConfig, Backend);
 
 /// One shard: a small LRU list with the most recently used entry last.
 ///
@@ -137,37 +143,62 @@ impl KernelCache {
         &self.shards[(hasher.finish() as usize) % SHARDS]
     }
 
-    /// The backend the cache would pick for `cfg` when the caller expresses
-    /// no preference: the stored tuned winner's backend, or SME (the
-    /// paper's engine) for untuned shapes.
+    /// The backend the cache would pick for a configuration of either
+    /// datatype when the caller expresses no preference: the stored tuned
+    /// winner's backend, or the datatype's default engine for untuned
+    /// shapes — SME (the paper's engine) for FP32 and for widening shapes
+    /// on the SME grid, the Neon `BFMMLA` baseline for widening shapes off
+    /// it.
     ///
     /// A record whose backend cannot actually compile the shape (possible
     /// only for stores assembled in memory — load-time validation rejects
     /// such documents) is ignored rather than followed, so a bad record
     /// can degrade dispatch but never make a valid configuration
     /// undispatchable.
-    pub fn preferred_backend(&self, cfg: &GemmConfig) -> Backend {
+    pub fn preferred_backend_any(&self, cfg: &AnyGemmConfig) -> Backend {
+        let fallback = sme_gemm::default_any_candidate(cfg).backend;
         let backend = self
             .store
             .read()
             .expect("plan store poisoned")
-            .lookup(cfg)
+            .lookup_any(cfg)
             .map(|record| record.candidate.backend)
-            .unwrap_or(Backend::Sme);
-        match backend {
-            Backend::Neon if sme_gemm::neon_supports(cfg).is_err() => Backend::Sme,
-            other => other,
+            .unwrap_or(fallback);
+        let compilable = match (cfg, backend) {
+            (AnyGemmConfig::Fp32(c), Backend::Neon) => sme_gemm::neon_supports(c).is_ok(),
+            (AnyGemmConfig::Fp32(_), Backend::Sme) => true,
+            (AnyGemmConfig::WideningBf16(c), Backend::Sme) => {
+                sme_gemm::sme_widening_supports(c).is_ok()
+            }
+            (AnyGemmConfig::WideningBf16(_), Backend::Neon) => true,
+        };
+        if compilable {
+            backend
+        } else {
+            fallback
         }
     }
 
-    /// Fetch the kernel for `cfg` on the cache's preferred backend (see
-    /// [`KernelCache::preferred_backend`]), compiling it on miss.
-    pub fn get_or_compile(&self, cfg: &GemmConfig) -> Result<Arc<RoutedKernel>, GemmError> {
-        self.get_or_compile_backend(cfg, self.preferred_backend(cfg))
+    /// FP32 convenience for [`KernelCache::preferred_backend_any`].
+    pub fn preferred_backend(&self, cfg: &GemmConfig) -> Backend {
+        self.preferred_backend_any(&AnyGemmConfig::Fp32(*cfg))
     }
 
-    /// Fetch the kernel for `cfg` compiled for `backend`, compiling it on
-    /// miss (see [`KernelCache::fetch`]).
+    /// Fetch the kernel for an FP32 `cfg` on the cache's preferred backend,
+    /// compiling it on miss.
+    pub fn get_or_compile(&self, cfg: &GemmConfig) -> Result<Arc<RoutedKernel>, GemmError> {
+        self.get_or_compile_any(&AnyGemmConfig::Fp32(*cfg))
+    }
+
+    /// Fetch the kernel for a configuration of either datatype on the
+    /// cache's preferred backend (see
+    /// [`KernelCache::preferred_backend_any`]), compiling it on miss.
+    pub fn get_or_compile_any(&self, cfg: &AnyGemmConfig) -> Result<Arc<RoutedKernel>, GemmError> {
+        self.get_or_compile_backend_any(cfg, self.preferred_backend_any(cfg))
+    }
+
+    /// Fetch the kernel for an FP32 `cfg` compiled for `backend`, compiling
+    /// it on miss (see [`KernelCache::fetch_any`]).
     pub fn get_or_compile_backend(
         &self,
         cfg: &GemmConfig,
@@ -176,21 +207,40 @@ impl KernelCache {
         self.fetch(cfg, backend).map(|(kernel, _)| kernel)
     }
 
-    /// Fetch the kernel for `cfg` compiled for `backend` and report whether
-    /// the request hit the cache (the flag feeds the router's per-shape
-    /// telemetry).
-    ///
-    /// On miss the plan store is consulted with the normalized tuning key;
-    /// a stored winner **for the requested backend** is compiled through
-    /// the tuned dispatch path ([`sme_gemm::generate_routed`]), anything
-    /// else through the backend's default generator
-    /// ([`sme_gemm::generate_backend`]). A tuned record that fails to
-    /// compile falls back to the backend default (visible as a miss without
-    /// a matching `tuned_compiles` increment) — only the configuration's
-    /// own invalidity is an error.
+    /// Fetch the kernel for a configuration of either datatype compiled for
+    /// `backend`, compiling it on miss (see [`KernelCache::fetch_any`]).
+    pub fn get_or_compile_backend_any(
+        &self,
+        cfg: &AnyGemmConfig,
+        backend: Backend,
+    ) -> Result<Arc<RoutedKernel>, GemmError> {
+        self.fetch_any(cfg, backend).map(|(kernel, _)| kernel)
+    }
+
+    /// FP32 convenience for [`KernelCache::fetch_any`].
     pub fn fetch(
         &self,
         cfg: &GemmConfig,
+        backend: Backend,
+    ) -> Result<(Arc<RoutedKernel>, bool), GemmError> {
+        self.fetch_any(&AnyGemmConfig::Fp32(*cfg), backend)
+    }
+
+    /// Fetch the kernel for a configuration of either datatype compiled for
+    /// `backend` and report whether the request hit the cache (the flag
+    /// feeds the router's per-shape telemetry).
+    ///
+    /// On miss the plan store is consulted with the normalized tuning key;
+    /// a stored winner **for the requested backend** is compiled through
+    /// the tuned dispatch path ([`sme_gemm::generate_any_routed`]),
+    /// anything else through the backend's default generator
+    /// ([`sme_gemm::generate_any_backend`]). A tuned record that fails to
+    /// compile falls back to the backend default (visible as a miss without
+    /// a matching `tuned_compiles` increment) — only the configuration's
+    /// own invalidity is an error.
+    pub fn fetch_any(
+        &self,
+        cfg: &AnyGemmConfig,
         backend: Backend,
     ) -> Result<(Arc<RoutedKernel>, bool), GemmError> {
         let key = (*cfg, backend);
@@ -204,7 +254,7 @@ impl KernelCache {
             .store
             .read()
             .expect("plan store poisoned")
-            .lookup(cfg)
+            .lookup_any(cfg)
             .copied()
             .filter(|record| record.candidate.backend == backend);
         let kernel = match tuned {
@@ -213,14 +263,14 @@ impl KernelCache {
             // configuration undispatchable: fall back to the default
             // kernel of the requested backend and leave `tuned_compiles`
             // untouched so the degradation is visible in the counters.
-            Some(record) => match generate_routed(cfg, &record.candidate) {
+            Some(record) => match generate_any_routed(cfg, &record.candidate) {
                 Ok(kernel) => {
                     self.tuned_compiles.fetch_add(1, Ordering::Relaxed);
                     kernel
                 }
-                Err(_) => generate_backend(cfg, backend)?,
+                Err(_) => generate_any_backend(cfg, backend)?,
             },
-            None => generate_backend(cfg, backend)?,
+            None => generate_any_backend(cfg, backend)?,
         };
         let kernel = Arc::new(kernel);
         let evicted = shard.insert(key, kernel.clone(), self.shard_capacity);
@@ -228,15 +278,25 @@ impl KernelCache {
         Ok((kernel, false))
     }
 
-    /// Look up `cfg` on its preferred backend without compiling or touching
-    /// the counters (recency is still refreshed on hit).
+    /// Look up an FP32 `cfg` on its preferred backend without compiling or
+    /// touching the counters (recency is still refreshed on hit).
     pub fn peek(&self, cfg: &GemmConfig) -> Option<Arc<RoutedKernel>> {
-        self.peek_backend(cfg, self.preferred_backend(cfg))
+        let cfg = AnyGemmConfig::Fp32(*cfg);
+        self.peek_backend_any(&cfg, self.preferred_backend_any(&cfg))
     }
 
-    /// Look up `cfg` compiled for `backend` without compiling or touching
-    /// the counters.
+    /// FP32 convenience for [`KernelCache::peek_backend_any`].
     pub fn peek_backend(&self, cfg: &GemmConfig, backend: Backend) -> Option<Arc<RoutedKernel>> {
+        self.peek_backend_any(&AnyGemmConfig::Fp32(*cfg), backend)
+    }
+
+    /// Look up a configuration of either datatype compiled for `backend`
+    /// without compiling or touching the counters.
+    pub fn peek_backend_any(
+        &self,
+        cfg: &AnyGemmConfig,
+        backend: Backend,
+    ) -> Option<Arc<RoutedKernel>> {
         let key = (*cfg, backend);
         self.shard_for(&key)
             .lock()
@@ -244,8 +304,14 @@ impl KernelCache {
             .get(&key)
     }
 
-    /// Drop every cached kernel for `cfg` (all backends).
+    /// Drop every cached kernel for an FP32 `cfg` (all backends).
     pub fn invalidate(&self, cfg: &GemmConfig) -> bool {
+        self.invalidate_any(&AnyGemmConfig::Fp32(*cfg))
+    }
+
+    /// Drop every cached kernel for a configuration of either datatype
+    /// (all backends).
+    pub fn invalidate_any(&self, cfg: &AnyGemmConfig) -> bool {
         let mut dropped = false;
         for backend in Backend::all() {
             let key = (*cfg, backend);
@@ -257,30 +323,43 @@ impl KernelCache {
         dropped
     }
 
-    /// Install a tuned winner for `cfg` and invalidate every cached kernel
-    /// (on any backend) that shares its tuning key, so the next request
-    /// compiles the tuned variant.
+    /// Install a tuned winner for an FP32 `cfg` (see
+    /// [`KernelCache::install_tuned_any`]).
     pub fn install_tuned(&self, cfg: &GemmConfig, record: TunedRecord) {
-        let key = tune_key(cfg);
+        self.install_tuned_any(&AnyGemmConfig::Fp32(*cfg), record)
+    }
+
+    /// Install a tuned winner for a configuration of either datatype and
+    /// invalidate every cached kernel (on any backend) that shares its
+    /// tuning key, so the next request compiles the tuned variant.
+    pub fn install_tuned_any(&self, cfg: &AnyGemmConfig, record: TunedRecord) {
+        let key = tune_key_any(cfg);
         self.store
             .write()
             .expect("plan store poisoned")
-            .insert(cfg, record);
+            .insert_any(cfg, record);
         for shard in &self.shards {
             shard
                 .lock()
                 .expect("cache shard poisoned")
                 .entries
-                .retain(|((c, _), _)| tune_key(c) != key);
+                .retain(|((c, _), _)| tune_key_any(c) != key);
         }
     }
 
-    /// The tuned record that would be used for `cfg`, if one is stored.
+    /// The tuned record that would be used for an FP32 `cfg`, if one is
+    /// stored.
     pub fn lookup_tuned(&self, cfg: &GemmConfig) -> Option<TunedRecord> {
+        self.lookup_tuned_any(&AnyGemmConfig::Fp32(*cfg))
+    }
+
+    /// The tuned record that would be used for a configuration of either
+    /// datatype, if one is stored.
+    pub fn lookup_tuned_any(&self, cfg: &AnyGemmConfig) -> Option<TunedRecord> {
         self.store
             .read()
             .expect("plan store poisoned")
-            .lookup(cfg)
+            .lookup_any(cfg)
             .copied()
     }
 
@@ -355,7 +434,7 @@ mod tests {
         let cache = KernelCache::new(8);
         let shard_of = |cfg: &GemmConfig| {
             let mut hasher = DefaultHasher::new();
-            (*cfg, Backend::Sme).hash(&mut hasher);
+            (AnyGemmConfig::Fp32(*cfg), Backend::Sme).hash(&mut hasher);
             (hasher.finish() as usize) % SHARDS
         };
         // Find two configs sharing a shard.
@@ -386,7 +465,7 @@ mod tests {
         let cache = KernelCache::new(16);
         let shard_of = |cfg: &GemmConfig| {
             let mut hasher = DefaultHasher::new();
-            (*cfg, Backend::Sme).hash(&mut hasher);
+            (AnyGemmConfig::Fp32(*cfg), Backend::Sme).hash(&mut hasher);
             (hasher.finish() as usize) % SHARDS
         };
         let mut same_shard = Vec::new();
@@ -413,7 +492,7 @@ mod tests {
         let cfg = GemmConfig::abt(40, 40, 16);
         // Without a record: default compile.
         let plain = cache.get_or_compile(&cfg).unwrap();
-        assert_eq!(plain.config().c_transfer, cfg.c_transfer);
+        assert_eq!(plain.fp32_config().unwrap().c_transfer, cfg.c_transfer);
         assert_eq!(cache.stats().tuned_compiles, 0);
 
         // Installing a winner invalidates and redirects the next compile.
@@ -430,8 +509,11 @@ mod tests {
         cache.install_tuned(&cfg, record);
         assert!(cache.peek(&cfg).is_none(), "stale kernel invalidated");
         let tuned = cache.get_or_compile(&cfg).unwrap();
-        assert_eq!(tuned.config().c_transfer, ZaTransferStrategy::Direct);
-        assert_eq!(tuned.config().k_unroll, 4);
+        assert_eq!(
+            tuned.fp32_config().unwrap().c_transfer,
+            ZaTransferStrategy::Direct
+        );
+        assert_eq!(tuned.fp32_config().unwrap().k_unroll, 4);
         assert_eq!(cache.stats().tuned_compiles, 1);
         assert_eq!(cache.lookup_tuned(&cfg).unwrap(), record);
 
@@ -439,7 +521,7 @@ mod tests {
         let variant = cfg.with_k_unroll(2);
         assert_eq!(tune_key(&variant), tune_key(&cfg));
         let tuned2 = cache.get_or_compile(&variant).unwrap();
-        assert_eq!(tuned2.config().k_unroll, 4, "tuned knobs win");
+        assert_eq!(tuned2.fp32_config().unwrap().k_unroll, 4, "tuned knobs win");
         // …and replace_store drops everything.
         cache.replace_store(PlanStore::new());
         assert!(cache.is_empty());

@@ -9,24 +9,29 @@
 //! the three pieces the bare generator lacks:
 //!
 //! * [`KernelCache`] — a sharded, thread-safe, bounded-LRU cache keyed by
-//!   **[`GemmConfig`] plus [`Backend`]**, handing out
+//!   **[`AnyGemmConfig`] plus [`Backend`]** (the unified datatype-aware
+//!   key: FP32 [`GemmConfig`] or BF16 widening
+//!   [`sme_gemm::WideningGemmConfig`]), handing out
 //!   `Arc<sme_gemm::RoutedKernel>` on hit and compiling on miss, with
 //!   exact hit/miss/eviction counters;
 //! * [`tuner`] — an autotuner that enumerates the candidate block plans,
-//!   ZA-transfer strategies and unroll factors **across both backends**
-//!   ([`sme_gemm::enumerate_candidates`]), prunes analytically dominated
-//!   plans ([`sme_gemm::prune_dominated_candidates`]), scores the rest by
+//!   ZA-transfer strategies and unroll factors **across both backends and
+//!   both datatypes** ([`sme_gemm::enumerate_any_candidates`]), prunes
+//!   analytically dominated FP32 plans
+//!   ([`sme_gemm::prune_dominated_candidates`]), scores the rest by
 //!   simulated cycles on the `sme-machine` timing model, and persists
-//!   winners in a versioned, machine-fingerprinted serde-JSON
-//!   [`PlanStore`] the cache consults before falling back to the
-//!   requested backend's default kernel;
+//!   winners in a versioned, machine-fingerprinted, dtype-tagged
+//!   serde-JSON [`PlanStore`] the cache consults before falling back to
+//!   the requested backend's default kernel;
 //! * [`GemmService`] — a batched front end that accepts mixed-configuration
-//!   request batches, groups them by kernel, fans the groups out across
-//!   host threads via `rayon`, and aggregates [`sme_machine::ExecStats`]
-//!   per configuration. Routing — *which engine serves a group* — is
-//!   delegated: [`GemmService::dispatch`] follows each shape's tuned
-//!   winner, and [`GemmService::dispatch_routed`] takes an explicit
-//!   per-configuration decision (the `sme-router` crate's hook).
+//!   (and mixed-datatype) request batches, groups them by kernel, fans the
+//!   groups out across host threads via `rayon`, and aggregates
+//!   [`sme_machine::ExecStats`] per configuration (each
+//!   [`ConfigReport`] tagged with its dtype and backend). Routing —
+//!   *which engine serves a group* — is delegated:
+//!   [`GemmService::dispatch`] follows each shape's tuned winner, and
+//!   [`GemmService::dispatch_routed`] takes an explicit per-configuration
+//!   decision (the `sme-router` crate's hook).
 //!
 //! ## Cache → tune → dispatch
 //!
@@ -40,7 +45,7 @@
 //! // Dispatch compiles on first sight, then serves every repeat from the
 //! // cache — counter-verified.
 //! let batch: Vec<GemmRequest> = (0..4)
-//!     .map(|seed| GemmRequest { config: cfg, seed })
+//!     .map(|seed| GemmRequest::fp32(cfg, seed))
 //!     .collect();
 //! service.dispatch(&batch).expect("valid batch");
 //! service.dispatch(&batch).expect("valid batch");
@@ -70,10 +75,11 @@ pub mod tuner;
 pub use cache::{CacheStats, KernelCache};
 pub use service::{BatchReport, ConfigReport, GemmRequest, GemmService};
 pub use store::{
-    tune_key, FingerprintCheck, PlanStore, PlanStoreError, TunedRecord, PLAN_STORE_VERSION,
+    tune_key, tune_key_any, FingerprintCheck, PlanStore, PlanStoreError, TunedRecord,
+    PLAN_STORE_VERSION,
 };
-pub use tuner::{tune, tune_into_store, TuneOutcome, TunerOptions};
+pub use tuner::{tune, tune_any, tune_any_into_store, tune_into_store, TuneOutcome, TunerOptions};
 
-// Re-exported so doc examples and downstream callers can name the config
-// and backend types without adding a direct `sme-gemm` dependency.
-pub use sme_gemm::{Backend, GemmConfig};
+// Re-exported so doc examples and downstream callers can name the config,
+// dtype and backend types without adding a direct `sme-gemm` dependency.
+pub use sme_gemm::{AnyGemmConfig, Backend, Dtype, GemmConfig, WideningGemmConfig};

@@ -22,28 +22,49 @@
 use crate::cache::KernelCache;
 use crate::tuner::{self, TuneOutcome, TunerOptions};
 use rayon::prelude::*;
-use sme_gemm::{Backend, GemmConfig, GemmError};
+use sme_gemm::{AnyGemmConfig, Backend, Dtype, GemmConfig, GemmError, WideningGemmConfig};
 use sme_machine::exec::{RunOptions, Simulator};
 use sme_machine::ExecStats;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// One GEMM execution request: a configuration plus the seed from which the
-/// operands are derived deterministically (the service owns the simulated
-/// memory, so operands are generated, not passed by pointer).
+/// One GEMM execution request: a configuration of either datatype plus the
+/// seed from which the operands are derived deterministically (the service
+/// owns the simulated memory, so operands are generated, not passed by
+/// pointer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmRequest {
     /// The kernel configuration.
-    pub config: GemmConfig,
+    pub config: AnyGemmConfig,
     /// Seed for the pseudo-random A, B and initial C operands.
     pub seed: u64,
+}
+
+impl GemmRequest {
+    /// An FP32 request.
+    pub fn fp32(config: GemmConfig, seed: u64) -> Self {
+        GemmRequest {
+            config: AnyGemmConfig::Fp32(config),
+            seed,
+        }
+    }
+
+    /// A BF16 → FP32 widening request.
+    pub fn widening(config: WideningGemmConfig, seed: u64) -> Self {
+        GemmRequest {
+            config: AnyGemmConfig::WideningBf16(config),
+            seed,
+        }
+    }
 }
 
 /// Aggregated statistics for all requests sharing one configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConfigReport {
     /// The configuration.
-    pub config: GemmConfig,
+    pub config: AnyGemmConfig,
+    /// The datatype family of the group's kernel.
+    pub dtype: Dtype,
     /// The backend the group's kernel executed on.
     pub backend: Backend,
     /// `true` if the group's single kernel fetch was served from the cache
@@ -134,19 +155,30 @@ impl GemmService {
         &self.cache
     }
 
-    /// Autotune `cfg` and install the winner, so subsequent dispatches of
-    /// this shape (whatever their knob settings) use the tuned kernel.
+    /// Autotune an FP32 `cfg` and install the winner (see
+    /// [`GemmService::tune_any`]).
     pub fn tune(&self, cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
-        let outcome = tuner::tune(cfg, opts)?;
-        self.cache.install_tuned(cfg, outcome.record());
+        self.tune_any(&AnyGemmConfig::Fp32(*cfg), opts)
+    }
+
+    /// Autotune a configuration of either datatype and install the winner,
+    /// so subsequent dispatches of this shape (whatever their knob
+    /// settings) use the tuned kernel.
+    pub fn tune_any(
+        &self,
+        cfg: &AnyGemmConfig,
+        opts: &TunerOptions,
+    ) -> Result<TuneOutcome, GemmError> {
+        let outcome = tuner::tune_any(cfg, opts)?;
+        self.cache.install_tuned_any(cfg, outcome.record());
         Ok(outcome)
     }
 
     /// Dispatch a batch of requests on each configuration's preferred
-    /// backend (the tuned winner's engine, or SME for untuned shapes — see
-    /// [`KernelCache::preferred_backend`]).
+    /// backend (the tuned winner's engine, or the datatype's default engine
+    /// for untuned shapes — see [`KernelCache::preferred_backend_any`]).
     pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<BatchReport, GemmError> {
-        self.dispatch_routed(requests, |cfg| self.cache.preferred_backend(cfg))
+        self.dispatch_routed(requests, |cfg| self.cache.preferred_backend_any(cfg))
     }
 
     /// Dispatch a batch with an explicit routing decision per configuration.
@@ -154,7 +186,10 @@ impl GemmService {
     /// This is the hook the `sme-router` crate plugs its policy into: the
     /// service owns grouping, caching and fan-out, and delegates only the
     /// *which engine* question to `route` (called once per distinct
-    /// configuration, not once per request).
+    /// configuration, not once per request). Batches may mix FP32 and BF16
+    /// widening requests freely — the datatype travels inside the
+    /// [`AnyGemmConfig`] key, so grouping, caching and telemetry never
+    /// conflate the two families of one shape.
     ///
     /// Requests are grouped by configuration; each distinct configuration
     /// costs at most one cache miss, and the groups execute concurrently on
@@ -162,17 +197,18 @@ impl GemmService {
     ///
     /// # Errors
     /// Fails on the first invalid configuration — including a routing
-    /// decision the backend's generator cannot honour (e.g. Neon for a
-    /// shape off its 16×4 grid); no partial report is returned (kernels
-    /// compiled before the failure stay cached).
+    /// decision the backend's generator cannot honour (e.g. Neon for an
+    /// FP32 shape off its 16×4 grid, or SME for a widening shape off its
+    /// 32×32 grid); no partial report is returned (kernels compiled before
+    /// the failure stay cached).
     pub fn dispatch_routed(
         &self,
         requests: &[GemmRequest],
-        route: impl Fn(&GemmConfig) -> Backend + Sync,
+        route: impl Fn(&AnyGemmConfig) -> Backend + Sync,
     ) -> Result<BatchReport, GemmError> {
         // Group request indices by configuration, first-appearance order.
-        let mut group_of: HashMap<GemmConfig, usize> = HashMap::new();
-        let mut groups: Vec<(GemmConfig, Vec<usize>)> = Vec::new();
+        let mut group_of: HashMap<AnyGemmConfig, usize> = HashMap::new();
+        let mut groups: Vec<(AnyGemmConfig, Vec<usize>)> = Vec::new();
         for (index, request) in requests.iter().enumerate() {
             match group_of.get(&request.config) {
                 Some(&g) => groups[g].1.push(index),
@@ -192,7 +228,7 @@ impl GemmService {
             .par_iter()
             .map(|(config, indices)| {
                 let backend = route(config);
-                let (kernel, cache_hit) = self.cache.fetch(config, backend)?;
+                let (kernel, cache_hit) = self.cache.fetch_any(config, backend)?;
                 let mut sim = Simulator::m4_performance();
                 let mut stats = ExecStats::default();
                 let mut outputs = Vec::with_capacity(indices.len());
@@ -217,6 +253,7 @@ impl GemmService {
             total.merge(&stats);
             per_config.push(ConfigReport {
                 config: *config,
+                dtype: config.dtype(),
                 backend,
                 cache_hit,
                 requests: indices.len(),
@@ -238,7 +275,7 @@ mod tests {
 
     /// The C buffer the scalar reference produces for one request.
     fn reference_output(request: &GemmRequest) -> Vec<f32> {
-        let cfg = &request.config;
+        let cfg = request.config.as_fp32().expect("FP32 request");
         let mut a = vec![0.0f32; cfg.a_len()];
         let mut b = vec![0.0f32; cfg.b_len()];
         let mut c = vec![0.0f32; cfg.c_len()];
@@ -256,31 +293,20 @@ mod tests {
         let abt = GemmConfig::abt(20, 12, 6);
         let ab = GemmConfig::ab(16, 16, 8);
         let requests = [
-            GemmRequest {
-                config: abt,
-                seed: 1,
-            },
-            GemmRequest {
-                config: ab,
-                seed: 2,
-            },
-            GemmRequest {
-                config: abt,
-                seed: 3,
-            },
-            GemmRequest {
-                config: ab,
-                seed: 4,
-            },
-            GemmRequest {
-                config: abt,
-                seed: 5,
-            },
+            GemmRequest::fp32(abt, 1),
+            GemmRequest::fp32(ab, 2),
+            GemmRequest::fp32(abt, 3),
+            GemmRequest::fp32(ab, 4),
+            GemmRequest::fp32(abt, 5),
         ];
         let report = service.dispatch(&requests).unwrap();
         assert_eq!(report.outputs.len(), 5);
         assert_eq!(report.per_config.len(), 2, "two distinct configurations");
-        assert_eq!(report.per_config[0].config, abt, "first-appearance order");
+        assert_eq!(
+            report.per_config[0].config,
+            abt.into(),
+            "first-appearance order"
+        );
         assert_eq!(report.per_config[0].requests, 3);
         assert_eq!(report.per_config[1].requests, 2);
         // One compile per distinct configuration.
@@ -306,10 +332,7 @@ mod tests {
     #[test]
     fn repeat_batches_are_served_from_the_cache() {
         let service = GemmService::new(16);
-        let requests = [GemmRequest {
-            config: GemmConfig::abt(16, 16, 4),
-            seed: 9,
-        }];
+        let requests = [GemmRequest::fp32(GemmConfig::abt(16, 16, 4), 9)];
         let first = service.dispatch(&requests).unwrap();
         let second = service.dispatch(&requests).unwrap();
         assert_eq!(first.outputs, second.outputs, "deterministic results");
@@ -334,14 +357,8 @@ mod tests {
     fn invalid_requests_fail_the_whole_batch() {
         let service = GemmService::new(4);
         let requests = [
-            GemmRequest {
-                config: GemmConfig::abt(16, 16, 4),
-                seed: 0,
-            },
-            GemmRequest {
-                config: GemmConfig::abt(0, 16, 4),
-                seed: 0,
-            },
+            GemmRequest::fp32(GemmConfig::abt(16, 16, 4), 0),
+            GemmRequest::fp32(GemmConfig::abt(0, 16, 4), 0),
         ];
         assert!(service.dispatch(&requests).is_err());
     }
@@ -352,10 +369,10 @@ mod tests {
         let mut requests = Vec::new();
         for (i, mn) in [16usize, 24, 32, 40].into_iter().enumerate() {
             for r in 0..3 {
-                requests.push(GemmRequest {
-                    config: GemmConfig::abt(mn, mn, 8),
-                    seed: (i * 10 + r) as u64,
-                });
+                requests.push(GemmRequest::fp32(
+                    GemmConfig::abt(mn, mn, 8),
+                    (i * 10 + r) as u64,
+                ));
             }
         }
         let report = service.dispatch(&requests).unwrap();
@@ -380,18 +397,12 @@ mod tests {
         let neonable = GemmConfig::abt(16, 4, 4);
         let sme_only = GemmConfig::abt(33, 17, 5); // off the Neon 16×4 grid
         let requests = [
-            GemmRequest {
-                config: neonable,
-                seed: 1,
-            },
-            GemmRequest {
-                config: sme_only,
-                seed: 2,
-            },
+            GemmRequest::fp32(neonable, 1),
+            GemmRequest::fp32(sme_only, 2),
         ];
         let report = service
             .dispatch_routed(&requests, |cfg| {
-                if *cfg == neonable {
+                if *cfg == neonable.into() {
                     Backend::Neon
                 } else {
                     Backend::Sme
@@ -414,7 +425,7 @@ mod tests {
         // A repeat is served from the per-backend cache entry.
         let again = service
             .dispatch_routed(&requests, |cfg| {
-                if *cfg == neonable {
+                if *cfg == neonable.into() {
                     Backend::Neon
                 } else {
                     Backend::Sme
@@ -434,13 +445,58 @@ mod tests {
     }
 
     #[test]
+    fn mixed_dtype_batches_group_and_report_per_dtype() {
+        use sme_gemm::{widening_rel_error, WIDENING_REL_TOL};
+        let service = GemmService::new(16);
+        let fp32 = GemmConfig::abt(32, 32, 8);
+        let wide = WideningGemmConfig::new(32, 32, 8).unwrap();
+        let requests = [
+            GemmRequest::fp32(fp32, 1),
+            GemmRequest::widening(wide, 2),
+            GemmRequest::fp32(fp32, 3),
+            GemmRequest::widening(wide, 4),
+        ];
+        let report = service.dispatch(&requests).unwrap();
+        assert_eq!(report.per_config.len(), 2, "same shape, distinct dtypes");
+        assert_eq!(report.per_config[0].dtype, Dtype::Fp32);
+        assert_eq!(report.per_config[1].dtype, Dtype::WideningBf16);
+        assert_eq!(
+            service.cache().stats().misses,
+            2,
+            "one compile per (config, dtype)"
+        );
+        // FP32 outputs bit-match the scalar reference path…
+        for (request, output) in requests.iter().zip(&report.outputs).step_by(2) {
+            assert_eq!(output, &reference_output(request));
+        }
+        // …and widening outputs stay within the BF16 oracle tolerance.
+        for (request, output) in requests.iter().zip(&report.outputs).skip(1).step_by(2) {
+            let mut a = vec![0.0f32; wide.m * wide.k];
+            let mut b = vec![0.0f32; wide.k * wide.n];
+            let mut c = vec![0.0f32; wide.c_len()];
+            fill_matrix(request.seed, &mut a);
+            fill_matrix(request.seed ^ 0x1111_1111, &mut b);
+            fill_matrix(request.seed ^ 0x2222_2222, &mut c);
+            sme_gemm::widening_reference(&wide, &a, &b, &mut c);
+            let err = widening_rel_error(output, &c);
+            assert!(err < WIDENING_REL_TOL, "widening error {err}");
+        }
+        assert_eq!(
+            report.total_flops(),
+            2 * fp32.flops() + 2 * wide.flops(),
+            "flops aggregate across dtypes"
+        );
+        // A repeat batch is served entirely from the cache.
+        let again = service.dispatch(&requests).unwrap();
+        assert!(again.per_config.iter().all(|c| c.cache_hit));
+        assert_eq!(report.outputs, again.outputs);
+    }
+
+    #[test]
     fn tuning_through_the_service_redirects_dispatch() {
         let service = GemmService::new(16);
         let cfg = GemmConfig::abt(64, 16, 32);
-        let requests = [GemmRequest {
-            config: cfg,
-            seed: 3,
-        }];
+        let requests = [GemmRequest::fp32(cfg, 3)];
         let untuned = service.dispatch(&requests).unwrap();
         let outcome = service.tune(&cfg, &TunerOptions::default()).unwrap();
         assert!(outcome.tuned_cycles <= outcome.default_cycles);

@@ -2,27 +2,35 @@
 //!
 //! The tuner is expensive (it generates and timing-simulates every
 //! candidate), so winners are worth keeping across runs. A [`PlanStore`]
-//! maps a *normalized* [`GemmConfig`] — the shape, leading dimensions,
-//! layout and accumulation mode, with the tunable code-generation knobs
-//! reset — to the winning [`PlanCandidate`] and its scores, and round-trips
-//! through a small versioned JSON document (see [`PlanStore::to_json`]).
+//! maps a *normalized* [`AnyGemmConfig`] — the datatype family, shape,
+//! leading dimensions, layout and accumulation mode, with the tunable
+//! code-generation knobs reset — to the winning [`PlanCandidate`] and its
+//! scores, and round-trips through a small versioned JSON document (see
+//! [`PlanStore::to_json`]).
 //!
 //! A record never stores the expanded block list: a [`PlanKind`] is enough
 //! to re-derive the plan deterministically, which keeps the document tiny
 //! and immune to staleness in the block geometry itself.
 
 use serde::Serialize;
-use sme_gemm::{BLayout, Backend, Beta, GemmConfig, PlanCandidate, PlanKind, ZaTransferStrategy};
+use sme_gemm::{
+    AnyGemmConfig, BLayout, Backend, Beta, Dtype, GemmConfig, PlanCandidate, PlanKind,
+    WideningGemmConfig, ZaTransferStrategy,
+};
 use sme_machine::MachineConfig;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
-/// Version stamp written into the JSON document. Version 2 added the
-/// per-entry `backend` tag and the optional `machine_fingerprint` stamp;
-/// version-1 documents still load (their entries are implicitly SME and
+/// Version stamp written into the JSON document. Version 3 made the
+/// datatype a first-class dimension: entries carry a `dtype` tag
+/// (`"Fp32"` or `"WideningBf16"`), and widening entries omit the FP32-only
+/// fields (`lda`/`ldb`/`ldc`/`b_layout`/`beta`). Version 2 added the
+/// per-entry `backend` tag and the optional `machine_fingerprint` stamp.
+/// Version-2 and version-1 documents still load (their entries are
+/// implicitly FP32; version-1 entries are additionally implicitly SME and
 /// unstamped).
-pub const PLAN_STORE_VERSION: u64 = 2;
+pub const PLAN_STORE_VERSION: u64 = 3;
 
 /// The tuning result stored for one normalized configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,16 +106,28 @@ pub enum FingerprintCheck {
 /// the fingerprint of the machine model the winners were tuned on.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlanStore {
-    entries: HashMap<GemmConfig, TunedRecord>,
+    entries: HashMap<AnyGemmConfig, TunedRecord>,
     machine_fingerprint: Option<u64>,
 }
 
-/// Normalize a configuration to its tuning key: the tunable knobs
+/// Normalize an FP32 configuration to its tuning key: the tunable knobs
 /// (`c_transfer`, `k_unroll`) are reset to fixed values so that requests
 /// differing only in those knobs share one tuned winner.
 pub fn tune_key(cfg: &GemmConfig) -> GemmConfig {
     cfg.with_c_transfer(ZaTransferStrategy::TwoStep)
         .with_k_unroll(1)
+}
+
+/// Normalize a configuration of either datatype to its tuning key (the
+/// dtype-generic twin of [`tune_key`]).
+pub fn tune_key_any(cfg: &AnyGemmConfig) -> AnyGemmConfig {
+    match cfg {
+        AnyGemmConfig::Fp32(c) => AnyGemmConfig::Fp32(tune_key(c)),
+        AnyGemmConfig::WideningBf16(c) => AnyGemmConfig::WideningBf16(
+            c.with_c_transfer(ZaTransferStrategy::TwoStep)
+                .with_k_unroll(1),
+        ),
+    }
 }
 
 impl PlanStore {
@@ -185,38 +205,53 @@ impl PlanStore {
         self.entries.is_empty()
     }
 
-    /// Record the winner for `cfg` (normalized internally). Returns the
-    /// previous record, if any.
+    /// Record the winner for an FP32 configuration (normalized internally).
+    /// Returns the previous record, if any.
     pub fn insert(&mut self, cfg: &GemmConfig, record: TunedRecord) -> Option<TunedRecord> {
-        self.entries.insert(tune_key(cfg), record)
+        self.insert_any(&AnyGemmConfig::Fp32(*cfg), record)
     }
 
-    /// Look up the winner for `cfg` (normalized internally).
+    /// Record the winner for a configuration of either datatype
+    /// (normalized internally). Returns the previous record, if any.
+    pub fn insert_any(&mut self, cfg: &AnyGemmConfig, record: TunedRecord) -> Option<TunedRecord> {
+        self.entries.insert(tune_key_any(cfg), record)
+    }
+
+    /// Look up the winner for an FP32 configuration (normalized
+    /// internally).
     pub fn lookup(&self, cfg: &GemmConfig) -> Option<&TunedRecord> {
-        self.entries.get(&tune_key(cfg))
+        self.lookup_any(&AnyGemmConfig::Fp32(*cfg))
+    }
+
+    /// Look up the winner for a configuration of either datatype
+    /// (normalized internally).
+    pub fn lookup_any(&self, cfg: &AnyGemmConfig) -> Option<&TunedRecord> {
+        self.entries.get(&tune_key_any(cfg))
     }
 
     /// Iterate over `(normalized config, record)` pairs in unspecified
     /// order.
-    pub fn iter(&self) -> impl Iterator<Item = (&GemmConfig, &TunedRecord)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&AnyGemmConfig, &TunedRecord)> {
         self.entries.iter()
     }
 
     /// Serialize to the versioned JSON document, with entries sorted by
-    /// shape so the output is deterministic. The machine fingerprint, when
-    /// stamped, is written as a 16-digit hex string (JSON numbers cannot
-    /// carry 64 bits losslessly).
+    /// datatype then shape so the output is deterministic. The machine
+    /// fingerprint, when stamped, is written as a 16-digit hex string (JSON
+    /// numbers cannot carry 64 bits losslessly). Widening entries write
+    /// `null` for the FP32-only fields.
     pub fn to_json(&self) -> String {
         #[derive(Serialize)]
         struct Entry {
+            dtype: String,
             m: usize,
             n: usize,
             k: usize,
-            lda: usize,
-            ldb: usize,
-            ldc: usize,
-            b_layout: BLayout,
-            beta: Beta,
+            lda: Option<usize>,
+            ldb: Option<usize>,
+            ldc: Option<usize>,
+            b_layout: Option<BLayout>,
+            beta: Option<Beta>,
             backend: String,
             plan: String,
             c_transfer: ZaTransferStrategy,
@@ -230,39 +265,42 @@ impl PlanStore {
             machine_fingerprint: Option<String>,
             entries: Vec<Entry>,
         }
-        let mut pairs: Vec<(&GemmConfig, &TunedRecord)> = self.entries.iter().collect();
-        pairs.sort_by_key(|(c, _)| {
-            (
-                c.m,
-                c.n,
-                c.k,
-                c.lda,
-                c.ldb,
-                c.ldc,
-                c.b_layout == BLayout::ColMajor,
-                c.beta == Beta::One,
-            )
-        });
+        let mut pairs: Vec<(&AnyGemmConfig, &TunedRecord)> = self.entries.iter().collect();
+        pairs.sort_by_key(|(c, _)| c.ordering_key());
         let doc = Doc {
             version: PLAN_STORE_VERSION,
             machine_fingerprint: self.machine_fingerprint.map(|fp| format!("{fp:016x}")),
             entries: pairs
                 .into_iter()
-                .map(|(c, r)| Entry {
-                    m: c.m,
-                    n: c.n,
-                    k: c.k,
-                    lda: c.lda,
-                    ldb: c.ldb,
-                    ldc: c.ldc,
-                    b_layout: c.b_layout,
-                    beta: c.beta,
-                    backend: r.candidate.backend.name().to_string(),
-                    plan: r.candidate.kind.name().to_string(),
-                    c_transfer: r.candidate.c_transfer,
-                    k_unroll: r.candidate.k_unroll,
-                    tuned_cycles: r.tuned_cycles,
-                    default_cycles: r.default_cycles,
+                .map(|(any, r)| {
+                    let base = Entry {
+                        dtype: any.dtype().name().to_string(),
+                        m: any.m(),
+                        n: any.n(),
+                        k: any.k(),
+                        lda: None,
+                        ldb: None,
+                        ldc: None,
+                        b_layout: None,
+                        beta: None,
+                        backend: r.candidate.backend.name().to_string(),
+                        plan: r.candidate.kind.name().to_string(),
+                        c_transfer: r.candidate.c_transfer,
+                        k_unroll: r.candidate.k_unroll,
+                        tuned_cycles: r.tuned_cycles,
+                        default_cycles: r.default_cycles,
+                    };
+                    match any {
+                        AnyGemmConfig::Fp32(c) => Entry {
+                            lda: Some(c.lda),
+                            ldb: Some(c.ldb),
+                            ldc: Some(c.ldc),
+                            b_layout: Some(c.b_layout),
+                            beta: Some(c.beta),
+                            ..base
+                        },
+                        AnyGemmConfig::WideningBf16(_) => base,
+                    }
                 })
                 .collect(),
         };
@@ -270,13 +308,13 @@ impl PlanStore {
     }
 
     /// Parse a document produced by [`PlanStore::to_json`] (or by the
-    /// version-1 format, whose entries are implicitly SME and unstamped).
+    /// version-1/-2 formats, whose entries are implicitly FP32).
     pub fn from_json(text: &str) -> Result<Self, PlanStoreError> {
         let fail = |msg: &str| PlanStoreError::Format(msg.to_string());
         let doc = serde_json::from_str(text)
             .map_err(|e| PlanStoreError::Format(format!("invalid JSON: {e}")))?;
         let version = match doc.get("version").and_then(|v| v.as_u64()) {
-            Some(v @ (1 | PLAN_STORE_VERSION)) => v,
+            Some(v @ (1 | 2 | PLAN_STORE_VERSION)) => v,
             Some(other) => {
                 return Err(PlanStoreError::Format(format!(
                     "unsupported plan store version {other} (expected {PLAN_STORE_VERSION})"
@@ -321,15 +359,13 @@ impl PlanStore {
                     .and_then(|v| v.as_f64())
                     .ok_or_else(|| fail(&format!("entry missing number field `{name}`")))
             };
-            let b_layout = match text_field("b_layout")? {
-                "RowMajor" => BLayout::RowMajor,
-                "ColMajor" => BLayout::ColMajor,
-                other => return Err(fail(&format!("unknown b_layout `{other}`"))),
-            };
-            let beta = match text_field("beta")? {
-                "Zero" => Beta::Zero,
-                "One" => Beta::One,
-                other => return Err(fail(&format!("unknown beta `{other}`"))),
+            // Versions 1 and 2 predate the datatype dimension: every entry
+            // is an FP32 winner.
+            let dtype = if version < PLAN_STORE_VERSION {
+                Dtype::Fp32
+            } else {
+                let name = text_field("dtype")?;
+                Dtype::from_name(name).ok_or_else(|| fail(&format!("unknown dtype `{name}`")))?
             };
             let c_transfer = match text_field("c_transfer")? {
                 "Direct" => ZaTransferStrategy::Direct,
@@ -348,43 +384,87 @@ impl PlanStore {
                 Backend::from_name(name)
                     .ok_or_else(|| fail(&format!("unknown backend `{name}`")))?
             };
-            let key = GemmConfig {
-                m: dim("m")?,
-                n: dim("n")?,
-                k: dim("k")?,
-                lda: dim("lda")?,
-                ldb: dim("ldb")?,
-                ldc: dim("ldc")?,
-                b_layout,
-                beta,
-                c_transfer: ZaTransferStrategy::TwoStep,
-                k_unroll: 1,
-            };
-            key.validate()
-                .map_err(|e| fail(&format!("invalid stored configuration: {e}")))?;
-            // Validate the candidate too: a malformed record would otherwise
-            // surface much later, as a compile error on every request for
-            // this shape.
             let k_unroll = dim("k_unroll")?;
             if !matches!(k_unroll, 1 | 2 | 4) {
                 return Err(fail(&format!(
                     "invalid stored k_unroll {k_unroll} (supported: 1, 2, 4)"
                 )));
             }
-            if b_layout == BLayout::ColMajor && kind != PlanKind::ColumnPanels {
-                return Err(fail(&format!(
-                    "plan kind `{plan_name}` is incompatible with column-major B \
-                     (only ColumnPanels is)"
-                )));
-            }
-            // A Neon winner must describe a shape the Neon generator can
-            // actually compile, or every request for it would fall back at
-            // dispatch time.
-            if backend == Backend::Neon {
-                sme_gemm::neon_supports(&key).map_err(|e| {
-                    fail(&format!("stored Neon winner is not Neon-compilable: {e}"))
-                })?;
-            }
+            let key = match dtype {
+                Dtype::Fp32 => {
+                    let b_layout = match text_field("b_layout")? {
+                        "RowMajor" => BLayout::RowMajor,
+                        "ColMajor" => BLayout::ColMajor,
+                        other => return Err(fail(&format!("unknown b_layout `{other}`"))),
+                    };
+                    let beta = match text_field("beta")? {
+                        "Zero" => Beta::Zero,
+                        "One" => Beta::One,
+                        other => return Err(fail(&format!("unknown beta `{other}`"))),
+                    };
+                    let key = GemmConfig {
+                        m: dim("m")?,
+                        n: dim("n")?,
+                        k: dim("k")?,
+                        lda: dim("lda")?,
+                        ldb: dim("ldb")?,
+                        ldc: dim("ldc")?,
+                        b_layout,
+                        beta,
+                        c_transfer: ZaTransferStrategy::TwoStep,
+                        k_unroll: 1,
+                    };
+                    key.validate()
+                        .map_err(|e| fail(&format!("invalid stored configuration: {e}")))?;
+                    if b_layout == BLayout::ColMajor && kind != PlanKind::ColumnPanels {
+                        return Err(fail(&format!(
+                            "plan kind `{plan_name}` is incompatible with column-major B \
+                             (only ColumnPanels is)"
+                        )));
+                    }
+                    // A Neon winner must describe a shape the Neon generator
+                    // can actually compile, or every request for it would
+                    // fall back at dispatch time.
+                    if backend == Backend::Neon {
+                        sme_gemm::neon_supports(&key).map_err(|e| {
+                            fail(&format!("stored Neon winner is not Neon-compilable: {e}"))
+                        })?;
+                    }
+                    AnyGemmConfig::Fp32(key)
+                }
+                Dtype::WideningBf16 => {
+                    let key = WideningGemmConfig::new(dim("m")?, dim("n")?, dim("k")?)
+                        .map_err(|e| fail(&format!("invalid stored configuration: {e}")))?;
+                    // Validate the candidate against the widening
+                    // generators' grids, mirroring the FP32 checks above.
+                    match backend {
+                        Backend::Sme => {
+                            sme_gemm::sme_widening_supports(&key).map_err(|e| {
+                                fail(&format!("stored SME widening winner off the grid: {e}"))
+                            })?;
+                            match kind {
+                                PlanKind::Homogeneous(blocking)
+                                    if key.m.is_multiple_of(blocking.rows())
+                                        && key.n.is_multiple_of(blocking.cols()) => {}
+                                _ => {
+                                    return Err(fail(&format!(
+                                        "plan kind `{plan_name}` is incompatible with the \
+                                         widening generator for this shape"
+                                    )))
+                                }
+                            }
+                        }
+                        Backend::Neon => {
+                            sme_gemm::neon_widening_supports(&key).map_err(|e| {
+                                fail(&format!(
+                                    "stored Neon widening winner is not compilable: {e}"
+                                ))
+                            })?;
+                        }
+                    }
+                    AnyGemmConfig::WideningBf16(key)
+                }
+            };
             let record = TunedRecord {
                 candidate: PlanCandidate {
                     backend,
@@ -432,6 +512,19 @@ mod tests {
         }
     }
 
+    fn widening_record() -> TunedRecord {
+        TunedRecord {
+            candidate: PlanCandidate {
+                backend: Backend::Sme,
+                kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
+                c_transfer: ZaTransferStrategy::TwoStep,
+                k_unroll: 2,
+            },
+            tuned_cycles: 800.0,
+            default_cycles: 900.0,
+        }
+    }
+
     #[test]
     fn lookup_is_knob_insensitive() {
         let mut store = PlanStore::new();
@@ -444,6 +537,18 @@ mod tests {
         assert!(store.lookup(&variant).is_some());
         // A different shape does not.
         assert!(store.lookup(&GemmConfig::abt(64, 48, 33)).is_none());
+        // The same is true across the widening family.
+        let wide = WideningGemmConfig::new(32, 32, 8).unwrap();
+        store.insert_any(&wide.into(), widening_record());
+        let variant: AnyGemmConfig = wide
+            .with_c_transfer(ZaTransferStrategy::Direct)
+            .with_k_unroll(4)
+            .into();
+        assert!(store.lookup_any(&variant).is_some());
+        // Dtypes never alias: the FP32 record for the same shape is
+        // separate.
+        let fp32_same_shape: AnyGemmConfig = GemmConfig::abt(32, 32, 8).into();
+        assert!(store.lookup_any(&fp32_same_shape).is_none());
     }
 
     #[test]
@@ -472,6 +577,79 @@ mod tests {
     }
 
     #[test]
+    fn mixed_v3_documents_round_trip_with_dtype_tags() {
+        // The v3 migration satellite: a store carrying both datatype
+        // families serializes with dtype tags and reloads identically.
+        let mut store = PlanStore::new();
+        store.insert(
+            &GemmConfig::abt(64, 64, 32),
+            sample_record(PlanKind::Heterogeneous),
+        );
+        let wide = WideningGemmConfig::new(64, 32, 8).unwrap();
+        store.insert_any(&wide.into(), widening_record());
+        let neon_wide = WideningGemmConfig::new(16, 4, 4).unwrap();
+        store.insert_any(
+            &neon_wide.into(),
+            TunedRecord {
+                candidate: PlanCandidate {
+                    backend: Backend::Neon,
+                    kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
+                    c_transfer: ZaTransferStrategy::TwoStep,
+                    k_unroll: 1,
+                },
+                tuned_cycles: 50.0,
+                default_cycles: 50.0,
+            },
+        );
+        let json = store.to_json();
+        assert!(json.contains("\"version\": 3"));
+        assert!(json.contains("\"dtype\": \"Fp32\""));
+        assert!(json.contains("\"dtype\": \"WideningBf16\""));
+        // Widening entries have no FP32 layout fields.
+        assert!(json.contains("\"lda\": null"));
+        let parsed = PlanStore::from_json(&json).unwrap();
+        assert_eq!(parsed, store);
+        let rec = parsed.lookup_any(&wide.into()).unwrap();
+        assert_eq!(rec.candidate.backend, Backend::Sme);
+        assert_eq!(
+            rec.candidate.kind,
+            PlanKind::Homogeneous(RegisterBlocking::B32x32)
+        );
+        assert_eq!(
+            parsed
+                .lookup_any(&neon_wide.into())
+                .unwrap()
+                .candidate
+                .backend,
+            Backend::Neon
+        );
+    }
+
+    #[test]
+    fn version_two_documents_load_as_fp32() {
+        // The v2 migration satellite: a pre-dtype document loads, its
+        // entries implicitly FP32, and its winners are honoured.
+        let v2 = r#"{"version": 2, "entries": [{"m": 48, "n": 48, "k": 16, "lda": 48,
+            "ldb": 48, "ldc": 48, "b_layout": "RowMajor", "beta": "One",
+            "backend": "Sme", "plan": "Homogeneous16x64", "c_transfer": "Direct",
+            "k_unroll": 2, "tuned_cycles": 100, "default_cycles": 150}]}"#;
+        let store = PlanStore::from_json(v2).unwrap();
+        assert_eq!(store.len(), 1);
+        let rec = store.lookup(&GemmConfig::abt(48, 48, 16)).unwrap();
+        assert_eq!(rec.candidate.backend, Backend::Sme);
+        assert_eq!(
+            rec.candidate.kind,
+            PlanKind::Homogeneous(RegisterBlocking::B16x64)
+        );
+        assert_eq!(rec.candidate.c_transfer, ZaTransferStrategy::Direct);
+        // Re-serializing upgrades the document to v3 with an explicit tag.
+        let upgraded = store.to_json();
+        assert!(upgraded.contains("\"version\": 3"));
+        assert!(upgraded.contains("\"dtype\": \"Fp32\""));
+        assert_eq!(PlanStore::from_json(&upgraded).unwrap(), store);
+    }
+
+    #[test]
     fn serialized_output_is_deterministic_and_versioned() {
         let mut store = PlanStore::new();
         for mn in [96, 32, 64] {
@@ -480,15 +658,20 @@ mod tests {
                 sample_record(PlanKind::Heterogeneous),
             );
         }
+        store.insert_any(
+            &WideningGemmConfig::new(32, 32, 8).unwrap().into(),
+            widening_record(),
+        );
         let a = store.to_json();
         let b = store.clone().to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"version\": 2"));
-        // Sorted by shape: 32 before 64 before 96.
+        assert!(a.contains("\"version\": 3"));
+        // Sorted by dtype then shape: 32 before 64 before 96, widening last.
         let p32 = a.find("\"m\": 32").unwrap();
         let p64 = a.find("\"m\": 64").unwrap();
         let p96 = a.find("\"m\": 96").unwrap();
-        assert!(p32 < p64 && p64 < p96);
+        let pwide = a.find("WideningBf16").unwrap();
+        assert!(p32 < p64 && p64 < p96 && p96 < pwide);
     }
 
     #[test]
@@ -496,7 +679,7 @@ mod tests {
         let cases = [
             ("not json", "invalid JSON"),
             ("{}", "version"),
-            (r#"{"version": 3, "entries": []}"#, "version 3"),
+            (r#"{"version": 4, "entries": []}"#, "version 4"),
             (r#"{"version": 1}"#, "entries"),
             (r#"{"version": 1, "entries": [{}]}"#, "missing"),
             (
@@ -509,6 +692,21 @@ mod tests {
                 // winners from an unknown calibration.
                 r#"{"version": 2, "machine_fingerprint": true, "entries": []}"#,
                 "hex string",
+            ),
+            (
+                // Version 3 requires the dtype tag.
+                r#"{"version": 3, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "RowMajor", "beta": "One", "backend": "Sme",
+                   "plan": "Heterogeneous", "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "dtype",
+            ),
+            (
+                r#"{"version": 3, "entries": [{"dtype": "Fp16", "m": 8, "n": 8, "k": 8,
+                   "lda": 8, "ldb": 8, "ldc": 8, "b_layout": "RowMajor", "beta": "One",
+                   "backend": "Sme", "plan": "Heterogeneous", "c_transfer": "TwoStep",
+                   "k_unroll": 1, "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "unknown dtype",
             ),
             (
                 r#"{"version": 2, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
@@ -531,6 +729,31 @@ mod tests {
                    "plan": "Heterogeneous", "c_transfer": "TwoStep", "k_unroll": 1,
                    "tuned_cycles": 1, "default_cycles": 1}]}"#,
                 "Neon-compilable",
+            ),
+            (
+                // m = 24 is off the SME widening grid.
+                r#"{"version": 3, "entries": [{"dtype": "WideningBf16", "m": 24, "n": 32,
+                   "k": 8, "backend": "Sme", "plan": "Homogeneous32x32",
+                   "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "off the grid",
+            ),
+            (
+                // The heterogeneous kind never drives the widening
+                // generator.
+                r#"{"version": 3, "entries": [{"dtype": "WideningBf16", "m": 32, "n": 32,
+                   "k": 8, "backend": "Sme", "plan": "Heterogeneous",
+                   "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "incompatible with the widening generator",
+            ),
+            (
+                // m = 12 is off even the widening envelope grid.
+                r#"{"version": 3, "entries": [{"dtype": "WideningBf16", "m": 12, "n": 32,
+                   "k": 8, "backend": "Neon", "plan": "Homogeneous32x32",
+                   "c_transfer": "TwoStep", "k_unroll": 1,
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "invalid stored configuration",
             ),
             (
                 r#"{"version": 1, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
@@ -636,6 +859,11 @@ mod tests {
         let mut store = PlanStore::for_machine(&machine);
         let cfg = GemmConfig::abt(64, 64, 32);
         store.insert(&cfg, sample_record(PlanKind::Heterogeneous));
+        // A widening winner goes stale with the rest of the store.
+        store.insert_any(
+            &WideningGemmConfig::new(32, 32, 8).unwrap().into(),
+            widening_record(),
+        );
         let path = std::env::temp_dir().join("sme_runtime_fingerprint_test.json");
         store.save(&path).unwrap();
 

@@ -18,11 +18,11 @@
 //! dominated on loads-per-k-step *and* microkernel count before anything
 //! is generated.
 
-use crate::store::{tune_key, PlanStore, TunedRecord};
+use crate::store::{tune_key_any, PlanStore, TunedRecord};
 use rayon::prelude::*;
 use sme_gemm::{
-    enumerate_candidates, generate_routed, prune_dominated_candidates, Backend, GemmConfig,
-    GemmError, PlanCandidate,
+    default_any_candidate, enumerate_any_candidates, generate_any_routed,
+    prune_dominated_candidates, AnyGemmConfig, Backend, GemmConfig, GemmError, PlanCandidate,
 };
 
 /// Knobs controlling how much of the candidate space the tuner explores.
@@ -78,7 +78,7 @@ impl TunerOptions {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TuneOutcome {
     /// The normalized configuration the outcome is stored under.
-    pub key: GemmConfig,
+    pub key: AnyGemmConfig,
     /// The winning candidate.
     pub winner: PlanCandidate,
     /// Simulated cycles of the winner.
@@ -112,17 +112,25 @@ impl TuneOutcome {
     }
 }
 
-/// Tune one configuration: generate and timing-simulate every candidate
-/// (across both backends unless restricted), return the cycle-count winner.
+/// Tune one FP32 configuration (see [`tune_any`]).
+pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
+    tune_any(&AnyGemmConfig::Fp32(*cfg), opts)
+}
+
+/// Tune one configuration of either datatype: generate and timing-simulate
+/// every candidate (across both backends unless restricted), return the
+/// cycle-count winner.
 ///
 /// Candidates are simulated in parallel on the host (each on its own
 /// single-core simulator instance); the winner is deterministic — ties are
 /// broken towards the default candidate first and then towards the earlier
-/// candidate in enumeration order.
-pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
+/// candidate in enumeration order. The analytic pre-filter applies to the
+/// FP32 block-plan space only (the widening candidate set is small enough
+/// to simulate outright).
+pub fn tune_any(cfg: &AnyGemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
     cfg.validate()?;
-    let default = PlanCandidate::default_for(cfg);
-    let enumerated: Vec<PlanCandidate> = enumerate_candidates(cfg)
+    let default = default_any_candidate(cfg);
+    let enumerated: Vec<PlanCandidate> = enumerate_any_candidates(cfg)
         .into_iter()
         .filter(|c| {
             c.backend != Backend::Sme
@@ -131,10 +139,9 @@ pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmEr
         })
         .filter(|c| opts.sweep_backends || c.backend == default.backend)
         .collect();
-    let candidates = if opts.prefilter {
-        prune_dominated_candidates(cfg, enumerated.clone())
-    } else {
-        enumerated.clone()
+    let candidates = match (opts.prefilter, cfg) {
+        (true, AnyGemmConfig::Fp32(c)) => prune_dominated_candidates(c, enumerated.clone()),
+        _ => enumerated.clone(),
     };
     let candidates_pruned = enumerated.len() - candidates.len();
     debug_assert!(candidates.contains(&default));
@@ -142,7 +149,7 @@ pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmEr
     let scored: Vec<Result<(PlanCandidate, f64), GemmError>> = candidates
         .par_iter()
         .map(|candidate| {
-            let kernel = generate_routed(cfg, candidate)?;
+            let kernel = generate_any_routed(cfg, candidate)?;
             Ok((*candidate, kernel.model_stats().cycles))
         })
         .collect();
@@ -170,7 +177,7 @@ pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmEr
     let (winner, tuned_cycles) = best.expect("candidate set is never empty");
     let default_cycles = default_cycles.expect("default candidate is always enumerated");
     Ok(TuneOutcome {
-        key: tune_key(cfg),
+        key: tune_key_any(cfg),
         winner,
         tuned_cycles,
         default_cycles,
@@ -179,14 +186,25 @@ pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmEr
     })
 }
 
-/// Tune `cfg` and persist the winner into `store`. Returns the outcome.
+/// Tune an FP32 `cfg` and persist the winner into `store`. Returns the
+/// outcome.
 pub fn tune_into_store(
     cfg: &GemmConfig,
     opts: &TunerOptions,
     store: &mut PlanStore,
 ) -> Result<TuneOutcome, GemmError> {
-    let outcome = tune(cfg, opts)?;
-    store.insert(cfg, outcome.record());
+    tune_any_into_store(&AnyGemmConfig::Fp32(*cfg), opts, store)
+}
+
+/// Tune a configuration of either datatype and persist the winner into
+/// `store`. Returns the outcome.
+pub fn tune_any_into_store(
+    cfg: &AnyGemmConfig,
+    opts: &TunerOptions,
+    store: &mut PlanStore,
+) -> Result<TuneOutcome, GemmError> {
+    let outcome = tune_any(cfg, opts)?;
+    store.insert_any(cfg, outcome.record());
     Ok(outcome)
 }
 
@@ -299,9 +317,36 @@ mod tests {
         // be at least as good and use a plan with a single microkernel.
         let cfg = GemmConfig::abt(64, 16, 32);
         let outcome = tune(&cfg, &TunerOptions::quick()).unwrap();
-        let kernel = generate_routed(&cfg, &outcome.winner).unwrap();
+        let kernel = generate_any_routed(&cfg.into(), &outcome.winner).unwrap();
         let kernel = kernel.as_sme().expect("SME wins this shape in the model");
         assert_eq!(kernel.plan().num_microkernels(), 1);
+    }
+
+    #[test]
+    fn widening_shapes_tune_across_backends_and_never_lose() {
+        use sme_gemm::WideningGemmConfig;
+        // On the SME grid the outer-product engine wins and the winner can
+        // only improve on the default.
+        let dense: AnyGemmConfig = WideningGemmConfig::new(64, 64, 16).unwrap().into();
+        let outcome = tune_any(&dense, &TunerOptions::default()).unwrap();
+        assert_eq!(outcome.winner.backend, Backend::Sme);
+        assert!(outcome.tuned_cycles <= outcome.default_cycles);
+        assert!(outcome.candidates_tried >= 2);
+
+        // Off the SME grid the Neon BFMMLA baseline is the only (and
+        // therefore winning and default) candidate.
+        let thin: AnyGemmConfig = WideningGemmConfig::new(16, 4, 8).unwrap().into();
+        let outcome = tune_any(&thin, &TunerOptions::default()).unwrap();
+        assert_eq!(outcome.winner.backend, Backend::Neon);
+        assert_eq!(outcome.tuned_cycles, outcome.default_cycles);
+        assert_eq!(outcome.candidates_tried, 1);
+
+        // Winners persist under the widening key.
+        let mut store = PlanStore::new();
+        let outcome = tune_any_into_store(&dense, &TunerOptions::quick(), &mut store).unwrap();
+        assert_eq!(store.lookup_any(&dense).copied().unwrap(), outcome.record());
+        let reloaded = PlanStore::from_json(&store.to_json()).unwrap();
+        assert_eq!(reloaded.lookup_any(&dense).copied(), Some(outcome.record()));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!     subsequent routing follows.
 
 use hello_sme::sme_gemm::reference::{fill_matrix, gemm_reference};
-use hello_sme::sme_gemm::{generate_backend, Backend, GemmConfig};
+use hello_sme::sme_gemm::{
+    generate_any_backend, generate_backend, widening_reference, widening_rel_error, AnyGemmConfig,
+    Backend, GemmConfig, WideningGemmConfig, WIDENING_REL_TOL,
+};
 use hello_sme::sme_router::{Router, RoutingPolicy};
 use hello_sme::sme_runtime::{GemmRequest, TunerOptions};
 
@@ -54,10 +57,7 @@ fn routed_dispatch_straddles_the_crossover_bit_identically() {
     let requests: Vec<GemmRequest> = crossover_sweep()
         .into_iter()
         .enumerate()
-        .map(|(i, config)| GemmRequest {
-            config,
-            seed: 7000 + i as u64,
-        })
+        .map(|(i, config)| GemmRequest::fp32(config, 7000 + i as u64))
         .collect();
     let report = router.dispatch(&requests).expect("valid batch");
 
@@ -83,7 +83,7 @@ fn routed_dispatch_straddles_the_crossover_bit_identically() {
     // routed outputs must match the oracle bit for bit, whichever engine
     // served them.
     for (request, output) in requests.iter().zip(&report.batch.outputs) {
-        let oracle = reference_output(&request.config, request.seed);
+        let oracle = reference_output(request.config.as_fp32().expect("FP32 sweep"), request.seed);
         assert_eq!(
             output, &oracle,
             "{}: routed output diverged from the reference oracle",
@@ -154,19 +154,18 @@ fn telemetry_counts_match_dispatched_traffic_exactly() {
 
     // Traffic: 6× hot, 3× warm, 1× cold, over two batches.
     let batch1: Vec<GemmRequest> = (0..5)
-        .map(|i| GemmRequest {
-            config: if i < 4 { hot } else { warm },
-            seed: i,
-        })
+        .map(|i| GemmRequest::fp32(if i < 4 { hot } else { warm }, i))
         .collect();
     let batch2: Vec<GemmRequest> = (0..5)
-        .map(|i| GemmRequest {
-            config: match i {
-                0 | 1 => hot,
-                2 | 3 => warm,
-                _ => cold,
-            },
-            seed: 100 + i,
+        .map(|i| {
+            GemmRequest::fp32(
+                match i {
+                    0 | 1 => hot,
+                    2 | 3 => warm,
+                    _ => cold,
+                },
+                100 + i,
+            )
         })
         .collect();
     router.dispatch(&batch1).expect("valid batch");
@@ -175,9 +174,9 @@ fn telemetry_counts_match_dispatched_traffic_exactly() {
     assert_eq!(router.telemetry().total_requests(), 10);
     let top = router.top_shapes(3);
     assert_eq!(top.len(), 3);
-    assert_eq!((top[0].config, top[0].requests), (hot, 6));
-    assert_eq!((top[1].config, top[1].requests), (warm, 3));
-    assert_eq!((top[2].config, top[2].requests), (cold, 1));
+    assert_eq!((top[0].config, top[0].requests), (hot.into(), 6));
+    assert_eq!((top[1].config, top[1].requests), (warm.into(), 3));
+    assert_eq!((top[2].config, top[2].requests), (cold.into(), 1));
     // Each shape fetches its kernel once per batch it appears in. Under
     // the Measured policy the routing probe already compiled both
     // backends through the cache, so every execute-time fetch is a hit.
@@ -199,9 +198,136 @@ fn telemetry_counts_match_dispatched_traffic_exactly() {
         .pretune_hot(2, &TunerOptions::quick())
         .expect("hot shapes are tunable");
     assert_eq!(outcomes.len(), 2);
-    assert_eq!(outcomes[0].key.m, hot.m);
+    assert_eq!(outcomes[0].key.m(), hot.m);
     assert!(router.cache().lookup_tuned(&hot).is_some());
     assert!(router.cache().lookup_tuned(&warm).is_some());
     assert!(router.cache().lookup_tuned(&cold).is_none());
     assert_eq!(router.route(&hot), outcomes[0].winner.backend);
+}
+
+/// Widening shapes straddling the engine split: envelope-grid shapes the
+/// SME fast path cannot compile (Neon `BFMMLA` territory) through dense
+/// 32-grid shapes where the widening outer products win outright.
+fn bf16_crossover_sweep() -> Vec<WideningGemmConfig> {
+    [
+        (8, 2, 2),
+        (16, 4, 8),
+        (16, 4, 64),
+        (16, 16, 16),
+        (32, 32, 8),
+        (32, 32, 32),
+        (64, 32, 16),
+        (64, 64, 64),
+    ]
+    .into_iter()
+    .map(|(m, n, k)| WideningGemmConfig::new(m, n, k).expect("valid widening shape"))
+    .collect()
+}
+
+/// The scalar BF16-rounded oracle for one widening request (mirrors the
+/// kernel handles' seeding scheme).
+fn widening_oracle(cfg: &WideningGemmConfig, seed: u64) -> Vec<f32> {
+    let mut a = vec![0.0f32; cfg.m * cfg.k];
+    let mut b = vec![0.0f32; cfg.k * cfg.n];
+    let mut c = vec![0.0f32; cfg.c_len()];
+    fill_matrix(seed, &mut a);
+    fill_matrix(seed ^ 0x1111_1111, &mut b);
+    fill_matrix(seed ^ 0x2222_2222, &mut c);
+    widening_reference(cfg, &a, &b, &mut c);
+    c
+}
+
+#[test]
+fn bf16_dispatch_straddles_the_crossover_within_tolerance() {
+    let router = Router::with_policy(64, RoutingPolicy::Measured);
+    let shapes = bf16_crossover_sweep();
+    let requests: Vec<GemmRequest> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| GemmRequest::widening(*cfg, 8000 + i as u64))
+        .collect();
+    let report = router.dispatch(&requests).expect("valid batch");
+
+    let mut neon_routed = 0;
+    let mut sme_routed = 0;
+    for group in &report.batch.per_config {
+        assert_eq!(group.dtype, hello_sme::sme_gemm::Dtype::WideningBf16);
+        match group.backend {
+            Backend::Neon => neon_routed += 1,
+            Backend::Sme => sme_routed += 1,
+        }
+    }
+    assert!(
+        neon_routed > 0,
+        "the BF16 sweep must contain at least one Neon-routed widening shape"
+    );
+    assert!(
+        sme_routed > 0,
+        "the BF16 sweep must contain at least one SME-routed widening shape"
+    );
+
+    // Every routed output stays within the widening validation bound of the
+    // scalar BF16-rounded oracle, whichever engine served it.
+    for (request, output) in requests.iter().zip(&report.batch.outputs) {
+        let cfg = request.config.as_widening().expect("widening sweep");
+        let oracle = widening_oracle(cfg, request.seed);
+        let err = widening_rel_error(output, &oracle);
+        assert!(
+            err < WIDENING_REL_TOL,
+            "{cfg}: routed output error {err} exceeds {WIDENING_REL_TOL}"
+        );
+    }
+
+    // Telemetry counts equal the dispatched traffic, keyed per widening
+    // config.
+    assert_eq!(router.telemetry().total_requests(), requests.len() as u64);
+    assert_eq!(router.telemetry().len(), shapes.len());
+    for cfg in &shapes {
+        let stats = router
+            .telemetry()
+            .shape(&AnyGemmConfig::WideningBf16(*cfg))
+            .expect("every dispatched shape is counted");
+        assert_eq!(stats.requests, 1);
+        assert_eq!(
+            stats.sme_requests + stats.neon_requests,
+            1,
+            "{cfg}: backend counts must partition the traffic"
+        );
+    }
+
+    // The cross-backend tuner's argmin lands on the cheaper engine for
+    // every swept shape (the engine that cannot compile never wins).
+    for cfg in &shapes {
+        let any = AnyGemmConfig::WideningBf16(*cfg);
+        let sme_cycles = generate_any_backend(&any, Backend::Sme)
+            .ok()
+            .map(|k| k.model_stats().cycles);
+        let neon_cycles = generate_any_backend(&any, Backend::Neon)
+            .expect("Neon widening is total on the envelope grid")
+            .model_stats()
+            .cycles;
+        let outcome = router
+            .tune_any(&any, &TunerOptions::default())
+            .expect("tunable widening configuration");
+        let expected = match sme_cycles {
+            Some(s) if s <= neon_cycles => Backend::Sme,
+            Some(_) => Backend::Neon,
+            None => Backend::Neon,
+        };
+        assert_eq!(
+            outcome.winner.backend, expected,
+            "{cfg}: winner backend does not match the simulated argmin \
+             (sme {sme_cycles:?}, neon {neon_cycles:.0})"
+        );
+        // The tuned score can only improve on the engines' default kernels.
+        let argmin = sme_cycles.unwrap_or(f64::INFINITY).min(neon_cycles);
+        assert!(
+            outcome.tuned_cycles <= argmin + 1e-9,
+            "{cfg}: tuned score {:.1} must not lose to the cheaper default \
+             ({argmin:.1})",
+            outcome.tuned_cycles
+        );
+        // Routing now follows the installed winner.
+        assert_eq!(router.route_any(&any), outcome.winner.backend);
+    }
 }

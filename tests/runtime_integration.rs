@@ -96,17 +96,14 @@ fn batched_mixed_dispatch_bit_matches_per_config_execution() {
         GemmConfig::abt(33, 17, 5),
     ];
     let requests: Vec<GemmRequest> = (0..9)
-        .map(|i| GemmRequest {
-            config: configs[i % 3],
-            seed: 1000 + i as u64,
-        })
+        .map(|i| GemmRequest::fp32(configs[i % 3], 1000 + i as u64))
         .collect();
     let report = service.dispatch(&requests).expect("valid batch");
     assert_eq!(report.outputs.len(), requests.len());
     assert_eq!(report.per_config.len(), 3);
 
     for (request, output) in requests.iter().zip(&report.outputs) {
-        let cfg = &request.config;
+        let cfg = request.config.as_fp32().expect("FP32 request");
         // Reference 1 (bit-match): the same kernel executed standalone on a
         // fresh simulator must produce the identical bits — grouping,
         // caching and host-thread fan-out may not perturb results.
@@ -146,9 +143,7 @@ fn tuned_dispatch_preserves_results_and_cycles() {
     // no more simulated cycles, and the tuned compile is counter-visible.
     let service = GemmService::new(32);
     let cfg = GemmConfig::abt(64, 64, 32);
-    let requests: Vec<GemmRequest> = (0..3)
-        .map(|seed| GemmRequest { config: cfg, seed })
-        .collect();
+    let requests: Vec<GemmRequest> = (0..3).map(|seed| GemmRequest::fp32(cfg, seed)).collect();
     let untuned = service.dispatch(&requests).expect("valid batch");
     let outcome = service
         .tune(&cfg, &TunerOptions::default())
@@ -161,4 +156,90 @@ fn tuned_dispatch_preserves_results_and_cycles() {
     );
     assert!(tuned.total.cycles <= untuned.total.cycles * (1.0 + 1e-9));
     assert_eq!(service.cache().stats().tuned_compiles, 1);
+}
+
+#[test]
+fn mixed_dtype_routed_dispatch_with_tuned_winners() {
+    // The PR 4 acceptance property: one batch mixing FP32 and BF16
+    // widening requests through `dispatch_routed`, with FP32 outputs
+    // bit-identical to the scalar reference and BF16 outputs within the
+    // widening tolerance of the BF16-rounded oracle; cache hits, tuned
+    // winners and per-dtype reporting all keyed on `AnyGemmConfig`.
+    use hello_sme::sme_gemm::{
+        widening_reference, widening_rel_error, AnyGemmConfig, Dtype, WideningGemmConfig,
+        WIDENING_REL_TOL,
+    };
+
+    let service = GemmService::new(32);
+    let fp32 = GemmConfig::abt(32, 32, 16);
+    let wide = WideningGemmConfig::new(32, 32, 16).unwrap();
+    let requests = [
+        GemmRequest::fp32(fp32, 11),
+        GemmRequest::widening(wide, 12),
+        GemmRequest::fp32(fp32, 13),
+        GemmRequest::widening(wide, 14),
+    ];
+
+    // Tune both families first: winners are recorded under the unified key
+    // and drive the compile of each group's kernel.
+    let fp32_outcome = service
+        .tune_any(&AnyGemmConfig::Fp32(fp32), &TunerOptions::default())
+        .expect("tunable FP32 shape");
+    let wide_outcome = service
+        .tune_any(&AnyGemmConfig::WideningBf16(wide), &TunerOptions::default())
+        .expect("tunable widening shape");
+    assert!(fp32_outcome.tuned_cycles <= fp32_outcome.default_cycles);
+    assert!(wide_outcome.tuned_cycles <= wide_outcome.default_cycles);
+
+    // Dispatch with an explicit per-config route following the winners.
+    let cache = service.cache();
+    let report = service
+        .dispatch_routed(&requests, |cfg| cache.preferred_backend_any(cfg))
+        .expect("valid mixed batch");
+    assert_eq!(report.per_config.len(), 2);
+    assert_eq!(report.per_config[0].dtype, Dtype::Fp32);
+    assert_eq!(report.per_config[1].dtype, Dtype::WideningBf16);
+    assert_eq!(report.per_config[0].backend, fp32_outcome.winner.backend);
+    assert_eq!(report.per_config[1].backend, wide_outcome.winner.backend);
+    assert_eq!(
+        service.cache().stats().tuned_compiles,
+        2,
+        "both groups compiled from their tuned records"
+    );
+
+    for (request, output) in requests.iter().zip(&report.outputs) {
+        match request.config {
+            AnyGemmConfig::Fp32(cfg) => {
+                // Bit-identical to the scalar reference path.
+                let mut a = vec![0.0f32; cfg.a_len()];
+                let mut b = vec![0.0f32; cfg.b_len()];
+                let mut c = vec![0.0f32; cfg.c_len()];
+                fill_matrix(request.seed, &mut a);
+                fill_matrix(request.seed ^ 0x1111_1111, &mut b);
+                fill_matrix(request.seed ^ 0x2222_2222, &mut c);
+                gemm_reference(&cfg, &a, &b, &mut c);
+                assert_eq!(output, &c, "{cfg}: FP32 output must bit-match");
+            }
+            AnyGemmConfig::WideningBf16(cfg) => {
+                // Within the widening tolerance of the BF16-rounded oracle.
+                let mut a = vec![0.0f32; cfg.m * cfg.k];
+                let mut b = vec![0.0f32; cfg.k * cfg.n];
+                let mut c = vec![0.0f32; cfg.c_len()];
+                fill_matrix(request.seed, &mut a);
+                fill_matrix(request.seed ^ 0x1111_1111, &mut b);
+                fill_matrix(request.seed ^ 0x2222_2222, &mut c);
+                widening_reference(&cfg, &a, &b, &mut c);
+                let err = widening_rel_error(output, &c);
+                assert!(err < WIDENING_REL_TOL, "{cfg}: widening error {err}");
+            }
+        }
+    }
+
+    // A repeat batch is served entirely from the backend- and dtype-keyed
+    // cache.
+    let again = service
+        .dispatch_routed(&requests, |cfg| cache.preferred_backend_any(cfg))
+        .expect("valid mixed batch");
+    assert!(again.per_config.iter().all(|c| c.cache_hit));
+    assert_eq!(report.outputs, again.outputs);
 }

@@ -460,29 +460,51 @@ impl RouterSweepOptions {
     }
 
     /// The shapes the router sweep probes: for each swept size `s`, a thin
-    /// `16×4×s` shape (the Fig. 1 crossover's Neon side at small depth)
-    /// and a dense `s×s×k` shape (the SME side).
+    /// `16×4×s` shape (the Fig. 1 crossover's Neon side at small depth), a
+    /// dense `s×s×k` shape (the SME side), and — since the predicated
+    /// edge-tile work — **off-grid probes** that straddle the old support
+    /// boundaries: a thin `18×6×s` shape (even-extent residuals through
+    /// the Neon generator's masked tail) and a dense misaligned
+    /// `m % 16 == 2` square shape (partial 16×4 / 32×32 blocks on both
+    /// engines), so a regression in masked-edge routing fails the sweep.
     ///
     /// With `--bf16` the same geometry is probed in the widening datatype:
-    /// the thin shape sits off the SME widening 32×32 grid (so it exercises
-    /// the Neon `BFMMLA` baseline), and the dense size is snapped up to a
-    /// multiple of 32 (and depths to even values) so the SME fast path
-    /// competes.
+    /// the thin shape sits off the SME widening 32×32 grid, the dense size
+    /// is snapped up to a multiple of 32, and the off-grid dense probe
+    /// lands 8 past the 32-grid (`m % 32 == 8`) — a shape that routed to
+    /// the Neon `BFMMLA` baseline before masked SME edges existed and must
+    /// now land on SME.
     pub fn shapes(&self) -> Vec<sme_gemm::AnyGemmConfig> {
         let mut shapes: Vec<sme_gemm::AnyGemmConfig> = Vec::new();
-        // Snapping --bf16 sizes onto the widening grids can make distinct
-        // swept sizes collide on one shape (non-adjacently, since thin and
-        // dense shapes interleave), so keep first occurrences only.
+        // Snapping sizes onto the grids can make distinct swept sizes
+        // collide on one shape (non-adjacently, since thin and dense
+        // shapes interleave), so keep first occurrences only.
         let push = |shapes: &mut Vec<sme_gemm::AnyGemmConfig>, shape| {
             if !shapes.contains(&shape) {
                 shapes.push(shape);
             }
         };
+        if self.bf16 {
+            // The masked SME edge tiles beat the BFMMLA baseline on thin
+            // shapes once the depth amortises the streaming-mode entry, so
+            // the crossover only survives at shallow depth — probe it with
+            // a fixed shallow shape so the sweep always straddles the
+            // boundary.
+            push(
+                &mut shapes,
+                WideningGemmConfig::new(16, 4, 8)
+                    .expect("the shallow crossover probe is on the envelope grid")
+                    .into(),
+            );
+        }
         for s in self.sweep.sizes() {
             if self.bf16 {
                 let thin_k = s.next_multiple_of(2);
                 let dense = s.next_multiple_of(32);
                 let dense_k = self.sweep.k.next_multiple_of(2);
+                // Snap past the 32-grid so the probe is off-grid for every
+                // swept size (m % 32 == 8 by construction).
+                let edge = s.next_multiple_of(32) + 8;
                 push(
                     &mut shapes,
                     WideningGemmConfig::new(16, 4, thin_k)
@@ -495,18 +517,37 @@ impl RouterSweepOptions {
                         .expect("dense widening shape is on the SME grid")
                         .into(),
                 );
+                push(
+                    &mut shapes,
+                    WideningGemmConfig::new(edge, edge, dense_k)
+                        .expect("edge widening shape is on the envelope grid")
+                        .into(),
+                );
             } else {
+                // Snap past the 16-grid so the probe is off-grid for every
+                // swept size (m % 16 == 2 by construction).
+                let edge = s.next_multiple_of(16) + 2;
                 push(&mut shapes, GemmConfig::abt(16, 4, s).into());
                 push(&mut shapes, GemmConfig::abt(s, s, self.sweep.k).into());
+                push(&mut shapes, GemmConfig::abt(18, 6, s).into());
+                push(
+                    &mut shapes,
+                    GemmConfig::abt(edge, edge, self.sweep.k).into(),
+                );
             }
         }
         shapes
     }
 }
 
-/// One routed shape of a router sweep.
+/// One routed shape of a router sweep — the per-shape
+/// `{config, backend, simulated_cycles}` record of the `--json` output
+/// that CI persists as `BENCH_router.json` to track the perf trajectory
+/// across PRs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RouterSweepPoint {
+    /// Display form of the routed configuration (the record's stable key).
+    pub config: String,
     /// Datatype family of the probed shape (stable name).
     pub dtype: String,
     /// Problem rows.
@@ -516,14 +557,16 @@ pub struct RouterSweepPoint {
     /// Contraction depth.
     pub k: usize,
     /// Simulated single-core cycles of the SME kernel (absent when the SME
-    /// generator does not support the shape — possible for widening shapes
-    /// off the 32×32 grid).
+    /// generator does not support the shape; the SME engines are total
+    /// over both swept datatypes, so in practice always present).
     pub sme_cycles: Option<f64>,
     /// Simulated single-core cycles of the Neon kernel (absent when the
     /// Neon generator does not support the shape).
     pub neon_cycles: Option<f64>,
     /// Backend the router chose (stable name).
     pub chosen: String,
+    /// Simulated single-core cycles of the chosen backend's kernel.
+    pub simulated_cycles: Option<f64>,
     /// `true` if the choice matches the lower simulated cycle count.
     pub agrees_with_model: bool,
 }
@@ -588,12 +631,17 @@ pub fn router_sweep(opts: &RouterSweepOptions, router: &sme_router::Router) -> R
             };
             let agrees = (chosen == Backend::Neon) == faster_is_neon;
             RouterSweepPoint {
+                config: cfg.to_string(),
                 dtype: cfg.dtype().name().to_string(),
                 m: cfg.m(),
                 n: cfg.n(),
                 k: cfg.k(),
                 sme_cycles,
                 neon_cycles,
+                simulated_cycles: match chosen {
+                    Backend::Sme => sme_cycles,
+                    Backend::Neon => neon_cycles,
+                },
                 chosen: chosen.name().to_string(),
                 agrees_with_model: agrees,
             }
@@ -792,8 +840,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!((opts.sweep.step, opts.sweep.max, opts.sweep.k), (16, 32, 8));
-        // Two shapes per swept size: thin 16×4×s and dense s×s×k.
-        assert_eq!(opts.shapes().len(), 4);
+        // Four shapes per swept size: thin 16×4×s, dense s×s×k, and the
+        // two off-grid probes (thin 18×6×s, dense m % 16 == 2 square).
+        assert_eq!(opts.shapes().len(), 8);
 
         let smoke = RouterSweepOptions::parse(["--smoke"].iter().map(|s| s.to_string())).unwrap();
         assert_eq!(
@@ -808,7 +857,7 @@ mod tests {
         let opts = RouterSweepOptions::parse(["--smoke"].iter().map(|s| s.to_string())).unwrap();
         let router = sme_router::Router::new(32);
         let sweep = router_sweep(&opts, &router);
-        assert_eq!(sweep.points.len(), 4);
+        assert_eq!(sweep.points.len(), 8);
         assert!(
             sweep.routing_matches_model(),
             "router must follow the simulated argmin: {sweep:?}"
@@ -817,28 +866,61 @@ mod tests {
             sweep.crossover_present(),
             "smoke preset must exercise both engines: {sweep:?}"
         );
+        // The off-grid probes are part of the sweep and carry both cycle
+        // counts (both generators now cover them).
+        let edge = sweep
+            .points
+            .iter()
+            .find(|p| p.m == 18 && p.n == 6)
+            .expect("the off-grid thin probe is swept");
+        assert!(edge.sme_cycles.is_some() && edge.neon_cycles.is_some());
+        // Every point's JSON record carries the chosen backend's cycles.
+        for p in &sweep.points {
+            assert!(!p.config.is_empty());
+            assert_eq!(
+                p.simulated_cycles,
+                if p.chosen == "Sme" {
+                    p.sme_cycles
+                } else {
+                    p.neon_cycles
+                }
+            );
+        }
         let text = render_router_sweep(&sweep);
         assert!(text.contains("matches the per-shape simulated argmin: yes"));
         assert!(text.contains("both engines exercised across the sweep: yes"));
+
+        // The closed-form Heuristic policy agrees with the simulated
+        // argmin on every preset shape, edges included — mis-modelled
+        // partial tiles would fail here.
+        let heuristic = sme_router::Router::with_policy(32, sme_router::RoutingPolicy::Heuristic);
+        let sweep = router_sweep(&opts, &heuristic);
+        assert!(
+            sweep.routing_matches_model(),
+            "heuristic estimates must rank the engines correctly: {sweep:?}"
+        );
     }
 
     #[test]
     fn bf16_router_sweep_crosses_the_backend_boundary() {
         // The --bf16 preset parses, snaps shapes onto the widening grids,
-        // and still exercises both engines: the thin 16x4 shapes are off
-        // the SME widening 32x32 grid (Neon BFMMLA territory) while the
-        // dense shapes sit on it.
+        // and still exercises both engines: the thin 16x4 shapes stay
+        // Neon BFMMLA territory on cycle count, the dense shapes —
+        // 32-aligned or 8 past the grid — land on SME.
         let opts =
             RouterSweepOptions::parse(["--smoke", "--bf16"].iter().map(|s| s.to_string())).unwrap();
         assert!(opts.bf16);
         let shapes = opts.shapes();
-        assert_eq!(shapes.len(), 4);
+        assert_eq!(
+            shapes.len(),
+            7,
+            "shallow probe + thin + dense + off-grid edge per size"
+        );
         assert!(shapes
             .iter()
             .all(|s| s.dtype() == sme_gemm::Dtype::WideningBf16));
         // Sizes that snap onto the same widening shape are probed once:
-        // sizes {16, 32} both produce the dense 32x32, and every thin shape
-        // ends up 16x4x32.
+        // sizes {16, 32} both produce the dense 32x32.
         let collide = RouterSweepOptions::parse(
             ["--bf16", "--step", "16", "--max", "32", "--k", "32"]
                 .iter()
@@ -852,7 +934,17 @@ mod tests {
                 "duplicate swept shape {a}"
             );
         }
-        assert_eq!(collide_shapes.len(), 3, "thin 16/32 + one dense 32x32");
+        assert_eq!(
+            collide_shapes.len(),
+            5,
+            "shallow probe + thin 16/32 + one dense 32x32 + one edge 40x40"
+        );
+        // Every edge probe is genuinely off the 32-grid, whatever the
+        // swept sizes.
+        assert!(collide_shapes
+            .iter()
+            .filter(|s| s.m() == s.n() && s.m() > 32)
+            .all(|s| s.m() % 32 == 8));
         let router = sme_router::Router::new(32);
         let sweep = router_sweep(&opts, &router);
         assert!(
@@ -864,19 +956,38 @@ mod tests {
             "the BF16 preset must exercise both engines: {sweep:?}"
         );
         assert!(sweep.points.iter().all(|p| p.dtype == "WideningBf16"));
-        // Thin shapes have no SME cycle count (the fast path cannot
-        // compile them); dense shapes have both.
+        // Every widening shape now carries both cycle counts (the SME
+        // engine is total); the shallow thin probe still picks Neon on
+        // merit — deeper thin shapes amortise the streaming-mode entry and
+        // move to SME, which is exactly the performance boundary the
+        // masked edges were built to expose.
         assert!(sweep
             .points
             .iter()
-            .any(|p| p.sme_cycles.is_none() && p.chosen == "Neon"));
+            .all(|p| p.sme_cycles.is_some() && p.neon_cycles.is_some()));
         assert!(sweep
             .points
             .iter()
-            .any(|p| p.sme_cycles.is_some() && p.neon_cycles.is_some() && p.chosen == "Sme"));
+            .any(|p| p.m == 16 && p.n == 4 && p.k == 8 && p.chosen == "Neon"));
+        // The dense-but-misaligned probes (m % 32 == 8) route to SME: the
+        // crossover is a performance boundary, not a support boundary.
+        assert!(sweep
+            .points
+            .iter()
+            .any(|p| !p.m.is_multiple_of(32) && p.n == p.m && p.chosen == "Sme"));
         let text = render_router_sweep(&sweep);
         assert!(text.contains("WideningBf16"));
         assert!(text.contains("matches the per-shape simulated argmin: yes"));
+
+        // The Heuristic policy's closed-form estimates agree with the
+        // simulated argmin on the same preset — partial-tile mis-modelling
+        // (edge tiles change the microkernel count) would fail here.
+        let heuristic = sme_router::Router::with_policy(32, sme_router::RoutingPolicy::Heuristic);
+        let sweep = router_sweep(&opts, &heuristic);
+        assert!(
+            sweep.routing_matches_model(),
+            "heuristic estimates must rank the engines correctly: {sweep:?}"
+        );
     }
 
     #[test]

@@ -500,22 +500,64 @@ pub fn enumerate_candidates(cfg: &GemmConfig) -> Vec<PlanCandidate> {
 /// 32×32 blocking despite loading more elements per step.
 pub fn analytic_k_step_cycles(plan: &BlockPlan, machine: &sme_machine::MachineConfig) -> f64 {
     use sme_machine::OpKind;
-    // One load instruction covers 1, 2 or 4 sixteen-lane vectors (three
-    // groups round up to a four-register load, mirroring the microkernel).
-    let load_cost = |groups: usize| -> f64 {
-        match groups {
-            0 | 1 => 64.0 / machine.mem.rate(OpKind::LoadLd1Single),
-            2 => 128.0 / machine.mem.rate(OpKind::LoadLd1Multi2),
-            _ => 256.0 / machine.mem.rate(OpKind::LoadLd1Multi4),
-        }
-    };
-    let fmopa_interval = machine.p_core.op(OpKind::SmeFmopaF32).interval();
+    analytic_plan_step_cycles(
+        plan,
+        machine,
+        machine.p_core.op(OpKind::SmeFmopaF32).interval(),
+    )
+}
+
+/// Analytic contraction-**pair** cost of a widening plan, in
+/// performance-core cycles — the BF16 twin of [`analytic_k_step_cycles`].
+///
+/// Per contraction pair every block issues one (possibly multi-vector)
+/// packed-A load, one packed-B load and one widening BFMOPA per active
+/// tile. The packed BF16 layout stores two elements per row and pair, so a
+/// 16-lane group moves the same 64 bytes per load as in FP32 and the
+/// shared load-cost model applies unchanged; only the outer-product issue
+/// interval differs.
+pub fn analytic_widening_k_pair_cycles(
+    plan: &BlockPlan,
+    machine: &sme_machine::MachineConfig,
+) -> f64 {
+    use sme_machine::OpKind;
+    analytic_plan_step_cycles(
+        plan,
+        machine,
+        machine.p_core.op(OpKind::SmeFmopaWide).interval(),
+    )
+}
+
+/// Cycles one (possibly multi-vector) operand load spends moving `groups`
+/// sixteen-lane vector groups of 64 bytes each: one load instruction
+/// covers 1, 2 or 4 vectors (three groups round up to a four-register
+/// load, mirroring the microkernel), at the machine's calibrated
+/// per-strategy transfer rate. The packed BF16 pair layouts move the same
+/// bytes per group, so the table serves both datatypes — and it lives
+/// here, once, so the tuner's analytic pre-filter and the router's
+/// closed-form estimates can never disagree about the load model.
+pub fn group_load_cycles(groups: usize, machine: &sme_machine::MachineConfig) -> f64 {
+    use sme_machine::OpKind;
+    match groups {
+        0 | 1 => 64.0 / machine.mem.rate(OpKind::LoadLd1Single),
+        2 => 128.0 / machine.mem.rate(OpKind::LoadLd1Multi2),
+        _ => 256.0 / machine.mem.rate(OpKind::LoadLd1Multi4),
+    }
+}
+
+/// Shared core of the per-step plan costs: bandwidth-weighted operand
+/// loads plus one outer product per active tile at `mopa_interval`.
+fn analytic_plan_step_cycles(
+    plan: &BlockPlan,
+    machine: &sme_machine::MachineConfig,
+    mopa_interval: f64,
+) -> f64 {
     plan.blocks
         .iter()
         .map(|b| {
-            load_cost(b.active_row_groups())
-                + load_cost(b.active_col_groups())
-                + (b.active_row_groups() * b.active_col_groups()) as f64 * fmopa_interval
+            group_load_cycles(b.active_row_groups(), machine)
+                + group_load_cycles(b.active_col_groups(), machine)
+                + (b.active_row_groups() * b.active_col_groups()) as f64 * mopa_interval
         })
         .sum()
 }
@@ -544,16 +586,31 @@ pub fn prune_dominated_candidates(
     candidates: Vec<PlanCandidate>,
 ) -> Vec<PlanCandidate> {
     let machine = sme_machine::MachineConfig::default();
-    let default = PlanCandidate::default_for(cfg);
+    prune_dominated_by(
+        cfg.m,
+        cfg.n,
+        PlanCandidate::default_for(cfg),
+        candidates,
+        |plan| analytic_k_step_cycles(plan, &machine),
+    )
+}
+
+/// Shared domination filter behind [`prune_dominated_candidates`] and
+/// [`crate::widening::prune_dominated_widening_candidates`]: `step_cost`
+/// supplies the datatype's per-contraction-step plan cost.
+pub(crate) fn prune_dominated_by(
+    m: usize,
+    n: usize,
+    default: PlanCandidate,
+    candidates: Vec<PlanCandidate>,
+    step_cost: impl Fn(&BlockPlan) -> f64,
+) -> Vec<PlanCandidate> {
     let metrics: Vec<Option<(f64, usize)>> = candidates
         .iter()
         .map(|c| {
             (c.backend == Backend::Sme).then(|| {
-                let plan = c.kind.build(cfg.m, cfg.n);
-                (
-                    analytic_k_step_cycles(&plan, &machine),
-                    plan.num_microkernels(),
-                )
+                let plan = c.kind.build(m, n);
+                (step_cost(&plan), plan.num_microkernels())
             })
         })
         .collect();

@@ -68,8 +68,9 @@ pub mod transpose;
 pub mod widening;
 
 pub use blocking::{
-    analytic_k_step_cycles, enumerate_candidates, plan_heterogeneous, plan_homogeneous,
-    prune_dominated_candidates, BlockPlan, PlanCandidate, PlanKind, RegisterBlocking,
+    analytic_k_step_cycles, analytic_widening_k_pair_cycles, enumerate_candidates,
+    group_load_cycles, plan_heterogeneous, plan_homogeneous, prune_dominated_candidates, BlockPlan,
+    PlanCandidate, PlanKind, RegisterBlocking,
 };
 pub use config::{BLayout, Backend, Beta, GemmConfig, GemmError, ZaTransferStrategy};
 pub use dtype::{default_any_candidate, enumerate_any_candidates, AnyGemmConfig, Dtype};
@@ -80,11 +81,11 @@ pub use generator::{
 pub use kernel::{CompiledKernel, GemmBuffers, RoutedKernel};
 pub use neon::{
     generate_neon_kernel, generate_neon_widening, neon_supports, neon_widening_supports,
-    NeonKernel, NeonWideningKernel,
+    validate_neon, NeonKernel, NeonWideningKernel,
 };
 pub use widening::{
     default_widening_candidate, enumerate_widening_candidates, generate_widening,
     generate_widening_tuned, pack_a_bf16, pack_a_bf16_mmla, pack_b_bf16, pack_b_bf16_mmla,
-    sme_widening_supports, widening_reference, widening_rel_error, WideningGemmConfig,
-    WideningKernel, WIDENING_REL_TOL,
+    prune_dominated_widening_candidates, sme_widening_supports, widening_reference,
+    widening_rel_error, WideningGemmConfig, WideningKernel, WIDENING_REL_TOL,
 };

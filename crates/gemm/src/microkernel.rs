@@ -76,6 +76,37 @@ pub(crate) fn b_counter() -> PnReg {
     PnReg::new(9)
 }
 
+/// Predicate register masking single-vector packed-BF16 A loads of the
+/// widening microkernel (halfword lanes: two packed elements per row).
+///
+/// `ld1h`'s governing-predicate field is 3 bits, so this must sit in
+/// P0–P7. P3 is free whenever the register is actually consumed: a
+/// single-vector A load means one active row group, so of the row
+/// predicates only [`row_pred`]`(0)` is live (more groups switch the load
+/// to the counter-governed multi-vector form, which never reads this).
+pub(crate) fn wa_pred() -> PReg {
+    PReg::new(3)
+}
+
+/// Predicate register masking single-vector packed-BF16 B loads of the
+/// widening microkernel. P7 by the same argument as [`wa_pred`]: a
+/// single-vector B load means only [`col_pred`]`(0)` is live.
+pub(crate) fn wb_pred() -> PReg {
+    PReg::new(7)
+}
+
+/// Counter register governing multi-vector packed-BF16 A loads of the
+/// widening microkernel (counts halfword elements, i.e. `2 × rows`).
+pub(crate) fn wa_counter() -> PnReg {
+    PnReg::new(12)
+}
+
+/// Counter register governing multi-vector packed-BF16 B loads of the
+/// widening microkernel.
+pub(crate) fn wb_counter() -> PnReg {
+    PnReg::new(13)
+}
+
 pub(crate) fn xr(n: u8) -> XReg {
     XReg::new(n)
 }
@@ -98,25 +129,36 @@ pub enum BSource {
     },
 }
 
-/// Emit `mov <reg>, #value; whilelt <pred>.s, xzr, <reg>` — a predicate
-/// covering the first `value` 32-bit lanes.
-fn emit_lane_predicate(asm: &mut Assembler, pred: PReg, lanes: usize) {
+/// Emit `mov <reg>, #value; whilelt <pred>.<t>, xzr, <reg>` — a predicate
+/// covering the first `value` lanes of width `elem`.
+pub(crate) fn emit_lane_predicate(
+    asm: &mut Assembler,
+    pred: PReg,
+    lanes: usize,
+    elem: ElementType,
+) {
     asm.push(ScalarInst::mov_imm16(xr(TMP1), lanes as u16));
     asm.push(SveInst::Whilelt {
         pd: pred,
-        elem: ElementType::F32,
+        elem,
         rn: XReg::XZR,
         rm: xr(TMP1),
     });
 }
 
-/// Emit a predicate-as-counter covering the first `count` 32-bit lanes of a
-/// `vecs`-vector group.
-fn emit_counter_predicate(asm: &mut Assembler, pn: PnReg, count: usize, vecs: usize) {
+/// Emit a predicate-as-counter covering the first `count` lanes of width
+/// `elem` across a `vecs`-vector group.
+pub(crate) fn emit_counter_predicate(
+    asm: &mut Assembler,
+    pn: PnReg,
+    count: usize,
+    vecs: usize,
+    elem: ElementType,
+) {
     asm.push(ScalarInst::mov_imm16(xr(TMP1), count as u16));
     asm.push(SveInst::WhileltCnt {
         pn,
-        elem: ElementType::F32,
+        elem,
         rn: XReg::XZR,
         rm: xr(TMP1),
         vl: if vecs >= 4 { 4 } else { 2 },
@@ -141,11 +183,11 @@ pub(crate) fn emit_block_predicates(asm: &mut Assembler, block: &BlockInstance) 
     let cols = block.cols;
     for rg in 0..block.active_row_groups() {
         let lanes = TILE.min(rows - rg * TILE);
-        emit_lane_predicate(asm, row_pred(rg), lanes);
+        emit_lane_predicate(asm, row_pred(rg), lanes, ElementType::F32);
     }
     for cg in 0..block.active_col_groups() {
         let lanes = TILE.min(cols - cg * TILE);
-        emit_lane_predicate(asm, col_pred(cg), lanes);
+        emit_lane_predicate(asm, col_pred(cg), lanes, ElementType::F32);
     }
     if load_vectors(block.active_row_groups()) > 1 {
         emit_counter_predicate(
@@ -153,6 +195,7 @@ pub(crate) fn emit_block_predicates(asm: &mut Assembler, block: &BlockInstance) 
             a_counter(),
             rows,
             load_vectors(block.active_row_groups()),
+            ElementType::F32,
         );
     }
     if load_vectors(block.active_col_groups()) > 1 {
@@ -161,6 +204,7 @@ pub(crate) fn emit_block_predicates(asm: &mut Assembler, block: &BlockInstance) 
             b_counter(),
             cols,
             load_vectors(block.active_col_groups()),
+            ElementType::F32,
         );
     }
 }

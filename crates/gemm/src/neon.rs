@@ -112,9 +112,15 @@ impl MicrokernelComparison {
 /// Check whether the Neon generator supports `cfg`.
 ///
 /// Restrictions (documented baseline, not the paper's contribution): A and C
-/// column-major, B row-major, `m % 16 == 0`, `n % 4 == 0`, and `beta = 1`.
+/// column-major, B row-major, and **even** `m` and `n` — the residual-block
+/// path covers everything off the 16×4 register-blocking grid down to row
+/// *pairs* and column *pairs*, the granularity of the `ldr d`/`str d` lane
+/// machinery it is built on (odd extents would need 4-byte vector-lane
+/// accesses the ISA model does not provide). Both accumulation modes
+/// compile ([`Beta::Zero`] zero-initialises the accumulators with `movi`).
 /// The `sme-router` consults this before offering the Neon backend for a
-/// shape; anything the Neon generator cannot compile is routed to SME.
+/// shape; anything the Neon generator cannot compile is routed to SME,
+/// which is total over valid FP32 configurations.
 pub fn neon_supports(cfg: &GemmConfig) -> Result<(), GemmError> {
     cfg.validate()?;
     if cfg.b_layout != BLayout::RowMajor {
@@ -122,23 +128,24 @@ pub fn neon_supports(cfg: &GemmConfig) -> Result<(), GemmError> {
             "the Neon baseline generator only supports row-major B".into(),
         ));
     }
-    if cfg.beta != Beta::One {
-        return Err(GemmError::Unsupported(
-            "the Neon baseline generator requires beta = 1".into(),
-        ));
-    }
-    if !cfg.m.is_multiple_of(16) || !cfg.n.is_multiple_of(4) {
+    if !cfg.m.is_multiple_of(2) || !cfg.n.is_multiple_of(2) {
         return Err(GemmError::Unsupported(format!(
-            "the Neon baseline generator requires m % 16 == 0 and n % 4 == 0 (got {}x{})",
+            "the Neon baseline generator requires even m and n (got {}x{})",
             cfg.m, cfg.n
         )));
     }
     Ok(())
 }
 
-/// Generate a complete Neon GEMM kernel for `C += A·Bᵀ`.
+/// Generate a complete Neon GEMM kernel for `C += A·Bᵀ` (or `C = A·Bᵀ`
+/// under [`Beta::Zero`]).
 ///
-/// See [`neon_supports`] for the accepted configurations.
+/// The output is tiled with 16×4 register blocks; residual rows (`m % 16`,
+/// even) shrink the last block row to quad/pair column segments and
+/// residual columns (`n % 4 == 2`) shrink the last block column to a
+/// two-wide block whose B values arrive through `ldr d` — every shape on
+/// the even-`m`/`n` envelope compiles ([`neon_supports`]), making the
+/// SME/Neon split a pure performance decision.
 pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
     neon_supports(cfg)?;
 
@@ -147,16 +154,104 @@ pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
     asm.mov_imm64(xr(LDC_B), (cfg.ldc * 4) as u64);
 
     for col0 in (0..cfg.n).step_by(4) {
+        let cols = 4.min(cfg.n - col0);
         for row0 in (0..cfg.m).step_by(16) {
-            emit_neon_16x4_block(&mut asm, cfg, row0, col0);
+            let rows = 16.min(cfg.m - row0);
+            emit_neon_block(&mut asm, cfg, row0, col0, rows, cols);
         }
     }
     asm.ret();
     Ok(asm.finish())
 }
 
-/// One 16×4 block: load C, run the contraction loop, store C.
-fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0: usize) {
+/// The V registers covering one `rows`-deep column segment: full quads
+/// first, then at most one trailing row pair (`rows` is even and ≤ 16).
+fn segment_regs(rows: usize) -> (usize, usize) {
+    (rows / 4, (rows % 4) / 2)
+}
+
+/// Emit loads of a `rows`-deep f32 column segment at `ptr` into the
+/// consecutive V registers starting at `base`: paired `ldp q` for adjacent
+/// quads, `ldr q` for a leftover quad, `ldr d` for the trailing row pair
+/// (which zeroes the upper half, keeping tail FMLA lanes garbage-free).
+fn emit_segment_load(asm: &mut Assembler, base: u8, rows: usize, ptr: u8) {
+    let (quads, pairs) = segment_regs(rows);
+    let mut q = 0;
+    while q + 1 < quads {
+        asm.push(NeonInst::LdpQ {
+            vt1: vr(base + q as u8),
+            vt2: vr(base + q as u8 + 1),
+            rn: xr(ptr),
+            imm: (q * 16) as i32,
+        });
+        q += 2;
+    }
+    if q < quads {
+        asm.push(NeonInst::LdrQ {
+            vt: vr(base + q as u8),
+            rn: xr(ptr),
+            imm: (q * 16) as u32,
+        });
+    }
+    if pairs > 0 {
+        asm.push(NeonInst::LdrD {
+            vt: vr(base + quads as u8),
+            rn: xr(ptr),
+            imm: (quads * 16) as u32,
+        });
+    }
+}
+
+/// Store counterpart of [`emit_segment_load`] (`str d` writes only the row
+/// pair's 8 bytes, so nothing beyond the segment is touched).
+fn emit_segment_store(asm: &mut Assembler, base: u8, rows: usize, ptr: u8) {
+    let (quads, pairs) = segment_regs(rows);
+    let mut q = 0;
+    while q + 1 < quads {
+        asm.push(NeonInst::StpQ {
+            vt1: vr(base + q as u8),
+            vt2: vr(base + q as u8 + 1),
+            rn: xr(ptr),
+            imm: (q * 16) as i32,
+        });
+        q += 2;
+    }
+    if q < quads {
+        asm.push(NeonInst::StrQ {
+            vt: vr(base + q as u8),
+            rn: xr(ptr),
+            imm: (q * 16) as u32,
+        });
+    }
+    if pairs > 0 {
+        asm.push(NeonInst::StrD {
+            vt: vr(base + quads as u8),
+            rn: xr(ptr),
+            imm: (quads * 16) as u32,
+        });
+    }
+}
+
+/// One `rows × cols` block (`rows` even ≤ 16, `cols` ∈ {2, 4}): initialise
+/// the accumulators (load C, or `movi #0` under [`Beta::Zero`]), run the
+/// contraction loop, store C.
+///
+/// Register budget: A segment in `v0..`, accumulators from `v4` (one
+/// column = `segs` registers, at most 4 × 4), B row segment in `v28` —
+/// the full 16×4 case reproduces the historical layout (and instruction
+/// stream) exactly.
+fn emit_neon_block(
+    asm: &mut Assembler,
+    cfg: &GemmConfig,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let (quads, pairs) = segment_regs(rows);
+    let segs = (quads + pairs) as u8;
+    let acc = |col: usize, seg: usize| vr(4 + col as u8 * segs + seg as u8);
+
     // Pointers.
     asm.push(ScalarInst::MovReg {
         rd: xr(A_PTR),
@@ -181,31 +276,34 @@ fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0
         asm.add_imm(xr(C_PTR), xr(C_PTR), c_off);
     }
 
-    // Load the 16×4 C block into v4..v19 (one column = four quads).
-    asm.push(ScalarInst::MovReg {
-        rd: xr(COL_PTR),
-        rn: xr(C_PTR),
-    });
-    for col in 0..4u8 {
-        asm.push(NeonInst::LdpQ {
-            vt1: vr(4 + col * 4),
-            vt2: vr(5 + col * 4),
-            rn: xr(COL_PTR),
-            imm: 0,
-        });
-        asm.push(NeonInst::LdpQ {
-            vt1: vr(6 + col * 4),
-            vt2: vr(7 + col * 4),
-            rn: xr(COL_PTR),
-            imm: 32,
-        });
-        if col < 3 {
-            asm.push(ScalarInst::AddReg {
+    // Initialise the accumulators: column segments of C, or zeros.
+    match cfg.beta {
+        Beta::One => {
+            asm.push(ScalarInst::MovReg {
                 rd: xr(COL_PTR),
-                rn: xr(COL_PTR),
-                rm: xr(LDC_B),
-                shift: None,
+                rn: xr(C_PTR),
             });
+            for col in 0..cols {
+                emit_segment_load(asm, 4 + col as u8 * segs, rows, COL_PTR);
+                if col + 1 < cols {
+                    asm.push(ScalarInst::AddReg {
+                        rd: xr(COL_PTR),
+                        rn: xr(COL_PTR),
+                        rm: xr(LDC_B),
+                        shift: None,
+                    });
+                }
+            }
+        }
+        Beta::Zero => {
+            for col in 0..cols {
+                for seg in 0..segs as usize {
+                    asm.push(NeonInst::MoviZero {
+                        vd: acc(col, seg),
+                        arrangement: NeonArrangement::S4,
+                    });
+                }
+            }
         }
     }
 
@@ -219,25 +317,23 @@ fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0
         imm12: 1,
         shift12: false,
     });
-    // A column (16 values).
-    asm.push(NeonInst::LdpQ {
-        vt1: vr(0),
-        vt2: vr(1),
-        rn: xr(A_PTR),
-        imm: 0,
-    });
-    asm.push(NeonInst::LdpQ {
-        vt1: vr(2),
-        vt2: vr(3),
-        rn: xr(A_PTR),
-        imm: 32,
-    });
-    // B row segment (4 values).
-    asm.push(NeonInst::LdrQ {
-        vt: vr(28),
-        rn: xr(B_PTR),
-        imm: 0,
-    });
+    // A column segment (`rows` values).
+    emit_segment_load(asm, 0, rows, A_PTR);
+    // B row segment (`cols` values; the two-wide tail loads exactly two
+    // through `ldr d`, so nothing past the row's end is read).
+    if cols == 4 {
+        asm.push(NeonInst::LdrQ {
+            vt: vr(28),
+            rn: xr(B_PTR),
+            imm: 0,
+        });
+    } else {
+        asm.push(NeonInst::LdrD {
+            vt: vr(28),
+            rn: xr(B_PTR),
+            imm: 0,
+        });
+    }
     asm.push(ScalarInst::AddReg {
         rd: xr(A_PTR),
         rn: xr(A_PTR),
@@ -246,13 +342,13 @@ fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0
     });
     // B advances by one row: ldb * 4 bytes. Reuse TMP via an immediate add.
     asm.add_imm(xr(B_PTR), xr(B_PTR), (cfg.ldb * 4) as u64);
-    for col in 0..4u8 {
-        for quad in 0..4u8 {
+    for col in 0..cols {
+        for seg in 0..segs as usize {
             asm.push(NeonInst::fmla_elem(
-                vr(4 + col * 4 + quad),
-                vr(quad),
+                acc(col, seg),
+                vr(seg as u8),
                 vr(28),
-                col,
+                col as u8,
                 NeonArrangement::S4,
             ));
         }
@@ -264,20 +360,9 @@ fn emit_neon_16x4_block(asm: &mut Assembler, cfg: &GemmConfig, row0: usize, col0
         rd: xr(COL_PTR),
         rn: xr(C_PTR),
     });
-    for col in 0..4u8 {
-        asm.push(NeonInst::StpQ {
-            vt1: vr(4 + col * 4),
-            vt2: vr(5 + col * 4),
-            rn: xr(COL_PTR),
-            imm: 0,
-        });
-        asm.push(NeonInst::StpQ {
-            vt1: vr(6 + col * 4),
-            vt2: vr(7 + col * 4),
-            rn: xr(COL_PTR),
-            imm: 32,
-        });
-        if col < 3 {
+    for col in 0..cols {
+        emit_segment_store(asm, 4 + col as u8 * segs, rows, COL_PTR);
+        if col + 1 < cols {
             asm.push(ScalarInst::AddReg {
                 rd: xr(COL_PTR),
                 rn: xr(COL_PTR),
@@ -368,13 +453,24 @@ pub fn validate_neon(cfg: &GemmConfig, seed: u64) -> Result<f32, GemmError> {
 
 /// Check whether the Neon widening (`BFMMLA`) generator supports `cfg`.
 ///
-/// The 8×2 register blocking covers exactly the envelope grid
-/// [`WideningGemmConfig::new`] enforces (`m % 8 == 0`, `n % 2 == 0`, even
-/// `k`), so every valid widening configuration is Neon-dispatchable — the
-/// mirror image of FP32, where SME is the total engine and Neon the
-/// restricted one.
+/// Total over the envelope grid, like its twin
+/// [`crate::widening::sme_widening_supports`]: the 8×2 register blocking
+/// steps whole row/column pairs and zero-padded contraction quads, so its
+/// grid is exactly the `m % 8` / `n % 2` / even-`k` envelope
+/// [`WideningGemmConfig::validate`] enforces. The grid is checked
+/// explicitly here — not left implicit in `validate` — so the two
+/// `*_supports` functions read symmetrically and a future blocking change
+/// has one obvious place to narrow.
 pub fn neon_widening_supports(cfg: &WideningGemmConfig) -> Result<(), GemmError> {
-    cfg.validate()
+    cfg.validate()?;
+    if !cfg.m.is_multiple_of(8) || !cfg.n.is_multiple_of(2) || !cfg.k.is_multiple_of(2) {
+        return Err(GemmError::Unsupported(format!(
+            "the Neon BFMMLA blocking requires m % 8 == 0, n % 2 == 0 and an even k \
+             (got {}x{}x{})",
+            cfg.m, cfg.n, cfg.k
+        )));
+    }
+    Ok(())
 }
 
 /// A generated Neon BF16 → FP32 widening kernel (`BFMMLA`), sharing the
@@ -687,11 +783,50 @@ mod tests {
     }
 
     #[test]
+    fn neon_edge_blocks_validate() {
+        // Shapes off the 16x4 grid: residual row segments (quad and pair
+        // tails), the two-wide column tail, and their combinations down to
+        // the 2x2 envelope minimum.
+        for (m, n, k) in [
+            (18, 4, 8),  // one row pair below the block
+            (16, 6, 8),  // two-wide column tail
+            (34, 10, 7), // both residuals, odd depth
+            (2, 2, 4),   // envelope minimum
+            (46, 14, 5), // 14-row tail: quad + quad + quad + pair
+            (8, 4, 16),  // sub-block rows only
+            (12, 2, 3),  // three quads, single two-wide column
+        ] {
+            let cfg = GemmConfig::abt(m, n, k);
+            let err = validate_neon(&cfg, 11).expect("generation must succeed");
+            assert!(err < 1e-4, "({m},{n},{k}): {err}");
+            // Padded leading dimensions exercise the same masked blocks
+            // with non-tight strides.
+            let padded = cfg.with_leading_dims(m + 6, n + 2, m + 4);
+            let err = validate_neon(&padded, 12).expect("generation must succeed");
+            assert!(err < 1e-4, "padded ({m},{n},{k}): {err}");
+        }
+    }
+
+    #[test]
+    fn neon_beta_zero_overwrites_c() {
+        for (m, n, k) in [(16, 4, 8), (18, 6, 5), (2, 2, 3)] {
+            let cfg = GemmConfig::abt(m, n, k).with_beta(Beta::Zero);
+            let err = validate_neon(&cfg, 21).expect("beta = 0 must compile");
+            assert!(err < 1e-4, "({m},{n},{k}) beta=0: {err}");
+        }
+        // The zero path emits movi instead of accumulator loads.
+        let program = generate_neon(&GemmConfig::abt(16, 4, 8).with_beta(Beta::Zero)).unwrap();
+        assert!(program.count_matching(|i| matches!(i, Inst::Neon(NeonInst::MoviZero { .. }))) > 0);
+    }
+
+    #[test]
     fn neon_restrictions_are_reported() {
-        assert!(generate_neon(&GemmConfig::abt(17, 4, 8)).is_err());
-        assert!(generate_neon(&GemmConfig::abt(16, 5, 8)).is_err());
+        assert!(generate_neon(&GemmConfig::abt(17, 4, 8)).is_err(), "odd m");
+        assert!(generate_neon(&GemmConfig::abt(16, 5, 8)).is_err(), "odd n");
         assert!(generate_neon(&GemmConfig::ab(16, 4, 8)).is_err());
-        assert!(generate_neon(&GemmConfig::abt(16, 4, 8).with_beta(Beta::Zero)).is_err());
+        // The beta = 1 restriction is gone; even off-grid shapes compile.
+        assert!(generate_neon(&GemmConfig::abt(16, 4, 8).with_beta(Beta::Zero)).is_ok());
+        assert!(generate_neon(&GemmConfig::abt(18, 6, 8)).is_ok());
     }
 
     #[test]

@@ -14,25 +14,31 @@
 //! * the generated SME kernel accumulates FP32 blocks in the four ZA tiles,
 //!   consuming **two contraction steps per BFMOPA**, with the same
 //!   register-blocking, ZA-transfer and unroll candidate space as the FP32
-//!   generator ([`enumerate_widening_candidates`]);
-//! * the SME fast path requires `m` and `n` to be multiples of 32
-//!   ([`sme_widening_supports`]); shapes off that grid (down to the Neon
-//!   baseline's 8×2 grid, which [`WideningGemmConfig::new`] enforces) are
-//!   served by the `BFMMLA` kernel of [`crate::neon::generate_neon_widening`]
-//!   — the `sme-router` decides which, exactly as it does for FP32.
+//!   generator ([`enumerate_widening_candidates`]), including the
+//!   heterogeneous edge-bearing plans;
+//! * remainder rows/columns off the 32×32 accumulator grid are handled with
+//!   **`whilelt`-predicated partial tiles**, exactly like the FP32
+//!   microkernel: F32 lane predicates gate the outer products and the
+//!   FP32 C transfers, while halfword predicates/counters mask the packed
+//!   BF16 operand loads (two packed elements per row/column pair), whose
+//!   zeroing predication keeps the masked BFMOPA lanes garbage-free. The
+//!   SME path is therefore **total over the envelope grid**
+//!   ([`sme_widening_supports`]), and the SME/Neon `BFMMLA` split —
+//!   [`crate::neon::generate_neon_widening`] covers the same grid — is a
+//!   pure performance decision made by the `sme-router`.
 
 use crate::blocking::{BlockInstance, PlanCandidate, PlanKind, RegisterBlocking};
 use crate::config::{Backend, GemmConfig, GemmError, ZaTransferStrategy};
 use crate::loads::{emit_c_transfer, TransferDir};
 use crate::microkernel::{
-    a_counter, b_counter, xr, zr, ARG_A, ARG_B, ARG_C, A_PTR, BK_STRIDE, B_PTR, C_PTR, K_CNT,
-    LDA_B, LDC_B, TMP0, ZA_A, ZB_B,
+    a_counter, col_pred, emit_counter_predicate, emit_lane_predicate, load_vectors, row_pred,
+    wa_counter, wa_pred, wb_counter, wb_pred, xr, zr, ARG_A, ARG_B, ARG_C, A_PTR, BK_STRIDE, B_PTR,
+    C_PTR, K_CNT, LDA_B, LDC_B, TMP0, ZA_A, ZB_B,
 };
 use crate::reference::{fill_matrix, max_rel_diff};
 use serde::{Deserialize, Serialize};
 use sme_isa::asm::Assembler;
 use sme_isa::inst::{ScalarInst, SmeInst, SveInst};
-use sme_isa::regs::short::p;
 use sme_isa::types::ElementType;
 use sme_isa::Program;
 use sme_machine::exec::{RunOptions, Simulator};
@@ -65,15 +71,15 @@ pub fn widening_rel_error(out: &[f32], reference: &[f32]) -> f32 {
 ///
 /// The constructor enforces the **envelope** grid both widening generators
 /// share: `m % 8 == 0`, `n % 2 == 0` (the Neon `BFMMLA` baseline's blocking)
-/// and an even `k` (the 2-way interleaved packing). The SME fast path is
-/// narrower — multiples of 32 in both dimensions
-/// ([`sme_widening_supports`]) — mirroring how FP32 shapes off the Neon
-/// 16×4 grid are SME-only, just with the engines swapped.
+/// and an even `k` (the 2-way interleaved packing). Both engines cover the
+/// whole envelope — the SME generator masks remainder tiles off its 32×32
+/// accumulator grid with predicates ([`sme_widening_supports`]) — so which
+/// engine serves a shape is purely a routing decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct WideningGemmConfig {
-    /// Rows of C (multiple of 8; multiple of 32 for the SME fast path).
+    /// Rows of C (multiple of 8).
     pub m: usize,
-    /// Columns of C (multiple of 2; multiple of 32 for the SME fast path).
+    /// Columns of C (multiple of 2).
     pub n: usize,
     /// Contraction dimension (even).
     pub k: usize,
@@ -181,20 +187,19 @@ impl std::fmt::Display for WideningGemmConfig {
     }
 }
 
-/// Check whether the SME widening generator supports `cfg`: the 32×32 FP32
-/// accumulator blocks of the fast path require `m` and `n` to be multiples
-/// of 32 (remainder predication is future work, mirroring the paper's own
-/// scoping). The `sme-router` consults this before offering the SME backend
-/// for a widening shape.
+/// Check whether the SME widening generator supports `cfg`.
+///
+/// Since the predicated edge-tile path, this is **total over the envelope
+/// grid** [`WideningGemmConfig::validate`] enforces: shapes off the 32×32
+/// accumulator grid are covered by `whilelt`-masked partial tiles (the FP32
+/// microkernel's machinery, reused for the interleaved BF16 packed layout),
+/// so `m % 32` / `n % 32` remainders no longer reject a shape. The function
+/// is kept as the explicit support predicate the `sme-router`, cache and
+/// plan store consult — the symmetric twin of
+/// [`crate::neon::neon_widening_supports`] — so a future narrowing shows up
+/// in exactly one place.
 pub fn sme_widening_supports(cfg: &WideningGemmConfig) -> Result<(), GemmError> {
-    cfg.validate()?;
-    if !cfg.m.is_multiple_of(32) || !cfg.n.is_multiple_of(32) {
-        return Err(GemmError::Unsupported(format!(
-            "the SME widening fast path requires m and n to be multiples of 32 (got {}x{})",
-            cfg.m, cfg.n
-        )));
-    }
-    Ok(())
+    cfg.validate()
 }
 
 /// Length in BF16 elements of the 2-way interleaved packed layout for an
@@ -497,16 +502,12 @@ impl WideningKernel {
 }
 
 /// The candidate the widening generators use with no tuning: the SME
-/// backend with the 32×32 homogeneous plan when the fast path supports the
-/// shape, else the sole Neon `BFMMLA` candidate.
+/// backend with the 32×32 homogeneous plan (edge tiles masked), the
+/// baseline an argmin over [`enumerate_widening_candidates`] can never lose
+/// to.
 pub fn default_widening_candidate(cfg: &WideningGemmConfig) -> PlanCandidate {
-    let backend = if sme_widening_supports(cfg).is_ok() {
-        Backend::Sme
-    } else {
-        Backend::Neon
-    };
     PlanCandidate {
-        backend,
+        backend: Backend::Sme,
         kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
         c_transfer: cfg.c_transfer,
         k_unroll: cfg.k_unroll,
@@ -514,47 +515,43 @@ pub fn default_widening_candidate(cfg: &WideningGemmConfig) -> PlanCandidate {
 }
 
 /// Enumerate the tuning candidates for a widening configuration, mirroring
-/// the FP32 space ([`crate::enumerate_candidates`]):
+/// the FP32 row-major space ([`crate::enumerate_candidates`]):
 ///
-/// * homogeneous register blockings whose full (unmasked) blocks tile the
-///   output — 32×32 always (on the SME grid), 16×64 when `n % 64 == 0`,
-///   64×16 when `m % 64 == 0`; the widening generator has no masked-edge
-///   path, so kinds that would need masking are not enumerated;
+/// * the heterogeneous plan and all three homogeneous register blockings —
+///   the predicated edge-tile path masks remainder rows/columns, so
+///   edge-bearing blockings are real candidates on every envelope shape
+///   (a 40×40 output, say, genuinely chooses between one masked-edge
+///   heterogeneous cover and four masked 32×32 blocks);
 /// * both [`ZaTransferStrategy`] variants;
 /// * contraction-**pair** unroll factors from {1, 2, 4} that divide `k / 2`
 ///   (non-dividing factors fall back to unroll 1 in the generator and would
 ///   only duplicate candidates), never dropping the configuration's own
 ///   setting;
-/// * the single Neon `BFMMLA` candidate (always supported on the config
-///   grid), so the tuner compares across engines.
+/// * the single Neon `BFMMLA` candidate, so the tuner compares across
+///   engines.
 ///
-/// When the SME fast path does not support the shape, the list is just the
-/// Neon candidate. The list always contains
-/// [`default_widening_candidate`]`(cfg)`.
+/// The list always contains [`default_widening_candidate`]`(cfg)`.
 pub fn enumerate_widening_candidates(cfg: &WideningGemmConfig) -> Vec<PlanCandidate> {
     let mut candidates = Vec::new();
-    if sme_widening_supports(cfg).is_ok() {
-        let mut kinds = vec![PlanKind::Homogeneous(RegisterBlocking::B32x32)];
-        if cfg.n.is_multiple_of(64) {
-            kinds.push(PlanKind::Homogeneous(RegisterBlocking::B16x64));
-        }
-        if cfg.m.is_multiple_of(64) {
-            kinds.push(PlanKind::Homogeneous(RegisterBlocking::B64x16));
-        }
-        let pairs = cfg.k / 2;
-        for &kind in &kinds {
-            for c_transfer in [ZaTransferStrategy::TwoStep, ZaTransferStrategy::Direct] {
-                for k_unroll in [1usize, 2, 4] {
-                    if !pairs.is_multiple_of(k_unroll) && k_unroll != cfg.k_unroll {
-                        continue;
-                    }
-                    candidates.push(PlanCandidate {
-                        backend: Backend::Sme,
-                        kind,
-                        c_transfer,
-                        k_unroll,
-                    });
+    let kinds = [
+        PlanKind::Heterogeneous,
+        PlanKind::Homogeneous(RegisterBlocking::B32x32),
+        PlanKind::Homogeneous(RegisterBlocking::B16x64),
+        PlanKind::Homogeneous(RegisterBlocking::B64x16),
+    ];
+    let pairs = cfg.k / 2;
+    for &kind in &kinds {
+        for c_transfer in [ZaTransferStrategy::TwoStep, ZaTransferStrategy::Direct] {
+            for k_unroll in [1usize, 2, 4] {
+                if !pairs.is_multiple_of(k_unroll) && k_unroll != cfg.k_unroll {
+                    continue;
                 }
+                candidates.push(PlanCandidate {
+                    backend: Backend::Sme,
+                    kind,
+                    c_transfer,
+                    k_unroll,
+                });
             }
         }
     }
@@ -568,28 +565,46 @@ pub fn enumerate_widening_candidates(cfg: &WideningGemmConfig) -> Vec<PlanCandid
     candidates
 }
 
-/// Generate the default SME BF16 → FP32 kernel for `cfg` (the 32×32
-/// homogeneous plan with the configuration's own knobs).
-pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, GemmError> {
-    generate_widening_tuned(
-        cfg,
-        &PlanCandidate {
-            backend: Backend::Sme,
-            kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
-            c_transfer: cfg.c_transfer,
-            k_unroll: cfg.k_unroll,
-        },
+/// Analytic pre-filter for widening tuning candidates — the BF16 twin of
+/// [`crate::prune_dominated_candidates`], using the contraction-**pair**
+/// cost of [`crate::analytic_widening_k_pair_cycles`]. The default and Neon
+/// candidates always survive.
+pub fn prune_dominated_widening_candidates(
+    cfg: &WideningGemmConfig,
+    candidates: Vec<PlanCandidate>,
+) -> Vec<PlanCandidate> {
+    let machine = sme_machine::MachineConfig::default();
+    crate::blocking::prune_dominated_by(
+        cfg.m,
+        cfg.n,
+        default_widening_candidate(cfg),
+        candidates,
+        |plan| crate::blocking::analytic_widening_k_pair_cycles(plan, &machine),
     )
+}
+
+/// Generate the default SME BF16 → FP32 kernel for `cfg` (the 32×32
+/// homogeneous plan with the configuration's own knobs; remainder tiles
+/// are masked).
+pub fn generate_widening(cfg: &WideningGemmConfig) -> Result<WideningKernel, GemmError> {
+    generate_widening_tuned(cfg, &default_widening_candidate(cfg))
 }
 
 /// Generate an SME BF16 → FP32 kernel from a tuning candidate — the
 /// dispatch path used by the runtime's cache and cross-backend tuner.
 ///
+/// Blocks whose extent exceeds the remaining rows/columns are emitted as
+/// **predicated partial tiles**: per-group `whilelt` predicates gate the
+/// widening outer products and the FP32 accumulator transfers, and
+/// halfword predicates/counters mask the packed BF16 operand loads so
+/// nothing is read past the block's rows/columns (zeroing predication keeps
+/// the unused lanes garbage-free).
+///
 /// # Errors
-/// Returns an error if the configuration is invalid or off the SME widening
-/// grid, if the candidate targets the Neon backend (use
-/// [`crate::generate_any_routed`]), or if the candidate's plan kind is not
-/// a homogeneous blocking that tiles the output with full blocks.
+/// Returns an error if the configuration is off the envelope grid, if the
+/// candidate targets the Neon backend (use [`crate::generate_any_routed`]),
+/// or if the candidate's plan kind is [`PlanKind::ColumnPanels`] (the
+/// packed operands have no column-major variant to transpose).
 pub fn generate_widening_tuned(
     cfg: &WideningGemmConfig,
     candidate: &PlanCandidate,
@@ -607,37 +622,21 @@ pub fn generate_widening_tuned(
         ..*cfg
     };
     sme_widening_supports(&cfg)?;
-    let blocking = match candidate.kind {
-        PlanKind::Homogeneous(blocking) => blocking,
-        other => {
-            return Err(GemmError::Unsupported(format!(
-                "plan kind `{}` is not supported by the widening generator \
-                 (only homogeneous blockings tile the packed operands)",
-                other.name()
-            )))
-        }
-    };
-    if !cfg.m.is_multiple_of(blocking.rows()) || !cfg.n.is_multiple_of(blocking.cols()) {
+    if !matches!(
+        candidate.kind,
+        PlanKind::Homogeneous(_) | PlanKind::Heterogeneous
+    ) {
         return Err(GemmError::Unsupported(format!(
-            "the {}x{} widening blocking needs m % {} == 0 and n % {} == 0 (got {}x{})",
-            blocking.rows(),
-            blocking.cols(),
-            blocking.rows(),
-            blocking.cols(),
-            cfg.m,
-            cfg.n
+            "plan kind `{}` is not supported by the widening generator \
+             (the packed operands have no column-major panels)",
+            candidate.kind.name()
         )));
     }
 
     let mut asm = Assembler::new(format!("sme_gemm_bf16_{}x{}x{}", cfg.m, cfg.n, cfg.k));
 
-    // Prologue: streaming mode, all-true predicates and counters, strides.
+    // Prologue: streaming mode and strides (predicates are per block).
     asm.push(SmeInst::Smstart { za_only: false });
-    asm.push(SveInst::ptrue(p(0), ElementType::I8));
-    asm.push(SveInst::ptrue(p(1), ElementType::I8));
-    asm.push(SveInst::ptrue(p(4), ElementType::I8));
-    asm.push(SveInst::ptrue_cnt(a_counter(), ElementType::F32));
-    asm.push(SveInst::ptrue_cnt(b_counter(), ElementType::F32));
     // Per contraction *pair*, A advances by 2*m BF16 elements and B by 2*n.
     asm.mov_imm64(xr(LDA_B), (2 * cfg.m * 2) as u64);
     asm.mov_imm64(xr(BK_STRIDE), (2 * cfg.n * 2) as u64);
@@ -647,7 +646,6 @@ pub fn generate_widening_tuned(
     let c_cfg = GemmConfig::abt(cfg.m, cfg.n, cfg.k).with_c_transfer(cfg.c_transfer);
 
     let plan = candidate.kind.build(cfg.m, cfg.n);
-    debug_assert!(plan.blocks.iter().all(|b| b.is_full()));
     let pairs = cfg.k / 2;
     let unroll = if cfg.k_unroll > 1 && pairs.is_multiple_of(cfg.k_unroll) {
         cfg.k_unroll
@@ -655,6 +653,8 @@ pub fn generate_widening_tuned(
         1
     };
     for block in &plan.blocks {
+        emit_widening_block_predicates(&mut asm, block);
+
         // Pointers into the packed operands and C.
         asm.push(ScalarInst::MovReg {
             rd: xr(A_PTR),
@@ -720,43 +720,107 @@ pub fn generate_widening_tuned(
     })
 }
 
-/// One contraction pair: packed operand loads (one 32-BF16 vector per
-/// 16-row/-column group), cursor bumps, one widening BFMOPA per tile.
+/// Emit the predicate setup for one widening block.
+///
+/// Two predicate families cover the two element widths in play:
+///
+/// * **F32 lane predicates** (`row_pred`/`col_pred`, plus the `a_counter`
+///   governing multi-vector C transfers) mask the FP32 side — the widening
+///   FMOPA's tile rows/columns and the accumulator loads/stores — exactly
+///   as in the FP32 microkernel ([`crate::microkernel`]);
+/// * **halfword predicates/counters** (`wa_*`/`wb_*`) mask the packed BF16
+///   operand loads: the 2-way interleaved layout stores two BF16 elements
+///   per row (resp. column), so the first `2 × rows` halfword lanes are
+///   exactly the block's rows and zeroing predication fills the rest with
+///   zeros, which contribute nothing to the masked outer products.
+fn emit_widening_block_predicates(asm: &mut Assembler, block: &BlockInstance) {
+    use crate::blocking::TILE;
+    let rows = block.rows;
+    let cols = block.cols;
+    let rg_count = block.active_row_groups();
+    let cg_count = block.active_col_groups();
+    for rg in 0..rg_count {
+        let lanes = TILE.min(rows - rg * TILE);
+        emit_lane_predicate(asm, row_pred(rg), lanes, ElementType::F32);
+    }
+    for cg in 0..cg_count {
+        let lanes = TILE.min(cols - cg * TILE);
+        emit_lane_predicate(asm, col_pred(cg), lanes, ElementType::F32);
+    }
+    // The C transfer moves `rows` FP32 elements per column.
+    if load_vectors(rg_count) > 1 {
+        emit_counter_predicate(
+            asm,
+            a_counter(),
+            rows,
+            load_vectors(rg_count),
+            ElementType::F32,
+        );
+    }
+    // The operand loads move `2 × rows` / `2 × cols` packed BF16 elements
+    // per contraction pair.
+    if load_vectors(rg_count) > 1 {
+        emit_counter_predicate(
+            asm,
+            wa_counter(),
+            2 * rows,
+            load_vectors(rg_count),
+            ElementType::F16,
+        );
+    } else {
+        emit_lane_predicate(asm, wa_pred(), 2 * rows, ElementType::F16);
+    }
+    if load_vectors(cg_count) > 1 {
+        emit_counter_predicate(
+            asm,
+            wb_counter(),
+            2 * cols,
+            load_vectors(cg_count),
+            ElementType::F16,
+        );
+    } else {
+        emit_lane_predicate(asm, wb_pred(), 2 * cols, ElementType::F16);
+    }
+}
+
+/// One contraction pair: masked packed operand loads (one 32-BF16 vector
+/// per 16-row/-column group), cursor bumps, one predicated widening BFMOPA
+/// per active tile.
 fn emit_widening_k_pair(asm: &mut Assembler, block: &BlockInstance) {
     let rg_count = block.active_row_groups();
     let cg_count = block.active_col_groups();
-    if rg_count == 1 {
+    if load_vectors(rg_count) == 1 {
         asm.push(SveInst::Ld1 {
             zt: zr(ZA_A),
             elem: ElementType::F16,
-            pg: p(0),
+            pg: wa_pred(),
             rn: xr(A_PTR),
             imm_vl: 0,
         });
     } else {
         asm.push(SveInst::Ld1Multi {
             zt: zr(ZA_A),
-            count: rg_count as u8,
+            count: load_vectors(rg_count) as u8,
             elem: ElementType::F16,
-            pn: a_counter(),
+            pn: wa_counter(),
             rn: xr(A_PTR),
             imm_vl: 0,
         });
     }
-    if cg_count == 1 {
+    if load_vectors(cg_count) == 1 {
         asm.push(SveInst::Ld1 {
             zt: zr(ZB_B),
             elem: ElementType::F16,
-            pg: p(0),
+            pg: wb_pred(),
             rn: xr(B_PTR),
             imm_vl: 0,
         });
     } else {
         asm.push(SveInst::Ld1Multi {
             zt: zr(ZB_B),
-            count: cg_count as u8,
+            count: load_vectors(cg_count) as u8,
             elem: ElementType::F16,
-            pn: b_counter(),
+            pn: wb_counter(),
             rn: xr(B_PTR),
             imm_vl: 0,
         });
@@ -778,8 +842,8 @@ fn emit_widening_k_pair(asm: &mut Assembler, block: &BlockInstance) {
             asm.push(SmeInst::FmopaWide {
                 tile: block.blocking.tile_index(rg, cg),
                 from: ElementType::BF16,
-                pn: p(1),
-                pm: p(0),
+                pn: col_pred(cg),
+                pm: row_pred(rg),
                 zn: zr(ZB_B + cg as u8),
                 zm: zr(ZA_A + rg as u8),
             });
@@ -809,10 +873,17 @@ mod tests {
     }
 
     #[test]
-    fn sme_grid_is_narrower_than_the_config_grid() {
-        assert!(sme_widening_supports(&WideningGemmConfig::new(32, 32, 4).unwrap()).is_ok());
-        assert!(sme_widening_supports(&WideningGemmConfig::new(16, 4, 4).unwrap()).is_err());
-        assert!(sme_widening_supports(&WideningGemmConfig::new(40, 32, 4).unwrap()).is_err());
+    fn sme_support_is_total_over_the_envelope_grid() {
+        // The predicated edge-tile path makes the SME widening generator
+        // cover exactly the envelope grid the config enforces — the same
+        // coverage as the Neon BFMMLA baseline.
+        for (m, n, k) in [(32, 32, 4), (16, 4, 4), (40, 32, 4), (8, 2, 2), (40, 6, 14)] {
+            let cfg = WideningGemmConfig::new(m, n, k).unwrap();
+            assert!(sme_widening_supports(&cfg).is_ok(), "({m},{n},{k})");
+            assert!(crate::neon::neon_widening_supports(&cfg).is_ok());
+        }
+        // Off the envelope grid, neither engine (nor the config) accepts.
+        assert!(WideningGemmConfig::new(12, 4, 8).is_err());
     }
 
     #[test]
@@ -869,12 +940,75 @@ mod tests {
     }
 
     #[test]
+    fn masked_edge_kernels_are_bit_identical_to_the_oracle() {
+        // Off-grid shapes exercise every masking combination: partial row
+        // groups, partial column groups, single- and multi-vector operand
+        // loads, and the 8x2 envelope minimum. The masked BFMOPA still
+        // accumulates each active element in contraction order with unfused
+        // multiply-adds, so the output matches the sequential oracle bit
+        // for bit — exactly like the full-tile path.
+        for (m, n, k) in [
+            (40, 40, 8),  // one masked row and column group
+            (48, 40, 16), // masked columns only
+            (40, 64, 6),  // masked rows only
+            (16, 4, 8),   // thin: a single heavily masked block
+            (8, 2, 2),    // the envelope minimum
+            (40, 6, 14),  // off both 32-grid dimensions
+            (96, 72, 10), // multiple full blocks plus edges
+        ] {
+            let cfg = WideningGemmConfig::new(m, n, k).unwrap();
+            let kernel = generate_widening(&cfg).expect("generation");
+            assert_eq!(kernel.validate(5), 0.0, "({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn masked_widening_kernels_encode_and_disassemble() {
+        // The masked operand loads must use governing predicates in P0-P7
+        // (ld1h has a 3-bit Pg field) — a kernel that only simulates but
+        // cannot be encoded could never run on real hardware. Exercise
+        // every load shape: single-vector masked A and B (thin shapes),
+        // and the multi-vector counter forms (edge strips).
+        for (m, n, k) in [(16, 4, 8), (8, 2, 2), (40, 40, 8), (40, 6, 14)] {
+            let cfg = WideningGemmConfig::new(m, n, k).unwrap();
+            let kernel = generate_widening(&cfg).unwrap();
+            let disasm = kernel.disassembly();
+            assert!(disasm.contains("whilelt"), "({m},{n},{k})");
+            assert!(disasm.contains("bfmopa"), "({m},{n},{k})");
+            assert_eq!(
+                kernel.program().encode_bytes().len(),
+                kernel.program().len() * 4,
+                "({m},{n},{k}): every instruction must encode"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_bearing_blockings_validate_across_kinds() {
+        // Every enumerated SME candidate — including the heterogeneous plan
+        // and the thin blockings, all masked on this 40x40 shape — must
+        // generate and stay bit-identical to the oracle.
+        let cfg = WideningGemmConfig::new(40, 40, 8).unwrap();
+        let mut sme_seen = 0;
+        for candidate in enumerate_widening_candidates(&cfg) {
+            if candidate.backend != Backend::Sme {
+                continue;
+            }
+            let kernel = generate_widening_tuned(&cfg, &candidate).expect("tuned generation");
+            assert_eq!(kernel.validate(0xED6E), 0.0, "{candidate:?}");
+            sme_seen += 1;
+        }
+        assert!(sme_seen >= 8, "all four kinds must be real candidates");
+    }
+
+    #[test]
     fn widening_candidates_mirror_the_fp32_space() {
-        // 64x64: all three blockings apply; 2 transfers x unrolls {1,2,4}
-        // (k=8 -> 4 pairs, all divide) + the Neon candidate.
+        // 64x64: 4 plan kinds x 2 transfers x unrolls {1,2,4} (k=8 -> 4
+        // pairs, all divide) + the Neon candidate — the same shape as the
+        // FP32 row-major space.
         let cfg = WideningGemmConfig::new(64, 64, 8).unwrap();
         let candidates = enumerate_widening_candidates(&cfg);
-        assert_eq!(candidates.len(), 3 * 2 * 3 + 1);
+        assert_eq!(candidates.len(), 4 * 2 * 3 + 1);
         assert!(candidates.contains(&default_widening_candidate(&cfg)));
         assert_eq!(
             candidates
@@ -887,26 +1021,34 @@ mod tests {
             assert!(!candidates[i + 1..].contains(a), "duplicate {a:?}");
         }
 
-        // 32x32: only the 32x32 blocking tiles with full blocks.
-        let cfg = WideningGemmConfig::new(32, 32, 4).unwrap();
-        assert!(enumerate_widening_candidates(&cfg)
-            .iter()
-            .filter(|c| c.backend == Backend::Sme)
-            .all(|c| c.kind == PlanKind::Homogeneous(RegisterBlocking::B32x32)));
-
-        // Off the SME grid: the Neon candidate is the whole space, and it
-        // is the default.
+        // Off the 32-grid the SME candidates remain (edge-bearing
+        // blockings are real candidates now), and the default stays SME.
         let thin = WideningGemmConfig::new(16, 4, 4).unwrap();
         let candidates = enumerate_widening_candidates(&thin);
-        assert_eq!(candidates.len(), 1);
-        assert_eq!(candidates[0].backend, Backend::Neon);
-        assert_eq!(default_widening_candidate(&thin).backend, Backend::Neon);
+        assert!(candidates.iter().any(|c| c.backend == Backend::Sme));
+        assert!(candidates.iter().any(|c| c.backend == Backend::Neon));
+        assert_eq!(default_widening_candidate(&thin).backend, Backend::Sme);
 
         // k = 2 (one pair): only unroll 1 survives.
         let shallow = WideningGemmConfig::new(32, 32, 2).unwrap();
         assert!(enumerate_widening_candidates(&shallow)
             .iter()
             .all(|c| c.k_unroll == 1));
+    }
+
+    #[test]
+    fn widening_prefilter_prunes_without_dropping_default_or_neon() {
+        // A 64x16 output: the B64x16 blocking covers it with one unmasked
+        // block, dominating the thin 16x64 cover on both metrics.
+        let cfg = WideningGemmConfig::new(64, 16, 32).unwrap();
+        let before = enumerate_widening_candidates(&cfg);
+        let after = prune_dominated_widening_candidates(&cfg, before.clone());
+        assert!(after.len() < before.len(), "something must be pruned");
+        assert!(after.contains(&default_widening_candidate(&cfg)));
+        assert!(after.iter().any(|c| c.backend == Backend::Neon));
+        assert!(!after
+            .iter()
+            .any(|c| c.kind == PlanKind::Homogeneous(RegisterBlocking::B16x64)));
     }
 
     #[test]
@@ -942,21 +1084,26 @@ mod tests {
             ..default_widening_candidate(&cfg)
         };
         assert!(generate_widening_tuned(&cfg, &neon).is_err());
-        // Non-homogeneous kinds are rejected.
+        // Column panels have no meaning for the pre-packed operands.
+        let panels = PlanCandidate {
+            kind: PlanKind::ColumnPanels,
+            ..default_widening_candidate(&cfg)
+        };
+        assert!(generate_widening_tuned(&cfg, &panels).is_err());
+        // Heterogeneous plans and edge-bearing blockings now generate.
         let het = PlanCandidate {
             kind: PlanKind::Heterogeneous,
             ..default_widening_candidate(&cfg)
         };
-        assert!(generate_widening_tuned(&cfg, &het).is_err());
-        // A blocking that would need masked blocks is rejected.
+        assert!(generate_widening_tuned(&cfg, &het).is_ok());
         let wide = PlanCandidate {
             kind: PlanKind::Homogeneous(RegisterBlocking::B16x64),
             ..default_widening_candidate(&cfg)
         };
-        assert!(generate_widening_tuned(&cfg, &wide).is_err(), "n % 64 != 0");
-        // Off the SME grid entirely.
+        assert!(generate_widening_tuned(&cfg, &wide).is_ok(), "masked cols");
+        // Off-grid shapes compile through the masked path.
         let thin = WideningGemmConfig::new(16, 4, 4).unwrap();
-        assert!(generate_widening(&thin).is_err());
+        assert!(generate_widening(&thin).is_ok());
     }
 
     #[test]

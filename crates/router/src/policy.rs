@@ -22,10 +22,33 @@
 //! first: `pretune_hot` turns telemetry into exact routing decisions.
 
 use sme_gemm::{
-    analytic_k_step_cycles, neon_supports, plan_heterogeneous, sme_widening_supports,
-    AnyGemmConfig, Backend, GemmConfig, WideningGemmConfig,
+    group_load_cycles, neon_supports, plan_heterogeneous, plan_homogeneous, sme_widening_supports,
+    AnyGemmConfig, Backend, Beta, BlockPlan, GemmConfig, RegisterBlocking, WideningGemmConfig,
 };
 use sme_machine::{MachineConfig, OpKind};
+
+/// Per-contraction-step cost of an SME block plan under the scoreboard's
+/// overlap model: every block issues its operand loads
+/// ([`sme_gemm::group_load_cycles`] — the same bandwidth table the tuner's
+/// analytic pre-filter uses), and one outer product per active tile, on
+/// **independent units**, so the block's steady state is the *maximum* of
+/// the streams, not their sum — floored by the outer product's result
+/// latency, because each tile accumulates into itself and a block with few
+/// active tiles cannot hide that dependency (this is what makes masked
+/// edge tiles, whose blocks carry one or two tiles, latency-bound rather
+/// than throughput-bound).
+fn sme_plan_step_cycles(plan: &BlockPlan, machine: &MachineConfig, mopa: OpKind) -> f64 {
+    let op = machine.p_core.op(mopa);
+    plan.blocks
+        .iter()
+        .map(|b| {
+            let tiles = (b.active_row_groups() * b.active_col_groups()) as f64;
+            let loads = group_load_cycles(b.active_row_groups(), machine)
+                + group_load_cycles(b.active_col_groups(), machine);
+            (tiles * op.interval()).max(op.latency).max(loads)
+        })
+        .sum()
+}
 
 /// How the router picks a backend for a configuration (see the module
 /// docs for the trade-offs).
@@ -50,11 +73,12 @@ pub enum RoutingPolicy {
 ///
 /// This is a routing heuristic, not a simulator: it accounts for the terms
 /// that decide the SME/Neon crossover — SME's fixed `smstart`/`smstop`
-/// cost, per-k-step issue cost ([`sme_gemm::analytic_k_step_cycles`]) and
-/// accumulator traffic versus Neon's FMLA and load throughput — and is
-/// accurate to a few tens of percent, which is enough to rank the engines
-/// everywhere except within a narrow band around the crossover (where
-/// [`RoutingPolicy::Measured`] or pre-tuning decides exactly).
+/// cost, the per-k-step block-plan cost under the scoreboard's overlap
+/// model (`sme_plan_step_cycles`) and accumulator traffic versus
+/// Neon's FMLA and load throughput. On the calibrated model it lands
+/// within a few percent of simulation on small shapes, so the heuristic
+/// crossover tracks the simulated one even through the masked-edge band
+/// (pre-tuning or [`RoutingPolicy::Measured`] still decides exactly).
 pub fn estimate_backend_cycles(
     cfg: &GemmConfig,
     backend: Backend,
@@ -69,7 +93,8 @@ pub fn estimate_backend_cycles(
             let plan = plan_heterogeneous(cfg.m, cfg.n);
             // smstart + smstop dominate tiny shapes.
             let streaming = 2.0 * p.op(OpKind::SmeControl).interval();
-            let contraction = cfg.k as f64 * analytic_k_step_cycles(&plan, machine);
+            let contraction =
+                cfg.k as f64 * sme_plan_step_cycles(&plan, machine, OpKind::SmeFmopaF32);
             // The C block crosses the ZA array twice (load + store).
             let c_traffic =
                 c_bytes / rate(OpKind::LoadLd1Multi4) + c_bytes / rate(OpKind::StoreStrZa);
@@ -77,16 +102,52 @@ pub fn estimate_backend_cycles(
         }
         Backend::Neon => {
             neon_supports(cfg).ok()?;
-            let blocks = ((cfg.m / 16) * (cfg.n / 4)) as f64;
             let fmla = p.op(OpKind::NeonFmla);
-            // Per k step and 16×4 block: 16 FMLA, 80 bytes of A/B loads,
-            // two address bumps and the loop branch.
-            let per_step = 16.0 / fmla.per_cycle
-                + 80.0 / rate(OpKind::NeonLoad)
-                + 2.0 * p.op(OpKind::IntAlu).interval()
-                + p.op(OpKind::Branch).interval();
-            let contraction = blocks * cfg.k as f64 * per_step;
-            let c_traffic = c_bytes / rate(OpKind::NeonLoad) + c_bytes / rate(OpKind::NeonStore);
+            // The block grid mirrors the generator: 16-row steps with an
+            // even residual tail (quad/pair column segments) and 4-column
+            // steps with a possible 2-wide tail, so there are at most four
+            // block classes (full, row tail, column tail, corner) and the
+            // estimate is closed-form in the class counts. Per k step and
+            // block, the FMLA, load, scalar and branch streams issue on
+            // independent units, so a block's steady state is their
+            // maximum — floored by the FMLA accumulation latency (each
+            // accumulator is updated once per step; a tail block with few
+            // accumulators is latency-bound, which is what makes
+            // edge-heavy shapes relatively more expensive per element).
+            let class_step = |rows: usize, cols: usize| -> f64 {
+                let segs = (rows / 4 + (rows % 4) / 2) as f64;
+                (cols as f64 * segs / fmla.per_cycle)
+                    .max(fmla.latency)
+                    .max(((rows + cols) * 4) as f64 / rate(OpKind::NeonLoad))
+                    .max(2.0 * p.op(OpKind::IntAlu).interval())
+                    .max(p.op(OpKind::Branch).interval())
+            };
+            let row_classes = [
+                (16, cfg.m / 16),
+                (cfg.m % 16, usize::from(!cfg.m.is_multiple_of(16))),
+            ];
+            let col_classes = [
+                (4, cfg.n / 4),
+                (cfg.n % 4, usize::from(!cfg.n.is_multiple_of(4))),
+            ];
+            let mut per_step = 0.0;
+            let mut blocks = 0.0;
+            for (rows, row_count) in row_classes {
+                for (cols, col_count) in col_classes {
+                    let count = (row_count * col_count) as f64;
+                    if count > 0.0 {
+                        per_step += count * class_step(rows, cols);
+                        blocks += count;
+                    }
+                }
+            }
+            let contraction = cfg.k as f64 * per_step;
+            // Beta::Zero skips the accumulator loads (movi is ~free next
+            // to the memory traffic).
+            let c_traffic = match cfg.beta {
+                Beta::One => c_bytes / rate(OpKind::NeonLoad) + c_bytes / rate(OpKind::NeonStore),
+                Beta::Zero => c_bytes / rate(OpKind::NeonStore),
+            };
             // Pointer setup per block.
             let setup = blocks * 6.0 * p.op(OpKind::IntAlu).interval();
             Some(contraction + c_traffic + setup)
@@ -96,13 +157,17 @@ pub fn estimate_backend_cycles(
 
 /// Closed-form single-core cycle estimate for dispatching a BF16 widening
 /// `cfg` on `backend`, or `None` if the backend cannot compile the shape —
-/// the widening twin of [`estimate_backend_cycles`].
+/// the widening twin of [`estimate_backend_cycles`]. Both engines are total
+/// over the envelope grid, so both estimates exist for every valid shape.
 ///
 /// The SME side pays the same streaming-mode entry/exit and accumulator
 /// traffic as FP32, but halves the contraction-step operand bytes (two
-/// contraction steps per BFMOPA); the Neon side models the `BFMMLA` 8×2
-/// blocking's loads, matrix ops and the `ldr d`/`str d` + lane-shuffle C
-/// handling.
+/// contraction steps per BFMOPA); its per-pair cost is evaluated over the
+/// default kernel's **actual block plan** (masked 32×32 blocks), so
+/// remainder tiles — which change the microkernel count and the load
+/// shapes — move the estimate exactly as they move the generated kernel.
+/// The Neon side models the `BFMMLA` 8×2 blocking's loads, matrix ops and
+/// the `ldr d`/`str d` + lane-shuffle C handling.
 pub fn estimate_widening_backend_cycles(
     cfg: &WideningGemmConfig,
     backend: Backend,
@@ -115,12 +180,14 @@ pub fn estimate_widening_backend_cycles(
         Backend::Sme => {
             sme_widening_supports(cfg).ok()?;
             let streaming = 2.0 * p.op(OpKind::SmeControl).interval();
-            // Per contraction pair and 32x32 block: two 2-vector BF16 loads
-            // (128 bytes each) and four widening outer products.
-            let blocks = ((cfg.m / 32) * (cfg.n / 32)) as f64;
-            let per_pair = 2.0 * 128.0 / rate(OpKind::LoadLd1Multi2)
-                + 4.0 * p.op(OpKind::SmeFmopaWide).interval();
-            let contraction = (cfg.k / 2) as f64 * blocks * per_pair;
+            // The default widening candidate tiles with (possibly masked)
+            // 32x32 blocks; the per-pair cost covers the bandwidth-weighted
+            // packed loads and one widening BFMOPA per active tile of every
+            // block — edge tiles included, which is what keeps the
+            // crossover honest now that they change the microkernel count.
+            let plan = plan_homogeneous(cfg.m, cfg.n, RegisterBlocking::B32x32);
+            let contraction =
+                (cfg.k / 2) as f64 * sme_plan_step_cycles(&plan, machine, OpKind::SmeFmopaWide);
             let c_traffic =
                 c_bytes / rate(OpKind::LoadLd1Multi4) + c_bytes / rate(OpKind::StoreStrZa);
             Some(streaming + contraction + c_traffic)
@@ -130,11 +197,14 @@ pub fn estimate_widening_backend_cycles(
             let blocks = ((cfg.m / 8) * (cfg.n / 2)) as f64;
             let bfmmla = p.op(OpKind::NeonBfmmla);
             // Per quad and 8x2 block: 4 BFMMLA, 80 bytes of A/B loads, two
-            // address bumps and the loop branch.
-            let per_quad = 4.0 / bfmmla.per_cycle
-                + 80.0 / rate(OpKind::NeonLoad)
-                + 2.0 * p.op(OpKind::IntAlu).interval()
-                + p.op(OpKind::Branch).interval();
+            // address bumps and the loop branch — on independent units, so
+            // the steady state is their maximum (floored by the BFMMLA
+            // accumulation latency).
+            let per_quad = (4.0 / bfmmla.per_cycle)
+                .max(bfmmla.latency)
+                .max(80.0 / rate(OpKind::NeonLoad))
+                .max(2.0 * p.op(OpKind::IntAlu).interval())
+                .max(p.op(OpKind::Branch).interval());
             let contraction = blocks * cfg.k.div_ceil(4) as f64 * per_quad;
             // C moves through 8-byte ldr d / str d plus one ins / dup lane
             // shuffle per row pair and column.
@@ -214,18 +284,31 @@ mod tests {
     }
 
     #[test]
-    fn widening_heuristic_follows_the_grids() {
+    fn widening_heuristic_is_a_performance_boundary() {
         let machine = MachineConfig::apple_m4();
         // On the SME grid, the outer-product units win by a wide margin.
         let dense: AnyGemmConfig = WideningGemmConfig::new(64, 64, 64).unwrap().into();
         assert_eq!(heuristic_backend_any(&dense, &machine), Backend::Sme);
-        // Off the SME grid, only the Neon BFMMLA baseline can compile.
-        let thin: AnyGemmConfig = WideningGemmConfig::new(16, 4, 4).unwrap().into();
-        assert_eq!(heuristic_backend_any(&thin, &machine), Backend::Neon);
+        // Dense-but-misaligned shapes now carry SME estimates (the masked
+        // edge tiles made the engine total) and still land on SME.
+        for (m, n, k) in [(48, 40, 64), (40, 40, 32), (96, 72, 48)] {
+            let off_grid: AnyGemmConfig = WideningGemmConfig::new(m, n, k).unwrap().into();
+            assert_eq!(
+                heuristic_backend_any(&off_grid, &machine),
+                Backend::Sme,
+                "{m}x{n}x{k}"
+            );
+        }
+        // Thin/shallow shapes: the streaming-mode overhead dominates, so
+        // the Neon BFMMLA baseline wins — a performance decision now, not
+        // a support boundary: the SME estimate exists and is finite.
         let thin_cfg = WideningGemmConfig::new(16, 4, 4).unwrap();
-        assert_eq!(
-            estimate_widening_backend_cycles(&thin_cfg, Backend::Sme, &machine),
-            None
+        let thin: AnyGemmConfig = thin_cfg.into();
+        assert_eq!(heuristic_backend_any(&thin, &machine), Backend::Neon);
+        assert!(
+            estimate_widening_backend_cycles(&thin_cfg, Backend::Sme, &machine)
+                .expect("SME widening estimates exist on the whole envelope grid")
+                .is_finite()
         );
         assert!(
             estimate_widening_backend_cycles(&thin_cfg, Backend::Neon, &machine)
@@ -235,6 +318,30 @@ mod tests {
         // FP32 dispatch through the dtype-generic entry point is unchanged.
         let fp32: AnyGemmConfig = GemmConfig::abt(16, 4, 4).into();
         assert_eq!(heuristic_backend_any(&fp32, &machine), Backend::Neon);
+    }
+
+    #[test]
+    fn fp32_neon_estimates_cover_edges_and_beta_zero() {
+        let machine = MachineConfig::apple_m4();
+        // Edge shapes on the even-m/n envelope now carry Neon estimates.
+        let edge = GemmConfig::abt(18, 6, 16);
+        let est = estimate_backend_cycles(&edge, Backend::Neon, &machine)
+            .expect("even-extent shapes are Neon-compilable");
+        assert!(est.is_finite() && est > 0.0);
+        // A partial-block shape costs more per element than its aligned
+        // neighbour (same loop overhead, less arithmetic per block).
+        let aligned =
+            estimate_backend_cycles(&GemmConfig::abt(16, 4, 16), Backend::Neon, &machine).unwrap();
+        assert!(est > aligned, "edge {est} vs aligned {aligned}");
+        // Beta::Zero drops the accumulator-load traffic.
+        let beta0 =
+            estimate_backend_cycles(&edge.with_beta(Beta::Zero), Backend::Neon, &machine).unwrap();
+        assert!(beta0 < est);
+        // Odd extents remain off the envelope.
+        assert_eq!(
+            estimate_backend_cycles(&GemmConfig::abt(17, 4, 4), Backend::Neon, &machine),
+            None
+        );
     }
 
     #[test]

@@ -5,8 +5,7 @@ use crate::planner::{plan_batch, PlacementPlan};
 use crate::policy::{heuristic_backend_any, RoutingPolicy};
 use crate::telemetry::{ShapeStats, TelemetryRegistry};
 use sme_gemm::{
-    default_any_candidate, neon_supports, sme_widening_supports, AnyGemmConfig, Backend,
-    GemmConfig, GemmError,
+    default_any_candidate, neon_supports, AnyGemmConfig, Backend, GemmConfig, GemmError,
 };
 use sme_machine::multicore::MulticoreModel;
 use sme_machine::MachineConfig;
@@ -122,18 +121,14 @@ impl Router {
     /// The traffic-adaptive policies ([`RoutingPolicy::Heuristic`] and
     /// [`RoutingPolicy::Measured`]) defer to an installed tuned winner
     /// first — pre-tuning a shape pins its route to the simulated argmin
-    /// across both engines. The pinned policies fall back to the other
-    /// engine when their engine cannot compile the shape (Neon for FP32
-    /// shapes off the 16×4 grid, SME for widening shapes off the 32×32
-    /// grid), so pinning never makes a valid configuration undispatchable.
+    /// across both engines. The SME generators are total over their
+    /// datatypes' envelopes (widening edge tiles are predicated), so
+    /// `SmeOnly` never needs a fallback; `NeonOnly` falls back to SME for
+    /// FP32 shapes off the Neon generator's even-`m`/`n` envelope, so
+    /// pinning never makes a valid configuration undispatchable.
     pub fn route_any(&self, cfg: &AnyGemmConfig) -> Backend {
         match self.policy {
-            RoutingPolicy::SmeOnly => match cfg {
-                AnyGemmConfig::WideningBf16(w) if sme_widening_supports(w).is_err() => {
-                    Backend::Neon
-                }
-                _ => Backend::Sme,
-            },
+            RoutingPolicy::SmeOnly => Backend::Sme,
             RoutingPolicy::NeonOnly => match cfg {
                 AnyGemmConfig::Fp32(c) if neon_supports(c).is_err() => Backend::Sme,
                 _ => Backend::Neon,
@@ -327,21 +322,25 @@ mod tests {
     fn widening_shapes_route_across_both_engines() {
         use sme_gemm::WideningGemmConfig;
         let dense: AnyGemmConfig = WideningGemmConfig::new(32, 32, 16).unwrap().into();
+        let edgy: AnyGemmConfig = WideningGemmConfig::new(48, 40, 64).unwrap().into();
         let thin: AnyGemmConfig = WideningGemmConfig::new(16, 4, 8).unwrap().into();
 
-        // Pinned policies fall back when their engine cannot compile.
+        // The SME widening path is total, so pinning SME needs no
+        // fallback; both engines compile every envelope shape.
         let sme_only = Router::with_policy(8, RoutingPolicy::SmeOnly);
         assert_eq!(sme_only.route_any(&dense), Backend::Sme);
-        assert_eq!(sme_only.route_any(&thin), Backend::Neon, "fallback");
+        assert_eq!(sme_only.route_any(&thin), Backend::Sme, "no fallback");
         let neon_only = Router::with_policy(8, RoutingPolicy::NeonOnly);
         assert_eq!(neon_only.route_any(&dense), Backend::Neon);
         assert_eq!(neon_only.route_any(&thin), Backend::Neon);
 
-        // The adaptive policies land dense widening shapes on the SME
-        // units and off-grid shapes on the Neon BFMMLA baseline.
+        // The adaptive policies land dense widening shapes — aligned or
+        // not — on the SME units and thin shapes on the Neon BFMMLA
+        // baseline: the split is a performance decision now.
         for policy in [RoutingPolicy::Heuristic, RoutingPolicy::Measured] {
             let router = Router::with_policy(8, policy);
             assert_eq!(router.route_any(&dense), Backend::Sme, "{policy:?}");
+            assert_eq!(router.route_any(&edgy), Backend::Sme, "{policy:?}");
             assert_eq!(router.route_any(&thin), Backend::Neon, "{policy:?}");
         }
 

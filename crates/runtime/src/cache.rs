@@ -145,10 +145,9 @@ impl KernelCache {
 
     /// The backend the cache would pick for a configuration of either
     /// datatype when the caller expresses no preference: the stored tuned
-    /// winner's backend, or the datatype's default engine for untuned
-    /// shapes — SME (the paper's engine) for FP32 and for widening shapes
-    /// on the SME grid, the Neon `BFMMLA` baseline for widening shapes off
-    /// it.
+    /// winner's backend, or the datatype's default engine — SME (the
+    /// paper's engine) for both datatypes, its generators being total over
+    /// their envelopes (widening edge tiles are predicated since PR 5).
     ///
     /// A record whose backend cannot actually compile the shape (possible
     /// only for stores assembled in memory — load-time validation rejects

@@ -442,14 +442,16 @@ impl PlanStore {
                             sme_gemm::sme_widening_supports(&key).map_err(|e| {
                                 fail(&format!("stored SME widening winner off the grid: {e}"))
                             })?;
+                            // Edge tiles are predicated, so any homogeneous
+                            // or heterogeneous plan compiles; only the
+                            // column-panel kind (meaningless for the
+                            // pre-packed operands) is rejected.
                             match kind {
-                                PlanKind::Homogeneous(blocking)
-                                    if key.m.is_multiple_of(blocking.rows())
-                                        && key.n.is_multiple_of(blocking.cols()) => {}
+                                PlanKind::Homogeneous(_) | PlanKind::Heterogeneous => {}
                                 _ => {
                                     return Err(fail(&format!(
                                         "plan kind `{plan_name}` is incompatible with the \
-                                         widening generator for this shape"
+                                         widening generator"
                                     )))
                                 }
                             }
@@ -723,26 +725,28 @@ mod tests {
                 "unknown backend",
             ),
             (
-                // 8 % 16 != 0: the Neon generator cannot compile this shape.
-                r#"{"version": 2, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
-                   "ldc": 8, "b_layout": "RowMajor", "beta": "One", "backend": "Neon",
+                // Odd m: the Neon generator cannot compile this shape
+                // (its residual path works in row pairs).
+                r#"{"version": 2, "entries": [{"m": 9, "n": 8, "k": 8, "lda": 9, "ldb": 8,
+                   "ldc": 9, "b_layout": "RowMajor", "beta": "One", "backend": "Neon",
                    "plan": "Heterogeneous", "c_transfer": "TwoStep", "k_unroll": 1,
                    "tuned_cycles": 1, "default_cycles": 1}]}"#,
                 "Neon-compilable",
             ),
             (
-                // m = 24 is off the SME widening grid.
+                // An odd k is off the widening envelope grid entirely.
                 r#"{"version": 3, "entries": [{"dtype": "WideningBf16", "m": 24, "n": 32,
-                   "k": 8, "backend": "Sme", "plan": "Homogeneous32x32",
+                   "k": 7, "backend": "Sme", "plan": "Homogeneous32x32",
                    "c_transfer": "TwoStep", "k_unroll": 1,
                    "tuned_cycles": 1, "default_cycles": 1}]}"#,
-                "off the grid",
+                "invalid stored configuration",
             ),
             (
-                // The heterogeneous kind never drives the widening
-                // generator.
+                // The column-panel kind never drives the widening
+                // generator (the pre-packed operands have no column-major
+                // panels to transpose).
                 r#"{"version": 3, "entries": [{"dtype": "WideningBf16", "m": 32, "n": 32,
-                   "k": 8, "backend": "Sme", "plan": "Heterogeneous",
+                   "k": 8, "backend": "Sme", "plan": "ColumnPanels",
                    "c_transfer": "TwoStep", "k_unroll": 1,
                    "tuned_cycles": 1, "default_cycles": 1}]}"#,
                 "incompatible with the widening generator",

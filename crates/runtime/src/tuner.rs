@@ -22,7 +22,8 @@ use crate::store::{tune_key_any, PlanStore, TunedRecord};
 use rayon::prelude::*;
 use sme_gemm::{
     default_any_candidate, enumerate_any_candidates, generate_any_routed,
-    prune_dominated_candidates, AnyGemmConfig, Backend, GemmConfig, GemmError, PlanCandidate,
+    prune_dominated_candidates, prune_dominated_widening_candidates, AnyGemmConfig, Backend,
+    GemmConfig, GemmError, PlanCandidate,
 };
 
 /// Knobs controlling how much of the candidate space the tuner explores.
@@ -124,9 +125,9 @@ pub fn tune(cfg: &GemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmEr
 /// Candidates are simulated in parallel on the host (each on its own
 /// single-core simulator instance); the winner is deterministic — ties are
 /// broken towards the default candidate first and then towards the earlier
-/// candidate in enumeration order. The analytic pre-filter applies to the
-/// FP32 block-plan space only (the widening candidate set is small enough
-/// to simulate outright).
+/// candidate in enumeration order. The analytic pre-filter applies to both
+/// datatypes' SME block-plan spaces (the widening space grew the same
+/// edge-bearing plan kinds as FP32 when the masked-tile path landed).
 pub fn tune_any(cfg: &AnyGemmConfig, opts: &TunerOptions) -> Result<TuneOutcome, GemmError> {
     cfg.validate()?;
     let default = default_any_candidate(cfg);
@@ -141,6 +142,9 @@ pub fn tune_any(cfg: &AnyGemmConfig, opts: &TunerOptions) -> Result<TuneOutcome,
         .collect();
     let candidates = match (opts.prefilter, cfg) {
         (true, AnyGemmConfig::Fp32(c)) => prune_dominated_candidates(c, enumerated.clone()),
+        (true, AnyGemmConfig::WideningBf16(c)) => {
+            prune_dominated_widening_candidates(c, enumerated.clone())
+        }
         _ => enumerated.clone(),
     };
     let candidates_pruned = enumerated.len() - candidates.len();
@@ -333,13 +337,18 @@ mod tests {
         assert!(outcome.tuned_cycles <= outcome.default_cycles);
         assert!(outcome.candidates_tried >= 2);
 
-        // Off the SME grid the Neon BFMMLA baseline is the only (and
-        // therefore winning and default) candidate.
+        // Off the 32-grid both engines are real candidates now; the winner
+        // still can only improve on the (SME) default.
         let thin: AnyGemmConfig = WideningGemmConfig::new(16, 4, 8).unwrap().into();
         let outcome = tune_any(&thin, &TunerOptions::default()).unwrap();
-        assert_eq!(outcome.winner.backend, Backend::Neon);
-        assert_eq!(outcome.tuned_cycles, outcome.default_cycles);
-        assert_eq!(outcome.candidates_tried, 1);
+        assert!(outcome.tuned_cycles <= outcome.default_cycles);
+        assert!(outcome.candidates_tried >= 2, "SME edge candidates score");
+
+        // A dense-but-misaligned shape: the masked SME edge tiles beat the
+        // Neon BFMMLA baseline outright.
+        let edgy: AnyGemmConfig = WideningGemmConfig::new(48, 40, 64).unwrap().into();
+        let outcome = tune_any(&edgy, &TunerOptions::default()).unwrap();
+        assert_eq!(outcome.winner.backend, Backend::Sme);
 
         // Winners persist under the widening key.
         let mut store = PlanStore::new();
@@ -347,6 +356,32 @@ mod tests {
         assert_eq!(store.lookup_any(&dense).copied().unwrap(), outcome.record());
         let reloaded = PlanStore::from_json(&store.to_json()).unwrap();
         assert_eq!(reloaded.lookup_any(&dense).copied(), Some(outcome.record()));
+    }
+
+    #[test]
+    fn widening_prefilter_prunes_without_changing_the_winner() {
+        use sme_gemm::WideningGemmConfig;
+        // The widening twin of the FP32 pre-filter guarantee, over shapes
+        // with and without masked edges.
+        let mut total_pruned = 0;
+        for (m, n, k) in [
+            (32, 32, 16),
+            (64, 16, 32),
+            (40, 40, 16),
+            (48, 40, 8),
+            (16, 4, 8),
+        ] {
+            let cfg: AnyGemmConfig = WideningGemmConfig::new(m, n, k).unwrap().into();
+            let pruned = tune_any(&cfg, &TunerOptions::default()).unwrap();
+            let exhaustive = tune_any(&cfg, &TunerOptions::exhaustive()).unwrap();
+            assert_eq!(
+                pruned.winner, exhaustive.winner,
+                "{cfg}: pre-filter changed the winner"
+            );
+            assert_eq!(pruned.tuned_cycles, exhaustive.tuned_cycles);
+            total_pruned += pruned.candidates_pruned;
+        }
+        assert!(total_pruned > 0, "the sweep must exercise actual pruning");
     }
 
     #[test]

@@ -205,9 +205,65 @@ fn telemetry_counts_match_dispatched_traffic_exactly() {
     assert_eq!(router.route(&hot), outcomes[0].winner.backend);
 }
 
-/// Widening shapes straddling the engine split: envelope-grid shapes the
-/// SME fast path cannot compile (Neon `BFMMLA` territory) through dense
-/// 32-grid shapes where the widening outer products win outright.
+#[test]
+fn off_grid_bf16_shapes_now_route_to_sme() {
+    // The headline payoff of the predicated edge tiles: dense-but-
+    // misaligned BF16 shapes used to be a *support* decision (the SME
+    // widening path rejected anything off the 32x32 grid, so they always
+    // ran on the ~8x narrower Neon BFMMLA baseline) and are now a
+    // *performance* decision the router settles on simulated cycles.
+    use hello_sme::sme_router::RoutingPolicy;
+    let measured = Router::with_policy(64, RoutingPolicy::Measured);
+    let heuristic = Router::with_policy(64, RoutingPolicy::Heuristic);
+    let off_grid = [
+        (48, 40, 64),
+        (40, 40, 32),
+        (96, 72, 48),
+        (104, 96, 128), // the ISSUE's 100x96-class shape, on the envelope
+    ];
+    for (m, n, k) in off_grid {
+        let cfg = WideningGemmConfig::new(m, n, k).expect("envelope shape");
+        assert!(
+            !cfg.m.is_multiple_of(32) || !cfg.n.is_multiple_of(32),
+            "{cfg}: the probe must sit off the old 32-grid"
+        );
+        let any = AnyGemmConfig::WideningBf16(cfg);
+        let sme_cycles = generate_any_backend(&any, Backend::Sme)
+            .expect("masked SME edges compile the shape")
+            .model_stats()
+            .cycles;
+        let neon_cycles = generate_any_backend(&any, Backend::Neon)
+            .expect("Neon widening is total")
+            .model_stats()
+            .cycles;
+        assert!(
+            sme_cycles < neon_cycles,
+            "{cfg}: masked SME edges ({sme_cycles:.0} cycles) must beat the \
+             Neon BFMMLA baseline ({neon_cycles:.0})"
+        );
+        // A multi-x win, not a rounding-error one: this is the simulated
+        // speed-up the shapes forfeited under the old support boundary.
+        assert!(
+            neon_cycles > 2.0 * sme_cycles,
+            "{cfg}: expected a multi-x win, got {:.2}x",
+            neon_cycles / sme_cycles
+        );
+        // Both adaptive policies route the shape to SME, and the tuner's
+        // cross-backend argmin lands there too.
+        assert_eq!(measured.route_any(&any), Backend::Sme, "{cfg}");
+        assert_eq!(heuristic.route_any(&any), Backend::Sme, "{cfg}");
+        let outcome = measured
+            .tune_any(&any, &TunerOptions::quick())
+            .expect("tunable shape");
+        assert_eq!(outcome.winner.backend, Backend::Sme, "{cfg}");
+        assert!(outcome.tuned_cycles <= sme_cycles + 1e-9);
+    }
+}
+
+/// Widening shapes straddling the engine split: shallow/thin shapes where
+/// the streaming-mode entry dominates (Neon `BFMMLA` territory) through
+/// dense shapes — 32-aligned or masked — where the widening outer products
+/// win outright.
 fn bf16_crossover_sweep() -> Vec<WideningGemmConfig> {
     [
         (8, 2, 2),
@@ -216,6 +272,8 @@ fn bf16_crossover_sweep() -> Vec<WideningGemmConfig> {
         (16, 16, 16),
         (32, 32, 8),
         (32, 32, 32),
+        (40, 40, 16), // masked SME edges on both dimensions
+        (48, 40, 8),  // dense but misaligned
         (64, 32, 16),
         (64, 64, 64),
     ]
@@ -296,12 +354,15 @@ fn bf16_dispatch_straddles_the_crossover_within_tolerance() {
     }
 
     // The cross-backend tuner's argmin lands on the cheaper engine for
-    // every swept shape (the engine that cannot compile never wins).
+    // every swept shape: the winner sits on whichever engine's *best*
+    // score is lower (the SME side may tune its edge-bearing block plans,
+    // so the default 32x32 kernel is only a lower bound on its side).
     for cfg in &shapes {
         let any = AnyGemmConfig::WideningBf16(*cfg);
         let sme_cycles = generate_any_backend(&any, Backend::Sme)
-            .ok()
-            .map(|k| k.model_stats().cycles);
+            .expect("SME widening is total on the envelope grid")
+            .model_stats()
+            .cycles;
         let neon_cycles = generate_any_backend(&any, Backend::Neon)
             .expect("Neon widening is total on the envelope grid")
             .model_stats()
@@ -309,23 +370,36 @@ fn bf16_dispatch_straddles_the_crossover_within_tolerance() {
         let outcome = router
             .tune_any(&any, &TunerOptions::default())
             .expect("tunable widening configuration");
-        let expected = match sme_cycles {
-            Some(s) if s <= neon_cycles => Backend::Sme,
-            Some(_) => Backend::Neon,
-            None => Backend::Neon,
+        let sme_only = TunerOptions {
+            sweep_backends: false,
+            ..TunerOptions::default()
+        };
+        let best_sme_cycles = hello_sme::sme_runtime::tune_any(&any, &sme_only)
+            .expect("tunable widening configuration")
+            .tuned_cycles;
+        let expected = if neon_cycles < best_sme_cycles {
+            Backend::Neon
+        } else {
+            Backend::Sme
         };
         assert_eq!(
             outcome.winner.backend, expected,
             "{cfg}: winner backend does not match the simulated argmin \
-             (sme {sme_cycles:?}, neon {neon_cycles:.0})"
+             (sme default {sme_cycles:.0}, best sme {best_sme_cycles:.0}, \
+             neon {neon_cycles:.0})"
         );
-        // The tuned score can only improve on the engines' default kernels.
-        let argmin = sme_cycles.unwrap_or(f64::INFINITY).min(neon_cycles);
+        // The tuned score equals the cheaper engine's best and can only
+        // improve on both engines' default kernels.
+        let argmin = best_sme_cycles.min(neon_cycles);
         assert!(
-            outcome.tuned_cycles <= argmin + 1e-9,
-            "{cfg}: tuned score {:.1} must not lose to the cheaper default \
+            (outcome.tuned_cycles - argmin).abs() <= 1e-9 * argmin.max(1.0),
+            "{cfg}: tuned score {:.1} must equal the cheaper engine's best \
              ({argmin:.1})",
             outcome.tuned_cycles
+        );
+        assert!(
+            outcome.tuned_cycles <= sme_cycles.min(neon_cycles) + 1e-9,
+            "{cfg}: tuned score must not lose to either default engine"
         );
         // Routing now follows the installed winner.
         assert_eq!(router.route_any(&any), outcome.winner.backend);

@@ -38,9 +38,11 @@ fn kernel_output(kernel: &RoutedKernel, seed: u64) -> Vec<f32> {
     sim.mem.read_f32_slice(bufs.c, kernel.c_len())
 }
 
-/// The sweep: SME-grid shapes (both engines compile) and envelope-grid
-/// shapes (Neon `BFMMLA` only), square, wide, tall, thin, shallow and deep,
+/// The sweep: 32-grid shapes (full SME tiles) and envelope-grid shapes
+/// (masked SME edge tiles), square, wide, tall, thin, shallow and deep,
 /// including `k % 4 == 2` depths that exercise the BFMMLA zero-padded quad.
+/// Since the predicated edge-tile work, **both** engines compile every
+/// shape here.
 fn sweep() -> Vec<WideningGemmConfig> {
     [
         (32, 32, 2),
@@ -50,11 +52,13 @@ fn sweep() -> Vec<WideningGemmConfig> {
         (64, 64, 24),
         (96, 32, 10), // k % 4 == 2
         (32, 96, 64),
-        (8, 2, 2),    // smallest envelope shape, Neon only
-        (16, 4, 8),   // the thin crossover shape, Neon only
-        (16, 4, 64),  // deep and thin, Neon only
+        (8, 2, 2),    // smallest envelope shape, one heavily masked tile
+        (16, 4, 8),   // the thin crossover shape
+        (16, 4, 64),  // deep and thin
         (40, 6, 14),  // off both the 32-grid and the quad boundary
-        (16, 16, 32), // Neon only
+        (16, 16, 32), // partial row and column groups in one block
+        (48, 40, 64), // dense but misaligned: masked edge strips
+        (96, 72, 12), // multiple full blocks plus masked edges
     ]
     .into_iter()
     .map(|(m, n, k)| WideningGemmConfig::new(m, n, k).expect("sweep shapes are on the grid"))
@@ -63,8 +67,7 @@ fn sweep() -> Vec<WideningGemmConfig> {
 
 #[test]
 fn widening_kernels_match_the_scalar_oracle_on_both_engines() {
-    let mut sme_checked = 0;
-    let mut neon_checked = 0;
+    let mut off_grid_checked = 0;
     for cfg in sweep() {
         let any = AnyGemmConfig::WideningBf16(cfg);
         let seed = 9000 + cfg.m as u64 + cfg.k as u64;
@@ -81,46 +84,36 @@ fn widening_kernels_match_the_scalar_oracle_on_both_engines() {
         // The handle's own validation asserts the same bound.
         let err = neon.validate(seed);
         assert!(err < WIDENING_REL_TOL, "{cfg}: Neon validate() {err}");
-        neon_checked += 1;
 
-        // The SME fast path covers the 32x32 grid and matches the oracle
-        // bit for bit there.
-        match generate_any_backend(&any, Backend::Sme) {
-            Ok(sme) => {
-                assert!(sme_widening_supports(&cfg).is_ok());
-                assert_eq!(sme.backend(), Backend::Sme);
-                assert_eq!(
-                    kernel_output(&sme, seed),
-                    oracle,
-                    "{cfg}: SME widening output diverged from the sequential oracle"
-                );
-                assert_eq!(sme.validate(seed), 0.0, "{cfg}: bit-identical");
-                sme_checked += 1;
-            }
-            Err(_) => {
-                assert!(
-                    sme_widening_supports(&cfg).is_err(),
-                    "{cfg}: SME generation failed on a supported shape"
-                );
-            }
+        // The SME path is total over the envelope grid and matches the
+        // oracle bit for bit everywhere: masked edge tiles accumulate each
+        // active element in contraction order with unfused multiply-adds,
+        // exactly like the full tiles.
+        assert!(sme_widening_supports(&cfg).is_ok(), "{cfg}: SME is total");
+        let sme = generate_any_backend(&any, Backend::Sme).expect("SME widening is total");
+        assert_eq!(sme.backend(), Backend::Sme);
+        assert_eq!(
+            kernel_output(&sme, seed),
+            oracle,
+            "{cfg}: SME widening output diverged from the sequential oracle"
+        );
+        assert_eq!(sme.validate(seed), 0.0, "{cfg}: bit-identical");
+        if !cfg.m.is_multiple_of(32) || !cfg.n.is_multiple_of(32) {
+            off_grid_checked += 1;
         }
     }
-    assert!(sme_checked >= 5, "the sweep must exercise the SME grid");
     assert!(
-        neon_checked > sme_checked,
-        "the sweep must include Neon-only envelope shapes"
+        off_grid_checked >= 5,
+        "the sweep must exercise masked SME edge tiles"
     );
 }
 
 #[test]
 fn widening_backends_agree_with_each_other_within_tolerance() {
-    // Where both engines compile, their outputs agree to the same bound —
-    // the property that makes routing a widening shape between engines
-    // numerically safe.
-    for cfg in sweep()
-        .into_iter()
-        .filter(|c| sme_widening_supports(c).is_ok())
-    {
+    // Both engines compile every envelope shape and their outputs agree to
+    // the shared bound — the property that makes routing a widening shape
+    // between engines numerically safe, now on the whole envelope grid.
+    for cfg in sweep() {
         let any = AnyGemmConfig::WideningBf16(cfg);
         let seed = 77;
         let sme = kernel_output(&generate_any_backend(&any, Backend::Sme).unwrap(), seed);

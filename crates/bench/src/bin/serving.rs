@@ -1,0 +1,58 @@
+//! Serving-loop trace: drive a synthetic shifting-traffic workload through
+//! the full loop — placement-aware dispatch, decayed telemetry, the
+//! pretune daemon's tune/warm/persist tick — then simulate a process
+//! restart and show that "tomorrow's" traffic is served from a warm cache.
+//!
+//! The trace has three acts: a *yesterday* phase dominated by one shape
+//! set, a *today* phase where the traffic shifts to a different set (the
+//! decayed ranking must follow), and a restart where a brand-new router
+//! restores the persisted snapshots, ticks once, and serves today's
+//! traffic without compiling a single kernel. The binary exits non-zero
+//! if any batch's placed makespan exceeds its isolated projection, if the
+//! decayed ranking fails to follow the shift, or if the post-restart
+//! batch is not a pure cache hit. `--smoke` runs the tiny CI preset;
+//! `--json` writes the per-batch records CI keeps as `BENCH_serving.json`.
+
+use sme_bench::{maybe_write_json, render_serving_trace, serving_trace, ServingTraceOptions};
+
+fn main() {
+    let opts = ServingTraceOptions::parse_or_exit(std::env::args().skip(1));
+    println!(
+        "Serving trace — {} yesterday + {} today batches, {} requests per shape\n",
+        opts.warm_batches, opts.shifted_batches, opts.requests
+    );
+
+    let dir = std::env::temp_dir().join(format!("sme_serving_trace_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: could not create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let trace = serving_trace(&opts, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    let trace = match trace {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("{}", render_serving_trace(&trace));
+    maybe_write_json(&opts.json, &trace);
+
+    if !trace.placement_never_worse() {
+        eprintln!("error: a batch's placed makespan exceeded its isolated projection");
+        std::process::exit(1);
+    }
+    if !trace.shift_followed {
+        eprintln!("error: the decayed ranking did not follow the traffic shift");
+        std::process::exit(1);
+    }
+    if trace.restart_hit_rate < 1.0 {
+        eprintln!(
+            "error: the post-restart batch was not served from warm cache (hit rate {:.1}%)",
+            100.0 * trace.restart_hit_rate
+        );
+        std::process::exit(1);
+    }
+}

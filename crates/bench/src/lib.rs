@@ -690,6 +690,299 @@ pub fn render_router_sweep(sweep: &RouterSweep) -> String {
     out
 }
 
+/// Options for the `serving` binary: a synthetic shifting-traffic trace
+/// driven through the full serving loop (router dispatch → telemetry decay
+/// → pretune daemon → persisted snapshots → simulated restart).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingTraceOptions {
+    /// Batches dispatched in the first ("yesterday") traffic phase.
+    pub warm_batches: usize,
+    /// Batches dispatched after the traffic shifts ("today"); twice the
+    /// warm phase by default so the decayed ranking has time to flip.
+    pub shifted_batches: usize,
+    /// Requests per shape per batch.
+    pub requests: usize,
+    /// JSON output path (`BENCH_serving.json` in CI).
+    pub json: Option<String>,
+}
+
+impl ServingTraceOptions {
+    /// Usage string for the `serving` binary.
+    pub const USAGE: &'static str = "[--batches N] [--requests N] [--json PATH] [--smoke]";
+
+    /// Parse the `serving` binary's flags. `--batches N` sets the warm
+    /// phase length (the shifted phase is `2 N`); `--smoke` is the CI
+    /// preset (3 warm + 6 shifted batches, 2 requests per shape).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = ServingTraceOptions {
+            warm_batches: 5,
+            shifted_batches: 10,
+            requests: 3,
+            json: None,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value =
+                |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+            match arg.as_str() {
+                "--batches" => {
+                    let n: usize = value("--batches")?
+                        .parse()
+                        .map_err(|e| format!("--batches: {e}"))?;
+                    if n == 0 {
+                        return Err("--batches must be positive".into());
+                    }
+                    opts.warm_batches = n;
+                    opts.shifted_batches = 2 * n;
+                }
+                "--requests" => {
+                    let n: usize = value("--requests")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?;
+                    if n == 0 {
+                        return Err("--requests must be positive".into());
+                    }
+                    opts.requests = n;
+                }
+                "--json" => opts.json = Some(value("--json")?),
+                "--smoke" => {
+                    opts.warm_batches = 3;
+                    opts.shifted_batches = 6;
+                    opts.requests = 2;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parse, printing the error and usage to stderr and exiting with
+    /// status 2 on failure.
+    pub fn parse_or_exit(args: impl Iterator<Item = String>) -> Self {
+        ServingTraceOptions::parse(args).unwrap_or_else(|e| {
+            eprintln!("error: {e}\nusage: {}", ServingTraceOptions::USAGE);
+            std::process::exit(2);
+        })
+    }
+}
+
+/// One dispatched batch of the serving trace (the per-batch record of the
+/// `--json` output CI persists as `BENCH_serving.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingBatchRecord {
+    /// Batch index across the whole trace.
+    pub batch: usize,
+    /// Traffic phase: `yesterday`, `today`, or `restarted` (the first
+    /// batch served by the new process after the simulated restart).
+    pub phase: String,
+    /// Display forms of the batch's distinct shapes.
+    pub shapes: Vec<String>,
+    /// Projected makespan with every group on its in-isolation route.
+    pub makespan_isolated: f64,
+    /// Projected makespan of the executed, placement-aware routing —
+    /// never worse than `makespan_isolated`.
+    pub makespan_placed: f64,
+    /// Kernel-cache hit rate while serving this batch (compiles triggered
+    /// by routing probes included): the pretuner's effect is this reaching
+    /// 1.0 — most visibly on the first post-restart batch.
+    pub pretune_hit_rate: f64,
+}
+
+/// A complete serving trace (the `serving` binary's JSON output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingTrace {
+    /// Every dispatched batch, in order.
+    pub batches: Vec<ServingBatchRecord>,
+    /// The daemon's decayed hot list after the final shifted batch.
+    pub hot_after_shift: Vec<String>,
+    /// `true` if the decayed ranking followed the traffic shift: the
+    /// hottest shape after the shift is one of today's, even though
+    /// yesterday's dense shapes cost more cycles all-time.
+    pub shift_followed: bool,
+    /// Cache hit rate of the first batch served after the simulated
+    /// restart — 1.0 when the daemon left the cache warm for today's
+    /// traffic.
+    pub restart_hit_rate: f64,
+}
+
+impl ServingTrace {
+    /// `true` if no batch's placed projection exceeded its isolated
+    /// projection (the planner's never-worse guarantee, asserted by CI).
+    pub fn placement_never_worse(&self) -> bool {
+        self.batches
+            .iter()
+            .all(|b| b.makespan_placed <= b.makespan_isolated + 1e-9)
+    }
+}
+
+/// Yesterday's traffic: dense FP32 + dense widening + a thin Neon shape.
+fn serving_yesterday_shapes() -> Vec<sme_gemm::AnyGemmConfig> {
+    vec![
+        GemmConfig::abt(64, 64, 32).into(),
+        WideningGemmConfig::new(64, 64, 8)
+            .expect("valid widening shape")
+            .into(),
+        GemmConfig::abt(16, 4, 16).into(),
+    ]
+}
+
+/// Today's traffic after the shift: a disjoint set of the same character.
+fn serving_today_shapes() -> Vec<sme_gemm::AnyGemmConfig> {
+    vec![
+        GemmConfig::abt(48, 48, 32).into(),
+        WideningGemmConfig::new(32, 32, 64)
+            .expect("valid widening shape")
+            .into(),
+        GemmConfig::abt(16, 8, 16).into(),
+    ]
+}
+
+/// Dispatch one batch of `shapes` through `router`, recording the placed
+/// vs isolated projections and the cache hit rate the batch experienced.
+fn serving_dispatch(
+    router: &sme_router::Router,
+    shapes: &[sme_gemm::AnyGemmConfig],
+    requests: usize,
+    batch: usize,
+    phase: &str,
+) -> ServingBatchRecord {
+    let reqs: Vec<sme_runtime::GemmRequest> = shapes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &config)| {
+            (0..requests).map(move |r| sme_runtime::GemmRequest {
+                config,
+                seed: (batch * 1000 + i * 10 + r) as u64,
+            })
+        })
+        .collect();
+    let before = router.cache().stats();
+    let report = router
+        .dispatch(&reqs)
+        .expect("serving trace shapes are valid");
+    let after = router.cache().stats();
+    let hits = after.hits - before.hits;
+    let misses = after.misses - before.misses;
+    let total = hits + misses;
+    ServingBatchRecord {
+        batch,
+        phase: phase.to_string(),
+        shapes: shapes.iter().map(|c| c.to_string()).collect(),
+        makespan_isolated: report.isolated.makespan_cycles(),
+        makespan_placed: report.placement.makespan_cycles(),
+        pretune_hit_rate: if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        },
+    }
+}
+
+/// Drive the synthetic shifting-traffic trace through the serving loop,
+/// persisting daemon state into `dir`:
+///
+/// 1. `warm_batches` batches of yesterday's shapes, a daemon tick after
+///    each (tune + warm + persist);
+/// 2. the traffic shifts: `shifted_batches` batches of today's shapes,
+///    ticking after each — the decayed ranking flips to today's traffic;
+/// 3. a simulated restart: a **new router** restores the persisted
+///    telemetry + plans, one daemon tick re-warms the cache, and today's
+///    first batch on the new process is served entirely from warm cache.
+pub fn serving_trace(
+    opts: &ServingTraceOptions,
+    dir: &std::path::Path,
+) -> Result<ServingTrace, String> {
+    use sme_router::{PretuneDaemon, PretuneDaemonConfig, Router};
+
+    let yesterday = serving_yesterday_shapes();
+    let today = serving_today_shapes();
+    let mut config = PretuneDaemonConfig::in_dir(dir);
+    // Cover the whole working set so a tick can warm every live shape.
+    config.top_n = yesterday.len() + today.len();
+    let daemon = PretuneDaemon::new(config);
+
+    let router = Router::new(256);
+    daemon
+        .restore(&router)
+        .map_err(|e| format!("restore: {e}"))?;
+
+    let mut batches = Vec::new();
+    let mut hot_after_shift = Vec::new();
+    for b in 0..opts.warm_batches {
+        batches.push(serving_dispatch(
+            &router,
+            &yesterday,
+            opts.requests,
+            b,
+            "yesterday",
+        ));
+        daemon.tick(&router).map_err(|e| format!("tick: {e}"))?;
+    }
+    for b in 0..opts.shifted_batches {
+        batches.push(serving_dispatch(
+            &router,
+            &today,
+            opts.requests,
+            opts.warm_batches + b,
+            "today",
+        ));
+        let tick = daemon.tick(&router).map_err(|e| format!("tick: {e}"))?;
+        hot_after_shift = tick.hot.iter().map(|c| c.to_string()).collect();
+    }
+    let hottest = router.top_shapes(1);
+    let shift_followed = hottest
+        .first()
+        .is_some_and(|hot| today.contains(&hot.config));
+
+    // Simulated restart: a fresh process restores what the daemon
+    // persisted, re-warms, and serves today's traffic without compiling.
+    let restarted = Router::new(256);
+    daemon
+        .restore(&restarted)
+        .map_err(|e| format!("restore after restart: {e}"))?;
+    daemon
+        .tick(&restarted)
+        .map_err(|e| format!("tick after restart: {e}"))?;
+    let record = serving_dispatch(
+        &restarted,
+        &today,
+        opts.requests,
+        opts.warm_batches + opts.shifted_batches,
+        "restarted",
+    );
+    let restart_hit_rate = record.pretune_hit_rate;
+    batches.push(record);
+
+    Ok(ServingTrace {
+        batches,
+        hot_after_shift,
+        shift_followed,
+        restart_hit_rate,
+    })
+}
+
+/// Render the serving trace as the table the `serving` binary prints.
+pub fn render_serving_trace(trace: &ServingTrace) -> String {
+    let mut out = String::new();
+    out.push_str("batch  phase       isolated      placed    hit-rate\n");
+    for b in &trace.batches {
+        out.push_str(&format!(
+            "{:>5}  {:<9} {:>10.0}  {:>10.0}      {:>5.1}%\n",
+            b.batch,
+            b.phase,
+            b.makespan_isolated,
+            b.makespan_placed,
+            100.0 * b.pretune_hit_rate
+        ));
+    }
+    out.push_str(&format!(
+        "\ndecayed ranking follows the shift: {}\npost-restart hit rate: {:.1}%\n",
+        trace.shift_followed,
+        100.0 * trace.restart_hit_rate
+    ));
+    out
+}
+
 /// Write any serialisable result to a JSON file if a path was requested.
 pub fn maybe_write_json<T: Serialize>(path: &Option<String>, value: &T) {
     if let Some(path) = path {

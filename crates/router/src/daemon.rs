@@ -1,0 +1,517 @@
+//! The background pretuner: keep the cache warm for *tomorrow's* traffic.
+//!
+//! `Router::pretune_hot` answers "which shapes dominate traffic? tune
+//! exactly those" — but someone has to call it, and whatever it learned
+//! dies with the process. The [`PretuneDaemon`] closes both gaps:
+//!
+//! * [`PretuneDaemon::tick`] takes the telemetry's **decayed** top-N (so
+//!   the tuning budget follows shifting traffic, not all-time totals),
+//!   tunes any shape without an installed winner, compiles every hot
+//!   shape's winning kernel **into the cache** (the fetch a future
+//!   dispatch performs becomes a hit, not a compile), and persists both
+//!   halves of the learned state — the telemetry snapshot and the plan
+//!   store — to their configured paths;
+//! * [`PretuneDaemon::restore`] is the restart half: load both files
+//!   back (each validated against the machine fingerprint, stale state
+//!   warn-and-discarded), absorb the telemetry into the router's registry
+//!   and the plans into its cache, so the very first tick of a new
+//!   process already knows yesterday's hot shapes;
+//! * [`PretuneDaemon::spawn`] runs the tick loop on a background thread
+//!   at a fixed interval, stoppable via the returned handle — the
+//!   "background" in background pretuner.
+//!
+//! The `serving` bench binary drives this loop against a synthetic
+//! shifting-traffic trace and proves the warm-cache claim with hit-rate
+//! counters; `tests/serving_loop.rs` asserts it end-to-end, including
+//! across a simulated restart.
+
+use crate::router::Router;
+use crate::telemetry::{TelemetryError, TelemetryRegistry};
+use sme_gemm::AnyGemmConfig;
+use sme_runtime::{FingerprintCheck, PlanStore, PlanStoreError, TunerOptions};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of the background pretuner.
+#[derive(Debug, Clone)]
+pub struct PretuneDaemonConfig {
+    /// How many of the decayed-hottest shapes each tick considers.
+    pub top_n: usize,
+    /// Tuner effort per un-tuned shape.
+    pub tuner: TunerOptions,
+    /// Where the telemetry snapshot is persisted (and restored from).
+    pub telemetry_path: PathBuf,
+    /// Where the plan store is persisted (and restored from).
+    pub store_path: PathBuf,
+}
+
+impl PretuneDaemonConfig {
+    /// A daemon persisting into `dir/telemetry.json` and `dir/plans.json`,
+    /// tuning the top 8 shapes per tick at quick tuner effort.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        PretuneDaemonConfig {
+            top_n: 8,
+            tuner: TunerOptions::quick(),
+            telemetry_path: dir.join("telemetry.json"),
+            store_path: dir.join("plans.json"),
+        }
+    }
+}
+
+/// Errors from a daemon tick or restore.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Persisting or restoring the telemetry snapshot failed.
+    Telemetry(TelemetryError),
+    /// Persisting or restoring the plan store failed.
+    Store(PlanStoreError),
+    /// Tuning a hot shape failed (the shape's configuration is invalid).
+    Tune(sme_gemm::GemmError),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Telemetry(e) => write!(f, "pretune daemon telemetry error: {e}"),
+            DaemonError::Store(e) => write!(f, "pretune daemon plan store error: {e}"),
+            DaemonError::Tune(e) => write!(f, "pretune daemon tuning error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<TelemetryError> for DaemonError {
+    fn from(e: TelemetryError) -> Self {
+        DaemonError::Telemetry(e)
+    }
+}
+
+impl From<PlanStoreError> for DaemonError {
+    fn from(e: PlanStoreError) -> Self {
+        DaemonError::Store(e)
+    }
+}
+
+impl From<sme_gemm::GemmError> for DaemonError {
+    fn from(e: sme_gemm::GemmError) -> Self {
+        DaemonError::Tune(e)
+    }
+}
+
+/// What one daemon tick did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickReport {
+    /// The decayed-hottest shapes this tick considered (hottest first).
+    pub hot: Vec<AnyGemmConfig>,
+    /// Shapes tuned this tick (they had no installed winner yet).
+    pub tuned: Vec<AnyGemmConfig>,
+    /// Hot shapes that already had a tuned winner installed.
+    pub already_tuned: usize,
+    /// Hot shapes whose winning kernel this tick compiled into the cache
+    /// (the rest were already resident).
+    pub warmed: usize,
+    /// `true` once both the telemetry snapshot and the plan store have
+    /// been written to their configured paths.
+    pub persisted: bool,
+}
+
+/// What a restore recovered from disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Distinct shapes recovered into the telemetry registry (0 when the
+    /// snapshot was missing or stale).
+    pub telemetry_shapes: usize,
+    /// Fingerprint verdict of the telemetry snapshot, if one existed.
+    pub telemetry_check: Option<FingerprintCheck>,
+    /// Tuned winners recovered into the plan store (0 when the store file
+    /// was missing or stale).
+    pub plans: usize,
+    /// Fingerprint verdict of the plan store, if one existed.
+    pub plan_check: Option<FingerprintCheck>,
+}
+
+/// Handle to a running background pretuner (see [`PretuneDaemon::spawn`]).
+/// Dropping the handle without calling [`DaemonHandle::stop`] detaches the
+/// loop (it keeps the router alive through its `Arc`).
+#[derive(Debug)]
+pub struct DaemonHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// Signal the loop to stop and wait for the in-flight tick to finish.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The background pretuner (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PretuneDaemon {
+    config: PretuneDaemonConfig,
+}
+
+impl PretuneDaemon {
+    /// A daemon with the given configuration.
+    pub fn new(config: PretuneDaemonConfig) -> Self {
+        PretuneDaemon { config }
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &PretuneDaemonConfig {
+        &self.config
+    }
+
+    /// Restore persisted state into `router`: the telemetry snapshot into
+    /// its registry and the plan store into its cache, each validated
+    /// against the router's machine fingerprint (stale files warn and are
+    /// discarded, exactly like `PlanStore::load_checked`). Missing files
+    /// are a fresh start, not an error — the daemon is restartable from
+    /// nothing.
+    pub fn restore(&self, router: &Router) -> Result<RestoreReport, DaemonError> {
+        let mut report = RestoreReport {
+            telemetry_shapes: 0,
+            telemetry_check: None,
+            plans: 0,
+            plan_check: None,
+        };
+        if self.config.telemetry_path.exists() {
+            let (registry, check) =
+                TelemetryRegistry::load_checked(&self.config.telemetry_path, router.machine())?;
+            report.telemetry_shapes = registry.len();
+            report.telemetry_check = Some(check);
+            router.telemetry().restore_from(registry);
+        }
+        if self.config.store_path.exists() {
+            let (store, check) =
+                PlanStore::load_checked(&self.config.store_path, router.machine())?;
+            report.plans = store.len();
+            report.plan_check = Some(check);
+            router.cache().replace_store(store);
+        }
+        Ok(report)
+    }
+
+    /// One pretune pass over the decayed-hottest shapes: tune what has no
+    /// winner, compile every hot winner into the cache, persist the
+    /// telemetry snapshot and the plan store.
+    pub fn tick(&self, router: &Router) -> Result<TickReport, DaemonError> {
+        let hot: Vec<AnyGemmConfig> = router
+            .top_shapes(self.config.top_n)
+            .into_iter()
+            .map(|stats| stats.config)
+            .collect();
+
+        let mut tuned = Vec::new();
+        let mut already_tuned = 0;
+        let mut warmed = 0;
+        for config in &hot {
+            if router.cache().lookup_tuned_any(config).is_some() {
+                already_tuned += 1;
+            } else {
+                router.tune_any(config, &self.config.tuner)?;
+                tuned.push(*config);
+            }
+            // Compile the winning kernel into the cache so the next
+            // dispatch's fetch is a hit. `install_tuned_any` invalidates
+            // same-key kernels, so this always compiles the *tuned*
+            // variant.
+            let backend = router.cache().preferred_backend_any(config);
+            let (_, cache_hit) = router
+                .cache()
+                .fetch_any(config, backend)
+                .map_err(DaemonError::Tune)?;
+            if !cache_hit {
+                warmed += 1;
+            }
+            // Placement-aware dispatch also costs the Neon alternative of
+            // every SME group; warm that kernel too so a post-restart
+            // dispatch compiles nothing at all. Shapes Neon cannot serve
+            // just skip this.
+            if backend == sme_gemm::Backend::Sme {
+                if let Ok((_, hit)) = router.cache().fetch_any(config, sme_gemm::Backend::Neon) {
+                    if !hit {
+                        warmed += 1;
+                    }
+                }
+            }
+        }
+
+        router.telemetry().save(&self.config.telemetry_path)?;
+        router
+            .cache()
+            .export_store()
+            .save(&self.config.store_path)?;
+        Ok(TickReport {
+            hot,
+            tuned,
+            already_tuned,
+            warmed,
+            persisted: true,
+        })
+    }
+
+    /// Run [`PretuneDaemon::tick`] every `interval` on a background thread
+    /// until the returned handle is stopped. Tick errors are printed to
+    /// stderr and do not stop the loop (a transient persistence failure
+    /// must not kill the pretuner).
+    pub fn spawn(self, router: Arc<Router>, interval: Duration) -> DaemonHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                if let Err(e) = self.tick(&router) {
+                    eprintln!("warning: pretune daemon tick failed: {e}");
+                }
+                // Sleep in short slices so stop() returns promptly.
+                let mut remaining = interval;
+                while !stop_flag.load(Ordering::Relaxed) && remaining > Duration::ZERO {
+                    let slice = remaining.min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        });
+        DaemonHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sme_gemm::{Backend, GemmConfig};
+    use sme_runtime::GemmRequest;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sme_router_daemon_{tag}"));
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tick_tunes_warms_and_persists() {
+        let dir = temp_dir("tick");
+        let daemon = PretuneDaemon::new(PretuneDaemonConfig {
+            top_n: 2,
+            ..PretuneDaemonConfig::in_dir(&dir)
+        });
+        let router = Router::new(32);
+        let hot = GemmConfig::abt(48, 48, 16);
+        let cold = GemmConfig::abt(16, 4, 4);
+        let requests: Vec<GemmRequest> = (0..4)
+            .map(|i| GemmRequest::fp32(if i == 0 { cold } else { hot }, i as u64))
+            .collect();
+        router.dispatch(&requests).unwrap();
+
+        let report = daemon.tick(&router).unwrap();
+        assert_eq!(report.hot.len(), 2);
+        assert_eq!(report.hot[0], hot.into(), "cycles-ranked top shape");
+        assert_eq!(report.tuned.len(), 2, "both shapes were untuned");
+        assert_eq!(report.already_tuned, 0);
+        assert!(report.persisted);
+        assert!(daemon.config().telemetry_path.exists());
+        assert!(daemon.config().store_path.exists());
+
+        // A second tick finds everything tuned and the cache warm.
+        let second = daemon.tick(&router).unwrap();
+        assert!(second.tuned.is_empty());
+        assert_eq!(second.already_tuned, 2);
+        assert_eq!(second.warmed, 0, "winners already resident");
+
+        // The warmed cache serves the hot shape without compiling.
+        let misses_before = router.cache().stats().misses;
+        let report = router.dispatch(&[GemmRequest::fp32(hot, 99)]).unwrap();
+        assert!(report.batch.per_config[0].cache_hit);
+        assert_eq!(router.cache().stats().misses, misses_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_recovers_yesterdays_state() {
+        let dir = temp_dir("restore");
+        let daemon = PretuneDaemon::new(PretuneDaemonConfig {
+            top_n: 1,
+            ..PretuneDaemonConfig::in_dir(&dir)
+        });
+        let hot = GemmConfig::abt(48, 48, 16);
+
+        // "Yesterday": traffic, one tick, process exits.
+        {
+            let router = Router::new(32);
+            let requests: Vec<GemmRequest> =
+                (0..3).map(|i| GemmRequest::fp32(hot, i as u64)).collect();
+            router.dispatch(&requests).unwrap();
+            daemon.tick(&router).unwrap();
+        }
+
+        // "Today": a fresh process restores and already knows the shape.
+        let router = Router::new(32);
+        let report = daemon.restore(&router).unwrap();
+        assert_eq!(report.telemetry_shapes, 1);
+        assert_eq!(report.telemetry_check, Some(FingerprintCheck::Match));
+        assert_eq!(report.plans, 1);
+        assert_eq!(report.plan_check, Some(FingerprintCheck::Match));
+        assert_eq!(router.telemetry().total_requests(), 3);
+        assert_eq!(router.top_shapes(1)[0].config, hot.into());
+        assert!(router.cache().lookup_tuned(&hot).is_some());
+
+        // The first tick of the new process warms the cache from the
+        // restored ranking without re-tuning…
+        let tick = daemon.tick(&router).unwrap();
+        assert!(tick.tuned.is_empty());
+        assert_eq!(tick.already_tuned, 1);
+        assert!(tick.warmed >= 1, "fresh cache, kernels compiled");
+        // …so yesterday's hot shape dispatches as a pure cache hit.
+        let report = router.dispatch(&[GemmRequest::fp32(hot, 7)]).unwrap();
+        assert!(report.batch.per_config[0].cache_hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_from_nothing_is_a_fresh_start() {
+        let dir = temp_dir("fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+        let daemon = PretuneDaemon::new(PretuneDaemonConfig::in_dir(&dir));
+        let router = Router::new(8);
+        let report = daemon.restore(&router).unwrap();
+        assert_eq!(report.telemetry_shapes, 0);
+        assert_eq!(report.telemetry_check, None);
+        assert_eq!(report.plans, 0);
+        assert_eq!(report.plan_check, None);
+        // An empty tick persists empty state without erroring — the files'
+        // directory may not exist yet, so create it like an operator would.
+        let _ = std::fs::create_dir_all(&dir);
+        let tick = daemon.tick(&router).unwrap();
+        assert!(tick.hot.is_empty() && tick.persisted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spawned_daemon_ticks_in_the_background() {
+        let dir = temp_dir("spawn");
+        let daemon = PretuneDaemon::new(PretuneDaemonConfig {
+            top_n: 1,
+            ..PretuneDaemonConfig::in_dir(&dir)
+        });
+        let router = Arc::new(Router::new(16));
+        let cfg = GemmConfig::abt(32, 32, 8);
+        router
+            .dispatch(&[GemmRequest::fp32(cfg, 1), GemmRequest::fp32(cfg, 2)])
+            .unwrap();
+
+        let handle = daemon
+            .clone()
+            .spawn(router.clone(), Duration::from_millis(5));
+        // Wait for at least one tick to land on disk.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !daemon.config().telemetry_path.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        assert!(daemon.config().telemetry_path.exists(), "daemon persisted");
+        assert!(
+            router.cache().lookup_tuned(&cfg).is_some(),
+            "daemon tuned the hot shape in the background"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_state_is_discarded_on_restore() {
+        let dir = temp_dir("stale");
+        let daemon = PretuneDaemon::new(PretuneDaemonConfig {
+            top_n: 1,
+            ..PretuneDaemonConfig::in_dir(&dir)
+        });
+        let hot = GemmConfig::abt(32, 32, 8);
+        {
+            let router = Router::new(16);
+            router.dispatch(&[GemmRequest::fp32(hot, 1)]).unwrap();
+            daemon.tick(&router).unwrap();
+        }
+        // A recalibrated machine must not trust yesterday's cycles/plans.
+        let mut machine = sme_machine::MachineConfig::apple_m4();
+        machine.p_core.clock_ghz = 4.0;
+        let service = sme_runtime::GemmService::new(16);
+        let router = Router::with_service(service, crate::policy::RoutingPolicy::Measured, machine);
+        let report = daemon.restore(&router).unwrap();
+        assert!(matches!(
+            report.telemetry_check,
+            Some(FingerprintCheck::Mismatch { .. })
+        ));
+        assert_eq!(report.telemetry_shapes, 0, "stale shapes were discarded");
+        assert!(router.telemetry().is_empty());
+        assert!(matches!(
+            report.plan_check,
+            Some(FingerprintCheck::Mismatch { .. })
+        ));
+        assert!(router.cache().lookup_tuned(&hot).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn daemon_prefers_recent_traffic() {
+        // Shifting traffic: the daemon's top-1 follows the decayed
+        // ranking, so "tomorrow's" shape takes the tuning slot even though
+        // yesterday's has more all-time cycles.
+        let dir = temp_dir("shift");
+        let daemon = PretuneDaemon::new(PretuneDaemonConfig {
+            top_n: 1,
+            ..PretuneDaemonConfig::in_dir(&dir)
+        });
+        let router = Router::new(32);
+        let yesterday = GemmConfig::abt(64, 64, 64);
+        let today = GemmConfig::abt(48, 48, 16);
+        for i in 0..30 {
+            router.dispatch(&[GemmRequest::fp32(yesterday, i)]).unwrap();
+        }
+        for i in 0..60 {
+            router.dispatch(&[GemmRequest::fp32(today, i)]).unwrap();
+        }
+        let y = router.telemetry().shape(&yesterday.into()).unwrap();
+        let t = router.telemetry().shape(&today.into()).unwrap();
+        assert!(y.cycles > t.cycles, "all-time cycles favour yesterday");
+        let tick = daemon.tick(&router).unwrap();
+        assert_eq!(tick.hot, vec![today.into()], "decay follows the shift");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restored_registry_keeps_recording() {
+        // After restore_from, the absorbed registry keeps accumulating —
+        // the restore is in-place, not a new object.
+        let router = Router::new(8);
+        let loaded = TelemetryRegistry::for_machine(router.machine());
+        loaded.record_group(
+            &GemmConfig::abt(32, 32, 8).into(),
+            Backend::Sme,
+            5,
+            500.0,
+            true,
+        );
+        router.telemetry().restore_from(loaded);
+        assert_eq!(router.telemetry().total_requests(), 5);
+        router
+            .dispatch(&[GemmRequest::fp32(GemmConfig::abt(32, 32, 8), 1)])
+            .unwrap();
+        assert_eq!(router.telemetry().total_requests(), 6);
+    }
+}

@@ -19,13 +19,23 @@
 //!   winners always take precedence, so the cross-backend autotuner is the
 //!   final authority;
 //! * [`TelemetryRegistry`] — per-[`GemmConfig`] request counts, cumulative
-//!   cycles, serving backend and cache outcomes, with
-//!   [`Router::top_shapes`] answering *which shapes dominate traffic?* and
-//!   [`Router::pretune_hot`] autotuning exactly those;
+//!   cycles, serving backend and cache outcomes, plus **exponentially
+//!   decayed** counters so [`Router::top_shapes`] answers *which shapes
+//!   dominate traffic lately?*; [`Router::pretune_hot`] autotunes exactly
+//!   those, and the whole registry persists as a versioned,
+//!   machine-fingerprinted JSON snapshot
+//!   ([`TelemetryRegistry::save`]/[`TelemetryRegistry::load_checked`]);
 //! * [`plan_batch`] — a batch placement over the machine's real engine
 //!   classes (two shared SME units + ten private cores) that replaces the
-//!   runtime's identical-cores makespan, so mixed batches are projected to
-//!   overlap the engine classes instead of pretending SME scales per core.
+//!   runtime's identical-cores makespan; [`Router::dispatch`] folds the
+//!   placement back into routing ([`plan_batch_placed`]): when the two
+//!   shared units saturate, marginal SME groups spill to idle private
+//!   cores whenever that lowers the projected batch makespan, and host
+//!   execution follows the plan's schedule (longest SME group first);
+//! * [`PretuneDaemon`] — the background serving loop: restore persisted
+//!   telemetry + plans on startup, periodically tune and cache-warm the
+//!   decayed top-N, persist both back, so the cache is warm for
+//!   tomorrow's traffic across restarts.
 //!
 //! The same machinery serves **both datatype families**: batches may mix
 //! FP32 and BF16 widening requests, routing/telemetry/placement are keyed
@@ -59,10 +69,12 @@
 //! let (sme_load, neon_load) = report.placement.class_load_cycles();
 //! assert!(sme_load > 0.0 && neon_load > 0.0);
 //!
-//! // …and the telemetry knows exactly who called.
+//! // …and the telemetry knows exactly who called. The hottest shape is
+//! // the one costing the most (decayed) cycles — the dense GEMM, even
+//! // though the tiny one has as many requests.
 //! assert_eq!(router.telemetry().total_requests(), 5);
 //! let hot = router.top_shapes(1);
-//! assert_eq!(hot[0].requests, 2);
+//! assert_eq!(hot[0].config, dense.into());
 //!
 //! // Pre-tune the hottest shapes: routing now follows the simulated
 //! // cross-backend argmin instead of the probe.
@@ -71,18 +83,27 @@
 
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod planner;
 pub mod policy;
 pub mod router;
 pub mod telemetry;
 
-pub use planner::{plan_batch, GroupPlacement, PlacementPlan};
+pub use daemon::{
+    DaemonError, DaemonHandle, PretuneDaemon, PretuneDaemonConfig, RestoreReport, TickReport,
+};
+pub use planner::{
+    plan_batch, plan_batch_placed, BatchPlan, GroupCost, GroupPlacement, PlacementPlan,
+};
 pub use policy::{
     estimate_backend_cycles, estimate_widening_backend_cycles, heuristic_backend,
     heuristic_backend_any, RoutingPolicy,
 };
 pub use router::{RoutedBatchReport, Router};
-pub use telemetry::{ShapeStats, TelemetryRegistry};
+pub use telemetry::{
+    ShapeStats, TelemetryError, TelemetryRegistry, DEFAULT_DECAY_HALF_LIFE,
+    TELEMETRY_SNAPSHOT_VERSION,
+};
 
 // Re-exported so doc examples and downstream callers can name the core
 // types without extra direct dependencies.

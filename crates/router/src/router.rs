@@ -1,7 +1,7 @@
 //! The router: policy + telemetry + placement wrapped around a
 //! [`GemmService`].
 
-use crate::planner::{plan_batch, PlacementPlan};
+use crate::planner::{plan_batch_placed, GroupCost, PlacementPlan};
 use crate::policy::{heuristic_backend_any, RoutingPolicy};
 use crate::telemetry::{ShapeStats, TelemetryRegistry};
 use sme_gemm::{
@@ -14,27 +14,49 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// The result of dispatching one batch through the router: the runtime's
-/// execution report plus the projected placement on the machine's engine
-/// classes.
+/// execution report plus the placement-aware routing projection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoutedBatchReport {
     /// The runtime's batch report (outputs in request order, per-config
-    /// aggregates tagged with the serving backend).
+    /// aggregates tagged with the serving backend — the **final**, possibly
+    /// rerouted backend).
     pub batch: sme_runtime::BatchReport,
-    /// The batch projected onto the two shared SME units and the ten
-    /// private cores.
+    /// The executed placement of the batch on the two shared SME units and
+    /// the ten private cores, after saturation-aware rerouting. Host-side
+    /// group execution follows this plan's schedule (longest SME group
+    /// first).
     pub placement: PlacementPlan,
+    /// What the placement would have been with every group on its
+    /// in-isolation route — the baseline the reroutes improved on.
+    /// `placement.makespan_cycles() <= isolated.makespan_cycles()` always.
+    pub isolated: PlacementPlan,
+    /// Configurations spilled from the saturated SME units to idle private
+    /// cores, in spill order (smallest SME-vs-Neon margin first); empty
+    /// when the SME class was not the bottleneck.
+    pub rerouted: Vec<AnyGemmConfig>,
+}
+
+impl RoutedBatchReport {
+    /// Projected makespan saved by placement-aware routing over
+    /// route-in-isolation, in performance-core cycles (≥ 0).
+    pub fn makespan_improvement_cycles(&self) -> f64 {
+        self.isolated.makespan_cycles() - self.placement.makespan_cycles()
+    }
 }
 
 /// Traffic-aware multi-backend dispatch front end.
 ///
 /// Sits between callers and the [`GemmService`]: every batch is routed
-/// per-configuration (see [`RoutingPolicy`]), executed through the
-/// backend-tagged kernel cache, folded into the per-shape
-/// [`TelemetryRegistry`], and projected onto the machine's engine classes
-/// by the batch planner. The telemetry closes the loop:
+/// per-configuration (see [`RoutingPolicy`]), checked against the
+/// machine's engine-class capacity (marginal SME groups spill to idle
+/// private cores when the two shared units saturate — see
+/// [`Router::dispatch`]), executed through the backend-tagged kernel
+/// cache in the placement plan's order, and folded into the per-shape
+/// [`TelemetryRegistry`]. The telemetry closes the loop:
 /// [`Router::pretune_hot`] autotunes exactly the shapes that dominate
-/// traffic, after which routing follows the tuned cross-backend winners.
+/// recent traffic, after which routing follows the tuned cross-backend
+/// winners — and the `PretuneDaemon` keeps that loop warm across
+/// restarts.
 #[derive(Debug)]
 pub struct Router {
     service: GemmService,
@@ -77,7 +99,7 @@ impl Router {
         Router {
             service,
             policy,
-            telemetry: TelemetryRegistry::new(),
+            telemetry: TelemetryRegistry::for_machine(&machine),
             machine,
             model,
             probe_memo: Mutex::new(HashMap::new()),
@@ -94,7 +116,8 @@ impl Router {
         self.service.cache()
     }
 
-    /// The per-shape traffic telemetry.
+    /// The per-shape traffic telemetry (decayed counters, snapshot
+    /// persistence).
     pub fn telemetry(&self) -> &TelemetryRegistry {
         &self.telemetry
     }
@@ -116,7 +139,9 @@ impl Router {
     }
 
     /// Decide which backend serves a configuration of either datatype under
-    /// the active policy.
+    /// the active policy, **in isolation** — with no batch context.
+    /// [`Router::dispatch`] starts from this answer and then revisits
+    /// marginal SME picks under engine-class saturation.
     ///
     /// The traffic-adaptive policies ([`RoutingPolicy::Heuristic`] and
     /// [`RoutingPolicy::Measured`]) defer to an installed tuned winner
@@ -182,24 +207,128 @@ impl Router {
         backend
     }
 
-    /// Dispatch a batch: route each distinct configuration, execute through
-    /// the cached kernels, record telemetry, and project the batch onto the
-    /// machine's engine classes. Batches may mix FP32 and BF16 widening
-    /// requests freely.
+    /// The group's total simulated cycles on `backend` (the serving
+    /// kernel's modelled cycles × request count), `None` when the backend
+    /// cannot compile the shape. Compiles through the cache, so the cost
+    /// probe doubles as a cache warm-up for the dispatch that follows.
+    fn simulated_group_cycles(
+        &self,
+        cfg: &AnyGemmConfig,
+        backend: Backend,
+        requests: u64,
+    ) -> Option<f64> {
+        self.cache()
+            .get_or_compile_backend_any(cfg, backend)
+            .ok()
+            .map(|kernel| kernel.model_stats().cycles * requests as f64)
+    }
+
+    /// Dispatch a batch with placement-aware routing. Batches may mix FP32
+    /// and BF16 widening requests freely.
+    ///
+    /// Routing happens in three steps:
+    /// 1. every distinct configuration is routed **provisionally** by the
+    ///    active policy ([`Router::route_any`]) and costed on its engine
+    ///    (and, for adaptive policies, on the Neon alternative);
+    /// 2. the batch is placed on the machine's engine classes; if the two
+    ///    shared SME units saturate, marginal SME groups — smallest
+    ///    simulated SME-vs-Neon margin first — spill to idle private cores
+    ///    whenever that strictly lowers the projected makespan
+    ///    (`plan_batch_placed`). Pinned policies (`SmeOnly`/`NeonOnly`)
+    ///    never spill;
+    /// 3. the batch executes on the final routes, with host-side group
+    ///    execution ordered by the plan (longest SME group first), so the
+    ///    simulated and host schedules agree.
+    ///
+    /// The executed plan's projected makespan is never worse than the
+    /// route-in-isolation projection (see
+    /// [`RoutedBatchReport::isolated`]). Telemetry records the final
+    /// routes and the decay clock advances by one epoch per batch.
     ///
     /// # Errors
     /// Propagates the service's errors (first invalid configuration fails
     /// the batch); telemetry records only successfully dispatched batches.
     pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<RoutedBatchReport, GemmError> {
-        let batch = self
-            .service
-            .dispatch_routed(requests, |cfg| self.route_any(cfg))?;
+        // Distinct configurations in first-appearance order with request
+        // counts — mirrors the service's grouping exactly.
+        let mut index_of: HashMap<AnyGemmConfig, usize> = HashMap::new();
+        let mut counts: Vec<(AnyGemmConfig, u64)> = Vec::new();
+        for request in requests {
+            match index_of.get(&request.config) {
+                Some(&i) => counts[i].1 += 1,
+                None => {
+                    index_of.insert(request.config, counts.len());
+                    counts.push((request.config, 1));
+                }
+            }
+        }
+
+        // Provisional routes and engine costs. Groups the provisional
+        // backend cannot compile cost zero here and surface their error
+        // from the dispatch below, like they always did.
+        let adaptive = matches!(
+            self.policy,
+            RoutingPolicy::Heuristic | RoutingPolicy::Measured
+        );
+        let costs: Vec<GroupCost> = counts
+            .iter()
+            .map(|&(config, n)| {
+                let backend = self.route_any(&config);
+                let cycles = self
+                    .simulated_group_cycles(&config, backend, n)
+                    .unwrap_or(0.0);
+                let alt_cycles = if adaptive && backend == Backend::Sme {
+                    self.simulated_group_cycles(&config, Backend::Neon, n)
+                } else {
+                    None
+                };
+                GroupCost {
+                    config,
+                    backend,
+                    cycles,
+                    alt_cycles,
+                }
+            })
+            .collect();
+
+        let plan = plan_batch_placed(&costs, &self.model);
+        let final_backend: HashMap<AnyGemmConfig, Backend> = plan
+            .placement
+            .placements
+            .iter()
+            .map(|p| (p.config, p.backend))
+            .collect();
+        let priority: HashMap<AnyGemmConfig, f64> = plan
+            .placement
+            .placements
+            .iter()
+            .zip(plan.placement.execution_priority())
+            .map(|(p, pr)| (p.config, pr))
+            .collect();
+
+        let batch = self.service.dispatch_planned(
+            requests,
+            |cfg| {
+                final_backend
+                    .get(cfg)
+                    .copied()
+                    .unwrap_or_else(|| self.route_any(cfg))
+            },
+            |cfg| priority.get(cfg).copied().unwrap_or(0.0),
+        )?;
         self.telemetry.record_batch(&batch);
-        let placement = plan_batch(&batch, &self.model);
-        Ok(RoutedBatchReport { batch, placement })
+        self.telemetry.advance_epoch();
+        Ok(RoutedBatchReport {
+            batch,
+            placement: plan.placement,
+            isolated: plan.isolated,
+            rerouted: plan.rerouted,
+        })
     }
 
-    /// The `n` busiest shapes by recorded traffic (see
+    /// The `n` hottest shapes by **decayed cumulative cycles** — the cost
+    /// each shape has imposed on the machine over the last few dozen
+    /// batches, not all-time request counts (see
     /// [`TelemetryRegistry::top_shapes`]).
     pub fn top_shapes(&self, n: usize) -> Vec<ShapeStats> {
         self.telemetry.top_shapes(n)
@@ -222,9 +351,14 @@ impl Router {
         self.service.tune_any(cfg, opts)
     }
 
-    /// Autotune the `n` busiest shapes — the ROADMAP's "which shapes
-    /// dominate traffic? pre-tune exactly those" loop. Returns one outcome
-    /// per tuned shape (busiest first).
+    /// Autotune the `n` hottest shapes — the ROADMAP's "which shapes
+    /// dominate traffic? pre-tune exactly those" loop. "Hot" is ranked by
+    /// decayed cumulative cycles (the compute the shape has actually been
+    /// costing lately), so a rarely-called but expensive shape gets tuned
+    /// ahead of a chatty cheap one, and shapes whose traffic faded stop
+    /// consuming tuning budget. Returns one outcome per tuned shape
+    /// (hottest first). The `PretuneDaemon` runs this loop periodically
+    /// and skips already-tuned shapes.
     pub fn pretune_hot(
         &self,
         n: usize,
@@ -295,27 +429,117 @@ mod tests {
         let report = router.dispatch(&requests).unwrap();
         assert_eq!(report.batch.outputs.len(), 6);
 
-        // Telemetry matches dispatched traffic exactly.
+        // Telemetry matches dispatched traffic exactly, and the ranking is
+        // by cycles: the two large requests dwarf the four tiny ones.
         assert_eq!(router.telemetry().total_requests(), 6);
+        assert_eq!(router.telemetry().epoch(), 1, "one epoch per batch");
         let top = router.top_shapes(2);
-        assert_eq!(top[0].config, tiny.into(), "4 requests beat 2");
-        assert_eq!(top[0].requests, 4);
-        assert_eq!(top[0].dominant_backend(), Backend::Neon);
-        assert_eq!(top[1].requests, 2);
-        assert_eq!(top[1].dominant_backend(), Backend::Sme);
+        assert_eq!(top[0].config, large.into(), "cycles outrank counts");
+        assert_eq!(top[0].requests, 2);
+        assert_eq!(top[0].dominant_backend(), Backend::Sme);
+        assert!(top[0].cycles > top[1].cycles);
+        assert_eq!(top[1].requests, 4);
+        assert_eq!(top[1].dominant_backend(), Backend::Neon);
 
         // The mixed batch lands on both engine classes and overlaps them.
         let (sme_load, neon_load) = report.placement.class_load_cycles();
         assert!(sme_load > 0.0 && neon_load > 0.0);
         assert!(report.placement.makespan_cycles() < sme_load + neon_load);
+        // One SME group on an idle pair of units: nothing spills, so the
+        // executed plan coincides with the in-isolation projection.
+        assert!(report.rerouted.is_empty());
+        assert_eq!(report.placement, report.isolated);
+        assert_eq!(report.makespan_improvement_cycles(), 0.0);
 
-        // pretune_hot tunes the busiest shapes and installs their winners.
+        // pretune_hot tunes the hottest shapes and installs their winners.
         let outcomes = router.pretune_hot(2, &TunerOptions::quick()).unwrap();
         assert_eq!(outcomes.len(), 2);
         assert!(router.cache().lookup_tuned(&tiny).is_some());
         assert!(router.cache().lookup_tuned(&large).is_some());
-        // Routing now follows the tuned winners.
-        assert_eq!(router.route(&tiny), outcomes[0].winner.backend);
+        // Routing now follows the tuned winners (hottest = large first).
+        assert_eq!(router.route(&large), outcomes[0].winner.backend);
+    }
+
+    #[test]
+    fn saturated_sme_batches_spill_and_beat_isolated_routing() {
+        // Many distinct SME-preferring widening groups: with only two
+        // shared SME units, the provisional routing saturates the SME
+        // class while the ten private cores idle. Placement-aware dispatch
+        // must spill the marginal groups and strictly beat the
+        // route-in-isolation projection.
+        let router = Router::new(64);
+        let requests: Vec<GemmRequest> = (0..8)
+            .map(|i| {
+                GemmRequest::widening(
+                    sme_gemm::WideningGemmConfig::new(32, 32, 8 * (i + 1)).unwrap(),
+                    i as u64,
+                )
+            })
+            .collect();
+        // All these shapes prefer SME in isolation.
+        for request in &requests {
+            assert_eq!(router.route_any(&request.config), Backend::Sme);
+        }
+        let report = router.dispatch(&requests).unwrap();
+        assert!(
+            !report.rerouted.is_empty(),
+            "a saturated SME class must spill marginal groups"
+        );
+        assert!(
+            report.placement.makespan_cycles() < report.isolated.makespan_cycles(),
+            "placed {} must beat isolated {}",
+            report.placement.makespan_cycles(),
+            report.isolated.makespan_cycles()
+        );
+        // The batch report executed the final routes: the rerouted shapes
+        // really ran on Neon.
+        for config in &report.rerouted {
+            let group = report
+                .batch
+                .per_config
+                .iter()
+                .find(|g| g.config == *config)
+                .expect("rerouted shape was dispatched");
+            assert_eq!(group.backend, Backend::Neon);
+        }
+        // Placement cycles mirror the executed report exactly (the timing
+        // model is data-independent), so the projection is honest.
+        for (placement, group) in report
+            .placement
+            .placements
+            .iter()
+            .zip(&report.batch.per_config)
+        {
+            assert_eq!(placement.config, group.config);
+            assert_eq!(placement.backend, group.backend);
+            assert!(
+                (placement.cycles - group.stats.cycles).abs() < 1e-6 * group.stats.cycles.max(1.0),
+                "planned {} vs executed {}",
+                placement.cycles,
+                group.stats.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_policies_never_spill() {
+        let router = Router::with_policy(64, RoutingPolicy::SmeOnly);
+        let requests: Vec<GemmRequest> = (0..8)
+            .map(|i| {
+                GemmRequest::widening(
+                    sme_gemm::WideningGemmConfig::new(32, 32, 8 * (i + 1)).unwrap(),
+                    i as u64,
+                )
+            })
+            .collect();
+        let report = router.dispatch(&requests).unwrap();
+        assert!(report.rerouted.is_empty());
+        assert_eq!(report.placement, report.isolated);
+        assert!(report
+            .batch
+            .per_config
+            .iter()
+            .all(|g| g.backend == Backend::Sme));
     }
 
     #[test]
@@ -367,10 +591,6 @@ mod tests {
         // Same shape, two telemetry entries — one per datatype.
         assert_eq!(router.telemetry().len(), 2);
         assert_eq!(router.telemetry().total_requests(), 3);
-        let top = router.top_shapes(2);
-        assert_eq!(top[0].config, wide.into());
-        assert_eq!(top[0].requests, 2);
-        assert_eq!(top[1].config, fp32.into());
         // The JSON snapshot tags each shape with its dtype.
         let json = router.telemetry().to_json();
         assert!(json.contains("\"dtype\": \"WideningBf16\""));

@@ -206,6 +206,21 @@ impl GemmService {
         requests: &[GemmRequest],
         route: impl Fn(&AnyGemmConfig) -> Backend + Sync,
     ) -> Result<BatchReport, GemmError> {
+        self.dispatch_planned(requests, route, |_| 0.0)
+    }
+
+    /// [`GemmService::dispatch_routed`] with an explicit host-side
+    /// execution order: groups are handed to the worker pool in descending
+    /// `priority` order (ties keep first-appearance order), so a placement
+    /// plan's schedule — longest contended group first — is what the host
+    /// actually runs. The report is unaffected: `per_config` stays in
+    /// first-appearance order and outputs stay in request order.
+    pub fn dispatch_planned(
+        &self,
+        requests: &[GemmRequest],
+        route: impl Fn(&AnyGemmConfig) -> Backend + Sync,
+        priority: impl Fn(&AnyGemmConfig) -> f64,
+    ) -> Result<BatchReport, GemmError> {
         // Group request indices by configuration, first-appearance order.
         let mut group_of: HashMap<AnyGemmConfig, usize> = HashMap::new();
         let mut groups: Vec<(AnyGemmConfig, Vec<usize>)> = Vec::new();
@@ -219,34 +234,53 @@ impl GemmService {
             }
         }
 
+        // Hand groups to the worker pool highest-priority first (stable on
+        // ties), so the caller's planned schedule is the submission order.
+        let mut exec_order: Vec<usize> = (0..groups.len()).collect();
+        exec_order.sort_by(|&a, &b| {
+            priority(&groups[b].0)
+                .partial_cmp(&priority(&groups[a].0))
+                .expect("priorities are finite")
+        });
+
         // Fan the groups out across host threads. The cache is shared and
         // thread-safe, so the kernel fetch happens inside the worker: one
         // miss per distinct (configuration, backend), hits for repeats
         // across batches.
         type GroupOutput = (Vec<(usize, Vec<f32>)>, ExecStats, Backend, bool);
-        let executed: Vec<Result<GroupOutput, GemmError>> = groups
+        let results: Vec<(usize, Result<GroupOutput, GemmError>)> = exec_order
             .par_iter()
-            .map(|(config, indices)| {
+            .map(|&g| {
+                let (config, indices) = &groups[g];
                 let backend = route(config);
-                let (kernel, cache_hit) = self.cache.fetch_any(config, backend)?;
-                let mut sim = Simulator::m4_performance();
-                let mut stats = ExecStats::default();
-                let mut outputs = Vec::with_capacity(indices.len());
-                for &index in indices {
-                    let bufs = kernel.allocate_buffers(&mut sim, Some(requests[index].seed));
-                    let result = kernel.run(&mut sim, bufs, &RunOptions::default());
-                    stats.merge(&result.stats);
-                    outputs.push((index, sim.mem.read_f32_slice(bufs.c, config.c_len())));
-                }
-                Ok((outputs, stats, backend, cache_hit))
+                let run = || -> Result<GroupOutput, GemmError> {
+                    let (kernel, cache_hit) = self.cache.fetch_any(config, backend)?;
+                    let mut sim = Simulator::m4_performance();
+                    let mut stats = ExecStats::default();
+                    let mut outputs = Vec::with_capacity(indices.len());
+                    for &index in indices {
+                        let bufs = kernel.allocate_buffers(&mut sim, Some(requests[index].seed));
+                        let result = kernel.run(&mut sim, bufs, &RunOptions::default());
+                        stats.merge(&result.stats);
+                        outputs.push((index, sim.mem.read_f32_slice(bufs.c, config.c_len())));
+                    }
+                    Ok((outputs, stats, backend, cache_hit))
+                };
+                (g, run())
             })
             .collect();
+        let mut executed: Vec<Option<Result<GroupOutput, GemmError>>> =
+            (0..groups.len()).map(|_| None).collect();
+        for (g, result) in results {
+            executed[g] = Some(result);
+        }
 
         let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); requests.len()];
         let mut per_config = Vec::with_capacity(groups.len());
         let mut total = ExecStats::default();
         for ((config, indices), result) in groups.iter().zip(executed) {
-            let (group_outputs, stats, backend, cache_hit) = result?;
+            let (group_outputs, stats, backend, cache_hit) =
+                result.expect("every group executed")?;
             for (index, c) in group_outputs {
                 outputs[index] = c;
             }
@@ -442,6 +476,31 @@ mod tests {
         // The default dispatch of an untuned shape stays on SME.
         let default = service.dispatch(&requests[1..]).unwrap();
         assert_eq!(default.per_config[0].backend, Backend::Sme);
+    }
+
+    #[test]
+    fn planned_dispatch_reorders_execution_but_not_the_report() {
+        let service = GemmService::new(16);
+        let small = GemmConfig::abt(16, 4, 4);
+        let large = GemmConfig::abt(48, 48, 32);
+        let requests = [
+            GemmRequest::fp32(small, 1),
+            GemmRequest::fp32(large, 2),
+            GemmRequest::fp32(small, 3),
+        ];
+        let routed = service
+            .dispatch_routed(&requests, |_| Backend::Sme)
+            .unwrap();
+        // Submit the large group first: results and report order must be
+        // identical to the unprioritized dispatch.
+        let planned = service
+            .dispatch_planned(&requests, |_| Backend::Sme, |cfg| cfg.m() as f64)
+            .unwrap();
+        assert_eq!(planned.outputs, routed.outputs);
+        assert_eq!(planned.per_config.len(), 2);
+        assert_eq!(planned.per_config[0].config, small.into());
+        assert_eq!(planned.per_config[1].config, large.into());
+        assert_eq!(planned.total, routed.total);
     }
 
     #[test]

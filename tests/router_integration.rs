@@ -172,17 +172,25 @@ fn telemetry_counts_match_dispatched_traffic_exactly() {
     router.dispatch(&batch2).expect("valid batch");
 
     assert_eq!(router.telemetry().total_requests(), 10);
+    // Per-shape counts match the dispatched traffic exactly.
+    let shape = |cfg: &GemmConfig| router.telemetry().shape(&(*cfg).into()).unwrap();
+    assert_eq!(shape(&hot).requests, 6);
+    assert_eq!(shape(&warm).requests, 3);
+    assert_eq!(shape(&cold).requests, 1);
+    // Ranking is by decayed cumulative cycles (cost), not request count:
+    // the chatty 16×4×16 shape burns far fewer cycles than either dense
+    // shape, so it ranks last despite 6× the requests.
     let top = router.top_shapes(3);
     assert_eq!(top.len(), 3);
-    assert_eq!((top[0].config, top[0].requests), (hot.into(), 6));
-    assert_eq!((top[1].config, top[1].requests), (warm.into(), 3));
-    assert_eq!((top[2].config, top[2].requests), (cold.into(), 1));
+    assert!(top[0].decayed_cycles >= top[1].decayed_cycles);
+    assert!(top[1].decayed_cycles >= top[2].decayed_cycles);
+    assert_eq!((top[2].config, top[2].requests), (hot.into(), 6));
     // Each shape fetches its kernel once per batch it appears in. Under
     // the Measured policy the routing probe already compiled both
     // backends through the cache, so every execute-time fetch is a hit.
-    assert_eq!((top[0].cache_hits, top[0].cache_misses), (2, 0));
-    assert_eq!((top[1].cache_hits, top[1].cache_misses), (2, 0));
-    assert_eq!((top[2].cache_hits, top[2].cache_misses), (1, 0));
+    assert_eq!((shape(&hot).cache_hits, shape(&hot).cache_misses), (2, 0));
+    assert_eq!((shape(&warm).cache_hits, shape(&warm).cache_misses), (2, 0));
+    assert_eq!((shape(&cold).cache_hits, shape(&cold).cache_misses), (1, 0));
     // Cycles aggregate exactly what the reports said.
     let recorded: f64 = top.iter().map(|s| s.cycles).sum();
     assert!(recorded > 0.0);
@@ -193,16 +201,20 @@ fn telemetry_counts_match_dispatched_traffic_exactly() {
     assert!(json.contains("\"requests\": 6"));
 
     // Pre-tune the two hottest shapes; their winners are installed and
-    // routing follows them.
+    // routing follows them — and the chatty-but-cheap shape does not make
+    // the cut.
     let outcomes = router
         .pretune_hot(2, &TunerOptions::quick())
         .expect("hot shapes are tunable");
     assert_eq!(outcomes.len(), 2);
-    assert_eq!(outcomes[0].key.m(), hot.m);
-    assert!(router.cache().lookup_tuned(&hot).is_some());
+    assert_eq!(outcomes[0].key.m(), top[0].config.m());
     assert!(router.cache().lookup_tuned(&warm).is_some());
-    assert!(router.cache().lookup_tuned(&cold).is_none());
-    assert_eq!(router.route(&hot), outcomes[0].winner.backend);
+    assert!(router.cache().lookup_tuned(&cold).is_some());
+    assert!(router.cache().lookup_tuned(&hot).is_none());
+    match top[0].config {
+        AnyGemmConfig::Fp32(c) => assert_eq!(router.route(&c), outcomes[0].winner.backend),
+        _ => unreachable!("all traffic was FP32"),
+    }
 }
 
 #[test]

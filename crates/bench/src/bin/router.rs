@@ -10,9 +10,14 @@
 //! second section dispatches the whole sweep as one mixed batch and prints
 //! the batch planner's placement: SME groups on the two shared units, Neon
 //! groups on the ten private cores, plus the per-shape telemetry the
-//! router collected. `--smoke` runs the tiny CI preset.
+//! router collected. `--smoke` runs the tiny CI preset; `--profile PATH`
+//! writes every kernel's cycle-attribution breakdown (the binary also
+//! exits non-zero if any breakdown fails to partition its kernel's total
+//! simulated cycles).
 
-use sme_bench::{maybe_write_json, render_router_sweep, router_sweep, RouterSweepOptions};
+use sme_bench::{
+    maybe_write_json, render_router_sweep, router_sweep, sweep_profile_report, RouterSweepOptions,
+};
 use sme_router::{Router, RoutingPolicy};
 use sme_runtime::GemmRequest;
 
@@ -27,6 +32,7 @@ fn main() {
     let sweep = router_sweep(&opts, &router);
     println!("{}", render_router_sweep(&sweep));
     maybe_write_json(&opts.sweep.json, &sweep);
+    maybe_write_json(&opts.profile, &sweep_profile_report(&sweep));
 
     // Dispatch the swept shapes as one mixed batch and show the placement.
     let requests: Vec<GemmRequest> = opts
@@ -89,6 +95,10 @@ fn main() {
     }
     if !sweep.crossover_present() {
         eprintln!("error: the sweep never crossed the SME/Neon boundary");
+        std::process::exit(1);
+    }
+    if !sweep.profiles_sum_to_cycles() {
+        eprintln!("error: a kernel's cycle profile does not partition its simulated cycles");
         std::process::exit(1);
     }
 }

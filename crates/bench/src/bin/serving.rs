@@ -11,7 +11,11 @@
 //! if any batch's placed makespan exceeds its isolated projection, if the
 //! decayed ranking fails to follow the shift, or if the post-restart
 //! batch is not a pure cache hit. `--smoke` runs the tiny CI preset;
-//! `--json` writes the per-batch records CI keeps as `BENCH_serving.json`.
+//! `--json` writes the per-batch records CI keeps as `BENCH_serving.json`,
+//! `--trace` a Chrome trace of the run's spans (load it at
+//! <https://ui.perfetto.dev>), and `--metrics` the final Prometheus
+//! metrics snapshot — CI keeps those as `BENCH_trace.json` and
+//! `BENCH_metrics.prom`.
 
 use sme_bench::{maybe_write_json, render_serving_trace, serving_trace, ServingTraceOptions};
 
@@ -54,5 +58,27 @@ fn main() {
             100.0 * trace.restart_hit_rate
         );
         std::process::exit(1);
+    }
+    if !trace.seq_gapless() {
+        eprintln!("error: the batch records do not carry a gapless sequence");
+        std::process::exit(1);
+    }
+    if let Some(path) = &opts.trace {
+        match std::fs::read_to_string(path) {
+            Ok(json) => match sme_obs::validate_chrome_trace(&json) {
+                Ok(events) => println!("trace: {events} events written to {path}"),
+                Err(e) => {
+                    eprintln!("error: trace artifact {path} is not a valid Chrome trace: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: could not read back trace artifact {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.metrics {
+        println!("metrics: Prometheus snapshot written to {path}");
     }
 }

@@ -418,25 +418,37 @@ pub struct RouterSweepOptions {
     pub sweep: SweepOptions,
     /// Probe BF16 widening shapes instead of FP32 (`--bf16`).
     pub bf16: bool,
+    /// Optional path for the per-shape cycle-attribution report
+    /// (`BENCH_profile.json` in CI).
+    pub profile: Option<String>,
 }
 
 impl RouterSweepOptions {
     /// Usage string for the `router` binary.
-    pub const USAGE: &'static str = "[--step N] [--max N] [--k N] [--json PATH] [--smoke] [--bf16]";
+    pub const USAGE: &'static str =
+        "[--step N] [--max N] [--k N] [--json PATH] [--profile PATH] [--smoke] [--bf16]";
 
     /// Parse the `router` binary's flags. `--smoke` is the CI preset: a
     /// tiny sweep (sizes {32, 64}, K = 32) that still straddles the
     /// SME/Neon crossover on both sides. `--bf16` probes the widening
     /// datatype instead of FP32 (composable with `--smoke`).
+    /// `--profile PATH` writes the per-shape cycle breakdowns to PATH.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut smoke = false;
         let mut bf16 = false;
+        let mut profile = None;
         let mut sweep_args: Vec<String> = Vec::new();
-        for arg in args {
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
             if arg == "--smoke" {
                 smoke = true;
             } else if arg == "--bf16" {
                 bf16 = true;
+            } else if arg == "--profile" {
+                profile = Some(
+                    args.next()
+                        .ok_or_else(|| "--profile expects a value".to_string())?,
+                );
             } else {
                 sweep_args.push(arg);
             }
@@ -447,7 +459,11 @@ impl RouterSweepOptions {
             sweep.max = 64;
             sweep.k = 32;
         }
-        Ok(RouterSweepOptions { sweep, bf16 })
+        Ok(RouterSweepOptions {
+            sweep,
+            bf16,
+            profile,
+        })
     }
 
     /// Parse, printing the error and usage to stderr and exiting with
@@ -569,6 +585,13 @@ pub struct RouterSweepPoint {
     pub simulated_cycles: Option<f64>,
     /// `true` if the choice matches the lower simulated cycle count.
     pub agrees_with_model: bool,
+    /// Cycle attribution of the SME kernel (absent with `sme_cycles`).
+    pub sme_profile: Option<sme_machine::CycleProfile>,
+    /// Cycle attribution of the Neon kernel (absent with `neon_cycles`).
+    pub neon_profile: Option<sme_machine::CycleProfile>,
+    /// `true` if every present profile partitions its kernel's simulated
+    /// cycles — the attribution invariant CI asserts across the sweep.
+    pub profile_sums_ok: bool,
 }
 
 /// A complete router sweep (the `router` binary's JSON output).
@@ -592,34 +615,105 @@ impl RouterSweep {
         let sme = self.points.iter().any(|p| p.chosen == "Sme");
         neon && sme
     }
+
+    /// `true` if every kernel's cycle profile partitions its simulated
+    /// cycle count (the profiler's sum-to-total invariant, asserted by the
+    /// `router` binary and CI).
+    pub fn profiles_sum_to_cycles(&self) -> bool {
+        self.points.iter().all(|p| p.profile_sums_ok)
+    }
+}
+
+/// The per-shape cycle-attribution record of the `router` binary's
+/// `--profile` output (`BENCH_profile.json` in CI): where each kernel's
+/// simulated cycles went, per execution class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepProfilePoint {
+    /// Display form of the profiled configuration.
+    pub config: String,
+    /// Backend of the profiled kernel (stable name).
+    pub backend: String,
+    /// The kernel's total simulated single-core cycles.
+    pub cycles: f64,
+    /// Per-class cycle attribution (sums to `cycles`).
+    pub profile: sme_machine::CycleProfile,
+    /// `true` if `profile` partitions `cycles` within round-off.
+    pub sums_ok: bool,
+}
+
+/// The `router` binary's `--profile` report: one record per (shape,
+/// backend) kernel the sweep simulated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepProfileReport {
+    /// Per-kernel attribution records, sweep order.
+    pub points: Vec<SweepProfilePoint>,
+}
+
+/// Project the per-kernel cycle attributions out of a router sweep.
+pub fn sweep_profile_report(sweep: &RouterSweep) -> SweepProfileReport {
+    let mut points = Vec::new();
+    for p in &sweep.points {
+        let pairs = [
+            ("Sme", &p.sme_cycles, &p.sme_profile),
+            ("Neon", &p.neon_cycles, &p.neon_profile),
+        ];
+        for (backend, cycles, profile) in pairs {
+            if let (Some(cycles), Some(profile)) = (cycles, profile) {
+                points.push(SweepProfilePoint {
+                    config: p.config.clone(),
+                    backend: backend.to_string(),
+                    cycles: *cycles,
+                    profile: profile.clone(),
+                    sums_ok: profile.sums_to(*cycles),
+                });
+            }
+        }
+    }
+    SweepProfileReport { points }
 }
 
 /// Probe every sweep shape through a [`sme_router::Router`] and compare
 /// its choice against direct single-core simulation of both backends.
 pub fn router_sweep(opts: &RouterSweepOptions, router: &sme_router::Router) -> RouterSweep {
     use sme_gemm::{generate_any_backend, AnyGemmConfig, Backend};
+    type Measured = (f64, sme_machine::CycleProfile);
     let shapes = opts.shapes();
-    let measured: Vec<(AnyGemmConfig, Option<f64>, Option<f64>)> = shapes
+    let measured: Vec<(AnyGemmConfig, Option<Measured>, Option<Measured>)> = shapes
         .par_iter()
         .map(|cfg| {
-            let sme = generate_any_backend(cfg, Backend::Sme)
-                .ok()
-                .map(|k| k.model_stats().cycles);
+            let model = |backend| {
+                generate_any_backend(cfg, backend).ok().map(|k| {
+                    let stats = k.model_stats();
+                    (stats.cycles, stats.profile)
+                })
+            };
+            let sme = model(Backend::Sme);
             // SME is total over valid FP32 shapes — a failure there is a
             // generator regression, not a routing datum.
             assert!(
                 sme.is_some() || cfg.dtype() != sme_gemm::Dtype::Fp32,
                 "FP32 sweep shapes must be SME-compilable: {cfg}"
             );
-            let neon = generate_any_backend(cfg, Backend::Neon)
-                .ok()
-                .map(|k| k.model_stats().cycles);
+            let neon = model(Backend::Neon);
             (*cfg, sme, neon)
         })
         .collect();
     let points = measured
         .into_iter()
-        .map(|(cfg, sme_cycles, neon_cycles)| {
+        .map(|(cfg, sme, neon)| {
+            let sums_ok = |m: &Option<Measured>| {
+                m.as_ref()
+                    .is_none_or(|(cycles, profile)| profile.sums_to(*cycles))
+            };
+            let profile_sums_ok = sums_ok(&sme) && sums_ok(&neon);
+            let (sme_cycles, sme_profile) = match sme {
+                Some((c, p)) => (Some(c), Some(p)),
+                None => (None, None),
+            };
+            let (neon_cycles, neon_profile) = match neon {
+                Some((c, p)) => (Some(c), Some(p)),
+                None => (None, None),
+            };
             let chosen = router.route_any(&cfg);
             // The router's choice agrees with the model when it picks the
             // lower simulated cycle count; an engine that cannot compile
@@ -644,6 +738,9 @@ pub fn router_sweep(opts: &RouterSweepOptions, router: &sme_router::Router) -> R
                 },
                 chosen: chosen.name().to_string(),
                 agrees_with_model: agrees,
+                sme_profile,
+                neon_profile,
+                profile_sums_ok,
             }
         })
         .collect();
@@ -704,21 +801,32 @@ pub struct ServingTraceOptions {
     pub requests: usize,
     /// JSON output path (`BENCH_serving.json` in CI).
     pub json: Option<String>,
+    /// Chrome trace-event output path (`BENCH_trace.json` in CI; load it
+    /// in Perfetto / `chrome://tracing`).
+    pub trace: Option<String>,
+    /// Metrics output path (`BENCH_metrics.prom` in CI): a Prometheus
+    /// text exposition of the run's final counter/gauge/histogram state.
+    pub metrics: Option<String>,
 }
 
 impl ServingTraceOptions {
     /// Usage string for the `serving` binary.
-    pub const USAGE: &'static str = "[--batches N] [--requests N] [--json PATH] [--smoke]";
+    pub const USAGE: &'static str =
+        "[--batches N] [--requests N] [--json PATH] [--trace PATH] [--metrics PATH] [--smoke]";
 
     /// Parse the `serving` binary's flags. `--batches N` sets the warm
     /// phase length (the shifted phase is `2 N`); `--smoke` is the CI
     /// preset (3 warm + 6 shifted batches, 2 requests per shape).
+    /// `--trace PATH` writes a Chrome trace of the run's spans;
+    /// `--metrics PATH` writes the final Prometheus metrics snapshot.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut opts = ServingTraceOptions {
             warm_batches: 5,
             shifted_batches: 10,
             requests: 3,
             json: None,
+            trace: None,
+            metrics: None,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -745,6 +853,8 @@ impl ServingTraceOptions {
                     opts.requests = n;
                 }
                 "--json" => opts.json = Some(value("--json")?),
+                "--trace" => opts.trace = Some(value("--trace")?),
+                "--metrics" => opts.metrics = Some(value("--metrics")?),
                 "--smoke" => {
                     opts.warm_batches = 3;
                     opts.shifted_batches = 6;
@@ -770,6 +880,11 @@ impl ServingTraceOptions {
 /// `--json` output CI persists as `BENCH_serving.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingBatchRecord {
+    /// Monotonic sequence number across the whole run, including the
+    /// simulated restart — a gap or repeat means records were lost or
+    /// duplicated in transit, which `batch` (reused across phases in
+    /// multi-process runs) cannot show.
+    pub seq: u64,
     /// Batch index across the whole trace.
     pub batch: usize,
     /// Traffic phase: `yesterday`, `today`, or `restarted` (the first
@@ -788,9 +903,32 @@ pub struct ServingBatchRecord {
     pub pretune_hit_rate: f64,
 }
 
+/// The run-header record of the `serving` binary's JSON output: enough
+/// context to interpret the per-batch records without the producing
+/// process — which machine model the cycles refer to, which routing
+/// policy made the placements, and how fast the telemetry forgets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingRunHeader {
+    /// Fingerprint of the simulated machine configuration (hex); records
+    /// from different machine models are not comparable.
+    pub machine_fingerprint: String,
+    /// The router's routing policy (debug form).
+    pub policy: String,
+    /// Telemetry decay half-life, in dispatched batches.
+    pub decay_half_life: f64,
+    /// Batches dispatched in the warm ("yesterday") phase.
+    pub warm_batches: usize,
+    /// Batches dispatched after the traffic shift.
+    pub shifted_batches: usize,
+    /// Requests per shape per batch.
+    pub requests: usize,
+}
+
 /// A complete serving trace (the `serving` binary's JSON output).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingTrace {
+    /// The run's self-describing header.
+    pub header: ServingRunHeader,
     /// Every dispatched batch, in order.
     pub batches: Vec<ServingBatchRecord>,
     /// The daemon's decayed hot list after the final shifted batch.
@@ -812,6 +950,15 @@ impl ServingTrace {
         self.batches
             .iter()
             .all(|b| b.makespan_placed <= b.makespan_isolated + 1e-9)
+    }
+
+    /// `true` if the batch records carry a gapless `1..=N` sequence — the
+    /// consumer-side check the `seq` field exists to enable.
+    pub fn seq_gapless(&self) -> bool {
+        self.batches
+            .iter()
+            .enumerate()
+            .all(|(i, b)| b.seq == i as u64 + 1)
     }
 }
 
@@ -843,6 +990,7 @@ fn serving_dispatch(
     router: &sme_router::Router,
     shapes: &[sme_gemm::AnyGemmConfig],
     requests: usize,
+    seq: &mut u64,
     batch: usize,
     phase: &str,
 ) -> ServingBatchRecord {
@@ -864,7 +1012,9 @@ fn serving_dispatch(
     let hits = after.hits - before.hits;
     let misses = after.misses - before.misses;
     let total = hits + misses;
+    *seq += 1;
     ServingBatchRecord {
+        seq: *seq,
         batch,
         phase: phase.to_string(),
         shapes: shapes.iter().map(|c| c.to_string()).collect(),
@@ -892,7 +1042,7 @@ pub fn serving_trace(
     opts: &ServingTraceOptions,
     dir: &std::path::Path,
 ) -> Result<ServingTrace, String> {
-    use sme_router::{PretuneDaemon, PretuneDaemonConfig, Router};
+    use sme_router::{PretuneDaemon, PretuneDaemonConfig, Router, DEFAULT_DECAY_HALF_LIFE};
 
     let yesterday = serving_yesterday_shapes();
     let today = serving_today_shapes();
@@ -901,11 +1051,26 @@ pub fn serving_trace(
     config.top_n = yesterday.len() + today.len();
     let daemon = PretuneDaemon::new(config);
 
+    // One observability hub spans the whole run, including the restart:
+    // the trace and metrics artifacts describe the run, not one process.
+    let hub = sme_obs::ObsHub::shared(4096);
+
     let router = Router::new(256);
+    router.attach_obs(hub.clone());
     daemon
         .restore(&router)
         .map_err(|e| format!("restore: {e}"))?;
 
+    let header = ServingRunHeader {
+        machine_fingerprint: format!("{:016x}", router.machine().fingerprint()),
+        policy: format!("{:?}", router.policy()),
+        decay_half_life: DEFAULT_DECAY_HALF_LIFE,
+        warm_batches: opts.warm_batches,
+        shifted_batches: opts.shifted_batches,
+        requests: opts.requests,
+    };
+
+    let mut seq = 0u64;
     let mut batches = Vec::new();
     let mut hot_after_shift = Vec::new();
     for b in 0..opts.warm_batches {
@@ -913,6 +1078,7 @@ pub fn serving_trace(
             &router,
             &yesterday,
             opts.requests,
+            &mut seq,
             b,
             "yesterday",
         ));
@@ -923,6 +1089,7 @@ pub fn serving_trace(
             &router,
             &today,
             opts.requests,
+            &mut seq,
             opts.warm_batches + b,
             "today",
         ));
@@ -937,6 +1104,7 @@ pub fn serving_trace(
     // Simulated restart: a fresh process restores what the daemon
     // persisted, re-warms, and serves today's traffic without compiling.
     let restarted = Router::new(256);
+    restarted.attach_obs(hub.clone());
     daemon
         .restore(&restarted)
         .map_err(|e| format!("restore after restart: {e}"))?;
@@ -947,13 +1115,24 @@ pub fn serving_trace(
         &restarted,
         &today,
         opts.requests,
+        &mut seq,
         opts.warm_batches + opts.shifted_batches,
         "restarted",
     );
     let restart_hit_rate = record.pretune_hit_rate;
     batches.push(record);
 
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, hub.trace.to_chrome_trace())
+            .map_err(|e| format!("write trace {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, hub.metrics.render_prometheus())
+            .map_err(|e| format!("write metrics {path}: {e}"))?;
+    }
+
     Ok(ServingTrace {
+        header,
         batches,
         hot_after_shift,
         shift_followed,
@@ -1183,6 +1362,35 @@ mod tests {
         assert!(text.contains("matches the per-shape simulated argmin: yes"));
         assert!(text.contains("both engines exercised across the sweep: yes"));
 
+        // Every simulated kernel carries a cycle attribution that
+        // partitions its total — the CI gate behind `--profile`.
+        assert!(sweep.profiles_sum_to_cycles());
+        let report = sweep_profile_report(&sweep);
+        assert_eq!(
+            report.points.len(),
+            sweep
+                .points
+                .iter()
+                .map(|p| p.sme_cycles.iter().count() + p.neon_cycles.iter().count())
+                .sum::<usize>()
+        );
+        for point in &report.points {
+            assert!(point.sums_ok, "profile must partition cycles: {point:?}");
+            assert!(!point.profile.is_empty());
+        }
+        // Dense SME shapes are bounded by the outer-product pipeline —
+        // the attribution names the engine, not a bookkeeping bucket.
+        let dense = report
+            .points
+            .iter()
+            .find(|p| p.backend == "Sme" && p.config.contains("m=64 n=64"))
+            .expect("dense SME point present");
+        let (class, _) = dense.profile.dominant().expect("non-empty profile");
+        assert!(
+            class == "outer-product" || class == "stall:outer-product",
+            "dense SME kernels are FMOPA-bound, got {class}"
+        );
+
         // The closed-form Heuristic policy agrees with the simulated
         // argmin on every preset shape, edges included — mis-modelled
         // partial tiles would fail here.
@@ -1281,6 +1489,59 @@ mod tests {
             sweep.routing_matches_model(),
             "heuristic estimates must rank the engines correctly: {sweep:?}"
         );
+    }
+
+    #[test]
+    fn serving_trace_emits_seq_header_and_obs_artifacts() {
+        let dir = std::env::temp_dir().join(format!("sme_serving_obs_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.prom");
+        let opts = ServingTraceOptions {
+            warm_batches: 1,
+            shifted_batches: 2,
+            requests: 1,
+            json: None,
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            metrics: Some(metrics_path.to_string_lossy().into_owned()),
+        };
+        let trace = serving_trace(&opts, &dir).expect("serving trace runs");
+
+        // The per-batch records carry a gapless monotonic sequence and the
+        // run header describes the producing configuration.
+        assert!(trace.seq_gapless());
+        assert_eq!(trace.batches.len(), 4); // 1 warm + 2 shifted + restart
+        assert_eq!(trace.header.machine_fingerprint.len(), 16);
+        assert!(trace.header.policy.contains("Measured"));
+        assert_eq!(
+            trace.header.decay_half_life,
+            sme_router::DEFAULT_DECAY_HALF_LIFE
+        );
+        assert_eq!(trace.header.warm_batches, 1);
+
+        // The trace artifact is a valid Chrome trace spanning both
+        // processes, and the metrics snapshot carries the serving series.
+        let chrome = std::fs::read_to_string(&trace_path).unwrap();
+        let events = sme_obs::validate_chrome_trace(&chrome).expect("valid Chrome trace");
+        assert!(events > 0);
+        assert!(chrome.contains("router.dispatch"));
+        assert!(chrome.contains("daemon.tick"));
+        assert!(chrome.contains("cache.compile"));
+
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        for series in [
+            "sme_cache_hits_total",
+            "sme_cache_hit_ratio",
+            "sme_router_batches_total",
+            "sme_batch_makespan_cycles_bucket",
+            "sme_pretune_ticks_total",
+        ] {
+            assert!(prom.contains(series), "metrics snapshot missing {series}");
+        }
+        // Both routers fed the same hub: 4 dispatches in total.
+        assert!(prom.contains("sme_router_batches_total 4"));
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

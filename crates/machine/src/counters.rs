@@ -5,6 +5,92 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Attribution of modelled cycles to execution streams.
+///
+/// Each key is either a [`Stream`](crate::timing::Stream) name (`"load"`,
+/// `"outer-product"`, …) charging cycles the stream spent *executing*, or a
+/// `"stall:<stream>"` key charging cycles an instruction of that stream
+/// spent *waiting on operands* beyond its unit's availability. The
+/// scoreboard charges every issue with exactly the amount it extended the
+/// critical path, so the entries partition the total: [`sums_to`] holds
+/// against `ExecStats::cycles` up to floating-point round-off.
+///
+/// [`sums_to`]: CycleProfile::sums_to
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleProfile {
+    /// Cycles per class, keyed by stream or `stall:<stream>` name.
+    pub classes: BTreeMap<String, f64>,
+}
+
+impl CycleProfile {
+    /// Charge `cycles` to `class` (no-op for a zero charge).
+    pub fn add(&mut self, class: &str, cycles: f64) {
+        if cycles != 0.0 {
+            *self.classes.entry(class.to_string()).or_insert(0.0) += cycles;
+        }
+    }
+
+    /// Sum of all class charges.
+    pub fn total(&self) -> f64 {
+        self.classes.values().sum()
+    }
+
+    /// `true` if no cycles have been attributed (e.g. a functional-only
+    /// run).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Merge another profile's charges into this one.
+    pub fn merge(&mut self, other: &CycleProfile) {
+        for (k, v) in &other.classes {
+            *self.classes.entry(k.clone()).or_insert(0.0) += v;
+        }
+    }
+
+    /// The invariant the profiler guarantees: the class charges partition
+    /// `total_cycles`. Exact in real arithmetic; checked here up to f64
+    /// round-off (1e-6 relative, 1e-6 absolute for tiny totals).
+    pub fn sums_to(&self, total_cycles: f64) -> bool {
+        let sum = self.total();
+        let tol = 1e-6 * total_cycles.abs().max(1.0);
+        (sum - total_cycles).abs() <= tol
+    }
+
+    /// The class with the largest charge, if any cycles were attributed.
+    pub fn dominant(&self) -> Option<(&str, f64)> {
+        self.classes
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fraction of `total_cycles` charged to `class` (0 if absent).
+    pub fn share(&self, class: &str, total_cycles: f64) -> f64 {
+        if total_cycles <= 0.0 {
+            return 0.0;
+        }
+        self.classes.get(class).copied().unwrap_or(0.0) / total_cycles
+    }
+}
+
+impl fmt::Display for CycleProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        let mut entries: Vec<_> = self.classes.iter().collect();
+        entries.sort_by(|a, b| b.1.total_cmp(a.1));
+        for (class, cycles) in entries {
+            let pct = if total > 0.0 {
+                100.0 * cycles / total
+            } else {
+                0.0
+            };
+            writeln!(f, "{class:>20} : {cycles:12.0} cycles ({pct:5.1}%)")?;
+        }
+        Ok(())
+    }
+}
+
 /// Statistics collected while running a program on the simulator.
 ///
 /// The arithmetic counters follow the paper's accounting: a fused
@@ -27,6 +113,9 @@ pub struct ExecStats {
     pub cycles: f64,
     /// Core clock in GHz used to convert cycles to time.
     pub clock_ghz: f64,
+    /// Attribution of `cycles` to execution streams (empty if the run was
+    /// functional-only).
+    pub profile: CycleProfile,
 }
 
 impl ExecStats {
@@ -87,6 +176,7 @@ impl ExecStats {
         if self.clock_ghz == 0.0 {
             self.clock_ghz = other.clock_ghz;
         }
+        self.profile.merge(&other.profile);
     }
 }
 
@@ -117,6 +207,7 @@ mod tests {
             bytes_stored: 1 << 19,
             cycles: 1_000.0,
             clock_ghz: 4.4,
+            profile: CycleProfile::default(),
         }
     }
 
@@ -157,5 +248,42 @@ mod tests {
         let text = sample().to_string();
         assert!(text.contains("instructions"));
         assert!(text.contains("GFLOPS"));
+    }
+
+    #[test]
+    fn profile_partitions_and_merges() {
+        let mut p = CycleProfile::default();
+        p.add("outer-product", 600.0);
+        p.add("load", 300.0);
+        p.add("stall:load", 100.0);
+        p.add("branch", 0.0); // zero charges leave no entry
+        assert_eq!(p.classes.len(), 3);
+        assert!(p.sums_to(1_000.0));
+        assert!(!p.sums_to(1_001.0));
+        assert_eq!(p.dominant(), Some(("outer-product", 600.0)));
+        assert!((p.share("load", 1_000.0) - 0.3).abs() < 1e-12);
+
+        let mut q = p.clone();
+        q.merge(&p);
+        assert!(q.sums_to(2_000.0));
+
+        // Merging through ExecStats keeps the invariant against the merged
+        // cycle total.
+        let mut a = sample();
+        a.profile = p.clone();
+        let mut b = sample();
+        b.profile = p;
+        a.merge(&b);
+        assert!(a.profile.sums_to(2_000.0));
+    }
+
+    #[test]
+    fn empty_profile_sums_to_zero_only() {
+        let p = CycleProfile::default();
+        assert!(p.is_empty());
+        assert!(p.sums_to(0.0));
+        assert!(!p.sums_to(10.0));
+        assert_eq!(p.dominant(), None);
+        assert_eq!(p.share("load", 0.0), 0.0);
     }
 }

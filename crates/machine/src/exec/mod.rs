@@ -283,6 +283,7 @@ impl Simulator {
 
         if let Some(sb) = scoreboard {
             stats.cycles = sb.cycles();
+            stats.profile = sb.profile().clone();
         }
         RunResult {
             stats,

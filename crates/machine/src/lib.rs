@@ -35,8 +35,8 @@ pub mod state;
 pub mod timing;
 
 pub use config::{CoreKind, MachineConfig};
-pub use counters::ExecStats;
+pub use counters::{CycleProfile, ExecStats};
 pub use exec::{ExecMode, RunOptions, Simulator};
 pub use mem::Memory;
 pub use state::CoreState;
-pub use timing::OpKind;
+pub use timing::{OpKind, Stream};

@@ -12,5 +12,5 @@ pub mod op;
 pub mod scoreboard;
 
 pub use memory::{MemCost, MemModel};
-pub use op::{OpKind, Unit};
+pub use op::{OpKind, Stream, Unit};
 pub use scoreboard::{deps, Resource, Scoreboard};

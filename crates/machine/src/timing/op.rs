@@ -77,6 +77,63 @@ pub enum OpKind {
     StoreStrZ,
 }
 
+/// Execution stream a cycle is attributed to by the profiler.
+///
+/// This is the paper's vocabulary for *where cycles go*: the load and store
+/// streams of Figs. 2–5, the outer-product stream of Table I, the
+/// ZA-transfer traffic the blocking strategies trade against, plus the
+/// scalar/branch loop scaffolding. It is deliberately coarser than
+/// [`OpKind`] (31 kinds fold into 7 streams) so a [`CycleProfile`] stays
+/// readable.
+///
+/// [`CycleProfile`]: crate::counters::CycleProfile
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stream {
+    /// Loads of any flavour (Neon, SVE contiguous, unpredicated `ldr z`).
+    Load,
+    /// Stores of any flavour.
+    Store,
+    /// ZA array traffic: direct ZA loads/stores, MOVA transfers, `zero`.
+    ZaTransfer,
+    /// Outer products and streaming-mode vector FP on the SME unit.
+    OuterProduct,
+    /// Neon arithmetic on the core-private FP pipes.
+    NeonArith,
+    /// Scalar ALU, predicate manipulation, SME mode control.
+    Scalar,
+    /// Branches.
+    Branch,
+}
+
+impl Stream {
+    /// Stable lower-case name used as the key of a
+    /// [`CycleProfile`](crate::counters::CycleProfile) entry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stream::Load => "load",
+            Stream::Store => "store",
+            Stream::ZaTransfer => "za-transfer",
+            Stream::OuterProduct => "outer-product",
+            Stream::NeonArith => "neon-arith",
+            Stream::Scalar => "scalar",
+            Stream::Branch => "branch",
+        }
+    }
+
+    /// All streams, in display order.
+    pub fn all() -> &'static [Stream] {
+        &[
+            Stream::Load,
+            Stream::Store,
+            Stream::ZaTransfer,
+            Stream::OuterProduct,
+            Stream::NeonArith,
+            Stream::Scalar,
+            Stream::Branch,
+        ]
+    }
+}
+
 /// Execution resource an operation occupies for throughput accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Unit {
@@ -206,6 +263,40 @@ impl OpKind {
             | OpKind::SmeMova4
             | OpKind::SmeZero
             | OpKind::SmeControl => Unit::Sme,
+        }
+    }
+
+    /// The execution stream this operation's cycles are attributed to.
+    pub fn stream(self) -> Stream {
+        match self {
+            OpKind::NeonLoad
+            | OpKind::LoadLd1Single
+            | OpKind::LoadLd1Multi2
+            | OpKind::LoadLd1Multi4
+            | OpKind::LoadLdrZ => Stream::Load,
+            OpKind::NeonStore
+            | OpKind::StoreSt1Single
+            | OpKind::StoreSt1Multi2
+            | OpKind::StoreSt1Multi4
+            | OpKind::StoreStrZ => Stream::Store,
+            OpKind::LoadLdrZa
+            | OpKind::StoreStrZa
+            | OpKind::SmeMova1
+            | OpKind::SmeMova2
+            | OpKind::SmeMova4
+            | OpKind::SmeZero => Stream::ZaTransfer,
+            OpKind::SmeFmopaF32
+            | OpKind::SmeFmopaF64
+            | OpKind::SmeFmopaWide
+            | OpKind::SmeSmopaI8
+            | OpKind::SmeSmopaI16
+            | OpKind::SmeFmlaVec
+            | OpKind::SsveFmla => Stream::OuterProduct,
+            OpKind::NeonFmla | OpKind::NeonBfmmla | OpKind::NeonOther => Stream::NeonArith,
+            OpKind::IntAlu | OpKind::SvePred | OpKind::SveOther | OpKind::SmeControl => {
+                Stream::Scalar
+            }
+            OpKind::Branch => Stream::Branch,
         }
     }
 
@@ -346,8 +437,25 @@ mod tests {
         // Every kind returned by `of` must be present in `all`.
         assert_eq!(OpKind::all().len(), 31);
         for k in OpKind::all() {
-            // unit() must be total.
+            // unit() and stream() must be total.
             let _ = k.unit();
+            let _ = k.stream();
         }
+    }
+
+    #[test]
+    fn streams_fold_the_kinds_sensibly() {
+        assert_eq!(OpKind::SmeFmopaF32.stream(), Stream::OuterProduct);
+        assert_eq!(OpKind::SsveFmla.stream(), Stream::OuterProduct);
+        assert_eq!(OpKind::NeonFmla.stream(), Stream::NeonArith);
+        assert_eq!(OpKind::LoadLdrZa.stream(), Stream::ZaTransfer);
+        assert_eq!(OpKind::SmeMova4.stream(), Stream::ZaTransfer);
+        assert_eq!(OpKind::LoadLd1Multi4.stream(), Stream::Load);
+        assert_eq!(OpKind::StoreStrZ.stream(), Stream::Store);
+        assert_eq!(OpKind::SmeControl.stream(), Stream::Scalar);
+        assert_eq!(OpKind::Branch.stream(), Stream::Branch);
+        // Stream names are distinct (they key the CycleProfile map).
+        let names: std::collections::BTreeSet<_> = Stream::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Stream::all().len());
     }
 }

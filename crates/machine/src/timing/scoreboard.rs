@@ -11,6 +11,7 @@
 //! limited by the load/store occupancy charged by the bandwidth model.
 
 use crate::config::CoreTimings;
+use crate::counters::CycleProfile;
 use crate::timing::memory::MemCost;
 use crate::timing::op::{OpKind, Unit};
 use sme_isa::inst::{Inst, NeonInst, ScalarInst, SmeInst, SveInst};
@@ -44,6 +45,7 @@ pub struct Scoreboard {
     ready: HashMap<Resource, f64>,
     end: f64,
     issued: u64,
+    profile: CycleProfile,
 }
 
 impl Scoreboard {
@@ -55,6 +57,7 @@ impl Scoreboard {
             ready: HashMap::new(),
             end: 0.0,
             issued: 0,
+            profile: CycleProfile::default(),
         }
     }
 
@@ -97,8 +100,32 @@ impl Scoreboard {
         for w in writes {
             self.ready.insert(w, start + latency.max(interval));
         }
+
+        // Cycle attribution: charge this issue with exactly the amount it
+        // extended the critical path (`end`). Unit-free times and operand
+        // ready times are both bounded by `end`, so `start <= old_end` and
+        // the per-issue advances telescope to the final cycle count. When
+        // the start was delayed by operands beyond the unit's availability
+        // (a RAW chain, e.g. the single-ZA-tile FMOPA experiment), that
+        // share of the advance is a dependency stall, not execution.
+        let old_end = self.end;
         self.end = self.end.max(done);
+        let advance = self.end - old_end;
+        if advance > 0.0 {
+            let stream = kind.stream().name();
+            let raw_wait = (operands_ready - unit_free).clamp(0.0, advance);
+            if raw_wait > 0.0 {
+                self.profile.add(&format!("stall:{stream}"), raw_wait);
+            }
+            self.profile.add(stream, advance - raw_wait);
+        }
         self.issued += 1;
+    }
+
+    /// Attribution of the modelled cycles to execution streams; the charges
+    /// sum to [`cycles`](Scoreboard::cycles) (up to round-off).
+    pub fn profile(&self) -> &CycleProfile {
+        &self.profile
     }
 }
 
@@ -439,6 +466,40 @@ mod tests {
             (gflops - 2009.0).abs() < 30.0,
             "four-tile FMOPA loop: {gflops} GFLOPS"
         );
+    }
+
+    #[test]
+    fn profile_partitions_cycles_and_names_the_bottleneck() {
+        // Peak-throughput loop: the advance is pure outer-product execution.
+        let mut sb = p_scoreboard();
+        for _ in 0..1000 {
+            for i in 0..32u8 {
+                let inst: Inst =
+                    SmeInst::fmopa_f32(i % 4, p(0), p(1), z(i % 30), z((i + 1) % 30)).into();
+                sb.issue(&inst, None);
+            }
+        }
+        assert!(sb.profile().sums_to(sb.cycles()));
+        let (class, _) = sb.profile().dominant().unwrap();
+        assert_eq!(class, "outer-product");
+
+        // Latency-bound loop: the RAW chain through the single ZA tile must
+        // show up as a dependency stall, not as execution.
+        let mut sb = p_scoreboard();
+        for i in 0..4_000u32 {
+            let inst: Inst = SmeInst::fmopa_f32(
+                0,
+                p(0),
+                p(1),
+                z((i % 15) as u8 * 2),
+                z((i % 15) as u8 * 2 + 1),
+            )
+            .into();
+            sb.issue(&inst, None);
+        }
+        assert!(sb.profile().sums_to(sb.cycles()));
+        let (class, _) = sb.profile().dominant().unwrap();
+        assert_eq!(class, "stall:outer-product");
     }
 
     #[test]

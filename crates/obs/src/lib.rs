@@ -1,0 +1,76 @@
+//! # sme-obs
+//!
+//! Observability for the serving stack: **see every cycle, every span,
+//! every counter**.
+//!
+//! The paper's analysis (Remke & Breuer, SC'24) works because every result
+//! is attributed — cycles to load/store/outer-product streams, overheads
+//! to ZA transfers. This crate gives the serving layers the same
+//! discipline at runtime:
+//!
+//! * [`TraceRecorder`] — a bounded ring-buffer span recorder with Chrome
+//!   trace-event JSON export ([`TraceRecorder::to_chrome_trace`]), loadable
+//!   directly in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+//!   Instrumented sites: `Router::dispatch`, `KernelCache::fetch_any`,
+//!   `GemmService` group execution, `PretuneDaemon::tick`.
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and log-linear
+//!   [`Histogram`]s with Prometheus text exposition
+//!   ([`MetricsRegistry::render_prometheus`]) and a JSON snapshot
+//!   ([`MetricsRegistry::snapshot_json`]).
+//! * [`ObsHub`] — one shared handle bundling both, attached to the serving
+//!   stack with `Router::attach_obs` / `KernelCache::attach_obs`.
+//!
+//! The cycle-attribution side of observability — *which execution stream a
+//! kernel's cycles belong to* — lives in `sme_machine::CycleProfile`,
+//! produced by the timing scoreboard; this crate covers the host-side
+//! serving path.
+//!
+//! ```
+//! use sme_obs::ObsHub;
+//! use std::time::Instant;
+//!
+//! let hub = ObsHub::shared(1024);
+//! let t0 = Instant::now();
+//! // ... do work ...
+//! hub.trace.record("demo.work", "demo", t0, vec![]);
+//! hub.metrics.counter("demo_events_total").inc();
+//! assert!(sme_obs::validate_chrome_trace(&hub.trace.to_chrome_trace()).is_ok());
+//! assert!(hub.metrics.render_prometheus().contains("demo_events_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramData, MetricsRegistry, SUB_BUCKETS_PER_OCTAVE,
+};
+pub use trace::{validate_chrome_trace, SpanRecord, TraceRecorder};
+
+use std::sync::Arc;
+
+/// The shared observability hub: one trace recorder plus one metrics
+/// registry, handed to every instrumented layer as an `Arc<ObsHub>`.
+#[derive(Debug)]
+pub struct ObsHub {
+    /// The span recorder.
+    pub trace: TraceRecorder,
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+impl ObsHub {
+    /// A hub whose trace ring keeps at most `trace_capacity` spans.
+    pub fn new(trace_capacity: usize) -> Self {
+        ObsHub {
+            trace: TraceRecorder::new(trace_capacity),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A shared hub ready to attach to the serving stack.
+    pub fn shared(trace_capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(trace_capacity))
+    }
+}

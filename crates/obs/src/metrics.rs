@@ -1,0 +1,401 @@
+//! Metrics: counters, gauges and log-linear histograms with Prometheus
+//! text exposition and a JSON snapshot.
+//!
+//! The registry hands out cheap cloneable handles — a [`Counter`] is an
+//! atomic increment, a [`Gauge`] an atomic store, a [`Histogram`] a short
+//! mutex around a sparse bucket map — so instrumentation sites pay almost
+//! nothing and never block each other for long.
+//!
+//! The histogram is **log-linear**: each power-of-two octave is split into
+//! [`SUB_BUCKETS_PER_OCTAVE`] geometric sub-buckets, giving a fixed
+//! relative resolution (`2^(1/8) ≈ 9%`) over any value range with a sparse
+//! `BTreeMap` of `u64` counts. Because the state is integer counts, merging
+//! two histograms is bucket-wise addition — exactly associative — and
+//! [`HistogramData::quantile_bounds`] can guarantee that the true quantile
+//! lies inside the returned bucket bounds.
+
+use serde::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Geometric sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS_PER_OCTAVE: i32 = 8;
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (stores f64 bits atomically).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// The value state of one histogram: sparse log-linear buckets plus count
+/// and sum.
+///
+/// Values are clamped to `>= 0` on record (a dedicated zero bucket holds
+/// zero and any clamped negatives/NaNs); positive values land in bucket
+/// `i` covering `[2^(i/8), 2^((i+1)/8))`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramData {
+    /// Count per log-linear bucket index.
+    pub buckets: BTreeMap<i32, u64>,
+    /// Count of zero (or clamped non-positive / non-finite) observations.
+    pub zero: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (after clamping).
+    pub sum: f64,
+}
+
+/// Lower/upper bounds of log-linear bucket `i`.
+fn bucket_bounds(i: i32) -> (f64, f64) {
+    let sub = SUB_BUCKETS_PER_OCTAVE as f64;
+    (2f64.powf(i as f64 / sub), 2f64.powf((i + 1) as f64 / sub))
+}
+
+impl HistogramData {
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        self.count += 1;
+        self.sum += v;
+        if v == 0.0 {
+            self.zero += 1;
+            return;
+        }
+        let mut i = (SUB_BUCKETS_PER_OCTAVE as f64 * v.log2()).floor() as i32;
+        // powf round-off can put the computed index one bucket off; nudge
+        // until the bracketing invariant lo <= v < hi actually holds.
+        while v < bucket_bounds(i).0 {
+            i -= 1;
+        }
+        while v >= bucket_bounds(i).1 {
+            i += 1;
+        }
+        *self.buckets.entry(i).or_insert(0) += 1;
+    }
+
+    /// Merge another histogram's observations into this one. Bucket counts
+    /// are integers, so this is exactly associative and commutative (the
+    /// f64 `sum` is associative up to round-off).
+    pub fn merge(&mut self, other: &HistogramData) {
+        for (i, n) in &other.buckets {
+            *self.buckets.entry(*i).or_insert(0) += n;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bounds `(lo, hi)` of the bucket holding the `q`-quantile
+    /// (`0 <= q <= 1`), or `None` if the histogram is empty. The true
+    /// quantile of the observed values is guaranteed to satisfy
+    /// `lo <= value < hi` (`lo == hi == 0` for the zero bucket).
+    pub fn quantile_bounds(&self, q: f64) -> Option<(f64, f64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zero;
+        if seen >= rank {
+            return Some((0.0, 0.0));
+        }
+        for (i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_bounds(*i));
+            }
+        }
+        // Unreachable if count is consistent with the buckets; fall back to
+        // the widest upper bucket.
+        self.buckets.keys().next_back().map(|i| bucket_bounds(*i))
+    }
+}
+
+/// A thread-safe histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<Mutex<HistogramData>>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, v: f64) {
+        self.0.lock().unwrap().record(v);
+    }
+
+    /// A copy of the current state.
+    pub fn snapshot(&self) -> HistogramData {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+/// A registry of named metrics.
+///
+/// `counter`/`gauge`/`histogram` get-or-create by name and return a handle
+/// that can be stored at the instrumentation site, so the registry lock is
+/// paid once at attach time, not per event.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Render every metric in the Prometheus text exposition format
+    /// (counters, gauges, and histograms as cumulative `_bucket{le=...}`
+    /// series with `_sum` and `_count`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            let data = h.snapshot();
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            if data.zero > 0 {
+                cumulative += data.zero;
+                out.push_str(&format!("{name}_bucket{{le=\"0\"}} {cumulative}\n"));
+            }
+            for (i, n) in &data.buckets {
+                cumulative += n;
+                let (_, hi) = bucket_bounds(*i);
+                out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", data.count));
+            out.push_str(&format!("{name}_sum {}\n", data.sum));
+            out.push_str(&format!("{name}_count {}\n", data.count));
+        }
+        out
+    }
+
+    /// A JSON snapshot of every metric: counters and gauges by value,
+    /// histograms as `{count, sum, mean, p50, p90, p99}` with quantiles as
+    /// `[lo, hi]` bucket bounds.
+    pub fn snapshot_json(&self) -> Value {
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, c)| (k.clone(), Value::Number(c.get() as f64)))
+            .collect();
+        let gauges: Vec<(String, Value)> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, g)| (k.clone(), Value::Number(g.get())))
+            .collect();
+        let histograms: Vec<(String, Value)> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| {
+                let data = h.snapshot();
+                let quantile = |q: f64| match data.quantile_bounds(q) {
+                    Some((lo, hi)) => Value::Array(vec![Value::Number(lo), Value::Number(hi)]),
+                    None => Value::Null,
+                };
+                (
+                    k.clone(),
+                    Value::Object(vec![
+                        ("count".to_string(), Value::Number(data.count as f64)),
+                        ("sum".to_string(), Value::Number(data.sum)),
+                        ("mean".to_string(), Value::Number(data.mean())),
+                        ("p50".to_string(), quantile(0.5)),
+                        ("p90".to_string(), quantile(0.9)),
+                        ("p99".to_string(), quantile(0.99)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("sme_requests_total");
+        let b = reg.counter("sme_requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("sme_requests_total").get(), 3);
+
+        let g = reg.gauge("sme_hit_ratio");
+        g.set(0.75);
+        assert_eq!(reg.gauge("sme_hit_ratio").get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_brackets_recorded_values() {
+        let mut h = HistogramData::default();
+        for v in [0.0, 0.5, 1.0, 3.0, 1000.0, 1e9] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.zero, 1);
+        // p100 must bracket the max.
+        let (lo, hi) = h.quantile_bounds(1.0).unwrap();
+        assert!(lo <= 1e9 && 1e9 < hi);
+        // p-zero-ish lands in the zero bucket.
+        assert_eq!(h.quantile_bounds(0.0).unwrap(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = HistogramData::default();
+        let mut b = HistogramData::default();
+        for v in [1.0, 2.0, 3.0] {
+            a.record(v);
+        }
+        for v in [2.0, 100.0] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 5);
+        let mut direct = HistogramData::default();
+        for v in [1.0, 2.0, 3.0, 2.0, 100.0] {
+            direct.record(v);
+        }
+        assert_eq!(merged.buckets, direct.buckets);
+        assert_eq!(merged.zero, direct.zero);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sme_cache_hits_total").add(5);
+        reg.gauge("sme_cache_hit_ratio").set(0.5);
+        let h = reg.histogram("sme_group_cycles");
+        h.record(100.0);
+        h.record(200.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE sme_cache_hits_total counter"));
+        assert!(text.contains("sme_cache_hits_total 5"));
+        assert!(text.contains("# TYPE sme_cache_hit_ratio gauge"));
+        assert!(text.contains("# TYPE sme_group_cycles histogram"));
+        assert!(text.contains("sme_group_cycles_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("sme_group_cycles_count 2"));
+        assert!(text.contains("sme_group_cycles_sum 300"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sme_batches_total").inc();
+        reg.histogram("sme_tick_seconds").record(0.25);
+        let snap = reg.snapshot_json();
+        assert_eq!(
+            snap.get("counters")
+                .unwrap()
+                .get("sme_batches_total")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        let hist = snap
+            .get("histograms")
+            .unwrap()
+            .get("sme_tick_seconds")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        let p50 = hist.get("p50").unwrap().as_array().unwrap();
+        let (lo, hi) = (p50[0].as_f64().unwrap(), p50[1].as_f64().unwrap());
+        assert!(lo <= 0.25 && 0.25 < hi);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the observability surfaces: histogram merge is
+//! associative, quantile estimates bracket the true quantile, and the
+//! Chrome trace export round-trips through the validator.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sme_obs::{validate_chrome_trace, HistogramData, TraceRecorder};
+use std::time::Instant;
+
+/// Non-negative sample values spanning ten orders of magnitude (with a few
+/// exact zeros mixed in via the modulus).
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    vec(0u64..u64::MAX, 0..64).prop_map(|raw| {
+        raw.into_iter()
+            .map(|bits| {
+                let magnitude = (bits % 11) as i32 - 1; // -1..=9
+                let mantissa = (bits >> 8) % 10_000;
+                if magnitude < 0 {
+                    0.0
+                } else {
+                    (1.0 + mantissa as f64 / 10_000.0) * 10f64.powi(magnitude)
+                }
+            })
+            .collect()
+    })
+}
+
+fn fill(values: &[f64]) -> HistogramData {
+    let mut h = HistogramData::default();
+    for v in values {
+        h.record(*v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): bucket counts are integers, so merge
+    /// order cannot change any count.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (ha, hb, hc) = (fill(&a), fill(&b), fill(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left.buckets, &right.buckets);
+        prop_assert_eq!(left.zero, right.zero);
+        prop_assert_eq!(left.count, right.count);
+        // The f64 sum is associative only up to round-off.
+        let tol = 1e-9 * left.sum.abs().max(1.0);
+        prop_assert!((left.sum - right.sum).abs() <= tol);
+
+        // Merge order also cannot move a quantile out of its bucket.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile_bounds(q), right.quantile_bounds(q));
+        }
+    }
+
+    /// The reported bucket bounds bracket the true (order-statistic)
+    /// quantile of the recorded values.
+    #[test]
+    fn quantile_bounds_bracket_the_true_quantile(
+        values in samples().prop_filter("need data", |v| !v.is_empty()),
+        q_milli in 0u32..=1000,
+    ) {
+        let q = q_milli as f64 / 1000.0;
+        let h = fill(&values);
+
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let true_q = sorted[rank - 1];
+
+        let (lo, hi) = h.quantile_bounds(q).expect("non-empty histogram");
+        if true_q == 0.0 {
+            prop_assert_eq!((lo, hi), (0.0, 0.0));
+        } else {
+            prop_assert!(
+                lo <= true_q && true_q < hi,
+                "true quantile {} outside bucket [{}, {})", true_q, lo, hi
+            );
+        }
+    }
+
+    /// Whatever spans are recorded, the Chrome export parses and validates,
+    /// and retains min(#spans, capacity) events.
+    #[test]
+    fn chrome_export_always_validates(
+        names in vec(0u8..26, 0..40),
+        capacity in 1usize..32,
+    ) {
+        let rec = TraceRecorder::new(capacity);
+        let t0 = Instant::now();
+        for n in &names {
+            rec.record(
+                &format!("span-{}", (b'a' + n) as char),
+                "prop",
+                t0,
+                vec![("i".to_string(), serde::json::Value::Number(*n as f64))],
+            );
+        }
+        let json = rec.to_chrome_trace();
+        let events = validate_chrome_trace(&json);
+        prop_assert_eq!(events, Ok(names.len().min(capacity)));
+        prop_assert_eq!(rec.dropped() as usize, names.len().saturating_sub(capacity));
+    }
+}

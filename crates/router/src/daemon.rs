@@ -31,9 +31,9 @@ use sme_gemm::AnyGemmConfig;
 use sme_runtime::{FingerprintCheck, PlanStore, PlanStoreError, TunerOptions};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Configuration of the background pretuner.
 #[derive(Debug, Clone)]
@@ -106,6 +106,13 @@ impl From<sme_gemm::GemmError> for DaemonError {
 /// What one daemon tick did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TickReport {
+    /// Monotonic tick counter (1 for the daemon's first tick). A stuck
+    /// pretuner is visible as a counter that stops advancing.
+    pub tick: u64,
+    /// Wall-clock duration of the tick (tuning + warming + persisting). A
+    /// slow pretuner is visible as a duration approaching the tick
+    /// interval.
+    pub duration: Duration,
     /// The decayed-hottest shapes this tick considered (hottest first).
     pub hot: Vec<AnyGemmConfig>,
     /// Shapes tuned this tick (they had no installed winner yet).
@@ -142,6 +149,7 @@ pub struct RestoreReport {
 pub struct DaemonHandle {
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
+    last_report: Arc<Mutex<Option<TickReport>>>,
 }
 
 impl DaemonHandle {
@@ -151,6 +159,16 @@ impl DaemonHandle {
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
+    }
+
+    /// The most recent successful tick's report, if any tick has completed
+    /// yet. Operators watch `tick` (stopped advancing = stuck loop) and
+    /// `duration` (approaching the interval = slow loop).
+    pub fn last_report(&self) -> Option<TickReport> {
+        self.last_report
+            .lock()
+            .expect("tick report poisoned")
+            .clone()
     }
 }
 
@@ -164,12 +182,18 @@ impl Drop for DaemonHandle {
 #[derive(Debug, Clone)]
 pub struct PretuneDaemon {
     config: PretuneDaemonConfig,
+    /// Monotonic tick counter, shared across clones of this daemon (the
+    /// spawn loop clones the daemon into its thread).
+    ticks: Arc<AtomicU64>,
 }
 
 impl PretuneDaemon {
     /// A daemon with the given configuration.
     pub fn new(config: PretuneDaemonConfig) -> Self {
-        PretuneDaemon { config }
+        PretuneDaemon {
+            config,
+            ticks: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The daemon's configuration.
@@ -211,6 +235,8 @@ impl PretuneDaemon {
     /// winner, compile every hot winner into the cache, persist the
     /// telemetry snapshot and the plan store.
     pub fn tick(&self, router: &Router) -> Result<TickReport, DaemonError> {
+        let tick_started = Instant::now();
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         let hot: Vec<AnyGemmConfig> = router
             .top_shapes(self.config.top_n)
             .into_iter()
@@ -257,13 +283,40 @@ impl PretuneDaemon {
             .cache()
             .export_store()
             .save(&self.config.store_path)?;
-        Ok(TickReport {
+        let report = TickReport {
+            tick,
+            duration: tick_started.elapsed(),
             hot,
             tuned,
             already_tuned,
             warmed,
             persisted: true,
-        })
+        };
+        if let Some(hub) = router.obs() {
+            use serde::json::Value;
+            hub.metrics.counter("sme_pretune_ticks_total").inc();
+            hub.metrics
+                .histogram("sme_pretune_tick_seconds")
+                .record(report.duration.as_secs_f64());
+            hub.metrics
+                .gauge("sme_pretune_last_tick")
+                .set(report.tick as f64);
+            hub.trace.record(
+                "daemon.tick",
+                "daemon",
+                tick_started,
+                vec![
+                    ("tick".to_string(), Value::Number(report.tick as f64)),
+                    ("hot".to_string(), Value::Number(report.hot.len() as f64)),
+                    (
+                        "tuned".to_string(),
+                        Value::Number(report.tuned.len() as f64),
+                    ),
+                    ("warmed".to_string(), Value::Number(report.warmed as f64)),
+                ],
+            );
+        }
+        Ok(report)
     }
 
     /// Run [`PretuneDaemon::tick`] every `interval` on a background thread
@@ -273,10 +326,15 @@ impl PretuneDaemon {
     pub fn spawn(self, router: Arc<Router>, interval: Duration) -> DaemonHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
+        let last_report: Arc<Mutex<Option<TickReport>>> = Arc::new(Mutex::new(None));
+        let last_report_slot = last_report.clone();
         let thread = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
-                if let Err(e) = self.tick(&router) {
-                    eprintln!("warning: pretune daemon tick failed: {e}");
+                match self.tick(&router) {
+                    Ok(report) => {
+                        *last_report_slot.lock().expect("tick report poisoned") = Some(report);
+                    }
+                    Err(e) => eprintln!("warning: pretune daemon tick failed: {e}"),
                 }
                 // Sleep in short slices so stop() returns promptly.
                 let mut remaining = interval;
@@ -290,6 +348,7 @@ impl PretuneDaemon {
         DaemonHandle {
             stop,
             thread: Some(thread),
+            last_report,
         }
     }
 }
@@ -327,6 +386,8 @@ mod tests {
         assert_eq!(report.tuned.len(), 2, "both shapes were untuned");
         assert_eq!(report.already_tuned, 0);
         assert!(report.persisted);
+        assert_eq!(report.tick, 1, "monotonic counter starts at 1");
+        assert!(report.duration > Duration::ZERO);
         assert!(daemon.config().telemetry_path.exists());
         assert!(daemon.config().store_path.exists());
 
@@ -335,6 +396,7 @@ mod tests {
         assert!(second.tuned.is_empty());
         assert_eq!(second.already_tuned, 2);
         assert_eq!(second.warmed, 0, "winners already resident");
+        assert_eq!(second.tick, 2, "counter advances per tick");
 
         // The warmed cache serves the hot shape without compiling.
         let misses_before = router.cache().stats().misses;
@@ -425,6 +487,14 @@ mod tests {
         while !daemon.config().telemetry_path.exists() && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
+        // The handle exposes the last tick report while the loop runs.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.last_report().is_none() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let last = handle.last_report().expect("a tick completed");
+        assert!(last.tick >= 1);
+        assert!(last.persisted);
         handle.stop();
         assert!(daemon.config().telemetry_path.exists(), "daemon persisted");
         assert!(

@@ -9,9 +9,11 @@ use sme_gemm::{
 };
 use sme_machine::multicore::MulticoreModel;
 use sme_machine::MachineConfig;
+use sme_obs::ObsHub;
 use sme_runtime::{GemmRequest, GemmService, KernelCache, PlanStore, TuneOutcome, TunerOptions};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The result of dispatching one batch through the router: the runtime's
 /// execution report plus the placement-aware routing projection.
@@ -132,6 +134,20 @@ impl Router {
         &self.machine
     }
 
+    /// Attach an observability hub to the whole serving stack below this
+    /// router: dispatch spans and batch/placement metrics from the router,
+    /// group-execution spans from the service, hit/miss/compile
+    /// instrumentation from the kernel cache, and tick telemetry from a
+    /// `PretuneDaemon` driving this router. Only the first attach wins.
+    pub fn attach_obs(&self, hub: Arc<ObsHub>) {
+        self.cache().attach_obs(hub);
+    }
+
+    /// The attached observability hub, if any.
+    pub fn obs(&self) -> Option<&Arc<ObsHub>> {
+        self.cache().obs()
+    }
+
     /// Decide which backend serves an FP32 `cfg` under the active policy
     /// (see [`Router::route_any`]).
     pub fn route(&self, cfg: &GemmConfig) -> Backend {
@@ -249,6 +265,7 @@ impl Router {
     /// Propagates the service's errors (first invalid configuration fails
     /// the batch); telemetry records only successfully dispatched batches.
     pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<RoutedBatchReport, GemmError> {
+        let dispatch_started = Instant::now();
         // Distinct configurations in first-appearance order with request
         // counts — mirrors the service's grouping exactly.
         let mut index_of: HashMap<AnyGemmConfig, usize> = HashMap::new();
@@ -318,12 +335,54 @@ impl Router {
         )?;
         self.telemetry.record_batch(&batch);
         self.telemetry.advance_epoch();
-        Ok(RoutedBatchReport {
+        let report = RoutedBatchReport {
             batch,
             placement: plan.placement,
             isolated: plan.isolated,
             rerouted: plan.rerouted,
-        })
+        };
+        if let Some(hub) = self.cache().obs() {
+            use serde::json::Value;
+            hub.metrics.counter("sme_router_batches_total").inc();
+            hub.metrics
+                .counter("sme_router_requests_total")
+                .add(requests.len() as u64);
+            hub.metrics
+                .counter("sme_router_reroutes_total")
+                .add(report.rerouted.len() as u64);
+            hub.metrics
+                .histogram("sme_batch_makespan_cycles")
+                .record(report.placement.makespan_cycles());
+            hub.metrics
+                .histogram("sme_placement_improvement_cycles")
+                .record(report.makespan_improvement_cycles());
+            hub.trace.record(
+                "router.dispatch",
+                "router",
+                dispatch_started,
+                vec![
+                    (
+                        "policy".to_string(),
+                        Value::String(format!("{:?}", self.policy)),
+                    ),
+                    ("requests".to_string(), Value::Number(requests.len() as f64)),
+                    ("groups".to_string(), Value::Number(counts.len() as f64)),
+                    (
+                        "rerouted".to_string(),
+                        Value::Number(report.rerouted.len() as f64),
+                    ),
+                    (
+                        "makespan_cycles".to_string(),
+                        Value::Number(report.placement.makespan_cycles()),
+                    ),
+                    (
+                        "improvement_cycles".to_string(),
+                        Value::Number(report.makespan_improvement_cycles()),
+                    ),
+                ],
+            );
+        }
+        Ok(report)
     }
 
     /// The `n` hottest shapes by **decayed cumulative cycles** — the cost
@@ -416,6 +475,43 @@ mod tests {
             router.cache().lookup_tuned(&cfg).unwrap().candidate.backend,
             Backend::Neon
         );
+    }
+
+    #[test]
+    fn dispatch_feeds_the_obs_hub_and_reports_cycle_profiles() {
+        let router = Router::new(16);
+        let hub = ObsHub::shared(128);
+        router.attach_obs(hub.clone());
+        let cfg = GemmConfig::abt(32, 32, 8);
+        let requests: Vec<GemmRequest> = (0..4).map(|i| GemmRequest::fp32(cfg, i as u64)).collect();
+        let report = router.dispatch(&requests).unwrap();
+
+        // Metrics: batch/request counters, makespan histogram, cache series.
+        assert_eq!(hub.metrics.counter("sme_router_batches_total").get(), 1);
+        assert_eq!(hub.metrics.counter("sme_router_requests_total").get(), 4);
+        let makespan = hub
+            .metrics
+            .histogram("sme_batch_makespan_cycles")
+            .snapshot();
+        assert_eq!(makespan.count, 1);
+        assert!(hub.metrics.counter("sme_cache_misses_total").get() >= 1);
+
+        // Traces: a dispatch span plus per-group and per-compile spans.
+        let names: Vec<String> = hub.trace.snapshot().into_iter().map(|s| s.name).collect();
+        assert!(names.iter().any(|n| n == "router.dispatch"));
+        assert!(names.iter().any(|n| n == "service.group"));
+        assert!(names.iter().any(|n| n == "cache.compile"));
+
+        // The cycle profile threads through the service report: per-class
+        // cycles partition the group's total.
+        let per = &report.batch.per_config[0];
+        assert!(!per.stats.profile.is_empty());
+        assert!(per.stats.profile.sums_to(per.stats.cycles));
+        assert!(report
+            .batch
+            .total
+            .profile
+            .sums_to(report.batch.total.cycles));
     }
 
     #[test]

@@ -24,14 +24,16 @@
 //! on).
 
 use crate::store::{tune_key_any, PlanStore, TunedRecord};
+use serde::json::Value;
 use sme_gemm::{
     generate_any_backend, generate_any_routed, AnyGemmConfig, Backend, GemmConfig, GemmError,
     RoutedKernel,
 };
+use sme_obs::{Counter, Gauge, Histogram, ObsHub};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 /// Number of independently locked shards.
 const SHARDS: usize = 8;
@@ -60,6 +62,15 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Accumulate another snapshot's counters (used to aggregate the
+    /// per-shard statistics into one cache-wide view).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.tuned_compiles += other.tuned_compiles;
+    }
 }
 
 /// Cache key: one configuration (of either datatype) compiled for one
@@ -73,6 +84,9 @@ type CacheKey = (AnyGemmConfig, Backend);
 #[derive(Debug, Default)]
 struct Shard {
     entries: Vec<(CacheKey, Arc<RoutedKernel>)>,
+    /// This shard's share of the cache counters, updated under the shard
+    /// lock so they stay exact with respect to the entries.
+    stats: CacheStats,
 }
 
 impl Shard {
@@ -105,10 +119,35 @@ pub struct KernelCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
     store: RwLock<PlanStore>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    tuned_compiles: AtomicU64,
+    obs: OnceLock<ObsHandles>,
+}
+
+/// Pre-resolved observability handles so the fetch hot path pays atomic
+/// increments, not registry lookups.
+#[derive(Debug)]
+struct ObsHandles {
+    hub: Arc<ObsHub>,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    tuned_compiles: Counter,
+    hit_ratio: Gauge,
+    compile_seconds: Histogram,
+}
+
+impl ObsHandles {
+    fn update_hit_ratio(&self) {
+        let hits = self.hits.get() as f64;
+        let total = hits + self.misses.get() as f64;
+        if total > 0.0 {
+            self.hit_ratio.set(hits / total);
+        }
+    }
+}
+
+/// Short human-readable label for a configuration (trace span argument).
+fn describe_any(cfg: &AnyGemmConfig) -> String {
+    format!("{} {}x{}x{}", cfg.dtype(), cfg.m(), cfg.n(), cfg.k())
 }
 
 impl KernelCache {
@@ -130,11 +169,29 @@ impl KernelCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity,
             store: RwLock::new(store),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            tuned_compiles: AtomicU64::new(0),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attach an observability hub: cache hit/miss/eviction counters, the
+    /// hit-ratio gauge, compile-time histogram and per-compile spans are
+    /// reported to it from then on. Only the first attach wins.
+    pub fn attach_obs(&self, hub: Arc<ObsHub>) {
+        let _ = self.obs.set(ObsHandles {
+            hits: hub.metrics.counter("sme_cache_hits_total"),
+            misses: hub.metrics.counter("sme_cache_misses_total"),
+            evictions: hub.metrics.counter("sme_cache_evictions_total"),
+            tuned_compiles: hub.metrics.counter("sme_cache_tuned_compiles_total"),
+            hit_ratio: hub.metrics.gauge("sme_cache_hit_ratio"),
+            compile_seconds: hub.metrics.histogram("sme_cache_compile_seconds"),
+            hub,
+        });
+    }
+
+    /// The attached observability hub, if any (used by the service layer to
+    /// report into the same hub).
+    pub fn obs(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.get().map(|o| &o.hub)
     }
 
     fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -245,10 +302,19 @@ impl KernelCache {
         let key = (*cfg, backend);
         let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
         if let Some(kernel) = shard.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.stats.hits += 1;
+            drop(shard);
+            if let Some(obs) = self.obs.get() {
+                obs.hits.inc();
+                obs.update_hit_ratio();
+            }
             return Ok((kernel, true));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.stats.misses += 1;
+        if let Some(obs) = self.obs.get() {
+            obs.misses.inc();
+        }
+        let compile_started = Instant::now();
         let tuned = self
             .store
             .read()
@@ -256,6 +322,7 @@ impl KernelCache {
             .lookup_any(cfg)
             .copied()
             .filter(|record| record.candidate.backend == backend);
+        let mut tuned_compile = false;
         let kernel = match tuned {
             // A bad record (e.g. hand-edited into a store built in memory,
             // where no load-time validation runs) must not make a valid
@@ -264,7 +331,8 @@ impl KernelCache {
             // untouched so the degradation is visible in the counters.
             Some(record) => match generate_any_routed(cfg, &record.candidate) {
                 Ok(kernel) => {
-                    self.tuned_compiles.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.tuned_compiles += 1;
+                    tuned_compile = true;
                     kernel
                 }
                 Err(_) => generate_any_backend(cfg, backend)?,
@@ -273,7 +341,31 @@ impl KernelCache {
         };
         let kernel = Arc::new(kernel);
         let evicted = shard.insert(key, kernel.clone(), self.shard_capacity);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        shard.stats.evictions += evicted;
+        drop(shard);
+        if let Some(obs) = self.obs.get() {
+            obs.evictions.add(evicted);
+            if tuned_compile {
+                obs.tuned_compiles.inc();
+            }
+            obs.update_hit_ratio();
+            obs.compile_seconds
+                .record(compile_started.elapsed().as_secs_f64());
+            obs.hub.trace.record(
+                "cache.compile",
+                "cache",
+                compile_started,
+                vec![
+                    ("config".to_string(), Value::String(describe_any(cfg))),
+                    (
+                        "backend".to_string(),
+                        Value::String(backend.name().to_string()),
+                    ),
+                    ("tuned".to_string(), Value::Bool(tuned_compile)),
+                    ("evicted".to_string(), Value::Number(evicted as f64)),
+                ],
+            );
+        }
         Ok((kernel, false))
     }
 
@@ -389,14 +481,24 @@ impl KernelCache {
         self.len() == 0
     }
 
-    /// Snapshot of the monotonic counters.
+    /// Snapshot of the monotonic counters, aggregated over the per-shard
+    /// [`CacheStats`] (see [`KernelCache::shard_stats`]).
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            tuned_compiles: self.tuned_compiles.load(Ordering::Relaxed),
+        let mut total = CacheStats::default();
+        for shard in self.shard_stats() {
+            total.accumulate(&shard);
         }
+        total
+    }
+
+    /// Per-shard counter snapshots, in shard order. Useful for spotting a
+    /// pathologically hot or thrashing shard; the cache-wide view is the
+    /// aggregation in [`KernelCache::stats`].
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").stats)
+            .collect()
     }
 }
 
@@ -653,6 +755,56 @@ mod tests {
         assert!(cache.get_or_compile(&bad).is_err());
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn stats_aggregate_the_shards_and_feed_the_obs_hub() {
+        let cache = KernelCache::new(16);
+        let hub = ObsHub::shared(64);
+        cache.attach_obs(hub.clone());
+        let cfgs: Vec<GemmConfig> = (1..=3).map(|i| GemmConfig::abt(16 * i, 16, 8)).collect();
+        for cfg in &cfgs {
+            cache.get_or_compile(cfg).unwrap();
+            cache.get_or_compile(cfg).unwrap();
+        }
+        // The cache-wide snapshot is the sum of the per-shard snapshots.
+        let total = cache.stats();
+        assert_eq!((total.hits, total.misses), (3, 3));
+        let mut summed = CacheStats::default();
+        for shard in cache.shard_stats() {
+            summed.accumulate(&shard);
+        }
+        assert_eq!(summed, total);
+        // Keys spread over shards, so no single shard saw everything.
+        assert!(cache.shard_stats().iter().any(|s| s.misses > 0));
+
+        // The metrics registry saw the same counts, plus a compile span
+        // per miss.
+        assert_eq!(hub.metrics.counter("sme_cache_hits_total").get(), 3);
+        assert_eq!(hub.metrics.counter("sme_cache_misses_total").get(), 3);
+        assert_eq!(hub.metrics.gauge("sme_cache_hit_ratio").get(), 0.5);
+        let compile = hub
+            .metrics
+            .histogram("sme_cache_compile_seconds")
+            .snapshot();
+        assert_eq!(compile.count, 3);
+        assert_eq!(hub.trace.len(), 3);
+        assert!(hub
+            .trace
+            .snapshot()
+            .iter()
+            .all(|s| s.name == "cache.compile"));
+        // Evictions are exported through the snapshot (satellite: counted
+        // today, never exported before).
+        let snap = hub.metrics.snapshot_json();
+        assert_eq!(
+            snap.get("counters")
+                .unwrap()
+                .get("sme_cache_evictions_total")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
     }
 
     #[test]

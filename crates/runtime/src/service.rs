@@ -254,6 +254,7 @@ impl GemmService {
                 let (config, indices) = &groups[g];
                 let backend = route(config);
                 let run = || -> Result<GroupOutput, GemmError> {
+                    let group_started = std::time::Instant::now();
                     let (kernel, cache_hit) = self.cache.fetch_any(config, backend)?;
                     let mut sim = Simulator::m4_performance();
                     let mut stats = ExecStats::default();
@@ -263,6 +264,41 @@ impl GemmService {
                         let result = kernel.run(&mut sim, bufs, &RunOptions::default());
                         stats.merge(&result.stats);
                         outputs.push((index, sim.mem.read_f32_slice(bufs.c, config.c_len())));
+                    }
+                    if let Some(hub) = self.cache.obs() {
+                        hub.metrics
+                            .histogram("sme_group_cycles")
+                            .record(stats.cycles);
+                        hub.trace.record(
+                            "service.group",
+                            "service",
+                            group_started,
+                            vec![
+                                (
+                                    "config".to_string(),
+                                    serde::json::Value::String(format!(
+                                        "{} {}x{}x{}",
+                                        config.dtype(),
+                                        config.m(),
+                                        config.n(),
+                                        config.k()
+                                    )),
+                                ),
+                                (
+                                    "backend".to_string(),
+                                    serde::json::Value::String(backend.name().to_string()),
+                                ),
+                                (
+                                    "requests".to_string(),
+                                    serde::json::Value::Number(indices.len() as f64),
+                                ),
+                                (
+                                    "cycles".to_string(),
+                                    serde::json::Value::Number(stats.cycles),
+                                ),
+                                ("cache_hit".to_string(), serde::json::Value::Bool(cache_hit)),
+                            ],
+                        );
                     }
                     Ok((outputs, stats, backend, cache_hit))
                 };

@@ -1,0 +1,113 @@
+//! Integration tests of the cycle-attribution profiler: for every kernel
+//! either generator can produce, the per-class cycle profile must
+//! partition the kernel's total simulated cycles — the invariant that
+//! makes the breakdown trustworthy as a *where did the time go* answer
+//! rather than a sampling estimate.
+
+use proptest::prelude::*;
+use sme_gemm::{generate_any_backend, AnyGemmConfig, Backend, GemmConfig, WideningGemmConfig};
+
+/// Simulate `cfg` on `backend` (if the generator supports the shape) and
+/// assert the profile invariants on the resulting stats.
+fn assert_profile_partitions(cfg: &AnyGemmConfig, backend: Backend) {
+    let Ok(kernel) = generate_any_backend(cfg, backend) else {
+        return;
+    };
+    let stats = kernel.model_stats();
+    assert!(
+        stats.cycles > 0.0,
+        "{cfg} on {backend:?}: kernels take time"
+    );
+    assert!(
+        !stats.profile.is_empty(),
+        "{cfg} on {backend:?}: timed runs attribute their cycles"
+    );
+    assert!(
+        stats.profile.sums_to(stats.cycles),
+        "{cfg} on {backend:?}: profile {} must partition {} cycles",
+        stats.profile.total(),
+        stats.cycles
+    );
+    // No class is negative and every class name is a known stream or its
+    // stall twin.
+    for (class, cycles) in &stats.profile.classes {
+        assert!(*cycles > 0.0, "{cfg}: class {class} holds positive cycles");
+        let stream = class.strip_prefix("stall:").unwrap_or(class);
+        assert!(
+            sme_machine::Stream::all()
+                .iter()
+                .any(|s| s.name() == stream),
+            "{cfg}: unknown attribution class {class}"
+        );
+    }
+}
+
+#[test]
+fn sme_and_neon_profiles_partition_cycles_on_the_paper_shapes() {
+    for cfg in [
+        GemmConfig::abt(64, 64, 32),
+        GemmConfig::abt(16, 4, 16),
+        GemmConfig::abt(18, 6, 5),
+        GemmConfig::ab(48, 40, 16),
+    ] {
+        let cfg = AnyGemmConfig::from(cfg);
+        assert_profile_partitions(&cfg, Backend::Sme);
+        assert_profile_partitions(&cfg, Backend::Neon);
+    }
+    let widening =
+        AnyGemmConfig::from(WideningGemmConfig::new(32, 32, 32).expect("valid widening shape"));
+    assert_profile_partitions(&widening, Backend::Sme);
+    assert_profile_partitions(&widening, Backend::Neon);
+}
+
+#[test]
+fn dense_sme_kernels_are_attributed_to_the_outer_product_pipeline() {
+    let kernel = generate_any_backend(&GemmConfig::abt(128, 128, 64).into(), Backend::Sme)
+        .expect("dense FP32 is SME territory");
+    let stats = kernel.model_stats();
+    let (class, cycles) = stats.profile.dominant().expect("non-empty profile");
+    assert!(
+        class == "outer-product" || class == "stall:outer-product",
+        "dense SME kernels live in the FMOPA pipeline, got {class}"
+    );
+    assert!(cycles > 0.5 * stats.cycles, "{}", stats.profile);
+}
+
+#[test]
+fn neon_kernels_are_attributed_to_the_neon_pipeline() {
+    let kernel = generate_any_backend(&GemmConfig::abt(16, 4, 64).into(), Backend::Neon)
+        .expect("thin FP32 is Neon territory");
+    let stats = kernel.model_stats();
+    let share = |class| stats.profile.share(class, stats.cycles);
+    assert!(
+        share("neon-arith") + share("stall:neon-arith") > 0.0,
+        "Neon kernels spend cycles in the Neon pipeline: {}",
+        stats.profile
+    );
+    // And nothing lands on the SME-only streams a Neon kernel never uses.
+    assert_eq!(share("outer-product"), 0.0);
+    assert_eq!(share("za-transfer"), 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sum-to-total invariant holds over random shapes on both
+    /// backends, edge tiles and all.
+    #[test]
+    fn profiles_partition_cycles_over_random_shapes(
+        m in 1usize..80,
+        n in 1usize..80,
+        k in 1usize..48,
+        transposed in any::<bool>(),
+    ) {
+        let cfg = if transposed {
+            GemmConfig::abt(m, n, k)
+        } else {
+            GemmConfig::ab(m, n, k)
+        };
+        let cfg = AnyGemmConfig::from(cfg);
+        assert_profile_partitions(&cfg, Backend::Sme);
+        assert_profile_partitions(&cfg, Backend::Neon);
+    }
+}

@@ -9,15 +9,20 @@
 //! restores the persisted snapshots, ticks once, and serves today's
 //! traffic without compiling a single kernel. The binary exits non-zero
 //! if any batch's placed makespan exceeds its isolated projection, if the
-//! decayed ranking fails to follow the shift, or if the post-restart
-//! batch is not a pure cache hit. `--smoke` runs the tiny CI preset;
-//! `--json` writes the per-batch records CI keeps as `BENCH_serving.json`,
-//! `--trace` a Chrome trace of the run's spans (load it at
-//! <https://ui.perfetto.dev>), and `--metrics` the final Prometheus
-//! metrics snapshot — CI keeps those as `BENCH_trace.json` and
-//! `BENCH_metrics.prom`.
+//! decayed ranking fails to follow the shift, if the post-restart batch is
+//! not a pure cache hit, if an `--slo` rule breached, or if
+//! `--check-baseline` finds a regression. `--smoke` runs the tiny CI
+//! preset; `--json` writes the per-batch records CI keeps as
+//! `BENCH_serving.json`, `--trace` a Chrome trace of the run's causal
+//! spans (load it at <https://ui.perfetto.dev>), `--metrics` the final
+//! Prometheus metrics snapshot, and `--postmortem` is where an SLO
+//! breach's bundle lands (CI uploads it on failure). `--write-baseline`
+//! records this run as the new baseline for the perf ratchet.
 
-use sme_bench::{maybe_write_json, render_serving_trace, serving_trace, ServingTraceOptions};
+use sme_bench::{
+    maybe_write_json, render_serving_trace, serving_baseline, serving_run, BaselineStore,
+    ServingTraceOptions,
+};
 
 fn main() {
     let opts = ServingTraceOptions::parse_or_exit(std::env::args().skip(1));
@@ -31,54 +36,116 @@ fn main() {
         eprintln!("error: could not create {}: {e}", dir.display());
         std::process::exit(1);
     }
-    let trace = serving_trace(&opts, &dir);
+    let run = serving_run(&opts, &dir);
     let _ = std::fs::remove_dir_all(&dir);
-    let trace = match trace {
-        Ok(trace) => trace,
+    let run = match run {
+        Ok(run) => run,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     };
+    let trace = &run.trace;
 
-    println!("{}", render_serving_trace(&trace));
-    maybe_write_json(&opts.json, &trace);
+    println!("{}", render_serving_trace(trace));
+    maybe_write_json(&opts.json, trace);
 
+    let mut failed = false;
     if !trace.placement_never_worse() {
         eprintln!("error: a batch's placed makespan exceeded its isolated projection");
-        std::process::exit(1);
+        failed = true;
     }
     if !trace.shift_followed {
         eprintln!("error: the decayed ranking did not follow the traffic shift");
-        std::process::exit(1);
+        failed = true;
     }
     if trace.restart_hit_rate < 1.0 {
         eprintln!(
             "error: the post-restart batch was not served from warm cache (hit rate {:.1}%)",
             100.0 * trace.restart_hit_rate
         );
-        std::process::exit(1);
+        failed = true;
     }
     if !trace.seq_gapless() {
         eprintln!("error: the batch records do not carry a gapless sequence");
-        std::process::exit(1);
+        failed = true;
     }
+
+    // The flight recorder's verdicts: any breach dumps the postmortem
+    // bundle (when a path was given) and fails the run.
+    for breach in &run.breaches {
+        eprintln!(
+            "error: SLO breach: {} (observed {:.4}, threshold {:.4})",
+            breach.rule, breach.observed, breach.threshold
+        );
+        failed = true;
+    }
+    if let Some(path) = &opts.postmortem {
+        if let Some(bundle) = run.postmortem() {
+            match std::fs::write(path, bundle.render_pretty()) {
+                Ok(()) => println!("postmortem: bundle written to {path}"),
+                Err(e) => {
+                    eprintln!("error: could not write postmortem bundle {path}: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    // The perf ratchet: record this run as the new baseline and/or compare
+    // it against the committed one.
+    if let Some(path) = &opts.write_baseline {
+        match serving_baseline(trace).save(path) {
+            Ok(()) => println!("baseline: written to {path}"),
+            Err(e) => {
+                eprintln!("error: could not write baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &opts.check_baseline {
+        let machine = sme_machine::MachineConfig::apple_m4();
+        match BaselineStore::load_checked(path, &machine) {
+            Ok((baseline, _check)) => {
+                let report = baseline.compare(&serving_baseline(trace));
+                if report.passed() {
+                    println!(
+                        "baseline: {} metric(s) within tolerance of {path}",
+                        report.compared
+                    );
+                } else {
+                    for regression in &report.regressions {
+                        eprintln!("error: baseline regression: {regression}");
+                    }
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not load baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
     if let Some(path) = &opts.trace {
         match std::fs::read_to_string(path) {
             Ok(json) => match sme_obs::validate_chrome_trace(&json) {
                 Ok(events) => println!("trace: {events} events written to {path}"),
                 Err(e) => {
                     eprintln!("error: trace artifact {path} is not a valid Chrome trace: {e}");
-                    std::process::exit(1);
+                    failed = true;
                 }
             },
             Err(e) => {
                 eprintln!("error: could not read back trace artifact {path}: {e}");
-                std::process::exit(1);
+                failed = true;
             }
         }
     }
     if let Some(path) = &opts.metrics {
         println!("metrics: Prometheus snapshot written to {path}");
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -12,6 +12,13 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+
+pub use baseline::{
+    BaselineCheckReport, BaselineError, BaselineStore, MetricRegression, BASELINE_VERSION,
+    HIT_RATE_TOLERANCE, REL_TOLERANCE,
+};
+
 use accel_ref::AccelerateSgemm;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -787,6 +794,72 @@ pub fn render_router_sweep(sweep: &RouterSweep) -> String {
     out
 }
 
+/// SLO thresholds of the serving run's flight recorder (the `--slo` flag).
+/// The defaults are deliberately generous — the sentinel is always on, but
+/// only a configured (or genuinely catastrophic) run breaches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloOptions {
+    /// Ceiling on the p99 of `sme_batch_makespan_cycles`.
+    pub makespan_p99_ceiling: f64,
+    /// Floor under the lifetime `sme_cache_hit_ratio`.
+    pub hit_ratio_floor: f64,
+}
+
+impl Default for SloOptions {
+    fn default() -> Self {
+        SloOptions {
+            makespan_p99_ceiling: 1e12,
+            hit_ratio_floor: 0.0,
+        }
+    }
+}
+
+impl SloOptions {
+    /// Parse a `--slo` specification: comma-separated `key=value` pairs
+    /// with keys `makespan-p99` (cycles) and `hit-rate` (0..=1). Unknown
+    /// keys, malformed numbers and out-of-range rates are errors.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let mut opts = SloOptions::default();
+        for pair in spec.split(',') {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--slo: `{pair}` is not key=value"))?;
+            let number: f64 = value
+                .parse()
+                .map_err(|e| format!("--slo {key}: bad value `{value}`: {e}"))?;
+            if !number.is_finite() {
+                return Err(format!("--slo {key}: value must be finite"));
+            }
+            match key {
+                "makespan-p99" => {
+                    if number <= 0.0 {
+                        return Err("--slo makespan-p99: ceiling must be positive".into());
+                    }
+                    opts.makespan_p99_ceiling = number;
+                }
+                "hit-rate" => {
+                    if !(0.0..=1.0).contains(&number) {
+                        return Err("--slo hit-rate: floor must be within 0..=1".into());
+                    }
+                    opts.hit_ratio_floor = number;
+                }
+                other => {
+                    return Err(format!(
+                        "--slo: unknown key `{other}` (expected makespan-p99 or hit-rate)"
+                    ))
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The sentinel these thresholds configure (plus the standing
+    /// placement-improvement and daemon-liveness rules).
+    pub fn sentinel(&self) -> sme_obs::Sentinel {
+        sme_obs::Sentinel::serving_defaults(self.makespan_p99_ceiling, self.hit_ratio_floor)
+    }
+}
+
 /// Options for the `serving` binary: a synthetic shifting-traffic trace
 /// driven through the full serving loop (router dispatch → telemetry decay
 /// → pretune daemon → persisted snapshots → simulated restart).
@@ -807,27 +880,55 @@ pub struct ServingTraceOptions {
     /// Metrics output path (`BENCH_metrics.prom` in CI): a Prometheus
     /// text exposition of the run's final counter/gauge/histogram state.
     pub metrics: Option<String>,
+    /// Capacity of the span ring buffer (`--trace-capacity`).
+    pub trace_capacity: usize,
+    /// Flight-recorder thresholds (`--slo`).
+    pub slo: SloOptions,
+    /// Where to dump the postmortem bundle on an SLO breach
+    /// (`--postmortem`; `BENCH_postmortem.json` in CI).
+    pub postmortem: Option<String>,
+    /// Baseline file to compare the run against (`--check-baseline`); a
+    /// regression makes the binary exit non-zero.
+    pub check_baseline: Option<String>,
+    /// Baseline file to (over)write from this run (`--write-baseline`).
+    pub write_baseline: Option<String>,
 }
 
-impl ServingTraceOptions {
-    /// Usage string for the `serving` binary.
-    pub const USAGE: &'static str =
-        "[--batches N] [--requests N] [--json PATH] [--trace PATH] [--metrics PATH] [--smoke]";
-
-    /// Parse the `serving` binary's flags. `--batches N` sets the warm
-    /// phase length (the shifted phase is `2 N`); `--smoke` is the CI
-    /// preset (3 warm + 6 shifted batches, 2 requests per shape).
-    /// `--trace PATH` writes a Chrome trace of the run's spans;
-    /// `--metrics PATH` writes the final Prometheus metrics snapshot.
-    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
-        let mut opts = ServingTraceOptions {
+impl Default for ServingTraceOptions {
+    fn default() -> Self {
+        ServingTraceOptions {
             warm_batches: 5,
             shifted_batches: 10,
             requests: 3,
             json: None,
             trace: None,
             metrics: None,
-        };
+            trace_capacity: 4096,
+            slo: SloOptions::default(),
+            postmortem: None,
+            check_baseline: None,
+            write_baseline: None,
+        }
+    }
+}
+
+impl ServingTraceOptions {
+    /// Usage string for the `serving` binary.
+    pub const USAGE: &'static str = "[--batches N] [--requests N] [--json PATH] [--trace PATH] \
+         [--metrics PATH] [--trace-capacity N] [--slo makespan-p99=N,hit-rate=X] \
+         [--postmortem PATH] [--check-baseline PATH] [--write-baseline PATH] [--smoke]";
+
+    /// Parse the `serving` binary's flags. `--batches N` sets the warm
+    /// phase length (the shifted phase is `2 N`); `--smoke` is the CI
+    /// preset (3 warm + 6 shifted batches, 2 requests per shape).
+    /// `--trace PATH` writes a Chrome trace of the run's spans;
+    /// `--metrics PATH` writes the final Prometheus metrics snapshot;
+    /// `--trace-capacity N` sizes the span ring; `--slo` configures the
+    /// flight recorder; `--postmortem PATH` is where a breach's bundle is
+    /// dumped; `--check-baseline` / `--write-baseline` drive the perf
+    /// ratchet.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = ServingTraceOptions::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             let mut value =
@@ -855,6 +956,19 @@ impl ServingTraceOptions {
                 "--json" => opts.json = Some(value("--json")?),
                 "--trace" => opts.trace = Some(value("--trace")?),
                 "--metrics" => opts.metrics = Some(value("--metrics")?),
+                "--trace-capacity" => {
+                    let n: usize = value("--trace-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--trace-capacity: {e}"))?;
+                    if n == 0 {
+                        return Err("--trace-capacity must be positive".into());
+                    }
+                    opts.trace_capacity = n;
+                }
+                "--slo" => opts.slo = SloOptions::parse_spec(&value("--slo")?)?,
+                "--postmortem" => opts.postmortem = Some(value("--postmortem")?),
+                "--check-baseline" => opts.check_baseline = Some(value("--check-baseline")?),
+                "--write-baseline" => opts.write_baseline = Some(value("--write-baseline")?),
                 "--smoke" => {
                     opts.warm_batches = 3;
                     opts.shifted_batches = 6;
@@ -1028,6 +1142,48 @@ fn serving_dispatch(
     }
 }
 
+/// A completed serving run: the trace plus everything the flight recorder
+/// saw — the shared hub, the run-end SLO verdicts, and the pre-serialised
+/// telemetry / cache sections a postmortem bundle needs.
+#[derive(Debug)]
+pub struct ServingRun {
+    /// The serving trace (the `--json` artifact).
+    pub trace: ServingTrace,
+    /// The run's shared observability hub (spans + metrics).
+    pub hub: std::sync::Arc<sme_obs::ObsHub>,
+    /// SLO breaches at end of run, in rule order (empty: all promises
+    /// held).
+    pub breaches: Vec<sme_obs::SloBreach>,
+    /// The final router's telemetry top-shapes, as JSON.
+    pub telemetry_top_shapes: serde::json::Value,
+    /// The final router's per-shard cache stats, as JSON.
+    pub cache_shards: serde::json::Value,
+}
+
+impl ServingRun {
+    /// The postmortem bundle for the first breach, if any rule broke.
+    pub fn postmortem(&self) -> Option<serde::json::Value> {
+        self.breaches.first().map(|breach| {
+            sme_obs::postmortem_bundle(
+                &self.hub,
+                breach,
+                self.telemetry_top_shapes.clone(),
+                self.cache_shards.clone(),
+            )
+        })
+    }
+}
+
+/// Drive the synthetic shifting-traffic trace through the serving loop,
+/// persisting daemon state into `dir` (see [`serving_run`] for the
+/// version that also returns the flight recorder's state).
+pub fn serving_trace(
+    opts: &ServingTraceOptions,
+    dir: &std::path::Path,
+) -> Result<ServingTrace, String> {
+    serving_run(opts, dir).map(|run| run.trace)
+}
+
 /// Drive the synthetic shifting-traffic trace through the serving loop,
 /// persisting daemon state into `dir`:
 ///
@@ -1038,10 +1194,13 @@ fn serving_dispatch(
 /// 3. a simulated restart: a **new router** restores the persisted
 ///    telemetry + plans, one daemon tick re-warms the cache, and today's
 ///    first batch on the new process is served entirely from warm cache.
-pub fn serving_trace(
+///
+/// At end of run the flight recorder evaluates `opts.slo` against the
+/// hub's metrics; the verdicts travel back in the returned [`ServingRun`].
+pub fn serving_run(
     opts: &ServingTraceOptions,
     dir: &std::path::Path,
-) -> Result<ServingTrace, String> {
+) -> Result<ServingRun, String> {
     use sme_router::{PretuneDaemon, PretuneDaemonConfig, Router, DEFAULT_DECAY_HALF_LIFE};
 
     let yesterday = serving_yesterday_shapes();
@@ -1053,7 +1212,7 @@ pub fn serving_trace(
 
     // One observability hub spans the whole run, including the restart:
     // the trace and metrics artifacts describe the run, not one process.
-    let hub = sme_obs::ObsHub::shared(4096);
+    let hub = sme_obs::ObsHub::shared(opts.trace_capacity);
 
     let router = Router::new(256);
     router.attach_obs(hub.clone());
@@ -1131,13 +1290,89 @@ pub fn serving_trace(
             .map_err(|e| format!("write metrics {path}: {e}"))?;
     }
 
-    Ok(ServingTrace {
-        header,
-        batches,
-        hot_after_shift,
-        shift_followed,
-        restart_hit_rate,
+    // The flight recorder's end-of-run pass, plus the bundle sections that
+    // live above `sme-obs` in the dependency graph.
+    let breaches = opts.slo.sentinel().evaluate(&hub.metrics);
+    let telemetry_top_shapes = serde::json::Value::Array(
+        restarted
+            .top_shapes(8)
+            .iter()
+            .map(|stats| stats.to_json_value())
+            .collect(),
+    );
+    let cache_shards = serde::json::Value::Array(
+        restarted
+            .cache()
+            .shard_stats()
+            .iter()
+            .map(|stats| {
+                serde::json::Value::Object(vec![
+                    (
+                        "hits".to_string(),
+                        serde::json::Value::Number(stats.hits as f64),
+                    ),
+                    (
+                        "misses".to_string(),
+                        serde::json::Value::Number(stats.misses as f64),
+                    ),
+                    (
+                        "evictions".to_string(),
+                        serde::json::Value::Number(stats.evictions as f64),
+                    ),
+                    (
+                        "tuned_compiles".to_string(),
+                        serde::json::Value::Number(stats.tuned_compiles as f64),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+
+    Ok(ServingRun {
+        trace: ServingTrace {
+            header,
+            batches,
+            hot_after_shift,
+            shift_followed,
+            restart_hit_rate,
+        },
+        hub,
+        breaches,
+        telemetry_top_shapes,
+        cache_shards,
     })
+}
+
+/// Build the serving baseline from a completed run: summary metrics from
+/// the trace plus each serving shape's simulated per-request cycles on
+/// its preferred backend (the same model cycles the router's placement
+/// uses), stamped with the machine model's fingerprint.
+pub fn serving_baseline(trace: &ServingTrace) -> BaselineStore {
+    let machine = sme_machine::MachineConfig::apple_m4();
+    let mut store = BaselineStore::for_machine(&machine);
+
+    let today: Vec<&ServingBatchRecord> = trace
+        .batches
+        .iter()
+        .filter(|b| b.phase == "today")
+        .collect();
+    if !today.is_empty() {
+        let mean = today.iter().map(|b| b.makespan_placed).sum::<f64>() / today.len() as f64;
+        store.set_metric("serving_today_makespan_placed_mean", mean);
+    }
+    store.set_metric("serving_restart_hit_rate", trace.restart_hit_rate);
+
+    let cache = sme_runtime::KernelCache::new(64);
+    for cfg in serving_yesterday_shapes()
+        .iter()
+        .chain(serving_today_shapes().iter())
+    {
+        let backend = cache.preferred_backend_any(cfg);
+        if let Ok((kernel, _)) = cache.fetch_any(cfg, backend) {
+            store.set_shape_cycles(cfg.to_string(), kernel.model_stats().cycles);
+        }
+    }
+    store
 }
 
 /// Render the serving trace as the table the `serving` binary prints.
@@ -1501,9 +1736,9 @@ mod tests {
             warm_batches: 1,
             shifted_batches: 2,
             requests: 1,
-            json: None,
             trace: Some(trace_path.to_string_lossy().into_owned()),
             metrics: Some(metrics_path.to_string_lossy().into_owned()),
+            ..Default::default()
         };
         let trace = serving_trace(&opts, &dir).expect("serving trace runs");
 
@@ -1540,6 +1775,163 @@ mod tests {
         }
         // Both routers fed the same hub: 4 dispatches in total.
         assert!(prom.contains("sme_router_batches_total 4"));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serving_option_parsing_covers_the_observability_flags() {
+        let opts = ServingTraceOptions::parse(
+            [
+                "--trace-capacity",
+                "128",
+                "--slo",
+                "makespan-p99=5e6,hit-rate=0.25",
+                "--postmortem",
+                "/tmp/pm.json",
+                "--check-baseline",
+                "/tmp/base.json",
+                "--write-baseline",
+                "/tmp/new.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.trace_capacity, 128);
+        assert_eq!(opts.slo.makespan_p99_ceiling, 5e6);
+        assert_eq!(opts.slo.hit_ratio_floor, 0.25);
+        assert_eq!(opts.postmortem.as_deref(), Some("/tmp/pm.json"));
+        assert_eq!(opts.check_baseline.as_deref(), Some("/tmp/base.json"));
+        assert_eq!(opts.write_baseline.as_deref(), Some("/tmp/new.json"));
+
+        // Strict parse errors, SweepOptions-style.
+        for bad in [
+            vec!["--trace-capacity"],
+            vec!["--trace-capacity", "0"],
+            vec!["--trace-capacity", "many"],
+            vec!["--slo"],
+            vec!["--slo", "makespan-p99"],
+            vec!["--slo", "p50=3"],
+            vec!["--slo", "makespan-p99=fast"],
+            vec!["--slo", "makespan-p99=-1"],
+            vec!["--slo", "hit-rate=1.5"],
+            vec!["--slo", "hit-rate=inf"],
+            vec!["--postmortem"],
+            vec!["--check-baseline"],
+        ] {
+            assert!(
+                ServingTraceOptions::parse(bad.iter().map(|s| s.to_string())).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_slo_breach_produces_a_complete_postmortem_bundle() {
+        let dir = std::env::temp_dir().join(format!("sme_serving_breach_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = ServingTraceOptions {
+            warm_batches: 1,
+            shifted_batches: 1,
+            requests: 1,
+            // Impossible promises: every batch's makespan exceeds one
+            // cycle, and the run's compiles keep the hit ratio below 1.
+            slo: SloOptions {
+                makespan_p99_ceiling: 1.0,
+                hit_ratio_floor: 1.0,
+            },
+            ..Default::default()
+        };
+        let run = serving_run(&opts, &dir).expect("serving run");
+        assert!(!run.breaches.is_empty(), "the injected SLOs must breach");
+        assert!(run
+            .breaches
+            .iter()
+            .any(|b| b.metric == "sme_batch_makespan_cycles"));
+
+        let bundle = run.postmortem().expect("a breach yields a bundle");
+        assert_eq!(
+            bundle.get("version").unwrap().as_u64(),
+            Some(sme_obs::POSTMORTEM_VERSION)
+        );
+        // The breaching rule plus all four snapshots.
+        let rule = bundle
+            .get("breach")
+            .unwrap()
+            .get("rule")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert_eq!(rule, run.breaches[0].rule);
+        assert!(bundle
+            .get("trace")
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .is_some_and(|events| !events.is_empty()));
+        assert!(bundle
+            .get("metrics")
+            .unwrap()
+            .get("counters")
+            .unwrap()
+            .get("sme_router_batches_total")
+            .is_some());
+        assert!(bundle
+            .get("telemetry_top_shapes")
+            .unwrap()
+            .as_array()
+            .is_some_and(|shapes| !shapes.is_empty()));
+        assert!(bundle
+            .get("cache_shards")
+            .unwrap()
+            .as_array()
+            .is_some_and(|shards| !shards.is_empty()));
+        // The bundle is one valid JSON artifact.
+        assert!(serde_json::from_str(&bundle.render_pretty()).is_ok());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn baseline_check_passes_unchanged_runs_and_catches_regressions() {
+        let dir = std::env::temp_dir().join(format!("sme_serving_baseline_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = ServingTraceOptions {
+            warm_batches: 1,
+            shifted_batches: 1,
+            requests: 1,
+            ..Default::default()
+        };
+        let trace = serving_trace(&opts, &dir).expect("serving run");
+        let baseline = serving_baseline(&trace);
+        assert!(baseline.metric("serving_restart_hit_rate").is_some());
+        assert!(baseline.len() > 2, "summary metrics plus per-shape cycles");
+
+        // An unchanged run passes…
+        let report = baseline.compare(&serving_baseline(&trace));
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.compared, baseline.len());
+
+        // …and a synthetically regressed one fails.
+        let mut regressed = serving_baseline(&trace);
+        let makespan = regressed
+            .metric("serving_today_makespan_placed_mean")
+            .expect("today batches present");
+        regressed.set_metric("serving_today_makespan_placed_mean", makespan * 2.0);
+        regressed.set_metric("serving_restart_hit_rate", 0.1);
+        let report = baseline.compare(&regressed);
+        assert_eq!(report.regressions.len(), 2);
+
+        // The baseline round-trips through its file form.
+        let path = dir.join("baseline.json");
+        baseline.save(&path).unwrap();
+        let machine = sme_machine::MachineConfig::apple_m4();
+        let (reloaded, check) = BaselineStore::load_checked(&path, &machine).unwrap();
+        assert_eq!(check, sme_runtime::FingerprintCheck::Match);
+        assert_eq!(reloaded, baseline);
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

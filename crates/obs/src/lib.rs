@@ -8,17 +8,29 @@
 //! to ZA transfers. This crate gives the serving layers the same
 //! discipline at runtime:
 //!
-//! * [`TraceRecorder`] — a bounded ring-buffer span recorder with Chrome
-//!   trace-event JSON export ([`TraceRecorder::to_chrome_trace`]), loadable
-//!   directly in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
-//!   Instrumented sites: `Router::dispatch`, `KernelCache::fetch_any`,
-//!   `GemmService` group execution, `PretuneDaemon::tick`.
+//! * [`TraceRecorder`] — a bounded ring-buffer span recorder with *causal
+//!   identity*: every span carries a `trace_id`/`span_id`/`parent_id`
+//!   triple (threaded through the serving path as a [`TraceCtx`]), and the
+//!   Chrome trace-event JSON export ([`TraceRecorder::to_chrome_trace`])
+//!   adds thread-name metadata records plus flow events for cross-thread
+//!   parent→child edges, loadable directly in
+//!   [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+//!   Instrumented sites: `Router::dispatch` (the batch root), placement,
+//!   `KernelCache::fetch_any`, `GemmService` group execution (parented
+//!   across the rayon thread hop), `PretuneDaemon::tick`.
 //! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and log-linear
 //!   [`Histogram`]s with Prometheus text exposition
 //!   ([`MetricsRegistry::render_prometheus`]) and a JSON snapshot
-//!   ([`MetricsRegistry::snapshot_json`]).
-//! * [`ObsHub`] — one shared handle bundling both, attached to the serving
-//!   stack with `Router::attach_obs` / `KernelCache::attach_obs`.
+//!   ([`MetricsRegistry::snapshot_json`]), both in sorted name order.
+//!   Histograms keep worst-k [`Exemplar`]s so a tail bucket links back to
+//!   the span that caused it.
+//! * [`sentinel`] — the flight recorder: declarative [`SloRule`]s
+//!   evaluated by a [`Sentinel`] against the registry; a breach yields a
+//!   versioned [`postmortem_bundle`] (trace + metrics + telemetry +
+//!   cache snapshots plus the breaching rule).
+//! * [`ObsHub`] — one shared handle bundling trace and metrics, attached
+//!   to the serving stack with `Router::attach_obs` /
+//!   `KernelCache::attach_obs`.
 //!
 //! The cycle-attribution side of observability — *which execution stream a
 //! kernel's cycles belong to* — lives in `sme_machine::CycleProfile`,
@@ -41,12 +53,18 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod sentinel;
 pub mod trace;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramData, MetricsRegistry, SUB_BUCKETS_PER_OCTAVE,
+    Counter, Exemplar, Gauge, Histogram, HistogramData, MetricsRegistry, MAX_EXEMPLARS,
+    SUB_BUCKETS_PER_OCTAVE,
 };
-pub use trace::{validate_chrome_trace, SpanRecord, TraceRecorder};
+pub use sentinel::{postmortem_bundle, Sentinel, SloBreach, SloRule, POSTMORTEM_VERSION};
+pub use trace::{
+    set_thread_name, set_thread_name_indexed, validate_chrome_trace, SpanRecord, TraceCtx,
+    TraceRecorder,
+};
 
 use std::sync::Arc;
 

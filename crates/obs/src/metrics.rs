@@ -22,6 +22,21 @@ use std::sync::{Arc, Mutex};
 /// Geometric sub-buckets per power-of-two octave.
 pub const SUB_BUCKETS_PER_OCTAVE: i32 = 8;
 
+/// Worst-k exemplars retained per histogram.
+pub const MAX_EXEMPLARS: usize = 4;
+
+/// One tail exemplar: an observed value plus the span that produced it,
+/// so a histogram's worst bucket links back to the causal trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: f64,
+    /// The trace the observation belongs to.
+    pub trace_id: u64,
+    /// The span that recorded it.
+    pub span_id: u64,
+}
+
 /// A monotonically increasing counter handle.
 #[derive(Debug, Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
@@ -81,6 +96,9 @@ pub struct HistogramData {
     pub count: u64,
     /// Sum of observed values (after clamping).
     pub sum: f64,
+    /// The worst [`MAX_EXEMPLARS`] observations that carried span identity,
+    /// largest first (ties broken by span id, so merge is order-free).
+    pub exemplars: Vec<Exemplar>,
 }
 
 /// Lower/upper bounds of log-linear bucket `i`.
@@ -111,9 +129,38 @@ impl HistogramData {
         *self.buckets.entry(i).or_insert(0) += 1;
     }
 
+    /// Record one observation carrying span identity: the value lands in
+    /// its bucket as usual, and additionally competes for the worst-k
+    /// exemplar slots.
+    pub fn record_exemplar(&mut self, v: f64, trace_id: u64, span_id: u64) {
+        self.record(v);
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        self.exemplars.push(Exemplar {
+            value: v,
+            trace_id,
+            span_id,
+        });
+        Self::retain_worst(&mut self.exemplars);
+    }
+
+    /// Keep the `MAX_EXEMPLARS` largest exemplars under a total order
+    /// (value descending, span id ascending), so top-k selection commutes
+    /// with merging.
+    fn retain_worst(exemplars: &mut Vec<Exemplar>) {
+        exemplars.sort_by(|a, b| {
+            b.value
+                .partial_cmp(&a.value)
+                .expect("exemplar values are finite")
+                .then(a.span_id.cmp(&b.span_id))
+        });
+        exemplars.truncate(MAX_EXEMPLARS);
+    }
+
     /// Merge another histogram's observations into this one. Bucket counts
     /// are integers, so this is exactly associative and commutative (the
-    /// f64 `sum` is associative up to round-off).
+    /// f64 `sum` is associative up to round-off); the exemplar sets merge
+    /// by worst-k selection under a total order, which is likewise
+    /// order-free.
     pub fn merge(&mut self, other: &HistogramData) {
         for (i, n) in &other.buckets {
             *self.buckets.entry(*i).or_insert(0) += n;
@@ -121,6 +168,8 @@ impl HistogramData {
         self.zero += other.zero;
         self.count += other.count;
         self.sum += other.sum;
+        self.exemplars.extend_from_slice(&other.exemplars);
+        Self::retain_worst(&mut self.exemplars);
     }
 
     /// Mean of the observations (0 if empty).
@@ -165,6 +214,12 @@ impl Histogram {
     /// Record one observation.
     pub fn record(&self, v: f64) {
         self.0.lock().unwrap().record(v);
+    }
+
+    /// Record one observation with span identity (see
+    /// [`HistogramData::record_exemplar`]).
+    pub fn record_exemplar(&self, v: f64, trace_id: u64, span_id: u64) {
+        self.0.lock().unwrap().record_exemplar(v, trace_id, span_id);
     }
 
     /// A copy of the current state.
@@ -221,40 +276,68 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Look up the counter `name` without creating it.
+    pub fn lookup_counter(&self, name: &str) -> Option<Counter> {
+        self.counters.lock().unwrap().get(name).cloned()
+    }
+
+    /// Look up the gauge `name` without creating it.
+    pub fn lookup_gauge(&self, name: &str) -> Option<Gauge> {
+        self.gauges.lock().unwrap().get(name).cloned()
+    }
+
+    /// Look up the histogram `name` without creating it.
+    pub fn lookup_histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.lock().unwrap().get(name).cloned()
+    }
+
     /// Render every metric in the Prometheus text exposition format
     /// (counters, gauges, and histograms as cumulative `_bucket{le=...}`
     /// series with `_sum` and `_count`).
+    ///
+    /// Metrics are emitted in globally sorted name order — across kinds,
+    /// not merely within each kind — so the exposition is deterministic
+    /// and two runs' outputs diff cleanly.
     pub fn render_prometheus(&self) -> String {
-        let mut out = String::new();
+        let mut blocks: BTreeMap<String, String> = BTreeMap::new();
         for (name, c) in self.counters.lock().unwrap().iter() {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+            blocks.insert(
+                name.clone(),
+                format!("# TYPE {name} counter\n{name} {}\n", c.get()),
+            );
         }
         for (name, g) in self.gauges.lock().unwrap().iter() {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+            blocks.insert(
+                name.clone(),
+                format!("# TYPE {name} gauge\n{name} {}\n", g.get()),
+            );
         }
         for (name, h) in self.histograms.lock().unwrap().iter() {
             let data = h.snapshot();
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut block = format!("# TYPE {name} histogram\n");
             let mut cumulative = 0u64;
             if data.zero > 0 {
                 cumulative += data.zero;
-                out.push_str(&format!("{name}_bucket{{le=\"0\"}} {cumulative}\n"));
+                block.push_str(&format!("{name}_bucket{{le=\"0\"}} {cumulative}\n"));
             }
             for (i, n) in &data.buckets {
                 cumulative += n;
                 let (_, hi) = bucket_bounds(*i);
-                out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+                block.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
             }
-            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", data.count));
-            out.push_str(&format!("{name}_sum {}\n", data.sum));
-            out.push_str(&format!("{name}_count {}\n", data.count));
+            block.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", data.count));
+            block.push_str(&format!("{name}_sum {}\n", data.sum));
+            block.push_str(&format!("{name}_count {}\n", data.count));
+            blocks.insert(name.clone(), block);
         }
-        out
+        blocks.into_values().collect()
     }
 
     /// A JSON snapshot of every metric: counters and gauges by value,
-    /// histograms as `{count, sum, mean, p50, p90, p99}` with quantiles as
-    /// `[lo, hi]` bucket bounds.
+    /// histograms as `{count, sum, mean, p50, p90, p99, exemplars}` with
+    /// quantiles as `[lo, hi]` bucket bounds and exemplars as
+    /// `{value, trace_id, span_id}` objects, worst first. Each section is
+    /// emitted in sorted name order, so snapshots diff cleanly.
     pub fn snapshot_json(&self) -> Value {
         let counters: Vec<(String, Value)> = self
             .counters
@@ -281,6 +364,17 @@ impl MetricsRegistry {
                     Some((lo, hi)) => Value::Array(vec![Value::Number(lo), Value::Number(hi)]),
                     None => Value::Null,
                 };
+                let exemplars: Vec<Value> = data
+                    .exemplars
+                    .iter()
+                    .map(|e| {
+                        Value::Object(vec![
+                            ("value".to_string(), Value::Number(e.value)),
+                            ("trace_id".to_string(), Value::Number(e.trace_id as f64)),
+                            ("span_id".to_string(), Value::Number(e.span_id as f64)),
+                        ])
+                    })
+                    .collect();
                 (
                     k.clone(),
                     Value::Object(vec![
@@ -290,6 +384,7 @@ impl MetricsRegistry {
                         ("p50".to_string(), quantile(0.5)),
                         ("p90".to_string(), quantile(0.9)),
                         ("p99".to_string(), quantile(0.99)),
+                        ("exemplars".to_string(), Value::Array(exemplars)),
                     ]),
                 )
             })
@@ -372,6 +467,74 @@ mod tests {
         assert!(text.contains("sme_group_cycles_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("sme_group_cycles_count 2"));
         assert!(text.contains("sme_group_cycles_sum 300"));
+    }
+
+    #[test]
+    fn prometheus_output_is_globally_name_sorted() {
+        let reg = MetricsRegistry::new();
+        // Interleave kinds so per-kind grouping would produce unsorted
+        // output: the gauge sorts between the two counters.
+        reg.counter("sme_a_total").inc();
+        reg.counter("sme_z_total").inc();
+        reg.gauge("sme_m_ratio").set(0.5);
+        reg.histogram("sme_b_cycles").record(1.0);
+        let text = reg.render_prometheus();
+        let order: Vec<usize> = ["sme_a_total", "sme_b_cycles", "sme_m_ratio", "sme_z_total"]
+            .iter()
+            .map(|name| text.find(&format!("# TYPE {name} ")).expect(name))
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "{text}");
+        // Deterministic: two renders are byte-identical.
+        assert_eq!(text, reg.render_prometheus());
+    }
+
+    #[test]
+    fn exemplars_keep_the_worst_k_with_span_identity() {
+        let mut h = HistogramData::default();
+        for (i, v) in [5.0, 100.0, 1.0, 50.0, 75.0, 2.0].iter().enumerate() {
+            h.record_exemplar(*v, 7, i as u64 + 1);
+        }
+        assert_eq!(h.count, 6);
+        let values: Vec<f64> = h.exemplars.iter().map(|e| e.value).collect();
+        assert_eq!(
+            values,
+            vec![100.0, 75.0, 50.0, 5.0],
+            "worst-k, largest first"
+        );
+        assert!(h.exemplars.iter().all(|e| e.trace_id == 7));
+        assert_eq!(h.exemplars[0].span_id, 2, "the 100.0 observation's span");
+
+        // Merging unions the exemplar pools and re-selects the worst k —
+        // the same set whichever side they arrived on.
+        let mut other = HistogramData::default();
+        other.record_exemplar(200.0, 9, 40);
+        other.record_exemplar(60.0, 9, 41);
+        let mut ab = h.clone();
+        ab.merge(&other);
+        let mut ba = other.clone();
+        ba.merge(&h);
+        assert_eq!(ab.exemplars, ba.exemplars);
+        let merged: Vec<f64> = ab.exemplars.iter().map(|e| e.value).collect();
+        assert_eq!(merged, vec![200.0, 100.0, 75.0, 60.0]);
+
+        // The JSON snapshot carries them.
+        let reg = MetricsRegistry::new();
+        reg.histogram("sme_tail_cycles")
+            .record_exemplar(42.0, 3, 11);
+        let snap = reg.snapshot_json();
+        let exemplars = snap
+            .get("histograms")
+            .unwrap()
+            .get("sme_tail_cycles")
+            .unwrap()
+            .get("exemplars")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(exemplars[0].get("value").unwrap().as_f64(), Some(42.0));
+        assert_eq!(exemplars[0].get("trace_id").unwrap().as_u64(), Some(3));
+        assert_eq!(exemplars[0].get("span_id").unwrap().as_u64(), Some(11));
     }
 
     #[test]

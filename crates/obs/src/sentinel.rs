@@ -1,0 +1,334 @@
+//! The flight recorder: always-on SLO rules over the metrics registry,
+//! and a bounded postmortem bundle dumped on breach.
+//!
+//! A [`Sentinel`] holds declarative [`SloRule`]s — a p99 ceiling on a
+//! histogram, a floor under a gauge, a liveness floor under a counter —
+//! and [`Sentinel::evaluate`] checks them against a [`MetricsRegistry`].
+//! Every breach names the rule, the metric, the observed value and the
+//! threshold, so an operator (or CI) can see *which* contract broke, not
+//! merely that something did.
+//!
+//! On breach, [`postmortem_bundle`] assembles one versioned JSON artifact
+//! from the shared [`ObsHub`]: the breaching rule, the trace snapshot
+//! (already bounded by the ring), the metrics snapshot (with worst-k
+//! exemplars linking tail buckets to spans), the telemetry top-shapes and
+//! the per-shard cache stats. The last two live above this crate in the
+//! dependency graph, so callers pass them in as pre-serialised JSON.
+
+use crate::metrics::MetricsRegistry;
+use crate::ObsHub;
+use serde::json::Value;
+
+/// Version of the postmortem bundle document format.
+pub const POSTMORTEM_VERSION: u64 = 1;
+
+/// One declarative SLO rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloRule {
+    /// The named histogram's p99 upper bucket bound must not exceed
+    /// `ceiling`. Vacuously satisfied while the histogram is absent or
+    /// empty.
+    P99Ceiling {
+        /// The histogram's registry name.
+        metric: String,
+        /// The largest tolerable p99 upper bound.
+        ceiling: f64,
+    },
+    /// The named gauge must not fall below `floor`. Vacuously satisfied
+    /// while the gauge is absent.
+    GaugeFloor {
+        /// The gauge's registry name.
+        metric: String,
+        /// The smallest tolerable value.
+        floor: f64,
+    },
+    /// The named counter must have reached `floor` by evaluation time —
+    /// the liveness shape of rule (a daemon that never ticked breaches).
+    CounterFloor {
+        /// The counter's registry name.
+        metric: String,
+        /// The smallest tolerable count.
+        floor: u64,
+    },
+}
+
+impl SloRule {
+    /// The metric the rule constrains.
+    pub fn metric(&self) -> &str {
+        match self {
+            SloRule::P99Ceiling { metric, .. }
+            | SloRule::GaugeFloor { metric, .. }
+            | SloRule::CounterFloor { metric, .. } => metric,
+        }
+    }
+
+    /// Human-readable statement of the rule (`p99(x) <= y` form).
+    pub fn describe(&self) -> String {
+        match self {
+            SloRule::P99Ceiling { metric, ceiling } => format!("p99({metric}) <= {ceiling}"),
+            SloRule::GaugeFloor { metric, floor } => format!("{metric} >= {floor}"),
+            SloRule::CounterFloor { metric, floor } => format!("{metric} >= {floor}"),
+        }
+    }
+
+    /// Evaluate the rule against `metrics`; `Some` describes the breach.
+    fn evaluate(&self, metrics: &MetricsRegistry) -> Option<SloBreach> {
+        let (observed, threshold) = match self {
+            SloRule::P99Ceiling { metric, ceiling } => {
+                let data = metrics.lookup_histogram(metric)?.snapshot();
+                let (_, hi) = data.quantile_bounds(0.99)?;
+                if hi <= *ceiling {
+                    return None;
+                }
+                (hi, *ceiling)
+            }
+            SloRule::GaugeFloor { metric, floor } => {
+                let value = metrics.lookup_gauge(metric)?.get();
+                if value >= *floor {
+                    return None;
+                }
+                (value, *floor)
+            }
+            SloRule::CounterFloor { metric, floor } => {
+                let value = metrics
+                    .lookup_counter(metric)
+                    .map_or(0, |counter| counter.get());
+                if value >= *floor {
+                    return None;
+                }
+                (value as f64, *floor as f64)
+            }
+        };
+        Some(SloBreach {
+            rule: self.describe(),
+            metric: self.metric().to_string(),
+            observed,
+            threshold,
+        })
+    }
+}
+
+/// One breached rule: what was promised, what was observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBreach {
+    /// The breaching rule in [`SloRule::describe`] form.
+    pub rule: String,
+    /// The constrained metric's name.
+    pub metric: String,
+    /// The observed value that broke the rule.
+    pub observed: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+}
+
+impl SloBreach {
+    /// The breach as a JSON object (the `breach` section of the bundle).
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("rule".to_string(), Value::String(self.rule.clone())),
+            ("metric".to_string(), Value::String(self.metric.clone())),
+            ("observed".to_string(), Value::Number(self.observed)),
+            ("threshold".to_string(), Value::Number(self.threshold)),
+        ])
+    }
+}
+
+/// An always-on set of SLO rules (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sentinel {
+    rules: Vec<SloRule>,
+}
+
+impl Sentinel {
+    /// A sentinel holding `rules`.
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        Sentinel { rules }
+    }
+
+    /// The serving stack's standing contract: batch-makespan p99 under
+    /// `makespan_p99_ceiling` cycles, lifetime cache hit ratio at least
+    /// `hit_ratio_floor`, placement improvement of the last batch never
+    /// negative, and at least one daemon tick by evaluation time.
+    pub fn serving_defaults(makespan_p99_ceiling: f64, hit_ratio_floor: f64) -> Self {
+        Sentinel::new(vec![
+            SloRule::P99Ceiling {
+                metric: "sme_batch_makespan_cycles".to_string(),
+                ceiling: makespan_p99_ceiling,
+            },
+            SloRule::GaugeFloor {
+                metric: "sme_cache_hit_ratio".to_string(),
+                floor: hit_ratio_floor,
+            },
+            SloRule::GaugeFloor {
+                metric: "sme_placement_improvement_last".to_string(),
+                floor: 0.0,
+            },
+            SloRule::CounterFloor {
+                metric: "sme_pretune_ticks_total".to_string(),
+                floor: 1,
+            },
+        ])
+    }
+
+    /// The rules under watch.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Evaluate every rule against `metrics`, returning all breaches in
+    /// rule order (empty when every promise holds).
+    pub fn evaluate(&self, metrics: &MetricsRegistry) -> Vec<SloBreach> {
+        self.rules
+            .iter()
+            .filter_map(|rule| rule.evaluate(metrics))
+            .collect()
+    }
+}
+
+/// Assemble the versioned postmortem bundle for one breach: the breaching
+/// rule plus all four snapshots — trace, metrics, telemetry top-shapes,
+/// per-shard cache stats. The bundle is bounded by construction: the trace
+/// ring caps spans, the exemplar pools cap at worst-k, and the callers
+/// pass pre-truncated telemetry/cache sections.
+pub fn postmortem_bundle(
+    hub: &ObsHub,
+    breach: &SloBreach,
+    telemetry_top_shapes: Value,
+    cache_shards: Value,
+) -> Value {
+    let trace = serde_json::from_str(&hub.trace.to_chrome_trace()).unwrap_or(Value::Null);
+    Value::Object(vec![
+        (
+            "version".to_string(),
+            Value::Number(POSTMORTEM_VERSION as f64),
+        ),
+        ("breach".to_string(), breach.to_json_value()),
+        ("trace".to_string(), trace),
+        ("metrics".to_string(), hub.metrics.snapshot_json()),
+        ("telemetry_top_shapes".to_string(), telemetry_top_shapes),
+        ("cache_shards".to_string(), cache_shards),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_hold_vacuously_on_an_empty_registry() {
+        let sentinel = Sentinel::serving_defaults(1e6, 0.5);
+        let metrics = MetricsRegistry::new();
+        // Histogram/gauge rules are vacuous, but the liveness counter
+        // breaches: zero ticks is exactly what liveness must catch.
+        let breaches = sentinel.evaluate(&metrics);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].metric, "sme_pretune_ticks_total");
+        assert_eq!(breaches[0].observed, 0.0);
+    }
+
+    #[test]
+    fn each_rule_kind_detects_its_breach() {
+        let metrics = MetricsRegistry::new();
+        metrics.histogram("sme_batch_makespan_cycles").record(100.0);
+        metrics.gauge("sme_cache_hit_ratio").set(0.25);
+        metrics.counter("sme_pretune_ticks_total").add(3);
+
+        // Satisfied rules stay quiet.
+        let ok = Sentinel::new(vec![
+            SloRule::P99Ceiling {
+                metric: "sme_batch_makespan_cycles".to_string(),
+                ceiling: 1e6,
+            },
+            SloRule::GaugeFloor {
+                metric: "sme_cache_hit_ratio".to_string(),
+                floor: 0.1,
+            },
+            SloRule::CounterFloor {
+                metric: "sme_pretune_ticks_total".to_string(),
+                floor: 1,
+            },
+        ]);
+        assert!(ok.evaluate(&metrics).is_empty());
+
+        // Each kind breaches when its threshold is crossed.
+        let p99 = SloRule::P99Ceiling {
+            metric: "sme_batch_makespan_cycles".to_string(),
+            ceiling: 50.0,
+        };
+        let breach = p99.evaluate(&metrics).expect("p99 over ceiling");
+        assert!(breach.observed > 100.0, "upper bucket bound brackets 100");
+        assert_eq!(breach.threshold, 50.0);
+        assert_eq!(breach.rule, "p99(sme_batch_makespan_cycles) <= 50");
+
+        let floor = SloRule::GaugeFloor {
+            metric: "sme_cache_hit_ratio".to_string(),
+            floor: 0.5,
+        };
+        let breach = floor.evaluate(&metrics).expect("gauge under floor");
+        assert_eq!((breach.observed, breach.threshold), (0.25, 0.5));
+
+        let liveness = SloRule::CounterFloor {
+            metric: "sme_pretune_ticks_total".to_string(),
+            floor: 10,
+        };
+        let breach = liveness.evaluate(&metrics).expect("counter under floor");
+        assert_eq!((breach.observed, breach.threshold), (3.0, 10.0));
+    }
+
+    #[test]
+    fn postmortem_bundle_carries_all_four_snapshots() {
+        let hub = ObsHub::new(64);
+        hub.metrics.counter("sme_router_batches_total").inc();
+        hub.trace.record(
+            "router.dispatch",
+            "router",
+            std::time::Instant::now(),
+            vec![],
+        );
+        let breach = SloBreach {
+            rule: "sme_cache_hit_ratio >= 2".to_string(),
+            metric: "sme_cache_hit_ratio".to_string(),
+            observed: 0.9,
+            threshold: 2.0,
+        };
+        let bundle = postmortem_bundle(
+            &hub,
+            &breach,
+            Value::Array(vec![Value::String("f32 64x64x32".to_string())]),
+            Value::Array(vec![]),
+        );
+        assert_eq!(bundle.get("version").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            bundle.get("breach").unwrap().get("rule").unwrap().as_str(),
+            Some("sme_cache_hit_ratio >= 2")
+        );
+        let trace_events = bundle
+            .get("trace")
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(trace_events.len(), 1);
+        assert!(bundle
+            .get("metrics")
+            .unwrap()
+            .get("counters")
+            .unwrap()
+            .get("sme_router_batches_total")
+            .is_some());
+        assert_eq!(
+            bundle
+                .get("telemetry_top_shapes")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(bundle.get("cache_shards").unwrap().as_array().is_some());
+        // The bundle is valid JSON end to end.
+        let text = bundle.render_pretty();
+        assert!(serde_json::from_str(&text).is_ok());
+    }
+}

@@ -1,5 +1,12 @@
-//! Span tracing: a bounded ring-buffer recorder and Chrome trace-event
-//! export.
+//! Causal span tracing: a bounded ring-buffer recorder with span identity
+//! and Chrome trace-event export.
+//!
+//! Every span carries a [`TraceCtx`] — a per-batch `trace_id`, its own
+//! `span_id` and an optional `parent_id` — so one Perfetto load shows a
+//! request's full life with correct nesting: `Router::dispatch` opens the
+//! batch root, placement / cache compiles / group executions / daemon
+//! ticks record children, and a child recorded on a *different thread*
+//! (the rayon worker hop) gets a flow arrow from its parent's lane.
 //!
 //! The recorder is deliberately minimal: instrumentation sites time
 //! themselves with a plain [`Instant`] and hand the recorder one complete
@@ -10,16 +17,35 @@
 //! counted).
 //!
 //! The export format is the Chrome trace-event JSON array form
-//! (`{"traceEvents": [...]}`, all spans as complete `"ph": "X"` events with
-//! microsecond timestamps), which loads directly into Perfetto or
+//! (`{"traceEvents": [...]}`): thread-name metadata (`"ph": "M"`) first,
+//! then all spans as complete `"ph": "X"` events with microsecond
+//! timestamps, then flow start/finish pairs (`"ph": "s"` / `"f"`) for
+//! cross-thread parent→child edges. It loads directly into Perfetto or
 //! `chrome://tracing`.
 
 use serde::json::Value;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::VecDeque;
-use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+/// Span identity threaded through the serving path: which batch
+/// (`trace_id`), which span (`span_id`), and which span caused it
+/// (`parent_id`, `None` for a trace root).
+///
+/// A context is allocated by [`TraceRecorder::root_ctx`] (new trace) or
+/// [`TraceRecorder::child_ctx`] (child of an existing span) and handed to
+/// [`TraceRecorder::record_ctx`] when the span completes. It is `Copy`, so
+/// it crosses thread boundaries (the rayon fan-out) for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The request/batch this span belongs to.
+    pub trace_id: u64,
+    /// This span's own identity.
+    pub span_id: u64,
+    /// The span that caused this one (`None` for a trace root).
+    pub parent_id: Option<u64>,
+}
 
 /// One completed span.
 #[derive(Debug, Clone)]
@@ -32,10 +58,86 @@ pub struct SpanRecord {
     pub start_us: f64,
     /// Duration in microseconds.
     pub dur_us: f64,
-    /// Thread identifier (a stable hash of the recording thread's id).
+    /// Compact sequential id of the recording thread (see [`current_tid`]).
     pub tid: u64,
+    /// The batch this span belongs to.
+    pub trace_id: u64,
+    /// This span's identity.
+    pub span_id: u64,
+    /// The causing span, if any.
+    pub parent_id: Option<u64>,
     /// Event arguments shown in the viewer's detail pane.
     pub args: Vec<(String, Value)>,
+}
+
+/// Process-wide thread registry: compact sequential tids (Chrome trace
+/// events need small integer `tid`s, and raw 64-bit thread-id hashes make
+/// Perfetto lanes unreadable) plus optional human-readable lane names.
+#[derive(Debug, Default)]
+struct ThreadRegistry {
+    next_tid: u64,
+    tids: HashMap<std::thread::ThreadId, u64>,
+    names: HashMap<u64, String>,
+    /// Per-prefix counters for [`set_thread_name_indexed`].
+    prefix_counts: HashMap<String, u64>,
+}
+
+fn thread_registry() -> &'static Mutex<ThreadRegistry> {
+    static REGISTRY: OnceLock<Mutex<ThreadRegistry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(ThreadRegistry::default()))
+}
+
+thread_local! {
+    static CACHED_TID: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// The compact sequential id of the current thread: the first thread to
+/// record gets 1, the next 2, and so on — stable for the thread's lifetime
+/// and small enough to read in a trace viewer.
+pub fn current_tid() -> u64 {
+    CACHED_TID.with(|cell| {
+        if let Some(tid) = cell.get() {
+            return tid;
+        }
+        let mut reg = thread_registry().lock().unwrap();
+        let next = reg.next_tid + 1;
+        let tid = *reg
+            .tids
+            .entry(std::thread::current().id())
+            .or_insert_with(|| next);
+        reg.next_tid = reg.next_tid.max(tid);
+        cell.set(Some(tid));
+        tid
+    })
+}
+
+/// Name the current thread's trace lane (first name wins, so repeated
+/// registration from a worker loop is idempotent). The name is exported as
+/// a Chrome `"ph": "M"` thread-name metadata event.
+pub fn set_thread_name(name: &str) {
+    let tid = current_tid();
+    let mut reg = thread_registry().lock().unwrap();
+    reg.names.entry(tid).or_insert_with(|| name.to_string());
+}
+
+/// Name the current thread's lane `"{prefix}-{k}"` with `k` counting up
+/// per prefix (`rayon-worker-0`, `rayon-worker-1`, …). First name wins;
+/// returns the thread's compact tid.
+pub fn set_thread_name_indexed(prefix: &str) -> u64 {
+    let tid = current_tid();
+    let mut reg = thread_registry().lock().unwrap();
+    if !reg.names.contains_key(&tid) {
+        let k = reg.prefix_counts.entry(prefix.to_string()).or_insert(0);
+        let name = format!("{prefix}-{k}");
+        *k += 1;
+        reg.names.insert(tid, name);
+    }
+    tid
+}
+
+/// The registered lane name of a compact tid, if any.
+pub fn thread_name(tid: u64) -> Option<String> {
+    thread_registry().lock().unwrap().names.get(&tid).cloned()
 }
 
 #[derive(Debug, Default)]
@@ -44,21 +146,14 @@ struct Ring {
     dropped: u64,
 }
 
-/// A bounded, thread-safe span recorder.
+/// A bounded, thread-safe span recorder with per-recorder id allocation.
 #[derive(Debug)]
 pub struct TraceRecorder {
     origin: Instant,
     capacity: usize,
+    next_trace_id: AtomicU64,
+    next_span_id: AtomicU64,
     ring: Mutex<Ring>,
-}
-
-/// A stable numeric id for the current thread (Chrome trace events need an
-/// integer `tid`).
-fn current_tid() -> u64 {
-    let mut h = DefaultHasher::new();
-    std::thread::current().id().hash(&mut h);
-    // Keep it readable in the viewer.
-    h.finish() % 100_000
 }
 
 impl TraceRecorder {
@@ -68,6 +163,8 @@ impl TraceRecorder {
         TraceRecorder {
             origin: Instant::now(),
             capacity: capacity.max(1),
+            next_trace_id: AtomicU64::new(1),
+            next_span_id: AtomicU64::new(1),
             ring: Mutex::new(Ring::default()),
         }
     }
@@ -77,8 +174,43 @@ impl TraceRecorder {
         self.origin
     }
 
-    /// Record one complete span that started at `started` and ends now.
+    /// Open a new trace: a fresh `trace_id` with a root span id and no
+    /// parent. `Router::dispatch` calls this once per batch.
+    pub fn root_ctx(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.next_trace_id.fetch_add(1, Ordering::Relaxed),
+            span_id: self.next_span_id.fetch_add(1, Ordering::Relaxed),
+            parent_id: None,
+        }
+    }
+
+    /// A child context of `parent`: same trace, fresh span id, caused by
+    /// `parent`'s span. Safe to call from any thread (the rayon workers
+    /// allocate their group contexts on the worker side of the hop).
+    pub fn child_ctx(&self, parent: TraceCtx) -> TraceCtx {
+        TraceCtx {
+            trace_id: parent.trace_id,
+            span_id: self.next_span_id.fetch_add(1, Ordering::Relaxed),
+            parent_id: Some(parent.span_id),
+        }
+    }
+
+    /// Record one complete span that started at `started` and ends now,
+    /// as the root of a fresh trace (sites without a caller-provided
+    /// context still get full span identity).
     pub fn record(&self, name: &str, cat: &str, started: Instant, args: Vec<(String, Value)>) {
+        self.record_ctx(name, cat, started, self.root_ctx(), args);
+    }
+
+    /// Record one complete span with an explicit identity.
+    pub fn record_ctx(
+        &self,
+        name: &str,
+        cat: &str,
+        started: Instant,
+        ctx: TraceCtx,
+        args: Vec<(String, Value)>,
+    ) {
         let start_us = started.duration_since(self.origin).as_secs_f64() * 1e6;
         let dur_us = started.elapsed().as_secs_f64() * 1e6;
         let span = SpanRecord {
@@ -87,6 +219,9 @@ impl TraceRecorder {
             start_us,
             dur_us,
             tid: current_tid(),
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
             args,
         };
         let mut ring = self.ring.lock().unwrap();
@@ -120,23 +255,87 @@ impl TraceRecorder {
     /// Export the retained spans as Chrome trace-event JSON (the
     /// `{"traceEvents": [...]}` object form; load it in Perfetto or
     /// `chrome://tracing`).
+    ///
+    /// The document carries three event kinds: `"ph": "M"` thread-name
+    /// metadata for every lane with a registered name, one `"ph": "X"`
+    /// complete event per span (with `trace_id` / `span_id` /
+    /// `parent_id`), and `"ph": "s"` / `"f"` flow pairs drawing an arrow
+    /// from parent to child wherever the two were recorded on different
+    /// threads.
     pub fn to_chrome_trace(&self) -> String {
-        let events: Vec<Value> = self
-            .snapshot()
-            .into_iter()
-            .map(|s| {
-                Value::Object(vec![
-                    ("name".to_string(), Value::String(s.name)),
-                    ("cat".to_string(), Value::String(s.cat)),
-                    ("ph".to_string(), Value::String("X".to_string())),
-                    ("ts".to_string(), Value::Number(s.start_us)),
-                    ("dur".to_string(), Value::Number(s.dur_us)),
+        let spans = self.snapshot();
+        let mut events: Vec<Value> = Vec::new();
+
+        // Thread-name metadata first, sorted by tid for determinism.
+        let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in &tids {
+            if let Some(name) = thread_name(*tid) {
+                events.push(Value::Object(vec![
+                    ("name".to_string(), Value::String("thread_name".to_string())),
+                    ("ph".to_string(), Value::String("M".to_string())),
                     ("pid".to_string(), Value::Number(1.0)),
-                    ("tid".to_string(), Value::Number(s.tid as f64)),
-                    ("args".to_string(), Value::Object(s.args)),
-                ])
-            })
-            .collect();
+                    ("tid".to_string(), Value::Number(*tid as f64)),
+                    (
+                        "args".to_string(),
+                        Value::Object(vec![("name".to_string(), Value::String(name))]),
+                    ),
+                ]));
+            }
+        }
+
+        // The spans themselves.
+        let by_span_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.span_id, s)).collect();
+        for s in &spans {
+            let mut fields = vec![
+                ("name".to_string(), Value::String(s.name.clone())),
+                ("cat".to_string(), Value::String(s.cat.clone())),
+                ("ph".to_string(), Value::String("X".to_string())),
+                ("ts".to_string(), Value::Number(s.start_us)),
+                ("dur".to_string(), Value::Number(s.dur_us)),
+                ("pid".to_string(), Value::Number(1.0)),
+                ("tid".to_string(), Value::Number(s.tid as f64)),
+                ("trace_id".to_string(), Value::Number(s.trace_id as f64)),
+                ("span_id".to_string(), Value::Number(s.span_id as f64)),
+            ];
+            if let Some(parent) = s.parent_id {
+                fields.push(("parent_id".to_string(), Value::Number(parent as f64)));
+            }
+            fields.push(("args".to_string(), Value::Object(s.args.clone())));
+            events.push(Value::Object(fields));
+        }
+
+        // Flow arrows for cross-thread parent→child edges (the rayon hop).
+        // The flow id is the child's span id, unique by construction.
+        for s in &spans {
+            let parent = s.parent_id.and_then(|p| by_span_id.get(&p));
+            if let Some(parent) = parent {
+                if parent.tid != s.tid {
+                    let start_ts = parent.start_us.min(s.start_us);
+                    events.push(Value::Object(vec![
+                        ("name".to_string(), Value::String("causal".to_string())),
+                        ("cat".to_string(), Value::String(s.cat.clone())),
+                        ("ph".to_string(), Value::String("s".to_string())),
+                        ("ts".to_string(), Value::Number(start_ts)),
+                        ("pid".to_string(), Value::Number(1.0)),
+                        ("tid".to_string(), Value::Number(parent.tid as f64)),
+                        ("id".to_string(), Value::Number(s.span_id as f64)),
+                    ]));
+                    events.push(Value::Object(vec![
+                        ("name".to_string(), Value::String("causal".to_string())),
+                        ("cat".to_string(), Value::String(s.cat.clone())),
+                        ("ph".to_string(), Value::String("f".to_string())),
+                        ("bp".to_string(), Value::String("e".to_string())),
+                        ("ts".to_string(), Value::Number(s.start_us)),
+                        ("pid".to_string(), Value::Number(1.0)),
+                        ("tid".to_string(), Value::Number(s.tid as f64)),
+                        ("id".to_string(), Value::Number(s.span_id as f64)),
+                    ]));
+                }
+            }
+        }
+
         Value::Object(vec![
             ("traceEvents".to_string(), Value::Array(events)),
             (
@@ -148,34 +347,70 @@ impl TraceRecorder {
     }
 }
 
-/// Validate that `json` is a well-formed Chrome trace-event document: a
-/// top-level `traceEvents` array whose every element is a complete
-/// (`"ph": "X"`) event carrying `name`, `ts`, `dur`, `pid` and `tid`.
-/// Returns the number of events.
+/// Validate that `json` is a well-formed causal Chrome trace-event
+/// document: a top-level `traceEvents` array whose elements are complete
+/// span events (`"ph": "X"`, carrying `name`, `ts`, `dur`, `pid`, `tid`
+/// and span identity `trace_id` / `span_id`), thread-name metadata
+/// (`"ph": "M"` with a string `args.name`), or flow start/finish pairs
+/// (`"ph": "s"` / `"f"` with a numeric `id`). Any other phase is
+/// rejected. Returns the number of **span** (`"X"`) events.
 pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
     let doc = serde_json::from_str(json).map_err(|e| e.to_string())?;
     let events = doc
         .get("traceEvents")
         .and_then(|v| v.as_array())
         .ok_or("missing traceEvents array")?;
+    let mut spans = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let field = |name: &str| ev.get(name).ok_or(format!("event {i}: missing {name}"));
-        if field("ph")?.as_str() != Some("X") {
-            return Err(format!("event {i}: ph is not \"X\""));
-        }
-        if field("name")?.as_str().is_none() {
-            return Err(format!("event {i}: name is not a string"));
-        }
-        for num in ["ts", "dur", "pid", "tid"] {
-            if field(num)?.as_f64().is_none() {
-                return Err(format!("event {i}: {num} is not a number"));
+        let number = |name: &str| -> Result<f64, String> {
+            field(name)?
+                .as_f64()
+                .ok_or(format!("event {i}: {name} is not a number"))
+        };
+        match field("ph")?.as_str() {
+            Some("X") => {
+                if field("name")?.as_str().is_none() {
+                    return Err(format!("event {i}: name is not a string"));
+                }
+                for num in ["ts", "dur", "pid", "tid"] {
+                    if number(num)? < 0.0 {
+                        return Err(format!("event {i}: negative {num}"));
+                    }
+                }
+                for id in ["trace_id", "span_id"] {
+                    number(id)?;
+                }
+                spans += 1;
             }
-        }
-        if field("ts")?.as_f64().unwrap() < 0.0 || field("dur")?.as_f64().unwrap() < 0.0 {
-            return Err(format!("event {i}: negative timestamp"));
+            Some("M") => {
+                if field("name")?.as_str().is_none() {
+                    return Err(format!("event {i}: metadata name is not a string"));
+                }
+                if field("args")?
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .is_none()
+                {
+                    return Err(format!("event {i}: metadata args.name is not a string"));
+                }
+            }
+            Some("s") | Some("f") => {
+                if field("name")?.as_str().is_none() {
+                    return Err(format!("event {i}: flow name is not a string"));
+                }
+                for num in ["ts", "pid", "tid", "id"] {
+                    number(num)?;
+                }
+                if number("ts")? < 0.0 {
+                    return Err(format!("event {i}: negative ts"));
+                }
+            }
+            Some(other) => return Err(format!("event {i}: unsupported ph {other:?}")),
+            None => return Err(format!("event {i}: ph is not a string")),
         }
     }
-    Ok(events.len())
+    Ok(spans)
 }
 
 #[cfg(test)]
@@ -193,6 +428,49 @@ mod tests {
         assert_eq!(rec.dropped(), 6);
         let names: Vec<_> = rec.snapshot().into_iter().map(|s| s.name).collect();
         assert_eq!(names, vec!["span6", "span7", "span8", "span9"]);
+        // The export stays valid across the wrap and retains exactly the
+        // surviving spans.
+        assert_eq!(validate_chrome_trace(&rec.to_chrome_trace()), Ok(4));
+    }
+
+    #[test]
+    fn spans_carry_identity_and_parentage() {
+        let rec = TraceRecorder::new(16);
+        let t0 = Instant::now();
+        let root = rec.root_ctx();
+        assert_eq!(root.parent_id, None);
+        let child = rec.child_ctx(root);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_id, Some(root.span_id));
+        assert_ne!(child.span_id, root.span_id);
+        rec.record_ctx("child", "test", t0, child, vec![]);
+        rec.record_ctx("parent", "test", t0, root, vec![]);
+        let spans = rec.snapshot();
+        assert_eq!(spans[0].parent_id, Some(spans[1].span_id));
+        assert_eq!(spans[0].trace_id, spans[1].trace_id);
+        // A fresh root opens a new trace.
+        let other = rec.root_ctx();
+        assert_ne!(other.trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn tids_are_compact_and_nameable() {
+        let tid = current_tid();
+        assert!(tid >= 1, "sequential small integers, not hashes");
+        assert_eq!(current_tid(), tid, "stable per thread");
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(other, tid);
+        // Indexed names count per prefix and are idempotent per thread.
+        let (a, b) = std::thread::spawn(|| {
+            let tid = set_thread_name_indexed("trace-test-worker");
+            let first = thread_name(tid).unwrap();
+            set_thread_name_indexed("trace-test-worker");
+            (first, thread_name(tid).unwrap())
+        })
+        .join()
+        .unwrap();
+        assert_eq!(a, b, "first name wins");
+        assert!(a.starts_with("trace-test-worker-"), "{a}");
     }
 
     #[test]
@@ -211,25 +489,84 @@ mod tests {
         rec.record("router.dispatch", "router", t0, vec![]);
         let json = rec.to_chrome_trace();
         assert_eq!(validate_chrome_trace(&json), Ok(2));
-        // Args survive the export.
+        // Args and span identity survive the export.
         let doc = serde_json::from_str(&json).unwrap();
-        let ev = &doc.get("traceEvents").unwrap().as_array().unwrap()[0];
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let ev = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("cache.fetch"))
+            .unwrap();
         assert_eq!(
             ev.get("args").unwrap().get("shape").unwrap().as_str(),
             Some("64x64x64")
         );
+        assert!(ev.get("trace_id").unwrap().as_u64().is_some());
+        assert!(ev.get("span_id").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn cross_thread_children_emit_flow_pairs_and_thread_names() {
+        let rec = std::sync::Arc::new(TraceRecorder::new(16));
+        set_thread_name("trace-test-main");
+        let t0 = Instant::now();
+        let root = rec.root_ctx();
+        let rec2 = rec.clone();
+        std::thread::spawn(move || {
+            set_thread_name("trace-test-child");
+            let ctx = rec2.child_ctx(root);
+            rec2.record_ctx("worker", "test", t0, ctx, vec![]);
+        })
+        .join()
+        .unwrap();
+        rec.record_ctx("root", "test", t0, root, vec![]);
+        let json = rec.to_chrome_trace();
+        assert_eq!(validate_chrome_trace(&json), Ok(2));
+        let doc = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert!(phases.contains(&"M"), "thread-name metadata present");
+        assert!(
+            phases.contains(&"s") && phases.contains(&"f"),
+            "cross-thread edge gets a flow pair: {phases:?}"
+        );
+        // The flow pair shares the child's span id across both halves.
+        let flow_ids: Vec<u64> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").unwrap().as_str(), Some("s") | Some("f")))
+            .map(|e| e.get("id").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(flow_ids.len(), 2);
+        assert_eq!(flow_ids[0], flow_ids[1]);
+        // Metadata events do not occupy ring slots.
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 0);
     }
 
     #[test]
     fn validator_rejects_malformed_documents() {
         assert!(validate_chrome_trace("{}").is_err());
         assert!(validate_chrome_trace("not json").is_err());
-        let missing_dur = r#"{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]}"#;
+        let missing_dur = r#"{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1,"trace_id":1,"span_id":1}]}"#;
         assert!(validate_chrome_trace(missing_dur).is_err());
         let wrong_ph = r#"{"traceEvents":[{"name":"x","ph":"B","ts":0,"dur":1,"pid":1,"tid":1}]}"#;
         assert!(validate_chrome_trace(wrong_ph).is_err());
-        let ok = r#"{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}"#;
-        assert_eq!(validate_chrome_trace(ok), Ok(1));
+        let missing_identity =
+            r#"{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(missing_identity).is_err());
+        let bad_metadata = r#"{"traceEvents":[{"name":"thread_name","ph":"M","args":{}}]}"#;
+        assert!(validate_chrome_trace(bad_metadata).is_err());
+        let bad_flow = r#"{"traceEvents":[{"name":"causal","ph":"s","ts":0,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(bad_flow).is_err());
+        let ok = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"main"}},
+            {"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"trace_id":1,"span_id":1},
+            {"name":"causal","ph":"s","ts":0,"pid":1,"tid":1,"id":2},
+            {"name":"causal","ph":"f","ts":0,"pid":1,"tid":2,"id":2}
+        ]}"#;
+        assert_eq!(validate_chrome_trace(ok), Ok(1), "only X events counted");
     }
 
     #[test]

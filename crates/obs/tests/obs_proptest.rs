@@ -5,6 +5,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sme_obs::{validate_chrome_trace, HistogramData, TraceRecorder};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Non-negative sample values spanning ten orders of magnitude (with a few
@@ -115,5 +116,69 @@ proptest! {
         let events = validate_chrome_trace(&json);
         prop_assert_eq!(events, Ok(names.len().min(capacity)));
         prop_assert_eq!(rec.dropped() as usize, names.len().saturating_sub(capacity));
+    }
+
+    /// For any random span tree recorded parent-last (the instrumentation
+    /// convention: a caller's span closes after all its callees'), every
+    /// exported child span nests inside its parent's interval, span ids
+    /// are unique, and children share their parent's trace id.
+    #[test]
+    fn child_spans_nest_inside_their_parents(
+        // parents[i] is the parent slot of span i+1, always an earlier slot;
+        // slot 0 is the root. This spans chains, stars and bushy trees.
+        parents in vec(0usize..32, 1..32),
+    ) {
+        let rec = TraceRecorder::new(64);
+        let n = parents.len() + 1;
+
+        // Allocate identities and start times in index order: a child
+        // starts no earlier than its parent.
+        let mut ctxs = vec![rec.root_ctx()];
+        let mut starts = vec![Instant::now()];
+        for (i, parent) in parents.iter().enumerate() {
+            ctxs.push(rec.child_ctx(ctxs[parent % (i + 1)]));
+            starts.push(Instant::now());
+        }
+        // Record deepest-first: a child's end time precedes its parent's.
+        for i in (0..n).rev() {
+            rec.record_ctx(&format!("span-{i}"), "prop", starts[i], ctxs[i], vec![]);
+        }
+
+        let json = rec.to_chrome_trace();
+        prop_assert_eq!(validate_chrome_trace(&json), Ok(n));
+        let doc = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+
+        let mut by_id: HashMap<u64, (f64, f64, u64)> = HashMap::new();
+        for s in &spans {
+            let id = s.get("span_id").unwrap().as_u64().unwrap();
+            let ts = s.get("ts").unwrap().as_f64().unwrap();
+            let dur = s.get("dur").unwrap().as_f64().unwrap();
+            let trace = s.get("trace_id").unwrap().as_u64().unwrap();
+            prop_assert!(
+                by_id.insert(id, (ts, dur, trace)).is_none(),
+                "duplicate span id {}", id
+            );
+        }
+        // Interval arithmetic on exported microseconds is exact only up to
+        // f64 round-off; the slack is far below one clock tick.
+        let eps = 1e-6;
+        for s in &spans {
+            let Some(parent_id) = s.get("parent_id").map(|p| p.as_u64().unwrap()) else {
+                continue;
+            };
+            let (ts, dur, trace) = by_id[&s.get("span_id").unwrap().as_u64().unwrap()];
+            let (pts, pdur, ptrace) = by_id[&parent_id];
+            prop_assert_eq!(trace, ptrace, "child shares its parent's trace");
+            prop_assert!(
+                ts + eps >= pts && ts + dur <= pts + pdur + eps,
+                "child [{}, {}] outside parent [{}, {}]",
+                ts, ts + dur, pts, pts + pdur
+            );
+        }
     }
 }

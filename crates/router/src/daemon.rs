@@ -237,6 +237,10 @@ impl PretuneDaemon {
     pub fn tick(&self, router: &Router) -> Result<TickReport, DaemonError> {
         let tick_started = Instant::now();
         let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        // The tick's root span: every kernel warmed into the cache below
+        // records its compile as a child, so a Perfetto load shows what a
+        // tick actually paid for.
+        let root = router.obs().map(|hub| (hub.clone(), hub.trace.root_ctx()));
         let hot: Vec<AnyGemmConfig> = router
             .top_shapes(self.config.top_n)
             .into_iter()
@@ -258,9 +262,10 @@ impl PretuneDaemon {
             // same-key kernels, so this always compiles the *tuned*
             // variant.
             let backend = router.cache().preferred_backend_any(config);
+            let parent = root.as_ref().map(|(_, root)| *root);
             let (_, cache_hit) = router
                 .cache()
-                .fetch_any(config, backend)
+                .fetch_any_traced(config, backend, parent)
                 .map_err(DaemonError::Tune)?;
             if !cache_hit {
                 warmed += 1;
@@ -270,7 +275,11 @@ impl PretuneDaemon {
             // dispatch compiles nothing at all. Shapes Neon cannot serve
             // just skip this.
             if backend == sme_gemm::Backend::Sme {
-                if let Ok((_, hit)) = router.cache().fetch_any(config, sme_gemm::Backend::Neon) {
+                if let Ok((_, hit)) =
+                    router
+                        .cache()
+                        .fetch_any_traced(config, sme_gemm::Backend::Neon, parent)
+                {
                     if !hit {
                         warmed += 1;
                     }
@@ -292,7 +301,7 @@ impl PretuneDaemon {
             warmed,
             persisted: true,
         };
-        if let Some(hub) = router.obs() {
+        if let Some((hub, root)) = &root {
             use serde::json::Value;
             hub.metrics.counter("sme_pretune_ticks_total").inc();
             hub.metrics
@@ -301,10 +310,11 @@ impl PretuneDaemon {
             hub.metrics
                 .gauge("sme_pretune_last_tick")
                 .set(report.tick as f64);
-            hub.trace.record(
+            hub.trace.record_ctx(
                 "daemon.tick",
                 "daemon",
                 tick_started,
+                *root,
                 vec![
                     ("tick".to_string(), Value::Number(report.tick as f64)),
                     ("hot".to_string(), Value::Number(report.hot.len() as f64)),
@@ -329,6 +339,9 @@ impl PretuneDaemon {
         let last_report: Arc<Mutex<Option<TickReport>>> = Arc::new(Mutex::new(None));
         let last_report_slot = last_report.clone();
         let thread = std::thread::spawn(move || {
+            // Name the lane in the trace export: Perfetto shows
+            // "pretune-daemon", not an opaque thread id.
+            sme_obs::set_thread_name("pretune-daemon");
             while !stop_flag.load(Ordering::Relaxed) {
                 match self.tick(&router) {
                     Ok(report) => {

@@ -9,7 +9,7 @@ use sme_gemm::{
 };
 use sme_machine::multicore::MulticoreModel;
 use sme_machine::MachineConfig;
-use sme_obs::ObsHub;
+use sme_obs::{ObsHub, TraceCtx};
 use sme_runtime::{GemmRequest, GemmService, KernelCache, PlanStore, TuneOutcome, TunerOptions};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -168,6 +168,13 @@ impl Router {
     /// FP32 shapes off the Neon generator's even-`m`/`n` envelope, so
     /// pinning never makes a valid configuration undispatchable.
     pub fn route_any(&self, cfg: &AnyGemmConfig) -> Backend {
+        self.route_any_traced(cfg, None)
+    }
+
+    /// [`Router::route_any`] with a causal parent for any probe compiles
+    /// the decision triggers (the `Measured` policy compiles both engines'
+    /// kernels through the cache on first sight of a shape).
+    fn route_any_traced(&self, cfg: &AnyGemmConfig, parent: Option<TraceCtx>) -> Backend {
         match self.policy {
             RoutingPolicy::SmeOnly => Backend::Sme,
             RoutingPolicy::NeonOnly => match cfg {
@@ -180,7 +187,7 @@ impl Router {
             },
             RoutingPolicy::Measured => match self.cache().lookup_tuned_any(cfg) {
                 Some(record) => record.candidate.backend,
-                None => self.measure(cfg),
+                None => self.measure(cfg, parent),
             },
         }
     }
@@ -189,7 +196,7 @@ impl Router {
     /// backends' default kernels **through the cache** (so the subsequent
     /// dispatch fetch of the winner is a hit, not a recompile), simulate
     /// each once, memoize and return the faster engine.
-    fn measure(&self, cfg: &AnyGemmConfig) -> Backend {
+    fn measure(&self, cfg: &AnyGemmConfig, parent: Option<TraceCtx>) -> Backend {
         if let Some(&backend) = self
             .probe_memo
             .lock()
@@ -198,10 +205,12 @@ impl Router {
         {
             return backend;
         }
-        let backend = match (
-            self.cache().get_or_compile_backend_any(cfg, Backend::Sme),
-            self.cache().get_or_compile_backend_any(cfg, Backend::Neon),
-        ) {
+        let fetch = |backend| {
+            self.cache()
+                .fetch_any_traced(cfg, backend, parent)
+                .map(|(kernel, _)| kernel)
+        };
+        let backend = match (fetch(Backend::Sme), fetch(Backend::Neon)) {
             (Ok(sme), Ok(neon)) => {
                 if neon.model_stats().cycles < sme.model_stats().cycles {
                     Backend::Neon
@@ -232,11 +241,12 @@ impl Router {
         cfg: &AnyGemmConfig,
         backend: Backend,
         requests: u64,
+        parent: Option<TraceCtx>,
     ) -> Option<f64> {
         self.cache()
-            .get_or_compile_backend_any(cfg, backend)
+            .fetch_any_traced(cfg, backend, parent)
             .ok()
-            .map(|kernel| kernel.model_stats().cycles * requests as f64)
+            .map(|(kernel, _)| kernel.model_stats().cycles * requests as f64)
     }
 
     /// Dispatch a batch with placement-aware routing. Batches may mix FP32
@@ -266,6 +276,12 @@ impl Router {
     /// the batch); telemetry records only successfully dispatched batches.
     pub fn dispatch(&self, requests: &[GemmRequest]) -> Result<RoutedBatchReport, GemmError> {
         let dispatch_started = Instant::now();
+        // The batch root: every child span of this dispatch — placement,
+        // kernel compiles, group execution — shares its trace id.
+        let root = self
+            .cache()
+            .obs()
+            .map(|hub| (hub.clone(), hub.trace.root_ctx()));
         // Distinct configurations in first-appearance order with request
         // counts — mirrors the service's grouping exactly.
         let mut index_of: HashMap<AnyGemmConfig, usize> = HashMap::new();
@@ -287,15 +303,17 @@ impl Router {
             self.policy,
             RoutingPolicy::Heuristic | RoutingPolicy::Measured
         );
+        let place_started = Instant::now();
+        let place_ctx = root.as_ref().map(|(hub, root)| hub.trace.child_ctx(*root));
         let costs: Vec<GroupCost> = counts
             .iter()
             .map(|&(config, n)| {
-                let backend = self.route_any(&config);
+                let backend = self.route_any_traced(&config, place_ctx);
                 let cycles = self
-                    .simulated_group_cycles(&config, backend, n)
+                    .simulated_group_cycles(&config, backend, n, place_ctx)
                     .unwrap_or(0.0);
                 let alt_cycles = if adaptive && backend == Backend::Sme {
-                    self.simulated_group_cycles(&config, Backend::Neon, n)
+                    self.simulated_group_cycles(&config, Backend::Neon, n, place_ctx)
                 } else {
                     None
                 };
@@ -309,6 +327,22 @@ impl Router {
             .collect();
 
         let plan = plan_batch_placed(&costs, &self.model);
+        if let (Some((hub, _)), Some(place_ctx)) = (&root, place_ctx) {
+            use serde::json::Value;
+            hub.trace.record_ctx(
+                "router.place",
+                "router",
+                place_started,
+                place_ctx,
+                vec![
+                    ("groups".to_string(), Value::Number(counts.len() as f64)),
+                    (
+                        "rerouted".to_string(),
+                        Value::Number(plan.rerouted.len() as f64),
+                    ),
+                ],
+            );
+        }
         let final_backend: HashMap<AnyGemmConfig, Backend> = plan
             .placement
             .placements
@@ -323,7 +357,7 @@ impl Router {
             .map(|(p, pr)| (p.config, pr))
             .collect();
 
-        let batch = self.service.dispatch_planned(
+        let batch = self.service.dispatch_planned_traced(
             requests,
             |cfg| {
                 final_backend
@@ -332,6 +366,7 @@ impl Router {
                     .unwrap_or_else(|| self.route_any(cfg))
             },
             |cfg| priority.get(cfg).copied().unwrap_or(0.0),
+            root.as_ref().map(|(_, root)| *root),
         )?;
         self.telemetry.record_batch(&batch);
         self.telemetry.advance_epoch();
@@ -341,7 +376,7 @@ impl Router {
             isolated: plan.isolated,
             rerouted: plan.rerouted,
         };
-        if let Some(hub) = self.cache().obs() {
+        if let Some((hub, root)) = &root {
             use serde::json::Value;
             hub.metrics.counter("sme_router_batches_total").inc();
             hub.metrics
@@ -350,16 +385,28 @@ impl Router {
             hub.metrics
                 .counter("sme_router_reroutes_total")
                 .add(report.rerouted.len() as u64);
+            // The makespan exemplar points the tail bucket back at this
+            // batch's root span.
             hub.metrics
                 .histogram("sme_batch_makespan_cycles")
-                .record(report.placement.makespan_cycles());
+                .record_exemplar(
+                    report.placement.makespan_cycles(),
+                    root.trace_id,
+                    root.span_id,
+                );
             hub.metrics
                 .histogram("sme_placement_improvement_cycles")
                 .record(report.makespan_improvement_cycles());
-            hub.trace.record(
+            // Histograms clamp negatives to the zero bucket, so the
+            // "improvement never negative" SLO watches this gauge.
+            hub.metrics
+                .gauge("sme_placement_improvement_last")
+                .set(report.makespan_improvement_cycles());
+            hub.trace.record_ctx(
                 "router.dispatch",
                 "router",
                 dispatch_started,
+                *root,
                 vec![
                     (
                         "policy".to_string(),

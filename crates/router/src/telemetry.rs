@@ -127,6 +127,33 @@ impl ShapeStats {
             Backend::Sme
         }
     }
+
+    /// The stats as a JSON object — the shape entries of the postmortem
+    /// bundle's `telemetry_top_shapes` section.
+    pub fn to_json_value(&self) -> serde::json::Value {
+        use serde::json::Value;
+        Value::Object(vec![
+            ("config".to_string(), Value::String(self.config.to_string())),
+            ("requests".to_string(), Value::Number(self.requests as f64)),
+            ("cycles".to_string(), Value::Number(self.cycles)),
+            (
+                "decayed_requests".to_string(),
+                Value::Number(self.decayed_requests),
+            ),
+            (
+                "decayed_cycles".to_string(),
+                Value::Number(self.decayed_cycles),
+            ),
+            (
+                "dominant_backend".to_string(),
+                Value::String(self.dominant_backend().name().to_string()),
+            ),
+            (
+                "cache_hit_rate".to_string(),
+                Value::Number(self.cache_hit_rate()),
+            ),
+        ])
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

@@ -29,7 +29,7 @@ use sme_gemm::{
     generate_any_backend, generate_any_routed, AnyGemmConfig, Backend, GemmConfig, GemmError,
     RoutedKernel,
 };
-use sme_obs::{Counter, Gauge, Histogram, ObsHub};
+use sme_obs::{Counter, Gauge, Histogram, ObsHub, TraceCtx};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -299,6 +299,19 @@ impl KernelCache {
         cfg: &AnyGemmConfig,
         backend: Backend,
     ) -> Result<(Arc<RoutedKernel>, bool), GemmError> {
+        self.fetch_any_traced(cfg, backend, None)
+    }
+
+    /// [`KernelCache::fetch_any`] with an explicit causal parent: a
+    /// compile's `cache.compile` span is recorded as a child of `parent`
+    /// (or as its own trace root when `parent` is `None`), so a miss shows
+    /// up nested under the dispatch that caused it.
+    pub fn fetch_any_traced(
+        &self,
+        cfg: &AnyGemmConfig,
+        backend: Backend,
+        parent: Option<TraceCtx>,
+    ) -> Result<(Arc<RoutedKernel>, bool), GemmError> {
         let key = (*cfg, backend);
         let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
         if let Some(kernel) = shard.get(&key) {
@@ -351,10 +364,15 @@ impl KernelCache {
             obs.update_hit_ratio();
             obs.compile_seconds
                 .record(compile_started.elapsed().as_secs_f64());
-            obs.hub.trace.record(
+            let ctx = match parent {
+                Some(parent) => obs.hub.trace.child_ctx(parent),
+                None => obs.hub.trace.root_ctx(),
+            };
+            obs.hub.trace.record_ctx(
                 "cache.compile",
                 "cache",
                 compile_started,
+                ctx,
                 vec![
                     ("config".to_string(), Value::String(describe_any(cfg))),
                     (

@@ -25,6 +25,7 @@ use rayon::prelude::*;
 use sme_gemm::{AnyGemmConfig, Backend, Dtype, GemmConfig, GemmError, WideningGemmConfig};
 use sme_machine::exec::{RunOptions, Simulator};
 use sme_machine::ExecStats;
+use sme_obs::TraceCtx;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -221,6 +222,22 @@ impl GemmService {
         route: impl Fn(&AnyGemmConfig) -> Backend + Sync,
         priority: impl Fn(&AnyGemmConfig) -> f64,
     ) -> Result<BatchReport, GemmError> {
+        self.dispatch_planned_traced(requests, route, priority, None)
+    }
+
+    /// [`GemmService::dispatch_planned`] with an explicit causal parent:
+    /// each group's `service.group` span is parented to `ctx` (the batch
+    /// root the router opened), and the group's kernel fetch is parented to
+    /// the group span in turn. The group span's identity is allocated *on
+    /// the worker thread*, so the parent→child edge crosses the rayon
+    /// thread hop and the trace export draws it as a flow arrow.
+    pub fn dispatch_planned_traced(
+        &self,
+        requests: &[GemmRequest],
+        route: impl Fn(&AnyGemmConfig) -> Backend + Sync,
+        priority: impl Fn(&AnyGemmConfig) -> f64,
+        ctx: Option<TraceCtx>,
+    ) -> Result<BatchReport, GemmError> {
         // Group request indices by configuration, first-appearance order.
         let mut group_of: HashMap<AnyGemmConfig, usize> = HashMap::new();
         let mut groups: Vec<(AnyGemmConfig, Vec<usize>)> = Vec::new();
@@ -255,7 +272,14 @@ impl GemmService {
                 let backend = route(config);
                 let run = || -> Result<GroupOutput, GemmError> {
                     let group_started = std::time::Instant::now();
-                    let (kernel, cache_hit) = self.cache.fetch_any(config, backend)?;
+                    // Allocate the group span's identity here, on the
+                    // worker thread, so the parent edge crosses the hop.
+                    let group_ctx = self.cache.obs().and_then(|hub| {
+                        sme_obs::set_thread_name_indexed("rayon-worker");
+                        ctx.map(|root| hub.trace.child_ctx(root))
+                    });
+                    let (kernel, cache_hit) =
+                        self.cache.fetch_any_traced(config, backend, group_ctx)?;
                     let mut sim = Simulator::m4_performance();
                     let mut stats = ExecStats::default();
                     let mut outputs = Vec::with_capacity(indices.len());
@@ -266,13 +290,17 @@ impl GemmService {
                         outputs.push((index, sim.mem.read_f32_slice(bufs.c, config.c_len())));
                     }
                     if let Some(hub) = self.cache.obs() {
-                        hub.metrics
-                            .histogram("sme_group_cycles")
-                            .record(stats.cycles);
-                        hub.trace.record(
+                        let span_ctx = group_ctx.unwrap_or_else(|| hub.trace.root_ctx());
+                        hub.metrics.histogram("sme_group_cycles").record_exemplar(
+                            stats.cycles,
+                            span_ctx.trace_id,
+                            span_ctx.span_id,
+                        );
+                        hub.trace.record_ctx(
                             "service.group",
                             "service",
                             group_started,
+                            span_ctx,
                             vec![
                                 (
                                     "config".to_string(),

@@ -9,6 +9,7 @@
 //! * [`sme_gemm`] — the paper's contribution: a JIT generator for small GEMM kernels.
 //! * [`sme_runtime`] — the serving layer: autotuning kernel cache and batched dispatch.
 //! * [`sme_router`] — traffic-aware SME/Neon dispatch with per-shape telemetry.
+//! * [`sme_obs`] — causal tracing, metrics and the SLO flight recorder.
 //! * [`sme_microbench`] — the paper's microbenchmarks (Table I, Figs. 1–5).
 //! * [`accel_ref`] — an Accelerate-BLAS stand-in used as the evaluation baseline.
 
@@ -17,5 +18,6 @@ pub use sme_gemm;
 pub use sme_isa;
 pub use sme_machine;
 pub use sme_microbench;
+pub use sme_obs;
 pub use sme_router;
 pub use sme_runtime;

@@ -10,7 +10,9 @@
 //! traffic without compiling a single kernel. The binary exits non-zero
 //! if any batch's placed makespan exceeds its isolated projection, if the
 //! decayed ranking fails to follow the shift, if the post-restart batch is
-//! not a pure cache hit, if an `--slo` rule breached, or if
+//! not a pure cache hit, if the repeated-weights packed-operand hit rate
+//! fell below 0.9 (on runs long enough to reach it), if an `--slo` rule
+//! breached, or if
 //! `--check-baseline` finds a regression. `--smoke` runs the tiny CI
 //! preset; `--json` writes the per-batch records CI keeps as
 //! `BENCH_serving.json`, `--trace` a Chrome trace of the run's causal
@@ -68,6 +70,20 @@ fn main() {
     }
     if !trace.seq_gapless() {
         eprintln!("error: the batch records do not carry a gapless sequence");
+        failed = true;
+    }
+    // Repeated weights bound pack misses by (distinct operand sets ×
+    // processes); only gate runs long enough that 0.9 is reachable.
+    let pack_lookups: usize = trace
+        .batches
+        .iter()
+        .map(|b| b.shapes.len() * opts.requests)
+        .sum();
+    if pack_lookups >= 90 && trace.pack_hit_rate < 0.9 {
+        eprintln!(
+            "error: packed-operand hit rate {:.1}% fell below the 90% repeated-weights floor",
+            100.0 * trace.pack_hit_rate
+        );
         failed = true;
     }
 

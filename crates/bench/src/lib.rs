@@ -920,7 +920,9 @@ impl ServingTraceOptions {
 
     /// Parse the `serving` binary's flags. `--batches N` sets the warm
     /// phase length (the shifted phase is `2 N`); `--smoke` is the CI
-    /// preset (3 warm + 6 shifted batches, 2 requests per shape).
+    /// preset (3 warm + 6 shifted batches, 4 requests per shape — enough
+    /// traffic that the repeated-weights pack-hit rate clears its 0.9
+    /// acceptance floor).
     /// `--trace PATH` writes a Chrome trace of the run's spans;
     /// `--metrics PATH` writes the final Prometheus metrics snapshot;
     /// `--trace-capacity N` sizes the span ring; `--slo` configures the
@@ -972,7 +974,7 @@ impl ServingTraceOptions {
                 "--smoke" => {
                     opts.warm_batches = 3;
                     opts.shifted_batches = 6;
-                    opts.requests = 2;
+                    opts.requests = 4;
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -1015,6 +1017,11 @@ pub struct ServingBatchRecord {
     /// by routing probes included): the pretuner's effect is this reaching
     /// 1.0 — most visibly on the first post-restart batch.
     pub pretune_hit_rate: f64,
+    /// Fraction of the batch's requests whose packed A/B operand images
+    /// replayed from the packed-operand cache. The trace models repeated
+    /// weights (each shape re-dispatches the same operands every batch),
+    /// so after the first batch per process this should be 1.0.
+    pub pack_hit_rate: f64,
 }
 
 /// The run-header record of the `serving` binary's JSON output: enough
@@ -1055,6 +1062,39 @@ pub struct ServingTrace {
     /// restart — 1.0 when the daemon left the cache warm for today's
     /// traffic.
     pub restart_hit_rate: f64,
+    /// Run-wide packed-operand hit rate, aggregated over both processes'
+    /// pack caches: misses are bounded by (distinct operand sets ×
+    /// processes), so with repeated weights this approaches 1.0 as the
+    /// trace lengthens.
+    pub pack_hit_rate: f64,
+    /// Tuned serial-vs-pipelined simulated cycles for each FP32 serving
+    /// shape — the per-shape evidence behind the pipelined schedule's
+    /// cycle win, ratcheted by the baseline check.
+    pub pipeline_wins: Vec<ServingPipelineWin>,
+}
+
+/// Tuned serial-vs-pipelined simulated cycles of one FP32 serving shape.
+///
+/// Both numbers come from the same tuner sweep except for the schedule
+/// dimension, so `pipelined_cycles <= serial_cycles` always holds (the
+/// pipelined sweep is a superset) and a strict gap is a genuine win of
+/// the software-pipelined schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingPipelineWin {
+    /// Display form of the shape.
+    pub shape: String,
+    /// Tuned cycles with the schedule sweep disabled (serial only).
+    pub serial_cycles: f64,
+    /// Tuned cycles with the full sweep including pipelined schedules.
+    pub pipelined_cycles: f64,
+}
+
+impl ServingPipelineWin {
+    /// Simulated cycles the pipelined schedule saves over the best serial
+    /// plan (0 when the tuner kept the serial schedule).
+    pub fn win_cycles(&self) -> f64 {
+        (self.serial_cycles - self.pipelined_cycles).max(0.0)
+    }
 }
 
 impl ServingTrace {
@@ -1108,13 +1148,17 @@ fn serving_dispatch(
     batch: usize,
     phase: &str,
 ) -> ServingBatchRecord {
+    // Repeated weights: each shape re-dispatches the *same* operand set
+    // (one fixed seed per shape) every request and every batch, so after
+    // the first batch per process the packed-operand cache serves every
+    // request's A/B images without repacking.
     let reqs: Vec<sme_runtime::GemmRequest> = shapes
         .iter()
         .enumerate()
         .flat_map(|(i, &config)| {
-            (0..requests).map(move |r| sme_runtime::GemmRequest {
+            (0..requests).map(move |_| sme_runtime::GemmRequest {
                 config,
-                seed: (batch * 1000 + i * 10 + r) as u64,
+                seed: (1000 + i * 17) as u64,
             })
         })
         .collect();
@@ -1139,7 +1183,33 @@ fn serving_dispatch(
         } else {
             hits as f64 / total as f64
         },
+        pack_hit_rate: report.batch.pack_hit_ratio(),
     }
+}
+
+/// Tune each FP32 serving shape twice — once with the schedule sweep off,
+/// once with the full sweep — so the trace carries the pipelined
+/// schedule's per-shape simulated-cycle win.
+fn serving_pipeline_wins() -> Vec<ServingPipelineWin> {
+    let serial = sme_runtime::TunerOptions {
+        sweep_schedule: false,
+        ..Default::default()
+    };
+    let full = sme_runtime::TunerOptions::default();
+    serving_yesterday_shapes()
+        .iter()
+        .chain(serving_today_shapes().iter())
+        .filter(|cfg| matches!(cfg, sme_gemm::AnyGemmConfig::Fp32(_)))
+        .filter_map(|cfg| {
+            let s = sme_runtime::tune_any(cfg, &serial).ok()?;
+            let p = sme_runtime::tune_any(cfg, &full).ok()?;
+            Some(ServingPipelineWin {
+                shape: cfg.to_string(),
+                serial_cycles: s.tuned_cycles,
+                pipelined_cycles: p.tuned_cycles,
+            })
+        })
+        .collect()
 }
 
 /// A completed serving run: the trace plus everything the flight recorder
@@ -1281,6 +1351,21 @@ pub fn serving_run(
     let restart_hit_rate = record.pretune_hit_rate;
     batches.push(record);
 
+    // Run-wide pack-hit rate: both processes' pack caches, hits over all
+    // pack lookups. Misses are bounded by the distinct operand sets each
+    // process saw, so repeated weights drive this towards 1.0.
+    let pack_hit_rate = {
+        let first = router.cache().packs().stats();
+        let second = restarted.cache().packs().stats();
+        let hits = first.hits + second.hits;
+        let total = hits + first.misses + second.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+
     if let Some(path) = &opts.trace {
         std::fs::write(path, hub.trace.to_chrome_trace())
             .map_err(|e| format!("write trace {path}: {e}"))?;
@@ -1335,6 +1420,8 @@ pub fn serving_run(
             hot_after_shift,
             shift_followed,
             restart_hit_rate,
+            pack_hit_rate,
+            pipeline_wins: serving_pipeline_wins(),
         },
         hub,
         breaches,
@@ -1361,6 +1448,11 @@ pub fn serving_baseline(trace: &ServingTrace) -> BaselineStore {
         store.set_metric("serving_today_makespan_placed_mean", mean);
     }
     store.set_metric("serving_restart_hit_rate", trace.restart_hit_rate);
+    store.set_metric("serving_pack_hit_rate", trace.pack_hit_rate);
+    store.set_metric(
+        "serving_pipeline_cycle_win_total",
+        trace.pipeline_wins.iter().map(|w| w.win_cycles()).sum(),
+    );
 
     let cache = sme_runtime::KernelCache::new(64);
     for cfg in serving_yesterday_shapes()
@@ -1378,22 +1470,34 @@ pub fn serving_baseline(trace: &ServingTrace) -> BaselineStore {
 /// Render the serving trace as the table the `serving` binary prints.
 pub fn render_serving_trace(trace: &ServingTrace) -> String {
     let mut out = String::new();
-    out.push_str("batch  phase       isolated      placed    hit-rate\n");
+    out.push_str("batch  phase       isolated      placed    hit-rate    pack-hit\n");
     for b in &trace.batches {
         out.push_str(&format!(
-            "{:>5}  {:<9} {:>10.0}  {:>10.0}      {:>5.1}%\n",
+            "{:>5}  {:<9} {:>10.0}  {:>10.0}      {:>5.1}%      {:>5.1}%\n",
             b.batch,
             b.phase,
             b.makespan_isolated,
             b.makespan_placed,
-            100.0 * b.pretune_hit_rate
+            100.0 * b.pretune_hit_rate,
+            100.0 * b.pack_hit_rate
         ));
     }
     out.push_str(&format!(
-        "\ndecayed ranking follows the shift: {}\npost-restart hit rate: {:.1}%\n",
+        "\ndecayed ranking follows the shift: {}\npost-restart hit rate: {:.1}%\n\
+         packed-operand hit rate: {:.1}%\n",
         trace.shift_followed,
-        100.0 * trace.restart_hit_rate
+        100.0 * trace.restart_hit_rate,
+        100.0 * trace.pack_hit_rate
     ));
+    for w in &trace.pipeline_wins {
+        out.push_str(&format!(
+            "pipelined {}: serial {:.0} -> pipelined {:.0} cycles (win {:.0})\n",
+            w.shape,
+            w.serial_cycles,
+            w.pipelined_cycles,
+            w.win_cycles()
+        ));
+    }
     out
 }
 
@@ -1770,6 +1874,8 @@ mod tests {
             "sme_router_batches_total",
             "sme_batch_makespan_cycles_bucket",
             "sme_pretune_ticks_total",
+            "sme_pack_hits_total",
+            "sme_pack_hit_ratio",
         ] {
             assert!(prom.contains(series), "metrics snapshot missing {series}");
         }

@@ -8,7 +8,7 @@
 //! homogeneous blocking — the Fig. 7 example needs seven heterogeneous
 //! executions instead of nine to ten homogeneous ones.
 
-use crate::config::{BLayout, Backend, GemmConfig, ZaTransferStrategy};
+use crate::config::{BLayout, Backend, GemmConfig, KernelSchedule, ZaTransferStrategy};
 use serde::{Deserialize, Serialize};
 
 /// Width/height of one ZA tile in FP32 elements on an SVL-512 machine.
@@ -401,6 +401,8 @@ pub struct PlanCandidate {
     pub c_transfer: ZaTransferStrategy,
     /// Contraction-loop unroll factor (1, 2 or 4; SME only).
     pub k_unroll: usize,
+    /// Instruction schedule of the block sequence (SME only).
+    pub schedule: KernelSchedule,
 }
 
 impl PlanCandidate {
@@ -413,6 +415,7 @@ impl PlanCandidate {
             kind: PlanKind::default_for(cfg),
             c_transfer: cfg.c_transfer,
             k_unroll: cfg.k_unroll,
+            schedule: cfg.schedule,
         }
     }
 
@@ -431,6 +434,7 @@ impl PlanCandidate {
     pub fn apply(&self, cfg: &GemmConfig) -> GemmConfig {
         cfg.with_c_transfer(self.c_transfer)
             .with_k_unroll(self.k_unroll)
+            .with_schedule(self.schedule)
     }
 }
 
@@ -481,13 +485,43 @@ pub fn enumerate_candidates(cfg: &GemmConfig) -> Vec<PlanCandidate> {
                     kind,
                     c_transfer,
                     k_unroll,
+                    schedule: KernelSchedule::Serial,
                 });
+                // The pipelined schedule pairs with unroll 1 only: its
+                // rotated loop body already interleaves two contraction
+                // steps per trip.
+                if k_unroll == 1 && pipeline_supported(cfg) {
+                    candidates.push(PlanCandidate {
+                        backend: Backend::Sme,
+                        kind,
+                        c_transfer,
+                        k_unroll,
+                        schedule: KernelSchedule::Pipelined,
+                    });
+                }
             }
         }
+    }
+    // A configuration may carry a schedule the support gate rejects (the
+    // generator falls back to serial emission for it); keep the default
+    // candidate present regardless, mirroring the unroll handling above.
+    let default = PlanCandidate::default_for(cfg);
+    if !candidates.contains(&default) {
+        candidates.insert(0, default);
     }
     candidates.extend(PlanCandidate::neon_for(cfg));
     debug_assert!(candidates.contains(&PlanCandidate::default_for(cfg)));
     candidates
+}
+
+/// `true` if the generator can emit the software-pipelined schedule for
+/// `cfg`: row-major B (the column-panel transpose path keeps its serial
+/// schedule) and an even contraction depth, which the rotated two-step
+/// loop body requires. The schedule additionally pairs with `k_unroll == 1`
+/// only; [`enumerate_candidates`] enumerates it under unroll 1 and
+/// [`crate::generate_with_plan`] falls back to serial emission elsewhere.
+pub fn pipeline_supported(cfg: &GemmConfig) -> bool {
+    cfg.b_layout == BLayout::RowMajor && cfg.k.is_multiple_of(2)
 }
 
 /// Analytic contraction-step cost of a plan, in performance-core cycles.
@@ -621,7 +655,13 @@ pub(crate) fn prune_dominated_by(
             let Some((cost, microkernels)) = metrics[*i] else {
                 return true; // non-SME candidates have no plan to compare
             };
-            if **c == default {
+            // Protect the default plan regardless of schedule: the analytic
+            // cost model is schedule-blind, so a schedule twin of the default
+            // must survive whenever the default does or the pre-filter would
+            // hide pipelined wins from the timing sweep.
+            let mut normalized = **c;
+            normalized.schedule = default.schedule;
+            if normalized == default {
                 return true;
             }
             !candidates.iter().enumerate().any(|(j, other)| {
@@ -629,6 +669,7 @@ pub(crate) fn prune_dominated_by(
                     && other.backend == Backend::Sme
                     && other.c_transfer == c.c_transfer
                     && other.k_unroll == c.k_unroll
+                    && other.schedule == c.schedule
                     && match metrics[j] {
                         Some((other_cost, other_microkernels)) => {
                             other_cost <= cost
@@ -821,9 +862,18 @@ mod tests {
     fn candidate_enumeration_covers_the_knob_space() {
         let abt = GemmConfig::abt(64, 64, 64);
         let candidates = enumerate_candidates(&abt);
-        // 4 kinds × 2 transfers × 3 unrolls, plus the single Neon candidate
+        // 4 kinds × 2 transfers × 3 unrolls serial, plus a pipelined twin
+        // of each unroll-1 candidate (4 kinds × 2 transfers; k = 64 is
+        // even and B is row-major), plus the single Neon candidate
         // (64 % 16 == 0 and 64 % 4 == 0, so the Neon generator applies).
-        assert_eq!(candidates.len(), 25);
+        assert_eq!(candidates.len(), 33);
+        assert_eq!(
+            candidates
+                .iter()
+                .filter(|c| c.schedule == KernelSchedule::Pipelined)
+                .count(),
+            8
+        );
         assert!(candidates.contains(&PlanCandidate::default_for(&abt)));
         assert_eq!(
             candidates
@@ -846,12 +896,16 @@ mod tests {
         assert!(candidates.iter().all(|c| c.backend == Backend::Sme));
         assert!(candidates.contains(&PlanCandidate::default_for(&ab)));
 
-        // Shapes off the 16×4 Neon grid stay SME-only.
+        // Ragged shapes are on the Neon grid too now (the single-lane
+        // `ldr s`/`str s` tails made the Neon generator total over
+        // row-major B), so they get a Neon candidate; column-major B is
+        // still SME-only.
         let ragged = GemmConfig::abt(33, 47, 64);
         assert!(enumerate_candidates(&ragged)
             .iter()
-            .all(|c| c.backend == Backend::Sme));
-        assert_eq!(PlanCandidate::neon_for(&ragged), None);
+            .any(|c| c.backend == Backend::Neon));
+        assert!(PlanCandidate::neon_for(&ragged).is_some());
+        assert_eq!(PlanCandidate::neon_for(&GemmConfig::ab(33, 47, 64)), None);
 
         // Non-dividing unrolls are dropped (they alias the unroll-1
         // kernel): k = 2 keeps {1, 2}, an odd k keeps only 1…
@@ -874,6 +928,7 @@ mod tests {
             kind: PlanKind::Homogeneous(RegisterBlocking::B16x64),
             c_transfer: ZaTransferStrategy::Direct,
             k_unroll: 4,
+            schedule: KernelSchedule::Serial,
         };
         let rewritten = candidate.apply(&cfg);
         assert_eq!(rewritten.c_transfer, ZaTransferStrategy::Direct);

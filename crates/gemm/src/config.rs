@@ -89,6 +89,55 @@ pub enum ZaTransferStrategy {
     TwoStep,
 }
 
+/// Instruction schedule of the generated kernel's block sequence.
+///
+/// The serial schedule emits each output block as load → compute → store.
+/// The software-pipelined schedule double-buffers the packed A/B operand
+/// loads: the first contraction step of the *next* block is loaded into a
+/// secondary register set (`z16`–`z23`) before the current block's C store
+/// retires, so the store's ZA read-after-write stall no longer delays the
+/// next block's first outer products on the shared load/store unit. The
+/// tuner treats the schedule as a fourth knob (plan × transfer × unroll ×
+/// schedule) and only keeps it where simulated cycles actually drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelSchedule {
+    /// Load → compute → store, one block at a time.
+    Serial,
+    /// Double-buffered: the next block's first operand loads are hoisted
+    /// above the current block's C store.
+    Pipelined,
+}
+
+impl KernelSchedule {
+    /// Both schedules, serial first.
+    pub const fn all() -> [KernelSchedule; 2] {
+        [KernelSchedule::Serial, KernelSchedule::Pipelined]
+    }
+
+    /// Stable textual name (used by the plan store's JSON format).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelSchedule::Serial => "Serial",
+            KernelSchedule::Pipelined => "Pipelined",
+        }
+    }
+
+    /// Inverse of [`KernelSchedule::name`].
+    pub fn from_name(name: &str) -> Option<KernelSchedule> {
+        match name {
+            "Serial" => Some(KernelSchedule::Serial),
+            "Pipelined" => Some(KernelSchedule::Pipelined),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for KernelSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors reported while validating a configuration or generating a kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GemmError {
@@ -141,6 +190,8 @@ pub struct GemmConfig {
     pub c_transfer: ZaTransferStrategy,
     /// Unroll factor of the contraction loop (1, 2 or 4).
     pub k_unroll: usize,
+    /// Instruction schedule of the block sequence.
+    pub schedule: KernelSchedule,
 }
 
 impl GemmConfig {
@@ -158,6 +209,7 @@ impl GemmConfig {
             beta: Beta::One,
             c_transfer: ZaTransferStrategy::TwoStep,
             k_unroll: 1,
+            schedule: KernelSchedule::Serial,
         }
     }
 
@@ -194,6 +246,12 @@ impl GemmConfig {
     /// Builder: set the contraction-loop unroll factor.
     pub fn with_k_unroll(mut self, unroll: usize) -> Self {
         self.k_unroll = unroll;
+        self
+    }
+
+    /// Builder: set the instruction schedule of the block sequence.
+    pub fn with_schedule(mut self, schedule: KernelSchedule) -> Self {
+        self.schedule = schedule;
         self
     }
 

@@ -1,9 +1,15 @@
 //! Top-level just-in-time kernel generation.
 
-use crate::blocking::{plan_column_panels, plan_for_config, BlockPlan, PlanCandidate, PlanKind};
-use crate::config::{BLayout, Backend, GemmConfig, GemmError};
+use crate::blocking::{
+    pipeline_supported, plan_column_panels, plan_for_config, BlockPlan, PlanCandidate, PlanKind,
+};
+use crate::config::{BLayout, Backend, Beta, GemmConfig, GemmError, KernelSchedule};
 use crate::kernel::{CompiledKernel, RoutedKernel};
-use crate::microkernel::{emit_block, xr, BSource, BK_STRIDE, LDA_B, LDB_B, LDC_B, SCRATCH};
+use crate::loads::{emit_c_transfer, emit_zero_tiles, TransferDir};
+use crate::microkernel::{
+    emit_block, emit_block_predicates, emit_c_pointer, emit_pipeline_prologue,
+    emit_pipelined_k_loop, xr, BSource, BK_STRIDE, LDA_B, LDB_B, LDC_B, SCRATCH,
+};
 use crate::transpose::{emit_panel_transpose, scratch_bytes};
 use sme_isa::asm::Assembler;
 use sme_isa::inst::{ScalarInst, SmeInst};
@@ -91,8 +97,38 @@ pub fn generate_with_plan(
     match cfg.b_layout {
         BLayout::RowMajor => {
             asm.mov_imm64(xr(BK_STRIDE), (cfg.ldb * 4) as u64);
-            for block in &plan.blocks {
-                emit_block(&mut asm, cfg, block, BSource::RowMajor);
+            // The pipelined schedule needs even k (the rotated loop retires
+            // two steps per trip) and is incompatible with k-unrolling; any
+            // configuration outside that envelope falls back to the serial
+            // schedule rather than erroring, so a cached plan tuned for a
+            // slightly different shape still compiles.
+            let pipelined = cfg.schedule == KernelSchedule::Pipelined
+                && pipeline_supported(cfg)
+                && cfg.k_unroll == 1;
+            if pipelined {
+                emit_pipeline_prologue(&mut asm, &plan.blocks[0], BSource::RowMajor);
+                for (i, block) in plan.blocks.iter().enumerate() {
+                    emit_block_predicates(&mut asm, block);
+                    emit_c_pointer(&mut asm, cfg, block);
+                    match cfg.beta {
+                        Beta::Zero => emit_zero_tiles(&mut asm, block),
+                        Beta::One => emit_c_transfer(&mut asm, cfg, block, TransferDir::Load),
+                    }
+                    emit_pipelined_k_loop(&mut asm, cfg, block);
+                    // Hoist the next block's step-0 operand loads above this
+                    // block's C store: the store stalls on the final outer
+                    // products' ZA dependencies while the load/store unit
+                    // sits idle, which is exactly when the next operands can
+                    // stream in.
+                    if let Some(next) = plan.blocks.get(i + 1) {
+                        emit_pipeline_prologue(&mut asm, next, BSource::RowMajor);
+                    }
+                    emit_c_transfer(&mut asm, cfg, block, TransferDir::Store);
+                }
+            } else {
+                for block in &plan.blocks {
+                    emit_block(&mut asm, cfg, block, BSource::RowMajor);
+                }
             }
         }
         BLayout::ColMajor => {
@@ -397,6 +433,7 @@ mod tests {
             kind: PlanKind::Heterogeneous,
             c_transfer: cfg.c_transfer,
             k_unroll: 1,
+            schedule: KernelSchedule::Serial,
         };
         assert!(matches!(
             generate_tuned(&cfg, &bad),
@@ -434,11 +471,14 @@ mod tests {
             Backend::Neon
         );
 
-        // A shape off the Neon grid fails on the Neon backend only.
+        // Ragged shapes compile on both backends (the Neon generator is
+        // total over row-major B); only column-major B stays SME-only.
         let ragged = GemmConfig::abt(33, 47, 8);
         assert!(generate_backend(&ragged, Backend::Sme).is_ok());
+        let ragged_neon = generate_backend(&ragged, Backend::Neon).expect("odd shapes compile");
+        assert!(ragged_neon.validate(13) < 1e-4);
         assert!(matches!(
-            generate_backend(&ragged, Backend::Neon),
+            generate_backend(&GemmConfig::ab(33, 47, 8), Backend::Neon),
             Err(GemmError::Unsupported(_))
         ));
     }

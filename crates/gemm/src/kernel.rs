@@ -22,6 +22,79 @@ pub struct GemmBuffers {
     pub c: u64,
 }
 
+/// Byte images of the A and B operands of one request, exactly as
+/// [`RoutedKernel::allocate_buffers`] would materialise them in simulator
+/// memory: plain column-/row-major little-endian FP32 for the FP32
+/// backends, packed BF16 (interleaved or MMLA layout, per the backend) for
+/// the widening backends.
+///
+/// Producing an image is the *packing* step of a dispatch; a runtime that
+/// serves the same operands repeatedly (e.g. fixed weights) can cache the
+/// images and replay them with
+/// [`RoutedKernel::allocate_buffers_packed`], skipping the repack. The C
+/// buffer is deliberately absent: it is an output and must be refreshed
+/// from its seed on every dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperandImages {
+    /// The A operand's memory image.
+    pub a: Vec<u8>,
+    /// The B operand's memory image.
+    pub b: Vec<u8>,
+}
+
+impl OperandImages {
+    /// Total heap footprint of the images in bytes (cache accounting).
+    pub fn bytes(&self) -> usize {
+        self.a.len() + self.b.len()
+    }
+}
+
+/// Little-endian byte image of an `f32` slice (the layout
+/// `Memory::alloc_f32` writes).
+pub(crate) fn f32_le_bytes(data: &[f32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+/// Materialise the FP32 A/B operand images for `seed` (the packing step of
+/// [`allocate_gemm_buffers`], without a simulator).
+pub(crate) fn pack_gemm_images(cfg: &GemmConfig, seed: u64) -> OperandImages {
+    let mut a = vec![0.0f32; cfg.a_len()];
+    let mut b = vec![0.0f32; cfg.b_len()];
+    fill_matrix(seed, &mut a);
+    fill_matrix(seed ^ 0x1111_1111, &mut b);
+    OperandImages {
+        a: f32_le_bytes(&a),
+        b: f32_le_bytes(&b),
+    }
+}
+
+/// Allocate operand buffers for `cfg` from pre-packed A/B images, seeding a
+/// fresh C. Bit-identical to the seeded arm of [`allocate_gemm_buffers`]
+/// when `images` came from [`pack_gemm_images`] with the same seed.
+pub(crate) fn allocate_gemm_buffers_from_images(
+    cfg: &GemmConfig,
+    sim: &mut Simulator,
+    seed: u64,
+    images: &OperandImages,
+) -> GemmBuffers {
+    let align = 128;
+    let a = sim.mem.alloc(images.a.len() as u64, align);
+    sim.mem.write_bytes(a, &images.a);
+    let b = sim.mem.alloc(images.b.len() as u64, align);
+    sim.mem.write_bytes(b, &images.b);
+    let mut c = vec![0.0f32; cfg.c_len()];
+    fill_matrix(seed ^ 0x2222_2222, &mut c);
+    GemmBuffers {
+        a,
+        b,
+        c: sim.mem.alloc_f32(&c, align),
+    }
+}
+
 /// Allocate operand buffers for `cfg` in the simulator's memory, 128-byte
 /// aligned, optionally filled with seeded pseudo-random values (shared by
 /// the SME and Neon kernel handles so both backends see bit-identical
@@ -298,6 +371,59 @@ impl RoutedKernel {
             }
             RoutedKernel::WideningNeon(k) => {
                 allocate_widening_buffers(k.config(), sim, seed, WideningPackLayout::Mmla)
+            }
+        }
+    }
+
+    /// Materialise the packed A/B operand byte images for `seed` without a
+    /// simulator — the repack step a packed-operand cache skips on a hit.
+    /// The images follow this kernel's datatype and pack layout, so they
+    /// replay only on kernels with the same [`OperandImages`] layout.
+    pub fn pack_operands(&self, seed: u64) -> OperandImages {
+        match self {
+            RoutedKernel::Sme(k) => pack_gemm_images(k.config(), seed),
+            RoutedKernel::Neon(k) => pack_gemm_images(k.config(), seed),
+            RoutedKernel::WideningSme(k) => crate::widening::pack_widening_images(
+                k.config(),
+                seed,
+                WideningPackLayout::Interleaved,
+            ),
+            RoutedKernel::WideningNeon(k) => {
+                crate::widening::pack_widening_images(k.config(), seed, WideningPackLayout::Mmla)
+            }
+        }
+    }
+
+    /// Allocate operand buffers from pre-packed A/B images (see
+    /// [`RoutedKernel::pack_operands`]); C is always freshly seeded, being
+    /// an output. Bit-identical to `allocate_buffers(sim, Some(seed))`
+    /// when `images == self.pack_operands(seed)`.
+    pub fn allocate_buffers_packed(
+        &self,
+        sim: &mut Simulator,
+        seed: u64,
+        images: &OperandImages,
+    ) -> GemmBuffers {
+        match self {
+            RoutedKernel::Sme(k) => {
+                allocate_gemm_buffers_from_images(k.config(), sim, seed, images)
+            }
+            RoutedKernel::Neon(k) => {
+                allocate_gemm_buffers_from_images(k.config(), sim, seed, images)
+            }
+            RoutedKernel::WideningSme(k) => crate::widening::allocate_widening_buffers_from_images(
+                k.config(),
+                sim,
+                seed,
+                images,
+            ),
+            RoutedKernel::WideningNeon(k) => {
+                crate::widening::allocate_widening_buffers_from_images(
+                    k.config(),
+                    sim,
+                    seed,
+                    images,
+                )
             }
         }
     }

@@ -69,16 +69,18 @@ pub mod widening;
 
 pub use blocking::{
     analytic_k_step_cycles, analytic_widening_k_pair_cycles, enumerate_candidates,
-    group_load_cycles, plan_heterogeneous, plan_homogeneous, prune_dominated_candidates, BlockPlan,
-    PlanCandidate, PlanKind, RegisterBlocking,
+    group_load_cycles, pipeline_supported, plan_heterogeneous, plan_homogeneous,
+    prune_dominated_candidates, BlockPlan, PlanCandidate, PlanKind, RegisterBlocking,
 };
-pub use config::{BLayout, Backend, Beta, GemmConfig, GemmError, ZaTransferStrategy};
+pub use config::{
+    BLayout, Backend, Beta, GemmConfig, GemmError, KernelSchedule, ZaTransferStrategy,
+};
 pub use dtype::{default_any_candidate, enumerate_any_candidates, AnyGemmConfig, Dtype};
 pub use generator::{
     generate, generate_any_backend, generate_any_routed, generate_backend, generate_routed,
     generate_tuned, generate_validated, generate_with_plan, kernel_stats, KernelStats,
 };
-pub use kernel::{CompiledKernel, GemmBuffers, RoutedKernel};
+pub use kernel::{CompiledKernel, GemmBuffers, OperandImages, RoutedKernel};
 pub use neon::{
     generate_neon_kernel, generate_neon_widening, neon_supports, neon_widening_supports,
     validate_neon, NeonKernel, NeonWideningKernel,

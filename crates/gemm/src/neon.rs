@@ -111,16 +111,16 @@ impl MicrokernelComparison {
 
 /// Check whether the Neon generator supports `cfg`.
 ///
-/// Restrictions (documented baseline, not the paper's contribution): A and C
-/// column-major, B row-major, and **even** `m` and `n` — the residual-block
-/// path covers everything off the 16×4 register-blocking grid down to row
-/// *pairs* and column *pairs*, the granularity of the `ldr d`/`str d` lane
-/// machinery it is built on (odd extents would need 4-byte vector-lane
-/// accesses the ISA model does not provide). Both accumulation modes
-/// compile ([`Beta::Zero`] zero-initialises the accumulators with `movi`).
-/// The `sme-router` consults this before offering the Neon backend for a
-/// shape; anything the Neon generator cannot compile is routed to SME,
-/// which is total over valid FP32 configurations.
+/// The only restriction (documented baseline, not the paper's
+/// contribution) is the layout: A and C column-major, B row-major. The
+/// residual-block path covers everything off the 16×4 register-blocking
+/// grid down to single rows and columns — `ldr q`/`ldr d`/`ldr s` move
+/// quad, pair and single-lane fragments respectively — so the generator is
+/// **total** over valid FP32 `C += A·Bᵀ` configurations, exactly like the
+/// SME generator, and the SME/Neon split is a pure performance decision.
+/// Both accumulation modes compile ([`Beta::Zero`] zero-initialises the
+/// accumulators with `movi`). The `sme-router` consults this before
+/// offering the Neon backend for a shape.
 pub fn neon_supports(cfg: &GemmConfig) -> Result<(), GemmError> {
     cfg.validate()?;
     if cfg.b_layout != BLayout::RowMajor {
@@ -128,24 +128,18 @@ pub fn neon_supports(cfg: &GemmConfig) -> Result<(), GemmError> {
             "the Neon baseline generator only supports row-major B".into(),
         ));
     }
-    if !cfg.m.is_multiple_of(2) || !cfg.n.is_multiple_of(2) {
-        return Err(GemmError::Unsupported(format!(
-            "the Neon baseline generator requires even m and n (got {}x{})",
-            cfg.m, cfg.n
-        )));
-    }
     Ok(())
 }
 
 /// Generate a complete Neon GEMM kernel for `C += A·Bᵀ` (or `C = A·Bᵀ`
 /// under [`Beta::Zero`]).
 ///
-/// The output is tiled with 16×4 register blocks; residual rows (`m % 16`,
-/// even) shrink the last block row to quad/pair column segments and
-/// residual columns (`n % 4 == 2`) shrink the last block column to a
-/// two-wide block whose B values arrive through `ldr d` — every shape on
-/// the even-`m`/`n` envelope compiles ([`neon_supports`]), making the
-/// SME/Neon split a pure performance decision.
+/// The output is tiled with 16×4 register blocks; residual rows (`m % 16`)
+/// shrink the last block row to quad/pair/single column segments and
+/// residual columns (`n % 4`) shrink the last block column to a narrower
+/// block whose B values arrive through `ldr d`/`ldr s` — every valid
+/// row-major-B shape compiles ([`neon_supports`]), making the SME/Neon
+/// split a pure performance decision.
 pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
     neon_supports(cfg)?;
 
@@ -165,17 +159,19 @@ pub fn generate_neon(cfg: &GemmConfig) -> Result<Program, GemmError> {
 }
 
 /// The V registers covering one `rows`-deep column segment: full quads
-/// first, then at most one trailing row pair (`rows` is even and ≤ 16).
-fn segment_regs(rows: usize) -> (usize, usize) {
-    (rows / 4, (rows % 4) / 2)
+/// first, then at most one row pair, then at most one single row
+/// (`rows` ≤ 16).
+fn segment_regs(rows: usize) -> (usize, usize, usize) {
+    (rows / 4, (rows % 4) / 2, rows % 2)
 }
 
 /// Emit loads of a `rows`-deep f32 column segment at `ptr` into the
 /// consecutive V registers starting at `base`: paired `ldp q` for adjacent
-/// quads, `ldr q` for a leftover quad, `ldr d` for the trailing row pair
-/// (which zeroes the upper half, keeping tail FMLA lanes garbage-free).
+/// quads, `ldr q` for a leftover quad, `ldr d` for a trailing row pair and
+/// `ldr s` for a trailing single row (both zero the unused upper lanes,
+/// keeping tail FMLA lanes garbage-free).
 fn emit_segment_load(asm: &mut Assembler, base: u8, rows: usize, ptr: u8) {
-    let (quads, pairs) = segment_regs(rows);
+    let (quads, pairs, singles) = segment_regs(rows);
     let mut q = 0;
     while q + 1 < quads {
         asm.push(NeonInst::LdpQ {
@@ -200,12 +196,20 @@ fn emit_segment_load(asm: &mut Assembler, base: u8, rows: usize, ptr: u8) {
             imm: (quads * 16) as u32,
         });
     }
+    if singles > 0 {
+        asm.push(NeonInst::LdrS {
+            vt: vr(base + (quads + pairs) as u8),
+            rn: xr(ptr),
+            imm: (quads * 16 + pairs * 8) as u32,
+        });
+    }
 }
 
-/// Store counterpart of [`emit_segment_load`] (`str d` writes only the row
-/// pair's 8 bytes, so nothing beyond the segment is touched).
+/// Store counterpart of [`emit_segment_load`] (`str d`/`str s` write only
+/// the row pair's 8 / single row's 4 bytes, so nothing beyond the segment
+/// is touched).
 fn emit_segment_store(asm: &mut Assembler, base: u8, rows: usize, ptr: u8) {
-    let (quads, pairs) = segment_regs(rows);
+    let (quads, pairs, singles) = segment_regs(rows);
     let mut q = 0;
     while q + 1 < quads {
         asm.push(NeonInst::StpQ {
@@ -230,14 +234,22 @@ fn emit_segment_store(asm: &mut Assembler, base: u8, rows: usize, ptr: u8) {
             imm: (quads * 16) as u32,
         });
     }
+    if singles > 0 {
+        asm.push(NeonInst::StrS {
+            vt: vr(base + (quads + pairs) as u8),
+            rn: xr(ptr),
+            imm: (quads * 16 + pairs * 8) as u32,
+        });
+    }
 }
 
-/// One `rows × cols` block (`rows` even ≤ 16, `cols` ∈ {2, 4}): initialise
-/// the accumulators (load C, or `movi #0` under [`Beta::Zero`]), run the
-/// contraction loop, store C.
+/// One `rows × cols` block (`rows` ≤ 16, `cols` ∈ {1, 2, 3, 4}):
+/// initialise the accumulators (load C, or `movi #0` under
+/// [`Beta::Zero`]), run the contraction loop, store C.
 ///
-/// Register budget: A segment in `v0..`, accumulators from `v4` (one
-/// column = `segs` registers, at most 4 × 4), B row segment in `v28` —
+/// Register budget: A segment in `v0..`, accumulators from
+/// `max(4, segs)` (one column = `segs` registers, at most 4 × 5), B row
+/// segment in `v28` (three-wide tails spill the third value to `v29`) —
 /// the full 16×4 case reproduces the historical layout (and instruction
 /// stream) exactly.
 fn emit_neon_block(
@@ -248,9 +260,13 @@ fn emit_neon_block(
     rows: usize,
     cols: usize,
 ) {
-    let (quads, pairs) = segment_regs(rows);
-    let segs = (quads + pairs) as u8;
-    let acc = |col: usize, seg: usize| vr(4 + col as u8 * segs + seg as u8);
+    let (quads, pairs, singles) = segment_regs(rows);
+    let segs = (quads + pairs + singles) as u8;
+    // A 15-row segment needs five registers (3 quads + pair + single), so
+    // the accumulators start past the A segment rather than at the
+    // historical v4.
+    let acc_base = 4u8.max(segs);
+    let acc = |col: usize, seg: usize| vr(acc_base + col as u8 * segs + seg as u8);
 
     // Pointers.
     asm.push(ScalarInst::MovReg {
@@ -284,7 +300,7 @@ fn emit_neon_block(
                 rn: xr(C_PTR),
             });
             for col in 0..cols {
-                emit_segment_load(asm, 4 + col as u8 * segs, rows, COL_PTR);
+                emit_segment_load(asm, acc_base + col as u8 * segs, rows, COL_PTR);
                 if col + 1 < cols {
                     asm.push(ScalarInst::AddReg {
                         rd: xr(COL_PTR),
@@ -319,20 +335,38 @@ fn emit_neon_block(
     });
     // A column segment (`rows` values).
     emit_segment_load(asm, 0, rows, A_PTR);
-    // B row segment (`cols` values; the two-wide tail loads exactly two
-    // through `ldr d`, so nothing past the row's end is read).
-    if cols == 4 {
-        asm.push(NeonInst::LdrQ {
+    // B row segment (`cols` values; each tail width loads exactly the
+    // values it consumes — `ldr q`/`ldr d`/`ldr s` for 4/2/1, and a
+    // three-wide tail pairs `ldr d` with an `ldr s` of the third value
+    // into v29 — so nothing past the row's end is read).
+    match cols {
+        4 => asm.push(NeonInst::LdrQ {
             vt: vr(28),
             rn: xr(B_PTR),
             imm: 0,
-        });
-    } else {
-        asm.push(NeonInst::LdrD {
+        }),
+        3 => {
+            asm.push(NeonInst::LdrD {
+                vt: vr(28),
+                rn: xr(B_PTR),
+                imm: 0,
+            });
+            asm.push(NeonInst::LdrS {
+                vt: vr(29),
+                rn: xr(B_PTR),
+                imm: 8,
+            });
+        }
+        2 => asm.push(NeonInst::LdrD {
             vt: vr(28),
             rn: xr(B_PTR),
             imm: 0,
-        });
+        }),
+        _ => asm.push(NeonInst::LdrS {
+            vt: vr(28),
+            rn: xr(B_PTR),
+            imm: 0,
+        }),
     }
     asm.push(ScalarInst::AddReg {
         rd: xr(A_PTR),
@@ -343,12 +377,18 @@ fn emit_neon_block(
     // B advances by one row: ldb * 4 bytes. Reuse TMP via an immediate add.
     asm.add_imm(xr(B_PTR), xr(B_PTR), (cfg.ldb * 4) as u64);
     for col in 0..cols {
+        // A three-wide tail holds its third B value in lane 0 of v29.
+        let (b_reg, b_lane) = if cols == 3 && col == 2 {
+            (29u8, 0u8)
+        } else {
+            (28u8, col as u8)
+        };
         for seg in 0..segs as usize {
             asm.push(NeonInst::fmla_elem(
                 acc(col, seg),
                 vr(seg as u8),
-                vr(28),
-                col as u8,
+                vr(b_reg),
+                b_lane,
                 NeonArrangement::S4,
             ));
         }
@@ -361,7 +401,7 @@ fn emit_neon_block(
         rn: xr(C_PTR),
     });
     for col in 0..cols {
-        emit_segment_store(asm, 4 + col as u8 * segs, rows, COL_PTR);
+        emit_segment_store(asm, acc_base + col as u8 * segs, rows, COL_PTR);
         if col + 1 < cols {
             asm.push(ScalarInst::AddReg {
                 rd: xr(COL_PTR),
@@ -821,12 +861,36 @@ mod tests {
 
     #[test]
     fn neon_restrictions_are_reported() {
-        assert!(generate_neon(&GemmConfig::abt(17, 4, 8)).is_err(), "odd m");
-        assert!(generate_neon(&GemmConfig::abt(16, 5, 8)).is_err(), "odd n");
+        // Only the layout restriction remains: column-major B is rejected.
         assert!(generate_neon(&GemmConfig::ab(16, 4, 8)).is_err());
         // The beta = 1 restriction is gone; even off-grid shapes compile.
         assert!(generate_neon(&GemmConfig::abt(16, 4, 8).with_beta(Beta::Zero)).is_ok());
         assert!(generate_neon(&GemmConfig::abt(18, 6, 8)).is_ok());
+    }
+
+    #[test]
+    fn neon_odd_shapes_compile_and_match_the_oracle() {
+        // Previously rejected with "requires even m and n"; the `ldr s` /
+        // `str s` single-row machinery makes the generator total over
+        // row-major-B FP32 shapes.
+        for (m, n, k) in [
+            (17, 4, 8),  // odd m: single-row tail segment
+            (16, 5, 8),  // odd n: one-wide column tail
+            (9, 3, 5),   // odd m and three-wide column tail
+            (15, 7, 6),  // quad + pair + single rows, 3-wide tail
+            (1, 1, 4),   // envelope minimum
+            (33, 31, 9), // off-grid in every dimension
+        ] {
+            let cfg = GemmConfig::abt(m, n, k);
+            let err = validate_neon(&cfg, 17).expect("odd shapes must compile");
+            assert!(err < 1e-4, "({m},{n},{k}): {err}");
+            let padded = cfg.with_leading_dims(m + 3, n + 1, m + 5);
+            let err = validate_neon(&padded, 18).expect("padded odd shapes must compile");
+            assert!(err < 1e-4, "padded ({m},{n},{k}): {err}");
+            let beta0 = cfg.with_beta(Beta::Zero);
+            let err = validate_neon(&beta0, 19).expect("beta = 0 odd shapes must compile");
+            assert!(err < 1e-4, "beta=0 ({m},{n},{k}): {err}");
+        }
     }
 
     #[test]

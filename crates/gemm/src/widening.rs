@@ -28,7 +28,7 @@
 //!   pure performance decision made by the `sme-router`.
 
 use crate::blocking::{BlockInstance, PlanCandidate, PlanKind, RegisterBlocking};
-use crate::config::{Backend, GemmConfig, GemmError, ZaTransferStrategy};
+use crate::config::{Backend, GemmConfig, GemmError, KernelSchedule, ZaTransferStrategy};
 use crate::loads::{emit_c_transfer, TransferDir};
 use crate::microkernel::{
     a_counter, col_pred, emit_counter_predicate, emit_lane_predicate, load_vectors, row_pred,
@@ -425,6 +425,67 @@ pub(crate) fn model_widening_program_stats(
     result.stats
 }
 
+/// Materialise the packed BF16 A/B operand images for `seed` in the given
+/// pack layout (the packing step of [`allocate_widening_buffers`], without
+/// a simulator).
+pub(crate) fn pack_widening_images(
+    cfg: &WideningGemmConfig,
+    seed: u64,
+    layout: WideningPackLayout,
+) -> crate::kernel::OperandImages {
+    let mut a = vec![0.0f32; cfg.m * cfg.k];
+    let mut b = vec![0.0f32; cfg.k * cfg.n];
+    fill_matrix(seed, &mut a);
+    fill_matrix(seed ^ 0x1111_1111, &mut b);
+    let (packed_a, packed_b) = match layout {
+        WideningPackLayout::Interleaved => (
+            pack_a_bf16(&a, cfg.m, cfg.m, cfg.k),
+            pack_b_bf16(&b, cfg.k, cfg.n, cfg.n),
+        ),
+        WideningPackLayout::Mmla => (
+            pack_a_bf16_mmla(&a, cfg.m, cfg.m, cfg.k),
+            pack_b_bf16_mmla(&b, cfg.k, cfg.n, cfg.n),
+        ),
+    };
+    crate::kernel::OperandImages {
+        a: u16_le_bytes(&packed_a),
+        b: u16_le_bytes(&packed_b),
+    }
+}
+
+/// Allocate widening operand buffers from pre-packed A/B images, seeding a
+/// fresh FP32 C. Bit-identical to the seeded arm of
+/// [`allocate_widening_buffers`] when `images` came from
+/// [`pack_widening_images`] with the same seed and layout.
+pub(crate) fn allocate_widening_buffers_from_images(
+    cfg: &WideningGemmConfig,
+    sim: &mut Simulator,
+    seed: u64,
+    images: &crate::kernel::OperandImages,
+) -> crate::kernel::GemmBuffers {
+    let align = 128;
+    let a = sim.mem.alloc(images.a.len() as u64, align);
+    sim.mem.write_bytes(a, &images.a);
+    let b = sim.mem.alloc(images.b.len() as u64, align);
+    sim.mem.write_bytes(b, &images.b);
+    let mut c = vec![0.0f32; cfg.c_len()];
+    fill_matrix(seed ^ 0x2222_2222, &mut c);
+    crate::kernel::GemmBuffers {
+        a,
+        b,
+        c: sim.mem.alloc_f32(&c, align),
+    }
+}
+
+/// Little-endian byte image of a `u16` slice.
+fn u16_le_bytes(data: &[u16]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(data.len() * 2);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
 fn write_u16_slice(sim: &mut Simulator, addr: u64, data: &[u16]) {
     let mut bytes = Vec::with_capacity(data.len() * 2);
     for v in data {
@@ -511,6 +572,7 @@ pub fn default_widening_candidate(cfg: &WideningGemmConfig) -> PlanCandidate {
         kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
         c_transfer: cfg.c_transfer,
         k_unroll: cfg.k_unroll,
+        schedule: KernelSchedule::Serial,
     }
 }
 
@@ -551,6 +613,7 @@ pub fn enumerate_widening_candidates(cfg: &WideningGemmConfig) -> Vec<PlanCandid
                     kind,
                     c_transfer,
                     k_unroll,
+                    schedule: KernelSchedule::Serial,
                 });
             }
         }
@@ -560,6 +623,7 @@ pub fn enumerate_widening_candidates(cfg: &WideningGemmConfig) -> Vec<PlanCandid
         kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
         c_transfer: cfg.c_transfer,
         k_unroll: cfg.k_unroll,
+        schedule: KernelSchedule::Serial,
     });
     debug_assert!(candidates.contains(&default_widening_candidate(cfg)));
     candidates

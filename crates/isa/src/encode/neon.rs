@@ -95,6 +95,20 @@ pub fn encode(inst: &NeonInst) -> u32 {
             );
             0xFD00_0000 | put(imm / 8, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
         }
+        NeonInst::LdrS { vt, rn, imm } => {
+            assert!(
+                imm % 4 == 0 && imm / 4 < 4096,
+                "ldr s offset out of range: {imm}"
+            );
+            0xBD40_0000 | put(imm / 4, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
+        }
+        NeonInst::StrS { vt, rn, imm } => {
+            assert!(
+                imm % 4 == 0 && imm / 4 < 4096,
+                "str s offset out of range: {imm}"
+            );
+            0xBD00_0000 | put(imm / 4, 10, 12) | put(rn.enc(), 5, 5) | vt.enc()
+        }
         NeonInst::InsElemD { vd, vn, dst, src } => {
             assert!(dst < 2 && src < 2, "ins: D lane index out of range");
             let imm5 = ((dst as u32) << 4) | 0b1000;
@@ -232,6 +246,20 @@ pub fn decode(word: u32) -> Option<NeonInst> {
             imm: get(word, 10, 12) * 8,
         });
     }
+    if word & 0xFFC0_0000 == 0xBD40_0000 {
+        return Some(NeonInst::LdrS {
+            vt: rd(),
+            rn: xreg(rn5()),
+            imm: get(word, 10, 12) * 4,
+        });
+    }
+    if word & 0xFFC0_0000 == 0xBD00_0000 {
+        return Some(NeonInst::StrS {
+            vt: rd(),
+            rn: xreg(rn5()),
+            imm: get(word, 10, 12) * 4,
+        });
+    }
     if word & 0xFFE0_8400 == 0x6E00_0400 {
         let imm5 = get(word, 16, 5);
         let imm4 = get(word, 11, 4);
@@ -353,6 +381,16 @@ mod tests {
             vt: v(7),
             rn: x(3),
             imm: 65520,
+        });
+        roundtrip(NeonInst::LdrS {
+            vt: v(12),
+            rn: x(5),
+            imm: 16380,
+        });
+        roundtrip(NeonInst::StrS {
+            vt: v(12),
+            rn: x(5),
+            imm: 4,
         });
         roundtrip(NeonInst::LdpQ {
             vt1: v(0),

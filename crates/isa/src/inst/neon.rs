@@ -78,6 +78,26 @@ pub enum NeonInst {
         /// Byte offset (must be a multiple of 8, 0–32760).
         imm: u32,
     },
+    /// `ldr s<t>, [xn, #imm]` — 32-bit SIMD&FP load (zeroes the upper
+    /// 96 bits). Moves single-lane row/column fragments so the Neon
+    /// generators can cover odd matrix extents.
+    LdrS {
+        /// Destination register (low 32 bits written, rest zeroed).
+        vt: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Byte offset (must be a multiple of 4, 0–16380).
+        imm: u32,
+    },
+    /// `str s<t>, [xn, #imm]` — 32-bit SIMD&FP store (lane 0).
+    StrS {
+        /// Source register (low 32 bits stored).
+        vt: VReg,
+        /// Base address register.
+        rn: XReg,
+        /// Byte offset (must be a multiple of 4, 0–16380).
+        imm: u32,
+    },
     /// `ins vd.d[dst], vn.d[src]` — move one 64-bit element between vector
     /// registers (the D-lane form only; pairs with [`NeonInst::LdrD`] /
     /// [`NeonInst::StrD`] to assemble and split BFMMLA accumulators).
@@ -179,7 +199,9 @@ impl NeonInst {
             | NeonInst::LdpQ { .. }
             | NeonInst::StpQ { .. }
             | NeonInst::LdrD { .. }
-            | NeonInst::StrD { .. } => InstClass::NeonMem,
+            | NeonInst::StrD { .. }
+            | NeonInst::LdrS { .. }
+            | NeonInst::StrS { .. } => InstClass::NeonMem,
             _ => InstClass::NeonFp,
         }
     }
@@ -204,6 +226,7 @@ impl NeonInst {
             NeonInst::LdrQ { .. } | NeonInst::StrQ { .. } => 16,
             NeonInst::LdpQ { .. } | NeonInst::StpQ { .. } => 32,
             NeonInst::LdrD { .. } | NeonInst::StrD { .. } => 8,
+            NeonInst::LdrS { .. } | NeonInst::StrS { .. } => 4,
             _ => 0,
         }
     }
@@ -212,7 +235,10 @@ impl NeonInst {
     pub fn is_store(&self) -> bool {
         matches!(
             self,
-            NeonInst::StrQ { .. } | NeonInst::StpQ { .. } | NeonInst::StrD { .. }
+            NeonInst::StrQ { .. }
+                | NeonInst::StpQ { .. }
+                | NeonInst::StrD { .. }
+                | NeonInst::StrS { .. }
         )
     }
 }
@@ -254,6 +280,8 @@ impl fmt::Display for NeonInst {
             NeonInst::StrQ { vt, rn, imm } => write!(f, "str q{}, [{rn}, #{imm}]", vt.index()),
             NeonInst::LdrD { vt, rn, imm } => write!(f, "ldr d{}, [{rn}, #{imm}]", vt.index()),
             NeonInst::StrD { vt, rn, imm } => write!(f, "str d{}, [{rn}, #{imm}]", vt.index()),
+            NeonInst::LdrS { vt, rn, imm } => write!(f, "ldr s{}, [{rn}, #{imm}]", vt.index()),
+            NeonInst::StrS { vt, rn, imm } => write!(f, "str s{}, [{rn}, #{imm}]", vt.index()),
             NeonInst::InsElemD { vd, vn, dst, src } => {
                 write!(f, "ins {vd}.d[{dst}], {vn}.d[{src}]")
             }

@@ -192,6 +192,8 @@ fn neon_inst() -> impl Strategy<Value = NeonInst> {
         }),
         (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::LdrD { vt, rn, imm: i * 8 }),
         (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::StrD { vt, rn, imm: i * 8 }),
+        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::LdrS { vt, rn, imm: i * 4 }),
+        (vreg(), xreg(), 0u32..4096).prop_map(|(vt, rn, i)| NeonInst::StrS { vt, rn, imm: i * 4 }),
         (vreg(), vreg(), 0u8..2, 0u8..2).prop_map(|(vd, vn, dst, src)| NeonInst::InsElemD {
             vd,
             vn,

@@ -170,6 +170,17 @@ pub fn exec(state: &mut CoreState, mem: &mut Memory, inst: &NeonInst) {
             let b = state.v(vt);
             mem.write_bytes(addr, &b[..8]);
         }
+        NeonInst::LdrS { vt, rn, imm } => {
+            let addr = state.x(rn) + imm as u64;
+            let mut b = [0u8; 16];
+            b[..4].copy_from_slice(mem.read_bytes(addr, 4));
+            state.set_v(vt, b);
+        }
+        NeonInst::StrS { vt, rn, imm } => {
+            let addr = state.x(rn) + imm as u64;
+            let b = state.v(vt);
+            mem.write_bytes(addr, &b[..4]);
+        }
         NeonInst::InsElemD { vd, vn, dst, src } => {
             let n = state.v(vn);
             let mut d = state.v(vd);

@@ -165,12 +165,14 @@ impl OpKind {
             Inst::Neon(n) => match n {
                 NeonInst::FmlaVec { .. } | NeonInst::FmlaElem { .. } => OpKind::NeonFmla,
                 NeonInst::Bfmmla { .. } => OpKind::NeonBfmmla,
-                NeonInst::LdrQ { .. } | NeonInst::LdpQ { .. } | NeonInst::LdrD { .. } => {
-                    OpKind::NeonLoad
-                }
-                NeonInst::StrQ { .. } | NeonInst::StpQ { .. } | NeonInst::StrD { .. } => {
-                    OpKind::NeonStore
-                }
+                NeonInst::LdrQ { .. }
+                | NeonInst::LdpQ { .. }
+                | NeonInst::LdrD { .. }
+                | NeonInst::LdrS { .. } => OpKind::NeonLoad,
+                NeonInst::StrQ { .. }
+                | NeonInst::StpQ { .. }
+                | NeonInst::StrD { .. }
+                | NeonInst::StrS { .. } => OpKind::NeonStore,
                 NeonInst::DupElem { .. }
                 | NeonInst::MoviZero { .. }
                 | NeonInst::InsElemD { .. } => OpKind::NeonOther,

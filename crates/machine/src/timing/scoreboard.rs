@@ -216,11 +216,15 @@ pub fn deps(inst: &Inst) -> (Vec<Resource>, Vec<Resource>) {
                 reads.push(Resource::V(vm.index()));
                 writes.push(Resource::V(vd.index()));
             }
-            NeonInst::LdrQ { vt, rn, .. } | NeonInst::LdrD { vt, rn, .. } => {
+            NeonInst::LdrQ { vt, rn, .. }
+            | NeonInst::LdrD { vt, rn, .. }
+            | NeonInst::LdrS { vt, rn, .. } => {
                 reads.extend(x_res(rn));
                 writes.push(Resource::V(vt.index()));
             }
-            NeonInst::StrQ { vt, rn, .. } | NeonInst::StrD { vt, rn, .. } => {
+            NeonInst::StrQ { vt, rn, .. }
+            | NeonInst::StrD { vt, rn, .. }
+            | NeonInst::StrS { vt, rn, .. } => {
                 reads.push(Resource::V(vt.index()));
                 reads.extend(x_res(rn));
             }

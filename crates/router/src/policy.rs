@@ -103,9 +103,9 @@ pub fn estimate_backend_cycles(
         Backend::Neon => {
             neon_supports(cfg).ok()?;
             let fmla = p.op(OpKind::NeonFmla);
-            // The block grid mirrors the generator: 16-row steps with an
-            // even residual tail (quad/pair column segments) and 4-column
-            // steps with a possible 2-wide tail, so there are at most four
+            // The block grid mirrors the generator: 16-row steps with a
+            // residual tail (quad/pair/single column segments) and
+            // 4-column steps with a narrower tail, so there are at most four
             // block classes (full, row tail, column tail, corner) and the
             // estimate is closed-form in the class counts. Per k step and
             // block, the FMLA, load, scalar and branch streams issue on
@@ -115,7 +115,7 @@ pub fn estimate_backend_cycles(
             // accumulators is latency-bound, which is what makes
             // edge-heavy shapes relatively more expensive per element).
             let class_step = |rows: usize, cols: usize| -> f64 {
-                let segs = (rows / 4 + (rows % 4) / 2) as f64;
+                let segs = (rows / 4 + (rows % 4) / 2 + rows % 2) as f64;
                 (cols as f64 * segs / fmla.per_cycle)
                     .max(fmla.latency)
                     .max(((rows + cols) * 4) as f64 / rate(OpKind::NeonLoad))
@@ -337,9 +337,14 @@ mod tests {
         let beta0 =
             estimate_backend_cycles(&edge.with_beta(Beta::Zero), Backend::Neon, &machine).unwrap();
         assert!(beta0 < est);
-        // Odd extents remain off the envelope.
+        // Odd extents joined the envelope (single-lane tails), so they
+        // carry estimates too; the odd row's extra segment costs cycles.
+        let odd =
+            estimate_backend_cycles(&GemmConfig::abt(17, 4, 16), Backend::Neon, &machine).unwrap();
+        assert!(odd.is_finite() && odd > aligned);
+        // Column-major B stays off the Neon envelope.
         assert_eq!(
-            estimate_backend_cycles(&GemmConfig::abt(17, 4, 4), Backend::Neon, &machine),
+            estimate_backend_cycles(&GemmConfig::ab(17, 4, 4), Backend::Neon, &machine),
             None
         );
     }
@@ -386,9 +391,9 @@ mod tests {
         assert!(small.is_finite() && large.is_finite());
         assert!(large > small);
         assert_eq!(
-            estimate_backend_cycles(&GemmConfig::abt(17, 4, 4), Backend::Neon, &machine),
+            estimate_backend_cycles(&GemmConfig::ab(17, 4, 4), Backend::Neon, &machine),
             None,
-            "Neon estimate must refuse unsupported shapes"
+            "Neon estimate must refuse unsupported shapes (column-major B)"
         );
         assert_eq!(
             estimate_backend_cycles(&GemmConfig::abt(0, 4, 4), Backend::Sme, &machine),

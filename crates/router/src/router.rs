@@ -165,7 +165,8 @@ impl Router {
     /// across both engines. The SME generators are total over their
     /// datatypes' envelopes (widening edge tiles are predicated), so
     /// `SmeOnly` never needs a fallback; `NeonOnly` falls back to SME for
-    /// FP32 shapes off the Neon generator's even-`m`/`n` envelope, so
+    /// FP32 shapes off the Neon generator's envelope (column-major B —
+    /// odd extents compile via single-lane tails), so
     /// pinning never makes a valid configuration undispatchable.
     pub fn route_any(&self, cfg: &AnyGemmConfig) -> Backend {
         self.route_any_traced(cfg, None)
@@ -485,7 +486,8 @@ mod tests {
     fn policies_route_as_documented() {
         let tiny = GemmConfig::abt(16, 4, 4); // Neon territory
         let large = GemmConfig::abt(64, 64, 64); // SME territory
-        let ragged = GemmConfig::abt(33, 47, 5); // Neon cannot compile
+        let ragged = GemmConfig::abt(33, 47, 5); // odd extents: Neon-compilable
+        let col_major = GemmConfig::ab(33, 47, 5); // Neon cannot compile
 
         let sme_only = Router::with_policy(8, RoutingPolicy::SmeOnly);
         assert_eq!(sme_only.route(&tiny), Backend::Sme);
@@ -494,13 +496,18 @@ mod tests {
         let neon_only = Router::with_policy(8, RoutingPolicy::NeonOnly);
         assert_eq!(neon_only.route(&tiny), Backend::Neon);
         assert_eq!(neon_only.route(&large), Backend::Neon);
-        assert_eq!(neon_only.route(&ragged), Backend::Sme, "fallback");
+        assert_eq!(
+            neon_only.route(&ragged),
+            Backend::Neon,
+            "odd shapes compile"
+        );
+        assert_eq!(neon_only.route(&col_major), Backend::Sme, "fallback");
 
         for policy in [RoutingPolicy::Heuristic, RoutingPolicy::Measured] {
             let router = Router::with_policy(8, policy);
             assert_eq!(router.route(&tiny), Backend::Neon, "{policy:?}");
             assert_eq!(router.route(&large), Backend::Sme, "{policy:?}");
-            assert_eq!(router.route(&ragged), Backend::Sme, "{policy:?}");
+            assert_eq!(router.route(&col_major), Backend::Sme, "{policy:?}");
         }
     }
 

@@ -395,6 +395,7 @@ impl TelemetryRegistry {
             beta: Option<Beta>,
             c_transfer: sme_gemm::ZaTransferStrategy,
             k_unroll: usize,
+            schedule: Option<sme_gemm::KernelSchedule>,
             requests: u64,
             cycles: f64,
             decayed_requests: f64,
@@ -444,6 +445,7 @@ impl TelemetryRegistry {
                         beta: s.config.as_fp32().map(|c| c.beta),
                         c_transfer,
                         k_unroll,
+                        schedule: s.config.as_fp32().map(|c| c.schedule),
                         requests: s.requests,
                         cycles: s.cycles,
                         decayed_requests: s.decayed_requests,
@@ -553,6 +555,18 @@ impl TelemetryRegistry {
                         "One" => Beta::One,
                         other => return Err(fail(&format!("unknown beta `{other}`"))),
                     };
+                    // Snapshots written before the schedule dimension have
+                    // no `schedule` field: those kernels were all serial.
+                    let schedule = match shape.get("schedule") {
+                        None | Some(serde_json::Value::Null) => sme_gemm::KernelSchedule::Serial,
+                        Some(v) => {
+                            let name = v
+                                .as_str()
+                                .ok_or_else(|| fail("`schedule` must be a string"))?;
+                            sme_gemm::KernelSchedule::from_name(name)
+                                .ok_or_else(|| fail(&format!("unknown schedule `{name}`")))?
+                        }
+                    };
                     let cfg = GemmConfig {
                         m: dim("m")?,
                         n: dim("n")?,
@@ -564,6 +578,7 @@ impl TelemetryRegistry {
                         beta,
                         c_transfer,
                         k_unroll,
+                        schedule,
                     };
                     cfg.validate()
                         .map_err(|e| fail(&format!("invalid recorded configuration: {e}")))?;

@@ -23,6 +23,7 @@
 //! (the property the cache's tests and the runtime integration test rely
 //! on).
 
+use crate::pack::PackedOperandCache;
 use crate::store::{tune_key_any, PlanStore, TunedRecord};
 use serde::json::Value;
 use sme_gemm::{
@@ -119,6 +120,9 @@ pub struct KernelCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
     store: RwLock<PlanStore>,
+    /// Packed operand images keyed by operand identity × layout × datatype
+    /// (see [`crate::pack`]); invalidated alongside the kernels.
+    packs: PackedOperandCache,
     obs: OnceLock<ObsHandles>,
 }
 
@@ -169,14 +173,25 @@ impl KernelCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity,
             store: RwLock::new(store),
+            // Operand images are far smaller than compiled kernels are
+            // costly, so give repeated-weights traffic headroom: several
+            // operand sets per cacheable kernel.
+            packs: PackedOperandCache::new(capacity.max(1) * 4),
             obs: OnceLock::new(),
         }
+    }
+
+    /// The packed-operand cache riding along with the kernel cache (hit
+    /// counters, explicit invalidation).
+    pub fn packs(&self) -> &PackedOperandCache {
+        &self.packs
     }
 
     /// Attach an observability hub: cache hit/miss/eviction counters, the
     /// hit-ratio gauge, compile-time histogram and per-compile spans are
     /// reported to it from then on. Only the first attach wins.
     pub fn attach_obs(&self, hub: Arc<ObsHub>) {
+        self.packs.attach_obs(&hub);
         let _ = self.obs.set(ObsHandles {
             hits: hub.metrics.counter("sme_cache_hits_total"),
             misses: hub.metrics.counter("sme_cache_misses_total"),
@@ -419,7 +434,9 @@ impl KernelCache {
     }
 
     /// Drop every cached kernel for a configuration of either datatype
-    /// (all backends).
+    /// (all backends), along with the configuration's packed operand
+    /// images — a caller invalidating a shape expects *nothing* derived
+    /// from it to be served stale.
     pub fn invalidate_any(&self, cfg: &AnyGemmConfig) -> bool {
         let mut dropped = false;
         for backend in Backend::all() {
@@ -429,6 +446,7 @@ impl KernelCache {
             shard.entries.retain(|(k, _)| k != &key);
             dropped |= shard.entries.len() != before;
         }
+        self.packs.invalidate_config(cfg);
         dropped
     }
 
@@ -473,12 +491,14 @@ impl KernelCache {
     }
 
     /// Replace the whole plan store (e.g. after [`PlanStore::load`]) and
-    /// drop every cached kernel, since any of them may now be stale.
+    /// drop every cached kernel and packed operand set, since any of them
+    /// may now be stale.
     pub fn replace_store(&self, store: PlanStore) {
         *self.store.write().expect("plan store poisoned") = store;
         for shard in &self.shards {
             shard.lock().expect("cache shard poisoned").entries.clear();
         }
+        self.packs.clear();
     }
 
     /// Snapshot of the plan store (for persistence).
@@ -524,7 +544,7 @@ impl KernelCache {
 mod tests {
     use super::*;
     use crate::store::tune_key;
-    use sme_gemm::{PlanCandidate, PlanKind, ZaTransferStrategy};
+    use sme_gemm::{KernelSchedule, PlanCandidate, PlanKind, ZaTransferStrategy};
 
     #[test]
     fn second_request_hits_without_compiling() {
@@ -621,6 +641,7 @@ mod tests {
                 kind: PlanKind::Heterogeneous,
                 c_transfer: ZaTransferStrategy::Direct,
                 k_unroll: 4,
+                schedule: KernelSchedule::Serial,
             },
             tuned_cycles: 10.0,
             default_cycles: 20.0,
@@ -688,20 +709,23 @@ mod tests {
         assert_eq!(sme2.backend(), Backend::Sme);
         assert_eq!(cache.stats().tuned_compiles, 1);
 
-        // A backend that cannot compile the shape reports the error.
+        // Ragged shapes now compile on Neon; a layout the backend cannot
+        // compile (column-major B) still reports the error.
         let ragged = GemmConfig::abt(33, 47, 8);
-        assert!(cache.fetch(&ragged, Backend::Neon).is_err());
-        assert!(cache.fetch(&ragged, Backend::Sme).is_ok());
+        assert!(cache.fetch(&ragged, Backend::Neon).is_ok());
+        let col_major = GemmConfig::ab(33, 47, 8);
+        assert!(cache.fetch(&col_major, Backend::Neon).is_err());
+        assert!(cache.fetch(&col_major, Backend::Sme).is_ok());
     }
 
     #[test]
     fn bad_backend_records_never_make_a_valid_config_undispatchable() {
-        // A store assembled in memory can carry a Neon record for a shape
+        // A store assembled in memory can carry a Neon record for a layout
         // the Neon generator cannot compile (load-time validation never
         // ran). The backend-agnostic path must ignore it and serve the SME
         // default, not propagate the Neon generator's error.
         let cache = KernelCache::new(16);
-        let cfg = GemmConfig::abt(33, 47, 8); // off the Neon 16×4 grid
+        let cfg = GemmConfig::ab(33, 47, 8); // column-major B is Neon-invalid
         cache.install_tuned(
             &cfg,
             TunedRecord {
@@ -739,6 +763,7 @@ mod tests {
                     kind: PlanKind::Heterogeneous,
                     c_transfer: ZaTransferStrategy::TwoStep,
                     k_unroll: 1,
+                    schedule: KernelSchedule::Serial,
                 },
                 tuned_cycles: 1.0,
                 default_cycles: 1.0,

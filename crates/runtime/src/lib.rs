@@ -13,7 +13,10 @@
 //!   key: FP32 [`GemmConfig`] or BF16 widening
 //!   [`sme_gemm::WideningGemmConfig`]), handing out
 //!   `Arc<sme_gemm::RoutedKernel>` on hit and compiling on miss, with
-//!   exact hit/miss/eviction counters;
+//!   exact hit/miss/eviction counters — plus a [`PackedOperandCache`]
+//!   that reuses materialised operand images across dispatches of the
+//!   same operands (keyed by operand identity × layout × datatype, with
+//!   invalidation wired into the kernel cache's invalidation paths);
 //! * [`tuner`] — an autotuner that enumerates the candidate block plans,
 //!   ZA-transfer strategies and unroll factors **across both backends and
 //!   both datatypes** ([`sme_gemm::enumerate_any_candidates`]), prunes
@@ -68,11 +71,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod pack;
 pub mod service;
 pub mod store;
 pub mod tuner;
 
 pub use cache::{CacheStats, KernelCache};
+pub use pack::{PackLayout, PackStats, PackedOperandCache};
 pub use service::{BatchReport, ConfigReport, GemmRequest, GemmService};
 pub use store::{
     tune_key, tune_key_any, FingerprintCheck, PlanStore, PlanStoreError, TunedRecord,

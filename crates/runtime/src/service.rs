@@ -73,6 +73,9 @@ pub struct ConfigReport {
     pub cache_hit: bool,
     /// Number of requests in the batch with this configuration.
     pub requests: usize,
+    /// Requests whose packed A/B operand images were served from the
+    /// packed-operand cache (the remainder repacked them from the seed).
+    pub pack_hits: usize,
     /// Execution statistics summed over those requests.
     pub stats: ExecStats,
 }
@@ -89,6 +92,17 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
+    /// Fraction of the batch's requests whose packed operands were served
+    /// from the packed-operand cache (0 for an empty batch).
+    pub fn pack_hit_ratio(&self) -> f64 {
+        let requests: usize = self.per_config.iter().map(|c| c.requests).sum();
+        if requests == 0 {
+            return 0.0;
+        }
+        let hits: usize = self.per_config.iter().map(|c| c.pack_hits).sum();
+        hits as f64 / requests as f64
+    }
+
     /// Nominal floating-point operations of the whole batch.
     pub fn total_flops(&self) -> u64 {
         self.per_config
@@ -264,7 +278,7 @@ impl GemmService {
         // thread-safe, so the kernel fetch happens inside the worker: one
         // miss per distinct (configuration, backend), hits for repeats
         // across batches.
-        type GroupOutput = (Vec<(usize, Vec<f32>)>, ExecStats, Backend, bool);
+        type GroupOutput = (Vec<(usize, Vec<f32>)>, ExecStats, Backend, bool, usize);
         let results: Vec<(usize, Result<GroupOutput, GemmError>)> = exec_order
             .par_iter()
             .map(|&g| {
@@ -283,8 +297,14 @@ impl GemmService {
                     let mut sim = Simulator::m4_performance();
                     let mut stats = ExecStats::default();
                     let mut outputs = Vec::with_capacity(indices.len());
+                    let mut pack_hits = 0usize;
                     for &index in indices {
-                        let bufs = kernel.allocate_buffers(&mut sim, Some(requests[index].seed));
+                        let seed = requests[index].seed;
+                        // Packed A/B images replay from the operand cache;
+                        // only C (the output) is refreshed from the seed.
+                        let (images, pack_hit) = self.cache.packs().get_or_pack(&kernel, seed);
+                        pack_hits += pack_hit as usize;
+                        let bufs = kernel.allocate_buffers_packed(&mut sim, seed, &images);
                         let result = kernel.run(&mut sim, bufs, &RunOptions::default());
                         stats.merge(&result.stats);
                         outputs.push((index, sim.mem.read_f32_slice(bufs.c, config.c_len())));
@@ -325,10 +345,14 @@ impl GemmService {
                                     serde::json::Value::Number(stats.cycles),
                                 ),
                                 ("cache_hit".to_string(), serde::json::Value::Bool(cache_hit)),
+                                (
+                                    "pack_hits".to_string(),
+                                    serde::json::Value::Number(pack_hits as f64),
+                                ),
                             ],
                         );
                     }
-                    Ok((outputs, stats, backend, cache_hit))
+                    Ok((outputs, stats, backend, cache_hit, pack_hits))
                 };
                 (g, run())
             })
@@ -343,7 +367,7 @@ impl GemmService {
         let mut per_config = Vec::with_capacity(groups.len());
         let mut total = ExecStats::default();
         for ((config, indices), result) in groups.iter().zip(executed) {
-            let (group_outputs, stats, backend, cache_hit) =
+            let (group_outputs, stats, backend, cache_hit, pack_hits) =
                 result.expect("every group executed")?;
             for (index, c) in group_outputs {
                 outputs[index] = c;
@@ -355,6 +379,7 @@ impl GemmService {
                 backend,
                 cache_hit,
                 requests: indices.len(),
+                pack_hits,
                 stats,
             });
         }
@@ -493,7 +518,7 @@ mod tests {
     fn routed_dispatch_controls_the_backend_per_config() {
         let service = GemmService::new(16);
         let neonable = GemmConfig::abt(16, 4, 4);
-        let sme_only = GemmConfig::abt(33, 17, 5); // off the Neon 16×4 grid
+        let sme_only = GemmConfig::ab(33, 17, 5); // column-major B is Neon-invalid
         let requests = [
             GemmRequest::fp32(neonable, 1),
             GemmRequest::fp32(sme_only, 2),
@@ -533,7 +558,7 @@ mod tests {
         assert!(again.per_config.iter().all(|c| c.cache_hit));
         assert_eq!(report.outputs, again.outputs);
 
-        // Routing a shape the backend cannot compile fails the batch.
+        // Routing a layout the backend cannot compile fails the batch.
         assert!(service
             .dispatch_routed(&requests, |_| Backend::Neon)
             .is_err());

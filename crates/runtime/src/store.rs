@@ -14,23 +14,26 @@
 
 use serde::Serialize;
 use sme_gemm::{
-    AnyGemmConfig, BLayout, Backend, Beta, Dtype, GemmConfig, PlanCandidate, PlanKind,
-    WideningGemmConfig, ZaTransferStrategy,
+    AnyGemmConfig, BLayout, Backend, Beta, Dtype, GemmConfig, KernelSchedule, PlanCandidate,
+    PlanKind, WideningGemmConfig, ZaTransferStrategy,
 };
 use sme_machine::MachineConfig;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
-/// Version stamp written into the JSON document. Version 3 made the
-/// datatype a first-class dimension: entries carry a `dtype` tag
-/// (`"Fp32"` or `"WideningBf16"`), and widening entries omit the FP32-only
-/// fields (`lda`/`ldb`/`ldc`/`b_layout`/`beta`). Version 2 added the
-/// per-entry `backend` tag and the optional `machine_fingerprint` stamp.
-/// Version-2 and version-1 documents still load (their entries are
-/// implicitly FP32; version-1 entries are additionally implicitly SME and
+/// Version stamp written into the JSON document. Version 4 added the
+/// kernel-schedule dimension: entries carry a `schedule` tag (`"Serial"`
+/// or `"Pipelined"`; absent means serial, so hand-trimmed documents stay
+/// loadable). Version 3 made the datatype a first-class dimension: entries
+/// carry a `dtype` tag (`"Fp32"` or `"WideningBf16"`), and widening
+/// entries omit the FP32-only fields (`lda`/`ldb`/`ldc`/`b_layout`/
+/// `beta`). Version 2 added the per-entry `backend` tag and the optional
+/// `machine_fingerprint` stamp. Version-3, -2 and -1 documents still load
+/// (their entries are implicitly serial; version-2 and -1 entries are
+/// additionally implicitly FP32, and version-1 entries implicitly SME and
 /// unstamped).
-pub const PLAN_STORE_VERSION: u64 = 3;
+pub const PLAN_STORE_VERSION: u64 = 4;
 
 /// The tuning result stored for one normalized configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,11 +114,12 @@ pub struct PlanStore {
 }
 
 /// Normalize an FP32 configuration to its tuning key: the tunable knobs
-/// (`c_transfer`, `k_unroll`) are reset to fixed values so that requests
-/// differing only in those knobs share one tuned winner.
+/// (`c_transfer`, `k_unroll`, `schedule`) are reset to fixed values so
+/// that requests differing only in those knobs share one tuned winner.
 pub fn tune_key(cfg: &GemmConfig) -> GemmConfig {
     cfg.with_c_transfer(ZaTransferStrategy::TwoStep)
         .with_k_unroll(1)
+        .with_schedule(KernelSchedule::Serial)
 }
 
 /// Normalize a configuration of either datatype to its tuning key (the
@@ -256,6 +260,7 @@ impl PlanStore {
             plan: String,
             c_transfer: ZaTransferStrategy,
             k_unroll: usize,
+            schedule: String,
             tuned_cycles: f64,
             default_cycles: f64,
         }
@@ -287,6 +292,7 @@ impl PlanStore {
                         plan: r.candidate.kind.name().to_string(),
                         c_transfer: r.candidate.c_transfer,
                         k_unroll: r.candidate.k_unroll,
+                        schedule: r.candidate.schedule.name().to_string(),
                         tuned_cycles: r.tuned_cycles,
                         default_cycles: r.default_cycles,
                     };
@@ -314,7 +320,7 @@ impl PlanStore {
         let doc = serde_json::from_str(text)
             .map_err(|e| PlanStoreError::Format(format!("invalid JSON: {e}")))?;
         let version = match doc.get("version").and_then(|v| v.as_u64()) {
-            Some(v @ (1 | 2 | PLAN_STORE_VERSION)) => v,
+            Some(v @ (1 | 2 | 3 | PLAN_STORE_VERSION)) => v,
             Some(other) => {
                 return Err(PlanStoreError::Format(format!(
                     "unsupported plan store version {other} (expected {PLAN_STORE_VERSION})"
@@ -361,7 +367,7 @@ impl PlanStore {
             };
             // Versions 1 and 2 predate the datatype dimension: every entry
             // is an FP32 winner.
-            let dtype = if version < PLAN_STORE_VERSION {
+            let dtype = if version < 3 {
                 Dtype::Fp32
             } else {
                 let name = text_field("dtype")?;
@@ -390,6 +396,18 @@ impl PlanStore {
                     "invalid stored k_unroll {k_unroll} (supported: 1, 2, 4)"
                 )));
             }
+            // Versions 1–3 predate the schedule dimension; an absent tag in
+            // a v4 document also means serial, so trimmed documents load.
+            let schedule = match entry.get("schedule") {
+                None | Some(serde_json::Value::Null) => KernelSchedule::Serial,
+                Some(v) => {
+                    let name = v
+                        .as_str()
+                        .ok_or_else(|| fail("`schedule` must be a string"))?;
+                    KernelSchedule::from_name(name)
+                        .ok_or_else(|| fail(&format!("unknown schedule `{name}`")))?
+                }
+            };
             let key = match dtype {
                 Dtype::Fp32 => {
                     let b_layout = match text_field("b_layout")? {
@@ -413,6 +431,7 @@ impl PlanStore {
                         beta,
                         c_transfer: ZaTransferStrategy::TwoStep,
                         k_unroll: 1,
+                        schedule: KernelSchedule::Serial,
                     };
                     key.validate()
                         .map_err(|e| fail(&format!("invalid stored configuration: {e}")))?;
@@ -473,6 +492,7 @@ impl PlanStore {
                     kind,
                     c_transfer,
                     k_unroll,
+                    schedule,
                 },
                 tuned_cycles: cycles("tuned_cycles")?,
                 default_cycles: cycles("default_cycles")?,
@@ -508,6 +528,7 @@ mod tests {
                 kind,
                 c_transfer: ZaTransferStrategy::Direct,
                 k_unroll: 2,
+                schedule: KernelSchedule::Pipelined,
             },
             tuned_cycles: 1200.5,
             default_cycles: 1500.25,
@@ -521,6 +542,7 @@ mod tests {
                 kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
                 c_transfer: ZaTransferStrategy::TwoStep,
                 k_unroll: 2,
+                schedule: KernelSchedule::Serial,
             },
             tuned_cycles: 800.0,
             default_cycles: 900.0,
@@ -598,13 +620,14 @@ mod tests {
                     kind: PlanKind::Homogeneous(RegisterBlocking::B32x32),
                     c_transfer: ZaTransferStrategy::TwoStep,
                     k_unroll: 1,
+                    schedule: KernelSchedule::Serial,
                 },
                 tuned_cycles: 50.0,
                 default_cycles: 50.0,
             },
         );
         let json = store.to_json();
-        assert!(json.contains("\"version\": 3"));
+        assert!(json.contains("\"version\": 4"));
         assert!(json.contains("\"dtype\": \"Fp32\""));
         assert!(json.contains("\"dtype\": \"WideningBf16\""));
         // Widening entries have no FP32 layout fields.
@@ -644,9 +667,9 @@ mod tests {
             PlanKind::Homogeneous(RegisterBlocking::B16x64)
         );
         assert_eq!(rec.candidate.c_transfer, ZaTransferStrategy::Direct);
-        // Re-serializing upgrades the document to v3 with an explicit tag.
+        // Re-serializing upgrades the document to v4 with an explicit tag.
         let upgraded = store.to_json();
-        assert!(upgraded.contains("\"version\": 3"));
+        assert!(upgraded.contains("\"version\": 4"));
         assert!(upgraded.contains("\"dtype\": \"Fp32\""));
         assert_eq!(PlanStore::from_json(&upgraded).unwrap(), store);
     }
@@ -667,7 +690,7 @@ mod tests {
         let a = store.to_json();
         let b = store.clone().to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"version\": 3"));
+        assert!(a.contains("\"version\": 4"));
         // Sorted by dtype then shape: 32 before 64 before 96, widening last.
         let p32 = a.find("\"m\": 32").unwrap();
         let p64 = a.find("\"m\": 64").unwrap();
@@ -681,7 +704,7 @@ mod tests {
         let cases = [
             ("not json", "invalid JSON"),
             ("{}", "version"),
-            (r#"{"version": 4, "entries": []}"#, "version 4"),
+            (r#"{"version": 5, "entries": []}"#, "version 5"),
             (r#"{"version": 1}"#, "entries"),
             (r#"{"version": 1, "entries": [{}]}"#, "missing"),
             (
@@ -725,13 +748,22 @@ mod tests {
                 "unknown backend",
             ),
             (
-                // Odd m: the Neon generator cannot compile this shape
-                // (its residual path works in row pairs).
-                r#"{"version": 2, "entries": [{"m": 9, "n": 8, "k": 8, "lda": 9, "ldb": 8,
-                   "ldc": 9, "b_layout": "RowMajor", "beta": "One", "backend": "Neon",
-                   "plan": "Heterogeneous", "c_transfer": "TwoStep", "k_unroll": 1,
+                // A Neon winner for column-major B can never dispatch (the
+                // Neon generator is row-major-B only).
+                r#"{"version": 2, "entries": [{"m": 8, "n": 8, "k": 8, "lda": 8, "ldb": 8,
+                   "ldc": 8, "b_layout": "ColMajor", "beta": "One", "backend": "Neon",
+                   "plan": "ColumnPanels", "c_transfer": "TwoStep", "k_unroll": 1,
                    "tuned_cycles": 1, "default_cycles": 1}]}"#,
                 "Neon-compilable",
+            ),
+            (
+                // A bogus schedule tag is corruption, not serial.
+                r#"{"version": 4, "entries": [{"dtype": "Fp32", "m": 8, "n": 8, "k": 8,
+                   "lda": 8, "ldb": 8, "ldc": 8, "b_layout": "RowMajor", "beta": "One",
+                   "backend": "Sme", "plan": "Heterogeneous", "c_transfer": "TwoStep",
+                   "k_unroll": 1, "schedule": "Overlapped",
+                   "tuned_cycles": 1, "default_cycles": 1}]}"#,
+                "unknown schedule",
             ),
             (
                 // An odd k is off the widening envelope grid entirely.

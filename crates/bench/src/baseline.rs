@@ -322,15 +322,23 @@ impl BaselineStore {
         })
     }
 
-    /// Write the baseline to `path`.
+    /// Write the baseline to `path` — atomically (temp + fsync + rename),
+    /// with a checksum trailer, keeping the previous generation at
+    /// `<path>.bak` (see [`sme_runtime::save_snapshot`]).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), BaselineError> {
-        std::fs::write(path, self.to_json())?;
+        sme_runtime::save_snapshot(path.as_ref(), &self.to_json())?;
         Ok(())
     }
 
-    /// Load a baseline from `path`.
+    /// Load a baseline from `path`. The checksum trailer is verified when
+    /// present; trailer-less legacy documents (including the committed
+    /// `BENCH_baseline.json`) still load.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, BaselineError> {
-        BaselineStore::from_json(&std::fs::read_to_string(path)?)
+        match sme_runtime::read_snapshot(path.as_ref()) {
+            Ok(text) => BaselineStore::from_json(&text),
+            Err(sme_runtime::SnapshotError::Io(e)) => Err(BaselineError::Io(e)),
+            Err(sme_runtime::SnapshotError::Corrupt(msg)) => Err(BaselineError::Format(msg)),
+        }
     }
 
     /// Load a baseline and validate it against `machine`'s fingerprint.
@@ -339,12 +347,35 @@ impl BaselineStore {
     /// passes vacuously: runs on different timing models are not
     /// comparable) — and a warning naming both fingerprints is printed to
     /// stderr, mirroring `PlanStore::load_checked`.
+    ///
+    /// *Corruption* is handled differently from staleness: if the primary
+    /// document is unreadable, fails its checksum trailer, or does not
+    /// parse, the `.bak` previous generation (kept by every
+    /// [`BaselineStore::save`]) is tried before giving up, and the
+    /// original error is returned only when both generations are bad.
     pub fn load_checked(
         path: impl AsRef<Path>,
         machine: &MachineConfig,
     ) -> Result<(Self, FingerprintCheck), BaselineError> {
         let path = path.as_ref();
-        let store = BaselineStore::load(path)?;
+        let store = match BaselineStore::load(path) {
+            Ok(store) => store,
+            Err(BaselineError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(BaselineError::Io(e));
+            }
+            Err(primary) => match BaselineStore::load(sme_runtime::backup_path(path)) {
+                Ok(previous) => {
+                    eprintln!(
+                        "warning: baseline {} is corrupt ({primary}); recovered \
+                         {} entr(y/ies) from the previous generation",
+                        path.display(),
+                        previous.len()
+                    );
+                    previous
+                }
+                Err(_) => return Err(primary),
+            },
+        };
         let check = store.fingerprint_check(machine);
         if let FingerprintCheck::Mismatch { stored, current } = check {
             eprintln!(

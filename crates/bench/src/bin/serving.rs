@@ -22,8 +22,8 @@
 //! records this run as the new baseline for the perf ratchet.
 
 use sme_bench::{
-    maybe_write_json, render_serving_trace, serving_baseline, serving_run, BaselineStore,
-    ServingTraceOptions,
+    chaos_run, maybe_write_json, render_chaos_report, render_serving_trace, serving_baseline,
+    serving_run, BaselineStore, ServingTraceOptions,
 };
 
 fn main() {
@@ -38,6 +38,28 @@ fn main() {
         eprintln!("error: could not create {}: {e}", dir.display());
         std::process::exit(1);
     }
+
+    if opts.chaos {
+        // Chaos mode: same trace, but under the seeded fault schedule —
+        // the run passes only if every request completed bit-correct and
+        // every snapshot recovered (see the chaos module docs).
+        let run = chaos_run(&opts, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = match run {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        print!("{}", render_chaos_report(&run.report));
+        maybe_write_json(&opts.chaos_json, &run.report);
+        if !run.report.passed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let run = serving_run(&opts, &dir);
     let _ = std::fs::remove_dir_all(&dir);
     let run = match run {
@@ -98,7 +120,18 @@ fn main() {
     }
     if let Some(path) = &opts.postmortem {
         if let Some(bundle) = run.postmortem() {
-            match std::fs::write(path, bundle.render_pretty()) {
+            // Atomic write + checksum trailer, then read the bundle back
+            // through the verifying loader: a postmortem torn by the dying
+            // process it describes is worse than none.
+            let target = std::path::Path::new(path);
+            match sme_runtime::save_snapshot(target, &bundle.render_pretty())
+                .map_err(|e| e.to_string())
+                .and_then(|()| sme_runtime::read_snapshot(target).map_err(|e| e.to_string()))
+                .and_then(|text| {
+                    serde_json::from_str(&text)
+                        .map(|_| ())
+                        .map_err(|e| format!("bundle does not parse back: {e}"))
+                }) {
                 Ok(()) => println!("postmortem: bundle written to {path}"),
                 Err(e) => {
                     eprintln!("error: could not write postmortem bundle {path}: {e}");

@@ -13,11 +13,13 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod chaos;
 
 pub use baseline::{
     BaselineCheckReport, BaselineError, BaselineStore, MetricRegression, BASELINE_VERSION,
     HIT_RATE_TOLERANCE, REL_TOLERANCE,
 };
+pub use chaos::{chaos_run, render_chaos_report, ChaosFaultRecord, ChaosReport, ChaosRun};
 
 use accel_ref::AccelerateSgemm;
 use rayon::prelude::*;
@@ -892,6 +894,15 @@ pub struct ServingTraceOptions {
     pub check_baseline: Option<String>,
     /// Baseline file to (over)write from this run (`--write-baseline`).
     pub write_baseline: Option<String>,
+    /// Run the trace under the deterministic chaos fault schedule
+    /// (`--chaos`): see [`chaos::chaos_run`].
+    pub chaos: bool,
+    /// Seed of the chaos schedule (`--chaos-seed N`; same seed = same
+    /// faults at the same points).
+    pub chaos_seed: u64,
+    /// Where the chaos verdict JSON lands (`--chaos-json PATH`;
+    /// `BENCH_chaos.json` in CI).
+    pub chaos_json: Option<String>,
 }
 
 impl Default for ServingTraceOptions {
@@ -908,6 +919,9 @@ impl Default for ServingTraceOptions {
             postmortem: None,
             check_baseline: None,
             write_baseline: None,
+            chaos: false,
+            chaos_seed: 0,
+            chaos_json: None,
         }
     }
 }
@@ -916,7 +930,8 @@ impl ServingTraceOptions {
     /// Usage string for the `serving` binary.
     pub const USAGE: &'static str = "[--batches N] [--requests N] [--json PATH] [--trace PATH] \
          [--metrics PATH] [--trace-capacity N] [--slo makespan-p99=N,hit-rate=X] \
-         [--postmortem PATH] [--check-baseline PATH] [--write-baseline PATH] [--smoke]";
+         [--postmortem PATH] [--check-baseline PATH] [--write-baseline PATH] [--smoke] \
+         [--chaos] [--chaos-seed N] [--chaos-json PATH]";
 
     /// Parse the `serving` binary's flags. `--batches N` sets the warm
     /// phase length (the shifted phase is `2 N`); `--smoke` is the CI
@@ -976,8 +991,21 @@ impl ServingTraceOptions {
                     opts.shifted_batches = 6;
                     opts.requests = 4;
                 }
+                "--chaos" => opts.chaos = true,
+                "--chaos-seed" => {
+                    opts.chaos_seed = value("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?;
+                }
+                "--chaos-json" => opts.chaos_json = Some(value("--chaos-json")?),
                 other => return Err(format!("unknown flag {other}")),
             }
+        }
+        if opts.chaos && opts.check_baseline.is_some() {
+            // Chaos runs deliberately fail ticks and degrade dispatches;
+            // their warm-up metrics are not comparable to a healthy
+            // baseline.
+            return Err("--chaos does not combine with --check-baseline".into());
         }
         Ok(opts)
     }

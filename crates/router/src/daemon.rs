@@ -28,7 +28,8 @@
 use crate::router::Router;
 use crate::telemetry::{TelemetryError, TelemetryRegistry};
 use sme_gemm::AnyGemmConfig;
-use sme_runtime::{FingerprintCheck, PlanStore, PlanStoreError, TunerOptions};
+use sme_runtime::fault::{self, FaultKind};
+use sme_runtime::{FingerprintCheck, PlanStore, PlanStoreError, SnapshotSource, TunerOptions};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -71,6 +72,9 @@ pub enum DaemonError {
     Store(PlanStoreError),
     /// Tuning a hot shape failed (the shape's configuration is invalid).
     Tune(sme_gemm::GemmError),
+    /// A deterministically injected tick failure (chaos testing — see
+    /// [`sme_runtime::FaultPlan`]).
+    Fault(String),
 }
 
 impl fmt::Display for DaemonError {
@@ -79,6 +83,7 @@ impl fmt::Display for DaemonError {
             DaemonError::Telemetry(e) => write!(f, "pretune daemon telemetry error: {e}"),
             DaemonError::Store(e) => write!(f, "pretune daemon plan store error: {e}"),
             DaemonError::Tune(e) => write!(f, "pretune daemon tuning error: {e}"),
+            DaemonError::Fault(site) => write!(f, "injected daemon fault at {site}"),
         }
     }
 }
@@ -135,12 +140,36 @@ pub struct RestoreReport {
     pub telemetry_shapes: usize,
     /// Fingerprint verdict of the telemetry snapshot, if one existed.
     pub telemetry_check: Option<FingerprintCheck>,
+    /// Which on-disk generation the telemetry snapshot was served from
+    /// (`Backup` = the primary was corrupt and `<path>.bak` recovered it;
+    /// `None` = the file did not exist, a fresh start).
+    pub telemetry_source: Option<SnapshotSource>,
     /// Tuned winners recovered into the plan store (0 when the store file
     /// was missing or stale).
     pub plans: usize,
     /// Fingerprint verdict of the plan store, if one existed.
     pub plan_check: Option<FingerprintCheck>,
+    /// Which on-disk generation the plan store was served from.
+    pub plan_source: Option<SnapshotSource>,
 }
+
+/// How [`DaemonHandle::stop`] ended: the supervision loop's exit status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopOutcome {
+    /// The loop exited cleanly within the timeout.
+    Stopped,
+    /// The loop thread did not exit within the timeout; the stop flag
+    /// stays set and the thread is detached (it exits after its in-flight
+    /// tick and sleep slice).
+    TimedOut,
+    /// The loop thread itself died mid-flight (a panic that escaped the
+    /// per-tick isolation) — the payload's detail, for the postmortem.
+    Died(String),
+}
+
+/// How long [`DaemonHandle::stop`] waits for the in-flight tick before
+/// detaching the loop thread.
+pub const STOP_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Handle to a running background pretuner (see [`PretuneDaemon::spawn`]).
 /// Dropping the handle without calling [`DaemonHandle::stop`] detaches the
@@ -150,14 +179,36 @@ pub struct DaemonHandle {
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
     last_report: Arc<Mutex<Option<TickReport>>>,
+    last_error: Arc<Mutex<Option<String>>>,
+    consecutive_failures: Arc<AtomicU64>,
 }
 
 impl DaemonHandle {
-    /// Signal the loop to stop and wait for the in-flight tick to finish.
-    pub fn stop(mut self) {
+    /// Signal the loop to stop and wait up to [`STOP_TIMEOUT`] for the
+    /// in-flight tick to finish. A loop thread that died mid-flight is
+    /// surfaced as [`StopOutcome::Died`] instead of being silently
+    /// swallowed; one that will not exit in time is detached
+    /// ([`StopOutcome::TimedOut`]), never blocked on forever.
+    pub fn stop(self) -> StopOutcome {
+        self.stop_within(STOP_TIMEOUT)
+    }
+
+    /// [`DaemonHandle::stop`] with an explicit join timeout.
+    pub fn stop_within(mut self, timeout: Duration) -> StopOutcome {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
+        let Some(thread) = self.thread.take() else {
+            return StopOutcome::Stopped;
+        };
+        let deadline = Instant::now() + timeout;
+        while !thread.is_finished() {
+            if Instant::now() >= deadline {
+                return StopOutcome::TimedOut;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        match thread.join() {
+            Ok(()) => StopOutcome::Stopped,
+            Err(payload) => StopOutcome::Died(panic_detail(payload.as_ref())),
         }
     }
 
@@ -165,10 +216,32 @@ impl DaemonHandle {
     /// yet. Operators watch `tick` (stopped advancing = stuck loop) and
     /// `duration` (approaching the interval = slow loop).
     pub fn last_report(&self) -> Option<TickReport> {
-        self.last_report
-            .lock()
-            .expect("tick report poisoned")
-            .clone()
+        sme_runtime::poison::lock(&self.last_report, "daemon tick report").clone()
+    }
+
+    /// The most recent failed tick's error, if any tick has failed yet.
+    /// Stays readable after a later success (operators see *what* last
+    /// went wrong); pair with
+    /// [`consecutive_failures`](DaemonHandle::consecutive_failures) to see
+    /// whether the loop is currently healthy.
+    pub fn last_error(&self) -> Option<String> {
+        sme_runtime::poison::lock(&self.last_error, "daemon tick error").clone()
+    }
+
+    /// How many ticks in a row have failed (0 = the last tick succeeded).
+    /// The loop's retry backoff grows with this count.
+    pub fn consecutive_failures(&self) -> u64 {
+        self.consecutive_failures.load(Ordering::Relaxed)
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -207,26 +280,37 @@ impl PretuneDaemon {
     /// discarded, exactly like `PlanStore::load_checked`). Missing files
     /// are a fresh start, not an error — the daemon is restartable from
     /// nothing.
+    ///
+    /// Each file loads through the full degradation ladder
+    /// ([`PlanStore::load_recovered`] /
+    /// [`TelemetryRegistry::load_recovered`]): a corrupt primary
+    /// generation recovers from its `.bak` previous generation, and only
+    /// when both generations are bad does the restore fall back to empty
+    /// state — so restore itself never fails, and the report says which
+    /// generation served. The `Result` is kept for API stability.
     pub fn restore(&self, router: &Router) -> Result<RestoreReport, DaemonError> {
         let mut report = RestoreReport {
             telemetry_shapes: 0,
             telemetry_check: None,
+            telemetry_source: None,
             plans: 0,
             plan_check: None,
+            plan_source: None,
         };
         if self.config.telemetry_path.exists() {
-            let (registry, check) =
-                TelemetryRegistry::load_checked(&self.config.telemetry_path, router.machine())?;
-            report.telemetry_shapes = registry.len();
-            report.telemetry_check = Some(check);
-            router.telemetry().restore_from(registry);
+            let recovered =
+                TelemetryRegistry::load_recovered(&self.config.telemetry_path, router.machine());
+            report.telemetry_shapes = recovered.registry.len();
+            report.telemetry_check = Some(recovered.check);
+            report.telemetry_source = Some(recovered.source);
+            router.telemetry().restore_from(recovered.registry);
         }
         if self.config.store_path.exists() {
-            let (store, check) =
-                PlanStore::load_checked(&self.config.store_path, router.machine())?;
-            report.plans = store.len();
-            report.plan_check = Some(check);
-            router.cache().replace_store(store);
+            let recovered = PlanStore::load_recovered(&self.config.store_path, router.machine());
+            report.plans = recovered.store.len();
+            report.plan_check = Some(recovered.check);
+            report.plan_source = Some(recovered.source);
+            router.cache().replace_store(recovered.store);
         }
         Ok(report)
     }
@@ -235,6 +319,9 @@ impl PretuneDaemon {
     /// winner, compile every hot winner into the cache, persist the
     /// telemetry snapshot and the plan store.
     pub fn tick(&self, router: &Router) -> Result<TickReport, DaemonError> {
+        if fault::fire(FaultKind::DaemonTick, "daemon.tick") {
+            return Err(DaemonError::Fault("daemon.tick".to_string()));
+        }
         let tick_started = Instant::now();
         let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         // The tick's root span: every kernel warmed into the cache below
@@ -330,27 +417,64 @@ impl PretuneDaemon {
     }
 
     /// Run [`PretuneDaemon::tick`] every `interval` on a background thread
-    /// until the returned handle is stopped. Tick errors are printed to
-    /// stderr and do not stop the loop (a transient persistence failure
-    /// must not kill the pretuner).
+    /// until the returned handle is stopped — *supervised*: each tick runs
+    /// under `catch_unwind`, so neither an error nor a panic kills the
+    /// pretuner. Failures are recorded on the handle
+    /// ([`DaemonHandle::last_error`] /
+    /// [`DaemonHandle::consecutive_failures`]) and retried under capped
+    /// exponential backoff (`interval × 2^failures`, at most
+    /// `interval × 32`), so a persistently broken disk does not turn the
+    /// loop into a busy error spray while a transient failure recovers on
+    /// the next beat.
     pub fn spawn(self, router: Arc<Router>, interval: Duration) -> DaemonHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
         let last_report: Arc<Mutex<Option<TickReport>>> = Arc::new(Mutex::new(None));
         let last_report_slot = last_report.clone();
+        let last_error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let last_error_slot = last_error.clone();
+        let consecutive_failures = Arc::new(AtomicU64::new(0));
+        let failure_count = consecutive_failures.clone();
         let thread = std::thread::spawn(move || {
             // Name the lane in the trace export: Perfetto shows
             // "pretune-daemon", not an opaque thread id.
             sme_obs::set_thread_name("pretune-daemon");
             while !stop_flag.load(Ordering::Relaxed) {
-                match self.tick(&router) {
-                    Ok(report) => {
-                        *last_report_slot.lock().expect("tick report poisoned") = Some(report);
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.tick(&router)));
+                let failed = match outcome {
+                    Ok(Ok(report)) => {
+                        *sme_runtime::poison::lock(&last_report_slot, "daemon tick report") =
+                            Some(report);
+                        failure_count.store(0, Ordering::Relaxed);
+                        None
                     }
-                    Err(e) => eprintln!("warning: pretune daemon tick failed: {e}"),
-                }
-                // Sleep in short slices so stop() returns promptly.
-                let mut remaining = interval;
+                    Ok(Err(e)) => Some(e.to_string()),
+                    Err(payload) => {
+                        Some(format!("tick panicked: {}", panic_detail(payload.as_ref())))
+                    }
+                };
+                let failures = match failed {
+                    None => 0,
+                    Some(detail) => {
+                        let failures = failure_count.fetch_add(1, Ordering::Relaxed) + 1;
+                        eprintln!(
+                            "warning: pretune daemon tick failed \
+                             ({failures} consecutive): {detail}"
+                        );
+                        if let Some(hub) = router.obs() {
+                            hub.metrics.counter("sme_daemon_tick_failures_total").inc();
+                        }
+                        *sme_runtime::poison::lock(&last_error_slot, "daemon tick error") =
+                            Some(detail);
+                        failures
+                    }
+                };
+                // Capped exponential backoff after failures; the regular
+                // beat otherwise. Sleep in short slices so stop() returns
+                // promptly.
+                let multiplier = 1u32 << failures.min(5) as u32;
+                let mut remaining = interval.saturating_mul(multiplier);
                 while !stop_flag.load(Ordering::Relaxed) && remaining > Duration::ZERO {
                     let slice = remaining.min(Duration::from_millis(20));
                     std::thread::sleep(slice);
@@ -362,6 +486,8 @@ impl PretuneDaemon {
             stop,
             thread: Some(thread),
             last_report,
+            last_error,
+            consecutive_failures,
         }
     }
 }
@@ -547,6 +673,53 @@ mod tests {
             Some(FingerprintCheck::Mismatch { .. })
         ));
         assert!(router.cache().lookup_tuned(&hot).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_ticks_are_supervised_not_fatal() {
+        // Point the persistence paths into a directory that does not
+        // exist: every tick fails at the save step. The supervised loop
+        // must keep running, surface the error on the handle, and count
+        // the consecutive failures (driving its backoff) — then stop
+        // cleanly.
+        let dir = std::env::temp_dir().join("sme_router_daemon_missing_dir/nested");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+        let daemon = PretuneDaemon::new(PretuneDaemonConfig {
+            top_n: 1,
+            ..PretuneDaemonConfig::in_dir(&dir)
+        });
+        let router = Arc::new(Router::new(16));
+        router
+            .dispatch(&[GemmRequest::fp32(GemmConfig::abt(32, 32, 8), 1)])
+            .unwrap();
+
+        let handle = daemon.spawn(router.clone(), Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.last_error().is_none() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let error = handle.last_error().expect("a failing tick was recorded");
+        assert!(
+            error.contains("telemetry"),
+            "the telemetry save fails first: {error}"
+        );
+        assert!(handle.consecutive_failures() >= 1);
+        assert_eq!(handle.last_report(), None, "no tick ever succeeded");
+        assert_eq!(handle.stop(), StopOutcome::Stopped);
+    }
+
+    #[test]
+    fn stopping_an_idle_daemon_is_prompt_and_clean() {
+        let dir = temp_dir("stop");
+        let daemon = PretuneDaemon::new(PretuneDaemonConfig::in_dir(&dir));
+        let router = Arc::new(Router::new(8));
+        let handle = daemon.spawn(router, Duration::from_secs(3600));
+        // The loop is asleep in its first interval; stop must not wait the
+        // hour out.
+        let started = std::time::Instant::now();
+        assert_eq!(handle.stop(), StopOutcome::Stopped);
+        assert!(started.elapsed() < Duration::from_secs(5));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -90,7 +90,8 @@ pub mod router;
 pub mod telemetry;
 
 pub use daemon::{
-    DaemonError, DaemonHandle, PretuneDaemon, PretuneDaemonConfig, RestoreReport, TickReport,
+    DaemonError, DaemonHandle, PretuneDaemon, PretuneDaemonConfig, RestoreReport, StopOutcome,
+    TickReport, STOP_TIMEOUT,
 };
 pub use planner::{
     plan_batch, plan_batch_placed, BatchPlan, GroupCost, GroupPlacement, PlacementPlan,
@@ -101,7 +102,7 @@ pub use policy::{
 };
 pub use router::{RoutedBatchReport, Router};
 pub use telemetry::{
-    ShapeStats, TelemetryError, TelemetryRegistry, DEFAULT_DECAY_HALF_LIFE,
+    RecoveredTelemetry, ShapeStats, TelemetryError, TelemetryRegistry, DEFAULT_DECAY_HALF_LIFE,
     TELEMETRY_SNAPSHOT_VERSION,
 };
 

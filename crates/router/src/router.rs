@@ -198,12 +198,7 @@ impl Router {
     /// dispatch fetch of the winner is a hit, not a recompile), simulate
     /// each once, memoize and return the faster engine.
     fn measure(&self, cfg: &AnyGemmConfig, parent: Option<TraceCtx>) -> Backend {
-        if let Some(&backend) = self
-            .probe_memo
-            .lock()
-            .expect("probe memo poisoned")
-            .get(cfg)
-        {
+        if let Some(&backend) = sme_runtime::poison::lock(&self.probe_memo, "probe memo").get(cfg) {
             return backend;
         }
         let fetch = |backend| {
@@ -226,10 +221,7 @@ impl Router {
             (Err(_), Ok(_)) => Backend::Neon,
             (Err(_), Err(_)) => default_any_candidate(cfg).backend,
         };
-        self.probe_memo
-            .lock()
-            .expect("probe memo poisoned")
-            .insert(*cfg, backend);
+        sme_runtime::poison::lock(&self.probe_memo, "probe memo").insert(*cfg, backend);
         backend
     }
 

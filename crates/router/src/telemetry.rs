@@ -215,6 +215,14 @@ impl Default for TelemetryRegistry {
 }
 
 impl TelemetryRegistry {
+    /// Lock the registry, recovering from poison instead of panicking: the
+    /// counters are structurally valid at every instruction boundary, so a
+    /// writer that panicked mid-update costs at most one partially-counted
+    /// group — the recorded traffic is kept, not cleared.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        sme_runtime::poison::lock(&self.inner, "telemetry registry")
+    }
+
     /// An empty registry with the default decay half-life
     /// ([`DEFAULT_DECAY_HALF_LIFE`] epochs), unstamped.
     pub fn new() -> Self {
@@ -265,14 +273,14 @@ impl TelemetryRegistry {
     ///
     /// [`advance_epoch`]: TelemetryRegistry::advance_epoch
     pub fn epoch(&self) -> u64 {
-        self.inner.lock().expect("telemetry poisoned").epoch
+        self.lock_inner().epoch
     }
 
     /// Advance the decay clock by one epoch. The router calls this once
     /// per dispatched batch, so "hot" means "hot over the last few dozen
     /// batches", not "hot since boot".
     pub fn advance_epoch(&self) {
-        self.inner.lock().expect("telemetry poisoned").epoch += 1;
+        self.lock_inner().epoch += 1;
     }
 
     /// Record one dispatched group: `requests` executions of `config` on
@@ -286,7 +294,7 @@ impl TelemetryRegistry {
         cycles: f64,
         cache_hit: bool,
     ) {
-        let mut inner = self.inner.lock().expect("telemetry poisoned");
+        let mut inner = self.lock_inner();
         let epoch = inner.epoch;
         let retention = self.retention;
         inner.total_requests += requests;
@@ -325,7 +333,7 @@ impl TelemetryRegistry {
 
     /// Number of distinct shapes seen.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("telemetry poisoned").entries.len()
+        self.lock_inner().entries.len()
     }
 
     /// `true` if no traffic has been recorded.
@@ -335,15 +343,12 @@ impl TelemetryRegistry {
 
     /// Total requests recorded across all shapes.
     pub fn total_requests(&self) -> u64 {
-        self.inner
-            .lock()
-            .expect("telemetry poisoned")
-            .total_requests
+        self.lock_inner().total_requests
     }
 
     /// Statistics for one shape, if it has been seen.
     pub fn shape(&self, config: &AnyGemmConfig) -> Option<ShapeStats> {
-        let inner = self.inner.lock().expect("telemetry poisoned");
+        let inner = self.lock_inner();
         inner
             .entries
             .get(config)
@@ -359,7 +364,7 @@ impl TelemetryRegistry {
     /// outranks a chatty-but-cheap shape, so `Router::pretune_hot` spends
     /// its tuning budget where the cycles are.
     pub fn top_shapes(&self, n: usize) -> Vec<ShapeStats> {
-        let inner = self.inner.lock().expect("telemetry poisoned");
+        let inner = self.lock_inner();
         let mut all = collect_stats(&inner, self.retention);
         rank_shapes(&mut all);
         all.truncate(n);
@@ -368,7 +373,7 @@ impl TelemetryRegistry {
 
     /// Discard all recorded traffic (the epoch clock keeps running).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("telemetry poisoned");
+        let mut inner = self.lock_inner();
         inner.entries.clear();
         inner.total_requests = 0;
     }
@@ -416,7 +421,7 @@ impl TelemetryRegistry {
         }
         // One lock: totals and shapes come from the same consistent view.
         let (total_requests, shapes) = {
-            let inner = self.inner.lock().expect("telemetry poisoned");
+            let inner = self.lock_inner();
             let mut all = collect_stats(&inner, self.retention);
             rank_shapes(&mut all);
             (inner.total_requests, all)
@@ -620,16 +625,23 @@ impl TelemetryRegistry {
         })
     }
 
-    /// Write the snapshot JSON document to a file.
+    /// Write the snapshot JSON document to a file — atomically (temp +
+    /// fsync + rename), with a checksum trailer, keeping the previous
+    /// generation at `<path>.bak` (see [`sme_runtime::save_snapshot`]).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TelemetryError> {
-        std::fs::write(path, self.to_json())?;
+        sme_runtime::save_snapshot(path.as_ref(), &self.to_json())?;
         Ok(())
     }
 
     /// Load a snapshot previously written with [`TelemetryRegistry::save`].
+    /// The checksum trailer is verified when present; trailer-less legacy
+    /// documents still load.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TelemetryError> {
-        let text = std::fs::read_to_string(path)?;
-        TelemetryRegistry::from_json(&text)
+        match sme_runtime::read_snapshot(path.as_ref()) {
+            Ok(text) => TelemetryRegistry::from_json(&text),
+            Err(sme_runtime::SnapshotError::Io(e)) => Err(TelemetryError::Io(e)),
+            Err(sme_runtime::SnapshotError::Corrupt(msg)) => Err(TelemetryError::Format(msg)),
+        }
     }
 
     /// Compare the snapshot's fingerprint against `machine`'s current
@@ -652,12 +664,34 @@ impl TelemetryRegistry {
     /// simulated against a different calibration — and a warning naming
     /// both fingerprints is printed to stderr. Unstamped snapshots load
     /// as-is with [`FingerprintCheck::Unstamped`].
+    /// *Corruption* is handled differently from staleness: if the primary
+    /// document is unreadable, fails its checksum trailer, or does not
+    /// parse, the `.bak` previous generation (kept by every
+    /// [`TelemetryRegistry::save`]) is tried before giving up, and the
+    /// original error is returned only when both generations are bad.
     pub fn load_checked(
         path: impl AsRef<Path>,
         machine: &MachineConfig,
     ) -> Result<(Self, FingerprintCheck), TelemetryError> {
         let path = path.as_ref();
-        let registry = TelemetryRegistry::load(path)?;
+        let registry = match TelemetryRegistry::load(path) {
+            Ok(registry) => registry,
+            Err(TelemetryError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(TelemetryError::Io(e));
+            }
+            Err(primary) => match TelemetryRegistry::load(sme_runtime::backup_path(path)) {
+                Ok(previous) => {
+                    eprintln!(
+                        "warning: telemetry snapshot {} is corrupt ({primary}); \
+                         recovered {} shape(s) from the previous generation",
+                        path.display(),
+                        previous.len()
+                    );
+                    previous
+                }
+                Err(_) => return Err(primary),
+            },
+        };
         let check = registry.fingerprint_check(machine);
         if let FingerprintCheck::Mismatch { stored, current } = check {
             eprintln!(
@@ -676,9 +710,77 @@ impl TelemetryRegistry {
     /// `other`'s (the restore half of a restart: the router owns its
     /// registry, so a loaded snapshot is absorbed in place).
     pub fn restore_from(&self, other: TelemetryRegistry) {
-        let mut inner = self.inner.lock().expect("telemetry poisoned");
-        *inner = other.inner.into_inner().expect("telemetry poisoned");
+        let mut inner = self.lock_inner();
+        *inner = other.inner.into_inner().unwrap_or_else(|p| p.into_inner());
     }
+
+    /// Load with the full degradation ladder: primary generation → `.bak`
+    /// previous generation → empty, applying the fingerprint staleness
+    /// check to whichever generation served.
+    ///
+    /// Unlike [`TelemetryRegistry::load_checked`] this never fails:
+    /// *corruption* (torn writes, bit-flips, unparseable JSON, injected
+    /// I/O faults) recovers from the previous generation, *staleness*
+    /// (fingerprint mismatch) discards to an empty re-stamped registry,
+    /// and a missing file is a fresh start. The [`RecoveredTelemetry`]
+    /// says which rung served.
+    pub fn load_recovered(path: impl AsRef<Path>, machine: &MachineConfig) -> RecoveredTelemetry {
+        let path = path.as_ref();
+        let recovered =
+            sme_runtime::load_with_recovery(path, |text| TelemetryRegistry::from_json(text));
+        let source = recovered.source;
+        let detail = recovered.detail;
+        if let Some(d) = detail.as_deref() {
+            eprintln!("warning: telemetry snapshot {}: {d}", path.display());
+        }
+        match recovered.value {
+            Some(registry) => {
+                let check = registry.fingerprint_check(machine);
+                if let FingerprintCheck::Mismatch { stored, current } = check {
+                    eprintln!(
+                        "warning: telemetry snapshot {} was recorded against machine \
+                         fingerprint {stored:016x} but the current model is {current:016x}; \
+                         discarding its {} stale shape(s) — the decayed ranking will rebuild",
+                        path.display(),
+                        registry.len()
+                    );
+                    return RecoveredTelemetry {
+                        registry: TelemetryRegistry::for_machine(machine),
+                        check,
+                        source,
+                        detail,
+                    };
+                }
+                RecoveredTelemetry {
+                    registry,
+                    check,
+                    source,
+                    detail,
+                }
+            }
+            None => RecoveredTelemetry {
+                registry: TelemetryRegistry::for_machine(machine),
+                check: FingerprintCheck::Match,
+                source,
+                detail,
+            },
+        }
+    }
+}
+
+/// The outcome of [`TelemetryRegistry::load_recovered`]: the registry that
+/// will serve, its fingerprint verdict, and which on-disk generation it
+/// came from.
+#[derive(Debug)]
+pub struct RecoveredTelemetry {
+    /// The registry to serve from (possibly empty).
+    pub registry: TelemetryRegistry,
+    /// Fingerprint verdict for the generation that served.
+    pub check: FingerprintCheck,
+    /// Which generation served.
+    pub source: sme_runtime::SnapshotSource,
+    /// Why the primary (and possibly backup) generation was rejected.
+    pub detail: Option<String>,
 }
 
 fn collect_stats(inner: &Inner, retention: f64) -> Vec<ShapeStats> {

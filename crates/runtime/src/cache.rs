@@ -33,8 +33,21 @@ use sme_gemm::{
 use sme_obs::{Counter, Gauge, Histogram, ObsHub, TraceCtx};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::Instant;
+
+/// Lock a shard, recovering from poison instead of panicking: a panic while
+/// the guard was held may have left the entry list mid-edit, so a recovered
+/// shard's entries are dropped (they are only a cache — the next request
+/// recompiles) while its counters are kept. The recovery is counted in
+/// `sme_lock_poisoned_total` (see [`crate::poison`]).
+fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    let (mut guard, recovered) = crate::poison::lock_recovering(shard, "kernel-cache shard");
+    if recovered {
+        guard.entries.clear();
+    }
+    guard
+}
 
 /// Number of independently locked shards.
 const SHARDS: usize = 8;
@@ -192,6 +205,7 @@ impl KernelCache {
     /// reported to it from then on. Only the first attach wins.
     pub fn attach_obs(&self, hub: Arc<ObsHub>) {
         self.packs.attach_obs(&hub);
+        crate::poison::attach_counter(hub.metrics.counter("sme_lock_poisoned_total"));
         let _ = self.obs.set(ObsHandles {
             hits: hub.metrics.counter("sme_cache_hits_total"),
             misses: hub.metrics.counter("sme_cache_misses_total"),
@@ -228,10 +242,7 @@ impl KernelCache {
     /// undispatchable.
     pub fn preferred_backend_any(&self, cfg: &AnyGemmConfig) -> Backend {
         let fallback = sme_gemm::default_any_candidate(cfg).backend;
-        let backend = self
-            .store
-            .read()
-            .expect("plan store poisoned")
+        let backend = crate::poison::read(&self.store, "plan store")
             .lookup_any(cfg)
             .map(|record| record.candidate.backend)
             .unwrap_or(fallback);
@@ -328,7 +339,7 @@ impl KernelCache {
         parent: Option<TraceCtx>,
     ) -> Result<(Arc<RoutedKernel>, bool), GemmError> {
         let key = (*cfg, backend);
-        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        let mut shard = lock_shard(self.shard_for(&key));
         if let Some(kernel) = shard.get(&key) {
             shard.stats.hits += 1;
             drop(shard);
@@ -343,10 +354,7 @@ impl KernelCache {
             obs.misses.inc();
         }
         let compile_started = Instant::now();
-        let tuned = self
-            .store
-            .read()
-            .expect("plan store poisoned")
+        let tuned = crate::poison::read(&self.store, "plan store")
             .lookup_any(cfg)
             .copied()
             .filter(|record| record.candidate.backend == backend);
@@ -422,10 +430,7 @@ impl KernelCache {
         backend: Backend,
     ) -> Option<Arc<RoutedKernel>> {
         let key = (*cfg, backend);
-        self.shard_for(&key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(&key)
+        lock_shard(self.shard_for(&key)).get(&key)
     }
 
     /// Drop every cached kernel for an FP32 `cfg` (all backends).
@@ -441,7 +446,7 @@ impl KernelCache {
         let mut dropped = false;
         for backend in Backend::all() {
             let key = (*cfg, backend);
-            let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+            let mut shard = lock_shard(self.shard_for(&key));
             let before = shard.entries.len();
             shard.entries.retain(|(k, _)| k != &key);
             dropped |= shard.entries.len() != before;
@@ -461,14 +466,9 @@ impl KernelCache {
     /// tuning key, so the next request compiles the tuned variant.
     pub fn install_tuned_any(&self, cfg: &AnyGemmConfig, record: TunedRecord) {
         let key = tune_key_any(cfg);
-        self.store
-            .write()
-            .expect("plan store poisoned")
-            .insert_any(cfg, record);
+        crate::poison::write(&self.store, "plan store").insert_any(cfg, record);
         for shard in &self.shards {
-            shard
-                .lock()
-                .expect("cache shard poisoned")
+            lock_shard(shard)
                 .entries
                 .retain(|((c, _), _)| tune_key_any(c) != key);
         }
@@ -483,9 +483,7 @@ impl KernelCache {
     /// The tuned record that would be used for a configuration of either
     /// datatype, if one is stored.
     pub fn lookup_tuned_any(&self, cfg: &AnyGemmConfig) -> Option<TunedRecord> {
-        self.store
-            .read()
-            .expect("plan store poisoned")
+        crate::poison::read(&self.store, "plan store")
             .lookup_any(cfg)
             .copied()
     }
@@ -494,23 +492,23 @@ impl KernelCache {
     /// drop every cached kernel and packed operand set, since any of them
     /// may now be stale.
     pub fn replace_store(&self, store: PlanStore) {
-        *self.store.write().expect("plan store poisoned") = store;
+        *crate::poison::write(&self.store, "plan store") = store;
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").entries.clear();
+            lock_shard(shard).entries.clear();
         }
         self.packs.clear();
     }
 
     /// Snapshot of the plan store (for persistence).
     pub fn export_store(&self) -> PlanStore {
-        self.store.read().expect("plan store poisoned").clone()
+        crate::poison::read(&self.store, "plan store").clone()
     }
 
     /// Number of cached kernels.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .map(|s| lock_shard(s).entries.len())
             .sum()
     }
 
@@ -533,10 +531,7 @@ impl KernelCache {
     /// pathologically hot or thrashing shard; the cache-wide view is the
     /// aggregation in [`KernelCache::stats`].
     pub fn shard_stats(&self) -> Vec<CacheStats> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").stats)
-            .collect()
+        self.shards.iter().map(|s| lock_shard(s).stats).collect()
     }
 }
 

@@ -71,17 +71,30 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod error;
+pub mod fault;
 pub mod pack;
+pub mod persist;
+pub mod poison;
 pub mod service;
 pub mod store;
 pub mod tuner;
 
 pub use cache::{CacheStats, KernelCache};
+pub use error::ServeError;
+pub use fault::{
+    clear_injector, install_injector, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule,
+    SitePattern,
+};
 pub use pack::{PackLayout, PackStats, PackedOperandCache};
-pub use service::{BatchReport, ConfigReport, GemmRequest, GemmService};
+pub use persist::{
+    backup_path, load_with_recovery, read_snapshot, save_snapshot, Recovered, SnapshotError,
+    SnapshotSource,
+};
+pub use service::{BatchReport, ConfigReport, GemmRequest, GemmService, RequestFailure};
 pub use store::{
-    tune_key, tune_key_any, FingerprintCheck, PlanStore, PlanStoreError, TunedRecord,
-    PLAN_STORE_VERSION,
+    tune_key, tune_key_any, FingerprintCheck, PlanStore, PlanStoreError, RecoveredStore,
+    TunedRecord, PLAN_STORE_VERSION,
 };
 pub use tuner::{tune, tune_any, tune_any_into_store, tune_into_store, TuneOutcome, TunerOptions};
 

@@ -34,7 +34,7 @@
 
 use sme_gemm::{AnyGemmConfig, Backend, Dtype, OperandImages, RoutedKernel};
 use sme_obs::{Counter, Gauge, ObsHub};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// The byte layout of a cached operand image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,6 +161,24 @@ impl PackedOperandCache {
         });
     }
 
+    /// Lock the cache interior, recovering from poison instead of
+    /// panicking: a panic mid-update may have left the entry list and the
+    /// resident-bytes accounting out of sync, so a recovered cache is
+    /// emptied (counted as invalidations) — it is only a cache, the next
+    /// dispatch repacks. The recovery is counted in
+    /// `sme_lock_poisoned_total` (see [`crate::poison`]).
+    fn lock_inner(&self) -> MutexGuard<'_, PackInner> {
+        let (mut inner, recovered) =
+            crate::poison::lock_recovering(&self.inner, "packed-operand cache");
+        if recovered {
+            let dropped = inner.entries.len();
+            inner.entries.clear();
+            inner.resident_bytes = 0;
+            inner.stats.invalidations += dropped as u64;
+        }
+        inner
+    }
+
     /// The operand images for `(kernel, seed)`, packing and caching them on
     /// miss. Returns the images and whether the request hit the cache.
     ///
@@ -173,7 +191,7 @@ impl PackedOperandCache {
             config: kernel.any_config(),
             layout: PackLayout::for_kernel(kernel),
         };
-        let mut inner = self.inner.lock().expect("pack cache poisoned");
+        let mut inner = self.lock_inner();
         if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
             // Refresh recency: move to the back.
             let entry = inner.entries.remove(pos);
@@ -212,7 +230,7 @@ impl PackedOperandCache {
     /// Drop every cached operand set of `cfg` (all seeds, all layouts).
     /// Returns the number of entries dropped.
     pub fn invalidate_config(&self, cfg: &AnyGemmConfig) -> usize {
-        let mut inner = self.inner.lock().expect("pack cache poisoned");
+        let mut inner = self.lock_inner();
         let before = inner.entries.len();
         let mut freed = 0usize;
         inner.entries.retain(|(k, images)| {
@@ -236,7 +254,7 @@ impl PackedOperandCache {
 
     /// Drop every cached operand set (plan-store replacement).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("pack cache poisoned");
+        let mut inner = self.lock_inner();
         let dropped = inner.entries.len();
         inner.entries.clear();
         inner.resident_bytes = 0;
@@ -250,11 +268,7 @@ impl PackedOperandCache {
 
     /// Number of cached operand sets.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("pack cache poisoned")
-            .entries
-            .len()
+        self.lock_inner().entries.len()
     }
 
     /// `true` if no operand sets are cached.
@@ -264,15 +278,12 @@ impl PackedOperandCache {
 
     /// Total heap footprint of the cached images in bytes.
     pub fn resident_bytes(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("pack cache poisoned")
-            .resident_bytes
+        self.lock_inner().resident_bytes
     }
 
     /// Snapshot of the monotonic counters.
     pub fn stats(&self) -> PackStats {
-        self.inner.lock().expect("pack cache poisoned").stats
+        self.lock_inner().stats
     }
 }
 

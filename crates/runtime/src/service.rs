@@ -20,6 +20,8 @@
 //! real engine classes (two shared SME units + private Neon cores).
 
 use crate::cache::KernelCache;
+use crate::error::ServeError;
+use crate::fault::{self, FaultKind};
 use crate::tuner::{self, TuneOutcome, TunerOptions};
 use rayon::prelude::*;
 use sme_gemm::{AnyGemmConfig, Backend, Dtype, GemmConfig, GemmError, WideningGemmConfig};
@@ -68,6 +70,10 @@ pub struct ConfigReport {
     pub dtype: Dtype,
     /// The backend the group's kernel executed on.
     pub backend: Backend,
+    /// `Some(original)` if the group was *degraded*: its routed backend
+    /// failed (compile failure or a caught panic) and the group was served
+    /// by the other backend instead. `None` for a healthy group.
+    pub fallback_from: Option<Backend>,
     /// `true` if the group's single kernel fetch was served from the cache
     /// (`false`: the fetch compiled).
     pub cache_hit: bool,
@@ -80,18 +86,49 @@ pub struct ConfigReport {
     pub stats: ExecStats,
 }
 
+/// Why one request failed after the serving layer exhausted its
+/// degradation ladder (routed backend, then the fallback backend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFailure {
+    /// Index into the submitted request slice.
+    pub index: usize,
+    /// The configuration of the failed request's group.
+    pub config: AnyGemmConfig,
+    /// The error of the group's *first* (routed) attempt.
+    pub error: ServeError,
+}
+
 /// The result of dispatching one batch.
+///
+/// A batch is never dropped wholesale: a group whose routed backend fails
+/// (or panics) is retried once on the other backend, and only requests
+/// whose group failed on *both* backends appear in
+/// [`BatchReport::failures`] — their [`BatchReport::outputs`] slots stay
+/// empty and they have no `per_config` entry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
-    /// Resulting C buffers, indexed like the submitted request slice.
+    /// Resulting C buffers, indexed like the submitted request slice
+    /// (empty for failed requests).
     pub outputs: Vec<Vec<f32>>,
-    /// Per-configuration aggregates, in first-appearance order.
+    /// Per-configuration aggregates, in first-appearance order (failed
+    /// groups excluded).
     pub per_config: Vec<ConfigReport>,
+    /// Per-request failures, in request order (empty for a healthy batch).
+    pub failures: Vec<RequestFailure>,
     /// Statistics summed over the whole batch.
     pub total: ExecStats,
 }
 
 impl BatchReport {
+    /// Number of groups served by their fallback backend instead of the
+    /// routed one.
+    pub fn degraded_groups(&self) -> usize {
+        self.per_config
+            .iter()
+            .filter(|c| c.fallback_from.is_some())
+            .count()
+    }
+
     /// Fraction of the batch's requests whose packed operands were served
     /// from the packed-operand cache (0 for an empty batch).
     pub fn pack_hit_ratio(&self) -> f64 {
@@ -210,12 +247,16 @@ impl GemmService {
     /// costs at most one cache miss, and the groups execute concurrently on
     /// private simulator instances. Results come back in request order.
     ///
-    /// # Errors
-    /// Fails on the first invalid configuration — including a routing
-    /// decision the backend's generator cannot honour (e.g. Neon for an
-    /// FP32 shape off its 16×4 grid, or SME for a widening shape off its
-    /// 32×32 grid); no partial report is returned (kernels compiled before
-    /// the failure stay cached).
+    /// # Failure isolation
+    /// A failing group — a routing decision its backend's generator cannot
+    /// honour, a forced compile failure, or a panic mid-execution (caught
+    /// at the group boundary) — never drops the batch. The group is
+    /// retried once on the other backend; if that succeeds the group is
+    /// served *degraded* ([`ConfigReport::fallback_from`], counted in
+    /// `sme_degraded_dispatch_total`), and only if both backends fail do
+    /// its requests land in [`BatchReport::failures`] while the rest of
+    /// the batch completes normally. The `Result` is kept for API
+    /// stability; dispatch itself always returns `Ok`.
     pub fn dispatch_routed(
         &self,
         requests: &[GemmRequest],
@@ -278,13 +319,24 @@ impl GemmService {
         // thread-safe, so the kernel fetch happens inside the worker: one
         // miss per distinct (configuration, backend), hits for repeats
         // across batches.
-        type GroupOutput = (Vec<(usize, Vec<f32>)>, ExecStats, Backend, bool, usize);
-        let results: Vec<(usize, Result<GroupOutput, GemmError>)> = exec_order
+        struct GroupRun {
+            outputs: Vec<(usize, Vec<f32>)>,
+            stats: ExecStats,
+            backend: Backend,
+            cache_hit: bool,
+            pack_hits: usize,
+            fallback_from: Option<Backend>,
+        }
+        let results: Vec<(usize, Result<GroupRun, ServeError>)> = exec_order
             .par_iter()
             .map(|&g| {
                 let (config, indices) = &groups[g];
-                let backend = route(config);
-                let run = || -> Result<GroupOutput, GemmError> {
+                let routed = route(config);
+                // One attempt on one backend. `inject` arms the
+                // fault-injection hooks only for the routed attempt, so a
+                // chaos schedule can never fail both rungs of the ladder
+                // with a single rule.
+                let run = |backend: Backend, inject: bool| -> Result<GroupRun, ServeError> {
                     let group_started = std::time::Instant::now();
                     // Allocate the group span's identity here, on the
                     // worker thread, so the parent edge crosses the hop.
@@ -292,8 +344,34 @@ impl GemmService {
                         sme_obs::set_thread_name_indexed("rayon-worker");
                         ctx.map(|root| hub.trace.child_ctx(root))
                     });
-                    let (kernel, cache_hit) =
-                        self.cache.fetch_any_traced(config, backend, group_ctx)?;
+                    if inject {
+                        let site = format!(
+                            "service.group:{}:{} {}x{}x{}",
+                            backend.name(),
+                            config.dtype(),
+                            config.m(),
+                            config.n(),
+                            config.k()
+                        );
+                        if fault::fire(FaultKind::GroupPanic, &site) {
+                            panic!("sme-fault-injected: group panic at {site}");
+                        }
+                        if fault::fire(FaultKind::CompileFail, &site) {
+                            return Err(ServeError::Compile {
+                                backend,
+                                detail: format!("injected compile failure at {site}"),
+                            });
+                        }
+                    }
+                    let (kernel, cache_hit) = self
+                        .cache
+                        .fetch_any_traced(config, backend, group_ctx)
+                        .map_err(|e| match e {
+                            GemmError::Unsupported(detail) => {
+                                ServeError::Compile { backend, detail }
+                            }
+                            other => ServeError::Gemm(other),
+                        })?;
                     let mut sim = Simulator::m4_performance();
                     let mut stats = ExecStats::default();
                     let mut outputs = Vec::with_capacity(indices.len());
@@ -352,12 +430,90 @@ impl GemmService {
                             ],
                         );
                     }
-                    Ok((outputs, stats, backend, cache_hit, pack_hits))
+                    Ok(GroupRun {
+                        outputs,
+                        stats,
+                        backend,
+                        cache_hit,
+                        pack_hits,
+                        fallback_from: None,
+                    })
                 };
-                (g, run())
+                // Panic isolation: a group that panics (kernel bug or
+                // injected fault) is caught at the group boundary and
+                // enters the same ladder as a compile failure.
+                let attempt = |backend: Backend, inject: bool| -> Result<GroupRun, ServeError> {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run(backend, inject)
+                    })) {
+                        Ok(result) => result,
+                        Err(payload) => Err(ServeError::ExecPanic {
+                            backend,
+                            detail: panic_detail(payload.as_ref()),
+                        }),
+                    }
+                };
+                let result = match attempt(routed, true) {
+                    Ok(group) => Ok(group),
+                    Err(first) => {
+                        let fallback = match routed {
+                            Backend::Sme => Backend::Neon,
+                            Backend::Neon => Backend::Sme,
+                        };
+                        let degraded_started = std::time::Instant::now();
+                        match attempt(fallback, false) {
+                            Ok(mut group) => {
+                                group.fallback_from = Some(routed);
+                                if let Some(hub) = self.cache.obs() {
+                                    hub.metrics.counter("sme_degraded_dispatch_total").inc();
+                                    let span_ctx = ctx
+                                        .map(|root| hub.trace.child_ctx(root))
+                                        .unwrap_or_else(|| hub.trace.root_ctx());
+                                    hub.trace.record_ctx(
+                                        "service.degraded",
+                                        "chaos",
+                                        degraded_started,
+                                        span_ctx,
+                                        vec![
+                                            (
+                                                "config".to_string(),
+                                                serde::json::Value::String(format!(
+                                                    "{} {}x{}x{}",
+                                                    config.dtype(),
+                                                    config.m(),
+                                                    config.n(),
+                                                    config.k()
+                                                )),
+                                            ),
+                                            (
+                                                "from".to_string(),
+                                                serde::json::Value::String(
+                                                    routed.name().to_string(),
+                                                ),
+                                            ),
+                                            (
+                                                "to".to_string(),
+                                                serde::json::Value::String(
+                                                    fallback.name().to_string(),
+                                                ),
+                                            ),
+                                            (
+                                                "error".to_string(),
+                                                serde::json::Value::String(first.to_string()),
+                                            ),
+                                        ],
+                                    );
+                                }
+                                Ok(group)
+                            }
+                            Err(_second) => Err(first),
+                        }
+                    }
+                };
+                (g, result)
             })
             .collect();
-        let mut executed: Vec<Option<Result<GroupOutput, GemmError>>> =
+        let mut executed: Vec<Option<Result<GroupRun, ServeError>>> =
             (0..groups.len()).map(|_| None).collect();
         for (g, result) in results {
             executed[g] = Some(result);
@@ -365,29 +521,61 @@ impl GemmService {
 
         let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); requests.len()];
         let mut per_config = Vec::with_capacity(groups.len());
+        let mut failures: Vec<RequestFailure> = Vec::new();
         let mut total = ExecStats::default();
         for ((config, indices), result) in groups.iter().zip(executed) {
-            let (group_outputs, stats, backend, cache_hit, pack_hits) =
-                result.expect("every group executed")?;
-            for (index, c) in group_outputs {
-                outputs[index] = c;
+            match result.expect("every group executed") {
+                Ok(group) => {
+                    for (index, c) in group.outputs {
+                        outputs[index] = c;
+                    }
+                    total.merge(&group.stats);
+                    per_config.push(ConfigReport {
+                        config: *config,
+                        dtype: config.dtype(),
+                        backend: group.backend,
+                        fallback_from: group.fallback_from,
+                        cache_hit: group.cache_hit,
+                        requests: indices.len(),
+                        pack_hits: group.pack_hits,
+                        stats: group.stats,
+                    });
+                }
+                Err(error) => {
+                    if let Some(hub) = self.cache.obs() {
+                        hub.metrics
+                            .counter("sme_request_failures_total")
+                            .add(indices.len() as u64);
+                    }
+                    for &index in indices {
+                        failures.push(RequestFailure {
+                            index,
+                            config: *config,
+                            error: error.clone(),
+                        });
+                    }
+                }
             }
-            total.merge(&stats);
-            per_config.push(ConfigReport {
-                config: *config,
-                dtype: config.dtype(),
-                backend,
-                cache_hit,
-                requests: indices.len(),
-                pack_hits,
-                stats,
-            });
         }
+        failures.sort_by_key(|f| f.index);
         Ok(BatchReport {
             outputs,
             per_config,
+            failures,
             total,
         })
+    }
+}
+
+/// Stringify a caught panic payload (the common `&str` / `String` cases,
+/// with a fallback for exotic payloads).
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -477,13 +665,76 @@ mod tests {
     }
 
     #[test]
-    fn invalid_requests_fail_the_whole_batch() {
+    fn invalid_requests_fail_alone_not_the_batch() {
         let service = GemmService::new(4);
         let requests = [
             GemmRequest::fp32(GemmConfig::abt(16, 16, 4), 0),
             GemmRequest::fp32(GemmConfig::abt(0, 16, 4), 0),
         ];
-        assert!(service.dispatch(&requests).is_err());
+        let report = service.dispatch(&requests).unwrap();
+        // The valid request completes bit-correct…
+        assert_eq!(report.outputs[0], reference_output(&requests[0]));
+        // …and the invalid one is reported per-request: no backend could
+        // ever serve it, so it is not a degradation, it is a rejection.
+        assert!(report.outputs[1].is_empty());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 1);
+        assert_eq!(report.failures[0].error.category(), "invalid_config");
+        assert_eq!(report.per_config.len(), 1, "failed group has no report");
+        assert_eq!(report.degraded_groups(), 0);
+    }
+
+    #[test]
+    fn injected_faults_degrade_to_the_fallback_backend() {
+        use crate::fault::{FaultKind, FaultPlan, FaultRule, SitePattern};
+        let service = GemmService::new(16);
+        let cfg = GemmConfig::abt(32, 32, 8);
+        let requests = [GemmRequest::fp32(cfg, 1), GemmRequest::fp32(cfg, 2)];
+        let plan = Arc::new(FaultPlan::with_rules(
+            0,
+            vec![
+                FaultRule {
+                    kind: FaultKind::GroupPanic,
+                    pattern: SitePattern::Contains(":Sme:".to_string()),
+                    occurrence: 1,
+                },
+                FaultRule {
+                    kind: FaultKind::CompileFail,
+                    pattern: SitePattern::Contains(":Sme:".to_string()),
+                    occurrence: 1,
+                },
+            ],
+        ));
+        crate::fault::install_injector(plan);
+        // Batch 1: the SME group panics mid-dispatch; batch 2: its compile
+        // is forced to fail. Both are served by the Neon fallback.
+        let panicked = service.dispatch(&requests).unwrap();
+        let compile_failed = service.dispatch(&requests).unwrap();
+        crate::fault::clear_injector();
+        let healthy = service.dispatch(&requests).unwrap();
+
+        for (label, report) in [("panic", &panicked), ("compile", &compile_failed)] {
+            assert!(report.failures.is_empty(), "{label}: no dropped requests");
+            assert_eq!(report.degraded_groups(), 1, "{label}: degraded");
+            assert_eq!(report.per_config[0].backend, Backend::Neon, "{label}");
+            assert_eq!(
+                report.per_config[0].fallback_from,
+                Some(Backend::Sme),
+                "{label}"
+            );
+        }
+        assert_eq!(healthy.degraded_groups(), 0);
+        assert_eq!(healthy.per_config[0].backend, Backend::Sme);
+        // Degraded output equals a clean run on the fallback backend, bit
+        // for bit (the simulator is deterministic per backend).
+        let neon_clean = service
+            .dispatch_routed(&requests, |_| Backend::Neon)
+            .unwrap();
+        assert_eq!(panicked.outputs, neon_clean.outputs);
+        assert_eq!(compile_failed.outputs, neon_clean.outputs);
+        // And the error ladder is visible in the panic case's span-free
+        // sibling: a clean SME run still bit-matches the FP32 reference.
+        assert_eq!(healthy.outputs[0], reference_output(&requests[0]));
     }
 
     #[test]
@@ -558,10 +809,30 @@ mod tests {
         assert!(again.per_config.iter().all(|c| c.cache_hit));
         assert_eq!(report.outputs, again.outputs);
 
-        // Routing a layout the backend cannot compile fails the batch.
-        assert!(service
+        // Routing a layout the backend cannot compile no longer fails the
+        // batch: the group falls back to the other backend and completes,
+        // reported as degraded.
+        let degraded = service
             .dispatch_routed(&requests, |_| Backend::Neon)
-            .is_err());
+            .unwrap();
+        assert!(degraded.failures.is_empty());
+        assert_eq!(degraded.degraded_groups(), 1);
+        let fell_back = degraded
+            .per_config
+            .iter()
+            .find(|c| c.config == sme_only.into())
+            .expect("group served");
+        assert_eq!(fell_back.backend, Backend::Sme);
+        assert_eq!(fell_back.fallback_from, Some(Backend::Neon));
+        for (request, output) in requests.iter().zip(&degraded.outputs) {
+            let reference = reference_output(request);
+            let err = output
+                .iter()
+                .zip(&reference)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
+            assert!(err < 1e-4, "{}: max abs error {err}", request.config);
+        }
         // The default dispatch of an untuned shape stays on SME.
         let default = service.dispatch(&requests[1..]).unwrap();
         assert_eq!(default.per_config[0].backend, Backend::Sme);

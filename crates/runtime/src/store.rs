@@ -179,12 +179,35 @@ impl PlanStore {
     /// is printed to stderr. Unstamped (version-1) stores load as-is with
     /// [`FingerprintCheck::Unstamped`]; the caller decides whether to trust
     /// them.
+    ///
+    /// *Corruption* is handled differently from staleness: if the primary
+    /// document is unreadable, fails its checksum trailer, or does not
+    /// parse, the `.bak` previous generation (kept by every
+    /// [`PlanStore::save`]) is tried before giving up, and the original
+    /// error is returned only when both generations are bad.
     pub fn load_checked(
         path: impl AsRef<Path>,
         machine: &MachineConfig,
     ) -> Result<(Self, FingerprintCheck), PlanStoreError> {
         let path = path.as_ref();
-        let store = PlanStore::load(path)?;
+        let store = match PlanStore::load(path) {
+            Ok(store) => store,
+            Err(PlanStoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(PlanStoreError::Io(e));
+            }
+            Err(primary) => match PlanStore::load(crate::persist::backup_path(path)) {
+                Ok(previous) => {
+                    eprintln!(
+                        "warning: plan store {} is corrupt ({primary}); \
+                         recovered {} winner(s) from the previous generation",
+                        path.display(),
+                        previous.len()
+                    );
+                    previous
+                }
+                Err(_) => return Err(primary),
+            },
+        };
         let check = store.fingerprint_check(machine);
         if let FingerprintCheck::Mismatch { stored, current } = check {
             eprintln!(
@@ -503,17 +526,89 @@ impl PlanStore {
         Ok(store)
     }
 
-    /// Write the JSON document to a file.
+    /// Write the JSON document to a file — atomically (temp + fsync +
+    /// rename), with a checksum trailer, keeping the previous generation at
+    /// `<path>.bak` (see [`crate::persist::save_snapshot`]).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PlanStoreError> {
-        std::fs::write(path, self.to_json())?;
+        crate::persist::save_snapshot(path.as_ref(), &self.to_json())?;
         Ok(())
     }
 
-    /// Load a store previously written with [`PlanStore::save`].
+    /// Load a store previously written with [`PlanStore::save`]. The
+    /// checksum trailer is verified when present; trailer-less legacy
+    /// documents still load.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PlanStoreError> {
-        let text = std::fs::read_to_string(path)?;
-        PlanStore::from_json(&text)
+        match crate::persist::read_snapshot(path.as_ref()) {
+            Ok(text) => PlanStore::from_json(&text),
+            Err(crate::persist::SnapshotError::Io(e)) => Err(PlanStoreError::Io(e)),
+            Err(crate::persist::SnapshotError::Corrupt(msg)) => Err(PlanStoreError::Format(msg)),
+        }
     }
+
+    /// Load with the full degradation ladder: primary generation → `.bak`
+    /// previous generation → empty, applying the fingerprint staleness
+    /// check to whichever generation served.
+    ///
+    /// Unlike [`PlanStore::load_checked`] this never fails: *corruption*
+    /// (torn writes, bit-flips, unparseable JSON, injected I/O faults)
+    /// recovers from the previous generation, *staleness* (fingerprint
+    /// mismatch) discards to an empty re-stamped store, and a missing file
+    /// is a fresh start. The [`RecoveredStore`] says which rung served.
+    pub fn load_recovered(path: impl AsRef<Path>, machine: &MachineConfig) -> RecoveredStore {
+        let path = path.as_ref();
+        let recovered = crate::persist::load_with_recovery(path, |text| PlanStore::from_json(text));
+        let source = recovered.source;
+        let detail = recovered.detail;
+        if let Some(d) = detail.as_deref() {
+            eprintln!("warning: plan store {}: {d}", path.display());
+        }
+        match recovered.value {
+            Some(store) => {
+                let check = store.fingerprint_check(machine);
+                if let FingerprintCheck::Mismatch { stored, current } = check {
+                    eprintln!(
+                        "warning: plan store {} was tuned for machine fingerprint \
+                         {stored:016x} but the current model is {current:016x}; \
+                         discarding its {} stale winner(s) — re-tune and re-save",
+                        path.display(),
+                        store.len()
+                    );
+                    return RecoveredStore {
+                        store: PlanStore::for_machine(machine),
+                        check,
+                        source,
+                        detail,
+                    };
+                }
+                RecoveredStore {
+                    store,
+                    check,
+                    source,
+                    detail,
+                }
+            }
+            None => RecoveredStore {
+                store: PlanStore::for_machine(machine),
+                check: FingerprintCheck::Match,
+                source,
+                detail,
+            },
+        }
+    }
+}
+
+/// The outcome of [`PlanStore::load_recovered`]: the store that will serve,
+/// its fingerprint verdict, and which on-disk generation it came from.
+#[derive(Debug)]
+pub struct RecoveredStore {
+    /// The store to serve from (possibly empty).
+    pub store: PlanStore,
+    /// Fingerprint verdict for the generation that served.
+    pub check: FingerprintCheck,
+    /// Which generation served.
+    pub source: crate::persist::SnapshotSource,
+    /// Why the primary (and possibly backup) generation was rejected.
+    pub detail: Option<String>,
 }
 
 #[cfg(test)]
